@@ -1,0 +1,100 @@
+//! Wavelength-conversion baseline (the Cypher et al. \[11\] regime).
+//!
+//! Identical trial-and-failure dynamics, but every router may move an
+//! arriving worm to *any* free wavelength of the outgoing link, so a worm
+//! dies only when all `B` wavelengths are busy. Comparing this against
+//! the paper's conversion-free routers quantifies what the (expensive,
+//! research-stage in 1997) converter hardware actually buys.
+
+use optical_core::{ProtocolParams, RunReport, TrialAndFailure};
+use optical_paths::PathCollection;
+use optical_topo::Network;
+use optical_wdm::{RouterConfig, TieRule};
+use rand::Rng;
+
+/// Protocol parameters preconfigured for conversion routers.
+///
+/// Uses the same schedule/ack defaults as [`ProtocolParams::new`]; ties
+/// among simultaneous arrivals competing for the last free wavelength are
+/// broken randomly (a deterministic tie rule would bias the comparison).
+pub fn conversion_params(bandwidth: u16, worm_len: u32) -> ProtocolParams {
+    ProtocolParams::new(RouterConfig::conversion(bandwidth).with_tie(TieRule::Random), worm_len)
+}
+
+/// Run trial-and-failure with wavelength-conversion routers.
+pub fn run_conversion(
+    net: &Network,
+    coll: &PathCollection,
+    bandwidth: u16,
+    worm_len: u32,
+    max_rounds: u32,
+    rng: &mut impl Rng,
+) -> RunReport {
+    let mut params = conversion_params(bandwidth, worm_len);
+    params.max_rounds = max_rounds;
+    TrialAndFailure::new(net, coll, params).run(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_core::DelaySchedule;
+    use optical_paths::Path;
+    use optical_topo::topologies;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn bundle(k: usize, len: usize) -> (Network, PathCollection) {
+        let net = topologies::chain(len + 1);
+        let nodes: Vec<u32> = (0..=len as u32).collect();
+        let mut c = PathCollection::for_network(&net);
+        for _ in 0..k {
+            c.push(Path::from_nodes(&net, &nodes));
+        }
+        (net, c)
+    }
+
+    #[test]
+    fn conversion_completes() {
+        let (net, coll) = bundle(16, 5);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = run_conversion(&net, &coll, 2, 3, 200, &mut rng);
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn conversion_beats_fixed_wavelengths_on_tight_delays() {
+        // With B = 4 and a small delay range, fixed-wavelength worms
+        // collide when they pick the same wavelength *and* overlap;
+        // conversion worms only die when all four slots are full. Compare
+        // first-round success counts over several seeds.
+        let (net, coll) = bundle(8, 5);
+        let worm_len = 3;
+        let schedule = DelaySchedule::Fixed { delta: 8 };
+
+        let mut conv_delivered = 0usize;
+        let mut fixed_delivered = 0usize;
+        for seed in 0..30 {
+            let mut params = conversion_params(4, worm_len);
+            params.schedule = schedule;
+            params.max_rounds = 1;
+            let proto = TrialAndFailure::new(&net, &coll, params);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            conv_delivered += proto.run(&mut rng).rounds[0].delivered;
+
+            let mut params = optical_core::ProtocolParams::new(
+                RouterConfig::serve_first(4),
+                worm_len,
+            );
+            params.schedule = schedule;
+            params.max_rounds = 1;
+            let proto = TrialAndFailure::new(&net, &coll, params);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            fixed_delivered += proto.run(&mut rng).rounds[0].delivered;
+        }
+        assert!(
+            conv_delivered > fixed_delivered,
+            "conversion ({conv_delivered}) should beat fixed wavelengths ({fixed_delivered})"
+        );
+    }
+}

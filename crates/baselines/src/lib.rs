@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! Baseline routing schemes the paper compares against (or that frame its
+//! contribution):
+//!
+//! * [`rwa`] — classical offline **routing and wavelength assignment**:
+//!   color the path conflict graph greedily so no two conflicting paths
+//!   share a wavelength, then ship everything in `⌈colors / B⌉`
+//!   collision-free batches. This is the "assign wavelengths so conflicts
+//!   cannot occur" paradigm of almost all prior work (§1.2).
+//! * [`conversion`] — the trial-and-failure protocol run on routers that
+//!   *can* convert wavelengths (the regime of Cypher et al. \[11\]); the
+//!   paper's question is precisely how close one can get **without** this
+//!   expensive capability.
+
+pub mod conversion;
+pub mod rwa;

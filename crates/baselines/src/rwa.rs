@@ -1,0 +1,318 @@
+//! Offline routing-and-wavelength-assignment (RWA) baseline.
+//!
+//! Prior work (§1.2) routes all-optical traffic by *assigning* wavelengths
+//! so that no two paths sharing a link use the same one — a proper
+//! coloring of the path conflict graph. With `B` wavelengths available,
+//! the color classes are shipped in `⌈colors / B⌉` collision-free batches
+//! of one pass (`D + L` steps) each.
+//!
+//! Greedy first-fit coloring is the standard heuristic; we order paths by
+//! descending length (longest-first tends to color overlap-heavy paths
+//! early) or by input order.
+
+use optical_paths::PathCollection;
+use serde::{Deserialize, Serialize};
+
+/// Path ordering for the greedy coloring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColorOrder {
+    /// Paths in collection order.
+    Input,
+    /// Longest paths first.
+    LongestFirst,
+}
+
+/// Result of a greedy wavelength assignment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WavelengthAssignment {
+    /// Color (wavelength class) per path.
+    pub colors: Vec<u32>,
+    /// Number of distinct colors used.
+    pub num_colors: u32,
+}
+
+impl WavelengthAssignment {
+    /// Number of collision-free batches with router bandwidth `b`.
+    pub fn batches(&self, b: u16) -> u32 {
+        assert!(b >= 1);
+        self.num_colors.div_ceil(b as u32)
+    }
+
+    /// Total routing time with bandwidth `b`: each batch is one
+    /// collision-free pass of `D + L` steps.
+    pub fn total_time(&self, b: u16, dilation: u32, worm_len: u32) -> u64 {
+        self.batches(b) as u64 * (dilation as u64 + worm_len as u64)
+    }
+}
+
+/// Greedy first-fit coloring of the path conflict graph (paths conflict
+/// iff they share a directed link).
+pub fn greedy_rwa(coll: &PathCollection, order: ColorOrder) -> WavelengthAssignment {
+    let n = coll.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    if order == ColorOrder::LongestFirst {
+        idx.sort_by_key(|&i| std::cmp::Reverse(coll.path(i).len()));
+    }
+
+    // For each directed link, the colors already granted to paths on it.
+    let mut link_colors: Vec<Vec<u32>> = vec![Vec::new(); coll.link_count()];
+    let mut colors = vec![u32::MAX; n];
+    let mut num_colors = 0u32;
+    let mut taken: Vec<bool> = Vec::new();
+
+    for &i in &idx {
+        let p = coll.path(i);
+        taken.clear();
+        taken.resize(num_colors as usize + 1, false);
+        for &l in p.links() {
+            for &c in &link_colors[l as usize] {
+                taken[c as usize] = true;
+            }
+        }
+        let c = taken.iter().position(|&t| !t).expect("first slot always exists") as u32;
+        colors[i] = c;
+        num_colors = num_colors.max(c + 1);
+        for &l in p.links() {
+            link_colors[l as usize].push(c);
+        }
+    }
+    WavelengthAssignment { colors, num_colors }
+}
+
+/// Verify that an assignment is conflict-free (no two paths sharing a
+/// directed link have the same color).
+pub fn is_valid_assignment(coll: &PathCollection, colors: &[u32]) -> bool {
+    if colors.len() != coll.len() {
+        return false;
+    }
+    let by_link = coll.paths_by_link();
+    for users in &by_link {
+        for (a, &p) in users.iter().enumerate() {
+            for &q in &users[a + 1..] {
+                if p != q && colors[p as usize] == colors[q as usize] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Lower bound on the number of wavelengths any assignment needs: the
+/// ordinary congestion `C` (all paths through one link need distinct
+/// colors).
+pub fn color_lower_bound(coll: &PathCollection) -> u32 {
+    coll.congestion()
+}
+
+/// **Optimal** wavelength assignment for collections of *monotone paths on
+/// a chain* (node ids strictly increasing or decreasing along every path).
+///
+/// Same-direction subpaths of a line form an interval graph, and interval
+/// graphs are perfect: coloring greedily by left endpoint uses exactly
+/// `max-clique = congestion` colors. The two directions never conflict, so
+/// they are colored independently and the result is `max` of the two —
+/// i.e. exactly [`color_lower_bound`]. This is the provably optimal
+/// comparator Gerstel & Zaks-style chain layouts (§1.2) assume.
+///
+/// # Panics
+/// If some path is not monotone on the chain (node ids must be strictly
+/// monotone along every path).
+pub fn optimal_rwa_on_chain(coll: &PathCollection) -> WavelengthAssignment {
+    let n = coll.len();
+    let mut colors = vec![0u32; n];
+    let mut num_colors = 0u32;
+
+    // Split by direction; represent each path as the interval of chain
+    // positions it covers (using node ids as positions).
+    for direction in [true, false] {
+        // (start, end, path id), start < end in chain coordinates.
+        let mut intervals: Vec<(u32, u32, usize)> = Vec::new();
+        for (id, p) in coll.iter() {
+            if p.is_empty() {
+                continue;
+            }
+            let nodes = p.nodes();
+            let increasing = nodes[1] > nodes[0];
+            assert!(
+                nodes.windows(2).all(|w| (w[1] > w[0]) == increasing && w[1] != w[0]),
+                "path {id} is not monotone on the chain"
+            );
+            if increasing == direction {
+                let (a, b) = (nodes[0], *nodes.last().unwrap());
+                intervals.push((a.min(b), a.max(b), id));
+            }
+        }
+        // Greedy by left endpoint with a free-color pool: optimal on
+        // interval graphs.
+        intervals.sort_unstable();
+        let mut free: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+            std::collections::BinaryHeap::new();
+        let mut used = 0u32;
+        // Active intervals as (end, color) min-heap.
+        let mut active: std::collections::BinaryHeap<std::cmp::Reverse<(u32, u32)>> =
+            std::collections::BinaryHeap::new();
+        for (start, end, id) in intervals {
+            while let Some(&std::cmp::Reverse((e, c))) = active.peek() {
+                if e <= start {
+                    active.pop();
+                    free.push(std::cmp::Reverse(c));
+                } else {
+                    break;
+                }
+            }
+            let c = match free.pop() {
+                Some(std::cmp::Reverse(c)) => c,
+                None => {
+                    used += 1;
+                    used - 1
+                }
+            };
+            colors[id] = c;
+            active.push(std::cmp::Reverse((end, c)));
+        }
+        num_colors = num_colors.max(used);
+    }
+    let a = WavelengthAssignment { colors, num_colors };
+    debug_assert!(is_valid_assignment(coll, &a.colors));
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_paths::Path;
+    use optical_topo::topologies;
+
+    fn bundle(k: usize) -> PathCollection {
+        let net = topologies::chain(5);
+        let mut c = PathCollection::for_network(&net);
+        for _ in 0..k {
+            c.push(Path::from_nodes(&net, &[0, 1, 2, 3, 4]));
+        }
+        c
+    }
+
+    #[test]
+    fn bundle_needs_k_colors() {
+        let coll = bundle(6);
+        for order in [ColorOrder::Input, ColorOrder::LongestFirst] {
+            let a = greedy_rwa(&coll, order);
+            assert_eq!(a.num_colors, 6);
+            assert!(is_valid_assignment(&coll, &a.colors));
+            assert_eq!(a.num_colors, color_lower_bound(&coll), "greedy is optimal on cliques");
+        }
+    }
+
+    #[test]
+    fn disjoint_paths_need_one_color() {
+        let net = topologies::chain(7);
+        let mut coll = PathCollection::for_network(&net);
+        coll.push(Path::from_nodes(&net, &[0, 1, 2]));
+        coll.push(Path::from_nodes(&net, &[4, 5, 6]));
+        let a = greedy_rwa(&coll, ColorOrder::Input);
+        assert_eq!(a.num_colors, 1);
+    }
+
+    #[test]
+    fn batching_math() {
+        let a = WavelengthAssignment { colors: vec![0, 1, 2, 3, 4], num_colors: 5 };
+        assert_eq!(a.batches(1), 5);
+        assert_eq!(a.batches(2), 3);
+        assert_eq!(a.batches(5), 1);
+        assert_eq!(a.batches(8), 1);
+        assert_eq!(a.total_time(2, 10, 4), 3 * 14);
+    }
+
+    #[test]
+    fn mesh_permutation_assignment_is_valid() {
+        use optical_paths::select::grid::mesh_route;
+        use optical_topo::GridCoords;
+        let net = topologies::mesh(2, 4);
+        let coords = GridCoords::new(2, 4);
+        let mut coll = PathCollection::for_network(&net);
+        for i in 0..16u32 {
+            coll.push(mesh_route(&net, &coords, i, 15 - i));
+        }
+        for order in [ColorOrder::Input, ColorOrder::LongestFirst] {
+            let a = greedy_rwa(&coll, order);
+            assert!(is_valid_assignment(&coll, &a.colors));
+            assert!(a.num_colors >= color_lower_bound(&coll));
+            // Greedy never needs more than maxdeg+1 colors of the
+            // conflict graph; sanity: bounded by n.
+            assert!(a.num_colors <= 16);
+        }
+    }
+
+    #[test]
+    fn chain_optimal_meets_congestion_exactly() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let net = topologies::chain(24);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        for _case in 0..50 {
+            let mut coll = PathCollection::for_network(&net);
+            for _ in 0..rng.gen_range(1..30) {
+                let a = rng.gen_range(0..24u32);
+                let b = rng.gen_range(0..24u32);
+                if a == b {
+                    continue;
+                }
+                let nodes: Vec<u32> = if a < b {
+                    (a..=b).collect()
+                } else {
+                    (b..=a).rev().collect()
+                };
+                coll.push(Path::from_nodes(&net, &nodes));
+            }
+            if coll.is_empty() {
+                continue;
+            }
+            let opt = optimal_rwa_on_chain(&coll);
+            assert!(is_valid_assignment(&coll, &opt.colors));
+            assert_eq!(
+                opt.num_colors,
+                color_lower_bound(&coll),
+                "interval coloring must hit the clique bound"
+            );
+            // Greedy can only be worse or equal.
+            let greedy = greedy_rwa(&coll, ColorOrder::LongestFirst);
+            assert!(greedy.num_colors >= opt.num_colors);
+        }
+    }
+
+    #[test]
+    fn chain_optimal_handles_empty_and_zero_length() {
+        let net = topologies::chain(4);
+        let mut coll = PathCollection::for_network(&net);
+        coll.push(Path::from_nodes(&net, &[2])); // zero-length
+        let a = optimal_rwa_on_chain(&coll);
+        assert_eq!(a.num_colors, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not monotone")]
+    fn chain_optimal_rejects_non_monotone() {
+        let net = topologies::chain(5);
+        let mut coll = PathCollection::for_network(&net);
+        coll.push(Path::from_nodes(&net, &[0, 1, 2, 1]));
+        optimal_rwa_on_chain(&coll);
+    }
+
+    #[test]
+    fn invalid_assignment_detected() {
+        let coll = bundle(2);
+        assert!(!is_valid_assignment(&coll, &[0, 0]));
+        assert!(is_valid_assignment(&coll, &[0, 1]));
+        assert!(!is_valid_assignment(&coll, &[0]), "wrong arity");
+    }
+
+    #[test]
+    fn empty_collection() {
+        let net = topologies::chain(3);
+        let coll = PathCollection::for_network(&net);
+        let a = greedy_rwa(&coll, ColorOrder::Input);
+        assert_eq!(a.num_colors, 0);
+        assert!(is_valid_assignment(&coll, &a.colors));
+    }
+}

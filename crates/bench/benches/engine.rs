@@ -1,0 +1,88 @@
+//! Microbenchmarks of the round engine: cost of one simulated round as a
+//! function of worm count, path length, bandwidth and collision rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optical_paths::PathCollection;
+use optical_topo::topologies;
+use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
+use optical_workloads::functions::random_function;
+use optical_workloads::structures::bundle;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn specs_for<'a>(
+    coll: &'a PathCollection,
+    delta: u32,
+    b: u16,
+    len: u32,
+    rng: &mut impl Rng,
+) -> Vec<TransmissionSpec<'a>> {
+    coll.paths()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TransmissionSpec {
+            links: p.links(),
+            start: rng.gen_range(0..delta),
+            wavelength: rng.gen_range(0..b),
+            priority: i as u64,
+            length: len,
+        })
+        .collect()
+}
+
+fn bench_round_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/round_scaling");
+    for &worms in &[256usize, 1024, 4096] {
+        let inst = bundle(worms / 16, 16, 16);
+        group.throughput(Throughput::Elements(worms as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(worms), &worms, |bch, _| {
+            let mut engine = Engine::new(inst.coll.link_count(), RouterConfig::serve_first(2));
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let specs = specs_for(&inst.coll, 64, 2, 4, &mut rng);
+            bch.iter(|| engine.run(&specs, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let net = topologies::mesh(2, 32);
+    let coords = optical_topo::GridCoords::new(2, 32);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = PathCollection::from_function(&net, &f, |s, d| {
+        optical_paths::select::grid::mesh_route(&net, &coords, s, d)
+    });
+    let mut group = c.benchmark_group("engine/rules");
+    for (name, cfg) in [
+        ("serve_first", RouterConfig::serve_first(4)),
+        ("priority", RouterConfig::priority(4)),
+        ("conversion", RouterConfig::conversion(4)),
+    ] {
+        group.bench_function(name, |bch| {
+            let mut engine = Engine::new(net.link_count(), cfg);
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let specs = specs_for(&coll, 128, 4, 8, &mut rng);
+            bch.iter(|| engine.run(&specs, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_worm_length(c: &mut Criterion) {
+    let inst = bundle(64, 16, 16);
+    let mut group = c.benchmark_group("engine/worm_length");
+    for &len in &[1u32, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bch, &len| {
+            let mut engine = Engine::new(inst.coll.link_count(), RouterConfig::serve_first(2));
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let specs = specs_for(&inst.coll, 256, 2, len, &mut rng);
+            bch.iter(|| engine.run(&specs, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_scaling, bench_rules, bench_worm_length);
+criterion_main!(benches);

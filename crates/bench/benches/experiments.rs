@@ -1,0 +1,46 @@
+//! One Criterion group per paper artifact (E1–E10): benchmarks the code
+//! path that regenerates each table at a reduced, fixed size, so
+//! regressions in any experiment's pipeline are caught by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optical_bench::experiments;
+use optical_bench::ExpConfig;
+
+fn cfg() -> ExpConfig {
+    ExpConfig { quick: true, seed: 1997, trials: 2 }
+}
+
+macro_rules! exp_bench {
+    ($fn_name:ident, $module:ident, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut group = c.benchmark_group("experiments");
+            group.sample_size(10);
+            group.bench_function($label, |b| {
+                b.iter(|| experiments::$module::run(&cfg()));
+            });
+            group.finish();
+        }
+    };
+}
+
+exp_bench!(bench_e01, e01_leveled, "e01_leveled_thm1.1");
+exp_bench!(bench_e02, e02_shortcut_free, "e02_shortcut_free_thm1.2");
+exp_bench!(bench_e03, e03_priority, "e03_priority_thm1.3");
+exp_bench!(bench_e04, e04_ladder, "e04_ladder_fig5");
+exp_bench!(bench_e05, e05_bundle, "e05_bundle_lemma2.4");
+exp_bench!(bench_e06, e06_triangle_cycles, "e06_cycles_fig6");
+exp_bench!(bench_e07, e07_mesh, "e07_mesh_thm1.6");
+exp_bench!(bench_e08, e08_butterfly, "e08_butterfly_thm1.7");
+exp_bench!(bench_e09, e09_node_symmetric, "e09_node_symmetric_thm1.5");
+exp_bench!(bench_e10, e10_baselines, "e10_baselines_ablations");
+exp_bench!(bench_e11, e11_extensions, "e11_extensions_sec4");
+exp_bench!(bench_e12, e12_adversarial, "e12_adversarial_valiant");
+exp_bench!(bench_e13, e13_failures, "e13_fiber_cuts");
+exp_bench!(bench_e14, e14_segmentation, "e14_segmentation");
+exp_bench!(bench_e15, e15_continuous, "e15_continuous_load");
+
+criterion_group!(
+    benches, bench_e01, bench_e02, bench_e03, bench_e04, bench_e05, bench_e06, bench_e07,
+    bench_e08, bench_e09, bench_e10, bench_e11, bench_e12, bench_e13, bench_e14, bench_e15
+);
+criterion_main!(benches);

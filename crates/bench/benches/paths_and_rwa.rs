@@ -1,0 +1,67 @@
+//! Benchmarks of the supporting machinery: path selection, collection
+//! metrics (the `C̃` computation), property validation, and the greedy
+//! RWA baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optical_baselines::rwa::{greedy_rwa, ColorOrder};
+use optical_paths::select::grid::mesh_route;
+use optical_paths::{metrics, properties, PathCollection};
+use optical_topo::{topologies, GridCoords};
+use optical_workloads::functions::random_function;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn mesh_collection(side: u32) -> PathCollection {
+    let net = topologies::mesh(2, side);
+    let coords = GridCoords::new(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let f = random_function(net.node_count(), &mut rng);
+    PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d))
+}
+
+fn bench_path_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paths/path_congestion");
+    for &side in &[16u32, 32, 64] {
+        let coll = mesh_collection(side);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &coll, |b, coll| {
+            b.iter(|| metrics::path_congestion(coll));
+        });
+    }
+    group.finish();
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let net = topologies::mesh(2, 64);
+    let coords = GridCoords::new(2, 64);
+    let mut rng = ChaCha8Rng::seed_from_u64(10);
+    let f = random_function(net.node_count(), &mut rng);
+    c.bench_function("paths/dimension_order_4096", |b| {
+        b.iter(|| {
+            PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d))
+        });
+    });
+}
+
+fn bench_properties(c: &mut Criterion) {
+    let coll = mesh_collection(16);
+    c.bench_function("paths/is_shortcut_free_256", |b| {
+        b.iter(|| properties::is_shortcut_free(&coll));
+    });
+    c.bench_function("paths/leveling_256", |b| {
+        b.iter(|| properties::leveling(&coll));
+    });
+}
+
+fn bench_rwa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rwa/greedy");
+    for &side in &[16u32, 32] {
+        let coll = mesh_collection(side);
+        group.bench_with_input(BenchmarkId::from_parameter(side * side), &coll, |b, coll| {
+            b.iter(|| greedy_rwa(coll, ColorOrder::LongestFirst));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_congestion, bench_selection, bench_properties, bench_rwa);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerate every experiment table (E1-E10) in one run.
+//! Flags: `--quick`, `--seed N`, `--trials N`.
+
+fn main() {
+    let cfg = optical_bench::ExpConfig::from_args();
+    print!("{}", optical_bench::experiments::run_all(&cfg));
+}

@@ -1,0 +1,7 @@
+//! Table binary for experiment `e04_ladder` — see `EXPERIMENTS.md`.
+//! Flags: `--quick`, `--seed N`, `--trials N`.
+
+fn main() {
+    let cfg = optical_bench::ExpConfig::from_args();
+    print!("{}", optical_bench::experiments::e04_ladder::run(&cfg));
+}

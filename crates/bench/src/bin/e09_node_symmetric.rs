@@ -1,0 +1,7 @@
+//! Table binary for experiment `e09_node_symmetric` — see `EXPERIMENTS.md`.
+//! Flags: `--quick`, `--seed N`, `--trials N`.
+
+fn main() {
+    let cfg = optical_bench::ExpConfig::from_args();
+    print!("{}", optical_bench::experiments::e09_node_symmetric::run(&cfg));
+}

@@ -1,0 +1,7 @@
+//! Table binary for experiment `e12_adversarial` — see `EXPERIMENTS.md`.
+//! Flags: `--quick`, `--seed N`, `--trials N`.
+
+fn main() {
+    let cfg = optical_bench::ExpConfig::from_args();
+    print!("{}", optical_bench::experiments::e12_adversarial::run(&cfg));
+}

@@ -1,0 +1,86 @@
+//! E1 — Main Theorem 1.1 (upper bound): leveled collections under
+//! serve-first routers.
+//!
+//! Workload: a random function routed through the `k`-dimensional
+//! butterfly's unique leveled input→output path system, for growing `k`.
+//! Measured rounds and total protocol time are compared against the
+//! theorem's closed forms; their ratio should stay roughly flat as `n`
+//! grows (the hidden constant).
+
+use crate::harness::{run_protocol_trials, ExpConfig};
+use optical_core::bounds::{self, BoundParams};
+use optical_core::ProtocolParams;
+use optical_paths::select::butterfly::butterfly_qfunction_collection;
+use optical_stats::{table::fmt_f64, Table};
+use optical_topo::topologies::{butterfly, ButterflyCoords};
+use optical_wdm::RouterConfig;
+use optical_workloads::functions::random_function;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length used throughout E1.
+pub const WORM_LEN: u32 = 4;
+
+/// Run E1 and render its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dims: &[u32] = if cfg.quick { &[4, 5] } else { &[6, 7, 8, 9, 10, 11] };
+    let mut out = String::new();
+    writeln!(out, "== E1: Main Thm 1.1 — leveled collections, serve-first routers ==").unwrap();
+    writeln!(out, "workload: random function on the k-dim butterfly path system; B=1, L={WORM_LEN}").unwrap();
+
+    let mut table = Table::new(&[
+        "n", "D", "C~", "rounds", "pred_rounds", "r/pred", "time", "pred_time", "t/pred",
+    ]);
+    for &k in dims {
+        let net = butterfly(k);
+        let coords = ButterflyCoords::new(k, false);
+        let rows = coords.rows() as usize;
+        let mut wl_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (k as u64) << 32);
+        let f = random_function(rows, &mut wl_rng);
+        let coll = butterfly_qfunction_collection(&net, &coords, &f);
+        debug_assert!(coll.is_leveled());
+
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), WORM_LEN);
+        params.max_rounds = 300;
+        let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(trials.failures, 0, "E1 runs must complete");
+
+        let m = coll.metrics();
+        let bp = BoundParams {
+            n: m.n,
+            dilation: m.dilation,
+            path_congestion: m.path_congestion,
+            worm_len: WORM_LEN,
+            bandwidth: 1,
+        };
+        let pred_rounds = bounds::rounds_leveled_or_priority(&bp);
+        let pred_time = bounds::upper_bound_leveled(&bp);
+        table.row(&[
+            m.n.to_string(),
+            m.dilation.to_string(),
+            m.path_congestion.to_string(),
+            fmt_f64(trials.rounds.mean),
+            fmt_f64(pred_rounds),
+            fmt_f64(trials.rounds.mean / pred_rounds),
+            fmt_f64(trials.total_time.mean),
+            fmt_f64(pred_time),
+            fmt_f64(trials.total_time.mean / pred_time),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E1"));
+        // Header + separator + 2 sweep points.
+        assert!(out.lines().count() >= 5);
+    }
+}

@@ -1,0 +1,90 @@
+//! E4 — Figure 5 / §2.2 lower bound: type-1 ladder structures.
+//!
+//! Each ladder chains `k ≈ √(log n)` paths so that worm `i+1`, starting
+//! `d = ⌊(L−1)/2⌋+1` levels ahead, eliminates worm `i` whenever their
+//! delays land within `±⌊(L−1)/2⌋`. At a fixed delay range the expected
+//! rounds until all ladders drain grows like `√(log_α n)` — strictly
+//! slower than E2's `log n`, and the measurable content of the
+//! lower-bound terms in Main Theorems 1.1/1.3.
+
+use crate::harness::{run_protocol_trials, ExpConfig};
+use optical_core::bounds::ladder_lower_rounds;
+use optical_core::{DelaySchedule, ProtocolParams};
+use optical_stats::{table::fmt_f64, Table};
+use optical_wdm::RouterConfig;
+use optical_workloads::structures::{ladder, ladder_overlap};
+use std::fmt::Write as _;
+
+/// Worm length.
+pub const WORM_LEN: u32 = 4;
+/// Fixed delay range (same as E2 for comparability).
+pub const DELTA: u32 = 8;
+
+/// Run E4 and render its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let totals: &[usize] =
+        if cfg.quick { &[64, 256] } else { &[256, 1024, 4096, 16384, 65536] };
+    let mut out = String::new();
+    writeln!(out, "== E4: Figure 5 ladders — the √(log n) lower-bound structures ==").unwrap();
+    writeln!(
+        out,
+        "fixed Δ={DELTA}, L={WORM_LEN}, B=1, k=⌈√log₂ n⌉ paths per ladder; rounds should grow ~ √(log n)"
+    )
+    .unwrap();
+
+    let mut table = Table::new(&["n", "k", "rounds", "pred(§2.2)", "ratio", "time"]);
+    let mut ns: Vec<f64> = Vec::new();
+    let mut rounds_series: Vec<f64> = Vec::new();
+    for &total in totals {
+        let k = ((total as f64).log2().sqrt().ceil() as usize).max(2);
+        let structures = (total / k).max(1);
+        let d = ladder_overlap(WORM_LEN);
+        let dilation = (k as u32 * d + 2).max(8);
+        let inst = ladder(structures, k, dilation, WORM_LEN);
+
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), WORM_LEN);
+        params.schedule = DelaySchedule::Fixed { delta: DELTA };
+        params.max_rounds = 2000;
+        let trials = run_protocol_trials(&inst.net, &inst.coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(trials.failures, 0, "E4 runs must complete");
+
+        let n = inst.coll.len();
+        let pred = ladder_lower_rounds(n, 1, DELTA, WORM_LEN);
+        ns.push(n as f64);
+        rounds_series.push(trials.rounds.mean);
+        table.row(&[
+            n.to_string(),
+            k.to_string(),
+            fmt_f64(trials.rounds.mean),
+            fmt_f64(pred),
+            fmt_f64(trials.rounds.mean / pred),
+            fmt_f64(trials.total_time.mean),
+        ]);
+    }
+    out.push_str(&table.render());
+    if ns.len() >= 3 {
+        let sqrt_fit = optical_stats::fit_against(&ns, &rounds_series, |x| x.log2().sqrt());
+        let log_fit = optical_stats::fit_against(&ns, &rounds_series, f64::log2);
+        writeln!(
+            out,
+            "growth fit: rounds vs sqrt(log2 n): slope {:.3} (R²={:.3}); vs log2(n): R²={:.3}",
+            sqrt_fit.slope, sqrt_fit.r2, log_fit.r2
+        )
+        .unwrap();
+        writeln!(out, "(the sqrt-fit should match at least as well as the straight log fit)")
+            .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E4"));
+        assert!(out.lines().count() >= 5);
+    }
+}

@@ -1,0 +1,110 @@
+//! E5 — Type-2 bundles: congestion decay (Lemma 2.4) and `loglog`
+//! draining (Lemma 2.10).
+//!
+//! A bundle is `C̃` identical paths. Under the paper schedule the
+//! surviving path congestion should halve (at least) per round until it
+//! hits the `O(log n)` floor — exactly Lemma 2.4 — and the number of
+//! rounds to drain everything grows like `log log C̃`.
+
+use crate::harness::{ExpConfig};
+use optical_core::{DelaySchedule, ProtocolParams, TrialAndFailure};
+use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
+use optical_wdm::RouterConfig;
+use optical_workloads::structures::bundle;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length (short worms emphasize the congestion term).
+pub const WORM_LEN: u32 = 2;
+/// Bundle path length.
+pub const DILATION: u32 = 8;
+
+/// Run E5 and render its tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let sizes: &[usize] = if cfg.quick { &[64, 256] } else { &[256, 1024, 4096, 16384] };
+    let mut out = String::new();
+    writeln!(out, "== E5: type-2 bundles — Lemma 2.4 congestion decay, loglog draining ==").unwrap();
+    writeln!(out, "one bundle of C identical paths, paper schedule, B=1, L={WORM_LEN}").unwrap();
+
+    // Part A: rounds to drain vs log log C.
+    let mut table = Table::new(&["C", "rounds", "loglog C", "ratio", "time"]);
+    let mut decay_lines: Vec<String> = Vec::new();
+    for &c in sizes {
+        let inst = bundle(1, c, DILATION);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), WORM_LEN);
+        params.schedule = DelaySchedule::paper();
+        params.max_rounds = 500;
+        params.record_congestion = true;
+        let proto = TrialAndFailure::new(&inst.net, &inst.coll, params);
+
+        let mut rounds = Vec::new();
+        let mut times = Vec::new();
+        let mut per_round_congestion: Vec<Vec<u32>> = Vec::new();
+        for seed in SeedStream::new(cfg.seed).take(cfg.trials) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let report = proto.run(&mut rng);
+            assert!(report.completed, "E5 bundle must drain");
+            rounds.push(report.rounds_used() as f64);
+            times.push(report.total_time as f64);
+            per_round_congestion
+                .push(report.rounds.iter().map(|r| r.congestion_before.unwrap()).collect());
+        }
+        let rounds = Summary::of(&rounds);
+        let loglog = (c.max(4) as f64).log2().log2();
+        table.row(&[
+            c.to_string(),
+            fmt_f64(rounds.mean),
+            fmt_f64(loglog),
+            fmt_f64(rounds.mean / loglog),
+            fmt_f64(Summary::of(&times).mean),
+        ]);
+
+        // Part B (largest size only): per-round congestion vs the Lemma
+        // 2.4 prediction max(C/2^{t-1}, log n).
+        if c == *sizes.last().unwrap() {
+            let log_n = (c as f64).log2();
+            let max_rounds = per_round_congestion.iter().map(|v| v.len()).max().unwrap();
+            let mut dt = Table::new(&["round", "mean_C_t", "pred max(C/2^t-1, log n)", "ratio"]);
+            for t in 0..max_rounds {
+                let vals: Vec<f64> = per_round_congestion
+                    .iter()
+                    .filter_map(|v| v.get(t).map(|&x| x as f64))
+                    .collect();
+                if vals.is_empty() {
+                    break;
+                }
+                let mean = Summary::of(&vals).mean;
+                let pred = (c as f64 / 2f64.powi(t as i32)).max(log_n);
+                dt.row(&[
+                    (t + 1).to_string(),
+                    fmt_f64(mean),
+                    fmt_f64(pred),
+                    fmt_f64(mean / pred),
+                ]);
+            }
+            decay_lines.push(format!("congestion decay for C = {c} (Lemma 2.4):"));
+            decay_lines.push(dt.render());
+        }
+    }
+    out.push_str(&table.render());
+    for l in decay_lines {
+        out.push_str(&l);
+        if !l.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_tables() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E5"));
+        assert!(out.contains("Lemma 2.4"));
+    }
+}

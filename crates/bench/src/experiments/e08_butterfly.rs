@@ -1,0 +1,76 @@
+//! E8 — Theorem 1.7: random q-functions through the butterfly's leveled
+//! path system.
+//!
+//! Predicts `O(L·q·log n/B + √(log n / log(q log n))(L + log n + L·log n/B))`;
+//! we sweep `q` and `B` at a fixed dimension and the dimension itself.
+
+use crate::harness::{run_protocol_trials, ExpConfig};
+use optical_core::bounds::butterfly_bound;
+use optical_core::ProtocolParams;
+use optical_paths::select::butterfly::butterfly_qfunction_collection;
+use optical_stats::{table::fmt_f64, Table};
+use optical_topo::topologies::{butterfly, ButterflyCoords};
+use optical_wdm::RouterConfig;
+use optical_workloads::functions::random_qfunction;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length.
+pub const WORM_LEN: u32 = 4;
+
+/// Run E8 and render its tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dim: u32 = if cfg.quick { 5 } else { 8 };
+    let qs: &[u32] = if cfg.quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let bs: &[u16] = if cfg.quick { &[1] } else { &[1, 4] };
+
+    let mut out = String::new();
+    writeln!(out, "== E8: Thm 1.7 — random q-functions on the {dim}-dim butterfly ==").unwrap();
+    writeln!(out, "leveled input->output path system, serve-first routers, L={WORM_LEN}").unwrap();
+
+    let net = butterfly(dim);
+    let coords = ButterflyCoords::new(dim, false);
+    let rows = coords.rows() as usize;
+
+    let mut table = Table::new(&[
+        "q", "B", "n_paths", "C~", "rounds", "time", "pred(Thm1.7)", "t/pred",
+    ]);
+    for &q in qs {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (q as u64));
+        let f = random_qfunction(q as usize, rows, &mut rng);
+        let coll = butterfly_qfunction_collection(&net, &coords, &f);
+        let m = coll.metrics();
+        for &b in bs {
+            let mut params = ProtocolParams::new(RouterConfig::serve_first(b), WORM_LEN);
+            params.max_rounds = 500;
+            let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+            assert_eq!(trials.failures, 0, "E8 runs must complete");
+            let pred = butterfly_bound(rows, q, WORM_LEN, b);
+            table.row(&[
+                q.to_string(),
+                b.to_string(),
+                m.n.to_string(),
+                m.path_congestion.to_string(),
+                fmt_f64(trials.rounds.mean),
+                fmt_f64(trials.total_time.mean),
+                fmt_f64(pred),
+                fmt_f64(trials.total_time.mean / pred),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E8"));
+        assert!(out.lines().count() >= 5);
+    }
+}

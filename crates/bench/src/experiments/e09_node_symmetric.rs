@@ -1,0 +1,93 @@
+//! E9 — Theorem 1.5: random functions on node-symmetric networks via
+//! short-cut free shortest-path systems, priority routers.
+//!
+//! Two claims are checked: (a) a randomly chosen function routed through a
+//! randomized shortest-path system has path congestion `O(D² + log n)`
+//! (the Chernoff step in the theorem's proof), and (b) total routing time
+//! tracks `O(L·D²/B + (√(log_D n) + loglog n)(D + L))`.
+
+use crate::harness::{run_protocol_trials, ExpConfig};
+use optical_core::bounds::node_symmetric_bound;
+use optical_core::ProtocolParams;
+use optical_paths::select::bfs::randomized_bfs_collection;
+use optical_stats::{table::fmt_f64, Table};
+use optical_topo::{topologies, Network};
+use optical_wdm::RouterConfig;
+use optical_workloads::functions::random_function;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length.
+pub const WORM_LEN: u32 = 4;
+
+fn networks(quick: bool) -> Vec<Network> {
+    if quick {
+        vec![topologies::torus(2, 6), topologies::hypercube(5)]
+    } else {
+        vec![
+            topologies::torus(2, 8),
+            topologies::torus(2, 16),
+            topologies::torus(2, 24),
+            topologies::hypercube(6),
+            topologies::hypercube(8),
+            topologies::hypercube(10),
+            topologies::wrapped_butterfly(4),
+            topologies::wrapped_butterfly(6),
+            topologies::cube_connected_cycles(4),
+            topologies::cube_connected_cycles(6),
+        ]
+    }
+}
+
+/// Run E9 and render its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    writeln!(out, "== E9: Thm 1.5 — node-symmetric networks, priority routers ==").unwrap();
+    writeln!(out, "random function, randomized BFS path system, B=1, L={WORM_LEN}").unwrap();
+
+    let mut table = Table::new(&[
+        "network", "n", "D", "C~", "D²+log n", "rounds", "time", "pred(Thm1.5)", "t/pred",
+    ]);
+    for net in networks(cfg.quick) {
+        let n = net.node_count();
+        let diameter = net.diameter().expect("connected");
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ n as u64);
+        let f = random_function(n, &mut rng);
+        let coll = randomized_bfs_collection(&net, &f, &mut rng);
+        let m = coll.metrics();
+
+        let mut params = ProtocolParams::new(RouterConfig::priority(1), WORM_LEN);
+        params.max_rounds = 500;
+        let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(trials.failures, 0, "E9 runs must complete");
+
+        let cong_pred = (diameter as f64).powi(2) + (n as f64).log2();
+        let pred = node_symmetric_bound(n, diameter, WORM_LEN, 1);
+        table.row(&[
+            net.name().to_string(),
+            n.to_string(),
+            diameter.to_string(),
+            m.path_congestion.to_string(),
+            fmt_f64(cong_pred),
+            fmt_f64(trials.rounds.mean),
+            fmt_f64(trials.total_time.mean),
+            fmt_f64(pred),
+            fmt_f64(trials.total_time.mean / pred),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E9"));
+        assert!(out.contains("torus"));
+    }
+}

@@ -1,0 +1,158 @@
+//! E10 — baselines and ablations.
+//!
+//! Part A compares, on one workload across bandwidths: the paper's
+//! serve-first and priority routers (no conversion), the Cypher et al.
+//! wavelength-conversion regime, and classical offline greedy RWA.
+//! Part B ablates protocol ingredients at a fixed bandwidth: delay
+//! schedule, tie rule, and ideal vs physically simulated acks.
+
+use crate::harness::{run_protocol_trials, ExpConfig};
+use optical_baselines::conversion::conversion_params;
+use optical_baselines::rwa::{color_lower_bound, greedy_rwa, ColorOrder};
+use optical_core::{AckMode, DelaySchedule, ProtocolParams};
+use optical_paths::select::grid::mesh_route;
+use optical_paths::PathCollection;
+use optical_stats::{table::fmt_f64, Table};
+use optical_topo::{topologies, GridCoords, Network};
+use optical_wdm::{RouterConfig, TieRule};
+use optical_workloads::functions::random_function;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length.
+pub const WORM_LEN: u32 = 4;
+
+fn workload(cfg: &ExpConfig) -> (Network, PathCollection) {
+    let side: u32 = if cfg.quick { 6 } else { 16 };
+    let net = topologies::mesh(2, side);
+    let coords = GridCoords::new(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE10);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d));
+    (net, coll)
+}
+
+/// Run E10 and render its tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let (net, coll) = workload(cfg);
+    let m = coll.metrics();
+    let mut out = String::new();
+    writeln!(out, "== E10: baselines (conversion, offline RWA) and ablations ==").unwrap();
+    writeln!(
+        out,
+        "workload: random function on a 2-d mesh ({} paths, D={}, C~={}), L={WORM_LEN}",
+        m.n, m.dilation, m.path_congestion
+    )
+    .unwrap();
+
+    // Part A: rules x bandwidth, plus offline RWA.
+    let bs: &[u16] = if cfg.quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let rwa = greedy_rwa(&coll, ColorOrder::LongestFirst);
+    writeln!(
+        out,
+        "offline RWA: {} wavelengths needed (greedy, lower bound {})",
+        rwa.num_colors,
+        color_lower_bound(&coll)
+    )
+    .unwrap();
+    let mut table = Table::new(&[
+        "B", "sf_rounds", "sf_time", "prio_rounds", "prio_time", "conv_rounds", "conv_time",
+        "rwa_batches", "rwa_time",
+    ]);
+    for &b in bs {
+        let mut row: Vec<String> = vec![b.to_string()];
+        for router in [RouterConfig::serve_first(b), RouterConfig::priority(b)] {
+            let mut params = ProtocolParams::new(router, WORM_LEN);
+            params.max_rounds = 500;
+            let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+            assert_eq!(t.failures, 0, "E10 part A must complete");
+            row.push(fmt_f64(t.rounds.mean));
+            row.push(fmt_f64(t.total_time.mean));
+        }
+        let mut params = conversion_params(b, WORM_LEN);
+        params.max_rounds = 500;
+        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(t.failures, 0);
+        row.push(fmt_f64(t.rounds.mean));
+        row.push(fmt_f64(t.total_time.mean));
+        row.push(rwa.batches(b).to_string());
+        row.push(rwa.total_time(b, m.dilation, WORM_LEN).to_string());
+        table.row(&row);
+    }
+    out.push_str(&table.render());
+
+    // Part B: ablations at fixed B = 2.
+    writeln!(out, "ablations at B=2 (serve-first unless noted):").unwrap();
+    let mut table = Table::new(&["variant", "rounds", "time", "duplicates"]);
+    let schedules: Vec<(&str, DelaySchedule)> = vec![
+        ("schedule: paper", DelaySchedule::paper()),
+        ("schedule: paper-literal", DelaySchedule::paper_literal()),
+        ("schedule: fixed Δ=64", DelaySchedule::Fixed { delta: 64 }),
+        ("schedule: adaptive", DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 }),
+    ];
+    for (name, schedule) in schedules {
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
+        params.schedule = schedule;
+        params.max_rounds = 1000;
+        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(t.failures, 0, "{name} must complete");
+        table.row(&[name.to_string(), fmt_f64(t.rounds.mean), fmt_f64(t.total_time.mean), "0".into()]);
+    }
+    for (name, tie) in [
+        ("tie: all-eliminated", TieRule::AllEliminated),
+        ("tie: lowest-id", TieRule::LowestId),
+        ("tie: random", TieRule::Random),
+    ] {
+        let mut params =
+            ProtocolParams::new(RouterConfig::serve_first(2).with_tie(tie), WORM_LEN);
+        params.max_rounds = 1000;
+        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(t.failures, 0);
+        table.row(&[name.to_string(), fmt_f64(t.rounds.mean), fmt_f64(t.total_time.mean), "0".into()]);
+    }
+    for (name, wl) in [
+        ("wavelengths: re-randomized", optical_core::priority::WavelengthStrategy::RandomPerRound),
+        ("wavelengths: fixed per worm", optical_core::priority::WavelengthStrategy::FixedPerWorm),
+        ("wavelengths: by path id", optical_core::priority::WavelengthStrategy::ByPathId),
+    ] {
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
+        params.wavelengths = wl;
+        params.max_rounds = 1000;
+        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(t.failures, 0);
+        table.row(&[name.to_string(), fmt_f64(t.rounds.mean), fmt_f64(t.total_time.mean), "0".into()]);
+    }
+    for (name, ack) in [
+        ("acks: ideal", AckMode::Ideal),
+        ("acks: simulated (len L)", AckMode::Simulated { ack_len: None }),
+        ("acks: simulated (len 1)", AckMode::Simulated { ack_len: Some(1) }),
+    ] {
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
+        params.ack = ack;
+        params.max_rounds = 1000;
+        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(t.failures, 0);
+        table.row(&[
+            name.to_string(),
+            fmt_f64(t.rounds.mean),
+            fmt_f64(t.total_time.mean),
+            t.duplicates.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_tables() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E10"));
+        assert!(out.contains("offline RWA"));
+        assert!(out.contains("ablations"));
+    }
+}

@@ -1,0 +1,126 @@
+//! E12 — adversarial permutations and the path-selection degree of
+//! freedom.
+//!
+//! The paper's framework treats path selection as a given input (§1.1);
+//! the Main Theorem bounds then scale with the resulting `C̃`. This
+//! experiment makes that dependence concrete: classic adversarial
+//! permutations (bit-reversal, transpose, tornado) are routed directly
+//! (oblivious, minimal) and via Valiant's two-phase trick, and the
+//! measured protocol time follows the congestion each choice produces.
+
+use crate::harness::{run_protocol_trials, ExpConfig};
+use optical_core::ProtocolParams;
+use optical_paths::select::grid::{mesh_route, torus_route};
+use optical_paths::select::hypercube::bit_fixing_route;
+use optical_paths::select::valiant::valiant_collection;
+use optical_paths::{Path, PathCollection};
+use optical_stats::{table::fmt_f64, Table};
+use optical_topo::{topologies, GridCoords, Network, NodeId};
+use optical_wdm::RouterConfig;
+use optical_workloads::functions::{bit_reversal, tornado, transpose};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length.
+pub const WORM_LEN: u32 = 4;
+
+/// A routing function boxed for heterogeneous case tables.
+type Router = Box<dyn Fn(&Network, NodeId, NodeId) -> Path>;
+
+struct Case {
+    name: &'static str,
+    net: Network,
+    f: Vec<NodeId>,
+    route: Router,
+}
+
+fn cases(quick: bool) -> Vec<Case> {
+    let hdim: u32 = if quick { 6 } else { 10 };
+    let side: u32 = if quick { 6 } else { 16 };
+    let ring_n: usize = if quick { 32 } else { 256 };
+    vec![
+        Case {
+            name: "bit-reversal/hypercube",
+            net: topologies::hypercube(hdim),
+            f: bit_reversal(hdim),
+            route: Box::new(move |net, a, b| bit_fixing_route(net, hdim, a, b)),
+        },
+        Case {
+            name: "transpose/mesh",
+            net: topologies::mesh(2, side),
+            f: transpose(side as usize),
+            route: Box::new(move |net, a, b| {
+                let coords = GridCoords::new(2, side);
+                mesh_route(net, &coords, a, b)
+            }),
+        },
+        Case {
+            name: "tornado/ring",
+            net: topologies::torus(1, ring_n as u32),
+            f: tornado(ring_n),
+            route: Box::new(move |net, a, b| {
+                let coords = GridCoords::new(1, ring_n as u32);
+                torus_route(net, &coords, a, b)
+            }),
+        },
+    ]
+}
+
+/// Run E12 and render its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+    writeln!(out, "== E12: adversarial permutations — direct vs Valiant two-phase ==").unwrap();
+    writeln!(out, "serve-first routers, B=2, L={WORM_LEN}; C̃ drives the Main-Theorem time").unwrap();
+
+    let mut table = Table::new(&[
+        "workload", "strategy", "D", "C", "C~", "rounds", "time",
+    ]);
+    for case in cases(cfg.quick) {
+        let direct =
+            PathCollection::from_function(&case.net, &case.f, |a, b| (case.route)(&case.net, a, b));
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE12);
+        let valiant =
+            valiant_collection(&case.net, &case.f, &mut rng, |a, b| (case.route)(&case.net, a, b));
+
+        for (strategy, coll) in [("direct", &direct), ("valiant", &valiant)] {
+            let m = coll.metrics();
+            let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
+            params.max_rounds = 500;
+            let trials = run_protocol_trials(&case.net, coll, &params, cfg.trials, cfg.seed);
+            assert_eq!(trials.failures, 0, "E12 must complete");
+            table.row(&[
+                case.name.to_string(),
+                strategy.to_string(),
+                m.dilation.to_string(),
+                m.congestion.to_string(),
+                m.path_congestion.to_string(),
+                fmt_f64(trials.rounds.mean),
+                fmt_f64(trials.total_time.mean),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "(Valiant flattens hot links at the cost of ~2x dilation and extra path overlap;\n\
+         it pays off where the direct pattern concentrates load — tornado — and loses\n\
+         where direct C~ was already moderate — exactly the C~-vs-D trade the Main\n\
+         Theorem time bound predicts)"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E12"));
+        assert!(out.contains("valiant"));
+        assert!(out.contains("tornado"));
+    }
+}

@@ -1,0 +1,138 @@
+//! E13 — failure injection: fiber cuts and recovery.
+//!
+//! Not in the paper (its network is fault-free), but the first question a
+//! deployment asks. We cut a random fraction of fibers in a torus and
+//! compare two operating modes:
+//!
+//! * **aware** — path selection knows the failures and routes around them
+//!   from the start (BFS avoiding dead links);
+//! * **unaware + reroute** — paths are chosen on the healthy topology,
+//!   worms crossing cuts strand for a detection period, then the stranded
+//!   ones are rerouted and retried.
+
+use crate::harness::ExpConfig;
+use optical_core::{ProtocolParams, TrialAndFailure};
+use optical_paths::select::bfs::{bfs_collection, bfs_route_avoiding};
+use optical_paths::PathCollection;
+use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
+use optical_topo::topologies;
+use optical_wdm::RouterConfig;
+use optical_workloads::functions::random_function;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length.
+pub const WORM_LEN: u32 = 4;
+/// Rounds the unaware mode wastes before declaring worms stranded.
+pub const DETECTION_ROUNDS: u32 = 3;
+
+/// Run E13 and render its table.
+pub fn run(cfg: &ExpConfig) -> String {
+    let side: u32 = if cfg.quick { 6 } else { 16 };
+    let net = topologies::torus(2, side);
+    let mut out = String::new();
+    writeln!(out, "== E13: fiber cuts — failure-aware routing vs strand-and-reroute ==").unwrap();
+    writeln!(
+        out,
+        "{}: random function, serve-first B=2, L={WORM_LEN}; {} detection rounds for the unaware mode",
+        net.name(),
+        DETECTION_ROUNDS
+    )
+    .unwrap();
+
+    let mut table = Table::new(&[
+        "cut_frac", "fibers_cut", "stranded", "aware_time", "unaware_time", "penalty",
+    ]);
+    let fracs: &[f64] = if cfg.quick { &[0.0, 0.05] } else { &[0.0, 0.01, 0.02, 0.05, 0.10] };
+    for &frac in fracs {
+        let mut stranded_acc = 0f64;
+        let mut aware_times = Vec::new();
+        let mut unaware_times = Vec::new();
+        let mut cut_count = 0usize;
+        for seed in SeedStream::new(cfg.seed ^ 0xE13).take(cfg.trials) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            // Cut fibers: mark both directions; keep the network connected
+            // (a torus tolerates these rates w.h.p. — assert it).
+            let mut dead = vec![false; net.link_count()];
+            for e in 0..net.link_count() / 2 {
+                if rng.gen_bool(frac) {
+                    dead[2 * e] = true;
+                    dead[2 * e + 1] = true;
+                }
+            }
+            cut_count = dead.iter().filter(|&&d| d).count() / 2;
+            let f = random_function(net.node_count(), &mut rng);
+
+            // Aware mode: route around failures from the start.
+            let mut aware = PathCollection::for_network(&net);
+            for (s, &d) in f.iter().enumerate() {
+                aware.push(
+                    bfs_route_avoiding(&net, &dead, s as u32, d)
+                        .expect("torus disconnected by cuts — rate too high"),
+                );
+            }
+            let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
+            params.dead_links = Some(dead.clone());
+            params.max_rounds = 300;
+            let proto = TrialAndFailure::new(&net, &aware, params.clone());
+            let report = proto.run(&mut rng);
+            assert!(report.completed, "aware routing must complete");
+            aware_times.push(report.total_time as f64);
+
+            // Unaware mode: healthy-topology paths strand on cuts.
+            let naive = bfs_collection(&net, &f);
+            let mut detect = params.clone();
+            detect.max_rounds = DETECTION_ROUNDS;
+            let proto = TrialAndFailure::new(&net, &naive, detect);
+            let first = proto.run(&mut rng);
+            stranded_acc += first.remaining.len() as f64;
+            let mut total = first.total_time;
+            if !first.completed {
+                let mut recovery = PathCollection::for_network(&net);
+                for &pid in &first.remaining {
+                    let p = naive.path(pid as usize);
+                    recovery.push(
+                        bfs_route_avoiding(&net, &dead, p.source(), p.dest()).expect("connected"),
+                    );
+                }
+                let proto = TrialAndFailure::new(&net, &recovery, params);
+                let rec = proto.run(&mut rng);
+                assert!(rec.completed, "recovery must complete");
+                total += rec.total_time;
+            }
+            unaware_times.push(total as f64);
+        }
+        let aware = Summary::of(&aware_times);
+        let unaware = Summary::of(&unaware_times);
+        table.row(&[
+            format!("{:.0}%", frac * 100.0),
+            cut_count.to_string(),
+            fmt_f64(stranded_acc / cfg.trials as f64),
+            fmt_f64(aware.mean),
+            fmt_f64(unaware.mean),
+            fmt_f64(unaware.mean / aware.mean),
+        ]);
+    }
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "(the unaware penalty is the price of failure detection: {} wasted round budgets\n\
+         plus a recovery pass for the stranded worms)",
+        DETECTION_ROUNDS
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_table() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E13"));
+        assert!(out.contains("stranded"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Replicated-trial harness: deterministic seeding, rayon fan-out,
+//! summaries.
+
+use optical_core::{ProtocolParams, RunReport, TrialAndFailure};
+use optical_paths::PathCollection;
+use optical_stats::{SeedStream, Summary};
+use optical_topo::Network;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Shared experiment configuration (CLI-controlled).
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Reduced sweep for smoke tests and CI.
+    pub quick: bool,
+    /// Master seed; every reported number is reproducible from it.
+    pub seed: u64,
+    /// Replicated trials per configuration point.
+    pub trials: usize,
+}
+
+impl ExpConfig {
+    /// Full-size defaults.
+    pub fn full() -> Self {
+        ExpConfig { quick: false, seed: 1997, trials: 10 }
+    }
+
+    /// Quick defaults for tests.
+    pub fn quick() -> Self {
+        ExpConfig { quick: true, seed: 1997, trials: 3 }
+    }
+
+    /// Parse `--quick`, `--seed N`, `--trials N` from process args.
+    pub fn from_args() -> Self {
+        let mut cfg = ExpConfig::full();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => cfg.quick = true,
+                "--seed" => {
+                    i += 1;
+                    cfg.seed = args[i].parse().expect("--seed needs an integer");
+                }
+                "--trials" => {
+                    i += 1;
+                    cfg.trials = args[i].parse().expect("--trials needs an integer");
+                }
+                other => panic!("unknown argument {other} (try --quick, --seed N, --trials N)"),
+            }
+            i += 1;
+        }
+        cfg
+    }
+}
+
+/// Run `trials` independent evaluations of `f` (seeded deterministically
+/// from `master_seed`) in parallel and summarize the returned values.
+pub fn replicate<F>(trials: usize, master_seed: u64, f: F) -> Summary
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    let seeds: Vec<u64> = SeedStream::new(master_seed).take(trials).collect();
+    let values: Vec<f64> = seeds.par_iter().map(|&s| f(s)).collect();
+    Summary::of(&values)
+}
+
+/// Aggregated protocol measurements over replicated trials.
+#[derive(Clone, Debug)]
+pub struct ProtocolTrials {
+    /// Rounds used until completion (or the cap, for failed runs).
+    pub rounds: Summary,
+    /// Total budgeted time `Σ (Δ_t + 2(D+L))`.
+    pub total_time: Summary,
+    /// Trials that failed to complete within `max_rounds`.
+    pub failures: usize,
+    /// Duplicate deliveries (lost acks) summed over trials.
+    pub duplicates: u64,
+}
+
+/// Run the trial-and-failure protocol `trials` times (parallel,
+/// deterministic per-trial seeds) and summarize.
+pub fn run_protocol_trials(
+    net: &Network,
+    coll: &PathCollection,
+    params: &ProtocolParams,
+    trials: usize,
+    master_seed: u64,
+) -> ProtocolTrials {
+    let proto = TrialAndFailure::new(net, coll, params.clone());
+    let seeds: Vec<u64> = SeedStream::new(master_seed).take(trials).collect();
+    let reports: Vec<RunReport> = seeds
+        .par_iter()
+        .map(|&s| {
+            let mut rng = ChaCha8Rng::seed_from_u64(s);
+            proto.run(&mut rng)
+        })
+        .collect();
+    summarize_reports(&reports)
+}
+
+/// Summarize a batch of run reports.
+pub fn summarize_reports(reports: &[RunReport]) -> ProtocolTrials {
+    let rounds: Vec<f64> = reports.iter().map(|r| r.rounds_used() as f64).collect();
+    let times: Vec<f64> = reports.iter().map(|r| r.total_time as f64).collect();
+    ProtocolTrials {
+        rounds: Summary::of(&rounds),
+        total_time: Summary::of(&times),
+        failures: reports.iter().filter(|r| !r.completed).count(),
+        duplicates: reports.iter().map(|r| r.duplicate_deliveries).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_paths::Path;
+    use optical_topo::topologies;
+    use optical_wdm::RouterConfig;
+
+    #[test]
+    fn replicate_is_deterministic() {
+        let a = replicate(8, 5, |s| (s % 97) as f64);
+        let b = replicate(8, 5, |s| (s % 97) as f64);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.n, 8);
+    }
+
+    #[test]
+    fn protocol_trials_on_tiny_bundle() {
+        let net = topologies::chain(4);
+        let mut coll = PathCollection::for_network(&net);
+        for _ in 0..6 {
+            coll.push(Path::from_nodes(&net, &[0, 1, 2, 3]));
+        }
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 2);
+        params.max_rounds = 200;
+        let t = run_protocol_trials(&net, &coll, &params, 4, 7);
+        assert_eq!(t.failures, 0);
+        assert!(t.rounds.mean >= 1.0);
+        assert!(t.total_time.mean > 0.0);
+    }
+
+    #[test]
+    fn config_defaults() {
+        assert!(!ExpConfig::full().quick);
+        assert!(ExpConfig::quick().quick);
+        assert_eq!(ExpConfig::full().seed, ExpConfig::quick().seed);
+    }
+}

@@ -1,0 +1,386 @@
+//! Closed forms of the paper's bounds.
+//!
+//! These functions evaluate (up to the hidden constants, which we set
+//! to 1) the asymptotic expressions of Main Theorems 1.1–1.3 and the
+//! application Theorems 1.5–1.7, so experiments can report
+//! `measured / predicted` ratios that should stay roughly constant as the
+//! swept parameter grows.
+
+use serde::{Deserialize, Serialize};
+
+/// Problem parameters entering every bound.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BoundParams {
+    /// Number of paths `n`.
+    pub n: usize,
+    /// Dilation `D`.
+    pub dilation: u32,
+    /// Path congestion `C̃`.
+    pub path_congestion: u32,
+    /// Worm length `L`.
+    pub worm_len: u32,
+    /// Router bandwidth `B`.
+    pub bandwidth: u16,
+}
+
+impl BoundParams {
+    fn l(&self) -> f64 {
+        self.worm_len.max(1) as f64
+    }
+    fn b(&self) -> f64 {
+        self.bandwidth.max(1) as f64
+    }
+    fn c(&self) -> f64 {
+        self.path_congestion.max(1) as f64
+    }
+    fn d(&self) -> f64 {
+        self.dilation as f64
+    }
+    fn log_n(&self) -> f64 {
+        (self.n.max(2) as f64).log2()
+    }
+}
+
+/// `α = C̃ + B(D/L + 1) + 2` (§1.3).
+pub fn alpha(p: &BoundParams) -> f64 {
+    p.c() + p.b() * (p.d() / p.l() + 1.0) + 2.0
+}
+
+/// `β = α / C̃ + 2` (§1.3).
+pub fn beta(p: &BoundParams) -> f64 {
+    alpha(p) / p.c() + 2.0
+}
+
+/// `log_base(x)`, clamped below by 1 so iterated logs stay defined.
+fn log_base(base: f64, x: f64) -> f64 {
+    let base = base.max(2.0);
+    let x = x.max(base); // at least 1
+    x.ln() / base.ln()
+}
+
+/// `√(log_α n) + log log_β n` — the round count of Main Theorems 1.1
+/// and 1.3.
+pub fn rounds_leveled_or_priority(p: &BoundParams) -> f64 {
+    let la = log_base(alpha(p), p.n.max(2) as f64);
+    let lb = log_base(beta(p), p.n.max(2) as f64);
+    la.sqrt() + lb.max(2.0).log2()
+}
+
+/// `log_α n + log log_β n` — the round count of Main Theorem 1.2
+/// (serve-first on general short-cut free collections).
+pub fn rounds_shortcut_free(p: &BoundParams) -> f64 {
+    let la = log_base(alpha(p), p.n.max(2) as f64);
+    let lb = log_base(beta(p), p.n.max(2) as f64);
+    la + lb.max(2.0).log2()
+}
+
+/// Upper bound of Main Theorem 1.1 (and 1.3):
+/// `L·C̃/B + (√(log_α n) + loglog_β n) · (D + L + L·log n / B)`.
+pub fn upper_bound_leveled(p: &BoundParams) -> f64 {
+    p.l() * p.c() / p.b()
+        + rounds_leveled_or_priority(p) * (p.d() + p.l() + p.l() * p.log_n() / p.b())
+}
+
+/// Upper bound of Main Theorem 1.2:
+/// `L·C̃/B + (log_α n + loglog_β n) · (D + L + L·log^{3/2} n / B)`.
+pub fn upper_bound_shortcut_free(p: &BoundParams) -> f64 {
+    p.l() * p.c() / p.b()
+        + rounds_shortcut_free(p) * (p.d() + p.l() + p.l() * p.log_n().powf(1.5) / p.b())
+}
+
+/// Lower bound of Main Theorems 1.1/1.3:
+/// `L·C̃/B + (√(log_α n) + loglog_β n)(D + L)`.
+pub fn lower_bound_leveled(p: &BoundParams) -> f64 {
+    p.l() * p.c() / p.b() + rounds_leveled_or_priority(p) * (p.d() + p.l())
+}
+
+/// Lower bound of Main Theorem 1.2:
+/// `L·C̃/B + (log_α n + loglog_β n)(D + L)`.
+pub fn lower_bound_shortcut_free(p: &BoundParams) -> f64 {
+    p.l() * p.c() / p.b() + rounds_shortcut_free(p) * (p.d() + p.l())
+}
+
+/// The trivial bandwidth/pipelining lower bound `Ω(L·C̃/B + D + L)` that
+/// any protocol must pay (§1.3).
+pub fn trivial_lower_bound(p: &BoundParams) -> f64 {
+    p.l() * p.c() / p.b() + p.d() + p.l()
+}
+
+/// Theorem 1.5 (node-symmetric networks, random function, priority
+/// routers): `L·D²/B + (√(log_D n) + loglog n)(D + L)`.
+pub fn node_symmetric_bound(n: usize, diameter: u32, worm_len: u32, bandwidth: u16) -> f64 {
+    let l = worm_len.max(1) as f64;
+    let b = bandwidth.max(1) as f64;
+    let d = diameter.max(2) as f64;
+    let log_n = (n.max(2) as f64).log2();
+    l * d * d / b + (log_base(d, n as f64).sqrt() + log_n.max(2.0).log2()) * (d + l)
+}
+
+/// Theorem 1.6 (d-dimensional mesh, serve-first):
+/// `L·d·n/B + (√d + loglog n)(d·n + L + L·d·log n / B)`
+/// where `n` here is the **side length**.
+pub fn mesh_bound(dims: u32, side: u32, worm_len: u32, bandwidth: u16) -> f64 {
+    let l = worm_len.max(1) as f64;
+    let b = bandwidth.max(1) as f64;
+    let d = dims as f64;
+    let n = side as f64;
+    let log_side = n.max(2.0).log2();
+    l * d * n / b
+        + (d.sqrt() + log_side.max(2.0).log2()) * (d * n + l + l * d * log_side / b)
+}
+
+/// Theorem 1.7 (log n-dimensional butterfly, random q-function):
+/// `L·q·log n / B + √(log n / log(q·log n)) (L + log n + L·log n / B)`
+/// where `n` is the number of **rows** (2^dim).
+pub fn butterfly_bound(rows: usize, q: u32, worm_len: u32, bandwidth: u16) -> f64 {
+    let l = worm_len.max(1) as f64;
+    let b = bandwidth.max(1) as f64;
+    let log_n = (rows.max(2) as f64).log2();
+    let q = q.max(1) as f64;
+    l * q * log_n / b
+        + (log_n / (q * log_n).max(2.0).log2()).sqrt() * (l + log_n + l * log_n / b)
+}
+
+/// Expected rounds forced by the type-1 **ladder** structures (§2.2) at a
+/// fixed per-round delay range `Δ̄`: the number of rounds `t` with
+/// `(n / 2√log n) · ((L−1) / 4B(Δ̄+L))^{t²} ≥ 1`, i.e.
+/// `t ≈ √( log(n/2√log n) / log(4B(Δ̄+L)/(L−1)) )`.
+pub fn ladder_lower_rounds(n: usize, bandwidth: u16, delta: u32, worm_len: u32) -> f64 {
+    let l = worm_len.max(2) as f64;
+    let b = bandwidth.max(1) as f64;
+    let n = n.max(4) as f64;
+    let numer = (n / (2.0 * n.log2().sqrt())).max(2.0).log2();
+    let denom = (4.0 * b * (delta as f64 + l) / (l - 1.0)).max(2.0).log2();
+    (numer / denom).sqrt()
+}
+
+/// Expected rounds forced by the **Figure 6 triangle** structures (§3.2)
+/// at a fixed delay range `Δ̄`:
+/// `t ≈ log(n/6) / (2 · log(3B(Δ̄+L)/L))` — *linear* in `log n`, versus
+/// the square-root growth of [`ladder_lower_rounds`]. The gap between the
+/// two is the measurable content of Main Theorem 1.2 vs 1.1/1.3.
+pub fn triangle_lower_rounds(n: usize, bandwidth: u16, delta: u32, worm_len: u32) -> f64 {
+    let l = worm_len.max(2) as f64;
+    let b = bandwidth.max(1) as f64;
+    let n = n.max(7) as f64;
+    let numer = (n / 6.0).max(2.0).log2();
+    let denom = (3.0 * b * (delta as f64 + l) / l).max(2.0).log2();
+    numer / (2.0 * denom)
+}
+
+/// The paper's `k₀` from §2.1 (with `γ = 1`): size threshold for witness
+/// trees in the upper-bound proof. Exposed for the witness-tree
+/// diagnostics.
+pub fn paper_k0(p: &BoundParams) -> f64 {
+    let gamma = 1.0;
+    let inner = 2.0 + p.b() / (16.0 * p.c()) * (p.d() / p.l() + 1.0);
+    (2.0 + gamma) * p.log_n() / inner.log2() + 1.0
+}
+
+/// The §2.1 upper bound on `P(t, k)` — the probability that some witness
+/// tree of depth `t` using `k` distinct worms has an *active* embedding:
+///
+/// ```text
+/// P(t,k) ≤ n · 2^t · (16·L·C̃ / (B·Δ₁))^(k−1) · (6e·L·t / (B·Δ_t))^((t−⌈log k⌉)²/2)
+/// ```
+///
+/// Computed in log₂-space so gigantic exponents do not overflow; the
+/// return value is `log₂ P(t,k)` (so a value ≤ `−γ·log₂ n` certifies the
+/// w.h.p. claim for exponent `γ`). `delta_1` and `delta_t` are the first
+/// and current delay ranges.
+pub fn log2_witness_probability(
+    p: &BoundParams,
+    t: u32,
+    k: u32,
+    delta_1: u32,
+    delta_t: u32,
+) -> f64 {
+    assert!(t >= 1 && k >= 2, "a witness needs depth >= 1 and two worms");
+    let l = p.l();
+    let b = p.b();
+    let term1 = (p.n.max(2) as f64).log2() + t as f64;
+    let base1 = (16.0 * l * p.c() / (b * delta_1.max(1) as f64)).max(f64::MIN_POSITIVE);
+    let term2 = (k as f64 - 1.0) * base1.log2();
+    let base2 = (6.0 * std::f64::consts::E * l * t as f64 / (b * delta_t.max(1) as f64))
+        .max(f64::MIN_POSITIVE);
+    let expo = {
+        let d = t as f64 - (k as f64).log2().ceil();
+        if d > 0.0 {
+            d * d / 2.0
+        } else {
+            0.0
+        }
+    };
+    term1 + term2 + expo * base2.log2()
+}
+
+/// The §2.1 round count `T` at which the witness-probability union bound
+/// drops below `n^(−γ)` for `γ = 1`:
+/// `T = √(2(2+γ)·log n / log((1/√(2k₀))·[max(C̃/log n, log n) + B(D/L+1)/6e])) + ⌈log k₀⌉`.
+pub fn paper_round_bound(p: &BoundParams) -> f64 {
+    let gamma = 1.0;
+    let k0 = paper_k0(p);
+    let inner = (1.0 / (2.0 * k0).sqrt())
+        * ((p.c() / p.log_n()).max(p.log_n())
+            + p.b() * (p.d() / p.l() + 1.0) / (6.0 * std::f64::consts::E));
+    let denom = inner.max(2.0).log2();
+    (2.0 * (2.0 + gamma) * p.log_n() / denom).sqrt() + k0.max(2.0).log2().ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: usize, d: u32, c: u32, l: u32, b: u16) -> BoundParams {
+        BoundParams { n, dilation: d, path_congestion: c, worm_len: l, bandwidth: b }
+    }
+
+    #[test]
+    fn alpha_beta_formulas() {
+        let p = params(1024, 10, 20, 5, 2);
+        assert!((alpha(&p) - (20.0 + 2.0 * (2.0 + 1.0) + 2.0)).abs() < 1e-9);
+        assert!((beta(&p) - (alpha(&p) / 20.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_counts_grow_with_n() {
+        let small = params(1 << 8, 10, 20, 5, 1);
+        let large = params(1 << 24, 10, 20, 5, 1);
+        assert!(rounds_leveled_or_priority(&large) > rounds_leveled_or_priority(&small));
+        assert!(rounds_shortcut_free(&large) > rounds_shortcut_free(&small));
+    }
+
+    #[test]
+    fn shortcut_free_rounds_dominate_leveled() {
+        // log_α n ≥ √(log_α n) whenever log_α n ≥ 1.
+        for exp in [8u32, 12, 16, 20] {
+            let p = params(1usize << exp, 16, 32, 4, 2);
+            assert!(rounds_shortcut_free(&p) >= rounds_leveled_or_priority(&p) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn upper_bounds_dominate_lower_bounds() {
+        for exp in [8u32, 14, 20] {
+            let p = params(1usize << exp, 12, 64, 8, 4);
+            assert!(upper_bound_leveled(&p) >= lower_bound_leveled(&p));
+            assert!(upper_bound_shortcut_free(&p) >= lower_bound_shortcut_free(&p));
+            assert!(lower_bound_leveled(&p) >= trivial_lower_bound(&p) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bandwidth_helps() {
+        let p1 = params(1 << 16, 12, 64, 8, 1);
+        let p8 = params(1 << 16, 12, 64, 8, 8);
+        assert!(upper_bound_leveled(&p8) < upper_bound_leveled(&p1));
+        assert!(mesh_bound(2, 32, 8, 8) < mesh_bound(2, 32, 8, 1));
+        assert!(butterfly_bound(1 << 10, 2, 8, 8) < butterfly_bound(1 << 10, 2, 8, 1));
+        assert!(node_symmetric_bound(1 << 10, 16, 8, 8) < node_symmetric_bound(1 << 10, 16, 8, 1));
+    }
+
+    #[test]
+    fn mesh_bound_scales_with_side() {
+        assert!(mesh_bound(2, 64, 4, 1) > mesh_bound(2, 16, 4, 1));
+        assert!(mesh_bound(3, 16, 4, 1) > mesh_bound(2, 16, 4, 1));
+    }
+
+    #[test]
+    fn degenerate_params_do_not_blow_up() {
+        let p = params(1, 0, 0, 1, 1);
+        for f in [
+            alpha(&p),
+            beta(&p),
+            rounds_leveled_or_priority(&p),
+            rounds_shortcut_free(&p),
+            upper_bound_leveled(&p),
+            lower_bound_shortcut_free(&p),
+            trivial_lower_bound(&p),
+            paper_k0(&p),
+        ] {
+            assert!(f.is_finite(), "non-finite bound value {f}");
+        }
+    }
+
+    #[test]
+    fn fixed_delta_lower_bounds_scale_correctly() {
+        // Triangles grow linearly in log n, ladders like its square root:
+        // quadrupling the exponent should roughly quadruple the former and
+        // double the latter.
+        // (The constant offsets -log 6 and -log 2√log n shift the exact
+        // ratios somewhat; the salient relation is linear vs square-root.)
+        let t1 = triangle_lower_rounds(1 << 8, 1, 8, 4);
+        let t4 = triangle_lower_rounds(1 << 32, 1, 8, 4);
+        let tr = t4 / t1;
+        assert!((3.5..6.5).contains(&tr), "triangle ratio {tr:.2}");
+        let l1 = ladder_lower_rounds(1 << 8, 1, 8, 4);
+        let l4 = ladder_lower_rounds(1 << 32, 1, 8, 4);
+        let lr = l4 / l1;
+        assert!((1.6..3.0).contains(&lr), "ladder ratio {lr:.2}");
+        assert!(tr > lr + 1.0, "log growth must clearly dominate sqrt-log growth");
+    }
+
+    #[test]
+    fn larger_delta_means_fewer_forced_rounds() {
+        assert!(ladder_lower_rounds(1 << 20, 1, 64, 4) < ladder_lower_rounds(1 << 20, 1, 4, 4));
+        assert!(triangle_lower_rounds(1 << 20, 1, 64, 4) < triangle_lower_rounds(1 << 20, 1, 4, 4));
+    }
+
+    #[test]
+    fn k0_increases_with_n() {
+        let a = params(1 << 10, 8, 32, 4, 1);
+        let b = params(1 << 20, 8, 32, 4, 1);
+        assert!(paper_k0(&b) > paper_k0(&a));
+    }
+
+    #[test]
+    fn witness_probability_decreases_with_depth() {
+        // With a generous schedule (Δ large), deeper witness trees are
+        // exponentially less likely.
+        // Δ_t must dominate 6eLt for the quadratic term to bite (this is
+        // exactly the "6eLt/(BΔ_t) ≤ 1" requirement in §2.1).
+        let p = params(1 << 16, 16, 256, 4, 1);
+        let delta_1 = 32 * 4 * 256; // ~ 32 L C~ / B
+        let delta_t = 2048;
+        let mut prev = f64::INFINITY;
+        for t in 3..12 {
+            let lp = log2_witness_probability(&p, t, 8, delta_1, delta_t);
+            assert!(lp < prev, "P(t) must fall with t: {lp} !< {prev}");
+            prev = lp;
+        }
+    }
+
+    #[test]
+    fn witness_probability_certifies_whp_at_paper_t() {
+        // At the paper's T (and the paper's literal Δ constants) the union
+        // bound must certify a polynomially small failure probability.
+        let p = params(1 << 16, 16, 1 << 12, 4, 1);
+        let t_paper = paper_round_bound(&p).ceil() as u32;
+        let log_n = (p.n as f64).log2();
+        // Paper Δ₁ and Δ_T (§2.1 with the printed constants).
+        let delta_1 = (32.0 * p.l() * p.c() / p.b() + p.d() + p.l()).ceil() as u32;
+        let c_t = (p.c() / 2f64.powi(t_paper as i32 - 1)).max(log_n);
+        let delta_t = (32.0 * p.l() * c_t / p.b())
+            .max(32.0 * p.l() * p.c() / (p.b() * log_n))
+            .max(40.0 * std::f64::consts::E.powi(2) * p.l() * log_n / p.b())
+            .ceil() as u32
+            + p.dilation
+            + p.worm_len;
+        let k0 = paper_k0(&p).ceil() as u32;
+        let lp = log2_witness_probability(&p, t_paper, k0, delta_1, delta_t);
+        assert!(
+            lp <= -log_n,
+            "P(T, k0) = 2^{lp:.1} should be <= n^-1 = 2^-{log_n}"
+        );
+    }
+
+    #[test]
+    fn paper_round_bound_grows_like_sqrt_log() {
+        let small = params(1 << 10, 16, 64, 4, 1);
+        let large = params(1 << 40, 16, 64, 4, 1);
+        let ratio = paper_round_bound(&large) / paper_round_bound(&small);
+        // 4x the log should roughly double the bound (plus the ceil'd
+        // loglog part); certainly far below 4x.
+        assert!(ratio > 1.2 && ratio < 3.0, "ratio {ratio:.2}");
+    }
+}

@@ -1,0 +1,313 @@
+//! Continuous traffic: steady-state operation of the trial-and-failure
+//! protocol.
+//!
+//! The paper routes one *batch* of worms to completion. Real networks see
+//! continuous arrivals, and the natural question is the protocol's
+//! **saturation throughput**: up to which offered load does the system
+//! reach a steady state, and what latency does it deliver there? (The
+//! continuous-routing line of work the paper cites — Scheideler &
+//! Vöcking \[35\] — asks exactly this for electronic networks.)
+//!
+//! [`ContinuousRun`] spawns new worms Bernoulli(`arrival_prob`) per source
+//! per round, keeps retrying actives with the trial-and-failure
+//! discipline, and reports throughput, latency percentiles, and a
+//! saturation verdict.
+
+use crate::schedule::{DelaySchedule, ScheduleCtx};
+use optical_paths::{Path, PathCollection};
+use optical_topo::Network;
+use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a continuous-traffic simulation.
+#[derive(Clone, Debug)]
+pub struct ContinuousParams {
+    /// Router model.
+    pub router: RouterConfig,
+    /// Worm length `L`.
+    pub worm_len: u32,
+    /// Delay schedule; continuous runs should use a *stationary* schedule
+    /// ([`DelaySchedule::Fixed`] or `Adaptive`) — the paper's
+    /// geometrically shrinking schedule presumes a draining batch.
+    pub schedule: DelaySchedule,
+    /// Per-source probability of spawning a new worm each round.
+    pub arrival_prob: f64,
+    /// Total rounds to simulate.
+    pub rounds: u32,
+    /// Rounds to exclude from latency/throughput statistics (ramp-up).
+    pub warmup: u32,
+}
+
+/// Outcome of a continuous-traffic simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ContinuousReport {
+    /// Worms spawned after warmup.
+    pub spawned: u64,
+    /// Worms completed after warmup.
+    pub completed: u64,
+    /// Mean number of active worms per round (after warmup).
+    pub avg_active: f64,
+    /// Active worms at the end of the simulation.
+    pub final_active: usize,
+    /// Mean sojourn time in *rounds* (spawn round to completion round,
+    /// inclusive) of completed worms.
+    pub mean_latency_rounds: f64,
+    /// 95th-percentile sojourn time in rounds.
+    pub p95_latency_rounds: f64,
+    /// Completed worms per round after warmup (throughput).
+    pub throughput: f64,
+    /// Heuristic saturation verdict: the active population kept growing
+    /// instead of reaching a steady state.
+    pub saturated: bool,
+    /// Total simulated time in flit steps (sum of round budgets).
+    pub total_time: u64,
+}
+
+struct LiveWorm {
+    path_idx: u32,
+    spawned_round: u32,
+}
+
+/// A continuous-traffic simulation bound to a network and a path sampler.
+pub struct ContinuousRun<'a, F> {
+    net: &'a Network,
+    /// Samples a fresh path for a new worm (e.g. random source and
+    /// destination through the topology's router).
+    sample_path: F,
+    params: ContinuousParams,
+}
+
+impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
+    /// Create a run; `sample_path` draws the path of each newly spawned
+    /// worm.
+    pub fn new(net: &'a Network, sample_path: F, params: ContinuousParams) -> Self {
+        assert!((0.0..=1.0).contains(&params.arrival_prob));
+        assert!(params.warmup < params.rounds, "warmup must leave measured rounds");
+        params.router.validate();
+        ContinuousRun { net, sample_path, params }
+    }
+
+    /// Simulate. Worms spawned in a round participate from that round on;
+    /// acknowledgements are ideal.
+    pub fn run(&mut self, rng: &mut impl Rng) -> ContinuousReport {
+        let p = &self.params;
+        let n_sources = self.net.node_count();
+        let mut engine = Engine::new(self.net.link_count(), p.router);
+
+        // Paths are accumulated in a collection so the engine can borrow
+        // stable link slices.
+        let mut paths = PathCollection::for_network(self.net);
+        let mut live: Vec<LiveWorm> = Vec::new();
+        let mut spawned = 0u64;
+        let mut completed = 0u64;
+        let mut latencies: Vec<u32> = Vec::new();
+        let mut active_acc = 0u64;
+        let mut total_time = 0u64;
+        let mut active_timeline: Vec<usize> = Vec::with_capacity(p.rounds as usize);
+
+        // A stationary congestion estimate for the schedule: expected
+        // worms in flight ~ arrivals per round x mean path length; use the
+        // live count each round instead (Adaptive-friendly).
+        for round in 1..=p.rounds {
+            // Spawn.
+            for _ in 0..n_sources {
+                if rng.gen_bool(p.arrival_prob) {
+                    let path = (self.sample_path)(rng);
+                    paths.push(path);
+                    live.push(LiveWorm {
+                        path_idx: paths.len() as u32 - 1,
+                        spawned_round: round,
+                    });
+                    if round > p.warmup {
+                        spawned += 1;
+                    }
+                }
+            }
+            active_timeline.push(live.len());
+            if round > p.warmup {
+                active_acc += live.len() as u64;
+            }
+
+            if live.is_empty() {
+                total_time += 1; // idle round, minimal budget
+                continue;
+            }
+            let ctx = ScheduleCtx {
+                n: live.len().max(1),
+                active: live.len(),
+                worm_len: p.worm_len,
+                bandwidth: p.router.bandwidth,
+                // Live population is the best available congestion proxy.
+                path_congestion: live.len() as u32,
+                dilation: 0,
+            };
+            let delta = p.schedule.delta(1, &ctx);
+            let b = p.router.bandwidth as u32;
+            let specs: Vec<TransmissionSpec<'_>> = live
+                .iter()
+                .enumerate()
+                .map(|(i, w)| TransmissionSpec {
+                    links: paths.path(w.path_idx as usize).links(),
+                    start: rng.gen_range(0..delta),
+                    wavelength: rng.gen_range(0..b) as u16,
+                    priority: i as u64,
+                    length: p.worm_len,
+                })
+                .collect();
+            let max_len =
+                live.iter().map(|w| paths.path(w.path_idx as usize).len()).max().unwrap_or(0);
+            total_time += delta as u64 + 2 * (max_len as u64 + p.worm_len as u64);
+
+            let outcome = engine.run(&specs, rng);
+            let mut k = 0;
+            live.retain(|w| {
+                let delivered = outcome.results[k].fate.is_delivered();
+                k += 1;
+                if delivered && round > p.warmup {
+                    completed += 1;
+                    latencies.push(round - w.spawned_round + 1);
+                }
+                !delivered
+            });
+        }
+
+        let measured_rounds = (p.rounds - p.warmup) as f64;
+        latencies.sort_unstable();
+        let mean_latency = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().map(|&l| l as f64).sum::<f64>() / latencies.len() as f64
+        };
+        let p95 = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((latencies.len() as f64 * 0.95) as usize).min(latencies.len() - 1)] as f64
+        };
+        // Saturation: the last-quarter average active population is much
+        // larger than the second quarter's (still growing, no steady
+        // state).
+        let q = active_timeline.len() / 4;
+        let avg = |s: &[usize]| s.iter().sum::<usize>() as f64 / s.len().max(1) as f64;
+        let saturated = q >= 1 && {
+            let early = avg(&active_timeline[q..2 * q]);
+            let late = avg(&active_timeline[3 * q..]);
+            late > 2.0 * early + 1.0
+        };
+
+        ContinuousReport {
+            spawned,
+            completed,
+            avg_active: active_acc as f64 / measured_rounds,
+            final_active: live.len(),
+            mean_latency_rounds: mean_latency,
+            p95_latency_rounds: p95,
+            throughput: completed as f64 / measured_rounds,
+            saturated,
+            total_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_paths::select::bfs::bfs_route;
+    use optical_topo::topologies;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn params(arrival: f64, rounds: u32) -> ContinuousParams {
+        ContinuousParams {
+            router: RouterConfig::serve_first(2),
+            worm_len: 4,
+            schedule: DelaySchedule::Fixed { delta: 32 },
+            arrival_prob: arrival,
+            rounds,
+            warmup: rounds / 4,
+        }
+    }
+
+    fn torus_sampler(
+        net: &Network,
+    ) -> impl FnMut(&mut dyn rand::RngCore) -> Path + '_ {
+        move |rng| {
+            let n = net.node_count() as u32;
+            let s = rng.gen_range(0..n);
+            let d = rng.gen_range(0..n);
+            bfs_route(net, s, d)
+        }
+    }
+
+    #[test]
+    fn light_load_reaches_steady_state() {
+        let net = topologies::torus(2, 6);
+        let mut run = ContinuousRun::new(&net, torus_sampler(&net), params(0.05, 120));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let report = run.run(&mut rng);
+        assert!(!report.saturated, "5% load must be stable: {report:?}");
+        assert!(report.completed > 0);
+        // In steady state, throughput tracks offered load.
+        let offered = 0.05 * net.node_count() as f64;
+        assert!(
+            (report.throughput - offered).abs() / offered < 0.35,
+            "throughput {} vs offered {offered}",
+            report.throughput
+        );
+        assert!(report.mean_latency_rounds >= 1.0);
+        // (p95 can sit *below* the mean in heavily skewed distributions —
+        // most worms make it first try, a few retry many times.)
+        assert!(report.p95_latency_rounds >= 1.0);
+    }
+
+    #[test]
+    fn overload_saturates() {
+        // Full offered load with a tight delay range: retries pile up
+        // faster than the round can drain them and the active population
+        // grows without bound.
+        let net = topologies::torus(2, 4);
+        let mut p = params(1.0, 80);
+        p.router = RouterConfig::serve_first(1);
+        p.schedule = DelaySchedule::Fixed { delta: 6 };
+        let mut run = ContinuousRun::new(&net, torus_sampler(&net), p);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let report = run.run(&mut rng);
+        assert!(report.saturated, "full load must saturate: {report:?}");
+        assert!(report.final_active > 50, "backlog must pile up: {report:?}");
+    }
+
+    #[test]
+    fn zero_load_is_trivially_stable() {
+        let net = topologies::ring(8);
+        let mut run = ContinuousRun::new(&net, torus_sampler(&net), params(0.0, 40));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let report = run.run(&mut rng);
+        assert_eq!(report.spawned, 0);
+        assert_eq!(report.completed, 0);
+        assert!(!report.saturated);
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let net = topologies::torus(2, 6);
+        let mut lat = Vec::new();
+        for arrival in [0.02, 0.25] {
+            let mut p = params(arrival, 100);
+            p.router = RouterConfig::serve_first(1);
+            let mut run = ContinuousRun::new(&net, torus_sampler(&net), p);
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let report = run.run(&mut rng);
+            lat.push(report.mean_latency_rounds);
+        }
+        assert!(lat[1] > lat[0], "latency must grow with load: {lat:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup")]
+    fn warmup_must_leave_rounds() {
+        let net = topologies::ring(8);
+        let mut p = params(0.1, 40);
+        p.warmup = 40;
+        let _ = ContinuousRun::new(&net, torus_sampler(&net), p);
+    }
+}

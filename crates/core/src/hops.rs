@@ -1,0 +1,416 @@
+//! Bounded-hop routing (§4 extension).
+//!
+//! The paper closes by asking about worms that are "allowed a bounded
+//! number of hops (i.e., conversions to and from electrical form) in the
+//! network". A *hop* buffers the worm electronically at an intermediate
+//! router, after which it is re-injected optically with a fresh random
+//! delay and wavelength — so a path with `h` hops becomes `h + 1`
+//! independently-retried optical segments.
+//!
+//! [`HopTrialAndFailure`] runs the trial-and-failure protocol over such
+//! segmented paths: each round launches, for every unfinished worm, its
+//! *current* segment from its current buffer node; a successful segment
+//! advances the worm, a failed one is retried. Because a failure now
+//! costs only one segment (and the per-round budget shrinks to the
+//! segment dilation), hops trade electronic buffer hardware against
+//! optical retransmission time — precisely the trade-off of the multi-hop
+//! strategies in §1.2.
+
+use crate::priority::PriorityStrategy;
+use crate::schedule::{DelaySchedule, ScheduleCtx};
+use optical_paths::{Path, PathCollection};
+use optical_topo::Network;
+use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Split a path's links into `hops + 1` contiguous segments of
+/// near-equal length (longer segments first). Zero-length paths yield a
+/// single empty segment; paths shorter than the segment count yield
+/// fewer, non-empty segments.
+pub fn split_path(len: usize, hops: u32) -> Vec<std::ops::Range<usize>> {
+    let segments = (hops as usize + 1).min(len.max(1));
+    let base = len / segments;
+    let extra = len % segments;
+    let mut out = Vec::with_capacity(segments);
+    let mut start = 0;
+    for s in 0..segments {
+        let seg_len = base + usize::from(s < extra);
+        out.push(start..start + seg_len);
+        start += seg_len;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Per-round observations of a hop-routing run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HopRoundReport {
+    /// Round index (1-based).
+    pub round: u32,
+    /// Delay range used.
+    pub delta: u32,
+    /// Segments launched this round (= unfinished worms).
+    pub launched: usize,
+    /// Worms that advanced one segment.
+    pub advanced: usize,
+    /// Worms that finished their last segment this round.
+    pub completed: usize,
+    /// Round budget `Δ_t + 2(D_seg + L)`.
+    pub round_time: u64,
+}
+
+/// Result of a hop-routing run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HopRunReport {
+    /// Per-round details.
+    pub rounds: Vec<HopRoundReport>,
+    /// Total budgeted time.
+    pub total_time: u64,
+    /// Whether every worm finished all segments.
+    pub completed: bool,
+    /// Per-worm number of segments.
+    pub segments_per_worm: Vec<u32>,
+    /// Per-worm round in which the final segment was delivered.
+    pub completed_round: Vec<Option<u32>>,
+}
+
+impl HopRunReport {
+    /// Rounds executed.
+    pub fn rounds_used(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+}
+
+/// Trial-and-failure with up to `hops` electronic buffering points per
+/// worm. Acknowledgements are ideal per segment (the buffering router
+/// knows immediately whether the segment fully arrived).
+pub struct HopTrialAndFailure<'a> {
+    collection: &'a PathCollection,
+    router: RouterConfig,
+    worm_len: u32,
+    schedule: DelaySchedule,
+    priorities: PriorityStrategy,
+    max_rounds: u32,
+    /// Per worm: segment ranges into its link slice.
+    segments: Vec<Vec<std::ops::Range<usize>>>,
+    /// Metrics of the segmented collection (each segment one path).
+    seg_dilation: u32,
+    seg_congestion: u32,
+}
+
+impl<'a> HopTrialAndFailure<'a> {
+    /// Bind to a routing instance with `hops` allowed buffer points.
+    pub fn new(
+        net: &'a Network,
+        collection: &'a PathCollection,
+        router: RouterConfig,
+        worm_len: u32,
+        hops: u32,
+        max_rounds: u32,
+    ) -> Self {
+        assert_eq!(net.link_count(), collection.link_count(), "collection/network mismatch");
+        router.validate();
+        let segments: Vec<Vec<std::ops::Range<usize>>> = collection
+            .paths()
+            .iter()
+            .map(|p| split_path(p.len(), hops))
+            .collect();
+        // Metrics of the segment collection.
+        let mut seg_coll = PathCollection::new(collection.link_count());
+        for (p, segs) in collection.paths().iter().zip(&segments) {
+            for r in segs {
+                let nodes = p.nodes()[r.start..=r.end].to_vec();
+                let links = p.links()[r.clone()].to_vec();
+                seg_coll.push(Path::from_parts(nodes, links));
+            }
+        }
+        let m = seg_coll.metrics();
+        HopTrialAndFailure {
+            collection,
+            router,
+            worm_len,
+            schedule: DelaySchedule::paper(),
+            priorities: PriorityStrategy::RandomPerRound,
+            max_rounds,
+            segments,
+            seg_dilation: m.dilation,
+            seg_congestion: m.path_congestion,
+        }
+    }
+
+    /// Override the delay schedule.
+    pub fn with_schedule(mut self, schedule: DelaySchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Override the priority strategy.
+    pub fn with_priorities(mut self, priorities: PriorityStrategy) -> Self {
+        self.priorities = priorities;
+        self
+    }
+
+    /// Dilation of the segmented collection (drives the round budget).
+    pub fn segment_dilation(&self) -> u32 {
+        self.seg_dilation
+    }
+
+    /// Execute the hop protocol.
+    pub fn run(&self, rng: &mut impl Rng) -> HopRunReport {
+        let n = self.collection.len();
+        let b = self.router.bandwidth as u32;
+        let mut engine = Engine::new(self.collection.link_count(), self.router);
+
+        // Current segment index per worm; == segments.len() when done.
+        let mut seg_idx: Vec<usize> = vec![0; n];
+        let mut completed_round: Vec<Option<u32>> = vec![None; n];
+        let mut rounds = Vec::new();
+        let mut total_time: u64 = 0;
+
+        for t in 1..=self.max_rounds {
+            let active: Vec<u32> = (0..n as u32)
+                .filter(|&w| seg_idx[w as usize] < self.segments[w as usize].len())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let ctx = ScheduleCtx {
+                n,
+                active: active.len(),
+                worm_len: self.worm_len,
+                bandwidth: self.router.bandwidth,
+                path_congestion: self.seg_congestion,
+                dilation: self.seg_dilation,
+            };
+            let delta = self.schedule.delta(t, &ctx);
+            let priorities = self.priorities.assign(&active, n, rng);
+            // Same draw order as the plain protocol: wavelengths as a
+            // batch, then startup delays per spec.
+            let wavelengths: Vec<u16> =
+                active.iter().map(|_| rng.gen_range(0..b) as u16).collect();
+
+            let specs: Vec<TransmissionSpec<'_>> = active
+                .iter()
+                .zip(priorities.iter().zip(&wavelengths))
+                .map(|(&w, (&prio, &wl))| {
+                    let p = self.collection.path(w as usize);
+                    let r = self.segments[w as usize][seg_idx[w as usize]].clone();
+                    TransmissionSpec {
+                        links: &p.links()[r],
+                        start: rng.gen_range(0..delta),
+                        wavelength: wl,
+                        priority: prio,
+                        length: self.worm_len,
+                    }
+                })
+                .collect();
+            let outcome = engine.run(&specs, rng);
+
+            let mut advanced = 0usize;
+            let mut completed = 0usize;
+            for (k, r) in outcome.results.iter().enumerate() {
+                if r.fate.is_delivered() {
+                    let w = active[k] as usize;
+                    seg_idx[w] += 1;
+                    advanced += 1;
+                    if seg_idx[w] == self.segments[w].len() {
+                        completed += 1;
+                        completed_round[w] = Some(t);
+                    }
+                }
+            }
+            let round_time = delta as u64 + 2 * (self.seg_dilation as u64 + self.worm_len as u64);
+            total_time += round_time;
+            rounds.push(HopRoundReport {
+                round: t,
+                delta,
+                launched: active.len(),
+                advanced,
+                completed,
+                round_time,
+            });
+        }
+
+        let done = seg_idx
+            .iter()
+            .zip(&self.segments)
+            .all(|(&i, segs)| i == segs.len());
+        HopRunReport {
+            rounds,
+            total_time,
+            completed: done,
+            segments_per_worm: self.segments.iter().map(|s| s.len() as u32).collect(),
+            completed_round,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_topo::topologies;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn split_path_shapes() {
+        assert_eq!(split_path(10, 0), vec![0..10]);
+        assert_eq!(split_path(10, 1), vec![0..5, 5..10]);
+        assert_eq!(split_path(10, 2), vec![0..4, 4..7, 7..10]);
+        assert_eq!(split_path(2, 3), vec![0..1, 1..2], "no empty segments");
+        assert_eq!(split_path(0, 2), vec![0..0], "zero-length path: one empty segment");
+    }
+
+    #[test]
+    fn split_path_covers_everything() {
+        for len in 0..40 {
+            for hops in 0..6 {
+                let segs = split_path(len, hops);
+                assert_eq!(segs.first().unwrap().start, 0);
+                assert_eq!(segs.last().unwrap().end, len);
+                for w in segs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                    assert!(!w[1].is_empty() || len == 0);
+                }
+                // Near-equal: lengths differ by at most 1.
+                let lens: Vec<usize> = segs.iter().map(|r| r.len()).collect();
+                let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(mx - mn <= 1);
+            }
+        }
+    }
+
+    fn bundle(k: usize, len: usize) -> (Network, PathCollection) {
+        let net = topologies::chain(len + 1);
+        let nodes: Vec<u32> = (0..=len as u32).collect();
+        let mut c = PathCollection::for_network(&net);
+        for _ in 0..k {
+            c.push(Path::from_nodes(&net, &nodes));
+        }
+        (net, c)
+    }
+
+    #[test]
+    fn hop_run_completes() {
+        let (net, coll) = bundle(12, 12);
+        for hops in [0u32, 1, 2, 3] {
+            let proto =
+                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(2), 3, hops, 500);
+            let report = proto.run(&mut rng(1));
+            assert!(report.completed, "hops = {hops} failed");
+            assert!(report
+                .segments_per_worm
+                .iter()
+                .all(|&s| s == (hops + 1).min(12)));
+            assert!(report.completed_round.iter().all(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn more_hops_shrink_round_budget() {
+        let (net, coll) = bundle(4, 12);
+        let d0 = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 0, 10)
+            .segment_dilation();
+        let d2 = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 2, 10)
+            .segment_dilation();
+        assert_eq!(d0, 12);
+        assert_eq!(d2, 4);
+    }
+
+    #[test]
+    fn zero_hops_matches_plain_protocol_on_rounds() {
+        // With hops = 0 the segment structure is the whole path; the same
+        // seed must produce the same number of rounds as the plain
+        // protocol under the same fixed schedule and ideal acks.
+        let (net, coll) = bundle(8, 6);
+        let schedule = DelaySchedule::Fixed { delta: 24 };
+        let hop = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 3, 0, 300)
+            .with_schedule(schedule);
+        let hop_report = hop.run(&mut rng(7));
+
+        let mut params =
+            crate::protocol::ProtocolParams::new(RouterConfig::serve_first(1), 3);
+        params.schedule = schedule;
+        params.max_rounds = 300;
+        let plain = crate::protocol::TrialAndFailure::new(&net, &coll, params);
+        let plain_report = plain.run(&mut rng(7));
+
+        assert_eq!(hop_report.rounds_used(), plain_report.rounds_used());
+        assert_eq!(hop_report.total_time, plain_report.total_time);
+    }
+
+    #[test]
+    fn hops_help_under_heavy_contention() {
+        // Hops pay one extra round per segment (a worm advances one
+        // segment per round), so they only win when retransmissions are
+        // frequent: many worms, long paths, tight delay range. There,
+        // per-segment retries + the smaller per-round budget beat
+        // whole-path retries by about 2x; with generous delays (few
+        // failures) plain routing wins — both regimes are asserted.
+        let schedule_tight = DelaySchedule::Fixed { delta: 12 };
+        let (net, coll) = bundle(48, 32);
+        let mut tight0 = 0u64;
+        let mut tight3 = 0u64;
+        for seed in 0..6 {
+            let r0 =
+                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 0, 5000)
+                    .with_schedule(schedule_tight)
+                    .run(&mut rng(seed));
+            let r3 =
+                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 3, 5000)
+                    .with_schedule(schedule_tight)
+                    .run(&mut rng(seed + 100));
+            assert!(r0.completed && r3.completed);
+            tight0 += r0.total_time;
+            tight3 += r3.total_time;
+        }
+        assert!(
+            tight3 < tight0,
+            "heavy contention: 3 hops ({tight3}) should beat 0 hops ({tight0})"
+        );
+
+        // Light contention: hops are pure pipelining overhead.
+        let (net, coll) = bundle(10, 24);
+        let schedule_loose = DelaySchedule::Fixed { delta: 40 };
+        let mut loose0 = 0u64;
+        let mut loose3 = 0u64;
+        for seed in 0..6 {
+            let r0 =
+                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 0, 2000)
+                    .with_schedule(schedule_loose)
+                    .run(&mut rng(seed));
+            let r3 =
+                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 3, 2000)
+                    .with_schedule(schedule_loose)
+                    .run(&mut rng(seed + 100));
+            assert!(r0.completed && r3.completed);
+            loose0 += r0.total_time;
+            loose3 += r3.total_time;
+        }
+        assert!(
+            loose0 < loose3,
+            "light contention: 0 hops ({loose0}) should beat 3 hops ({loose3})"
+        );
+    }
+
+    #[test]
+    fn segment_progress_is_monotone() {
+        let (net, coll) = bundle(6, 10);
+        let proto =
+            HopTrialAndFailure::new(&net, &coll, RouterConfig::priority(1), 2, 2, 400);
+        let report = proto.run(&mut rng(3));
+        assert!(report.completed);
+        // advanced >= completed each round; launched never grows.
+        let mut prev_launched = usize::MAX;
+        for r in &report.rounds {
+            assert!(r.advanced >= r.completed);
+            assert!(r.launched <= prev_launched);
+            prev_launched = r.launched;
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's auxiliary lemmas, executable.
+//!
+//! These functions make the appendix mathematics testable: the
+//! Lemma 2.9 maximizer is computed in closed form and verified
+//! numerically against perturbations, and the collision-probability
+//! quantities of Lemma 2.8 / Lemma 2.4 are exposed for the Monte-Carlo
+//! validations in `tests/lemma_validation.rs`.
+
+/// The Lemma 2.9 maximizer: given `Σ x_i = y` (with `x_i ≥ 0`) and
+/// `α ∈ [0, y]`, the product `∏_{i=1..n} (x_i + α)^i` is maximal at
+/// `x_i + α = i (y + nα) / C(n+1, 2)`.
+///
+/// Returns the optimal `x` vector. Requires `α ≤ y / (C(n+1,2) − n)` when
+/// `n ≥ 2` so the unconstrained optimum is feasible (`x_1 ≥ 0`); panics
+/// otherwise.
+pub fn lemma_2_9_optimum(y: f64, alpha: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 1 && y >= 0.0 && alpha >= 0.0);
+    let binom = (n * (n + 1) / 2) as f64;
+    let xs: Vec<f64> = (1..=n)
+        .map(|i| i as f64 * (y + n as f64 * alpha) / binom - alpha)
+        .collect();
+    assert!(
+        xs[0] >= -1e-9,
+        "alpha too large: unconstrained optimum infeasible (x_1 = {})",
+        xs[0]
+    );
+    debug_assert!((xs.iter().sum::<f64>() - y).abs() < 1e-6 * (y + 1.0));
+    xs.into_iter().map(|x| x.max(0.0)).collect()
+}
+
+/// `log ∏ (x_i + α)^i = Σ i·ln(x_i + α)` — the objective of Lemma 2.9.
+pub fn lemma_2_9_objective(xs: &[f64], alpha: f64) -> f64 {
+    xs.iter().enumerate().map(|(k, &x)| (k as f64 + 1.0) * (x + alpha).ln()).sum()
+}
+
+/// Lemma 2.8's per-pair blocking probability lower bound: with delay
+/// range `Δ ≥ L`, worm `i+1` (starting `d = ⌊(L−1)/2⌋+1` levels ahead)
+/// blocks worm `i` with probability at least `(L−1) / (2BΔ)`.
+pub fn lemma_2_8_block_probability(worm_len: u32, bandwidth: u16, delta: u32) -> f64 {
+    assert!(delta >= worm_len, "Lemma 2.8 requires Δ ≥ L");
+    (worm_len.max(2) as f64 - 1.0) / (2.0 * bandwidth as f64 * delta as f64)
+}
+
+/// The §2.1 per-pair collision probability upper bound used throughout:
+/// two short-cut free worms with random delays in `[Δ]` and wavelengths
+/// in `[B]` collide with probability at most `2L / (BΔ)`.
+pub fn pairwise_collision_upper(worm_len: u32, bandwidth: u16, delta: u32) -> f64 {
+    (2.0 * worm_len as f64 / (bandwidth as f64 * delta as f64)).min(1.0)
+}
+
+/// Lemma 2.4's requirement on the delay range: `Δ_t ≥ 8e·L·C̃_t / B`
+/// guarantees the surviving congestion halves w.h.p.
+pub fn lemma_2_4_min_delta(worm_len: u32, bandwidth: u16, congestion: u32) -> u32 {
+    (8.0 * std::f64::consts::E * worm_len as f64 * congestion as f64 / bandwidth as f64).ceil()
+        as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn optimum_satisfies_constraint() {
+        let xs = lemma_2_9_optimum(10.0, 0.5, 4);
+        assert!((xs.iter().sum::<f64>() - 10.0).abs() < 1e-9);
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        // Monotone increasing in i.
+        assert!(xs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn optimum_beats_random_feasible_points() {
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        for case in 0..200 {
+            let n = rng.gen_range(2..7usize);
+            let y = rng.gen_range(1.0..50.0f64);
+            let binom = (n * (n + 1) / 2) as f64;
+            let alpha_max = y / (binom - n as f64);
+            let alpha = rng.gen_range(0.0..alpha_max * 0.99);
+            let best = lemma_2_9_optimum(y, alpha, n);
+            let best_val = lemma_2_9_objective(&best, alpha);
+            // Random feasible competitor: Dirichlet-ish by normalizing
+            // exponentials.
+            for _ in 0..20 {
+                let raw: Vec<f64> = (0..n).map(|_| -f64::ln(rng.gen_range(1e-9..1.0))).collect();
+                let s: f64 = raw.iter().sum();
+                let xs: Vec<f64> = raw.iter().map(|r| r / s * y).collect();
+                let val = lemma_2_9_objective(&xs, alpha);
+                assert!(
+                    val <= best_val + 1e-7,
+                    "case {case}: competitor beat the Lemma 2.9 optimum ({val} > {best_val})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn optimum_is_stationary() {
+        // Small coordinate exchanges around the optimum cannot improve.
+        let y = 12.0;
+        let alpha = 0.2;
+        let n = 5;
+        let best = lemma_2_9_optimum(y, alpha, n);
+        let best_val = lemma_2_9_objective(&best, alpha);
+        let eps = 1e-4;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let mut xs = best.clone();
+                if xs[i] < eps {
+                    continue;
+                }
+                xs[i] -= eps;
+                xs[j] += eps;
+                let val = lemma_2_9_objective(&xs, alpha);
+                assert!(val <= best_val + 1e-9, "exchange {i}->{j} improved the optimum");
+            }
+        }
+    }
+
+    #[test]
+    fn probability_helpers_are_sane() {
+        let p = lemma_2_8_block_probability(4, 1, 8);
+        assert!((p - 3.0 / 16.0).abs() < 1e-12);
+        assert!(pairwise_collision_upper(4, 1, 8) <= 1.0);
+        assert_eq!(pairwise_collision_upper(100, 1, 3), 1.0, "clamped at 1");
+        assert!(lemma_2_4_min_delta(4, 2, 100) >= 4 * 100 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "Δ ≥ L")]
+    fn lemma_2_8_requires_delta_at_least_l() {
+        lemma_2_8_block_probability(10, 1, 5);
+    }
+}

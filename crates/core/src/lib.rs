@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! The trial-and-failure protocol of Flammini & Scheideler (SPAA 1997) —
+//! the paper's primary contribution — together with the analytical
+//! machinery around it.
+//!
+//! # The protocol (§1.3)
+//!
+//! ```text
+//! all n worms are declared active
+//! for t = 1 to T do:
+//!   - each active worm is sent out from its source with a random startup
+//!     delay in some suitably chosen range [Δ_t] using a random wavelength
+//!     in [B]
+//!   - for every worm that completely reaches its destination, an
+//!     acknowledgement is sent back to the source immediately afterwards
+//!   - every source that gets back an acknowledgement declares its worm
+//!     inactive
+//! ```
+//!
+//! Round `t` costs `Δ_t + 2(D + L)` steps. The protocol is purely local:
+//! no coordination between sources, no buffering, no wavelength
+//! conversion.
+//!
+//! # Modules
+//!
+//! * [`protocol`] — the executable protocol over the
+//!   [`optical_wdm::Engine`] simulator, with ideal or physically simulated
+//!   acknowledgements;
+//! * [`schedule`] — delay-range schedules `Δ_t`, including the paper's
+//!   geometric schedule from §2.1;
+//! * [`priority`] — priority-assignment strategies for priority routers
+//!   (random per round, fixed adversarial ranks, …);
+//! * [`bounds`] — closed forms of every bound stated in the paper
+//!   (Main Theorems 1.1–1.3, Theorems 1.5–1.7), used by the experiment
+//!   harness to compare measured against predicted shapes;
+//! * [`hops`] — the §4 bounded-hops extension (electronic buffering
+//!   points);
+//! * [`continuous`] — steady-state operation under Bernoulli arrivals
+//!   (saturation throughput, load-latency curves);
+//! * [`lemmas`] — the appendix lemmas, executable;
+//! * [`witness`] — executable witness trees (Figure 4) and per-round
+//!   blocking graphs `G_i` (Definition 2.3), including the Claim 2.6
+//!   forest check and blocking-cycle detection.
+
+pub mod bounds;
+pub mod continuous;
+pub mod hops;
+pub mod lemmas;
+pub mod priority;
+pub mod protocol;
+pub mod schedule;
+pub mod witness;
+
+pub use priority::PriorityStrategy;
+pub use protocol::{AckMode, ProtocolParams, RoundReport, RunReport, TrialAndFailure};
+pub use schedule::{DelaySchedule, ScheduleCtx};

@@ -1,0 +1,157 @@
+//! Priority-assignment strategies for priority routers.
+//!
+//! Main Theorem 1.3's upper bound holds for **any** assignment such that no
+//! two worms with the same priority can meet in one round — random,
+//! deterministic, or changing per round. The lower bound (§2.2) uses the
+//! adversarial fixed assignment "worm on path `i` has rank `i`". All of
+//! these are available here.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How worm priorities are chosen each round.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PriorityStrategy {
+    /// A fresh uniformly random total order every round (all priorities
+    /// distinct by construction).
+    RandomPerRound,
+    /// Fixed: priority equals the path id (higher id wins). This is the
+    /// adversarial assignment of the type-1 lower-bound structures, where
+    /// path `i + 1` outranks path `i`.
+    ByPathId,
+    /// Fixed: lower path id wins.
+    ByPathIdReversed,
+    /// Arbitrary fixed ranks, indexed by path id. Must be distinct if the
+    /// paper's no-equal-priorities-meet assumption is to hold; the
+    /// protocol does not enforce distinctness (the engine resolves equal
+    /// priorities with its tie rule and the occupant-wins convention).
+    Fixed(Vec<u64>),
+}
+
+impl PriorityStrategy {
+    /// Priorities for this round's active worms. `active[k]` is the path
+    /// id of the k-th worm being launched; the result is indexed like
+    /// `active`.
+    pub fn assign(&self, active: &[u32], n_total: usize, rng: &mut impl Rng) -> Vec<u64> {
+        match self {
+            PriorityStrategy::RandomPerRound => {
+                let mut ranks: Vec<u64> = (0..active.len() as u64).collect();
+                ranks.shuffle(rng);
+                ranks
+            }
+            PriorityStrategy::ByPathId => active.iter().map(|&p| p as u64).collect(),
+            PriorityStrategy::ByPathIdReversed => {
+                active.iter().map(|&p| (n_total as u64) - p as u64).collect()
+            }
+            PriorityStrategy::Fixed(ranks) => {
+                active.iter().map(|&p| ranks[p as usize]).collect()
+            }
+        }
+    }
+}
+
+/// How worm wavelengths are chosen each round.
+///
+/// The paper's protocol draws a fresh uniform wavelength per round
+/// ([`WavelengthStrategy::RandomPerRound`]); the alternatives isolate
+/// what that re-randomization buys: with wavelengths fixed per worm, two
+/// worms that hash to the same wavelength conflict in *every* round and
+/// only the delay randomness can separate them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WavelengthStrategy {
+    /// Fresh uniform draw per worm per round (the paper's protocol).
+    RandomPerRound,
+    /// One uniform draw per worm at the start, reused every round.
+    FixedPerWorm,
+    /// Deterministic: wavelength = path id mod B (a static assignment a
+    /// naive system might use).
+    ByPathId,
+}
+
+impl WavelengthStrategy {
+    /// Wavelengths for this round's active worms, given the per-worm
+    /// fixed draws in `fixed` (indexed by path id).
+    pub fn assign(
+        &self,
+        active: &[u32],
+        bandwidth: u16,
+        fixed: &[u16],
+        rng: &mut impl Rng,
+    ) -> Vec<u16> {
+        match self {
+            WavelengthStrategy::RandomPerRound => {
+                active.iter().map(|_| rng.gen_range(0..bandwidth)).collect()
+            }
+            WavelengthStrategy::FixedPerWorm => {
+                active.iter().map(|&p| fixed[p as usize]).collect()
+            }
+            WavelengthStrategy::ByPathId => {
+                active.iter().map(|&p| (p % bandwidth as u32) as u16).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn wavelength_strategies() {
+        let active = [0u32, 2, 5];
+        let fixed = [3u16, 0, 1, 0, 0, 2];
+        let mut r = rng();
+        let w = WavelengthStrategy::RandomPerRound.assign(&active, 4, &fixed, &mut r);
+        assert!(w.iter().all(|&x| x < 4));
+        let w = WavelengthStrategy::FixedPerWorm.assign(&active, 4, &fixed, &mut r);
+        assert_eq!(w, vec![3, 1, 2]);
+        let w = WavelengthStrategy::ByPathId.assign(&active, 4, &fixed, &mut r);
+        assert_eq!(w, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn random_assignment_is_a_permutation() {
+        let active: Vec<u32> = (0..50).collect();
+        let pr = PriorityStrategy::RandomPerRound.assign(&active, 50, &mut rng());
+        let mut sorted = pr.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn random_assignment_varies_between_rounds() {
+        let active: Vec<u32> = (0..50).collect();
+        let mut r = rng();
+        let a = PriorityStrategy::RandomPerRound.assign(&active, 50, &mut r);
+        let b = PriorityStrategy::RandomPerRound.assign(&active, 50, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn by_path_id_is_stable_under_shrinking_active_set() {
+        let s = PriorityStrategy::ByPathId;
+        let a = s.assign(&[0, 1, 2, 3], 4, &mut rng());
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        let b = s.assign(&[1, 3], 4, &mut rng());
+        assert_eq!(b, vec![1, 3], "rank follows the path, not the position");
+    }
+
+    #[test]
+    fn reversed_inverts_order() {
+        let s = PriorityStrategy::ByPathIdReversed;
+        let pr = s.assign(&[0, 1, 2], 3, &mut rng());
+        assert!(pr[0] > pr[1] && pr[1] > pr[2]);
+    }
+
+    #[test]
+    fn fixed_ranks_are_looked_up() {
+        let s = PriorityStrategy::Fixed(vec![7, 3, 9, 1]);
+        assert_eq!(s.assign(&[2, 0], 4, &mut rng()), vec![9, 7]);
+    }
+}

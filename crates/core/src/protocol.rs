@@ -1,0 +1,727 @@
+//! The executable trial-and-failure protocol (§1.3).
+
+use crate::priority::{PriorityStrategy, WavelengthStrategy};
+use crate::schedule::{DelaySchedule, ScheduleCtx};
+use optical_paths::{CollectionMetrics, PathCollection};
+use optical_topo::{LinkId, Network};
+use optical_wdm::{Engine, Fate, RouterConfig, TransmissionSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How acknowledgements are handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AckMode {
+    /// A worm's source learns of the delivery instantly — the abstraction
+    /// used throughout the paper's analysis (which accounts for acks by
+    /// doubling the path congestion and reserving a second wavelength
+    /// band).
+    Ideal,
+    /// Acks are worms too: routed back along the reversed path on a
+    /// *reserved ack band* of `B` wavelengths (same wavelength index and
+    /// priority as the message), subject to the same collision rules. A
+    /// lost ack leaves the source active, causing a duplicate delivery in
+    /// a later round.
+    Simulated {
+        /// Ack worm length; `None` means same length `L` as the message
+        /// (the paper's round budget `Δ_t + 2(D + L)` implies this).
+        ack_len: Option<u32>,
+    },
+}
+
+/// Everything configurable about a protocol run.
+#[derive(Clone, Debug)]
+pub struct ProtocolParams {
+    /// Router model (bandwidth `B`, collision rule, tie rule).
+    pub router: RouterConfig,
+    /// Worm length `L` in flits.
+    pub worm_len: u32,
+    /// Delay-range schedule `Δ_t`.
+    pub schedule: DelaySchedule,
+    /// Priority assignment (only consulted by priority routers).
+    pub priorities: PriorityStrategy,
+    /// Wavelength assignment per round (the paper re-randomizes; the
+    /// alternatives are ablations).
+    pub wavelengths: WavelengthStrategy,
+    /// Acknowledgement handling.
+    pub ack: AckMode,
+    /// Hard cap on rounds (`T`); the run reports failure if worms remain.
+    pub max_rounds: u32,
+    /// Record per-round blocking maps (who prevented whom) — needed for
+    /// witness-tree diagnostics.
+    pub record_blocking: bool,
+    /// Recompute the surviving collection's path congestion each round —
+    /// the observable of Lemma 2.4 / Lemma 2.10 (costs extra time).
+    pub record_congestion: bool,
+    /// Sparse wavelength conversion (§4 extension): per-link mask of
+    /// converter-capable routers, built with
+    /// [`optical_wdm::engine::converter_mask`]. Applies to messages and
+    /// acks alike. `None` = no conversion anywhere (the paper's setting).
+    pub converters: Option<Vec<bool>>,
+    /// Failure injection: dead links (fiber cuts). Worms routed across a
+    /// dead link die every round, so the run reports failure with the
+    /// stranded worms in `remaining` — reroute them with
+    /// [`optical_paths::select::bfs::bfs_route_avoiding`] and run again.
+    pub dead_links: Option<Vec<bool>>,
+}
+
+impl ProtocolParams {
+    /// Sensible defaults: paper schedule, random priorities, ideal acks,
+    /// 64 rounds.
+    pub fn new(router: RouterConfig, worm_len: u32) -> Self {
+        ProtocolParams {
+            router,
+            worm_len,
+            schedule: DelaySchedule::paper(),
+            priorities: PriorityStrategy::RandomPerRound,
+            wavelengths: WavelengthStrategy::RandomPerRound,
+            ack: AckMode::Ideal,
+            max_rounds: 64,
+            record_blocking: false,
+            record_congestion: false,
+            converters: None,
+            dead_links: None,
+        }
+    }
+}
+
+/// Per-round observations.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index `t` (1-based).
+    pub round: u32,
+    /// Delay range `Δ_t` used.
+    pub delta: u32,
+    /// Active worms at the start of the round.
+    pub active_before: usize,
+    /// Worms fully delivered this round.
+    pub delivered: usize,
+    /// Sources that received an acknowledgement (== `delivered` under
+    /// ideal acks).
+    pub acked: usize,
+    /// Worms that arrived truncated (priority-rule partial discards).
+    pub truncated: usize,
+    /// Budgeted duration `Δ_t + 2(D + L)` of the round (the paper's
+    /// accounting).
+    pub round_time: u64,
+    /// Observed last event time of the forward pass.
+    pub forward_makespan: u32,
+    /// `failed path → blocking path` (the witness relation), when
+    /// recording is on.
+    pub blocking: Option<HashMap<u32, u32>>,
+    /// Path congestion of the surviving collection *before* this round,
+    /// when recording is on.
+    pub congestion_before: Option<u32>,
+}
+
+/// Result of a full protocol run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-round details, in order.
+    pub rounds: Vec<RoundReport>,
+    /// Total budgeted time `Σ_t (Δ_t + 2(D + L))`.
+    pub total_time: u64,
+    /// Whether every worm was acknowledged within `max_rounds`.
+    pub completed: bool,
+    /// Path ids still active at the end (empty iff `completed`).
+    pub remaining: Vec<u32>,
+    /// For each path id, the round in which its ack arrived.
+    pub acked_round: Vec<Option<u32>>,
+    /// Deliveries whose ack was lost, causing a retransmission of an
+    /// already-delivered worm.
+    pub duplicate_deliveries: u64,
+    /// Metrics of the full collection (`n`, `D`, `C`, `C̃`).
+    pub metrics: CollectionMetrics,
+}
+
+impl RunReport {
+    /// Number of rounds actually executed.
+    pub fn rounds_used(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+
+    /// Total worms fully delivered at least once (acked or not).
+    pub fn delivered_total(&self) -> usize {
+        self.rounds.iter().map(|r| r.delivered).sum()
+    }
+
+    /// Total transmission *attempts* (worm launches) across all rounds.
+    pub fn attempts(&self) -> u64 {
+        self.rounds.iter().map(|r| r.active_before as u64).sum()
+    }
+
+    /// Goodput in payload flits per time step: `acked worms · L / total
+    /// time`. Zero for runs that went nowhere.
+    pub fn goodput(&self, worm_len: u32) -> f64 {
+        if self.total_time == 0 {
+            return 0.0;
+        }
+        let acked = self.acked_round.iter().filter(|r| r.is_some()).count();
+        acked as f64 * worm_len as f64 / self.total_time as f64
+    }
+
+    /// Transmission efficiency: fraction of launches that were fully
+    /// delivered (1.0 = no optical work wasted on eliminated worms or
+    /// duplicates). `None` if nothing was launched.
+    pub fn efficiency(&self) -> Option<f64> {
+        let attempts = self.attempts();
+        (attempts > 0).then(|| self.delivered_total() as f64 / attempts as f64)
+    }
+}
+
+/// The trial-and-failure protocol bound to a network and path collection.
+pub struct TrialAndFailure<'a> {
+    net: &'a Network,
+    collection: &'a PathCollection,
+    params: ProtocolParams,
+    metrics: CollectionMetrics,
+}
+
+impl<'a> TrialAndFailure<'a> {
+    /// Bind the protocol to a routing instance. Computes collection
+    /// metrics once up front.
+    pub fn new(net: &'a Network, collection: &'a PathCollection, params: ProtocolParams) -> Self {
+        assert_eq!(
+            net.link_count(),
+            collection.link_count(),
+            "collection was built over a different network"
+        );
+        assert!(params.max_rounds >= 1, "need at least one round");
+        params.router.validate();
+        let metrics = collection.metrics();
+        TrialAndFailure { net, collection, params, metrics }
+    }
+
+    /// The collection metrics (computed at construction).
+    pub fn metrics(&self) -> CollectionMetrics {
+        self.metrics
+    }
+
+    /// The parameters this instance runs with.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// Execute the protocol.
+    pub fn run(&self, rng: &mut impl Rng) -> RunReport {
+        let p = &self.params;
+        let n = self.collection.len();
+        let b = p.router.bandwidth as u32;
+        let d = self.metrics.dilation;
+        let l = p.worm_len;
+
+        // Reserve a conflict log only if witness recording is requested.
+        let mut fwd_cfg = p.router;
+        fwd_cfg.record_conflicts = false;
+        let mut engine = Engine::new(self.collection.link_count(), fwd_cfg);
+        engine.set_converters(p.converters.clone());
+        engine.set_dead_links(p.dead_links.clone());
+        // Separate ack band: its own engine (its own occupancy).
+        let mut ack_engine = match p.ack {
+            AckMode::Simulated { .. } => {
+                let mut e = Engine::new(self.collection.link_count(), fwd_cfg);
+                e.set_converters(p.converters.clone());
+                e.set_dead_links(p.dead_links.clone());
+                Some(e)
+            }
+            AckMode::Ideal => None,
+        };
+        // Reversed link sequences for acks, computed lazily once.
+        let reversed: Option<Vec<Vec<LinkId>>> = match p.ack {
+            AckMode::Simulated { .. } => Some(
+                self.collection
+                    .paths()
+                    .iter()
+                    .map(|path| {
+                        path.links().iter().rev().map(|&lk| self.net.reverse_link(lk)).collect()
+                    })
+                    .collect(),
+            ),
+            AckMode::Ideal => None,
+        };
+        let ack_len = match p.ack {
+            AckMode::Simulated { ack_len } => ack_len.unwrap_or(l),
+            AckMode::Ideal => 0,
+        };
+
+        // Per-worm fixed wavelength draws — only drawn when the strategy
+        // uses them, so the default configuration's RNG stream is
+        // unaffected.
+        let fixed_wl: Vec<u16> = match p.wavelengths {
+            WavelengthStrategy::FixedPerWorm => {
+                (0..n).map(|_| rng.gen_range(0..b) as u16).collect()
+            }
+            _ => Vec::new(),
+        };
+
+        let mut active: Vec<u32> = (0..n as u32).collect();
+        let mut acked_round: Vec<Option<u32>> = vec![None; n];
+        let mut rounds: Vec<RoundReport> = Vec::new();
+        let mut total_time: u64 = 0;
+        let mut duplicate_deliveries: u64 = 0;
+
+        for t in 1..=p.max_rounds {
+            if active.is_empty() {
+                break;
+            }
+            let ctx = ScheduleCtx {
+                n,
+                active: active.len(),
+                worm_len: l,
+                bandwidth: p.router.bandwidth,
+                path_congestion: self.metrics.path_congestion,
+                dilation: d,
+            };
+            let delta = p.schedule.delta(t, &ctx);
+
+            let congestion_before = p.record_congestion.then(|| {
+                let mut sub = PathCollection::new(self.collection.link_count());
+                for &pid in &active {
+                    sub.push(self.collection.path(pid as usize).clone());
+                }
+                sub.path_congestion()
+            });
+
+            let priorities = p.priorities.assign(&active, n, rng);
+            let wavelengths =
+                p.wavelengths.assign(&active, p.router.bandwidth, &fixed_wl, rng);
+            let specs: Vec<TransmissionSpec<'_>> = active
+                .iter()
+                .zip(priorities.iter().zip(&wavelengths))
+                .map(|(&pid, (&prio, &wl))| TransmissionSpec {
+                    links: self.collection.path(pid as usize).links(),
+                    start: rng.gen_range(0..delta),
+                    wavelength: wl,
+                    priority: prio,
+                    length: l,
+                })
+                .collect();
+
+            let outcome = engine.run(&specs, rng);
+
+            // Deliveries and (optionally) physical acks.
+            let mut acked_now: Vec<u32> = Vec::new(); // indices into `active`
+            let mut delivered = 0usize;
+            let mut truncated = 0usize;
+            match (&mut ack_engine, &reversed) {
+                (Some(ack_eng), Some(rev)) => {
+                    let mut ack_specs: Vec<TransmissionSpec<'_>> = Vec::new();
+                    let mut ack_owner: Vec<u32> = Vec::new();
+                    for (k, r) in outcome.results.iter().enumerate() {
+                        match r.fate {
+                            Fate::Delivered { completed_at } => {
+                                delivered += 1;
+                                let pid = active[k] as usize;
+                                ack_specs.push(TransmissionSpec {
+                                    links: &rev[pid],
+                                    start: completed_at + 1,
+                                    wavelength: specs[k].wavelength,
+                                    priority: specs[k].priority,
+                                    length: ack_len,
+                                });
+                                ack_owner.push(k as u32);
+                            }
+                            Fate::Truncated { .. } => truncated += 1,
+                            Fate::Eliminated { .. } => {}
+                        }
+                    }
+                    let ack_outcome = ack_eng.run(&ack_specs, rng);
+                    for (a, r) in ack_outcome.results.iter().enumerate() {
+                        if r.fate.is_delivered() {
+                            acked_now.push(ack_owner[a]);
+                        } else {
+                            duplicate_deliveries += 1;
+                        }
+                    }
+                }
+                _ => {
+                    for (k, r) in outcome.results.iter().enumerate() {
+                        match r.fate {
+                            Fate::Delivered { .. } => {
+                                delivered += 1;
+                                acked_now.push(k as u32);
+                            }
+                            Fate::Truncated { .. } => truncated += 1,
+                            Fate::Eliminated { .. } => {}
+                        }
+                    }
+                }
+            }
+
+            let blocking = p.record_blocking.then(|| {
+                let mut map = HashMap::new();
+                for (k, r) in outcome.results.iter().enumerate() {
+                    if !r.fate.is_delivered() {
+                        if let Some(blocker) = r.first_blocker {
+                            map.insert(active[k], active[blocker as usize]);
+                        }
+                    }
+                }
+                map
+            });
+
+            let round_time = delta as u64 + 2 * (d as u64 + l as u64);
+            total_time += round_time;
+            rounds.push(RoundReport {
+                round: t,
+                delta,
+                active_before: active.len(),
+                delivered,
+                acked: acked_now.len(),
+                truncated,
+                round_time,
+                forward_makespan: outcome.makespan,
+                blocking,
+                congestion_before,
+            });
+
+            // Retire acknowledged worms (indices are into `active`).
+            for &k in &acked_now {
+                acked_round[active[k as usize] as usize] = Some(t);
+            }
+            let retired: std::collections::HashSet<u32> = acked_now.iter().copied().collect();
+            let mut idx = 0u32;
+            active.retain(|_| {
+                let keep = !retired.contains(&idx);
+                idx += 1;
+                keep
+            });
+        }
+
+        RunReport {
+            total_time,
+            completed: active.is_empty(),
+            remaining: active,
+            acked_round,
+            duplicate_deliveries,
+            metrics: self.metrics,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_paths::Path;
+    use optical_topo::topologies;
+    use optical_wdm::TieRule;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// A bundle of `k` identical paths over a chain — the paper's type-2
+    /// structure in miniature.
+    fn bundle(k: usize, len: usize) -> (Network, PathCollection) {
+        let net = topologies::chain(len + 1);
+        let nodes: Vec<u32> = (0..=len as u32).collect();
+        let mut c = PathCollection::for_network(&net);
+        for _ in 0..k {
+            c.push(Path::from_nodes(&net, &nodes));
+        }
+        (net, c)
+    }
+
+    #[test]
+    fn single_worm_finishes_in_one_round() {
+        let (net, coll) = bundle(1, 5);
+        let params = ProtocolParams::new(RouterConfig::serve_first(1), 3);
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(0));
+        assert!(report.completed);
+        assert_eq!(report.rounds_used(), 1);
+        assert_eq!(report.acked_round[0], Some(1));
+        assert_eq!(report.duplicate_deliveries, 0);
+    }
+
+    #[test]
+    fn bundle_drains_over_rounds() {
+        let (net, coll) = bundle(32, 6);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+        params.max_rounds = 200;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(1));
+        assert!(report.completed, "32 worms over a single path must drain");
+        assert!(report.rounds_used() > 1, "they cannot all fit in one round");
+        // Active counts are non-increasing.
+        let counts: Vec<usize> = report.rounds.iter().map(|r| r.active_before).collect();
+        assert!(counts.windows(2).all(|w| w[1] <= w[0]));
+        // Everyone got an ack round.
+        assert!(report.acked_round.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn priority_routers_complete_too() {
+        let (net, coll) = bundle(16, 5);
+        let mut params = ProtocolParams::new(RouterConfig::priority(1), 2);
+        params.max_rounds = 300;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(2));
+        assert!(report.completed);
+    }
+
+    #[test]
+    fn zero_bandwidth_equivalent_small_delta_fails_gracefully() {
+        // A schedule too tight to ever separate 8 worms on one path within
+        // 2 rounds: the run reports failure with survivors listed.
+        let (net, coll) = bundle(8, 4);
+        let mut params = ProtocolParams::new(
+            RouterConfig::serve_first(1).with_tie(TieRule::AllEliminated),
+            4,
+        );
+        params.schedule = DelaySchedule::Fixed { delta: 1 };
+        params.max_rounds = 2;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(3));
+        assert!(!report.completed);
+        assert!(!report.remaining.is_empty());
+        assert_eq!(report.rounds_used(), 2);
+    }
+
+    #[test]
+    fn total_time_is_sum_of_round_budgets() {
+        let (net, coll) = bundle(8, 5);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 2);
+        params.max_rounds = 100;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(4));
+        let sum: u64 = report.rounds.iter().map(|r| r.round_time).sum();
+        assert_eq!(report.total_time, sum);
+        let d = coll.dilation() as u64;
+        for r in &report.rounds {
+            assert_eq!(r.round_time, r.delta as u64 + 2 * (d + 2));
+        }
+    }
+
+    #[test]
+    fn simulated_acks_can_be_lost_and_cause_duplicates() {
+        // On identical paths, ack separations mirror message separations,
+        // so acks never collide. Ack loss needs paths of *different
+        // lengths* sharing a link: the reversed-path offset shifts by
+        // 2Δlen − Δpos, so delay pairs exist where both messages get
+        // through but their acks collide.
+        //   A: 0→1→2→3 (len 3), B: 4→1→2 (len 2), shared link (1,2).
+        // With L = 3 and Δ = 8, delays with dA − dB ∈ {−3, −4} deliver
+        // both worms forward and collide their acks (≈14% per round).
+        let mut b = optical_topo::NetworkBuilder::new("ackloss", 5);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (4, 1)] {
+            b.add_edge(u, v);
+        }
+        let net = b.build();
+        let mut coll = PathCollection::for_network(&net);
+        coll.push(Path::from_nodes(&net, &[0, 1, 2, 3]));
+        coll.push(Path::from_nodes(&net, &[4, 1, 2]));
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 3);
+        params.ack = AckMode::Simulated { ack_len: None };
+        params.schedule = DelaySchedule::Fixed { delta: 8 };
+        params.max_rounds = 500;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let mut total_dups = 0u64;
+        for seed in 0..40 {
+            let report = proto.run(&mut rng(seed));
+            total_dups += report.duplicate_deliveries;
+            assert!(report.completed, "seed {seed} did not finish");
+        }
+        assert!(total_dups > 0, "expected at least one lost ack across 40 runs");
+    }
+
+    #[test]
+    fn simulated_acks_with_short_acks() {
+        let (net, coll) = bundle(4, 4);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+        params.ack = AckMode::Simulated { ack_len: Some(1) };
+        params.max_rounds = 200;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        assert!(proto.run(&mut rng(5)).completed);
+    }
+
+    #[test]
+    fn blocking_maps_name_real_paths() {
+        let (net, coll) = bundle(8, 5);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 3);
+        params.record_blocking = true;
+        params.schedule = DelaySchedule::Fixed { delta: 2 };
+        params.max_rounds = 300;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(6));
+        let mut saw_edge = false;
+        for r in &report.rounds {
+            let blocking = r.blocking.as_ref().expect("recording on");
+            for (&loser, &winner) in blocking {
+                assert_ne!(loser, winner, "a worm cannot block itself");
+                assert!((loser as usize) < coll.len() && (winner as usize) < coll.len());
+                saw_edge = true;
+            }
+        }
+        assert!(saw_edge, "a δ=2 bundle of 8 must produce conflicts");
+    }
+
+    #[test]
+    fn congestion_recording_tracks_decay() {
+        let (net, coll) = bundle(24, 5);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 2);
+        params.record_congestion = true;
+        params.max_rounds = 400;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(7));
+        assert!(report.completed);
+        let cong: Vec<u32> =
+            report.rounds.iter().map(|r| r.congestion_before.unwrap()).collect();
+        assert_eq!(cong[0], 23);
+        assert!(cong.windows(2).all(|w| w[1] <= w[0]), "congestion never grows");
+    }
+
+    #[test]
+    fn rerandomized_wavelengths_beat_fixed_assignment() {
+        // A bundle with B = 4 and a tight delay range: with per-round
+        // re-randomization, colliding worms likely separate next round;
+        // with fixed wavelengths, worms sharing a wavelength keep
+        // colliding and only delays can save them. Re-randomization must
+        // drain the bundle in fewer rounds on average.
+        use crate::priority::WavelengthStrategy;
+        let (net, coll) = bundle(16, 5);
+        let mut fixed_rounds = 0u32;
+        let mut random_rounds = 0u32;
+        for seed in 0..15 {
+            for (strategy, acc) in [
+                (WavelengthStrategy::RandomPerRound, &mut random_rounds),
+                (WavelengthStrategy::FixedPerWorm, &mut fixed_rounds),
+            ] {
+                let mut params = ProtocolParams::new(RouterConfig::serve_first(4), 3);
+                params.schedule = DelaySchedule::Fixed { delta: 6 };
+                params.wavelengths = strategy;
+                params.max_rounds = 2000;
+                let proto = TrialAndFailure::new(&net, &coll, params);
+                let report = proto.run(&mut rng(seed));
+                assert!(report.completed);
+                *acc += report.rounds_used();
+            }
+        }
+        assert!(
+            random_rounds < fixed_rounds,
+            "re-randomized ({random_rounds}) should beat fixed ({fixed_rounds})"
+        );
+    }
+
+    #[test]
+    fn by_path_id_wavelengths_complete() {
+        use crate::priority::WavelengthStrategy;
+        let (net, coll) = bundle(12, 4);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(3), 2);
+        params.wavelengths = WavelengthStrategy::ByPathId;
+        params.max_rounds = 500;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        assert!(proto.run(&mut rng(3)).completed);
+    }
+
+    #[test]
+    fn throughput_accounting() {
+        let (net, coll) = bundle(8, 5);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
+        params.max_rounds = 200;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(77));
+        assert!(report.completed);
+        // Attempts: first round launches all 8, later rounds fewer.
+        assert!(report.attempts() >= 8);
+        let eff = report.efficiency().unwrap();
+        assert!(eff > 0.0 && eff <= 1.0, "efficiency {eff}");
+        let gp = report.goodput(4);
+        assert!(gp > 0.0 && gp <= 8.0 * 4.0, "goodput {gp}");
+        // Empty run: zero everything.
+        let empty_coll = PathCollection::for_network(&net);
+        let params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
+        let proto = TrialAndFailure::new(&net, &empty_coll, params);
+        let empty = proto.run(&mut rng(0));
+        assert_eq!(empty.goodput(4), 0.0);
+        assert_eq!(empty.efficiency(), None);
+    }
+
+    #[test]
+    fn sparse_converters_speed_up_first_round() {
+        // A big bundle with a tight fixed Δ: with converters at every
+        // node and B = 4, first-round deliveries should beat the
+        // conversion-free baseline across seeds.
+        let (net, coll) = bundle(24, 6);
+        let schedule = DelaySchedule::Fixed { delta: 10 };
+        let mut with_conv = 0usize;
+        let mut without = 0usize;
+        for seed in 0..15 {
+            let mut params = ProtocolParams::new(RouterConfig::serve_first(4), 3);
+            params.schedule = schedule;
+            params.max_rounds = 1;
+            let proto = TrialAndFailure::new(&net, &coll, params.clone());
+            without += proto.run(&mut rng(seed)).rounds[0].delivered;
+
+            params.converters =
+                Some(optical_wdm::engine::converter_mask(&net, |_| true));
+            let proto = TrialAndFailure::new(&net, &coll, params);
+            with_conv += proto.run(&mut rng(seed)).rounds[0].delivered;
+        }
+        assert!(
+            with_conv > without,
+            "converters ({with_conv}) should beat fixed wavelengths ({without})"
+        );
+    }
+
+    #[test]
+    fn converters_complete_with_simulated_acks() {
+        let (net, coll) = bundle(8, 5);
+        let mut params = ProtocolParams::new(RouterConfig::priority(2), 3);
+        params.ack = AckMode::Simulated { ack_len: Some(1) };
+        params.converters = Some(optical_wdm::engine::converter_mask(&net, |v| v % 2 == 0));
+        params.max_rounds = 300;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        assert!(proto.run(&mut rng(5)).completed);
+    }
+
+    #[test]
+    fn empty_collection_completes_instantly() {
+        let net = topologies::chain(3);
+        let coll = PathCollection::for_network(&net);
+        let params = ProtocolParams::new(RouterConfig::serve_first(1), 2);
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(8));
+        assert!(report.completed);
+        assert_eq!(report.rounds_used(), 0);
+        assert_eq!(report.total_time, 0);
+    }
+
+    #[test]
+    fn zero_length_paths_complete_in_round_one() {
+        let net = topologies::chain(3);
+        let mut coll = PathCollection::for_network(&net);
+        coll.push(Path::from_nodes(&net, &[1]));
+        coll.push(Path::from_nodes(&net, &[2]));
+        let params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let report = proto.run(&mut rng(9));
+        assert!(report.completed);
+        assert_eq!(report.rounds_used(), 1);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let (net, coll) = bundle(16, 6);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+        params.max_rounds = 200;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let a = proto.run(&mut rng(42));
+        let b = proto.run(&mut rng(42));
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.rounds_used(), b.rounds_used());
+        assert_eq!(a.acked_round, b.acked_round);
+    }
+
+    #[test]
+    #[should_panic(expected = "different network")]
+    fn mismatched_network_rejected() {
+        let net = topologies::chain(3);
+        let other = topologies::chain(9);
+        let coll = PathCollection::for_network(&other);
+        TrialAndFailure::new(&net, &coll, ProtocolParams::new(RouterConfig::serve_first(1), 2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Delay-range schedules `Δ_t` for the trial-and-failure protocol.
+//!
+//! The upper-bound proofs (§2.1, §3.1) choose
+//!
+//! ```text
+//! Δ_t = max{ c₁·L·C̃_t/B,  c₁·L·C̃/(B·log n),  c₂·L·log n/B } + D + L
+//! C̃_t = max{ C̃ / 2^(t-1),  log n }
+//! ```
+//!
+//! i.e. the delay range *halves geometrically* (tracking the w.h.p.
+//! congestion decay of Lemma 2.4) until it reaches a logarithmic floor.
+//! The paper's literal constants (`c₁ = 32`, `c₂ = 40e²δ`) are proof
+//! artifacts; [`DelaySchedule::paper`] defaults to small practical
+//! constants that exhibit the same shape, and
+//! [`DelaySchedule::paper_literal`] reproduces the printed ones.
+
+use serde::{Deserialize, Serialize};
+
+/// Static context a schedule may consult.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleCtx {
+    /// Total number of paths `n`.
+    pub n: usize,
+    /// Number of still-active worms at the start of the round.
+    pub active: usize,
+    /// Worm length `L`.
+    pub worm_len: u32,
+    /// Router bandwidth `B`.
+    pub bandwidth: u16,
+    /// Path congestion `C̃` of the full collection.
+    pub path_congestion: u32,
+    /// Dilation `D`.
+    pub dilation: u32,
+}
+
+impl ScheduleCtx {
+    fn log_n(&self) -> f64 {
+        (self.n.max(2) as f64).log2()
+    }
+}
+
+/// How the delay range `Δ_t` evolves over rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DelaySchedule {
+    /// The paper's §2.1 schedule with configurable constants.
+    Paper {
+        /// Multiplier `c₁` on the congestion terms.
+        c_cong: f64,
+        /// Multiplier `c₂` on the `log n` floor term.
+        c_log: f64,
+    },
+    /// Constant `Δ_t = delta` for every round.
+    Fixed {
+        /// The delay range.
+        delta: u32,
+    },
+    /// `Δ_t = max(floor, initial · ratio^(t-1))` — a generic geometric
+    /// schedule for ablations.
+    Geometric {
+        /// `Δ_1`.
+        initial: u32,
+        /// Per-round multiplier (e.g. `0.5` to halve).
+        ratio: f64,
+        /// Minimum delay range.
+        floor: u32,
+    },
+    /// Reactive variant: replaces the a-priori `C̃/2^(t-1)` of the paper
+    /// schedule with the *observed* surviving fraction,
+    /// `C̃_t = C̃ · active/n` — an extension the paper suggests implicitly
+    /// by conditioning everything on the surviving congestion.
+    Adaptive {
+        /// Multiplier on the congestion term.
+        c_cong: f64,
+        /// Multiplier on the `log n` floor term.
+        c_log: f64,
+    },
+}
+
+impl DelaySchedule {
+    /// Paper schedule with practical constants (`c₁ = 2`, `c₂ = 1`).
+    pub fn paper() -> Self {
+        DelaySchedule::Paper { c_cong: 2.0, c_log: 1.0 }
+    }
+
+    /// Paper schedule with the printed proof constants
+    /// (`c₁ = 32`, `c₂ = 40e²` with `δ = 1`).
+    pub fn paper_literal() -> Self {
+        DelaySchedule::Paper { c_cong: 32.0, c_log: 40.0 * std::f64::consts::E.powi(2) }
+    }
+
+    /// The delay range for round `t` (1-based). Always ≥ 1.
+    pub fn delta(&self, t: u32, ctx: &ScheduleCtx) -> u32 {
+        assert!(t >= 1, "rounds are 1-based");
+        let l = ctx.worm_len.max(1) as f64;
+        let b = ctx.bandwidth.max(1) as f64;
+        let c = ctx.path_congestion as f64;
+        let d = ctx.dilation as f64;
+        let log_n = ctx.log_n();
+        let raw = match *self {
+            DelaySchedule::Paper { c_cong, c_log } => {
+                let c_t = (c / 2f64.powi(t as i32 - 1)).max(log_n);
+                let term1 = c_cong * l * c_t / b;
+                let term2 = c_cong * l * c / (b * log_n);
+                let term3 = c_log * l * log_n / b;
+                term1.max(term2).max(term3) + d + l
+            }
+            DelaySchedule::Fixed { delta } => delta as f64,
+            DelaySchedule::Geometric { initial, ratio, floor } => {
+                (initial as f64 * ratio.powi(t as i32 - 1)).max(floor as f64)
+            }
+            DelaySchedule::Adaptive { c_cong, c_log } => {
+                let frac = if ctx.n == 0 { 0.0 } else { ctx.active as f64 / ctx.n as f64 };
+                let c_t = (c * frac).max(log_n);
+                let term1 = c_cong * l * c_t / b;
+                let term3 = c_log * l * log_n / b;
+                term1.max(term3) + d + l
+            }
+        };
+        raw.ceil().max(1.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: usize, c: u32) -> ScheduleCtx {
+        ScheduleCtx {
+            n,
+            active: n,
+            worm_len: 4,
+            bandwidth: 2,
+            path_congestion: c,
+            dilation: 10,
+        }
+    }
+
+    #[test]
+    fn paper_schedule_halves_then_floors() {
+        let s = DelaySchedule::paper();
+        let c = ctx(1024, 4096);
+        let d1 = s.delta(1, &c);
+        let d2 = s.delta(2, &c);
+        let d3 = s.delta(3, &c);
+        assert!(d1 > d2 && d2 > d3, "early rounds shrink: {d1} {d2} {d3}");
+        // Far rounds hit the floor and stop shrinking.
+        let d20 = s.delta(20, &c);
+        let d21 = s.delta(21, &c);
+        assert_eq!(d20, d21);
+        assert!(d20 >= c.dilation + c.worm_len);
+    }
+
+    #[test]
+    fn paper_initial_delta_close_to_half_per_round() {
+        let s = DelaySchedule::paper();
+        let c = ctx(1 << 20, 1 << 16);
+        let d1 = s.delta(1, &c) as f64;
+        let d2 = s.delta(2, &c) as f64;
+        // Subtracting the constant D + L part, the congestion term halves.
+        let base = (c.dilation + c.worm_len) as f64;
+        let ratio = (d2 - base) / (d1 - base);
+        assert!((ratio - 0.5).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fixed_schedule_is_constant() {
+        let s = DelaySchedule::Fixed { delta: 17 };
+        let c = ctx(100, 50);
+        for t in 1..10 {
+            assert_eq!(s.delta(t, &c), 17);
+        }
+    }
+
+    #[test]
+    fn geometric_schedule_respects_floor() {
+        let s = DelaySchedule::Geometric { initial: 100, ratio: 0.5, floor: 10 };
+        let c = ctx(100, 50);
+        assert_eq!(s.delta(1, &c), 100);
+        assert_eq!(s.delta(2, &c), 50);
+        assert_eq!(s.delta(10, &c), 10);
+    }
+
+    #[test]
+    fn adaptive_shrinks_with_active_count() {
+        let s = DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 };
+        let mut c = ctx(4096, 16384);
+        let full = s.delta(1, &c);
+        c.active = 64;
+        let drained = s.delta(1, &c);
+        assert!(drained < full);
+    }
+
+    #[test]
+    fn literal_constants_are_larger() {
+        let c = ctx(1024, 1024);
+        assert!(DelaySchedule::paper_literal().delta(1, &c) > DelaySchedule::paper().delta(1, &c));
+    }
+
+    #[test]
+    fn geometric_with_ratio_above_one_is_exponential_backoff() {
+        // ratio > 1 gives the classic networking backoff discipline.
+        let s = DelaySchedule::Geometric { initial: 8, ratio: 2.0, floor: 1 };
+        let c = ctx(64, 32);
+        assert_eq!(s.delta(1, &c), 8);
+        assert_eq!(s.delta(2, &c), 16);
+        assert_eq!(s.delta(5, &c), 128);
+    }
+
+    #[test]
+    fn delta_is_at_least_one() {
+        let s = DelaySchedule::Geometric { initial: 0, ratio: 0.5, floor: 0 };
+        let c = ctx(2, 0);
+        assert_eq!(s.delta(5, &c), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn round_zero_rejected() {
+        DelaySchedule::paper().delta(0, &ctx(4, 2));
+    }
+}

@@ -1,0 +1,409 @@
+//! Executable witness trees (Figure 4) and blocking graphs (Definition
+//! 2.3).
+//!
+//! During a run with `record_blocking`, every round yields a map
+//! `loser → blocker` ("w' prevents w from moving forward"). This module
+//! turns those maps into:
+//!
+//! * per-round **blocking graphs** `G_i`, with the Claim 2.6 structure
+//!   check — components must be directed trees whose roots are worms that
+//!   were not blocked themselves; a **blocking cycle** (worms eliminating
+//!   each other around a directed loop) is exactly the phenomenon that
+//!   separates Main Theorem 1.2 from 1.1/1.3 and is realized by the
+//!   Figure 6 structures;
+//! * **witness trees** `W(t)`: the recursive explanation of why a worm is
+//!   still active after `t` rounds, with the `m_i`/`ℓ_i` statistics used
+//!   by the counting argument of §2.1.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Analysis of one round's blocking graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockingAnalysis {
+    /// Number of worms appearing in the graph (losers and blockers).
+    pub worms: usize,
+    /// Number of blocking edges (= number of losers).
+    pub edges: usize,
+    /// Directed cycles of mutual blocking, each listed once.
+    pub cycles: Vec<Vec<u32>>,
+    /// Roots: worms that blocked someone but were not blocked themselves
+    /// (the "new worms" of Claim 2.6).
+    pub roots: Vec<u32>,
+}
+
+impl BlockingAnalysis {
+    /// Claim 2.6 holds for this round: every component is a tree rooted at
+    /// an unblocked worm.
+    pub fn is_forest(&self) -> bool {
+        self.cycles.is_empty()
+    }
+}
+
+/// Analyze a `loser → blocker` map.
+///
+/// The graph is functional (out-degree ≤ 1), so every component contains
+/// at most one cycle; cycles are found by pointer chasing with tricolor
+/// marking in `O(worms)`.
+pub fn analyze_blocking(blocking: &HashMap<u32, u32>) -> BlockingAnalysis {
+    let mut worms: HashSet<u32> = HashSet::new();
+    for (&l, &w) in blocking {
+        worms.insert(l);
+        worms.insert(w);
+    }
+
+    // Tricolor DFS along the unique out-edge.
+    let mut color: HashMap<u32, u8> = HashMap::with_capacity(worms.len()); // 1=open, 2=done
+    let mut cycles: Vec<Vec<u32>> = Vec::new();
+    for &start in &worms {
+        if color.contains_key(&start) {
+            continue;
+        }
+        let mut stack: Vec<u32> = Vec::new();
+        let mut cur = start;
+        loop {
+            color.insert(cur, 1);
+            stack.push(cur);
+            match blocking.get(&cur) {
+                None => break,
+                Some(&next) => match color.get(&next) {
+                    None => cur = next,
+                    Some(1) => {
+                        // Found a cycle: the suffix of the stack from `next`.
+                        let pos = stack.iter().position(|&x| x == next).unwrap();
+                        cycles.push(stack[pos..].to_vec());
+                        break;
+                    }
+                    Some(_) => break,
+                },
+            }
+        }
+        for w in stack {
+            color.insert(w, 2);
+        }
+    }
+
+    let blocked: HashSet<u32> = blocking.keys().copied().collect();
+    let mut roots: Vec<u32> = worms.iter().copied().filter(|w| !blocked.contains(w)).collect();
+    roots.sort_unstable();
+
+    BlockingAnalysis { worms: worms.len(), edges: blocking.len(), cycles, roots }
+}
+
+/// A node of a witness tree `W(t)`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessNode {
+    /// The worm embedded at this node.
+    pub worm: u32,
+    /// Left child: the same worm one round earlier; right child: the worm
+    /// that blocked it. Leaves have no children.
+    pub children: Vec<WitnessNode>,
+}
+
+/// Summary statistics of a witness tree, following §2.1.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WitnessStats {
+    /// Depth `t` of the tree.
+    pub depth: usize,
+    /// `m_i`: number of *distinct* worms embedded in levels `0..=i`.
+    pub m: Vec<usize>,
+    /// `ℓ_i = m_i − m_{i-1}`: new worms per level.
+    pub new_per_level: Vec<usize>,
+    /// Total tree nodes.
+    pub nodes: usize,
+}
+
+/// Build the witness tree for `root`, a worm still active after round
+/// `blocking_per_round.len()`.
+///
+/// `blocking_per_round[r]` is the blocking map of round `r + 1`. Level `i`
+/// of the tree corresponds to round `t − i`; a node's children are the
+/// same worm and its blocker at the *previous* round. Branches stop early
+/// where no blocker was recorded (e.g. a worm that was delivered but lost
+/// its ack).
+pub fn witness_tree(blocking_per_round: &[&HashMap<u32, u32>], root: u32) -> WitnessNode {
+    fn build(maps: &[&HashMap<u32, u32>], worm: u32, level: usize) -> WitnessNode {
+        // The blocker of `worm` at the round corresponding to this level.
+        let t = maps.len();
+        if level >= t {
+            return WitnessNode { worm, children: vec![] };
+        }
+        let round_idx = t - 1 - level;
+        match maps[round_idx].get(&worm) {
+            None => WitnessNode { worm, children: vec![] },
+            Some(&blocker) => WitnessNode {
+                worm,
+                children: vec![build(maps, worm, level + 1), build(maps, blocker, level + 1)],
+            },
+        }
+    }
+    build(blocking_per_round, root, 0)
+}
+
+/// Compute the §2.1 statistics of a witness tree.
+pub fn witness_stats(tree: &WitnessNode) -> WitnessStats {
+    let mut per_level: Vec<HashSet<u32>> = Vec::new();
+    let mut nodes = 0usize;
+    let mut stack: Vec<(&WitnessNode, usize)> = vec![(tree, 0)];
+    while let Some((node, level)) = stack.pop() {
+        nodes += 1;
+        if per_level.len() <= level {
+            per_level.resize_with(level + 1, HashSet::new);
+        }
+        per_level[level].insert(node.worm);
+        for ch in &node.children {
+            stack.push((ch, level + 1));
+        }
+    }
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut m = Vec::with_capacity(per_level.len());
+    let mut new_per_level = Vec::with_capacity(per_level.len());
+    for lvl in &per_level {
+        let before = seen.len();
+        seen.extend(lvl.iter().copied());
+        new_per_level.push(seen.len() - before);
+        m.push(seen.len());
+    }
+    WitnessStats { depth: per_level.len().saturating_sub(1), m, new_per_level, nodes }
+}
+
+/// Verify that a witness tree is a *valid embedding* in the sense of
+/// Definition 2.1, against the blocking maps it was built from and the
+/// path collection (for the "paths share an edge" condition):
+///
+/// * every internal node has exactly two children, the left repeating the
+///   node's worm and the right carrying a **different** worm;
+/// * the right child is exactly the recorded blocker for that round;
+/// * the two worms of every collision pair share a directed link.
+pub fn verify_witness_tree(
+    tree: &WitnessNode,
+    blocking_per_round: &[&HashMap<u32, u32>],
+    coll: &optical_paths::PathCollection,
+) -> Result<(), String> {
+    // Path-pair link-sharing oracle.
+    let by_link = coll.paths_by_link();
+    let mut share: HashSet<(u32, u32)> = HashSet::new();
+    for users in &by_link {
+        for (a, &p) in users.iter().enumerate() {
+            for &q in &users[a + 1..] {
+                if p != q {
+                    share.insert((p.min(q), p.max(q)));
+                }
+            }
+        }
+    }
+
+    fn walk(
+        node: &WitnessNode,
+        level: usize,
+        maps: &[&HashMap<u32, u32>],
+        share: &HashSet<(u32, u32)>,
+    ) -> Result<(), String> {
+        match node.children.len() {
+            0 => Ok(()),
+            2 => {
+                let (left, right) = (&node.children[0], &node.children[1]);
+                if left.worm != node.worm {
+                    return Err(format!(
+                        "level {level}: left child {} must repeat worm {}",
+                        left.worm, node.worm
+                    ));
+                }
+                if right.worm == node.worm {
+                    return Err(format!(
+                        "level {level}: collision pair must be two distinct worms ({})",
+                        node.worm
+                    ));
+                }
+                let round_idx = maps.len() - 1 - level;
+                match maps[round_idx].get(&node.worm) {
+                    Some(&b) if b == right.worm => {}
+                    other => {
+                        return Err(format!(
+                            "level {level}: recorded blocker {:?} disagrees with tree ({})",
+                            other, right.worm
+                        ))
+                    }
+                }
+                let key = (node.worm.min(right.worm), node.worm.max(right.worm));
+                if !share.contains(&key) {
+                    return Err(format!(
+                        "level {level}: paths {} and {} share no link",
+                        node.worm, right.worm
+                    ));
+                }
+                walk(left, level + 1, maps, share)?;
+                walk(right, level + 1, maps, share)
+            }
+            n => Err(format!("level {level}: node with {n} children")),
+        }
+    }
+    walk(tree, 0, blocking_per_round, &share)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(u32, u32)]) -> HashMap<u32, u32> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn forest_recognized() {
+        // 1 -> 0, 2 -> 0, 3 -> 2: a tree rooted at 0.
+        let a = analyze_blocking(&map(&[(1, 0), (2, 0), (3, 2)]));
+        assert!(a.is_forest());
+        assert_eq!(a.worms, 4);
+        assert_eq!(a.edges, 3);
+        assert_eq!(a.roots, vec![0]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // Figure 6 in miniature: three worms eliminating each other.
+        let a = analyze_blocking(&map(&[(1, 2), (2, 3), (3, 1)]));
+        assert!(!a.is_forest());
+        assert_eq!(a.cycles.len(), 1);
+        let mut cyc = a.cycles[0].clone();
+        cyc.sort_unstable();
+        assert_eq!(cyc, vec![1, 2, 3]);
+        assert!(a.roots.is_empty(), "a pure cycle has no roots");
+    }
+
+    #[test]
+    fn mixed_forest_and_cycle() {
+        let a = analyze_blocking(&map(&[(1, 2), (2, 1), (3, 1), (4, 5)]));
+        assert_eq!(a.cycles.len(), 1);
+        assert_eq!(a.cycles[0].len(), 2);
+        assert_eq!(a.roots, vec![5]);
+    }
+
+    #[test]
+    fn self_loops_never_occur_but_do_not_crash() {
+        // The engine guarantees loser != blocker; the analyzer still
+        // handles a degenerate self-loop as a 1-cycle.
+        let a = analyze_blocking(&map(&[(7, 7)]));
+        assert_eq!(a.cycles, vec![vec![7]]);
+    }
+
+    #[test]
+    fn empty_round_is_trivially_forest() {
+        let a = analyze_blocking(&map(&[]));
+        assert!(a.is_forest());
+        assert_eq!(a.worms, 0);
+    }
+
+    #[test]
+    fn witness_tree_two_rounds() {
+        // Round 1: 0 blocked by 1, 1 blocked by 2; round 2: 0 blocked by 1.
+        let r1 = map(&[(0, 1), (1, 2)]);
+        let r2 = map(&[(0, 1)]);
+        let maps = [&r1, &r2];
+        let tree = witness_tree(&maps, 0);
+        // Level 0: {0}; level 1: {0, 1}; level 2: {0, 1, 2}.
+        assert_eq!(tree.worm, 0);
+        assert_eq!(tree.children.len(), 2);
+        assert_eq!(tree.children[0].worm, 0);
+        assert_eq!(tree.children[1].worm, 1);
+        let stats = witness_stats(&tree);
+        assert_eq!(stats.depth, 2);
+        assert_eq!(stats.m, vec![1, 2, 3]);
+        assert_eq!(stats.new_per_level, vec![1, 1, 1]);
+        assert_eq!(stats.nodes, 1 + 2 + 4);
+    }
+
+    #[test]
+    fn witness_tree_stops_at_unblocked_worm() {
+        // Round 1 empty: branches stop at level 1.
+        let r1 = map(&[]);
+        let r2 = map(&[(0, 9)]);
+        let maps: [&HashMap<u32, u32>; 2] = [&r1, &r2];
+        let tree = witness_tree(&maps, 0);
+        assert_eq!(tree.children.len(), 2);
+        assert!(tree.children[0].children.is_empty());
+        assert!(tree.children[1].children.is_empty());
+        let stats = witness_stats(&tree);
+        assert_eq!(stats.depth, 1);
+        assert_eq!(stats.m, vec![1, 2]);
+    }
+
+    #[test]
+    fn verify_accepts_tree_from_real_run() {
+        use crate::{DelaySchedule, ProtocolParams, TrialAndFailure};
+        use optical_paths::{Path, PathCollection};
+        use optical_topo::topologies;
+        use optical_wdm::{RouterConfig, TieRule};
+        use rand::SeedableRng;
+
+        let net = topologies::chain(7);
+        let nodes: Vec<u32> = (0..7).collect();
+        let mut coll = PathCollection::for_network(&net);
+        for _ in 0..16 {
+            coll.push(Path::from_nodes(&net, &nodes));
+        }
+        let mut params =
+            ProtocolParams::new(RouterConfig::serve_first(1).with_tie(TieRule::Random), 3);
+        params.schedule = DelaySchedule::Fixed { delta: 8 };
+        params.max_rounds = 500;
+        params.record_blocking = true;
+        let proto = TrialAndFailure::new(&net, &coll, params);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        let report = proto.run(&mut rng);
+        assert!(report.completed);
+
+        let (victim, last) = report
+            .acked_round
+            .iter()
+            .enumerate()
+            .map(|(w, r)| (w as u32, r.unwrap()))
+            .max_by_key(|&(_, r)| r)
+            .unwrap();
+        assert!(last >= 2, "need at least one failed round for a witness tree");
+        let maps: Vec<&HashMap<u32, u32>> = report.rounds[..last as usize - 1]
+            .iter()
+            .map(|r| r.blocking.as_ref().unwrap())
+            .collect();
+        let tree = witness_tree(&maps, victim);
+        verify_witness_tree(&tree, &maps, &coll).expect("real tree must be valid");
+    }
+
+    #[test]
+    fn verify_rejects_corrupted_tree() {
+        use optical_paths::{Path, PathCollection};
+        use optical_topo::topologies;
+
+        let net = topologies::chain(4);
+        let nodes: Vec<u32> = (0..4).collect();
+        let mut coll = PathCollection::for_network(&net);
+        for _ in 0..3 {
+            coll.push(Path::from_nodes(&net, &nodes));
+        }
+        let r1 = map(&[(0, 1)]);
+        let maps: Vec<&HashMap<u32, u32>> = vec![&r1];
+        let good = witness_tree(&maps, 0);
+        verify_witness_tree(&good, &maps, &coll).unwrap();
+
+        // Corrupt the blocker.
+        let mut bad = good.clone();
+        bad.children[1].worm = 2;
+        assert!(verify_witness_tree(&bad, &maps, &coll).is_err());
+        // Corrupt the left child.
+        let mut bad = good;
+        bad.children[0].worm = 1;
+        assert!(verify_witness_tree(&bad, &maps, &coll).is_err());
+    }
+
+    #[test]
+    fn witness_stats_count_distinct_not_nodes() {
+        // Same blocker every round: the tree is big but m_i grows by at
+        // most 1 per level.
+        let r = map(&[(0, 1), (1, 0)]);
+        let maps = [&r, &r, &r];
+        let tree = witness_tree(&maps, 0);
+        let stats = witness_stats(&tree);
+        assert_eq!(stats.depth, 3);
+        assert_eq!(*stats.m.last().unwrap(), 2, "only worms 0 and 1 exist");
+        assert_eq!(stats.nodes, 1 + 2 + 4 + 8);
+    }
+}

@@ -1,0 +1,206 @@
+//! [`PathCollection`] — the multiset of paths that defines a routing
+//! problem instance (§1.1 of the paper).
+
+use crate::path::Path;
+use optical_topo::{LinkId, Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A multiset of paths over a common network.
+///
+/// Only the network's link count is retained (not the network itself) so a
+/// collection is a small self-contained value; generators that synthesize
+/// their own scratch networks can still hand the simulator a collection
+/// plus the matching link count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PathCollection {
+    paths: Vec<Path>,
+    link_count: usize,
+}
+
+impl PathCollection {
+    /// An empty collection over a network with `link_count` directed links.
+    pub fn new(link_count: usize) -> Self {
+        PathCollection { paths: Vec::new(), link_count }
+    }
+
+    /// An empty collection sized for `net`.
+    pub fn for_network(net: &Network) -> Self {
+        Self::new(net.link_count())
+    }
+
+    /// Build from ready-made paths.
+    pub fn from_paths(link_count: usize, paths: Vec<Path>) -> Self {
+        let c = PathCollection { paths, link_count };
+        c.assert_links_in_range();
+        c
+    }
+
+    /// Build a collection realizing a function `f`: one path `i → f(i)` per
+    /// entry, with paths produced by `route(src, dst)`.
+    pub fn from_function(
+        net: &Network,
+        f: &[NodeId],
+        mut route: impl FnMut(NodeId, NodeId) -> Path,
+    ) -> Self {
+        let mut c = Self::for_network(net);
+        for (src, &dst) in f.iter().enumerate() {
+            c.push(route(src as NodeId, dst));
+        }
+        c
+    }
+
+    fn assert_links_in_range(&self) {
+        for p in &self.paths {
+            for &l in p.links() {
+                assert!((l as usize) < self.link_count, "link {l} out of range");
+            }
+        }
+    }
+
+    /// Append a path.
+    pub fn push(&mut self, p: Path) {
+        debug_assert!(p.links().iter().all(|&l| (l as usize) < self.link_count));
+        self.paths.push(p);
+    }
+
+    /// Number of paths `n`.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the collection has no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Directed-link count of the underlying network.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// The paths, in insertion order (path ids are indices here).
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Path with id `i`.
+    pub fn path(&self, i: usize) -> &Path {
+        &self.paths[i]
+    }
+
+    /// Iterate over `(path_id, path)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Path)> {
+        self.paths.iter().enumerate()
+    }
+
+    /// Per-link usage counts (ordinary congestion `C` per directed link).
+    pub fn link_usage(&self) -> Vec<u32> {
+        let mut usage = vec![0u32; self.link_count];
+        for p in &self.paths {
+            for &l in p.links() {
+                usage[l as usize] += 1;
+            }
+        }
+        usage
+    }
+
+    /// For each link, the ids of paths that use it ("link → path" index).
+    ///
+    /// A path using a link twice appears twice; the metrics code dedups
+    /// where the paper's definitions require sets.
+    pub fn paths_by_link(&self) -> Vec<Vec<u32>> {
+        let mut by_link: Vec<Vec<u32>> = vec![Vec::new(); self.link_count];
+        for (id, p) in self.iter() {
+            for &l in p.links() {
+                by_link[l as usize].push(id as u32);
+            }
+        }
+        by_link
+    }
+
+    /// Concatenate another collection (must be over the same network).
+    pub fn extend(&mut self, other: PathCollection) {
+        assert_eq!(self.link_count, other.link_count, "collections over different networks");
+        self.paths.extend(other.paths);
+    }
+}
+
+/// Marker for which link a path uses at which step; used by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkUse {
+    /// The directed link.
+    pub link: LinkId,
+    /// Zero-based position along the path.
+    pub step: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_topo::topologies;
+
+    fn demo() -> (Network, PathCollection) {
+        let net = topologies::ring(6);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[0, 1, 2, 3]));
+        c.push(Path::from_nodes(&net, &[1, 2, 3, 4]));
+        c.push(Path::from_nodes(&net, &[5, 4]));
+        (net, c)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let (_, c) = demo();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.path(2).source(), 5);
+    }
+
+    #[test]
+    fn link_usage_counts() {
+        let (net, c) = demo();
+        let usage = c.link_usage();
+        let l12 = net.link_between(1, 2).unwrap();
+        assert_eq!(usage[l12 as usize], 2);
+        let l21 = net.link_between(2, 1).unwrap();
+        assert_eq!(usage[l21 as usize], 0, "directions are distinct");
+        assert_eq!(usage.iter().sum::<u32>(), 3 + 3 + 1);
+    }
+
+    #[test]
+    fn paths_by_link_index() {
+        let (net, c) = demo();
+        let by_link = c.paths_by_link();
+        let l23 = net.link_between(2, 3).unwrap();
+        assert_eq!(by_link[l23 as usize], vec![0, 1]);
+    }
+
+    #[test]
+    fn from_function_builds_one_path_per_entry() {
+        let net = topologies::chain(4);
+        let f = [3u32, 3, 3, 3];
+        let c = PathCollection::from_function(&net, &f, |s, d| {
+            Path::from_nodes(&net, &net.shortest_path(s, d).unwrap())
+        });
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.path(0).len(), 3);
+        assert_eq!(c.path(3).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different networks")]
+    fn extend_rejects_mismatched_networks() {
+        let (_, mut a) = demo();
+        let b = PathCollection::new(2);
+        a.extend(b);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let (net, mut a) = demo();
+        let mut b = PathCollection::for_network(&net);
+        b.push(Path::from_nodes(&net, &[2, 3]));
+        a.extend(b);
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Path collections and their routing-relevant metrics.
+//!
+//! The paper (§1.1) defines the routing problem by a *path collection*
+//! `P` — a multiset of paths in the network — and measures protocols by
+//!
+//! * `n` — the number of paths,
+//! * `D` — the **dilation** (length of the longest path),
+//! * `C̃` — the **path congestion**: the maximum over paths `p` of the
+//!   number of *other* paths that share an edge with `p` (not to be
+//!   confused with the ordinary per-edge congestion `C`).
+//!
+//! Two structural properties drive the three Main Theorems:
+//!
+//! * **leveled** — nodes can be assigned levels so every path edge goes
+//!   from level `i` to level `i + 1` ([`properties::leveling`]);
+//! * **short-cut free** — no subpath of one path is short-cut by a subpath
+//!   of another ([`properties::is_shortcut_free`]).
+//!
+//! [`select`] provides the concrete path-selection strategies used by the
+//! application theorems: dimension-order routing on meshes/tori (Thm 1.6),
+//! the butterfly's unique leveled input→output system (Thm 1.7), bit-fixing
+//! on hypercubes, and BFS shortest-path systems for node-symmetric networks
+//! (Thm 1.5).
+
+pub mod collection;
+pub mod metrics;
+pub mod path;
+pub mod properties;
+pub mod select;
+
+pub use collection::PathCollection;
+pub use metrics::CollectionMetrics;
+pub use path::Path;

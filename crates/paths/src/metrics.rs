@@ -1,0 +1,260 @@
+//! The paper's measures of a path collection (§1.1): size `n`, dilation
+//! `D`, ordinary congestion `C`, and path congestion `C̃`.
+
+use crate::collection::PathCollection;
+use serde::{Deserialize, Serialize};
+
+/// Summary metrics of a [`PathCollection`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionMetrics {
+    /// Number of paths `n`.
+    pub n: usize,
+    /// Dilation `D`: length of the longest path.
+    pub dilation: u32,
+    /// Ordinary congestion `C`: max over directed links of paths using it.
+    pub congestion: u32,
+    /// Path congestion `C̃`: max over paths `p` of the number of other
+    /// paths sharing at least one link with `p`.
+    pub path_congestion: u32,
+}
+
+/// Dilation `D` of the collection (0 for an empty collection).
+pub fn dilation(c: &PathCollection) -> u32 {
+    c.paths().iter().map(|p| p.len() as u32).max().unwrap_or(0)
+}
+
+/// Ordinary congestion `C`: the maximum number of paths crossing any single
+/// directed link.
+pub fn congestion(c: &PathCollection) -> u32 {
+    c.link_usage().into_iter().max().unwrap_or(0)
+}
+
+/// Path congestion `C̃` of every path: entry `i` counts the *distinct other*
+/// paths that share at least one directed link with path `i`.
+///
+/// Cost is `O(Σ_links cnt(link)²)` in the worst case but uses an epoch
+///-stamped scratch array, so each (path, neighbor) pair is charged O(1).
+pub fn path_congestion_each(c: &PathCollection) -> Vec<u32> {
+    let n = c.len();
+    let by_link = c.paths_by_link();
+    // stamp[q] == current path id + 1 means q already counted for it.
+    let mut stamp = vec![0u32; n];
+    let mut out = vec![0u32; n];
+    for (i, p) in c.iter() {
+        let me = i as u32 + 1;
+        let mut count = 0u32;
+        for &l in p.links() {
+            for &q in &by_link[l as usize] {
+                if q != i as u32 && stamp[q as usize] != me {
+                    stamp[q as usize] = me;
+                    count += 1;
+                }
+            }
+        }
+        out[i] = count;
+    }
+    out
+}
+
+/// Path congestion `C̃` of the collection: `max_i path_congestion_each[i]`.
+pub fn path_congestion(c: &PathCollection) -> u32 {
+    path_congestion_each(c).into_iter().max().unwrap_or(0)
+}
+
+/// Cheap upper bound on `C̃`: for each path, the sum over its links of
+/// `(cnt(link) − 1)`. Exact when no two paths share more than one link.
+pub fn path_congestion_upper(c: &PathCollection) -> u32 {
+    let usage = c.link_usage();
+    c.paths()
+        .iter()
+        .map(|p| p.links().iter().map(|&l| usage[l as usize] - 1).sum::<u32>())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Connected components of the **conflict graph** (paths are adjacent iff
+/// they share a directed link): each component is an independent routing
+/// sub-problem that can be analyzed or simulated in isolation. Components
+/// are returned as sorted path-id lists, largest first.
+pub fn conflict_components(c: &PathCollection) -> Vec<Vec<u32>> {
+    let n = c.len();
+    // Union-find over path ids, merged per link.
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != r {
+            let next = parent[cur as usize];
+            parent[cur as usize] = r;
+            cur = next;
+        }
+        r
+    }
+    for users in c.paths_by_link() {
+        for w in users.windows(2) {
+            let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+            if a != b {
+                parent[a as usize] = b;
+            }
+        }
+    }
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for i in 0..n as u32 {
+        groups.entry(find(&mut parent, i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort_by_key(|g| (std::cmp::Reverse(g.len()), g[0]));
+    out
+}
+
+/// All metrics at once.
+pub fn metrics(c: &PathCollection) -> CollectionMetrics {
+    CollectionMetrics {
+        n: c.len(),
+        dilation: dilation(c),
+        congestion: congestion(c),
+        path_congestion: path_congestion(c),
+    }
+}
+
+impl PathCollection {
+    /// See [`metrics`].
+    pub fn metrics(&self) -> CollectionMetrics {
+        metrics(self)
+    }
+
+    /// See [`dilation`].
+    pub fn dilation(&self) -> u32 {
+        dilation(self)
+    }
+
+    /// See [`congestion`].
+    pub fn congestion(&self) -> u32 {
+        congestion(self)
+    }
+
+    /// See [`path_congestion`].
+    pub fn path_congestion(&self) -> u32 {
+        path_congestion(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+    use optical_topo::topologies;
+
+    #[test]
+    fn empty_collection_metrics() {
+        let c = PathCollection::new(10);
+        let m = metrics(&c);
+        assert_eq!(m.n, 0);
+        assert_eq!(m.dilation, 0);
+        assert_eq!(m.congestion, 0);
+        assert_eq!(m.path_congestion, 0);
+    }
+
+    #[test]
+    fn identical_bundle() {
+        // k identical paths: C = k, each path's C̃ = k - 1.
+        let net = topologies::chain(4);
+        let mut c = PathCollection::for_network(&net);
+        for _ in 0..5 {
+            c.push(Path::from_nodes(&net, &[0, 1, 2, 3]));
+        }
+        let m = metrics(&c);
+        assert_eq!(m.n, 5);
+        assert_eq!(m.dilation, 3);
+        assert_eq!(m.congestion, 5);
+        assert_eq!(m.path_congestion, 4);
+        assert_eq!(path_congestion_each(&c), vec![4; 5]);
+    }
+
+    #[test]
+    fn star_overlap_counts_distinct_paths() {
+        // Path 0 shares one link with each of three distinct paths but the
+        // sharers don't overlap each other.
+        let net = topologies::chain(5);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[0, 1, 2, 3, 4])); // long path
+        c.push(Path::from_nodes(&net, &[0, 1])); // shares link 0-1
+        c.push(Path::from_nodes(&net, &[1, 2])); // shares link 1-2
+        c.push(Path::from_nodes(&net, &[2, 3])); // shares link 2-3
+        let each = path_congestion_each(&c);
+        assert_eq!(each[0], 3);
+        assert_eq!(each[1], 1);
+        assert_eq!(each[2], 1);
+        assert_eq!(each[3], 1);
+        assert_eq!(path_congestion(&c), 3);
+        assert_eq!(congestion(&c), 2);
+    }
+
+    #[test]
+    fn multi_link_overlap_counted_once() {
+        // Two paths sharing 3 links still contribute 1 to each other's C̃.
+        let net = topologies::chain(5);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[0, 1, 2, 3, 4]));
+        c.push(Path::from_nodes(&net, &[1, 2, 3, 4]));
+        assert_eq!(path_congestion(&c), 1);
+        assert_eq!(path_congestion_upper(&c), 3, "upper bound overcounts shared links");
+    }
+
+    #[test]
+    fn opposite_directions_do_not_conflict() {
+        let net = topologies::chain(3);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[0, 1, 2]));
+        c.push(Path::from_nodes(&net, &[2, 1, 0]));
+        assert_eq!(path_congestion(&c), 0, "links are directed");
+        assert_eq!(congestion(&c), 1);
+    }
+
+    #[test]
+    fn conflict_components_decompose() {
+        let net = topologies::chain(9);
+        let mut c = PathCollection::for_network(&net);
+        // Component A: three overlapping paths on the left.
+        c.push(Path::from_nodes(&net, &[0, 1, 2])); // 0
+        c.push(Path::from_nodes(&net, &[1, 2, 3])); // 1
+        c.push(Path::from_nodes(&net, &[2, 3])); // 2
+        // Component B: two overlapping paths on the right.
+        c.push(Path::from_nodes(&net, &[5, 6, 7])); // 3
+        c.push(Path::from_nodes(&net, &[6, 7, 8])); // 4
+        // Isolated zero-length path.
+        c.push(Path::from_nodes(&net, &[4])); // 5
+        let comps = conflict_components(&c);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+    }
+
+    #[test]
+    fn conflict_components_count_structures() {
+        // Opposite directions never conflict: two singleton components.
+        let net = topologies::chain(3);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[0, 1, 2]));
+        c.push(Path::from_nodes(&net, &[2, 1, 0]));
+        assert_eq!(conflict_components(&c).len(), 2);
+    }
+
+    #[test]
+    fn upper_bound_dominates_exact() {
+        let net = topologies::torus(2, 4);
+        let mut c = PathCollection::for_network(&net);
+        for s in 0..8u32 {
+            let p = net.shortest_path(s, (s * 7 + 3) % 16).unwrap();
+            c.push(Path::from_nodes(&net, &p));
+        }
+        assert!(path_congestion_upper(&c) >= path_congestion(&c));
+    }
+}

@@ -1,0 +1,151 @@
+//! A single routing path: a node sequence plus its directed links.
+
+use optical_topo::{LinkId, Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A walk through the network, stored as both its node sequence and the
+/// directed links connecting consecutive nodes.
+///
+/// A path of *length* `k` has `k + 1` nodes and `k` links; length 0 is
+/// allowed (a message whose source equals its destination).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    nodes: Box<[NodeId]>,
+    links: Box<[LinkId]>,
+}
+
+impl Path {
+    /// Build a path from a node sequence, resolving links against `net`.
+    ///
+    /// # Panics
+    /// If the sequence is empty or two consecutive nodes are not adjacent.
+    pub fn from_nodes(net: &Network, nodes: &[NodeId]) -> Self {
+        assert!(!nodes.is_empty(), "a path needs at least one node");
+        let links = net
+            .links_along(nodes)
+            .unwrap_or_else(|| panic!("node sequence is not a path in {}", net.name()));
+        Path { nodes: nodes.into(), links: links.into() }
+    }
+
+    /// Build directly from pre-resolved parts (used by generators that
+    /// construct synthetic networks and paths together).
+    ///
+    /// # Panics
+    /// If `links.len() + 1 != nodes.len()`.
+    pub fn from_parts(nodes: Vec<NodeId>, links: Vec<LinkId>) -> Self {
+        assert_eq!(nodes.len(), links.len() + 1, "inconsistent path parts");
+        Path { nodes: nodes.into(), links: links.into() }
+    }
+
+    /// Number of links (the paper's path length).
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the path has zero links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// First node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// The node sequence (length `len() + 1`).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The directed link sequence (length `len()`).
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// Whether no node repeats (a *simple* path).
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|&v| seen.insert(v))
+    }
+
+    /// Position of the first occurrence of `v` on the path, if any.
+    pub fn position_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&x| x == v)
+    }
+
+    /// The reversed path, resolving reverse links in O(len).
+    pub fn reversed(&self, net: &Network) -> Path {
+        let nodes: Vec<NodeId> = self.nodes.iter().rev().copied().collect();
+        let links: Vec<LinkId> = self.links.iter().rev().map(|&l| net.reverse_link(l)).collect();
+        Path { nodes: nodes.into(), links: links.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_topo::topologies;
+
+    #[test]
+    fn from_nodes_resolves_links() {
+        let net = topologies::chain(5);
+        let p = Path::from_nodes(&net, &[1, 2, 3, 4]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.source(), 1);
+        assert_eq!(p.dest(), 4);
+        for (i, &l) in p.links().iter().enumerate() {
+            assert_eq!(net.link_ends(l), (p.nodes()[i], p.nodes()[i + 1]));
+        }
+    }
+
+    #[test]
+    fn zero_length_path() {
+        let net = topologies::chain(3);
+        let p = Path::from_nodes(&net, &[2]);
+        assert!(p.is_empty());
+        assert_eq!(p.source(), p.dest());
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a path")]
+    fn rejects_non_adjacent() {
+        let net = topologies::chain(5);
+        Path::from_nodes(&net, &[0, 2]);
+    }
+
+    #[test]
+    fn simplicity_detection() {
+        let net = topologies::ring(4);
+        let simple = Path::from_nodes(&net, &[0, 1, 2]);
+        assert!(simple.is_simple());
+        let loopy = Path::from_nodes(&net, &[0, 1, 2, 3, 0, 1]);
+        assert!(!loopy.is_simple());
+    }
+
+    #[test]
+    fn reversed_path() {
+        let net = topologies::ring(5);
+        let p = Path::from_nodes(&net, &[0, 1, 2, 3]);
+        let r = p.reversed(&net);
+        assert_eq!(r.nodes(), &[3, 2, 1, 0]);
+        assert_eq!(r.len(), 3);
+        for (i, &l) in r.links().iter().enumerate() {
+            assert_eq!(net.link_ends(l), (r.nodes()[i], r.nodes()[i + 1]));
+        }
+    }
+
+    #[test]
+    fn position_of_first_occurrence() {
+        let net = topologies::ring(4);
+        let loopy = Path::from_nodes(&net, &[0, 1, 2, 3, 0]);
+        assert_eq!(loopy.position_of(0), Some(0));
+        assert_eq!(loopy.position_of(3), Some(3));
+        assert_eq!(loopy.position_of(9), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! BFS shortest-path systems.
+//!
+//! Theorem 1.5 relies on a short-cut free path *system* (a path for every
+//! node pair) with optimal dilation in node-symmetric networks, from
+//! Meyer auf der Heide & Scheideler \[27\]. We realize the practical analog:
+//! shortest paths taken from per-source BFS trees. Paths out of one BFS
+//! tree never shortcut each other, and a randomized tie-broken variant
+//! spreads load the way \[27\]'s randomized system does.
+
+use crate::collection::PathCollection;
+use crate::path::Path;
+use optical_topo::algo::{bfs, bfs_filtered};
+use optical_topo::{Network, NodeId, INVALID_NODE};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shortest path `src → dst` from the deterministic BFS tree of `src`.
+///
+/// # Panics
+/// If `dst` is unreachable from `src`.
+pub fn bfs_route(net: &Network, src: NodeId, dst: NodeId) -> Path {
+    let nodes = net
+        .shortest_path(src, dst)
+        .unwrap_or_else(|| panic!("{dst} unreachable from {src}"));
+    Path::from_nodes(net, &nodes)
+}
+
+/// A randomized BFS tree: parents are chosen uniformly among all
+/// shortest-path predecessors, so each `path_to` is a uniformly random
+/// member of a canonical shortest-path family.
+pub struct RandomizedBfsTree {
+    dist: Vec<u32>,
+    parent: Vec<NodeId>,
+    source: NodeId,
+}
+
+impl RandomizedBfsTree {
+    /// Build a randomized shortest-path tree from `source`.
+    pub fn new(net: &Network, source: NodeId, rng: &mut impl Rng) -> Self {
+        let base = bfs(net, source);
+        let n = net.node_count();
+        let mut parent = vec![INVALID_NODE; n];
+        // Every node picks a uniformly random predecessor at distance - 1.
+        let mut preds: Vec<NodeId> = Vec::new();
+        for v in net.nodes() {
+            let dv = base.dist[v as usize];
+            if v == source || dv == u32::MAX {
+                continue;
+            }
+            preds.clear();
+            preds.extend(
+                net.neighbors(v)
+                    .filter(|&(t, _)| base.dist[t as usize] + 1 == dv)
+                    .map(|(t, _)| t),
+            );
+            parent[v as usize] = *preds.choose(rng).expect("BFS predecessor exists");
+        }
+        RandomizedBfsTree { dist: base.dist, parent, source }
+    }
+
+    /// Shortest path source→`dst`, or `None` if unreachable.
+    pub fn path_to(&self, net: &Network, dst: NodeId) -> Option<Path> {
+        if self.dist[dst as usize] == u32::MAX {
+            return None;
+        }
+        let mut nodes = Vec::with_capacity(self.dist[dst as usize] as usize + 1);
+        let mut cur = dst;
+        nodes.push(cur);
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        Some(Path::from_nodes(net, &nodes))
+    }
+}
+
+/// Collection realizing the function `f` via *randomized* per-source BFS
+/// trees: one tree per distinct source, each with fresh random
+/// tie-breaking. This approximates the randomized short-cut free path
+/// system of Theorem 1.5 on node-symmetric networks.
+pub fn randomized_bfs_collection(
+    net: &Network,
+    f: &[NodeId],
+    rng: &mut impl Rng,
+) -> PathCollection {
+    let mut c = PathCollection::for_network(net);
+    for (src, &dst) in f.iter().enumerate() {
+        let tree = RandomizedBfsTree::new(net, src as NodeId, rng);
+        c.push(tree.path_to(net, dst).expect("network must be connected"));
+    }
+    c
+}
+
+/// Deterministic variant of [`randomized_bfs_collection`].
+pub fn bfs_collection(net: &Network, f: &[NodeId]) -> PathCollection {
+    let mut c = PathCollection::for_network(net);
+    for (src, &dst) in f.iter().enumerate() {
+        c.push(bfs_route(net, src as NodeId, dst));
+    }
+    c
+}
+
+/// Shortest path `src → dst` avoiding *dead* links (both directions of a
+/// cut fiber should be marked). Returns `None` when the failure
+/// disconnects the pair — the rerouting primitive for fiber-cut recovery.
+pub fn bfs_route_avoiding(
+    net: &Network,
+    dead_links: &[bool],
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Path> {
+    assert_eq!(dead_links.len(), net.link_count(), "mask length mismatch");
+    let tree = bfs_filtered(net, src, |l| !dead_links[l as usize]);
+    tree.path_to(dst).map(|nodes| Path::from_nodes(net, &nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_topo::topologies;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn bfs_route_is_shortest() {
+        let net = topologies::torus(2, 5);
+        for (s, d) in [(0u32, 12u32), (3, 3), (24, 1)] {
+            let p = bfs_route(&net, s, d);
+            assert_eq!(p.len() as u32, net.distance(s, d).unwrap());
+        }
+    }
+
+    #[test]
+    fn randomized_tree_paths_are_shortest() {
+        let net = topologies::hypercube(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let tree = RandomizedBfsTree::new(&net, 0, &mut rng);
+        for d in net.nodes() {
+            let p = tree.path_to(&net, d).unwrap();
+            assert_eq!(p.len() as u32, net.distance(0, d).unwrap());
+            assert_eq!(p.source(), 0);
+            assert_eq!(p.dest(), d);
+        }
+    }
+
+    #[test]
+    fn randomized_trees_vary_with_seed() {
+        let net = topologies::torus(2, 4);
+        let far = 10; // a node with multiple shortest paths from 0
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..20 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let tree = RandomizedBfsTree::new(&net, 0, &mut rng);
+            distinct.insert(tree.path_to(&net, far).unwrap().nodes().to_vec());
+        }
+        assert!(distinct.len() > 1, "tie-breaking should produce different paths");
+    }
+
+    #[test]
+    fn collection_for_shift_function() {
+        let net = topologies::ring(8);
+        let f: Vec<NodeId> = (0..8).map(|v| (v + 3) % 8).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let c = randomized_bfs_collection(&net, &f, &mut rng);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.dilation(), 3);
+        let cd = bfs_collection(&net, &f);
+        assert_eq!(cd.dilation(), 3);
+    }
+
+    #[test]
+    fn route_avoiding_detours_around_cut() {
+        let net = topologies::ring(8);
+        // Cut the fiber {0, 1} in both directions.
+        let l = net.link_between(0, 1).unwrap();
+        let mut dead = vec![false; net.link_count()];
+        dead[l as usize] = true;
+        dead[net.reverse_link(l) as usize] = true;
+        // 0 -> 1 must now go the long way around: 7 hops.
+        let p = bfs_route_avoiding(&net, &dead, 0, 1).unwrap();
+        assert_eq!(p.len(), 7);
+        assert!(!p.links().contains(&l));
+        // Unaffected pair keeps its shortest path.
+        let q = bfs_route_avoiding(&net, &dead, 2, 4).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn route_avoiding_reports_disconnection() {
+        let net = topologies::chain(4);
+        let l = net.link_between(1, 2).unwrap();
+        let mut dead = vec![false; net.link_count()];
+        dead[l as usize] = true;
+        dead[net.reverse_link(l) as usize] = true;
+        assert!(bfs_route_avoiding(&net, &dead, 0, 3).is_none());
+        assert!(bfs_route_avoiding(&net, &dead, 0, 1).is_some());
+    }
+
+    #[test]
+    fn unreachable_destination_is_none() {
+        let mut b = optical_topo::NetworkBuilder::new("islands", 3);
+        b.add_edge(0, 1);
+        let net = b.build();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let tree = RandomizedBfsTree::new(&net, 0, &mut rng);
+        assert!(tree.path_to(&net, 2).is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! The leveled input→output path system of the butterfly (Theorem 1.7).
+//!
+//! The routing logic itself lives in
+//! [`optical_topo::topologies::ButterflyCoords::route`]; this module wraps
+//! it into [`Path`] values and whole q-function collections.
+
+use crate::collection::PathCollection;
+use crate::path::Path;
+use optical_topo::topologies::ButterflyCoords;
+use optical_topo::Network;
+
+/// The unique leveled route from input row `src_row` to output row
+/// `dst_row`.
+pub fn butterfly_route(net: &Network, coords: &ButterflyCoords, src_row: u32, dst_row: u32) -> Path {
+    Path::from_nodes(net, &coords.route(src_row, dst_row))
+}
+
+/// Collection realizing a q-function from inputs to outputs: entry
+/// `(j, r)` of `f` (flattened as `f[j * rows + r]`) is the destination row
+/// of the `j`-th message originating at input row `r`.
+pub fn butterfly_qfunction_collection(
+    net: &Network,
+    coords: &ButterflyCoords,
+    f: &[u32],
+) -> PathCollection {
+    assert!(f.len().is_multiple_of(coords.rows() as usize), "q-function length must be a multiple of rows");
+    let mut c = PathCollection::for_network(net);
+    for (i, &dst) in f.iter().enumerate() {
+        let src_row = (i % coords.rows() as usize) as u32;
+        c.push(butterfly_route(net, coords, src_row, dst));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use optical_topo::topologies;
+
+    #[test]
+    fn identity_function_routes_straight() {
+        let net = topologies::butterfly(3);
+        let coords = ButterflyCoords::new(3, false);
+        let p = butterfly_route(&net, &coords, 5, 5);
+        assert_eq!(p.len(), 3, "still traverses all levels");
+        for &n in p.nodes() {
+            assert_eq!(coords.coords_of(n).1, 5, "row never changes");
+        }
+    }
+
+    #[test]
+    fn qfunction_collection_is_leveled() {
+        let net = topologies::butterfly(3);
+        let coords = ButterflyCoords::new(3, false);
+        // q = 2: two messages per input, destinations reversed/shifted.
+        let mut f = Vec::new();
+        for r in 0..8u32 {
+            f.push(7 - r);
+        }
+        for r in 0..8u32 {
+            f.push((r + 3) % 8);
+        }
+        let c = butterfly_qfunction_collection(&net, &coords, &f);
+        assert_eq!(c.len(), 16);
+        assert!(properties::is_leveled(&c));
+        assert!(properties::is_shortcut_free(&c));
+        assert_eq!(c.dilation(), 3);
+    }
+
+    #[test]
+    fn all_to_one_congestion() {
+        // Every input sends to output row 0: last-level links into row 0
+        // carry everything.
+        let net = topologies::butterfly(3);
+        let coords = ButterflyCoords::new(3, false);
+        let f: Vec<u32> = vec![0; 8];
+        let c = butterfly_qfunction_collection(&net, &coords, &f);
+        let m = c.metrics();
+        assert_eq!(m.n, 8);
+        assert_eq!(m.congestion, 4, "each level-2 link into output 0 carries half");
+        // Paths from rows 4..8 reach output 0 through the *other* level-2
+        // link, so they share the output node but no link with rows 0..4.
+        assert_eq!(m.path_congestion, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of rows")]
+    fn rejects_ragged_qfunction() {
+        let net = topologies::butterfly(2);
+        let coords = ButterflyCoords::new(2, false);
+        butterfly_qfunction_collection(&net, &coords, &[0, 1, 2]);
+    }
+}

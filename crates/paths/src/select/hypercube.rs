@@ -1,0 +1,91 @@
+//! Bit-fixing routing on the hypercube: correct address bits from least to
+//! most significant. The classic oblivious strategy whose random
+//! intermediate-destination variant underlies many routing analyses.
+
+use crate::path::Path;
+use optical_topo::{Network, NodeId};
+
+/// Bit-fixing route from `src` to `dst` on the `dim`-dimensional hypercube
+/// produced by [`optical_topo::topologies::hypercube`].
+pub fn bit_fixing_route(net: &Network, dim: u32, src: NodeId, dst: NodeId) -> Path {
+    assert!(src < (1 << dim) && dst < (1 << dim), "node out of range");
+    let mut nodes = Vec::with_capacity((src ^ dst).count_ones() as usize + 1);
+    let mut cur = src;
+    nodes.push(cur);
+    for bit in 0..dim {
+        let mask = 1u32 << bit;
+        if (cur ^ dst) & mask != 0 {
+            cur ^= mask;
+            nodes.push(cur);
+        }
+    }
+    debug_assert_eq!(cur, dst);
+    Path::from_nodes(net, &nodes)
+}
+
+/// Valiant-style two-phase route: `src → via → dst`, each phase bit-fixing.
+/// Used to turn worst-case permutations into two random-function phases.
+pub fn valiant_route(net: &Network, dim: u32, src: NodeId, via: NodeId, dst: NodeId) -> Path {
+    let first = bit_fixing_route(net, dim, src, via);
+    let second = bit_fixing_route(net, dim, via, dst);
+    let mut nodes = first.nodes().to_vec();
+    nodes.extend_from_slice(&second.nodes()[1..]);
+    Path::from_nodes(net, &nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::PathCollection;
+    use crate::properties;
+    use optical_topo::topologies;
+
+    #[test]
+    fn route_length_is_hamming_distance() {
+        let net = topologies::hypercube(5);
+        for (s, d) in [(0u32, 31u32), (5, 9), (12, 12), (1, 0)] {
+            let p = bit_fixing_route(&net, 5, s, d);
+            assert_eq!(p.len() as u32, (s ^ d).count_ones());
+            assert_eq!(p.source(), s);
+            assert_eq!(p.dest(), d);
+        }
+    }
+
+    #[test]
+    fn bits_fixed_lsb_first() {
+        let net = topologies::hypercube(4);
+        let p = bit_fixing_route(&net, 4, 0b0000, 0b1010);
+        assert_eq!(p.nodes(), &[0b0000, 0b0010, 0b1010]);
+    }
+
+    #[test]
+    fn all_pairs_system_is_shortcut_free() {
+        let net = topologies::hypercube(3);
+        let mut c = PathCollection::for_network(&net);
+        for s in 0..8u32 {
+            for d in 0..8u32 {
+                c.push(bit_fixing_route(&net, 3, s, d));
+            }
+        }
+        assert!(properties::is_shortcut_free(&c));
+    }
+
+    #[test]
+    fn valiant_route_concatenates() {
+        let net = topologies::hypercube(4);
+        let p = valiant_route(&net, 4, 3, 12, 5);
+        assert_eq!(p.source(), 3);
+        assert_eq!(p.dest(), 5);
+        assert!(p.nodes().contains(&12));
+        assert_eq!(p.len() as u32, (3u32 ^ 12).count_ones() + (12u32 ^ 5).count_ones());
+    }
+
+    #[test]
+    fn valiant_degenerate_phases() {
+        let net = topologies::hypercube(3);
+        let p = valiant_route(&net, 3, 2, 2, 2);
+        assert!(p.is_empty());
+        let p = valiant_route(&net, 3, 2, 2, 7);
+        assert_eq!(p.len() as u32, (2u32 ^ 7).count_ones());
+    }
+}

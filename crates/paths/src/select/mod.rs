@@ -1,0 +1,16 @@
+//! Path-selection strategies ("the first part of a routing scheme", §1.1).
+//!
+//! * [`grid`] — dimension-order (e-cube) routing for meshes and tori,
+//!   the strategy behind Theorem 1.6;
+//! * [`hypercube`] — bit-fixing routing;
+//! * [`butterfly`] — the unique leveled input→output system of Theorem 1.7;
+//! * [`bfs`] — BFS shortest-path systems (deterministic or randomized),
+//!   standing in for the short-cut free path systems of Theorem 1.5;
+//! * [`valiant`] — generic two-phase randomized routing (random
+//!   intermediate destinations) for taming adversarial permutations.
+
+pub mod bfs;
+pub mod butterfly;
+pub mod grid;
+pub mod hypercube;
+pub mod valiant;

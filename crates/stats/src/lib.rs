@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Statistics and reporting helpers for the experiment harness:
+//! summary statistics over replicated trials ([`summary`]), deterministic
+//! seed derivation ([`seeds`]), and plain-text table rendering
+//! ([`table`]).
+
+pub mod regression;
+pub mod seeds;
+pub mod summary;
+pub mod table;
+
+pub use regression::{fit_against, linear_fit, LinearFit};
+pub use seeds::SeedStream;
+pub use summary::Summary;
+pub use table::Table;

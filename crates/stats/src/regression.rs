@@ -1,0 +1,95 @@
+//! Ordinary least squares on one predictor — used by the experiment
+//! harness to fit measured round counts against `log n` or `√(log n)` and
+//! report the growth exponent the paper predicts.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear fit `y ≈ intercept + slope · x`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Coefficient of determination `R²` (1 = perfect fit).
+    pub r2: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Least-squares fit of `y` on `x`.
+///
+/// # Panics
+/// If the slices differ in length, have fewer than two points, or `x` is
+/// constant.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
+    assert_eq!(x.len(), y.len(), "mismatched sample lengths");
+    let n = x.len();
+    assert!(n >= 2, "need at least two points");
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    let sxx: f64 = x.iter().map(|&v| (v - mx) * (v - mx)).sum();
+    assert!(sxx > 0.0, "x must not be constant");
+    let sxy: f64 = x.iter().zip(y).map(|(&a, &b)| (a - mx) * (b - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 =
+        x.iter().zip(y).map(|(&a, &b)| (b - intercept - slope * a).powi(2)).sum();
+    let ss_tot: f64 = y.iter().map(|&b| (b - my) * (b - my)).sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LinearFit { intercept, slope, r2, n }
+}
+
+/// Fit `y` against `f(x)` — convenience for fitting rounds against
+/// `log₂ n` or `√(log₂ n)`.
+pub fn fit_against(x: &[f64], y: &[f64], f: impl Fn(f64) -> f64) -> LinearFit {
+    let tx: Vec<f64> = x.iter().map(|&v| f(v)).collect();
+    linear_fit(&tx, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0];
+        let f = linear_fit(&x, &y);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_lower_r2() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.0, 4.5, 5.5, 8.5, 9.5];
+        let f = linear_fit(&x, &y);
+        assert!(f.slope > 1.5 && f.slope < 2.5);
+        assert!(f.r2 > 0.9 && f.r2 < 1.0);
+    }
+
+    #[test]
+    fn constant_y_is_zero_slope_perfect_fit() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn fit_against_transform() {
+        // y = 3 * log2(x): fitting against log2 recovers slope 3.
+        let x = [4.0f64, 16.0, 256.0, 1024.0];
+        let y: Vec<f64> = x.iter().map(|&v| 3.0 * v.log2()).collect();
+        let f = fit_against(&x, &y, f64::log2);
+        assert!((f.slope - 3.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "constant")]
+    fn constant_x_rejected() {
+        linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

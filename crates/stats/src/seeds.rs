@@ -1,0 +1,71 @@
+//! Deterministic seed derivation: one master seed fans out into an
+//! arbitrary number of independent trial seeds via SplitMix64, so every
+//! experiment is exactly reproducible from a single printed number.
+
+/// A stream of derived seeds.
+#[derive(Clone, Copy, Debug)]
+pub struct SeedStream {
+    state: u64,
+}
+
+impl SeedStream {
+    /// Start a stream from a master seed.
+    pub fn new(master: u64) -> Self {
+        SeedStream { state: master }
+    }
+
+    /// Next derived seed (SplitMix64 step — full-period, well mixed).
+    pub fn next_seed(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The seed for trial `index` of the stream, independent of how many
+    /// seeds were drawn before (random access).
+    pub fn seed_for(master: u64, index: u64) -> u64 {
+        let mut s = SeedStream::new(master.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        s.next_seed()
+    }
+}
+
+impl Iterator for SeedStream {
+    type Item = u64;
+    fn next(&mut self) -> Option<u64> {
+        Some(self.next_seed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<u64> = SeedStream::new(42).take(5).collect();
+        let b: Vec<u64> = SeedStream::new(42).take(5).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_masters_diverge() {
+        let a: Vec<u64> = SeedStream::new(1).take(5).collect();
+        let b: Vec<u64> = SeedStream::new(2).take(5).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_has_no_short_cycles() {
+        let seeds: std::collections::HashSet<u64> = SeedStream::new(7).take(10_000).collect();
+        assert_eq!(seeds.len(), 10_000);
+    }
+
+    #[test]
+    fn random_access_matches_nothing_else() {
+        // seed_for gives stable per-index seeds.
+        assert_eq!(SeedStream::seed_for(9, 3), SeedStream::seed_for(9, 3));
+        assert_ne!(SeedStream::seed_for(9, 3), SeedStream::seed_for(9, 4));
+    }
+}

@@ -1,0 +1,136 @@
+//! Summary statistics over replicated trial measurements.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of `f64` measurements.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (average of middle two for even n).
+    pub median: f64,
+    /// 10th percentile (nearest-rank).
+    pub p10: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    ///
+    /// # Panics
+    /// On an empty sample.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n >= 2 {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let pct = |p: f64| -> f64 {
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            sorted[rank - 1]
+        };
+        Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+            p10: pct(0.10),
+            p90: pct(0.90),
+        }
+    }
+
+    /// Summarize integer measurements.
+    pub fn of_u64(values: &[u64]) -> Summary {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Summary::of(&floats)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of
+    /// the mean.
+    pub fn ci95(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.stddev / (self.n as f64).sqrt()
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2} (min {:.2}, max {:.2}, n={})", self.mean, self.ci95(), self.min, self.max, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+        assert_eq!(s.ci95(), 0.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Bessel-corrected variance = 32/7.
+        assert!((s.stddev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn odd_median() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let vals: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&vals);
+        assert_eq!(s.p10, 10.0);
+        assert_eq!(s.p90, 90.0);
+    }
+
+    #[test]
+    fn of_u64_converts() {
+        let s = Summary::of_u64(&[1, 2, 3]);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_rejected() {
+        Summary::of(&[]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Basic graph algorithms on [`Network`]: BFS, shortest paths, diameter,
+//! connectivity. These back the path-selection strategies in
+//! `optical-paths` and the property checks in tests.
+
+use crate::graph::{Network, NodeId, INVALID_NODE};
+use std::collections::VecDeque;
+
+/// Result of a single-source BFS.
+#[derive(Clone, Debug)]
+pub struct BfsTree {
+    /// Distance from the source, `u32::MAX` if unreachable.
+    pub dist: Vec<u32>,
+    /// BFS parent, [`INVALID_NODE`] for the source and unreachable nodes.
+    pub parent: Vec<NodeId>,
+    source: NodeId,
+}
+
+/// Distance marker for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl BfsTree {
+    /// The BFS source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Whether `v` is reachable from the source.
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v as usize] != UNREACHABLE
+    }
+
+    /// Shortest path source→`v` as a node sequence, or `None` if
+    /// unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(v) {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.dist[v as usize] as usize + 1);
+        let mut cur = v;
+        path.push(cur);
+        while cur != self.source {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Largest finite distance in the tree (the eccentricity of the source
+    /// within its component).
+    pub fn eccentricity(&self) -> u32 {
+        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+    }
+}
+
+/// Breadth-first search from `source`.
+pub fn bfs(net: &Network, source: NodeId) -> BfsTree {
+    bfs_filtered(net, source, |_| true)
+}
+
+/// BFS from `source` using only links for which `allow` returns true —
+/// the primitive behind rerouting around failed fibers.
+pub fn bfs_filtered(
+    net: &Network,
+    source: NodeId,
+    allow: impl Fn(crate::graph::LinkId) -> bool,
+) -> BfsTree {
+    let n = net.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut parent = vec![INVALID_NODE; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for (t, l) in net.neighbors(v) {
+            if dist[t as usize] == UNREACHABLE && allow(l) {
+                dist[t as usize] = dv + 1;
+                parent[t as usize] = v;
+                queue.push_back(t);
+            }
+        }
+    }
+    BfsTree { dist, parent, source }
+}
+
+/// One shortest path `u → v` as a node sequence, or `None` if disconnected.
+pub fn shortest_path(net: &Network, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    bfs(net, u).path_to(v)
+}
+
+/// Shortest-path distance `u → v`, or `None` if disconnected.
+pub fn distance(net: &Network, u: NodeId, v: NodeId) -> Option<u32> {
+    let d = bfs(net, u).dist[v as usize];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// Whether the network is connected (vacuously true for ≤ 1 nodes).
+pub fn is_connected(net: &Network) -> bool {
+    let n = net.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let t = bfs(net, 0);
+    t.dist.iter().all(|&d| d != UNREACHABLE)
+}
+
+/// Exact diameter via all-pairs BFS, or `None` if disconnected/empty.
+///
+/// O(n·m); intended for the moderate sizes used in experiments. For large
+/// networks use [`diameter_sampled`].
+pub fn diameter(net: &Network) -> Option<u32> {
+    let n = net.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut best = 0;
+    for v in net.nodes() {
+        let t = bfs(net, v);
+        if t.dist.contains(&UNREACHABLE) {
+            return None;
+        }
+        best = best.max(t.eccentricity());
+    }
+    Some(best)
+}
+
+/// Lower bound on the diameter from `samples` BFS sources (deterministic
+/// stride sampling). Exact when `samples >= node_count`.
+pub fn diameter_sampled(net: &Network, samples: usize) -> Option<u32> {
+    let n = net.node_count();
+    if n == 0 {
+        return None;
+    }
+    if samples >= n {
+        return diameter(net);
+    }
+    let stride = (n / samples.max(1)).max(1);
+    let mut best = 0;
+    for v in (0..n).step_by(stride) {
+        let t = bfs(net, v as NodeId);
+        if t.dist.contains(&UNREACHABLE) {
+            return None;
+        }
+        best = best.max(t.eccentricity());
+    }
+    Some(best)
+}
+
+impl Network {
+    /// See [`is_connected`].
+    pub fn is_connected(&self) -> bool {
+        is_connected(self)
+    }
+
+    /// See [`diameter`].
+    pub fn diameter(&self) -> Option<u32> {
+        diameter(self)
+    }
+
+    /// See [`shortest_path`].
+    pub fn shortest_path(&self, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        shortest_path(self, u, v)
+    }
+
+    /// See [`distance`].
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<u32> {
+        distance(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    fn path_graph(n: usize) -> Network {
+        let mut b = NetworkBuilder::new("chain", n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(i as NodeId, i as NodeId + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bfs_distances_on_chain() {
+        let g = path_graph(6);
+        let t = bfs(&g, 0);
+        assert_eq!(t.dist, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.eccentricity(), 5);
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let g = path_graph(4);
+        assert_eq!(shortest_path(&g, 0, 3).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(shortest_path(&g, 3, 0).unwrap(), vec![3, 2, 1, 0]);
+        assert_eq!(shortest_path(&g, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut b = NetworkBuilder::new("two islands", 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert!(!g.is_connected());
+        assert_eq!(g.diameter(), None);
+        assert_eq!(g.distance(0, 3), None);
+        assert!(shortest_path(&g, 0, 2).is_none());
+    }
+
+    #[test]
+    fn diameter_of_chain_and_singleton() {
+        assert_eq!(path_graph(7).diameter(), Some(6));
+        assert_eq!(path_graph(1).diameter(), Some(0));
+        assert!(path_graph(1).is_connected());
+    }
+
+    #[test]
+    fn sampled_diameter_is_lower_bound() {
+        let g = path_graph(50);
+        let exact = g.diameter().unwrap();
+        let sampled = diameter_sampled(&g, 5).unwrap();
+        assert!(sampled <= exact);
+        assert_eq!(diameter_sampled(&g, 100), Some(exact));
+    }
+}

@@ -1,0 +1,135 @@
+//! Bridge (cut-edge) detection — the fiber-failure analysis primitive:
+//! cutting a bridge disconnects the network, so recovery experiments must
+//! distinguish survivable cuts from fatal ones.
+
+use crate::graph::{LinkId, Network, NodeId};
+
+/// All bridges of the network, each reported once as the even link id of
+/// its undirected edge. Iterative Tarjan lowlink in `O(n + m)`.
+pub fn bridges(net: &Network) -> Vec<LinkId> {
+    let n = net.node_count();
+    let mut disc = vec![u32::MAX; n]; // discovery time
+    let mut low = vec![u32::MAX; n];
+    let mut timer = 0u32;
+    let mut out = Vec::new();
+
+    // Iterative DFS: stack of (node, incoming undirected edge, neighbor
+    // iterator position).
+    let mut stack: Vec<(NodeId, u32, usize)> = Vec::new();
+    for root in net.nodes() {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, u32::MAX, 0));
+        while let Some(&mut (v, in_edge, ref mut pos)) = stack.last_mut() {
+            let neighbors: Vec<(NodeId, LinkId)> = net.neighbors(v).collect();
+            if *pos < neighbors.len() {
+                let (t, l) = neighbors[*pos];
+                *pos += 1;
+                let ue = net.undirected_index(l);
+                if ue == in_edge {
+                    continue; // don't walk back along the tree edge
+                }
+                if disc[t as usize] == u32::MAX {
+                    disc[t as usize] = timer;
+                    low[t as usize] = timer;
+                    timer += 1;
+                    stack.push((t, ue, 0));
+                } else {
+                    low[v as usize] = low[v as usize].min(disc[t as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (parent, _, _)) = stack.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                    if low[v as usize] > disc[parent as usize] {
+                        out.push(in_edge * 2); // even link id of the edge
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Whether cutting the undirected edge of `link` disconnects its
+/// component.
+pub fn is_bridge(net: &Network, link: LinkId) -> bool {
+    let even = (net.undirected_index(link)) * 2;
+    bridges(net).contains(&even)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+    use crate::NetworkBuilder;
+
+    #[test]
+    fn chain_is_all_bridges() {
+        let g = topologies::chain(5);
+        assert_eq!(bridges(&g).len(), 4);
+        for l in g.links() {
+            assert!(is_bridge(&g, l));
+        }
+    }
+
+    #[test]
+    fn ring_has_no_bridges() {
+        let g = topologies::ring(6);
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn torus_and_hypercube_are_bridgeless() {
+        assert!(bridges(&topologies::torus(2, 4)).is_empty());
+        assert!(bridges(&topologies::hypercube(4)).is_empty());
+    }
+
+    #[test]
+    fn barbell_bridge_found() {
+        // Two triangles connected by one edge: exactly that edge is a
+        // bridge.
+        let mut b = NetworkBuilder::new("barbell", 6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v);
+        }
+        b.add_edge(2, 3);
+        let g = b.build();
+        let bs = bridges(&g);
+        assert_eq!(bs.len(), 1);
+        let l = bs[0];
+        let (s, t) = g.link_ends(l);
+        assert_eq!((s.min(t), s.max(t)), (2, 3));
+        assert!(is_bridge(&g, l));
+        assert!(!is_bridge(&g, g.link_between(0, 1).unwrap()));
+    }
+
+    #[test]
+    fn star_spokes_are_bridges() {
+        let g = topologies::star(5);
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let mut b = NetworkBuilder::new("two chains", 6);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(3, 4);
+        b.add_edge(4, 5);
+        let g = b.build();
+        assert_eq!(bridges(&g).len(), 4);
+    }
+
+    #[test]
+    fn mesh_interior_is_bridgeless_but_not_all() {
+        // A 1xN mesh (chain) is all bridges; a 2-d mesh has none.
+        assert!(bridges(&topologies::mesh(2, 4)).is_empty());
+        assert_eq!(bridges(&topologies::mesh(1, 5)).len(), 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Incremental construction of [`Network`] values.
+
+use crate::graph::{LinkId, Network, NodeId};
+use std::collections::HashSet;
+
+/// Builds a [`Network`] from an edge list.
+///
+/// Self loops and duplicate edges are rejected at insertion time with a
+/// panic (topology constructors are deterministic; a duplicate indicates a
+/// construction bug, not bad input data).
+///
+/// ```
+/// use optical_topo::NetworkBuilder;
+/// let mut b = NetworkBuilder::new("square", 4);
+/// for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+///     b.add_edge(u, v);
+/// }
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 4);
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    seen: HashSet<(NodeId, NodeId)>,
+}
+
+impl NetworkBuilder {
+    /// Start a builder for a graph with `n` nodes (ids `0..n`).
+    pub fn new(name: impl Into<String>, n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "too many nodes");
+        NetworkBuilder { name: name.into(), n, edges: Vec::new(), seen: HashSet::new() }
+    }
+
+    /// Number of nodes declared.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Add the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// If `u == v`, an endpoint is out of range, or the edge already exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert_ne!(u, v, "self loop {{{u}}} rejected");
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        let key = (u.min(v), u.max(v));
+        assert!(self.seen.insert(key), "duplicate edge {{{u}, {v}}}");
+        self.edges.push((u, v));
+    }
+
+    /// Add `{u, v}` unless it already exists; returns whether it was added.
+    pub fn add_edge_dedup(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert_ne!(u, v, "self loop {{{u}}} rejected");
+        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        let key = (u.min(v), u.max(v));
+        if self.seen.insert(key) {
+            self.edges.push((u, v));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finalize into a CSR [`Network`].
+    pub fn build(self) -> Network {
+        let n = self.n;
+        // Directed links: edge k yields links 2k (u->v) and 2k+1 (v->u).
+        let mut link_ends = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v) in &self.edges {
+            link_ends.push((u, v));
+            link_ends.push((v, u));
+        }
+
+        // Counting sort of directed links by source for CSR layout.
+        let mut deg = vec![0u32; n + 1];
+        for &(s, _) in &link_ends {
+            deg[s as usize + 1] += 1;
+        }
+        let mut adj_offsets = deg;
+        for i in 0..n {
+            adj_offsets[i + 1] += adj_offsets[i];
+        }
+        let m = link_ends.len();
+        let mut adj_targets = vec![0 as NodeId; m];
+        let mut adj_links = vec![0 as LinkId; m];
+        let mut cursor = adj_offsets.clone();
+        for (l, &(s, t)) in link_ends.iter().enumerate() {
+            let slot = cursor[s as usize] as usize;
+            cursor[s as usize] += 1;
+            adj_targets[slot] = t;
+            adj_links[slot] = l as LinkId;
+        }
+
+        let net = Network::from_parts(self.name, adj_offsets, adj_targets, adj_links, link_ends);
+        debug_assert!(net.check_invariants().is_ok());
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = NetworkBuilder::new("empty", 5).build();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn zero_nodes() {
+        let g = NetworkBuilder::new("null", 0).build();
+        assert_eq!(g.node_count(), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn rejects_self_loop() {
+        let mut b = NetworkBuilder::new("bad", 2);
+        b.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate() {
+        let mut b = NetworkBuilder::new("bad", 2);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+    }
+
+    #[test]
+    fn dedup_insert() {
+        let mut b = NetworkBuilder::new("g", 3);
+        assert!(b.add_edge_dedup(0, 1));
+        assert!(!b.add_edge_dedup(1, 0));
+        assert!(b.add_edge_dedup(1, 2));
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = NetworkBuilder::new("bad", 2);
+        b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn directed_link_ids_follow_insertion_order() {
+        let mut b = NetworkBuilder::new("g", 3);
+        b.add_edge(2, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.link_ends(0), (2, 0));
+        assert_eq!(g.link_ends(1), (0, 2));
+        assert_eq!(g.link_ends(2), (0, 1));
+        assert_eq!(g.link_ends(3), (1, 0));
+    }
+
+    #[test]
+    fn csr_adjacency_complete() {
+        let mut b = NetworkBuilder::new("g", 4);
+        b.add_edge(0, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 3);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let mut n0: Vec<_> = g.neighbors(0).map(|(t, _)| t).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2, 3]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Coordinate systems for grid-like topologies (meshes and tori).
+
+use crate::graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Mixed-radix coordinates for a `d`-dimensional grid of side length `side`.
+///
+/// Node ids enumerate coordinates in row-major order with dimension 0 as the
+/// fastest-varying digit: `id = Σ_k coord[k] · side^k`.
+///
+/// ```
+/// use optical_topo::GridCoords;
+/// let c = GridCoords::new(3, 4); // 4x4x4
+/// assert_eq!(c.node_count(), 64);
+/// let id = c.node_of(&[1, 2, 3]);
+/// assert_eq!(c.coords_of(id), vec![1, 2, 3]);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridCoords {
+    dims: u32,
+    side: u32,
+}
+
+impl GridCoords {
+    /// A `dims`-dimensional grid of side `side`.
+    ///
+    /// # Panics
+    /// If `dims == 0`, `side == 0`, or `side^dims` overflows `u32`.
+    pub fn new(dims: u32, side: u32) -> Self {
+        assert!(dims > 0, "need at least one dimension");
+        assert!(side > 0, "side must be positive");
+        let mut count: u64 = 1;
+        for _ in 0..dims {
+            count *= side as u64;
+            assert!(count <= u32::MAX as u64, "grid too large for u32 node ids");
+        }
+        GridCoords { dims, side }
+    }
+
+    /// Number of dimensions `d`.
+    pub fn dims(&self) -> u32 {
+        self.dims
+    }
+
+    /// Side length `n`.
+    pub fn side(&self) -> u32 {
+        self.side
+    }
+
+    /// Total number of nodes `side^dims`.
+    pub fn node_count(&self) -> usize {
+        (self.side as u64).pow(self.dims) as usize
+    }
+
+    /// Node id for the given coordinates.
+    ///
+    /// # Panics
+    /// If `coords.len() != dims` or any coordinate is out of range.
+    pub fn node_of(&self, coords: &[u32]) -> NodeId {
+        assert_eq!(coords.len(), self.dims as usize, "wrong coordinate arity");
+        let mut id: u64 = 0;
+        for &c in coords.iter().rev() {
+            assert!(c < self.side, "coordinate {c} out of range");
+            id = id * self.side as u64 + c as u64;
+        }
+        id as NodeId
+    }
+
+    /// Coordinates of a node id.
+    pub fn coords_of(&self, node: NodeId) -> Vec<u32> {
+        let mut out = vec![0u32; self.dims as usize];
+        self.write_coords_of(node, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`coords_of`](Self::coords_of).
+    pub fn write_coords_of(&self, node: NodeId, out: &mut [u32]) {
+        assert_eq!(out.len(), self.dims as usize);
+        let mut rest = node as u64;
+        for slot in out.iter_mut() {
+            *slot = (rest % self.side as u64) as u32;
+            rest /= self.side as u64;
+        }
+        debug_assert_eq!(rest, 0, "node id out of range");
+    }
+
+    /// Neighbor of `node` one step along `dim` in direction `delta` (+1/-1),
+    /// without wraparound. `None` at the boundary.
+    pub fn mesh_step(&self, node: NodeId, dim: u32, delta: i32) -> Option<NodeId> {
+        let mut c = self.coords_of(node);
+        let x = c[dim as usize] as i64 + delta as i64;
+        if x < 0 || x >= self.side as i64 {
+            return None;
+        }
+        c[dim as usize] = x as u32;
+        Some(self.node_of(&c))
+    }
+
+    /// Neighbor of `node` one step along `dim` with wraparound (torus).
+    pub fn torus_step(&self, node: NodeId, dim: u32, delta: i32) -> NodeId {
+        let mut c = self.coords_of(node);
+        let s = self.side as i64;
+        let x = (c[dim as usize] as i64 + delta as i64).rem_euclid(s);
+        c[dim as usize] = x as u32;
+        self.node_of(&c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_nodes() {
+        let c = GridCoords::new(3, 5);
+        for id in 0..c.node_count() as NodeId {
+            assert_eq!(c.node_of(&c.coords_of(id)), id);
+        }
+    }
+
+    #[test]
+    fn dimension_zero_is_fastest() {
+        let c = GridCoords::new(2, 10);
+        assert_eq!(c.node_of(&[3, 0]), 3);
+        assert_eq!(c.node_of(&[0, 3]), 30);
+    }
+
+    #[test]
+    fn mesh_step_boundaries() {
+        let c = GridCoords::new(2, 4);
+        let corner = c.node_of(&[0, 0]);
+        assert_eq!(c.mesh_step(corner, 0, -1), None);
+        assert_eq!(c.mesh_step(corner, 1, -1), None);
+        assert_eq!(c.mesh_step(corner, 0, 1), Some(c.node_of(&[1, 0])));
+        let far = c.node_of(&[3, 3]);
+        assert_eq!(c.mesh_step(far, 0, 1), None);
+    }
+
+    #[test]
+    fn torus_step_wraps() {
+        let c = GridCoords::new(2, 4);
+        let corner = c.node_of(&[0, 0]);
+        assert_eq!(c.torus_step(corner, 0, -1), c.node_of(&[3, 0]));
+        assert_eq!(c.torus_step(corner, 1, -1), c.node_of(&[0, 3]));
+        assert_eq!(c.torus_step(c.node_of(&[3, 1]), 0, 1), c.node_of(&[0, 1]));
+    }
+
+    #[test]
+    fn side_one_grid() {
+        let c = GridCoords::new(4, 1);
+        assert_eq!(c.node_count(), 1);
+        assert_eq!(c.coords_of(0), vec![0, 0, 0, 0]);
+        assert_eq!(c.torus_step(0, 2, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn overflow_guard() {
+        GridCoords::new(8, 256); // 256^8 = 2^64 overflows u32
+    }
+}

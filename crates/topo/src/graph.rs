@@ -1,0 +1,268 @@
+//! The core [`Network`] graph type.
+//!
+//! A `Network` is an undirected multigraph-free graph stored in CSR form.
+//! Every undirected edge `{u, v}` materializes two *directed links* `u→v`
+//! and `v→u`, each with its own dense [`LinkId`]. The wormhole simulator
+//! keys its per-wavelength occupancy state by `LinkId`, so link ids must be
+//! dense and cheap.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node (router) in the network. Dense in `0..node_count()`.
+pub type NodeId = u32;
+
+/// Index of a *directed* optical link. Dense in `0..link_count()`.
+///
+/// The two links of an undirected edge `{u, v}` are always paired:
+/// `LinkId = 2k` and `2k + 1` for undirected edge index `k`, with the even
+/// id carrying the direction from the smaller endpoint that was inserted
+/// first. Use [`Network::reverse_link`] to flip direction in O(1).
+pub type LinkId = u32;
+
+/// Sentinel for "no node".
+pub const INVALID_NODE: NodeId = u32::MAX;
+/// Sentinel for "no link".
+pub const INVALID_LINK: LinkId = u32::MAX;
+
+/// A compact undirected network with dense directed link ids.
+///
+/// Construct via [`crate::NetworkBuilder`] or one of the
+/// [`crate::topologies`] constructors.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    /// Human-readable topology name, e.g. `"torus(2, 8)"`.
+    name: String,
+    /// CSR offsets: neighbors of node `v` occupy
+    /// `adj_targets[adj_offsets[v] .. adj_offsets[v+1]]`.
+    adj_offsets: Vec<u32>,
+    /// Neighbor node for each adjacency slot.
+    adj_targets: Vec<NodeId>,
+    /// Directed link id leaving `v` toward the neighbor in the same slot.
+    adj_links: Vec<LinkId>,
+    /// For each directed link: (source, target).
+    link_ends: Vec<(NodeId, NodeId)>,
+}
+
+impl Network {
+    pub(crate) fn from_parts(
+        name: String,
+        adj_offsets: Vec<u32>,
+        adj_targets: Vec<NodeId>,
+        adj_links: Vec<LinkId>,
+        link_ends: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        Network { name, adj_offsets, adj_targets, adj_links, link_ends }
+    }
+
+    /// Topology name given at construction time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes (routers).
+    pub fn node_count(&self) -> usize {
+        self.adj_offsets.len() - 1
+    }
+
+    /// Number of *directed* links (twice the number of undirected edges).
+    pub fn link_count(&self) -> usize {
+        self.link_ends.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.link_ends.len() / 2
+    }
+
+    /// Degree of `v` (number of undirected incident edges).
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        (self.adj_offsets[v + 1] - self.adj_offsets[v]) as usize
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(neighbor, outgoing_link)` pairs of `v`.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, LinkId)> + '_ {
+        let v = v as usize;
+        let lo = self.adj_offsets[v] as usize;
+        let hi = self.adj_offsets[v + 1] as usize;
+        self.adj_targets[lo..hi].iter().copied().zip(self.adj_links[lo..hi].iter().copied())
+    }
+
+    /// Endpoints `(source, target)` of a directed link.
+    pub fn link_ends(&self, l: LinkId) -> (NodeId, NodeId) {
+        self.link_ends[l as usize]
+    }
+
+    /// Source node of a directed link.
+    pub fn link_source(&self, l: LinkId) -> NodeId {
+        self.link_ends[l as usize].0
+    }
+
+    /// Target node of a directed link.
+    pub fn link_target(&self, l: LinkId) -> NodeId {
+        self.link_ends[l as usize].1
+    }
+
+    /// The opposite-direction link of the same undirected edge, in O(1).
+    pub fn reverse_link(&self, l: LinkId) -> LinkId {
+        l ^ 1
+    }
+
+    /// Undirected edge index of a link (`link / 2`).
+    pub fn undirected_index(&self, l: LinkId) -> u32 {
+        l >> 1
+    }
+
+    /// The directed link `u→v`, if the edge `{u, v}` exists.
+    ///
+    /// O(deg(u)) scan; topologies in this crate have small bounded degree.
+    pub fn link_between(&self, u: NodeId, v: NodeId) -> Option<LinkId> {
+        self.neighbors(u).find(|&(t, _)| t == v).map(|(_, l)| l)
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.link_between(u, v).is_some()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.node_count() as NodeId
+    }
+
+    /// Iterator over all directed link ids.
+    pub fn links(&self) -> impl Iterator<Item = LinkId> {
+        0..self.link_count() as LinkId
+    }
+
+    /// Translate a node sequence into the directed links connecting it.
+    ///
+    /// Returns `None` if two consecutive nodes are not adjacent.
+    pub fn links_along(&self, nodes: &[NodeId]) -> Option<Vec<LinkId>> {
+        let mut out = Vec::with_capacity(nodes.len().saturating_sub(1));
+        for w in nodes.windows(2) {
+            out.push(self.link_between(w[0], w[1])?);
+        }
+        Some(out)
+    }
+
+    /// Validate internal invariants. Used by tests and debug assertions.
+    ///
+    /// Checks: offsets monotone; link pairing (`l ^ 1` is the reverse);
+    /// adjacency slots agree with `link_ends`; no self loops; no duplicate
+    /// edges.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.node_count();
+        if self.adj_offsets[0] != 0 {
+            return Err("adjacency offsets must start at 0".into());
+        }
+        for v in 0..n {
+            if self.adj_offsets[v] > self.adj_offsets[v + 1] {
+                return Err(format!("non-monotone offsets at node {v}"));
+            }
+        }
+        if *self.adj_offsets.last().unwrap() as usize != self.adj_targets.len() {
+            return Err("offsets do not cover adjacency array".into());
+        }
+        if !self.link_ends.len().is_multiple_of(2) {
+            return Err("directed link count must be even".into());
+        }
+        for l in 0..self.link_count() as LinkId {
+            let (s, t) = self.link_ends(l);
+            if s == t {
+                return Err(format!("self loop at node {s}"));
+            }
+            let (rs, rt) = self.link_ends(self.reverse_link(l));
+            if (rs, rt) != (t, s) {
+                return Err(format!("link {l} pairing broken"));
+            }
+            if (s as usize) >= n || (t as usize) >= n {
+                return Err(format!("link {l} endpoint out of range"));
+            }
+        }
+        for v in 0..n as NodeId {
+            let mut seen = std::collections::HashSet::new();
+            for (t, l) in self.neighbors(v) {
+                if self.link_ends(l) != (v, t) {
+                    return Err(format!("adjacency slot of {v} disagrees with link {l}"));
+                }
+                if !seen.insert(t) {
+                    return Err(format!("duplicate edge {{{v}, {t}}}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::NetworkBuilder;
+
+    fn triangle() -> crate::Network {
+        let mut b = NetworkBuilder::new("triangle", 3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.link_count(), 6);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn link_pairing_is_involution() {
+        let g = triangle();
+        for l in g.links() {
+            let r = g.reverse_link(l);
+            assert_ne!(l, r);
+            assert_eq!(g.reverse_link(r), l);
+            let (s, t) = g.link_ends(l);
+            assert_eq!(g.link_ends(r), (t, s));
+        }
+    }
+
+    #[test]
+    fn link_between_finds_both_directions() {
+        let g = triangle();
+        let l01 = g.link_between(0, 1).unwrap();
+        let l10 = g.link_between(1, 0).unwrap();
+        assert_eq!(g.reverse_link(l01), l10);
+        assert_eq!(g.link_source(l01), 0);
+        assert_eq!(g.link_target(l01), 1);
+    }
+
+    #[test]
+    fn links_along_path() {
+        let g = triangle();
+        let links = g.links_along(&[0, 1, 2]).unwrap();
+        assert_eq!(links.len(), 2);
+        assert_eq!(g.link_ends(links[0]), (0, 1));
+        assert_eq!(g.link_ends(links[1]), (1, 2));
+        assert!(g.links_along(&[0, 0]).is_none());
+    }
+
+    #[test]
+    fn invariants_hold() {
+        triangle().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn undirected_index_shared_by_pair() {
+        let g = triangle();
+        for l in g.links() {
+            assert_eq!(g.undirected_index(l), g.undirected_index(g.reverse_link(l)));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Network topology substrate for all-optical routing.
+//!
+//! This crate models the topology of an optical network exactly as in
+//! Flammini & Scheideler (SPAA 1997), §1.1: an undirected graph `G = (V, E)`
+//! where each node represents a router (connected to a processor) and each
+//! undirected edge represents **two optical links, one in each direction**.
+//!
+//! The central type is [`Network`], a compact CSR-based graph with dense
+//! integer node ids ([`NodeId`]) and *directed* link ids ([`LinkId`]). All
+//! standard interconnection topologies used by the paper's application
+//! theorems are provided in [`topologies`]: d-dimensional meshes and tori
+//! (Theorem 1.6), butterflies (Theorem 1.7), hypercubes and other
+//! node-symmetric networks (Theorem 1.5), plus rings, chains, de Bruijn and
+//! shuffle-exchange graphs referenced in the related-work discussion.
+//!
+//! # Example
+//!
+//! ```
+//! use optical_topo::topologies;
+//!
+//! let net = topologies::torus(2, 8); // 8x8 torus
+//! assert_eq!(net.node_count(), 64);
+//! assert!(net.is_connected());
+//! assert_eq!(net.diameter(), Some(8)); // 4 + 4
+//! ```
+
+pub mod algo;
+pub mod bridges;
+pub mod builder;
+pub mod coords;
+pub mod graph;
+pub mod symmetry;
+pub mod topologies;
+
+pub use builder::NetworkBuilder;
+pub use coords::GridCoords;
+pub use graph::{LinkId, Network, NodeId, INVALID_LINK, INVALID_NODE};

@@ -1,0 +1,182 @@
+//! Node-symmetry utilities (Definition 1.4 of the paper).
+//!
+//! A network is *node-symmetric* if for every pair `u, v` there is an
+//! automorphism mapping `u` to `v` — "the network looks the same from every
+//! node". The paper's Theorem 1.5 applies to this class (tori, wrapped
+//! butterflies, hypercubes, rings, …).
+//!
+//! Deciding node-symmetry in general is as hard as graph isomorphism, so
+//! this module offers:
+//! * exact *verification* of a claimed automorphism ([`is_automorphism`]),
+//! * explicit vertex-transitive automorphism families for the concrete
+//!   topologies we construct ([`torus_translation`], [`hypercube_xor`],
+//!   [`ring_rotation`]),
+//! * a cheap *necessary-condition* test ([`distance_profiles_uniform`])
+//!   used by tests and by workload sanity checks.
+
+use crate::algo::bfs;
+use crate::coords::GridCoords;
+use crate::graph::{Network, NodeId};
+
+/// Verify that `perm` (a bijection given as a dense lookup table) is a graph
+/// automorphism of `net`: `{u, v} ∈ E ⇔ {perm(u), perm(v)} ∈ E`.
+pub fn is_automorphism(net: &Network, perm: &[NodeId]) -> bool {
+    let n = net.node_count();
+    if perm.len() != n {
+        return false;
+    }
+    // Bijectivity.
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if (p as usize) >= n || seen[p as usize] {
+            return false;
+        }
+        seen[p as usize] = true;
+    }
+    // Edge preservation (degrees are preserved by bijection + edge check
+    // in one direction since edge counts are equal).
+    for v in net.nodes() {
+        if net.degree(v) != net.degree(perm[v as usize]) {
+            return false;
+        }
+        for (t, _) in net.neighbors(v) {
+            if !net.has_edge(perm[v as usize], perm[t as usize]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The translation automorphism of a torus: adds `delta` (component-wise,
+/// mod side) to every node's coordinates. Returns the permutation table.
+pub fn torus_translation(coords: &GridCoords, delta: &[u32]) -> Vec<NodeId> {
+    assert_eq!(delta.len(), coords.dims() as usize);
+    let n = coords.node_count();
+    let mut perm = Vec::with_capacity(n);
+    let mut c = vec![0u32; coords.dims() as usize];
+    for v in 0..n as NodeId {
+        coords.write_coords_of(v, &mut c);
+        for (x, &d) in c.iter_mut().zip(delta) {
+            *x = (*x + d) % coords.side();
+        }
+        perm.push(coords.node_of(&c));
+    }
+    perm
+}
+
+/// The XOR automorphism of a hypercube: `v ↦ v ^ mask`.
+pub fn hypercube_xor(dim: u32, mask: u32) -> Vec<NodeId> {
+    let n = 1u32 << dim;
+    assert!(mask < n, "mask out of range");
+    (0..n).map(|v| v ^ mask).collect()
+}
+
+/// The rotation automorphism of a ring: `v ↦ (v + shift) mod n`.
+pub fn ring_rotation(n: usize, shift: usize) -> Vec<NodeId> {
+    (0..n).map(|v| ((v + shift) % n) as NodeId).collect()
+}
+
+/// Necessary condition for node-symmetry: every node has the same sorted
+/// distance profile (multiset of BFS distances to all other nodes).
+///
+/// O(n·m) — fine for test-sized networks. A `true` answer does not prove
+/// symmetry, but a `false` answer disproves it.
+pub fn distance_profiles_uniform(net: &Network) -> bool {
+    let n = net.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let mut reference: Option<Vec<u32>> = None;
+    for v in net.nodes() {
+        let mut profile = bfs(net, v).dist;
+        profile.sort_unstable();
+        match &reference {
+            None => reference = Some(profile),
+            Some(r) => {
+                if *r != profile {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn torus_translations_are_automorphisms() {
+        let g = topologies::torus(2, 5);
+        let coords = GridCoords::new(2, 5);
+        for delta in [[1, 0], [0, 1], [3, 2], [4, 4]] {
+            let perm = torus_translation(&coords, &delta);
+            assert!(is_automorphism(&g, &perm), "translation {delta:?} failed");
+        }
+    }
+
+    #[test]
+    fn torus_translation_is_transitive() {
+        // Any node can be mapped to any other by some translation.
+        let coords = GridCoords::new(2, 4);
+        let u = coords.node_of(&[1, 2]);
+        let v = coords.node_of(&[3, 0]);
+        let delta = [(3 + 4 - 1) % 4, (4 - 2)];
+        let perm = torus_translation(&coords, &delta);
+        assert_eq!(perm[u as usize], v);
+    }
+
+    #[test]
+    fn hypercube_xor_is_automorphism() {
+        let g = topologies::hypercube(5);
+        for mask in [1u32, 7, 31, 16] {
+            assert!(is_automorphism(&g, &hypercube_xor(5, mask)));
+        }
+    }
+
+    #[test]
+    fn ring_rotation_is_automorphism() {
+        let g = topologies::ring(9);
+        for shift in [1usize, 4, 8] {
+            assert!(is_automorphism(&g, &ring_rotation(9, shift)));
+        }
+    }
+
+    #[test]
+    fn non_automorphism_rejected() {
+        let g = topologies::chain(4);
+        // Swapping an endpoint with an interior node breaks degrees.
+        assert!(!is_automorphism(&g, &[1, 0, 2, 3]));
+        // Wrong length rejected.
+        assert!(!is_automorphism(&g, &[0, 1, 2]));
+        // Non-bijection rejected.
+        assert!(!is_automorphism(&g, &[0, 0, 2, 3]));
+    }
+
+    #[test]
+    fn identity_is_always_automorphism() {
+        let g = topologies::de_bruijn(4);
+        let id: Vec<NodeId> = g.nodes().collect();
+        assert!(is_automorphism(&g, &id));
+    }
+
+    #[test]
+    fn symmetric_families_pass_profile_test() {
+        assert!(distance_profiles_uniform(&topologies::torus(2, 4)));
+        assert!(distance_profiles_uniform(&topologies::hypercube(4)));
+        assert!(distance_profiles_uniform(&topologies::ring(8)));
+        assert!(distance_profiles_uniform(&topologies::wrapped_butterfly(3)));
+        assert!(distance_profiles_uniform(&topologies::complete(6)));
+    }
+
+    #[test]
+    fn asymmetric_networks_fail_profile_test() {
+        assert!(!distance_profiles_uniform(&topologies::chain(5)));
+        assert!(!distance_profiles_uniform(&topologies::star(5)));
+        assert!(!distance_profiles_uniform(&topologies::mesh(2, 3)));
+        assert!(!distance_profiles_uniform(&topologies::butterfly(3)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Elementary topologies: chains, rings, stars and complete graphs.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{Network, NodeId};
+
+/// A chain (path graph) of `n ≥ 1` nodes: `0 — 1 — … — n-1`.
+pub fn chain(n: usize) -> Network {
+    assert!(n >= 1, "chain needs at least one node");
+    let mut b = NetworkBuilder::new(format!("chain({n})"), n);
+    for i in 0..n - 1 {
+        b.add_edge(i as NodeId, (i + 1) as NodeId);
+    }
+    b.build()
+}
+
+/// A ring (cycle) of `n ≥ 3` nodes.
+pub fn ring(n: usize) -> Network {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut b = NetworkBuilder::new(format!("ring({n})"), n);
+    for i in 0..n {
+        b.add_edge(i as NodeId, ((i + 1) % n) as NodeId);
+    }
+    b.build()
+}
+
+/// The complete graph on `n ≥ 1` nodes.
+pub fn complete(n: usize) -> Network {
+    assert!(n >= 1, "complete graph needs at least one node");
+    let mut b = NetworkBuilder::new(format!("complete({n})"), n);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.add_edge(u as NodeId, v as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// A star with center `0` and `n - 1` leaves (`n ≥ 2`).
+pub fn star(n: usize) -> Network {
+    assert!(n >= 2, "star needs at least two nodes");
+    let mut b = NetworkBuilder::new(format!("star({n})"), n);
+    for leaf in 1..n {
+        b.add_edge(0, leaf as NodeId);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.diameter(), Some(4));
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn single_node_chain() {
+        let g = chain(1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = ring(6);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.diameter(), Some(3));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn odd_ring_diameter() {
+        assert_eq!(ring(7).diameter(), Some(3));
+        assert_eq!(ring(3).diameter(), Some(1));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(5);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.diameter(), Some(1));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.diameter(), Some(2));
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.degree(5), 1);
+    }
+}

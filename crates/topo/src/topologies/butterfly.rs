@@ -1,0 +1,202 @@
+//! Butterfly networks (Theorem 1.7 substrate).
+//!
+//! The `k`-dimensional butterfly has `k + 1` levels of `2^k` rows. A node is
+//! a pair `(level, row)`; level `ℓ` connects to level `ℓ + 1` by a *straight*
+//! edge (same row) and a *cross* edge (row with bit `ℓ` flipped). Routing a
+//! message from an input `(0, r)` to an output `(k, r')` follows the unique
+//! leveled path that fixes one address bit per level — this is the leveled
+//! path system used by Theorem 1.7.
+//!
+//! The *wrap-around* butterfly identifies level `k` with level `0`; it is
+//! node-symmetric and serves as a Theorem 1.5 example.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Mapping between `(level, row)` pairs and dense node ids for butterflies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ButterflyCoords {
+    dim: u32,
+    levels: u32,
+    wrapped: bool,
+}
+
+impl ButterflyCoords {
+    /// Coordinates for an (ordinary or wrapped) butterfly of dimension `dim`.
+    pub fn new(dim: u32, wrapped: bool) -> Self {
+        assert!((1..26).contains(&dim), "butterfly dimension out of range");
+        let levels = if wrapped { dim } else { dim + 1 };
+        ButterflyCoords { dim, levels, wrapped }
+    }
+
+    /// Butterfly dimension `k` (number of row bits).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of distinct levels (`k + 1` plain, `k` wrapped).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Number of rows `2^k`.
+    pub fn rows(&self) -> u32 {
+        1 << self.dim
+    }
+
+    /// Total node count `levels · 2^k`.
+    pub fn node_count(&self) -> usize {
+        self.levels as usize * self.rows() as usize
+    }
+
+    /// Dense node id of `(level, row)`. For wrapped butterflies the level is
+    /// taken modulo `k`.
+    pub fn node_of(&self, level: u32, row: u32) -> NodeId {
+        let level = if self.wrapped { level % self.levels } else { level };
+        assert!(level < self.levels, "level {level} out of range");
+        assert!(row < self.rows(), "row {row} out of range");
+        level * self.rows() + row
+    }
+
+    /// `(level, row)` of a dense node id.
+    pub fn coords_of(&self, node: NodeId) -> (u32, u32) {
+        assert!((node as usize) < self.node_count(), "node out of range");
+        (node / self.rows(), node % self.rows())
+    }
+
+    /// Input nodes (level 0), in row order.
+    pub fn inputs(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.rows()).map(|r| self.node_of(0, r))
+    }
+
+    /// Output nodes (level `k` plain; level `0` wrapped, since levels are
+    /// identified), in row order.
+    pub fn outputs(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let out_level = if self.wrapped { 0 } else { self.dim };
+        (0..self.rows()).map(move |r| self.node_of(out_level, r))
+    }
+
+    /// The unique leveled input→output route: from `(0, src_row)` to the
+    /// output row `dst_row`, fixing bit `ℓ` when moving from level `ℓ` to
+    /// `ℓ + 1`. Returns the node sequence of length `k + 1`.
+    pub fn route(&self, src_row: u32, dst_row: u32) -> Vec<NodeId> {
+        assert!(src_row < self.rows() && dst_row < self.rows());
+        let mut nodes = Vec::with_capacity(self.dim as usize + 1);
+        let mut row = src_row;
+        nodes.push(self.node_of(0, row));
+        for level in 0..self.dim {
+            let bit = 1u32 << level;
+            if (row ^ dst_row) & bit != 0 {
+                row ^= bit;
+            }
+            nodes.push(self.node_of(level + 1, row));
+        }
+        debug_assert_eq!(row, dst_row);
+        nodes
+    }
+}
+
+/// The plain (non-wrapped) `dim`-dimensional butterfly.
+pub fn butterfly(dim: u32) -> Network {
+    let c = ButterflyCoords::new(dim, false);
+    let mut b = NetworkBuilder::new(format!("butterfly({dim})"), c.node_count());
+    for level in 0..dim {
+        let bit = 1u32 << level;
+        for row in 0..c.rows() {
+            b.add_edge(c.node_of(level, row), c.node_of(level + 1, row));
+            b.add_edge(c.node_of(level, row), c.node_of(level + 1, row ^ bit));
+        }
+    }
+    b.build()
+}
+
+/// The wrap-around `dim`-dimensional butterfly (levels mod `dim`).
+///
+/// Requires `dim ≥ 2`: for `dim = 1` the wrapped edges would be parallel
+/// duplicates.
+pub fn wrapped_butterfly(dim: u32) -> Network {
+    assert!(dim >= 2, "wrapped butterfly needs dim >= 2");
+    let c = ButterflyCoords::new(dim, true);
+    let mut b = NetworkBuilder::new(format!("wrapped_butterfly({dim})"), c.node_count());
+    for level in 0..dim {
+        let bit = 1u32 << level;
+        for row in 0..c.rows() {
+            b.add_edge_dedup(c.node_of(level, row), c.node_of(level + 1, row));
+            b.add_edge_dedup(c.node_of(level, row), c.node_of(level + 1, row ^ bit));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_counts() {
+        let g = butterfly(3);
+        // (k+1) * 2^k nodes, k * 2^(k+1) edges.
+        assert_eq!(g.node_count(), 4 * 8);
+        assert_eq!(g.edge_count(), 3 * 16);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn plain_degrees() {
+        let g = butterfly(3);
+        let c = ButterflyCoords::new(3, false);
+        assert_eq!(g.degree(c.node_of(0, 0)), 2); // inputs: degree 2
+        assert_eq!(g.degree(c.node_of(3, 0)), 2); // outputs: degree 2
+        assert_eq!(g.degree(c.node_of(1, 0)), 4); // interior: degree 4
+    }
+
+    #[test]
+    fn route_is_a_graph_path_for_all_pairs() {
+        let g = butterfly(3);
+        let c = ButterflyCoords::new(3, false);
+        for src in 0..c.rows() {
+            for dst in 0..c.rows() {
+                let nodes = c.route(src, dst);
+                assert_eq!(nodes.len(), 4);
+                assert_eq!(nodes[0], c.node_of(0, src));
+                assert_eq!(nodes[3], c.node_of(3, dst));
+                assert!(g.links_along(&nodes).is_some(), "route {src}->{dst} not a path");
+            }
+        }
+    }
+
+    #[test]
+    fn route_levels_increase() {
+        let c = ButterflyCoords::new(4, false);
+        let nodes = c.route(5, 10);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(c.coords_of(n).0, i as u32);
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let c = ButterflyCoords::new(4, false);
+        for id in 0..c.node_count() as NodeId {
+            let (l, r) = c.coords_of(id);
+            assert_eq!(c.node_of(l, r), id);
+        }
+    }
+
+    #[test]
+    fn wrapped_counts_and_regularity() {
+        let g = wrapped_butterfly(3);
+        assert_eq!(g.node_count(), 3 * 8);
+        assert!(g.is_connected());
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4, "wrapped butterfly is 4-regular");
+        }
+    }
+
+    #[test]
+    fn butterfly_diameter() {
+        // Plain butterfly diameter is 2k.
+        assert_eq!(butterfly(3).diameter(), Some(6));
+    }
+}

@@ -1,0 +1,116 @@
+//! Cube-connected cycles — the classic *bounded-degree* node-symmetric
+//! network: exactly the class Theorem 1.5 addresses (hypercubes have
+//! logarithmic degree; CCC caps it at 3 while staying node-symmetric).
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Coordinates of the cube-connected cycles network `CCC(dim)`:
+/// a node is a pair `(cycle position p ∈ [dim], hypercube corner
+/// w ∈ [2^dim])`; cycle edges connect `(p, w) — (p+1 mod dim, w)` and the
+/// rung edge connects `(p, w) — (p, w ^ 2^p)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CccCoords {
+    dim: u32,
+}
+
+impl CccCoords {
+    /// Coordinates for `CCC(dim)`, `dim ≥ 3` (smaller cycles degenerate).
+    pub fn new(dim: u32) -> Self {
+        assert!((3..28).contains(&dim), "CCC dimension out of range (need 3..28)");
+        CccCoords { dim }
+    }
+
+    /// Cycle length / hypercube dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Total node count `dim · 2^dim`.
+    pub fn node_count(&self) -> usize {
+        self.dim as usize * (1usize << self.dim)
+    }
+
+    /// Dense id of `(position, corner)`.
+    pub fn node_of(&self, position: u32, corner: u32) -> NodeId {
+        assert!(position < self.dim && corner < (1 << self.dim));
+        corner * self.dim + position
+    }
+
+    /// `(position, corner)` of a dense id.
+    pub fn coords_of(&self, node: NodeId) -> (u32, u32) {
+        assert!((node as usize) < self.node_count());
+        (node % self.dim, node / self.dim)
+    }
+}
+
+/// The cube-connected cycles network `CCC(dim)`: `dim · 2^dim` nodes of
+/// degree exactly 3, node-symmetric, diameter `Θ(dim)`.
+pub fn cube_connected_cycles(dim: u32) -> Network {
+    let c = CccCoords::new(dim);
+    let mut b = NetworkBuilder::new(format!("ccc({dim})"), c.node_count());
+    for corner in 0..1u32 << dim {
+        for p in 0..dim {
+            // Cycle edge to the next position.
+            b.add_edge_dedup(c.node_of(p, corner), c.node_of((p + 1) % dim, corner));
+            // Rung edge across dimension p.
+            let other = corner ^ (1 << p);
+            if corner < other {
+                b.add_edge(c.node_of(p, corner), c.node_of(p, other));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symmetry::distance_profiles_uniform;
+
+    #[test]
+    fn counts_and_degree() {
+        let g = cube_connected_cycles(3);
+        assert_eq!(g.node_count(), 3 * 8);
+        // 3-regular: edges = 3n/2.
+        assert_eq!(g.edge_count(), 3 * 24 / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3, "CCC is 3-regular");
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn coordinates_roundtrip() {
+        let c = CccCoords::new(4);
+        for id in 0..c.node_count() as NodeId {
+            let (p, w) = c.coords_of(id);
+            assert_eq!(c.node_of(p, w), id);
+        }
+    }
+
+    #[test]
+    fn node_symmetric() {
+        assert!(distance_profiles_uniform(&cube_connected_cycles(3)));
+        assert!(distance_profiles_uniform(&cube_connected_cycles(4)));
+    }
+
+    #[test]
+    fn diameter_is_theta_dim() {
+        // Known exact small values: diam(CCC(3)) = 6.
+        let g = cube_connected_cycles(3);
+        assert_eq!(g.diameter(), Some(6));
+        let g4 = cube_connected_cycles(4);
+        let d4 = g4.diameter().unwrap();
+        assert!((7..=10).contains(&d4), "CCC(4) diameter {d4}");
+    }
+
+    #[test]
+    fn rung_edges_cross_correct_dimension() {
+        let c = CccCoords::new(3);
+        let g = cube_connected_cycles(3);
+        assert!(g.has_edge(c.node_of(1, 0b000), c.node_of(1, 0b010)));
+        assert!(!g.has_edge(c.node_of(1, 0b000), c.node_of(1, 0b100)));
+    }
+}

@@ -1,0 +1,101 @@
+//! De Bruijn and shuffle-exchange networks — the interconnection families
+//! Pankaj \[29\] analyzed for wavelength-efficient permutation routing.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{Network, NodeId};
+
+/// The binary de Bruijn network of dimension `dim`: nodes `0..2^dim`, with
+/// undirected edges `u — (2u mod 2^dim)` and `u — (2u + 1 mod 2^dim)`.
+///
+/// Self loops (at `0…0` and `1…1`) are dropped and parallel edges merged, as
+/// is standard for the undirected de Bruijn graph.
+pub fn de_bruijn(dim: u32) -> Network {
+    assert!((1..31).contains(&dim), "de Bruijn dimension out of range");
+    let n = 1u32 << dim;
+    let mask = n - 1;
+    let mut b = NetworkBuilder::new(format!("de_bruijn({dim})"), n as usize);
+    for u in 0..n {
+        for bit in 0..2 {
+            let v = ((u << 1) | bit) & mask;
+            if u != v {
+                b.add_edge_dedup(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The shuffle-exchange network of dimension `dim`: nodes `0..2^dim`, with
+/// *exchange* edges `u — u ^ 1` and *shuffle* edges `u — rotl(u)` (cyclic
+/// left rotation of the `dim`-bit string). Self loops dropped, duplicates
+/// merged.
+pub fn shuffle_exchange(dim: u32) -> Network {
+    assert!((1..31).contains(&dim), "shuffle-exchange dimension out of range");
+    let n = 1u32 << dim;
+    let mask = n - 1;
+    let rotl = |u: u32| ((u << 1) | (u >> (dim - 1))) & mask;
+    let mut b = NetworkBuilder::new(format!("shuffle_exchange({dim})"), n as usize);
+    for u in 0..n {
+        let x = u ^ 1;
+        if u < x {
+            b.add_edge_dedup(u as NodeId, x as NodeId);
+        }
+        let s = rotl(u);
+        if u != s {
+            b.add_edge_dedup(u as NodeId, s as NodeId);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn de_bruijn_connected_and_bounded_degree() {
+        for dim in 2..=8 {
+            let g = de_bruijn(dim);
+            assert_eq!(g.node_count(), 1 << dim);
+            assert!(g.is_connected(), "de_bruijn({dim}) disconnected");
+            assert!(g.max_degree() <= 4, "de Bruijn degree bound");
+        }
+    }
+
+    #[test]
+    fn de_bruijn_diameter_is_dim() {
+        // The directed de Bruijn graph has diameter exactly dim; the
+        // undirected version can only be smaller or equal.
+        for dim in 2..=7 {
+            let d = de_bruijn(dim).diameter().unwrap();
+            assert!(d <= dim, "undirected diameter {d} exceeds {dim}");
+            assert!(d >= dim / 2, "implausibly small diameter {d}");
+        }
+    }
+
+    #[test]
+    fn shuffle_exchange_connected_and_bounded_degree() {
+        for dim in 2..=8 {
+            let g = shuffle_exchange(dim);
+            assert_eq!(g.node_count(), 1 << dim);
+            assert!(g.is_connected(), "shuffle_exchange({dim}) disconnected");
+            assert!(g.max_degree() <= 3, "shuffle-exchange degree bound");
+        }
+    }
+
+    #[test]
+    fn shuffle_exchange_has_exchange_edges() {
+        let g = shuffle_exchange(4);
+        for u in (0..16u32).step_by(2) {
+            assert!(g.has_edge(u, u ^ 1), "missing exchange edge at {u}");
+        }
+    }
+
+    #[test]
+    fn de_bruijn_has_doubling_edges() {
+        let g = de_bruijn(4);
+        assert!(g.has_edge(3, 6));
+        assert!(g.has_edge(3, 7));
+        assert!(g.has_edge(8, 0)); // 2*8 mod 16 = 0
+    }
+}

@@ -1,0 +1,105 @@
+//! d-dimensional meshes and tori (Theorem 1.6 substrate).
+
+use crate::builder::NetworkBuilder;
+use crate::coords::GridCoords;
+use crate::graph::Network;
+
+/// A `d`-dimensional mesh of side length `side` (no wraparound).
+///
+/// Node ids follow [`GridCoords`] row-major order. Degenerate sides are
+/// allowed (`side = 1` yields a single node; a 1-d mesh is a chain).
+pub fn mesh(dims: u32, side: u32) -> Network {
+    grid(dims, side, false)
+}
+
+/// A `d`-dimensional torus of side length `side` (with wraparound).
+///
+/// For `side <= 2` the wraparound edge would duplicate the mesh edge, so it
+/// is skipped (a side-2 torus equals a side-2 mesh, as is conventional).
+pub fn torus(dims: u32, side: u32) -> Network {
+    grid(dims, side, true)
+}
+
+fn grid(dims: u32, side: u32, wrap: bool) -> Network {
+    let coords = GridCoords::new(dims, side);
+    let n = coords.node_count();
+    let kind = if wrap { "torus" } else { "mesh" };
+    let mut b = NetworkBuilder::new(format!("{kind}({dims}, {side})"), n);
+    let mut c = vec![0u32; dims as usize];
+    for v in 0..n as u32 {
+        coords.write_coords_of(v, &mut c);
+        for dim in 0..dims {
+            let x = c[dim as usize];
+            if x + 1 < side {
+                b.add_edge(v, coords.mesh_step(v, dim, 1).unwrap());
+            } else if wrap && side > 2 {
+                // Wraparound edge from the last coordinate back to 0.
+                b.add_edge(v, coords.torus_step(v, dim, 1));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_2d_counts() {
+        let g = mesh(2, 4);
+        assert_eq!(g.node_count(), 16);
+        // 2 * side^(d-1) * (side-1) edges = 2 * 4 * 3 = 24.
+        assert_eq!(g.edge_count(), 24);
+        assert_eq!(g.diameter(), Some(6));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_2d_counts() {
+        let g = torus(2, 4);
+        assert_eq!(g.node_count(), 16);
+        // d * side^d edges = 2 * 16 = 32.
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(g.diameter(), Some(4));
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4, "torus is regular");
+        }
+    }
+
+    #[test]
+    fn torus_side_two_equals_mesh() {
+        let t = torus(3, 2);
+        let m = mesh(3, 2);
+        assert_eq!(t.edge_count(), m.edge_count());
+        assert_eq!(t.diameter(), m.diameter());
+    }
+
+    #[test]
+    fn one_dimensional_cases() {
+        assert_eq!(mesh(1, 8).diameter(), Some(7)); // chain
+        assert_eq!(torus(1, 8).diameter(), Some(4)); // ring
+    }
+
+    #[test]
+    fn high_dimensional_mesh() {
+        let g = mesh(4, 3);
+        assert_eq!(g.node_count(), 81);
+        assert_eq!(g.diameter(), Some(8)); // d * (side-1)
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let g = mesh(2, 1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn torus_diameter_formula() {
+        // d * floor(side/2)
+        assert_eq!(torus(2, 5).diameter(), Some(4));
+        assert_eq!(torus(3, 4).diameter(), Some(6));
+    }
+}

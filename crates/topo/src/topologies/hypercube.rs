@@ -1,0 +1,65 @@
+//! Boolean hypercubes — node-symmetric networks for Theorem 1.5.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{Network, NodeId};
+
+/// The `dim`-dimensional Boolean hypercube: nodes `0..2^dim`, edges between
+/// ids differing in exactly one bit.
+///
+/// ```
+/// let g = optical_topo::topologies::hypercube(4);
+/// assert_eq!(g.node_count(), 16);
+/// assert_eq!(g.diameter(), Some(4));
+/// ```
+pub fn hypercube(dim: u32) -> Network {
+    assert!((1..31).contains(&dim), "hypercube dimension out of range");
+    let n = 1usize << dim;
+    let mut b = NetworkBuilder::new(format!("hypercube({dim})"), n);
+    for v in 0..n as NodeId {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.add_edge(v, u);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_regularity() {
+        let g = hypercube(5);
+        assert_eq!(g.node_count(), 32);
+        assert_eq!(g.edge_count(), 5 * 16); // dim * 2^(dim-1)
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn diameter_is_dimension() {
+        for dim in 1..=6 {
+            assert_eq!(hypercube(dim).diameter(), Some(dim));
+        }
+    }
+
+    #[test]
+    fn distance_is_hamming() {
+        let g = hypercube(6);
+        for &(u, v) in &[(0u32, 63u32), (5, 9), (0, 1), (42, 42)] {
+            let hamming = (u ^ v).count_ones();
+            assert_eq!(g.distance(u, v), Some(hamming));
+        }
+    }
+
+    #[test]
+    fn dim_one_is_single_edge() {
+        let g = hypercube(1);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

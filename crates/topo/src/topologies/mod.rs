@@ -1,0 +1,20 @@
+//! Constructors for the interconnection topologies used throughout the
+//! paper: grids (Theorem 1.6), butterflies (Theorem 1.7), node-symmetric
+//! networks such as tori and hypercubes (Theorem 1.5), and the classic
+//! networks from the related-work discussion (de Bruijn, shuffle-exchange).
+
+mod basic;
+mod butterfly;
+mod ccc;
+mod debruijn;
+mod grid;
+mod hypercube;
+mod random_regular;
+
+pub use basic::{chain, complete, ring, star};
+pub use butterfly::{butterfly, wrapped_butterfly, ButterflyCoords};
+pub use ccc::{cube_connected_cycles, CccCoords};
+pub use debruijn::{de_bruijn, shuffle_exchange};
+pub use grid::{mesh, torus};
+pub use hypercube::hypercube;
+pub use random_regular::random_regular;

@@ -1,0 +1,114 @@
+//! Random d-regular graphs — practical stand-ins for the explicit
+//! expanders the paper points to for Theorem 1.5 ("the best expanders
+//! that have an explicit construction are all node-symmetric", citing
+//! Ramanujan graphs \[24, 25, 28\]). A random d-regular graph is an
+//! expander w.h.p., which is the property the routing results exploit.
+
+use crate::builder::NetworkBuilder;
+use crate::graph::{Network, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random simple `d`-regular graph on `n` nodes via the Steger–Wormald
+/// pairing procedure: repeatedly match two random unmatched half-edges,
+/// rejecting self-loops and parallel edges locally; restart in the rare
+/// event the remaining stubs admit no legal pair. Asymptotically uniform
+/// for `d = O(n^{1/3})` and fast in practice.
+///
+/// # Panics
+/// If `n·d` is odd, `d ≥ n`, or generation fails 1000 times in a row
+/// (vanishingly unlikely for `d ≪ n`).
+pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Network {
+    assert!(d >= 1 && d < n, "need 1 <= d < n");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    'restart: for _attempt in 0..1000 {
+        let mut stubs: Vec<NodeId> =
+            (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        stubs.shuffle(rng);
+        let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * d / 2);
+        while !stubs.is_empty() {
+            // Try a few random pairs from the remaining stubs; a legal
+            // one exists w.h.p. unless the tail is degenerate.
+            let mut placed = false;
+            for _ in 0..50 {
+                let i = rng.gen_range(0..stubs.len());
+                let j = rng.gen_range(0..stubs.len());
+                if i == j {
+                    continue;
+                }
+                let (u, v) = (stubs[i], stubs[j]);
+                if u == v || seen.contains(&(u.min(v), u.max(v))) {
+                    continue;
+                }
+                seen.insert((u.min(v), u.max(v)));
+                edges.push((u, v));
+                // Remove both stubs, larger index first so the smaller
+                // one is not displaced by swap_remove.
+                let (hi, lo) = (i.max(j), i.min(j));
+                stubs.swap_remove(hi);
+                stubs.swap_remove(lo);
+                placed = true;
+                break;
+            }
+            if !placed {
+                continue 'restart; // degenerate tail — start over
+            }
+        }
+        let mut b = NetworkBuilder::new(format!("random_regular({n}, {d})"), n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        return b.build();
+    }
+    panic!("no simple {d}-regular pairing found for n = {n} after 1000 restarts");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn regularity_and_connectivity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for (n, d) in [(16, 3), (64, 4), (100, 6)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n * d / 2);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "node {v} degree");
+            }
+            // d >= 3 random regular graphs are connected w.h.p.
+            assert!(g.is_connected(), "random_regular({n},{d}) disconnected");
+        }
+    }
+
+    #[test]
+    fn expander_like_diameter() {
+        // Diameter of a random 4-regular graph on 256 nodes is O(log n);
+        // allow a generous cap.
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = random_regular(256, 4, &mut rng);
+        let d = g.diameter().unwrap();
+        assert!(d <= 12, "diameter {d} implausibly large for an expander");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_regular(32, 3, &mut ChaCha8Rng::seed_from_u64(7));
+        let b = random_regular(32, 3, &mut ChaCha8Rng::seed_from_u64(7));
+        for v in a.nodes() {
+            let na: Vec<_> = a.neighbors(v).map(|(t, _)| t).collect();
+            let nb: Vec<_> = b.neighbors(v).map(|(t, _)| t).collect();
+            assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_degree_sum_rejected() {
+        random_regular(5, 3, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,488 @@
+//! Structural micro-model of optical routing elements (Figures 1–3).
+//!
+//! The round engine abstracts a router into per-(link, wavelength)
+//! occupancy; this module models the elements the paper *builds* routers
+//! from, so the figures have executable counterparts:
+//!
+//! * **wavelength-selective switches** (Figure 2) — an *elementary* switch
+//!   can only move all wavelengths of an input together, a *generalized*
+//!   switch can direct each wavelength independently;
+//! * **couplers** (Figure 1) — combine several incoming fibers into one
+//!   outgoing fiber, resolving same-wavelength collisions by the
+//!   serve-first or priority rule;
+//! * a **2×2 router** (Figure 1) — one switch per input plus one coupler
+//!   per output.
+
+use crate::config::{CollisionRule, TieRule};
+use crate::resolve::{resolve_group, Candidate, GroupDecision};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Switch flavor (Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SwitchKind {
+    /// Switches whole fibers: every wavelength of an input goes to the
+    /// same output ("simply switching wires").
+    Elementary,
+    /// Switches wavelengths: each wavelength of an input can go to a
+    /// different output.
+    Generalized,
+}
+
+/// A wavelength-selective switch with one input fiber carrying `b`
+/// wavelengths and `outputs` output fibers. A *configuration* assigns an
+/// output to each wavelength.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Switch {
+    kind: SwitchKind,
+    bandwidth: u16,
+    outputs: u16,
+    /// Current configuration: output for each wavelength.
+    config: Vec<u16>,
+}
+
+impl Switch {
+    /// A switch in its default configuration (everything to output 0).
+    pub fn new(kind: SwitchKind, bandwidth: u16, outputs: u16) -> Self {
+        assert!(bandwidth >= 1 && outputs >= 1);
+        Switch { kind, bandwidth, outputs, config: vec![0; bandwidth as usize] }
+    }
+
+    /// Switch flavor.
+    pub fn kind(&self) -> SwitchKind {
+        self.kind
+    }
+
+    /// Number of *legal* configurations: `outputs` for an elementary
+    /// switch (all-together), `outputs^bandwidth` for a generalized one.
+    /// This is exactly the Figure 2 statement: a 2-output elementary
+    /// switch allows configurations (a) and (b) only, a generalized one
+    /// all four.
+    pub fn configuration_count(&self) -> u64 {
+        match self.kind {
+            SwitchKind::Elementary => self.outputs as u64,
+            SwitchKind::Generalized => (self.outputs as u64).pow(self.bandwidth as u32),
+        }
+    }
+
+    /// Set the output for `wavelength`.
+    ///
+    /// # Panics
+    /// For an elementary switch unless the move keeps all wavelengths on
+    /// one output (use [`Switch::set_all`] instead).
+    pub fn set(&mut self, wavelength: u16, output: u16) {
+        assert!(wavelength < self.bandwidth && output < self.outputs);
+        if self.kind == SwitchKind::Elementary {
+            assert!(
+                self.config.iter().all(|&o| o == output),
+                "an elementary switch cannot split wavelengths"
+            );
+        }
+        self.config[wavelength as usize] = output;
+    }
+
+    /// Point every wavelength at `output` (legal for both kinds).
+    pub fn set_all(&mut self, output: u16) {
+        assert!(output < self.outputs);
+        self.config.fill(output);
+    }
+
+    /// Output currently assigned to `wavelength`.
+    pub fn route(&self, wavelength: u16) -> u16 {
+        self.config[wavelength as usize]
+    }
+}
+
+/// A signal at a coupler input: worm id, wavelength, priority, and whether
+/// it is already streaming through (the established occupant on its
+/// wavelength).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Signal {
+    /// Worm id.
+    pub worm: u32,
+    /// Wavelength of the signal.
+    pub wavelength: u16,
+    /// Priority (larger wins under the priority rule).
+    pub priority: u64,
+    /// Whether this signal was already locked through the coupler before
+    /// this step.
+    pub established: bool,
+}
+
+/// Per-wavelength outcome of one coupler step.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplerDecision {
+    /// Wavelength this decision concerns.
+    pub wavelength: u16,
+    /// Worm forwarded on this wavelength, if any.
+    pub forwarded: Option<u32>,
+    /// Worms eliminated (or cut, if they were established) on this
+    /// wavelength.
+    pub dropped: Vec<u32>,
+}
+
+/// A coupler combining any number of input fibers into one output fiber
+/// (Figure 1), with electronic control implementing a collision rule.
+#[derive(Clone, Copy, Debug)]
+pub struct Coupler {
+    /// Collision rule of the detector-array control.
+    pub rule: CollisionRule,
+    /// Tie rule for simultaneous new arrivals.
+    pub tie: TieRule,
+}
+
+impl Coupler {
+    /// Resolve one step: which signal proceeds per wavelength.
+    ///
+    /// At most one input may be `established` per wavelength (the physical
+    /// invariant that only one signal can already be streaming out).
+    pub fn resolve(&self, inputs: &[Signal], rng: &mut impl Rng) -> Vec<CouplerDecision> {
+        let mut wavelengths: Vec<u16> = inputs.iter().map(|s| s.wavelength).collect();
+        wavelengths.sort_unstable();
+        wavelengths.dedup();
+
+        let mut out = Vec::with_capacity(wavelengths.len());
+        for wl in wavelengths {
+            let established: Vec<&Signal> =
+                inputs.iter().filter(|s| s.wavelength == wl && s.established).collect();
+            assert!(established.len() <= 1, "two established signals on wavelength {wl}");
+            let occupant = established.first().map(|s| Candidate { id: s.worm, priority: s.priority });
+            let arrivals: Vec<Candidate> = inputs
+                .iter()
+                .filter(|s| s.wavelength == wl && !s.established)
+                .map(|s| Candidate { id: s.worm, priority: s.priority })
+                .collect();
+
+            let decision = if arrivals.is_empty() {
+                CouplerDecision {
+                    wavelength: wl,
+                    forwarded: occupant.map(|c| c.id),
+                    dropped: vec![],
+                }
+            } else {
+                match resolve_group(self.rule, self.tie, occupant, &arrivals, rng) {
+                    GroupDecision::OccupantWins => CouplerDecision {
+                        wavelength: wl,
+                        forwarded: occupant.map(|c| c.id),
+                        dropped: arrivals.iter().map(|c| c.id).collect(),
+                    },
+                    GroupDecision::ArrivalWins(idx) => {
+                        let mut dropped: Vec<u32> = occupant.iter().map(|c| c.id).collect();
+                        dropped.extend(
+                            arrivals.iter().enumerate().filter(|&(k, _)| k != idx).map(|(_, c)| c.id),
+                        );
+                        CouplerDecision {
+                            wavelength: wl,
+                            forwarded: Some(arrivals[idx].id),
+                            dropped,
+                        }
+                    }
+                    GroupDecision::AllLose => CouplerDecision {
+                        wavelength: wl,
+                        forwarded: None,
+                        dropped: arrivals.iter().map(|c| c.id).collect(),
+                    },
+                }
+            };
+            out.push(decision);
+        }
+        out
+    }
+}
+
+/// The 2×2 router of Figure 1: a generalized switch per input directing
+/// each wavelength to one of the two output couplers.
+#[derive(Clone, Debug)]
+pub struct TwoByTwoRouter {
+    /// One switch per input fiber.
+    pub switches: [Switch; 2],
+    /// One coupler per output fiber.
+    pub couplers: [Coupler; 2],
+}
+
+impl TwoByTwoRouter {
+    /// A router with generalized switches and the given coupler rule.
+    pub fn new(bandwidth: u16, rule: CollisionRule, tie: TieRule) -> Self {
+        TwoByTwoRouter {
+            switches: [
+                Switch::new(SwitchKind::Generalized, bandwidth, 2),
+                Switch::new(SwitchKind::Generalized, bandwidth, 2),
+            ],
+            couplers: [Coupler { rule, tie }, Coupler { rule, tie }],
+        }
+    }
+
+    /// Route one step: `inputs[i]` are the signals on input fiber `i`.
+    /// Returns per-output coupler decisions.
+    pub fn step(
+        &self,
+        inputs: [&[Signal]; 2],
+        rng: &mut impl Rng,
+    ) -> [Vec<CouplerDecision>; 2] {
+        let mut per_output: [Vec<Signal>; 2] = [Vec::new(), Vec::new()];
+        for (fiber, signals) in inputs.iter().enumerate() {
+            for &s in *signals {
+                let out = self.switches[fiber].route(s.wavelength);
+                per_output[out as usize].push(s);
+            }
+        }
+        [
+            self.couplers[0].resolve(&per_output[0], rng),
+            self.couplers[1].resolve(&per_output[1], rng),
+        ]
+    }
+}
+
+/// A general `N×M` router: one wavelength-selective switch per input
+/// fiber directing each wavelength to one of `M` output couplers — the
+/// structure the reconfigurable-network papers of §1.2 count when they
+/// ask "how many routers does permutation routing need".
+#[derive(Clone, Debug)]
+pub struct RouterModel {
+    switches: Vec<Switch>,
+    couplers: Vec<Coupler>,
+}
+
+impl RouterModel {
+    /// An `inputs × outputs` router with the given switch kind and
+    /// coupler rule.
+    pub fn new(
+        inputs: u16,
+        outputs: u16,
+        bandwidth: u16,
+        kind: SwitchKind,
+        rule: CollisionRule,
+        tie: TieRule,
+    ) -> Self {
+        assert!(inputs >= 1 && outputs >= 1);
+        RouterModel {
+            switches: (0..inputs).map(|_| Switch::new(kind, bandwidth, outputs)).collect(),
+            couplers: (0..outputs).map(|_| Coupler { rule, tie }).collect(),
+        }
+    }
+
+    /// Number of input fibers.
+    pub fn inputs(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of output fibers.
+    pub fn outputs(&self) -> usize {
+        self.couplers.len()
+    }
+
+    /// Mutable access to the switch of input fiber `i`.
+    pub fn switch_mut(&mut self, i: usize) -> &mut Switch {
+        &mut self.switches[i]
+    }
+
+    /// Total number of legal router configurations: the product of the
+    /// per-switch configuration counts (`outputs^inputs` elementary,
+    /// `outputs^(inputs · B)` generalized) — the quantity behind the
+    /// §1.2 router-counting lower bounds.
+    pub fn configuration_count(&self) -> u128 {
+        self.switches.iter().map(|s| s.configuration_count() as u128).product()
+    }
+
+    /// Route one step: `inputs[i]` are the signals on input fiber `i`;
+    /// returns per-output coupler decisions.
+    ///
+    /// # Panics
+    /// If the number of input signal slices differs from the router's
+    /// input count.
+    pub fn step(&self, inputs: &[&[Signal]], rng: &mut impl Rng) -> Vec<Vec<CouplerDecision>> {
+        assert_eq!(inputs.len(), self.switches.len(), "wrong number of input fibers");
+        let mut per_output: Vec<Vec<Signal>> = vec![Vec::new(); self.couplers.len()];
+        for (fiber, signals) in inputs.iter().enumerate() {
+            for &s in *signals {
+                let out = self.switches[fiber].route(s.wavelength);
+                per_output[out as usize].push(s);
+            }
+        }
+        per_output
+            .iter()
+            .zip(&self.couplers)
+            .map(|(sigs, coupler)| coupler.resolve(sigs, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn figure2_configuration_counts() {
+        // Two wavelengths, two outputs: elementary allows 2 configurations
+        // (a and b in Figure 2), generalized allows all 4.
+        let e = Switch::new(SwitchKind::Elementary, 2, 2);
+        let g = Switch::new(SwitchKind::Generalized, 2, 2);
+        assert_eq!(e.configuration_count(), 2);
+        assert_eq!(g.configuration_count(), 4);
+    }
+
+    #[test]
+    fn elementary_switch_cannot_split() {
+        let mut e = Switch::new(SwitchKind::Elementary, 2, 2);
+        e.set_all(1);
+        assert_eq!(e.route(0), 1);
+        assert_eq!(e.route(1), 1);
+        let result = std::panic::catch_unwind(move || {
+            let mut e = e;
+            e.set(0, 0); // would split wavelengths across outputs
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn generalized_switch_splits_wavelengths() {
+        let mut g = Switch::new(SwitchKind::Generalized, 2, 2);
+        g.set(0, 0);
+        g.set(1, 1);
+        assert_eq!(g.route(0), 0);
+        assert_eq!(g.route(1), 1);
+    }
+
+    fn sig(worm: u32, wl: u16, prio: u64, established: bool) -> Signal {
+        Signal { worm, wavelength: wl, priority: prio, established }
+    }
+
+    #[test]
+    fn coupler_serve_first_drops_new_arrival() {
+        let c = Coupler { rule: CollisionRule::ServeFirst, tie: TieRule::AllEliminated };
+        let d = c.resolve(&[sig(0, 0, 0, true), sig(1, 0, 0, false)], &mut rng());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].forwarded, Some(0));
+        assert_eq!(d[0].dropped, vec![1]);
+    }
+
+    #[test]
+    fn coupler_priority_preempts() {
+        let c = Coupler { rule: CollisionRule::Priority, tie: TieRule::AllEliminated };
+        let d = c.resolve(&[sig(0, 0, 1, true), sig(1, 0, 9, false)], &mut rng());
+        assert_eq!(d[0].forwarded, Some(1));
+        assert_eq!(d[0].dropped, vec![0]);
+    }
+
+    #[test]
+    fn coupler_wavelengths_are_independent() {
+        let c = Coupler { rule: CollisionRule::ServeFirst, tie: TieRule::AllEliminated };
+        let d = c.resolve(
+            &[sig(0, 0, 0, false), sig(1, 1, 0, false), sig(2, 2, 0, false)],
+            &mut rng(),
+        );
+        assert_eq!(d.len(), 3);
+        assert!(d.iter().all(|x| x.forwarded.is_some() && x.dropped.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "two established")]
+    fn coupler_rejects_double_occupancy() {
+        let c = Coupler { rule: CollisionRule::ServeFirst, tie: TieRule::AllEliminated };
+        c.resolve(&[sig(0, 0, 0, true), sig(1, 0, 0, true)], &mut rng());
+    }
+
+    #[test]
+    fn figure1_router_directs_wavelengths_to_different_outputs() {
+        let mut router = TwoByTwoRouter::new(2, CollisionRule::ServeFirst, TieRule::AllEliminated);
+        // Input 0: wavelength 0 -> output 0, wavelength 1 -> output 1.
+        router.switches[0].set(0, 0);
+        router.switches[0].set(1, 1);
+        let input0 = [sig(10, 0, 0, false), sig(11, 1, 0, false)];
+        let [out0, out1] = router.step([&input0, &[]], &mut rng());
+        assert_eq!(out0.len(), 1);
+        assert_eq!(out0[0].forwarded, Some(10));
+        assert_eq!(out1[0].forwarded, Some(11));
+    }
+
+    #[test]
+    fn nxm_router_routes_and_counts_configurations() {
+        let mut r = RouterModel::new(
+            3,
+            4,
+            2,
+            SwitchKind::Generalized,
+            CollisionRule::ServeFirst,
+            TieRule::AllEliminated,
+        );
+        assert_eq!(r.inputs(), 3);
+        assert_eq!(r.outputs(), 4);
+        // Generalized: (4^2)^3 = 4096 configurations.
+        assert_eq!(r.configuration_count(), 4096);
+        // Elementary variant: 4^3 = 64.
+        let e = RouterModel::new(
+            3,
+            4,
+            2,
+            SwitchKind::Elementary,
+            CollisionRule::ServeFirst,
+            TieRule::AllEliminated,
+        );
+        assert_eq!(e.configuration_count(), 64);
+
+        // Route: input 0 sends wl 0 -> output 2, wl 1 -> output 3.
+        r.switch_mut(0).set(0, 2);
+        r.switch_mut(0).set(1, 3);
+        let in0 = [sig(7, 0, 0, false), sig(8, 1, 0, false)];
+        let outs = r.step(&[&in0, &[], &[]], &mut rng());
+        assert!(outs[0].is_empty() && outs[1].is_empty());
+        assert_eq!(outs[2][0].forwarded, Some(7));
+        assert_eq!(outs[3][0].forwarded, Some(8));
+    }
+
+    #[test]
+    fn nxm_router_coupler_merges_collisions() {
+        let r = RouterModel::new(
+            3,
+            1,
+            1,
+            SwitchKind::Elementary,
+            CollisionRule::Priority,
+            TieRule::AllEliminated,
+        );
+        // Three inputs funnel into one coupler; highest priority wins.
+        let a = [sig(1, 0, 5, false)];
+        let b = [sig(2, 0, 9, false)];
+        let c = [sig(3, 0, 1, false)];
+        let outs = r.step(&[&a, &b, &c], &mut rng());
+        assert_eq!(outs[0][0].forwarded, Some(2));
+        let mut dropped = outs[0][0].dropped.clone();
+        dropped.sort_unstable();
+        assert_eq!(dropped, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong number of input fibers")]
+    fn nxm_router_checks_input_arity() {
+        let r = RouterModel::new(
+            2,
+            2,
+            1,
+            SwitchKind::Elementary,
+            CollisionRule::ServeFirst,
+            TieRule::AllEliminated,
+        );
+        r.step(&[&[]], &mut rng());
+    }
+
+    #[test]
+    fn figure1_router_coupler_collision() {
+        let mut router = TwoByTwoRouter::new(1, CollisionRule::ServeFirst, TieRule::AllEliminated);
+        router.switches[0].set_all(0);
+        router.switches[1].set_all(0);
+        // Same wavelength from both inputs to output 0: collision; the
+        // established signal survives.
+        let a = [sig(1, 0, 0, true)];
+        let b = [sig(2, 0, 0, false)];
+        let [out0, out1] = router.step([&a, &b], &mut rng());
+        assert_eq!(out0[0].forwarded, Some(1));
+        assert_eq!(out0[0].dropped, vec![2]);
+        assert!(out1.is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Router configuration: bandwidth, collision rule, tie-breaking.
+
+use serde::{Deserialize, Serialize};
+
+/// How a coupler resolves two worms contending for the same directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CollisionRule {
+    /// The worm already traversing the coupler wins; the arriving worm is
+    /// eliminated (§1, first bullet). Realizable with detector arrays and
+    /// wavelength-selective filters.
+    ServeFirst,
+    /// The worm with the higher priority value wins; the loser is
+    /// suspended — possibly *after* part of it was already forwarded
+    /// (§1, second bullet; priorities realized by signal power \[21\]).
+    Priority,
+    /// Wavelength conversion allowed at every router (the model of Cypher
+    /// et al. \[11\], used here as a baseline): an arriving worm takes any
+    /// free wavelength of the link and is eliminated only when all are
+    /// busy. Not part of the paper's protocol proper.
+    Conversion,
+}
+
+/// Tie rule for worms whose heads enter the same (link, wavelength) in the
+/// same time step — a case the paper's asynchronous couplers never need to
+/// distinguish, but a discrete simulator must.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TieRule {
+    /// Simultaneous same-wavelength signals garble each other: every
+    /// involved worm is eliminated. The physically conservative default.
+    AllEliminated,
+    /// The worm with the smallest id survives (deterministic, useful in
+    /// tests).
+    LowestId,
+    /// A uniformly random contender survives.
+    Random,
+}
+
+/// Full configuration of the network's routers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Bandwidth `B`: number of wavelengths each router handles.
+    pub bandwidth: u16,
+    /// The coupler's collision rule.
+    pub rule: CollisionRule,
+    /// Tie rule for simultaneous arrivals.
+    pub tie: TieRule,
+    /// Record a full [`crate::spec::Conflict`] log (needed for witness-tree
+    /// reconstruction; small overhead otherwise).
+    pub record_conflicts: bool,
+}
+
+impl RouterConfig {
+    /// Serve-first routers with bandwidth `b` and the default tie rule.
+    pub fn serve_first(b: u16) -> Self {
+        RouterConfig {
+            bandwidth: b,
+            rule: CollisionRule::ServeFirst,
+            tie: TieRule::AllEliminated,
+            record_conflicts: false,
+        }
+    }
+
+    /// Priority routers with bandwidth `b`.
+    pub fn priority(b: u16) -> Self {
+        RouterConfig { rule: CollisionRule::Priority, ..Self::serve_first(b) }
+    }
+
+    /// Wavelength-conversion (baseline) routers with bandwidth `b`.
+    pub fn conversion(b: u16) -> Self {
+        RouterConfig { rule: CollisionRule::Conversion, ..Self::serve_first(b) }
+    }
+
+    /// Builder-style: set the tie rule.
+    pub fn with_tie(mut self, tie: TieRule) -> Self {
+        self.tie = tie;
+        self
+    }
+
+    /// Builder-style: enable conflict logging.
+    pub fn with_conflict_log(mut self) -> Self {
+        self.record_conflicts = true;
+        self
+    }
+
+    /// Panic if the configuration is unusable.
+    pub fn validate(&self) {
+        assert!(self.bandwidth >= 1, "bandwidth must be at least 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = RouterConfig::serve_first(4);
+        assert_eq!(c.bandwidth, 4);
+        assert_eq!(c.rule, CollisionRule::ServeFirst);
+        assert_eq!(RouterConfig::priority(2).rule, CollisionRule::Priority);
+        assert_eq!(RouterConfig::conversion(8).rule, CollisionRule::Conversion);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = RouterConfig::serve_first(1).with_tie(TieRule::LowestId).with_conflict_log();
+        assert_eq!(c.tie, TieRule::LowestId);
+        assert!(c.record_conflicts);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        RouterConfig::serve_first(0).validate();
+    }
+}

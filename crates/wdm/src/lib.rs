@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Flit-level simulator of all-optical (WDM) wormhole routing.
+//!
+//! Implements exactly the machine model of Flammini & Scheideler (SPAA
+//! 1997), §1.1:
+//!
+//! * messages are **worms** of `L` flits; a worm in flight occupies a
+//!   contiguous sequence of directed links, one flit per link;
+//! * one time step is the time one flit needs to traverse one link; worms
+//!   cannot be buffered — they move one link per step or are discarded;
+//! * every router handles `B` wavelengths (its *bandwidth*); two worms
+//!   conflict iff they use the same **directed link** on the same
+//!   **wavelength** at the same time;
+//! * conflicts are resolved by the router's coupler rule
+//!   ([`CollisionRule`]):
+//!   - **serve-first** — the arriving worm is eliminated,
+//!   - **priority** — the higher-priority worm proceeds; a losing worm
+//!     that was mid-transmission is *partly discarded* (its forwarded
+//!     fragment continues downstream, the rest is dropped),
+//!   - **conversion** — the baseline regime of Cypher et al. \[11\]: the
+//!     router may move the worm to *any* free wavelength; it is eliminated
+//!     only when all `B` wavelengths of the link are busy.
+//!
+//! The engine ([`engine::Engine`]) is event-driven over head-arrival
+//! events with a bucket queue, runs in `O(Σ path lengths)` per round, and
+//! reports a [`spec::Fate`] per worm plus an optional conflict log from
+//! which the paper's witness trees can be reconstructed.
+//!
+//! [`components`] additionally models the *structure* of routers
+//! (Figures 1–3): couplers, elementary vs generalized wavelength-selective
+//! switches, and the 2×2 router built from them.
+
+pub mod components;
+pub mod config;
+pub mod engine;
+pub mod reference;
+pub mod resolve;
+pub mod spec;
+
+pub use config::{CollisionRule, RouterConfig, TieRule};
+pub use engine::Engine;
+pub use spec::{Conflict, Fate, RoundOutcome, TransmissionSpec, WormResult};

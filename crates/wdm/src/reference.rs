@@ -1,0 +1,574 @@
+//! Slow reference simulator for differential testing.
+//!
+//! Simulates the same model as [`crate::engine::Engine`] but from first
+//! principles: per time step it recomputes every flit's position from the
+//! "gate" times at which couplers started dropping each worm, instead of
+//! maintaining incremental occupancy slots. `O(horizon · Σ path lengths)`
+//! per round — only suitable for small instances, which is the point: an
+//! independent implementation whose agreement with the event engine is
+//! checked exhaustively in `tests/differential.rs`.
+//!
+//! Group resolution deliberately reuses [`crate::resolve::resolve_group`]:
+//! the differential target is the occupancy / elimination / truncation
+//! *bookkeeping*, which is where wormhole simulators go wrong.
+
+use crate::config::{CollisionRule, RouterConfig, TieRule};
+use crate::resolve::{resolve_group, Candidate, GroupDecision};
+use crate::spec::{Fate, TransmissionSpec};
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Open-gate marker.
+const OPEN: u32 = u32::MAX;
+
+struct RefWorm {
+    /// Time from which coupler `j` drops this worm's flits (`OPEN` if it
+    /// never blocks).
+    gates: Vec<u32>,
+    /// Wavelength used on each edge (constant except under conversion).
+    wl_at: Vec<u16>,
+    /// Head eliminated at `(edge, time)`.
+    dead: Option<(u32, u32)>,
+}
+
+impl RefWorm {
+    /// Does flit `k` of this worm reach edge `j` (i.e. pass couplers
+    /// `0..=j`)? Flit `k` arrives at coupler `c` at time `s + c + k`.
+    fn flit_passes(&self, start: u32, j: usize, k: u32) -> bool {
+        self.gates[..=j].iter().enumerate().all(|(c, &g)| start + c as u32 + k < g)
+    }
+}
+
+/// Simulate one round; returns the fate of every worm.
+///
+/// Supports all collision rules; `rng` is used exactly like the engine
+/// does for [`TieRule::Random`] (but differential tests should stick to
+/// the deterministic tie rules, since the two implementations draw in
+/// different orders).
+pub fn simulate(
+    link_count: usize,
+    config: RouterConfig,
+    specs: &[TransmissionSpec<'_>],
+    rng: &mut impl Rng,
+) -> Vec<Fate> {
+    simulate_with_converters(link_count, config, None, specs, rng)
+}
+
+/// Flit-level occupancy trace: `trace[t]` lists every `(link, wavelength,
+/// worm)` slot that is busy during step `t`. Produced by
+/// [`simulate_traced`]; render with [`render_timeline`].
+pub type OccupancyTrace = Vec<Vec<(u32, u16, u32)>>;
+
+/// [`simulate`] with a sparse-converter mask, mirroring
+/// [`crate::engine::Engine::set_converters`].
+pub fn simulate_with_converters(
+    link_count: usize,
+    config: RouterConfig,
+    converters: Option<&[bool]>,
+    specs: &[TransmissionSpec<'_>],
+    rng: &mut impl Rng,
+) -> Vec<Fate> {
+    simulate_inner(link_count, config, converters, None, specs, rng, None)
+}
+
+/// [`simulate`] with converter and dead-link masks, mirroring
+/// [`crate::engine::Engine::set_converters`] and
+/// [`crate::engine::Engine::set_dead_links`].
+pub fn simulate_with_faults(
+    link_count: usize,
+    config: RouterConfig,
+    converters: Option<&[bool]>,
+    dead_links: Option<&[bool]>,
+    specs: &[TransmissionSpec<'_>],
+    rng: &mut impl Rng,
+) -> Vec<Fate> {
+    simulate_inner(link_count, config, converters, dead_links, specs, rng, None)
+}
+
+/// [`simulate`] that additionally records the full flit-level occupancy
+/// timeline (small instances only — the trace is `O(horizon · flits)`).
+pub fn simulate_traced(
+    link_count: usize,
+    config: RouterConfig,
+    specs: &[TransmissionSpec<'_>],
+    rng: &mut impl Rng,
+) -> (Vec<Fate>, OccupancyTrace) {
+    let mut trace = OccupancyTrace::new();
+    let fates = simulate_inner(link_count, config, None, None, specs, rng, Some(&mut trace));
+    (fates, trace)
+}
+
+fn simulate_inner(
+    link_count: usize,
+    config: RouterConfig,
+    converters: Option<&[bool]>,
+    dead_links: Option<&[bool]>,
+    specs: &[TransmissionSpec<'_>],
+    rng: &mut impl Rng,
+    trace: Option<&mut OccupancyTrace>,
+) -> Vec<Fate> {
+    config.validate();
+    debug_assert!(
+        specs.iter().flat_map(|s| s.links).all(|&l| (l as usize) < link_count),
+        "link id out of range"
+    );
+    let b = config.bandwidth as usize;
+    let mut worms: Vec<RefWorm> = specs
+        .iter()
+        .map(|s| RefWorm {
+            gates: vec![OPEN; s.links.len()],
+            wl_at: vec![s.wavelength; s.links.len()],
+            dead: None,
+        })
+        .collect();
+
+    let horizon = specs
+        .iter()
+        .map(|s| s.start + s.links.len() as u32 + s.length + 1)
+        .max()
+        .unwrap_or(0);
+
+    for t in 0..horizon {
+        // Occupancy at step t: which worms have a flit on each
+        // (link, wavelength)?
+        let mut occupants: HashMap<(u32, u16), Vec<u32>> = HashMap::new();
+        for (w, s) in specs.iter().enumerate() {
+            for (j, &link) in s.links.iter().enumerate() {
+                let Some(k) = (t as i64 - s.start as i64 - j as i64).try_into().ok() else {
+                    continue;
+                };
+                let k: u32 = k;
+                // k == 0 would be a head *arriving* at step t — that is a
+                // group arrival, not an established occupant. Occupancy
+                // requires the worm to have started streaming earlier.
+                if k == 0 || k >= s.length {
+                    continue;
+                }
+                if worms[w].flit_passes(s.start, j, k) {
+                    occupants.entry((link, worms[w].wl_at[j])).or_default().push(w as u32);
+                }
+            }
+        }
+        // Sanity: the model admits one worm per slot.
+        for list in occupants.values() {
+            debug_assert!(list.len() <= 1, "reference occupancy invariant broken");
+        }
+
+        // Head arrivals at step t. Key layout mirrors the engine:
+        // link*(B+1) + wl for fixed-wavelength, link*(B+1) + B per-link.
+        let mut arrivals: Vec<(u64, u32, u32)> = Vec::new(); // (key, worm, edge)
+        for (w, s) in specs.iter().enumerate() {
+            if worms[w].dead.is_some() || s.links.is_empty() {
+                continue;
+            }
+            let j = t as i64 - s.start as i64;
+            if j < 0 || j >= s.links.len() as i64 {
+                continue;
+            }
+            let j = j as u32;
+            let link = s.links[j as usize];
+            if dead_links.is_some_and(|m| m[link as usize]) {
+                // Fiber cut: mirror the engine exactly.
+                kill(&mut worms[w], j, t);
+                continue;
+            }
+            let per_link = matches!(config.rule, CollisionRule::Conversion)
+                || converters.is_some_and(|m| m[link as usize]);
+            let sub =
+                if per_link { b as u64 } else { worms[w].wl_at[j as usize] as u64 };
+            arrivals.push((link as u64 * (b as u64 + 1) + sub, w as u32, j));
+        }
+        arrivals.sort_unstable();
+
+        let mut i = 0;
+        while i < arrivals.len() {
+            let key = arrivals[i].0;
+            let mut jdx = i + 1;
+            while jdx < arrivals.len() && arrivals[jdx].0 == key {
+                jdx += 1;
+            }
+            let group = &arrivals[i..jdx];
+            i = jdx;
+            let per_link = key % (b as u64 + 1) == b as u64;
+
+            match config.rule {
+                _ if per_link && config.rule != CollisionRule::Conversion => {
+                    // Sparse-converter link: mirror the engine's
+                    // sequential hybrid resolution exactly.
+                    let (_, w0, e0) = group[0];
+                    let link = specs[w0 as usize].links[e0 as usize];
+                    let mut order: Vec<usize> = (0..group.len()).collect();
+                    if config.rule == CollisionRule::Priority {
+                        order.sort_by_key(|&gi| {
+                            let (_, w, _) = group[gi];
+                            (std::cmp::Reverse(specs[w as usize].priority), w)
+                        });
+                    }
+                    // Installs made earlier in this same step.
+                    let mut step_installed: HashMap<u16, u32> = HashMap::new();
+                    for &gi in &order {
+                        let (_, w, e) = group[gi];
+                        let busy_worm = |wl: u16,
+                                         step_installed: &HashMap<u16, u32>|
+                         -> Option<(u32, bool)> {
+                            if let Some(&iw) = step_installed.get(&wl) {
+                                return Some((iw, false)); // entry == t
+                            }
+                            occupants
+                                .get(&(link, wl))
+                                .and_then(|v| v.first())
+                                .map(|&ow| (ow, true))
+                        };
+                        // Mirror the engine: the worm's current wavelength
+                        // first, then the lowest free index.
+                        let own = worms[w as usize].wl_at[e as usize];
+                        let free_wl = std::iter::once(own)
+                            .chain(0..b as u16)
+                            .find(|&wl| busy_worm(wl, &step_installed).is_none());
+                        if let Some(wl) = free_wl {
+                            step_installed.insert(wl, w);
+                            for slot in worms[w as usize].wl_at[e as usize..].iter_mut() {
+                                *slot = wl;
+                            }
+                            continue;
+                        }
+                        // All wavelengths busy: find the weakest occupant.
+                        let (occ_worm, occ_wl, preexisting) = (0..b as u16)
+                            .map(|wl| {
+                                let (ow, pre) = busy_worm(wl, &step_installed).unwrap();
+                                (ow, wl, pre)
+                            })
+                            .min_by_key(|&(ow, wl, _)| (specs[ow as usize].priority, wl))
+                            .expect("bandwidth >= 1");
+                        if config.rule == CollisionRule::Priority
+                            && specs[w as usize].priority > specs[occ_worm as usize].priority
+                            && preexisting
+                        {
+                            // Preempt: close the occupant's gate at its
+                            // edge on this link.
+                            let ow = occ_worm as usize;
+                            let oe = specs[ow]
+                                .links
+                                .iter()
+                                .enumerate()
+                                .find(|&(j, &lk)| {
+                                    lk == link && worms[ow].wl_at[j] == occ_wl && {
+                                        let k =
+                                            t as i64 - specs[ow].start as i64 - j as i64;
+                                        k >= 1 && (k as u32) < specs[ow].length
+                                    }
+                                })
+                                .map(|(j, _)| j)
+                                .expect("occupant edge");
+                            worms[ow].gates[oe] = worms[ow].gates[oe].min(t);
+                            step_installed.insert(occ_wl, w);
+                            for slot in worms[w as usize].wl_at[e as usize..].iter_mut() {
+                                *slot = occ_wl;
+                            }
+                        } else {
+                            kill(&mut worms[w as usize], e, t);
+                        }
+                    }
+                }
+                CollisionRule::Conversion => {
+                    let (_, w0, e0) = group[0];
+                    let link = specs[w0 as usize].links[e0 as usize];
+                    let busy: Vec<u16> = (0..b as u16)
+                        .filter(|&wl| occupants.contains_key(&(link, wl)))
+                        .collect();
+                    let mut free: Vec<u16> =
+                        (0..b as u16).filter(|wl| !busy.contains(wl)).collect();
+                    let winners = free.len().min(group.len());
+                    if group.len() > free.len() && config.tie == TieRule::AllEliminated {
+                        for &(_, w, e) in group {
+                            kill(&mut worms[w as usize], e, t);
+                        }
+                        continue;
+                    }
+                    // LowestId order (groups are sorted by worm id);
+                    // Random intentionally unsupported here.
+                    assert_ne!(
+                        config.tie,
+                        TieRule::Random,
+                        "reference simulator: use a deterministic tie rule"
+                    );
+                    for (rank, &(_, w, e)) in group.iter().enumerate() {
+                        if rank < winners {
+                            let wl = free.remove(0);
+                            worms[w as usize].wl_at[e as usize] = wl;
+                        } else {
+                            kill(&mut worms[w as usize], e, t);
+                        }
+                    }
+                }
+                _ => {
+                    let (_, w0, e0) = group[0];
+                    let link = specs[w0 as usize].links[e0 as usize];
+                    let wl = worms[w0 as usize].wl_at[e0 as usize];
+                    let occupant = occupants.get(&(link, wl)).and_then(|v| v.first()).map(|&ow| {
+                        Candidate { id: ow, priority: specs[ow as usize].priority }
+                    });
+                    let cands: Vec<Candidate> = group
+                        .iter()
+                        .map(|&(_, w, _)| Candidate { id: w, priority: specs[w as usize].priority })
+                        .collect();
+                    match resolve_group(config.rule, config.tie, occupant, &cands, rng) {
+                        GroupDecision::OccupantWins => {
+                            for &(_, w, e) in group {
+                                kill(&mut worms[w as usize], e, t);
+                            }
+                        }
+                        GroupDecision::ArrivalWins(idx) => {
+                            if let Some(occ) = occupant {
+                                // Close the loser-occupant's gate at the
+                                // contested coupler.
+                                let ow = occ.id as usize;
+                                let oe = specs[ow]
+                                    .links
+                                    .iter()
+                                    .enumerate()
+                                    .find(|&(j, &lk)| {
+                                        lk == link
+                                            && worms[ow].wl_at[j] == wl
+                                            && {
+                                                let k = t as i64
+                                                    - specs[ow].start as i64
+                                                    - j as i64;
+                                                // Same condition as the
+                                                // occupancy scan: k ≥ 1.
+                                                k >= 1 && (k as u32) < specs[ow].length
+                                            }
+                                    })
+                                    .map(|(j, _)| j)
+                                    .expect("occupant edge");
+                                worms[ow].gates[oe] = worms[ow].gates[oe].min(t);
+                            }
+                            for (kk, &(_, w, e)) in group.iter().enumerate() {
+                                if kk != idx {
+                                    kill(&mut worms[w as usize], e, t);
+                                }
+                            }
+                        }
+                        GroupDecision::AllLose => {
+                            for &(_, w, e) in group {
+                                kill(&mut worms[w as usize], e, t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Optional post-hoc occupancy trace. Final gates describe exactly
+    // which flits ever traversed each link (a gate closing at time t only
+    // removes flits whose arrival at that coupler is >= t, so earlier
+    // traversals are untouched): flit k of worm w occupies link j during
+    // step start + j + k iff it passes all gates up to j.
+    if let Some(trace) = trace {
+        trace.clear();
+        trace.resize(horizon as usize, Vec::new());
+        for (w, s) in specs.iter().enumerate() {
+            for (j, &link) in s.links.iter().enumerate() {
+                for k in 0..s.length {
+                    if !worms[w].flit_passes(s.start, j, k) {
+                        break;
+                    }
+                    let t = (s.start + j as u32 + k) as usize;
+                    if t < trace.len() {
+                        trace[t].push((link, worms[w].wl_at[j], w as u32));
+                    }
+                }
+            }
+        }
+        for row in trace.iter_mut() {
+            row.sort_unstable();
+        }
+    }
+
+    // Fates.
+    let fates: Vec<Fate> = specs
+        .iter()
+        .enumerate()
+        .map(|(w, s)| {
+            if s.links.is_empty() {
+                return Fate::Delivered { completed_at: s.start };
+            }
+            if let Some((at_edge, at_time)) = worms[w].dead {
+                return Fate::Eliminated { at_edge, at_time };
+            }
+            // Delivered flits: those passing every coupler.
+            let last = s.links.len() - 1;
+            let delivered =
+                (0..s.length).take_while(|&k| worms[w].flit_passes(s.start, last, k)).count()
+                    as u32;
+            if delivered == s.length {
+                Fate::Delivered { completed_at: s.start + s.links.len() as u32 + s.length - 1 }
+            } else {
+                // The *binding* cut: the closed gate admitting the fewest
+                // flits (ties -> smallest edge), matching the engine.
+                let cut_at_edge = worms[w]
+                    .gates
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &g)| g != OPEN)
+                    .map(|(j, &g)| {
+                        let allowed =
+                            (g as i64 - s.start as i64 - j as i64).clamp(0, s.length as i64);
+                        (allowed, j as u32)
+                    })
+                    .min()
+                    .map(|(_, j)| j)
+                    .expect("truncated worm has a closed gate");
+                Fate::Truncated { delivered_flits: delivered, cut_at_edge }
+            }
+        })
+        .collect();
+    fates
+}
+
+/// Render an [`OccupancyTrace`] as ASCII art: one row per directed link
+/// (restricted to `links`), one column per step; worms print as letters
+/// (`a` = worm 0), `.` = idle. Wavelengths are not distinguished — pass
+/// B = 1 instances for unambiguous pictures.
+pub fn render_timeline(
+    trace: &OccupancyTrace,
+    links: &[u32],
+    link_names: impl Fn(u32) -> String,
+) -> String {
+    let glyph = |w: u32| -> char {
+        char::from_u32('a' as u32 + (w % 26)).unwrap()
+    };
+    let width = links.iter().map(|&l| link_names(l).len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for &l in links {
+        out.push_str(&format!("{:>width$} |", link_names(l)));
+        for row in trace {
+            let here: Vec<u32> =
+                row.iter().filter(|&&(link, _, _)| link == l).map(|&(_, _, w)| w).collect();
+            out.push(match here.len() {
+                0 => '.',
+                1 => glyph(here[0]),
+                _ => '*', // multiple wavelengths active
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn kill(worm: &mut RefWorm, edge: u32, t: u32) {
+    worm.dead = Some((edge, t));
+    worm.gates[edge as usize] = worm.gates[edge as usize].min(t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_topo::topologies;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn lone_worm_delivered() {
+        let net = topologies::chain(4);
+        let links = net.links_along(&[0, 1, 2, 3]).unwrap();
+        let specs = [TransmissionSpec { links: &links, start: 2, wavelength: 0, priority: 0, length: 3 }];
+        let fates = simulate(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        assert_eq!(fates[0], Fate::Delivered { completed_at: 2 + 3 + 3 - 1 });
+    }
+
+    #[test]
+    fn serve_first_blocks_late_arrival() {
+        let net = topologies::chain(4);
+        let a = net.links_along(&[0, 1, 2, 3]).unwrap();
+        let bl = net.links_along(&[1, 2, 3]).unwrap();
+        let specs = [
+            TransmissionSpec { links: &a, start: 0, wavelength: 0, priority: 0, length: 3 },
+            TransmissionSpec { links: &bl, start: 2, wavelength: 0, priority: 0, length: 3 },
+        ];
+        let fates = simulate(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        assert!(fates[0].is_delivered());
+        assert_eq!(fates[1], Fate::Eliminated { at_edge: 0, at_time: 2 });
+    }
+
+    #[test]
+    fn trace_matches_hand_computation() {
+        // One worm, chain of 3 links, start 1, L = 2: link j busy during
+        // steps [1+j, 3+j).
+        let net = topologies::chain(4);
+        let links = net.links_along(&[0, 1, 2, 3]).unwrap();
+        let specs = [TransmissionSpec { links: &links, start: 1, wavelength: 0, priority: 0, length: 2 }];
+        let (fates, trace) =
+            simulate_traced(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        assert!(fates[0].is_delivered());
+        for (j, &l) in links.iter().enumerate() {
+            for t in 0..trace.len() as u32 {
+                let busy = trace[t as usize].iter().any(|&(link, _, w)| link == l && w == 0);
+                let expect = (1 + j as u32..3 + j as u32).contains(&t);
+                assert_eq!(busy, expect, "link {j} at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_shows_draining_body_of_eliminated_worm() {
+        // Two worms colliding: the loser's body keeps occupying its first
+        // link for the full L steps.
+        let net = topologies::chain(4);
+        let a = net.links_along(&[0, 1, 2, 3]).unwrap();
+        let b = net.links_along(&[1, 2, 3]).unwrap();
+        let specs = [
+            TransmissionSpec { links: &a, start: 0, wavelength: 0, priority: 0, length: 3 },
+            TransmissionSpec { links: &b, start: 2, wavelength: 0, priority: 0, length: 3 },
+        ];
+        let (fates, trace) =
+            simulate_traced(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        assert!(matches!(fates[1], Fate::Eliminated { .. }));
+        // Worm 1 never occupies any link (eliminated at its first coupler
+        // before entering).
+        for row in &trace {
+            assert!(!row.iter().any(|&(_, _, w)| w == 1));
+        }
+        // Worm 0 occupies its first link during [0, 3).
+        let l0 = a[0];
+        for row in trace.iter().take(3) {
+            assert!(row.iter().any(|&(l, _, w)| l == l0 && w == 0));
+        }
+    }
+
+    #[test]
+    fn render_timeline_shapes() {
+        let net = topologies::chain(3);
+        let links = net.links_along(&[0, 1, 2]).unwrap();
+        let specs = [TransmissionSpec { links: &links, start: 0, wavelength: 0, priority: 0, length: 2 }];
+        let (_, trace) =
+            simulate_traced(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        let art = render_timeline(&trace, &links, |l| format!("L{l}"));
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("aa"), "worm 0 renders as 'a': {art}");
+    }
+
+    #[test]
+    fn priority_truncation_matches_expectation() {
+        let mut b = optical_topo::NetworkBuilder::new("spur", 6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (5, 2)] {
+            b.add_edge(u, v);
+        }
+        let net = b.build();
+        let victim = net.links_along(&[0, 1, 2, 3, 4]).unwrap();
+        let attacker = net.links_along(&[5, 2, 3]).unwrap();
+        let specs = [
+            TransmissionSpec { links: &victim, start: 0, wavelength: 0, priority: 1, length: 4 },
+            TransmissionSpec { links: &attacker, start: 3, wavelength: 0, priority: 9, length: 4 },
+        ];
+        let fates = simulate(net.link_count(), RouterConfig::priority(1), &specs, &mut rng());
+        assert_eq!(fates[0], Fate::Truncated { delivered_flits: 2, cut_at_edge: 2 });
+        assert!(fates[1].is_delivered());
+    }
+}

@@ -1,0 +1,216 @@
+//! Shared conflict-resolution logic: given the worm currently traversing a
+//! coupler (if any) and the set of worms arriving in the same step, decide
+//! who proceeds. Used by the round engine and by the
+//! [`crate::components::Coupler`] micro-model.
+
+use crate::config::{CollisionRule, TieRule};
+use rand::Rng;
+
+/// A contender in a conflict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Candidate {
+    /// Worm id.
+    pub id: u32,
+    /// Priority; larger wins (only consulted under the priority rule).
+    pub priority: u64,
+}
+
+/// Decision for one (link, wavelength) group in one step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GroupDecision {
+    /// The current occupant keeps the link; every arrival loses.
+    OccupantWins,
+    /// The arrival at this index (into the arrivals slice) takes the link;
+    /// the occupant (if any) is cut and the other arrivals lose.
+    ArrivalWins(usize),
+    /// Nobody survives (simultaneous tie under
+    /// [`TieRule::AllEliminated`]; only possible with no occupant).
+    AllLose,
+}
+
+/// Resolve a conflict group.
+///
+/// `occupant` is the worm whose flits are currently streaming through the
+/// coupler onto the link; `arrivals` are the worms whose heads reached the
+/// coupler in this step (non-empty). The conversion rule is handled by the
+/// engine directly (it involves multiple wavelength slots) and must not be
+/// passed here.
+pub fn resolve_group(
+    rule: CollisionRule,
+    tie: TieRule,
+    occupant: Option<Candidate>,
+    arrivals: &[Candidate],
+    rng: &mut impl Rng,
+) -> GroupDecision {
+    assert!(!arrivals.is_empty(), "conflict group without arrivals");
+    match rule {
+        CollisionRule::ServeFirst => {
+            if occupant.is_some() {
+                // "the new message is eliminated" — all of them.
+                GroupDecision::OccupantWins
+            } else if arrivals.len() == 1 {
+                GroupDecision::ArrivalWins(0)
+            } else {
+                break_tie(tie, 0..arrivals.len(), arrivals, rng)
+            }
+        }
+        CollisionRule::Priority => {
+            // Highest priority among arrivals.
+            let best = arrivals.iter().map(|c| c.priority).max().unwrap();
+            if let Some(occ) = occupant {
+                // The established worm wins priority ties: physically its
+                // signal is already locked through the coupler.
+                if occ.priority >= best {
+                    return GroupDecision::OccupantWins;
+                }
+            }
+            let top: Vec<usize> =
+                (0..arrivals.len()).filter(|&i| arrivals[i].priority == best).collect();
+            if top.len() == 1 {
+                GroupDecision::ArrivalWins(top[0])
+            } else {
+                // Equal top priorities among simultaneous arrivals: the
+                // paper assumes this never happens ("no two worms with the
+                // same priority can meet"); fall back to the tie rule.
+                break_tie(tie, top.into_iter(), arrivals, rng)
+            }
+        }
+        CollisionRule::Conversion => {
+            unreachable!("conversion groups are resolved by the engine, not resolve_group")
+        }
+    }
+}
+
+fn break_tie(
+    tie: TieRule,
+    contenders: impl Iterator<Item = usize>,
+    arrivals: &[Candidate],
+    rng: &mut impl Rng,
+) -> GroupDecision {
+    let contenders: Vec<usize> = contenders.collect();
+    debug_assert!(!contenders.is_empty());
+    match tie {
+        TieRule::AllEliminated => GroupDecision::AllLose,
+        TieRule::LowestId => {
+            let idx =
+                contenders.into_iter().min_by_key(|&i| arrivals[i].id).expect("non-empty");
+            GroupDecision::ArrivalWins(idx)
+        }
+        TieRule::Random => {
+            let pick = rng.gen_range(0..contenders.len());
+            GroupDecision::ArrivalWins(contenders[pick])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn c(id: u32, priority: u64) -> Candidate {
+        Candidate { id, priority }
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn serve_first_occupant_always_wins() {
+        let d = resolve_group(
+            CollisionRule::ServeFirst,
+            TieRule::AllEliminated,
+            Some(c(9, 0)),
+            &[c(1, 100), c(2, 200)],
+            &mut rng(),
+        );
+        assert_eq!(d, GroupDecision::OccupantWins);
+    }
+
+    #[test]
+    fn serve_first_single_arrival_takes_free_link() {
+        let d = resolve_group(
+            CollisionRule::ServeFirst,
+            TieRule::AllEliminated,
+            None,
+            &[c(5, 0)],
+            &mut rng(),
+        );
+        assert_eq!(d, GroupDecision::ArrivalWins(0));
+    }
+
+    #[test]
+    fn serve_first_simultaneous_ties() {
+        let arr = [c(5, 0), c(3, 0), c(7, 0)];
+        assert_eq!(
+            resolve_group(CollisionRule::ServeFirst, TieRule::AllEliminated, None, &arr, &mut rng()),
+            GroupDecision::AllLose
+        );
+        assert_eq!(
+            resolve_group(CollisionRule::ServeFirst, TieRule::LowestId, None, &arr, &mut rng()),
+            GroupDecision::ArrivalWins(1),
+            "worm 3 has the lowest id"
+        );
+        match resolve_group(CollisionRule::ServeFirst, TieRule::Random, None, &arr, &mut rng()) {
+            GroupDecision::ArrivalWins(i) => assert!(i < 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn priority_arrival_beats_weaker_occupant() {
+        let d = resolve_group(
+            CollisionRule::Priority,
+            TieRule::AllEliminated,
+            Some(c(0, 5)),
+            &[c(1, 3), c(2, 8)],
+            &mut rng(),
+        );
+        assert_eq!(d, GroupDecision::ArrivalWins(1));
+    }
+
+    #[test]
+    fn priority_occupant_survives_equal_priority() {
+        let d = resolve_group(
+            CollisionRule::Priority,
+            TieRule::AllEliminated,
+            Some(c(0, 8)),
+            &[c(1, 8)],
+            &mut rng(),
+        );
+        assert_eq!(d, GroupDecision::OccupantWins);
+    }
+
+    #[test]
+    fn priority_tie_among_arrivals_uses_tie_rule() {
+        let arr = [c(4, 9), c(2, 9), c(3, 1)];
+        assert_eq!(
+            resolve_group(CollisionRule::Priority, TieRule::LowestId, None, &arr, &mut rng()),
+            GroupDecision::ArrivalWins(1)
+        );
+        assert_eq!(
+            resolve_group(CollisionRule::Priority, TieRule::AllEliminated, None, &arr, &mut rng()),
+            GroupDecision::AllLose
+        );
+    }
+
+    #[test]
+    fn priority_unique_top_needs_no_tie_rule() {
+        let d = resolve_group(
+            CollisionRule::Priority,
+            TieRule::AllEliminated,
+            None,
+            &[c(1, 3), c(2, 8), c(3, 5)],
+            &mut rng(),
+        );
+        assert_eq!(d, GroupDecision::ArrivalWins(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "without arrivals")]
+    fn empty_arrivals_rejected() {
+        resolve_group(CollisionRule::ServeFirst, TieRule::AllEliminated, None, &[], &mut rng());
+    }
+}

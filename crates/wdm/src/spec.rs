@@ -1,0 +1,160 @@
+//! Input and output records of a simulated round.
+
+use optical_topo::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// One worm to transmit during a round.
+///
+/// The link sequence is borrowed (usually from an
+/// `optical_paths::PathCollection`), so launching a round allocates nothing
+/// per worm.
+#[derive(Clone, Copy, Debug)]
+pub struct TransmissionSpec<'a> {
+    /// Directed links of the worm's path, in order. May be empty (source
+    /// equals destination: the worm is delivered instantly).
+    pub links: &'a [LinkId],
+    /// Startup delay: the step at which the head enters the first link.
+    pub start: u32,
+    /// Wavelength in `[0, B)` used for the whole path (ignored under
+    /// [`crate::CollisionRule::Conversion`], where the router re-picks per
+    /// hop).
+    pub wavelength: u16,
+    /// Priority; larger wins. Only consulted under
+    /// [`crate::CollisionRule::Priority`].
+    pub priority: u64,
+    /// Worm length `L` in flits (≥ 1).
+    pub length: u32,
+}
+
+/// Final fate of one worm after a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Fate {
+    /// All `L` flits reached the destination.
+    Delivered {
+        /// Step at the end of which the tail finished the last link.
+        completed_at: u32,
+    },
+    /// The head reached the destination but the worm was cut on the way:
+    /// only a fragment arrived, so the transmission failed (§1.3: "worms
+    /// are only partly discarded" under the priority rule).
+    Truncated {
+        /// Number of flits that arrived (≥ 1).
+        delivered_flits: u32,
+        /// Path position of the coupler where the (first) cut happened.
+        cut_at_edge: u32,
+    },
+    /// The head was eliminated at a coupler; nothing arrived.
+    Eliminated {
+        /// Path position of the link the head failed to enter.
+        at_edge: u32,
+        /// Step of the fatal conflict.
+        at_time: u32,
+    },
+}
+
+impl Fate {
+    /// Whether the worm counts as successfully routed (full delivery).
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Fate::Delivered { .. })
+    }
+}
+
+/// Per-worm result of a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WormResult {
+    /// What happened to the worm.
+    pub fate: Fate,
+    /// The worm that caused this worm's *first* failure event (elimination
+    /// or cut), if any. This is exactly the "witness" relation of the
+    /// paper's witness-tree argument (§2.1).
+    pub first_blocker: Option<u32>,
+}
+
+/// What kind of conflict a log entry records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictKind {
+    /// Arriving worm(s) lost against the worm already occupying the link.
+    ArrivalBlocked,
+    /// The occupant was cut by a higher-priority arrival.
+    OccupantCut,
+    /// Simultaneous arrivals tied (resolved per the tie rule).
+    SimultaneousTie,
+    /// Conversion rule: all wavelengths busy.
+    AllWavelengthsBusy,
+}
+
+/// One resolved conflict (only recorded when
+/// [`crate::RouterConfig::record_conflicts`] is set).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Conflict {
+    /// Time step of the conflict.
+    pub time: u32,
+    /// Contested directed link.
+    pub link: LinkId,
+    /// Contested wavelength (of the winner, under conversion).
+    pub wavelength: u16,
+    /// Surviving worm, if any.
+    pub winner: Option<u32>,
+    /// Worms eliminated or cut in this conflict.
+    pub losers: Vec<u32>,
+    /// What happened.
+    pub kind: ConflictKind,
+}
+
+/// Outcome of one simulated round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoundOutcome {
+    /// Per-worm results, indexed like the input specs.
+    pub results: Vec<WormResult>,
+    /// Conflict log (empty unless `record_conflicts`).
+    pub conflicts: Vec<Conflict>,
+    /// Last step at which anything happened (an upper bound on the
+    /// forward-pass completion time of the round).
+    pub makespan: u32,
+}
+
+impl RoundOutcome {
+    /// Number of fully delivered worms.
+    pub fn delivered_count(&self) -> usize {
+        self.results.iter().filter(|r| r.fate.is_delivered()).count()
+    }
+
+    /// Ids of worms that failed (eliminated or truncated).
+    pub fn failed_ids(&self) -> Vec<u32> {
+        self.results
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.fate.is_delivered())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fate_predicates() {
+        assert!(Fate::Delivered { completed_at: 3 }.is_delivered());
+        assert!(!Fate::Truncated { delivered_flits: 2, cut_at_edge: 1 }.is_delivered());
+        assert!(!Fate::Eliminated { at_edge: 0, at_time: 0 }.is_delivered());
+    }
+
+    #[test]
+    fn outcome_counters() {
+        let outcome = RoundOutcome {
+            results: vec![
+                WormResult { fate: Fate::Delivered { completed_at: 9 }, first_blocker: None },
+                WormResult {
+                    fate: Fate::Eliminated { at_edge: 1, at_time: 4 },
+                    first_blocker: Some(0),
+                },
+            ],
+            conflicts: vec![],
+            makespan: 9,
+        };
+        assert_eq!(outcome.delivered_count(), 1);
+        assert_eq!(outcome.failed_ids(), vec![1]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Differential testing: the event-driven [`optical_wdm::Engine`] must
+//! agree exactly with the first-principles reference simulator on
+//! randomized small instances, across collision rules and deterministic
+//! tie rules.
+
+use optical_topo::{topologies, Network, NodeId};
+use optical_wdm::reference;
+use optical_wdm::{CollisionRule, Engine, Fate, RouterConfig, TieRule, TransmissionSpec};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A random simple path of length ≥ 0 in `net`, as links.
+fn random_path(net: &Network, rng: &mut impl Rng) -> Vec<u32> {
+    let n = net.node_count() as u32;
+    let mut cur = rng.gen_range(0..n);
+    let target_len = rng.gen_range(0..=6);
+    let mut nodes = vec![cur];
+    let mut links = Vec::new();
+    for _ in 0..target_len {
+        let neigh: Vec<(NodeId, u32)> =
+            net.neighbors(cur).filter(|(t, _)| !nodes.contains(t)).collect();
+        if neigh.is_empty() {
+            break;
+        }
+        let &(next, link) = neigh.choose(rng).unwrap();
+        nodes.push(next);
+        links.push(link);
+        cur = next;
+    }
+    links
+}
+
+fn random_networks() -> Vec<Network> {
+    vec![
+        topologies::mesh(2, 3),
+        topologies::ring(6),
+        topologies::star(5),
+        topologies::hypercube(3),
+        topologies::chain(7),
+    ]
+}
+
+fn check_case(net: &Network, config: RouterConfig, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n_worms = rng.gen_range(1..=8);
+    let paths: Vec<Vec<u32>> = (0..n_worms).map(|_| random_path(net, &mut rng)).collect();
+    // Distinct priorities: the priority rule's behaviour under equal
+    // priorities is intentionally convention-dependent.
+    let mut prios: Vec<u64> = (0..n_worms as u64).collect();
+    prios.shuffle(&mut rng);
+    let specs: Vec<TransmissionSpec<'_>> = paths
+        .iter()
+        .zip(&prios)
+        .map(|(links, &priority)| TransmissionSpec {
+            links,
+            start: rng.gen_range(0..6),
+            wavelength: rng.gen_range(0..config.bandwidth),
+            priority,
+            length: rng.gen_range(1..=4),
+        })
+        .collect();
+
+    let mut engine = Engine::new(net.link_count(), config);
+    let mut rng_a = ChaCha8Rng::seed_from_u64(0xDEAD);
+    let out = engine.run(&specs, &mut rng_a);
+    let mut rng_b = ChaCha8Rng::seed_from_u64(0xDEAD);
+    let ref_fates = reference::simulate(net.link_count(), config, &specs, &mut rng_b);
+
+    for (i, (got, want)) in out.results.iter().zip(&ref_fates).enumerate() {
+        assert_eq!(
+            got.fate, *want,
+            "divergence: net={}, rule={:?}, tie={:?}, seed={seed}, worm={i}, specs={:?}",
+            net.name(),
+            config.rule,
+            config.tie,
+            specs
+                .iter()
+                .map(|s| (s.links.to_vec(), s.start, s.wavelength, s.priority, s.length))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+fn sweep(rule: CollisionRule, tie: TieRule, bandwidth: u16, cases: u64) {
+    let config = RouterConfig { bandwidth, rule, tie, record_conflicts: false };
+    for net in random_networks() {
+        for seed in 0..cases {
+            check_case(&net, config, seed * 7919 + bandwidth as u64);
+        }
+    }
+}
+
+#[test]
+fn serve_first_all_eliminated_b1() {
+    sweep(CollisionRule::ServeFirst, TieRule::AllEliminated, 1, 120);
+}
+
+#[test]
+fn serve_first_all_eliminated_b3() {
+    sweep(CollisionRule::ServeFirst, TieRule::AllEliminated, 3, 120);
+}
+
+#[test]
+fn serve_first_lowest_id() {
+    sweep(CollisionRule::ServeFirst, TieRule::LowestId, 1, 120);
+    sweep(CollisionRule::ServeFirst, TieRule::LowestId, 2, 120);
+}
+
+#[test]
+fn priority_all_eliminated() {
+    sweep(CollisionRule::Priority, TieRule::AllEliminated, 1, 120);
+    sweep(CollisionRule::Priority, TieRule::AllEliminated, 2, 120);
+}
+
+#[test]
+fn priority_lowest_id() {
+    sweep(CollisionRule::Priority, TieRule::LowestId, 1, 120);
+}
+
+#[test]
+fn conversion_lowest_id() {
+    sweep(CollisionRule::Conversion, TieRule::LowestId, 1, 120);
+    sweep(CollisionRule::Conversion, TieRule::LowestId, 2, 120);
+    sweep(CollisionRule::Conversion, TieRule::LowestId, 4, 120);
+}
+
+#[test]
+fn conversion_all_eliminated() {
+    sweep(CollisionRule::Conversion, TieRule::AllEliminated, 2, 120);
+}
+
+#[test]
+fn dense_contention_same_source() {
+    // All worms start at the same node of a star and fight for the same
+    // few links — maximal tie pressure.
+    let net = topologies::star(4);
+    for tie in [TieRule::AllEliminated, TieRule::LowestId] {
+        for rule in [CollisionRule::ServeFirst, CollisionRule::Priority] {
+            let config = RouterConfig { bandwidth: 2, rule, tie, record_conflicts: false };
+            for seed in 0..200 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let leaf_paths: Vec<Vec<u32>> = (0..5)
+                    .map(|_| {
+                        let leaf = rng.gen_range(1..4u32);
+                        net.links_along(&[0, leaf]).unwrap()
+                    })
+                    .collect();
+                let specs: Vec<TransmissionSpec<'_>> = leaf_paths
+                    .iter()
+                    .enumerate()
+                    .map(|(i, links)| TransmissionSpec {
+                        links,
+                        start: rng.gen_range(0..3),
+                        wavelength: rng.gen_range(0..2),
+                        priority: i as u64,
+                        length: rng.gen_range(1..=3),
+                    })
+                    .collect();
+                let mut engine = Engine::new(net.link_count(), config);
+                let mut ra = ChaCha8Rng::seed_from_u64(1);
+                let out = engine.run(&specs, &mut ra);
+                let mut rb = ChaCha8Rng::seed_from_u64(1);
+                let want = reference::simulate(net.link_count(), config, &specs, &mut rb);
+                for (got, want) in out.results.iter().zip(&want) {
+                    assert_eq!(got.fate, *want, "seed {seed} rule {rule:?} tie {tie:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sparse_converters_match_reference() {
+    // Random converter masks under both base rules and bandwidths.
+    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority] {
+        for bandwidth in [1u16, 2, 3] {
+            let config = RouterConfig {
+                bandwidth,
+                rule,
+                tie: TieRule::LowestId,
+                record_conflicts: false,
+            };
+            for net in random_networks() {
+                for seed in 0..80u64 {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(31) + 5);
+                    let mask: Vec<bool> =
+                        (0..net.link_count()).map(|_| rng.gen_bool(0.4)).collect();
+                    let n_worms = rng.gen_range(1..=8);
+                    let paths: Vec<Vec<u32>> =
+                        (0..n_worms).map(|_| random_path(&net, &mut rng)).collect();
+                    let mut prios: Vec<u64> = (0..n_worms as u64).collect();
+                    prios.shuffle(&mut rng);
+                    let specs: Vec<TransmissionSpec<'_>> = paths
+                        .iter()
+                        .zip(&prios)
+                        .map(|(links, &priority)| TransmissionSpec {
+                            links,
+                            start: rng.gen_range(0..6),
+                            wavelength: rng.gen_range(0..bandwidth),
+                            priority,
+                            length: rng.gen_range(1..=4),
+                        })
+                        .collect();
+
+                    let mut engine = Engine::new(net.link_count(), config);
+                    engine.set_converters(Some(mask.clone()));
+                    let mut ra = ChaCha8Rng::seed_from_u64(1);
+                    let out = engine.run(&specs, &mut ra);
+                    let mut rb = ChaCha8Rng::seed_from_u64(1);
+                    let want = reference::simulate_with_converters(
+                        net.link_count(),
+                        config,
+                        Some(&mask),
+                        &specs,
+                        &mut rb,
+                    );
+                    for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            got.fate, *want,
+                            "sparse divergence: net={}, rule={rule:?}, B={bandwidth}, seed={seed}, worm={i}",
+                            net.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_links_match_reference() {
+    // Random fiber-cut masks combined with every rule (and sparse
+    // converters under the hybrid rules).
+    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority, CollisionRule::Conversion] {
+        for bandwidth in [1u16, 2] {
+            let config = RouterConfig {
+                bandwidth,
+                rule,
+                tie: TieRule::LowestId,
+                record_conflicts: false,
+            };
+            for net in random_networks() {
+                for seed in 0..80u64 {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(101) + 9);
+                    let mut dead = vec![false; net.link_count()];
+                    for e in 0..net.link_count() / 2 {
+                        if rng.gen_bool(0.15) {
+                            dead[2 * e] = true;
+                            dead[2 * e + 1] = true;
+                        }
+                    }
+                    let converters: Option<Vec<bool>> =
+                        (rule != CollisionRule::Conversion && rng.gen_bool(0.5)).then(|| {
+                            (0..net.link_count()).map(|_| rng.gen_bool(0.3)).collect()
+                        });
+                    let n_worms = rng.gen_range(1..=8);
+                    let paths: Vec<Vec<u32>> =
+                        (0..n_worms).map(|_| random_path(&net, &mut rng)).collect();
+                    let mut prios: Vec<u64> = (0..n_worms as u64).collect();
+                    prios.shuffle(&mut rng);
+                    let specs: Vec<TransmissionSpec<'_>> = paths
+                        .iter()
+                        .zip(&prios)
+                        .map(|(links, &priority)| TransmissionSpec {
+                            links,
+                            start: rng.gen_range(0..6),
+                            wavelength: rng.gen_range(0..bandwidth),
+                            priority,
+                            length: rng.gen_range(1..=4),
+                        })
+                        .collect();
+
+                    let mut engine = Engine::new(net.link_count(), config);
+                    engine.set_converters(converters.clone());
+                    engine.set_dead_links(Some(dead.clone()));
+                    let mut ra = ChaCha8Rng::seed_from_u64(1);
+                    let out = engine.run(&specs, &mut ra);
+                    let mut rb = ChaCha8Rng::seed_from_u64(1);
+                    let want = reference::simulate_with_faults(
+                        net.link_count(),
+                        config,
+                        converters.as_deref(),
+                        Some(&dead),
+                        &specs,
+                        &mut rb,
+                    );
+                    for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            got.fate, *want,
+                            "dead-link divergence: net={}, rule={rule:?}, B={bandwidth}, seed={seed}, worm={i}",
+                            net.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fates_partition_is_consistent() {
+    // Regardless of rule: delivered + truncated + eliminated == n, and
+    // truncated only under the priority rule.
+    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority, CollisionRule::Conversion] {
+        let net = topologies::mesh(2, 3);
+        let config = RouterConfig { bandwidth: 1, rule, tie: TieRule::LowestId, record_conflicts: false };
+        for seed in 0..60 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let paths: Vec<Vec<u32>> = (0..6).map(|_| random_path(&net, &mut rng)).collect();
+            let specs: Vec<TransmissionSpec<'_>> = paths
+                .iter()
+                .enumerate()
+                .map(|(i, links)| TransmissionSpec {
+                    links,
+                    start: rng.gen_range(0..4),
+                    wavelength: 0,
+                    priority: i as u64,
+                    length: 3,
+                })
+                .collect();
+            let mut engine = Engine::new(net.link_count(), config);
+            let out = engine.run(&specs, &mut rng);
+            for r in &out.results {
+                if matches!(r.fate, Fate::Truncated { .. }) {
+                    assert_eq!(
+                        rule,
+                        CollisionRule::Priority,
+                        "only priority routers partially discard worms"
+                    );
+                }
+            }
+        }
+    }
+}

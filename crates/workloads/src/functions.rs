@@ -1,0 +1,178 @@
+//! (q-)functions to route (§1.4): "routing a function f: \[n\] → \[n\] means
+//! sending one message from node i to node f(i) for all i"; a q-function
+//! gives every node q messages. Random (q-)functions are drawn uniformly.
+
+use optical_topo::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random function `[n] → [n]`.
+pub fn random_function(n: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    (0..n).map(|_| rng.gen_range(0..n) as NodeId).collect()
+}
+
+/// A uniformly random permutation of `[n]`.
+pub fn random_permutation(n: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut f: Vec<NodeId> = (0..n as NodeId).collect();
+    f.shuffle(rng);
+    f
+}
+
+/// A uniformly random q-function: `q` destinations per source, flattened
+/// as `f[j * n + i]` = destination of the j-th message of source `i`.
+pub fn random_qfunction(q: usize, n: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    (0..q * n).map(|_| rng.gen_range(0..n) as NodeId).collect()
+}
+
+/// The identity function (every message stays home — a smoke-test load).
+pub fn identity(n: usize) -> Vec<NodeId> {
+    (0..n as NodeId).collect()
+}
+
+/// Everyone sends to node 0 — the maximally congested function.
+pub fn all_to_one(n: usize) -> Vec<NodeId> {
+    vec![0; n]
+}
+
+/// Cyclic shift by `k`.
+pub fn shift(n: usize, k: usize) -> Vec<NodeId> {
+    (0..n).map(|i| ((i + k) % n) as NodeId).collect()
+}
+
+/// Transpose permutation on an `side × side` grid: `(x, y) ↦ (y, x)`.
+/// Classic worst case for dimension-order routing.
+pub fn transpose(side: usize) -> Vec<NodeId> {
+    let n = side * side;
+    (0..n).map(|i| ((i % side) * side + i / side) as NodeId).collect()
+}
+
+/// Bit-reversal permutation on `[2^bits]` — the classic hard instance for
+/// leveled networks.
+pub fn bit_reversal(bits: u32) -> Vec<NodeId> {
+    let n = 1usize << bits;
+    (0..n).map(|i| (i as u32).reverse_bits() >> (32 - bits)).collect()
+}
+
+/// Hotspot traffic: each source independently sends to `target` with
+/// probability `hot_fraction`, otherwise to a uniform random node — the
+/// standard model for contended servers.
+pub fn hotspot(
+    n: usize,
+    target: NodeId,
+    hot_fraction: f64,
+    rng: &mut impl Rng,
+) -> Vec<NodeId> {
+    assert!((0.0..=1.0).contains(&hot_fraction));
+    assert!((target as usize) < n);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(hot_fraction) {
+                target
+            } else {
+                rng.gen_range(0..n) as NodeId
+            }
+        })
+        .collect()
+}
+
+/// Tornado traffic on a ring/1-d torus of `n` nodes: node `i` sends to
+/// `i + ⌈n/2⌉ − 1 (mod n)` — the classic adversarial pattern that defeats
+/// naive minimal routing by loading one direction maximally.
+pub fn tornado(n: usize) -> Vec<NodeId> {
+    assert!(n >= 2);
+    let stride = n.div_ceil(2) - 1;
+    (0..n).map(|i| ((i + stride) % n) as NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn random_function_in_range() {
+        let f = random_function(100, &mut rng());
+        assert_eq!(f.len(), 100);
+        assert!(f.iter().all(|&d| (d as usize) < 100));
+    }
+
+    #[test]
+    fn random_permutation_is_bijective() {
+        let f = random_permutation(64, &mut rng());
+        let mut sorted = f.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, identity(64));
+    }
+
+    #[test]
+    fn qfunction_shape() {
+        let f = random_qfunction(3, 10, &mut rng());
+        assert_eq!(f.len(), 30);
+        assert!(f.iter().all(|&d| (d as usize) < 10));
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let t = transpose(5);
+        for (i, &d) in t.iter().enumerate() {
+            assert_eq!(t[d as usize], i as NodeId);
+        }
+        // Diagonal is fixed.
+        assert_eq!(t[0], 0);
+        assert_eq!(t[6], 6); // (1,1)
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        let f = bit_reversal(6);
+        assert_eq!(f.len(), 64);
+        for (i, &d) in f.iter().enumerate() {
+            assert_eq!(f[d as usize], i as NodeId);
+        }
+        assert_eq!(f[1], 32); // 000001 -> 100000
+    }
+
+    #[test]
+    fn shift_wraps() {
+        let f = shift(5, 2);
+        assert_eq!(f, vec![2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn all_to_one_is_constant() {
+        assert!(all_to_one(9).iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn hotspot_extremes() {
+        let mut r = rng();
+        let all_hot = hotspot(50, 7, 1.0, &mut r);
+        assert!(all_hot.iter().all(|&d| d == 7));
+        let none_hot = hotspot(2000, 7, 0.0, &mut r);
+        let hits = none_hot.iter().filter(|&&d| d == 7).count();
+        assert!(hits < 10, "uniform traffic rarely hits one node");
+    }
+
+    #[test]
+    fn hotspot_mixture_rate() {
+        let mut r = rng();
+        let f = hotspot(4000, 0, 0.5, &mut r);
+        let hits = f.iter().filter(|&&d| d == 0).count();
+        assert!((1800..2300).contains(&hits), "≈50% plus uniform residue, got {hits}");
+    }
+
+    #[test]
+    fn tornado_stride() {
+        assert_eq!(tornado(8), vec![3, 4, 5, 6, 7, 0, 1, 2]);
+        assert_eq!(tornado(7), vec![3, 4, 5, 6, 0, 1, 2]);
+        // Never the identity anywhere (for n >= 4).
+        for (i, &d) in tornado(16).iter().enumerate() {
+            assert_ne!(i as NodeId, d);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Workload generators: the routing problems the paper evaluates its
+//! protocol on.
+//!
+//! * [`functions`] — random functions, q-functions and permutations
+//!   ("routing a (q-)function", §1.4), plus classic adversarial
+//!   permutations (transpose, bit-reversal, all-to-one);
+//! * [`structures`] — the explicit lower-bound constructions: type-1
+//!   ladders (Figure 5, §2.2), type-2 identical-path bundles (§2.2), and
+//!   the 3-path cyclic structures of Figure 6 (§3.2) on which serve-first
+//!   routers suffer blocking cycles;
+//! * [`Instance`] — a self-contained routing instance (network +
+//!   collection), the unit every experiment driver consumes.
+
+pub mod functions;
+pub mod structures;
+
+use optical_paths::PathCollection;
+use optical_topo::Network;
+
+/// A self-contained routing problem: a network and a path collection over
+/// it.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The network.
+    pub net: Network,
+    /// The paths to route (one worm each).
+    pub coll: PathCollection,
+    /// Human-readable description for tables.
+    pub name: String,
+}
+
+impl Instance {
+    /// Create an instance, checking that the collection matches the
+    /// network.
+    pub fn new(net: Network, coll: PathCollection, name: impl Into<String>) -> Self {
+        assert_eq!(net.link_count(), coll.link_count(), "collection/network mismatch");
+        Instance { net, coll, name: name.into() }
+    }
+}

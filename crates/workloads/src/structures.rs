@@ -1,0 +1,329 @@
+//! The paper's explicit lower-bound constructions (§2.2 and §3.2).
+//!
+//! Each generator synthesizes its own network together with the path
+//! collection, exactly as the paper describes the structures.
+
+use crate::Instance;
+use optical_paths::{Path, PathCollection};
+use optical_topo::{NetworkBuilder, NodeId};
+
+/// Builder for synthetic structure networks: hands out fresh node ids and
+/// collects edges, with node identification handled by the caller.
+struct StructureBuilder {
+    next_node: NodeId,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl StructureBuilder {
+    fn new() -> Self {
+        StructureBuilder { next_node: 0, edges: Vec::new() }
+    }
+
+    fn fresh_node(&mut self) -> NodeId {
+        let v = self.next_node;
+        self.next_node += 1;
+        v
+    }
+
+    fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.edges.push((u, v));
+    }
+
+    fn finish(self, name: String, paths: Vec<Vec<NodeId>>) -> Instance {
+        let mut b = NetworkBuilder::new(name.clone(), self.next_node as usize);
+        for (u, v) in self.edges {
+            b.add_edge_dedup(u, v);
+        }
+        let net = b.build();
+        let mut coll = PathCollection::for_network(&net);
+        for nodes in paths {
+            coll.push(Path::from_nodes(&net, &nodes));
+        }
+        Instance::new(net, coll, name)
+    }
+}
+
+/// The paper's overlap parameter `d = ⌊(L−1)/2⌋ + 1` for type-1 ladders.
+pub fn ladder_overlap(worm_len: u32) -> u32 {
+    (worm_len - 1) / 2 + 1
+}
+
+/// **Type-1 ladder** structures (Figure 5, §2.2) — the source of the
+/// `√(log_α n)` lower-bound term for Main Theorems 1.1/1.3.
+///
+/// Each structure has `paths_per_structure` paths of length `dilation`;
+/// path `i + 1` starts `d = ⌊(L−1)/2⌋ + 1` levels after path `i` and its
+/// *first* edge is path `i`'s edge at offset `d`. With delays within
+/// `±⌊(L−1)/2⌋` of each other, worm `i + 1` runs just ahead of worm `i`
+/// and eliminates it — a chain of failures that survives many rounds.
+///
+/// The resulting collection is **leveled** (every edge climbs one level).
+///
+/// # Panics
+/// If `dilation < d + 1` (the shared edge would not fit) or fewer than
+/// two paths per structure are requested.
+pub fn ladder(structures: usize, paths_per_structure: usize, dilation: u32, worm_len: u32) -> Instance {
+    assert!(worm_len >= 1);
+    assert!(paths_per_structure >= 2, "a ladder needs at least two paths");
+    let d = ladder_overlap(worm_len);
+    assert!(dilation > d, "dilation {dilation} too small for overlap d = {d}");
+
+    let mut sb = StructureBuilder::new();
+    let mut paths: Vec<Vec<NodeId>> = Vec::with_capacity(structures * paths_per_structure);
+    for _ in 0..structures {
+        // prev_shared = (node at offset d, node at offset d+1) of the
+        // previous path, to be reused as the first two nodes of the next.
+        let mut prev_shared: Option<(NodeId, NodeId)> = None;
+        for _ in 0..paths_per_structure {
+            let mut nodes = Vec::with_capacity(dilation as usize + 1);
+            match prev_shared {
+                None => nodes.push(sb.fresh_node()),
+                Some((a, b)) => {
+                    nodes.push(a);
+                    nodes.push(b);
+                }
+            }
+            while nodes.len() < dilation as usize + 1 {
+                let v = sb.fresh_node();
+                let prev = *nodes.last().unwrap();
+                sb.add_edge(prev, v);
+                nodes.push(v);
+            }
+            prev_shared = Some((nodes[d as usize], nodes[d as usize + 1]));
+            paths.push(nodes);
+        }
+    }
+    sb.finish(
+        format!("ladder(s={structures}, k={paths_per_structure}, D={dilation}, L={worm_len})"),
+        paths,
+    )
+}
+
+/// **Type-2 bundle** structures (§2.2): `structures` groups of
+/// `paths_per_structure` *identical* paths of length `dilation` — the
+/// source of the `log log_β n` lower-bound term and the workload on which
+/// Lemma 2.4's congestion halving is observed.
+pub fn bundle(structures: usize, paths_per_structure: usize, dilation: u32) -> Instance {
+    assert!(paths_per_structure >= 1 && dilation >= 1);
+    let mut sb = StructureBuilder::new();
+    let mut paths = Vec::with_capacity(structures * paths_per_structure);
+    for _ in 0..structures {
+        let mut nodes = Vec::with_capacity(dilation as usize + 1);
+        nodes.push(sb.fresh_node());
+        for _ in 0..dilation {
+            let v = sb.fresh_node();
+            sb.add_edge(*nodes.last().unwrap(), v);
+            nodes.push(v);
+        }
+        for _ in 0..paths_per_structure {
+            paths.push(nodes.clone());
+        }
+    }
+    sb.finish(
+        format!("bundle(s={structures}, C={paths_per_structure}, D={dilation})"),
+        paths,
+    )
+}
+
+/// The cyclic-overlap offset used by [`triangle`]: `max(1, ⌊L/2⌋)`.
+pub fn triangle_offset(worm_len: u32) -> u32 {
+    (worm_len / 2).max(1)
+}
+
+/// **Figure 6 structures** (§3.2): triples of paths of length `dilation`
+/// arranged in a cycle — path `j` crosses path `j+1 (mod 3)`'s first edge
+/// at its own offset `g = max(1, ⌊L/2⌋)` — so that three worms with
+/// nearly equal delays eliminate each other *cyclically* under the
+/// serve-first rule. This is the structure behind Main Theorem 1.2's
+/// `log n` round lower bound; priority routers break the cycle instantly.
+///
+/// The collection is short-cut free but **not leveled** (the cyclic
+/// sharing makes a consistent leveling impossible), and for `L = 1` the
+/// construction is rejected, mirroring the paper's remark that no
+/// blocking cycles exist for unit-length worms.
+///
+/// # Panics
+/// If `worm_len < 2` or `dilation < g + 1`.
+pub fn triangle(structures: usize, dilation: u32, worm_len: u32) -> Instance {
+    assert!(worm_len >= 2, "blocking cycles need L >= 2 (paper, §3.2)");
+    let g = triangle_offset(worm_len);
+    assert!(dilation > g, "dilation {dilation} too small for offset g = {g}");
+
+    let mut sb = StructureBuilder::new();
+    let mut paths = Vec::with_capacity(structures * 3);
+    for _ in 0..structures {
+        // Three shared edges E_0, E_1, E_2. Path j contains E_j at offset
+        // g (where it arrives late and loses) and E_{j-1} at offset 0
+        // (where it has already locked the link).
+        let shared: Vec<(NodeId, NodeId)> = if g == 1 {
+            // E_j's first node must coincide with E_{j-1}'s second node:
+            // the shared edges form a directed 3-cycle c0 -> c1 -> c2 -> c0.
+            let c: Vec<NodeId> = (0..3).map(|_| sb.fresh_node()).collect();
+            (0..3)
+                .map(|j| {
+                    let e = (c[j], c[(j + 1) % 3]);
+                    sb.add_edge(e.0, e.1);
+                    e
+                })
+                .collect()
+        } else {
+            (0..3)
+                .map(|_| {
+                    let a = sb.fresh_node();
+                    let b = sb.fresh_node();
+                    sb.add_edge(a, b);
+                    (a, b)
+                })
+                .collect()
+        };
+        for j in 0..3usize {
+            let e_pred = shared[(j + 2) % 3];
+            let e_own = shared[j];
+            let mut nodes = vec![e_pred.0, e_pred.1];
+            if g >= 2 {
+                // Bridge so that e_own.0 lands at node position g (its
+                // edge then sits at offset g).
+                while nodes.len() < g as usize {
+                    let v = sb.fresh_node();
+                    sb.add_edge(*nodes.last().unwrap(), v);
+                    nodes.push(v);
+                }
+                sb.add_edge(*nodes.last().unwrap(), e_own.0);
+                nodes.push(e_own.0);
+            }
+            // For g == 1, e_pred.1 *is* e_own.0 already.
+            debug_assert_eq!(*nodes.last().unwrap(), e_own.0);
+            nodes.push(e_own.1);
+            // Tail up to full dilation.
+            while nodes.len() < dilation as usize + 1 {
+                let v = sb.fresh_node();
+                sb.add_edge(*nodes.last().unwrap(), v);
+                nodes.push(v);
+            }
+            paths.push(nodes);
+        }
+    }
+    sb.finish(format!("triangle(s={structures}, D={dilation}, L={worm_len})"), paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_paths::properties;
+
+    #[test]
+    fn ladder_counts_and_shape() {
+        let inst = ladder(4, 5, 12, 4); // d = 2
+        assert_eq!(inst.coll.len(), 20);
+        let m = inst.coll.metrics();
+        assert_eq!(m.dilation, 12);
+        // Each path shares one edge with its predecessor and one with its
+        // successor: C̃ = 2 (interior), 1 at the ends.
+        assert_eq!(m.path_congestion, 2);
+        assert_eq!(m.congestion, 2, "shared edges carry exactly two paths");
+    }
+
+    #[test]
+    fn ladder_is_leveled_and_shortcut_free() {
+        let inst = ladder(2, 4, 10, 5);
+        assert!(properties::is_leveled(&inst.coll), "Figure 5 structures are leveled");
+        assert!(properties::is_shortcut_free(&inst.coll));
+        assert!(properties::consistent_link_offsets(&inst.coll));
+    }
+
+    #[test]
+    fn ladder_shared_edge_at_offset_d() {
+        let inst = ladder(1, 3, 10, 4); // d = 2
+        let d = ladder_overlap(4) as usize;
+        let p0 = inst.coll.path(0);
+        let p1 = inst.coll.path(1);
+        assert_eq!(p0.links()[d], p1.links()[0], "path 1 starts on path 0's d-th edge");
+        assert_eq!(p0.nodes()[d], p1.nodes()[0]);
+    }
+
+    #[test]
+    fn ladder_overlap_formula() {
+        assert_eq!(ladder_overlap(1), 1);
+        assert_eq!(ladder_overlap(2), 1);
+        assert_eq!(ladder_overlap(3), 2);
+        assert_eq!(ladder_overlap(4), 2);
+        assert_eq!(ladder_overlap(5), 3);
+    }
+
+    #[test]
+    fn bundle_is_c_identical_paths() {
+        let inst = bundle(3, 7, 5);
+        assert_eq!(inst.coll.len(), 21);
+        let m = inst.coll.metrics();
+        assert_eq!(m.congestion, 7);
+        assert_eq!(m.path_congestion, 6);
+        assert_eq!(m.dilation, 5);
+        assert!(properties::is_leveled(&inst.coll));
+        assert!(properties::is_shortcut_free(&inst.coll));
+    }
+
+    #[test]
+    fn structures_are_disjoint() {
+        // Two bundles never share links: congestion equals per-structure
+        // congestion.
+        let inst = bundle(5, 4, 3);
+        assert_eq!(inst.coll.congestion(), 4);
+        let inst = ladder(3, 3, 8, 3);
+        assert_eq!(inst.coll.congestion(), 2);
+    }
+
+    #[test]
+    fn triangle_shape() {
+        let inst = triangle(2, 8, 4); // g = 2
+        assert_eq!(inst.coll.len(), 6);
+        let m = inst.coll.metrics();
+        assert_eq!(m.dilation, 8);
+        assert_eq!(m.path_congestion, 2, "each path meets its two neighbors");
+        assert!(properties::is_shortcut_free(&inst.coll), "Figure 6 paths are short-cut free");
+        assert!(
+            !properties::is_leveled(&inst.coll),
+            "cyclic sharing prevents leveling — the crux of Main Thm 1.2"
+        );
+    }
+
+    #[test]
+    fn triangle_cross_positions() {
+        let inst = triangle(1, 6, 4); // g = 2
+        let g = triangle_offset(4) as usize;
+        for j in 0..3 {
+            let me = inst.coll.path(j);
+            let next = inst.coll.path((j + 1) % 3);
+            assert_eq!(me.links()[g], next.links()[0], "path {j} crosses its successor");
+        }
+    }
+
+    #[test]
+    fn triangle_with_unit_offset() {
+        // L = 2 gives g = 1: the shared edges form a directed 3-cycle.
+        let inst = triangle(2, 6, 2);
+        assert_eq!(inst.coll.len(), 6);
+        let g = triangle_offset(2) as usize;
+        assert_eq!(g, 1);
+        for s in 0..2 {
+            for j in 0..3 {
+                let me = inst.coll.path(s * 3 + j);
+                let next = inst.coll.path(s * 3 + (j + 1) % 3);
+                assert_eq!(me.links()[g], next.links()[0]);
+            }
+        }
+        assert!(properties::is_shortcut_free(&inst.coll));
+        assert!(!properties::is_leveled(&inst.coll));
+    }
+
+    #[test]
+    #[should_panic(expected = "L >= 2")]
+    fn triangle_rejects_unit_worms() {
+        triangle(1, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn ladder_rejects_tiny_dilation() {
+        ladder(1, 2, 2, 5); // d = 3 > dilation - 1
+    }
+}

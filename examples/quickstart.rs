@@ -1,0 +1,50 @@
+//! Quickstart: route a random permutation across a 2-d mesh with the
+//! trial-and-failure protocol.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use all_optical::core::{ProtocolParams, TrialAndFailure};
+use all_optical::paths::select::grid::mesh_route;
+use all_optical::paths::PathCollection;
+use all_optical::topo::{topologies, GridCoords};
+use all_optical::wdm::RouterConfig;
+use all_optical::workloads::functions::random_permutation;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. A network: every node is an optical router wired to its grid
+    //    neighbors by a pair of directed fiber links.
+    let side = 16u32;
+    let net = topologies::mesh(2, side);
+    let coords = GridCoords::new(2, side);
+    println!("network: {} ({} routers, {} directed links)", net.name(), net.node_count(), net.link_count());
+
+    // 2. A routing problem: one worm per node, destinations form a random
+    //    permutation, paths chosen by dimension-order routing.
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let perm = random_permutation(net.node_count(), &mut rng);
+    let coll = PathCollection::from_function(&net, &perm, |s, d| mesh_route(&net, &coords, s, d));
+    let m = coll.metrics();
+    println!("paths: n={}, dilation D={}, path congestion C~={}", m.n, m.dilation, m.path_congestion);
+
+    // 3. The protocol: serve-first routers with bandwidth B=4, worms of
+    //    L=8 flits, the paper's geometric delay schedule, ideal acks.
+    let params = ProtocolParams::new(RouterConfig::serve_first(4), 8);
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let report = proto.run(&mut rng);
+
+    println!("\nround  Δ_t  active  delivered");
+    for r in &report.rounds {
+        println!("{:>5}  {:>3}  {:>6}  {:>9}", r.round, r.delta, r.active_before, r.acked);
+    }
+    println!(
+        "\ncompleted: {} in {} rounds, total time {} flit-steps",
+        report.completed,
+        report.rounds_used(),
+        report.total_time
+    );
+    assert!(report.completed);
+}

@@ -1,0 +1,59 @@
+//! Scenario: all-optical interconnect of a distributed supercomputer —
+//! a node-symmetric 3-d torus (Theorem 1.5) carrying a random exchange
+//! step, with physically simulated acknowledgements.
+//!
+//! Shows the full production configuration: priority routers, the paper's
+//! delay schedule, a reserved ack band, and the duplicate-delivery
+//! accounting that lost acks cause.
+//!
+//! ```text
+//! cargo run --release --example supercomputer_torus
+//! ```
+
+use all_optical::core::{AckMode, ProtocolParams, TrialAndFailure};
+use all_optical::paths::select::bfs::randomized_bfs_collection;
+use all_optical::topo::topologies;
+use all_optical::wdm::RouterConfig;
+use all_optical::workloads::functions::random_function;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let net = topologies::torus(3, 8); // 512 nodes, diameter 12
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = randomized_bfs_collection(&net, &f, &mut rng);
+    let m = coll.metrics();
+    println!(
+        "{}: n={}, D={} (network diameter {}), C~={}",
+        net.name(),
+        m.n,
+        m.dilation,
+        net.diameter().unwrap(),
+        m.path_congestion
+    );
+    // Theorem 1.5's congestion step: C~ = O(D^2 + log n) w.h.p.
+    let pred = (net.diameter().unwrap() as f64).powi(2) + (m.n as f64).log2();
+    println!("Thm 1.5 congestion scale D² + log n = {pred:.0}");
+
+    let mut params = ProtocolParams::new(RouterConfig::priority(4), 8);
+    params.ack = AckMode::Simulated { ack_len: Some(2) };
+    params.max_rounds = 200;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let report = proto.run(&mut rng);
+    assert!(report.completed);
+
+    println!("\nround  Δ_t  active  delivered  acked");
+    for r in &report.rounds {
+        println!(
+            "{:>5}  {:>3}  {:>6}  {:>9}  {:>5}",
+            r.round, r.delta, r.active_before, r.delivered, r.acked
+        );
+    }
+    println!(
+        "\nfinished in {} rounds / {} flit-steps; {} duplicate deliveries from lost acks",
+        report.rounds_used(),
+        report.total_time,
+        report.duplicate_deliveries
+    );
+}

@@ -1,0 +1,281 @@
+//! `aor` — all-optical routing from the command line.
+//!
+//! ```text
+//! aor route   --topology mesh:2x16 --workload permutation [--rule serve-first|priority|conversion]
+//!             [-B 4] [-L 8] [--seed 42] [--ack] [--max-rounds 64] [--converters 0.25] [--hops 2]
+//! aor metrics --topology torus:2x8 --workload function [--seed 42]
+//! aor rwa     --topology mesh:2x16 --workload permutation [-B 4] [-L 8] [--seed 42]
+//! aor bounds  --topology hypercube:8 --workload function [-B 1] [-L 4] [--seed 42]
+//! ```
+
+use all_optical::baselines::rwa::{color_lower_bound, greedy_rwa, ColorOrder};
+use all_optical::cli::{select_paths, TopologySpec, WorkloadSpec};
+use all_optical::core::bounds::{self, BoundParams};
+use all_optical::core::hops::HopTrialAndFailure;
+use all_optical::core::{AckMode, ProtocolParams, TrialAndFailure};
+use all_optical::paths::properties;
+use all_optical::wdm::engine::converter_mask;
+use all_optical::wdm::RouterConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::process::ExitCode;
+
+struct Args {
+    topology: TopologySpec,
+    workload: WorkloadSpec,
+    rule: String,
+    bandwidth: u16,
+    worm_len: u32,
+    seed: u64,
+    ack: bool,
+    max_rounds: u32,
+    converters: Option<f64>,
+    hops: Option<u32>,
+    cut: Option<f64>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut topology = None;
+    let mut workload = None;
+    let mut rule = "serve-first".to_string();
+    let mut bandwidth = 1u16;
+    let mut worm_len = 4u32;
+    let mut seed = 1997u64;
+    let mut ack = false;
+    let mut max_rounds = 200u32;
+    let mut converters = None;
+    let mut hops = None;
+    let mut cut = None;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let next = |i: &mut usize| -> Result<&String, String> {
+            *i += 1;
+            argv.get(*i).ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--topology" => topology = Some(TopologySpec::parse(next(&mut i)?)?),
+            "--workload" => workload = Some(WorkloadSpec::parse(next(&mut i)?)?),
+            "--rule" => rule = next(&mut i)?.clone(),
+            "-B" | "--bandwidth" => {
+                bandwidth = next(&mut i)?.parse().map_err(|e| format!("bad -B: {e}"))?
+            }
+            "-L" | "--length" => {
+                worm_len = next(&mut i)?.parse().map_err(|e| format!("bad -L: {e}"))?
+            }
+            "--seed" => seed = next(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--ack" => ack = true,
+            "--max-rounds" => {
+                max_rounds = next(&mut i)?.parse().map_err(|e| format!("bad --max-rounds: {e}"))?
+            }
+            "--converters" => {
+                converters =
+                    Some(next(&mut i)?.parse().map_err(|e| format!("bad --converters: {e}"))?)
+            }
+            "--hops" => {
+                hops = Some(next(&mut i)?.parse().map_err(|e| format!("bad --hops: {e}"))?)
+            }
+            "--cut" => {
+                cut = Some(next(&mut i)?.parse().map_err(|e| format!("bad --cut: {e}"))?)
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        topology: topology.ok_or("--topology is required")?,
+        workload: workload.ok_or("--workload is required")?,
+        rule,
+        bandwidth,
+        worm_len,
+        seed,
+        ack,
+        max_rounds,
+        converters,
+        hops,
+        cut,
+    })
+}
+
+fn router(args: &Args) -> Result<RouterConfig, String> {
+    Ok(match args.rule.as_str() {
+        "serve-first" => RouterConfig::serve_first(args.bandwidth),
+        "priority" => RouterConfig::priority(args.bandwidth),
+        "conversion" => RouterConfig::conversion(args.bandwidth),
+        other => return Err(format!("unknown rule '{other}' (serve-first|priority|conversion)")),
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("usage: aor <route|metrics|rwa|bounds> --topology T --workload W [flags]");
+        return ExitCode::FAILURE;
+    };
+    let args = match parse_args(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let net = args.topology.build();
+    let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+    // Fiber cuts (failure injection): both directions of a random
+    // fraction of fibers die; path selection routes around them.
+    let dead: Option<Vec<bool>> = args.cut.map(|frac| {
+        let mut mask = vec![false; net.link_count()];
+        for e in 0..net.link_count() / 2 {
+            if rng.gen_bool(frac) {
+                mask[2 * e] = true;
+                mask[2 * e + 1] = true;
+            }
+        }
+        mask
+    });
+    let f = args.workload.destinations(net.node_count(), &mut rng);
+    let coll = match &dead {
+        None => select_paths(args.topology, &net, &f, &mut rng),
+        Some(mask) => {
+            use all_optical::paths::select::bfs::bfs_route_avoiding;
+            use all_optical::paths::PathCollection;
+            let mut c = PathCollection::for_network(&net);
+            for (s, &d) in f.iter().enumerate() {
+                match bfs_route_avoiding(&net, mask, s as u32, d) {
+                    Some(p) => c.push(p),
+                    None => {
+                        eprintln!("error: cuts disconnect {s} from {d}; lower --cut");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            let fibers = mask.iter().filter(|&&x| x).count() / 2;
+            println!("fiber cuts: {fibers} fibers dead; routing around them");
+            c
+        }
+    };
+    let m = coll.metrics();
+    println!(
+        "{}: {} routers, {} links | paths n={} D={} C={} C~={}",
+        net.name(),
+        net.node_count(),
+        net.link_count(),
+        m.n,
+        m.dilation,
+        m.congestion,
+        m.path_congestion
+    );
+
+    match cmd.as_str() {
+        "metrics" => {
+            println!("leveled:        {}", properties::is_leveled(&coll));
+            println!("short-cut free: {}", properties::is_shortcut_free(&coll));
+            ExitCode::SUCCESS
+        }
+        "rwa" => {
+            let a = greedy_rwa(&coll, ColorOrder::LongestFirst);
+            println!(
+                "greedy RWA: {} wavelengths (lower bound {}), {} batches at B={}, time {}",
+                a.num_colors,
+                color_lower_bound(&coll),
+                a.batches(args.bandwidth),
+                args.bandwidth,
+                a.total_time(args.bandwidth, m.dilation, args.worm_len)
+            );
+            ExitCode::SUCCESS
+        }
+        "bounds" => {
+            let bp = BoundParams {
+                n: m.n,
+                dilation: m.dilation,
+                path_congestion: m.path_congestion,
+                worm_len: args.worm_len,
+                bandwidth: args.bandwidth,
+            };
+            println!("alpha = {:.1}, beta = {:.2}", bounds::alpha(&bp), bounds::beta(&bp));
+            println!(
+                "Thm 1.1/1.3 rounds ~ {:.2}, time ~ {:.0}",
+                bounds::rounds_leveled_or_priority(&bp),
+                bounds::upper_bound_leveled(&bp)
+            );
+            println!(
+                "Thm 1.2     rounds ~ {:.2}, time ~ {:.0}",
+                bounds::rounds_shortcut_free(&bp),
+                bounds::upper_bound_shortcut_free(&bp)
+            );
+            println!("trivial lower bound ~ {:.0}", bounds::trivial_lower_bound(&bp));
+            ExitCode::SUCCESS
+        }
+        "route" => {
+            let router = match router(&args) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(h) = args.hops {
+                let proto = HopTrialAndFailure::new(
+                    &net,
+                    &coll,
+                    router,
+                    args.worm_len,
+                    h,
+                    args.max_rounds,
+                );
+                let report = proto.run(&mut rng);
+                println!("round  Δ    launched  advanced  completed");
+                for r in &report.rounds {
+                    println!(
+                        "{:>5}  {:>3}  {:>8}  {:>8}  {:>9}",
+                        r.round, r.delta, r.launched, r.advanced, r.completed
+                    );
+                }
+                println!(
+                    "hops={h}: completed={} rounds={} time={}",
+                    report.completed,
+                    report.rounds_used(),
+                    report.total_time
+                );
+                return if report.completed { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
+            let mut params = ProtocolParams::new(router, args.worm_len);
+            params.max_rounds = args.max_rounds;
+            if args.ack {
+                params.ack = AckMode::Simulated { ack_len: None };
+            }
+            if let Some(frac) = args.converters {
+                let nodes: Vec<bool> =
+                    (0..net.node_count()).map(|_| rng.gen_bool(frac)).collect();
+                params.converters = Some(converter_mask(&net, |v| nodes[v as usize]));
+            }
+            params.dead_links = dead;
+            let proto = TrialAndFailure::new(&net, &coll, params);
+            let report = proto.run(&mut rng);
+            println!("round  Δ    active  delivered  acked");
+            for r in &report.rounds {
+                println!(
+                    "{:>5}  {:>3}  {:>6}  {:>9}  {:>5}",
+                    r.round, r.delta, r.active_before, r.delivered, r.acked
+                );
+            }
+            println!(
+                "completed={} rounds={} time={} duplicates={}",
+                report.completed,
+                report.rounds_used(),
+                report.total_time,
+                report.duplicate_deliveries
+            );
+            if report.completed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("unknown command '{other}' (route|metrics|rwa|bounds)");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Testable plumbing for the `aor` command-line tool: topology and
+//! workload specifications, parsing, and instance construction.
+
+use optical_paths::select::bfs::randomized_bfs_collection;
+use optical_paths::select::grid::{mesh_route, torus_route};
+use optical_paths::select::hypercube::bit_fixing_route;
+use optical_paths::PathCollection;
+use optical_topo::{topologies, GridCoords, Network, NodeId};
+use optical_workloads::functions;
+use rand::Rng;
+
+/// A parseable network description, e.g. `mesh:2x16`, `hypercube:8`,
+/// `ring:64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// `mesh:DxS` — D-dimensional mesh of side S.
+    Mesh(u32, u32),
+    /// `torus:DxS`.
+    Torus(u32, u32),
+    /// `hypercube:D`.
+    Hypercube(u32),
+    /// `butterfly:D`.
+    Butterfly(u32),
+    /// `wbutterfly:D` (wrap-around).
+    WrappedButterfly(u32),
+    /// `debruijn:D`.
+    DeBruijn(u32),
+    /// `shuffle:D` (shuffle-exchange).
+    ShuffleExchange(u32),
+    /// `ccc:D` (cube-connected cycles).
+    Ccc(u32),
+    /// `ring:N`.
+    Ring(usize),
+    /// `chain:N`.
+    Chain(usize),
+    /// `complete:N`.
+    Complete(usize),
+    /// `star:N`.
+    Star(usize),
+}
+
+impl TopologySpec {
+    /// Parse a `name:params` description.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (name, arg) = s.split_once(':').ok_or_else(|| format!("'{s}': expected name:params"))?;
+        let int = |a: &str| a.parse::<u32>().map_err(|_| format!("'{a}': not an integer"));
+        let pair = |a: &str| -> Result<(u32, u32), String> {
+            let (d, side) = a.split_once('x').ok_or_else(|| format!("'{a}': expected DxS"))?;
+            Ok((int(d)?, int(side)?))
+        };
+        Ok(match name {
+            "mesh" => {
+                let (d, s) = pair(arg)?;
+                TopologySpec::Mesh(d, s)
+            }
+            "torus" => {
+                let (d, s) = pair(arg)?;
+                TopologySpec::Torus(d, s)
+            }
+            "hypercube" => TopologySpec::Hypercube(int(arg)?),
+            "butterfly" => TopologySpec::Butterfly(int(arg)?),
+            "wbutterfly" => TopologySpec::WrappedButterfly(int(arg)?),
+            "debruijn" => TopologySpec::DeBruijn(int(arg)?),
+            "shuffle" => TopologySpec::ShuffleExchange(int(arg)?),
+            "ccc" => TopologySpec::Ccc(int(arg)?),
+            "ring" => TopologySpec::Ring(int(arg)? as usize),
+            "chain" => TopologySpec::Chain(int(arg)? as usize),
+            "complete" => TopologySpec::Complete(int(arg)? as usize),
+            "star" => TopologySpec::Star(int(arg)? as usize),
+            other => return Err(format!("unknown topology '{other}'")),
+        })
+    }
+
+    /// Build the network.
+    pub fn build(&self) -> Network {
+        match *self {
+            TopologySpec::Mesh(d, s) => topologies::mesh(d, s),
+            TopologySpec::Torus(d, s) => topologies::torus(d, s),
+            TopologySpec::Hypercube(d) => topologies::hypercube(d),
+            TopologySpec::Butterfly(d) => topologies::butterfly(d),
+            TopologySpec::WrappedButterfly(d) => topologies::wrapped_butterfly(d),
+            TopologySpec::DeBruijn(d) => topologies::de_bruijn(d),
+            TopologySpec::ShuffleExchange(d) => topologies::shuffle_exchange(d),
+            TopologySpec::Ccc(d) => topologies::cube_connected_cycles(d),
+            TopologySpec::Ring(n) => topologies::ring(n),
+            TopologySpec::Chain(n) => topologies::chain(n),
+            TopologySpec::Complete(n) => topologies::complete(n),
+            TopologySpec::Star(n) => topologies::star(n),
+        }
+    }
+}
+
+/// A parseable traffic description, e.g. `permutation`, `hotspot:0.3`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkloadSpec {
+    /// `function` — uniformly random function.
+    RandomFunction,
+    /// `permutation` — uniformly random permutation.
+    RandomPermutation,
+    /// `all-to-one`.
+    AllToOne,
+    /// `shift:K`.
+    Shift(usize),
+    /// `tornado`.
+    Tornado,
+    /// `hotspot:F` — fraction F to node 0.
+    Hotspot(f64),
+}
+
+impl WorkloadSpec {
+    /// Parse a workload description.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        Ok(match (name, arg) {
+            ("function", None) => WorkloadSpec::RandomFunction,
+            ("permutation", None) => WorkloadSpec::RandomPermutation,
+            ("all-to-one", None) => WorkloadSpec::AllToOne,
+            ("tornado", None) => WorkloadSpec::Tornado,
+            ("shift", Some(a)) => {
+                WorkloadSpec::Shift(a.parse().map_err(|_| format!("'{a}': not an integer"))?)
+            }
+            ("hotspot", Some(a)) => {
+                let f: f64 = a.parse().map_err(|_| format!("'{a}': not a number"))?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("hotspot fraction {f} out of [0, 1]"));
+                }
+                WorkloadSpec::Hotspot(f)
+            }
+            _ => return Err(format!("unknown workload '{s}'")),
+        })
+    }
+
+    /// Destination per source node.
+    pub fn destinations(&self, n: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+        match *self {
+            WorkloadSpec::RandomFunction => functions::random_function(n, rng),
+            WorkloadSpec::RandomPermutation => functions::random_permutation(n, rng),
+            WorkloadSpec::AllToOne => functions::all_to_one(n),
+            WorkloadSpec::Shift(k) => functions::shift(n, k),
+            WorkloadSpec::Tornado => functions::tornado(n),
+            WorkloadSpec::Hotspot(f) => functions::hotspot(n, 0, f, rng),
+        }
+    }
+}
+
+/// Build a path collection for `f` with the topology's natural strategy:
+/// dimension-order on meshes/tori, bit-fixing on hypercubes, randomized
+/// BFS shortest paths elsewhere.
+pub fn select_paths(
+    spec: TopologySpec,
+    net: &Network,
+    f: &[NodeId],
+    rng: &mut impl Rng,
+) -> PathCollection {
+    match spec {
+        TopologySpec::Mesh(d, s) => {
+            let coords = GridCoords::new(d, s);
+            PathCollection::from_function(net, f, |a, b| mesh_route(net, &coords, a, b))
+        }
+        TopologySpec::Torus(d, s) => {
+            let coords = GridCoords::new(d, s);
+            PathCollection::from_function(net, f, |a, b| torus_route(net, &coords, a, b))
+        }
+        TopologySpec::Hypercube(d) => {
+            PathCollection::from_function(net, f, |a, b| bit_fixing_route(net, d, a, b))
+        }
+        _ => randomized_bfs_collection(net, f, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn parse_topologies() {
+        assert_eq!(TopologySpec::parse("mesh:2x16").unwrap(), TopologySpec::Mesh(2, 16));
+        assert_eq!(TopologySpec::parse("torus:3x8").unwrap(), TopologySpec::Torus(3, 8));
+        assert_eq!(TopologySpec::parse("hypercube:7").unwrap(), TopologySpec::Hypercube(7));
+        assert_eq!(TopologySpec::parse("ccc:4").unwrap(), TopologySpec::Ccc(4));
+        assert_eq!(TopologySpec::parse("ring:64").unwrap(), TopologySpec::Ring(64));
+        assert!(TopologySpec::parse("blah:3").is_err());
+        assert!(TopologySpec::parse("mesh:16").is_err());
+        assert!(TopologySpec::parse("mesh").is_err());
+    }
+
+    #[test]
+    fn parse_workloads() {
+        assert_eq!(WorkloadSpec::parse("function").unwrap(), WorkloadSpec::RandomFunction);
+        assert_eq!(WorkloadSpec::parse("shift:5").unwrap(), WorkloadSpec::Shift(5));
+        assert_eq!(WorkloadSpec::parse("hotspot:0.3").unwrap(), WorkloadSpec::Hotspot(0.3));
+        assert!(WorkloadSpec::parse("hotspot:1.5").is_err());
+        assert!(WorkloadSpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn build_and_route_each_topology() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for spec_str in [
+            "mesh:2x4",
+            "torus:2x4",
+            "hypercube:4",
+            "butterfly:3",
+            "wbutterfly:3",
+            "debruijn:4",
+            "shuffle:4",
+            "ccc:3",
+            "ring:10",
+            "chain:10",
+            "complete:6",
+            "star:6",
+        ] {
+            let spec = TopologySpec::parse(spec_str).unwrap();
+            let net = spec.build();
+            assert!(net.is_connected(), "{spec_str} disconnected");
+            let f = WorkloadSpec::RandomPermutation.destinations(net.node_count(), &mut rng);
+            let coll = select_paths(spec, &net, &f, &mut rng);
+            assert_eq!(coll.len(), net.node_count());
+        }
+    }
+
+    #[test]
+    fn workload_destinations_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for w in ["function", "permutation", "all-to-one", "shift:3", "tornado", "hotspot:0.5"] {
+            let spec = WorkloadSpec::parse(w).unwrap();
+            let f = spec.destinations(32, &mut rng);
+            assert_eq!(f.len(), 32);
+            assert!(f.iter().all(|&d| (d as usize) < 32), "{w} out of range");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Facade crate for the SPAA 1997 all-optical routing reproduction.
+//!
+//! Re-exports every sub-crate of the workspace under one roof so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! ```
+//! use all_optical::topo::topologies;
+//!
+//! let net = topologies::mesh(2, 4);
+//! assert_eq!(net.node_count(), 16);
+//! ```
+//!
+//! See the individual crates for the real documentation:
+//! * [`topo`] — network topologies,
+//! * [`paths`] — path collections and their metrics,
+//! * [`wdm`] — the flit-level all-optical wormhole simulator,
+//! * [`core`] — the trial-and-failure protocol (the paper's contribution),
+//! * [`workloads`] — workload generators and lower-bound structures,
+//! * [`baselines`] — wavelength-conversion and offline-RWA baselines,
+//! * [`stats`] — statistics helpers used by the experiment harness.
+
+pub mod cli;
+
+pub use optical_baselines as baselines;
+pub use optical_core as core;
+pub use optical_paths as paths;
+pub use optical_stats as stats;
+pub use optical_topo as topo;
+pub use optical_wdm as wdm;
+pub use optical_workloads as workloads;

@@ -1,0 +1,109 @@
+//! Theorem-level integration: measured protocol behaviour must respect
+//! the paper's bounds (with the literal proof constants, which are
+//! intentionally conservative).
+
+use all_optical::core::bounds::{self, BoundParams};
+use all_optical::core::{DelaySchedule, ProtocolParams, TrialAndFailure};
+use all_optical::paths::select::butterfly::butterfly_qfunction_collection;
+use all_optical::topo::topologies::{butterfly, ButterflyCoords};
+use all_optical::wdm::RouterConfig;
+use all_optical::workloads::functions::random_function;
+use all_optical::workloads::structures::bundle;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// With the paper's literal schedule, measured rounds on a leveled
+/// collection must stay at or below the §2.1 round bound `T` (the bound
+/// is w.h.p. with huge slack; violating it even once in 20 runs would
+/// indicate a simulator bug).
+#[test]
+fn leveled_rounds_below_paper_t() {
+    let net = butterfly(6);
+    let coords = ButterflyCoords::new(6, false);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let f = random_function(coords.rows() as usize, &mut rng);
+    let coll = butterfly_qfunction_collection(&net, &coords, &f);
+    let m = coll.metrics();
+    let bp = BoundParams {
+        n: m.n,
+        dilation: m.dilation,
+        path_congestion: m.path_congestion,
+        worm_len: 4,
+        bandwidth: 1,
+    };
+    let t_bound = bounds::paper_round_bound(&bp).ceil() as u32;
+
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
+    params.schedule = DelaySchedule::paper_literal();
+    params.max_rounds = t_bound.max(4) * 4;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    for seed in 0..20 {
+        let report = proto.run(&mut ChaCha8Rng::seed_from_u64(seed));
+        assert!(report.completed, "seed {seed} did not finish");
+        assert!(
+            report.rounds_used() <= t_bound,
+            "seed {seed}: {} rounds exceeds paper T = {t_bound}",
+            report.rounds_used()
+        );
+    }
+}
+
+/// Total budgeted time with the literal schedule stays below the Main
+/// Theorem 1.1 upper bound evaluated with a generous constant.
+#[test]
+fn leveled_time_tracks_upper_bound() {
+    let net = butterfly(7);
+    let coords = ButterflyCoords::new(7, false);
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let f = random_function(coords.rows() as usize, &mut rng);
+    let coll = butterfly_qfunction_collection(&net, &coords, &f);
+    let m = coll.metrics();
+    let bp = BoundParams {
+        n: m.n,
+        dilation: m.dilation,
+        path_congestion: m.path_congestion,
+        worm_len: 4,
+        bandwidth: 1,
+    };
+    let bound = bounds::upper_bound_leveled(&bp);
+
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
+    params.schedule = DelaySchedule::paper_literal();
+    params.max_rounds = 400;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let report = proto.run(&mut ChaCha8Rng::seed_from_u64(0));
+    assert!(report.completed);
+    // The literal constants inflate Δ by ~32x over the bound's unit
+    // constant; 200x covers every regime while still catching
+    // order-of-magnitude regressions.
+    assert!(
+        (report.total_time as f64) < 200.0 * bound,
+        "time {} implausibly exceeds 200x the Thm 1.1 bound {bound:.0}",
+        report.total_time
+    );
+}
+
+/// On type-2 bundles the trivial bandwidth bound `L·C̃/B` is a hard floor
+/// for *any* protocol — budgeted time can never beat it.
+#[test]
+fn bundle_time_respects_trivial_lower_bound() {
+    for b in [1u16, 2, 4] {
+        let inst = bundle(1, 32, 6);
+        let m = inst.coll.metrics();
+        let worm_len = 3u32;
+        let floor =
+            (worm_len as f64) * (m.path_congestion as f64) / (b as f64) + m.dilation as f64;
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(b), worm_len);
+        params.max_rounds = 500;
+        let proto = TrialAndFailure::new(&inst.net, &inst.coll, params);
+        for seed in 0..5 {
+            let report = proto.run(&mut ChaCha8Rng::seed_from_u64(seed));
+            assert!(report.completed);
+            assert!(
+                report.total_time as f64 >= floor * 0.9,
+                "B={b} seed={seed}: time {} beats the physical floor {floor:.0}",
+                report.total_time
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Monte-Carlo validation of the paper's probabilistic lemmas against the
+//! live simulator: the measured frequencies must respect the proven
+//! bounds (lower bounds from §2.2, upper bounds from §2.1).
+
+use all_optical::core::lemmas::{
+    lemma_2_4_min_delta, lemma_2_8_block_probability, pairwise_collision_upper,
+};
+use all_optical::wdm::{Engine, RouterConfig, TieRule, TransmissionSpec};
+use all_optical::workloads::structures::{bundle, ladder, ladder_overlap};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Lemma 2.8 (§2.2): in a ladder, worm `i+1` blocks worm `i` with
+/// probability at least `(L−1)/(2BΔ)` per round.
+#[test]
+fn lemma_2_8_blocking_frequency() {
+    let worm_len = 5u32; // d = 3
+    let delta = 16u32;
+    let d = ladder_overlap(worm_len);
+    let inst = ladder(1, 2, (d + 4).max(8), worm_len);
+    let links0 = inst.coll.path(0).links();
+    let links1 = inst.coll.path(1).links();
+    let mut eng = Engine::new(inst.coll.link_count(), RouterConfig::serve_first(1));
+
+    let trials = 40_000;
+    let mut blocked = 0usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(281);
+    for _ in 0..trials {
+        let specs = [
+            TransmissionSpec {
+                links: links0,
+                start: rng.gen_range(0..delta),
+                wavelength: 0,
+                priority: 0,
+                length: worm_len,
+            },
+            TransmissionSpec {
+                links: links1,
+                start: rng.gen_range(0..delta),
+                wavelength: 0,
+                priority: 1,
+                length: worm_len,
+            },
+        ];
+        let out = eng.run(&specs, &mut rng);
+        // Worm 0 blocked (by worm 1, the only other worm).
+        if !out.results[0].fate.is_delivered() {
+            blocked += 1;
+        }
+    }
+    let freq = blocked as f64 / trials as f64;
+    let bound = lemma_2_8_block_probability(worm_len, 1, delta);
+    // 40k trials: the measured frequency must not undershoot the proven
+    // lower bound by more than Monte-Carlo noise (~3σ ≈ 0.006).
+    assert!(
+        freq >= bound - 0.006,
+        "measured blocking frequency {freq:.4} violates Lemma 2.8 bound {bound:.4}"
+    );
+}
+
+/// §2.1 upper bound: two short-cut free worms collide with probability at
+/// most `2L/(BΔ)`.
+#[test]
+fn pairwise_collision_upper_bound_holds() {
+    for (worm_len, bandwidth, delta) in [(3u32, 1u16, 12u32), (4, 2, 16), (2, 1, 20)] {
+        let inst = bundle(1, 2, 8);
+        let links = inst.coll.path(0).links();
+        let mut eng = Engine::new(
+            inst.coll.link_count(),
+            RouterConfig::serve_first(bandwidth).with_tie(TieRule::AllEliminated),
+        );
+        let trials = 40_000;
+        let mut collided = 0usize;
+        let mut rng = ChaCha8Rng::seed_from_u64(17 + delta as u64);
+        for _ in 0..trials {
+            let specs = [
+                TransmissionSpec {
+                    links,
+                    start: rng.gen_range(0..delta),
+                    wavelength: rng.gen_range(0..bandwidth),
+                    priority: 0,
+                    length: worm_len,
+                },
+                TransmissionSpec {
+                    links,
+                    start: rng.gen_range(0..delta),
+                    wavelength: rng.gen_range(0..bandwidth),
+                    priority: 1,
+                    length: worm_len,
+                },
+            ];
+            let out = eng.run(&specs, &mut rng);
+            if out.delivered_count() < 2 {
+                collided += 1;
+            }
+        }
+        let freq = collided as f64 / trials as f64;
+        let bound = pairwise_collision_upper(worm_len, bandwidth, delta);
+        assert!(
+            freq <= bound + 0.006,
+            "collision frequency {freq:.4} exceeds 2L/(BΔ) = {bound:.4} \
+             (L={worm_len}, B={bandwidth}, Δ={delta})"
+        );
+    }
+}
+
+/// Lemma 2.4: with `Δ ≥ 8e·L·C̃/B`, the surviving congestion after one
+/// round is at most half the original, w.h.p.
+#[test]
+fn lemma_2_4_one_round_halving() {
+    let c = 64u32;
+    let worm_len = 2u32;
+    let delta = lemma_2_4_min_delta(worm_len, 1, c);
+    let inst = bundle(1, c as usize, 6);
+    let mut eng = Engine::new(inst.coll.link_count(), RouterConfig::serve_first(1));
+    let mut rng = ChaCha8Rng::seed_from_u64(24);
+    let mut violations = 0usize;
+    let trials = 300;
+    for _ in 0..trials {
+        let specs: Vec<TransmissionSpec<'_>> = inst
+            .coll
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TransmissionSpec {
+                links: p.links(),
+                start: rng.gen_range(0..delta),
+                wavelength: 0,
+                priority: i as u64,
+                length: worm_len,
+            })
+            .collect();
+        let out = eng.run(&specs, &mut rng);
+        let survivors = specs.len() - out.delivered_count();
+        if survivors as u32 > c / 2 {
+            violations += 1;
+        }
+    }
+    // "w.h.p." at these parameters: allow a tiny violation rate.
+    assert!(
+        violations <= trials / 50,
+        "congestion failed to halve in {violations}/{trials} rounds"
+    );
+}

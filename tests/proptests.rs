@@ -1,0 +1,248 @@
+//! Property-based tests over the whole stack: randomized instances must
+//! uphold the model's invariants no matter the parameters.
+
+use all_optical::baselines::rwa::{color_lower_bound, greedy_rwa, is_valid_assignment, ColorOrder};
+use all_optical::paths::{metrics, properties, Path, PathCollection};
+use all_optical::topo::{topologies, GridCoords, Network};
+use all_optical::wdm::{Engine, Fate, RouterConfig, TieRule, TransmissionSpec};
+use all_optical::workloads::structures::{bundle, ladder, triangle};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Build a random walk-free path in a torus from a seed.
+fn torus_paths(side: u32, n_paths: usize, seed: u64) -> (Network, PathCollection) {
+    let net = topologies::torus(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coll = PathCollection::for_network(&net);
+    for _ in 0..n_paths {
+        let s = rand::Rng::gen_range(&mut rng, 0..net.node_count() as u32);
+        let d = rand::Rng::gen_range(&mut rng, 0..net.node_count() as u32);
+        let nodes = net.shortest_path(s, d).unwrap();
+        coll.push(Path::from_nodes(&net, &nodes));
+    }
+    (net, coll)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_invariants(side in 3u32..6, n_paths in 1usize..24, seed in 0u64..1000) {
+        let (_, coll) = torus_paths(side, n_paths, seed);
+        let m = metrics::metrics(&coll);
+        prop_assert_eq!(m.n, n_paths);
+        // Path congestion counts *other* paths.
+        prop_assert!(m.path_congestion < n_paths as u32 || n_paths == 0);
+        // Exact never exceeds the per-link upper bound.
+        prop_assert!(m.path_congestion <= metrics::path_congestion_upper(&coll));
+        // Ordinary congestion is at most n and at least (C~ > 0 => C >= 2).
+        prop_assert!(m.congestion <= n_paths as u32);
+        if m.path_congestion > 0 {
+            prop_assert!(m.congestion >= 2);
+        }
+        // Dilation is the max path length.
+        let max_len = coll.paths().iter().map(|p| p.len() as u32).max().unwrap_or(0);
+        prop_assert_eq!(m.dilation, max_len);
+    }
+
+    #[test]
+    fn rwa_always_valid_and_lower_bounded(side in 3u32..6, n_paths in 1usize..24, seed in 0u64..1000) {
+        let (_, coll) = torus_paths(side, n_paths, seed);
+        for order in [ColorOrder::Input, ColorOrder::LongestFirst] {
+            let a = greedy_rwa(&coll, order);
+            prop_assert!(is_valid_assignment(&coll, &a.colors));
+            prop_assert!(a.num_colors >= color_lower_bound(&coll));
+            prop_assert!(a.num_colors <= n_paths as u32);
+        }
+    }
+
+    #[test]
+    fn delivered_worms_never_overlap(
+        side in 3u32..5,
+        n_worms in 2usize..12,
+        b in 1u16..3,
+        len in 1u32..5,
+        seed in 0u64..2000,
+    ) {
+        let (net, coll) = torus_paths(side, n_worms, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFEED);
+        let specs: Vec<TransmissionSpec<'_>> = coll
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TransmissionSpec {
+                links: p.links(),
+                start: rand::Rng::gen_range(&mut rng, 0..8),
+                wavelength: rand::Rng::gen_range(&mut rng, 0..b),
+                priority: i as u64,
+                length: len,
+            })
+            .collect();
+        let mut engine = Engine::new(net.link_count(), RouterConfig::serve_first(b));
+        let out = engine.run(&specs, &mut rng);
+
+        // Physical invariant: two *fully delivered* worms sharing a
+        // (link, wavelength) must be separated by at least L steps there.
+        for i in 0..specs.len() {
+            if !out.results[i].fate.is_delivered() || specs[i].links.is_empty() { continue; }
+            for j in (i + 1)..specs.len() {
+                if !out.results[j].fate.is_delivered() || specs[j].links.is_empty() { continue; }
+                if specs[i].wavelength != specs[j].wavelength { continue; }
+                for (pi, &li) in specs[i].links.iter().enumerate() {
+                    for (pj, &lj) in specs[j].links.iter().enumerate() {
+                        if li != lj { continue; }
+                        let ti = specs[i].start as i64 + pi as i64;
+                        let tj = specs[j].start as i64 + pj as i64;
+                        prop_assert!(
+                            (ti - tj).abs() >= len as i64,
+                            "delivered worms {i} and {j} overlap on link {li}: {ti} vs {tj}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_fates_partition(
+        side in 3u32..5,
+        n_worms in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let (net, coll) = torus_paths(side, n_worms, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let specs: Vec<TransmissionSpec<'_>> = coll
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TransmissionSpec {
+                links: p.links(),
+                start: rand::Rng::gen_range(&mut rng, 0..6),
+                wavelength: 0,
+                priority: i as u64,
+                length: 3,
+            })
+            .collect();
+        let mut engine = Engine::new(net.link_count(), RouterConfig::priority(1));
+        let out = engine.run(&specs, &mut rng);
+        prop_assert_eq!(out.results.len(), n_worms);
+        for (k, r) in out.results.iter().enumerate() {
+            match r.fate {
+                Fate::Delivered { completed_at } => {
+                    if !specs[k].links.is_empty() {
+                        prop_assert_eq!(
+                            completed_at,
+                            specs[k].start + specs[k].links.len() as u32 + 3 - 1
+                        );
+                    }
+                    prop_assert!(completed_at <= out.makespan);
+                }
+                Fate::Truncated { delivered_flits, cut_at_edge } => {
+                    prop_assert!((1..3).contains(&delivered_flits));
+                    prop_assert!((cut_at_edge as usize) < specs[k].links.len());
+                    prop_assert!(r.first_blocker.is_some());
+                }
+                Fate::Eliminated { at_edge, .. } => {
+                    prop_assert!((at_edge as usize) < specs[k].links.len());
+                    prop_assert!(r.first_blocker.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic(
+        side in 3u32..5,
+        n_worms in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let (net, coll) = torus_paths(side, n_worms, seed);
+        let build_specs = |rng: &mut ChaCha8Rng| -> Vec<(u32, u16)> {
+            coll.paths().iter().map(|_| (
+                rand::Rng::gen_range(rng, 0..6u32),
+                rand::Rng::gen_range(rng, 0..2u16),
+            )).collect()
+        };
+        let mut r1 = ChaCha8Rng::seed_from_u64(seed);
+        let params1 = build_specs(&mut r1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(seed);
+        let params2 = build_specs(&mut r2);
+        prop_assert_eq!(&params1, &params2);
+        let specs: Vec<TransmissionSpec<'_>> = coll
+            .paths()
+            .iter()
+            .zip(&params1)
+            .enumerate()
+            .map(|(i, (p, &(start, wl)))| TransmissionSpec {
+                links: p.links(), start, wavelength: wl, priority: i as u64, length: 2,
+            })
+            .collect();
+        let cfg = RouterConfig::serve_first(2).with_tie(TieRule::Random);
+        let mut e1 = Engine::new(net.link_count(), cfg);
+        let mut e2 = Engine::new(net.link_count(), cfg);
+        let o1 = e1.run(&specs, &mut r1);
+        let o2 = e2.run(&specs, &mut r2);
+        prop_assert_eq!(o1.results, o2.results);
+    }
+
+    #[test]
+    fn structure_generators_uphold_properties(
+        structures in 1usize..4,
+        k in 2usize..5,
+        extra in 0u32..6,
+        worm_len in 2u32..6,
+    ) {
+        let d = all_optical::workloads::structures::ladder_overlap(worm_len);
+        let lad = ladder(structures, k, d + 1 + extra, worm_len);
+        prop_assert!(properties::is_leveled(&lad.coll));
+        prop_assert!(properties::is_shortcut_free(&lad.coll));
+        prop_assert_eq!(lad.coll.len(), structures * k);
+
+        let g = all_optical::workloads::structures::triangle_offset(worm_len);
+        let tri = triangle(structures, g + 1 + extra, worm_len);
+        prop_assert!(properties::is_shortcut_free(&tri.coll));
+        prop_assert!(!properties::is_leveled(&tri.coll));
+
+        let bun = bundle(structures, k, 1 + extra);
+        prop_assert_eq!(bun.coll.congestion(), k as u32);
+        prop_assert_eq!(bun.coll.path_congestion(), k as u32 - 1);
+    }
+
+    #[test]
+    fn structures_decompose_into_their_components(
+        structures in 1usize..6,
+        k in 2usize..6,
+        d in 2u32..8,
+    ) {
+        // Every generator builds `structures` disjoint sub-problems; the
+        // conflict graph must decompose exactly.
+        let bun = bundle(structures, k, d);
+        let comps = metrics::conflict_components(&bun.coll);
+        prop_assert_eq!(comps.len(), structures);
+        prop_assert!(comps.iter().all(|c| c.len() == k));
+
+        let tri = triangle(structures, d.max(3), 4);
+        let comps = metrics::conflict_components(&tri.coll);
+        prop_assert_eq!(comps.len(), structures);
+        prop_assert!(comps.iter().all(|c| c.len() == 3));
+
+        let dd = all_optical::workloads::structures::ladder_overlap(4);
+        let lad = ladder(structures, k, dd + 2 + d, 4);
+        let comps = metrics::conflict_components(&lad.coll);
+        prop_assert_eq!(comps.len(), structures);
+        prop_assert!(comps.iter().all(|c| c.len() == k));
+    }
+
+    #[test]
+    fn grid_coords_roundtrip(dims in 1u32..5, side in 1u32..7, pick in 0u64..10_000) {
+        let c = GridCoords::new(dims, side);
+        let node = (pick % c.node_count() as u64) as u32;
+        prop_assert_eq!(c.node_of(&c.coords_of(node)), node);
+        // Torus steps are inverses.
+        for dim in 0..dims {
+            let there = c.torus_step(node, dim, 1);
+            prop_assert_eq!(c.torus_step(there, dim, -1), node);
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end protocol runs across topologies, coupler rules, schedules
+//! and ack modes — the integration surface a downstream user exercises.
+
+use all_optical::core::{AckMode, DelaySchedule, ProtocolParams, TrialAndFailure};
+use all_optical::paths::select::bfs::bfs_collection;
+use all_optical::topo::{topologies, Network};
+use all_optical::wdm::{Engine, Fate, RouterConfig, TieRule, TransmissionSpec};
+use all_optical::workloads::functions::{random_function, shift};
+use all_optical::workloads::structures::triangle;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn run_on(net: &Network, params: ProtocolParams, seed: u64) -> all_optical::core::RunReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = bfs_collection(net, &f);
+    let proto = TrialAndFailure::new(net, &coll, params);
+    proto.run(&mut rng)
+}
+
+#[test]
+fn every_topology_completes_under_every_rule() {
+    let nets = [
+        topologies::ring(12),
+        topologies::chain(12),
+        topologies::mesh(2, 4),
+        topologies::torus(2, 4),
+        topologies::hypercube(4),
+        topologies::butterfly(3),
+        topologies::wrapped_butterfly(3),
+        topologies::de_bruijn(4),
+        topologies::shuffle_exchange(4),
+        topologies::complete(8),
+        topologies::star(8),
+    ];
+    for net in &nets {
+        for router in [
+            RouterConfig::serve_first(2),
+            RouterConfig::priority(2),
+            RouterConfig::conversion(2),
+        ] {
+            let mut params = ProtocolParams::new(router, 3);
+            params.max_rounds = 300;
+            let report = run_on(net, params, 11);
+            assert!(
+                report.completed,
+                "{} under {:?} did not finish; remaining {:?}",
+                net.name(),
+                router.rule,
+                report.remaining.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_schedules_complete_on_a_torus() {
+    let net = topologies::torus(2, 5);
+    for schedule in [
+        DelaySchedule::paper(),
+        DelaySchedule::paper_literal(),
+        DelaySchedule::Fixed { delta: 40 },
+        DelaySchedule::Geometric { initial: 64, ratio: 0.5, floor: 8 },
+        DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 },
+    ] {
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
+        params.schedule = schedule;
+        params.max_rounds = 500;
+        let report = run_on(&net, params, 13);
+        assert!(report.completed, "schedule {schedule:?} failed");
+    }
+}
+
+#[test]
+fn simulated_acks_complete_on_all_rules() {
+    let net = topologies::mesh(2, 4);
+    for router in [RouterConfig::serve_first(2), RouterConfig::priority(2)] {
+        let mut params = ProtocolParams::new(router, 3);
+        params.ack = AckMode::Simulated { ack_len: None };
+        params.max_rounds = 500;
+        let report = run_on(&net, params, 17);
+        assert!(report.completed);
+    }
+}
+
+#[test]
+fn triangle_blocking_cycle_is_real_and_priority_breaks_it() {
+    // Engine-level determinism check of the Figure 6 mechanism: with
+    // *equal* delays all three worms mutually eliminate under serve-first
+    // (each blocked by the next), while under priority the top-priority
+    // worm always survives.
+    let inst = triangle(1, 8, 4);
+    let links: Vec<&[u32]> = (0..3).map(|i| inst.coll.path(i).links()).collect();
+    let specs: Vec<TransmissionSpec<'_>> = links
+        .iter()
+        .enumerate()
+        .map(|(i, l)| TransmissionSpec {
+            links: l,
+            start: 5,
+            wavelength: 0,
+            priority: i as u64,
+            length: 4,
+        })
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+
+    let mut sf = Engine::new(inst.net.link_count(), RouterConfig::serve_first(1));
+    let out = sf.run(&specs, &mut rng);
+    assert_eq!(out.delivered_count(), 0, "all three should fall in the cycle");
+    // ... and the blockers form the 3-cycle.
+    let blockers: Vec<u32> = out.results.iter().map(|r| r.first_blocker.unwrap()).collect();
+    let mut sorted = blockers.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![0, 1, 2]);
+    for (i, &b) in blockers.iter().enumerate() {
+        assert_ne!(b as usize, i);
+    }
+
+    let mut pr = Engine::new(inst.net.link_count(), RouterConfig::priority(1));
+    let out = pr.run(&specs, &mut rng);
+    assert!(out.results[2].fate.is_delivered(), "highest priority survives");
+    assert!(out.delivered_count() >= 1);
+    // Lower-priority worms are cut or eliminated, not all delivered.
+    assert!(out.delivered_count() < 3);
+}
+
+#[test]
+fn worm_length_one_never_truncates() {
+    // L = 1 cannot be partly discarded: Main Thm 1.2's remark that unit
+    // worms behave like the leveled case.
+    let net = topologies::torus(2, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = bfs_collection(&net, &f);
+    let mut engine = Engine::new(net.link_count(), RouterConfig::priority(1));
+    for seed in 0..20 {
+        let mut r2 = ChaCha8Rng::seed_from_u64(seed);
+        let specs: Vec<TransmissionSpec<'_>> = coll
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TransmissionSpec {
+                links: p.links(),
+                start: rand::Rng::gen_range(&mut r2, 0..4),
+                wavelength: 0,
+                priority: i as u64,
+                length: 1,
+            })
+            .collect();
+        let out = engine.run(&specs, &mut r2);
+        for r in &out.results {
+            assert!(!matches!(r.fate, Fate::Truncated { .. }), "L=1 worm truncated");
+        }
+    }
+}
+
+#[test]
+fn shift_permutation_on_ring_is_easy() {
+    // A shift on a ring has C~ bounded by the shift distance; with a
+    // decent schedule a couple of rounds suffice.
+    let net = topologies::ring(32);
+    let f = shift(32, 5);
+    let coll = bfs_collection(&net, &f);
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+    params.max_rounds = 50;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let report = proto.run(&mut rng);
+    assert!(report.completed);
+    assert!(report.rounds_used() <= 10);
+}
+
+#[test]
+fn tie_rules_complete_everywhere() {
+    let net = topologies::mesh(2, 4);
+    for tie in [TieRule::AllEliminated, TieRule::LowestId, TieRule::Random] {
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1).with_tie(tie), 2);
+        params.max_rounds = 300;
+        let report = run_on(&net, params, 37);
+        assert!(report.completed, "tie rule {tie:?} failed");
+    }
+}
+
+#[test]
+fn fiber_cut_and_reroute_recovery() {
+    use all_optical::paths::select::bfs::{bfs_collection, bfs_route_avoiding};
+    use all_optical::paths::PathCollection;
+
+    // Torus carrying a shift permutation; then a fiber is cut.
+    let net = topologies::torus(2, 4);
+    let f = shift(net.node_count(), 5);
+    let coll = bfs_collection(&net, &f);
+
+    // Cut both directions of some fiber used by at least one path.
+    let victim_link = coll.paths()[3].links()[0];
+    let mut dead = vec![false; net.link_count()];
+    dead[victim_link as usize] = true;
+    dead[net.reverse_link(victim_link) as usize] = true;
+
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+    params.dead_links = Some(dead.clone());
+    params.max_rounds = 40;
+    let proto = TrialAndFailure::new(&net, &coll, params.clone());
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let report = proto.run(&mut rng);
+    assert!(!report.completed, "worms crossing the cut fiber must strand");
+    assert!(!report.remaining.is_empty());
+
+    // Recovery: reroute the stranded worms around the cut and run again.
+    let mut recovery = PathCollection::for_network(&net);
+    for &pid in &report.remaining {
+        let old = coll.path(pid as usize);
+        let new = bfs_route_avoiding(&net, &dead, old.source(), old.dest())
+            .expect("a 2-d torus stays connected after one fiber cut");
+        assert!(!new.links().contains(&victim_link));
+        recovery.push(new);
+    }
+    let proto = TrialAndFailure::new(&net, &recovery, params);
+    let report = proto.run(&mut rng);
+    assert!(report.completed, "rerouted worms must all deliver");
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let net = topologies::hypercube(5);
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = bfs_collection(&net, &f);
+    let mut params = ProtocolParams::new(RouterConfig::priority(2), 4);
+    params.record_blocking = true;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let a = proto.run(&mut ChaCha8Rng::seed_from_u64(99));
+    let b = proto.run(&mut ChaCha8Rng::seed_from_u64(99));
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.acked_round, b.acked_round);
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.blocking, rb.blocking);
+    }
+}

@@ -1,0 +1,112 @@
+//! Serde round-trips for every serializable public type: experiment
+//! results must survive storage (the harness serializes reports) and the
+//! graph types must be exchangeable between processes.
+
+use all_optical::core::{AckMode, DelaySchedule, ProtocolParams, TrialAndFailure};
+use all_optical::paths::{CollectionMetrics, Path, PathCollection};
+use all_optical::topo::{topologies, Network};
+use all_optical::wdm::{CollisionRule, Fate, RouterConfig, TieRule};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn roundtrip<T: Serialize + DeserializeOwned + PartialEq + std::fmt::Debug>(v: &T) {
+    let json = serde_json::to_string(v).expect("serialize");
+    let back: T = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(&back, v);
+}
+
+#[test]
+fn network_roundtrip() {
+    let net = topologies::torus(2, 4);
+    let json = serde_json::to_string(&net).unwrap();
+    let back: Network = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.node_count(), net.node_count());
+    assert_eq!(back.link_count(), net.link_count());
+    back.check_invariants().unwrap();
+    for l in back.links() {
+        assert_eq!(back.link_ends(l), net.link_ends(l));
+    }
+}
+
+#[test]
+fn path_and_collection_roundtrip() {
+    let net = topologies::ring(8);
+    let p = Path::from_nodes(&net, &[0, 1, 2, 3]);
+    roundtrip(&p);
+
+    let mut coll = PathCollection::for_network(&net);
+    coll.push(p);
+    coll.push(Path::from_nodes(&net, &[5, 4, 3]));
+    let json = serde_json::to_string(&coll).unwrap();
+    let back: PathCollection = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.len(), 2);
+    assert_eq!(back.metrics(), coll.metrics());
+}
+
+#[test]
+fn config_enums_roundtrip() {
+    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority, CollisionRule::Conversion] {
+        roundtrip(&rule);
+    }
+    for tie in [TieRule::AllEliminated, TieRule::LowestId, TieRule::Random] {
+        roundtrip(&tie);
+    }
+    roundtrip(&RouterConfig::priority(8).with_tie(TieRule::Random).with_conflict_log());
+    for ack in [AckMode::Ideal, AckMode::Simulated { ack_len: Some(3) }] {
+        roundtrip(&ack);
+    }
+    for schedule in [
+        DelaySchedule::paper(),
+        DelaySchedule::paper_literal(),
+        DelaySchedule::Fixed { delta: 7 },
+        DelaySchedule::Geometric { initial: 10, ratio: 0.5, floor: 2 },
+        DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 },
+    ] {
+        roundtrip(&schedule);
+    }
+}
+
+#[test]
+fn fates_roundtrip() {
+    for fate in [
+        Fate::Delivered { completed_at: 9 },
+        Fate::Truncated { delivered_flits: 2, cut_at_edge: 5 },
+        Fate::Eliminated { at_edge: 0, at_time: 3 },
+    ] {
+        roundtrip(&fate);
+    }
+}
+
+#[test]
+fn metrics_roundtrip() {
+    roundtrip(&CollectionMetrics { n: 5, dilation: 9, congestion: 3, path_congestion: 4 });
+}
+
+#[test]
+fn run_report_roundtrip_preserves_everything() {
+    let net = topologies::chain(6);
+    let nodes: Vec<u32> = (0..6).collect();
+    let mut coll = PathCollection::for_network(&net);
+    for _ in 0..6 {
+        coll.push(Path::from_nodes(&net, &nodes));
+    }
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 3);
+    params.record_blocking = true;
+    params.max_rounds = 200;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let report = proto.run(&mut rng);
+
+    let json = serde_json::to_string(&report).unwrap();
+    let back: all_optical::core::RunReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.total_time, report.total_time);
+    assert_eq!(back.completed, report.completed);
+    assert_eq!(back.acked_round, report.acked_round);
+    assert_eq!(back.rounds.len(), report.rounds.len());
+    for (a, b) in back.rounds.iter().zip(&report.rounds) {
+        assert_eq!(a.delta, b.delta);
+        assert_eq!(a.blocking, b.blocking);
+    }
+}

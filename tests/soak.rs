@@ -1,0 +1,64 @@
+//! Large-scale soak tests — `#[ignore]`d by default; run explicitly with
+//! `cargo test --release --test soak -- --ignored`.
+
+use all_optical::core::{ProtocolParams, TrialAndFailure};
+use all_optical::paths::select::butterfly::butterfly_qfunction_collection;
+use all_optical::paths::select::grid::mesh_route;
+use all_optical::paths::PathCollection;
+use all_optical::topo::topologies::{self, ButterflyCoords};
+use all_optical::topo::GridCoords;
+use all_optical::wdm::RouterConfig;
+use all_optical::workloads::functions::{random_function, random_qfunction};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+#[ignore = "large; run with --ignored in release"]
+fn mesh_64x64_random_function() {
+    let side = 64u32;
+    let net = topologies::mesh(2, side);
+    let coords = GridCoords::new(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d));
+    assert_eq!(coll.len(), 4096);
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 8);
+    params.max_rounds = 200;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let report = proto.run(&mut rng);
+    assert!(report.completed);
+    assert!(report.rounds_used() <= 12, "rounds {}", report.rounds_used());
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release"]
+fn butterfly_12_qfunction() {
+    let dim = 12u32; // 4096 rows, 53248 nodes
+    let net = topologies::butterfly(dim);
+    let coords = ButterflyCoords::new(dim, false);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let f = random_qfunction(2, coords.rows() as usize, &mut rng);
+    let coll = butterfly_qfunction_collection(&net, &coords, &f);
+    assert_eq!(coll.len(), 8192);
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
+    params.max_rounds = 200;
+    let proto = TrialAndFailure::new(&net, &coll, params);
+    let report = proto.run(&mut rng);
+    assert!(report.completed);
+}
+
+#[test]
+#[ignore = "large; run with --ignored in release"]
+fn hundred_thousand_worm_bundle_field() {
+    // 100k worms in 2000 bundles of 50: stresses the bucket queue and
+    // occupancy table.
+    use all_optical::workloads::structures::bundle;
+    let inst = bundle(2000, 50, 10);
+    assert_eq!(inst.coll.len(), 100_000);
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(4), 4);
+    params.max_rounds = 300;
+    let proto = TrialAndFailure::new(&inst.net, &inst.coll, params);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let report = proto.run(&mut rng);
+    assert!(report.completed);
+}

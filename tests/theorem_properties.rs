@@ -1,0 +1,108 @@
+//! Cross-crate checks that the structural premises of the application
+//! theorems (1.5–1.7) actually hold for the systems we build — these are
+//! the "F-figure" reproductions of the paper's setup claims.
+
+use all_optical::paths::select::bfs::randomized_bfs_collection;
+use all_optical::paths::select::butterfly::butterfly_qfunction_collection;
+use all_optical::paths::select::grid::{mesh_route, torus_route};
+use all_optical::paths::select::hypercube::bit_fixing_route;
+use all_optical::paths::{properties, PathCollection};
+use all_optical::topo::symmetry::distance_profiles_uniform;
+use all_optical::topo::topologies::{self, ButterflyCoords};
+use all_optical::topo::GridCoords;
+use all_optical::workloads::functions::{random_function, random_permutation};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn butterfly_system_premises_thm_1_7() {
+    // Theorem 1.7 needs a *leveled* path system from inputs to outputs.
+    let net = topologies::butterfly(4);
+    let coords = ButterflyCoords::new(4, false);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let f: Vec<u32> = (0..32).map(|_| rand::Rng::gen_range(&mut rng, 0..16)).collect();
+    let coll = butterfly_qfunction_collection(&net, &coords, &f);
+    assert!(properties::is_leveled(&coll));
+    assert!(properties::is_shortcut_free(&coll));
+    assert!(properties::consistent_link_offsets(&coll));
+    assert_eq!(coll.dilation(), 4, "every route crosses all levels");
+}
+
+#[test]
+fn mesh_dimension_order_premises_thm_1_6() {
+    // Theorem 1.6 needs a short-cut free strategy on the mesh in which
+    // worms cannot mutually eliminate; dimension-order routing provides
+    // it.
+    let net = topologies::mesh(2, 5);
+    let coords = GridCoords::new(2, 5);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d));
+    assert!(properties::is_shortcut_free(&coll));
+    assert!(properties::consistent_link_offsets(&coll));
+    // Paths are shortest: dilation bounded by d*(side-1).
+    assert!(coll.dilation() <= 8);
+}
+
+#[test]
+fn torus_route_shortcut_free_on_random_permutation() {
+    let net = topologies::torus(2, 5);
+    let coords = GridCoords::new(2, 5);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let f = random_permutation(net.node_count(), &mut rng);
+    let coll = PathCollection::from_function(&net, &f, |s, d| torus_route(&net, &coords, s, d));
+    assert!(properties::is_shortcut_free(&coll));
+    assert!(properties::consistent_link_offsets(&coll));
+}
+
+#[test]
+fn node_symmetric_congestion_premise_thm_1_5() {
+    // The Chernoff step of Theorem 1.5: a random function through a
+    // randomized shortest-path system has C~ = O(D² + log n) w.h.p.
+    // We check a generous multiple on concrete node-symmetric networks.
+    for net in [topologies::torus(2, 8), topologies::hypercube(6)] {
+        assert!(distance_profiles_uniform(&net), "{} should be node-symmetric", net.name());
+        let d = net.diameter().unwrap() as f64;
+        let n = net.node_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut worst = 0u32;
+        for _ in 0..3 {
+            let f = random_function(n, &mut rng);
+            let coll = randomized_bfs_collection(&net, &f, &mut rng);
+            worst = worst.max(coll.path_congestion());
+        }
+        let bound = 3.0 * (d * d + (n as f64).log2());
+        assert!(
+            (worst as f64) <= bound,
+            "{}: C~ = {worst} exceeds 3(D²+log n) = {bound:.0}",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn hypercube_bit_fixing_congestion_reasonable() {
+    let net = topologies::hypercube(7);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let f = random_permutation(net.node_count(), &mut rng);
+    let coll =
+        PathCollection::from_function(&net, &f, |s, d| bit_fixing_route(&net, 7, s, d));
+    assert!(properties::is_shortcut_free(&coll));
+    // Random permutations on the hypercube have low congestion w.h.p.
+    assert!(coll.congestion() <= 32, "congestion {}", coll.congestion());
+}
+
+#[test]
+fn lower_bound_structures_have_their_stated_properties() {
+    use all_optical::workloads::structures::{bundle, ladder, triangle};
+    let lad = ladder(4, 4, 12, 5);
+    assert!(properties::is_leveled(&lad.coll));
+    assert!(properties::is_shortcut_free(&lad.coll));
+
+    let bun = bundle(4, 16, 6);
+    assert!(properties::is_leveled(&bun.coll));
+
+    let tri = triangle(4, 8, 4);
+    assert!(properties::is_shortcut_free(&tri.coll));
+    assert!(!properties::is_leveled(&tri.coll));
+}
