@@ -1,0 +1,156 @@
+//! Offline type-check stub for `proptest`, supporting the subset this
+//! workspace uses: `proptest! { #![proptest_config(..)] #[test] fn f(x in
+//! range, ..) {..} }` plus `prop_assert!`/`prop_assert_eq!`. Runs a few
+//! deterministic cases sequentially; the real crate replaces it in CI.
+
+pub mod test_runner {
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 16 }
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl std::fmt::Display) -> Self {
+            TestCaseError(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+pub mod strategy {
+    fn next(rng: &mut u64) -> u64 {
+        *rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let x = *rng;
+        x ^ (x >> 31)
+    }
+
+    pub trait StubStrategy {
+        type Value;
+        fn sample_stub(&self, rng: &mut u64) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl StubStrategy for core::ops::Range<$t> {
+                    type Value = $t;
+                    fn sample_stub(&self, rng: &mut u64) -> $t {
+                        let span = (self.end - self.start) as u64;
+                        assert!(span > 0, "empty strategy range");
+                        self.start + (next(rng) % span) as $t
+                    }
+                }
+                impl StubStrategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample_stub(&self, rng: &mut u64) -> $t {
+                        let span = (*self.end() - *self.start()) as u64 + 1;
+                        *self.start() + (next(rng) % span) as $t
+                    }
+                }
+            )*
+        };
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    pub fn sample<S: StubStrategy>(s: &S, rng: &mut u64) -> S::Value {
+        s.sample_stub(rng)
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __pt_rng: u64 = 0x9E3779B97F4A7C15;
+                for __pt_case in 0..8u32 {
+                    let _ = __pt_case;
+                    $( let $arg = $crate::strategy::sample(&($strat), &mut __pt_rng); )*
+                    let __pt_res: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = __pt_res {
+                        panic!("proptest stub case failed: {}", e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{:?} != {:?}",
+                __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let __a = $a;
+        let __b = $b;
+        if !(__a == __b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let __a = $a;
+        let __b = $b;
+        if __a == __b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{:?} == {:?}",
+                __a, __b
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}

@@ -1,0 +1,244 @@
+//! Offline type-check stub for the `rand` crate (API subset).
+//! NOT a correct RNG — only used by .devcheck to type-check the
+//! workspace without network access. The real build uses crates.io.
+
+pub mod distributions {
+    use crate::RngCore;
+
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    pub struct Standard;
+
+    macro_rules! std_int {
+        ($($t:ty),*) => {
+            $(impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+    std_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            ((rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64) as f32
+        }
+    }
+
+    pub mod uniform {
+        use crate::RngCore;
+
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            fn sample_one<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+        }
+
+        macro_rules! uniform_int {
+            ($($t:ty),*) => {
+                $(impl SampleUniform for $t {
+                    fn sample_one<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                        let lo = low as i128;
+                        let hi = high as i128 + if inclusive { 1 } else { 0 };
+                        assert!(lo < hi, "cannot sample empty range");
+                        let span = (hi - lo) as u128;
+                        let r = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                        (lo + r as i128) as $t
+                    }
+                })*
+            };
+        }
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_one<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                let _ = inclusive;
+                assert!(low < high, "cannot sample empty range");
+                let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                low + u * (high - low)
+            }
+        }
+        impl SampleUniform for f32 {
+            fn sample_one<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self {
+                f64::sample_one(rng, low as f64, high as f64, inclusive) as f32
+            }
+        }
+
+        pub trait SampleRange<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_one(rng, self.start, self.end, false)
+            }
+        }
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_one(rng, *self.start(), *self.end(), true)
+            }
+        }
+    }
+}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        self.next_u32() % denominator.max(1) < numerator
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bytes = state.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(0x5EED)
+    }
+}
+
+pub mod seq {
+    use crate::Rng;
+
+    pub trait SliceRandom {
+        type Item;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                Some(&self[i])
+            }
+        }
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod rngs {
+    use crate::{RngCore, SeedableRng};
+
+    #[derive(Clone, Debug)]
+    pub struct StdRng(u64);
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = self.0;
+            x ^ (x >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&bytes[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u8; 8];
+            s.copy_from_slice(&seed[..8]);
+            StdRng(u64::from_le_bytes(s))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}

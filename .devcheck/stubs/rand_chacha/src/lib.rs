@@ -1,0 +1,46 @@
+//! Offline type-check stub for `rand_chacha` (not the real cipher).
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha {
+    ($name:ident) => {
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct $name {
+            state: u64,
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                self.state = self
+                    .state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let x = self.state;
+                (x ^ (x >> 31)).wrapping_mul(0x9E3779B97F4A7C15)
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                for chunk in dest.chunks_mut(8) {
+                    let bytes = self.next_u64().to_le_bytes();
+                    let n = chunk.len();
+                    chunk.copy_from_slice(&bytes[..n]);
+                }
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut s = [0u8; 8];
+                s.copy_from_slice(&seed[..8]);
+                $name { state: u64::from_le_bytes(s) ^ 0xC4AC4A }
+            }
+        }
+    };
+}
+
+chacha!(ChaCha8Rng);
+chacha!(ChaCha12Rng);
+chacha!(ChaCha20Rng);

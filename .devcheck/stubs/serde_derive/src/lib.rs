@@ -1,0 +1,49 @@
+//! Offline type-check stub for serde's derive macros: emits empty marker
+//! impls (`impl Serialize for T {}`), which is all the stub serde traits
+//! need. Supports plain (non-generic) structs and enums, which is every
+//! derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the type name following the first `struct` or `enum` keyword,
+/// plus whether it has generic parameters.
+fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+    let mut iter = input.clone().into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(TokenTree::Ident(name)) = iter.next() {
+                    let generic = matches!(
+                        iter.peek(),
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                    );
+                    return Some((name.to_string(), generic));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        _ => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some((name, false)) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .unwrap()
+        }
+        _ => TokenStream::new(),
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline type-check stub for `serde_json` — signatures only; always
+//! errors at runtime (never executed by .devcheck, which only compiles).
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub")
+    }
+}
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: ?Sized + Serialize>(_value: &T) -> Result<String> {
+    Err(Error)
+}
+
+pub fn to_string_pretty<T: ?Sized + Serialize>(_value: &T) -> Result<String> {
+    Err(Error)
+}
+
+pub fn from_str<'a, T: Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error)
+}
+
+pub fn to_vec<T: ?Sized + Serialize>(_value: &T) -> Result<Vec<u8>> {
+    Err(Error)
+}
+
+pub fn from_slice<'a, T: Deserialize<'a>>(_v: &'a [u8]) -> Result<T> {
+    Err(Error)
+}

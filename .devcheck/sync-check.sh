@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline type-check harness: copies the workspace into .devcheck/work/,
+# patches crates-io deps onto local stub crates, and runs cargo check.
+# This container has no network access to the registry, so the real
+# `cargo build --release && cargo test` only runs in CI; this script is the
+# strongest local verification available (full type-check of all targets).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+DEV="$ROOT/.devcheck"
+WORK="$DEV/work"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# Copy workspace sources (not .git/.devcheck/target).
+(cd "$ROOT" && tar -cf - --exclude=.git --exclude=.devcheck --exclude=target .) | tar -xf - -C "$WORK"
+
+cat >> "$WORK/Cargo.toml" <<EOF
+
+[patch.crates-io]
+rand = { path = "$DEV/stubs/rand" }
+rand_chacha = { path = "$DEV/stubs/rand_chacha" }
+serde = { path = "$DEV/stubs/serde" }
+serde_derive = { path = "$DEV/stubs/serde_derive" }
+serde_json = { path = "$DEV/stubs/serde_json" }
+rayon = { path = "$DEV/stubs/rayon" }
+proptest = { path = "$DEV/stubs/proptest" }
+criterion = { path = "$DEV/stubs/criterion" }
+EOF
+
+cd "$WORK"
+export CARGO_NET_OFFLINE=true
+cargo check --workspace --all-targets "$@"

@@ -18,7 +18,10 @@ use rand::Rng;
 /// among simultaneous arrivals competing for the last free wavelength are
 /// broken randomly (a deterministic tie rule would bias the comparison).
 pub fn conversion_params(bandwidth: u16, worm_len: u32) -> ProtocolParams {
-    ProtocolParams::new(RouterConfig::conversion(bandwidth).with_tie(TieRule::Random), worm_len)
+    ProtocolParams::new(
+        RouterConfig::conversion(bandwidth).with_tie(TieRule::Random),
+        worm_len,
+    )
 }
 
 /// Run trial-and-failure with wavelength-conversion routers.
@@ -82,10 +85,8 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             conv_delivered += proto.run(&mut rng).rounds[0].delivered;
 
-            let mut params = optical_core::ProtocolParams::new(
-                RouterConfig::serve_first(4),
-                worm_len,
-            );
+            let mut params =
+                optical_core::ProtocolParams::new(RouterConfig::serve_first(4), worm_len);
             params.schedule = schedule;
             params.max_rounds = 1;
             let proto = TrialAndFailure::new(&net, &coll, params);

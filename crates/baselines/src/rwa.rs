@@ -69,7 +69,10 @@ pub fn greedy_rwa(coll: &PathCollection, order: ColorOrder) -> WavelengthAssignm
                 taken[c as usize] = true;
             }
         }
-        let c = taken.iter().position(|&t| !t).expect("first slot always exists") as u32;
+        let c = taken
+            .iter()
+            .position(|&t| !t)
+            .expect("first slot always exists") as u32;
         colors[i] = c;
         num_colors = num_colors.max(c + 1);
         for &l in p.links() {
@@ -135,7 +138,9 @@ pub fn optimal_rwa_on_chain(coll: &PathCollection) -> WavelengthAssignment {
             let nodes = p.nodes();
             let increasing = nodes[1] > nodes[0];
             assert!(
-                nodes.windows(2).all(|w| (w[1] > w[0]) == increasing && w[1] != w[0]),
+                nodes
+                    .windows(2)
+                    .all(|w| (w[1] > w[0]) == increasing && w[1] != w[0]),
                 "path {id} is not monotone on the chain"
             );
             if increasing == direction {
@@ -200,7 +205,11 @@ mod tests {
             let a = greedy_rwa(&coll, order);
             assert_eq!(a.num_colors, 6);
             assert!(is_valid_assignment(&coll, &a.colors));
-            assert_eq!(a.num_colors, color_lower_bound(&coll), "greedy is optimal on cliques");
+            assert_eq!(
+                a.num_colors,
+                color_lower_bound(&coll),
+                "greedy is optimal on cliques"
+            );
         }
     }
 
@@ -216,7 +225,10 @@ mod tests {
 
     #[test]
     fn batching_math() {
-        let a = WavelengthAssignment { colors: vec![0, 1, 2, 3, 4], num_colors: 5 };
+        let a = WavelengthAssignment {
+            colors: vec![0, 1, 2, 3, 4],
+            num_colors: 5,
+        };
         assert_eq!(a.batches(1), 5);
         assert_eq!(a.batches(2), 3);
         assert_eq!(a.batches(5), 1);

@@ -7,7 +7,11 @@ use optical_bench::experiments;
 use optical_bench::ExpConfig;
 
 fn cfg() -> ExpConfig {
-    ExpConfig { quick: true, seed: 1997, trials: 2 }
+    ExpConfig {
+        quick: true,
+        seed: 1997,
+        trials: 2,
+    }
 }
 
 macro_rules! exp_bench {

@@ -23,9 +23,13 @@ fn bench_path_congestion(c: &mut Criterion) {
     let mut group = c.benchmark_group("paths/path_congestion");
     for &side in &[16u32, 32, 64] {
         let coll = mesh_collection(side);
-        group.bench_with_input(BenchmarkId::from_parameter(side * side), &coll, |b, coll| {
-            b.iter(|| metrics::path_congestion(coll));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &coll,
+            |b, coll| {
+                b.iter(|| metrics::path_congestion(coll));
+            },
+        );
     }
     group.finish();
 }
@@ -36,9 +40,7 @@ fn bench_selection(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(10);
     let f = random_function(net.node_count(), &mut rng);
     c.bench_function("paths/dimension_order_4096", |b| {
-        b.iter(|| {
-            PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d))
-        });
+        b.iter(|| PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d)));
     });
 }
 
@@ -56,12 +58,22 @@ fn bench_rwa(c: &mut Criterion) {
     let mut group = c.benchmark_group("rwa/greedy");
     for &side in &[16u32, 32] {
         let coll = mesh_collection(side);
-        group.bench_with_input(BenchmarkId::from_parameter(side * side), &coll, |b, coll| {
-            b.iter(|| greedy_rwa(coll, ColorOrder::LongestFirst));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(side * side),
+            &coll,
+            |b, coll| {
+                b.iter(|| greedy_rwa(coll, ColorOrder::LongestFirst));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_path_congestion, bench_selection, bench_properties, bench_rwa);
+criterion_group!(
+    benches,
+    bench_path_congestion,
+    bench_selection,
+    bench_properties,
+    bench_rwa
+);
 criterion_main!(benches);

@@ -3,5 +3,8 @@
 
 fn main() {
     let cfg = optical_bench::ExpConfig::from_args();
-    print!("{}", optical_bench::experiments::e09_node_symmetric::run(&cfg));
+    print!(
+        "{}",
+        optical_bench::experiments::e09_node_symmetric::run(&cfg)
+    );
 }

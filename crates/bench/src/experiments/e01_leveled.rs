@@ -24,13 +24,33 @@ pub const WORM_LEN: u32 = 4;
 
 /// Run E1 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let dims: &[u32] = if cfg.quick { &[4, 5] } else { &[6, 7, 8, 9, 10, 11] };
+    let dims: &[u32] = if cfg.quick {
+        &[4, 5]
+    } else {
+        &[6, 7, 8, 9, 10, 11]
+    };
     let mut out = String::new();
-    writeln!(out, "== E1: Main Thm 1.1 — leveled collections, serve-first routers ==").unwrap();
-    writeln!(out, "workload: random function on the k-dim butterfly path system; B=1, L={WORM_LEN}").unwrap();
+    writeln!(
+        out,
+        "== E1: Main Thm 1.1 — leveled collections, serve-first routers =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "workload: random function on the k-dim butterfly path system; B=1, L={WORM_LEN}"
+    )
+    .unwrap();
 
     let mut table = Table::new(&[
-        "n", "D", "C~", "rounds", "pred_rounds", "r/pred", "time", "pred_time", "t/pred",
+        "n",
+        "D",
+        "C~",
+        "rounds",
+        "pred_rounds",
+        "r/pred",
+        "time",
+        "pred_time",
+        "t/pred",
     ]);
     for &k in dims {
         let net = butterfly(k);

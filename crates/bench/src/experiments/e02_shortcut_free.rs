@@ -43,7 +43,11 @@ pub fn sweep(quick: bool) -> Vec<usize> {
 /// Run E2 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "== E2: Main Thm 1.2 — short-cut free + blocking cycles, serve-first ==").unwrap();
+    writeln!(
+        out,
+        "== E2: Main Thm 1.2 — short-cut free + blocking cycles, serve-first =="
+    )
+    .unwrap();
     writeln!(
         out,
         "workload: Figure 6 triangles, fixed Δ={DELTA}, L={WORM_LEN}, B=1; rounds should grow ~ log n"
@@ -80,7 +84,11 @@ pub fn run(cfg: &ExpConfig) -> String {
             log_fit.slope, log_fit.r2, sqrt_fit.r2
         )
         .unwrap();
-        writeln!(out, "(a straight log-fit confirms the Thm 1.2 linear-in-log-n regime)").unwrap();
+        writeln!(
+            out,
+            "(a straight log-fit confirms the Thm 1.2 linear-in-log-n regime)"
+        )
+        .unwrap();
     }
     out
 }

@@ -19,7 +19,11 @@ use std::fmt::Write as _;
 /// Run E3 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "== E3: Main Thm 1.3 — priority vs serve-first on cyclic collections ==").unwrap();
+    writeln!(
+        out,
+        "== E3: Main Thm 1.3 — priority vs serve-first on cyclic collections =="
+    )
+    .unwrap();
     writeln!(
         out,
         "same Figure 6 triangles as E2 (Δ={DELTA}, L={WORM_LEN}, B=1); priority breaks blocking cycles"
@@ -27,7 +31,12 @@ pub fn run(cfg: &ExpConfig) -> String {
     .unwrap();
 
     let mut table = Table::new(&[
-        "n", "sf_rounds", "prio_rounds", "sf/prio", "pred_log", "pred_sqrt",
+        "n",
+        "sf_rounds",
+        "prio_rounds",
+        "sf/prio",
+        "pred_log",
+        "pred_sqrt",
     ]);
     for s in sweep(cfg.quick) {
         let inst = triangle(s, DILATION, WORM_LEN);

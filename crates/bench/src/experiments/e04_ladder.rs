@@ -22,10 +22,17 @@ pub const DELTA: u32 = 8;
 
 /// Run E4 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
-    let totals: &[usize] =
-        if cfg.quick { &[64, 256] } else { &[256, 1024, 4096, 16384, 65536] };
+    let totals: &[usize] = if cfg.quick {
+        &[64, 256]
+    } else {
+        &[256, 1024, 4096, 16384, 65536]
+    };
     let mut out = String::new();
-    writeln!(out, "== E4: Figure 5 ladders — the √(log n) lower-bound structures ==").unwrap();
+    writeln!(
+        out,
+        "== E4: Figure 5 ladders — the √(log n) lower-bound structures =="
+    )
+    .unwrap();
     writeln!(
         out,
         "fixed Δ={DELTA}, L={WORM_LEN}, B=1, k=⌈√log₂ n⌉ paths per ladder; rounds should grow ~ √(log n)"
@@ -71,8 +78,11 @@ pub fn run(cfg: &ExpConfig) -> String {
             sqrt_fit.slope, sqrt_fit.r2, log_fit.r2
         )
         .unwrap();
-        writeln!(out, "(the sqrt-fit should match at least as well as the straight log fit)")
-            .unwrap();
+        writeln!(
+            out,
+            "(the sqrt-fit should match at least as well as the straight log fit)"
+        )
+        .unwrap();
     }
     out
 }

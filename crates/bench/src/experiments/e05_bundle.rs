@@ -6,7 +6,7 @@
 //! hits the `O(log n)` floor — exactly Lemma 2.4 — and the number of
 //! rounds to drain everything grows like `log log C̃`.
 
-use crate::harness::{ExpConfig};
+use crate::harness::ExpConfig;
 use optical_core::{DelaySchedule, ProtocolParams, TrialAndFailure};
 use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
 use optical_wdm::RouterConfig;
@@ -22,10 +22,22 @@ pub const DILATION: u32 = 8;
 
 /// Run E5 and render its tables.
 pub fn run(cfg: &ExpConfig) -> String {
-    let sizes: &[usize] = if cfg.quick { &[64, 256] } else { &[256, 1024, 4096, 16384] };
+    let sizes: &[usize] = if cfg.quick {
+        &[64, 256]
+    } else {
+        &[256, 1024, 4096, 16384]
+    };
     let mut out = String::new();
-    writeln!(out, "== E5: type-2 bundles — Lemma 2.4 congestion decay, loglog draining ==").unwrap();
-    writeln!(out, "one bundle of C identical paths, paper schedule, B=1, L={WORM_LEN}").unwrap();
+    writeln!(
+        out,
+        "== E5: type-2 bundles — Lemma 2.4 congestion decay, loglog draining =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "one bundle of C identical paths, paper schedule, B=1, L={WORM_LEN}"
+    )
+    .unwrap();
 
     // Part A: rounds to drain vs log log C.
     let mut table = Table::new(&["C", "rounds", "loglog C", "ratio", "time"]);
@@ -47,8 +59,13 @@ pub fn run(cfg: &ExpConfig) -> String {
             assert!(report.completed, "E5 bundle must drain");
             rounds.push(report.rounds_used() as f64);
             times.push(report.total_time as f64);
-            per_round_congestion
-                .push(report.rounds.iter().map(|r| r.congestion_before.unwrap()).collect());
+            per_round_congestion.push(
+                report
+                    .rounds
+                    .iter()
+                    .map(|r| r.congestion_before.unwrap())
+                    .collect(),
+            );
         }
         let rounds = Summary::of(&rounds);
         let loglog = (c.max(4) as f64).log2().log2();

@@ -58,14 +58,23 @@ fn count_cycles(inst: &Instance, router: RouterConfig, cfg: &ExpConfig, salt: u6
             }
         }
     }
-    CycleCount { rounds: rounds_sum / cfg.trials as f64, cycle_rounds, total_cycles, total_rounds }
+    CycleCount {
+        rounds: rounds_sum / cfg.trials as f64,
+        cycle_rounds,
+        total_cycles,
+        total_rounds,
+    }
 }
 
 /// Run E6 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
     let structures: usize = if cfg.quick { 32 } else { 1024 };
     let mut out = String::new();
-    writeln!(out, "== E6: blocking graphs — Claim 2.6 forests vs Figure 6 cycles ==").unwrap();
+    writeln!(
+        out,
+        "== E6: blocking graphs — Claim 2.6 forests vs Figure 6 cycles =="
+    )
+    .unwrap();
     writeln!(
         out,
         "fixed Δ={DELTA}, L={WORM_LEN}, B=1; cycles can appear ONLY for serve-first on cyclic collections"
@@ -77,13 +86,37 @@ pub fn run(cfg: &ExpConfig) -> String {
     let bundle_inst = bundle(structures / 8, 16, 8);
 
     let mut table = Table::new(&[
-        "workload+rule", "rounds", "cycle_rounds", "cycles", "rounds_seen",
+        "workload+rule",
+        "rounds",
+        "cycle_rounds",
+        "cycles",
+        "rounds_seen",
     ]);
     let cases: Vec<(&str, &Instance, RouterConfig, u64)> = vec![
-        ("triangle/serve-first", &triangle_inst, RouterConfig::serve_first(1), 1),
-        ("triangle/priority", &triangle_inst, RouterConfig::priority(1), 2),
-        ("ladder/serve-first", &ladder_inst, RouterConfig::serve_first(1), 3),
-        ("bundle/serve-first", &bundle_inst, RouterConfig::serve_first(1), 4),
+        (
+            "triangle/serve-first",
+            &triangle_inst,
+            RouterConfig::serve_first(1),
+            1,
+        ),
+        (
+            "triangle/priority",
+            &triangle_inst,
+            RouterConfig::priority(1),
+            2,
+        ),
+        (
+            "ladder/serve-first",
+            &ladder_inst,
+            RouterConfig::serve_first(1),
+            3,
+        ),
+        (
+            "bundle/serve-first",
+            &bundle_inst,
+            RouterConfig::serve_first(1),
+            4,
+        ),
     ];
     for (name, inst, router, salt) in cases {
         let c = count_cycles(inst, router, cfg, salt);

@@ -31,14 +31,28 @@ fn mesh_instance(dims: u32, side: u32, seed: u64) -> (optical_topo::Network, Pat
 /// Run E7 and render its tables.
 pub fn run(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "== E7: Thm 1.6 — random functions on d-dimensional meshes ==").unwrap();
+    writeln!(
+        out,
+        "== E7: Thm 1.6 — random functions on d-dimensional meshes =="
+    )
+    .unwrap();
     writeln!(out, "dimension-order routing, serve-first routers").unwrap();
 
     // Part A: shape sweep at B = 1, L = 4.
-    let shapes: &[(u32, u32)] =
-        if cfg.quick { &[(2, 6)] } else { &[(1, 512), (2, 24), (3, 9), (2, 32)] };
+    let shapes: &[(u32, u32)] = if cfg.quick {
+        &[(2, 6)]
+    } else {
+        &[(1, 512), (2, 24), (3, 9), (2, 32)]
+    };
     let mut table = Table::new(&[
-        "mesh", "n_nodes", "D", "C~", "rounds", "time", "pred(Thm1.6)", "t/pred",
+        "mesh",
+        "n_nodes",
+        "D",
+        "C~",
+        "rounds",
+        "time",
+        "pred(Thm1.6)",
+        "t/pred",
     ]);
     for &(d, side) in shapes {
         let (net, coll) = mesh_instance(d, side, cfg.seed ^ ((d as u64) << 8 | side as u64));
@@ -63,7 +77,11 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     // Part B: bandwidth and worm-length sweep on a fixed 2-d mesh.
     let side: u32 = if cfg.quick { 6 } else { 16 };
-    writeln!(out, "bandwidth/worm-length sweep on the {side}x{side} mesh:").unwrap();
+    writeln!(
+        out,
+        "bandwidth/worm-length sweep on the {side}x{side} mesh:"
+    )
+    .unwrap();
     let mut table = Table::new(&["B", "L", "rounds", "time", "pred", "t/pred"]);
     let bs: &[u16] = if cfg.quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let ls: &[u32] = if cfg.quick { &[4] } else { &[1, 4, 16] };

@@ -26,15 +26,30 @@ pub fn run(cfg: &ExpConfig) -> String {
     let bs: &[u16] = if cfg.quick { &[1] } else { &[1, 4] };
 
     let mut out = String::new();
-    writeln!(out, "== E8: Thm 1.7 — random q-functions on the {dim}-dim butterfly ==").unwrap();
-    writeln!(out, "leveled input->output path system, serve-first routers, L={WORM_LEN}").unwrap();
+    writeln!(
+        out,
+        "== E8: Thm 1.7 — random q-functions on the {dim}-dim butterfly =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "leveled input->output path system, serve-first routers, L={WORM_LEN}"
+    )
+    .unwrap();
 
     let net = butterfly(dim);
     let coords = ButterflyCoords::new(dim, false);
     let rows = coords.rows() as usize;
 
     let mut table = Table::new(&[
-        "q", "B", "n_paths", "C~", "rounds", "time", "pred(Thm1.7)", "t/pred",
+        "q",
+        "B",
+        "n_paths",
+        "C~",
+        "rounds",
+        "time",
+        "pred(Thm1.7)",
+        "t/pred",
     ]);
     for &q in qs {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (q as u64));

@@ -43,11 +43,27 @@ fn networks(quick: bool) -> Vec<Network> {
 /// Run E9 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "== E9: Thm 1.5 — node-symmetric networks, priority routers ==").unwrap();
-    writeln!(out, "random function, randomized BFS path system, B=1, L={WORM_LEN}").unwrap();
+    writeln!(
+        out,
+        "== E9: Thm 1.5 — node-symmetric networks, priority routers =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "random function, randomized BFS path system, B=1, L={WORM_LEN}"
+    )
+    .unwrap();
 
     let mut table = Table::new(&[
-        "network", "n", "D", "C~", "D²+log n", "rounds", "time", "pred(Thm1.5)", "t/pred",
+        "network",
+        "n",
+        "D",
+        "C~",
+        "D²+log n",
+        "rounds",
+        "time",
+        "pred(Thm1.5)",
+        "t/pred",
     ]);
     for net in networks(cfg.quick) {
         let n = net.node_count();

@@ -38,7 +38,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     let (net, coll) = workload(cfg);
     let m = coll.metrics();
     let mut out = String::new();
-    writeln!(out, "== E10: baselines (conversion, offline RWA) and ablations ==").unwrap();
+    writeln!(
+        out,
+        "== E10: baselines (conversion, offline RWA) and ablations =="
+    )
+    .unwrap();
     writeln!(
         out,
         "workload: random function on a 2-d mesh ({} paths, D={}, C~={}), L={WORM_LEN}",
@@ -57,8 +61,15 @@ pub fn run(cfg: &ExpConfig) -> String {
     )
     .unwrap();
     let mut table = Table::new(&[
-        "B", "sf_rounds", "sf_time", "prio_rounds", "prio_time", "conv_rounds", "conv_time",
-        "rwa_batches", "rwa_time",
+        "B",
+        "sf_rounds",
+        "sf_time",
+        "prio_rounds",
+        "prio_time",
+        "conv_rounds",
+        "conv_time",
+        "rwa_batches",
+        "rwa_time",
     ]);
     for &b in bs {
         let mut row: Vec<String> = vec![b.to_string()];
@@ -89,7 +100,13 @@ pub fn run(cfg: &ExpConfig) -> String {
         ("schedule: paper", DelaySchedule::paper()),
         ("schedule: paper-literal", DelaySchedule::paper_literal()),
         ("schedule: fixed Δ=64", DelaySchedule::Fixed { delta: 64 }),
-        ("schedule: adaptive", DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 }),
+        (
+            "schedule: adaptive",
+            DelaySchedule::Adaptive {
+                c_cong: 2.0,
+                c_log: 1.0,
+            },
+        ),
     ];
     for (name, schedule) in schedules {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
@@ -97,36 +114,65 @@ pub fn run(cfg: &ExpConfig) -> String {
         params.max_rounds = 1000;
         let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
         assert_eq!(t.failures, 0, "{name} must complete");
-        table.row(&[name.to_string(), fmt_f64(t.rounds.mean), fmt_f64(t.total_time.mean), "0".into()]);
+        table.row(&[
+            name.to_string(),
+            fmt_f64(t.rounds.mean),
+            fmt_f64(t.total_time.mean),
+            "0".into(),
+        ]);
     }
     for (name, tie) in [
         ("tie: all-eliminated", TieRule::AllEliminated),
         ("tie: lowest-id", TieRule::LowestId),
         ("tie: random", TieRule::Random),
     ] {
-        let mut params =
-            ProtocolParams::new(RouterConfig::serve_first(2).with_tie(tie), WORM_LEN);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2).with_tie(tie), WORM_LEN);
         params.max_rounds = 1000;
         let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
         assert_eq!(t.failures, 0);
-        table.row(&[name.to_string(), fmt_f64(t.rounds.mean), fmt_f64(t.total_time.mean), "0".into()]);
+        table.row(&[
+            name.to_string(),
+            fmt_f64(t.rounds.mean),
+            fmt_f64(t.total_time.mean),
+            "0".into(),
+        ]);
     }
     for (name, wl) in [
-        ("wavelengths: re-randomized", optical_core::priority::WavelengthStrategy::RandomPerRound),
-        ("wavelengths: fixed per worm", optical_core::priority::WavelengthStrategy::FixedPerWorm),
-        ("wavelengths: by path id", optical_core::priority::WavelengthStrategy::ByPathId),
+        (
+            "wavelengths: re-randomized",
+            optical_core::priority::WavelengthStrategy::RandomPerRound,
+        ),
+        (
+            "wavelengths: fixed per worm",
+            optical_core::priority::WavelengthStrategy::FixedPerWorm,
+        ),
+        (
+            "wavelengths: by path id",
+            optical_core::priority::WavelengthStrategy::ByPathId,
+        ),
     ] {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
         params.wavelengths = wl;
         params.max_rounds = 1000;
         let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
         assert_eq!(t.failures, 0);
-        table.row(&[name.to_string(), fmt_f64(t.rounds.mean), fmt_f64(t.total_time.mean), "0".into()]);
+        table.row(&[
+            name.to_string(),
+            fmt_f64(t.rounds.mean),
+            fmt_f64(t.total_time.mean),
+            "0".into(),
+        ]);
     }
     for (name, ack) in [
         ("acks: ideal", AckMode::Ideal),
-        ("acks: simulated (len L)", AckMode::Simulated { ack_len: None }),
-        ("acks: simulated (len 1)", AckMode::Simulated { ack_len: Some(1) }),
+        (
+            "acks: simulated (len L)",
+            AckMode::Simulated { ack_len: None },
+        ),
+        (
+            "acks: simulated (len 1)",
+            AckMode::Simulated { ack_len: Some(1) },
+        ),
     ] {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
         params.ack = ack;

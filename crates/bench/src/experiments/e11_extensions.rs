@@ -40,7 +40,11 @@ fn mesh_workload(cfg: &ExpConfig) -> (Network, PathCollection) {
 /// Run E11 and render its tables.
 pub fn run(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "== E11: §4 extensions — sparse converters and bounded hops ==").unwrap();
+    writeln!(
+        out,
+        "== E11: §4 extensions — sparse converters and bounded hops =="
+    )
+    .unwrap();
 
     // Part A: converter-fraction sweep.
     let (net, coll) = mesh_workload(cfg);
@@ -52,11 +56,16 @@ pub fn run(cfg: &ExpConfig) -> String {
     )
     .unwrap();
     let mut table = Table::new(&["converter_frac", "round1_delivered", "rounds", "time"]);
-    let fracs: &[f64] = if cfg.quick { &[0.0, 1.0] } else { &[0.0, 0.1, 0.25, 0.5, 1.0] };
+    let fracs: &[f64] = if cfg.quick {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 0.1, 0.25, 0.5, 1.0]
+    };
     for &frac in fracs {
         let mut pick_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC0);
-        let converter_nodes: Vec<bool> =
-            (0..net.node_count()).map(|_| pick_rng.gen_bool(frac)).collect();
+        let converter_nodes: Vec<bool> = (0..net.node_count())
+            .map(|_| pick_rng.gen_bool(frac))
+            .collect();
         let mask = converter_mask(&net, |v: NodeId| converter_nodes[v as usize]);
         let mut params = ProtocolParams::new(RouterConfig::serve_first(4), WORM_LEN);
         params.schedule = DelaySchedule::Fixed { delta: 24 };

@@ -70,18 +70,25 @@ fn cases(quick: bool) -> Vec<Case> {
 /// Run E12 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "== E12: adversarial permutations — direct vs Valiant two-phase ==").unwrap();
-    writeln!(out, "serve-first routers, B=2, L={WORM_LEN}; C̃ drives the Main-Theorem time").unwrap();
+    writeln!(
+        out,
+        "== E12: adversarial permutations — direct vs Valiant two-phase =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "serve-first routers, B=2, L={WORM_LEN}; C̃ drives the Main-Theorem time"
+    )
+    .unwrap();
 
-    let mut table = Table::new(&[
-        "workload", "strategy", "D", "C", "C~", "rounds", "time",
-    ]);
+    let mut table = Table::new(&["workload", "strategy", "D", "C", "C~", "rounds", "time"]);
     for case in cases(cfg.quick) {
         let direct =
             PathCollection::from_function(&case.net, &case.f, |a, b| (case.route)(&case.net, a, b));
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE12);
-        let valiant =
-            valiant_collection(&case.net, &case.f, &mut rng, |a, b| (case.route)(&case.net, a, b));
+        let valiant = valiant_collection(&case.net, &case.f, &mut rng, |a, b| {
+            (case.route)(&case.net, a, b)
+        });
 
         for (strategy, coll) in [("direct", &direct), ("valiant", &valiant)] {
             let m = coll.metrics();

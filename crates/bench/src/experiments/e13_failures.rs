@@ -1,22 +1,27 @@
-//! E13 — failure injection: fiber cuts and recovery.
+//! E13 — failure injection: fiber cuts, flaky links, churn, and
+//! self-healing recovery.
 //!
 //! Not in the paper (its network is fault-free), but the first question a
-//! deployment asks. We cut a random fraction of fibers in a torus and
-//! compare two operating modes:
+//! deployment asks. Two tables:
 //!
-//! * **aware** — path selection knows the failures and routes around them
-//!   from the start (BFS avoiding dead links);
-//! * **unaware + reroute** — paths are chosen on the healthy topology,
-//!   worms crossing cuts strand for a detection period, then the stranded
-//!   ones are rerouted and retried.
+//! 1. **Static cuts** — a random fraction of fibers is cut before the run.
+//!    *Aware* routing knows the failures and routes around them from the
+//!    start (BFS avoiding dead links); *self-healing* routing starts on
+//!    healthy-topology paths and must discover the cuts from blockerless
+//!    failures, strand, and reroute ([`optical_core::Recovery`]).
+//! 2. **Dynamic faults** — the fiber plant misbehaves *while worms are in
+//!    flight*: mid-run cuts, stochastically garbling links, and MTBF/MTTR
+//!    churn, quantifying detection latency and backoff cost.
 
 use crate::harness::ExpConfig;
-use optical_core::{ProtocolParams, TrialAndFailure};
+use optical_core::{
+    FaultSource, ProtocolParams, Recovery, RecoveryPolicy, RecoveryReport, TrialAndFailure,
+};
 use optical_paths::select::bfs::{bfs_collection, bfs_route_avoiding};
 use optical_paths::PathCollection;
 use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
-use optical_topo::topologies;
-use optical_wdm::RouterConfig;
+use optical_topo::{topologies, Network};
+use optical_wdm::{ChurnModel, FaultPlan, RouterConfig};
 use optical_workloads::functions::random_function;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -24,105 +29,281 @@ use std::fmt::Write as _;
 
 /// Worm length.
 pub const WORM_LEN: u32 = 4;
-/// Rounds the unaware mode wastes before declaring worms stranded.
-pub const DETECTION_ROUNDS: u32 = 3;
+/// Round budget for every mode.
+pub const MAX_ROUNDS: u32 = 300;
+/// Attempts to draw a cut mask that keeps all pairs routable before the
+/// trial is skipped (never panic on an unlucky draw).
+const RESAMPLE_CAP: u32 = 64;
 
-/// Run E13 and render its table.
+/// Run E13 and render its tables.
 pub fn run(cfg: &ExpConfig) -> String {
     let side: u32 = if cfg.quick { 6 } else { 16 };
     let net = topologies::torus(2, side);
     let mut out = String::new();
-    writeln!(out, "== E13: fiber cuts — failure-aware routing vs strand-and-reroute ==").unwrap();
     writeln!(
         out,
-        "{}: random function, serve-first B=2, L={WORM_LEN}; {} detection rounds for the unaware mode",
+        "== E13: fiber faults — aware routing vs self-healing recovery =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}: random function, serve-first B=2, L={WORM_LEN}; policy {:?}",
         net.name(),
-        DETECTION_ROUNDS
+        RecoveryPolicy::default()
     )
     .unwrap();
 
+    static_cut_table(cfg, &net, &mut out);
+    dynamic_fault_table(cfg, &net, &mut out);
+    out
+}
+
+fn base_params(dead: Option<Vec<bool>>) -> ProtocolParams {
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
+    params.dead_links = dead;
+    params.max_rounds = MAX_ROUNDS;
+    params
+}
+
+/// Draw a cut mask (both directions of a fiber fail together) under which
+/// every pair of `f` is still routable. Returns the mask plus how many
+/// draws it took; `None` if `RESAMPLE_CAP` draws all disconnected a pair.
+fn routable_cut_mask(
+    net: &Network,
+    f: &[u32],
+    frac: f64,
+    rng: &mut impl Rng,
+) -> Option<(Vec<bool>, u32)> {
+    for attempt in 0..RESAMPLE_CAP {
+        let mut dead = vec![false; net.link_count()];
+        for e in 0..net.link_count() / 2 {
+            if rng.gen_bool(frac) {
+                dead[2 * e] = true;
+                dead[2 * e + 1] = true;
+            }
+        }
+        let routable = f
+            .iter()
+            .enumerate()
+            .all(|(s, &d)| bfs_route_avoiding(net, &dead, s as u32, d).is_some());
+        if routable {
+            return Some((dead, attempt));
+        }
+    }
+    None
+}
+
+/// Table 1: static pre-run cuts, aware vs self-healing.
+fn static_cut_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
     let mut table = Table::new(&[
-        "cut_frac", "fibers_cut", "stranded", "aware_time", "unaware_time", "penalty",
+        "cut_frac",
+        "fibers_cut",
+        "resampled",
+        "aware_time",
+        "heal_time",
+        "rerouted",
+        "abandoned",
+        "detect_lat",
+        "penalty",
     ]);
-    let fracs: &[f64] = if cfg.quick { &[0.0, 0.05] } else { &[0.0, 0.01, 0.02, 0.05, 0.10] };
+    let fracs: &[f64] = if cfg.quick {
+        &[0.0, 0.05]
+    } else {
+        &[0.0, 0.01, 0.02, 0.05, 0.10]
+    };
     for &frac in fracs {
-        let mut stranded_acc = 0f64;
+        let mut cut_counts = Vec::new();
+        let mut resamples = 0u32;
+        let mut skipped = 0usize;
         let mut aware_times = Vec::new();
-        let mut unaware_times = Vec::new();
-        let mut cut_count = 0usize;
+        let mut heal_times = Vec::new();
+        let mut rerouted = Vec::new();
+        let mut abandoned = 0usize;
+        let mut latencies = Vec::new();
         for seed in SeedStream::new(cfg.seed ^ 0xE13).take(cfg.trials) {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            // Cut fibers: mark both directions; keep the network connected
-            // (a torus tolerates these rates w.h.p. — assert it).
-            let mut dead = vec![false; net.link_count()];
-            for e in 0..net.link_count() / 2 {
-                if rng.gen_bool(frac) {
-                    dead[2 * e] = true;
-                    dead[2 * e + 1] = true;
-                }
-            }
-            cut_count = dead.iter().filter(|&&d| d).count() / 2;
             let f = random_function(net.node_count(), &mut rng);
+            // Resample unlucky masks instead of panicking on them.
+            let Some((dead, tries)) = routable_cut_mask(net, &f, frac, &mut rng) else {
+                skipped += 1;
+                continue;
+            };
+            resamples += tries;
+            cut_counts.push(dead.iter().filter(|&&d| d).count() as f64 / 2.0);
 
             // Aware mode: route around failures from the start.
-            let mut aware = PathCollection::for_network(&net);
+            let mut aware = PathCollection::for_network(net);
             for (s, &d) in f.iter().enumerate() {
-                aware.push(
-                    bfs_route_avoiding(&net, &dead, s as u32, d)
-                        .expect("torus disconnected by cuts — rate too high"),
-                );
+                // Routability was just verified for this exact mask.
+                aware.push(bfs_route_avoiding(net, &dead, s as u32, d).unwrap());
             }
-            let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
-            params.dead_links = Some(dead.clone());
-            params.max_rounds = 300;
-            let proto = TrialAndFailure::new(&net, &aware, params.clone());
+            let proto = TrialAndFailure::new(net, &aware, base_params(Some(dead.clone())));
             let report = proto.run(&mut rng);
             assert!(report.completed, "aware routing must complete");
             aware_times.push(report.total_time as f64);
 
-            // Unaware mode: healthy-topology paths strand on cuts.
-            let naive = bfs_collection(&net, &f);
-            let mut detect = params.clone();
-            detect.max_rounds = DETECTION_ROUNDS;
-            let proto = TrialAndFailure::new(&net, &naive, detect);
-            let first = proto.run(&mut rng);
-            stranded_acc += first.remaining.len() as f64;
-            let mut total = first.total_time;
-            if !first.completed {
-                let mut recovery = PathCollection::for_network(&net);
-                for &pid in &first.remaining {
-                    let p = naive.path(pid as usize);
-                    recovery.push(
-                        bfs_route_avoiding(&net, &dead, p.source(), p.dest()).expect("connected"),
-                    );
-                }
-                let proto = TrialAndFailure::new(&net, &recovery, params);
-                let rec = proto.run(&mut rng);
-                assert!(rec.completed, "recovery must complete");
-                total += rec.total_time;
-            }
-            unaware_times.push(total as f64);
+            // Self-healing mode: healthy-topology paths must discover the
+            // cuts from blockerless failures and reroute.
+            let naive = bfs_collection(net, &f);
+            let rec = Recovery::new(
+                net,
+                &naive,
+                base_params(Some(dead.clone())),
+                RecoveryPolicy::default(),
+            );
+            let report = rec.run(&mut rng);
+            heal_times.push(report.total_time as f64);
+            rerouted.push(report.rerouted_count() as f64);
+            abandoned += report.abandoned_count();
+            latencies.extend(report.detection_latencies.iter().map(|&l| l as f64));
+        }
+        if cut_counts.is_empty() {
+            table.row(&[
+                format!("{:.0}%", frac * 100.0),
+                "-".into(),
+                format!("{skipped} skipped"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
+            continue;
         }
         let aware = Summary::of(&aware_times);
-        let unaware = Summary::of(&unaware_times);
+        let heal = Summary::of(&heal_times);
         table.row(&[
             format!("{:.0}%", frac * 100.0),
-            cut_count.to_string(),
-            fmt_f64(stranded_acc / cfg.trials as f64),
+            fmt_f64(Summary::of(&cut_counts).mean),
+            resamples.to_string(),
             fmt_f64(aware.mean),
-            fmt_f64(unaware.mean),
-            fmt_f64(unaware.mean / aware.mean),
+            fmt_f64(heal.mean),
+            fmt_f64(Summary::of(&rerouted).mean),
+            abandoned.to_string(),
+            if latencies.is_empty() {
+                "-".into()
+            } else {
+                fmt_f64(Summary::of(&latencies).mean)
+            },
+            fmt_f64(heal.mean / aware.mean),
         ]);
     }
     out.push_str(&table.render());
     writeln!(
         out,
-        "(the unaware penalty is the price of failure detection: {} wasted round budgets\n\
-         plus a recovery pass for the stranded worms)",
-        DETECTION_ROUNDS
+        "(fibers_cut and the penalty are means over {} trials; detect_lat is the mean\n\
+         number of rounds from a worm's first blockerless failure to its reroute)",
+        cfg.trials
     )
     .unwrap();
-    out
+}
+
+/// Table 2: faults striking while worms are in flight.
+fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
+    writeln!(out, "\n-- dynamic faults (striking mid-run) --").unwrap();
+    let fibers = net.link_count() / 2;
+    let hit = (fibers / 20).max(1); // ~5% of fibers misbehave
+
+    let mut table = Table::new(&[
+        "scenario",
+        "direct",
+        "rerouted",
+        "abandoned",
+        "rounds",
+        "detect_lat",
+        "backoff_cost",
+        "total_time",
+    ]);
+
+    type FaultMaker = Box<dyn Fn(&mut ChaCha8Rng) -> FaultSource>;
+    let scenarios: Vec<(String, FaultMaker)> = vec![
+        (
+            format!("mid-run cut of {hit} fibers (round 3+)"),
+            Box::new(move |rng: &mut ChaCha8Rng| {
+                // Rounds 1–2 run clean; from round 3 the cut is permanent.
+                let link_count = (fibers * 2) as u32;
+                let mut plan = FaultPlan::none();
+                for _ in 0..hit {
+                    let e = rng.gen_range(0..link_count / 2);
+                    plan = plan.down(2 * e, 0).down(2 * e + 1, 0);
+                }
+                let mut plans = vec![FaultPlan::none(), FaultPlan::none()];
+                plans.resize(MAX_ROUNDS as usize, plan);
+                FaultSource::PerRound(plans)
+            }),
+        ),
+        (
+            format!("{hit} flaky fibers, garble p=0.3"),
+            Box::new(move |rng: &mut ChaCha8Rng| {
+                let link_count = (fibers * 2) as u32;
+                let mut plan = FaultPlan::with_seed(rng.gen());
+                for _ in 0..hit {
+                    let e = rng.gen_range(0..link_count / 2);
+                    plan = plan.flaky(2 * e, 0.3).flaky(2 * e + 1, 0.3);
+                }
+                FaultSource::EveryRound(plan)
+            }),
+        ),
+        (
+            "churn mtbf=500 mttr=50 steps".into(),
+            Box::new(|rng: &mut ChaCha8Rng| {
+                FaultSource::Churn(ChurnModel {
+                    mtbf: 500.0,
+                    mttr: 50.0,
+                    seed: rng.gen(),
+                })
+            }),
+        ),
+    ];
+
+    for (name, make_faults) in scenarios {
+        let mut direct = Vec::new();
+        let mut rerouted = Vec::new();
+        let mut abandoned = Vec::new();
+        let mut rounds = Vec::new();
+        let mut latencies = Vec::new();
+        let mut backoff = Vec::new();
+        let mut times = Vec::new();
+        for seed in SeedStream::new(cfg.seed ^ 0xD13).take(cfg.trials) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let f = random_function(net.node_count(), &mut rng);
+            let coll = bfs_collection(net, &f);
+            let faults = make_faults(&mut rng);
+            let rec = Recovery::new(net, &coll, base_params(None), RecoveryPolicy::default())
+                .with_faults(faults);
+            let report: RecoveryReport = rec.run(&mut rng);
+            direct.push(report.delivered_direct() as f64);
+            rerouted.push(report.rerouted_count() as f64);
+            abandoned.push(report.abandoned_count() as f64);
+            rounds.push(report.rounds_used() as f64);
+            latencies.extend(report.detection_latencies.iter().map(|&l| l as f64));
+            backoff.push(report.backoff_extra_time as f64);
+            times.push(report.total_time as f64);
+        }
+        table.row(&[
+            name,
+            fmt_f64(Summary::of(&direct).mean),
+            fmt_f64(Summary::of(&rerouted).mean),
+            fmt_f64(Summary::of(&abandoned).mean),
+            fmt_f64(Summary::of(&rounds).mean),
+            if latencies.is_empty() {
+                "-".into()
+            } else {
+                fmt_f64(Summary::of(&latencies).mean)
+            },
+            fmt_f64(Summary::of(&backoff).mean),
+            fmt_f64(Summary::of(&times).mean),
+        ]);
+    }
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "(direct/rerouted/abandoned are mean worm counts of {} per trial; backoff_cost\n\
+         is the mean extra steps spent on widened delay ranges)",
+        net.node_count()
+    )
+    .unwrap();
 }
 
 #[cfg(test)]
@@ -130,9 +311,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_run_produces_table() {
+    fn quick_run_produces_both_tables() {
         let out = run(&ExpConfig::quick());
         assert!(out.contains("E13"));
-        assert!(out.contains("stranded"));
+        assert!(out.contains("heal_time"));
+        assert!(out.contains("dynamic faults"));
+        assert!(out.contains("churn"));
+    }
+
+    #[test]
+    fn resampling_gives_up_gracefully_at_hopeless_rates() {
+        // frac = 1.0 cuts every fiber: no mask can be routable, so the
+        // helper must return None instead of panicking.
+        let net = topologies::torus(2, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let f = random_function(net.node_count(), &mut rng);
+        assert!(routable_cut_mask(&net, &f, 1.0, &mut rng).is_none());
     }
 }

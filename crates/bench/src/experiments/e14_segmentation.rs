@@ -33,7 +33,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     let base = PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d));
 
     let mut out = String::new();
-    writeln!(out, "== E14: message segmentation — {PAYLOAD}-flit payload per source ==").unwrap();
+    writeln!(
+        out,
+        "== E14: message segmentation — {PAYLOAD}-flit payload per source =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{}: random function, serve-first B=2; m worms of {PAYLOAD}/m flits each",
@@ -42,7 +46,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     .unwrap();
 
     let mut table = Table::new(&["m", "L", "worms", "C~", "rounds", "time", "goodput"]);
-    let ms: &[u32] = if cfg.quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+    let ms: &[u32] = if cfg.quick {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
     for &m in ms {
         let worm_len = PAYLOAD / m;
         // m copies of every path — each segment is an independent worm.
@@ -57,8 +65,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         params.max_rounds = 500;
         let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
         assert_eq!(trials.failures, 0, "E14 must complete");
-        let goodput =
-            base.len() as f64 * PAYLOAD as f64 / trials.total_time.mean;
+        let goodput = base.len() as f64 * PAYLOAD as f64 / trials.total_time.mean;
         table.row(&[
             m.to_string(),
             worm_len.to_string(),

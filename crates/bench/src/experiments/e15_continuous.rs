@@ -15,8 +15,8 @@ use optical_stats::{table::fmt_f64, SeedStream, Table};
 use optical_topo::topologies;
 use optical_wdm::RouterConfig;
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 
 /// Worm length.
@@ -28,7 +28,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     let rounds: u32 = if cfg.quick { 60 } else { 200 };
     let net = topologies::torus(2, side);
     let mut out = String::new();
-    writeln!(out, "== E15: continuous traffic — load-latency curve, saturation knee ==").unwrap();
+    writeln!(
+        out,
+        "== E15: continuous traffic — load-latency curve, saturation knee =="
+    )
+    .unwrap();
     writeln!(
         out,
         "{}: Bernoulli arrivals per node per round, serve-first, fixed Δ=24, L={WORM_LEN}, {rounds} rounds",
@@ -37,12 +41,21 @@ pub fn run(cfg: &ExpConfig) -> String {
     .unwrap();
 
     let mut table = Table::new(&[
-        "B", "arrival", "offered/round", "throughput", "avg_active", "mean_lat", "p95_lat",
+        "B",
+        "arrival",
+        "offered/round",
+        "throughput",
+        "avg_active",
+        "mean_lat",
+        "p95_lat",
         "saturated",
     ]);
     let bs: &[u16] = if cfg.quick { &[1] } else { &[1, 2] };
-    let loads: &[f64] =
-        if cfg.quick { &[0.05, 0.5] } else { &[0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0] };
+    let loads: &[f64] = if cfg.quick {
+        &[0.05, 0.5]
+    } else {
+        &[0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+    };
     for &b in bs {
         for &arrival in loads {
             // Average a few seeds.

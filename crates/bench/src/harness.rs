@@ -23,12 +23,20 @@ pub struct ExpConfig {
 impl ExpConfig {
     /// Full-size defaults.
     pub fn full() -> Self {
-        ExpConfig { quick: false, seed: 1997, trials: 10 }
+        ExpConfig {
+            quick: false,
+            seed: 1997,
+            trials: 10,
+        }
     }
 
     /// Quick defaults for tests.
     pub fn quick() -> Self {
-        ExpConfig { quick: true, seed: 1997, trials: 3 }
+        ExpConfig {
+            quick: true,
+            seed: 1997,
+            trials: 3,
+        }
     }
 
     /// Parse `--quick`, `--seed N`, `--trials N` from process args.

@@ -125,8 +125,7 @@ pub fn mesh_bound(dims: u32, side: u32, worm_len: u32, bandwidth: u16) -> f64 {
     let d = dims as f64;
     let n = side as f64;
     let log_side = n.max(2.0).log2();
-    l * d * n / b
-        + (d.sqrt() + log_side.max(2.0).log2()) * (d * n + l + l * d * log_side / b)
+    l * d * n / b + (d.sqrt() + log_side.max(2.0).log2()) * (d * n + l + l * d * log_side / b)
 }
 
 /// Theorem 1.7 (log n-dimensional butterfly, random q-function):
@@ -137,8 +136,7 @@ pub fn butterfly_bound(rows: usize, q: u32, worm_len: u32, bandwidth: u16) -> f6
     let b = bandwidth.max(1) as f64;
     let log_n = (rows.max(2) as f64).log2();
     let q = q.max(1) as f64;
-    l * q * log_n / b
-        + (log_n / (q * log_n).max(2.0).log2()).sqrt() * (l + log_n + l * log_n / b)
+    l * q * log_n / b + (log_n / (q * log_n).max(2.0).log2()).sqrt() * (l + log_n + l * log_n / b)
 }
 
 /// Expected rounds forced by the type-1 **ladder** structures (§2.2) at a
@@ -232,7 +230,13 @@ mod tests {
     use super::*;
 
     fn params(n: usize, d: u32, c: u32, l: u32, b: u16) -> BoundParams {
-        BoundParams { n, dilation: d, path_congestion: c, worm_len: l, bandwidth: b }
+        BoundParams {
+            n,
+            dilation: d,
+            path_congestion: c,
+            worm_len: l,
+            bandwidth: b,
+        }
     }
 
     #[test]
@@ -317,7 +321,10 @@ mod tests {
         let l4 = ladder_lower_rounds(1 << 32, 1, 8, 4);
         let lr = l4 / l1;
         assert!((1.6..3.0).contains(&lr), "ladder ratio {lr:.2}");
-        assert!(tr > lr + 1.0, "log growth must clearly dominate sqrt-log growth");
+        assert!(
+            tr > lr + 1.0,
+            "log growth must clearly dominate sqrt-log growth"
+        );
     }
 
     #[test]

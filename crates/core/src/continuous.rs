@@ -83,9 +83,16 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
     /// worm.
     pub fn new(net: &'a Network, sample_path: F, params: ContinuousParams) -> Self {
         assert!((0.0..=1.0).contains(&params.arrival_prob));
-        assert!(params.warmup < params.rounds, "warmup must leave measured rounds");
+        assert!(
+            params.warmup < params.rounds,
+            "warmup must leave measured rounds"
+        );
         params.router.validate();
-        ContinuousRun { net, sample_path, params }
+        ContinuousRun {
+            net,
+            sample_path,
+            params,
+        }
     }
 
     /// Simulate. Worms spawned in a round participate from that round on;
@@ -155,8 +162,11 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
                     length: p.worm_len,
                 })
                 .collect();
-            let max_len =
-                live.iter().map(|w| paths.path(w.path_idx as usize).len()).max().unwrap_or(0);
+            let max_len = live
+                .iter()
+                .map(|w| paths.path(w.path_idx as usize).len())
+                .max()
+                .unwrap_or(0);
             total_time += delta as u64 + 2 * (max_len as u64 + p.worm_len as u64);
 
             let outcome = engine.run(&specs, rng);
@@ -228,9 +238,7 @@ mod tests {
         }
     }
 
-    fn torus_sampler(
-        net: &Network,
-    ) -> impl FnMut(&mut dyn rand::RngCore) -> Path + '_ {
+    fn torus_sampler(net: &Network) -> impl FnMut(&mut dyn rand::RngCore) -> Path + '_ {
         move |rng| {
             let n = net.node_count() as u32;
             let s = rng.gen_range(0..n);

@@ -109,7 +109,11 @@ impl<'a> HopTrialAndFailure<'a> {
         hops: u32,
         max_rounds: u32,
     ) -> Self {
-        assert_eq!(net.link_count(), collection.link_count(), "collection/network mismatch");
+        assert_eq!(
+            net.link_count(),
+            collection.link_count(),
+            "collection/network mismatch"
+        );
         router.validate();
         let segments: Vec<Vec<std::ops::Range<usize>>> = collection
             .paths()
@@ -187,8 +191,7 @@ impl<'a> HopTrialAndFailure<'a> {
             let priorities = self.priorities.assign(&active, n, rng);
             // Same draw order as the plain protocol: wavelengths as a
             // batch, then startup delays per spec.
-            let wavelengths: Vec<u16> =
-                active.iter().map(|_| rng.gen_range(0..b) as u16).collect();
+            let wavelengths: Vec<u16> = active.iter().map(|_| rng.gen_range(0..b) as u16).collect();
 
             let specs: Vec<TransmissionSpec<'_>> = active
                 .iter()
@@ -263,7 +266,11 @@ mod tests {
         assert_eq!(split_path(10, 1), vec![0..5, 5..10]);
         assert_eq!(split_path(10, 2), vec![0..4, 4..7, 7..10]);
         assert_eq!(split_path(2, 3), vec![0..1, 1..2], "no empty segments");
-        assert_eq!(split_path(0, 2), vec![0..0], "zero-length path: one empty segment");
+        assert_eq!(
+            split_path(0, 2),
+            vec![0..0],
+            "zero-length path: one empty segment"
+        );
     }
 
     #[test]
@@ -333,8 +340,7 @@ mod tests {
             .with_schedule(schedule);
         let hop_report = hop.run(&mut rng(7));
 
-        let mut params =
-            crate::protocol::ProtocolParams::new(RouterConfig::serve_first(1), 3);
+        let mut params = crate::protocol::ProtocolParams::new(RouterConfig::serve_first(1), 3);
         params.schedule = schedule;
         params.max_rounds = 300;
         let plain = crate::protocol::TrialAndFailure::new(&net, &coll, params);
@@ -357,14 +363,12 @@ mod tests {
         let mut tight0 = 0u64;
         let mut tight3 = 0u64;
         for seed in 0..6 {
-            let r0 =
-                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 0, 5000)
-                    .with_schedule(schedule_tight)
-                    .run(&mut rng(seed));
-            let r3 =
-                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 3, 5000)
-                    .with_schedule(schedule_tight)
-                    .run(&mut rng(seed + 100));
+            let r0 = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 0, 5000)
+                .with_schedule(schedule_tight)
+                .run(&mut rng(seed));
+            let r3 = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 3, 5000)
+                .with_schedule(schedule_tight)
+                .run(&mut rng(seed + 100));
             assert!(r0.completed && r3.completed);
             tight0 += r0.total_time;
             tight3 += r3.total_time;
@@ -380,14 +384,12 @@ mod tests {
         let mut loose0 = 0u64;
         let mut loose3 = 0u64;
         for seed in 0..6 {
-            let r0 =
-                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 0, 2000)
-                    .with_schedule(schedule_loose)
-                    .run(&mut rng(seed));
-            let r3 =
-                HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 3, 2000)
-                    .with_schedule(schedule_loose)
-                    .run(&mut rng(seed + 100));
+            let r0 = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 0, 2000)
+                .with_schedule(schedule_loose)
+                .run(&mut rng(seed));
+            let r3 = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(1), 2, 3, 2000)
+                .with_schedule(schedule_loose)
+                .run(&mut rng(seed + 100));
             assert!(r0.completed && r3.completed);
             loose0 += r0.total_time;
             loose3 += r3.total_time;
@@ -401,8 +403,7 @@ mod tests {
     #[test]
     fn segment_progress_is_monotone() {
         let (net, coll) = bundle(6, 10);
-        let proto =
-            HopTrialAndFailure::new(&net, &coll, RouterConfig::priority(1), 2, 2, 400);
+        let proto = HopTrialAndFailure::new(&net, &coll, RouterConfig::priority(1), 2, 2, 400);
         let report = proto.run(&mut rng(3));
         assert!(report.completed);
         // advanced >= completed each round; launched never grows.

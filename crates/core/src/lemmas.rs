@@ -30,7 +30,10 @@ pub fn lemma_2_9_optimum(y: f64, alpha: f64, n: usize) -> Vec<f64> {
 
 /// `log ∏ (x_i + α)^i = Σ i·ln(x_i + α)` — the objective of Lemma 2.9.
 pub fn lemma_2_9_objective(xs: &[f64], alpha: f64) -> f64 {
-    xs.iter().enumerate().map(|(k, &x)| (k as f64 + 1.0) * (x + alpha).ln()).sum()
+    xs.iter()
+        .enumerate()
+        .map(|(k, &x)| (k as f64 + 1.0) * (x + alpha).ln())
+        .sum()
 }
 
 /// Lemma 2.8's per-pair blocking probability lower bound: with delay
@@ -117,7 +120,10 @@ mod tests {
                 xs[i] -= eps;
                 xs[j] += eps;
                 let val = lemma_2_9_objective(&xs, alpha);
-                assert!(val <= best_val + 1e-9, "exchange {i}->{j} improved the optimum");
+                assert!(
+                    val <= best_val + 1e-9,
+                    "exchange {i}->{j} improved the optimum"
+                );
             }
         }
     }

@@ -38,6 +38,9 @@
 //!   points);
 //! * [`continuous`] — steady-state operation under Bernoulli arrivals
 //!   (saturation throughput, load-latency curves);
+//! * [`recovery`] — self-healing trial-and-failure under dynamic faults:
+//!   stranded-worm detection, exponential backoff, and automatic
+//!   rerouting around links learned dead from blockerless failures;
 //! * [`lemmas`] — the appendix lemmas, executable;
 //! * [`witness`] — executable witness trees (Figure 4) and per-round
 //!   blocking graphs `G_i` (Definition 2.3), including the Claim 2.6
@@ -49,9 +52,14 @@ pub mod hops;
 pub mod lemmas;
 pub mod priority;
 pub mod protocol;
+pub mod recovery;
 pub mod schedule;
 pub mod witness;
 
 pub use priority::PriorityStrategy;
 pub use protocol::{AckMode, ProtocolParams, RoundReport, RunReport, TrialAndFailure};
+pub use recovery::{
+    AbandonReason, FaultSource, Recovery, RecoveryPolicy, RecoveryReport, RecoveryRound,
+    WormOutcome,
+};
 pub use schedule::{DelaySchedule, ScheduleCtx};

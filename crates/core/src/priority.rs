@@ -40,12 +40,11 @@ impl PriorityStrategy {
                 ranks
             }
             PriorityStrategy::ByPathId => active.iter().map(|&p| p as u64).collect(),
-            PriorityStrategy::ByPathIdReversed => {
-                active.iter().map(|&p| (n_total as u64) - p as u64).collect()
-            }
-            PriorityStrategy::Fixed(ranks) => {
-                active.iter().map(|&p| ranks[p as usize]).collect()
-            }
+            PriorityStrategy::ByPathIdReversed => active
+                .iter()
+                .map(|&p| (n_total as u64) - p as u64)
+                .collect(),
+            PriorityStrategy::Fixed(ranks) => active.iter().map(|&p| ranks[p as usize]).collect(),
         }
     }
 }
@@ -82,12 +81,11 @@ impl WavelengthStrategy {
             WavelengthStrategy::RandomPerRound => {
                 active.iter().map(|_| rng.gen_range(0..bandwidth)).collect()
             }
-            WavelengthStrategy::FixedPerWorm => {
-                active.iter().map(|&p| fixed[p as usize]).collect()
-            }
-            WavelengthStrategy::ByPathId => {
-                active.iter().map(|&p| (p % bandwidth as u32) as u16).collect()
-            }
+            WavelengthStrategy::FixedPerWorm => active.iter().map(|&p| fixed[p as usize]).collect(),
+            WavelengthStrategy::ByPathId => active
+                .iter()
+                .map(|&p| (p % bandwidth as u32) as u16)
+                .collect(),
         }
     }
 }

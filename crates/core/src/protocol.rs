@@ -189,7 +189,12 @@ impl<'a> TrialAndFailure<'a> {
         assert!(params.max_rounds >= 1, "need at least one round");
         params.router.validate();
         let metrics = collection.metrics();
-        TrialAndFailure { net, collection, params, metrics }
+        TrialAndFailure {
+            net,
+            collection,
+            params,
+            metrics,
+        }
     }
 
     /// The collection metrics (computed at construction).
@@ -233,7 +238,11 @@ impl<'a> TrialAndFailure<'a> {
                     .paths()
                     .iter()
                     .map(|path| {
-                        path.links().iter().rev().map(|&lk| self.net.reverse_link(lk)).collect()
+                        path.links()
+                            .iter()
+                            .rev()
+                            .map(|&lk| self.net.reverse_link(lk))
+                            .collect()
                     })
                     .collect(),
             ),
@@ -283,8 +292,9 @@ impl<'a> TrialAndFailure<'a> {
             });
 
             let priorities = p.priorities.assign(&active, n, rng);
-            let wavelengths =
-                p.wavelengths.assign(&active, p.router.bandwidth, &fixed_wl, rng);
+            let wavelengths = p
+                .wavelengths
+                .assign(&active, p.router.bandwidth, &fixed_wl, rng);
             let specs: Vec<TransmissionSpec<'_>> = active
                 .iter()
                 .zip(priorities.iter().zip(&wavelengths))
@@ -525,7 +535,10 @@ mod tests {
             total_dups += report.duplicate_deliveries;
             assert!(report.completed, "seed {seed} did not finish");
         }
-        assert!(total_dups > 0, "expected at least one lost ack across 40 runs");
+        assert!(
+            total_dups > 0,
+            "expected at least one lost ack across 40 runs"
+        );
     }
 
     #[test]
@@ -568,10 +581,16 @@ mod tests {
         let proto = TrialAndFailure::new(&net, &coll, params);
         let report = proto.run(&mut rng(7));
         assert!(report.completed);
-        let cong: Vec<u32> =
-            report.rounds.iter().map(|r| r.congestion_before.unwrap()).collect();
+        let cong: Vec<u32> = report
+            .rounds
+            .iter()
+            .map(|r| r.congestion_before.unwrap())
+            .collect();
         assert_eq!(cong[0], 23);
-        assert!(cong.windows(2).all(|w| w[1] <= w[0]), "congestion never grows");
+        assert!(
+            cong.windows(2).all(|w| w[1] <= w[0]),
+            "congestion never grows"
+        );
     }
 
     #[test]
@@ -656,8 +675,7 @@ mod tests {
             let proto = TrialAndFailure::new(&net, &coll, params.clone());
             without += proto.run(&mut rng(seed)).rounds[0].delivered;
 
-            params.converters =
-                Some(optical_wdm::engine::converter_mask(&net, |_| true));
+            params.converters = Some(optical_wdm::engine::converter_mask(&net, |_| true));
             let proto = TrialAndFailure::new(&net, &coll, params);
             with_conv += proto.run(&mut rng(seed)).rounds[0].delivered;
         }
@@ -722,6 +740,10 @@ mod tests {
         let net = topologies::chain(3);
         let other = topologies::chain(9);
         let coll = PathCollection::for_network(&other);
-        TrialAndFailure::new(&net, &coll, ProtocolParams::new(RouterConfig::serve_first(1), 2));
+        TrialAndFailure::new(
+            &net,
+            &coll,
+            ProtocolParams::new(RouterConfig::serve_first(1), 2),
+        );
     }
 }

@@ -79,13 +79,19 @@ pub enum DelaySchedule {
 impl DelaySchedule {
     /// Paper schedule with practical constants (`c₁ = 2`, `c₂ = 1`).
     pub fn paper() -> Self {
-        DelaySchedule::Paper { c_cong: 2.0, c_log: 1.0 }
+        DelaySchedule::Paper {
+            c_cong: 2.0,
+            c_log: 1.0,
+        }
     }
 
     /// Paper schedule with the printed proof constants
     /// (`c₁ = 32`, `c₂ = 40e²` with `δ = 1`).
     pub fn paper_literal() -> Self {
-        DelaySchedule::Paper { c_cong: 32.0, c_log: 40.0 * std::f64::consts::E.powi(2) }
+        DelaySchedule::Paper {
+            c_cong: 32.0,
+            c_log: 40.0 * std::f64::consts::E.powi(2),
+        }
     }
 
     /// The delay range for round `t` (1-based). Always ≥ 1.
@@ -105,11 +111,17 @@ impl DelaySchedule {
                 term1.max(term2).max(term3) + d + l
             }
             DelaySchedule::Fixed { delta } => delta as f64,
-            DelaySchedule::Geometric { initial, ratio, floor } => {
-                (initial as f64 * ratio.powi(t as i32 - 1)).max(floor as f64)
-            }
+            DelaySchedule::Geometric {
+                initial,
+                ratio,
+                floor,
+            } => (initial as f64 * ratio.powi(t as i32 - 1)).max(floor as f64),
             DelaySchedule::Adaptive { c_cong, c_log } => {
-                let frac = if ctx.n == 0 { 0.0 } else { ctx.active as f64 / ctx.n as f64 };
+                let frac = if ctx.n == 0 {
+                    0.0
+                } else {
+                    ctx.active as f64 / ctx.n as f64
+                };
                 let c_t = (c * frac).max(log_n);
                 let term1 = c_cong * l * c_t / b;
                 let term3 = c_log * l * log_n / b;
@@ -173,7 +185,11 @@ mod tests {
 
     #[test]
     fn geometric_schedule_respects_floor() {
-        let s = DelaySchedule::Geometric { initial: 100, ratio: 0.5, floor: 10 };
+        let s = DelaySchedule::Geometric {
+            initial: 100,
+            ratio: 0.5,
+            floor: 10,
+        };
         let c = ctx(100, 50);
         assert_eq!(s.delta(1, &c), 100);
         assert_eq!(s.delta(2, &c), 50);
@@ -182,7 +198,10 @@ mod tests {
 
     #[test]
     fn adaptive_shrinks_with_active_count() {
-        let s = DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 };
+        let s = DelaySchedule::Adaptive {
+            c_cong: 2.0,
+            c_log: 1.0,
+        };
         let mut c = ctx(4096, 16384);
         let full = s.delta(1, &c);
         c.active = 64;
@@ -199,7 +218,11 @@ mod tests {
     #[test]
     fn geometric_with_ratio_above_one_is_exponential_backoff() {
         // ratio > 1 gives the classic networking backoff discipline.
-        let s = DelaySchedule::Geometric { initial: 8, ratio: 2.0, floor: 1 };
+        let s = DelaySchedule::Geometric {
+            initial: 8,
+            ratio: 2.0,
+            floor: 1,
+        };
         let c = ctx(64, 32);
         assert_eq!(s.delta(1, &c), 8);
         assert_eq!(s.delta(2, &c), 16);
@@ -208,7 +231,11 @@ mod tests {
 
     #[test]
     fn delta_is_at_least_one() {
-        let s = DelaySchedule::Geometric { initial: 0, ratio: 0.5, floor: 0 };
+        let s = DelaySchedule::Geometric {
+            initial: 0,
+            ratio: 0.5,
+            floor: 0,
+        };
         let c = ctx(2, 0);
         assert_eq!(s.delta(5, &c), 1);
     }

@@ -84,10 +84,19 @@ pub fn analyze_blocking(blocking: &HashMap<u32, u32>) -> BlockingAnalysis {
     }
 
     let blocked: HashSet<u32> = blocking.keys().copied().collect();
-    let mut roots: Vec<u32> = worms.iter().copied().filter(|w| !blocked.contains(w)).collect();
+    let mut roots: Vec<u32> = worms
+        .iter()
+        .copied()
+        .filter(|w| !blocked.contains(w))
+        .collect();
     roots.sort_unstable();
 
-    BlockingAnalysis { worms: worms.len(), edges: blocking.len(), cycles, roots }
+    BlockingAnalysis {
+        worms: worms.len(),
+        edges: blocking.len(),
+        cycles,
+        roots,
+    }
 }
 
 /// A node of a witness tree `W(t)`.
@@ -126,14 +135,23 @@ pub fn witness_tree(blocking_per_round: &[&HashMap<u32, u32>], root: u32) -> Wit
         // The blocker of `worm` at the round corresponding to this level.
         let t = maps.len();
         if level >= t {
-            return WitnessNode { worm, children: vec![] };
+            return WitnessNode {
+                worm,
+                children: vec![],
+            };
         }
         let round_idx = t - 1 - level;
         match maps[round_idx].get(&worm) {
-            None => WitnessNode { worm, children: vec![] },
+            None => WitnessNode {
+                worm,
+                children: vec![],
+            },
             Some(&blocker) => WitnessNode {
                 worm,
-                children: vec![build(maps, worm, level + 1), build(maps, blocker, level + 1)],
+                children: vec![
+                    build(maps, worm, level + 1),
+                    build(maps, blocker, level + 1),
+                ],
             },
         }
     }
@@ -164,7 +182,12 @@ pub fn witness_stats(tree: &WitnessNode) -> WitnessStats {
         new_per_level.push(seen.len() - before);
         m.push(seen.len());
     }
-    WitnessStats { depth: per_level.len().saturating_sub(1), m, new_per_level, nodes }
+    WitnessStats {
+        depth: per_level.len().saturating_sub(1),
+        m,
+        new_per_level,
+        nodes,
+    }
 }
 
 /// Verify that a witness tree is a *valid embedding* in the sense of
@@ -359,7 +382,10 @@ mod tests {
             .map(|(w, r)| (w as u32, r.unwrap()))
             .max_by_key(|&(_, r)| r)
             .unwrap();
-        assert!(last >= 2, "need at least one failed round for a witness tree");
+        assert!(
+            last >= 2,
+            "need at least one failed round for a witness tree"
+        );
         let maps: Vec<&HashMap<u32, u32>> = report.rounds[..last as usize - 1]
             .iter()
             .map(|r| r.blocking.as_ref().unwrap())

@@ -20,7 +20,10 @@ pub struct PathCollection {
 impl PathCollection {
     /// An empty collection over a network with `link_count` directed links.
     pub fn new(link_count: usize) -> Self {
-        PathCollection { paths: Vec::new(), link_count }
+        PathCollection {
+            paths: Vec::new(),
+            link_count,
+        }
     }
 
     /// An empty collection sized for `net`.
@@ -120,7 +123,10 @@ impl PathCollection {
 
     /// Concatenate another collection (must be over the same network).
     pub fn extend(&mut self, other: PathCollection) {
-        assert_eq!(self.link_count, other.link_count, "collections over different networks");
+        assert_eq!(
+            self.link_count, other.link_count,
+            "collections over different networks"
+        );
         self.paths.extend(other.paths);
     }
 }

@@ -67,7 +67,12 @@ pub fn path_congestion_upper(c: &PathCollection) -> u32 {
     let usage = c.link_usage();
     c.paths()
         .iter()
-        .map(|p| p.links().iter().map(|&l| usage[l as usize] - 1).sum::<u32>())
+        .map(|p| {
+            p.links()
+                .iter()
+                .map(|&l| usage[l as usize] - 1)
+                .sum::<u32>()
+        })
         .max()
         .unwrap_or(0)
 }
@@ -204,7 +209,11 @@ mod tests {
         c.push(Path::from_nodes(&net, &[0, 1, 2, 3, 4]));
         c.push(Path::from_nodes(&net, &[1, 2, 3, 4]));
         assert_eq!(path_congestion(&c), 1);
-        assert_eq!(path_congestion_upper(&c), 3, "upper bound overcounts shared links");
+        assert_eq!(
+            path_congestion_upper(&c),
+            3,
+            "upper bound overcounts shared links"
+        );
     }
 
     #[test]
@@ -225,10 +234,10 @@ mod tests {
         c.push(Path::from_nodes(&net, &[0, 1, 2])); // 0
         c.push(Path::from_nodes(&net, &[1, 2, 3])); // 1
         c.push(Path::from_nodes(&net, &[2, 3])); // 2
-        // Component B: two overlapping paths on the right.
+                                                 // Component B: two overlapping paths on the right.
         c.push(Path::from_nodes(&net, &[5, 6, 7])); // 3
         c.push(Path::from_nodes(&net, &[6, 7, 8])); // 4
-        // Isolated zero-length path.
+                                                    // Isolated zero-length path.
         c.push(Path::from_nodes(&net, &[4])); // 5
         let comps = conflict_components(&c);
         assert_eq!(comps.len(), 3);

@@ -24,7 +24,10 @@ impl Path {
         let links = net
             .links_along(nodes)
             .unwrap_or_else(|| panic!("node sequence is not a path in {}", net.name()));
-        Path { nodes: nodes.into(), links: links.into() }
+        Path {
+            nodes: nodes.into(),
+            links: links.into(),
+        }
     }
 
     /// Build directly from pre-resolved parts (used by generators that
@@ -34,7 +37,10 @@ impl Path {
     /// If `links.len() + 1 != nodes.len()`.
     pub fn from_parts(nodes: Vec<NodeId>, links: Vec<LinkId>) -> Self {
         assert_eq!(nodes.len(), links.len() + 1, "inconsistent path parts");
-        Path { nodes: nodes.into(), links: links.into() }
+        Path {
+            nodes: nodes.into(),
+            links: links.into(),
+        }
     }
 
     /// Number of links (the paper's path length).
@@ -81,8 +87,16 @@ impl Path {
     /// The reversed path, resolving reverse links in O(len).
     pub fn reversed(&self, net: &Network) -> Path {
         let nodes: Vec<NodeId> = self.nodes.iter().rev().copied().collect();
-        let links: Vec<LinkId> = self.links.iter().rev().map(|&l| net.reverse_link(l)).collect();
-        Path { nodes: nodes.into(), links: links.into() }
+        let links: Vec<LinkId> = self
+            .links
+            .iter()
+            .rev()
+            .map(|&l| net.reverse_link(l))
+            .collect();
+        Path {
+            nodes: nodes.into(),
+            links: links.into(),
+        }
     }
 }
 

@@ -73,10 +73,12 @@ pub fn is_leveled(c: &PathCollection) -> bool {
 /// exactly one level). Useful for externally supplied levelings.
 pub fn check_leveling(c: &PathCollection, levels: &Leveling) -> bool {
     c.paths().iter().all(|p| {
-        p.nodes().windows(2).all(|w| match (levels.get(&w[0]), levels.get(&w[1])) {
-            (Some(&a), Some(&b)) => b == a + 1,
-            _ => false,
-        })
+        p.nodes()
+            .windows(2)
+            .all(|w| match (levels.get(&w[0]), levels.get(&w[1])) {
+                (Some(&a), Some(&b)) => b == a + 1,
+                _ => false,
+            })
     })
 }
 
@@ -104,7 +106,11 @@ pub fn is_shortcut_free(c: &PathCollection) -> bool {
                 if p == q {
                     continue;
                 }
-                let (key, val) = if p < q { ((p, q), (i, j)) } else { ((q, p), (j, i)) };
+                let (key, val) = if p < q {
+                    ((p, q), (i, j))
+                } else {
+                    ((q, p), (j, i))
+                };
                 shared.entry(key).or_default().push(val);
             }
         }
@@ -278,7 +284,7 @@ mod tests {
         let mut c = PathCollection::for_network(&net);
         c.push(Path::from_nodes(&net, &[0, 1, 3])); // 0->3 via 1
         c.push(Path::from_nodes(&net, &[0, 2, 3])); // 0->3 via 2
-        // Equal lengths: same-order distances agree (2 == 2) — fine.
+                                                    // Equal lengths: same-order distances agree (2 == 2) — fine.
         assert!(is_shortcut_free(&c));
         // Now make one strictly longer between the meets.
         let net = topologies::ring(5);

@@ -55,7 +55,11 @@ impl RandomizedBfsTree {
             );
             parent[v as usize] = *preds.choose(rng).expect("BFS predecessor exists");
         }
-        RandomizedBfsTree { dist: base.dist, parent, source }
+        RandomizedBfsTree {
+            dist: base.dist,
+            parent,
+            source,
+        }
     }
 
     /// Shortest path source→`dst`, or `None` if unreachable.
@@ -154,7 +158,10 @@ mod tests {
             let tree = RandomizedBfsTree::new(&net, 0, &mut rng);
             distinct.insert(tree.path_to(&net, far).unwrap().nodes().to_vec());
         }
-        assert!(distinct.len() > 1, "tie-breaking should produce different paths");
+        assert!(
+            distinct.len() > 1,
+            "tie-breaking should produce different paths"
+        );
     }
 
     #[test]

@@ -11,7 +11,12 @@ use optical_topo::Network;
 
 /// The unique leveled route from input row `src_row` to output row
 /// `dst_row`.
-pub fn butterfly_route(net: &Network, coords: &ButterflyCoords, src_row: u32, dst_row: u32) -> Path {
+pub fn butterfly_route(
+    net: &Network,
+    coords: &ButterflyCoords,
+    src_row: u32,
+    dst_row: u32,
+) -> Path {
     Path::from_nodes(net, &coords.route(src_row, dst_row))
 }
 
@@ -23,7 +28,10 @@ pub fn butterfly_qfunction_collection(
     coords: &ButterflyCoords,
     f: &[u32],
 ) -> PathCollection {
-    assert!(f.len().is_multiple_of(coords.rows() as usize), "q-function length must be a multiple of rows");
+    assert!(
+        f.len().is_multiple_of(coords.rows() as usize),
+        "q-function length must be a multiple of rows"
+    );
     let mut c = PathCollection::for_network(net);
     for (i, &dst) in f.iter().enumerate() {
         let src_row = (i % coords.rows() as usize) as u32;
@@ -78,7 +86,10 @@ mod tests {
         let c = butterfly_qfunction_collection(&net, &coords, &f);
         let m = c.metrics();
         assert_eq!(m.n, 8);
-        assert_eq!(m.congestion, 4, "each level-2 link into output 0 carries half");
+        assert_eq!(
+            m.congestion, 4,
+            "each level-2 link into output 0 carries half"
+        );
         // Paths from rows 4..8 reach output 0 through the *other* level-2
         // link, so they share the output node but no link with rows 0..4.
         assert_eq!(m.path_congestion, 3);

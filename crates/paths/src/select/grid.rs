@@ -65,7 +65,12 @@ mod tests {
     fn mesh_route_corrects_dim0_first() {
         let net = topologies::mesh(2, 4);
         let coords = GridCoords::new(2, 4);
-        let p = mesh_route(&net, &coords, coords.node_of(&[0, 0]), coords.node_of(&[2, 2]));
+        let p = mesh_route(
+            &net,
+            &coords,
+            coords.node_of(&[0, 0]),
+            coords.node_of(&[2, 2]),
+        );
         let mid = p.nodes()[2];
         assert_eq!(coords.coords_of(mid), vec![2, 0], "x fixed before y");
     }
@@ -95,7 +100,11 @@ mod tests {
         let coords = GridCoords::new(2, 5);
         for (s, d) in [(0u32, 25u32 - 1), (3, 17), (6, 6), (24, 0)] {
             let p = torus_route(&net, &coords, s, d);
-            assert_eq!(p.len() as u32, net.distance(s, d).unwrap(), "{s}->{d} not shortest");
+            assert_eq!(
+                p.len() as u32,
+                net.distance(s, d).unwrap(),
+                "{s}->{d} not shortest"
+            );
         }
     }
 

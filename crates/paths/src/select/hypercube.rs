@@ -77,7 +77,10 @@ mod tests {
         assert_eq!(p.source(), 3);
         assert_eq!(p.dest(), 5);
         assert!(p.nodes().contains(&12));
-        assert_eq!(p.len() as u32, (3u32 ^ 12).count_ones() + (12u32 ^ 5).count_ones());
+        assert_eq!(
+            p.len() as u32,
+            (3u32 ^ 12).count_ones() + (12u32 ^ 5).count_ones()
+        );
     }
 
     #[test]

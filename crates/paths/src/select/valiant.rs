@@ -88,11 +88,16 @@ mod tests {
         let d = 10u32;
         let net = topologies::hypercube(d);
         let n = net.node_count();
-        let f: Vec<NodeId> =
-            (0..n).map(|i| (i as u32).reverse_bits() >> (32 - d)).collect();
+        let f: Vec<NodeId> = (0..n)
+            .map(|i| (i as u32).reverse_bits() >> (32 - d))
+            .collect();
         let direct =
             PathCollection::from_function(&net, &f, |a, b| bit_fixing_route(&net, d, a, b));
-        assert_eq!(direct.congestion(), 1 << (d / 2 - 1), "known bit-reversal hot spot");
+        assert_eq!(
+            direct.congestion(),
+            1 << (d / 2 - 1),
+            "known bit-reversal hot spot"
+        );
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let two_phase =
             valiant_collection(&net, &f, &mut rng, |a, b| bit_fixing_route(&net, d, a, b));

@@ -33,11 +33,23 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> LinearFit {
     let sxy: f64 = x.iter().zip(y).map(|(&a, &b)| (a - mx) * (b - my)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let ss_res: f64 =
-        x.iter().zip(y).map(|(&a, &b)| (b - intercept - slope * a).powi(2)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| (b - intercept - slope * a).powi(2))
+        .sum();
     let ss_tot: f64 = y.iter().map(|&b| (b - my) * (b - my)).sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    LinearFit { intercept, slope, r2, n }
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LinearFit {
+        intercept,
+        slope,
+        r2,
+        n,
+    }
 }
 
 /// Fit `y` against `f(x)` — convenience for fitting rounds against

@@ -78,7 +78,15 @@ impl Summary {
 
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} ± {:.2} (min {:.2}, max {:.2}, n={})", self.mean, self.ci95(), self.min, self.max, self.n)
+        write!(
+            f,
+            "{:.2} ± {:.2} (min {:.2}, max {:.2}, n={})",
+            self.mean,
+            self.ci95(),
+            self.min,
+            self.max,
+            self.n
+        )
     }
 }
 

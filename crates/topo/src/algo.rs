@@ -49,7 +49,12 @@ impl BfsTree {
     /// Largest finite distance in the tree (the eccentricity of the source
     /// within its component).
     pub fn eccentricity(&self) -> u32 {
-        self.dist.iter().copied().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -81,7 +86,11 @@ pub fn bfs_filtered(
             }
         }
     }
-    BfsTree { dist, parent, source }
+    BfsTree {
+        dist,
+        parent,
+        source,
+    }
 }
 
 /// One shortest path `u → v` as a node sequence, or `None` if disconnected.

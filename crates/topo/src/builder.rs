@@ -30,7 +30,12 @@ impl NetworkBuilder {
     /// Start a builder for a graph with `n` nodes (ids `0..n`).
     pub fn new(name: impl Into<String>, n: usize) -> Self {
         assert!(n < u32::MAX as usize, "too many nodes");
-        NetworkBuilder { name: name.into(), n, edges: Vec::new(), seen: HashSet::new() }
+        NetworkBuilder {
+            name: name.into(),
+            n,
+            edges: Vec::new(),
+            seen: HashSet::new(),
+        }
     }
 
     /// Number of nodes declared.
@@ -44,7 +49,10 @@ impl NetworkBuilder {
     /// If `u == v`, an endpoint is out of range, or the edge already exists.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
         assert_ne!(u, v, "self loop {{{u}}} rejected");
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range"
+        );
         let key = (u.min(v), u.max(v));
         assert!(self.seen.insert(key), "duplicate edge {{{u}, {v}}}");
         self.edges.push((u, v));
@@ -53,7 +61,10 @@ impl NetworkBuilder {
     /// Add `{u, v}` unless it already exists; returns whether it was added.
     pub fn add_edge_dedup(&mut self, u: NodeId, v: NodeId) -> bool {
         assert_ne!(u, v, "self loop {{{u}}} rejected");
-        assert!((u as usize) < self.n && (v as usize) < self.n, "edge ({u},{v}) out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u},{v}) out of range"
+        );
         let key = (u.min(v), u.max(v));
         if self.seen.insert(key) {
             self.edges.push((u, v));

@@ -51,7 +51,13 @@ impl Network {
         adj_links: Vec<LinkId>,
         link_ends: Vec<(NodeId, NodeId)>,
     ) -> Self {
-        Network { name, adj_offsets, adj_targets, adj_links, link_ends }
+        Network {
+            name,
+            adj_offsets,
+            adj_targets,
+            adj_links,
+            link_ends,
+        }
     }
 
     /// Topology name given at construction time.
@@ -82,7 +88,10 @@ impl Network {
 
     /// Maximum degree over all nodes.
     pub fn max_degree(&self) -> usize {
-        (0..self.node_count() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.node_count() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterator over `(neighbor, outgoing_link)` pairs of `v`.
@@ -90,7 +99,10 @@ impl Network {
         let v = v as usize;
         let lo = self.adj_offsets[v] as usize;
         let hi = self.adj_offsets[v + 1] as usize;
-        self.adj_targets[lo..hi].iter().copied().zip(self.adj_links[lo..hi].iter().copied())
+        self.adj_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adj_links[lo..hi].iter().copied())
     }
 
     /// Endpoints `(source, target)` of a directed link.

@@ -27,7 +27,11 @@ impl ButterflyCoords {
     pub fn new(dim: u32, wrapped: bool) -> Self {
         assert!((1..26).contains(&dim), "butterfly dimension out of range");
         let levels = if wrapped { dim } else { dim + 1 };
-        ButterflyCoords { dim, levels, wrapped }
+        ButterflyCoords {
+            dim,
+            levels,
+            wrapped,
+        }
     }
 
     /// Butterfly dimension `k` (number of row bits).
@@ -53,7 +57,11 @@ impl ButterflyCoords {
     /// Dense node id of `(level, row)`. For wrapped butterflies the level is
     /// taken modulo `k`.
     pub fn node_of(&self, level: u32, row: u32) -> NodeId {
-        let level = if self.wrapped { level % self.levels } else { level };
+        let level = if self.wrapped {
+            level % self.levels
+        } else {
+            level
+        };
         assert!(level < self.levels, "level {level} out of range");
         assert!(row < self.rows(), "row {row} out of range");
         level * self.rows() + row
@@ -161,7 +169,10 @@ mod tests {
                 assert_eq!(nodes.len(), 4);
                 assert_eq!(nodes[0], c.node_of(0, src));
                 assert_eq!(nodes[3], c.node_of(3, dst));
-                assert!(g.links_along(&nodes).is_some(), "route {src}->{dst} not a path");
+                assert!(
+                    g.links_along(&nodes).is_some(),
+                    "route {src}->{dst} not a path"
+                );
             }
         }
     }

@@ -18,7 +18,10 @@ pub struct CccCoords {
 impl CccCoords {
     /// Coordinates for `CCC(dim)`, `dim ≥ 3` (smaller cycles degenerate).
     pub fn new(dim: u32) -> Self {
-        assert!((3..28).contains(&dim), "CCC dimension out of range (need 3..28)");
+        assert!(
+            (3..28).contains(&dim),
+            "CCC dimension out of range (need 3..28)"
+        );
         CccCoords { dim }
     }
 

@@ -30,7 +30,10 @@ pub fn de_bruijn(dim: u32) -> Network {
 /// left rotation of the `dim`-bit string). Self loops dropped, duplicates
 /// merged.
 pub fn shuffle_exchange(dim: u32) -> Network {
-    assert!((1..31).contains(&dim), "shuffle-exchange dimension out of range");
+    assert!(
+        (1..31).contains(&dim),
+        "shuffle-exchange dimension out of range"
+    );
     let n = 1u32 << dim;
     let mask = n - 1;
     let rotl = |u: u32| ((u << 1) | (u >> (dim - 1))) & mask;

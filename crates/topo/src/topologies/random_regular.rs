@@ -22,8 +22,9 @@ pub fn random_regular(n: usize, d: usize, rng: &mut impl Rng) -> Network {
     assert!(d >= 1 && d < n, "need 1 <= d < n");
     assert!((n * d).is_multiple_of(2), "n*d must be even");
     'restart: for _attempt in 0..1000 {
-        let mut stubs: Vec<NodeId> =
-            (0..n as NodeId).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        let mut stubs: Vec<NodeId> = (0..n as NodeId)
+            .flat_map(|v| std::iter::repeat_n(v, d))
+            .collect();
         stubs.shuffle(rng);
         let mut seen = std::collections::HashSet::with_capacity(n * d / 2);
         let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * d / 2);

@@ -45,7 +45,12 @@ impl Switch {
     /// A switch in its default configuration (everything to output 0).
     pub fn new(kind: SwitchKind, bandwidth: u16, outputs: u16) -> Self {
         assert!(bandwidth >= 1 && outputs >= 1);
-        Switch { kind, bandwidth, outputs, config: vec![0; bandwidth as usize] }
+        Switch {
+            kind,
+            bandwidth,
+            outputs,
+            config: vec![0; bandwidth as usize],
+        }
     }
 
     /// Switch flavor.
@@ -143,14 +148,25 @@ impl Coupler {
 
         let mut out = Vec::with_capacity(wavelengths.len());
         for wl in wavelengths {
-            let established: Vec<&Signal> =
-                inputs.iter().filter(|s| s.wavelength == wl && s.established).collect();
-            assert!(established.len() <= 1, "two established signals on wavelength {wl}");
-            let occupant = established.first().map(|s| Candidate { id: s.worm, priority: s.priority });
+            let established: Vec<&Signal> = inputs
+                .iter()
+                .filter(|s| s.wavelength == wl && s.established)
+                .collect();
+            assert!(
+                established.len() <= 1,
+                "two established signals on wavelength {wl}"
+            );
+            let occupant = established.first().map(|s| Candidate {
+                id: s.worm,
+                priority: s.priority,
+            });
             let arrivals: Vec<Candidate> = inputs
                 .iter()
                 .filter(|s| s.wavelength == wl && !s.established)
-                .map(|s| Candidate { id: s.worm, priority: s.priority })
+                .map(|s| Candidate {
+                    id: s.worm,
+                    priority: s.priority,
+                })
                 .collect();
 
             let decision = if arrivals.is_empty() {
@@ -169,7 +185,11 @@ impl Coupler {
                     GroupDecision::ArrivalWins(idx) => {
                         let mut dropped: Vec<u32> = occupant.iter().map(|c| c.id).collect();
                         dropped.extend(
-                            arrivals.iter().enumerate().filter(|&(k, _)| k != idx).map(|(_, c)| c.id),
+                            arrivals
+                                .iter()
+                                .enumerate()
+                                .filter(|&(k, _)| k != idx)
+                                .map(|(_, c)| c.id),
                         );
                         CouplerDecision {
                             wavelength: wl,
@@ -214,11 +234,7 @@ impl TwoByTwoRouter {
 
     /// Route one step: `inputs[i]` are the signals on input fiber `i`.
     /// Returns per-output coupler decisions.
-    pub fn step(
-        &self,
-        inputs: [&[Signal]; 2],
-        rng: &mut impl Rng,
-    ) -> [Vec<CouplerDecision>; 2] {
+    pub fn step(&self, inputs: [&[Signal]; 2], rng: &mut impl Rng) -> [Vec<CouplerDecision>; 2] {
         let mut per_output: [Vec<Signal>; 2] = [Vec::new(), Vec::new()];
         for (fiber, signals) in inputs.iter().enumerate() {
             for &s in *signals {
@@ -256,7 +272,9 @@ impl RouterModel {
     ) -> Self {
         assert!(inputs >= 1 && outputs >= 1);
         RouterModel {
-            switches: (0..inputs).map(|_| Switch::new(kind, bandwidth, outputs)).collect(),
+            switches: (0..inputs)
+                .map(|_| Switch::new(kind, bandwidth, outputs))
+                .collect(),
             couplers: (0..outputs).map(|_| Coupler { rule, tie }).collect(),
         }
     }
@@ -281,7 +299,10 @@ impl RouterModel {
     /// `outputs^(inputs · B)` generalized) — the quantity behind the
     /// §1.2 router-counting lower bounds.
     pub fn configuration_count(&self) -> u128 {
-        self.switches.iter().map(|s| s.configuration_count() as u128).product()
+        self.switches
+            .iter()
+            .map(|s| s.configuration_count() as u128)
+            .product()
     }
 
     /// Route one step: `inputs[i]` are the signals on input fiber `i`;
@@ -291,7 +312,11 @@ impl RouterModel {
     /// If the number of input signal slices differs from the router's
     /// input count.
     pub fn step(&self, inputs: &[&[Signal]], rng: &mut impl Rng) -> Vec<Vec<CouplerDecision>> {
-        assert_eq!(inputs.len(), self.switches.len(), "wrong number of input fibers");
+        assert_eq!(
+            inputs.len(),
+            self.switches.len(),
+            "wrong number of input fibers"
+        );
         let mut per_output: Vec<Vec<Signal>> = vec![Vec::new(); self.couplers.len()];
         for (fiber, signals) in inputs.iter().enumerate() {
             for &s in *signals {
@@ -350,12 +375,20 @@ mod tests {
     }
 
     fn sig(worm: u32, wl: u16, prio: u64, established: bool) -> Signal {
-        Signal { worm, wavelength: wl, priority: prio, established }
+        Signal {
+            worm,
+            wavelength: wl,
+            priority: prio,
+            established,
+        }
     }
 
     #[test]
     fn coupler_serve_first_drops_new_arrival() {
-        let c = Coupler { rule: CollisionRule::ServeFirst, tie: TieRule::AllEliminated };
+        let c = Coupler {
+            rule: CollisionRule::ServeFirst,
+            tie: TieRule::AllEliminated,
+        };
         let d = c.resolve(&[sig(0, 0, 0, true), sig(1, 0, 0, false)], &mut rng());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].forwarded, Some(0));
@@ -364,7 +397,10 @@ mod tests {
 
     #[test]
     fn coupler_priority_preempts() {
-        let c = Coupler { rule: CollisionRule::Priority, tie: TieRule::AllEliminated };
+        let c = Coupler {
+            rule: CollisionRule::Priority,
+            tie: TieRule::AllEliminated,
+        };
         let d = c.resolve(&[sig(0, 0, 1, true), sig(1, 0, 9, false)], &mut rng());
         assert_eq!(d[0].forwarded, Some(1));
         assert_eq!(d[0].dropped, vec![0]);
@@ -372,19 +408,31 @@ mod tests {
 
     #[test]
     fn coupler_wavelengths_are_independent() {
-        let c = Coupler { rule: CollisionRule::ServeFirst, tie: TieRule::AllEliminated };
+        let c = Coupler {
+            rule: CollisionRule::ServeFirst,
+            tie: TieRule::AllEliminated,
+        };
         let d = c.resolve(
-            &[sig(0, 0, 0, false), sig(1, 1, 0, false), sig(2, 2, 0, false)],
+            &[
+                sig(0, 0, 0, false),
+                sig(1, 1, 0, false),
+                sig(2, 2, 0, false),
+            ],
             &mut rng(),
         );
         assert_eq!(d.len(), 3);
-        assert!(d.iter().all(|x| x.forwarded.is_some() && x.dropped.is_empty()));
+        assert!(d
+            .iter()
+            .all(|x| x.forwarded.is_some() && x.dropped.is_empty()));
     }
 
     #[test]
     #[should_panic(expected = "two established")]
     fn coupler_rejects_double_occupancy() {
-        let c = Coupler { rule: CollisionRule::ServeFirst, tie: TieRule::AllEliminated };
+        let c = Coupler {
+            rule: CollisionRule::ServeFirst,
+            tie: TieRule::AllEliminated,
+        };
         c.resolve(&[sig(0, 0, 0, true), sig(1, 0, 0, true)], &mut rng());
     }
 

@@ -62,12 +62,18 @@ impl RouterConfig {
 
     /// Priority routers with bandwidth `b`.
     pub fn priority(b: u16) -> Self {
-        RouterConfig { rule: CollisionRule::Priority, ..Self::serve_first(b) }
+        RouterConfig {
+            rule: CollisionRule::Priority,
+            ..Self::serve_first(b)
+        }
     }
 
     /// Wavelength-conversion (baseline) routers with bandwidth `b`.
     pub fn conversion(b: u16) -> Self {
-        RouterConfig { rule: CollisionRule::Conversion, ..Self::serve_first(b) }
+        RouterConfig {
+            rule: CollisionRule::Conversion,
+            ..Self::serve_first(b)
+        }
     }
 
     /// Builder-style: set the tie rule.
@@ -103,7 +109,9 @@ mod tests {
 
     #[test]
     fn builder_methods() {
-        let c = RouterConfig::serve_first(1).with_tie(TieRule::LowestId).with_conflict_log();
+        let c = RouterConfig::serve_first(1)
+            .with_tie(TieRule::LowestId)
+            .with_conflict_log();
         assert_eq!(c.tie, TieRule::LowestId);
         assert!(c.record_conflicts);
     }

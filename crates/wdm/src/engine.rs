@@ -23,6 +23,7 @@
 //! conflicts there — exactly as the physics dictates.
 
 use crate::config::{CollisionRule, RouterConfig, TieRule};
+use crate::fault::{FaultPlan, FaultRuntime};
 use crate::resolve::{resolve_group, Candidate, GroupDecision};
 use crate::spec::{Conflict, ConflictKind, Fate, RoundOutcome, TransmissionSpec, WormResult};
 use rand::Rng;
@@ -54,6 +55,10 @@ pub struct Engine {
     /// Failure-injection mask: dead links (fiber cuts); see
     /// [`Engine::set_dead_links`].
     dead_links: Option<Box<[bool]>>,
+    /// Dynamic fault script, replayed from step 0 each round; see
+    /// [`Engine::set_fault_plan`]. `None` (the empty plan) keeps the
+    /// fault-free fast path byte-for-byte.
+    faults: Option<FaultRuntime>,
     /// Reused per-run allocations (bucket queue and worm states), so a
     /// protocol run of many rounds allocates only on growth.
     scratch: Scratch,
@@ -78,7 +83,12 @@ struct Slot {
     edge_idx: u32,
 }
 
-const EMPTY_SLOT: Slot = Slot { gen: 0, worm: 0, entry: 0, edge_idx: 0 };
+const EMPTY_SLOT: Slot = Slot {
+    gen: 0,
+    worm: 0,
+    entry: 0,
+    edge_idx: 0,
+};
 
 /// Per-run mutable worm state.
 #[derive(Default)]
@@ -112,6 +122,7 @@ impl Engine {
             gen: 0,
             converters: None,
             dead_links: None,
+            faults: None,
             scratch: Scratch::default(),
         }
     }
@@ -129,6 +140,31 @@ impl Engine {
             assert_eq!(m.len(), self.link_count, "dead-link mask length mismatch");
         }
         self.dead_links = mask.map(Vec::into_boxed_slice);
+    }
+
+    /// Install a **dynamic fault script** ([`FaultPlan`]): scripted
+    /// mid-round cuts and repairs, stochastic flaky links, router
+    /// failures. The plan is replayed from step 0 on every [`Engine::run`]
+    /// call (each round sees the same script) until replaced.
+    ///
+    /// Semantics (mirrored exactly by the reference simulator):
+    /// * a head arriving at a dead or garbling link is eliminated with
+    ///   `first_blocker = None`;
+    /// * a worm streaming across a link that fails is cut — the forwarded
+    ///   fragment continues ([`Fate::Truncated`]), again without a
+    ///   blocker;
+    /// * restored links carry traffic again.
+    ///
+    /// Empty plans (and `None`) are stored as "no faults": the fault-free
+    /// code path is untouched, so outcomes are bit-identical to an engine
+    /// that never heard of faults.
+    ///
+    /// # Panics
+    /// If the plan names a link `≥ link_count` (debug builds).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultRuntime::new(p, self.link_count));
     }
 
     /// Enable **sparse wavelength conversion** (the §4 / \[23\] extension):
@@ -193,6 +229,10 @@ impl Engine {
         let gen = self.gen;
 
         let mut max_time = 0u32;
+        // Last step at which any flit can still be crossing a link
+        // (including tails draining behind an eliminated head) — the
+        // window during which dynamic faults can still cut something.
+        let mut drain_end = 0u32;
         for s in specs {
             assert!(s.length >= 1, "worm length must be at least 1");
             assert!(
@@ -202,6 +242,9 @@ impl Engine {
             );
             debug_assert!(s.links.iter().all(|&l| (l as usize) < self.link_count));
             max_time = max_time.max(s.start + s.links.len() as u32);
+            if !s.links.is_empty() {
+                drain_end = drain_end.max(s.start + s.links.len() as u32 + s.length - 1);
+            }
         }
 
         // Reused allocations: bucket queue, states, wavelengths.
@@ -237,8 +280,40 @@ impl Engine {
         let mut cands = scratch.cands;
         cands.clear();
 
-        for t in 0..buckets.len() as u32 {
-            if buckets[t as usize].is_empty() {
+        // With dynamic faults the loop must also cover steps with no head
+        // arrivals: a scripted cut or a garble can sever a tail that is
+        // still draining long after the last head moved.
+        let mut faults = self.faults.take();
+        let loop_end = match &mut faults {
+            Some(fr) => {
+                fr.reset();
+                (buckets.len() as u32).max(fr.relevant_until(drain_end) + 1)
+            }
+            None => buckets.len() as u32,
+        };
+
+        for t in 0..loop_end {
+            if let Some(fr) = faults.as_mut() {
+                // A link failing this step cuts whatever is streaming
+                // across it: the forwarded fragment continues, the rest is
+                // dropped. No worm is to blame — `first_blocker` stays as
+                // is (None unless a real conflict already set it).
+                fr.begin_step(t, |link| {
+                    let base = link as usize * b;
+                    for wl in 0..b {
+                        let slot = self.occ[base + wl];
+                        if slot.gen == gen && slot.entry < t {
+                            let ow = slot.worm as usize;
+                            let eff = eff_len_at(&states[ow], specs[ow].length, slot.edge_idx);
+                            if t < slot.entry + eff {
+                                states[ow].cuts.push((slot.edge_idx, t - slot.entry));
+                                makespan = makespan.max(t);
+                            }
+                        }
+                    }
+                });
+            }
+            if t as usize >= buckets.len() || buckets[t as usize].is_empty() {
                 continue;
             }
             arrivals.clear();
@@ -248,7 +323,9 @@ impl Engine {
                     continue; // head already eliminated
                 }
                 let link = specs[w as usize].links[e as usize];
-                if self.dead_links.as_ref().is_some_and(|m| m[link as usize]) {
+                if self.dead_links.as_ref().is_some_and(|m| m[link as usize])
+                    || faults.as_ref().is_some_and(|f| f.is_blocked(link, t))
+                {
                     // Fiber cut: the head vanishes into the dead link.
                     let st = &mut states[w as usize];
                     st.fatal = Some((e, t));
@@ -258,7 +335,11 @@ impl Engine {
                 }
                 let per_link = matches!(self.config.rule, CollisionRule::Conversion)
                     || self.is_converter_link(link);
-                let sub = if per_link { b as u64 } else { cur_wl[w as usize] as u64 };
+                let sub = if per_link {
+                    b as u64
+                } else {
+                    cur_wl[w as usize] as u64
+                };
                 let key = link as u64 * (b as u64 + 1) + sub;
                 arrivals.push((key, w, e));
             }
@@ -333,7 +414,9 @@ impl Engine {
             let st = &states[w];
             let fate = if s.links.is_empty() {
                 makespan = makespan.max(s.start);
-                Fate::Delivered { completed_at: s.start }
+                Fate::Delivered {
+                    completed_at: s.start,
+                }
             } else if let Some((at_edge, at_time)) = st.fatal {
                 Fate::Eliminated { at_edge, at_time }
             } else {
@@ -353,17 +436,34 @@ impl Engine {
                         .map(|(e, _)| e)
                         .min()
                         .expect("truncated worm has a cut");
-                    Fate::Truncated { delivered_flits: eff, cut_at_edge }
+                    Fate::Truncated {
+                        delivered_flits: eff,
+                        cut_at_edge,
+                    }
                 }
             };
-            results.push(WormResult { fate, first_blocker: st.first_blocker });
+            results.push(WormResult {
+                fate,
+                first_blocker: st.first_blocker,
+            });
         }
 
-        // Return the allocations to the engine for the next round.
-        self.scratch =
-            Scratch { buckets, states, cur_wl, arrivals, cands };
+        // Return the allocations (and the fault script) to the engine for
+        // the next round.
+        self.faults = faults;
+        self.scratch = Scratch {
+            buckets,
+            states,
+            cur_wl,
+            arrivals,
+            cands,
+        };
 
-        RoundOutcome { results, conflicts, makespan }
+        RoundOutcome {
+            results,
+            conflicts,
+            makespan,
+        }
     }
 
     /// Resolve one (link, wavelength) group under serve-first or priority.
@@ -441,8 +541,21 @@ impl Engine {
                         losers.push(w);
                     }
                 }
-                self.occ[slot_idx] = Slot { gen, worm: winner, entry: t, edge_idx: we };
-                advance(specs, &mut states[winner as usize], winner, we, t, buckets, makespan);
+                self.occ[slot_idx] = Slot {
+                    gen,
+                    worm: winner,
+                    entry: t,
+                    edge_idx: we,
+                };
+                advance(
+                    specs,
+                    &mut states[winner as usize],
+                    winner,
+                    we,
+                    t,
+                    buckets,
+                    makespan,
+                );
                 if self.config.record_conflicts && !losers.is_empty() {
                     let kind = if occupant.is_some() && occupant.unwrap().id == losers[0] {
                         ConflictKind::OccupantCut
@@ -533,7 +646,11 @@ impl Engine {
                         } else {
                             group_slice[0].1
                         };
-                        let blocker = if blocker == w { group_slice[n - 1].1 } else { blocker };
+                        let blocker = if blocker == w {
+                            group_slice[n - 1].1
+                        } else {
+                            blocker
+                        };
                         kill(&mut states[w as usize], e, t, blocker, makespan);
                     }
                     if self.config.record_conflicts {
@@ -563,7 +680,12 @@ impl Engine {
             let (_, w, e) = group_slice[oi];
             if rank < winners {
                 let wl = free[rank];
-                self.occ[base + wl as usize] = Slot { gen, worm: w, entry: t, edge_idx: e };
+                self.occ[base + wl as usize] = Slot {
+                    gen,
+                    worm: w,
+                    entry: t,
+                    edge_idx: e,
+                };
                 cur_wl[w as usize] = wl;
                 advance(specs, &mut states[w as usize], w, e, t, buckets, makespan);
             } else {
@@ -644,7 +766,12 @@ impl Engine {
                 .chain(0..b)
                 .find(|&wl| !active(&self.occ[base + wl], states));
             if let Some(wl) = free_wl {
-                self.occ[base + wl] = Slot { gen, worm: w, entry: t, edge_idx: e };
+                self.occ[base + wl] = Slot {
+                    gen,
+                    worm: w,
+                    entry: t,
+                    edge_idx: e,
+                };
                 cur_wl[w as usize] = wl as u16;
                 advance(specs, &mut states[w as usize], w, e, t, buckets, makespan);
                 continue;
@@ -661,11 +788,18 @@ impl Engine {
             {
                 // Preempt: cut the weakest occupant, take its wavelength.
                 let ow = occ_slot.worm as usize;
-                states[ow].cuts.push((occ_slot.edge_idx, t - occ_slot.entry));
+                states[ow]
+                    .cuts
+                    .push((occ_slot.edge_idx, t - occ_slot.entry));
                 if states[ow].first_blocker.is_none() {
                     states[ow].first_blocker = Some(w);
                 }
-                self.occ[base + occ_wl] = Slot { gen, worm: w, entry: t, edge_idx: e };
+                self.occ[base + occ_wl] = Slot {
+                    gen,
+                    worm: w,
+                    entry: t,
+                    edge_idx: e,
+                };
                 cur_wl[w as usize] = occ_wl as u16;
                 advance(specs, &mut states[w as usize], w, e, t, buckets, makespan);
                 if self.config.record_conflicts {
@@ -702,7 +836,9 @@ pub fn converter_mask(
     net: &optical_topo::Network,
     is_converter: impl Fn(optical_topo::NodeId) -> bool,
 ) -> Vec<bool> {
-    net.links().map(|l| is_converter(net.link_source(l))).collect()
+    net.links()
+        .map(|l| is_converter(net.link_source(l)))
+        .collect()
 }
 
 /// Effective length of a worm at path position `edge`: full length capped
@@ -765,7 +901,13 @@ mod tests {
     }
 
     fn spec(links: &[u32], start: u32, wl: u16, prio: u64, len: u32) -> TransmissionSpec<'_> {
-        TransmissionSpec { links, start, wavelength: wl, priority: prio, length: len }
+        TransmissionSpec {
+            links,
+            start,
+            wavelength: wl,
+            priority: prio,
+            length: len,
+        }
     }
 
     #[test]
@@ -798,7 +940,13 @@ mod tests {
         // b (start 2) hits (1,2) at t=2 -> eliminated.
         let out = eng.run(&[spec(&a, 0, 0, 0, 3), spec(&b, 2, 0, 0, 3)], &mut rng());
         assert!(out.results[0].fate.is_delivered());
-        assert_eq!(out.results[1].fate, Fate::Eliminated { at_edge: 0, at_time: 2 });
+        assert_eq!(
+            out.results[1].fate,
+            Fate::Eliminated {
+                at_edge: 0,
+                at_time: 2
+            }
+        );
         assert_eq!(out.results[1].first_blocker, Some(0));
     }
 
@@ -833,7 +981,13 @@ mod tests {
         let out = eng.run(&[spec(&c1, 0, 0, 0, 2), spec(&c1, 0, 0, 0, 2)], &mut rng());
         assert_eq!(out.delivered_count(), 0);
         for r in &out.results {
-            assert!(matches!(r.fate, Fate::Eliminated { at_edge: 0, at_time: 0 }));
+            assert!(matches!(
+                r.fate,
+                Fate::Eliminated {
+                    at_edge: 0,
+                    at_time: 0
+                }
+            ));
             assert!(r.first_blocker.is_some());
         }
         // Distinct wavelengths would have been fine.
@@ -887,7 +1041,10 @@ mod tests {
         // Victim head entered (2,3) at t=2; cut at t=4 => 2 flits passed.
         assert_eq!(
             out.results[0].fate,
-            Fate::Truncated { delivered_flits: 2, cut_at_edge: 2 }
+            Fate::Truncated {
+                delivered_flits: 2,
+                cut_at_edge: 2
+            }
         );
         assert_eq!(out.results[0].first_blocker, Some(1));
         assert!(out.results[1].fate.is_delivered(), "attacker proceeds");
@@ -901,7 +1058,13 @@ mod tests {
         let mut eng = Engine::new(net.link_count(), RouterConfig::priority(1));
         let out = eng.run(&[spec(&a, 0, 0, 10, 3), spec(&b2, 2, 0, 1, 3)], &mut rng());
         assert!(out.results[0].fate.is_delivered());
-        assert_eq!(out.results[1].fate, Fate::Eliminated { at_edge: 0, at_time: 2 });
+        assert_eq!(
+            out.results[1].fate,
+            Fate::Eliminated {
+                at_edge: 0,
+                at_time: 2
+            }
+        );
     }
 
     #[test]
@@ -919,15 +1082,28 @@ mod tests {
         let c = links(&net, &[6, 0, 1]);
         let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(1));
         let out = eng.run(
-            &[spec(&a, 0, 0, 0, 3), spec(&b, 0, 0, 0, 3), spec(&c, 1, 0, 0, 3)],
+            &[
+                spec(&a, 0, 0, 0, 3),
+                spec(&b, 0, 0, 0, 3),
+                spec(&c, 1, 0, 0, 3),
+            ],
             &mut rng(),
         );
         assert!(out.results[0].fate.is_delivered());
-        assert_eq!(out.results[1].fate, Fate::Eliminated { at_edge: 2, at_time: 2 });
+        assert_eq!(
+            out.results[1].fate,
+            Fate::Eliminated {
+                at_edge: 2,
+                at_time: 2
+            }
+        );
         assert_eq!(out.results[1].first_blocker, Some(0));
         assert_eq!(
             out.results[2].fate,
-            Fate::Eliminated { at_edge: 1, at_time: 2 },
+            Fate::Eliminated {
+                at_edge: 1,
+                at_time: 2
+            },
             "C blocked by B's draining body"
         );
         assert_eq!(out.results[2].first_blocker, Some(1));
@@ -948,7 +1124,10 @@ mod tests {
         ];
         let out = eng.run(&specs, &mut rng());
         assert_eq!(out.delivered_count(), 2);
-        assert!(!out.results[2].fate.is_delivered(), "lowest-id rule favors 0 and 1");
+        assert!(
+            !out.results[2].fate.is_delivered(),
+            "lowest-id rule favors 0 and 1"
+        );
         // Under serve-first the same workload delivers none (tie).
         let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(2));
         let out = eng.run(&specs, &mut rng());
@@ -964,7 +1143,11 @@ mod tests {
         // Worm 0 takes wl 0 at t=0; worm 1 arrives t=1 and converts to the
         // free wavelength; worm 2 arrives t=1 too: all slots busy -> dies.
         let out = eng.run(
-            &[spec(&p, 0, 0, 0, 4), spec(&p, 1, 0, 0, 4), spec(&p, 1, 1, 0, 4)],
+            &[
+                spec(&p, 0, 0, 0, 4),
+                spec(&p, 1, 0, 0, 4),
+                spec(&p, 1, 1, 0, 4),
+            ],
             &mut rng(),
         );
         assert_eq!(out.delivered_count(), 2);
@@ -1036,7 +1219,16 @@ mod tests {
         // Victim on a long chain; two high-priority attackers cut it at
         // edge 2 (t=4 -> 2 flits) and edge 4 (t=5 -> 1 flit).
         let mut bld = optical_topo::NetworkBuilder::new("double", 9);
-        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (7, 2), (8, 4)] {
+        for (u, v) in [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (7, 2),
+            (8, 4),
+        ] {
             bld.add_edge(u, v);
         }
         let net = bld.build();
@@ -1053,7 +1245,9 @@ mod tests {
             &mut rng(),
         );
         match out.results[0].fate {
-            Fate::Truncated { delivered_flits, .. } => assert_eq!(delivered_flits, 1),
+            Fate::Truncated {
+                delivered_flits, ..
+            } => assert_eq!(delivered_flits, 1),
             other => panic!("expected truncation, got {other:?}"),
         }
         assert!(out.results[1].fate.is_delivered());
@@ -1078,7 +1272,11 @@ mod tests {
         let mask = converter_mask(&net, |v| v == 1);
         eng.set_converters(Some(mask));
         let out = eng.run(&specs, &mut rng());
-        assert_eq!(out.delivered_count(), 2, "converter at node 1 rescues worm 1");
+        assert_eq!(
+            out.delivered_count(),
+            2,
+            "converter at node 1 rescues worm 1"
+        );
     }
 
     #[test]
@@ -1115,13 +1313,25 @@ mod tests {
         let mut eng = Engine::new(net.link_count(), RouterConfig::priority(2));
         eng.set_converters(Some(vec![true; net.link_count()]));
         let out = eng.run(&specs, &mut rng());
-        assert!(out.results[2].fate.is_delivered(), "strong arrival preempts");
         assert!(
-            matches!(out.results[0].fate, Fate::Truncated { delivered_flits: 2, .. }),
+            out.results[2].fate.is_delivered(),
+            "strong arrival preempts"
+        );
+        assert!(
+            matches!(
+                out.results[0].fate,
+                Fate::Truncated {
+                    delivered_flits: 2,
+                    ..
+                }
+            ),
             "weakest occupant (prio 1) is cut after 2 flits, got {:?}",
             out.results[0].fate
         );
-        assert!(out.results[1].fate.is_delivered(), "prio-2 occupant untouched");
+        assert!(
+            out.results[1].fate.is_delivered(),
+            "prio-2 occupant untouched"
+        );
     }
 
     #[test]
@@ -1134,16 +1344,20 @@ mod tests {
         let b2 = links(&net, &[1, 2, 3]);
         let c = links(&net, &[2, 3]);
         let specs = [
-            spec(&a, 0, 0, 0, 3), // holds (1,2) on wl 0 during [1,4)
+            spec(&a, 0, 0, 0, 3),  // holds (1,2) on wl 0 during [1,4)
             spec(&b2, 2, 0, 0, 3), // converts at node 1 to wl 1; enters (2,3) at 3
-            spec(&c, 3, 0, 0, 3), // holds (2,3) on wl 0 at [3,6) — same step as B
+            spec(&c, 3, 0, 0, 3),  // holds (2,3) on wl 0 at [3,6) — same step as B
         ];
         let mask = converter_mask(&net, |v| v == 1);
         let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(2));
         eng.set_converters(Some(mask));
         let out = eng.run(&specs, &mut rng());
         assert!(out.results[0].fate.is_delivered());
-        assert!(out.results[1].fate.is_delivered(), "B rides wl 1 past C: {:?}", out.results[1].fate);
+        assert!(
+            out.results[1].fate.is_delivered(),
+            "B rides wl 1 past C: {:?}",
+            out.results[1].fate
+        );
         assert!(out.results[2].fate.is_delivered());
     }
 
@@ -1170,8 +1384,17 @@ mod tests {
         dead[net.link_between(1, 2).unwrap() as usize] = true;
         eng.set_dead_links(Some(dead));
         let out = eng.run(&[spec(&p, 0, 0, 0, 3)], &mut rng());
-        assert_eq!(out.results[0].fate, Fate::Eliminated { at_edge: 1, at_time: 1 });
-        assert_eq!(out.results[0].first_blocker, None, "a fiber cut has no blocking worm");
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Eliminated {
+                at_edge: 1,
+                at_time: 1
+            }
+        );
+        assert_eq!(
+            out.results[0].first_blocker, None,
+            "a fiber cut has no blocking worm"
+        );
         // The worm's body still drained through its first link: a trailing
         // worm entering link (0,1) while it drains is blocked normally.
         let q = links(&net, &[0, 1]);
@@ -1191,7 +1414,13 @@ mod tests {
         dead[net.link_between(1, 2).unwrap() as usize] = true;
         eng.set_dead_links(Some(dead));
         let out = eng.run(&[spec(&p, 0, 0, 0, 2)], &mut rng());
-        assert_eq!(out.results[0].fate, Fate::Eliminated { at_edge: 1, at_time: 1 });
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Eliminated {
+                at_edge: 1,
+                at_time: 1
+            }
+        );
     }
 
     #[test]
@@ -1205,6 +1434,171 @@ mod tests {
         eng.set_dead_links(None);
         let out = eng.run(&[spec(&p, 0, 0, 0, 2)], &mut rng());
         assert_eq!(out.delivered_count(), 1);
+    }
+
+    #[test]
+    fn fault_plan_cuts_streaming_worm_without_blocker() {
+        use crate::fault::FaultPlan;
+        // Chain 0-1-2-3, worm start 0, L = 6. Head enters link (1,2) at
+        // t = 1; a scripted cut there at t = 4 lets 3 flits through.
+        let net = topologies::chain(4);
+        let p = links(&net, &[0, 1, 2, 3]);
+        let cut_link = net.link_between(1, 2).unwrap();
+        let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(1));
+        eng.set_fault_plan(Some(FaultPlan::none().down(cut_link, 4)));
+        let out = eng.run(&[spec(&p, 0, 0, 0, 6)], &mut rng());
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Truncated {
+                delivered_flits: 3,
+                cut_at_edge: 1
+            }
+        );
+        assert_eq!(
+            out.results[0].first_blocker, None,
+            "a fiber cut has no blocking worm"
+        );
+    }
+
+    #[test]
+    fn fault_plan_kills_arriving_head() {
+        use crate::fault::FaultPlan;
+        let net = topologies::chain(4);
+        let p = links(&net, &[0, 1, 2, 3]);
+        let cut_link = net.link_between(1, 2).unwrap();
+        let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(1));
+        // Link already down when the head gets there (t = 1).
+        eng.set_fault_plan(Some(FaultPlan::none().down(cut_link, 0)));
+        let out = eng.run(&[spec(&p, 0, 0, 0, 3)], &mut rng());
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Eliminated {
+                at_edge: 1,
+                at_time: 1
+            }
+        );
+        assert_eq!(out.results[0].first_blocker, None);
+    }
+
+    #[test]
+    fn restored_link_carries_traffic_again() {
+        use crate::fault::FaultPlan;
+        let net = topologies::chain(3);
+        let p = links(&net, &[0, 1, 2]);
+        let l1 = net.link_between(1, 2).unwrap();
+        let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(1));
+        eng.set_fault_plan(Some(FaultPlan::none().down(l1, 0).restore(l1, 5)));
+        // Early worm dies at the dead link; late worm sails through.
+        let out = eng.run(&[spec(&p, 0, 0, 0, 2), spec(&p, 5, 0, 0, 2)], &mut rng());
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Eliminated {
+                at_edge: 1,
+                at_time: 1
+            }
+        );
+        assert!(
+            out.results[1].fate.is_delivered(),
+            "{:?}",
+            out.results[1].fate
+        );
+        // The plan replays each round: a fresh round sees the same script.
+        let out = eng.run(&[spec(&p, 0, 0, 0, 2)], &mut rng());
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Eliminated {
+                at_edge: 1,
+                at_time: 1
+            }
+        );
+    }
+
+    #[test]
+    fn always_flaky_link_kills_everything() {
+        use crate::fault::FaultPlan;
+        let net = topologies::chain(3);
+        let p = links(&net, &[0, 1, 2]);
+        let l0 = net.link_between(0, 1).unwrap();
+        let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(1));
+        eng.set_fault_plan(Some(FaultPlan::with_seed(3).flaky(l0, 1.0)));
+        let out = eng.run(&[spec(&p, 0, 0, 0, 2), spec(&p, 4, 0, 0, 2)], &mut rng());
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Eliminated {
+                at_edge: 0,
+                at_time: 0
+            }
+        );
+        assert_eq!(
+            out.results[1].fate,
+            Fate::Eliminated {
+                at_edge: 0,
+                at_time: 4
+            }
+        );
+    }
+
+    #[test]
+    fn fault_during_tail_drain_truncates() {
+        use crate::fault::FaultPlan;
+        // Two links, L = 10: the head is done at t = 2 but the tail
+        // streams until t = 11. A cut at t = 5 on the last link (entered
+        // at t = 1) passes 4 flits. This exercises the extended horizon —
+        // the last head arrival is at t = 1.
+        let net = topologies::chain(3);
+        let p = links(&net, &[0, 1, 2]);
+        let l1 = net.link_between(1, 2).unwrap();
+        let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(1));
+        eng.set_fault_plan(Some(FaultPlan::none().down(l1, 5)));
+        let out = eng.run(&[spec(&p, 0, 0, 0, 10)], &mut rng());
+        assert_eq!(
+            out.results[0].fate,
+            Fate::Truncated {
+                delivered_flits: 4,
+                cut_at_edge: 1
+            }
+        );
+        assert_eq!(out.results[0].first_blocker, None);
+    }
+
+    #[test]
+    fn node_down_strands_paths_through_it() {
+        use crate::fault::FaultPlan;
+        let net = topologies::star(4); // center 0
+        let through = [links(&net, &[1, 0, 2]), links(&net, &[3, 0, 1])];
+        let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(2));
+        eng.set_fault_plan(Some(FaultPlan::none().node_down(&net, 0, 0)));
+        let specs: Vec<TransmissionSpec<'_>> =
+            through.iter().map(|p| spec(p, 0, 0, 0, 2)).collect();
+        let out = eng.run(&specs, &mut rng());
+        assert_eq!(out.delivered_count(), 0, "all paths touch the dead router");
+        assert!(out.results.iter().all(|r| r.first_blocker.is_none()));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        use crate::fault::FaultPlan;
+        let net = topologies::mesh(2, 3);
+        let coords_paths: Vec<Vec<u32>> = vec![
+            links(&net, &[0, 1, 2]),
+            links(&net, &[3, 4, 5]),
+            links(&net, &[0, 3, 4]),
+            links(&net, &[2, 1, 0]),
+        ];
+        let cfg = RouterConfig::serve_first(2).with_conflict_log();
+        let specs: Vec<TransmissionSpec<'_>> = coords_paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| spec(p, i as u32 % 3, (i % 2) as u16, i as u64, 3))
+            .collect();
+        let mut plain = Engine::new(net.link_count(), cfg);
+        let mut with_plan = Engine::new(net.link_count(), cfg);
+        with_plan.set_fault_plan(Some(FaultPlan::none()));
+        let a = plain.run(&specs, &mut rng());
+        let b = with_plan.run(&specs, &mut rng());
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.conflicts, b.conflicts);
+        assert_eq!(a.makespan, b.makespan);
     }
 
     #[test]

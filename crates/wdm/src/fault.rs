@@ -1,0 +1,445 @@
+//! Dynamic fault injection: scripted and stochastic link failures that
+//! strike worms *in flight*.
+//!
+//! A [`FaultPlan`] scripts what happens to the fiber plant during one
+//! simulated round, in engine time steps:
+//!
+//! * [`FaultPlan::down`] — a link is cut at step `t` and stays dead;
+//! * [`FaultPlan::restore`] — a previously cut link comes back at step `t`;
+//! * [`FaultPlan::flaky`] — a link garbles (drops) everything crossing it
+//!   during any step with probability `p`, decided by a deterministic hash
+//!   of `(plan seed, link, step)`;
+//! * [`FaultPlan::node_down`] — a router fails, taking down all links
+//!   incident to it.
+//!
+//! Semantics, identical in [`crate::engine::Engine`] and the reference
+//! simulator ([`crate::reference`]):
+//!
+//! * events take effect at the *start* of step `t`;
+//! * a head arriving at a dead (or currently garbling) link is eliminated
+//!   with `first_blocker = None` — nothing *blocked* it, the fiber is gone.
+//!   This is the signal recovery layers key on;
+//! * a worm streaming across a link that goes down (or garbles) is **cut**:
+//!   the fragment already forwarded continues downstream, the rest is
+//!   dropped at the coupler — exactly the paper's partial-discard physics;
+//! * restored links accept traffic again from the restore step onward.
+//!
+//! Garble decisions are *order-independent* (a pure function of the plan
+//! seed, the link and the step), so the event-driven engine and the
+//! per-step reference simulator agree exactly, and the caller's RNG stream
+//! is untouched — a run with an empty plan is bit-identical to a fault-free
+//! run.
+
+use optical_topo::{LinkId, Network, NodeId};
+
+/// What happens to a link at a scripted time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The link is cut at this step (heads die, streams are cut).
+    Down,
+    /// The link is repaired at this step.
+    Restore,
+}
+
+/// One scripted fault event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Engine step at which the event takes effect.
+    pub time: u32,
+    /// Affected directed link.
+    pub link: LinkId,
+    /// What happens.
+    pub event: LinkEvent,
+}
+
+/// A per-round script of link failures. See the [module docs](self).
+///
+/// Build with the chained constructors; an empty plan is free:
+/// [`crate::engine::Engine::set_fault_plan`] stores it as "no faults" and
+/// keeps the fault-free fast path.
+///
+/// ```
+/// use optical_wdm::fault::FaultPlan;
+/// let plan = FaultPlan::with_seed(7)
+///     .down(3, 10)       // link 3 cut at step 10
+///     .restore(3, 25)    // repaired at step 25
+///     .flaky(5, 0.01);   // link 5 garbles ~1% of steps
+/// assert!(!plan.is_empty());
+/// assert!(FaultPlan::none().is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+    /// `(link, per-step garble probability)`.
+    flaky: Vec<(LinkId, f64)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, costs nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Empty plan with a seed for the flaky-link garble hash. Plans built
+    /// with [`FaultPlan::none`]/`default` use seed 0; distinct seeds give
+    /// independent garble patterns.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Script a fiber cut on `link` at step `t`.
+    pub fn down(mut self, link: LinkId, t: u32) -> Self {
+        self.events.push(FaultEvent {
+            time: t,
+            link,
+            event: LinkEvent::Down,
+        });
+        self
+    }
+
+    /// Script a repair of `link` at step `t`.
+    pub fn restore(mut self, link: LinkId, t: u32) -> Self {
+        self.events.push(FaultEvent {
+            time: t,
+            link,
+            event: LinkEvent::Restore,
+        });
+        self
+    }
+
+    /// Script a router failure: every link incident to `node` (incoming
+    /// and outgoing) goes down at step `t`.
+    pub fn node_down(mut self, net: &Network, node: NodeId, t: u32) -> Self {
+        for l in net.links() {
+            if net.link_source(l) == node || net.link_target(l) == node {
+                self = self.down(l, t);
+            }
+        }
+        self
+    }
+
+    /// Script a router repair: every link incident to `node` is restored
+    /// at step `t`.
+    pub fn node_restore(mut self, net: &Network, node: NodeId, t: u32) -> Self {
+        for l in net.links() {
+            if net.link_source(l) == node || net.link_target(l) == node {
+                self = self.restore(l, t);
+            }
+        }
+        self
+    }
+
+    /// Mark `link` as flaky: during any step it garbles (acts dead for
+    /// that one step) with probability `p`, decided by a deterministic
+    /// hash of `(seed, link, step)`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    pub fn flaky(mut self, link: LinkId, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "garble probability {p} outside [0,1]"
+        );
+        if p > 0.0 {
+            self.flaky.push((link, p));
+        }
+        self
+    }
+
+    /// Whether the plan injects nothing (no events, no flaky links).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.flaky.is_empty()
+    }
+
+    /// The scripted events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The flaky links and their per-step garble probabilities.
+    pub fn flaky_links(&self) -> &[(LinkId, f64)] {
+        &self.flaky
+    }
+
+    /// Does `link` garble during step `t` under this plan? Pure function
+    /// of `(seed, link, t)`; `false` for links not marked flaky.
+    pub fn garbles(&self, link: LinkId, t: u32) -> bool {
+        self.flaky
+            .iter()
+            .any(|&(l, p)| l == link && garble_hash(self.seed, link, t) < p)
+    }
+
+    /// Latest scripted event time (0 for plans with no events).
+    pub fn max_event_time(&self) -> u32 {
+        self.events.iter().map(|e| e.time).max().unwrap_or(0)
+    }
+}
+
+/// Deterministic per-(seed, link, step) uniform draw in `[0, 1)`
+/// (splitmix64 finalizer). Order-independent by construction, so every
+/// simulator consulting the same plan sees the same garbles.
+fn garble_hash(seed: u64, link: LinkId, t: u32) -> f64 {
+    let mut x = seed
+        ^ (link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ ((t as u64) << 32).wrapping_add(0xD1B5_4A32_D192_ED03);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Per-run execution state of a [`FaultPlan`]. Shared by the engine and
+/// the reference simulator so their fault semantics cannot drift.
+#[derive(Clone, Debug)]
+pub(crate) struct FaultRuntime {
+    plan: FaultPlan,
+    /// Events sorted by time (stable: insertion order breaks ties).
+    sorted: Vec<FaultEvent>,
+    next: usize,
+    /// Current dynamic down-state per link.
+    down: Vec<bool>,
+}
+
+impl FaultRuntime {
+    pub(crate) fn new(plan: FaultPlan, link_count: usize) -> Self {
+        debug_assert!(
+            plan.events.iter().all(|e| (e.link as usize) < link_count)
+                && plan.flaky.iter().all(|&(l, _)| (l as usize) < link_count),
+            "fault plan names a link outside the network"
+        );
+        let mut sorted = plan.events.clone();
+        sorted.sort_by_key(|e| e.time);
+        FaultRuntime {
+            plan,
+            sorted,
+            next: 0,
+            down: vec![false; link_count],
+        }
+    }
+
+    /// Rewind to step 0 for a fresh round.
+    pub(crate) fn reset(&mut self) {
+        self.next = 0;
+        self.down.fill(false);
+    }
+
+    /// Apply all events scheduled for step `t` and report every link that
+    /// newly fails (goes down or garbles) this step via `on_fault` — the
+    /// caller cuts any worm currently streaming across it. Must be called
+    /// with strictly increasing `t`.
+    pub(crate) fn begin_step(&mut self, t: u32, mut on_fault: impl FnMut(LinkId)) {
+        while self.next < self.sorted.len() && self.sorted[self.next].time == t {
+            let ev = self.sorted[self.next];
+            self.next += 1;
+            match ev.event {
+                LinkEvent::Down => {
+                    if !self.down[ev.link as usize] {
+                        self.down[ev.link as usize] = true;
+                        on_fault(ev.link);
+                    }
+                }
+                LinkEvent::Restore => self.down[ev.link as usize] = false,
+            }
+        }
+        for &(link, p) in &self.plan.flaky {
+            if !self.down[link as usize] && garble_hash(self.plan.seed, link, t) < p {
+                on_fault(link);
+            }
+        }
+    }
+
+    /// Is `link` unusable at step `t` (down, or garbling this step)?
+    /// Valid after `begin_step(t, ..)`.
+    pub(crate) fn is_blocked(&self, link: LinkId, t: u32) -> bool {
+        self.down[link as usize] || self.plan.garbles(link, t)
+    }
+
+    /// Steps that must still be simulated for fault effects even with no
+    /// pending head arrivals: scripted events, plus every step while any
+    /// flaky link exists.
+    pub(crate) fn relevant_until(&self, drain_end: u32) -> u32 {
+        if self.plan.flaky.is_empty() {
+            self.plan.max_event_time().min(drain_end)
+        } else {
+            drain_end
+        }
+    }
+}
+
+/// Stochastic link churn: a per-round [`FaultPlan`] generator where each
+/// link alternates between up and down states with geometric dwell times
+/// (mean time between failures `mtbf`, mean time to repair `mttr`, both in
+/// engine steps).
+///
+/// Deterministic per `(seed, round, link)`: the same model replayed gives
+/// the same plans, independent of any caller RNG.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnModel {
+    /// Mean steps between failures of an up link (≥ 1).
+    pub mtbf: f64,
+    /// Mean steps to repair a down link (≥ 1).
+    pub mttr: f64,
+    /// Seed for the per-round event streams.
+    pub seed: u64,
+}
+
+impl ChurnModel {
+    /// Generate the plan for one round: per link, a geometric up/down
+    /// alternation over `0..horizon` steps.
+    ///
+    /// # Panics
+    /// If `mtbf < 1` or `mttr < 1`.
+    pub fn plan_for_round(&self, round: u32, link_count: usize, horizon: u32) -> FaultPlan {
+        assert!(self.mtbf >= 1.0, "mtbf {} < 1 step", self.mtbf);
+        assert!(self.mttr >= 1.0, "mttr {} < 1 step", self.mttr);
+        let p_fail = 1.0 / self.mtbf;
+        let p_heal = 1.0 / self.mttr;
+        let mut plan =
+            FaultPlan::with_seed(self.seed ^ (round as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        for link in 0..link_count as u32 {
+            let mut up = true;
+            for t in 0..horizon {
+                let draw = garble_hash(
+                    self.seed ^ (round as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB),
+                    link,
+                    t,
+                );
+                if up && draw < p_fail {
+                    plan = plan.down(link, t);
+                    up = false;
+                } else if !up && draw < p_heal {
+                    plan = plan.restore(link, t);
+                    up = true;
+                }
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_topo::topologies;
+
+    #[test]
+    fn empty_plans_are_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::with_seed(3).is_empty());
+        assert!(!FaultPlan::none().down(0, 1).is_empty());
+        assert!(!FaultPlan::none().flaky(0, 0.5).is_empty());
+        // A zero-probability flaky link is no fault at all.
+        assert!(FaultPlan::none().flaky(0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn garble_is_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::with_seed(42).flaky(3, 0.25);
+        let a: Vec<bool> = (0..4000).map(|t| plan.garbles(3, t)).collect();
+        let b: Vec<bool> = (0..4000).map(|t| plan.garbles(3, t)).collect();
+        assert_eq!(a, b, "garbles must be a pure function");
+        let rate = a.iter().filter(|&&g| g).count() as f64 / a.len() as f64;
+        assert!((rate - 0.25).abs() < 0.05, "empirical garble rate {rate}");
+        // Non-flaky links never garble.
+        assert!((0..4000).all(|t| !plan.garbles(2, t)));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_garble_patterns() {
+        let a = FaultPlan::with_seed(1).flaky(0, 0.5);
+        let b = FaultPlan::with_seed(2).flaky(0, 0.5);
+        let pa: Vec<bool> = (0..256).map(|t| a.garbles(0, t)).collect();
+        let pb: Vec<bool> = (0..256).map(|t| b.garbles(0, t)).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn node_down_takes_all_incident_links() {
+        let net = topologies::star(4); // center 0, leaves 1..=3
+        let plan = FaultPlan::none().node_down(&net, 0, 5);
+        // Every link touches the center of a star.
+        assert_eq!(plan.events().len(), net.link_count());
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| e.time == 5 && e.event == LinkEvent::Down));
+
+        let leaf = FaultPlan::none().node_down(&net, 1, 0);
+        assert_eq!(
+            leaf.events().len(),
+            2,
+            "a leaf has one in- and one out-link"
+        );
+    }
+
+    #[test]
+    fn runtime_tracks_down_restore() {
+        let plan = FaultPlan::none().down(1, 3).restore(1, 7).down(2, 5);
+        let mut rt = FaultRuntime::new(plan, 4);
+        let mut faulted: Vec<(u32, LinkId)> = Vec::new();
+        for t in 0..10 {
+            rt.begin_step(t, |l| faulted.push((t, l)));
+            match t {
+                0..=2 => assert!(!rt.is_blocked(1, t)),
+                3..=6 => assert!(rt.is_blocked(1, t)),
+                _ => assert!(!rt.is_blocked(1, t)),
+            }
+            assert_eq!(rt.is_blocked(2, t), t >= 5);
+        }
+        assert_eq!(faulted, vec![(3, 1), (5, 2)], "one fault callback per cut");
+        // Reset rewinds completely.
+        rt.reset();
+        assert!(!rt.is_blocked(1, 0) && !rt.is_blocked(2, 0));
+    }
+
+    #[test]
+    fn duplicate_down_fires_once() {
+        let plan = FaultPlan::none().down(0, 2).down(0, 2).down(0, 4);
+        let mut rt = FaultRuntime::new(plan, 1);
+        let mut fires = 0;
+        for t in 0..6 {
+            rt.begin_step(t, |_| fires += 1);
+        }
+        assert_eq!(fires, 1, "already-down links do not re-fire");
+    }
+
+    #[test]
+    fn churn_plans_are_reproducible_and_alternate() {
+        let model = ChurnModel {
+            mtbf: 20.0,
+            mttr: 5.0,
+            seed: 9,
+        };
+        let p1 = model.plan_for_round(3, 8, 200);
+        let p2 = model.plan_for_round(3, 8, 200);
+        assert_eq!(p1, p2, "same round, same plan");
+        let other = model.plan_for_round(4, 8, 200);
+        assert_ne!(p1, other, "different rounds churn differently");
+        // Per link, events alternate Down/Restore starting with Down.
+        for link in 0..8u32 {
+            let evs: Vec<LinkEvent> = p1
+                .events()
+                .iter()
+                .filter(|e| e.link == link)
+                .map(|e| e.event)
+                .collect();
+            for (i, ev) in evs.iter().enumerate() {
+                let expect = if i % 2 == 0 {
+                    LinkEvent::Down
+                } else {
+                    LinkEvent::Restore
+                };
+                assert_eq!(*ev, expect, "link {link} event {i}");
+            }
+        }
+        assert!(
+            !p1.is_empty(),
+            "mtbf 20 over 200 steps on 8 links must fault"
+        );
+    }
+}

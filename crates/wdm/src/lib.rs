@@ -34,10 +34,12 @@
 pub mod components;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod reference;
 pub mod resolve;
 pub mod spec;
 
 pub use config::{CollisionRule, RouterConfig, TieRule};
 pub use engine::Engine;
+pub use fault::{ChurnModel, FaultEvent, FaultPlan, LinkEvent};
 pub use spec::{Conflict, Fate, RoundOutcome, TransmissionSpec, WormResult};

@@ -13,6 +13,7 @@
 //! *bookkeeping*, which is where wormhole simulators go wrong.
 
 use crate::config::{CollisionRule, RouterConfig, TieRule};
+use crate::fault::{FaultPlan, FaultRuntime};
 use crate::resolve::{resolve_group, Candidate, GroupDecision};
 use crate::spec::{Fate, TransmissionSpec};
 use rand::Rng;
@@ -35,7 +36,10 @@ impl RefWorm {
     /// Does flit `k` of this worm reach edge `j` (i.e. pass couplers
     /// `0..=j`)? Flit `k` arrives at coupler `c` at time `s + c + k`.
     fn flit_passes(&self, start: u32, j: usize, k: u32) -> bool {
-        self.gates[..=j].iter().enumerate().all(|(c, &g)| start + c as u32 + k < g)
+        self.gates[..=j]
+            .iter()
+            .enumerate()
+            .all(|(c, &g)| start + c as u32 + k < g)
     }
 }
 
@@ -68,7 +72,7 @@ pub fn simulate_with_converters(
     specs: &[TransmissionSpec<'_>],
     rng: &mut impl Rng,
 ) -> Vec<Fate> {
-    simulate_inner(link_count, config, converters, None, specs, rng, None)
+    simulate_inner(link_count, config, converters, None, None, specs, rng, None)
 }
 
 /// [`simulate`] with converter and dead-link masks, mirroring
@@ -82,7 +86,27 @@ pub fn simulate_with_faults(
     specs: &[TransmissionSpec<'_>],
     rng: &mut impl Rng,
 ) -> Vec<Fate> {
-    simulate_inner(link_count, config, converters, dead_links, specs, rng, None)
+    simulate_inner(
+        link_count, config, converters, dead_links, None, specs, rng, None,
+    )
+}
+
+/// [`simulate_with_faults`] plus a dynamic [`FaultPlan`], mirroring
+/// [`crate::engine::Engine::set_fault_plan`]: scripted mid-round cuts and
+/// repairs, flaky links, router failures — the full fault surface, from
+/// first principles, for differential testing of the fault paths.
+pub fn simulate_with_plan(
+    link_count: usize,
+    config: RouterConfig,
+    converters: Option<&[bool]>,
+    dead_links: Option<&[bool]>,
+    plan: Option<&FaultPlan>,
+    specs: &[TransmissionSpec<'_>],
+    rng: &mut impl Rng,
+) -> Vec<Fate> {
+    simulate_inner(
+        link_count, config, converters, dead_links, plan, specs, rng, None,
+    )
 }
 
 /// [`simulate`] that additionally records the full flit-level occupancy
@@ -94,22 +118,36 @@ pub fn simulate_traced(
     rng: &mut impl Rng,
 ) -> (Vec<Fate>, OccupancyTrace) {
     let mut trace = OccupancyTrace::new();
-    let fates = simulate_inner(link_count, config, None, None, specs, rng, Some(&mut trace));
+    let fates = simulate_inner(
+        link_count,
+        config,
+        None,
+        None,
+        None,
+        specs,
+        rng,
+        Some(&mut trace),
+    );
     (fates, trace)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn simulate_inner(
     link_count: usize,
     config: RouterConfig,
     converters: Option<&[bool]>,
     dead_links: Option<&[bool]>,
+    plan: Option<&FaultPlan>,
     specs: &[TransmissionSpec<'_>],
     rng: &mut impl Rng,
     trace: Option<&mut OccupancyTrace>,
 ) -> Vec<Fate> {
     config.validate();
     debug_assert!(
-        specs.iter().flat_map(|s| s.links).all(|&l| (l as usize) < link_count),
+        specs
+            .iter()
+            .flat_map(|s| s.links)
+            .all(|&l| (l as usize) < link_count),
         "link id out of range"
     );
     let b = config.bandwidth as usize;
@@ -128,7 +166,34 @@ fn simulate_inner(
         .max()
         .unwrap_or(0);
 
+    let mut fault_rt = plan
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultRuntime::new(p.clone(), link_count));
+
     for t in 0..horizon {
+        if let Some(fr) = fault_rt.as_mut() {
+            // A link failing this step cuts whatever streams across it:
+            // close the gate at that coupler for every worm with a flit
+            // genuinely in transit there (mirrors the engine's
+            // occupant-cut, including draining bodies of eliminated
+            // worms).
+            fr.begin_step(t, |link| {
+                for (w, s) in specs.iter().enumerate() {
+                    for (j, &lk) in s.links.iter().enumerate() {
+                        if lk != link {
+                            continue;
+                        }
+                        let k = t as i64 - s.start as i64 - j as i64;
+                        if k >= 1
+                            && (k as u32) < s.length
+                            && worms[w].flit_passes(s.start, j, k as u32)
+                        {
+                            worms[w].gates[j] = worms[w].gates[j].min(t);
+                        }
+                    }
+                }
+            });
+        }
         // Occupancy at step t: which worms have a flit on each
         // (link, wavelength)?
         let mut occupants: HashMap<(u32, u16), Vec<u32>> = HashMap::new();
@@ -145,7 +210,10 @@ fn simulate_inner(
                     continue;
                 }
                 if worms[w].flit_passes(s.start, j, k) {
-                    occupants.entry((link, worms[w].wl_at[j])).or_default().push(w as u32);
+                    occupants
+                        .entry((link, worms[w].wl_at[j]))
+                        .or_default()
+                        .push(w as u32);
                 }
             }
         }
@@ -167,15 +235,20 @@ fn simulate_inner(
             }
             let j = j as u32;
             let link = s.links[j as usize];
-            if dead_links.is_some_and(|m| m[link as usize]) {
-                // Fiber cut: mirror the engine exactly.
+            if dead_links.is_some_and(|m| m[link as usize])
+                || fault_rt.as_ref().is_some_and(|f| f.is_blocked(link, t))
+            {
+                // Fiber cut (static or dynamic): mirror the engine exactly.
                 kill(&mut worms[w], j, t);
                 continue;
             }
             let per_link = matches!(config.rule, CollisionRule::Conversion)
                 || converters.is_some_and(|m| m[link as usize]);
-            let sub =
-                if per_link { b as u64 } else { worms[w].wl_at[j as usize] as u64 };
+            let sub = if per_link {
+                b as u64
+            } else {
+                worms[w].wl_at[j as usize] as u64
+            };
             arrivals.push((link as u64 * (b as u64 + 1) + sub, w as u32, j));
         }
         arrivals.sort_unstable();
@@ -208,17 +281,16 @@ fn simulate_inner(
                     let mut step_installed: HashMap<u16, u32> = HashMap::new();
                     for &gi in &order {
                         let (_, w, e) = group[gi];
-                        let busy_worm = |wl: u16,
-                                         step_installed: &HashMap<u16, u32>|
-                         -> Option<(u32, bool)> {
-                            if let Some(&iw) = step_installed.get(&wl) {
-                                return Some((iw, false)); // entry == t
-                            }
-                            occupants
-                                .get(&(link, wl))
-                                .and_then(|v| v.first())
-                                .map(|&ow| (ow, true))
-                        };
+                        let busy_worm =
+                            |wl: u16, step_installed: &HashMap<u16, u32>| -> Option<(u32, bool)> {
+                                if let Some(&iw) = step_installed.get(&wl) {
+                                    return Some((iw, false)); // entry == t
+                                }
+                                occupants
+                                    .get(&(link, wl))
+                                    .and_then(|v| v.first())
+                                    .map(|&ow| (ow, true))
+                            };
                         // Mirror the engine: the worm's current wavelength
                         // first, then the lowest free index.
                         let own = worms[w as usize].wl_at[e as usize];
@@ -253,8 +325,7 @@ fn simulate_inner(
                                 .enumerate()
                                 .find(|&(j, &lk)| {
                                     lk == link && worms[ow].wl_at[j] == occ_wl && {
-                                        let k =
-                                            t as i64 - specs[ow].start as i64 - j as i64;
+                                        let k = t as i64 - specs[ow].start as i64 - j as i64;
                                         k >= 1 && (k as u32) < specs[ow].length
                                     }
                                 })
@@ -305,12 +376,19 @@ fn simulate_inner(
                     let (_, w0, e0) = group[0];
                     let link = specs[w0 as usize].links[e0 as usize];
                     let wl = worms[w0 as usize].wl_at[e0 as usize];
-                    let occupant = occupants.get(&(link, wl)).and_then(|v| v.first()).map(|&ow| {
-                        Candidate { id: ow, priority: specs[ow as usize].priority }
-                    });
+                    let occupant = occupants
+                        .get(&(link, wl))
+                        .and_then(|v| v.first())
+                        .map(|&ow| Candidate {
+                            id: ow,
+                            priority: specs[ow as usize].priority,
+                        });
                     let cands: Vec<Candidate> = group
                         .iter()
-                        .map(|&(_, w, _)| Candidate { id: w, priority: specs[w as usize].priority })
+                        .map(|&(_, w, _)| Candidate {
+                            id: w,
+                            priority: specs[w as usize].priority,
+                        })
                         .collect();
                     match resolve_group(config.rule, config.tie, occupant, &cands, rng) {
                         GroupDecision::OccupantWins => {
@@ -328,16 +406,12 @@ fn simulate_inner(
                                     .iter()
                                     .enumerate()
                                     .find(|&(j, &lk)| {
-                                        lk == link
-                                            && worms[ow].wl_at[j] == wl
-                                            && {
-                                                let k = t as i64
-                                                    - specs[ow].start as i64
-                                                    - j as i64;
-                                                // Same condition as the
-                                                // occupancy scan: k ≥ 1.
-                                                k >= 1 && (k as u32) < specs[ow].length
-                                            }
+                                        lk == link && worms[ow].wl_at[j] == wl && {
+                                            let k = t as i64 - specs[ow].start as i64 - j as i64;
+                                            // Same condition as the
+                                            // occupancy scan: k ≥ 1.
+                                            k >= 1 && (k as u32) < specs[ow].length
+                                        }
                                     })
                                     .map(|(j, _)| j)
                                     .expect("occupant edge");
@@ -392,18 +466,22 @@ fn simulate_inner(
         .enumerate()
         .map(|(w, s)| {
             if s.links.is_empty() {
-                return Fate::Delivered { completed_at: s.start };
+                return Fate::Delivered {
+                    completed_at: s.start,
+                };
             }
             if let Some((at_edge, at_time)) = worms[w].dead {
                 return Fate::Eliminated { at_edge, at_time };
             }
             // Delivered flits: those passing every coupler.
             let last = s.links.len() - 1;
-            let delivered =
-                (0..s.length).take_while(|&k| worms[w].flit_passes(s.start, last, k)).count()
-                    as u32;
+            let delivered = (0..s.length)
+                .take_while(|&k| worms[w].flit_passes(s.start, last, k))
+                .count() as u32;
             if delivered == s.length {
-                Fate::Delivered { completed_at: s.start + s.links.len() as u32 + s.length - 1 }
+                Fate::Delivered {
+                    completed_at: s.start + s.links.len() as u32 + s.length - 1,
+                }
             } else {
                 // The *binding* cut: the closed gate admitting the fewest
                 // flits (ties -> smallest edge), matching the engine.
@@ -420,7 +498,10 @@ fn simulate_inner(
                     .min()
                     .map(|(_, j)| j)
                     .expect("truncated worm has a closed gate");
-                Fate::Truncated { delivered_flits: delivered, cut_at_edge }
+                Fate::Truncated {
+                    delivered_flits: delivered,
+                    cut_at_edge,
+                }
             }
         })
         .collect();
@@ -436,16 +517,21 @@ pub fn render_timeline(
     links: &[u32],
     link_names: impl Fn(u32) -> String,
 ) -> String {
-    let glyph = |w: u32| -> char {
-        char::from_u32('a' as u32 + (w % 26)).unwrap()
-    };
-    let width = links.iter().map(|&l| link_names(l).len()).max().unwrap_or(0);
+    let glyph = |w: u32| -> char { char::from_u32('a' as u32 + (w % 26)).unwrap() };
+    let width = links
+        .iter()
+        .map(|&l| link_names(l).len())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for &l in links {
         out.push_str(&format!("{:>width$} |", link_names(l)));
         for row in trace {
-            let here: Vec<u32> =
-                row.iter().filter(|&&(link, _, _)| link == l).map(|&(_, _, w)| w).collect();
+            let here: Vec<u32> = row
+                .iter()
+                .filter(|&&(link, _, _)| link == l)
+                .map(|&(_, _, w)| w)
+                .collect();
             out.push(match here.len() {
                 0 => '.',
                 1 => glyph(here[0]),
@@ -477,9 +563,25 @@ mod tests {
     fn lone_worm_delivered() {
         let net = topologies::chain(4);
         let links = net.links_along(&[0, 1, 2, 3]).unwrap();
-        let specs = [TransmissionSpec { links: &links, start: 2, wavelength: 0, priority: 0, length: 3 }];
-        let fates = simulate(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
-        assert_eq!(fates[0], Fate::Delivered { completed_at: 2 + 3 + 3 - 1 });
+        let specs = [TransmissionSpec {
+            links: &links,
+            start: 2,
+            wavelength: 0,
+            priority: 0,
+            length: 3,
+        }];
+        let fates = simulate(
+            net.link_count(),
+            RouterConfig::serve_first(1),
+            &specs,
+            &mut rng(),
+        );
+        assert_eq!(
+            fates[0],
+            Fate::Delivered {
+                completed_at: 2 + 3 + 3 - 1
+            }
+        );
     }
 
     #[test]
@@ -488,12 +590,35 @@ mod tests {
         let a = net.links_along(&[0, 1, 2, 3]).unwrap();
         let bl = net.links_along(&[1, 2, 3]).unwrap();
         let specs = [
-            TransmissionSpec { links: &a, start: 0, wavelength: 0, priority: 0, length: 3 },
-            TransmissionSpec { links: &bl, start: 2, wavelength: 0, priority: 0, length: 3 },
+            TransmissionSpec {
+                links: &a,
+                start: 0,
+                wavelength: 0,
+                priority: 0,
+                length: 3,
+            },
+            TransmissionSpec {
+                links: &bl,
+                start: 2,
+                wavelength: 0,
+                priority: 0,
+                length: 3,
+            },
         ];
-        let fates = simulate(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        let fates = simulate(
+            net.link_count(),
+            RouterConfig::serve_first(1),
+            &specs,
+            &mut rng(),
+        );
         assert!(fates[0].is_delivered());
-        assert_eq!(fates[1], Fate::Eliminated { at_edge: 0, at_time: 2 });
+        assert_eq!(
+            fates[1],
+            Fate::Eliminated {
+                at_edge: 0,
+                at_time: 2
+            }
+        );
     }
 
     #[test]
@@ -502,13 +627,25 @@ mod tests {
         // steps [1+j, 3+j).
         let net = topologies::chain(4);
         let links = net.links_along(&[0, 1, 2, 3]).unwrap();
-        let specs = [TransmissionSpec { links: &links, start: 1, wavelength: 0, priority: 0, length: 2 }];
-        let (fates, trace) =
-            simulate_traced(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        let specs = [TransmissionSpec {
+            links: &links,
+            start: 1,
+            wavelength: 0,
+            priority: 0,
+            length: 2,
+        }];
+        let (fates, trace) = simulate_traced(
+            net.link_count(),
+            RouterConfig::serve_first(1),
+            &specs,
+            &mut rng(),
+        );
         assert!(fates[0].is_delivered());
         for (j, &l) in links.iter().enumerate() {
             for t in 0..trace.len() as u32 {
-                let busy = trace[t as usize].iter().any(|&(link, _, w)| link == l && w == 0);
+                let busy = trace[t as usize]
+                    .iter()
+                    .any(|&(link, _, w)| link == l && w == 0);
                 let expect = (1 + j as u32..3 + j as u32).contains(&t);
                 assert_eq!(busy, expect, "link {j} at t={t}");
             }
@@ -523,11 +660,27 @@ mod tests {
         let a = net.links_along(&[0, 1, 2, 3]).unwrap();
         let b = net.links_along(&[1, 2, 3]).unwrap();
         let specs = [
-            TransmissionSpec { links: &a, start: 0, wavelength: 0, priority: 0, length: 3 },
-            TransmissionSpec { links: &b, start: 2, wavelength: 0, priority: 0, length: 3 },
+            TransmissionSpec {
+                links: &a,
+                start: 0,
+                wavelength: 0,
+                priority: 0,
+                length: 3,
+            },
+            TransmissionSpec {
+                links: &b,
+                start: 2,
+                wavelength: 0,
+                priority: 0,
+                length: 3,
+            },
         ];
-        let (fates, trace) =
-            simulate_traced(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        let (fates, trace) = simulate_traced(
+            net.link_count(),
+            RouterConfig::serve_first(1),
+            &specs,
+            &mut rng(),
+        );
         assert!(matches!(fates[1], Fate::Eliminated { .. }));
         // Worm 1 never occupies any link (eliminated at its first coupler
         // before entering).
@@ -545,9 +698,19 @@ mod tests {
     fn render_timeline_shapes() {
         let net = topologies::chain(3);
         let links = net.links_along(&[0, 1, 2]).unwrap();
-        let specs = [TransmissionSpec { links: &links, start: 0, wavelength: 0, priority: 0, length: 2 }];
-        let (_, trace) =
-            simulate_traced(net.link_count(), RouterConfig::serve_first(1), &specs, &mut rng());
+        let specs = [TransmissionSpec {
+            links: &links,
+            start: 0,
+            wavelength: 0,
+            priority: 0,
+            length: 2,
+        }];
+        let (_, trace) = simulate_traced(
+            net.link_count(),
+            RouterConfig::serve_first(1),
+            &specs,
+            &mut rng(),
+        );
         let art = render_timeline(&trace, &links, |l| format!("L{l}"));
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -564,11 +727,34 @@ mod tests {
         let victim = net.links_along(&[0, 1, 2, 3, 4]).unwrap();
         let attacker = net.links_along(&[5, 2, 3]).unwrap();
         let specs = [
-            TransmissionSpec { links: &victim, start: 0, wavelength: 0, priority: 1, length: 4 },
-            TransmissionSpec { links: &attacker, start: 3, wavelength: 0, priority: 9, length: 4 },
+            TransmissionSpec {
+                links: &victim,
+                start: 0,
+                wavelength: 0,
+                priority: 1,
+                length: 4,
+            },
+            TransmissionSpec {
+                links: &attacker,
+                start: 3,
+                wavelength: 0,
+                priority: 9,
+                length: 4,
+            },
         ];
-        let fates = simulate(net.link_count(), RouterConfig::priority(1), &specs, &mut rng());
-        assert_eq!(fates[0], Fate::Truncated { delivered_flits: 2, cut_at_edge: 2 });
+        let fates = simulate(
+            net.link_count(),
+            RouterConfig::priority(1),
+            &specs,
+            &mut rng(),
+        );
+        assert_eq!(
+            fates[0],
+            Fate::Truncated {
+                delivered_flits: 2,
+                cut_at_edge: 2
+            }
+        );
         assert!(fates[1].is_delivered());
     }
 }

@@ -64,8 +64,9 @@ pub fn resolve_group(
                     return GroupDecision::OccupantWins;
                 }
             }
-            let top: Vec<usize> =
-                (0..arrivals.len()).filter(|&i| arrivals[i].priority == best).collect();
+            let top: Vec<usize> = (0..arrivals.len())
+                .filter(|&i| arrivals[i].priority == best)
+                .collect();
             if top.len() == 1 {
                 GroupDecision::ArrivalWins(top[0])
             } else {
@@ -92,8 +93,10 @@ fn break_tie(
     match tie {
         TieRule::AllEliminated => GroupDecision::AllLose,
         TieRule::LowestId => {
-            let idx =
-                contenders.into_iter().min_by_key(|&i| arrivals[i].id).expect("non-empty");
+            let idx = contenders
+                .into_iter()
+                .min_by_key(|&i| arrivals[i].id)
+                .expect("non-empty");
             GroupDecision::ArrivalWins(idx)
         }
         TieRule::Random => {
@@ -145,15 +148,33 @@ mod tests {
     fn serve_first_simultaneous_ties() {
         let arr = [c(5, 0), c(3, 0), c(7, 0)];
         assert_eq!(
-            resolve_group(CollisionRule::ServeFirst, TieRule::AllEliminated, None, &arr, &mut rng()),
+            resolve_group(
+                CollisionRule::ServeFirst,
+                TieRule::AllEliminated,
+                None,
+                &arr,
+                &mut rng()
+            ),
             GroupDecision::AllLose
         );
         assert_eq!(
-            resolve_group(CollisionRule::ServeFirst, TieRule::LowestId, None, &arr, &mut rng()),
+            resolve_group(
+                CollisionRule::ServeFirst,
+                TieRule::LowestId,
+                None,
+                &arr,
+                &mut rng()
+            ),
             GroupDecision::ArrivalWins(1),
             "worm 3 has the lowest id"
         );
-        match resolve_group(CollisionRule::ServeFirst, TieRule::Random, None, &arr, &mut rng()) {
+        match resolve_group(
+            CollisionRule::ServeFirst,
+            TieRule::Random,
+            None,
+            &arr,
+            &mut rng(),
+        ) {
             GroupDecision::ArrivalWins(i) => assert!(i < 3),
             other => panic!("unexpected {other:?}"),
         }
@@ -187,11 +208,23 @@ mod tests {
     fn priority_tie_among_arrivals_uses_tie_rule() {
         let arr = [c(4, 9), c(2, 9), c(3, 1)];
         assert_eq!(
-            resolve_group(CollisionRule::Priority, TieRule::LowestId, None, &arr, &mut rng()),
+            resolve_group(
+                CollisionRule::Priority,
+                TieRule::LowestId,
+                None,
+                &arr,
+                &mut rng()
+            ),
             GroupDecision::ArrivalWins(1)
         );
         assert_eq!(
-            resolve_group(CollisionRule::Priority, TieRule::AllEliminated, None, &arr, &mut rng()),
+            resolve_group(
+                CollisionRule::Priority,
+                TieRule::AllEliminated,
+                None,
+                &arr,
+                &mut rng()
+            ),
             GroupDecision::AllLose
         );
     }
@@ -211,6 +244,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "without arrivals")]
     fn empty_arrivals_rejected() {
-        resolve_group(CollisionRule::ServeFirst, TieRule::AllEliminated, None, &[], &mut rng());
+        resolve_group(
+            CollisionRule::ServeFirst,
+            TieRule::AllEliminated,
+            None,
+            &[],
+            &mut rng(),
+        );
     }
 }

@@ -116,7 +116,10 @@ pub struct RoundOutcome {
 impl RoundOutcome {
     /// Number of fully delivered worms.
     pub fn delivered_count(&self) -> usize {
-        self.results.iter().filter(|r| r.fate.is_delivered()).count()
+        self.results
+            .iter()
+            .filter(|r| r.fate.is_delivered())
+            .count()
     }
 
     /// Ids of worms that failed (eliminated or truncated).
@@ -137,17 +140,31 @@ mod tests {
     #[test]
     fn fate_predicates() {
         assert!(Fate::Delivered { completed_at: 3 }.is_delivered());
-        assert!(!Fate::Truncated { delivered_flits: 2, cut_at_edge: 1 }.is_delivered());
-        assert!(!Fate::Eliminated { at_edge: 0, at_time: 0 }.is_delivered());
+        assert!(!Fate::Truncated {
+            delivered_flits: 2,
+            cut_at_edge: 1
+        }
+        .is_delivered());
+        assert!(!Fate::Eliminated {
+            at_edge: 0,
+            at_time: 0
+        }
+        .is_delivered());
     }
 
     #[test]
     fn outcome_counters() {
         let outcome = RoundOutcome {
             results: vec![
-                WormResult { fate: Fate::Delivered { completed_at: 9 }, first_blocker: None },
                 WormResult {
-                    fate: Fate::Eliminated { at_edge: 1, at_time: 4 },
+                    fate: Fate::Delivered { completed_at: 9 },
+                    first_blocker: None,
+                },
+                WormResult {
+                    fate: Fate::Eliminated {
+                        at_edge: 1,
+                        at_time: 4,
+                    },
                     first_blocker: Some(0),
                 },
             ],

@@ -17,8 +17,10 @@ fn random_path(net: &Network, rng: &mut impl Rng) -> Vec<u32> {
     let mut nodes = vec![cur];
     let mut links = Vec::new();
     for _ in 0..target_len {
-        let neigh: Vec<(NodeId, u32)> =
-            net.neighbors(cur).filter(|(t, _)| !nodes.contains(t)).collect();
+        let neigh: Vec<(NodeId, u32)> = net
+            .neighbors(cur)
+            .filter(|(t, _)| !nodes.contains(t))
+            .collect();
         if neigh.is_empty() {
             break;
         }
@@ -68,21 +70,33 @@ fn check_case(net: &Network, config: RouterConfig, seed: u64) {
 
     for (i, (got, want)) in out.results.iter().zip(&ref_fates).enumerate() {
         assert_eq!(
-            got.fate, *want,
+            got.fate,
+            *want,
             "divergence: net={}, rule={:?}, tie={:?}, seed={seed}, worm={i}, specs={:?}",
             net.name(),
             config.rule,
             config.tie,
             specs
                 .iter()
-                .map(|s| (s.links.to_vec(), s.start, s.wavelength, s.priority, s.length))
+                .map(|s| (
+                    s.links.to_vec(),
+                    s.start,
+                    s.wavelength,
+                    s.priority,
+                    s.length
+                ))
                 .collect::<Vec<_>>()
         );
     }
 }
 
 fn sweep(rule: CollisionRule, tie: TieRule, bandwidth: u16, cases: u64) {
-    let config = RouterConfig { bandwidth, rule, tie, record_conflicts: false };
+    let config = RouterConfig {
+        bandwidth,
+        rule,
+        tie,
+        record_conflicts: false,
+    };
     for net in random_networks() {
         for seed in 0..cases {
             check_case(&net, config, seed * 7919 + bandwidth as u64);
@@ -136,7 +150,12 @@ fn dense_contention_same_source() {
     let net = topologies::star(4);
     for tie in [TieRule::AllEliminated, TieRule::LowestId] {
         for rule in [CollisionRule::ServeFirst, CollisionRule::Priority] {
-            let config = RouterConfig { bandwidth: 2, rule, tie, record_conflicts: false };
+            let config = RouterConfig {
+                bandwidth: 2,
+                rule,
+                tie,
+                record_conflicts: false,
+            };
             for seed in 0..200 {
                 let mut rng = ChaCha8Rng::seed_from_u64(seed);
                 let leaf_paths: Vec<Vec<u32>> = (0..5)
@@ -231,7 +250,11 @@ fn sparse_converters_match_reference() {
 fn dead_links_match_reference() {
     // Random fiber-cut masks combined with every rule (and sparse
     // converters under the hybrid rules).
-    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority, CollisionRule::Conversion] {
+    for rule in [
+        CollisionRule::ServeFirst,
+        CollisionRule::Priority,
+        CollisionRule::Conversion,
+    ] {
         for bandwidth in [1u16, 2] {
             let config = RouterConfig {
                 bandwidth,
@@ -249,10 +272,9 @@ fn dead_links_match_reference() {
                             dead[2 * e + 1] = true;
                         }
                     }
-                    let converters: Option<Vec<bool>> =
-                        (rule != CollisionRule::Conversion && rng.gen_bool(0.5)).then(|| {
-                            (0..net.link_count()).map(|_| rng.gen_bool(0.3)).collect()
-                        });
+                    let converters: Option<Vec<bool>> = (rule != CollisionRule::Conversion
+                        && rng.gen_bool(0.5))
+                    .then(|| (0..net.link_count()).map(|_| rng.gen_bool(0.3)).collect());
                     let n_worms = rng.gen_range(1..=8);
                     let paths: Vec<Vec<u32>> =
                         (0..n_worms).map(|_| random_path(&net, &mut rng)).collect();
@@ -298,12 +320,233 @@ fn dead_links_match_reference() {
 }
 
 #[test]
+fn dynamic_fault_plans_match_reference() {
+    // Random scripted cuts/restores plus flaky links, across rules: the
+    // event engine and the per-step reference must agree on every fate,
+    // including mid-flight cuts and arrivals at momentarily garbled links.
+    use optical_wdm::FaultPlan;
+    for rule in [
+        CollisionRule::ServeFirst,
+        CollisionRule::Priority,
+        CollisionRule::Conversion,
+    ] {
+        for bandwidth in [1u16, 2] {
+            let config = RouterConfig {
+                bandwidth,
+                rule,
+                tie: TieRule::LowestId,
+                record_conflicts: false,
+            };
+            for net in random_networks() {
+                for seed in 0..80u64 {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(613) + 3);
+                    let mut plan = FaultPlan::with_seed(seed);
+                    let n_events = rng.gen_range(0..6);
+                    for _ in 0..n_events {
+                        let link = rng.gen_range(0..net.link_count() as u32);
+                        let t = rng.gen_range(0..14);
+                        plan = if rng.gen_bool(0.7) {
+                            plan.down(link, t)
+                        } else {
+                            plan.restore(link, t)
+                        };
+                    }
+                    for _ in 0..rng.gen_range(0..3) {
+                        let link = rng.gen_range(0..net.link_count() as u32);
+                        plan = plan.flaky(link, rng.gen_range(0.05..0.5));
+                    }
+                    let n_worms = rng.gen_range(1..=8);
+                    let paths: Vec<Vec<u32>> =
+                        (0..n_worms).map(|_| random_path(&net, &mut rng)).collect();
+                    let mut prios: Vec<u64> = (0..n_worms as u64).collect();
+                    prios.shuffle(&mut rng);
+                    let specs: Vec<TransmissionSpec<'_>> = paths
+                        .iter()
+                        .zip(&prios)
+                        .map(|(links, &priority)| TransmissionSpec {
+                            links,
+                            start: rng.gen_range(0..6),
+                            wavelength: rng.gen_range(0..bandwidth),
+                            priority,
+                            length: rng.gen_range(1..=4),
+                        })
+                        .collect();
+
+                    let mut engine = Engine::new(net.link_count(), config);
+                    engine.set_fault_plan(Some(plan.clone()));
+                    let mut ra = ChaCha8Rng::seed_from_u64(1);
+                    let out = engine.run(&specs, &mut ra);
+                    let mut rb = ChaCha8Rng::seed_from_u64(1);
+                    let want = reference::simulate_with_plan(
+                        net.link_count(),
+                        config,
+                        None,
+                        None,
+                        Some(&plan),
+                        &specs,
+                        &mut rb,
+                    );
+                    for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            got.fate,
+                            *want,
+                            "fault-plan divergence: net={}, rule={rule:?}, B={bandwidth}, \
+                             seed={seed}, worm={i}, plan={plan:?}",
+                            net.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_fault_plan_matches_fault_free_run_exactly() {
+    // FaultPlan::none() must not perturb anything: outcomes (results,
+    // conflicts, makespan) are byte-identical to an engine that never had
+    // a plan installed — the zero-overhead guarantee.
+    use optical_wdm::FaultPlan;
+    for net in random_networks() {
+        for seed in 0..40u64 {
+            let config = RouterConfig {
+                bandwidth: 2,
+                rule: CollisionRule::ServeFirst,
+                tie: TieRule::LowestId,
+                record_conflicts: true,
+            };
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(47) + 11);
+            let n_worms = rng.gen_range(1..=8);
+            let paths: Vec<Vec<u32>> = (0..n_worms).map(|_| random_path(&net, &mut rng)).collect();
+            let specs: Vec<TransmissionSpec<'_>> = paths
+                .iter()
+                .enumerate()
+                .map(|(i, links)| TransmissionSpec {
+                    links,
+                    start: rng.gen_range(0..6),
+                    wavelength: rng.gen_range(0..2),
+                    priority: i as u64,
+                    length: rng.gen_range(1..=4),
+                })
+                .collect();
+
+            let mut plain = Engine::new(net.link_count(), config);
+            let mut with_plan = Engine::new(net.link_count(), config);
+            with_plan.set_fault_plan(Some(FaultPlan::none()));
+            let mut ra = ChaCha8Rng::seed_from_u64(2);
+            let a = plain.run(&specs, &mut ra);
+            let mut rb = ChaCha8Rng::seed_from_u64(2);
+            let b = with_plan.run(&specs, &mut rb);
+            assert_eq!(a.results, b.results, "net={}, seed={seed}", net.name());
+            assert_eq!(a.conflicts, b.conflicts);
+            assert_eq!(a.makespan, b.makespan);
+        }
+    }
+}
+
+#[test]
+fn no_delivered_worm_ever_crossed_a_down_link() {
+    // Fault invariant: if a worm is Delivered, every link of its path was
+    // up (and not garbling) during every step its flits crossed it — no
+    // worm sneaks through a cut fiber.
+    use optical_wdm::FaultPlan;
+    for net in random_networks() {
+        for seed in 0..60u64 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(257) + 1);
+            let mut plan = FaultPlan::with_seed(seed ^ 0xF00D);
+            for _ in 0..rng.gen_range(1..5) {
+                let link = rng.gen_range(0..net.link_count() as u32);
+                let t = rng.gen_range(0..12);
+                plan = if rng.gen_bool(0.75) {
+                    plan.down(link, t)
+                } else {
+                    plan.restore(link, t)
+                };
+            }
+            for _ in 0..rng.gen_range(0..3) {
+                plan = plan.flaky(rng.gen_range(0..net.link_count() as u32), 0.3);
+            }
+            let config = RouterConfig {
+                bandwidth: 2,
+                rule: CollisionRule::ServeFirst,
+                tie: TieRule::LowestId,
+                record_conflicts: false,
+            };
+            let n_worms = rng.gen_range(1..=8);
+            let paths: Vec<Vec<u32>> = (0..n_worms).map(|_| random_path(&net, &mut rng)).collect();
+            let specs: Vec<TransmissionSpec<'_>> = paths
+                .iter()
+                .enumerate()
+                .map(|(i, links)| TransmissionSpec {
+                    links,
+                    start: rng.gen_range(0..6),
+                    wavelength: rng.gen_range(0..2),
+                    priority: i as u64,
+                    length: rng.gen_range(1..=4),
+                })
+                .collect();
+            let mut engine = Engine::new(net.link_count(), config);
+            engine.set_fault_plan(Some(plan.clone()));
+            let mut ra = ChaCha8Rng::seed_from_u64(3);
+            let out = engine.run(&specs, &mut ra);
+
+            // Replay the plan's link state by hand.
+            let horizon = specs
+                .iter()
+                .map(|s| s.start + s.links.len() as u32 + s.length + 1)
+                .max()
+                .unwrap_or(0);
+            let mut down = vec![vec![false; net.link_count()]; horizon as usize + 1];
+            let mut state = vec![false; net.link_count()];
+            for t in 0..=horizon {
+                for ev in plan.events() {
+                    if ev.time == t {
+                        state[ev.link as usize] = ev.event == optical_wdm::LinkEvent::Down;
+                    }
+                }
+                down[t as usize].copy_from_slice(&state);
+            }
+            for (w, r) in out.results.iter().enumerate() {
+                if !r.fate.is_delivered() {
+                    continue;
+                }
+                let s = &specs[w];
+                for (j, &link) in s.links.iter().enumerate() {
+                    for k in 0..s.length {
+                        let t = s.start + j as u32 + k;
+                        assert!(
+                            !down[t as usize][link as usize],
+                            "delivered worm {w} crossed down link {link} at t={t} \
+                             (net={}, seed={seed})",
+                            net.name()
+                        );
+                        assert!(
+                            !plan.garbles(link, t),
+                            "delivered worm {w} crossed garbling link {link} at t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn fates_partition_is_consistent() {
     // Regardless of rule: delivered + truncated + eliminated == n, and
     // truncated only under the priority rule.
-    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority, CollisionRule::Conversion] {
+    for rule in [
+        CollisionRule::ServeFirst,
+        CollisionRule::Priority,
+        CollisionRule::Conversion,
+    ] {
         let net = topologies::mesh(2, 3);
-        let config = RouterConfig { bandwidth: 1, rule, tie: TieRule::LowestId, record_conflicts: false };
+        let config = RouterConfig {
+            bandwidth: 1,
+            rule,
+            tie: TieRule::LowestId,
+            record_conflicts: false,
+        };
         for seed in 0..60 {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let paths: Vec<Vec<u32>> = (0..6).map(|_| random_path(&net, &mut rng)).collect();

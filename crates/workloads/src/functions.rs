@@ -43,25 +43,24 @@ pub fn shift(n: usize, k: usize) -> Vec<NodeId> {
 /// Classic worst case for dimension-order routing.
 pub fn transpose(side: usize) -> Vec<NodeId> {
     let n = side * side;
-    (0..n).map(|i| ((i % side) * side + i / side) as NodeId).collect()
+    (0..n)
+        .map(|i| ((i % side) * side + i / side) as NodeId)
+        .collect()
 }
 
 /// Bit-reversal permutation on `[2^bits]` — the classic hard instance for
 /// leveled networks.
 pub fn bit_reversal(bits: u32) -> Vec<NodeId> {
     let n = 1usize << bits;
-    (0..n).map(|i| (i as u32).reverse_bits() >> (32 - bits)).collect()
+    (0..n)
+        .map(|i| (i as u32).reverse_bits() >> (32 - bits))
+        .collect()
 }
 
 /// Hotspot traffic: each source independently sends to `target` with
 /// probability `hot_fraction`, otherwise to a uniform random node — the
 /// standard model for contended servers.
-pub fn hotspot(
-    n: usize,
-    target: NodeId,
-    hot_fraction: f64,
-    rng: &mut impl Rng,
-) -> Vec<NodeId> {
+pub fn hotspot(n: usize, target: NodeId, hot_fraction: f64, rng: &mut impl Rng) -> Vec<NodeId> {
     assert!((0.0..=1.0).contains(&hot_fraction));
     assert!((target as usize) < n);
     (0..n)
@@ -163,7 +162,10 @@ mod tests {
         let mut r = rng();
         let f = hotspot(4000, 0, 0.5, &mut r);
         let hits = f.iter().filter(|&&d| d == 0).count();
-        assert!((1800..2300).contains(&hits), "≈50% plus uniform residue, got {hits}");
+        assert!(
+            (1800..2300).contains(&hits),
+            "≈50% plus uniform residue, got {hits}"
+        );
     }
 
     #[test]

@@ -35,7 +35,15 @@ impl Instance {
     /// Create an instance, checking that the collection matches the
     /// network.
     pub fn new(net: Network, coll: PathCollection, name: impl Into<String>) -> Self {
-        assert_eq!(net.link_count(), coll.link_count(), "collection/network mismatch");
-        Instance { net, coll, name: name.into() }
+        assert_eq!(
+            net.link_count(),
+            coll.link_count(),
+            "collection/network mismatch"
+        );
+        Instance {
+            net,
+            coll,
+            name: name.into(),
+        }
     }
 }

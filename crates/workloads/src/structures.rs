@@ -16,7 +16,10 @@ struct StructureBuilder {
 
 impl StructureBuilder {
     fn new() -> Self {
-        StructureBuilder { next_node: 0, edges: Vec::new() }
+        StructureBuilder {
+            next_node: 0,
+            edges: Vec::new(),
+        }
     }
 
     fn fresh_node(&mut self) -> NodeId {
@@ -62,11 +65,22 @@ pub fn ladder_overlap(worm_len: u32) -> u32 {
 /// # Panics
 /// If `dilation < d + 1` (the shared edge would not fit) or fewer than
 /// two paths per structure are requested.
-pub fn ladder(structures: usize, paths_per_structure: usize, dilation: u32, worm_len: u32) -> Instance {
+pub fn ladder(
+    structures: usize,
+    paths_per_structure: usize,
+    dilation: u32,
+    worm_len: u32,
+) -> Instance {
     assert!(worm_len >= 1);
-    assert!(paths_per_structure >= 2, "a ladder needs at least two paths");
+    assert!(
+        paths_per_structure >= 2,
+        "a ladder needs at least two paths"
+    );
     let d = ladder_overlap(worm_len);
-    assert!(dilation > d, "dilation {dilation} too small for overlap d = {d}");
+    assert!(
+        dilation > d,
+        "dilation {dilation} too small for overlap d = {d}"
+    );
 
     let mut sb = StructureBuilder::new();
     let mut paths: Vec<Vec<NodeId>> = Vec::with_capacity(structures * paths_per_structure);
@@ -147,7 +161,10 @@ pub fn triangle_offset(worm_len: u32) -> u32 {
 pub fn triangle(structures: usize, dilation: u32, worm_len: u32) -> Instance {
     assert!(worm_len >= 2, "blocking cycles need L >= 2 (paper, §3.2)");
     let g = triangle_offset(worm_len);
-    assert!(dilation > g, "dilation {dilation} too small for offset g = {g}");
+    assert!(
+        dilation > g,
+        "dilation {dilation} too small for offset g = {g}"
+    );
 
     let mut sb = StructureBuilder::new();
     let mut paths = Vec::with_capacity(structures * 3);
@@ -203,7 +220,10 @@ pub fn triangle(structures: usize, dilation: u32, worm_len: u32) -> Instance {
             paths.push(nodes);
         }
     }
-    sb.finish(format!("triangle(s={structures}, D={dilation}, L={worm_len})"), paths)
+    sb.finish(
+        format!("triangle(s={structures}, D={dilation}, L={worm_len})"),
+        paths,
+    )
 }
 
 #[cfg(test)]
@@ -226,7 +246,10 @@ mod tests {
     #[test]
     fn ladder_is_leveled_and_shortcut_free() {
         let inst = ladder(2, 4, 10, 5);
-        assert!(properties::is_leveled(&inst.coll), "Figure 5 structures are leveled");
+        assert!(
+            properties::is_leveled(&inst.coll),
+            "Figure 5 structures are leveled"
+        );
         assert!(properties::is_shortcut_free(&inst.coll));
         assert!(properties::consistent_link_offsets(&inst.coll));
     }
@@ -237,7 +260,11 @@ mod tests {
         let d = ladder_overlap(4) as usize;
         let p0 = inst.coll.path(0);
         let p1 = inst.coll.path(1);
-        assert_eq!(p0.links()[d], p1.links()[0], "path 1 starts on path 0's d-th edge");
+        assert_eq!(
+            p0.links()[d],
+            p1.links()[0],
+            "path 1 starts on path 0's d-th edge"
+        );
         assert_eq!(p0.nodes()[d], p1.nodes()[0]);
     }
 
@@ -279,7 +306,10 @@ mod tests {
         let m = inst.coll.metrics();
         assert_eq!(m.dilation, 8);
         assert_eq!(m.path_congestion, 2, "each path meets its two neighbors");
-        assert!(properties::is_shortcut_free(&inst.coll), "Figure 6 paths are short-cut free");
+        assert!(
+            properties::is_shortcut_free(&inst.coll),
+            "Figure 6 paths are short-cut free"
+        );
         assert!(
             !properties::is_leveled(&inst.coll),
             "cyclic sharing prevents leveling — the crux of Main Thm 1.2"
@@ -293,7 +323,11 @@ mod tests {
         for j in 0..3 {
             let me = inst.coll.path(j);
             let next = inst.coll.path((j + 1) % 3);
-            assert_eq!(me.links()[g], next.links()[0], "path {j} crosses its successor");
+            assert_eq!(
+                me.links()[g],
+                next.links()[0],
+                "path {j} crosses its successor"
+            );
         }
     }
 

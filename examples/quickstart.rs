@@ -20,7 +20,12 @@ fn main() {
     let side = 16u32;
     let net = topologies::mesh(2, side);
     let coords = GridCoords::new(2, side);
-    println!("network: {} ({} routers, {} directed links)", net.name(), net.node_count(), net.link_count());
+    println!(
+        "network: {} ({} routers, {} directed links)",
+        net.name(),
+        net.node_count(),
+        net.link_count()
+    );
 
     // 2. A routing problem: one worm per node, destinations form a random
     //    permutation, paths chosen by dimension-order routing.
@@ -28,7 +33,10 @@ fn main() {
     let perm = random_permutation(net.node_count(), &mut rng);
     let coll = PathCollection::from_function(&net, &perm, |s, d| mesh_route(&net, &coords, s, d));
     let m = coll.metrics();
-    println!("paths: n={}, dilation D={}, path congestion C~={}", m.n, m.dilation, m.path_congestion);
+    println!(
+        "paths: n={}, dilation D={}, path congestion C~={}",
+        m.n, m.dilation, m.path_congestion
+    );
 
     // 3. The protocol: serve-first routers with bandwidth B=4, worms of
     //    L=8 flits, the paper's geometric delay schedule, ideal acks.
@@ -38,7 +46,10 @@ fn main() {
 
     println!("\nround  Δ_t  active  delivered");
     for r in &report.rounds {
-        println!("{:>5}  {:>3}  {:>6}  {:>9}", r.round, r.delta, r.active_before, r.acked);
+        println!(
+            "{:>5}  {:>3}  {:>6}  {:>9}",
+            r.round, r.delta, r.active_before, r.acked
+        );
     }
     println!(
         "\ncompleted: {} in {} rounds, total time {} flit-steps",

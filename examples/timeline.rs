@@ -45,8 +45,7 @@ fn main() {
         ("priority", RouterConfig::priority(1)),
     ] {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let (fates, trace) =
-            simulate_traced(inst.coll.link_count(), cfg, &specs, &mut rng);
+        let (fates, trace) = simulate_traced(inst.coll.link_count(), cfg, &specs, &mut rng);
         println!("== {label} ==  (worms a, b, c; '.' = idle link)");
         let name = |l: u32| {
             if shared.contains(&l) {

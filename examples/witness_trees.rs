@@ -61,7 +61,11 @@ fn main() {
     // Claim 2.6 check per round: every blocking graph is a forest.
     for (i, m) in maps.iter().enumerate() {
         let a = analyze_blocking(m);
-        assert!(a.is_forest(), "round {}: blocking cycle in a leveled collection", i + 1);
+        assert!(
+            a.is_forest(),
+            "round {}: blocking cycle in a leveled collection",
+            i + 1
+        );
     }
 
     let tree = witness_tree(&maps, victim);

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything that must pass before a merge.
+#
+#   ./scripts/tier1.sh          # build + tests + format + lints
+#   ./scripts/tier1.sh --fast   # skip the release build (debug tests only)
+set -euo pipefail
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+if [[ $fast -eq 0 ]]; then
+  echo "== cargo build --release =="
+  cargo build --release
+fi
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "tier-1: all green"

@@ -51,7 +51,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     while i < argv.len() {
         let next = |i: &mut usize| -> Result<&String, String> {
             *i += 1;
-            argv.get(*i).ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+            argv.get(*i)
+                .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--topology" => topology = Some(TopologySpec::parse(next(&mut i)?)?),
@@ -63,20 +64,37 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "-L" | "--length" => {
                 worm_len = next(&mut i)?.parse().map_err(|e| format!("bad -L: {e}"))?
             }
-            "--seed" => seed = next(&mut i)?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--seed" => {
+                seed = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
             "--ack" => ack = true,
             "--max-rounds" => {
-                max_rounds = next(&mut i)?.parse().map_err(|e| format!("bad --max-rounds: {e}"))?
+                max_rounds = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-rounds: {e}"))?
             }
             "--converters" => {
-                converters =
-                    Some(next(&mut i)?.parse().map_err(|e| format!("bad --converters: {e}"))?)
+                converters = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --converters: {e}"))?,
+                )
             }
             "--hops" => {
-                hops = Some(next(&mut i)?.parse().map_err(|e| format!("bad --hops: {e}"))?)
+                hops = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --hops: {e}"))?,
+                )
             }
             "--cut" => {
-                cut = Some(next(&mut i)?.parse().map_err(|e| format!("bad --cut: {e}"))?)
+                cut = Some(
+                    next(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --cut: {e}"))?,
+                )
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -102,7 +120,11 @@ fn router(args: &Args) -> Result<RouterConfig, String> {
         "serve-first" => RouterConfig::serve_first(args.bandwidth),
         "priority" => RouterConfig::priority(args.bandwidth),
         "conversion" => RouterConfig::conversion(args.bandwidth),
-        other => return Err(format!("unknown rule '{other}' (serve-first|priority|conversion)")),
+        other => {
+            return Err(format!(
+                "unknown rule '{other}' (serve-first|priority|conversion)"
+            ))
+        }
     })
 }
 
@@ -193,7 +215,11 @@ fn main() -> ExitCode {
                 worm_len: args.worm_len,
                 bandwidth: args.bandwidth,
             };
-            println!("alpha = {:.1}, beta = {:.2}", bounds::alpha(&bp), bounds::beta(&bp));
+            println!(
+                "alpha = {:.1}, beta = {:.2}",
+                bounds::alpha(&bp),
+                bounds::beta(&bp)
+            );
             println!(
                 "Thm 1.1/1.3 rounds ~ {:.2}, time ~ {:.0}",
                 bounds::rounds_leveled_or_priority(&bp),
@@ -204,7 +230,10 @@ fn main() -> ExitCode {
                 bounds::rounds_shortcut_free(&bp),
                 bounds::upper_bound_shortcut_free(&bp)
             );
-            println!("trivial lower bound ~ {:.0}", bounds::trivial_lower_bound(&bp));
+            println!(
+                "trivial lower bound ~ {:.0}",
+                bounds::trivial_lower_bound(&bp)
+            );
             ExitCode::SUCCESS
         }
         "route" => {
@@ -216,14 +245,8 @@ fn main() -> ExitCode {
                 }
             };
             if let Some(h) = args.hops {
-                let proto = HopTrialAndFailure::new(
-                    &net,
-                    &coll,
-                    router,
-                    args.worm_len,
-                    h,
-                    args.max_rounds,
-                );
+                let proto =
+                    HopTrialAndFailure::new(&net, &coll, router, args.worm_len, h, args.max_rounds);
                 let report = proto.run(&mut rng);
                 println!("round  Δ    launched  advanced  completed");
                 for r in &report.rounds {
@@ -238,7 +261,11 @@ fn main() -> ExitCode {
                     report.rounds_used(),
                     report.total_time
                 );
-                return if report.completed { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+                return if report.completed {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
             }
             let mut params = ProtocolParams::new(router, args.worm_len);
             params.max_rounds = args.max_rounds;
@@ -246,8 +273,7 @@ fn main() -> ExitCode {
                 params.ack = AckMode::Simulated { ack_len: None };
             }
             if let Some(frac) = args.converters {
-                let nodes: Vec<bool> =
-                    (0..net.node_count()).map(|_| rng.gen_bool(frac)).collect();
+                let nodes: Vec<bool> = (0..net.node_count()).map(|_| rng.gen_bool(frac)).collect();
                 params.converters = Some(converter_mask(&net, |v| nodes[v as usize]));
             }
             params.dead_links = dead;

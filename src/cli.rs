@@ -42,10 +42,17 @@ pub enum TopologySpec {
 impl TopologySpec {
     /// Parse a `name:params` description.
     pub fn parse(s: &str) -> Result<Self, String> {
-        let (name, arg) = s.split_once(':').ok_or_else(|| format!("'{s}': expected name:params"))?;
-        let int = |a: &str| a.parse::<u32>().map_err(|_| format!("'{a}': not an integer"));
+        let (name, arg) = s
+            .split_once(':')
+            .ok_or_else(|| format!("'{s}': expected name:params"))?;
+        let int = |a: &str| {
+            a.parse::<u32>()
+                .map_err(|_| format!("'{a}': not an integer"))
+        };
         let pair = |a: &str| -> Result<(u32, u32), String> {
-            let (d, side) = a.split_once('x').ok_or_else(|| format!("'{a}': expected DxS"))?;
+            let (d, side) = a
+                .split_once('x')
+                .ok_or_else(|| format!("'{a}': expected DxS"))?;
             Ok((int(d)?, int(side)?))
         };
         Ok(match name {
@@ -179,11 +186,23 @@ mod tests {
 
     #[test]
     fn parse_topologies() {
-        assert_eq!(TopologySpec::parse("mesh:2x16").unwrap(), TopologySpec::Mesh(2, 16));
-        assert_eq!(TopologySpec::parse("torus:3x8").unwrap(), TopologySpec::Torus(3, 8));
-        assert_eq!(TopologySpec::parse("hypercube:7").unwrap(), TopologySpec::Hypercube(7));
+        assert_eq!(
+            TopologySpec::parse("mesh:2x16").unwrap(),
+            TopologySpec::Mesh(2, 16)
+        );
+        assert_eq!(
+            TopologySpec::parse("torus:3x8").unwrap(),
+            TopologySpec::Torus(3, 8)
+        );
+        assert_eq!(
+            TopologySpec::parse("hypercube:7").unwrap(),
+            TopologySpec::Hypercube(7)
+        );
         assert_eq!(TopologySpec::parse("ccc:4").unwrap(), TopologySpec::Ccc(4));
-        assert_eq!(TopologySpec::parse("ring:64").unwrap(), TopologySpec::Ring(64));
+        assert_eq!(
+            TopologySpec::parse("ring:64").unwrap(),
+            TopologySpec::Ring(64)
+        );
         assert!(TopologySpec::parse("blah:3").is_err());
         assert!(TopologySpec::parse("mesh:16").is_err());
         assert!(TopologySpec::parse("mesh").is_err());
@@ -191,9 +210,18 @@ mod tests {
 
     #[test]
     fn parse_workloads() {
-        assert_eq!(WorkloadSpec::parse("function").unwrap(), WorkloadSpec::RandomFunction);
-        assert_eq!(WorkloadSpec::parse("shift:5").unwrap(), WorkloadSpec::Shift(5));
-        assert_eq!(WorkloadSpec::parse("hotspot:0.3").unwrap(), WorkloadSpec::Hotspot(0.3));
+        assert_eq!(
+            WorkloadSpec::parse("function").unwrap(),
+            WorkloadSpec::RandomFunction
+        );
+        assert_eq!(
+            WorkloadSpec::parse("shift:5").unwrap(),
+            WorkloadSpec::Shift(5)
+        );
+        assert_eq!(
+            WorkloadSpec::parse("hotspot:0.3").unwrap(),
+            WorkloadSpec::Hotspot(0.3)
+        );
         assert!(WorkloadSpec::parse("hotspot:1.5").is_err());
         assert!(WorkloadSpec::parse("nope").is_err());
     }
@@ -227,7 +255,14 @@ mod tests {
     #[test]
     fn workload_destinations_in_range() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        for w in ["function", "permutation", "all-to-one", "shift:3", "tornado", "hotspot:0.5"] {
+        for w in [
+            "function",
+            "permutation",
+            "all-to-one",
+            "shift:3",
+            "tornado",
+            "hotspot:0.5",
+        ] {
             let spec = WorkloadSpec::parse(w).unwrap();
             let f = spec.destinations(32, &mut rng);
             assert_eq!(f.len(), 32);

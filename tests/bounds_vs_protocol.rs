@@ -91,8 +91,7 @@ fn bundle_time_respects_trivial_lower_bound() {
         let inst = bundle(1, 32, 6);
         let m = inst.coll.metrics();
         let worm_len = 3u32;
-        let floor =
-            (worm_len as f64) * (m.path_congestion as f64) / (b as f64) + m.dilation as f64;
+        let floor = (worm_len as f64) * (m.path_congestion as f64) / (b as f64) + m.dilation as f64;
         let mut params = ProtocolParams::new(RouterConfig::serve_first(b), worm_len);
         params.max_rounds = 500;
         let proto = TrialAndFailure::new(&inst.net, &inst.coll, params);

@@ -2,9 +2,14 @@
 //! uphold the model's invariants no matter the parameters.
 
 use all_optical::baselines::rwa::{color_lower_bound, greedy_rwa, is_valid_assignment, ColorOrder};
+use all_optical::core::{
+    AbandonReason, FaultSource, ProtocolParams, Recovery, RecoveryPolicy, WormOutcome,
+};
 use all_optical::paths::{metrics, properties, Path, PathCollection};
 use all_optical::topo::{topologies, GridCoords, Network};
-use all_optical::wdm::{Engine, Fate, RouterConfig, TieRule, TransmissionSpec};
+use all_optical::wdm::{
+    Engine, Fate, FaultPlan, LinkEvent, RouterConfig, TieRule, TransmissionSpec,
+};
 use all_optical::workloads::structures::{bundle, ladder, triangle};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -243,6 +248,137 @@ proptest! {
         for dim in 0..dims {
             let there = c.torus_step(node, dim, 1);
             prop_assert_eq!(c.torus_step(there, dim, -1), node);
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_identical_to_no_plan(
+        side in 3u32..5,
+        n_worms in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let (net, coll) = torus_paths(side, n_worms, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA);
+        let specs: Vec<TransmissionSpec<'_>> = coll
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TransmissionSpec {
+                links: p.links(),
+                start: rand::Rng::gen_range(&mut rng, 0..6),
+                wavelength: rand::Rng::gen_range(&mut rng, 0..2),
+                priority: i as u64,
+                length: 3,
+            })
+            .collect();
+        let cfg = RouterConfig::serve_first(2);
+        let mut plain = Engine::new(net.link_count(), cfg);
+        let o1 = plain.run(&specs, &mut ChaCha8Rng::seed_from_u64(seed));
+        let mut scripted = Engine::new(net.link_count(), cfg);
+        scripted.set_fault_plan(Some(FaultPlan::none()));
+        let o2 = scripted.run(&specs, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(o1.results, o2.results);
+        prop_assert_eq!(o1.makespan, o2.makespan);
+    }
+
+    #[test]
+    fn delivered_worms_never_crossed_a_down_link(
+        side in 3u32..5,
+        n_worms in 2usize..10,
+        n_events in 1usize..8,
+        seed in 0u64..2000,
+    ) {
+        let (net, coll) = torus_paths(side, n_worms, seed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xDEAD);
+        let mut plan = FaultPlan::none();
+        for _ in 0..n_events {
+            let link = rand::Rng::gen_range(&mut rng, 0..net.link_count() as u32);
+            let t = rand::Rng::gen_range(&mut rng, 0..12u32);
+            plan = if rand::Rng::gen_bool(&mut rng, 0.6) {
+                plan.down(link, t)
+            } else {
+                plan.restore(link, t)
+            };
+        }
+        let len = 3u32;
+        let specs: Vec<TransmissionSpec<'_>> = coll
+            .paths()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| TransmissionSpec {
+                links: p.links(),
+                start: rand::Rng::gen_range(&mut rng, 0..8),
+                wavelength: 0,
+                priority: i as u64,
+                length: len,
+            })
+            .collect();
+        let mut engine = Engine::new(net.link_count(), RouterConfig::serve_first(1));
+        engine.set_fault_plan(Some(plan.clone()));
+        let out = engine.run(&specs, &mut rng);
+
+        // Replay the plan by hand: link -> state changes in time order.
+        let down_at = |link: u32, t: u32| -> bool {
+            let mut down = false;
+            let mut evs: Vec<_> = plan
+                .events()
+                .iter()
+                .filter(|e| e.link == link && e.time <= t)
+                .collect();
+            evs.sort_by_key(|e| e.time);
+            for e in evs {
+                down = matches!(e.event, LinkEvent::Down);
+            }
+            down
+        };
+        // A fully delivered worm held each link j for steps
+        // [start+j, start+j+L-1]; the link must have been up throughout.
+        for (k, r) in out.results.iter().enumerate() {
+            if !r.fate.is_delivered() {
+                continue;
+            }
+            for (j, &link) in specs[k].links.iter().enumerate() {
+                let enter = specs[k].start + j as u32;
+                for t in enter..enter + len {
+                    prop_assert!(
+                        !down_at(link, t),
+                        "delivered worm {k} crossed down link {link} at t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_links_dead_abandons_every_worm(
+        n in 4usize..9,
+        worm_len in 1u32..5,
+        seed in 0u64..500,
+    ) {
+        // The recovery loop must terminate with Abandoned(Disconnected)
+        // for every worm — never panic, never spin — when the whole fiber
+        // plant is down from step 0 of every round.
+        let net = topologies::ring(n);
+        let mut coll = PathCollection::for_network(&net);
+        for v in 0..n as u32 {
+            let nodes = [v, (v + 1) % n as u32, (v + 2) % n as u32];
+            coll.push(Path::from_nodes(&net, &nodes));
+        }
+        let mut plan = FaultPlan::none();
+        for link in net.links() {
+            plan = plan.down(link, 0);
+        }
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), worm_len);
+        params.max_rounds = 60;
+        let rec = Recovery::new(&net, &coll, params, RecoveryPolicy::default())
+            .with_faults(FaultSource::EveryRound(plan));
+        let report = rec.run(&mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert_eq!(report.outcomes.len(), n);
+        for o in &report.outcomes {
+            prop_assert_eq!(
+                *o,
+                WormOutcome::Abandoned { reason: AbandonReason::Disconnected }
+            );
         }
     }
 }

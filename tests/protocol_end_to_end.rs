@@ -60,8 +60,15 @@ fn all_schedules_complete_on_a_torus() {
         DelaySchedule::paper(),
         DelaySchedule::paper_literal(),
         DelaySchedule::Fixed { delta: 40 },
-        DelaySchedule::Geometric { initial: 64, ratio: 0.5, floor: 8 },
-        DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 },
+        DelaySchedule::Geometric {
+            initial: 64,
+            ratio: 0.5,
+            floor: 8,
+        },
+        DelaySchedule::Adaptive {
+            c_cong: 2.0,
+            c_log: 1.0,
+        },
     ] {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
         params.schedule = schedule;
@@ -106,9 +113,17 @@ fn triangle_blocking_cycle_is_real_and_priority_breaks_it() {
 
     let mut sf = Engine::new(inst.net.link_count(), RouterConfig::serve_first(1));
     let out = sf.run(&specs, &mut rng);
-    assert_eq!(out.delivered_count(), 0, "all three should fall in the cycle");
+    assert_eq!(
+        out.delivered_count(),
+        0,
+        "all three should fall in the cycle"
+    );
     // ... and the blockers form the 3-cycle.
-    let blockers: Vec<u32> = out.results.iter().map(|r| r.first_blocker.unwrap()).collect();
+    let blockers: Vec<u32> = out
+        .results
+        .iter()
+        .map(|r| r.first_blocker.unwrap())
+        .collect();
     let mut sorted = blockers.clone();
     sorted.sort_unstable();
     assert_eq!(sorted, vec![0, 1, 2]);
@@ -118,7 +133,10 @@ fn triangle_blocking_cycle_is_real_and_priority_breaks_it() {
 
     let mut pr = Engine::new(inst.net.link_count(), RouterConfig::priority(1));
     let out = pr.run(&specs, &mut rng);
-    assert!(out.results[2].fate.is_delivered(), "highest priority survives");
+    assert!(
+        out.results[2].fate.is_delivered(),
+        "highest priority survives"
+    );
     assert!(out.delivered_count() >= 1);
     // Lower-priority worms are cut or eliminated, not all delivered.
     assert!(out.delivered_count() < 3);
@@ -149,7 +167,10 @@ fn worm_length_one_never_truncates() {
             .collect();
         let out = engine.run(&specs, &mut r2);
         for r in &out.results {
-            assert!(!matches!(r.fate, Fate::Truncated { .. }), "L=1 worm truncated");
+            assert!(
+                !matches!(r.fate, Fate::Truncated { .. }),
+                "L=1 worm truncated"
+            );
         }
     }
 }
@@ -203,7 +224,10 @@ fn fiber_cut_and_reroute_recovery() {
     let proto = TrialAndFailure::new(&net, &coll, params.clone());
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     let report = proto.run(&mut rng);
-    assert!(!report.completed, "worms crossing the cut fiber must strand");
+    assert!(
+        !report.completed,
+        "worms crossing the cut fiber must strand"
+    );
     assert!(!report.remaining.is_empty());
 
     // Recovery: reroute the stranded worms around the cut and run again.

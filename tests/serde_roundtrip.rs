@@ -47,13 +47,21 @@ fn path_and_collection_roundtrip() {
 
 #[test]
 fn config_enums_roundtrip() {
-    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority, CollisionRule::Conversion] {
+    for rule in [
+        CollisionRule::ServeFirst,
+        CollisionRule::Priority,
+        CollisionRule::Conversion,
+    ] {
         roundtrip(&rule);
     }
     for tie in [TieRule::AllEliminated, TieRule::LowestId, TieRule::Random] {
         roundtrip(&tie);
     }
-    roundtrip(&RouterConfig::priority(8).with_tie(TieRule::Random).with_conflict_log());
+    roundtrip(
+        &RouterConfig::priority(8)
+            .with_tie(TieRule::Random)
+            .with_conflict_log(),
+    );
     for ack in [AckMode::Ideal, AckMode::Simulated { ack_len: Some(3) }] {
         roundtrip(&ack);
     }
@@ -61,8 +69,15 @@ fn config_enums_roundtrip() {
         DelaySchedule::paper(),
         DelaySchedule::paper_literal(),
         DelaySchedule::Fixed { delta: 7 },
-        DelaySchedule::Geometric { initial: 10, ratio: 0.5, floor: 2 },
-        DelaySchedule::Adaptive { c_cong: 2.0, c_log: 1.0 },
+        DelaySchedule::Geometric {
+            initial: 10,
+            ratio: 0.5,
+            floor: 2,
+        },
+        DelaySchedule::Adaptive {
+            c_cong: 2.0,
+            c_log: 1.0,
+        },
     ] {
         roundtrip(&schedule);
     }
@@ -72,8 +87,14 @@ fn config_enums_roundtrip() {
 fn fates_roundtrip() {
     for fate in [
         Fate::Delivered { completed_at: 9 },
-        Fate::Truncated { delivered_flits: 2, cut_at_edge: 5 },
-        Fate::Eliminated { at_edge: 0, at_time: 3 },
+        Fate::Truncated {
+            delivered_flits: 2,
+            cut_at_edge: 5,
+        },
+        Fate::Eliminated {
+            at_edge: 0,
+            at_time: 3,
+        },
     ] {
         roundtrip(&fate);
     }
@@ -81,7 +102,12 @@ fn fates_roundtrip() {
 
 #[test]
 fn metrics_roundtrip() {
-    roundtrip(&CollectionMetrics { n: 5, dilation: 9, congestion: 3, path_congestion: 4 });
+    roundtrip(&CollectionMetrics {
+        n: 5,
+        dilation: 9,
+        congestion: 3,
+        path_congestion: 4,
+    });
 }
 
 #[test]

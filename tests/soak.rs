@@ -27,7 +27,11 @@ fn mesh_64x64_random_function() {
     let proto = TrialAndFailure::new(&net, &coll, params);
     let report = proto.run(&mut rng);
     assert!(report.completed);
-    assert!(report.rounds_used() <= 12, "rounds {}", report.rounds_used());
+    assert!(
+        report.rounds_used() <= 12,
+        "rounds {}",
+        report.rounds_used()
+    );
 }
 
 #[test]

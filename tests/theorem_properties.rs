@@ -20,7 +20,9 @@ fn butterfly_system_premises_thm_1_7() {
     let net = topologies::butterfly(4);
     let coords = ButterflyCoords::new(4, false);
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let f: Vec<u32> = (0..32).map(|_| rand::Rng::gen_range(&mut rng, 0..16)).collect();
+    let f: Vec<u32> = (0..32)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0..16))
+        .collect();
     let coll = butterfly_qfunction_collection(&net, &coords, &f);
     assert!(properties::is_leveled(&coll));
     assert!(properties::is_shortcut_free(&coll));
@@ -61,7 +63,11 @@ fn node_symmetric_congestion_premise_thm_1_5() {
     // randomized shortest-path system has C~ = O(D² + log n) w.h.p.
     // We check a generous multiple on concrete node-symmetric networks.
     for net in [topologies::torus(2, 8), topologies::hypercube(6)] {
-        assert!(distance_profiles_uniform(&net), "{} should be node-symmetric", net.name());
+        assert!(
+            distance_profiles_uniform(&net),
+            "{} should be node-symmetric",
+            net.name()
+        );
         let d = net.diameter().unwrap() as f64;
         let n = net.node_count();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
@@ -85,8 +91,7 @@ fn hypercube_bit_fixing_congestion_reasonable() {
     let net = topologies::hypercube(7);
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let f = random_permutation(net.node_count(), &mut rng);
-    let coll =
-        PathCollection::from_function(&net, &f, |s, d| bit_fixing_route(&net, 7, s, d));
+    let coll = PathCollection::from_function(&net, &f, |s, d| bit_fixing_route(&net, 7, s, d));
     assert!(properties::is_shortcut_free(&coll));
     // Random permutations on the hypercube have low congestion w.h.p.
     assert!(coll.congestion() <= 32, "congestion {}", coll.congestion());
