@@ -48,8 +48,25 @@ pub mod iter {
             self
         }
     }
+
+    /// Sequential stand-ins for rayon's `ParallelIterator` combinators
+    /// that std's `Iterator` does not already provide.
+    pub trait ParallelIterator: Iterator + Sized {
+        fn map_init<I, T, R, F>(self, mut init: I, mut f: F) -> std::vec::IntoIter<R>
+        where
+            I: FnMut() -> T,
+            F: FnMut(&mut T, Self::Item) -> R,
+        {
+            let mut state = init();
+            self.map(|item| f(&mut state, item))
+                .collect::<Vec<R>>()
+                .into_iter()
+        }
+    }
+
+    impl<It: Iterator> ParallelIterator for It {}
 }
 
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }

@@ -32,3 +32,10 @@ EOF
 cd "$WORK"
 export CARGO_NET_OFFLINE=true
 cargo check --workspace --all-targets "$@"
+
+# Bench smoke: criterion benches link against the stub, so a plain
+# `--no-run` build catches bench bit-rot that `cargo check` misses.
+# Skippable for fast iteration with DEVCHECK_BENCH=0.
+if [[ "${DEVCHECK_BENCH:-1}" == "1" ]]; then
+  cargo bench --workspace --no-run
+fi

@@ -18,9 +18,7 @@ fn specs_for<'a>(
     len: u32,
     rng: &mut impl Rng,
 ) -> Vec<TransmissionSpec<'a>> {
-    coll.paths()
-        .iter()
-        .enumerate()
+    coll.iter()
         .map(|(i, p)| TransmissionSpec {
             links: p.links(),
             start: rng.gen_range(0..delta),

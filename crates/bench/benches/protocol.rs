@@ -1,0 +1,81 @@
+//! Protocol-level hot-path benchmarks: a full `TrialAndFailure` run over
+//! a routed torus permutation, with and without per-round congestion
+//! recording, plus the cost split between a fresh workspace per run and a
+//! reused one. These are the criterion mirrors of the `perf_gate` binary
+//! (see `scripts/bench.sh`), which times the same workload without the
+//! criterion dependency for the committed-JSON gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optical_core::{ProtocolParams, ProtocolWorkspace, TrialAndFailure};
+use optical_paths::select::bfs::bfs_route;
+use optical_paths::PathCollection;
+use optical_topo::{topologies, Network};
+use optical_wdm::RouterConfig;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// Same workload as `perf_gate`: a random permutation on a 32x32 torus
+/// routed by BFS (1024 paths over 4096 directed links).
+fn torus_permutation() -> (Network, PathCollection) {
+    let net = topologies::torus(2, 32);
+    let n = net.node_count() as u32;
+    let mut dests: Vec<u32> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    dests.shuffle(&mut rng);
+    let mut coll = PathCollection::for_network(&net);
+    for (s, &d) in dests.iter().enumerate() {
+        coll.push(bfs_route(&net, s as u32, d));
+    }
+    (net, coll)
+}
+
+fn params(record_congestion: bool) -> ProtocolParams {
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+    p.max_rounds = 200;
+    p.record_congestion = record_congestion;
+    p
+}
+
+fn bench_protocol_run(c: &mut Criterion) {
+    let (net, coll) = torus_permutation();
+    let mut group = c.benchmark_group("protocol/run_1024");
+    group.sample_size(20);
+    for (name, record) in [("cong_on", true), ("cong_off", false)] {
+        let proto = TrialAndFailure::new(&net, &coll, params(record));
+        let mut ws = ProtocolWorkspace::new();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(13);
+                black_box(proto.run_with(&mut ws, &mut rng).total_time)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let (net, coll) = torus_permutation();
+    let proto = TrialAndFailure::new(&net, &coll, params(false));
+    let mut group = c.benchmark_group("protocol/workspace");
+    group.sample_size(20);
+    group.bench_function("fresh_per_run", |b| {
+        b.iter(|| {
+            let mut ws = ProtocolWorkspace::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            black_box(proto.run_with(&mut ws, &mut rng).total_time)
+        })
+    });
+    let mut ws = ProtocolWorkspace::new();
+    group.bench_function("reused", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            black_box(proto.run_with(&mut ws, &mut rng).total_time)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_run, bench_workspace_reuse);
+criterion_main!(benches);

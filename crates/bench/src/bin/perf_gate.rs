@@ -1,0 +1,231 @@
+//! Dependency-free perf gate over the protocol hot paths.
+//!
+//! Criterion needs a registry mirror to build, so the committed baseline
+//! workflow uses this binary instead: it times the same hot paths the
+//! criterion suite covers (engine round, protocol run with congestion
+//! recording on/off, path metrics) with `std::time::Instant`, reports the
+//! median ns/op per bench, and can compare two result files with a
+//! tolerance gate.
+//!
+//! ```text
+//! perf_gate [--quick] [--out FILE]          # run benches, emit JSON
+//! perf_gate --compare BASE CUR [--tolerance F]   # gate: CUR vs BASE
+//! ```
+//!
+//! The JSON format is a flat `{"bench/name": median_ns, ...}` map — see
+//! `scripts/bench.sh` for the `BENCH_baseline.json` / `BENCH_pr.json`
+//! workflow.
+
+use optical_core::{ProtocolParams, ProtocolWorkspace, TrialAndFailure};
+use optical_paths::select::bfs::bfs_route;
+use optical_paths::PathCollection;
+use optical_topo::{topologies, Network};
+use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed sample: wall-clock nanoseconds of a single `f()` call.
+fn sample_ns<F: FnMut()>(f: &mut F) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_nanos() as f64
+}
+
+/// Median of `samples` timed calls after `warmup` untimed ones.
+fn bench<F: FnMut()>(samples: usize, warmup: usize, mut f: F) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples).map(|_| sample_ns(&mut f)).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// The shared workload: a random permutation on a 32x32 torus, routed by
+/// BFS — 1024 mostly-short paths over 4096 directed links, the shape the
+/// experiment sweeps live in (many paths, sparse per-link overlap).
+fn torus_permutation() -> (Network, PathCollection) {
+    let net = topologies::torus(2, 32);
+    let n = net.node_count() as u32;
+    let mut dests: Vec<u32> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    dests.shuffle(&mut rng);
+    let mut coll = PathCollection::for_network(&net);
+    for (s, &d) in dests.iter().enumerate() {
+        coll.push(bfs_route(&net, s as u32, d));
+    }
+    (net, coll)
+}
+
+fn protocol_params(record_congestion: bool) -> ProtocolParams {
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+    params.max_rounds = 200;
+    params.record_congestion = record_congestion;
+    params
+}
+
+fn run_benches(quick: bool) -> BTreeMap<String, f64> {
+    let (samples, warmup) = if quick { (7, 2) } else { (17, 3) };
+    let mut out = BTreeMap::new();
+    let (net, coll) = torus_permutation();
+
+    // Engine round: one full forward pass of all 1024 worms.
+    {
+        let mut engine = Engine::new(coll.link_count(), RouterConfig::serve_first(2));
+        let ns = bench(samples, warmup, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(11);
+            let specs: Vec<TransmissionSpec<'_>> = (0..coll.len())
+                .map(|i| TransmissionSpec {
+                    links: coll.path(i).links(),
+                    start: rng.gen_range(0..64),
+                    wavelength: rng.gen_range(0..2),
+                    priority: i as u64,
+                    length: 4,
+                })
+                .collect();
+            black_box(engine.run(&specs, &mut rng).makespan);
+        });
+        out.insert("engine/round_1024".into(), ns);
+    }
+
+    // Full protocol runs, with and without per-round congestion recording.
+    for (name, record) in [
+        ("protocol/run_cong_on", true),
+        ("protocol/run_cong_off", false),
+    ] {
+        let proto = TrialAndFailure::new(&net, &coll, protocol_params(record));
+        let mut ws = ProtocolWorkspace::new();
+        let ns = bench(samples, warmup, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            black_box(proto.run_with(&mut ws, &mut rng).total_time);
+        });
+        out.insert(name.into(), ns);
+    }
+
+    // Collection metrics (dilation, congestion, path congestion).
+    {
+        let ns = bench(samples, warmup, || {
+            black_box(coll.metrics().path_congestion);
+        });
+        out.insert("metrics/collection_1024".into(), ns);
+    }
+
+    out
+}
+
+fn write_json(path: &str, results: &BTreeMap<String, f64>) {
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        s.push_str(&format!("  \"{k}\": {v:.0}{comma}\n"));
+    }
+    s.push_str("}\n");
+    std::fs::write(path, s).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+/// Parse the flat `{"name": number, ...}` maps this binary writes.
+fn read_json(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let mut out = BTreeMap::new();
+    for part in text
+        .trim()
+        .trim_start_matches('{')
+        .trim_end_matches('}')
+        .split(',')
+    {
+        let Some((key, value)) = part.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> bool {
+    let base = read_json(base_path);
+    let cur = read_json(cur_path);
+    let mut ok = true;
+    println!(
+        "{:<28} {:>12} {:>12} {:>9}",
+        "bench", "base ns", "cur ns", "speedup"
+    );
+    for (name, &b) in &base {
+        match cur.get(name) {
+            Some(&c) => {
+                let speedup = b / c.max(1.0);
+                let flag = if c > b * tolerance {
+                    ok = false;
+                    "  REGRESSION"
+                } else {
+                    ""
+                };
+                println!("{name:<28} {b:>12.0} {c:>12.0} {speedup:>8.2}x{flag}");
+            }
+            None => {
+                ok = false;
+                println!("{name:<28} {b:>12.0} {:>12} (missing — REGRESSION)", "-");
+            }
+        }
+    }
+    for name in cur.keys().filter(|k| !base.contains_key(*k)) {
+        println!("{name:<28} (new bench, no baseline)");
+    }
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut cmp: Option<(String, String)> = None;
+    let mut tolerance = 1.25;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                out = Some(args[i].clone());
+            }
+            "--compare" => {
+                cmp = Some((args[i + 1].clone(), args[i + 2].clone()));
+                i += 2;
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args[i].parse().expect("--tolerance needs a number");
+            }
+            other => panic!(
+                "unknown argument {other} (try --quick, --out FILE, --compare BASE CUR, --tolerance F)"
+            ),
+        }
+        i += 1;
+    }
+
+    if let Some((base, cur)) = cmp {
+        if compare(&base, &cur, tolerance) {
+            println!("perf gate: OK (tolerance {tolerance}x)");
+        } else {
+            println!("perf gate: FAILED (tolerance {tolerance}x)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let results = run_benches(quick);
+    println!("{:<28} {:>12}", "bench", "median ns");
+    for (name, ns) in &results {
+        println!("{name:<28} {ns:>12.0}");
+    }
+    if let Some(path) = out {
+        write_json(&path, &results);
+        println!("wrote {path}");
+    }
+}

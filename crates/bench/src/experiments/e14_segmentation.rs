@@ -56,8 +56,8 @@ pub fn run(cfg: &ExpConfig) -> String {
         // m copies of every path — each segment is an independent worm.
         let mut coll = PathCollection::for_network(&net);
         for _ in 0..m {
-            for p in base.paths() {
-                coll.push(p.clone());
+            for (_, p) in base.iter() {
+                coll.push_ref(p);
             }
         }
         let metrics = coll.metrics();

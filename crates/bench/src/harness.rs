@@ -1,7 +1,7 @@
 //! Replicated-trial harness: deterministic seeding, rayon fan-out,
 //! summaries.
 
-use optical_core::{ProtocolParams, RunReport, TrialAndFailure};
+use optical_core::{ProtocolParams, ProtocolWorkspace, RunReport, TrialAndFailure};
 use optical_paths::PathCollection;
 use optical_stats::{SeedStream, Summary};
 use optical_topo::Network;
@@ -98,11 +98,13 @@ pub fn run_protocol_trials(
 ) -> ProtocolTrials {
     let proto = TrialAndFailure::new(net, coll, params.clone());
     let seeds: Vec<u64> = SeedStream::new(master_seed).take(trials).collect();
+    // One workspace per rayon worker: trials on the same thread reuse the
+    // engine and round buffers instead of reallocating them per run.
     let reports: Vec<RunReport> = seeds
         .par_iter()
-        .map(|&s| {
+        .map_init(ProtocolWorkspace::new, |ws, &s| {
             let mut rng = ChaCha8Rng::seed_from_u64(s);
-            proto.run(&mut rng)
+            proto.run_with(ws, &mut rng)
         })
         .collect();
     summarize_reports(&reports)

@@ -14,9 +14,10 @@
 //! saturation verdict.
 
 use crate::schedule::{DelaySchedule, ScheduleCtx};
+use crate::workspace::ProtocolWorkspace;
 use optical_paths::{Path, PathCollection};
 use optical_topo::Network;
-use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
+use optical_wdm::{RouterConfig, TransmissionSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -40,7 +41,7 @@ pub struct ContinuousParams {
 }
 
 /// Outcome of a continuous-traffic simulation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ContinuousReport {
     /// Worms spawned after warmup.
     pub spawned: u64,
@@ -98,9 +99,22 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
     /// Simulate. Worms spawned in a round participate from that round on;
     /// acknowledgements are ideal.
     pub fn run(&mut self, rng: &mut impl Rng) -> ContinuousReport {
+        self.run_with(&mut ProtocolWorkspace::new(), rng)
+    }
+
+    /// Like [`ContinuousRun::run`], but reusing `ws`'s engine and round
+    /// buffers. Bit-identical to `run` for the same RNG state.
+    pub fn run_with(&mut self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> ContinuousReport {
         let p = &self.params;
         let n_sources = self.net.node_count();
-        let mut engine = Engine::new(self.net.link_count(), p.router);
+        ws.prepare(self.net.link_count(), p.router, false, &None, &None);
+        let ProtocolWorkspace {
+            engine,
+            specs: spec_buf,
+            outcome,
+            ..
+        } = ws;
+        let engine = engine.as_mut().expect("prepared above");
 
         // Paths are accumulated in a collection so the engine can borrow
         // stable link slices.
@@ -151,17 +165,16 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
             };
             let delta = p.schedule.delta(1, &ctx);
             let b = p.router.bandwidth as u32;
-            let specs: Vec<TransmissionSpec<'_>> = live
-                .iter()
-                .enumerate()
-                .map(|(i, w)| TransmissionSpec {
-                    links: paths.path(w.path_idx as usize).links(),
-                    start: rng.gen_range(0..delta),
-                    wavelength: rng.gen_range(0..b) as u16,
-                    priority: i as u64,
-                    length: p.worm_len,
-                })
-                .collect();
+            // The spec batch is borrowed per round: `paths` grows on every
+            // spawn, so the link borrows must end before the next round.
+            let mut specs = spec_buf.take();
+            specs.extend(live.iter().enumerate().map(|(i, w)| TransmissionSpec {
+                links: paths.links_of(w.path_idx as usize),
+                start: rng.gen_range(0..delta),
+                wavelength: rng.gen_range(0..b) as u16,
+                priority: i as u64,
+                length: p.worm_len,
+            }));
             let max_len = live
                 .iter()
                 .map(|w| paths.path(w.path_idx as usize).len())
@@ -169,7 +182,8 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
                 .unwrap_or(0);
             total_time += delta as u64 + 2 * (max_len as u64 + p.worm_len as u64);
 
-            let outcome = engine.run(&specs, rng);
+            engine.run_into(&specs, rng, outcome);
+            spec_buf.put(specs);
             let mut k = 0;
             live.retain(|w| {
                 let delivered = outcome.results[k].fate.is_delivered();
@@ -308,6 +322,19 @@ mod tests {
             lat.push(report.mean_latency_rounds);
         }
         assert!(lat[1] > lat[0], "latency must grow with load: {lat:?}");
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical() {
+        let net = topologies::torus(2, 6);
+        let mut ws = ProtocolWorkspace::new();
+        for seed in [1u64, 2] {
+            let mut fresh = ContinuousRun::new(&net, torus_sampler(&net), params(0.1, 80));
+            let a = fresh.run(&mut ChaCha8Rng::seed_from_u64(seed));
+            let mut reused = ContinuousRun::new(&net, torus_sampler(&net), params(0.1, 80));
+            let b = reused.run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(seed));
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

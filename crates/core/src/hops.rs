@@ -18,9 +18,10 @@
 
 use crate::priority::PriorityStrategy;
 use crate::schedule::{DelaySchedule, ScheduleCtx};
+use crate::workspace::ProtocolWorkspace;
 use optical_paths::{Path, PathCollection};
 use optical_topo::Network;
-use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
+use optical_wdm::{RouterConfig, TransmissionSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -44,7 +45,7 @@ pub fn split_path(len: usize, hops: u32) -> Vec<std::ops::Range<usize>> {
 }
 
 /// Per-round observations of a hop-routing run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HopRoundReport {
     /// Round index (1-based).
     pub round: u32,
@@ -61,7 +62,7 @@ pub struct HopRoundReport {
 }
 
 /// Result of a hop-routing run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HopRunReport {
     /// Per-round details.
     pub rounds: Vec<HopRoundReport>,
@@ -116,13 +117,12 @@ impl<'a> HopTrialAndFailure<'a> {
         );
         router.validate();
         let segments: Vec<Vec<std::ops::Range<usize>>> = collection
-            .paths()
             .iter()
-            .map(|p| split_path(p.len(), hops))
+            .map(|(_, p)| split_path(p.len(), hops))
             .collect();
         // Metrics of the segment collection.
         let mut seg_coll = PathCollection::new(collection.link_count());
-        for (p, segs) in collection.paths().iter().zip(&segments) {
+        for ((_, p), segs) in collection.iter().zip(&segments) {
             for r in segs {
                 let nodes = p.nodes()[r.start..=r.end].to_vec();
                 let links = p.links()[r.clone()].to_vec();
@@ -162,20 +162,44 @@ impl<'a> HopTrialAndFailure<'a> {
 
     /// Execute the hop protocol.
     pub fn run(&self, rng: &mut impl Rng) -> HopRunReport {
+        self.run_with(&mut ProtocolWorkspace::new(), rng)
+    }
+
+    /// Like [`HopTrialAndFailure::run`], but reusing `ws`'s engine and
+    /// round buffers. Bit-identical to `run` for the same RNG state.
+    pub fn run_with(&self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> HopRunReport {
         let n = self.collection.len();
         let b = self.router.bandwidth as u32;
-        let mut engine = Engine::new(self.collection.link_count(), self.router);
+        ws.prepare(
+            self.collection.link_count(),
+            self.router,
+            false,
+            &None,
+            &None,
+        );
+        let ProtocolWorkspace {
+            engine,
+            specs: spec_buf,
+            active,
+            priorities,
+            wavelengths,
+            outcome,
+            ..
+        } = ws;
+        let engine = engine.as_mut().expect("prepared above");
 
         // Current segment index per worm; == segments.len() when done.
         let mut seg_idx: Vec<usize> = vec![0; n];
         let mut completed_round: Vec<Option<u32>> = vec![None; n];
         let mut rounds = Vec::new();
         let mut total_time: u64 = 0;
+        let mut specs = spec_buf.take();
 
         for t in 1..=self.max_rounds {
-            let active: Vec<u32> = (0..n as u32)
-                .filter(|&w| seg_idx[w as usize] < self.segments[w as usize].len())
-                .collect();
+            active.clear();
+            active.extend(
+                (0..n as u32).filter(|&w| seg_idx[w as usize] < self.segments[w as usize].len()),
+            );
             if active.is_empty() {
                 break;
             }
@@ -188,27 +212,30 @@ impl<'a> HopTrialAndFailure<'a> {
                 dilation: self.seg_dilation,
             };
             let delta = self.schedule.delta(t, &ctx);
-            let priorities = self.priorities.assign(&active, n, rng);
+            self.priorities.assign_into(active, n, rng, priorities);
             // Same draw order as the plain protocol: wavelengths as a
             // batch, then startup delays per spec.
-            let wavelengths: Vec<u16> = active.iter().map(|_| rng.gen_range(0..b) as u16).collect();
+            wavelengths.clear();
+            wavelengths.extend(active.iter().map(|_| rng.gen_range(0..b) as u16));
 
-            let specs: Vec<TransmissionSpec<'_>> = active
-                .iter()
-                .zip(priorities.iter().zip(&wavelengths))
-                .map(|(&w, (&prio, &wl))| {
-                    let p = self.collection.path(w as usize);
-                    let r = self.segments[w as usize][seg_idx[w as usize]].clone();
-                    TransmissionSpec {
-                        links: &p.links()[r],
-                        start: rng.gen_range(0..delta),
-                        wavelength: wl,
-                        priority: prio,
-                        length: self.worm_len,
-                    }
-                })
-                .collect();
-            let outcome = engine.run(&specs, rng);
+            specs.clear();
+            specs.extend(
+                active
+                    .iter()
+                    .zip(priorities.iter().zip(wavelengths.iter()))
+                    .map(|(&w, (&prio, &wl))| {
+                        let p = self.collection.path(w as usize);
+                        let r = self.segments[w as usize][seg_idx[w as usize]].clone();
+                        TransmissionSpec {
+                            links: &p.links()[r],
+                            start: rng.gen_range(0..delta),
+                            wavelength: wl,
+                            priority: prio,
+                            length: self.worm_len,
+                        }
+                    }),
+            );
+            engine.run_into(&specs, rng, outcome);
 
             let mut advanced = 0usize;
             let mut completed = 0usize;
@@ -235,6 +262,7 @@ impl<'a> HopTrialAndFailure<'a> {
             });
         }
 
+        spec_buf.put(specs);
         let done = seg_idx
             .iter()
             .zip(&self.segments)
@@ -398,6 +426,19 @@ mod tests {
             loose0 < loose3,
             "light contention: 0 hops ({loose0}) should beat 3 hops ({loose3})"
         );
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical() {
+        let (net, coll) = bundle(10, 12);
+        let proto = HopTrialAndFailure::new(&net, &coll, RouterConfig::serve_first(2), 3, 2, 500);
+        let mut ws = ProtocolWorkspace::new();
+        for seed in 0..3 {
+            assert_eq!(
+                proto.run(&mut rng(seed)),
+                proto.run_with(&mut ws, &mut rng(seed))
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod protocol;
 pub mod recovery;
 pub mod schedule;
 pub mod witness;
+pub mod workspace;
 
 pub use priority::PriorityStrategy;
 pub use protocol::{AckMode, ProtocolParams, RoundReport, RunReport, TrialAndFailure};
@@ -63,3 +64,4 @@ pub use recovery::{
     WormOutcome,
 };
 pub use schedule::{DelaySchedule, ScheduleCtx};
+pub use workspace::ProtocolWorkspace;

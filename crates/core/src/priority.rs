@@ -33,18 +33,31 @@ impl PriorityStrategy {
     /// id of the k-th worm being launched; the result is indexed like
     /// `active`.
     pub fn assign(&self, active: &[u32], n_total: usize, rng: &mut impl Rng) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.assign_into(active, n_total, rng, &mut out);
+        out
+    }
+
+    /// Like [`PriorityStrategy::assign`], but reusing `out`'s allocation.
+    /// Consumes the RNG stream identically to `assign`.
+    pub fn assign_into(
+        &self,
+        active: &[u32],
+        n_total: usize,
+        rng: &mut impl Rng,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
         match self {
             PriorityStrategy::RandomPerRound => {
-                let mut ranks: Vec<u64> = (0..active.len() as u64).collect();
-                ranks.shuffle(rng);
-                ranks
+                out.extend(0..active.len() as u64);
+                out.shuffle(rng);
             }
-            PriorityStrategy::ByPathId => active.iter().map(|&p| p as u64).collect(),
-            PriorityStrategy::ByPathIdReversed => active
-                .iter()
-                .map(|&p| (n_total as u64) - p as u64)
-                .collect(),
-            PriorityStrategy::Fixed(ranks) => active.iter().map(|&p| ranks[p as usize]).collect(),
+            PriorityStrategy::ByPathId => out.extend(active.iter().map(|&p| p as u64)),
+            PriorityStrategy::ByPathIdReversed => {
+                out.extend(active.iter().map(|&p| (n_total as u64) - p as u64))
+            }
+            PriorityStrategy::Fixed(ranks) => out.extend(active.iter().map(|&p| ranks[p as usize])),
         }
     }
 }
@@ -77,15 +90,32 @@ impl WavelengthStrategy {
         fixed: &[u16],
         rng: &mut impl Rng,
     ) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.assign_into(active, bandwidth, fixed, rng, &mut out);
+        out
+    }
+
+    /// Like [`WavelengthStrategy::assign`], but reusing `out`'s allocation.
+    /// Consumes the RNG stream identically to `assign`.
+    pub fn assign_into(
+        &self,
+        active: &[u32],
+        bandwidth: u16,
+        fixed: &[u16],
+        rng: &mut impl Rng,
+        out: &mut Vec<u16>,
+    ) {
+        out.clear();
         match self {
             WavelengthStrategy::RandomPerRound => {
-                active.iter().map(|_| rng.gen_range(0..bandwidth)).collect()
+                out.extend(active.iter().map(|_| rng.gen_range(0..bandwidth)))
             }
-            WavelengthStrategy::FixedPerWorm => active.iter().map(|&p| fixed[p as usize]).collect(),
-            WavelengthStrategy::ByPathId => active
-                .iter()
-                .map(|&p| (p % bandwidth as u32) as u16)
-                .collect(),
+            WavelengthStrategy::FixedPerWorm => {
+                out.extend(active.iter().map(|&p| fixed[p as usize]))
+            }
+            WavelengthStrategy::ByPathId => {
+                out.extend(active.iter().map(|&p| (p % bandwidth as u32) as u16))
+            }
         }
     }
 }

@@ -2,9 +2,10 @@
 
 use crate::priority::{PriorityStrategy, WavelengthStrategy};
 use crate::schedule::{DelaySchedule, ScheduleCtx};
+use crate::workspace::ProtocolWorkspace;
 use optical_paths::{CollectionMetrics, PathCollection};
 use optical_topo::{LinkId, Network};
-use optical_wdm::{Engine, Fate, RouterConfig, TransmissionSpec};
+use optical_wdm::{Fate, RouterConfig, TransmissionSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -86,7 +87,7 @@ impl ProtocolParams {
 }
 
 /// Per-round observations.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundReport {
     /// Round index `t` (1-based).
     pub round: u32,
@@ -115,7 +116,7 @@ pub struct RoundReport {
 }
 
 /// Result of a full protocol run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Per-round details, in order.
     pub rounds: Vec<RoundReport>,
@@ -207,8 +208,17 @@ impl<'a> TrialAndFailure<'a> {
         &self.params
     }
 
-    /// Execute the protocol.
+    /// Execute the protocol with a one-shot workspace. Loops should hold a
+    /// [`ProtocolWorkspace`] and call [`TrialAndFailure::run_with`].
     pub fn run(&self, rng: &mut impl Rng) -> RunReport {
+        self.run_with(&mut ProtocolWorkspace::new(), rng)
+    }
+
+    /// Execute the protocol, reusing `ws`'s engines and round buffers.
+    /// Behaviour and RNG stream are identical to [`TrialAndFailure::run`];
+    /// nothing is allocated beyond the returned report once the workspace
+    /// has warmed up.
+    pub fn run_with(&self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> RunReport {
         let p = &self.params;
         let n = self.collection.len();
         let b = p.router.bandwidth as u32;
@@ -218,56 +228,62 @@ impl<'a> TrialAndFailure<'a> {
         // Reserve a conflict log only if witness recording is requested.
         let mut fwd_cfg = p.router;
         fwd_cfg.record_conflicts = false;
-        let mut engine = Engine::new(self.collection.link_count(), fwd_cfg);
-        engine.set_converters(p.converters.clone());
-        engine.set_dead_links(p.dead_links.clone());
+        let simulated = matches!(p.ack, AckMode::Simulated { .. });
         // Separate ack band: its own engine (its own occupancy).
-        let mut ack_engine = match p.ack {
-            AckMode::Simulated { .. } => {
-                let mut e = Engine::new(self.collection.link_count(), fwd_cfg);
-                e.set_converters(p.converters.clone());
-                e.set_dead_links(p.dead_links.clone());
-                Some(e)
-            }
-            AckMode::Ideal => None,
-        };
-        // Reversed link sequences for acks, computed lazily once.
-        let reversed: Option<Vec<Vec<LinkId>>> = match p.ack {
-            AckMode::Simulated { .. } => Some(
-                self.collection
-                    .paths()
-                    .iter()
-                    .map(|path| {
-                        path.links()
-                            .iter()
-                            .rev()
-                            .map(|&lk| self.net.reverse_link(lk))
-                            .collect()
-                    })
-                    .collect(),
-            ),
-            AckMode::Ideal => None,
-        };
+        ws.prepare(
+            self.collection.link_count(),
+            fwd_cfg,
+            simulated,
+            &p.converters,
+            &p.dead_links,
+        );
+        if simulated {
+            ws.build_reversed(self.net, self.collection);
+        }
         let ack_len = match p.ack {
             AckMode::Simulated { ack_len } => ack_len.unwrap_or(l),
             AckMode::Ideal => 0,
         };
 
+        let ProtocolWorkspace {
+            engine,
+            ack_engine,
+            rev_links,
+            rev_offsets,
+            specs: spec_buf,
+            ack_specs: ack_spec_buf,
+            ack_owner,
+            active,
+            priorities,
+            wavelengths,
+            fixed_wl,
+            acked_now,
+            retired,
+            outcome,
+            ack_outcome,
+            congestion,
+            ..
+        } = ws;
+        let engine = engine.as_mut().expect("workspace prepared");
+        let rev_links: &[LinkId] = rev_links;
+        let rev_offsets: &[u32] = rev_offsets;
+
         // Per-worm fixed wavelength draws — only drawn when the strategy
         // uses them, so the default configuration's RNG stream is
         // unaffected.
-        let fixed_wl: Vec<u16> = match p.wavelengths {
-            WavelengthStrategy::FixedPerWorm => {
-                (0..n).map(|_| rng.gen_range(0..b) as u16).collect()
-            }
-            _ => Vec::new(),
-        };
+        fixed_wl.clear();
+        if matches!(p.wavelengths, WavelengthStrategy::FixedPerWorm) {
+            fixed_wl.extend((0..n).map(|_| rng.gen_range(0..b) as u16));
+        }
 
-        let mut active: Vec<u32> = (0..n as u32).collect();
+        active.clear();
+        active.extend(0..n as u32);
         let mut acked_round: Vec<Option<u32>> = vec![None; n];
         let mut rounds: Vec<RoundReport> = Vec::new();
         let mut total_time: u64 = 0;
         let mut duplicate_deliveries: u64 = 0;
+        let mut specs = spec_buf.take();
+        let mut ack_specs = ack_spec_buf.take();
 
         for t in 1..=p.max_rounds {
             if active.is_empty() {
@@ -283,77 +299,71 @@ impl<'a> TrialAndFailure<'a> {
             };
             let delta = p.schedule.delta(t, &ctx);
 
-            let congestion_before = p.record_congestion.then(|| {
-                let mut sub = PathCollection::new(self.collection.link_count());
-                for &pid in &active {
-                    sub.push(self.collection.path(pid as usize).clone());
-                }
-                sub.path_congestion()
-            });
+            let congestion_before = p
+                .record_congestion
+                .then(|| congestion.path_congestion(self.collection, active));
 
-            let priorities = p.priorities.assign(&active, n, rng);
-            let wavelengths = p
-                .wavelengths
-                .assign(&active, p.router.bandwidth, &fixed_wl, rng);
-            let specs: Vec<TransmissionSpec<'_>> = active
-                .iter()
-                .zip(priorities.iter().zip(&wavelengths))
-                .map(|(&pid, (&prio, &wl))| TransmissionSpec {
-                    links: self.collection.path(pid as usize).links(),
+            p.priorities.assign_into(active, n, rng, priorities);
+            p.wavelengths
+                .assign_into(active, p.router.bandwidth, fixed_wl, rng, wavelengths);
+            specs.clear();
+            specs.extend(active.iter().zip(priorities.iter().zip(&*wavelengths)).map(
+                |(&pid, (&prio, &wl))| TransmissionSpec {
+                    links: self.collection.links_of(pid as usize),
                     start: rng.gen_range(0..delta),
                     wavelength: wl,
                     priority: prio,
                     length: l,
-                })
-                .collect();
+                },
+            ));
 
-            let outcome = engine.run(&specs, rng);
+            engine.run_into(&specs, rng, outcome);
 
             // Deliveries and (optionally) physical acks.
-            let mut acked_now: Vec<u32> = Vec::new(); // indices into `active`
+            acked_now.clear(); // indices into `active`
             let mut delivered = 0usize;
             let mut truncated = 0usize;
-            match (&mut ack_engine, &reversed) {
-                (Some(ack_eng), Some(rev)) => {
-                    let mut ack_specs: Vec<TransmissionSpec<'_>> = Vec::new();
-                    let mut ack_owner: Vec<u32> = Vec::new();
-                    for (k, r) in outcome.results.iter().enumerate() {
-                        match r.fate {
-                            Fate::Delivered { completed_at } => {
-                                delivered += 1;
-                                let pid = active[k] as usize;
-                                ack_specs.push(TransmissionSpec {
-                                    links: &rev[pid],
-                                    start: completed_at + 1,
-                                    wavelength: specs[k].wavelength,
-                                    priority: specs[k].priority,
-                                    length: ack_len,
-                                });
-                                ack_owner.push(k as u32);
-                            }
-                            Fate::Truncated { .. } => truncated += 1,
-                            Fate::Eliminated { .. } => {}
+            if simulated {
+                let ack_eng = ack_engine.as_mut().expect("workspace prepared");
+                ack_specs.clear();
+                ack_owner.clear();
+                for (k, r) in outcome.results.iter().enumerate() {
+                    match r.fate {
+                        Fate::Delivered { completed_at } => {
+                            delivered += 1;
+                            let pid = active[k] as usize;
+                            let rev = &rev_links
+                                [rev_offsets[pid] as usize..rev_offsets[pid + 1] as usize];
+                            ack_specs.push(TransmissionSpec {
+                                links: rev,
+                                start: completed_at + 1,
+                                wavelength: specs[k].wavelength,
+                                priority: specs[k].priority,
+                                length: ack_len,
+                            });
+                            ack_owner.push(k as u32);
                         }
-                    }
-                    let ack_outcome = ack_eng.run(&ack_specs, rng);
-                    for (a, r) in ack_outcome.results.iter().enumerate() {
-                        if r.fate.is_delivered() {
-                            acked_now.push(ack_owner[a]);
-                        } else {
-                            duplicate_deliveries += 1;
-                        }
+                        Fate::Truncated { .. } => truncated += 1,
+                        Fate::Eliminated { .. } => {}
                     }
                 }
-                _ => {
-                    for (k, r) in outcome.results.iter().enumerate() {
-                        match r.fate {
-                            Fate::Delivered { .. } => {
-                                delivered += 1;
-                                acked_now.push(k as u32);
-                            }
-                            Fate::Truncated { .. } => truncated += 1,
-                            Fate::Eliminated { .. } => {}
+                ack_eng.run_into(&ack_specs, rng, ack_outcome);
+                for (a, r) in ack_outcome.results.iter().enumerate() {
+                    if r.fate.is_delivered() {
+                        acked_now.push(ack_owner[a]);
+                    } else {
+                        duplicate_deliveries += 1;
+                    }
+                }
+            } else {
+                for (k, r) in outcome.results.iter().enumerate() {
+                    match r.fate {
+                        Fate::Delivered { .. } => {
+                            delivered += 1;
+                            acked_now.push(k as u32);
                         }
+                        Fate::Truncated { .. } => truncated += 1,
+                        Fate::Eliminated { .. } => {}
                     }
                 }
             }
@@ -385,23 +395,30 @@ impl<'a> TrialAndFailure<'a> {
                 congestion_before,
             });
 
-            // Retire acknowledged worms (indices are into `active`).
-            for &k in &acked_now {
+            // Retire acknowledged worms (indices are into `active`),
+            // via a reused mask instead of a per-round hash set.
+            for &k in acked_now.iter() {
                 acked_round[active[k as usize] as usize] = Some(t);
             }
-            let retired: std::collections::HashSet<u32> = acked_now.iter().copied().collect();
-            let mut idx = 0u32;
+            retired.clear();
+            retired.resize(active.len(), false);
+            for &k in acked_now.iter() {
+                retired[k as usize] = true;
+            }
+            let mut idx = 0usize;
             active.retain(|_| {
-                let keep = !retired.contains(&idx);
+                let keep = !retired[idx];
                 idx += 1;
                 keep
             });
         }
 
+        spec_buf.put(specs);
+        ack_spec_buf.put(ack_specs);
         RunReport {
             total_time,
             completed: active.is_empty(),
-            remaining: active,
+            remaining: active.clone(),
             acked_round,
             duplicate_deliveries,
             metrics: self.metrics,
@@ -732,6 +749,35 @@ mod tests {
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.rounds_used(), b.rounds_used());
         assert_eq!(a.acked_round, b.acked_round);
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical() {
+        // One workspace across heterogeneous runs (congestion/blocking
+        // recording, simulated acks) must reproduce the fresh-workspace
+        // reports exactly, RNG stream included.
+        let (net, coll) = bundle(16, 6);
+        let mut ws = ProtocolWorkspace::new();
+        for seed in 0..3 {
+            let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+            params.max_rounds = 200;
+            params.record_congestion = true;
+            params.record_blocking = true;
+            let proto = TrialAndFailure::new(&net, &coll, params);
+            assert_eq!(
+                proto.run(&mut rng(seed)),
+                proto.run_with(&mut ws, &mut rng(seed))
+            );
+
+            let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+            params.max_rounds = 300;
+            params.ack = AckMode::Simulated { ack_len: None };
+            let proto = TrialAndFailure::new(&net, &coll, params);
+            assert_eq!(
+                proto.run(&mut rng(seed)),
+                proto.run_with(&mut ws, &mut rng(seed))
+            );
+        }
     }
 
     #[test]

@@ -34,10 +34,11 @@
 
 use crate::protocol::{AckMode, ProtocolParams};
 use crate::schedule::ScheduleCtx;
+use crate::workspace::ProtocolWorkspace;
 use optical_paths::select::bfs::bfs_route_avoiding;
 use optical_paths::{Path, PathCollection};
 use optical_topo::Network;
-use optical_wdm::{ChurnModel, Engine, Fate, FaultPlan, TransmissionSpec};
+use optical_wdm::{ChurnModel, Fate, FaultPlan, TransmissionSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -141,7 +142,7 @@ impl WormOutcome {
 }
 
 /// Per-round observations of the recovery loop.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveryRound {
     /// Round index (1-based).
     pub round: u32,
@@ -165,7 +166,7 @@ pub struct RecoveryRound {
 
 /// Result of a recovery run: a terminal outcome per worm plus the cost
 /// accounting of getting there.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RecoveryReport {
     /// Terminal outcome per worm, indexed like the input collection.
     pub outcomes: Vec<WormOutcome>,
@@ -281,7 +282,7 @@ impl<'a> Recovery<'a> {
             params,
             policy,
             faults: FaultSource::None,
-            initial: collection.paths().to_vec(),
+            initial: collection.to_paths(),
             dilation: metrics.dilation,
             path_congestion: metrics.path_congestion,
         }
@@ -300,6 +301,12 @@ impl<'a> Recovery<'a> {
 
     /// Execute the recovery loop.
     pub fn run(&self, rng: &mut impl Rng) -> RecoveryReport {
+        self.run_with(&mut ProtocolWorkspace::new(), rng)
+    }
+
+    /// Like [`Recovery::run`], but reusing `ws`'s engine and round
+    /// buffers. Bit-identical to `run` for the same RNG state.
+    pub fn run_with(&self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> RecoveryReport {
         let p = &self.params;
         let n = self.initial.len();
         let b = p.router.bandwidth as u32;
@@ -307,16 +314,33 @@ impl<'a> Recovery<'a> {
 
         let mut cfg = p.router;
         cfg.record_conflicts = false;
-        let mut engine = Engine::new(self.net.link_count(), cfg);
-        engine.set_converters(p.converters.clone());
-        engine.set_dead_links(p.dead_links.clone());
+        ws.prepare(
+            self.net.link_count(),
+            cfg,
+            false,
+            &p.converters,
+            &p.dead_links,
+        );
+        let ProtocolWorkspace {
+            engine,
+            specs: spec_buf,
+            active,
+            priorities,
+            wavelengths,
+            fixed_wl,
+            multipliers,
+            outcome,
+            ..
+        } = ws;
+        let engine = engine.as_mut().expect("prepared above");
 
-        let fixed_wl: Vec<u16> = match p.wavelengths {
-            crate::priority::WavelengthStrategy::FixedPerWorm => {
-                (0..n).map(|_| rng.gen_range(0..b) as u16).collect()
-            }
-            _ => Vec::new(),
-        };
+        fixed_wl.clear();
+        if matches!(
+            p.wavelengths,
+            crate::priority::WavelengthStrategy::FixedPerWorm
+        ) {
+            fixed_wl.extend((0..n).map(|_| rng.gen_range(0..b) as u16));
+        }
 
         let mut tracks: Vec<WormTrack> = self
             .initial
@@ -339,9 +363,8 @@ impl<'a> Recovery<'a> {
         let mut backoff_extra_time = 0u64;
 
         for t in 1..=p.max_rounds {
-            let active: Vec<u32> = (0..n as u32)
-                .filter(|&w| tracks[w as usize].outcome.is_none())
-                .collect();
+            active.clear();
+            active.extend((0..n as u32).filter(|&w| tracks[w as usize].outcome.is_none()));
             if active.is_empty() {
                 break;
             }
@@ -356,13 +379,11 @@ impl<'a> Recovery<'a> {
             let delta = p.schedule.delta(t, &ctx).max(1);
 
             // Per-worm backoff multipliers.
-            let multipliers: Vec<u32> = active
-                .iter()
-                .map(|&w| {
-                    let fails = tracks[w as usize].consecutive_fails.min(31);
-                    (1u32 << fails.min(16)).min(self.policy.backoff_cap)
-                })
-                .collect();
+            multipliers.clear();
+            multipliers.extend(active.iter().map(|&w| {
+                let fails = tracks[w as usize].consecutive_fails.min(31);
+                (1u32 << fails.min(16)).min(self.policy.backoff_cap)
+            }));
             let max_mult = multipliers.iter().copied().max().unwrap_or(1);
 
             // Current dilation: reroutes can lengthen paths.
@@ -385,24 +406,29 @@ impl<'a> Recovery<'a> {
             };
             engine.set_fault_plan(plan);
 
-            let priorities = p.priorities.assign(&active, n, rng);
-            let wavelengths = p
-                .wavelengths
-                .assign(&active, p.router.bandwidth, &fixed_wl, rng);
-            let specs: Vec<TransmissionSpec<'_>> = active
-                .iter()
-                .zip(priorities.iter().zip(&wavelengths))
-                .zip(&multipliers)
-                .map(|((&w, (&prio, &wl)), &mult)| TransmissionSpec {
-                    links: tracks[w as usize].path.links(),
-                    start: rng.gen_range(0..delta * mult),
-                    wavelength: wl,
-                    priority: prio,
-                    length: l,
-                })
-                .collect();
+            p.priorities.assign_into(active, n, rng, priorities);
+            p.wavelengths
+                .assign_into(active, p.router.bandwidth, fixed_wl, rng, wavelengths);
+            // The spec batch is borrowed per round: the bookkeeping below
+            // may swap `tracks[w].path` (reroutes), so the link borrows
+            // must end before it runs.
+            let mut specs = spec_buf.take();
+            specs.extend(
+                active
+                    .iter()
+                    .zip(priorities.iter().zip(wavelengths.iter()))
+                    .zip(multipliers.iter())
+                    .map(|((&w, (&prio, &wl)), &mult)| TransmissionSpec {
+                        links: tracks[w as usize].path.links(),
+                        start: rng.gen_range(0..delta * mult),
+                        wavelength: wl,
+                        priority: prio,
+                        length: l,
+                    }),
+            );
 
-            let outcome = engine.run(&specs, rng);
+            engine.run_into(&specs, rng, outcome);
+            spec_buf.put(specs);
 
             let mut delivered = 0usize;
             let mut fault_kills = 0usize;
@@ -776,6 +802,21 @@ mod tests {
             report.backoff_extra_time,
             sum - report.rounds.iter().map(|r| r.delta as u64).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn reused_workspace_is_bit_identical() {
+        let (net, coll) = ring_collection(8);
+        let cut = net.link_between(1, 2).unwrap();
+        let rec = Recovery::new(&net, &coll, params(2, 3), RecoveryPolicy::default())
+            .with_faults(FaultSource::EveryRound(FaultPlan::none().down(cut, 0)));
+        let mut ws = ProtocolWorkspace::new();
+        for seed in 0..3 {
+            assert_eq!(
+                rec.run(&mut rng(seed)),
+                rec.run_with(&mut ws, &mut rng(seed))
+            );
+        }
     }
 
     #[test]

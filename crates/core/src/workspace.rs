@@ -1,0 +1,224 @@
+//! Reusable scratch for protocol-level runs.
+//!
+//! Every runner in this crate ([`crate::protocol::TrialAndFailure`],
+//! [`crate::recovery::Recovery`], [`crate::hops::HopTrialAndFailure`],
+//! [`crate::continuous::ContinuousRun`]) executes the same round shape:
+//! assign priorities and wavelengths, build a batch of
+//! [`TransmissionSpec`]s borrowing link slices, run the [`Engine`], and
+//! retire the delivered worms. Constructing the engine and the round
+//! buffers per run made the allocator the dominant cost of experiment
+//! sweeps (thousands of short runs per data point). A
+//! [`ProtocolWorkspace`] owns all of it — engines, the reversed-ack CSR,
+//! spec/owner/assignment vectors, the round outcome, and the
+//! active-subset congestion scratch — so a run allocates only when a
+//! buffer must grow past its high-water mark. Keep one workspace per
+//! thread (e.g. per rayon worker) and feed it to `run_with` on every
+//! trial.
+
+use optical_paths::{ActiveCongestion, PathCollection};
+use optical_topo::{LinkId, Network};
+use optical_wdm::{Engine, RoundOutcome, RouterConfig, TransmissionSpec};
+
+/// A capacity cache for `Vec<TransmissionSpec<'_>>`.
+///
+/// Spec batches borrow link slices with a fresh lifetime every run (and,
+/// for the recovery loop, every round), so the buffer is stored with its
+/// element lifetime erased to `'static` and re-branded on loan. Soundness:
+/// the vector is empty at both ends of the loan — only the allocation
+/// (pointer + capacity) crosses the lifetime boundary, never a value.
+#[derive(Debug, Default)]
+pub(crate) struct SpecBuf {
+    buf: Vec<TransmissionSpec<'static>>,
+}
+
+impl SpecBuf {
+    /// Borrow the cached allocation as an empty vector of specs with any
+    /// element lifetime. Return it with [`SpecBuf::put`] to keep the
+    /// capacity for the next loan.
+    pub(crate) fn take<'a>(&mut self) -> Vec<TransmissionSpec<'a>> {
+        let mut v = std::mem::take(&mut self.buf);
+        v.clear();
+        let cap = v.capacity();
+        let ptr = v.as_mut_ptr();
+        std::mem::forget(v);
+        // SAFETY: the vector is empty; `TransmissionSpec<'a>` and
+        // `TransmissionSpec<'static>` are the same type modulo lifetime,
+        // so pointer, length 0, and capacity describe a valid Vec.
+        unsafe { Vec::from_raw_parts(ptr.cast::<TransmissionSpec<'a>>(), 0, cap) }
+    }
+
+    /// Reclaim a loaned vector's allocation (contents are discarded).
+    pub(crate) fn put(&mut self, mut v: Vec<TransmissionSpec<'_>>) {
+        v.clear();
+        let cap = v.capacity();
+        let ptr = v.as_mut_ptr();
+        std::mem::forget(v);
+        // SAFETY: as in `take` — empty vector, layout-identical element
+        // types, and `TransmissionSpec` has no drop glue.
+        self.buf = unsafe { Vec::from_raw_parts(ptr.cast::<TransmissionSpec<'static>>(), 0, cap) };
+    }
+}
+
+/// Reusable state for protocol-level runs; see the module docs.
+///
+/// A workspace is not tied to any network, collection, or parameter set:
+/// `run_with` reconfigures it at the start of every run (engines are
+/// rebuilt only when the link count changes, reconfigured in place
+/// otherwise), so one long-lived workspace can serve heterogeneous trials
+/// back to back.
+#[derive(Default)]
+pub struct ProtocolWorkspace {
+    /// Forward-band engine, rebuilt only when the link count changes.
+    pub(crate) engine: Option<Engine>,
+    /// Ack-band engine (only prepared for simulated acks).
+    pub(crate) ack_engine: Option<Engine>,
+    /// Reversed ack paths in CSR form: path `i`'s reversed links are
+    /// `rev_links[rev_offsets[i]..rev_offsets[i+1]]`.
+    pub(crate) rev_links: Vec<LinkId>,
+    pub(crate) rev_offsets: Vec<u32>,
+    /// Forward spec batch (capacity cache).
+    pub(crate) specs: SpecBuf,
+    /// Ack spec batch (capacity cache).
+    pub(crate) ack_specs: SpecBuf,
+    /// Owners (indices into the active list) of the ack specs.
+    pub(crate) ack_owner: Vec<u32>,
+    /// Path ids still being worked on.
+    pub(crate) active: Vec<u32>,
+    /// Per-round priority assignment, indexed like `active`.
+    pub(crate) priorities: Vec<u64>,
+    /// Per-round wavelength assignment, indexed like `active`.
+    pub(crate) wavelengths: Vec<u16>,
+    /// Per-worm fixed wavelength draws (FixedPerWorm strategy).
+    pub(crate) fixed_wl: Vec<u16>,
+    /// Indices into `active` acknowledged this round.
+    pub(crate) acked_now: Vec<u32>,
+    /// Retirement mask over `active` (replaces a per-round hash set).
+    pub(crate) retired: Vec<bool>,
+    /// Per-worm backoff multipliers (recovery loop).
+    pub(crate) multipliers: Vec<u32>,
+    /// Forward-round outcome (reused result/conflict buffers).
+    pub(crate) outcome: RoundOutcome,
+    /// Ack-round outcome.
+    pub(crate) ack_outcome: RoundOutcome,
+    /// Active-subset path-congestion scratch (`record_congestion`).
+    pub(crate) congestion: ActiveCongestion,
+}
+
+impl ProtocolWorkspace {
+    /// Fresh workspace; all buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Point the workspace at a run: (re)configure the forward engine —
+    /// and the ack engine if `with_ack` — for `link_count` links, clearing
+    /// any converter mask, dead-link mask, or fault plan left over from a
+    /// previous run.
+    pub(crate) fn prepare(
+        &mut self,
+        link_count: usize,
+        cfg: RouterConfig,
+        with_ack: bool,
+        converters: &Option<Vec<bool>>,
+        dead_links: &Option<Vec<bool>>,
+    ) {
+        Self::prepare_engine(&mut self.engine, link_count, cfg, converters, dead_links);
+        if with_ack {
+            Self::prepare_engine(
+                &mut self.ack_engine,
+                link_count,
+                cfg,
+                converters,
+                dead_links,
+            );
+        }
+    }
+
+    fn prepare_engine(
+        slot: &mut Option<Engine>,
+        link_count: usize,
+        cfg: RouterConfig,
+        converters: &Option<Vec<bool>>,
+        dead_links: &Option<Vec<bool>>,
+    ) {
+        match slot {
+            Some(e) if e.link_count() == link_count => e.set_config(cfg),
+            _ => *slot = Some(Engine::new(link_count, cfg)),
+        }
+        let e = slot.as_mut().expect("just prepared");
+        e.set_converters(converters.clone());
+        e.set_dead_links(dead_links.clone());
+        e.set_fault_plan(None);
+    }
+
+    /// Build the reversed-ack CSR for `collection`'s paths.
+    pub(crate) fn build_reversed(&mut self, net: &Network, collection: &PathCollection) {
+        self.rev_links.clear();
+        self.rev_offsets.clear();
+        self.rev_links.reserve(collection.flat_links().len());
+        self.rev_offsets.reserve(collection.len() + 1);
+        self.rev_offsets.push(0);
+        for i in 0..collection.len() {
+            self.rev_links.extend(
+                collection
+                    .links_of(i)
+                    .iter()
+                    .rev()
+                    .map(|&lk| net.reverse_link(lk)),
+            );
+            self.rev_offsets.push(self.rev_links.len() as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_buf_keeps_capacity_across_lifetimes() {
+        let mut buf = SpecBuf::default();
+        let links = [0u32, 1, 2];
+        {
+            let mut v = buf.take();
+            for i in 0..100u64 {
+                v.push(TransmissionSpec {
+                    links: &links,
+                    start: 0,
+                    wavelength: 0,
+                    priority: i,
+                    length: 1,
+                });
+            }
+            buf.put(v);
+        }
+        {
+            let other_links = vec![5u32, 6];
+            let v = buf.take();
+            assert!(v.capacity() >= 100, "capacity must survive the roundtrip");
+            assert!(v.is_empty());
+            let mut v: Vec<TransmissionSpec<'_>> = v;
+            v.push(TransmissionSpec {
+                links: &other_links,
+                start: 1,
+                wavelength: 0,
+                priority: 0,
+                length: 1,
+            });
+            buf.put(v);
+        }
+    }
+
+    #[test]
+    fn prepare_rebuilds_only_on_link_count_change() {
+        let mut ws = ProtocolWorkspace::new();
+        ws.prepare(4, RouterConfig::serve_first(2), false, &None, &None);
+        assert_eq!(ws.engine.as_ref().unwrap().link_count(), 4);
+        assert!(ws.ack_engine.is_none());
+        ws.prepare(4, RouterConfig::priority(1), true, &None, &None);
+        assert_eq!(ws.engine.as_ref().unwrap().link_count(), 4);
+        assert_eq!(ws.ack_engine.as_ref().unwrap().link_count(), 4);
+        ws.prepare(9, RouterConfig::serve_first(2), false, &None, &None);
+        assert_eq!(ws.engine.as_ref().unwrap().link_count(), 9);
+    }
+}

@@ -5,23 +5,150 @@ use crate::path::Path;
 use optical_topo::{LinkId, Network, NodeId};
 use serde::{Deserialize, Serialize};
 
-/// A multiset of paths over a common network.
+/// A multiset of paths over a common network, stored in CSR layout.
+///
+/// All link sequences live in one flat `links` array and all node
+/// sequences in one flat `nodes` array; `offsets[i]..offsets[i + 1]`
+/// delimits path `i`'s links (a path with `k` links has `k + 1` nodes, so
+/// its nodes are the matching window shifted by `i`). This keeps every
+/// worm's link slice contiguous — `TransmissionSpec { links: &[...] }`
+/// borrows straight out of the collection — and lets the metrics iterate
+/// cache-linearly instead of chasing one heap box per path.
 ///
 /// Only the network's link count is retained (not the network itself) so a
 /// collection is a small self-contained value; generators that synthesize
 /// their own scratch networks can still hand the simulator a collection
 /// plus the matching link count.
+///
+/// The serde format is unchanged from the historical `Vec<Path>` layout
+/// (via [`CollectionRepr`]), so snapshots written before the CSR refactor
+/// still load.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(into = "CollectionRepr", from = "CollectionRepr")]
 pub struct PathCollection {
+    /// Node sequences of all paths, concatenated.
+    nodes: Vec<NodeId>,
+    /// Link sequences of all paths, concatenated.
+    links: Vec<LinkId>,
+    /// CSR offsets over `links`, length `len() + 1`. Path `i` has links
+    /// `links[offsets[i]..offsets[i+1]]` and nodes
+    /// `nodes[offsets[i] + i .. offsets[i+1] + i + 1]`.
+    offsets: Vec<u32>,
+    link_count: usize,
+}
+
+/// The on-disk shape of a collection: the historical `{paths, link_count}`
+/// struct, used by serde via `#[serde(into/from)]` to keep snapshots
+/// format-stable across the CSR refactor.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct CollectionRepr {
     paths: Vec<Path>,
     link_count: usize,
+}
+
+impl From<PathCollection> for CollectionRepr {
+    fn from(c: PathCollection) -> Self {
+        CollectionRepr {
+            paths: c.to_paths(),
+            link_count: c.link_count,
+        }
+    }
+}
+
+impl From<CollectionRepr> for PathCollection {
+    fn from(r: CollectionRepr) -> Self {
+        PathCollection::from_paths(r.link_count, r.paths)
+    }
+}
+
+/// A borrowed view of one path inside a [`PathCollection`] — the CSR
+/// counterpart of [`Path`], `Copy` and allocation-free.
+#[derive(Clone, Copy, Debug)]
+pub struct PathRef<'a> {
+    nodes: &'a [NodeId],
+    links: &'a [LinkId],
+}
+
+impl<'a> PathRef<'a> {
+    /// Number of links (the paper's path length).
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the path has zero links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// First node.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node.
+    pub fn dest(&self) -> NodeId {
+        *self.nodes.last().unwrap()
+    }
+
+    /// The node sequence (length `len() + 1`).
+    pub fn nodes(&self) -> &'a [NodeId] {
+        self.nodes
+    }
+
+    /// The directed link sequence (length `len()`).
+    pub fn links(&self) -> &'a [LinkId] {
+        self.links
+    }
+
+    /// Whether no node repeats (a *simple* path).
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.nodes.len());
+        self.nodes.iter().all(|&v| seen.insert(v))
+    }
+
+    /// Position of the first occurrence of `v` on the path, if any.
+    pub fn position_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|&x| x == v)
+    }
+
+    /// Copy out an owned [`Path`].
+    pub fn to_path(&self) -> Path {
+        Path::from_parts(self.nodes.to_vec(), self.links.to_vec())
+    }
+
+    /// The reversed path, resolving reverse links in O(len).
+    pub fn reversed(&self, net: &Network) -> Path {
+        let nodes: Vec<NodeId> = self.nodes.iter().rev().copied().collect();
+        let links: Vec<LinkId> = self
+            .links
+            .iter()
+            .rev()
+            .map(|&l| net.reverse_link(l))
+            .collect();
+        Path::from_parts(nodes, links)
+    }
+}
+
+impl PartialEq for PathRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.links == other.links
+    }
+}
+impl Eq for PathRef<'_> {}
+
+impl PartialEq<Path> for PathRef<'_> {
+    fn eq(&self, other: &Path) -> bool {
+        self.nodes == other.nodes() && self.links == other.links()
+    }
 }
 
 impl PathCollection {
     /// An empty collection over a network with `link_count` directed links.
     pub fn new(link_count: usize) -> Self {
         PathCollection {
-            paths: Vec::new(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            offsets: vec![0],
             link_count,
         }
     }
@@ -33,8 +160,16 @@ impl PathCollection {
 
     /// Build from ready-made paths.
     pub fn from_paths(link_count: usize, paths: Vec<Path>) -> Self {
-        let c = PathCollection { paths, link_count };
-        c.assert_links_in_range();
+        let mut c = Self::new(link_count);
+        c.nodes.reserve(paths.iter().map(|p| p.nodes().len()).sum());
+        c.links.reserve(paths.iter().map(|p| p.len()).sum());
+        c.offsets.reserve(paths.len());
+        for p in &paths {
+            for &l in p.links() {
+                assert!((l as usize) < link_count, "link {l} out of range");
+            }
+            c.push_parts(p.nodes(), p.links());
+        }
         c
     }
 
@@ -52,28 +187,33 @@ impl PathCollection {
         c
     }
 
-    fn assert_links_in_range(&self) {
-        for p in &self.paths {
-            for &l in p.links() {
-                assert!((l as usize) < self.link_count, "link {l} out of range");
-            }
-        }
+    fn push_parts(&mut self, nodes: &[NodeId], links: &[LinkId]) {
+        debug_assert_eq!(nodes.len(), links.len() + 1, "inconsistent path parts");
+        self.nodes.extend_from_slice(nodes);
+        self.links.extend_from_slice(links);
+        self.offsets.push(self.links.len() as u32);
     }
 
     /// Append a path.
     pub fn push(&mut self, p: Path) {
         debug_assert!(p.links().iter().all(|&l| (l as usize) < self.link_count));
-        self.paths.push(p);
+        self.push_parts(p.nodes(), p.links());
+    }
+
+    /// Append a borrowed path view (e.g. from another collection).
+    pub fn push_ref(&mut self, p: PathRef<'_>) {
+        debug_assert!(p.links().iter().all(|&l| (l as usize) < self.link_count));
+        self.push_parts(p.nodes(), p.links());
     }
 
     /// Number of paths `n`.
     pub fn len(&self) -> usize {
-        self.paths.len()
+        self.offsets.len() - 1
     }
 
     /// Whether the collection has no paths.
     pub fn is_empty(&self) -> bool {
-        self.paths.is_empty()
+        self.offsets.len() == 1
     }
 
     /// Directed-link count of the underlying network.
@@ -81,28 +221,47 @@ impl PathCollection {
         self.link_count
     }
 
-    /// The paths, in insertion order (path ids are indices here).
-    pub fn paths(&self) -> &[Path] {
-        &self.paths
+    /// Path with id `i`, as a borrowed CSR view.
+    pub fn path(&self, i: usize) -> PathRef<'_> {
+        PathRef {
+            nodes: self.nodes_of(i),
+            links: self.links_of(i),
+        }
     }
 
-    /// Path with id `i`.
-    pub fn path(&self, i: usize) -> &Path {
-        &self.paths[i]
+    /// The directed link slice of path `i` (contiguous in the flat array).
+    pub fn links_of(&self, i: usize) -> &[LinkId] {
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        &self.links[lo..hi]
+    }
+
+    /// The node slice of path `i` (length `links_of(i).len() + 1`).
+    pub fn nodes_of(&self, i: usize) -> &[NodeId] {
+        let (lo, hi) = (self.offsets[i] as usize, self.offsets[i + 1] as usize);
+        &self.nodes[lo + i..hi + i + 1]
+    }
+
+    /// Copy the collection out as owned [`Path`] values, in id order.
+    pub fn to_paths(&self) -> Vec<Path> {
+        (0..self.len()).map(|i| self.path(i).to_path()).collect()
     }
 
     /// Iterate over `(path_id, path)`.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Path)> {
-        self.paths.iter().enumerate()
+    pub fn iter(&self) -> impl Iterator<Item = (usize, PathRef<'_>)> {
+        (0..self.len()).map(move |i| (i, self.path(i)))
+    }
+
+    /// All links of all paths, concatenated in path order (the flat CSR
+    /// array). Useful for cache-linear whole-collection scans.
+    pub fn flat_links(&self) -> &[LinkId] {
+        &self.links
     }
 
     /// Per-link usage counts (ordinary congestion `C` per directed link).
     pub fn link_usage(&self) -> Vec<u32> {
         let mut usage = vec![0u32; self.link_count];
-        for p in &self.paths {
-            for &l in p.links() {
-                usage[l as usize] += 1;
-            }
+        for &l in &self.links {
+            usage[l as usize] += 1;
         }
         usage
     }
@@ -113,9 +272,9 @@ impl PathCollection {
     /// where the paper's definitions require sets.
     pub fn paths_by_link(&self) -> Vec<Vec<u32>> {
         let mut by_link: Vec<Vec<u32>> = vec![Vec::new(); self.link_count];
-        for (id, p) in self.iter() {
-            for &l in p.links() {
-                by_link[l as usize].push(id as u32);
+        for i in 0..self.len() {
+            for &l in self.links_of(i) {
+                by_link[l as usize].push(i as u32);
             }
         }
         by_link
@@ -127,7 +286,11 @@ impl PathCollection {
             self.link_count, other.link_count,
             "collections over different networks"
         );
-        self.paths.extend(other.paths);
+        let base = *self.offsets.last().unwrap();
+        self.nodes.extend_from_slice(&other.nodes);
+        self.links.extend_from_slice(&other.links);
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|&o| base + o));
     }
 }
 
@@ -163,6 +326,36 @@ mod tests {
     }
 
     #[test]
+    fn csr_views_match_owned_paths() {
+        let (net, c) = demo();
+        let owned = [
+            Path::from_nodes(&net, &[0, 1, 2, 3]),
+            Path::from_nodes(&net, &[1, 2, 3, 4]),
+            Path::from_nodes(&net, &[5, 4]),
+        ];
+        for (i, p) in c.iter() {
+            assert_eq!(p, owned[i]);
+            assert_eq!(p.nodes().len(), p.links().len() + 1);
+            assert_eq!(p.to_path(), owned[i]);
+        }
+        assert_eq!(c.to_paths(), owned);
+    }
+
+    #[test]
+    fn zero_length_paths_in_csr() {
+        let net = topologies::ring(4);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[2]));
+        c.push(Path::from_nodes(&net, &[0, 1]));
+        c.push(Path::from_nodes(&net, &[3]));
+        assert!(c.path(0).is_empty());
+        assert_eq!(c.path(0).source(), 2);
+        assert_eq!(c.path(0).dest(), 2);
+        assert_eq!(c.path(1).len(), 1);
+        assert_eq!(c.path(2).nodes(), &[3]);
+    }
+
+    #[test]
     fn link_usage_counts() {
         let (net, c) = demo();
         let usage = c.link_usage();
@@ -194,6 +387,18 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_through_repr_preserves_everything() {
+        let (_, c) = demo();
+        let repr = CollectionRepr::from(c.clone());
+        let back = PathCollection::from(repr);
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.link_count(), c.link_count());
+        for (i, p) in c.iter() {
+            assert_eq!(back.path(i), p);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "different networks")]
     fn extend_rejects_mismatched_networks() {
         let (_, mut a) = demo();
@@ -206,7 +411,9 @@ mod tests {
         let (net, mut a) = demo();
         let mut b = PathCollection::for_network(&net);
         b.push(Path::from_nodes(&net, &[2, 3]));
+        let expect: Vec<Path> = a.to_paths().into_iter().chain(b.to_paths()).collect();
         a.extend(b);
         assert_eq!(a.len(), 4);
+        assert_eq!(a.to_paths(), expect);
     }
 }

@@ -30,6 +30,6 @@ pub mod path;
 pub mod properties;
 pub mod select;
 
-pub use collection::PathCollection;
-pub use metrics::CollectionMetrics;
+pub use collection::{PathCollection, PathRef};
+pub use metrics::{ActiveCongestion, CollectionMetrics};
 pub use path::Path;

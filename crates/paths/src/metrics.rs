@@ -20,7 +20,7 @@ pub struct CollectionMetrics {
 
 /// Dilation `D` of the collection (0 for an empty collection).
 pub fn dilation(c: &PathCollection) -> u32 {
-    c.paths().iter().map(|p| p.len() as u32).max().unwrap_or(0)
+    c.iter().map(|(_, p)| p.len() as u32).max().unwrap_or(0)
 }
 
 /// Ordinary congestion `C`: the maximum number of paths crossing any single
@@ -65,9 +65,8 @@ pub fn path_congestion(c: &PathCollection) -> u32 {
 /// `(cnt(link) − 1)`. Exact when no two paths share more than one link.
 pub fn path_congestion_upper(c: &PathCollection) -> u32 {
     let usage = c.link_usage();
-    c.paths()
-        .iter()
-        .map(|p| {
+    c.iter()
+        .map(|(_, p)| {
             p.links()
                 .iter()
                 .map(|&l| usage[l as usize] - 1)
@@ -75,6 +74,120 @@ pub fn path_congestion_upper(c: &PathCollection) -> u32 {
         })
         .max()
         .unwrap_or(0)
+}
+
+/// Reusable scratch for computing the path congestion `C̃` of an *active
+/// subset* of a collection without building a sub-collection.
+///
+/// The per-round `record_congestion` accounting in the protocol needs
+/// `C̃` restricted to the still-active paths every round; cloning the
+/// surviving paths into a fresh [`PathCollection`] made that the dominant
+/// cost of a run. This scratch builds a link → active-path CSR index in
+/// two counting passes over the active paths' link slices and then charges
+/// each (path, neighbor) pair O(1) via an epoch-stamped array — identical
+/// semantics to `path_congestion(&sub_collection)`, zero allocations once
+/// the buffers have grown.
+#[derive(Clone, Debug, Default)]
+pub struct ActiveCongestion {
+    /// Per-link entry count for the current call; doubles as the fill
+    /// cursor while scattering `entries`.
+    counts: Vec<u32>,
+    /// Per-link CSR start offsets into `entries` (length `link_count + 1`).
+    starts: Vec<u32>,
+    /// Active path ids flattened by link (one entry per link occurrence).
+    entries: Vec<u32>,
+    /// `stamp[q] == mark` means path `q` was already counted as a
+    /// neighbor of the path currently being scanned.
+    stamp: Vec<u32>,
+    mark: u32,
+    /// `(upper bound, path id)` work list for the pruned exact pass.
+    bounds: Vec<(u32, u32)>,
+}
+
+impl ActiveCongestion {
+    /// Fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Path congestion `C̃` of `active` (path ids into `c`): the maximum
+    /// over active paths `p` of the number of *distinct other* active
+    /// paths sharing at least one directed link with `p`.
+    pub fn path_congestion(&mut self, c: &PathCollection, active: &[u32]) -> u32 {
+        let m = c.link_count();
+        self.counts.clear();
+        self.counts.resize(m, 0);
+        let mut total = 0u32;
+        for &p in active {
+            for &l in c.links_of(p as usize) {
+                self.counts[l as usize] += 1;
+                total += 1;
+            }
+        }
+        // Exclusive prefix sums; `counts` becomes the scatter cursor.
+        self.starts.clear();
+        self.starts.reserve(m + 1);
+        let mut acc = 0u32;
+        self.starts.push(0);
+        for cnt in &mut self.counts {
+            acc += *cnt;
+            self.starts.push(acc);
+            *cnt = 0;
+        }
+        // The exact pass below charges every (path, link-occurrence) pair,
+        // which dominates when links are shared widely. It is pruned with
+        // the cheap per-path bound Σ_links (load − 1) ≥ #distinct
+        // neighbors, computed here inside the scatter pass (the loads —
+        // `starts` deltas — are already final).
+        self.entries.clear();
+        self.entries.resize(total as usize, 0);
+        let mut bounds = std::mem::take(&mut self.bounds);
+        bounds.clear();
+        for &p in active {
+            let mut ub = 0u32;
+            for &l in c.links_of(p as usize) {
+                let l = l as usize;
+                ub += self.starts[l + 1] - self.starts[l] - 1;
+                self.entries[(self.starts[l] + self.counts[l]) as usize] = p;
+                self.counts[l] += 1;
+            }
+            bounds.push((ub, p));
+        }
+
+        if self.stamp.len() < c.len() {
+            self.stamp.resize(c.len(), 0);
+        }
+        // Scan paths in decreasing-bound order; stop at the first path
+        // whose bound cannot beat the best exact count already seen.
+        bounds.sort_unstable_by(|a, b| b.cmp(a));
+        let mut max = 0u32;
+        for &(ub, p) in &bounds {
+            if ub <= max {
+                break;
+            }
+            self.mark = self.mark.wrapping_add(1);
+            if self.mark == 0 {
+                self.stamp.fill(0);
+                self.mark = 1;
+            }
+            let mark = self.mark;
+            let mut count = 0u32;
+            for &l in c.links_of(p as usize) {
+                let l = l as usize;
+                let lo = self.starts[l] as usize;
+                let hi = self.starts[l + 1] as usize;
+                for &q in &self.entries[lo..hi] {
+                    if q != p && self.stamp[q as usize] != mark {
+                        self.stamp[q as usize] = mark;
+                        count += 1;
+                    }
+                }
+            }
+            max = max.max(count);
+        }
+        self.bounds = bounds;
+        max
+    }
 }
 
 /// Connected components of the **conflict graph** (paths are adjacent iff
@@ -254,6 +367,35 @@ mod tests {
         c.push(Path::from_nodes(&net, &[0, 1, 2]));
         c.push(Path::from_nodes(&net, &[2, 1, 0]));
         assert_eq!(conflict_components(&c).len(), 2);
+    }
+
+    #[test]
+    fn active_congestion_matches_sub_collection() {
+        let net = topologies::torus(2, 4);
+        let mut c = PathCollection::for_network(&net);
+        for s in 0..16u32 {
+            let p = net.shortest_path(s, (s * 5 + 2) % 16).unwrap();
+            c.push(Path::from_nodes(&net, &p));
+        }
+        let mut scratch = ActiveCongestion::new();
+        // Reuse the same scratch across several active subsets.
+        let subsets: [&[u32]; 4] = [
+            &(0..16).collect::<Vec<u32>>(),
+            &[0, 2, 4, 6, 8, 10, 12, 14],
+            &[3, 7, 11],
+            &[],
+        ];
+        for active in subsets {
+            let mut sub = PathCollection::for_network(&net);
+            for &p in active {
+                sub.push(c.path(p as usize).to_path());
+            }
+            assert_eq!(
+                scratch.path_congestion(&c, active),
+                path_congestion(&sub),
+                "active = {active:?}"
+            );
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub type Leveling = HashMap<NodeId, u32>;
 pub fn leveling(c: &PathCollection) -> Option<Leveling> {
     // Constraint graph: for each used link (u, v): level[v] = level[u] + 1.
     let mut adj: HashMap<NodeId, Vec<(NodeId, i64)>> = HashMap::new();
-    for p in c.paths() {
+    for (_, p) in c.iter() {
         for w in p.nodes().windows(2) {
             adj.entry(w[0]).or_default().push((w[1], 1));
             adj.entry(w[1]).or_default().push((w[0], -1));
@@ -72,7 +72,7 @@ pub fn is_leveled(c: &PathCollection) -> bool {
 /// Verify a leveling against the collection (every used link climbs by
 /// exactly one level). Useful for externally supplied levelings.
 pub fn check_leveling(c: &PathCollection, levels: &Leveling) -> bool {
-    c.paths().iter().all(|p| {
+    c.iter().all(|(_, p)| {
         p.nodes()
             .windows(2)
             .all(|w| match (levels.get(&w[0]), levels.get(&w[1])) {

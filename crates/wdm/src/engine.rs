@@ -8,9 +8,12 @@
 //! Because worms cannot buffer, a live worm's head enters link `j` of its
 //! path at exactly `start + j`; the only dynamic question is who dies (or
 //! is cut) where. The engine therefore processes only *head-arrival*
-//! events, kept in a bucket queue indexed by time step. Per step, arrivals
-//! are grouped by (link, wavelength) and each group is resolved against
-//! the link's current occupant via [`crate::resolve::resolve_group`].
+//! events: initial arrivals are counting-sorted by start step once, and a
+//! head that wins link `j` at step `t` is appended to a next-step queue
+//! for link `j + 1` at `t + 1` — two flat vectors, swapped per step,
+//! replace a full bucket queue. Per step, arrivals are grouped by
+//! (link, wavelength) and each group is resolved against the link's
+//! current occupant via [`crate::resolve::resolve_group`].
 //!
 //! A worm's occupancy of link `j` is the half-open interval
 //! `[start + j, start + j + eff_len(j))`, where `eff_len(j)` is the worm's
@@ -66,7 +69,19 @@ pub struct Engine {
 
 #[derive(Default)]
 struct Scratch {
-    buckets: Vec<Vec<(u32, u32)>>,
+    /// Initial head arrivals (worm ids) in flat CSR-by-start-time form:
+    /// the worms launching at step `t` are
+    /// `ev_items[ev_offsets[t]..ev_offsets[t+1]]`, counting-sorted once
+    /// per round.
+    ev_counts: Vec<u32>,
+    ev_offsets: Vec<u32>,
+    ev_items: Vec<u32>,
+    /// Double-buffered head-event queue: a head that wins edge `e` at
+    /// step `t` arrives at edge `e + 1` at exactly `t + 1` (worms cannot
+    /// buffer), so the whole bucket queue degenerates to a current-step
+    /// and a next-step vector of `(worm, edge)` events.
+    cur_events: Vec<(u32, u32)>,
+    next_events: Vec<(u32, u32)>,
     states: Vec<WormState>,
     cur_wl: Vec<u16>,
     arrivals: Vec<(u64, u32, u32)>,
@@ -212,6 +227,11 @@ impl Engine {
         self.config = config;
     }
 
+    /// Number of directed links this engine was built for.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
     /// Simulate one round. `rng` is consulted only for
     /// [`TieRule::Random`] and conversion-rule wavelength choices.
     ///
@@ -219,6 +239,20 @@ impl Engine {
     /// If a spec has length 0, a wavelength `≥ B`, or a link id out of
     /// range.
     pub fn run(&mut self, specs: &[TransmissionSpec<'_>], rng: &mut impl Rng) -> RoundOutcome {
+        let mut out = RoundOutcome::default();
+        self.run_into(specs, rng, &mut out);
+        out
+    }
+
+    /// Like [`Engine::run`], but writes the outcome into `out`, reusing its
+    /// `results` and `conflicts` allocations — a round allocates nothing
+    /// once the buffers have grown to the workload's size.
+    pub fn run_into(
+        &mut self,
+        specs: &[TransmissionSpec<'_>],
+        rng: &mut impl Rng,
+        out: &mut RoundOutcome,
+    ) {
         let b = self.config.bandwidth as usize;
         self.gen = self.gen.wrapping_add(1);
         if self.gen == 0 {
@@ -247,18 +281,45 @@ impl Engine {
             }
         }
 
-        // Reused allocations: bucket queue, states, wavelengths.
+        // Reused allocations: event schedule, states, wavelengths.
         let mut scratch = std::mem::take(&mut self.scratch);
-        for b in &mut scratch.buckets {
-            b.clear();
-        }
-        scratch.buckets.resize_with(max_time as usize + 2, Vec::new);
-        let mut buckets = scratch.buckets;
-        for (i, s) in specs.iter().enumerate() {
+        // Counting-sort the *initial* head arrivals by start step; every
+        // later event is generated dynamically (a winner at edge `e`,
+        // step `t` arrives at edge `e + 1` at step `t + 1`), so dead worms
+        // cost nothing after the step that kills them.
+        let steps = max_time as usize + 1;
+        scratch.ev_counts.clear();
+        scratch.ev_counts.resize(steps, 0);
+        for s in specs {
             if !s.links.is_empty() {
-                buckets[s.start as usize].push((i as u32, 0));
+                scratch.ev_counts[s.start as usize] += 1;
             }
         }
+        scratch.ev_offsets.clear();
+        scratch.ev_offsets.reserve(steps + 1);
+        scratch.ev_offsets.push(0);
+        let mut total = 0u32;
+        for t in 0..steps {
+            total += scratch.ev_counts[t];
+            scratch.ev_offsets.push(total);
+            scratch.ev_counts[t] = 0; // becomes the scatter cursor
+        }
+        scratch.ev_items.clear();
+        scratch.ev_items.resize(total as usize, 0);
+        for (i, s) in specs.iter().enumerate() {
+            if !s.links.is_empty() {
+                let t = s.start as usize;
+                let at = scratch.ev_offsets[t] + scratch.ev_counts[t];
+                scratch.ev_items[at as usize] = i as u32;
+                scratch.ev_counts[t] += 1;
+            }
+        }
+        let ev_offsets = scratch.ev_offsets;
+        let ev_items = scratch.ev_items;
+        let mut cur = scratch.cur_events;
+        cur.clear();
+        let mut next = scratch.next_events;
+        next.clear();
 
         for st in &mut scratch.states {
             st.reset();
@@ -269,7 +330,8 @@ impl Engine {
         scratch.cur_wl.clear();
         scratch.cur_wl.extend(specs.iter().map(|s| s.wavelength));
         let mut cur_wl = scratch.cur_wl;
-        let mut conflicts: Vec<Conflict> = Vec::new();
+        let mut conflicts = std::mem::take(&mut out.conflicts);
+        conflicts.clear();
         let mut makespan = 0u32;
 
         // Scratch: (group key, worm, edge index), sorted per step.
@@ -287,9 +349,9 @@ impl Engine {
         let loop_end = match &mut faults {
             Some(fr) => {
                 fr.reset();
-                (buckets.len() as u32).max(fr.relevant_until(drain_end) + 1)
+                (max_time + 2).max(fr.relevant_until(drain_end) + 1)
             }
-            None => buckets.len() as u32,
+            None => max_time + 2,
         };
 
         for t in 0..loop_end {
@@ -313,15 +375,16 @@ impl Engine {
                     }
                 });
             }
-            if t as usize >= buckets.len() || buckets[t as usize].is_empty() {
+            if let Some(&[lo, hi]) = ev_offsets.get(t as usize..t as usize + 2) {
+                cur.extend(ev_items[lo as usize..hi as usize].iter().map(|&w| (w, 0)));
+            }
+            if cur.is_empty() {
                 continue;
             }
             arrivals.clear();
-            for &(w, e) in &buckets[t as usize] {
-                let st = &states[w as usize];
-                if st.fatal.is_some() {
-                    continue; // head already eliminated
-                }
+            let plain_links =
+                !matches!(self.config.rule, CollisionRule::Conversion) && self.converters.is_none();
+            for &(w, e) in cur.iter() {
                 let link = specs[w as usize].links[e as usize];
                 if self.dead_links.as_ref().is_some_and(|m| m[link as usize])
                     || faults.as_ref().is_some_and(|f| f.is_blocked(link, t))
@@ -333,8 +396,9 @@ impl Engine {
                     makespan = makespan.max(t);
                     continue;
                 }
-                let per_link = matches!(self.config.rule, CollisionRule::Conversion)
-                    || self.is_converter_link(link);
+                let per_link = !plain_links
+                    && (matches!(self.config.rule, CollisionRule::Conversion)
+                        || self.is_converter_link(link));
                 let sub = if per_link {
                     b as u64
                 } else {
@@ -367,9 +431,9 @@ impl Engine {
                         t,
                         gen,
                         rng,
-                        &mut buckets,
                         &mut makespan,
                         &mut cur_wl,
+                        &mut next,
                     );
                 } else if per_link {
                     self.resolve_hybrid_converter_group(
@@ -380,11 +444,45 @@ impl Engine {
                         group,
                         t,
                         gen,
-                        &mut buckets,
                         &mut makespan,
                         &mut cur_wl,
+                        &mut next,
                     );
                 } else {
+                    if group.len() == 1 {
+                        // Fast path: a lone arrival at a vacant slot wins
+                        // unconditionally under every rule and tie mode —
+                        // `resolve_group` returns `ArrivalWins(0)` for a
+                        // single contender without consulting the RNG, and
+                        // with no losers there is no conflict to log.
+                        let (_, w, e) = arrivals[group.start];
+                        let link = specs[w as usize].links[e as usize];
+                        let slot_idx = link as usize * b + cur_wl[w as usize] as usize;
+                        let slot = self.occ[slot_idx];
+                        let vacant = slot.gen != gen || {
+                            let ow = slot.worm as usize;
+                            t >= slot.entry
+                                + eff_len_at(&states[ow], specs[ow].length, slot.edge_idx)
+                        };
+                        if vacant {
+                            self.occ[slot_idx] = Slot {
+                                gen,
+                                worm: w,
+                                entry: t,
+                                edge_idx: e,
+                            };
+                            advance(
+                                specs,
+                                &mut states[w as usize],
+                                &mut next,
+                                w,
+                                e,
+                                t,
+                                &mut makespan,
+                            );
+                            continue;
+                        }
+                    }
                     cands.clear();
                     cands.extend(arrivals[group.clone()].iter().map(|&(_, w, _)| Candidate {
                         id: w,
@@ -400,16 +498,20 @@ impl Engine {
                         t,
                         gen,
                         rng,
-                        &mut buckets,
                         &mut makespan,
                         &cur_wl,
+                        &mut next,
                     );
                 }
             }
+            cur.clear();
+            std::mem::swap(&mut cur, &mut next);
         }
 
         // Final fates.
-        let mut results = Vec::with_capacity(specs.len());
+        let mut results = std::mem::take(&mut out.results);
+        results.clear();
+        results.reserve(specs.len());
         for (w, s) in specs.iter().enumerate() {
             let st = &states[w];
             let fate = if s.links.is_empty() {
@@ -452,18 +554,20 @@ impl Engine {
         // the next round.
         self.faults = faults;
         self.scratch = Scratch {
-            buckets,
+            ev_counts: scratch.ev_counts,
+            ev_offsets,
+            ev_items,
+            cur_events: cur,
+            next_events: next,
             states,
             cur_wl,
             arrivals,
             cands,
         };
 
-        RoundOutcome {
-            results,
-            conflicts,
-            makespan,
-        }
+        out.results = results;
+        out.conflicts = conflicts;
+        out.makespan = makespan;
     }
 
     /// Resolve one (link, wavelength) group under serve-first or priority.
@@ -479,9 +583,9 @@ impl Engine {
         t: u32,
         gen: u32,
         rng: &mut impl Rng,
-        buckets: &mut [Vec<(u32, u32)>],
         makespan: &mut u32,
         cur_wl: &[u16],
+        next: &mut Vec<(u32, u32)>,
     ) {
         let (_, w0, e0) = arrivals[group.start];
         let link = specs[w0 as usize].links[e0 as usize];
@@ -550,10 +654,10 @@ impl Engine {
                 advance(
                     specs,
                     &mut states[winner as usize],
+                    next,
                     winner,
                     we,
                     t,
-                    buckets,
                     makespan,
                 );
                 if self.config.record_conflicts && !losers.is_empty() {
@@ -608,9 +712,9 @@ impl Engine {
         t: u32,
         gen: u32,
         rng: &mut impl Rng,
-        buckets: &mut [Vec<(u32, u32)>],
         makespan: &mut u32,
         cur_wl: &mut [u16],
+        next: &mut Vec<(u32, u32)>,
     ) {
         let b = self.config.bandwidth as usize;
         let (_, w0, e0) = arrivals[group.start];
@@ -687,7 +791,7 @@ impl Engine {
                     edge_idx: e,
                 };
                 cur_wl[w as usize] = wl;
-                advance(specs, &mut states[w as usize], w, e, t, buckets, makespan);
+                advance(specs, &mut states[w as usize], next, w, e, t, makespan);
             } else {
                 // All wavelengths busy or taken: eliminated. Witness: any
                 // occupant; use the worm that took the last free slot, or
@@ -730,9 +834,9 @@ impl Engine {
         group: std::ops::Range<usize>,
         t: u32,
         gen: u32,
-        buckets: &mut [Vec<(u32, u32)>],
         makespan: &mut u32,
         cur_wl: &mut [u16],
+        next: &mut Vec<(u32, u32)>,
     ) {
         let b = self.config.bandwidth as usize;
         let (_, w0, e0) = arrivals[group.start];
@@ -773,7 +877,7 @@ impl Engine {
                     edge_idx: e,
                 };
                 cur_wl[w as usize] = wl as u16;
-                advance(specs, &mut states[w as usize], w, e, t, buckets, makespan);
+                advance(specs, &mut states[w as usize], next, w, e, t, makespan);
                 continue;
             }
             // All wavelengths busy.
@@ -801,7 +905,7 @@ impl Engine {
                     edge_idx: e,
                 };
                 cur_wl[w as usize] = occ_wl as u16;
-                advance(specs, &mut states[w as usize], w, e, t, buckets, makespan);
+                advance(specs, &mut states[w as usize], next, w, e, t, makespan);
                 if self.config.record_conflicts {
                     conflicts.push(Conflict {
                         time: t,
@@ -865,22 +969,23 @@ fn kill(st: &mut WormState, edge: u32, t: u32, blocker: u32, makespan: &mut u32)
     *makespan = (*makespan).max(t);
 }
 
-/// Schedule the winner's next head event (or mark the head as arrived).
+/// Advance a head that won its link: enqueue its arrival at the next edge
+/// for step `t + 1` (worms cannot buffer), or mark it done at path's end.
 fn advance(
     specs: &[TransmissionSpec<'_>],
     st: &mut WormState,
+    next: &mut Vec<(u32, u32)>,
     w: u32,
     edge: u32,
     t: u32,
-    buckets: &mut [Vec<(u32, u32)>],
     makespan: &mut u32,
 ) {
-    let next = edge + 1;
-    if next as usize == specs[w as usize].links.len() {
+    let nxt = edge + 1;
+    if nxt as usize == specs[w as usize].links.len() {
         st.head_done = true;
         *makespan = (*makespan).max(t + 1);
     } else {
-        buckets[t as usize + 1].push((w, next));
+        next.push((w, nxt));
     }
 }
 

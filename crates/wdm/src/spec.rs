@@ -102,7 +102,7 @@ pub struct Conflict {
 }
 
 /// Outcome of one simulated round.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct RoundOutcome {
     /// Per-worm results, indexed like the input specs.
     pub results: Vec<WormResult>,

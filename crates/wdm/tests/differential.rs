@@ -532,6 +532,88 @@ fn no_delivered_worm_ever_crossed_a_down_link() {
 }
 
 #[test]
+fn csr_specs_through_reused_engine_match_reference() {
+    // The protocol hot path feeds the engine link slices borrowed from a
+    // CSR `PathCollection` and reuses one engine (and one `RoundOutcome`)
+    // across many rounds via `run_into`. Neither the storage layout nor
+    // the reuse may perturb outcomes: every case must match the
+    // first-principles reference, which gets a fresh engine and owned
+    // buffers each time.
+    use optical_paths::{Path, PathCollection};
+    use optical_wdm::RoundOutcome;
+
+    for rule in [CollisionRule::ServeFirst, CollisionRule::Priority] {
+        for bandwidth in [1u16, 2] {
+            let config = RouterConfig {
+                bandwidth,
+                rule,
+                tie: TieRule::LowestId,
+                record_conflicts: false,
+            };
+            for net in random_networks() {
+                // One engine and one outcome for ALL seeds of this network.
+                let mut engine = Engine::new(net.link_count(), config);
+                let mut out = RoundOutcome::default();
+                for seed in 0..60u64 {
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(769) + 13);
+                    let n_worms = rng.gen_range(1..=8);
+                    let mut coll = PathCollection::for_network(&net);
+                    for _ in 0..n_worms {
+                        let n = net.node_count() as u32;
+                        let mut cur = rng.gen_range(0..n);
+                        let target_len = rng.gen_range(0..=6);
+                        let mut nodes = vec![cur];
+                        let mut links = Vec::new();
+                        for _ in 0..target_len {
+                            let neigh: Vec<(NodeId, u32)> = net
+                                .neighbors(cur)
+                                .filter(|(t, _)| !nodes.contains(t))
+                                .collect();
+                            if neigh.is_empty() {
+                                break;
+                            }
+                            let &(next, link) = neigh.choose(&mut rng).unwrap();
+                            nodes.push(next);
+                            links.push(link);
+                            cur = next;
+                        }
+                        coll.push(Path::from_parts(nodes, links));
+                    }
+                    let mut prios: Vec<u64> = (0..n_worms as u64).collect();
+                    prios.shuffle(&mut rng);
+                    let specs: Vec<TransmissionSpec<'_>> = coll
+                        .iter()
+                        .zip(&prios)
+                        .map(|((_, p), &priority)| TransmissionSpec {
+                            links: p.links(),
+                            start: rng.gen_range(0..6),
+                            wavelength: rng.gen_range(0..bandwidth),
+                            priority,
+                            length: rng.gen_range(1..=4),
+                        })
+                        .collect();
+
+                    let mut ra = ChaCha8Rng::seed_from_u64(seed);
+                    engine.run_into(&specs, &mut ra, &mut out);
+                    let mut rb = ChaCha8Rng::seed_from_u64(seed);
+                    let want = reference::simulate(net.link_count(), config, &specs, &mut rb);
+                    assert_eq!(out.results.len(), want.len());
+                    for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+                        assert_eq!(
+                            got.fate,
+                            *want,
+                            "CSR/reuse divergence: net={}, rule={rule:?}, B={bandwidth}, \
+                             seed={seed}, worm={i}",
+                            net.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn fates_partition_is_consistent() {
     // Regardless of rule: delivered + truncated + eliminated == n, and
     // truncated only under the priority rule.

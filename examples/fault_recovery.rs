@@ -35,7 +35,7 @@ fn main() {
     //    picked from the middle of three worms' paths, so those worms
     //    *cannot* get through without rerouting.
     let mut cut_fibers: Vec<u32> = Vec::new();
-    for p in coll.paths() {
+    for (_, p) in coll.iter() {
         if p.len() >= 5 {
             let fiber = p.links()[p.len() / 2] / 2;
             if !cut_fibers.contains(&fiber) {

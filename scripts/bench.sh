@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Perf-gate workflow around the `perf_gate` binary
+# (crates/bench/src/bin/perf_gate.rs).
+#
+#   ./scripts/bench.sh              # full run -> BENCH_pr.json, gate vs BENCH_baseline.json
+#   ./scripts/bench.sh --baseline   # full run -> BENCH_baseline.json (baseline update)
+#   ./scripts/bench.sh --check      # quick run, generous tolerance (CI smoke; nothing committed)
+#   ./scripts/bench.sh --tolerance F  # override the gate tolerance (default 1.25)
+#
+# Baseline-update workflow: before a perf-sensitive refactor, run
+# `--baseline` on the pre-change tree and commit BENCH_baseline.json; after
+# the change, run with no flags and commit BENCH_pr.json — the comparison
+# table printed here is the PR's perf evidence. The gate fails (exit 1)
+# when any bench regresses past the tolerance factor.
+set -euo pipefail
+cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+mode=pr
+tolerance=1.25
+quick=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --baseline) mode=baseline ;;
+    --check)
+      mode=check
+      quick="--quick"
+      tolerance=1.5
+      ;;
+    --tolerance)
+      shift
+      tolerance="$1"
+      ;;
+    *)
+      echo "unknown argument $1 (try --baseline, --check, --tolerance F)" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+# Build the gate binary: a plain registry build when the network is
+# available, otherwise the offline stub workspace under .devcheck/work
+# (same dependency surface; perf_gate itself uses no stubbed hot paths —
+# rand_chacha only seeds the workload).
+if cargo build --release -p optical-bench --bin perf_gate 2>/dev/null; then
+  GATE=target/release/perf_gate
+else
+  echo "registry build unavailable; building in the offline stub workspace"
+  bash .devcheck/sync-check.sh >/dev/null 2>&1 || true
+  (cd .devcheck/work && cargo build --release --offline -p optical-bench --bin perf_gate)
+  GATE=.devcheck/work/target/release/perf_gate
+fi
+
+case "$mode" in
+  baseline)
+    "$GATE" $quick --out BENCH_baseline.json
+    ;;
+  pr)
+    "$GATE" $quick --out BENCH_pr.json
+    if [[ -f BENCH_baseline.json ]]; then
+      "$GATE" --compare BENCH_baseline.json BENCH_pr.json --tolerance "$tolerance"
+    else
+      echo "no BENCH_baseline.json; skipping gate (run --baseline to create one)"
+    fi
+    ;;
+  check)
+    out="$(mktemp)"
+    trap 'rm -f "$out"' EXIT
+    "$GATE" --quick --out "$out"
+    if [[ -f BENCH_baseline.json ]]; then
+      "$GATE" --compare BENCH_baseline.json "$out" --tolerance "$tolerance"
+    else
+      echo "no BENCH_baseline.json; skipping gate (run --baseline to create one)"
+    fi
+    ;;
+esac

@@ -23,4 +23,12 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Opt-in perf gate: quick perf_gate run compared against the committed
+# BENCH_baseline.json with a generous tolerance. Off by default so tier-1
+# stays fast; enable with TIER1_BENCH=1.
+if [[ "${TIER1_BENCH:-0}" == "1" ]]; then
+  echo "== perf gate (quick, tolerance 1.5x) =="
+  ./scripts/bench.sh --check
+fi
+
 echo "tier-1: all green"

@@ -1,0 +1,335 @@
+//! Golden differential suite for the protocol hot path.
+//!
+//! The CSR path storage and the reusable [`ProtocolWorkspace`] must be
+//! *observably invisible*: a run through the allocation-free path has to
+//! produce a byte-identical [`RunReport`] — same RNG stream, same fates,
+//! same per-round observables — as the straightforward implementation it
+//! replaced. This file keeps that straightforward implementation alive as
+//! an executable reference (built only from public primitives: one
+//! fresh [`Engine`] per run, owned `Vec` buffers per round, a sub-
+//! collection rebuild for the congestion observable) and compares full
+//! reports structurally across ack modes, routers, strategies, converter
+//! masks, and fiber cuts.
+
+use all_optical::core::priority::WavelengthStrategy;
+use all_optical::core::{
+    AckMode, PriorityStrategy, ProtocolParams, ProtocolWorkspace, RoundReport, RunReport,
+    ScheduleCtx, TrialAndFailure,
+};
+use all_optical::paths::{metrics, Path, PathCollection};
+use all_optical::topo::{topologies, Network};
+use all_optical::wdm::{Engine, Fate, RouterConfig, TransmissionSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Pre-refactor trial-and-failure: per-run engine construction, per-round
+/// `Vec` allocations, congestion via a rebuilt sub-collection. Must
+/// consume the RNG stream exactly like `TrialAndFailure::run`.
+fn reference_run(
+    net: &Network,
+    coll: &PathCollection,
+    p: &ProtocolParams,
+    rng: &mut impl Rng,
+) -> RunReport {
+    let n = coll.len();
+    let b = p.router.bandwidth as u32;
+    let full_metrics = metrics::metrics(coll);
+    let d = full_metrics.dilation;
+    let l = p.worm_len;
+
+    let mut fwd_cfg = p.router;
+    fwd_cfg.record_conflicts = false;
+    let mut engine = Engine::new(coll.link_count(), fwd_cfg);
+    engine.set_converters(p.converters.clone());
+    engine.set_dead_links(p.dead_links.clone());
+    let simulated = matches!(p.ack, AckMode::Simulated { .. });
+    let mut ack_engine = simulated.then(|| {
+        let mut e = Engine::new(coll.link_count(), fwd_cfg);
+        e.set_converters(p.converters.clone());
+        e.set_dead_links(p.dead_links.clone());
+        e
+    });
+    let reversed: Vec<Path> = if simulated {
+        coll.iter().map(|(_, pr)| pr.reversed(net)).collect()
+    } else {
+        Vec::new()
+    };
+    let ack_len = match p.ack {
+        AckMode::Simulated { ack_len } => ack_len.unwrap_or(l),
+        AckMode::Ideal => 0,
+    };
+
+    let fixed_wl: Vec<u16> = match p.wavelengths {
+        WavelengthStrategy::FixedPerWorm => (0..n).map(|_| rng.gen_range(0..b) as u16).collect(),
+        _ => Vec::new(),
+    };
+
+    let mut active: Vec<u32> = (0..n as u32).collect();
+    let mut acked_round: Vec<Option<u32>> = vec![None; n];
+    let mut rounds: Vec<RoundReport> = Vec::new();
+    let mut total_time: u64 = 0;
+    let mut duplicate_deliveries: u64 = 0;
+
+    for t in 1..=p.max_rounds {
+        if active.is_empty() {
+            break;
+        }
+        let ctx = ScheduleCtx {
+            n,
+            active: active.len(),
+            worm_len: l,
+            bandwidth: p.router.bandwidth,
+            path_congestion: full_metrics.path_congestion,
+            dilation: d,
+        };
+        let delta = p.schedule.delta(t, &ctx);
+
+        let congestion_before = p.record_congestion.then(|| {
+            let mut sub = PathCollection::new(coll.link_count());
+            for &pid in &active {
+                sub.push_ref(coll.path(pid as usize));
+            }
+            metrics::path_congestion(&sub)
+        });
+
+        let priorities = p.priorities.assign(&active, n, rng);
+        let wavelengths = p
+            .wavelengths
+            .assign(&active, p.router.bandwidth, &fixed_wl, rng);
+        let specs: Vec<TransmissionSpec<'_>> = active
+            .iter()
+            .zip(priorities.iter().zip(&wavelengths))
+            .map(|(&pid, (&prio, &wl))| TransmissionSpec {
+                links: coll.links_of(pid as usize),
+                start: rng.gen_range(0..delta),
+                wavelength: wl,
+                priority: prio,
+                length: l,
+            })
+            .collect();
+
+        let outcome = engine.run(&specs, rng);
+
+        let mut acked_now: Vec<u32> = Vec::new();
+        let mut delivered = 0usize;
+        let mut truncated = 0usize;
+        if let Some(ack_eng) = ack_engine.as_mut() {
+            let mut ack_specs: Vec<TransmissionSpec<'_>> = Vec::new();
+            let mut ack_owner: Vec<u32> = Vec::new();
+            for (k, r) in outcome.results.iter().enumerate() {
+                match r.fate {
+                    Fate::Delivered { completed_at } => {
+                        delivered += 1;
+                        ack_specs.push(TransmissionSpec {
+                            links: reversed[active[k] as usize].links(),
+                            start: completed_at + 1,
+                            wavelength: specs[k].wavelength,
+                            priority: specs[k].priority,
+                            length: ack_len,
+                        });
+                        ack_owner.push(k as u32);
+                    }
+                    Fate::Truncated { .. } => truncated += 1,
+                    Fate::Eliminated { .. } => {}
+                }
+            }
+            let ack_outcome = ack_eng.run(&ack_specs, rng);
+            for (a, r) in ack_outcome.results.iter().enumerate() {
+                if r.fate.is_delivered() {
+                    acked_now.push(ack_owner[a]);
+                } else {
+                    duplicate_deliveries += 1;
+                }
+            }
+        } else {
+            for (k, r) in outcome.results.iter().enumerate() {
+                match r.fate {
+                    Fate::Delivered { .. } => {
+                        delivered += 1;
+                        acked_now.push(k as u32);
+                    }
+                    Fate::Truncated { .. } => truncated += 1,
+                    Fate::Eliminated { .. } => {}
+                }
+            }
+        }
+
+        let blocking = p.record_blocking.then(|| {
+            let mut map = HashMap::new();
+            for (k, r) in outcome.results.iter().enumerate() {
+                if !r.fate.is_delivered() {
+                    if let Some(blocker) = r.first_blocker {
+                        map.insert(active[k], active[blocker as usize]);
+                    }
+                }
+            }
+            map
+        });
+
+        let round_time = delta as u64 + 2 * (d as u64 + l as u64);
+        total_time += round_time;
+        rounds.push(RoundReport {
+            round: t,
+            delta,
+            active_before: active.len(),
+            delivered,
+            acked: acked_now.len(),
+            truncated,
+            round_time,
+            forward_makespan: outcome.makespan,
+            blocking,
+            congestion_before,
+        });
+
+        for &k in &acked_now {
+            acked_round[active[k as usize] as usize] = Some(t);
+        }
+        let retired: std::collections::HashSet<u32> = acked_now.into_iter().collect();
+        let mut idx = 0u32;
+        active.retain(|_| {
+            let keep = !retired.contains(&idx);
+            idx += 1;
+            keep
+        });
+    }
+
+    let completed = active.is_empty();
+    RunReport {
+        rounds,
+        total_time,
+        completed,
+        remaining: active,
+        acked_round,
+        duplicate_deliveries,
+        metrics: full_metrics,
+    }
+}
+
+/// A torus instance with one shortest path per (random) source/dest pair.
+fn torus_instance(side: u32, n_paths: usize, seed: u64) -> (Network, PathCollection) {
+    let net = topologies::torus(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coll = PathCollection::for_network(&net);
+    for _ in 0..n_paths {
+        let s = rng.gen_range(0..net.node_count() as u32);
+        let d = rng.gen_range(0..net.node_count() as u32);
+        let nodes = net.shortest_path(s, d).unwrap();
+        coll.push(Path::from_nodes(&net, &nodes));
+    }
+    (net, coll)
+}
+
+/// The parameter grid: every feature that touches the hot path.
+fn configurations(net: &Network) -> Vec<(&'static str, ProtocolParams)> {
+    let mut out = Vec::new();
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+    p.max_rounds = 200;
+    p.record_congestion = true;
+    p.record_blocking = true;
+    out.push(("serve-first + recording", p));
+
+    let mut p = ProtocolParams::new(RouterConfig::priority(2), 3);
+    p.max_rounds = 200;
+    p.ack = AckMode::Simulated { ack_len: None };
+    out.push(("priority + simulated acks", p));
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(1), 2);
+    p.max_rounds = 300;
+    p.wavelengths = WavelengthStrategy::FixedPerWorm;
+    p.priorities = PriorityStrategy::ByPathId;
+    out.push(("fixed wavelengths + fixed priorities", p));
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+    p.max_rounds = 200;
+    p.converters = Some((0..net.link_count()).map(|i| i % 3 == 0).collect());
+    p.ack = AckMode::Simulated { ack_len: Some(1) };
+    out.push(("sparse converters + short acks", p));
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+    p.max_rounds = 30;
+    let mut dead = vec![false; net.link_count()];
+    dead[0] = true;
+    dead[1] = true;
+    p.dead_links = Some(dead);
+    p.record_congestion = true;
+    out.push(("fiber cut (incomplete run)", p));
+
+    out
+}
+
+#[test]
+fn hot_path_matches_reference_implementation() {
+    let (net, coll) = torus_instance(4, 24, 0xC0FFEE);
+    let mut ws = ProtocolWorkspace::new();
+    for (name, params) in configurations(&net) {
+        let proto = TrialAndFailure::new(&net, &coll, params.clone());
+        for seed in 0..5u64 {
+            let want = reference_run(&net, &coll, &params, &mut ChaCha8Rng::seed_from_u64(seed));
+            let fresh = proto.run(&mut ChaCha8Rng::seed_from_u64(seed));
+            assert_eq!(
+                fresh, want,
+                "fresh-workspace divergence: {name}, seed {seed}"
+            );
+            // The same long-lived workspace across every config and seed:
+            // cross-run leakage would show up as a diverging report.
+            let reused = proto.run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(seed));
+            assert_eq!(
+                reused, want,
+                "reused-workspace divergence: {name}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_survives_network_size_changes() {
+    // Engines are rebuilt when the link count changes and reconfigured in
+    // place otherwise; either way the reports must match the reference.
+    let mut ws = ProtocolWorkspace::new();
+    for (side, n_paths) in [(3u32, 10usize), (5, 30), (3, 10), (4, 20)] {
+        let (net, coll) = torus_instance(side, n_paths, side as u64 * 31 + n_paths as u64);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+        params.max_rounds = 200;
+        params.record_congestion = true;
+        let proto = TrialAndFailure::new(&net, &coll, params.clone());
+        let want = reference_run(&net, &coll, &params, &mut ChaCha8Rng::seed_from_u64(9));
+        let got = proto.run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(got, want, "divergence after resize to side {side}");
+    }
+}
+
+#[test]
+fn golden_seed_snapshot_is_stable() {
+    // A pinned instance/seed whose headline numbers changing would mean
+    // the protocol's RNG stream or accounting drifted. The expectations
+    // are computed from the reference implementation at runtime (the
+    // offline RNG stub and the real ChaCha differ), so this asserts
+    // run == run_with == reference down to every public field, plus the
+    // internal consistency of the headline numbers.
+    let (net, coll) = torus_instance(4, 32, 1997);
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+    params.max_rounds = 400;
+    params.record_congestion = true;
+    params.record_blocking = true;
+    let proto = TrialAndFailure::new(&net, &coll, params.clone());
+
+    let want = reference_run(&net, &coll, &params, &mut ChaCha8Rng::seed_from_u64(1997));
+    let got = proto.run(&mut ChaCha8Rng::seed_from_u64(1997));
+    assert_eq!(got, want);
+    assert!(got.completed, "golden instance must drain");
+    assert_eq!(got.metrics.n, 32);
+    assert_eq!(
+        got.acked_round.iter().filter(|r| r.is_some()).count(),
+        32,
+        "every worm acked exactly once"
+    );
+    let times: u64 = got.rounds.iter().map(|r| r.round_time).sum();
+    assert_eq!(times, got.total_time);
+    assert_eq!(
+        got.rounds[0].congestion_before,
+        Some(want.metrics.path_congestion),
+        "round 1 sees the full collection's path congestion"
+    );
+}

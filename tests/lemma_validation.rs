@@ -119,9 +119,7 @@ fn lemma_2_4_one_round_halving() {
     for _ in 0..trials {
         let specs: Vec<TransmissionSpec<'_>> = inst
             .coll
-            .paths()
             .iter()
-            .enumerate()
             .map(|(i, p)| TransmissionSpec {
                 links: p.links(),
                 start: rng.gen_range(0..delta),

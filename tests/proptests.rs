@@ -47,7 +47,7 @@ proptest! {
             prop_assert!(m.congestion >= 2);
         }
         // Dilation is the max path length.
-        let max_len = coll.paths().iter().map(|p| p.len() as u32).max().unwrap_or(0);
+        let max_len = coll.iter().map(|(_, p)| p.len() as u32).max().unwrap_or(0);
         prop_assert_eq!(m.dilation, max_len);
     }
 
@@ -73,9 +73,7 @@ proptest! {
         let (net, coll) = torus_paths(side, n_worms, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFEED);
         let specs: Vec<TransmissionSpec<'_>> = coll
-            .paths()
             .iter()
-            .enumerate()
             .map(|(i, p)| TransmissionSpec {
                 links: p.links(),
                 start: rand::Rng::gen_range(&mut rng, 0..8),
@@ -118,9 +116,7 @@ proptest! {
         let (net, coll) = torus_paths(side, n_worms, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let specs: Vec<TransmissionSpec<'_>> = coll
-            .paths()
             .iter()
-            .enumerate()
             .map(|(i, p)| TransmissionSpec {
                 links: p.links(),
                 start: rand::Rng::gen_range(&mut rng, 0..6),
@@ -164,7 +160,7 @@ proptest! {
     ) {
         let (net, coll) = torus_paths(side, n_worms, seed);
         let build_specs = |rng: &mut ChaCha8Rng| -> Vec<(u32, u16)> {
-            coll.paths().iter().map(|_| (
+            coll.iter().map(|_| (
                 rand::Rng::gen_range(rng, 0..6u32),
                 rand::Rng::gen_range(rng, 0..2u16),
             )).collect()
@@ -175,11 +171,9 @@ proptest! {
         let params2 = build_specs(&mut r2);
         prop_assert_eq!(&params1, &params2);
         let specs: Vec<TransmissionSpec<'_>> = coll
-            .paths()
             .iter()
             .zip(&params1)
-            .enumerate()
-            .map(|(i, (p, &(start, wl)))| TransmissionSpec {
+            .map(|((i, p), &(start, wl))| TransmissionSpec {
                 links: p.links(), start, wavelength: wl, priority: i as u64, length: 2,
             })
             .collect();
@@ -260,9 +254,7 @@ proptest! {
         let (net, coll) = torus_paths(side, n_worms, seed);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA);
         let specs: Vec<TransmissionSpec<'_>> = coll
-            .paths()
             .iter()
-            .enumerate()
             .map(|(i, p)| TransmissionSpec {
                 links: p.links(),
                 start: rand::Rng::gen_range(&mut rng, 0..6),
@@ -302,9 +294,7 @@ proptest! {
         }
         let len = 3u32;
         let specs: Vec<TransmissionSpec<'_>> = coll
-            .paths()
             .iter()
-            .enumerate()
             .map(|(i, p)| TransmissionSpec {
                 links: p.links(),
                 start: rand::Rng::gen_range(&mut rng, 0..8),

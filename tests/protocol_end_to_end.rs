@@ -154,9 +154,7 @@ fn worm_length_one_never_truncates() {
     for seed in 0..20 {
         let mut r2 = ChaCha8Rng::seed_from_u64(seed);
         let specs: Vec<TransmissionSpec<'_>> = coll
-            .paths()
             .iter()
-            .enumerate()
             .map(|(i, p)| TransmissionSpec {
                 links: p.links(),
                 start: rand::Rng::gen_range(&mut r2, 0..4),
@@ -213,7 +211,7 @@ fn fiber_cut_and_reroute_recovery() {
     let coll = bfs_collection(&net, &f);
 
     // Cut both directions of some fiber used by at least one path.
-    let victim_link = coll.paths()[3].links()[0];
+    let victim_link = coll.path(3).links()[0];
     let mut dead = vec![false; net.link_count()];
     dead[victim_link as usize] = true;
     dead[net.reverse_link(victim_link) as usize] = true;
