@@ -1,4 +1,4 @@
-//! One Criterion group per paper artifact (E1–E10): benchmarks the code
+//! One Criterion group per paper artifact (E1–E15): benchmarks the code
 //! path that regenerates each table at a reduced, fixed size, so
 //! regressions in any experiment's pipeline are caught by `cargo bench`.
 
@@ -11,6 +11,7 @@ fn cfg() -> ExpConfig {
         quick: true,
         seed: 1997,
         trials: 2,
+        timings: false,
     }
 }
 

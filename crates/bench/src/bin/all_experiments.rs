@@ -1,7 +1,18 @@
-//! Regenerate every experiment table (E1-E10) in one run.
-//! Flags: `--quick`, `--seed N`, `--trials N`.
+//! Regenerate every experiment table (E1–E15) in one parallel run.
+//! Flags: `--quick`, `--seed N`, `--trials N`, `--timings`.
+//!
+//! The report goes to stdout and is byte-identical at any thread count;
+//! `--timings` prints per-experiment wall-clock to stderr so it can be
+//! inspected without disturbing the report.
 
 fn main() {
     let cfg = optical_bench::ExpConfig::from_args();
-    print!("{}", optical_bench::experiments::run_all(&cfg));
+    let (report, timings) = optical_bench::experiments::run_all_timed(&cfg);
+    print!("{report}");
+    if cfg.timings {
+        eprintln!("per-experiment wall-clock (overlapping under the parallel pool):");
+        for (id, elapsed) in &timings {
+            eprintln!("  {id:>4}  {:>9.3} ms", elapsed.as_secs_f64() * 1e3);
+        }
+    }
 }

@@ -16,10 +16,14 @@
 //! `scripts/bench.sh` for the `BENCH_baseline.json` / `BENCH_pr.json`
 //! workflow.
 
+use optical_bench::ExpConfig;
 use optical_core::{ProtocolParams, ProtocolWorkspace, TrialAndFailure};
 use optical_paths::select::bfs::bfs_route;
-use optical_paths::PathCollection;
+use optical_paths::select::butterfly::butterfly_qfunction_collection;
+use optical_paths::{properties, PathCollection};
+use optical_topo::topologies::ButterflyCoords;
 use optical_topo::{topologies, Network};
+use optical_workloads::functions::random_function;
 use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -112,6 +116,46 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
             black_box(coll.metrics().path_congestion);
         });
         out.insert("metrics/collection_1024".into(), ns);
+    }
+
+    // Structural-property kernels. Short-cut freeness and link-offset
+    // consistency run on the same 1024-worm torus permutation as the
+    // metrics; the leveling kernel needs a leveled system, so it runs on
+    // the 8-dim butterfly's input→output path system (256 rows, the E1/E8
+    // shape).
+    {
+        let ns = bench(samples, warmup, || {
+            black_box(properties::is_shortcut_free(&coll));
+        });
+        out.insert("properties/shortcut_free_1024".into(), ns);
+        let ns = bench(samples, warmup, || {
+            black_box(properties::consistent_link_offsets(&coll));
+        });
+        out.insert("properties/link_offsets_1024".into(), ns);
+    }
+    {
+        let net = topologies::butterfly(8);
+        let coords = ButterflyCoords::new(8, false);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let f = random_function(coords.rows() as usize, &mut rng);
+        let bcoll = butterfly_qfunction_collection(&net, &coords, &f);
+        let ns = bench(samples, warmup, || {
+            black_box(properties::leveling(&bcoll).is_some());
+        });
+        out.insert("properties/leveling_butterfly8".into(), ns);
+    }
+
+    // The whole experiment-regeneration pipeline, quick sweep: E1–E15
+    // end to end, exactly what `all_experiments --quick` prints. Few
+    // samples — one call is tens of milliseconds, and the pipeline's
+    // internal trial fan-out already averages away per-run noise.
+    {
+        let cfg = ExpConfig::quick();
+        let (p_samples, p_warmup) = if quick { (3, 1) } else { (9, 2) };
+        let ns = bench(p_samples, p_warmup, || {
+            black_box(optical_bench::experiments::run_all(&cfg).len());
+        });
+        out.insert("pipeline/run_all_quick".into(), ns);
     }
 
     out

@@ -1,0 +1,235 @@
+//! Process-wide memoization of experiment instances.
+//!
+//! Several experiments build the *same* deterministic inputs: E2 and E3
+//! sweep identical Figure-6 triangle instances (that is the point — the
+//! two tables compare routers on the same workload), E6 reuses one of
+//! those sizes, E1 and E8 route through the same butterfly networks, and
+//! E7's bandwidth sweep rebuilt one mesh workload per (B, L) combination.
+//! The [`InstanceCache`] makes that sharing explicit: constructors are
+//! keyed by their full parameter tuple (including the derived seed where
+//! the construction is seeded), values are `Arc`s handed out to every
+//! caller, and hit/miss counters make the reuse observable in tests.
+//!
+//! Everything cached here is a pure function of its key, so the cache
+//! never changes results — it only guarantees that "same parameters"
+//! means "same instance in memory", and removes rebuild cost from the
+//! parallel pipeline.
+
+use optical_paths::PathCollection;
+use optical_topo::{topologies, GridCoords, Network};
+use optical_workloads::functions::random_function;
+use optical_workloads::structures::{bundle, ladder, triangle};
+use optical_workloads::Instance;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Key for the deterministic (unseeded) lower-bound structures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum StructureKey {
+    /// `triangle(structures, dilation, worm_len)`.
+    Triangle(usize, u32, u32),
+    /// `ladder(structures, paths_per_structure, dilation, worm_len)`.
+    Ladder(usize, usize, u32, u32),
+    /// `bundle(structures, paths_per_structure, dilation)`.
+    Bundle(usize, usize, u32),
+}
+
+/// Key for plain topology construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum NetworkKey {
+    /// `topologies::butterfly(dim)`.
+    Butterfly(u32),
+    /// `topologies::mesh(dims, side)`.
+    Mesh(u32, u32),
+}
+
+/// Key for a seeded random-function mesh workload (dimension-order
+/// routed): `(dims, side, seed)`. The seed is part of the key, so two
+/// experiments share the instance only when they ask for the *same*
+/// randomness.
+type MeshFunctionKey = (u32, u32, u64);
+
+/// Cache hit/miss counters (all lookups combined).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the value.
+    pub misses: u64,
+}
+
+/// Process-wide instance cache; obtain via [`InstanceCache::global`].
+#[derive(Default)]
+pub struct InstanceCache {
+    structures: Mutex<HashMap<StructureKey, Arc<Instance>>>,
+    networks: Mutex<HashMap<NetworkKey, Arc<Network>>>,
+    mesh_functions: Mutex<HashMap<MeshFunctionKey, Arc<(Network, PathCollection)>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Look `key` up in `map`, building the value *outside* the lock on a
+/// miss. Two threads can race to build the same key; `or_insert` keeps
+/// the first value, and builders are pure functions of the key, so the
+/// loser's copy is identical and simply dropped.
+fn get_or_build<K, V>(
+    cache: &InstanceCache,
+    map: &Mutex<HashMap<K, Arc<V>>>,
+    key: K,
+    build: impl FnOnce() -> V,
+) -> Arc<V>
+where
+    K: std::hash::Hash + Eq + Copy,
+{
+    if let Some(v) = map.lock().unwrap().get(&key) {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(v);
+    }
+    cache.misses.fetch_add(1, Ordering::Relaxed);
+    let v = Arc::new(build());
+    Arc::clone(map.lock().unwrap().entry(key).or_insert(v))
+}
+
+impl InstanceCache {
+    /// The process-wide cache.
+    pub fn global() -> &'static InstanceCache {
+        static CACHE: OnceLock<InstanceCache> = OnceLock::new();
+        CACHE.get_or_init(InstanceCache::default)
+    }
+
+    /// Memoized [`triangle`].
+    pub fn triangle(&self, structures: usize, dilation: u32, worm_len: u32) -> Arc<Instance> {
+        get_or_build(
+            self,
+            &self.structures,
+            StructureKey::Triangle(structures, dilation, worm_len),
+            || triangle(structures, dilation, worm_len),
+        )
+    }
+
+    /// Memoized [`ladder`].
+    pub fn ladder(
+        &self,
+        structures: usize,
+        paths_per_structure: usize,
+        dilation: u32,
+        worm_len: u32,
+    ) -> Arc<Instance> {
+        get_or_build(
+            self,
+            &self.structures,
+            StructureKey::Ladder(structures, paths_per_structure, dilation, worm_len),
+            || ladder(structures, paths_per_structure, dilation, worm_len),
+        )
+    }
+
+    /// Memoized [`bundle`].
+    pub fn bundle(
+        &self,
+        structures: usize,
+        paths_per_structure: usize,
+        dilation: u32,
+    ) -> Arc<Instance> {
+        get_or_build(
+            self,
+            &self.structures,
+            StructureKey::Bundle(structures, paths_per_structure, dilation),
+            || bundle(structures, paths_per_structure, dilation),
+        )
+    }
+
+    /// Memoized [`topologies::butterfly`].
+    pub fn butterfly(&self, dim: u32) -> Arc<Network> {
+        get_or_build(self, &self.networks, NetworkKey::Butterfly(dim), || {
+            topologies::butterfly(dim)
+        })
+    }
+
+    /// Memoized [`topologies::mesh`].
+    pub fn mesh(&self, dims: u32, side: u32) -> Arc<Network> {
+        get_or_build(self, &self.networks, NetworkKey::Mesh(dims, side), || {
+            topologies::mesh(dims, side)
+        })
+    }
+
+    /// Memoized random-function workload on a `dims`-dimensional mesh of
+    /// `side` nodes per dimension, routed dimension-order: the shape E7,
+    /// E10, E11 and E14 all sweep (with per-experiment seeds).
+    pub fn mesh_function(&self, dims: u32, side: u32, seed: u64) -> Arc<(Network, PathCollection)> {
+        get_or_build(self, &self.mesh_functions, (dims, side, seed), || {
+            let net = topologies::mesh(dims, side);
+            let coords = GridCoords::new(dims, side);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let f = random_function(net.node_count(), &mut rng);
+            let coll = PathCollection::from_function(&net, &f, |s, d| {
+                optical_paths::select::grid::mesh_route(&net, &coords, s, d)
+            });
+            (net, coll)
+        })
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_shares_the_instance() {
+        // A fresh (non-global) cache so counters are exact under
+        // parallel test execution.
+        let cache = InstanceCache::default();
+        let a = cache.triangle(4, 8, 4);
+        let b = cache.triangle(4, 8, 4);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be the same Arc");
+        let c = cache.triangle(8, 8, 4);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn cached_instances_match_direct_construction() {
+        let cache = InstanceCache::default();
+        let cached = cache.triangle(3, 8, 4);
+        let direct = triangle(3, 8, 4);
+        assert_eq!(cached.name, direct.name);
+        assert_eq!(cached.coll.len(), direct.coll.len());
+        assert_eq!(cached.coll.to_paths(), direct.coll.to_paths());
+
+        let cached = cache.mesh_function(2, 4, 99);
+        let net = topologies::mesh(2, 4);
+        let coords = GridCoords::new(2, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let f = random_function(net.node_count(), &mut rng);
+        let direct = PathCollection::from_function(&net, &f, |s, d| {
+            optical_paths::select::grid::mesh_route(&net, &coords, s, d)
+        });
+        assert_eq!(cached.1.to_paths(), direct.to_paths());
+    }
+
+    #[test]
+    fn seeded_keys_do_not_alias() {
+        let cache = InstanceCache::default();
+        let a = cache.mesh_function(2, 4, 1);
+        let b = cache.mesh_function(2, 4, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.1.to_paths(), b.1.to_paths());
+    }
+
+    #[test]
+    fn global_cache_is_shared() {
+        let a = InstanceCache::global().bundle(1, 2, 3);
+        let b = InstanceCache::global().bundle(1, 2, 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

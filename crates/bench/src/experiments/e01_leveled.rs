@@ -7,12 +7,13 @@
 //! theorem's closed forms; their ratio should stay roughly flat as `n`
 //! grows (the hidden constant).
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::bounds::{self, BoundParams};
 use optical_core::ProtocolParams;
 use optical_paths::select::butterfly::butterfly_qfunction_collection;
 use optical_stats::{table::fmt_f64, Table};
-use optical_topo::topologies::{butterfly, ButterflyCoords};
+use optical_topo::topologies::ButterflyCoords;
 use optical_wdm::RouterConfig;
 use optical_workloads::functions::random_function;
 use rand::SeedableRng;
@@ -52,8 +53,8 @@ pub fn run(cfg: &ExpConfig) -> String {
         "pred_time",
         "t/pred",
     ]);
-    for &k in dims {
-        let net = butterfly(k);
+    let rows = par_points(dims, |&k| {
+        let net = InstanceCache::global().butterfly(k);
         let coords = ButterflyCoords::new(k, false);
         let rows = coords.rows() as usize;
         let mut wl_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (k as u64) << 32);
@@ -76,7 +77,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         };
         let pred_rounds = bounds::rounds_leveled_or_priority(&bp);
         let pred_time = bounds::upper_bound_leveled(&bp);
-        table.row(&[
+        [
             m.n.to_string(),
             m.dilation.to_string(),
             m.path_congestion.to_string(),
@@ -86,7 +87,10 @@ pub fn run(cfg: &ExpConfig) -> String {
             fmt_f64(trials.total_time.mean),
             fmt_f64(pred_time),
             fmt_f64(trials.total_time.mean / pred_time),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     out

@@ -8,12 +8,12 @@
 //! of Main Theorem 1.2 — matching the §3.2 closed form
 //! `log(n/6) / (2 log(3B(Δ̄+L)/L))`.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::bounds::triangle_lower_rounds;
 use optical_core::{DelaySchedule, ProtocolParams};
 use optical_stats::{table::fmt_f64, Table};
 use optical_wdm::RouterConfig;
-use optical_workloads::structures::triangle;
 use std::fmt::Write as _;
 
 /// Worm length (needs L ≥ 2 for blocking cycles).
@@ -55,24 +55,33 @@ pub fn run(cfg: &ExpConfig) -> String {
     .unwrap();
 
     let mut table = Table::new(&["n", "rounds", "pred(§3.2)", "ratio", "time"]);
-    let mut ns: Vec<f64> = Vec::new();
-    let mut rounds: Vec<f64> = Vec::new();
-    for s in sweep(cfg.quick) {
-        let inst = triangle(s, DILATION, WORM_LEN);
+    let points = par_points(&sweep(cfg.quick), |&s| {
+        // E3 sweeps the very same triangle instances; the cache shares
+        // them between the two experiments.
+        let inst = InstanceCache::global().triangle(s, DILATION, WORM_LEN);
         let params = protocol_params(RouterConfig::serve_first(1));
         let trials = run_protocol_trials(&inst.net, &inst.coll, &params, cfg.trials, cfg.seed);
         assert_eq!(trials.failures, 0, "E2 runs must complete");
         let n = inst.coll.len();
         let pred = triangle_lower_rounds(n, 1, DELTA, WORM_LEN);
-        ns.push(n as f64);
-        rounds.push(trials.rounds.mean);
-        table.row(&[
-            n.to_string(),
-            fmt_f64(trials.rounds.mean),
-            fmt_f64(pred),
-            fmt_f64(trials.rounds.mean / pred),
-            fmt_f64(trials.total_time.mean),
-        ]);
+        (
+            n,
+            trials.rounds.mean,
+            [
+                n.to_string(),
+                fmt_f64(trials.rounds.mean),
+                fmt_f64(pred),
+                fmt_f64(trials.rounds.mean / pred),
+                fmt_f64(trials.total_time.mean),
+            ],
+        )
+    });
+    let mut ns: Vec<f64> = Vec::new();
+    let mut rounds: Vec<f64> = Vec::new();
+    for (n, mean_rounds, row) in &points {
+        ns.push(*n as f64);
+        rounds.push(*mean_rounds);
+        table.row(row);
     }
     out.push_str(&table.render());
     if ns.len() >= 3 {

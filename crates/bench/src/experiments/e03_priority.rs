@@ -8,12 +8,12 @@
 //! routers should grow markedly slower than E2's `log n` — and the
 //! serve-first/priority ratio should widen with `n`.
 
+use crate::cache::InstanceCache;
 use crate::experiments::e02_shortcut_free::{protocol_params, sweep, DELTA, DILATION, WORM_LEN};
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::bounds::{ladder_lower_rounds, triangle_lower_rounds};
 use optical_stats::{table::fmt_f64, Table};
 use optical_wdm::RouterConfig;
-use optical_workloads::structures::triangle;
 use std::fmt::Write as _;
 
 /// Run E3 and render its table.
@@ -38,8 +38,10 @@ pub fn run(cfg: &ExpConfig) -> String {
         "pred_log",
         "pred_sqrt",
     ]);
-    for s in sweep(cfg.quick) {
-        let inst = triangle(s, DILATION, WORM_LEN);
+    let rows = par_points(&sweep(cfg.quick), |&s| {
+        // Same cached instances E2 built — the comparison is on the
+        // identical workload by construction.
+        let inst = InstanceCache::global().triangle(s, DILATION, WORM_LEN);
         let sf = run_protocol_trials(
             &inst.net,
             &inst.coll,
@@ -56,14 +58,17 @@ pub fn run(cfg: &ExpConfig) -> String {
         );
         assert_eq!(sf.failures + prio.failures, 0, "E3 runs must complete");
         let n = inst.coll.len();
-        table.row(&[
+        [
             n.to_string(),
             fmt_f64(sf.rounds.mean),
             fmt_f64(prio.rounds.mean),
             fmt_f64(sf.rounds.mean / prio.rounds.mean),
             fmt_f64(triangle_lower_rounds(n, 1, DELTA, WORM_LEN)),
             fmt_f64(ladder_lower_rounds(n, 1, DELTA, WORM_LEN)),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     out

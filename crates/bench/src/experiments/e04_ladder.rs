@@ -7,12 +7,13 @@
 //! slower than E2's `log n`, and the measurable content of the
 //! lower-bound terms in Main Theorems 1.1/1.3.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::bounds::ladder_lower_rounds;
 use optical_core::{DelaySchedule, ProtocolParams};
 use optical_stats::{table::fmt_f64, Table};
 use optical_wdm::RouterConfig;
-use optical_workloads::structures::{ladder, ladder_overlap};
+use optical_workloads::structures::ladder_overlap;
 use std::fmt::Write as _;
 
 /// Worm length.
@@ -40,14 +41,12 @@ pub fn run(cfg: &ExpConfig) -> String {
     .unwrap();
 
     let mut table = Table::new(&["n", "k", "rounds", "pred(§2.2)", "ratio", "time"]);
-    let mut ns: Vec<f64> = Vec::new();
-    let mut rounds_series: Vec<f64> = Vec::new();
-    for &total in totals {
+    let points = par_points(totals, |&total| {
         let k = ((total as f64).log2().sqrt().ceil() as usize).max(2);
         let structures = (total / k).max(1);
         let d = ladder_overlap(WORM_LEN);
         let dilation = (k as u32 * d + 2).max(8);
-        let inst = ladder(structures, k, dilation, WORM_LEN);
+        let inst = InstanceCache::global().ladder(structures, k, dilation, WORM_LEN);
 
         let mut params = ProtocolParams::new(RouterConfig::serve_first(1), WORM_LEN);
         params.schedule = DelaySchedule::Fixed { delta: DELTA };
@@ -57,16 +56,25 @@ pub fn run(cfg: &ExpConfig) -> String {
 
         let n = inst.coll.len();
         let pred = ladder_lower_rounds(n, 1, DELTA, WORM_LEN);
-        ns.push(n as f64);
-        rounds_series.push(trials.rounds.mean);
-        table.row(&[
-            n.to_string(),
-            k.to_string(),
-            fmt_f64(trials.rounds.mean),
-            fmt_f64(pred),
-            fmt_f64(trials.rounds.mean / pred),
-            fmt_f64(trials.total_time.mean),
-        ]);
+        (
+            n,
+            trials.rounds.mean,
+            [
+                n.to_string(),
+                k.to_string(),
+                fmt_f64(trials.rounds.mean),
+                fmt_f64(pred),
+                fmt_f64(trials.rounds.mean / pred),
+                fmt_f64(trials.total_time.mean),
+            ],
+        )
+    });
+    let mut ns: Vec<f64> = Vec::new();
+    let mut rounds_series: Vec<f64> = Vec::new();
+    for (n, mean_rounds, row) in &points {
+        ns.push(*n as f64);
+        rounds_series.push(*mean_rounds);
+        table.row(row);
     }
     out.push_str(&table.render());
     if ns.len() >= 3 {

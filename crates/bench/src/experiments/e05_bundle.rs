@@ -6,11 +6,11 @@
 //! hits the `O(log n)` floor — exactly Lemma 2.4 — and the number of
 //! rounds to drain everything grows like `log log C̃`.
 
-use crate::harness::ExpConfig;
-use optical_core::{DelaySchedule, ProtocolParams, TrialAndFailure};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, ExpConfig};
+use optical_core::{DelaySchedule, ProtocolParams, ProtocolWorkspace, TrialAndFailure};
 use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
 use optical_wdm::RouterConfig;
-use optical_workloads::structures::bundle;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
@@ -41,21 +41,22 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     // Part A: rounds to drain vs log log C.
     let mut table = Table::new(&["C", "rounds", "loglog C", "ratio", "time"]);
-    let mut decay_lines: Vec<String> = Vec::new();
-    for &c in sizes {
-        let inst = bundle(1, c, DILATION);
+    let largest = *sizes.last().unwrap();
+    let points = par_points(sizes, |&c| {
+        let inst = InstanceCache::global().bundle(1, c, DILATION);
         let mut params = ProtocolParams::new(RouterConfig::serve_first(1), WORM_LEN);
         params.schedule = DelaySchedule::paper();
         params.max_rounds = 500;
         params.record_congestion = true;
         let proto = TrialAndFailure::new(&inst.net, &inst.coll, params);
 
+        let mut ws = ProtocolWorkspace::new();
         let mut rounds = Vec::new();
         let mut times = Vec::new();
         let mut per_round_congestion: Vec<Vec<u32>> = Vec::new();
         for seed in SeedStream::new(cfg.seed).take(cfg.trials) {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let report = proto.run(&mut rng);
+            let report = proto.run_with(&mut ws, &mut rng);
             assert!(report.completed, "E5 bundle must drain");
             rounds.push(report.rounds_used() as f64);
             times.push(report.total_time as f64);
@@ -69,17 +70,18 @@ pub fn run(cfg: &ExpConfig) -> String {
         }
         let rounds = Summary::of(&rounds);
         let loglog = (c.max(4) as f64).log2().log2();
-        table.row(&[
+        let row = [
             c.to_string(),
             fmt_f64(rounds.mean),
             fmt_f64(loglog),
             fmt_f64(rounds.mean / loglog),
             fmt_f64(Summary::of(&times).mean),
-        ]);
+        ];
 
         // Part B (largest size only): per-round congestion vs the Lemma
         // 2.4 prediction max(C/2^{t-1}, log n).
-        if c == *sizes.last().unwrap() {
+        let mut decay_lines: Vec<String> = Vec::new();
+        if c == largest {
             let log_n = (c as f64).log2();
             let max_rounds = per_round_congestion.iter().map(|v| v.len()).max().unwrap();
             let mut dt = Table::new(&["round", "mean_C_t", "pred max(C/2^t-1, log n)", "ratio"]);
@@ -103,12 +105,18 @@ pub fn run(cfg: &ExpConfig) -> String {
             decay_lines.push(format!("congestion decay for C = {c} (Lemma 2.4):"));
             decay_lines.push(dt.render());
         }
+        (row, decay_lines)
+    });
+    for (row, _) in &points {
+        table.row(row);
     }
     out.push_str(&table.render());
-    for l in decay_lines {
-        out.push_str(&l);
-        if !l.ends_with('\n') {
-            out.push('\n');
+    for (_, decay_lines) in points {
+        for l in decay_lines {
+            out.push_str(&l);
+            if !l.ends_with('\n') {
+                out.push('\n');
+            }
         }
     }
     out

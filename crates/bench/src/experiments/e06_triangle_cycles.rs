@@ -6,16 +6,17 @@
 //! For each configuration we run with blocking recording on and feed every
 //! round's `loser → blocker` map through the witness-tree analyzer.
 
-use crate::harness::ExpConfig;
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, ExpConfig};
 use optical_core::witness::analyze_blocking;
-use optical_core::{DelaySchedule, ProtocolParams, TrialAndFailure};
+use optical_core::{DelaySchedule, ProtocolParams, ProtocolWorkspace, TrialAndFailure};
 use optical_stats::{table::fmt_f64, SeedStream, Table};
 use optical_wdm::{RouterConfig, TieRule};
-use optical_workloads::structures::{bundle, ladder, triangle};
 use optical_workloads::Instance;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Worm length.
 pub const WORM_LEN: u32 = 4;
@@ -40,13 +41,14 @@ fn count_cycles(inst: &Instance, router: RouterConfig, cfg: &ExpConfig, salt: u6
     params.record_blocking = true;
     let proto = TrialAndFailure::new(&inst.net, &inst.coll, params);
 
+    let mut ws = ProtocolWorkspace::new();
     let mut rounds_sum = 0f64;
     let mut cycle_rounds = 0usize;
     let mut total_cycles = 0usize;
     let mut total_rounds = 0usize;
     for seed in SeedStream::new(cfg.seed ^ salt).take(cfg.trials) {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let report = proto.run(&mut rng);
+        let report = proto.run_with(&mut ws, &mut rng);
         assert!(report.completed, "E6 runs must complete");
         rounds_sum += report.rounds_used() as f64;
         for r in &report.rounds {
@@ -81,9 +83,12 @@ pub fn run(cfg: &ExpConfig) -> String {
     )
     .unwrap();
 
-    let triangle_inst = triangle(structures, 8, WORM_LEN);
-    let ladder_inst = ladder(structures / 4, 4, 10, WORM_LEN);
-    let bundle_inst = bundle(structures / 8, 16, 8);
+    // The cache also shares the triangle instance between the two
+    // triangle cases here and (at matching sizes) with E2/E3.
+    let cache = InstanceCache::global();
+    let triangle_inst = cache.triangle(structures, 8, WORM_LEN);
+    let ladder_inst = cache.ladder(structures / 4, 4, 10, WORM_LEN);
+    let bundle_inst = cache.bundle(structures / 8, 16, 8);
 
     let mut table = Table::new(&[
         "workload+rule",
@@ -92,48 +97,41 @@ pub fn run(cfg: &ExpConfig) -> String {
         "cycles",
         "rounds_seen",
     ]);
-    let cases: Vec<(&str, &Instance, RouterConfig, u64)> = vec![
+    let cases: Vec<(&str, Arc<Instance>, RouterConfig, u64)> = vec![
         (
             "triangle/serve-first",
-            &triangle_inst,
+            Arc::clone(&triangle_inst),
             RouterConfig::serve_first(1),
             1,
         ),
         (
             "triangle/priority",
-            &triangle_inst,
+            triangle_inst,
             RouterConfig::priority(1),
             2,
         ),
-        (
-            "ladder/serve-first",
-            &ladder_inst,
-            RouterConfig::serve_first(1),
-            3,
-        ),
-        (
-            "bundle/serve-first",
-            &bundle_inst,
-            RouterConfig::serve_first(1),
-            4,
-        ),
+        ("ladder/serve-first", ladder_inst, RouterConfig::serve_first(1), 3),
+        ("bundle/serve-first", bundle_inst, RouterConfig::serve_first(1), 4),
     ];
-    for (name, inst, router, salt) in cases {
-        let c = count_cycles(inst, router, cfg, salt);
+    let rows = par_points(&cases, |(name, inst, router, salt)| {
+        let c = count_cycles(inst, *router, cfg, *salt);
         // Claim 2.6: leveled + serve-first and priority must be forests.
-        if name != "triangle/serve-first" {
+        if *name != "triangle/serve-first" {
             assert_eq!(
                 c.total_cycles, 0,
                 "{name}: Claim 2.6 violated — blocking cycle found"
             );
         }
-        table.row(&[
+        [
             name.to_string(),
             fmt_f64(c.rounds),
             c.cycle_rounds.to_string(),
             c.total_cycles.to_string(),
             c.total_rounds.to_string(),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     writeln!(

@@ -6,27 +6,13 @@
 //! `n`. We sweep the shape (d, side), the bandwidth `B`, and the worm
 //! length `L`, reporting measured rounds/time against the closed form.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::bounds::mesh_bound;
 use optical_core::ProtocolParams;
-use optical_paths::select::grid::mesh_route;
-use optical_paths::PathCollection;
 use optical_stats::{table::fmt_f64, Table};
-use optical_topo::{topologies, GridCoords};
 use optical_wdm::RouterConfig;
-use optical_workloads::functions::random_function;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
-
-fn mesh_instance(dims: u32, side: u32, seed: u64) -> (optical_topo::Network, PathCollection) {
-    let net = topologies::mesh(dims, side);
-    let coords = GridCoords::new(dims, side);
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let f = random_function(net.node_count(), &mut rng);
-    let coll = PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d));
-    (net, coll)
-}
 
 /// Run E7 and render its tables.
 pub fn run(cfg: &ExpConfig) -> String {
@@ -54,15 +40,20 @@ pub fn run(cfg: &ExpConfig) -> String {
         "pred(Thm1.6)",
         "t/pred",
     ]);
-    for &(d, side) in shapes {
-        let (net, coll) = mesh_instance(d, side, cfg.seed ^ ((d as u64) << 8 | side as u64));
+    let rows = par_points(shapes, |&(d, side)| {
+        let inst = InstanceCache::global().mesh_function(
+            d,
+            side,
+            cfg.seed ^ ((d as u64) << 8 | side as u64),
+        );
+        let (net, coll) = (&inst.0, &inst.1);
         let mut params = ProtocolParams::new(RouterConfig::serve_first(1), 4);
         params.max_rounds = 500;
-        let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        let trials = run_protocol_trials(net, coll, &params, cfg.trials, cfg.seed);
         assert_eq!(trials.failures, 0, "E7 runs must complete");
         let m = coll.metrics();
         let pred = mesh_bound(d, side, 4, 1);
-        table.row(&[
+        [
             format!("{d}d side {side}"),
             net.node_count().to_string(),
             m.dilation.to_string(),
@@ -71,7 +62,10 @@ pub fn run(cfg: &ExpConfig) -> String {
             fmt_f64(trials.total_time.mean),
             fmt_f64(pred),
             fmt_f64(trials.total_time.mean / pred),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
 
@@ -85,23 +79,31 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut table = Table::new(&["B", "L", "rounds", "time", "pred", "t/pred"]);
     let bs: &[u16] = if cfg.quick { &[1, 4] } else { &[1, 2, 4, 8] };
     let ls: &[u32] = if cfg.quick { &[4] } else { &[1, 4, 16] };
-    for &b in bs {
-        for &l in ls {
-            let (net, coll) = mesh_instance(2, side, cfg.seed ^ 0x55AA);
-            let mut params = ProtocolParams::new(RouterConfig::serve_first(b), l);
-            params.max_rounds = 500;
-            let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
-            assert_eq!(trials.failures, 0);
-            let pred = mesh_bound(2, side, l, b);
-            table.row(&[
-                b.to_string(),
-                l.to_string(),
-                fmt_f64(trials.rounds.mean),
-                fmt_f64(trials.total_time.mean),
-                fmt_f64(pred),
-                fmt_f64(trials.total_time.mean / pred),
-            ]);
-        }
+    let grid: Vec<(u16, u32)> = bs
+        .iter()
+        .flat_map(|&b| ls.iter().map(move |&l| (b, l)))
+        .collect();
+    // Every (B, L) point runs on the same workload; the cache builds it
+    // once instead of once per point.
+    let rows = par_points(&grid, |&(b, l)| {
+        let inst = InstanceCache::global().mesh_function(2, side, cfg.seed ^ 0x55AA);
+        let (net, coll) = (&inst.0, &inst.1);
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(b), l);
+        params.max_rounds = 500;
+        let trials = run_protocol_trials(net, coll, &params, cfg.trials, cfg.seed);
+        assert_eq!(trials.failures, 0);
+        let pred = mesh_bound(2, side, l, b);
+        [
+            b.to_string(),
+            l.to_string(),
+            fmt_f64(trials.rounds.mean),
+            fmt_f64(trials.total_time.mean),
+            fmt_f64(pred),
+            fmt_f64(trials.total_time.mean / pred),
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     out

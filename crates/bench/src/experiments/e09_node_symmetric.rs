@@ -6,7 +6,7 @@
 //! (the Chernoff step in the theorem's proof), and (b) total routing time
 //! tracks `O(L·D²/B + (√(log_D n) + loglog n)(D + L))`.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::bounds::node_symmetric_bound;
 use optical_core::ProtocolParams;
 use optical_paths::select::bfs::randomized_bfs_collection;
@@ -65,22 +65,22 @@ pub fn run(cfg: &ExpConfig) -> String {
         "pred(Thm1.5)",
         "t/pred",
     ]);
-    for net in networks(cfg.quick) {
+    let rows = par_points(&networks(cfg.quick), |net| {
         let n = net.node_count();
         let diameter = net.diameter().expect("connected");
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ n as u64);
         let f = random_function(n, &mut rng);
-        let coll = randomized_bfs_collection(&net, &f, &mut rng);
+        let coll = randomized_bfs_collection(net, &f, &mut rng);
         let m = coll.metrics();
 
         let mut params = ProtocolParams::new(RouterConfig::priority(1), WORM_LEN);
         params.max_rounds = 500;
-        let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        let trials = run_protocol_trials(net, &coll, &params, cfg.trials, cfg.seed);
         assert_eq!(trials.failures, 0, "E9 runs must complete");
 
         let cong_pred = (diameter as f64).powi(2) + (n as f64).log2();
         let pred = node_symmetric_bound(n, diameter, WORM_LEN, 1);
-        table.row(&[
+        [
             net.name().to_string(),
             n.to_string(),
             diameter.to_string(),
@@ -90,7 +90,10 @@ pub fn run(cfg: &ExpConfig) -> String {
             fmt_f64(trials.total_time.mean),
             fmt_f64(pred),
             fmt_f64(trials.total_time.mean / pred),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     out

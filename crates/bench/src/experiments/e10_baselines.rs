@@ -6,36 +6,23 @@
 //! Part B ablates protocol ingredients at a fixed bandwidth: delay
 //! schedule, tie rule, and ideal vs physically simulated acks.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_baselines::conversion::conversion_params;
 use optical_baselines::rwa::{color_lower_bound, greedy_rwa, ColorOrder};
 use optical_core::{AckMode, DelaySchedule, ProtocolParams};
-use optical_paths::select::grid::mesh_route;
-use optical_paths::PathCollection;
 use optical_stats::{table::fmt_f64, Table};
-use optical_topo::{topologies, GridCoords, Network};
 use optical_wdm::{RouterConfig, TieRule};
-use optical_workloads::functions::random_function;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 
 /// Worm length.
 pub const WORM_LEN: u32 = 4;
 
-fn workload(cfg: &ExpConfig) -> (Network, PathCollection) {
-    let side: u32 = if cfg.quick { 6 } else { 16 };
-    let net = topologies::mesh(2, side);
-    let coords = GridCoords::new(2, side);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE10);
-    let f = random_function(net.node_count(), &mut rng);
-    let coll = PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d));
-    (net, coll)
-}
-
 /// Run E10 and render its tables.
 pub fn run(cfg: &ExpConfig) -> String {
-    let (net, coll) = workload(cfg);
+    let side: u32 = if cfg.quick { 6 } else { 16 };
+    let inst = InstanceCache::global().mesh_function(2, side, cfg.seed ^ 0xE10);
+    let (net, coll) = (&inst.0, &inst.1);
     let m = coll.metrics();
     let mut out = String::new();
     writeln!(
@@ -71,25 +58,28 @@ pub fn run(cfg: &ExpConfig) -> String {
         "rwa_batches",
         "rwa_time",
     ]);
-    for &b in bs {
+    let rows = par_points(bs, |&b| {
         let mut row: Vec<String> = vec![b.to_string()];
         for router in [RouterConfig::serve_first(b), RouterConfig::priority(b)] {
             let mut params = ProtocolParams::new(router, WORM_LEN);
             params.max_rounds = 500;
-            let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+            let t = run_protocol_trials(net, coll, &params, cfg.trials, cfg.seed);
             assert_eq!(t.failures, 0, "E10 part A must complete");
             row.push(fmt_f64(t.rounds.mean));
             row.push(fmt_f64(t.total_time.mean));
         }
         let mut params = conversion_params(b, WORM_LEN);
         params.max_rounds = 500;
-        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        let t = run_protocol_trials(net, coll, &params, cfg.trials, cfg.seed);
         assert_eq!(t.failures, 0);
         row.push(fmt_f64(t.rounds.mean));
         row.push(fmt_f64(t.total_time.mean));
         row.push(rwa.batches(b).to_string());
         row.push(rwa.total_time(b, m.dilation, WORM_LEN).to_string());
-        table.row(&row);
+        row
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
 
@@ -108,18 +98,14 @@ pub fn run(cfg: &ExpConfig) -> String {
             },
         ),
     ];
+    // One flat variant list so every ablation runs as its own parallel
+    // point; only the ack variants report real duplicate counts.
+    let mut variants: Vec<(&'static str, ProtocolParams, bool)> = Vec::new();
     for (name, schedule) in schedules {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
         params.schedule = schedule;
         params.max_rounds = 1000;
-        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
-        assert_eq!(t.failures, 0, "{name} must complete");
-        table.row(&[
-            name.to_string(),
-            fmt_f64(t.rounds.mean),
-            fmt_f64(t.total_time.mean),
-            "0".into(),
-        ]);
+        variants.push((name, params, false));
     }
     for (name, tie) in [
         ("tie: all-eliminated", TieRule::AllEliminated),
@@ -128,14 +114,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     ] {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2).with_tie(tie), WORM_LEN);
         params.max_rounds = 1000;
-        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
-        assert_eq!(t.failures, 0);
-        table.row(&[
-            name.to_string(),
-            fmt_f64(t.rounds.mean),
-            fmt_f64(t.total_time.mean),
-            "0".into(),
-        ]);
+        variants.push((name, params, false));
     }
     for (name, wl) in [
         (
@@ -154,14 +133,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
         params.wavelengths = wl;
         params.max_rounds = 1000;
-        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
-        assert_eq!(t.failures, 0);
-        table.row(&[
-            name.to_string(),
-            fmt_f64(t.rounds.mean),
-            fmt_f64(t.total_time.mean),
-            "0".into(),
-        ]);
+        variants.push((name, params, false));
     }
     for (name, ack) in [
         ("acks: ideal", AckMode::Ideal),
@@ -177,14 +149,24 @@ pub fn run(cfg: &ExpConfig) -> String {
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
         params.ack = ack;
         params.max_rounds = 1000;
-        let t = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
-        assert_eq!(t.failures, 0);
-        table.row(&[
+        variants.push((name, params, true));
+    }
+    let rows = par_points(&variants, |(name, params, real_dups)| {
+        let t = run_protocol_trials(net, coll, params, cfg.trials, cfg.seed);
+        assert_eq!(t.failures, 0, "{name} must complete");
+        [
             name.to_string(),
             fmt_f64(t.rounds.mean),
             fmt_f64(t.total_time.mean),
-            t.duplicates.to_string(),
-        ]);
+            if *real_dups {
+                t.duplicates.to_string()
+            } else {
+                "0".into()
+            },
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     out

@@ -8,34 +8,20 @@
 //!   conversions to and from electrical form"): sweep `h` and show the
 //!   contention regime where electronic buffering pays off.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::hops::HopTrialAndFailure;
-use optical_core::{DelaySchedule, ProtocolParams};
-use optical_paths::PathCollection;
+use optical_core::{DelaySchedule, ProtocolParams, ProtocolWorkspace};
 use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
-use optical_topo::{topologies, Network, NodeId};
+use optical_topo::NodeId;
 use optical_wdm::engine::converter_mask;
 use optical_wdm::RouterConfig;
-use optical_workloads::functions::random_function;
-use optical_workloads::structures::bundle;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 
 /// Worm length.
 pub const WORM_LEN: u32 = 4;
-
-fn mesh_workload(cfg: &ExpConfig) -> (Network, PathCollection) {
-    let side: u32 = if cfg.quick { 6 } else { 16 };
-    let net = topologies::mesh(2, side);
-    let coords = optical_topo::GridCoords::new(2, side);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE11);
-    let f = random_function(net.node_count(), &mut rng);
-    let coll = PathCollection::from_function(&net, &f, |s, d| {
-        optical_paths::select::grid::mesh_route(&net, &coords, s, d)
-    });
-    (net, coll)
-}
 
 /// Run E11 and render its tables.
 pub fn run(cfg: &ExpConfig) -> String {
@@ -47,7 +33,9 @@ pub fn run(cfg: &ExpConfig) -> String {
     .unwrap();
 
     // Part A: converter-fraction sweep.
-    let (net, coll) = mesh_workload(cfg);
+    let side: u32 = if cfg.quick { 6 } else { 16 };
+    let inst = InstanceCache::global().mesh_function(2, side, cfg.seed ^ 0xE11);
+    let (net, coll) = (&inst.0, &inst.1);
     let m = coll.metrics();
     writeln!(
         out,
@@ -61,36 +49,40 @@ pub fn run(cfg: &ExpConfig) -> String {
     } else {
         &[0.0, 0.1, 0.25, 0.5, 1.0]
     };
-    for &frac in fracs {
+    let rows = par_points(fracs, |&frac| {
         let mut pick_rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC0);
         let converter_nodes: Vec<bool> = (0..net.node_count())
             .map(|_| pick_rng.gen_bool(frac))
             .collect();
-        let mask = converter_mask(&net, |v: NodeId| converter_nodes[v as usize]);
+        let mask = converter_mask(net, |v: NodeId| converter_nodes[v as usize]);
         let mut params = ProtocolParams::new(RouterConfig::serve_first(4), WORM_LEN);
         params.schedule = DelaySchedule::Fixed { delta: 24 };
         params.converters = (frac > 0.0).then_some(mask);
         params.max_rounds = 500;
-        let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        let trials = run_protocol_trials(net, coll, &params, cfg.trials, cfg.seed);
         assert_eq!(trials.failures, 0, "E11 part A must complete");
 
         // First-round deliveries measured separately (1-round cap).
         let mut one = params.clone();
         one.max_rounds = 1;
-        let proto = optical_core::TrialAndFailure::new(&net, &coll, one);
+        let proto = optical_core::TrialAndFailure::new(net, coll, one);
+        let mut ws = ProtocolWorkspace::new();
         let first: Vec<f64> = SeedStream::new(cfg.seed)
             .take(cfg.trials)
             .map(|s| {
                 let mut rng = ChaCha8Rng::seed_from_u64(s);
-                proto.run(&mut rng).rounds[0].delivered as f64
+                proto.run_with(&mut ws, &mut rng).rounds[0].delivered as f64
             })
             .collect();
-        table.row(&[
+        [
             format!("{:.0}%", frac * 100.0),
             fmt_f64(Summary::of(&first).mean),
             fmt_f64(trials.rounds.mean),
             fmt_f64(trials.total_time.mean),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
 
@@ -101,10 +93,10 @@ pub fn run(cfg: &ExpConfig) -> String {
         "bounded hops on a bundle of {k} identical worms over {len} links (B=1, Δ=12):"
     )
     .unwrap();
-    let inst = bundle(1, k, len);
+    let inst = InstanceCache::global().bundle(1, k, len);
     let mut table = Table::new(&["hops", "segments", "rounds", "time"]);
     let hop_counts: &[u32] = if cfg.quick { &[0, 2] } else { &[0, 1, 2, 3, 5] };
-    for &h in hop_counts {
+    let rows = par_points(hop_counts, |&h| {
         let proto = HopTrialAndFailure::new(
             &inst.net,
             &inst.coll,
@@ -114,21 +106,25 @@ pub fn run(cfg: &ExpConfig) -> String {
             5000,
         )
         .with_schedule(DelaySchedule::Fixed { delta: 12 });
+        let mut ws = ProtocolWorkspace::new();
         let mut rounds = Vec::new();
         let mut times = Vec::new();
         for seed in SeedStream::new(cfg.seed ^ 0xB0).take(cfg.trials) {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let r = proto.run(&mut rng);
+            let r = proto.run_with(&mut ws, &mut rng);
             assert!(r.completed, "E11 part B must complete");
             rounds.push(r.rounds_used() as f64);
             times.push(r.total_time as f64);
         }
-        table.row(&[
+        [
             h.to_string(),
             (h + 1).to_string(),
             fmt_f64(Summary::of(&rounds).mean),
             fmt_f64(Summary::of(&times).mean),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     writeln!(

@@ -8,7 +8,7 @@
 //! (oblivious, minimal) and via Valiant's two-phase trick, and the
 //! measured protocol time follows the congestion each choice produces.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::ProtocolParams;
 use optical_paths::select::grid::{mesh_route, torus_route};
 use optical_paths::select::hypercube::bit_fixing_route;
@@ -25,8 +25,9 @@ use std::fmt::Write as _;
 /// Worm length.
 pub const WORM_LEN: u32 = 4;
 
-/// A routing function boxed for heterogeneous case tables.
-type Router = Box<dyn Fn(&Network, NodeId, NodeId) -> Path>;
+/// A routing function boxed for heterogeneous case tables
+/// (`Send + Sync` so cases can be evaluated on any pipeline worker).
+type Router = Box<dyn Fn(&Network, NodeId, NodeId) -> Path + Send + Sync>;
 
 struct Case {
     name: &'static str,
@@ -82,7 +83,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     .unwrap();
 
     let mut table = Table::new(&["workload", "strategy", "D", "C", "C~", "rounds", "time"]);
-    for case in cases(cfg.quick) {
+    let row_groups = par_points(&cases(cfg.quick), |case| {
         let direct =
             PathCollection::from_function(&case.net, &case.f, |a, b| (case.route)(&case.net, a, b));
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE12);
@@ -90,13 +91,14 @@ pub fn run(cfg: &ExpConfig) -> String {
             (case.route)(&case.net, a, b)
         });
 
+        let mut group: Vec<[String; 7]> = Vec::with_capacity(2);
         for (strategy, coll) in [("direct", &direct), ("valiant", &valiant)] {
             let m = coll.metrics();
             let mut params = ProtocolParams::new(RouterConfig::serve_first(2), WORM_LEN);
             params.max_rounds = 500;
             let trials = run_protocol_trials(&case.net, coll, &params, cfg.trials, cfg.seed);
             assert_eq!(trials.failures, 0, "E12 must complete");
-            table.row(&[
+            group.push([
                 case.name.to_string(),
                 strategy.to_string(),
                 m.dilation.to_string(),
@@ -105,6 +107,12 @@ pub fn run(cfg: &ExpConfig) -> String {
                 fmt_f64(trials.rounds.mean),
                 fmt_f64(trials.total_time.mean),
             ]);
+        }
+        group
+    });
+    for group in &row_groups {
+        for row in group {
+            table.row(row);
         }
     }
     out.push_str(&table.render());

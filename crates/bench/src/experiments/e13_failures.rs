@@ -13,13 +13,15 @@
 //!    flight*: mid-run cuts, stochastically garbling links, and MTBF/MTTR
 //!    churn, quantifying detection latency and backoff cost.
 
-use crate::harness::ExpConfig;
+use crate::harness::{par_points, ExpConfig};
 use optical_core::{
-    FaultSource, ProtocolParams, Recovery, RecoveryPolicy, RecoveryReport, TrialAndFailure,
+    FaultSource, ProtocolParams, ProtocolWorkspace, Recovery, RecoveryPolicy, RecoveryReport,
+    TrialAndFailure,
 };
-use optical_paths::select::bfs::{bfs_collection, bfs_route_avoiding};
+use optical_paths::select::bfs::{bfs_collection, bfs_route_avoiding_with};
 use optical_paths::PathCollection;
 use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
+use optical_topo::algo::PathFinder;
 use optical_topo::{topologies, Network};
 use optical_wdm::{ChurnModel, FaultPlan, RouterConfig};
 use optical_workloads::functions::random_function;
@@ -74,6 +76,7 @@ fn routable_cut_mask(
     frac: f64,
     rng: &mut impl Rng,
 ) -> Option<(Vec<bool>, u32)> {
+    let mut finder = PathFinder::new();
     for attempt in 0..RESAMPLE_CAP {
         let mut dead = vec![false; net.link_count()];
         for e in 0..net.link_count() / 2 {
@@ -82,10 +85,13 @@ fn routable_cut_mask(
                 dead[2 * e + 1] = true;
             }
         }
-        let routable = f
-            .iter()
-            .enumerate()
-            .all(|(s, &d)| bfs_route_avoiding(net, &dead, s as u32, d).is_some());
+        // Every net this table runs on is connected, so a draw that cut
+        // nothing is routable without the per-pair BFS sweep (common at
+        // low fractions; the RNG draws above are consumed either way).
+        let routable = !dead.contains(&true)
+            || f.iter().enumerate().all(|(s, &d)| {
+                bfs_route_avoiding_with(&mut finder, net, &dead, s as u32, d).is_some()
+            });
         if routable {
             return Some((dead, attempt));
         }
@@ -111,7 +117,9 @@ fn static_cut_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
     } else {
         &[0.0, 0.01, 0.02, 0.05, 0.10]
     };
-    for &frac in fracs {
+    let rows = par_points(fracs, |&frac| {
+        let mut ws = ProtocolWorkspace::new();
+        let mut finder = PathFinder::new();
         let mut cut_counts = Vec::new();
         let mut resamples = 0u32;
         let mut skipped = 0usize;
@@ -135,10 +143,10 @@ fn static_cut_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
             let mut aware = PathCollection::for_network(net);
             for (s, &d) in f.iter().enumerate() {
                 // Routability was just verified for this exact mask.
-                aware.push(bfs_route_avoiding(net, &dead, s as u32, d).unwrap());
+                aware.push(bfs_route_avoiding_with(&mut finder, net, &dead, s as u32, d).unwrap());
             }
             let proto = TrialAndFailure::new(net, &aware, base_params(Some(dead.clone())));
-            let report = proto.run(&mut rng);
+            let report = proto.run_with(&mut ws, &mut rng);
             assert!(report.completed, "aware routing must complete");
             aware_times.push(report.total_time as f64);
 
@@ -151,14 +159,14 @@ fn static_cut_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
                 base_params(Some(dead.clone())),
                 RecoveryPolicy::default(),
             );
-            let report = rec.run(&mut rng);
+            let report = rec.run_with(&mut ws, &mut rng);
             heal_times.push(report.total_time as f64);
             rerouted.push(report.rerouted_count() as f64);
             abandoned += report.abandoned_count();
             latencies.extend(report.detection_latencies.iter().map(|&l| l as f64));
         }
         if cut_counts.is_empty() {
-            table.row(&[
+            return [
                 format!("{:.0}%", frac * 100.0),
                 "-".into(),
                 format!("{skipped} skipped"),
@@ -168,12 +176,11 @@ fn static_cut_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
                 "-".into(),
                 "-".into(),
                 "-".into(),
-            ]);
-            continue;
+            ];
         }
         let aware = Summary::of(&aware_times);
         let heal = Summary::of(&heal_times);
-        table.row(&[
+        [
             format!("{:.0}%", frac * 100.0),
             fmt_f64(Summary::of(&cut_counts).mean),
             resamples.to_string(),
@@ -187,7 +194,10 @@ fn static_cut_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
                 fmt_f64(Summary::of(&latencies).mean)
             },
             fmt_f64(heal.mean / aware.mean),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     writeln!(
@@ -216,7 +226,7 @@ fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
         "total_time",
     ]);
 
-    type FaultMaker = Box<dyn Fn(&mut ChaCha8Rng) -> FaultSource>;
+    type FaultMaker = Box<dyn Fn(&mut ChaCha8Rng) -> FaultSource + Send + Sync>;
     let scenarios: Vec<(String, FaultMaker)> = vec![
         (
             format!("mid-run cut of {hit} fibers (round 3+)"),
@@ -257,7 +267,8 @@ fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
         ),
     ];
 
-    for (name, make_faults) in scenarios {
+    let rows = par_points(&scenarios, |(name, make_faults)| {
+        let mut ws = ProtocolWorkspace::new();
         let mut direct = Vec::new();
         let mut rerouted = Vec::new();
         let mut abandoned = Vec::new();
@@ -272,7 +283,7 @@ fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
             let faults = make_faults(&mut rng);
             let rec = Recovery::new(net, &coll, base_params(None), RecoveryPolicy::default())
                 .with_faults(faults);
-            let report: RecoveryReport = rec.run(&mut rng);
+            let report: RecoveryReport = rec.run_with(&mut ws, &mut rng);
             direct.push(report.delivered_direct() as f64);
             rerouted.push(report.rerouted_count() as f64);
             abandoned.push(report.abandoned_count() as f64);
@@ -281,8 +292,8 @@ fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
             backoff.push(report.backoff_extra_time as f64);
             times.push(report.total_time as f64);
         }
-        table.row(&[
-            name,
+        [
+            name.clone(),
             fmt_f64(Summary::of(&direct).mean),
             fmt_f64(Summary::of(&rerouted).mean),
             fmt_f64(Summary::of(&abandoned).mean),
@@ -294,7 +305,10 @@ fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
             },
             fmt_f64(Summary::of(&backoff).mean),
             fmt_f64(Summary::of(&times).mean),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     writeln!(

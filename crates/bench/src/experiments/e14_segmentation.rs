@@ -8,16 +8,12 @@
 //! expressible entirely inside the paper's framework. We sweep `m` at
 //! constant payload and report where the optimum falls.
 
-use crate::harness::{run_protocol_trials, ExpConfig};
+use crate::cache::InstanceCache;
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
 use optical_core::ProtocolParams;
-use optical_paths::select::grid::mesh_route;
 use optical_paths::PathCollection;
 use optical_stats::{table::fmt_f64, Table};
-use optical_topo::{topologies, GridCoords};
 use optical_wdm::RouterConfig;
-use optical_workloads::functions::random_function;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 
 /// Total payload per source, in flits.
@@ -26,11 +22,8 @@ pub const PAYLOAD: u32 = 32;
 /// Run E14 and render its table.
 pub fn run(cfg: &ExpConfig) -> String {
     let side: u32 = if cfg.quick { 6 } else { 16 };
-    let net = topologies::mesh(2, side);
-    let coords = GridCoords::new(2, side);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE14);
-    let f = random_function(net.node_count(), &mut rng);
-    let base = PathCollection::from_function(&net, &f, |s, d| mesh_route(&net, &coords, s, d));
+    let inst = InstanceCache::global().mesh_function(2, side, cfg.seed ^ 0xE14);
+    let (net, base) = (&inst.0, &inst.1);
 
     let mut out = String::new();
     writeln!(
@@ -51,10 +44,10 @@ pub fn run(cfg: &ExpConfig) -> String {
     } else {
         &[1, 2, 4, 8, 16]
     };
-    for &m in ms {
+    let rows = par_points(ms, |&m| {
         let worm_len = PAYLOAD / m;
         // m copies of every path — each segment is an independent worm.
-        let mut coll = PathCollection::for_network(&net);
+        let mut coll = PathCollection::for_network(net);
         for _ in 0..m {
             for (_, p) in base.iter() {
                 coll.push_ref(p);
@@ -63,10 +56,10 @@ pub fn run(cfg: &ExpConfig) -> String {
         let metrics = coll.metrics();
         let mut params = ProtocolParams::new(RouterConfig::serve_first(2), worm_len);
         params.max_rounds = 500;
-        let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        let trials = run_protocol_trials(net, &coll, &params, cfg.trials, cfg.seed);
         assert_eq!(trials.failures, 0, "E14 must complete");
         let goodput = base.len() as f64 * PAYLOAD as f64 / trials.total_time.mean;
-        table.row(&[
+        [
             m.to_string(),
             worm_len.to_string(),
             coll.len().to_string(),
@@ -74,7 +67,10 @@ pub fn run(cfg: &ExpConfig) -> String {
             fmt_f64(trials.rounds.mean),
             fmt_f64(trials.total_time.mean),
             fmt_f64(goodput),
-        ]);
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     writeln!(

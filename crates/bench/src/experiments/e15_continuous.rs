@@ -7,11 +7,12 @@
 //! report the classic hockey-stick: flat latency up to a knee, then
 //! unbounded backlog. Bandwidth shifts the knee right.
 
-use crate::harness::ExpConfig;
+use crate::harness::{par_points, ExpConfig};
 use optical_core::continuous::{ContinuousParams, ContinuousRun};
-use optical_core::DelaySchedule;
-use optical_paths::select::bfs::bfs_route;
+use optical_core::{DelaySchedule, ProtocolWorkspace};
+use optical_paths::select::bfs::bfs_route_with;
 use optical_stats::{table::fmt_f64, SeedStream, Table};
+use optical_topo::algo::PathFinder;
 use optical_topo::topologies;
 use optical_wdm::RouterConfig;
 use rand::Rng;
@@ -56,51 +57,58 @@ pub fn run(cfg: &ExpConfig) -> String {
     } else {
         &[0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
     };
-    for &b in bs {
-        for &arrival in loads {
-            // Average a few seeds.
-            let (mut thr, mut act, mut lat, mut p95) = (0.0, 0.0, 0.0, 0.0);
-            let mut any_sat = false;
-            let trials = cfg.trials.clamp(1, 5);
-            for seed in SeedStream::new(cfg.seed ^ 0xE15).take(trials) {
-                let params = ContinuousParams {
-                    router: RouterConfig::serve_first(b),
-                    worm_len: WORM_LEN,
-                    schedule: DelaySchedule::Fixed { delta: 24 },
-                    arrival_prob: arrival,
-                    rounds,
-                    warmup: rounds / 4,
-                };
-                let mut run = ContinuousRun::new(
-                    &net,
-                    |rng: &mut dyn rand::RngCore| {
-                        let n = net.node_count() as u32;
-                        let s = rng.gen_range(0..n);
-                        let d = rng.gen_range(0..n);
-                        bfs_route(&net, s, d)
-                    },
-                    params,
-                );
-                let mut rng = ChaCha8Rng::seed_from_u64(seed);
-                let r = run.run(&mut rng);
-                thr += r.throughput;
-                act += r.avg_active;
-                lat += r.mean_latency_rounds;
-                p95 += r.p95_latency_rounds;
-                any_sat |= r.saturated;
-            }
-            let t = trials as f64;
-            table.row(&[
-                b.to_string(),
-                format!("{arrival:.2}"),
-                fmt_f64(arrival * net.node_count() as f64),
-                fmt_f64(thr / t),
-                fmt_f64(act / t),
-                fmt_f64(lat / t),
-                fmt_f64(p95 / t),
-                if any_sat { "YES".into() } else { "no".into() },
-            ]);
+    let grid: Vec<(u16, f64)> = bs
+        .iter()
+        .flat_map(|&b| loads.iter().map(move |&arrival| (b, arrival)))
+        .collect();
+    let rows = par_points(&grid, |&(b, arrival)| {
+        // Average a few seeds.
+        let mut ws = ProtocolWorkspace::new();
+        let mut finder = PathFinder::new();
+        let (mut thr, mut act, mut lat, mut p95) = (0.0, 0.0, 0.0, 0.0);
+        let mut any_sat = false;
+        let trials = cfg.trials.clamp(1, 5);
+        for seed in SeedStream::new(cfg.seed ^ 0xE15).take(trials) {
+            let params = ContinuousParams {
+                router: RouterConfig::serve_first(b),
+                worm_len: WORM_LEN,
+                schedule: DelaySchedule::Fixed { delta: 24 },
+                arrival_prob: arrival,
+                rounds,
+                warmup: rounds / 4,
+            };
+            let mut run = ContinuousRun::new(
+                &net,
+                |rng: &mut dyn rand::RngCore| {
+                    let n = net.node_count() as u32;
+                    let s = rng.gen_range(0..n);
+                    let d = rng.gen_range(0..n);
+                    bfs_route_with(&mut finder, &net, s, d)
+                },
+                params,
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let r = run.run_with(&mut ws, &mut rng);
+            thr += r.throughput;
+            act += r.avg_active;
+            lat += r.mean_latency_rounds;
+            p95 += r.p95_latency_rounds;
+            any_sat |= r.saturated;
         }
+        let t = trials as f64;
+        [
+            b.to_string(),
+            format!("{arrival:.2}"),
+            fmt_f64(arrival * net.node_count() as f64),
+            fmt_f64(thr / t),
+            fmt_f64(act / t),
+            fmt_f64(lat / t),
+            fmt_f64(p95 / t),
+            if any_sat { "YES".into() } else { "no".into() },
+        ]
+    });
+    for row in &rows {
+        table.row(row);
     }
     out.push_str(&table.render());
     writeln!(

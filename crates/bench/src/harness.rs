@@ -18,6 +18,10 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Replicated trials per configuration point.
     pub trials: usize,
+    /// Print per-experiment wall-clock timings to stderr after a
+    /// pipeline run. Timings never go to stdout: the rendered report
+    /// must stay byte-identical with and without this flag.
+    pub timings: bool,
 }
 
 impl ExpConfig {
@@ -27,6 +31,7 @@ impl ExpConfig {
             quick: false,
             seed: 1997,
             trials: 10,
+            timings: false,
         }
     }
 
@@ -36,10 +41,12 @@ impl ExpConfig {
             quick: true,
             seed: 1997,
             trials: 3,
+            timings: false,
         }
     }
 
-    /// Parse `--quick`, `--seed N`, `--trials N` from process args.
+    /// Parse `--quick`, `--seed N`, `--trials N`, `--timings` from
+    /// process args.
     pub fn from_args() -> Self {
         let mut cfg = ExpConfig::full();
         let args: Vec<String> = std::env::args().collect();
@@ -47,6 +54,7 @@ impl ExpConfig {
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => cfg.quick = true,
+                "--timings" => cfg.timings = true,
                 "--seed" => {
                     i += 1;
                     cfg.seed = args[i].parse().expect("--seed needs an integer");
@@ -55,12 +63,29 @@ impl ExpConfig {
                     i += 1;
                     cfg.trials = args[i].parse().expect("--trials needs an integer");
                 }
-                other => panic!("unknown argument {other} (try --quick, --seed N, --trials N)"),
+                other => panic!(
+                    "unknown argument {other} (try --quick, --seed N, --trials N, --timings)"
+                ),
             }
             i += 1;
         }
         cfg
     }
+}
+
+/// Evaluate every sweep point of an experiment in parallel and return
+/// the results in point order. This is the pipeline's inner fan-out:
+/// each point must draw its randomness only from its own element of
+/// `points` (typically a pre-derived seed), so the mapping is
+/// order-independent and the collected output is identical at any
+/// thread count.
+pub fn par_points<P, R, F>(points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    points.par_iter().map(f).collect()
 }
 
 /// Run `trials` independent evaluations of `f` (seeded deterministically
@@ -157,5 +182,14 @@ mod tests {
         assert!(!ExpConfig::full().quick);
         assert!(ExpConfig::quick().quick);
         assert_eq!(ExpConfig::full().seed, ExpConfig::quick().seed);
+        assert!(!ExpConfig::full().timings);
+    }
+
+    #[test]
+    fn par_points_preserves_point_order() {
+        let points: Vec<u64> = (0..100).collect();
+        let got = par_points(&points, |&p| p * p);
+        let want: Vec<u64> = points.iter().map(|&p| p * p).collect();
+        assert_eq!(got, want);
     }
 }

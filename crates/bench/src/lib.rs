@@ -29,7 +29,9 @@
 //! | E14 | Message segmentation at constant payload | [`experiments::e14_segmentation`] |
 //! | E15 | Continuous traffic: load-latency, saturation | [`experiments::e15_continuous`] |
 
+pub mod cache;
 pub mod experiments;
 pub mod harness;
 
+pub use cache::InstanceCache;
 pub use harness::{replicate, ExpConfig, ProtocolTrials};

@@ -1,0 +1,47 @@
+//! The parallel experiment pipeline must be a pure function of the
+//! configuration: `run_all` fans experiments and sweep points out over
+//! rayon, but every random stream is derived from `cfg.seed` alone and
+//! results are stitched in declaration order, so the report is
+//! byte-identical at any thread count.
+
+use optical_bench::experiments::{run_all, run_all_timed, SECTIONS};
+use optical_bench::{ExpConfig, InstanceCache};
+
+#[test]
+fn quick_report_is_identical_across_thread_counts() {
+    let cfg = ExpConfig::quick();
+
+    // Single-threaded pool vs the default (ambient) pool.
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| run_all(&cfg));
+    let ambient = run_all(&cfg);
+    assert_eq!(
+        single, ambient,
+        "run_all must be byte-identical at any thread count"
+    );
+
+    // And repeated runs are stable too (the instance cache serves hits the
+    // second time around — memoized instances must not perturb results).
+    let again = run_all(&cfg);
+    assert_eq!(ambient, again, "run_all must be idempotent");
+
+    let stats = InstanceCache::global().stats();
+    assert!(
+        stats.hits > 0,
+        "repeated runs must hit the instance cache (stats: {stats:?})"
+    );
+}
+
+#[test]
+fn timings_cover_every_section_without_touching_the_report() {
+    let cfg = ExpConfig::quick();
+    let (report, timings) = run_all_timed(&cfg);
+    assert_eq!(report, run_all(&cfg));
+    assert_eq!(timings.len(), SECTIONS.len());
+    for ((id, _), (tid, _)) in SECTIONS.iter().zip(&timings) {
+        assert_eq!(id, tid, "timings must be in section order");
+    }
+}

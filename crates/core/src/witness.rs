@@ -46,50 +46,63 @@ impl BlockingAnalysis {
 /// at most one cycle; cycles are found by pointer chasing with tricolor
 /// marking in `O(worms)`.
 pub fn analyze_blocking(blocking: &HashMap<u32, u32>) -> BlockingAnalysis {
-    let mut worms: HashSet<u32> = HashSet::new();
+    // Flat worm universe: sorted + deduped ids, looked up by binary
+    // search. The per-round graphs are small, so dense index arrays beat
+    // hash maps and make the traversal order (hence cycle rotations and
+    // root order) deterministic.
+    let mut worms: Vec<u32> = Vec::with_capacity(blocking.len() * 2);
     for (&l, &w) in blocking {
-        worms.insert(l);
-        worms.insert(w);
+        worms.push(l);
+        worms.push(w);
+    }
+    worms.sort_unstable();
+    worms.dedup();
+    let idx = |w: u32| worms.binary_search(&w).expect("worm in universe");
+
+    // The unique out-edge per worm index; usize::MAX = unblocked.
+    let mut out = vec![usize::MAX; worms.len()];
+    for (&l, &w) in blocking {
+        out[idx(l)] = idx(w);
     }
 
-    // Tricolor DFS along the unique out-edge.
-    let mut color: HashMap<u32, u8> = HashMap::with_capacity(worms.len()); // 1=open, 2=done
+    // Tricolor pointer chase along the out-edges (0=white, 1=open, 2=done).
+    let mut color = vec![0u8; worms.len()];
     let mut cycles: Vec<Vec<u32>> = Vec::new();
-    for &start in &worms {
-        if color.contains_key(&start) {
+    let mut stack: Vec<usize> = Vec::new();
+    for start in 0..worms.len() {
+        if color[start] != 0 {
             continue;
         }
-        let mut stack: Vec<u32> = Vec::new();
+        stack.clear();
         let mut cur = start;
         loop {
-            color.insert(cur, 1);
+            color[cur] = 1;
             stack.push(cur);
-            match blocking.get(&cur) {
-                None => break,
-                Some(&next) => match color.get(&next) {
-                    None => cur = next,
-                    Some(1) => {
-                        // Found a cycle: the suffix of the stack from `next`.
-                        let pos = stack.iter().position(|&x| x == next).unwrap();
-                        cycles.push(stack[pos..].to_vec());
-                        break;
-                    }
-                    Some(_) => break,
-                },
+            let next = out[cur];
+            if next == usize::MAX {
+                break;
+            }
+            match color[next] {
+                0 => cur = next,
+                1 => {
+                    // Found a cycle: the suffix of the stack from `next`.
+                    let pos = stack.iter().position(|&x| x == next).unwrap();
+                    cycles.push(stack[pos..].iter().map(|&i| worms[i]).collect());
+                    break;
+                }
+                _ => break,
             }
         }
-        for w in stack {
-            color.insert(w, 2);
+        for &i in &stack {
+            color[i] = 2;
         }
     }
 
-    let blocked: HashSet<u32> = blocking.keys().copied().collect();
-    let mut roots: Vec<u32> = worms
-        .iter()
-        .copied()
-        .filter(|w| !blocked.contains(w))
+    // `worms` is sorted, so the roots come out sorted for free.
+    let roots: Vec<u32> = (0..worms.len())
+        .filter(|&i| out[i] == usize::MAX)
+        .map(|i| worms[i])
         .collect();
-    roots.sort_unstable();
 
     BlockingAnalysis {
         worms: worms.len(),

@@ -257,6 +257,60 @@ impl PathCollection {
         &self.links
     }
 
+    /// All nodes of all paths, concatenated in path order (the flat CSR
+    /// array; path `i`'s slice is `nodes_of(i)`). One entry per node
+    /// *occurrence*, so repeated visits of non-simple paths appear
+    /// repeatedly.
+    pub fn flat_nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Highest node id appearing on any path, or `None` for a collection
+    /// with no nodes. Collections are built over networks with dense
+    /// `0..node_count` ids, so `max_node_id() + 1` bounds every dense
+    /// node-indexed scratch array.
+    pub fn max_node_id(&self) -> Option<NodeId> {
+        self.nodes.iter().copied().max()
+    }
+
+    /// Flat CSR "link → path occurrences" index: the allocation-lean
+    /// replacement for [`paths_by_link`](Self::paths_by_link) used by the
+    /// metrics and property kernels (three flat arrays instead of one
+    /// heap `Vec` per link).
+    pub fn link_index(&self) -> LinkIndex {
+        let m = self.link_count;
+        // Counting pass; `counts` then becomes the scatter cursor.
+        let mut counts = vec![0u32; m];
+        for &l in &self.links {
+            counts[l as usize] += 1;
+        }
+        let mut starts = Vec::with_capacity(m + 1);
+        let mut acc = 0u32;
+        starts.push(0);
+        for cnt in &mut counts {
+            acc += *cnt;
+            starts.push(acc);
+            *cnt = 0;
+        }
+        let total = self.links.len();
+        let mut paths = vec![0u32; total];
+        let mut positions = vec![0u32; total];
+        for i in 0..self.len() {
+            for (pos, &l) in self.links_of(i).iter().enumerate() {
+                let l = l as usize;
+                let slot = (starts[l] + counts[l]) as usize;
+                paths[slot] = i as u32;
+                positions[slot] = pos as u32;
+                counts[l] += 1;
+            }
+        }
+        LinkIndex {
+            starts,
+            paths,
+            positions,
+        }
+    }
+
     /// Per-link usage counts (ordinary congestion `C` per directed link).
     pub fn link_usage(&self) -> Vec<u32> {
         let mut usage = vec![0u32; self.link_count];
@@ -291,6 +345,52 @@ impl PathCollection {
         self.links.extend_from_slice(&other.links);
         self.offsets
             .extend(other.offsets[1..].iter().map(|&o| base + o));
+    }
+}
+
+/// Flat CSR "link → path occurrences" index over a [`PathCollection`].
+///
+/// `users(l)` / `positions(l)` are parallel slices: occurrence `k` of link
+/// `l` is used by path `users(l)[k]` at position `positions(l)[k]` on that
+/// path. Occurrences are grouped by link and, within a link, ordered by
+/// ascending path id, then ascending position (the scatter pass walks
+/// paths in id order and each path's links front to back). Built in two
+/// counting passes with exactly three allocations — the kernel-friendly
+/// replacement for [`PathCollection::paths_by_link`]'s `Vec<Vec<u32>>`.
+#[derive(Clone, Debug)]
+pub struct LinkIndex {
+    /// Per-link CSR start offsets into `paths`/`positions`
+    /// (length `link_count + 1`).
+    starts: Vec<u32>,
+    /// Path id per link occurrence, grouped by link.
+    paths: Vec<u32>,
+    /// Position of the occurrence on its path, parallel to `paths`.
+    positions: Vec<u32>,
+}
+
+impl LinkIndex {
+    /// Path ids using link `l`, one entry per occurrence (a path using
+    /// the link twice appears twice).
+    pub fn users(&self, l: LinkId) -> &[u32] {
+        let (lo, hi) = (self.starts[l as usize], self.starts[l as usize + 1]);
+        &self.paths[lo as usize..hi as usize]
+    }
+
+    /// Positions parallel to [`users`](Self::users): where on each path
+    /// the occurrence of link `l` sits.
+    pub fn positions(&self, l: LinkId) -> &[u32] {
+        let (lo, hi) = (self.starts[l as usize], self.starts[l as usize + 1]);
+        &self.positions[lo as usize..hi as usize]
+    }
+
+    /// Number of directed links indexed.
+    pub fn link_count(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Total number of link occurrences (Σ path lengths).
+    pub fn total_occurrences(&self) -> usize {
+        self.paths.len()
     }
 }
 
@@ -372,6 +472,35 @@ mod tests {
         let by_link = c.paths_by_link();
         let l23 = net.link_between(2, 3).unwrap();
         assert_eq!(by_link[l23 as usize], vec![0, 1]);
+    }
+
+    #[test]
+    fn link_index_matches_paths_by_link() {
+        let (net, mut c) = demo();
+        // A non-simple path that reuses a link, to pin occurrence
+        // (not path-set) semantics.
+        c.push(Path::from_nodes(&net, &[2, 3, 2, 3]));
+        let idx = c.link_index();
+        let by_link = c.paths_by_link();
+        assert_eq!(idx.link_count(), c.link_count());
+        assert_eq!(idx.total_occurrences(), c.flat_links().len());
+        for l in 0..c.link_count() as u32 {
+            assert_eq!(idx.users(l), by_link[l as usize].as_slice(), "link {l}");
+            for (&p, &pos) in idx.users(l).iter().zip(idx.positions(l)) {
+                assert_eq!(c.links_of(p as usize)[pos as usize], l);
+            }
+        }
+        let l23 = net.link_between(2, 3).unwrap();
+        assert_eq!(idx.users(l23), &[0, 1, 3, 3]);
+        assert_eq!(idx.positions(l23), &[2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn max_node_and_flat_nodes() {
+        let (_, c) = demo();
+        assert_eq!(c.max_node_id(), Some(5));
+        assert_eq!(c.flat_nodes().len(), 4 + 4 + 2);
+        assert_eq!(PathCollection::new(3).max_node_id(), None);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The paper's measures of a path collection (§1.1): size `n`, dilation
 //! `D`, ordinary congestion `C`, and path congestion `C̃`.
 
-use crate::collection::PathCollection;
+use crate::collection::{LinkIndex, PathCollection};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Summary metrics of a [`PathCollection`].
@@ -29,36 +30,93 @@ pub fn congestion(c: &PathCollection) -> u32 {
     c.link_usage().into_iter().max().unwrap_or(0)
 }
 
+/// Minimum collection size before [`path_congestion_each`] fans out over
+/// rayon: below this the per-worker scratch setup costs more than the scan.
+const PAR_MIN_PATHS: usize = 512;
+
+/// Count the distinct *other* paths sharing a link with path `i`, using a
+/// stamp array where `stamp[q] == i + 1` means `q` was already counted for
+/// `i`. Stamps are monotone per scratch array, so one array serves many
+/// consecutive paths without clearing.
+#[inline]
+fn count_link_neighbors(c: &PathCollection, idx: &LinkIndex, i: usize, stamp: &mut [u32]) -> u32 {
+    let me = i as u32 + 1;
+    let mut count = 0u32;
+    for &l in c.links_of(i) {
+        for &q in idx.users(l) {
+            if q != i as u32 && stamp[q as usize] != me {
+                stamp[q as usize] = me;
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
 /// Path congestion `C̃` of every path: entry `i` counts the *distinct other*
 /// paths that share at least one directed link with path `i`.
 ///
 /// Cost is `O(Σ_links cnt(link)²)` in the worst case but uses an epoch
 ///-stamped scratch array, so each (path, neighbor) pair is charged O(1).
+/// Large collections fan out over rayon with one stamp array per worker;
+/// results are collected in path order, so the output is identical to the
+/// sequential scan.
 pub fn path_congestion_each(c: &PathCollection) -> Vec<u32> {
     let n = c.len();
-    let by_link = c.paths_by_link();
-    // stamp[q] == current path id + 1 means q already counted for it.
-    let mut stamp = vec![0u32; n];
-    let mut out = vec![0u32; n];
-    for (i, p) in c.iter() {
-        let me = i as u32 + 1;
-        let mut count = 0u32;
-        for &l in p.links() {
-            for &q in &by_link[l as usize] {
-                if q != i as u32 && stamp[q as usize] != me {
-                    stamp[q as usize] = me;
-                    count += 1;
-                }
-            }
-        }
-        out[i] = count;
+    let idx = c.link_index();
+    if n < PAR_MIN_PATHS {
+        let mut stamp = vec![0u32; n];
+        return (0..n)
+            .map(|i| count_link_neighbors(c, &idx, i, &mut stamp))
+            .collect();
     }
-    out
+    (0..n)
+        .into_par_iter()
+        .map_init(
+            || vec![0u32; n],
+            |stamp, i| count_link_neighbors(c, &idx, i, stamp),
+        )
+        .collect()
 }
 
 /// Path congestion `C̃` of the collection: `max_i path_congestion_each[i]`.
+///
+/// Computed with the same bound-pruned scan as
+/// [`ActiveCongestion::path_congestion`]: the cheap per-path upper bound
+/// `Σ_links (load − 1) ≥ #distinct neighbors` orders the exact stamped
+/// scans, which stop at the first path whose bound cannot beat the best
+/// exact count already seen (or once some path conflicts with everyone).
+/// Only the *maximum* admits this pruning — per-path values still pay the
+/// full scan in [`path_congestion_each`].
 pub fn path_congestion(c: &PathCollection) -> u32 {
-    path_congestion_each(c).into_iter().max().unwrap_or(0)
+    max_path_congestion(c, &c.link_index())
+}
+
+/// [`path_congestion`] on a caller-built [`LinkIndex`].
+fn max_path_congestion(c: &PathCollection, idx: &LinkIndex) -> u32 {
+    let n = c.len();
+    // `(upper bound, path id)`, scanned in decreasing-bound order.
+    let mut bounds: Vec<(u32, u32)> = (0..n)
+        .map(|i| {
+            let ub = c
+                .links_of(i)
+                .iter()
+                .map(|&l| idx.users(l).len() as u32 - 1)
+                .sum::<u32>();
+            (ub, i as u32)
+        })
+        .collect();
+    bounds.sort_unstable_by(|a, b| b.cmp(a));
+    let ceiling = n.saturating_sub(1) as u32;
+    let mut stamp = vec![0u32; n];
+    let mut max = 0u32;
+    for &(ub, p) in &bounds {
+        if ub <= max || max == ceiling {
+            break;
+        }
+        max = max.max(count_link_neighbors(c, idx, p as usize, &mut stamp));
+    }
+    max
 }
 
 /// Cheap upper bound on `C̃`: for each path, the sum over its links of
@@ -158,11 +216,14 @@ impl ActiveCongestion {
             self.stamp.resize(c.len(), 0);
         }
         // Scan paths in decreasing-bound order; stop at the first path
-        // whose bound cannot beat the best exact count already seen.
+        // whose bound cannot beat the best exact count already seen, or as
+        // soon as some path conflicts with every other active path (no
+        // count can exceed `active.len() - 1`).
         bounds.sort_unstable_by(|a, b| b.cmp(a));
+        let ceiling = active.len().saturating_sub(1) as u32;
         let mut max = 0u32;
         for &(ub, p) in &bounds {
-            if ub <= max {
+            if ub <= max || max == ceiling {
                 break;
             }
             self.mark = self.mark.wrapping_add(1);
@@ -211,8 +272,9 @@ pub fn conflict_components(c: &PathCollection) -> Vec<Vec<u32>> {
         }
         r
     }
-    for users in c.paths_by_link() {
-        for w in users.windows(2) {
+    let idx = c.link_index();
+    for l in 0..idx.link_count() as u32 {
+        for w in idx.users(l).windows(2) {
             let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
             if a != b {
                 parent[a as usize] = b;
@@ -231,13 +293,20 @@ pub fn conflict_components(c: &PathCollection) -> Vec<Vec<u32>> {
     out
 }
 
-/// All metrics at once.
+/// All metrics at once. One [`LinkIndex`] build serves both congestion
+/// (the largest per-link group) and the pruned path-congestion scan,
+/// instead of the two separate link passes the individual accessors pay.
 pub fn metrics(c: &PathCollection) -> CollectionMetrics {
+    let idx = c.link_index();
+    let congestion = (0..idx.link_count() as u32)
+        .map(|l| idx.users(l).len() as u32)
+        .max()
+        .unwrap_or(0);
     CollectionMetrics {
         n: c.len(),
         dilation: dilation(c),
-        congestion: congestion(c),
-        path_congestion: path_congestion(c),
+        congestion,
+        path_congestion: max_path_congestion(c, &idx),
     }
 }
 
@@ -395,6 +464,27 @@ mod tests {
                 path_congestion(&sub),
                 "active = {active:?}"
             );
+        }
+    }
+
+    #[test]
+    fn pruned_max_matches_full_scan() {
+        // The bound-pruned `path_congestion` must equal the maximum of the
+        // unpruned per-path scan, and `metrics` must agree with the
+        // individual accessors, on collections with mixed overlap.
+        let net = topologies::torus(2, 5);
+        for (mul, add) in [(1u32, 7u32), (3, 11), (7, 3), (11, 13)] {
+            let mut c = PathCollection::for_network(&net);
+            for s in 0..25u32 {
+                let p = net.shortest_path(s, (s * mul + add) % 25).unwrap();
+                c.push(Path::from_nodes(&net, &p));
+            }
+            let full_max = path_congestion_each(&c).into_iter().max().unwrap_or(0);
+            assert_eq!(path_congestion(&c), full_max);
+            let m = metrics(&c);
+            assert_eq!(m.congestion, congestion(&c));
+            assert_eq!(m.path_congestion, full_max);
+            assert_eq!(m.dilation, dilation(&c));
         }
     }
 

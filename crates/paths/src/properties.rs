@@ -1,13 +1,65 @@
 //! Structural properties of path collections: *leveled* and *short-cut
 //! free* (§1.1). These are exactly the hypotheses of Main Theorems 1.1–1.3.
+//!
+//! The public kernels run on dense flat arrays (counting sorts + CSR
+//! adjacency over node/link ids, which are dense `0..count` in every
+//! generator); [`reference`] keeps the original `HashMap` formulations as
+//! an executable specification that the flat kernels are pinned against
+//! in the tests.
 
 use crate::collection::PathCollection;
 use optical_topo::NodeId;
-use std::collections::HashMap;
 
-/// A witness that the collection is leveled: `levels[v]` for every node
-/// that appears on some path (other nodes are absent).
-pub type Leveling = HashMap<NodeId, u32>;
+/// Sentinel in [`Leveling::levels`] for nodes with no level constraint.
+const ABSENT: u32 = u32::MAX;
+/// Sentinel for a not-yet-visited node in the BFS raw-level array.
+const UNSET: i64 = i64::MIN;
+
+/// A witness that the collection is leveled: a dense node-indexed level
+/// array. Only nodes that appear on some link of some path carry a level
+/// (isolated nodes — including sources of zero-length paths — are absent,
+/// exactly as in the historical `HashMap<NodeId, u32>` witness).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Leveling {
+    /// `levels[v]` is node `v`'s level, or [`ABSENT`].
+    levels: Vec<u32>,
+    /// Number of non-absent entries.
+    assigned: usize,
+}
+
+impl Leveling {
+    /// Level of node `v`, or `None` if `v` has no level constraint.
+    pub fn get(&self, v: NodeId) -> Option<u32> {
+        match self.levels.get(v as usize) {
+            Some(&l) if l != ABSENT => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Whether node `v` carries a level.
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.get(v).is_some()
+    }
+
+    /// Number of leveled nodes.
+    pub fn len(&self) -> usize {
+        self.assigned
+    }
+
+    /// Whether no node carries a level.
+    pub fn is_empty(&self) -> bool {
+        self.assigned == 0
+    }
+
+    /// Iterate over `(node, level)` in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u32)> + '_ {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l != ABSENT)
+            .map(|(v, &l)| (v as NodeId, l))
+    }
+}
 
 /// Try to assign levels to nodes such that every link of every path goes
 /// from level `i` to level `i + 1`.
@@ -16,52 +68,84 @@ pub type Leveling = HashMap<NodeId, u32>;
 /// "`i ≥ 0`") or `None` if the collection is not leveled. Works per
 /// connected component of the link-constraint graph; levels are normalized
 /// within each component.
+///
+/// One pass builds a CSR constraint adjacency (each used link `(u, v)`
+/// contributes arcs `u → v` with delta `+1` and `v → u` with `-1`), then a
+/// BFS per component propagates raw levels and rejects on the first
+/// inconsistent arc.
 pub fn leveling(c: &PathCollection) -> Option<Leveling> {
-    // Constraint graph: for each used link (u, v): level[v] = level[u] + 1.
-    let mut adj: HashMap<NodeId, Vec<(NodeId, i64)>> = HashMap::new();
-    for (_, p) in c.iter() {
-        for w in p.nodes().windows(2) {
-            adj.entry(w[0]).or_default().push((w[1], 1));
-            adj.entry(w[1]).or_default().push((w[0], -1));
+    let v_count = c.max_node_id().map_or(0, |m| m as usize + 1);
+    // Constraint-arc degrees; `deg` then becomes the scatter cursor.
+    let mut deg = vec![0u32; v_count];
+    for i in 0..c.len() {
+        for w in c.nodes_of(i).windows(2) {
+            deg[w[0] as usize] += 1;
+            deg[w[1] as usize] += 1;
         }
     }
-    let mut raw: HashMap<NodeId, i64> = HashMap::new();
-    let mut components: Vec<Vec<NodeId>> = Vec::new();
-    for &start in adj.keys() {
-        if raw.contains_key(&start) {
+    let mut starts = Vec::with_capacity(v_count + 1);
+    let mut acc = 0u32;
+    starts.push(0);
+    for d in &mut deg {
+        acc += *d;
+        starts.push(acc);
+        *d = 0;
+    }
+    let total = acc as usize;
+    let mut adj_to = vec![0u32; total];
+    let mut adj_delta = vec![0i8; total];
+    for i in 0..c.len() {
+        for w in c.nodes_of(i).windows(2) {
+            let (u, v) = (w[0] as usize, w[1] as usize);
+            let s = (starts[u] + deg[u]) as usize;
+            adj_to[s] = w[1];
+            adj_delta[s] = 1;
+            deg[u] += 1;
+            let s = (starts[v] + deg[v]) as usize;
+            adj_to[s] = w[0];
+            adj_delta[s] = -1;
+            deg[v] += 1;
+        }
+    }
+
+    let mut raw = vec![UNSET; v_count];
+    let mut levels = vec![ABSENT; v_count];
+    let mut assigned = 0usize;
+    let mut queue: Vec<u32> = Vec::new();
+    for s in 0..v_count {
+        if starts[s + 1] == starts[s] || raw[s] != UNSET {
             continue;
         }
-        let mut comp = vec![start];
-        raw.insert(start, 0);
-        let mut queue = std::collections::VecDeque::from([start]);
-        while let Some(v) = queue.pop_front() {
-            let lv = raw[&v];
-            for &(t, d) in &adj[&v] {
-                match raw.get(&t) {
-                    Some(&lt) => {
-                        if lt != lv + d {
-                            return None; // inconsistent constraint
-                        }
-                    }
-                    None => {
-                        raw.insert(t, lv + d);
-                        comp.push(t);
-                        queue.push_back(t);
-                    }
+        // BFS this component from `s`; `queue` doubles as the component's
+        // node list for the normalization pass.
+        queue.clear();
+        raw[s] = 0;
+        queue.push(s as u32);
+        let mut head = 0;
+        let mut min = 0i64;
+        while head < queue.len() {
+            let v = queue[head] as usize;
+            head += 1;
+            let lv = raw[v];
+            for k in starts[v] as usize..starts[v + 1] as usize {
+                let t = adj_to[k] as usize;
+                let lt = lv + adj_delta[k] as i64;
+                if raw[t] == UNSET {
+                    raw[t] = lt;
+                    min = min.min(lt);
+                    queue.push(t as u32);
+                } else if raw[t] != lt {
+                    return None; // inconsistent constraint
                 }
             }
         }
-        components.push(comp);
-    }
-    // Normalize each component so its minimum level is 0.
-    let mut out = HashMap::with_capacity(raw.len());
-    for comp in components {
-        let min = comp.iter().map(|v| raw[v]).min().unwrap();
-        for v in comp {
-            out.insert(v, (raw[&v] - min) as u32);
+        // Normalize the component so its minimum level is 0.
+        for &v in &queue {
+            levels[v as usize] = (raw[v as usize] - min) as u32;
         }
+        assigned += queue.len();
     }
-    Some(out)
+    Some(Leveling { levels, assigned })
 }
 
 /// Whether the collection is leveled.
@@ -75,11 +159,17 @@ pub fn check_leveling(c: &PathCollection, levels: &Leveling) -> bool {
     c.iter().all(|(_, p)| {
         p.nodes()
             .windows(2)
-            .all(|w| match (levels.get(&w[0]), levels.get(&w[1])) {
-                (Some(&a), Some(&b)) => b == a + 1,
+            .all(|w| match (levels.get(w[0]), levels.get(w[1])) {
+                (Some(a), Some(b)) => b == a + 1,
                 _ => false,
             })
     })
+}
+
+/// Pack an ordered path pair `(p, q)`, `p < q`, into one sortable key.
+#[inline]
+fn pair_key(p: u32, q: u32) -> u64 {
+    ((p as u64) << 32) | q as u64
 }
 
 /// Whether the collection is *short-cut free*: no subpath of one path is
@@ -87,38 +177,67 @@ pub fn check_leveling(c: &PathCollection, levels: &Leveling) -> bool {
 /// traversed in the same order.
 ///
 /// Checks all occurrence pairs, so it is correct for non-simple paths too.
-/// Cost is quadratic in the number of co-occurrences per path pair —
-/// intended as a validator for workload generators and tests, not a hot
-/// path.
+/// Node occurrences are counting-sorted into per-node groups, the
+/// co-occurrence records of each group are flattened into one array keyed
+/// by path pair and sorted, and each path pair's records are then checked
+/// quadratically (co-occurrence counts per pair are small in practice).
 pub fn is_shortcut_free(c: &PathCollection) -> bool {
-    // node -> [(path id, position)...], including repeated occurrences.
-    let mut occ: HashMap<NodeId, Vec<(u32, u32)>> = HashMap::new();
-    for (id, p) in c.iter() {
-        for (pos, &v) in p.nodes().iter().enumerate() {
-            occ.entry(v).or_default().push((id as u32, pos as u32));
+    let v_count = c.max_node_id().map_or(0, |m| m as usize + 1);
+    let nodes = c.flat_nodes();
+    // Counting sort of node occurrences by node id; `cnt` becomes the
+    // scatter cursor.
+    let mut cnt = vec![0u32; v_count];
+    for &v in nodes {
+        cnt[v as usize] += 1;
+    }
+    let mut starts = Vec::with_capacity(v_count + 1);
+    let mut acc = 0u32;
+    starts.push(0);
+    for d in &mut cnt {
+        acc += *d;
+        starts.push(acc);
+        *d = 0;
+    }
+    let mut occ_path = vec![0u32; nodes.len()];
+    let mut occ_pos = vec![0u32; nodes.len()];
+    for i in 0..c.len() {
+        for (pos, &v) in c.nodes_of(i).iter().enumerate() {
+            let v = v as usize;
+            let slot = (starts[v] + cnt[v]) as usize;
+            occ_path[slot] = i as u32;
+            occ_pos[slot] = pos as u32;
+            cnt[v] += 1;
         }
     }
-    // For each path pair: collect co-occurrence position pairs.
-    let mut shared: HashMap<(u32, u32), Vec<(u32, u32)>> = HashMap::new();
-    for slots in occ.values() {
-        for (a, &(p, i)) in slots.iter().enumerate() {
-            for &(q, j) in &slots[a + 1..] {
-                if p == q {
-                    continue;
+    // Co-occurrence records `(pair key, pos on p, pos on q)`. Within a
+    // node's group occurrences are ordered by ascending path id (the
+    // scatter walks paths in order), so `a < b` implies `p <= q`.
+    let mut records: Vec<(u64, u32, u32)> = Vec::new();
+    for v in 0..v_count {
+        let (lo, hi) = (starts[v] as usize, starts[v + 1] as usize);
+        for a in lo..hi {
+            let (p, i) = (occ_path[a], occ_pos[a]);
+            for b in a + 1..hi {
+                let (q, j) = (occ_path[b], occ_pos[b]);
+                if p != q {
+                    records.push((pair_key(p, q), i, j));
                 }
-                let (key, val) = if p < q {
-                    ((p, q), (i, j))
-                } else {
-                    ((q, p), (j, i))
-                };
-                shared.entry(key).or_default().push(val);
             }
         }
     }
-    for pairs in shared.values() {
-        // Same-order pairs must advance by equal amounts on both paths.
-        for (a, &(i1, j1)) in pairs.iter().enumerate() {
-            for &(i2, j2) in &pairs[a + 1..] {
+    records.sort_unstable();
+    // Same-order occurrence pairs must advance by equal amounts on both
+    // paths. Scan each path pair's contiguous group.
+    let mut g = 0;
+    while g < records.len() {
+        let key = records[g].0;
+        let mut h = g + 1;
+        while h < records.len() && records[h].0 == key {
+            h += 1;
+        }
+        let group = &records[g..h];
+        for (a, &(_, i1, j1)) in group.iter().enumerate() {
+            for &(_, i2, j2) in &group[a + 1..] {
                 let di = i2 as i64 - i1 as i64;
                 let dj = j2 as i64 - j1 as i64;
                 if di == 0 || dj == 0 {
@@ -129,6 +248,7 @@ pub fn is_shortcut_free(c: &PathCollection) -> bool {
                 }
             }
         }
+        g = h;
     }
     true
 }
@@ -141,37 +261,45 @@ pub fn is_shortcut_free(c: &PathCollection) -> bool {
 /// short-cut freeness on exotic wrap-around collections (see the tests);
 /// equivalent on the collections used in the paper. Cost `O(Σ_links cnt²)`
 /// worst case.
+///
+/// Runs on the collection's [`LinkIndex`](crate::collection::LinkIndex):
+/// per link, the first occurrence per path is kept (groups are sorted by
+/// path then position), each path pair contributes one offset record, and
+/// one sort groups the records for the all-equal check.
 pub fn consistent_link_offsets(c: &PathCollection) -> bool {
-    let by_link = c.paths_by_link();
-    // Position of each link on each path (first occurrence).
-    let mut pos: HashMap<(u32, u32), u32> = HashMap::new();
-    for (id, p) in c.iter() {
-        for (s, &l) in p.links().iter().enumerate() {
-            pos.entry((id as u32, l)).or_insert(s as u32);
+    let idx = c.link_index();
+    let mut records: Vec<(u64, i64)> = Vec::new();
+    let mut firsts: Vec<(u32, u32)> = Vec::new();
+    for l in 0..idx.link_count() as u32 {
+        let users = idx.users(l);
+        if users.len() < 2 {
+            continue;
         }
-    }
-    let mut offsets: HashMap<(u32, u32), i64> = HashMap::new();
-    for (l, users) in by_link.iter().enumerate() {
-        let l = l as u32;
-        for (a, &p) in users.iter().enumerate() {
-            for &q in &users[a + 1..] {
-                if p == q {
-                    continue;
-                }
-                let off = pos[&(p, l)] as i64 - pos[&(q, l)] as i64;
-                let key = (p.min(q), p.max(q));
-                let off = if p < q { off } else { -off };
-                match offsets.get(&key) {
-                    Some(&prev) if prev != off => return false,
-                    Some(_) => {}
-                    None => {
-                        offsets.insert(key, off);
-                    }
-                }
+        // First occurrence of `l` per path: within a link's group,
+        // occurrences are sorted by (path, position), so the first entry
+        // of each path run is its minimum position.
+        let positions = idx.positions(l);
+        firsts.clear();
+        let mut k = 0;
+        while k < users.len() {
+            let p = users[k];
+            firsts.push((p, positions[k]));
+            while k < users.len() && users[k] == p {
+                k += 1;
+            }
+        }
+        for (a, &(p, pi)) in firsts.iter().enumerate() {
+            for &(q, qi) in &firsts[a + 1..] {
+                records.push((pair_key(p, q), pi as i64 - qi as i64));
             }
         }
     }
-    true
+    records.sort_unstable();
+    // Every record of a path pair must carry the same offset; groups are
+    // contiguous after the sort, so adjacent equality suffices.
+    records
+        .windows(2)
+        .all(|w| w[0].0 != w[1].0 || w[0].1 == w[1].1)
 }
 
 impl PathCollection {
@@ -183,6 +311,146 @@ impl PathCollection {
     /// See [`is_shortcut_free`].
     pub fn is_shortcut_free(&self) -> bool {
         is_shortcut_free(self)
+    }
+}
+
+/// The original `HashMap`-based formulations, kept as an executable
+/// specification. The flat kernels above are pinned against these in
+/// `tests/flat_kernels_match_reference.rs`; they are not exported from the
+/// crate root and should not be used on hot paths.
+pub mod reference {
+    use super::PathCollection;
+    use optical_topo::NodeId;
+    use std::collections::HashMap;
+
+    /// The historical leveling witness shape.
+    pub type LevelingMap = HashMap<NodeId, u32>;
+
+    /// Map-based [`super::leveling`].
+    pub fn leveling(c: &PathCollection) -> Option<LevelingMap> {
+        // Constraint graph: for each used link (u, v): level[v] = level[u] + 1.
+        let mut adj: HashMap<NodeId, Vec<(NodeId, i64)>> = HashMap::new();
+        for (_, p) in c.iter() {
+            for w in p.nodes().windows(2) {
+                adj.entry(w[0]).or_default().push((w[1], 1));
+                adj.entry(w[1]).or_default().push((w[0], -1));
+            }
+        }
+        let mut raw: HashMap<NodeId, i64> = HashMap::new();
+        let mut components: Vec<Vec<NodeId>> = Vec::new();
+        for &start in adj.keys() {
+            if raw.contains_key(&start) {
+                continue;
+            }
+            let mut comp = vec![start];
+            raw.insert(start, 0);
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                let lv = raw[&v];
+                for &(t, d) in &adj[&v] {
+                    match raw.get(&t) {
+                        Some(&lt) => {
+                            if lt != lv + d {
+                                return None; // inconsistent constraint
+                            }
+                        }
+                        None => {
+                            raw.insert(t, lv + d);
+                            comp.push(t);
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+            components.push(comp);
+        }
+        // Normalize each component so its minimum level is 0.
+        let mut out = HashMap::with_capacity(raw.len());
+        for comp in components {
+            let min = comp.iter().map(|v| raw[v]).min().unwrap();
+            for v in comp {
+                out.insert(v, (raw[&v] - min) as u32);
+            }
+        }
+        Some(out)
+    }
+
+    /// Map-based [`super::is_shortcut_free`].
+    pub fn is_shortcut_free(c: &PathCollection) -> bool {
+        // node -> [(path id, position)...], including repeated occurrences.
+        let mut occ: HashMap<NodeId, Vec<(u32, u32)>> = HashMap::new();
+        for (id, p) in c.iter() {
+            for (pos, &v) in p.nodes().iter().enumerate() {
+                occ.entry(v).or_default().push((id as u32, pos as u32));
+            }
+        }
+        // For each path pair: collect co-occurrence position pairs.
+        let mut shared: HashMap<(u32, u32), Vec<(u32, u32)>> = HashMap::new();
+        for slots in occ.values() {
+            for (a, &(p, i)) in slots.iter().enumerate() {
+                for &(q, j) in &slots[a + 1..] {
+                    if p == q {
+                        continue;
+                    }
+                    let (key, val) = if p < q {
+                        ((p, q), (i, j))
+                    } else {
+                        ((q, p), (j, i))
+                    };
+                    shared.entry(key).or_default().push(val);
+                }
+            }
+        }
+        for pairs in shared.values() {
+            // Same-order pairs must advance by equal amounts on both paths.
+            for (a, &(i1, j1)) in pairs.iter().enumerate() {
+                for &(i2, j2) in &pairs[a + 1..] {
+                    let di = i2 as i64 - i1 as i64;
+                    let dj = j2 as i64 - j1 as i64;
+                    if di == 0 || dj == 0 {
+                        continue; // same occurrence on one side
+                    }
+                    if di.signum() == dj.signum() && di != dj {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Map-based [`super::consistent_link_offsets`].
+    pub fn consistent_link_offsets(c: &PathCollection) -> bool {
+        let by_link = c.paths_by_link();
+        // Position of each link on each path (first occurrence).
+        let mut pos: HashMap<(u32, u32), u32> = HashMap::new();
+        for (id, p) in c.iter() {
+            for (s, &l) in p.links().iter().enumerate() {
+                pos.entry((id as u32, l)).or_insert(s as u32);
+            }
+        }
+        let mut offsets: HashMap<(u32, u32), i64> = HashMap::new();
+        for (l, users) in by_link.iter().enumerate() {
+            let l = l as u32;
+            for (a, &p) in users.iter().enumerate() {
+                for &q in &users[a + 1..] {
+                    if p == q {
+                        continue;
+                    }
+                    let off = pos[&(p, l)] as i64 - pos[&(q, l)] as i64;
+                    let key = (p.min(q), p.max(q));
+                    let off = if p < q { off } else { -off };
+                    match offsets.get(&key) {
+                        Some(&prev) if prev != off => return false,
+                        Some(_) => {}
+                        None => {
+                            offsets.insert(key, off);
+                        }
+                    }
+                }
+            }
+        }
+        true
     }
 }
 
@@ -200,8 +468,9 @@ mod tests {
         c.push(Path::from_nodes(&net, &[2, 3, 4, 5]));
         let levels = leveling(&c).expect("leveled");
         assert!(check_leveling(&c, &levels));
-        assert_eq!(levels[&0], 0);
-        assert_eq!(levels[&3], 3);
+        assert_eq!(levels.get(0), Some(0));
+        assert_eq!(levels.get(3), Some(3));
+        assert_eq!(levels.len(), 6);
     }
 
     #[test]
@@ -233,7 +502,7 @@ mod tests {
         let levels = leveling(&c).expect("butterfly system is leveled");
         assert!(check_leveling(&c, &levels));
         // Levels match butterfly levels.
-        for (&node, &lvl) in &levels {
+        for (node, lvl) in levels.iter() {
             assert_eq!(coords.coords_of(node).0, lvl);
         }
     }
@@ -245,9 +514,22 @@ mod tests {
         c.push(Path::from_nodes(&net, &[0, 1, 2]));
         c.push(Path::from_nodes(&net, &[4, 5, 6]));
         let levels = leveling(&c).unwrap();
-        assert_eq!(levels[&0], 0);
-        assert_eq!(levels[&4], 0, "each component normalized to 0");
-        assert!(!levels.contains_key(&3));
+        assert_eq!(levels.get(0), Some(0));
+        assert_eq!(levels.get(4), Some(0), "each component normalized to 0");
+        assert!(!levels.contains(3));
+        assert_eq!(levels.len(), 6);
+    }
+
+    #[test]
+    fn zero_length_paths_carry_no_level() {
+        let net = topologies::chain(4);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[2]));
+        c.push(Path::from_nodes(&net, &[0, 1]));
+        let levels = leveling(&c).unwrap();
+        assert!(!levels.contains(2), "isolated source has no constraint");
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels.iter().collect::<Vec<_>>(), vec![(0, 0), (1, 1)]);
     }
 
     #[test]
@@ -310,6 +592,9 @@ mod tests {
         assert!(is_shortcut_free(&c));
         assert!(is_leveled(&c));
         assert!(consistent_link_offsets(&c));
+        let levels = leveling(&c).unwrap();
+        assert!(levels.is_empty());
+        assert_eq!(levels.iter().count(), 0);
     }
 
     #[test]
@@ -328,5 +613,20 @@ mod tests {
         c.push(Path::from_nodes(&net, &[2, 3, 4, 0, 1]));
         assert!(is_shortcut_free(&c));
         assert!(!consistent_link_offsets(&c));
+    }
+
+    #[test]
+    fn non_simple_path_occurrences_all_checked() {
+        // A figure-eight path revisits node 1; the flat kernel must keep
+        // both occurrences, like the reference.
+        let net = topologies::ring(4);
+        let mut c = PathCollection::for_network(&net);
+        c.push(Path::from_nodes(&net, &[0, 1, 2, 1, 0]));
+        c.push(Path::from_nodes(&net, &[3, 0, 1]));
+        assert_eq!(is_shortcut_free(&c), reference::is_shortcut_free(&c));
+        assert_eq!(
+            consistent_link_offsets(&c),
+            reference::consistent_link_offsets(&c)
+        );
     }
 }

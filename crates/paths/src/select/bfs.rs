@@ -9,7 +9,7 @@
 
 use crate::collection::PathCollection;
 use crate::path::Path;
-use optical_topo::algo::{bfs, bfs_filtered};
+use optical_topo::algo::{bfs, PathFinder};
 use optical_topo::{Network, NodeId, INVALID_NODE};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -19,8 +19,15 @@ use rand::Rng;
 /// # Panics
 /// If `dst` is unreachable from `src`.
 pub fn bfs_route(net: &Network, src: NodeId, dst: NodeId) -> Path {
-    let nodes = net
-        .shortest_path(src, dst)
+    bfs_route_with(&mut PathFinder::new(), net, src, dst)
+}
+
+/// [`bfs_route`] on a caller-held [`PathFinder`] — identical paths, but
+/// batches of queries (one route per workload pair, or one per spawned
+/// worm in continuous traffic) skip the per-query scratch allocations.
+pub fn bfs_route_with(finder: &mut PathFinder, net: &Network, src: NodeId, dst: NodeId) -> Path {
+    let nodes = finder
+        .shortest_path(net, src, dst)
         .unwrap_or_else(|| panic!("{dst} unreachable from {src}"));
     Path::from_nodes(net, &nodes)
 }
@@ -98,9 +105,10 @@ pub fn randomized_bfs_collection(
 
 /// Deterministic variant of [`randomized_bfs_collection`].
 pub fn bfs_collection(net: &Network, f: &[NodeId]) -> PathCollection {
+    let mut finder = PathFinder::new();
     let mut c = PathCollection::for_network(net);
     for (src, &dst) in f.iter().enumerate() {
-        c.push(bfs_route(net, src as NodeId, dst));
+        c.push(bfs_route_with(&mut finder, net, src as NodeId, dst));
     }
     c
 }
@@ -114,9 +122,23 @@ pub fn bfs_route_avoiding(
     src: NodeId,
     dst: NodeId,
 ) -> Option<Path> {
+    bfs_route_avoiding_with(&mut PathFinder::new(), net, dead_links, src, dst)
+}
+
+/// [`bfs_route_avoiding`] on a caller-held [`PathFinder`] — identical
+/// paths; batches of queries (routability sweeps, aware-mode workload
+/// construction) skip the per-query scratch allocations.
+pub fn bfs_route_avoiding_with(
+    finder: &mut PathFinder,
+    net: &Network,
+    dead_links: &[bool],
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Path> {
     assert_eq!(dead_links.len(), net.link_count(), "mask length mismatch");
-    let tree = bfs_filtered(net, src, |l| !dead_links[l as usize]);
-    tree.path_to(dst).map(|nodes| Path::from_nodes(net, &nodes))
+    finder
+        .shortest_path_filtered(net, src, dst, |l| !dead_links[l as usize])
+        .map(|nodes| Path::from_nodes(net, &nodes))
 }
 
 #[cfg(test)]

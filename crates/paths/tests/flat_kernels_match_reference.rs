@@ -1,0 +1,147 @@
+//! Pins the flat-array property kernels against the `HashMap` reference
+//! implementations in [`optical_paths::properties::reference`].
+//!
+//! The flat kernels (`leveling`, `is_shortcut_free`,
+//! `consistent_link_offsets`) replace the historical map-based code on the
+//! hot paths; the reference module keeps that code as an executable
+//! specification. These property tests generate randomized collections —
+//! dimension-order torus routes (leveled-ish, overlapping) and random
+//! walks (non-simple, direction-reversing, usually *not* leveled) — and
+//! require bit-for-bit agreement on every property, including the exact
+//! per-node levels (both sides normalize each constraint component to a
+//! minimum level of 0).
+
+use optical_paths::properties::{self, reference};
+use optical_paths::{Path, PathCollection};
+use optical_topo::{topologies, Network, NodeId};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Shortest paths between random pairs on a 2-d torus. Overlapping but
+/// well-behaved: frequently leveled and short-cut free.
+fn torus_paths(side: u32, n_paths: usize, seed: u64) -> (Network, PathCollection) {
+    let net = topologies::torus(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = PathCollection::for_network(&net);
+    let n = net.node_count() as u32;
+    for _ in 0..n_paths {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        let nodes = net.shortest_path(s, d).unwrap();
+        c.push(Path::from_nodes(&net, &nodes));
+    }
+    (net, c)
+}
+
+/// Random walks on a 2-d torus: non-simple (nodes and links repeat),
+/// direction-reversing, and usually not leveled — the adversarial side of
+/// the input space, where the occurrence bookkeeping matters most.
+fn torus_walks(side: u32, n_paths: usize, max_len: usize, seed: u64) -> (Network, PathCollection) {
+    let net = topologies::torus(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = PathCollection::for_network(&net);
+    let n = net.node_count() as u32;
+    for _ in 0..n_paths {
+        let len = rng.gen_range(0..=max_len);
+        let mut v: NodeId = rng.gen_range(0..n);
+        let mut nodes = vec![v];
+        for _ in 0..len {
+            let nbrs: Vec<NodeId> = net.neighbors(v).map(|(t, _)| t).collect();
+            v = nbrs[rng.gen_range(0..nbrs.len())];
+            nodes.push(v);
+        }
+        c.push(Path::from_nodes(&net, &nodes));
+    }
+    (net, c)
+}
+
+/// Assert that every flat kernel agrees with its reference on `c`.
+fn assert_kernels_match(c: &PathCollection) -> Result<(), TestCaseError> {
+    // Leveling: same verdict, and on success the same per-node levels.
+    let flat = properties::leveling(c);
+    let map = reference::leveling(c);
+    prop_assert_eq!(flat.is_some(), map.is_some());
+    if let (Some(flat), Some(map)) = (flat, map) {
+        prop_assert!(properties::check_leveling(c, &flat));
+        let got: Vec<(NodeId, u32)> = flat.iter().collect();
+        let mut want: Vec<(NodeId, u32)> = map.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+    prop_assert_eq!(properties::is_leveled(c), reference::leveling(c).is_some());
+
+    prop_assert_eq!(
+        properties::is_shortcut_free(c),
+        reference::is_shortcut_free(c)
+    );
+    prop_assert_eq!(
+        properties::consistent_link_offsets(c),
+        reference::consistent_link_offsets(c)
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shortest_path_collections_match(
+        side in 3u32..7,
+        n_paths in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let (_, c) = torus_paths(side, n_paths, seed);
+        assert_kernels_match(&c)?;
+    }
+
+    #[test]
+    fn random_walk_collections_match(
+        side in 3u32..6,
+        n_paths in 1usize..12,
+        max_len in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let (_, c) = torus_walks(side, n_paths, max_len, seed);
+        assert_kernels_match(&c)?;
+    }
+
+    #[test]
+    fn mixed_collections_match(
+        side in 3u32..6,
+        n_paths in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        // Shortest paths and walks in one collection: leveled components
+        // next to unleveled ones, simple paths next to non-simple ones.
+        let (net, mut c) = torus_paths(side, n_paths, seed);
+        let (_, walks) = torus_walks(side, n_paths, 8, seed ^ 0x5eed);
+        for (_, p) in walks.iter() {
+            c.push(Path::from_nodes(&net, p.nodes()));
+        }
+        assert_kernels_match(&c)?;
+    }
+}
+
+/// Fixed regression inputs the sweeps in the paper actually exercise.
+#[test]
+fn butterfly_system_matches_reference() {
+    use optical_topo::topologies::ButterflyCoords;
+    let net = topologies::butterfly(4);
+    let coords = ButterflyCoords::new(4, false);
+    let mut c = PathCollection::for_network(&net);
+    for r in 0..16 {
+        c.push(Path::from_nodes(&net, &coords.route(r, 15 - r)));
+    }
+    let flat = properties::leveling(&c).expect("butterfly system is leveled");
+    let map = reference::leveling(&c).expect("reference agrees");
+    for (v, l) in flat.iter() {
+        assert_eq!(map.get(&v), Some(&l));
+    }
+    assert_eq!(flat.len(), map.len());
+    assert!(properties::is_shortcut_free(&c));
+    assert!(reference::is_shortcut_free(&c));
+    assert!(properties::consistent_link_offsets(&c));
+    assert!(reference::consistent_link_offsets(&c));
+}

@@ -11,6 +11,6 @@ pub mod summary;
 pub mod table;
 
 pub use regression::{fit_against, linear_fit, LinearFit};
-pub use seeds::SeedStream;
+pub use seeds::{point_seed, SeedStream};
 pub use summary::Summary;
 pub use table::Table;

@@ -93,9 +93,96 @@ pub fn bfs_filtered(
     }
 }
 
+/// Reusable point-to-point BFS scratch.
+///
+/// [`shortest_path`] answers a single query but pays a full single-source
+/// BFS (plus three allocations) for it. Route construction asks thousands
+/// of such queries back to back — one per (source, destination) pair of a
+/// workload — so this scratch keeps the visit marks, parent array, and
+/// queue alive across queries (epoch-stamped visit marks make the reset
+/// O(1)) and stops the BFS the moment the destination is discovered.
+///
+/// The traversal is *identical* to [`bfs_filtered`] + `path_to`: same FIFO
+/// order, same neighbor order, parents fixed at first visit — so the
+/// returned path is byte-for-byte the one the full-tree query returns; the
+/// early exit only skips work that cannot affect it.
+#[derive(Clone, Debug, Default)]
+pub struct PathFinder {
+    /// Epoch at which each node was last visited.
+    visit: Vec<u32>,
+    parent: Vec<NodeId>,
+    /// FIFO queue as a flat vector with a head cursor.
+    queue: Vec<NodeId>,
+    epoch: u32,
+}
+
+impl PathFinder {
+    /// Fresh scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shortest path `u → v` as a node sequence, or `None` if disconnected.
+    pub fn shortest_path(&mut self, net: &Network, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        self.shortest_path_filtered(net, u, v, |_| true)
+    }
+
+    /// [`Self::shortest_path`] using only links for which `allow` returns
+    /// true.
+    pub fn shortest_path_filtered(
+        &mut self,
+        net: &Network,
+        u: NodeId,
+        v: NodeId,
+        allow: impl Fn(crate::graph::LinkId) -> bool,
+    ) -> Option<Vec<NodeId>> {
+        let n = net.node_count();
+        if self.visit.len() < n {
+            self.visit.resize(n, 0);
+            self.parent.resize(n, INVALID_NODE);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.visit.fill(0);
+            self.epoch = 1;
+        }
+        let e = self.epoch;
+        self.visit[u as usize] = e;
+        if u == v {
+            return Some(vec![u]);
+        }
+        self.queue.clear();
+        self.queue.push(u);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let x = self.queue[head];
+            head += 1;
+            for (t, l) in net.neighbors(x) {
+                if self.visit[t as usize] != e && allow(l) {
+                    self.visit[t as usize] = e;
+                    self.parent[t as usize] = x;
+                    if t == v {
+                        // `v`'s parent chain is final from its first visit.
+                        let mut path = vec![v];
+                        let mut cur = v;
+                        while cur != u {
+                            cur = self.parent[cur as usize];
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    self.queue.push(t);
+                }
+            }
+        }
+        None
+    }
+}
+
 /// One shortest path `u → v` as a node sequence, or `None` if disconnected.
 pub fn shortest_path(net: &Network, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
-    bfs(net, u).path_to(v)
+    PathFinder::new().shortest_path(net, u, v)
 }
 
 /// Shortest-path distance `u → v`, or `None` if disconnected.
@@ -205,6 +292,44 @@ mod tests {
         assert_eq!(shortest_path(&g, 0, 3).unwrap(), vec![0, 1, 2, 3]);
         assert_eq!(shortest_path(&g, 3, 0).unwrap(), vec![3, 2, 1, 0]);
         assert_eq!(shortest_path(&g, 2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn path_finder_matches_full_bfs() {
+        // A reused finder must return exactly the path the full-tree BFS
+        // returns, for every pair — including across many queries on one
+        // scratch and under link filters.
+        let net = crate::topologies::torus(2, 5);
+        let mut finder = PathFinder::new();
+        for u in net.nodes() {
+            let tree = bfs(&net, u);
+            for v in net.nodes() {
+                assert_eq!(finder.shortest_path(&net, u, v), tree.path_to(v));
+            }
+        }
+        // Filtered: kill one link and compare against bfs_filtered.
+        let allow = |l: crate::graph::LinkId| l != 3;
+        for u in net.nodes() {
+            let tree = bfs_filtered(&net, u, allow);
+            for v in net.nodes() {
+                assert_eq!(
+                    finder.shortest_path_filtered(&net, u, v, allow),
+                    tree.path_to(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_finder_reports_disconnection() {
+        let mut b = NetworkBuilder::new("two islands", 4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let mut finder = PathFinder::new();
+        assert_eq!(finder.shortest_path(&g, 0, 1), Some(vec![0, 1]));
+        assert_eq!(finder.shortest_path(&g, 0, 3), None);
+        assert_eq!(finder.shortest_path(&g, 2, 3), Some(vec![2, 3]));
     }
 
     #[test]

@@ -170,7 +170,7 @@ impl FaultPlan {
     pub fn garbles(&self, link: LinkId, t: u32) -> bool {
         self.flaky
             .iter()
-            .any(|&(l, p)| l == link && garble_hash(self.seed, link, t) < p)
+            .any(|&(l, p)| l == link && garble_bits(self.seed, link, t) < garble_threshold(p))
     }
 
     /// Latest scripted event time (0 for plans with no events).
@@ -179,17 +179,26 @@ impl FaultPlan {
     }
 }
 
-/// Deterministic per-(seed, link, step) uniform draw in `[0, 1)`
-/// (splitmix64 finalizer). Order-independent by construction, so every
-/// simulator consulting the same plan sees the same garbles.
-fn garble_hash(seed: u64, link: LinkId, t: u32) -> f64 {
+/// Deterministic per-(seed, link, step) draw as a 53-bit integer
+/// (splitmix64 finalizer); the uniform `[0, 1)` value is `bits · 2⁻⁵³`.
+/// Order-independent by construction, so every simulator consulting the
+/// same plan sees the same garbles.
+fn garble_bits(seed: u64, link: LinkId, t: u32) -> u64 {
     let mut x = seed
         ^ (link as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ ((t as u64) << 32).wrapping_add(0xD1B5_4A32_D192_ED03);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
-    (x >> 11) as f64 / (1u64 << 53) as f64
+    x >> 11
+}
+
+/// Integer threshold equivalent to the real comparison `bits · 2⁻⁵³ < p`:
+/// both scalings by 2⁵³ are exact in f64, so `bits < ceil(p · 2⁵³)` decides
+/// the same predicate without converting every draw to a float — the hot
+/// comparison in the per-(link, step) churn and flaky loops.
+fn garble_threshold(p: f64) -> u64 {
+    (p * (1u64 << 53) as f64).ceil() as u64
 }
 
 /// Per-run execution state of a [`FaultPlan`]. Shared by the engine and
@@ -246,7 +255,9 @@ impl FaultRuntime {
             }
         }
         for &(link, p) in &self.plan.flaky {
-            if !self.down[link as usize] && garble_hash(self.plan.seed, link, t) < p {
+            if !self.down[link as usize]
+                && garble_bits(self.plan.seed, link, t) < garble_threshold(p)
+            {
                 on_fault(link);
             }
         }
@@ -296,22 +307,25 @@ impl ChurnModel {
     pub fn plan_for_round(&self, round: u32, link_count: usize, horizon: u32) -> FaultPlan {
         assert!(self.mtbf >= 1.0, "mtbf {} < 1 step", self.mtbf);
         assert!(self.mttr >= 1.0, "mttr {} < 1 step", self.mttr);
-        let p_fail = 1.0 / self.mtbf;
-        let p_heal = 1.0 / self.mttr;
+        let fail_thresh = garble_threshold(1.0 / self.mtbf);
+        let heal_thresh = garble_threshold(1.0 / self.mttr);
+        let skip_thresh = fail_thresh.max(heal_thresh);
+        let draw_seed = self.seed ^ (round as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB);
         let mut plan =
             FaultPlan::with_seed(self.seed ^ (round as u64).wrapping_mul(0xA076_1D64_78BD_642F));
         for link in 0..link_count as u32 {
             let mut up = true;
             for t in 0..horizon {
-                let draw = garble_hash(
-                    self.seed ^ (round as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB),
-                    link,
-                    t,
-                );
-                if up && draw < p_fail {
+                let draw = garble_bits(draw_seed, link, t);
+                // Almost every draw fires neither transition; reject those
+                // with one integer compare before consulting the state.
+                if draw >= skip_thresh {
+                    continue;
+                }
+                if up && draw < fail_thresh {
                     plan = plan.down(link, t);
                     up = false;
-                } else if !up && draw < p_heal {
+                } else if !up && draw < heal_thresh {
                     plan = plan.restore(link, t);
                     up = true;
                 }

@@ -12,6 +12,11 @@
 # the change, run with no flags and commit BENCH_pr.json — the comparison
 # table printed here is the PR's perf evidence. The gate fails (exit 1)
 # when any bench regresses past the tolerance factor.
+#
+# Gated entries (see perf_gate.rs): engine/round_*, protocol/run_cong_*,
+# metrics/collection_* (flat-array metrics kernels), properties/* (flat
+# leveling / shortcut-free / link-offset kernels) and pipeline/run_all_quick
+# (wall-clock of the parallel E1-E15 quick suite, instance cache warm).
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
 

@@ -12,6 +12,17 @@ fast=0
 if [[ $fast -eq 0 ]]; then
   echo "== cargo build --release =="
   cargo build --release
+
+  # The full experiment suite (quick preset) must run and be byte-identical
+  # across thread counts — the parallel pipeline's determinism contract.
+  echo "== all_experiments --quick (pipeline smoke + determinism) =="
+  many="$(cargo run --release -q -p optical-bench --bin all_experiments -- --quick --seed 1997)"
+  echo "$many" | grep -q "E15" || { echo "all_experiments --quick: missing sections" >&2; exit 1; }
+  one="$(RAYON_NUM_THREADS=1 cargo run --release -q -p optical-bench --bin all_experiments -- --quick --seed 1997)"
+  if [[ "$many" != "$one" ]]; then
+    echo "all_experiments --quick: output differs across thread counts" >&2
+    exit 1
+  fi
 fi
 
 echo "== cargo test -q =="
