@@ -68,6 +68,50 @@ fn bench_rules(c: &mut Criterion) {
     group.finish();
 }
 
+/// Contention-kernel extremes on the perf-gate workload (a 1024-path
+/// random permutation on a 32x32 torus): `dense` launches every worm at
+/// step 0 on wavelength 0, so nearly every arrival lands in a
+/// multi-candidate group (the slow resolver path); `sparse` staggers
+/// starts so almost every arrival is a lone head at a vacant slot (the
+/// bitmask short-circuit). Criterion twins of the committed
+/// `engine/resolve_dense` / `engine/resolve_sparse` gate keys.
+fn bench_contention_kernel(c: &mut Criterion) {
+    use optical_paths::select::bfs::bfs_route;
+    use rand::seq::SliceRandom;
+
+    let net = topologies::torus(2, 32);
+    let n = net.node_count() as u32;
+    let mut dests: Vec<u32> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    dests.shuffle(&mut rng);
+    let mut coll = PathCollection::for_network(&net);
+    for (s, &d) in dests.iter().enumerate() {
+        coll.push(bfs_route(&net, s as u32, d));
+    }
+
+    let mut group = c.benchmark_group("engine/contention");
+    for (name, stagger) in [("dense_round", false), ("sparse_round", true)] {
+        let specs: Vec<TransmissionSpec<'_>> = (0..coll.len())
+            .map(|i| TransmissionSpec {
+                links: coll.path(i).links(),
+                start: if stagger { 4 * i as u32 } else { 0 },
+                wavelength: if stagger { (i % 2) as u16 } else { 0 },
+                priority: i as u64,
+                length: 4,
+            })
+            .collect();
+        group.throughput(Throughput::Elements(coll.len() as u64));
+        group.bench_function(name, |bch| {
+            let mut engine = Engine::new(coll.link_count(), RouterConfig::serve_first(2));
+            bch.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(19);
+                engine.run(&specs, &mut rng).makespan
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_worm_length(c: &mut Criterion) {
     let inst = bundle(64, 16, 16);
     let mut group = c.benchmark_group("engine/worm_length");
@@ -82,5 +126,11 @@ fn bench_worm_length(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round_scaling, bench_rules, bench_worm_length);
+criterion_group!(
+    benches,
+    bench_round_scaling,
+    bench_rules,
+    bench_contention_kernel,
+    bench_worm_length
+);
 criterion_main!(benches);

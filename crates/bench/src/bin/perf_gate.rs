@@ -23,8 +23,8 @@ use optical_paths::select::butterfly::butterfly_qfunction_collection;
 use optical_paths::{properties, PathCollection};
 use optical_topo::topologies::ButterflyCoords;
 use optical_topo::{topologies, Network};
-use optical_workloads::functions::random_function;
 use optical_wdm::{Engine, RouterConfig, TransmissionSpec};
+use optical_workloads::functions::random_function;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -94,6 +94,46 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
             black_box(engine.run(&specs, &mut rng).makespan);
         });
         out.insert("engine/round_1024".into(), ns);
+    }
+
+    // Contention-kernel extremes. `resolve_dense` puts every worm on the
+    // same start step and wavelength, so nearly every arrival lands in a
+    // multi-candidate group (the slow resolver path); `resolve_sparse`
+    // staggers starts so almost every arrival is a lone head at a vacant
+    // slot (the bitmask fast path). Specs are built once — only the round
+    // itself is timed.
+    {
+        let dense_specs: Vec<TransmissionSpec<'_>> = (0..coll.len())
+            .map(|i| TransmissionSpec {
+                links: coll.path(i).links(),
+                start: 0,
+                wavelength: 0,
+                priority: i as u64,
+                length: 4,
+            })
+            .collect();
+        let mut engine = Engine::new(coll.link_count(), RouterConfig::serve_first(2));
+        let ns = bench(samples, warmup, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(19);
+            black_box(engine.run(&dense_specs, &mut rng).makespan);
+        });
+        out.insert("engine/resolve_dense".into(), ns);
+
+        let sparse_specs: Vec<TransmissionSpec<'_>> = (0..coll.len())
+            .map(|i| TransmissionSpec {
+                links: coll.path(i).links(),
+                start: 4 * i as u32,
+                wavelength: (i % 2) as u16,
+                priority: i as u64,
+                length: 4,
+            })
+            .collect();
+        let mut engine = Engine::new(coll.link_count(), RouterConfig::serve_first(2));
+        let ns = bench(samples, warmup, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(23);
+            black_box(engine.run(&sparse_specs, &mut rng).makespan);
+        });
+        out.insert("engine/resolve_sparse".into(), ns);
     }
 
     // Full protocol runs, with and without per-round congestion recording.
@@ -192,20 +232,26 @@ fn read_json(path: &str) -> BTreeMap<String, f64> {
     out
 }
 
-fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> bool {
+fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> Vec<String> {
     let base = read_json(base_path);
     let cur = read_json(cur_path);
-    let mut ok = true;
+    let mut regressed: Vec<String> = Vec::new();
     println!(
         "{:<28} {:>12} {:>12} {:>9}",
         "bench", "base ns", "cur ns", "speedup"
     );
+    // Geometric mean over the shared keys: the one-number summary of the
+    // change (>1 is an overall speedup).
+    let mut log_sum = 0.0;
+    let mut shared = 0usize;
     for (name, &b) in &base {
         match cur.get(name) {
             Some(&c) => {
                 let speedup = b / c.max(1.0);
+                log_sum += speedup.ln();
+                shared += 1;
                 let flag = if c > b * tolerance {
-                    ok = false;
+                    regressed.push(name.clone());
                     "  REGRESSION"
                 } else {
                     ""
@@ -213,7 +259,7 @@ fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> bool {
                 println!("{name:<28} {b:>12.0} {c:>12.0} {speedup:>8.2}x{flag}");
             }
             None => {
-                ok = false;
+                regressed.push(name.clone());
                 println!("{name:<28} {b:>12.0} {:>12} (missing — REGRESSION)", "-");
             }
         }
@@ -221,7 +267,11 @@ fn compare(base_path: &str, cur_path: &str, tolerance: f64) -> bool {
     for name in cur.keys().filter(|k| !base.contains_key(*k)) {
         println!("{name:<28} (new bench, no baseline)");
     }
-    ok
+    if shared > 0 {
+        let geomean = (log_sum / shared as f64).exp();
+        println!("{:<28} {:>34}", "geometric mean", format!("{geomean:.3}x"));
+    }
+    regressed
 }
 
 fn main() {
@@ -229,6 +279,7 @@ fn main() {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut cmp: Option<(String, String)> = None;
+    let mut parse: Vec<String> = Vec::new();
     let mut tolerance = 1.25;
     let mut i = 0;
     while i < args.len() {
@@ -242,22 +293,48 @@ fn main() {
                 cmp = Some((args[i + 1].clone(), args[i + 2].clone()));
                 i += 2;
             }
+            "--parse" => {
+                i += 1;
+                parse.push(args[i].clone());
+            }
             "--tolerance" => {
                 i += 1;
                 tolerance = args[i].parse().expect("--tolerance needs a number");
             }
             other => panic!(
-                "unknown argument {other} (try --quick, --out FILE, --compare BASE CUR, --tolerance F)"
+                "unknown argument {other} (try --quick, --out FILE, --compare BASE CUR, --parse FILE, --tolerance F)"
             ),
         }
         i += 1;
     }
 
+    if !parse.is_empty() {
+        // CI sanity hook: assert each committed result file parses to a
+        // non-empty map of finite timings (tier1.sh runs this on both
+        // BENCH_*.json files so a malformed commit fails fast).
+        for path in &parse {
+            let map = read_json(path);
+            assert!(!map.is_empty(), "{path}: no benchmark entries parsed");
+            for (k, v) in &map {
+                assert!(
+                    v.is_finite() && *v > 0.0,
+                    "{path}: entry {k} has non-positive timing {v}"
+                );
+            }
+            println!("{path}: {} entries OK", map.len());
+        }
+        return;
+    }
+
     if let Some((base, cur)) = cmp {
-        if compare(&base, &cur, tolerance) {
+        let regressed = compare(&base, &cur, tolerance);
+        if regressed.is_empty() {
             println!("perf gate: OK (tolerance {tolerance}x)");
         } else {
-            println!("perf gate: FAILED (tolerance {tolerance}x)");
+            println!(
+                "perf gate: FAILED (tolerance {tolerance}x) — regressed: {}",
+                regressed.join(", ")
+            );
             std::process::exit(1);
         }
         return;

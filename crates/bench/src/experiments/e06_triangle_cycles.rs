@@ -110,8 +110,18 @@ pub fn run(cfg: &ExpConfig) -> String {
             RouterConfig::priority(1),
             2,
         ),
-        ("ladder/serve-first", ladder_inst, RouterConfig::serve_first(1), 3),
-        ("bundle/serve-first", bundle_inst, RouterConfig::serve_first(1), 4),
+        (
+            "ladder/serve-first",
+            ladder_inst,
+            RouterConfig::serve_first(1),
+            3,
+        ),
+        (
+            "bundle/serve-first",
+            bundle_inst,
+            RouterConfig::serve_first(1),
+            4,
+        ),
     ];
     let rows = par_points(&cases, |(name, inst, router, salt)| {
         let c = count_cycles(inst, *router, cfg, *salt);

@@ -39,12 +39,12 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     // Part A: rules x bandwidth, plus offline RWA.
     let bs: &[u16] = if cfg.quick { &[1, 4] } else { &[1, 2, 4, 8] };
-    let rwa = greedy_rwa(&coll, ColorOrder::LongestFirst);
+    let rwa = greedy_rwa(coll, ColorOrder::LongestFirst);
     writeln!(
         out,
         "offline RWA: {} wavelengths needed (greedy, lower bound {})",
         rwa.num_colors,
-        color_lower_bound(&coll)
+        color_lower_bound(coll)
     )
     .unwrap();
     let mut table = Table::new(&[

@@ -107,7 +107,14 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
     pub fn run_with(&mut self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> ContinuousReport {
         let p = &self.params;
         let n_sources = self.net.node_count();
-        ws.prepare(self.net.link_count(), p.router, false, &None, &None);
+        ws.prepare(
+            self.net.link_count(),
+            n_sources,
+            p.router,
+            false,
+            &None,
+            &None,
+        );
         let ProtocolWorkspace {
             engine,
             specs: spec_buf,

@@ -172,6 +172,7 @@ impl<'a> HopTrialAndFailure<'a> {
         let b = self.router.bandwidth as u32;
         ws.prepare(
             self.collection.link_count(),
+            n,
             self.router,
             false,
             &None,

@@ -232,6 +232,7 @@ impl<'a> TrialAndFailure<'a> {
         // Separate ack band: its own engine (its own occupancy).
         ws.prepare(
             self.collection.link_count(),
+            self.collection.len(),
             fwd_cfg,
             simulated,
             &p.converters,

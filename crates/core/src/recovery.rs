@@ -316,6 +316,7 @@ impl<'a> Recovery<'a> {
         cfg.record_conflicts = false;
         ws.prepare(
             self.net.link_count(),
+            n,
             cfg,
             false,
             &p.converters,

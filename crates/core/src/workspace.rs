@@ -113,20 +113,31 @@ impl ProtocolWorkspace {
     /// Point the workspace at a run: (re)configure the forward engine —
     /// and the ack engine if `with_ack` — for `link_count` links, clearing
     /// any converter mask, dead-link mask, or fault plan left over from a
-    /// previous run.
+    /// previous run. `worm_count` sizes the engines' per-worm scratch
+    /// (state-of-arrays columns, arrival queues) up front so the first
+    /// round does not grow them incrementally.
     pub(crate) fn prepare(
         &mut self,
         link_count: usize,
+        worm_count: usize,
         cfg: RouterConfig,
         with_ack: bool,
         converters: &Option<Vec<bool>>,
         dead_links: &Option<Vec<bool>>,
     ) {
-        Self::prepare_engine(&mut self.engine, link_count, cfg, converters, dead_links);
+        Self::prepare_engine(
+            &mut self.engine,
+            link_count,
+            worm_count,
+            cfg,
+            converters,
+            dead_links,
+        );
         if with_ack {
             Self::prepare_engine(
                 &mut self.ack_engine,
                 link_count,
+                worm_count,
                 cfg,
                 converters,
                 dead_links,
@@ -137,6 +148,7 @@ impl ProtocolWorkspace {
     fn prepare_engine(
         slot: &mut Option<Engine>,
         link_count: usize,
+        worm_count: usize,
         cfg: RouterConfig,
         converters: &Option<Vec<bool>>,
         dead_links: &Option<Vec<bool>>,
@@ -146,6 +158,7 @@ impl ProtocolWorkspace {
             _ => *slot = Some(Engine::new(link_count, cfg)),
         }
         let e = slot.as_mut().expect("just prepared");
+        e.reserve_worms(worm_count);
         e.set_converters(converters.clone());
         e.set_dead_links(dead_links.clone());
         e.set_fault_plan(None);
@@ -212,13 +225,13 @@ mod tests {
     #[test]
     fn prepare_rebuilds_only_on_link_count_change() {
         let mut ws = ProtocolWorkspace::new();
-        ws.prepare(4, RouterConfig::serve_first(2), false, &None, &None);
+        ws.prepare(4, 8, RouterConfig::serve_first(2), false, &None, &None);
         assert_eq!(ws.engine.as_ref().unwrap().link_count(), 4);
         assert!(ws.ack_engine.is_none());
-        ws.prepare(4, RouterConfig::priority(1), true, &None, &None);
+        ws.prepare(4, 8, RouterConfig::priority(1), true, &None, &None);
         assert_eq!(ws.engine.as_ref().unwrap().link_count(), 4);
         assert_eq!(ws.ack_engine.as_ref().unwrap().link_count(), 4);
-        ws.prepare(9, RouterConfig::serve_first(2), false, &None, &None);
+        ws.prepare(9, 8, RouterConfig::serve_first(2), false, &None, &None);
         assert_eq!(ws.engine.as_ref().unwrap().link_count(), 9);
     }
 }

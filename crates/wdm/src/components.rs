@@ -128,8 +128,15 @@ pub struct CouplerDecision {
 
 /// A coupler combining any number of input fibers into one output fiber
 /// (Figure 1), with electronic control implementing a collision rule.
+///
+/// The coupler knows its fiber's bandwidth `B`: signals must carry a
+/// wavelength in `[0, B)`. Out-of-band signals are a caller bug — debug
+/// builds assert; release builds drop them deterministically (the coupler
+/// has no wavelength slot that could carry them).
 #[derive(Clone, Copy, Debug)]
 pub struct Coupler {
+    /// Number of wavelengths `B` on the output fiber (≥ 1).
+    pub bandwidth: u16,
     /// Collision rule of the detector-array control.
     pub rule: CollisionRule,
     /// Tie rule for simultaneous new arrivals.
@@ -137,76 +144,167 @@ pub struct Coupler {
 }
 
 impl Coupler {
-    /// Resolve one step: which signal proceeds per wavelength.
+    /// A coupler for a fiber carrying `bandwidth` wavelengths.
+    ///
+    /// # Panics
+    /// If `bandwidth` is 0.
+    pub fn new(bandwidth: u16, rule: CollisionRule, tie: TieRule) -> Self {
+        assert!(bandwidth >= 1, "a fiber carries at least one wavelength");
+        Coupler {
+            bandwidth,
+            rule,
+            tie,
+        }
+    }
+
+    /// Resolve one step: which signal proceeds per wavelength. Convenience
+    /// wrapper around [`Coupler::resolve_into`] that allocates the result.
     ///
     /// At most one input may be `established` per wavelength (the physical
     /// invariant that only one signal can already be streaming out).
     pub fn resolve(&self, inputs: &[Signal], rng: &mut impl Rng) -> Vec<CouplerDecision> {
-        let mut wavelengths: Vec<u16> = inputs.iter().map(|s| s.wavelength).collect();
-        wavelengths.sort_unstable();
-        wavelengths.dedup();
+        let mut out = Vec::new();
+        self.resolve_into(inputs, rng, &mut out);
+        out
+    }
 
-        let mut out = Vec::with_capacity(wavelengths.len());
-        for wl in wavelengths {
-            let established: Vec<&Signal> = inputs
-                .iter()
-                .filter(|s| s.wavelength == wl && s.established)
-                .collect();
-            assert!(
-                established.len() <= 1,
-                "two established signals on wavelength {wl}"
+    /// Like [`Coupler::resolve`], but writes the decisions into `out`,
+    /// reusing its entries (and their `dropped` vectors) — a steady-state
+    /// caller stepping the same coupler allocates nothing. Decisions are
+    /// emitted in ascending wavelength order, one per wavelength present.
+    ///
+    /// For `B ≤ 64` the set of present wavelengths is a single `u64`
+    /// bitmask; wider fibers fall back to a sort-dedup pass.
+    pub fn resolve_into(
+        &self,
+        inputs: &[Signal],
+        rng: &mut impl Rng,
+        out: &mut Vec<CouplerDecision>,
+    ) {
+        let b = self.bandwidth;
+        let in_band = |s: &Signal| {
+            let ok = s.wavelength < b;
+            debug_assert!(
+                ok,
+                "signal wavelength {} out of range (B = {b})",
+                s.wavelength
             );
-            let occupant = established.first().map(|s| Candidate {
-                id: s.worm,
-                priority: s.priority,
-            });
-            let arrivals: Vec<Candidate> = inputs
-                .iter()
-                .filter(|s| s.wavelength == wl && !s.established)
-                .map(|s| Candidate {
+            ok
+        };
+        // Present wavelengths: one u64 for narrow fibers, sort-dedup
+        // fallback above 64.
+        let mut mask: u64 = 0;
+        let mut wide: Vec<u16> = Vec::new();
+        if b <= 64 {
+            for s in inputs.iter().filter(|s| in_band(s)) {
+                mask |= 1u64 << s.wavelength;
+            }
+        } else {
+            wide.extend(inputs.iter().filter(|s| in_band(s)).map(|s| s.wavelength));
+            wide.sort_unstable();
+            wide.dedup();
+        }
+
+        let mut cands: Vec<Candidate> = Vec::new();
+        let mut n_out = 0usize;
+        let mut m = mask;
+        let mut wide_next = 0usize;
+        loop {
+            let wl = if b <= 64 {
+                if m == 0 {
+                    break;
+                }
+                let wl = m.trailing_zeros() as u16;
+                m &= m - 1;
+                wl
+            } else {
+                if wide_next == wide.len() {
+                    break;
+                }
+                wide_next += 1;
+                wide[wide_next - 1]
+            };
+
+            let mut occupant: Option<Candidate> = None;
+            cands.clear();
+            for s in inputs.iter().filter(|s| s.wavelength == wl) {
+                let c = Candidate {
                     id: s.worm,
                     priority: s.priority,
-                })
-                .collect();
-
-            let decision = if arrivals.is_empty() {
-                CouplerDecision {
-                    wavelength: wl,
-                    forwarded: occupant.map(|c| c.id),
-                    dropped: vec![],
+                };
+                if s.established {
+                    assert!(
+                        occupant.is_none(),
+                        "two established signals on wavelength {wl}"
+                    );
+                    occupant = Some(c);
+                } else {
+                    cands.push(c);
                 }
+            }
+
+            // Reuse the caller's decision slot (and its dropped vector).
+            if n_out == out.len() {
+                out.push(CouplerDecision {
+                    wavelength: 0,
+                    forwarded: None,
+                    dropped: Vec::new(),
+                });
+            }
+            let slot = &mut out[n_out];
+            n_out += 1;
+            slot.wavelength = wl;
+            slot.dropped.clear();
+
+            if cands.is_empty() {
+                slot.forwarded = occupant.map(|c| c.id);
             } else {
-                match resolve_group(self.rule, self.tie, occupant, &arrivals, rng) {
-                    GroupDecision::OccupantWins => CouplerDecision {
-                        wavelength: wl,
-                        forwarded: occupant.map(|c| c.id),
-                        dropped: arrivals.iter().map(|c| c.id).collect(),
-                    },
+                match resolve_group(self.rule, self.tie, occupant, &cands, rng) {
+                    GroupDecision::OccupantWins => {
+                        slot.forwarded = occupant.map(|c| c.id);
+                        slot.dropped.extend(cands.iter().map(|c| c.id));
+                    }
                     GroupDecision::ArrivalWins(idx) => {
-                        let mut dropped: Vec<u32> = occupant.iter().map(|c| c.id).collect();
-                        dropped.extend(
-                            arrivals
+                        slot.forwarded = Some(cands[idx].id);
+                        slot.dropped.extend(occupant.iter().map(|c| c.id));
+                        slot.dropped.extend(
+                            cands
                                 .iter()
                                 .enumerate()
                                 .filter(|&(k, _)| k != idx)
                                 .map(|(_, c)| c.id),
                         );
-                        CouplerDecision {
-                            wavelength: wl,
-                            forwarded: Some(arrivals[idx].id),
-                            dropped,
-                        }
                     }
-                    GroupDecision::AllLose => CouplerDecision {
-                        wavelength: wl,
-                        forwarded: None,
-                        dropped: arrivals.iter().map(|c| c.id).collect(),
-                    },
+                    GroupDecision::AllLose => {
+                        slot.forwarded = None;
+                        slot.dropped.extend(cands.iter().map(|c| c.id));
+                    }
                 }
-            };
-            out.push(decision);
+            }
         }
-        out
+        out.truncate(n_out);
+    }
+}
+
+/// Reusable buffers for the in-place router stepping APIs
+/// ([`RouterModel::step_into`], [`TwoByTwoRouter::step_into`]): the
+/// per-output signal fan-out survives across steps, so steady-state
+/// stepping allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct RouterScratch {
+    per_output: Vec<Vec<Signal>>,
+}
+
+impl RouterScratch {
+    fn fan_out(&mut self, outputs: usize) -> &mut [Vec<Signal>] {
+        if self.per_output.len() < outputs {
+            self.per_output.resize_with(outputs, Vec::new);
+        }
+        let per_output = &mut self.per_output[..outputs];
+        for v in per_output.iter_mut() {
+            v.clear();
+        }
+        per_output
     }
 }
 
@@ -228,24 +326,38 @@ impl TwoByTwoRouter {
                 Switch::new(SwitchKind::Generalized, bandwidth, 2),
                 Switch::new(SwitchKind::Generalized, bandwidth, 2),
             ],
-            couplers: [Coupler { rule, tie }, Coupler { rule, tie }],
+            couplers: [Coupler::new(bandwidth, rule, tie); 2],
         }
     }
 
     /// Route one step: `inputs[i]` are the signals on input fiber `i`.
-    /// Returns per-output coupler decisions.
+    /// Returns per-output coupler decisions. Convenience wrapper around
+    /// [`TwoByTwoRouter::step_into`].
     pub fn step(&self, inputs: [&[Signal]; 2], rng: &mut impl Rng) -> [Vec<CouplerDecision>; 2] {
-        let mut per_output: [Vec<Signal>; 2] = [Vec::new(), Vec::new()];
+        let mut scratch = RouterScratch::default();
+        let mut out = [Vec::new(), Vec::new()];
+        self.step_into(inputs, rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// Like [`TwoByTwoRouter::step`], but reuses `scratch` and the two
+    /// decision vectors in `out`, so stepping in a loop allocates nothing.
+    pub fn step_into(
+        &self,
+        inputs: [&[Signal]; 2],
+        rng: &mut impl Rng,
+        scratch: &mut RouterScratch,
+        out: &mut [Vec<CouplerDecision>; 2],
+    ) {
+        let per_output = scratch.fan_out(2);
         for (fiber, signals) in inputs.iter().enumerate() {
             for &s in *signals {
-                let out = self.switches[fiber].route(s.wavelength);
-                per_output[out as usize].push(s);
+                let o = self.switches[fiber].route(s.wavelength);
+                per_output[o as usize].push(s);
             }
         }
-        [
-            self.couplers[0].resolve(&per_output[0], rng),
-            self.couplers[1].resolve(&per_output[1], rng),
-        ]
+        self.couplers[0].resolve_into(&per_output[0], rng, &mut out[0]);
+        self.couplers[1].resolve_into(&per_output[1], rng, &mut out[1]);
     }
 }
 
@@ -275,7 +387,9 @@ impl RouterModel {
             switches: (0..inputs)
                 .map(|_| Switch::new(kind, bandwidth, outputs))
                 .collect(),
-            couplers: (0..outputs).map(|_| Coupler { rule, tie }).collect(),
+            couplers: (0..outputs)
+                .map(|_| Coupler::new(bandwidth, rule, tie))
+                .collect(),
         }
     }
 
@@ -306,29 +420,53 @@ impl RouterModel {
     }
 
     /// Route one step: `inputs[i]` are the signals on input fiber `i`;
-    /// returns per-output coupler decisions.
+    /// returns per-output coupler decisions. Convenience wrapper around
+    /// [`RouterModel::step_into`].
     ///
     /// # Panics
     /// If the number of input signal slices differs from the router's
     /// input count.
     pub fn step(&self, inputs: &[&[Signal]], rng: &mut impl Rng) -> Vec<Vec<CouplerDecision>> {
+        let mut scratch = RouterScratch::default();
+        let mut out = Vec::new();
+        self.step_into(inputs, rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// Like [`RouterModel::step`], but reuses `scratch` and the decision
+    /// vectors in `out` (resized to the output count), so stepping in a
+    /// loop allocates nothing once the buffers have warmed up.
+    ///
+    /// # Panics
+    /// If the number of input signal slices differs from the router's
+    /// input count.
+    pub fn step_into(
+        &self,
+        inputs: &[&[Signal]],
+        rng: &mut impl Rng,
+        scratch: &mut RouterScratch,
+        out: &mut Vec<Vec<CouplerDecision>>,
+    ) {
         assert_eq!(
             inputs.len(),
             self.switches.len(),
             "wrong number of input fibers"
         );
-        let mut per_output: Vec<Vec<Signal>> = vec![Vec::new(); self.couplers.len()];
+        let outputs = self.couplers.len();
+        let per_output = scratch.fan_out(outputs);
         for (fiber, signals) in inputs.iter().enumerate() {
             for &s in *signals {
-                let out = self.switches[fiber].route(s.wavelength);
-                per_output[out as usize].push(s);
+                let o = self.switches[fiber].route(s.wavelength);
+                per_output[o as usize].push(s);
             }
         }
-        per_output
-            .iter()
-            .zip(&self.couplers)
-            .map(|(sigs, coupler)| coupler.resolve(sigs, rng))
-            .collect()
+        out.truncate(outputs);
+        while out.len() < outputs {
+            out.push(Vec::new());
+        }
+        for (i, coupler) in self.couplers.iter().enumerate() {
+            coupler.resolve_into(&per_output[i], rng, &mut out[i]);
+        }
     }
 }
 
@@ -385,10 +523,7 @@ mod tests {
 
     #[test]
     fn coupler_serve_first_drops_new_arrival() {
-        let c = Coupler {
-            rule: CollisionRule::ServeFirst,
-            tie: TieRule::AllEliminated,
-        };
+        let c = Coupler::new(1, CollisionRule::ServeFirst, TieRule::AllEliminated);
         let d = c.resolve(&[sig(0, 0, 0, true), sig(1, 0, 0, false)], &mut rng());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].forwarded, Some(0));
@@ -397,10 +532,7 @@ mod tests {
 
     #[test]
     fn coupler_priority_preempts() {
-        let c = Coupler {
-            rule: CollisionRule::Priority,
-            tie: TieRule::AllEliminated,
-        };
+        let c = Coupler::new(1, CollisionRule::Priority, TieRule::AllEliminated);
         let d = c.resolve(&[sig(0, 0, 1, true), sig(1, 0, 9, false)], &mut rng());
         assert_eq!(d[0].forwarded, Some(1));
         assert_eq!(d[0].dropped, vec![0]);
@@ -408,10 +540,7 @@ mod tests {
 
     #[test]
     fn coupler_wavelengths_are_independent() {
-        let c = Coupler {
-            rule: CollisionRule::ServeFirst,
-            tie: TieRule::AllEliminated,
-        };
+        let c = Coupler::new(3, CollisionRule::ServeFirst, TieRule::AllEliminated);
         let d = c.resolve(
             &[
                 sig(0, 0, 0, false),
@@ -429,11 +558,102 @@ mod tests {
     #[test]
     #[should_panic(expected = "two established")]
     fn coupler_rejects_double_occupancy() {
-        let c = Coupler {
-            rule: CollisionRule::ServeFirst,
-            tie: TieRule::AllEliminated,
-        };
+        let c = Coupler::new(1, CollisionRule::ServeFirst, TieRule::AllEliminated);
         c.resolve(&[sig(0, 0, 0, true), sig(1, 0, 0, true)], &mut rng());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn coupler_asserts_out_of_band_wavelength_in_debug() {
+        let c = Coupler::new(2, CollisionRule::ServeFirst, TieRule::AllEliminated);
+        c.resolve(&[sig(0, 5, 0, false)], &mut rng());
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn coupler_drops_out_of_band_wavelength_in_release() {
+        // Signals with wavelength >= B have no slot on the fiber: they are
+        // dropped deterministically, never forwarded, never contending.
+        let c = Coupler::new(2, CollisionRule::ServeFirst, TieRule::AllEliminated);
+        let d = c.resolve(&[sig(0, 5, 0, false), sig(1, 1, 0, false)], &mut rng());
+        assert_eq!(d.len(), 1, "out-of-band signal produced a decision");
+        assert_eq!(d[0].wavelength, 1);
+        assert_eq!(d[0].forwarded, Some(1));
+    }
+
+    #[test]
+    fn coupler_wide_fiber_matches_narrow_semantics() {
+        // B = 100 exercises the sort-dedup fallback; decisions still come
+        // out in ascending wavelength order with identical resolutions.
+        let wide = Coupler::new(100, CollisionRule::ServeFirst, TieRule::LowestId);
+        let inputs = [
+            sig(0, 70, 0, false),
+            sig(1, 3, 0, false),
+            sig(2, 70, 0, false),
+            sig(3, 99, 0, true),
+        ];
+        let d = wide.resolve(&inputs, &mut rng());
+        assert_eq!(
+            d.iter().map(|x| x.wavelength).collect::<Vec<_>>(),
+            vec![3, 70, 99]
+        );
+        assert_eq!(d[0].forwarded, Some(1));
+        assert_eq!(d[1].forwarded, Some(0), "lowest id wins the 70 tie");
+        assert_eq!(d[1].dropped, vec![2]);
+        assert_eq!(d[2].forwarded, Some(3));
+    }
+
+    #[test]
+    fn coupler_resolve_into_reuses_buffers() {
+        let c = Coupler::new(8, CollisionRule::ServeFirst, TieRule::AllEliminated);
+        let mut out = Vec::new();
+        // First step populates three decisions (one with drops).
+        c.resolve_into(
+            &[
+                sig(0, 2, 0, false),
+                sig(1, 5, 0, false),
+                sig(2, 5, 0, false),
+                sig(3, 7, 0, true),
+            ],
+            &mut rng(),
+            &mut out,
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1].dropped, vec![1, 2]);
+        // Second step with fewer wavelengths: stale entries are truncated
+        // and the recycled slot's dropped list is cleared.
+        c.resolve_into(&[sig(9, 4, 0, false)], &mut rng(), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].wavelength, 4);
+        assert_eq!(out[0].forwarded, Some(9));
+        assert!(out[0].dropped.is_empty());
+    }
+
+    #[test]
+    fn router_step_into_matches_step() {
+        let mut r = RouterModel::new(
+            2,
+            2,
+            4,
+            SwitchKind::Generalized,
+            CollisionRule::ServeFirst,
+            TieRule::LowestId,
+        );
+        r.switch_mut(0).set(1, 1);
+        let in0 = [sig(0, 0, 0, false), sig(1, 1, 0, false)];
+        let in1 = [sig(2, 0, 0, false)];
+        let expected = r.step(&[&in0, &in1], &mut rng());
+        let mut scratch = RouterScratch::default();
+        let mut out = vec![vec![CouplerDecision {
+            wavelength: 9,
+            forwarded: Some(99),
+            dropped: vec![42],
+        }]];
+        for _ in 0..2 {
+            r.step_into(&[&in0, &in1], &mut rng(), &mut scratch, &mut out);
+            assert_eq!(out, expected);
+        }
     }
 
     #[test]

@@ -24,12 +24,43 @@
 //! eliminated. Draining bodies of eliminated worms keep occupying the
 //! links behind the elimination point — and keep winning serve-first
 //! conflicts there — exactly as the physics dictates.
+//!
+//! # Contention kernel
+//!
+//! The per-step work runs over an engine-owned scratch arena and flat
+//! per-link tables, so steady-state rounds allocate nothing:
+//!
+//! * per-link wavelength occupancy is mirrored in *conservative* bitmask
+//!   words (`⌈B/64⌉` `u64`s per link; clear bit ⇒ provably vacant, set
+//!   bit ⇒ verify against the generation-stamped slot), letting
+//!   vacant-slot installs and single-candidate arrivals short-circuit on
+//!   `mask & (1 << wl)`;
+//! * dead links, scripted downtime and converter placement fold into one
+//!   attribute byte per link, one load per arrival;
+//! * per-worm step state (fatal edge, first blocker, head-done, cut
+//!   chain) is struct-of-arrays, bulk-reset per round;
+//! * under the default serve-first configuration, arrivals are grouped by
+//!   an epoch-stamped `link·B + wl` key table instead of a per-step sort;
+//!   only multi-candidate groups reach the full resolver, in the same
+//!   order (and with the same RNG draws) the sort produced — outcome and
+//!   RNG stream are bit-identical to the ordered path, as pinned by the
+//!   differential and golden suites (see DESIGN.md §3, "Contention
+//!   kernel & memory layout").
 
 use crate::config::{CollisionRule, RouterConfig, TieRule};
-use crate::fault::{FaultPlan, FaultRuntime};
+use crate::fault::{FaultPlan, FaultRuntime, FaultSignal};
 use crate::resolve::{resolve_group, Candidate, GroupDecision};
 use crate::spec::{Conflict, ConflictKind, Fate, RoundOutcome, TransmissionSpec, WormResult};
 use rand::Rng;
+
+/// Per-link attribute bits: one byte per link folds the static dead-link
+/// mask, the converter mask and the dynamic scripted-fault down-state into
+/// a single load on the arrival hot path.
+const ATTR_DEAD: u8 = 1 << 0;
+const ATTR_CONV: u8 = 1 << 1;
+const ATTR_DOWN: u8 = 1 << 2;
+/// An arriving head dies on the spot when any of these bits is set.
+const ATTR_BLOCKED: u8 = ATTR_DEAD | ATTR_DOWN;
 
 /// Reusable round simulator for a fixed network size and router
 /// configuration.
@@ -52,19 +83,97 @@ pub struct Engine {
     /// they need no clearing between rounds.
     occ: Vec<Slot>,
     gen: u32,
-    /// Sparse-conversion mask: links whose source router can convert
-    /// wavelengths (§4 extension; see [`Engine::set_converters`]).
-    converters: Option<Box<[bool]>>,
-    /// Failure-injection mask: dead links (fiber cuts); see
-    /// [`Engine::set_dead_links`].
-    dead_links: Option<Box<[bool]>>,
+    /// Per-step stamp for the fast-path grouping tables (`key_meta`),
+    /// bumped once per simulated step so the tables need no clearing.
+    step_epoch: u32,
+    /// Per-link wavelength-occupancy bitmasks (see [`BusyMasks`]).
+    masks: BusyMasks,
+    /// Per-link attribute byte: `ATTR_DEAD | ATTR_CONV | ATTR_DOWN` bits,
+    /// so the arrival hot path folds the dead-link, converter and dynamic
+    /// fault probes into one load.
+    link_attr: Vec<u8>,
+    /// Whether any converter link is configured (see
+    /// [`Engine::set_converters`]; the per-link bit lives in `link_attr`).
+    has_converters: bool,
     /// Dynamic fault script, replayed from step 0 each round; see
     /// [`Engine::set_fault_plan`]. `None` (the empty plan) keeps the
     /// fault-free fast path byte-for-byte.
     faults: Option<FaultRuntime>,
-    /// Reused per-run allocations (bucket queue and worm states), so a
-    /// protocol run of many rounds allocates only on growth.
+    /// Reused per-run allocations (bucket queue, SoA worm state, group
+    /// scratch), so a protocol run of many rounds allocates only on
+    /// growth.
     scratch: Scratch,
+}
+
+/// Per-link wavelength-occupancy bitmasks: bit `w` of a link's word(s)
+/// covers wavelength slot `w`. For `B ≤ 64` each link is a single `u64`;
+/// larger bandwidths fall back to `⌈B/64⌉` words per link in the same flat
+/// allocation.
+///
+/// The masks are **conservative**: a clear bit proves the slot was never
+/// installed this generation (definitely vacant — install without touching
+/// the 16-byte slot record); a set bit means *possibly* occupied, because
+/// occupancies end early when an upstream cut shortens the worm, and bits
+/// are not cleared mid-round. Set bits are verified against the
+/// generation-stamped [`Slot`] records. Per-link generation stamps make
+/// cross-round clearing free (a stale stamp reads as all-clear).
+struct BusyMasks {
+    /// Per-link generation stamp; stale stamp ⇒ all wavelengths clear.
+    gens: Vec<u32>,
+    /// `link_count * words_per_link` occupancy words.
+    words: Vec<u64>,
+    words_per_link: usize,
+}
+
+impl BusyMasks {
+    fn new(link_count: usize, bandwidth: u16) -> Self {
+        let words_per_link = (bandwidth as usize).div_ceil(64).max(1);
+        BusyMasks {
+            gens: vec![0; link_count],
+            words: vec![0; link_count * words_per_link],
+            words_per_link,
+        }
+    }
+
+    /// `mask & (1 << w)` test: false proves the slot is vacant this
+    /// generation; true means "verify against the slot record".
+    #[inline]
+    fn is_set(&self, link: usize, wl: usize, gen: u32) -> bool {
+        self.gens[link] == gen
+            && (self.words[link * self.words_per_link + wl / 64] >> (wl % 64)) & 1 == 1
+    }
+
+    /// Mark a slot installed, lazily resetting the link's words on first
+    /// touch in a new generation.
+    #[inline]
+    fn set(&mut self, link: usize, wl: usize, gen: u32) {
+        let base = link * self.words_per_link;
+        if self.gens[link] != gen {
+            self.gens[link] = gen;
+            self.words[base..base + self.words_per_link].fill(0);
+        }
+        self.words[base + wl / 64] |= 1u64 << (wl % 64);
+    }
+}
+
+/// Fast-path per-(link, wavelength) grouping cell: which arrival of the
+/// current step first/last hit this slot key. Valid only while `stamp`
+/// matches the engine's `step_epoch`, so the table survives across steps
+/// and rounds without clearing.
+#[derive(Clone, Copy, Default)]
+struct KeyMeta {
+    stamp: u32,
+    first: u32,
+    last: u32,
+}
+
+/// One cut record in the shared arena: `len` flits pass position `edge`;
+/// `next` chains a worm's cuts (newest first).
+#[derive(Clone, Copy)]
+struct CutNode {
+    edge: u32,
+    len: u32,
+    next: u32,
 }
 
 #[derive(Default)]
@@ -82,10 +191,32 @@ struct Scratch {
     /// and a next-step vector of `(worm, edge)` events.
     cur_events: Vec<(u32, u32)>,
     next_events: Vec<(u32, u32)>,
-    states: Vec<WormState>,
     cur_wl: Vec<u16>,
+    /// SoA per-worm state, reset per round with bulk fills: fatal event
+    /// (packed `edge << 32 | time`, `NONE_FATAL` when alive), first
+    /// blocking worm (`NO_WORM` when none), head-completion flag, and the
+    /// head of each worm's cut chain in the shared `cut_nodes` arena.
+    fatal: Vec<u64>,
+    first_blocker: Vec<u32>,
+    head_done: Vec<bool>,
+    cut_head: Vec<u32>,
+    cut_nodes: Vec<CutNode>,
+    /// Ordered-mode grouping: `(group key, worm, edge)`, sorted per step.
     arrivals: Vec<(u64, u32, u32)>,
+    /// Fast-mode grouping: per-arrival slot key (`SKIP_KEY` when the
+    /// arrival died at a faulty link) and same-key chain, plus the
+    /// stamped per-slot cells and the list of keys with ≥ 2 arrivals.
+    keys: Vec<u32>,
+    next_same: Vec<u32>,
+    key_meta: Vec<KeyMeta>,
+    dup_keys: Vec<u32>,
+    /// Group-resolution scratch shared by both modes: the `(worm, edge)`
+    /// members of the group under resolution, their `Candidate` view, and
+    /// the conversion-rule free-wavelength / winner-order buffers.
+    members: Vec<(u32, u32)>,
     cands: Vec<Candidate>,
+    free_wl: Vec<u16>,
+    order: Vec<u32>,
 }
 
 #[derive(Clone, Copy)]
@@ -105,24 +236,77 @@ const EMPTY_SLOT: Slot = Slot {
     edge_idx: 0,
 };
 
-/// Per-run mutable worm state.
-#[derive(Default)]
-struct WormState {
-    /// Cut records `(edge index, flits allowed past that edge)`.
-    cuts: Vec<(u32, u32)>,
-    first_blocker: Option<u32>,
-    /// Set when the head is eliminated: `(edge, time)`.
-    fatal: Option<(u32, u32)>,
-    head_done: bool,
+const NONE_FATAL: u64 = u64::MAX;
+const NO_WORM: u32 = u32::MAX;
+const NO_CUT: u32 = u32::MAX;
+const NO_ARRIVAL: u32 = u32::MAX;
+const SKIP_KEY: u32 = u32::MAX;
+
+/// Mutable view over the SoA worm-state arrays, so the resolvers mutate
+/// worm state through one handle while the occupancy table stays borrowed
+/// by the engine.
+struct Worms<'a> {
+    fatal: &'a mut [u64],
+    first_blocker: &'a mut [u32],
+    head_done: &'a mut [bool],
+    cut_head: &'a mut [u32],
+    cut_nodes: &'a mut Vec<CutNode>,
 }
 
-impl WormState {
-    /// Reset for reuse, keeping the cut vector's capacity.
-    fn reset(&mut self) {
-        self.cuts.clear();
-        self.first_blocker = None;
-        self.fatal = None;
-        self.head_done = false;
+impl Worms<'_> {
+    /// Effective length of worm `w` at path position `edge`: full length
+    /// capped by every cut recorded at positions ≤ `edge`.
+    #[inline]
+    fn eff_len_at(&self, w: usize, full: u32, edge: u32) -> u32 {
+        let mut len = full;
+        let mut i = self.cut_head[w];
+        while i != NO_CUT {
+            let n = self.cut_nodes[i as usize];
+            if n.edge <= edge {
+                len = len.min(n.len);
+            }
+            i = n.next;
+        }
+        len
+    }
+
+    #[inline]
+    fn push_cut(&mut self, w: usize, edge: u32, len: u32) {
+        let idx = self.cut_nodes.len() as u32;
+        self.cut_nodes.push(CutNode {
+            edge,
+            len,
+            next: self.cut_head[w],
+        });
+        self.cut_head[w] = idx;
+    }
+
+    #[inline]
+    fn set_first_blocker(&mut self, w: usize, blocker: u32) {
+        if self.first_blocker[w] == NO_WORM {
+            self.first_blocker[w] = blocker;
+        }
+    }
+
+    /// Head elimination: record the fatal event and a zero-length cut so
+    /// the links behind keep draining while nothing proceeds past `edge`.
+    #[inline]
+    fn kill(&mut self, w: usize, edge: u32, t: u32, blocker: u32, makespan: &mut u32) {
+        debug_assert!(self.fatal[w] == NONE_FATAL);
+        self.fatal[w] = ((edge as u64) << 32) | t as u64;
+        self.push_cut(w, edge, 0);
+        self.set_first_blocker(w, blocker);
+        *makespan = (*makespan).max(t);
+    }
+
+    /// Head elimination by a faulty link: like [`Worms::kill`] but with no
+    /// blocking worm — the fiber is gone, nothing *blocked* it.
+    #[inline]
+    fn kill_by_fault(&mut self, w: usize, edge: u32, t: u32, makespan: &mut u32) {
+        debug_assert!(self.fatal[w] == NONE_FATAL);
+        self.fatal[w] = ((edge as u64) << 32) | t as u64;
+        self.push_cut(w, edge, 0);
+        *makespan = (*makespan).max(t);
     }
 }
 
@@ -135,11 +319,30 @@ impl Engine {
             link_count,
             occ: vec![EMPTY_SLOT; link_count * config.bandwidth as usize],
             gen: 0,
-            converters: None,
-            dead_links: None,
+            step_epoch: 0,
+            masks: BusyMasks::new(link_count, config.bandwidth),
+            link_attr: vec![0; link_count],
+            has_converters: false,
             faults: None,
             scratch: Scratch::default(),
         }
+    }
+
+    /// Pre-size the per-worm scratch arrays for workloads of up to `n`
+    /// worms, so the first round after construction does not pay the
+    /// growth allocations on the hot path.
+    pub fn reserve_worms(&mut self, n: usize) {
+        let s = &mut self.scratch;
+        s.fatal.reserve(n);
+        s.first_blocker.reserve(n);
+        s.head_done.reserve(n);
+        s.cut_head.reserve(n);
+        s.cur_wl.reserve(n);
+        s.keys.reserve(n);
+        s.next_same.reserve(n);
+        s.cur_events.reserve(n);
+        s.next_events.reserve(n);
+        s.ev_items.reserve(n);
     }
 
     /// Inject **fiber cuts**: a worm whose head reaches a dead link is
@@ -154,7 +357,22 @@ impl Engine {
         if let Some(m) = &mask {
             assert_eq!(m.len(), self.link_count, "dead-link mask length mismatch");
         }
-        self.dead_links = mask.map(Vec::into_boxed_slice);
+        match &mask {
+            Some(m) => {
+                for (attr, &dead) in self.link_attr.iter_mut().zip(m) {
+                    if dead {
+                        *attr |= ATTR_DEAD;
+                    } else {
+                        *attr &= !ATTR_DEAD;
+                    }
+                }
+            }
+            None => {
+                for attr in &mut self.link_attr {
+                    *attr &= !ATTR_DEAD;
+                }
+            }
+        }
     }
 
     /// Install a **dynamic fault script** ([`FaultPlan`]): scripted
@@ -177,6 +395,10 @@ impl Engine {
     /// # Panics
     /// If the plan names a link `≥ link_count` (debug builds).
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        // Drop the down-state mirrored from any previous plan.
+        for attr in &mut self.link_attr {
+            *attr &= !ATTR_DOWN;
+        }
         self.faults = plan
             .filter(|p| !p.is_empty())
             .map(|p| FaultRuntime::new(p, self.link_count));
@@ -204,11 +426,24 @@ impl Engine {
                 "sparse converters need a serve-first or priority base rule"
             );
         }
-        self.converters = mask.map(Vec::into_boxed_slice);
-    }
-
-    fn is_converter_link(&self, link: u32) -> bool {
-        self.converters.as_ref().is_some_and(|m| m[link as usize])
+        self.has_converters = false;
+        match &mask {
+            Some(m) => {
+                for (attr, &conv) in self.link_attr.iter_mut().zip(m) {
+                    if conv {
+                        *attr |= ATTR_CONV;
+                        self.has_converters = true;
+                    } else {
+                        *attr &= !ATTR_CONV;
+                    }
+                }
+            }
+            None => {
+                for attr in &mut self.link_attr {
+                    *attr &= !ATTR_CONV;
+                }
+            }
+        }
     }
 
     /// The router configuration.
@@ -217,11 +452,12 @@ impl Engine {
     }
 
     /// Replace the router configuration (bandwidth change reallocates the
-    /// occupancy table).
+    /// occupancy table and the wavelength bitmasks).
     pub fn set_config(&mut self, config: RouterConfig) {
         config.validate();
         if config.bandwidth != self.config.bandwidth {
             self.occ = vec![EMPTY_SLOT; self.link_count * config.bandwidth as usize];
+            self.masks = BusyMasks::new(self.link_count, config.bandwidth);
             self.gen = 0;
         }
         self.config = config;
@@ -256,8 +492,10 @@ impl Engine {
         let b = self.config.bandwidth as usize;
         self.gen = self.gen.wrapping_add(1);
         if self.gen == 0 {
-            // Wrapped: stamp everything invalid once.
+            // Wrapped: stamp everything invalid once (slots and masks
+            // share the generation counter).
             self.occ.fill(EMPTY_SLOT);
+            self.masks.gens.fill(0);
             self.gen = 1;
         }
         let gen = self.gen;
@@ -267,80 +505,78 @@ impl Engine {
         // (including tails draining behind an eliminated head) — the
         // window during which dynamic faults can still cut something.
         let mut drain_end = 0u32;
-        for s in specs {
-            assert!(s.length >= 1, "worm length must be at least 1");
-            assert!(
-                (s.wavelength as usize) < b,
-                "wavelength {} out of range (B = {b})",
-                s.wavelength
-            );
-            debug_assert!(s.links.iter().all(|&l| (l as usize) < self.link_count));
-            max_time = max_time.max(s.start + s.links.len() as u32);
-            if !s.links.is_empty() {
-                drain_end = drain_end.max(s.start + s.links.len() as u32 + s.length - 1);
+        for sp in specs {
+            sp.validate(self.config.bandwidth, self.link_count);
+            max_time = max_time.max(sp.start + sp.links.len() as u32);
+            if !sp.links.is_empty() {
+                drain_end = drain_end.max(sp.start + sp.links.len() as u32 + sp.length - 1);
             }
         }
 
-        // Reused allocations: event schedule, states, wavelengths.
-        let mut scratch = std::mem::take(&mut self.scratch);
+        // Reused allocations: event schedule, worm state, wavelengths.
+        let mut s = std::mem::take(&mut self.scratch);
         // Counting-sort the *initial* head arrivals by start step; every
         // later event is generated dynamically (a winner at edge `e`,
         // step `t` arrives at edge `e + 1` at step `t + 1`), so dead worms
         // cost nothing after the step that kills them.
         let steps = max_time as usize + 1;
-        scratch.ev_counts.clear();
-        scratch.ev_counts.resize(steps, 0);
-        for s in specs {
-            if !s.links.is_empty() {
-                scratch.ev_counts[s.start as usize] += 1;
+        s.ev_counts.clear();
+        s.ev_counts.resize(steps, 0);
+        for sp in specs {
+            if !sp.links.is_empty() {
+                s.ev_counts[sp.start as usize] += 1;
             }
         }
-        scratch.ev_offsets.clear();
-        scratch.ev_offsets.reserve(steps + 1);
-        scratch.ev_offsets.push(0);
+        s.ev_offsets.clear();
+        s.ev_offsets.reserve(steps + 1);
+        s.ev_offsets.push(0);
         let mut total = 0u32;
         for t in 0..steps {
-            total += scratch.ev_counts[t];
-            scratch.ev_offsets.push(total);
-            scratch.ev_counts[t] = 0; // becomes the scatter cursor
+            total += s.ev_counts[t];
+            s.ev_offsets.push(total);
+            s.ev_counts[t] = 0; // becomes the scatter cursor
         }
-        scratch.ev_items.clear();
-        scratch.ev_items.resize(total as usize, 0);
-        for (i, s) in specs.iter().enumerate() {
-            if !s.links.is_empty() {
-                let t = s.start as usize;
-                let at = scratch.ev_offsets[t] + scratch.ev_counts[t];
-                scratch.ev_items[at as usize] = i as u32;
-                scratch.ev_counts[t] += 1;
+        s.ev_items.clear();
+        s.ev_items.resize(total as usize, 0);
+        for (i, sp) in specs.iter().enumerate() {
+            if !sp.links.is_empty() {
+                let t = sp.start as usize;
+                let at = s.ev_offsets[t] + s.ev_counts[t];
+                s.ev_items[at as usize] = i as u32;
+                s.ev_counts[t] += 1;
             }
         }
-        let ev_offsets = scratch.ev_offsets;
-        let ev_items = scratch.ev_items;
-        let mut cur = scratch.cur_events;
-        cur.clear();
-        let mut next = scratch.next_events;
-        next.clear();
 
-        for st in &mut scratch.states {
-            st.reset();
-        }
-        scratch.states.resize_with(specs.len(), WormState::default);
-        let mut states = scratch.states;
+        // SoA worm-state reset: four bulk fills and an arena clear replace
+        // the former per-worm `WormState::reset` loop.
+        let n_worms = specs.len();
+        s.fatal.clear();
+        s.fatal.resize(n_worms, NONE_FATAL);
+        s.first_blocker.clear();
+        s.first_blocker.resize(n_worms, NO_WORM);
+        s.head_done.clear();
+        s.head_done.resize(n_worms, false);
+        s.cut_head.clear();
+        s.cut_head.resize(n_worms, NO_CUT);
+        s.cut_nodes.clear();
         // Current wavelength per worm (changes at converter links).
-        scratch.cur_wl.clear();
-        scratch.cur_wl.extend(specs.iter().map(|s| s.wavelength));
-        let mut cur_wl = scratch.cur_wl;
+        s.cur_wl.clear();
+        s.cur_wl.extend(specs.iter().map(|sp| sp.wavelength));
+
+        // Serve-first without converters or conflict recording takes the
+        // stamped-grouping fast path (no per-step sort); everything else
+        // keeps the sorting path, whose group order the conflict log and
+        // the priority/conversion semantics depend on.
+        let fast_mode = matches!(self.config.rule, CollisionRule::ServeFirst)
+            && !self.has_converters
+            && !self.config.record_conflicts;
+        if fast_mode && s.key_meta.len() < self.link_count * b {
+            s.key_meta.resize(self.link_count * b, KeyMeta::default());
+        }
+
         let mut conflicts = std::mem::take(&mut out.conflicts);
         conflicts.clear();
         let mut makespan = 0u32;
-
-        // Scratch: (group key, worm, edge index), sorted per step.
-        // Key layout: link * (B + 1) + wl for fixed-wavelength groups,
-        // link * (B + 1) + B for per-link (conversion) groups — disjoint.
-        let mut arrivals = scratch.arrivals;
-        arrivals.clear();
-        let mut cands = scratch.cands;
-        cands.clear();
 
         // With dynamic faults the loop must also cover steps with no head
         // arrivals: a scripted cut or a garble can sever a tail that is
@@ -353,22 +589,77 @@ impl Engine {
             }
             None => max_time + 2,
         };
+        // The mirrored `ATTR_DOWN` bits persist across rounds; clear them
+        // for every scripted link before replaying the plan from step 0.
+        if let Some(fr) = &faults {
+            for link in fr.scripted_links() {
+                self.link_attr[link as usize] &= !ATTR_DOWN;
+            }
+        }
+        let has_flaky = faults.as_ref().is_some_and(|f| f.has_flaky());
+
+        // Split the scratch into disjoint borrows: the SoA worm-state view
+        // and the grouping/queue buffers are used side by side below.
+        let Scratch {
+            ev_offsets,
+            ev_items,
+            cur_events,
+            next_events,
+            cur_wl,
+            fatal,
+            first_blocker,
+            head_done,
+            cut_head,
+            cut_nodes,
+            arrivals,
+            keys,
+            next_same,
+            key_meta,
+            dup_keys,
+            members,
+            cands,
+            free_wl,
+            order,
+            ..
+        } = &mut s;
+        let mut worms = Worms {
+            fatal,
+            first_blocker,
+            head_done,
+            cut_head,
+            cut_nodes,
+        };
+        let (mut cur, mut next) = (cur_events, next_events);
+        cur.clear();
+        next.clear();
 
         for t in 0..loop_end {
             if let Some(fr) = faults.as_mut() {
                 // A link failing this step cuts whatever is streaming
                 // across it: the forwarded fragment continues, the rest is
                 // dropped. No worm is to blame — `first_blocker` stays as
-                // is (None unless a real conflict already set it).
-                fr.begin_step(t, |link| {
+                // is (None unless a real conflict already set it). Down and
+                // restore transitions are mirrored into the `ATTR_DOWN`
+                // bit so the per-arrival probe below is one byte test.
+                let occ = &self.occ;
+                let link_attr = &mut self.link_attr;
+                fr.begin_step_events(t, |link, sig| {
+                    match sig {
+                        FaultSignal::Restore => {
+                            link_attr[link as usize] &= !ATTR_DOWN;
+                            return;
+                        }
+                        FaultSignal::Down => link_attr[link as usize] |= ATTR_DOWN,
+                        FaultSignal::Garble => {}
+                    }
                     let base = link as usize * b;
                     for wl in 0..b {
-                        let slot = self.occ[base + wl];
+                        let slot = occ[base + wl];
                         if slot.gen == gen && slot.entry < t {
                             let ow = slot.worm as usize;
-                            let eff = eff_len_at(&states[ow], specs[ow].length, slot.edge_idx);
+                            let eff = worms.eff_len_at(ow, specs[ow].length, slot.edge_idx);
                             if t < slot.entry + eff {
-                                states[ow].cuts.push((slot.edge_idx, t - slot.entry));
+                                worms.push_cut(ow, slot.edge_idx, t - slot.entry);
                                 makespan = makespan.max(t);
                             }
                         }
@@ -381,189 +672,296 @@ impl Engine {
             if cur.is_empty() {
                 continue;
             }
-            arrivals.clear();
-            let plain_links =
-                !matches!(self.config.rule, CollisionRule::Conversion) && self.converters.is_none();
-            for &(w, e) in cur.iter() {
-                let link = specs[w as usize].links[e as usize];
-                if self.dead_links.as_ref().is_some_and(|m| m[link as usize])
-                    || faults.as_ref().is_some_and(|f| f.is_blocked(link, t))
-                {
-                    // Fiber cut: the head vanishes into the dead link.
-                    let st = &mut states[w as usize];
-                    st.fatal = Some((e, t));
-                    st.cuts.push((e, 0));
-                    makespan = makespan.max(t);
-                    continue;
-                }
-                let per_link = !plain_links
-                    && (matches!(self.config.rule, CollisionRule::Conversion)
-                        || self.is_converter_link(link));
-                let sub = if per_link {
-                    b as u64
-                } else {
-                    cur_wl[w as usize] as u64
-                };
-                let key = link as u64 * (b as u64 + 1) + sub;
-                arrivals.push((key, w, e));
-            }
-            // Deterministic grouping: by key, then worm id.
-            arrivals.sort_unstable();
 
-            let mut i = 0;
-            while i < arrivals.len() {
-                let key = arrivals[i].0;
-                let mut j = i + 1;
-                while j < arrivals.len() && arrivals[j].0 == key {
-                    j += 1;
+            if fast_mode {
+                // Stamped two-pass grouping: no sort. Singletons resolve
+                // inline in arrival order; contended (link, wavelength)
+                // slots resolve in ascending slot order with members
+                // sorted by worm id — the same group order, and therefore
+                // the same RNG stream, as the sorting path produces.
+                self.step_epoch = self.step_epoch.wrapping_add(1);
+                if self.step_epoch == 0 {
+                    key_meta.fill(KeyMeta::default());
+                    self.step_epoch = 1;
                 }
-                let group = i..j;
-                i = j;
-                let per_link = key % (b as u64 + 1) == b as u64;
-
-                if per_link && matches!(self.config.rule, CollisionRule::Conversion) {
-                    self.resolve_conversion_group(
-                        specs,
-                        &mut states,
-                        &mut conflicts,
-                        &arrivals,
-                        group,
-                        t,
-                        gen,
-                        rng,
-                        &mut makespan,
-                        &mut cur_wl,
-                        &mut next,
-                    );
-                } else if per_link {
-                    self.resolve_hybrid_converter_group(
-                        specs,
-                        &mut states,
-                        &mut conflicts,
-                        &arrivals,
-                        group,
-                        t,
-                        gen,
-                        &mut makespan,
-                        &mut cur_wl,
-                        &mut next,
-                    );
-                } else {
-                    if group.len() == 1 {
-                        // Fast path: a lone arrival at a vacant slot wins
-                        // unconditionally under every rule and tie mode —
-                        // `resolve_group` returns `ArrivalWins(0)` for a
-                        // single contender without consulting the RNG, and
-                        // with no losers there is no conflict to log.
-                        let (_, w, e) = arrivals[group.start];
-                        let link = specs[w as usize].links[e as usize];
-                        let slot_idx = link as usize * b + cur_wl[w as usize] as usize;
-                        let slot = self.occ[slot_idx];
-                        let vacant = slot.gen != gen || {
-                            let ow = slot.worm as usize;
-                            t >= slot.entry
-                                + eff_len_at(&states[ow], specs[ow].length, slot.edge_idx)
+                let epoch = self.step_epoch;
+                keys.clear();
+                next_same.clear();
+                dup_keys.clear();
+                // Pass 1: stamp each arrival's slot key, chaining same-key
+                // arrivals; a key enters `dup_keys` on its 1 → 2
+                // transition.
+                for (i, &(w, e)) in cur.iter().enumerate() {
+                    let link = specs[w as usize].links[e as usize];
+                    if self.link_attr[link as usize] & ATTR_BLOCKED != 0
+                        || (has_flaky && faults.as_ref().is_some_and(|f| f.garbles(link, t)))
+                    {
+                        // Fiber cut: the head vanishes into the dead link.
+                        worms.kill_by_fault(w as usize, e, t, &mut makespan);
+                        keys.push(SKIP_KEY);
+                        next_same.push(NO_ARRIVAL);
+                        continue;
+                    }
+                    let key = link as usize * b + cur_wl[w as usize] as usize;
+                    keys.push(key as u32);
+                    next_same.push(NO_ARRIVAL);
+                    let m = &mut key_meta[key];
+                    if m.stamp != epoch {
+                        *m = KeyMeta {
+                            stamp: epoch,
+                            first: i as u32,
+                            last: i as u32,
                         };
-                        if vacant {
+                    } else {
+                        if m.first == m.last {
+                            dup_keys.push(key as u32);
+                        }
+                        next_same[m.last as usize] = i as u32;
+                        m.last = i as u32;
+                    }
+                }
+                // Pass 2a: uncontended arrivals. A clear mask bit proves
+                // the slot vacant — install without reading the slot; a
+                // set bit falls back to the stamped-slot check.
+                for (i, &(w, e)) in cur.iter().enumerate() {
+                    let key = keys[i];
+                    if key == SKIP_KEY {
+                        continue;
+                    }
+                    let m = key_meta[key as usize];
+                    if m.first != i as u32 || m.last != i as u32 {
+                        continue;
+                    }
+                    let link = specs[w as usize].links[e as usize] as usize;
+                    let wl = cur_wl[w as usize] as usize;
+                    let slot_idx = link * b + wl;
+                    let occupant = if self.masks.is_set(link, wl, gen) {
+                        let slot = self.occ[slot_idx];
+                        (slot.gen == gen && {
+                            let ow = slot.worm as usize;
+                            t < slot.entry + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
+                        })
+                        .then_some(slot.worm)
+                    } else {
+                        None
+                    };
+                    match occupant {
+                        // Serve-first: the streaming occupant wins.
+                        Some(ow) => worms.kill(w as usize, e, t, ow, &mut makespan),
+                        None => {
                             self.occ[slot_idx] = Slot {
                                 gen,
                                 worm: w,
                                 entry: t,
                                 edge_idx: e,
                             };
-                            advance(
-                                specs,
-                                &mut states[w as usize],
-                                &mut next,
-                                w,
-                                e,
-                                t,
-                                &mut makespan,
-                            );
-                            continue;
+                            self.masks.set(link, wl, gen);
+                            advance(specs, &mut worms, next, w, e, t, &mut makespan);
                         }
                     }
-                    cands.clear();
-                    cands.extend(arrivals[group.clone()].iter().map(|&(_, w, _)| Candidate {
-                        id: w,
-                        priority: specs[w as usize].priority,
-                    }));
+                }
+                // Pass 2b: contended slots, ascending; members by worm id.
+                dup_keys.sort_unstable();
+                for k in 0..dup_keys.len() {
+                    let m = key_meta[dup_keys[k] as usize];
+                    members.clear();
+                    let mut i = m.first;
+                    while i != NO_ARRIVAL {
+                        members.push(cur[i as usize]);
+                        i = next_same[i as usize];
+                    }
+                    members.sort_unstable();
                     self.resolve_slot_group(
                         specs,
-                        &mut states,
+                        &mut worms,
                         &mut conflicts,
-                        &arrivals,
-                        group,
-                        &cands,
+                        members,
+                        cands,
                         t,
                         gen,
                         rng,
                         &mut makespan,
-                        &cur_wl,
-                        &mut next,
+                        cur_wl,
+                        next,
                     );
+                }
+            } else {
+                arrivals.clear();
+                let plain_links =
+                    !matches!(self.config.rule, CollisionRule::Conversion) && !self.has_converters;
+                for &(w, e) in cur.iter() {
+                    let link = specs[w as usize].links[e as usize];
+                    let attr = self.link_attr[link as usize];
+                    if attr & ATTR_BLOCKED != 0
+                        || (has_flaky && faults.as_ref().is_some_and(|f| f.garbles(link, t)))
+                    {
+                        // Fiber cut: the head vanishes into the dead link.
+                        worms.kill_by_fault(w as usize, e, t, &mut makespan);
+                        continue;
+                    }
+                    let per_link = !plain_links
+                        && (matches!(self.config.rule, CollisionRule::Conversion)
+                            || attr & ATTR_CONV != 0);
+                    let sub = if per_link {
+                        b as u64
+                    } else {
+                        cur_wl[w as usize] as u64
+                    };
+                    // Key layout: link * (B + 1) + wl for fixed-wavelength
+                    // groups, link * (B + 1) + B for per-link (conversion)
+                    // groups — disjoint.
+                    let key = link as u64 * (b as u64 + 1) + sub;
+                    arrivals.push((key, w, e));
+                }
+                // Deterministic grouping: by key, then worm id.
+                arrivals.sort_unstable();
+
+                let mut i = 0;
+                while i < arrivals.len() {
+                    let key = arrivals[i].0;
+                    let mut j = i + 1;
+                    while j < arrivals.len() && arrivals[j].0 == key {
+                        j += 1;
+                    }
+                    members.clear();
+                    members.extend(arrivals[i..j].iter().map(|&(_, w, e)| (w, e)));
+                    i = j;
+                    let per_link = key % (b as u64 + 1) == b as u64;
+
+                    if per_link && matches!(self.config.rule, CollisionRule::Conversion) {
+                        self.resolve_conversion_group(
+                            specs,
+                            &mut worms,
+                            &mut conflicts,
+                            members,
+                            t,
+                            gen,
+                            rng,
+                            &mut makespan,
+                            cur_wl,
+                            next,
+                            free_wl,
+                            order,
+                        );
+                    } else if per_link {
+                        self.resolve_hybrid_converter_group(
+                            specs,
+                            &mut worms,
+                            &mut conflicts,
+                            members,
+                            t,
+                            gen,
+                            &mut makespan,
+                            cur_wl,
+                            next,
+                            order,
+                        );
+                    } else {
+                        if members.len() == 1 {
+                            // Fast path: a lone arrival at a vacant slot
+                            // wins unconditionally under every rule and tie
+                            // mode — `resolve_group` returns
+                            // `ArrivalWins(0)` for a single contender
+                            // without consulting the RNG, and with no
+                            // losers there is no conflict to log.
+                            let (w, e) = members[0];
+                            let link = specs[w as usize].links[e as usize] as usize;
+                            let wl = cur_wl[w as usize] as usize;
+                            let slot_idx = link * b + wl;
+                            let vacant = !self.masks.is_set(link, wl, gen) || {
+                                let slot = self.occ[slot_idx];
+                                slot.gen != gen || {
+                                    let ow = slot.worm as usize;
+                                    t >= slot.entry
+                                        + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
+                                }
+                            };
+                            if vacant {
+                                self.occ[slot_idx] = Slot {
+                                    gen,
+                                    worm: w,
+                                    entry: t,
+                                    edge_idx: e,
+                                };
+                                self.masks.set(link, wl, gen);
+                                advance(specs, &mut worms, next, w, e, t, &mut makespan);
+                                continue;
+                            }
+                        }
+                        self.resolve_slot_group(
+                            specs,
+                            &mut worms,
+                            &mut conflicts,
+                            members,
+                            cands,
+                            t,
+                            gen,
+                            rng,
+                            &mut makespan,
+                            cur_wl,
+                            next,
+                        );
+                    }
                 }
             }
             cur.clear();
             std::mem::swap(&mut cur, &mut next);
         }
 
-        // Final fates.
+        // Final fates, read straight off the SoA arrays.
         let mut results = std::mem::take(&mut out.results);
         results.clear();
         results.reserve(specs.len());
-        for (w, s) in specs.iter().enumerate() {
-            let st = &states[w];
-            let fate = if s.links.is_empty() {
-                makespan = makespan.max(s.start);
+        for (w, sp) in specs.iter().enumerate() {
+            let fate = if sp.links.is_empty() {
+                makespan = makespan.max(sp.start);
                 Fate::Delivered {
-                    completed_at: s.start,
+                    completed_at: sp.start,
                 }
-            } else if let Some((at_edge, at_time)) = st.fatal {
-                Fate::Eliminated { at_edge, at_time }
+            } else if worms.fatal[w] != NONE_FATAL {
+                let packed = worms.fatal[w];
+                Fate::Eliminated {
+                    at_edge: (packed >> 32) as u32,
+                    at_time: packed as u32,
+                }
             } else {
-                debug_assert!(st.head_done, "live worm whose head never finished");
-                let last = s.links.len() as u32 - 1;
-                let eff = eff_len_at(st, s.length, last);
-                if eff == s.length {
-                    let done = s.start + s.links.len() as u32 + s.length - 1;
+                debug_assert!(worms.head_done[w], "live worm whose head never finished");
+                let last = sp.links.len() as u32 - 1;
+                let eff = worms.eff_len_at(w, sp.length, last);
+                if eff == sp.length {
+                    let done = sp.start + sp.links.len() as u32 + sp.length - 1;
                     makespan = makespan.max(done);
                     Fate::Delivered { completed_at: done }
                 } else {
-                    let cut_at_edge = st
-                        .cuts
-                        .iter()
-                        .copied()
-                        .filter(|&(_, len)| len == eff)
-                        .map(|(e, _)| e)
-                        .min()
-                        .expect("truncated worm has a cut");
+                    // Earliest cut that set the binding length.
+                    let mut cut_at_edge = u32::MAX;
+                    let mut i = worms.cut_head[w];
+                    while i != NO_CUT {
+                        let node = worms.cut_nodes[i as usize];
+                        if node.len == eff {
+                            cut_at_edge = cut_at_edge.min(node.edge);
+                        }
+                        i = node.next;
+                    }
+                    assert!(cut_at_edge != u32::MAX, "truncated worm has a cut");
                     Fate::Truncated {
                         delivered_flits: eff,
                         cut_at_edge,
                     }
                 }
             };
+            let fb = worms.first_blocker[w];
             results.push(WormResult {
                 fate,
-                first_blocker: st.first_blocker,
+                first_blocker: (fb != NO_WORM).then_some(fb),
             });
         }
 
         // Return the allocations (and the fault script) to the engine for
         // the next round.
         self.faults = faults;
-        self.scratch = Scratch {
-            ev_counts: scratch.ev_counts,
-            ev_offsets,
-            ev_items,
-            cur_events: cur,
-            next_events: next,
-            states,
-            cur_wl,
-            arrivals,
-            cands,
-        };
+        let _ = worms; // end the borrow of `s` before moving it back
+        self.scratch = s;
 
         out.results = results;
         out.conflicts = conflicts;
@@ -571,15 +969,15 @@ impl Engine {
     }
 
     /// Resolve one (link, wavelength) group under serve-first or priority.
+    /// `members` are the `(worm, edge)` arrivals, sorted by worm id.
     #[allow(clippy::too_many_arguments)]
     fn resolve_slot_group(
         &mut self,
         specs: &[TransmissionSpec<'_>],
-        states: &mut [WormState],
+        worms: &mut Worms<'_>,
         conflicts: &mut Vec<Conflict>,
-        arrivals: &[(u64, u32, u32)],
-        group: std::ops::Range<usize>,
-        cands: &[Candidate],
+        members: &[(u32, u32)],
+        cands: &mut Vec<Candidate>,
         t: u32,
         gen: u32,
         rng: &mut impl Rng,
@@ -587,7 +985,7 @@ impl Engine {
         cur_wl: &[u16],
         next: &mut Vec<(u32, u32)>,
     ) {
-        let (_, w0, e0) = arrivals[group.start];
+        let (w0, e0) = members[0];
         let link = specs[w0 as usize].links[e0 as usize];
         let wl = cur_wl[w0 as usize];
         let slot_idx = link as usize * self.config.bandwidth as usize + wl as usize;
@@ -595,7 +993,7 @@ impl Engine {
 
         let occupant = if slot.gen == gen {
             let ow = slot.worm as usize;
-            let eff = eff_len_at(&states[ow], specs[ow].length, slot.edge_idx);
+            let eff = worms.eff_len_at(ow, specs[ow].length, slot.edge_idx);
             (t < slot.entry + eff).then_some(Candidate {
                 id: slot.worm,
                 priority: specs[ow].priority,
@@ -604,14 +1002,18 @@ impl Engine {
             None
         };
 
-        let group_slice = &arrivals[group.clone()];
+        cands.clear();
+        cands.extend(members.iter().map(|&(w, _)| Candidate {
+            id: w,
+            priority: specs[w as usize].priority,
+        }));
         let decision = resolve_group(self.config.rule, self.config.tie, occupant, cands, rng);
 
         match decision {
             GroupDecision::OccupantWins => {
                 let blocker = occupant.expect("occupant wins implies occupant").id;
-                for &(_, w, e) in group_slice {
-                    kill(&mut states[w as usize], e, t, blocker, makespan);
+                for &(w, e) in members {
+                    worms.kill(w as usize, e, t, blocker, makespan);
                 }
                 if self.config.record_conflicts {
                     conflicts.push(Conflict {
@@ -619,30 +1021,25 @@ impl Engine {
                         link,
                         wavelength: wl,
                         winner: Some(blocker),
-                        losers: group_slice.iter().map(|&(_, w, _)| w).collect(),
+                        losers: members.iter().map(|&(w, _)| w).collect(),
                         kind: ConflictKind::ArrivalBlocked,
                     });
                 }
             }
             GroupDecision::ArrivalWins(idx) => {
-                let (_, winner, we) = group_slice[idx];
-                let mut losers = Vec::new();
+                let (winner, we) = members[idx];
                 // Cut the occupant, if it is still streaming.
                 if let Some(occ) = occupant {
                     let ow = occ.id as usize;
                     let passed = t - slot.entry;
                     debug_assert!(passed >= 1, "occupant installed in the same step");
-                    states[ow].cuts.push((slot.edge_idx, passed));
-                    if states[ow].first_blocker.is_none() {
-                        states[ow].first_blocker = Some(winner);
-                    }
-                    losers.push(occ.id);
+                    worms.push_cut(ow, slot.edge_idx, passed);
+                    worms.set_first_blocker(ow, winner);
                 }
                 // Other simultaneous arrivals are eliminated.
-                for (k, &(_, w, e)) in group_slice.iter().enumerate() {
+                for (k, &(w, e)) in members.iter().enumerate() {
                     if k != idx {
-                        kill(&mut states[w as usize], e, t, winner, makespan);
-                        losers.push(w);
+                        worms.kill(w as usize, e, t, winner, makespan);
                     }
                 }
                 self.occ[slot_idx] = Slot {
@@ -651,17 +1048,21 @@ impl Engine {
                     entry: t,
                     edge_idx: we,
                 };
-                advance(
-                    specs,
-                    &mut states[winner as usize],
-                    next,
-                    winner,
-                    we,
-                    t,
-                    makespan,
-                );
-                if self.config.record_conflicts && !losers.is_empty() {
-                    let kind = if occupant.is_some() && occupant.unwrap().id == losers[0] {
+                self.masks.set(link as usize, wl as usize, gen);
+                advance(specs, worms, next, winner, we, t, makespan);
+                if self.config.record_conflicts && (occupant.is_some() || members.len() > 1) {
+                    let mut losers: Vec<u32> = Vec::new();
+                    if let Some(occ) = occupant {
+                        losers.push(occ.id);
+                    }
+                    losers.extend(
+                        members
+                            .iter()
+                            .enumerate()
+                            .filter(|&(k, _)| k != idx)
+                            .map(|(_, &(w, _))| w),
+                    );
+                    let kind = if occupant.is_some() {
                         ConflictKind::OccupantCut
                     } else {
                         ConflictKind::SimultaneousTie
@@ -680,10 +1081,10 @@ impl Engine {
                 // Mutual elimination: each contender's witness is the next
                 // contender (cyclically), mirroring the paper's convention
                 // that a collision pair consists of two distinct worms.
-                let ids: Vec<u32> = group_slice.iter().map(|&(_, w, _)| w).collect();
-                for (k, &(_, w, e)) in group_slice.iter().enumerate() {
-                    let blocker = ids[(k + 1) % ids.len()];
-                    kill(&mut states[w as usize], e, t, blocker, makespan);
+                let n = members.len();
+                for (k, &(w, e)) in members.iter().enumerate() {
+                    let blocker = members[(k + 1) % n].0;
+                    worms.kill(w as usize, e, t, blocker, makespan);
                 }
                 if self.config.record_conflicts {
                     conflicts.push(Conflict {
@@ -691,7 +1092,7 @@ impl Engine {
                         link,
                         wavelength: wl,
                         winner: None,
-                        losers: ids,
+                        losers: members.iter().map(|&(w, _)| w).collect(),
                         kind: ConflictKind::SimultaneousTie,
                     });
                 }
@@ -700,62 +1101,68 @@ impl Engine {
     }
 
     /// Resolve one per-link group under the conversion rule: arrivals grab
-    /// free wavelengths; the excess is eliminated.
+    /// free wavelengths; the excess is eliminated. `members` are the
+    /// `(worm, edge)` arrivals, sorted by worm id; `free_wl` and `order`
+    /// are engine-owned scratch buffers.
     #[allow(clippy::too_many_arguments)]
     fn resolve_conversion_group(
         &mut self,
         specs: &[TransmissionSpec<'_>],
-        states: &mut [WormState],
+        worms: &mut Worms<'_>,
         conflicts: &mut Vec<Conflict>,
-        arrivals: &[(u64, u32, u32)],
-        group: std::ops::Range<usize>,
+        members: &[(u32, u32)],
         t: u32,
         gen: u32,
         rng: &mut impl Rng,
         makespan: &mut u32,
         cur_wl: &mut [u16],
         next: &mut Vec<(u32, u32)>,
+        free_wl: &mut Vec<u16>,
+        order: &mut Vec<u32>,
     ) {
         let b = self.config.bandwidth as usize;
-        let (_, w0, e0) = arrivals[group.start];
+        let (w0, e0) = members[0];
         let link = specs[w0 as usize].links[e0 as usize];
         let base = link as usize * b;
 
-        let mut free: Vec<u16> = Vec::with_capacity(b);
+        free_wl.clear();
         for wl in 0..b {
-            let slot = self.occ[base + wl];
-            let active = slot.gen == gen && {
-                let ow = slot.worm as usize;
-                t < slot.entry + eff_len_at(&states[ow], specs[ow].length, slot.edge_idx)
+            // A clear mask bit proves the slot vacant without reading it.
+            let active = self.masks.is_set(link as usize, wl, gen) && {
+                let slot = self.occ[base + wl];
+                slot.gen == gen && {
+                    let ow = slot.worm as usize;
+                    t < slot.entry + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
+                }
             };
             if !active {
-                free.push(wl as u16);
+                free_wl.push(wl as u16);
             }
         }
 
-        let group_slice = &arrivals[group.clone()];
-        let n = group_slice.len();
+        let n = members.len();
         // Winner selection when oversubscribed.
-        let mut order: Vec<usize> = (0..n).collect();
-        let winners: usize = free.len().min(n);
-        if n > free.len() {
+        order.clear();
+        order.extend(0..n as u32);
+        let winners: usize = free_wl.len().min(n);
+        if n > free_wl.len() {
             match self.config.tie {
                 TieRule::AllEliminated => {
                     // Conservative garbling: nobody gets through.
-                    for &(_, w, e) in group_slice {
+                    for &(w, e) in members {
                         // Blocker: the current occupant of wavelength 0 if
                         // any, else a fellow contender.
-                        let blocker = if self.occ[base].gen == gen && !free.contains(&0) {
+                        let blocker = if self.occ[base].gen == gen && !free_wl.contains(&0) {
                             self.occ[base].worm
                         } else {
-                            group_slice[0].1
+                            members[0].0
                         };
                         let blocker = if blocker == w {
-                            group_slice[n - 1].1
+                            members[n - 1].0
                         } else {
                             blocker
                         };
-                        kill(&mut states[w as usize], e, t, blocker, makespan);
+                        worms.kill(w as usize, e, t, blocker, makespan);
                     }
                     if self.config.record_conflicts {
                         conflicts.push(Conflict {
@@ -763,7 +1170,7 @@ impl Engine {
                             link,
                             wavelength: 0,
                             winner: None,
-                            losers: group_slice.iter().map(|&(_, w, _)| w).collect(),
+                            losers: members.iter().map(|&(w, _)| w).collect(),
                             kind: ConflictKind::AllWavelengthsBusy,
                         });
                     }
@@ -780,28 +1187,29 @@ impl Engine {
             }
         }
 
-        for (rank, &oi) in order.iter().enumerate() {
-            let (_, w, e) = group_slice[oi];
+        for rank in 0..n {
+            let (w, e) = members[order[rank] as usize];
             if rank < winners {
-                let wl = free[rank];
-                self.occ[base + wl as usize] = Slot {
+                let wl = free_wl[rank] as usize;
+                self.occ[base + wl] = Slot {
                     gen,
                     worm: w,
                     entry: t,
                     edge_idx: e,
                 };
-                cur_wl[w as usize] = wl;
-                advance(specs, &mut states[w as usize], next, w, e, t, makespan);
+                self.masks.set(link as usize, wl, gen);
+                cur_wl[w as usize] = wl as u16;
+                advance(specs, worms, next, w, e, t, makespan);
             } else {
                 // All wavelengths busy or taken: eliminated. Witness: any
                 // occupant; use the worm that took the last free slot, or
                 // the wavelength-0 occupant when there were none free.
                 let blocker = if winners > 0 {
-                    group_slice[order[winners - 1]].1
+                    members[order[winners - 1] as usize].0
                 } else {
                     self.occ[base].worm
                 };
-                kill(&mut states[w as usize], e, t, blocker, makespan);
+                worms.kill(w as usize, e, t, blocker, makespan);
                 if self.config.record_conflicts {
                     conflicts.push(Conflict {
                         time: t,
@@ -828,56 +1236,61 @@ impl Engine {
     fn resolve_hybrid_converter_group(
         &mut self,
         specs: &[TransmissionSpec<'_>],
-        states: &mut [WormState],
+        worms: &mut Worms<'_>,
         conflicts: &mut Vec<Conflict>,
-        arrivals: &[(u64, u32, u32)],
-        group: std::ops::Range<usize>,
+        members: &[(u32, u32)],
         t: u32,
         gen: u32,
         makespan: &mut u32,
         cur_wl: &mut [u16],
         next: &mut Vec<(u32, u32)>,
+        order: &mut Vec<u32>,
     ) {
         let b = self.config.bandwidth as usize;
-        let (_, w0, e0) = arrivals[group.start];
+        let (w0, e0) = members[0];
         let link = specs[w0 as usize].links[e0 as usize];
         let base = link as usize * b;
-        let group_slice = &arrivals[group];
 
-        let mut order: Vec<usize> = (0..group_slice.len()).collect();
+        order.clear();
+        order.extend(0..members.len() as u32);
         if self.config.rule == CollisionRule::Priority {
-            order.sort_by_key(|&i| {
-                let (_, w, _) = group_slice[i];
+            order.sort_unstable_by_key(|&i| {
+                let (w, _) = members[i as usize];
                 (std::cmp::Reverse(specs[w as usize].priority), w)
             });
         }
 
-        for &oi in &order {
-            let (_, w, e) = group_slice[oi];
+        for k in 0..order.len() {
+            let (w, e) = members[order[k] as usize];
             // Active occupants, recomputed per arrival (earlier arrivals
-            // in this group may have installed or preempted).
-            let active = |slot: &Slot, states: &[WormState]| -> bool {
-                slot.gen == gen && {
-                    let ow = slot.worm as usize;
-                    t < slot.entry + eff_len_at(&states[ow], specs[ow].length, slot.edge_idx)
+            // in this group may have installed or preempted). A clear mask
+            // bit proves a slot vacant without reading it.
+            let active = |wl: usize, occ: &[Slot], masks: &BusyMasks, worms: &Worms<'_>| -> bool {
+                masks.is_set(link as usize, wl, gen) && {
+                    let slot = occ[base + wl];
+                    slot.gen == gen && {
+                        let ow = slot.worm as usize;
+                        t < slot.entry + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
+                    }
                 }
             };
             // Prefer the worm's current wavelength (no conversion unless
             // forced — converting needlessly would skew the wavelength
             // distribution downstream), then the lowest free index.
             let own = cur_wl[w as usize] as usize;
-            let free_wl = std::iter::once(own)
+            let free = std::iter::once(own)
                 .chain(0..b)
-                .find(|&wl| !active(&self.occ[base + wl], states));
-            if let Some(wl) = free_wl {
+                .find(|&wl| !active(wl, &self.occ, &self.masks, worms));
+            if let Some(wl) = free {
                 self.occ[base + wl] = Slot {
                     gen,
                     worm: w,
                     entry: t,
                     edge_idx: e,
                 };
+                self.masks.set(link as usize, wl, gen);
                 cur_wl[w as usize] = wl as u16;
-                advance(specs, &mut states[w as usize], next, w, e, t, makespan);
+                advance(specs, worms, next, w, e, t, makespan);
                 continue;
             }
             // All wavelengths busy.
@@ -892,20 +1305,17 @@ impl Engine {
             {
                 // Preempt: cut the weakest occupant, take its wavelength.
                 let ow = occ_slot.worm as usize;
-                states[ow]
-                    .cuts
-                    .push((occ_slot.edge_idx, t - occ_slot.entry));
-                if states[ow].first_blocker.is_none() {
-                    states[ow].first_blocker = Some(w);
-                }
+                worms.push_cut(ow, occ_slot.edge_idx, t - occ_slot.entry);
+                worms.set_first_blocker(ow, w);
                 self.occ[base + occ_wl] = Slot {
                     gen,
                     worm: w,
                     entry: t,
                     edge_idx: e,
                 };
+                self.masks.set(link as usize, occ_wl, gen);
                 cur_wl[w as usize] = occ_wl as u16;
-                advance(specs, &mut states[w as usize], next, w, e, t, makespan);
+                advance(specs, worms, next, w, e, t, makespan);
                 if self.config.record_conflicts {
                     conflicts.push(Conflict {
                         time: t,
@@ -917,7 +1327,7 @@ impl Engine {
                     });
                 }
             } else {
-                kill(&mut states[w as usize], e, t, occ_slot.worm, makespan);
+                worms.kill(w as usize, e, t, occ_slot.worm, makespan);
                 if self.config.record_conflicts {
                     conflicts.push(Conflict {
                         time: t,
@@ -945,35 +1355,11 @@ pub fn converter_mask(
         .collect()
 }
 
-/// Effective length of a worm at path position `edge`: full length capped
-/// by every cut recorded at positions ≤ `edge`.
-fn eff_len_at(st: &WormState, full: u32, edge: u32) -> u32 {
-    let mut len = full;
-    for &(e, l) in &st.cuts {
-        if e <= edge {
-            len = len.min(l);
-        }
-    }
-    len
-}
-
-/// Head elimination: record the fatal event and a zero-length cut so the
-/// links behind keep draining while nothing proceeds past `edge`.
-fn kill(st: &mut WormState, edge: u32, t: u32, blocker: u32, makespan: &mut u32) {
-    debug_assert!(st.fatal.is_none());
-    st.fatal = Some((edge, t));
-    st.cuts.push((edge, 0));
-    if st.first_blocker.is_none() {
-        st.first_blocker = Some(blocker);
-    }
-    *makespan = (*makespan).max(t);
-}
-
 /// Advance a head that won its link: enqueue its arrival at the next edge
 /// for step `t + 1` (worms cannot buffer), or mark it done at path's end.
 fn advance(
     specs: &[TransmissionSpec<'_>],
-    st: &mut WormState,
+    worms: &mut Worms<'_>,
     next: &mut Vec<(u32, u32)>,
     w: u32,
     edge: u32,
@@ -982,7 +1368,7 @@ fn advance(
 ) {
     let nxt = edge + 1;
     if nxt as usize == specs[w as usize].links.len() {
-        st.head_done = true;
+        worms.head_done[w as usize] = true;
         *makespan = (*makespan).max(t + 1);
     } else {
         next.push((w, nxt));

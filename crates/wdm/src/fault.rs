@@ -201,6 +201,21 @@ fn garble_threshold(p: f64) -> u64 {
     (p * (1u64 << 53) as f64).ceil() as u64
 }
 
+/// A fault signal reported by [`FaultRuntime::begin_step_events`], so
+/// callers that mirror the down-state into their own per-link structures
+/// (the engine folds it into its link-attribute bytes) can track restores
+/// as well as failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FaultSignal {
+    /// The link newly went down this step: cut whatever streams across it.
+    Down,
+    /// The link was restored this step (it may carry traffic again).
+    Restore,
+    /// The link garbles during this step only: cut streams, but the link
+    /// is not persistently down.
+    Garble,
+}
+
 /// Per-run execution state of a [`FaultPlan`]. Shared by the engine and
 /// the reference simulator so their fault semantics cannot drift.
 #[derive(Clone, Debug)]
@@ -263,10 +278,65 @@ impl FaultRuntime {
         }
     }
 
+    /// Like [`FaultRuntime::begin_step`], but distinguishes the three
+    /// transitions via [`FaultSignal`] so the caller can mirror the
+    /// down-state into its own per-link flags (and needs [`is_blocked`]
+    /// only for the garble component afterwards).
+    ///
+    /// [`is_blocked`]: FaultRuntime::is_blocked
+    pub(crate) fn begin_step_events(
+        &mut self,
+        t: u32,
+        mut on_event: impl FnMut(LinkId, FaultSignal),
+    ) {
+        while self.next < self.sorted.len() && self.sorted[self.next].time == t {
+            let ev = self.sorted[self.next];
+            self.next += 1;
+            match ev.event {
+                LinkEvent::Down => {
+                    if !self.down[ev.link as usize] {
+                        self.down[ev.link as usize] = true;
+                        on_event(ev.link, FaultSignal::Down);
+                    }
+                }
+                LinkEvent::Restore => {
+                    self.down[ev.link as usize] = false;
+                    on_event(ev.link, FaultSignal::Restore);
+                }
+            }
+        }
+        for &(link, p) in &self.plan.flaky {
+            if !self.down[link as usize]
+                && garble_bits(self.plan.seed, link, t) < garble_threshold(p)
+            {
+                on_event(link, FaultSignal::Garble);
+            }
+        }
+    }
+
     /// Is `link` unusable at step `t` (down, or garbling this step)?
     /// Valid after `begin_step(t, ..)`.
     pub(crate) fn is_blocked(&self, link: LinkId, t: u32) -> bool {
         self.down[link as usize] || self.plan.garbles(link, t)
+    }
+
+    /// Does `link` garble during step `t`? The down-state is *not*
+    /// consulted — callers that already track it (via
+    /// [`FaultRuntime::begin_step_events`]) check their own flag first.
+    pub(crate) fn garbles(&self, link: LinkId, t: u32) -> bool {
+        self.plan.garbles(link, t)
+    }
+
+    /// Whether the plan has any flaky links (the only fault component
+    /// that needs a per-arrival probe; scripted downs are edge-triggered).
+    pub(crate) fn has_flaky(&self) -> bool {
+        !self.plan.flaky.is_empty()
+    }
+
+    /// Every link named by a scripted event, with repetitions — callers
+    /// clearing mirrored per-link state iterate this at round start.
+    pub(crate) fn scripted_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.sorted.iter().map(|e| e.link)
     }
 
     /// Steps that must still be simulated for fault effects even with no

@@ -35,6 +35,12 @@ pub enum GroupDecision {
 /// coupler in this step (non-empty). The conversion rule is handled by the
 /// engine directly (it involves multiple wavelength slots) and must not be
 /// passed here.
+///
+/// Allocation-free: tie groups are resolved by index scans over the
+/// arrivals slice, so this sits on the engine's per-arrival hot path
+/// without touching the heap. The [`TieRule::Random`] draw is one
+/// `gen_range(0..contenders)` call, exactly as before — callers pinning
+/// RNG-stream identity rely on that.
 pub fn resolve_group(
     rule: CollisionRule,
     tie: TieRule,
@@ -51,7 +57,7 @@ pub fn resolve_group(
             } else if arrivals.len() == 1 {
                 GroupDecision::ArrivalWins(0)
             } else {
-                break_tie(tie, 0..arrivals.len(), arrivals, rng)
+                break_tie(tie, arrivals, None, rng)
             }
         }
         CollisionRule::Priority => {
@@ -64,16 +70,23 @@ pub fn resolve_group(
                     return GroupDecision::OccupantWins;
                 }
             }
-            let top: Vec<usize> = (0..arrivals.len())
-                .filter(|&i| arrivals[i].priority == best)
-                .collect();
-            if top.len() == 1 {
-                GroupDecision::ArrivalWins(top[0])
+            let mut top_count = 0usize;
+            let mut top_first = 0usize;
+            for (i, c) in arrivals.iter().enumerate() {
+                if c.priority == best {
+                    if top_count == 0 {
+                        top_first = i;
+                    }
+                    top_count += 1;
+                }
+            }
+            if top_count == 1 {
+                GroupDecision::ArrivalWins(top_first)
             } else {
                 // Equal top priorities among simultaneous arrivals: the
                 // paper assumes this never happens ("no two worms with the
                 // same priority can meet"); fall back to the tie rule.
-                break_tie(tie, top.into_iter(), arrivals, rng)
+                break_tie(tie, arrivals, Some(best), rng)
             }
         }
         CollisionRule::Conversion => {
@@ -82,26 +95,34 @@ pub fn resolve_group(
     }
 }
 
+/// Break a tie among the arrivals whose priority equals `only_priority`
+/// (all arrivals when `None`). Contenders are enumerated in ascending
+/// index order, matching the former collect-into-`Vec` behaviour draw for
+/// draw.
 fn break_tie(
     tie: TieRule,
-    contenders: impl Iterator<Item = usize>,
     arrivals: &[Candidate],
+    only_priority: Option<u64>,
     rng: &mut impl Rng,
 ) -> GroupDecision {
-    let contenders: Vec<usize> = contenders.collect();
-    debug_assert!(!contenders.is_empty());
+    let eligible = |c: &Candidate| only_priority.is_none_or(|p| c.priority == p);
     match tie {
         TieRule::AllEliminated => GroupDecision::AllLose,
         TieRule::LowestId => {
-            let idx = contenders
-                .into_iter()
+            let idx = (0..arrivals.len())
+                .filter(|&i| eligible(&arrivals[i]))
                 .min_by_key(|&i| arrivals[i].id)
-                .expect("non-empty");
+                .expect("non-empty tie group");
             GroupDecision::ArrivalWins(idx)
         }
         TieRule::Random => {
-            let pick = rng.gen_range(0..contenders.len());
-            GroupDecision::ArrivalWins(contenders[pick])
+            let count = arrivals.iter().filter(|c| eligible(c)).count();
+            let pick = rng.gen_range(0..count);
+            let idx = (0..arrivals.len())
+                .filter(|&i| eligible(&arrivals[i]))
+                .nth(pick)
+                .expect("pick within contender count");
+            GroupDecision::ArrivalWins(idx)
         }
     }
 }

@@ -26,6 +26,31 @@ pub struct TransmissionSpec<'a> {
     pub length: u32,
 }
 
+impl TransmissionSpec<'_> {
+    /// Assert the spec is well-formed for a network with `link_count`
+    /// directed links and bandwidth `b`: length ≥ 1, wavelength in range,
+    /// and (debug builds) every link id in range. Called by the engine on
+    /// every spec at the top of a round.
+    ///
+    /// # Panics
+    /// On any violation (link ids only in debug builds — the engine
+    /// indexes per-link tables with them, so release builds would panic
+    /// at the use site anyway).
+    #[inline]
+    pub fn validate(&self, b: u16, link_count: usize) {
+        assert!(self.length >= 1, "worm length must be at least 1");
+        assert!(
+            self.wavelength < b,
+            "wavelength {} out of range (B = {b})",
+            self.wavelength
+        );
+        debug_assert!(
+            self.links.iter().all(|&l| (l as usize) < link_count),
+            "spec names a link outside the network"
+        );
+    }
+}
+
 /// Final fate of one worm after a round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Fate {

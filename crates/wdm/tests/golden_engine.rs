@@ -1,0 +1,300 @@
+//! Engine-level golden tests for the contention kernel.
+//!
+//! The kernel rewrite (bitset occupancy masks, SoA worm state, stamped
+//! arrival grouping) must be observationally invisible: for a fixed seed
+//! the engine's outcome — fates, blockers, makespan, *and* RNG
+//! consumption — is pinned against the first-principles reference
+//! simulator, which never changed. Digests are computed at runtime from
+//! the reference rather than hardcoded, so the suite is independent of
+//! the concrete RNG stream (the offline build stubs `rand_chacha`).
+//!
+//! Alongside the digests, this file pins the kernel's edge geometry:
+//! `B = 1` (single-word mask, single bit), `B = 64` (full-word mask,
+//! top bit), `B > 64` (multi-word fallback), arrival groups on
+//! all-dead links, and tie-rule determinism under a fixed seed.
+
+use optical_topo::{topologies, Network};
+use optical_wdm::reference;
+use optical_wdm::{
+    CollisionRule, Engine, Fate, RoundOutcome, RouterConfig, TieRule, TransmissionSpec,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// FNV-1a over the observable outcome of a round: every fate field,
+/// every witness edge, and the makespan.
+fn digest(out: &RoundOutcome) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in &out.results {
+        match r.fate {
+            Fate::Delivered { completed_at } => {
+                mix(1);
+                mix(completed_at as u64);
+            }
+            Fate::Truncated {
+                delivered_flits,
+                cut_at_edge,
+            } => {
+                mix(2);
+                mix(delivered_flits as u64);
+                mix(cut_at_edge as u64);
+            }
+            Fate::Eliminated { at_edge, at_time } => {
+                mix(3);
+                mix(at_edge as u64);
+                mix(at_time as u64);
+            }
+        }
+        mix(r.first_blocker.map_or(u64::MAX, u64::from));
+    }
+    mix(out.makespan as u64);
+    h
+}
+
+/// Per-worm (start, wavelength, priority) triples alongside the paths.
+type Scenario = (Vec<Vec<u32>>, Vec<(u32, u16, u64)>);
+
+/// A deterministic, collision-heavy batch on a ring: worm `i` runs
+/// `i % 5 + 1` hops clockwise from node `i`, staggered starts, wavelengths
+/// sweeping the whole band (hitting the top wavelength `B - 1`).
+fn ring_scenario(net: &Network, n_worms: usize, b: u16) -> Scenario {
+    let n = net.node_count() as u32;
+    let mut paths = Vec::with_capacity(n_worms);
+    let mut meta = Vec::with_capacity(n_worms);
+    for i in 0..n_worms as u32 {
+        let hops = (i % 5) + 1;
+        let nodes: Vec<u32> = (0..=hops).map(|k| (i + k) % n).collect();
+        paths.push(net.links_along(&nodes).expect("ring walk"));
+        // Wavelength pattern covers 0, B-1 and a mid stride.
+        let wl = match i % 3 {
+            0 => 0,
+            1 => b - 1,
+            _ => (i as u16 * 7) % b,
+        };
+        meta.push((i % 3, wl, i as u64));
+    }
+    (paths, meta)
+}
+
+fn specs_of<'a>(paths: &'a [Vec<u32>], meta: &[(u32, u16, u64)]) -> Vec<TransmissionSpec<'a>> {
+    paths
+        .iter()
+        .zip(meta)
+        .map(|(links, &(start, wavelength, priority))| TransmissionSpec {
+            links,
+            start,
+            wavelength,
+            priority,
+            length: 2 + (priority % 3) as u32,
+        })
+        .collect()
+}
+
+/// The golden sweep: per (rule, tie, B) — including both mask regimes and
+/// the B = 64 word boundary — the engine's digest must equal the
+/// reference's and must be identical across a fresh engine, a reused
+/// engine, and `run_into` with a recycled outcome.
+#[test]
+fn engine_digest_matches_reference_across_bandwidths() {
+    let table: &[(CollisionRule, TieRule, u16)] = &[
+        (CollisionRule::ServeFirst, TieRule::AllEliminated, 1),
+        (CollisionRule::ServeFirst, TieRule::LowestId, 2),
+        (CollisionRule::ServeFirst, TieRule::LowestId, 64),
+        (CollisionRule::ServeFirst, TieRule::LowestId, 65),
+        (CollisionRule::Priority, TieRule::LowestId, 1),
+        (CollisionRule::Priority, TieRule::LowestId, 64),
+        (CollisionRule::Conversion, TieRule::LowestId, 2),
+        (CollisionRule::Conversion, TieRule::LowestId, 65),
+    ];
+    let net = topologies::ring(8);
+    for &(rule, tie, b) in table {
+        let config = RouterConfig {
+            bandwidth: b,
+            rule,
+            tie,
+            record_conflicts: false,
+        };
+        let (paths, meta) = ring_scenario(&net, 12, b);
+        let specs = specs_of(&paths, &meta);
+
+        let mut engine = Engine::new(net.link_count(), config);
+        let out_fresh = engine.run(&specs, &mut ChaCha8Rng::seed_from_u64(0xA11C));
+        // Same engine again: no state may leak between rounds.
+        let out_reused = engine.run(&specs, &mut ChaCha8Rng::seed_from_u64(0xA11C));
+        // run_into with a dirty recycled outcome buffer.
+        let mut recycled = RoundOutcome {
+            makespan: 777,
+            ..RoundOutcome::default()
+        };
+        engine.run_into(
+            &specs,
+            &mut ChaCha8Rng::seed_from_u64(0xA11C),
+            &mut recycled,
+        );
+
+        let d = digest(&out_fresh);
+        assert_eq!(d, digest(&out_reused), "rule={rule:?} B={b}: reuse drift");
+        assert_eq!(d, digest(&recycled), "rule={rule:?} B={b}: run_into drift");
+
+        let want = reference::simulate(
+            net.link_count(),
+            config,
+            &specs,
+            &mut ChaCha8Rng::seed_from_u64(0xA11C),
+        );
+        for (i, (got, want)) in out_fresh.results.iter().zip(&want).enumerate() {
+            assert_eq!(got.fate, *want, "rule={rule:?} tie={tie:?} B={b} worm={i}");
+        }
+    }
+}
+
+/// Dead links and converter masks fold into the same per-link attribute
+/// test as the occupancy masks; pin the combination against the reference.
+#[test]
+fn engine_digest_with_faults_matches_reference() {
+    let net = topologies::ring(8);
+    for &b in &[1u16, 64, 65] {
+        let config = RouterConfig {
+            bandwidth: b,
+            rule: CollisionRule::ServeFirst,
+            tie: TieRule::LowestId,
+            record_conflicts: false,
+        };
+        let (paths, meta) = ring_scenario(&net, 12, b);
+        let specs = specs_of(&paths, &meta);
+        let dead: Vec<bool> = (0..net.link_count()).map(|l| l % 5 == 0).collect();
+        let conv: Vec<bool> = (0..net.link_count()).map(|l| l % 3 == 1).collect();
+
+        let mut engine = Engine::new(net.link_count(), config);
+        engine.set_dead_links(Some(dead.clone()));
+        engine.set_converters(Some(conv.clone()));
+        let out = engine.run(&specs, &mut ChaCha8Rng::seed_from_u64(0xFA17));
+        let want = reference::simulate_with_faults(
+            net.link_count(),
+            config,
+            Some(&conv),
+            Some(&dead),
+            &specs,
+            &mut ChaCha8Rng::seed_from_u64(0xFA17),
+        );
+        for (i, (got, want)) in out.results.iter().zip(&want).enumerate() {
+            assert_eq!(got.fate, *want, "faulted golden: B={b} worm={i}");
+        }
+    }
+}
+
+/// An arrival group whose link is dead is killed before any contention
+/// resolution: exact fates, no witness, and — because the group never
+/// reaches a tie — no RNG consumption (pinned by comparing against a run
+/// under a different seed).
+#[test]
+fn all_dead_links_eliminate_at_the_first_edge_without_rng() {
+    let net = topologies::star(5);
+    let config = RouterConfig {
+        bandwidth: 3,
+        rule: CollisionRule::ServeFirst,
+        tie: TieRule::Random,
+        record_conflicts: false,
+    };
+    // Every worm leaves the hub on the same wavelength at the same step:
+    // maximal contention, but every link is dead.
+    let paths: Vec<Vec<u32>> = (1..5u32)
+        .map(|leaf| net.links_along(&[0, leaf]).expect("star spoke"))
+        .collect();
+    let specs: Vec<TransmissionSpec<'_>> = paths
+        .iter()
+        .enumerate()
+        .map(|(i, links)| TransmissionSpec {
+            links,
+            start: 2,
+            wavelength: 1,
+            priority: i as u64,
+            length: 2,
+        })
+        .collect();
+    let mut engine = Engine::new(net.link_count(), config);
+    engine.set_dead_links(Some(vec![true; net.link_count()]));
+    let out_a = engine.run(&specs, &mut ChaCha8Rng::seed_from_u64(1));
+    let out_b = engine.run(&specs, &mut ChaCha8Rng::seed_from_u64(2));
+    for r in &out_a.results {
+        assert_eq!(
+            r.fate,
+            Fate::Eliminated {
+                at_edge: 0,
+                at_time: 2
+            },
+            "a dead link eliminates on arrival"
+        );
+        assert_eq!(r.first_blocker, None, "fault kills have no witness worm");
+    }
+    assert_eq!(
+        digest(&out_a),
+        digest(&out_b),
+        "dead-link groups must not consume randomness"
+    );
+}
+
+/// The random tie rule is a pure function of the seed: three runs (fresh
+/// engine, reused engine, `run_into`) under one seed agree bit for bit,
+/// and they agree with the reference under the same seed.
+#[test]
+fn random_tie_is_deterministic_under_fixed_seed() {
+    let net = topologies::star(5);
+    let config = RouterConfig {
+        bandwidth: 1,
+        rule: CollisionRule::ServeFirst,
+        tie: TieRule::Random,
+        record_conflicts: false,
+    };
+    // Two waves of four simultaneous arrivals, all fighting for the same
+    // hub-to-leaf spoke on the only wavelength.
+    let paths: Vec<Vec<u32>> = (0..8)
+        .map(|_| net.links_along(&[0, 1]).expect("star spoke"))
+        .collect();
+    let specs: Vec<TransmissionSpec<'_>> = paths
+        .iter()
+        .enumerate()
+        .map(|(i, links)| TransmissionSpec {
+            links,
+            start: (i as u32) / 4,
+            wavelength: 0,
+            priority: i as u64,
+            length: 1,
+        })
+        .collect();
+
+    let mut engine = Engine::new(net.link_count(), config);
+    let out_a = engine.run(&specs, &mut ChaCha8Rng::seed_from_u64(0x5EED));
+    let out_b = engine.run(&specs, &mut ChaCha8Rng::seed_from_u64(0x5EED));
+    let mut recycled = RoundOutcome::default();
+    engine.run_into(
+        &specs,
+        &mut ChaCha8Rng::seed_from_u64(0x5EED),
+        &mut recycled,
+    );
+    assert_eq!(digest(&out_a), digest(&out_b));
+    assert_eq!(digest(&out_a), digest(&recycled));
+
+    let want = reference::simulate(
+        net.link_count(),
+        config,
+        &specs,
+        &mut ChaCha8Rng::seed_from_u64(0x5EED),
+    );
+    for (got, want) in out_a.results.iter().zip(&want) {
+        assert_eq!(got.fate, *want);
+    }
+    // Exactly one worm per wave survives the hub under B = 1.
+    assert_eq!(
+        out_a
+            .results
+            .iter()
+            .filter(|r| r.fate.is_delivered())
+            .count(),
+        2
+    );
+}

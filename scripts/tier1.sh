@@ -34,6 +34,29 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The criterion benches are not exercised by `cargo test`, so lint them
+# explicitly (already covered by --all-targets, but this names the failure
+# when someone narrows the line above).
+echo "== cargo clippy --benches (deny warnings) =="
+cargo clippy --workspace --benches -- -D warnings
+
+# The committed perf evidence must stay parseable: a malformed
+# BENCH_*.json would silently disable the perf gate.
+echo "== perf_gate --parse (committed bench files) =="
+parse_args=()
+for f in BENCH_baseline.json BENCH_pr.json; do
+  [[ -f "$f" ]] && parse_args+=(--parse "$f")
+done
+if [[ ${#parse_args[@]} -gt 0 ]]; then
+  if ! cargo run --release -q -p optical-bench --bin perf_gate -- "${parse_args[@]}" 2>/dev/null; then
+    bash .devcheck/sync-check.sh >/dev/null 2>&1 || true
+    (cd .devcheck/work && cargo build --release --offline -q -p optical-bench --bin perf_gate)
+    .devcheck/work/target/release/perf_gate "${parse_args[@]}"
+  fi
+else
+  echo "no committed BENCH_*.json files; skipping"
+fi
+
 # Opt-in perf gate: quick perf_gate run compared against the committed
 # BENCH_baseline.json with a generous tolerance. Off by default so tier-1
 # stays fast; enable with TIER1_BENCH=1.
