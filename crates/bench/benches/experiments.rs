@@ -12,6 +12,7 @@ fn cfg() -> ExpConfig {
         seed: 1997,
         trials: 2,
         timings: false,
+        obs: false,
     }
 }
 

@@ -1,9 +1,12 @@
 //! Regenerate every experiment table (E1–E15) in one parallel run.
-//! Flags: `--quick`, `--seed N`, `--trials N`, `--timings`.
+//! Flags: `--quick`, `--seed N`, `--trials N`, `--timings`, `--obs`.
 //!
 //! The report goes to stdout and is byte-identical at any thread count;
 //! `--timings` prints per-experiment wall-clock to stderr so it can be
-//! inspected without disturbing the report.
+//! inspected without disturbing the report. `--obs` appends the
+//! instrumented observability section (counter totals + aggregated event
+//! trace) and writes the raw trace to `obs_trace.jsonl` for
+//! `trace_report`.
 
 fn main() {
     let cfg = optical_bench::ExpConfig::from_args();
@@ -13,6 +16,15 @@ fn main() {
         eprintln!("per-experiment wall-clock (overlapping under the parallel pool):");
         for (id, elapsed) in &timings {
             eprintln!("  {id:>4}  {:>9.3} ms", elapsed.as_secs_f64() * 1e3);
+        }
+    }
+    if cfg.obs {
+        let obs = optical_bench::obs_run::run(&cfg);
+        print!("\n{}", obs.summary);
+        let path = "obs_trace.jsonl";
+        match std::fs::write(path, &obs.trace_jsonl) {
+            Ok(()) => println!("event trace written to {path} (try: trace_report {path})"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
         }
     }
 }

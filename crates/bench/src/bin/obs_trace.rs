@@ -1,0 +1,70 @@
+//! Run the instrumented observability demos and dump the event trace.
+//!
+//! ```text
+//! obs_trace [--quick] [--seed N] [--trials N] [--out FILE]
+//! ```
+//!
+//! Prints the obs section (counter totals + aggregated trace tables) to
+//! stdout and writes the raw JSONL event trace to `--out` (default
+//! `obs_trace.jsonl`; `-` dumps the JSONL to stdout instead of the
+//! summary). The trace feeds `trace_report`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg = optical_bench::ExpConfig::full();
+    let mut out = String::from("obs_trace.jsonl");
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg.quick = true,
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(s) => cfg.seed = s,
+                    None => return usage("--seed needs an integer"),
+                }
+            }
+            "--trials" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(t) => cfg.trials = t,
+                    None => return usage("--trials needs an integer"),
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => out = f.clone(),
+                    None => return usage("--out needs a file name"),
+                }
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    let obs = optical_bench::obs_run::run(&cfg);
+    if out == "-" {
+        print!("{}", obs.trace_jsonl);
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", obs.summary);
+    match std::fs::write(&out, &obs.trace_jsonl) {
+        Ok(()) => {
+            println!("event trace written to {out} (try: trace_report {out})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("obs_trace: {err}");
+    eprintln!("usage: obs_trace [--quick] [--seed N] [--trials N] [--out FILE|-]");
+    ExitCode::FAILURE
+}

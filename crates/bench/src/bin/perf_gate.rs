@@ -17,7 +17,8 @@
 //! workflow.
 
 use optical_bench::ExpConfig;
-use optical_core::{ProtocolParams, ProtocolWorkspace, TrialAndFailure};
+use optical_core::{ProtocolParams, ProtocolWorkspace, SimBuilder, TrialAndFailure};
+use optical_obs::NullSink;
 use optical_paths::select::bfs::bfs_route;
 use optical_paths::select::butterfly::butterfly_qfunction_collection;
 use optical_paths::{properties, PathCollection};
@@ -148,6 +149,24 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
             black_box(proto.run_with(&mut ws, &mut rng).total_time);
         });
         out.insert(name.into(), ns);
+    }
+
+    // The same full run through the generic traced path with the
+    // observability disabled (`NullSink`): guards the zero-overhead
+    // contract of the sink plumbing — this must track run_cong_off.
+    {
+        let sim = SimBuilder::new(&net, &coll)
+            .params(protocol_params(false))
+            .build();
+        let mut ws = ProtocolWorkspace::new();
+        let ns = bench(samples, warmup, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(13);
+            black_box(
+                sim.run_traced(&mut ws, &mut rng, &mut NullSink)
+                    .total_time(),
+            );
+        });
+        out.insert("protocol/run_obs_off".into(), ns);
     }
 
     // Collection metrics (dilation, congestion, path congestion).

@@ -8,9 +8,9 @@
 //! grows (the hidden constant).
 
 use crate::cache::InstanceCache;
-use crate::harness::{par_points, run_protocol_trials, ExpConfig};
+use crate::harness::{par_points, run_sim_trials, ExpConfig};
 use optical_core::bounds::{self, BoundParams};
-use optical_core::ProtocolParams;
+use optical_core::SimBuilder;
 use optical_paths::select::butterfly::butterfly_qfunction_collection;
 use optical_stats::{table::fmt_f64, Table};
 use optical_topo::topologies::ButterflyCoords;
@@ -62,9 +62,12 @@ pub fn run(cfg: &ExpConfig) -> String {
         let coll = butterfly_qfunction_collection(&net, &coords, &f);
         debug_assert!(coll.is_leveled());
 
-        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), WORM_LEN);
-        params.max_rounds = 300;
-        let trials = run_protocol_trials(&net, &coll, &params, cfg.trials, cfg.seed);
+        let sim = SimBuilder::new(&net, &coll)
+            .router(RouterConfig::serve_first(1))
+            .worm_len(WORM_LEN)
+            .max_rounds(300)
+            .build();
+        let trials = run_sim_trials(&sim, cfg.trials, cfg.seed);
         assert_eq!(trials.failures, 0, "E1 runs must complete");
 
         let m = coll.metrics();

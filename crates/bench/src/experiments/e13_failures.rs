@@ -15,8 +15,7 @@
 
 use crate::harness::{par_points, ExpConfig};
 use optical_core::{
-    FaultSource, ProtocolParams, ProtocolWorkspace, Recovery, RecoveryPolicy, RecoveryReport,
-    TrialAndFailure,
+    FaultSource, ProtocolParams, ProtocolWorkspace, RecoveryPolicy, RecoveryReport, SimBuilder,
 };
 use optical_paths::select::bfs::{bfs_collection, bfs_route_avoiding_with};
 use optical_paths::PathCollection;
@@ -145,21 +144,21 @@ fn static_cut_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
                 // Routability was just verified for this exact mask.
                 aware.push(bfs_route_avoiding_with(&mut finder, net, &dead, s as u32, d).unwrap());
             }
-            let proto = TrialAndFailure::new(net, &aware, base_params(Some(dead.clone())));
-            let report = proto.run_with(&mut ws, &mut rng);
+            let sim = SimBuilder::new(net, &aware)
+                .params(base_params(Some(dead.clone())))
+                .build();
+            let report = sim.run_with(&mut ws, &mut rng).into_protocol();
             assert!(report.completed, "aware routing must complete");
             aware_times.push(report.total_time as f64);
 
             // Self-healing mode: healthy-topology paths must discover the
             // cuts from blockerless failures and reroute.
             let naive = bfs_collection(net, &f);
-            let rec = Recovery::new(
-                net,
-                &naive,
-                base_params(Some(dead.clone())),
-                RecoveryPolicy::default(),
-            );
-            let report = rec.run_with(&mut ws, &mut rng);
+            let sim = SimBuilder::new(net, &naive)
+                .params(base_params(Some(dead.clone())))
+                .recovery(RecoveryPolicy::default())
+                .build();
+            let report = sim.run_with(&mut ws, &mut rng).into_recovery();
             heal_times.push(report.total_time as f64);
             rerouted.push(report.rerouted_count() as f64);
             abandoned += report.abandoned_count();
@@ -281,9 +280,12 @@ fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
             let f = random_function(net.node_count(), &mut rng);
             let coll = bfs_collection(net, &f);
             let faults = make_faults(&mut rng);
-            let rec = Recovery::new(net, &coll, base_params(None), RecoveryPolicy::default())
-                .with_faults(faults);
-            let report: RecoveryReport = rec.run_with(&mut ws, &mut rng);
+            let sim = SimBuilder::new(net, &coll)
+                .params(base_params(None))
+                .recovery(RecoveryPolicy::default())
+                .faults(faults)
+                .build();
+            let report: RecoveryReport = sim.run_with(&mut ws, &mut rng).into_recovery();
             direct.push(report.delivered_direct() as f64);
             rerouted.push(report.rerouted_count() as f64);
             abandoned.push(report.abandoned_count() as f64);

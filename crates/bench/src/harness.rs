@@ -1,7 +1,7 @@
 //! Replicated-trial harness: deterministic seeding, rayon fan-out,
 //! summaries.
 
-use optical_core::{ProtocolParams, ProtocolWorkspace, RunReport, TrialAndFailure};
+use optical_core::{ProtocolParams, ProtocolWorkspace, RunReport, Sim, SimBuilder};
 use optical_paths::PathCollection;
 use optical_stats::{SeedStream, Summary};
 use optical_topo::Network;
@@ -22,6 +22,11 @@ pub struct ExpConfig {
     /// pipeline run. Timings never go to stdout: the rendered report
     /// must stay byte-identical with and without this flag.
     pub timings: bool,
+    /// Run the instrumented observability section after the pipeline
+    /// (counter summaries plus an event-trace dump, see
+    /// [`crate::obs_run`]). Off by default; the main report stays
+    /// byte-identical either way because the obs section only appends.
+    pub obs: bool,
 }
 
 impl ExpConfig {
@@ -32,6 +37,7 @@ impl ExpConfig {
             seed: 1997,
             trials: 10,
             timings: false,
+            obs: false,
         }
     }
 
@@ -42,11 +48,12 @@ impl ExpConfig {
             seed: 1997,
             trials: 3,
             timings: false,
+            obs: false,
         }
     }
 
-    /// Parse `--quick`, `--seed N`, `--trials N`, `--timings` from
-    /// process args.
+    /// Parse `--quick`, `--seed N`, `--trials N`, `--timings`, `--obs`
+    /// from process args.
     pub fn from_args() -> Self {
         let mut cfg = ExpConfig::full();
         let args: Vec<String> = std::env::args().collect();
@@ -55,6 +62,7 @@ impl ExpConfig {
             match args[i].as_str() {
                 "--quick" => cfg.quick = true,
                 "--timings" => cfg.timings = true,
+                "--obs" => cfg.obs = true,
                 "--seed" => {
                     i += 1;
                     cfg.seed = args[i].parse().expect("--seed needs an integer");
@@ -64,7 +72,7 @@ impl ExpConfig {
                     cfg.trials = args[i].parse().expect("--trials needs an integer");
                 }
                 other => panic!(
-                    "unknown argument {other} (try --quick, --seed N, --trials N, --timings)"
+                    "unknown argument {other} (try --quick, --seed N, --trials N, --timings, --obs)"
                 ),
             }
             i += 1;
@@ -121,7 +129,15 @@ pub fn run_protocol_trials(
     trials: usize,
     master_seed: u64,
 ) -> ProtocolTrials {
-    let proto = TrialAndFailure::new(net, coll, params.clone());
+    let sim = SimBuilder::new(net, coll).params(params.clone()).build();
+    run_sim_trials(&sim, trials, master_seed)
+}
+
+/// Run a built [`Sim`] `trials` times (parallel, deterministic per-trial
+/// seeds) and summarize the protocol reports. Panics if the sim is a
+/// recovery runner — recovery experiments report through
+/// [`optical_core::RecoveryReport`] directly.
+pub fn run_sim_trials(sim: &Sim, trials: usize, master_seed: u64) -> ProtocolTrials {
     let seeds: Vec<u64> = SeedStream::new(master_seed).take(trials).collect();
     // One workspace per rayon worker: trials on the same thread reuse the
     // engine and round buffers instead of reallocating them per run.
@@ -129,7 +145,7 @@ pub fn run_protocol_trials(
         .par_iter()
         .map_init(ProtocolWorkspace::new, |ws, &s| {
             let mut rng = ChaCha8Rng::seed_from_u64(s);
-            proto.run_with(ws, &mut rng)
+            sim.run_with(ws, &mut rng).into_protocol()
         })
         .collect();
     summarize_reports(&reports)

@@ -1,0 +1,177 @@
+//! Instrumented observability runs for `all_experiments --obs` and the
+//! `obs_trace` binary.
+//!
+//! Two demonstrations, both driven through [`SimBuilder`] with real
+//! sinks attached:
+//!
+//! 1. **Counters** — a clean protocol run (random function on a 2-d
+//!    torus) with a [`CountersSink`]: per-cause failure totals,
+//!    wavelength-slot occupancy, and reconciliation against the run
+//!    report.
+//! 2. **Event trace** — an E13-style dynamic-fault run (fibers cut while
+//!    worms are in flight) with an [`EventSink`]: the structured trace is
+//!    aggregated into per-round utilization/blocking tables and also
+//!    returned as a JSONL dump for `trace_report`.
+//!
+//! The sinks never consume simulation randomness, so these runs report
+//! exactly what an uninstrumented run would have done.
+
+use crate::harness::ExpConfig;
+use optical_core::{FaultSource, ProtocolParams, ProtocolWorkspace, RecoveryPolicy, SimBuilder};
+use optical_obs::{report, CountersSink, EventSink};
+use optical_paths::select::bfs::bfs_collection;
+use optical_topo::topologies;
+use optical_wdm::{FaultPlan, RouterConfig};
+use optical_workloads::functions::random_function;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length for both obs runs.
+pub const WORM_LEN: u32 = 4;
+/// Router bandwidth for both obs runs.
+pub const BANDWIDTH: u16 = 2;
+
+/// Output of the instrumented section: a rendered report plus the raw
+/// event trace.
+#[derive(Clone, Debug)]
+pub struct ObsRun {
+    /// Human-readable section (counter totals + aggregated trace tables).
+    pub summary: String,
+    /// The event trace as JSONL, one event per line — feed to
+    /// `trace_report`.
+    pub trace_jsonl: String,
+}
+
+fn base_params() -> ProtocolParams {
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(BANDWIDTH), WORM_LEN);
+    params.max_rounds = 300;
+    params
+}
+
+/// Pick up to `want` distinct fibers from the middle of long paths — the
+/// same "backhoe" construction as `examples/fault_recovery.rs`, so the
+/// cut is guaranteed to strike worms that were using those fibers.
+fn backhoe_fibers(coll: &optical_paths::PathCollection, want: usize) -> Vec<u32> {
+    let mut fibers: Vec<u32> = Vec::new();
+    for (_, p) in coll.iter() {
+        if p.len() >= 4 {
+            let fiber = p.links()[p.len() / 2] / 2;
+            if !fibers.contains(&fiber) {
+                fibers.push(fiber);
+            }
+            if fibers.len() == want {
+                break;
+            }
+        }
+    }
+    fibers
+}
+
+/// Run both instrumented demonstrations and render the obs section.
+pub fn run(cfg: &ExpConfig) -> ObsRun {
+    let side: u32 = if cfg.quick { 6 } else { 12 };
+    let net = topologies::torus(2, side);
+    let mut summary = String::new();
+    writeln!(summary, "== OBS: instrumented runs (sinks attached) ==").unwrap();
+    writeln!(
+        summary,
+        "{}: random function, serve-first B={BANDWIDTH}, L={WORM_LEN}",
+        net.name()
+    )
+    .unwrap();
+
+    // --- 1. Counters over a clean protocol run. ---------------------
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0B5);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = bfs_collection(&net, &f);
+    let sim = SimBuilder::new(&net, &coll).params(base_params()).build();
+    let counters = CountersSink::new(BANDWIDTH);
+    let mut ws = ProtocolWorkspace::new();
+    let run_report = sim
+        .run_traced(&mut ws, &mut rng, &mut &counters)
+        .into_protocol();
+    let totals = counters.totals();
+    writeln!(summary, "\n-- counters (clean run) --").unwrap();
+    writeln!(summary, "{totals}").unwrap();
+    writeln!(
+        summary,
+        "reconciled: trials {} = delivered {} + failures {} (report: {} rounds, completed={})",
+        totals.trials,
+        totals.delivered,
+        totals.failures(),
+        run_report.rounds_used(),
+        run_report.completed
+    )
+    .unwrap();
+
+    // --- 2. Event trace over a dynamic-fault recovery run. ----------
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x0E5);
+    let f = random_function(net.node_count(), &mut rng);
+    let coll = bfs_collection(&net, &f);
+    let fibers = backhoe_fibers(&coll, 3);
+    let cut_at = |t: u32| {
+        fibers.iter().fold(FaultPlan::none(), |plan, &e| {
+            plan.down(2 * e, t).down(2 * e + 1, t)
+        })
+    };
+    // Round 1 runs clean; the cut lands at step 5 of round 2 and is
+    // permanent from then on.
+    let mut plans = vec![FaultPlan::none(), cut_at(5)];
+    plans.resize(300, cut_at(0));
+    let sim = SimBuilder::new(&net, &coll)
+        .params(base_params())
+        .recovery(RecoveryPolicy::default())
+        .faults(FaultSource::PerRound(plans))
+        .build();
+    let mut events = EventSink::new();
+    let rec_report = sim
+        .run_traced(&mut ws, &mut rng, &mut events)
+        .into_recovery();
+    let trace = report::aggregate(&events.events());
+    writeln!(
+        summary,
+        "\n-- event trace (fibers {fibers:?} cut mid-flight in round 2) --"
+    )
+    .unwrap();
+    writeln!(summary, "{trace}").unwrap();
+    writeln!(
+        summary,
+        "recovery: {} direct, {} rerouted, {} abandoned; {} events buffered ({} dropped)",
+        rec_report.delivered_direct(),
+        rec_report.rerouted_count(),
+        rec_report.abandoned_count(),
+        events.len(),
+        events.dropped()
+    )
+    .unwrap();
+
+    ObsRun {
+        summary,
+        trace_jsonl: events.to_jsonl(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_obs::events::parse_jsonl;
+
+    #[test]
+    fn obs_run_produces_summary_and_parseable_trace() {
+        let obs = run(&ExpConfig::quick());
+        assert!(obs.summary.contains("counters"));
+        assert!(obs.summary.contains("per-round utilization"));
+        assert!(obs.summary.contains("reconciled"));
+        let events = parse_jsonl(&obs.trace_jsonl).expect("trace must round-trip");
+        assert!(!events.is_empty(), "the trace must be non-empty");
+    }
+
+    #[test]
+    fn obs_run_is_deterministic() {
+        let a = run(&ExpConfig::quick());
+        let b = run(&ExpConfig::quick());
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.trace_jsonl, b.trace_jsonl);
+    }
+}

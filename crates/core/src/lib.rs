@@ -41,6 +41,9 @@
 //! * [`recovery`] — self-healing trial-and-failure under dynamic faults:
 //!   stranded-worm detection, exponential backoff, and automatic
 //!   rerouting around links learned dead from blockerless failures;
+//! * [`sim`] — the unified run API: [`SimBuilder`] composes topology,
+//!   paths, router config, optional fault script, and an optional
+//!   observability sink into one runner;
 //! * [`lemmas`] — the appendix lemmas, executable;
 //! * [`witness`] — executable witness trees (Figure 4) and per-round
 //!   blocking graphs `G_i` (Definition 2.3), including the Claim 2.6
@@ -54,6 +57,7 @@ pub mod priority;
 pub mod protocol;
 pub mod recovery;
 pub mod schedule;
+pub mod sim;
 pub mod witness;
 pub mod workspace;
 
@@ -64,4 +68,5 @@ pub use recovery::{
     WormOutcome,
 };
 pub use schedule::{DelaySchedule, ScheduleCtx};
+pub use sim::{Sim, SimBuilder, SimReport};
 pub use workspace::ProtocolWorkspace;

@@ -3,6 +3,7 @@
 use crate::priority::{PriorityStrategy, WavelengthStrategy};
 use crate::schedule::{DelaySchedule, ScheduleCtx};
 use crate::workspace::ProtocolWorkspace;
+use optical_obs::{NullSink, Sink};
 use optical_paths::{CollectionMetrics, PathCollection};
 use optical_topo::{LinkId, Network};
 use optical_wdm::{Fate, RouterConfig, TransmissionSpec};
@@ -208,8 +209,12 @@ impl<'a> TrialAndFailure<'a> {
         &self.params
     }
 
-    /// Execute the protocol with a one-shot workspace. Loops should hold a
-    /// [`ProtocolWorkspace`] and call [`TrialAndFailure::run_with`].
+    /// Execute the protocol with a one-shot workspace. Thin wrapper over
+    /// [`TrialAndFailure::run_traced`] — loops should hold a
+    /// [`ProtocolWorkspace`] and call [`TrialAndFailure::run_with`], and
+    /// new call sites should go through `SimBuilder` (see DESIGN §10 for
+    /// the entry-point migration note).
+    #[doc(hidden)]
     pub fn run(&self, rng: &mut impl Rng) -> RunReport {
         self.run_with(&mut ProtocolWorkspace::new(), rng)
     }
@@ -219,6 +224,28 @@ impl<'a> TrialAndFailure<'a> {
     /// nothing is allocated beyond the returned report once the workspace
     /// has warmed up.
     pub fn run_with(&self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> RunReport {
+        self.run_traced(ws, rng, &mut NullSink)
+    }
+
+    /// The single internal protocol path: [`TrialAndFailure::run_with`]
+    /// with an observability [`Sink`]. The sink is monomorphized, never
+    /// consumes `rng`, and the [`NullSink`] instantiation is the exact
+    /// uninstrumented hot path, so every sink observes the identical run.
+    ///
+    /// Per round the protocol emits `on_round_start`, one `on_inject` per
+    /// active worm, the engine's `on_install` stream, one fate hook per
+    /// worm (`on_deliver` / `on_block` / `on_cut`, with blocker indices
+    /// translated to stable path ids) and `on_round_end`. The simulated
+    /// ack band is deliberately not instrumented — its installs would
+    /// pollute the forward-band occupancy signal. Blocks and cuts report
+    /// the worm's *launch* wavelength; under conversion the worm may have
+    /// been switched en route.
+    pub fn run_traced<S: Sink>(
+        &self,
+        ws: &mut ProtocolWorkspace,
+        rng: &mut impl Rng,
+        sink: &mut S,
+    ) -> RunReport {
         let p = &self.params;
         let n = self.collection.len();
         let b = p.router.bandwidth as u32;
@@ -318,7 +345,14 @@ impl<'a> TrialAndFailure<'a> {
                 },
             ));
 
-            engine.run_into(&specs, rng, outcome);
+            sink.on_round_start(t, active.len() as u32, delta);
+            if S::ENABLED {
+                for (k, &pid) in active.iter().enumerate() {
+                    sink.on_inject(t, pid, specs[k].wavelength, specs[k].start);
+                }
+            }
+
+            engine.run_into_traced(&specs, rng, outcome, sink);
 
             // Deliveries and (optionally) physical acks.
             acked_now.clear(); // indices into `active`
@@ -380,6 +414,37 @@ impl<'a> TrialAndFailure<'a> {
                 }
                 map
             });
+
+            if S::ENABLED {
+                for (k, r) in outcome.results.iter().enumerate() {
+                    let pid = active[k];
+                    let links = self.collection.links_of(pid as usize);
+                    let blocker = r.first_blocker.map(|b| active[b as usize]);
+                    match r.fate {
+                        Fate::Delivered { completed_at } => sink.on_deliver(t, pid, completed_at),
+                        Fate::Eliminated { at_edge, at_time } => sink.on_block(
+                            t,
+                            pid,
+                            links[at_edge as usize],
+                            specs[k].wavelength,
+                            at_time,
+                            blocker,
+                        ),
+                        Fate::Truncated {
+                            delivered_flits,
+                            cut_at_edge,
+                        } => sink.on_cut(
+                            t,
+                            pid,
+                            links[cut_at_edge as usize],
+                            specs[k].wavelength,
+                            delivered_flits,
+                            blocker,
+                        ),
+                    }
+                }
+            }
+            sink.on_round_end(t, delivered as u32, (active.len() - delivered) as u32);
 
             let round_time = delta as u64 + 2 * (d as u64 + l as u64);
             total_time += round_time;

@@ -35,6 +35,7 @@
 use crate::protocol::{AckMode, ProtocolParams};
 use crate::schedule::ScheduleCtx;
 use crate::workspace::ProtocolWorkspace;
+use optical_obs::{NullSink, Sink};
 use optical_paths::select::bfs::bfs_route_avoiding;
 use optical_paths::{Path, PathCollection};
 use optical_topo::Network;
@@ -299,7 +300,12 @@ impl<'a> Recovery<'a> {
         self.policy
     }
 
-    /// Execute the recovery loop.
+    /// Execute the recovery loop with a one-shot workspace. Thin wrapper
+    /// over [`Recovery::run_traced`] — loops should hold a
+    /// [`ProtocolWorkspace`] and call [`Recovery::run_with`], and new
+    /// call sites should go through `SimBuilder` (see DESIGN §10 for the
+    /// entry-point migration note).
+    #[doc(hidden)]
     pub fn run(&self, rng: &mut impl Rng) -> RecoveryReport {
         self.run_with(&mut ProtocolWorkspace::new(), rng)
     }
@@ -307,6 +313,25 @@ impl<'a> Recovery<'a> {
     /// Like [`Recovery::run`], but reusing `ws`'s engine and round
     /// buffers. Bit-identical to `run` for the same RNG state.
     pub fn run_with(&self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> RecoveryReport {
+        self.run_traced(ws, rng, &mut NullSink)
+    }
+
+    /// The single internal recovery path: [`Recovery::run_with`] with an
+    /// observability [`Sink`]. On top of the protocol-level hooks
+    /// (round, inject, install and per-worm fate events) the recovery
+    /// layer reports `on_backoff` for every held-back worm,
+    /// `on_dead_link` on a link's *first* condemnation (mirrored links
+    /// report separately), `on_reroute` when a path actually changes and
+    /// `on_abandon` for every abandonment, including the final
+    /// round-budget sweep (reported at round `max_rounds`). Hooks never
+    /// consume `rng`; the [`NullSink`] instantiation is bit-identical to
+    /// [`Recovery::run_with`].
+    pub fn run_traced<S: Sink>(
+        &self,
+        ws: &mut ProtocolWorkspace,
+        rng: &mut impl Rng,
+        sink: &mut S,
+    ) -> RecoveryReport {
         let p = &self.params;
         let n = self.initial.len();
         let b = p.router.bandwidth as u32;
@@ -428,7 +453,19 @@ impl<'a> Recovery<'a> {
                     }),
             );
 
-            engine.run_into(&specs, rng, outcome);
+            sink.on_round_start(t, active.len() as u32, delta);
+            if S::ENABLED {
+                for (k, &mult) in multipliers.iter().enumerate() {
+                    if mult > 1 {
+                        sink.on_backoff(t, active[k], mult);
+                    }
+                }
+                for (k, &w) in active.iter().enumerate() {
+                    sink.on_inject(t, w, wavelengths[k], specs[k].start);
+                }
+            }
+
+            engine.run_into_traced(&specs, rng, outcome, sink);
             spec_buf.put(specs);
 
             let mut delivered = 0usize;
@@ -439,7 +476,7 @@ impl<'a> Recovery<'a> {
             for (k, r) in outcome.results.iter().enumerate() {
                 let w = active[k] as usize;
                 let track = &mut tracks[w];
-                if r.fate.is_delivered() {
+                if let Fate::Delivered { completed_at } = r.fate {
                     track.outcome = Some(if track.reroutes > 0 {
                         WormOutcome::Rerouted {
                             times: track.reroutes,
@@ -449,6 +486,7 @@ impl<'a> Recovery<'a> {
                         WormOutcome::Delivered { round: t }
                     });
                     delivered += 1;
+                    sink.on_deliver(t, w as u32, completed_at);
                     continue;
                 }
 
@@ -463,6 +501,28 @@ impl<'a> Recovery<'a> {
                     ),
                     Fate::Delivered { .. } => unreachable!("handled above"),
                 };
+                if S::ENABLED {
+                    let blocker = r.first_blocker.map(|b| active[b as usize]);
+                    let link = failed_link.expect("failed worms name a link");
+                    match r.fate {
+                        Fate::Eliminated { at_time, .. } => {
+                            sink.on_block(t, w as u32, link, wavelengths[k], at_time, blocker);
+                        }
+                        Fate::Truncated {
+                            delivered_flits, ..
+                        } => {
+                            sink.on_cut(
+                                t,
+                                w as u32,
+                                link,
+                                wavelengths[k],
+                                delivered_flits,
+                                blocker,
+                            );
+                        }
+                        Fate::Delivered { .. } => unreachable!("handled above"),
+                    }
+                }
                 if progress > track.best_progress {
                     track.best_progress = progress;
                     track.no_improve = 0;
@@ -479,9 +539,16 @@ impl<'a> Recovery<'a> {
                     if let Some(link) = failed_link {
                         suspicion[link as usize] += 1;
                         if suspicion[link as usize] >= self.policy.confirm_after {
-                            known_dead[link as usize] = true;
+                            if !known_dead[link as usize] {
+                                known_dead[link as usize] = true;
+                                sink.on_dead_link(t, link);
+                            }
                             if self.policy.mirror_dead {
-                                known_dead[self.net.reverse_link(link) as usize] = true;
+                                let rev = self.net.reverse_link(link);
+                                if !known_dead[rev as usize] {
+                                    known_dead[rev as usize] = true;
+                                    sink.on_dead_link(t, rev);
+                                }
                             }
                         }
                     }
@@ -503,12 +570,14 @@ impl<'a> Recovery<'a> {
                             reason: AbandonReason::Disconnected,
                         });
                         abandoned += 1;
+                        sink.on_abandon(t, w as u32);
                     }
                     Some(_) if track.reroutes >= self.policy.max_reroutes => {
                         track.outcome = Some(WormOutcome::Abandoned {
                             reason: AbandonReason::RetryBudget,
                         });
                         abandoned += 1;
+                        sink.on_abandon(t, w as u32);
                     }
                     Some(new_path) => {
                         if let Some(first) = track.first_suspect {
@@ -519,6 +588,7 @@ impl<'a> Recovery<'a> {
                             track.reroutes += 1;
                             rerouted += 1;
                             track.best_progress = 0;
+                            sink.on_reroute(t, w as u32);
                         }
                         // Fresh start on the (possibly unchanged) path.
                         track.no_improve = 0;
@@ -527,6 +597,8 @@ impl<'a> Recovery<'a> {
                     }
                 }
             }
+
+            sink.on_round_end(t, delivered as u32, (active.len() - delivered) as u32);
 
             let round_time =
                 (delta as u64) * (max_mult as u64) + 2 * (cur_dilation as u64 + l as u64);
@@ -548,9 +620,13 @@ impl<'a> Recovery<'a> {
         // Round budget exhausted: everyone still active is abandoned.
         let outcomes: Vec<WormOutcome> = tracks
             .into_iter()
-            .map(|track| {
-                track.outcome.unwrap_or(WormOutcome::Abandoned {
-                    reason: AbandonReason::RoundBudget,
+            .enumerate()
+            .map(|(w, track)| {
+                track.outcome.unwrap_or_else(|| {
+                    sink.on_abandon(p.max_rounds, w as u32);
+                    WormOutcome::Abandoned {
+                        reason: AbandonReason::RoundBudget,
+                    }
                 })
             })
             .collect();

@@ -1,0 +1,421 @@
+//! The unified run API: [`SimBuilder`] is the single documented entry
+//! point for executing the trial-and-failure protocol, with or without
+//! fault recovery, with or without observability.
+//!
+//! It replaces the ad-hoc struct-literal setup that used to be spread
+//! across examples and experiments: configure a builder from a topology
+//! and a path collection, attach an optional recovery policy and fault
+//! script, then [`SimBuilder::build`] a [`Sim`] and run it — one-shot
+//! ([`Sim::run`]), with a reused [`ProtocolWorkspace`] ([`Sim::run_with`]),
+//! or instrumented with any [`Sink`] ([`Sim::run_traced`]).
+//!
+//! ```
+//! use optical_core::{SimBuilder, ProtocolWorkspace};
+//! use optical_paths::{Path, PathCollection};
+//! use optical_topo::topologies;
+//! use optical_wdm::RouterConfig;
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! let net = topologies::ring(8);
+//! let mut coll = PathCollection::for_network(&net);
+//! for v in 0..8u32 {
+//!     coll.push(Path::from_nodes(&net, &[v, (v + 1) % 8, (v + 2) % 8]));
+//! }
+//! let sim = SimBuilder::new(&net, &coll)
+//!     .router(RouterConfig::serve_first(2))
+//!     .worm_len(4)
+//!     .build();
+//! let mut ws = ProtocolWorkspace::new();
+//! let report = sim.run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(7));
+//! assert!(report.completed());
+//! ```
+
+use crate::priority::{PriorityStrategy, WavelengthStrategy};
+use crate::protocol::{AckMode, ProtocolParams, RunReport, TrialAndFailure};
+use crate::recovery::{FaultSource, Recovery, RecoveryPolicy, RecoveryReport};
+use crate::schedule::DelaySchedule;
+use crate::workspace::ProtocolWorkspace;
+use optical_obs::{NullSink, Sink};
+use optical_paths::PathCollection;
+use optical_topo::Network;
+use optical_wdm::RouterConfig;
+use rand::Rng;
+
+/// Builder for a protocol or recovery run over one routing instance.
+///
+/// Starts from [`ProtocolParams::new`] defaults (serve-first router with
+/// `B = 1`, worm length 4, paper schedule, random priorities and
+/// wavelengths, ideal acks, 64 rounds); every setter overrides one knob.
+/// Attaching a [`RecoveryPolicy`] and/or a [`FaultSource`] switches the
+/// built [`Sim`] to the self-healing recovery loop.
+///
+/// Observability is attached per run, not per builder: pass any
+/// [`Sink`] to [`Sim::run_traced`] (the plain runs use [`NullSink`]).
+#[derive(Clone, Debug)]
+pub struct SimBuilder<'a> {
+    net: &'a Network,
+    collection: &'a PathCollection,
+    params: ProtocolParams,
+    policy: Option<RecoveryPolicy>,
+    faults: FaultSource,
+}
+
+impl<'a> SimBuilder<'a> {
+    /// Start a builder over `net` and `collection` with default
+    /// parameters (serve-first, `B = 1`, `L = 4`).
+    pub fn new(net: &'a Network, collection: &'a PathCollection) -> Self {
+        SimBuilder {
+            net,
+            collection,
+            params: ProtocolParams::new(RouterConfig::serve_first(1), 4),
+            policy: None,
+            faults: FaultSource::None,
+        }
+    }
+
+    /// Replace the full parameter block (for call sites that already
+    /// carry a [`ProtocolParams`]).
+    pub fn params(mut self, params: ProtocolParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Router model: bandwidth `B`, collision rule, tie rule.
+    pub fn router(mut self, router: RouterConfig) -> Self {
+        self.params.router = router;
+        self
+    }
+
+    /// Worm length `L` in flits.
+    pub fn worm_len(mut self, worm_len: u32) -> Self {
+        self.params.worm_len = worm_len;
+        self
+    }
+
+    /// Delay-range schedule `Δ_t`.
+    pub fn schedule(mut self, schedule: DelaySchedule) -> Self {
+        self.params.schedule = schedule;
+        self
+    }
+
+    /// Priority assignment (consulted by priority routers).
+    pub fn priorities(mut self, priorities: PriorityStrategy) -> Self {
+        self.params.priorities = priorities;
+        self
+    }
+
+    /// Wavelength assignment per round.
+    pub fn wavelengths(mut self, wavelengths: WavelengthStrategy) -> Self {
+        self.params.wavelengths = wavelengths;
+        self
+    }
+
+    /// Acknowledgement handling (recovery runs require
+    /// [`AckMode::Ideal`]).
+    pub fn ack(mut self, ack: AckMode) -> Self {
+        self.params.ack = ack;
+        self
+    }
+
+    /// Hard cap on rounds `T`.
+    pub fn max_rounds(mut self, max_rounds: u32) -> Self {
+        self.params.max_rounds = max_rounds;
+        self
+    }
+
+    /// Record per-round blocking maps (witness diagnostics).
+    pub fn record_blocking(mut self, on: bool) -> Self {
+        self.params.record_blocking = on;
+        self
+    }
+
+    /// Recompute surviving path congestion each round.
+    pub fn record_congestion(mut self, on: bool) -> Self {
+        self.params.record_congestion = on;
+        self
+    }
+
+    /// Sparse wavelength conversion: per-link converter mask.
+    pub fn converters(mut self, mask: Vec<bool>) -> Self {
+        self.params.converters = Some(mask);
+        self
+    }
+
+    /// Static fiber cuts: per-link dead mask.
+    pub fn dead_links(mut self, dead: Vec<bool>) -> Self {
+        self.params.dead_links = Some(dead);
+        self
+    }
+
+    /// Run the self-healing recovery loop with this policy instead of the
+    /// plain protocol.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Attach a dynamic fault script. Implies the recovery loop (with
+    /// [`RecoveryPolicy::default`] unless [`SimBuilder::recovery`] was
+    /// also called).
+    pub fn faults(mut self, faults: FaultSource) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Build the runner: a [`Sim::Recovery`] when a policy or fault
+    /// script was attached, a plain [`Sim::Protocol`] otherwise.
+    ///
+    /// # Panics
+    /// On invalid configuration — mismatched network/collection, zero
+    /// rounds, invalid router or policy, or recovery with non-ideal acks
+    /// (the same contracts as [`TrialAndFailure::new`] and
+    /// [`Recovery::new`]).
+    pub fn build(self) -> Sim<'a> {
+        let dynamic_faults = !matches!(self.faults, FaultSource::None);
+        if self.policy.is_some() || dynamic_faults {
+            let policy = self.policy.unwrap_or_default();
+            Sim::Recovery(
+                Recovery::new(self.net, self.collection, self.params, policy)
+                    .with_faults(self.faults),
+            )
+        } else {
+            Sim::Protocol(TrialAndFailure::new(self.net, self.collection, self.params))
+        }
+    }
+}
+
+/// A built runner: the plain protocol or the recovery loop behind one
+/// `run` surface. Construct via [`SimBuilder::build`].
+pub enum Sim<'a> {
+    /// Plain trial-and-failure (no recovery, no dynamic faults).
+    Protocol(TrialAndFailure<'a>),
+    /// Self-healing recovery loop.
+    Recovery(Recovery<'a>),
+}
+
+impl Sim<'_> {
+    /// Run instrumented with `sink`, reusing `ws`. Hooks never consume
+    /// `rng`; a [`NullSink`] run is bit-identical to [`Sim::run_with`].
+    pub fn run_traced<S: Sink>(
+        &self,
+        ws: &mut ProtocolWorkspace,
+        rng: &mut impl Rng,
+        sink: &mut S,
+    ) -> SimReport {
+        match self {
+            Sim::Protocol(p) => SimReport::Protocol(p.run_traced(ws, rng, sink)),
+            Sim::Recovery(r) => SimReport::Recovery(r.run_traced(ws, rng, sink)),
+        }
+    }
+
+    /// Run uninstrumented, reusing `ws`'s engines and buffers.
+    pub fn run_with(&self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> SimReport {
+        self.run_traced(ws, rng, &mut NullSink)
+    }
+
+    /// Run with a one-shot workspace (convenience for single runs).
+    pub fn run(&self, rng: &mut impl Rng) -> SimReport {
+        self.run_with(&mut ProtocolWorkspace::new(), rng)
+    }
+}
+
+/// Report of a [`Sim`] run: a [`RunReport`] or a [`RecoveryReport`]
+/// behind shared accessors.
+#[derive(Clone, Debug)]
+pub enum SimReport {
+    /// Report of a plain protocol run.
+    Protocol(RunReport),
+    /// Report of a recovery run.
+    Recovery(RecoveryReport),
+}
+
+impl SimReport {
+    /// Did every worm make it? (Protocol: all acknowledged; recovery:
+    /// delivered directly or after rerouting — none abandoned.)
+    pub fn completed(&self) -> bool {
+        match self {
+            SimReport::Protocol(r) => r.completed,
+            SimReport::Recovery(r) => r.outcomes.iter().all(|o| o.is_delivered()),
+        }
+    }
+
+    /// Total budgeted time across all rounds.
+    pub fn total_time(&self) -> u64 {
+        match self {
+            SimReport::Protocol(r) => r.total_time,
+            SimReport::Recovery(r) => r.total_time,
+        }
+    }
+
+    /// Rounds actually executed.
+    pub fn rounds_used(&self) -> u32 {
+        match self {
+            SimReport::Protocol(r) => r.rounds_used(),
+            SimReport::Recovery(r) => r.rounds_used(),
+        }
+    }
+
+    /// The protocol report, if this was a plain run.
+    pub fn as_protocol(&self) -> Option<&RunReport> {
+        match self {
+            SimReport::Protocol(r) => Some(r),
+            SimReport::Recovery(_) => None,
+        }
+    }
+
+    /// The recovery report, if this was a recovery run.
+    pub fn as_recovery(&self) -> Option<&RecoveryReport> {
+        match self {
+            SimReport::Recovery(r) => Some(r),
+            SimReport::Protocol(_) => None,
+        }
+    }
+
+    /// Unwrap the protocol report.
+    ///
+    /// # Panics
+    /// If this was a recovery run.
+    pub fn into_protocol(self) -> RunReport {
+        match self {
+            SimReport::Protocol(r) => r,
+            SimReport::Recovery(_) => panic!("expected a protocol report, got a recovery report"),
+        }
+    }
+
+    /// Unwrap the recovery report.
+    ///
+    /// # Panics
+    /// If this was a plain protocol run.
+    pub fn into_recovery(self) -> RecoveryReport {
+        match self {
+            SimReport::Recovery(r) => r,
+            SimReport::Protocol(_) => panic!("expected a recovery report, got a protocol report"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_obs::{CountersSink, EventSink};
+    use optical_paths::Path;
+    use optical_topo::topologies;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn ring_instance(n: usize) -> (Network, PathCollection) {
+        let net = topologies::ring(n);
+        let mut coll = PathCollection::for_network(&net);
+        for v in 0..n as u32 {
+            let nodes = [v, (v + 1) % n as u32, (v + 2) % n as u32];
+            coll.push(Path::from_nodes(&net, &nodes));
+        }
+        (net, coll)
+    }
+
+    #[test]
+    fn builder_plain_run_matches_trial_and_failure() {
+        let (net, coll) = ring_instance(8);
+        let sim = SimBuilder::new(&net, &coll)
+            .router(RouterConfig::serve_first(2))
+            .worm_len(3)
+            .max_rounds(100)
+            .build();
+        assert!(matches!(sim, Sim::Protocol(_)));
+        let report = sim.run(&mut ChaCha8Rng::seed_from_u64(11)).into_protocol();
+
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+        params.max_rounds = 100;
+        let direct = TrialAndFailure::new(&net, &coll, params).run_with(
+            &mut ProtocolWorkspace::new(),
+            &mut ChaCha8Rng::seed_from_u64(11),
+        );
+        assert_eq!(report, direct, "builder must not change the run");
+    }
+
+    #[test]
+    fn faults_imply_the_recovery_loop() {
+        let (net, coll) = ring_instance(8);
+        let sim = SimBuilder::new(&net, &coll)
+            .max_rounds(50)
+            .faults(FaultSource::EveryRound(optical_wdm::FaultPlan::none()))
+            .build();
+        assert!(matches!(sim, Sim::Recovery(_)));
+        let report = sim.run(&mut ChaCha8Rng::seed_from_u64(3));
+        assert!(report.as_recovery().is_some());
+        assert!(report.as_protocol().is_none());
+        assert!(report.completed());
+        assert!(report.rounds_used() >= 1);
+        assert!(report.total_time() > 0);
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_counters_reconcile_with_the_report() {
+        let (net, coll) = ring_instance(10);
+        let sim = SimBuilder::new(&net, &coll)
+            .router(RouterConfig::serve_first(1))
+            .worm_len(4)
+            .max_rounds(200)
+            .build();
+        let mut ws = ProtocolWorkspace::new();
+
+        let plain = sim
+            .run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(42))
+            .into_protocol();
+        let counters = CountersSink::new(1);
+        let counted = sim
+            .run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(42), &mut &counters)
+            .into_protocol();
+        let mut events = EventSink::new();
+        let evented = sim
+            .run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(42), &mut events)
+            .into_protocol();
+        assert_eq!(plain, counted, "CountersSink must not perturb the run");
+        assert_eq!(plain, evented, "EventSink must not perturb the run");
+
+        // CountersSink totals reconcile with the RunReport: every trial
+        // either delivered or failed.
+        let t = counters.totals();
+        assert_eq!(t.trials, plain.attempts(), "one trial per active worm");
+        assert_eq!(t.delivered, plain.delivered_total() as u64);
+        assert_eq!(
+            t.delivered + t.failures(),
+            t.trials,
+            "failures + deliveries = worm launches"
+        );
+        assert_eq!(t.rounds, u64::from(plain.rounds_used()));
+        assert_eq!(t.fault_kills, 0, "no faults in this instance");
+
+        // The event trace agrees too.
+        let trace = optical_obs::report::aggregate(&events.events());
+        assert_eq!(trace.injected(), t.trials);
+        assert_eq!(trace.delivered(), t.delivered);
+        assert_eq!(trace.failures(), t.failures());
+    }
+
+    #[test]
+    fn recovery_counters_count_dead_links_and_fault_kills() {
+        let (net, coll) = ring_instance(8);
+        // Kill one directed link statically; the recovery loop must learn
+        // it and reroute around it.
+        let mut dead = vec![false; net.link_count()];
+        dead[0] = true;
+        let sim = SimBuilder::new(&net, &coll)
+            .max_rounds(120)
+            .dead_links(dead)
+            .recovery(RecoveryPolicy::default())
+            .build();
+        let counters = CountersSink::new(1);
+        let mut ws = ProtocolWorkspace::new();
+        let report = sim
+            .run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(9), &mut &counters)
+            .into_recovery();
+        assert!(report.outcomes.iter().all(|o| o.is_delivered()));
+        let t = counters.totals();
+        assert!(t.fault_kills > 0, "the dead link must kill some trials");
+        assert!(t.dead_links >= 1, "the dead link must be condemned");
+        assert!(t.reroutes >= 1, "stranded worms must be rerouted");
+        assert_eq!(t.delivered, report.outcomes.len() as u64);
+    }
+}

@@ -1,0 +1,55 @@
+//! Aggregate a JSONL trace dump into per-round utilization/blocking
+//! tables and a summary.
+//!
+//! ```text
+//! trace_report FILE.jsonl      # aggregate a dump
+//! trace_report -               # read the dump from stdin
+//! ```
+//!
+//! Produce a dump with `all_experiments --obs` (writes
+//! `obs_trace.jsonl`), `obs_trace --out FILE`, or any
+//! `EventSink::to_jsonl()` call.
+
+use optical_obs::{events, report};
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] if p != "--help" && p != "-h" => p.clone(),
+        _ => {
+            eprintln!("usage: trace_report FILE.jsonl   (or '-' for stdin)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = if path == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("trace_report: reading stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_report: reading {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let events = match events::parse_jsonl(&text) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("trace_report: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if events.is_empty() {
+        eprintln!("trace_report: {path}: no events");
+        return ExitCode::FAILURE;
+    }
+    println!("{}", report::aggregate(&events));
+    ExitCode::SUCCESS
+}

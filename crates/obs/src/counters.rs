@@ -1,0 +1,316 @@
+//! Atomic counter sink: cheap aggregate telemetry that can be shared
+//! across a rayon pool.
+//!
+//! Every field is a relaxed atomic; totals are meaningful only after the
+//! run completes (grab them via [`CountersSink::totals`]). The sink is
+//! implemented both for `CountersSink` and for `&CountersSink`, so a
+//! parallel trial driver can hand each worker `&mut &counters` and have
+//! all workers fold into one set of totals without locks.
+
+use crate::Sink;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Lock-free aggregate counters over an instrumented run.
+///
+/// Construct with [`CountersSink::new`], passing the router bandwidth so
+/// the per-wavelength install histogram has one bucket per wavelength
+/// (installs on wavelengths beyond the declared bandwidth fold into the
+/// last bucket rather than being dropped).
+#[derive(Debug)]
+pub struct CountersSink {
+    trials: AtomicU64,
+    delivered: AtomicU64,
+    blocked: AtomicU64,
+    fault_kills: AtomicU64,
+    truncated: AtomicU64,
+    rounds: AtomicU64,
+    installs: AtomicU64,
+    wl_installs: Vec<AtomicU64>,
+    backoff_events: AtomicU64,
+    max_backoff: AtomicU64,
+    dead_links: AtomicU64,
+    reroutes: AtomicU64,
+    abandoned: AtomicU64,
+}
+
+/// A plain-value snapshot of [`CountersSink`], taken by
+/// [`CountersSink::totals`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterTotals {
+    /// Worm-trials attempted (one per active worm per round).
+    pub trials: u64,
+    /// Trials that ended in full delivery.
+    pub delivered: u64,
+    /// Trials eliminated by a contending worm.
+    pub blocked: u64,
+    /// Trials eliminated by a dead link (no blocker worm).
+    pub fault_kills: u64,
+    /// Trials truncated mid-flight (priority/fault cuts).
+    pub truncated: u64,
+    /// Protocol rounds observed (summed across parallel trials).
+    pub rounds: u64,
+    /// Worm-head installs in the contention kernel (occupancy signal).
+    pub installs: u64,
+    /// Installs per wavelength; index = wavelength, last bucket collects
+    /// any overflow.
+    pub wl_installs: Vec<u64>,
+    /// Backoff hold-backs observed in the recovery layer.
+    pub backoff_events: u64,
+    /// Deepest backoff multiplier seen.
+    pub max_backoff: u64,
+    /// Directed links condemned as dead (first confirmations).
+    pub dead_links: u64,
+    /// Reroutes onto an alternative path.
+    pub reroutes: u64,
+    /// Worms abandoned by the recovery layer.
+    pub abandoned: u64,
+}
+
+impl CountersSink {
+    /// New zeroed counters with a `bandwidth`-bucket wavelength histogram
+    /// (at least one bucket).
+    pub fn new(bandwidth: u16) -> Self {
+        let buckets = usize::from(bandwidth.max(1));
+        Self {
+            trials: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            blocked: AtomicU64::new(0),
+            fault_kills: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            installs: AtomicU64::new(0),
+            wl_installs: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            backoff_events: AtomicU64::new(0),
+            max_backoff: AtomicU64::new(0),
+            dead_links: AtomicU64::new(0),
+            reroutes: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot every counter into plain values.
+    pub fn totals(&self) -> CounterTotals {
+        CounterTotals {
+            trials: self.trials.load(Relaxed),
+            delivered: self.delivered.load(Relaxed),
+            blocked: self.blocked.load(Relaxed),
+            fault_kills: self.fault_kills.load(Relaxed),
+            truncated: self.truncated.load(Relaxed),
+            rounds: self.rounds.load(Relaxed),
+            installs: self.installs.load(Relaxed),
+            wl_installs: self.wl_installs.iter().map(|c| c.load(Relaxed)).collect(),
+            backoff_events: self.backoff_events.load(Relaxed),
+            max_backoff: self.max_backoff.load(Relaxed),
+            dead_links: self.dead_links.load(Relaxed),
+            reroutes: self.reroutes.load(Relaxed),
+            abandoned: self.abandoned.load(Relaxed),
+        }
+    }
+
+    #[inline]
+    fn record_round(&self, active: u32) {
+        self.rounds.fetch_add(1, Relaxed);
+        self.trials.fetch_add(u64::from(active), Relaxed);
+    }
+
+    #[inline]
+    fn record_install(&self, wl: u16) {
+        self.installs.fetch_add(1, Relaxed);
+        let idx = usize::from(wl).min(self.wl_installs.len() - 1);
+        self.wl_installs[idx].fetch_add(1, Relaxed);
+    }
+}
+
+impl CounterTotals {
+    /// Failed trials of any cause: `blocked + fault_kills + truncated`.
+    pub fn failures(&self) -> u64 {
+        self.blocked + self.fault_kills + self.truncated
+    }
+}
+
+impl fmt::Display for CounterTotals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trials={} delivered={} blocked={} fault_kills={} truncated={} rounds={}",
+            self.trials,
+            self.delivered,
+            self.blocked,
+            self.fault_kills,
+            self.truncated,
+            self.rounds
+        )?;
+        writeln!(
+            f,
+            "installs={} backoff_events={} max_backoff={} dead_links={} reroutes={} abandoned={}",
+            self.installs,
+            self.backoff_events,
+            self.max_backoff,
+            self.dead_links,
+            self.reroutes,
+            self.abandoned
+        )?;
+        write!(f, "wl_installs=[")?;
+        for (i, n) in self.wl_installs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Shared-reference sink: every rayon worker gets `&mut &counters`, all
+/// folding into the same atomics.
+impl Sink for &CountersSink {
+    #[inline]
+    fn on_round_start(&mut self, _round: u32, active: u32, _delta: u32) {
+        self.record_round(active);
+    }
+    #[inline]
+    fn on_deliver(&mut self, _round: u32, _worm: u32, _time: u32) {
+        self.delivered.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_block(
+        &mut self,
+        _round: u32,
+        _worm: u32,
+        _link: u32,
+        _wl: u16,
+        _time: u32,
+        blocker: Option<u32>,
+    ) {
+        if blocker.is_some() {
+            self.blocked.fetch_add(1, Relaxed);
+        } else {
+            self.fault_kills.fetch_add(1, Relaxed);
+        }
+    }
+    #[inline]
+    fn on_cut(
+        &mut self,
+        _round: u32,
+        _worm: u32,
+        _link: u32,
+        _wl: u16,
+        _flits: u32,
+        _blocker: Option<u32>,
+    ) {
+        self.truncated.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_install(&mut self, _link: u32, wl: u16) {
+        self.record_install(wl);
+    }
+    #[inline]
+    fn on_backoff(&mut self, _round: u32, _worm: u32, depth: u32) {
+        self.backoff_events.fetch_add(1, Relaxed);
+        self.max_backoff.fetch_max(u64::from(depth), Relaxed);
+    }
+    #[inline]
+    fn on_dead_link(&mut self, _round: u32, _link: u32) {
+        self.dead_links.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_reroute(&mut self, _round: u32, _worm: u32) {
+        self.reroutes.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_abandon(&mut self, _round: u32, _worm: u32) {
+        self.abandoned.fetch_add(1, Relaxed);
+    }
+}
+
+/// Owned counters are a sink too (single-threaded runs).
+impl Sink for CountersSink {
+    #[inline]
+    fn on_round_start(&mut self, round: u32, active: u32, delta: u32) {
+        (&*self).on_round_start(round, active, delta);
+    }
+    #[inline]
+    fn on_deliver(&mut self, round: u32, worm: u32, time: u32) {
+        (&*self).on_deliver(round, worm, time);
+    }
+    #[inline]
+    fn on_block(
+        &mut self,
+        round: u32,
+        worm: u32,
+        link: u32,
+        wl: u16,
+        time: u32,
+        blocker: Option<u32>,
+    ) {
+        (&*self).on_block(round, worm, link, wl, time, blocker);
+    }
+    #[inline]
+    fn on_cut(&mut self, round: u32, worm: u32, link: u32, wl: u16, flits: u32, b: Option<u32>) {
+        (&*self).on_cut(round, worm, link, wl, flits, b);
+    }
+    #[inline]
+    fn on_install(&mut self, link: u32, wl: u16) {
+        (&*self).on_install(link, wl);
+    }
+    #[inline]
+    fn on_backoff(&mut self, round: u32, worm: u32, depth: u32) {
+        (&*self).on_backoff(round, worm, depth);
+    }
+    #[inline]
+    fn on_dead_link(&mut self, round: u32, link: u32) {
+        (&*self).on_dead_link(round, link);
+    }
+    #[inline]
+    fn on_reroute(&mut self, round: u32, worm: u32) {
+        (&*self).on_reroute(round, worm);
+    }
+    #[inline]
+    fn on_abandon(&mut self, round: u32, worm: u32) {
+        (&*self).on_abandon(round, worm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_fold_by_cause_and_histogram_clamps() {
+        let c = CountersSink::new(2);
+        let mut s = &c;
+        s.on_round_start(0, 3, 8);
+        s.on_install(0, 0);
+        s.on_install(1, 1);
+        s.on_install(2, 9); // beyond bandwidth: folds into the last bucket
+        s.on_deliver(0, 0, 12);
+        s.on_block(0, 1, 4, 1, 9, Some(0));
+        s.on_block(0, 2, 5, 0, 3, None); // fault kill
+        s.on_cut(0, 1, 4, 1, 2, Some(0));
+        s.on_backoff(1, 2, 4);
+        s.on_backoff(2, 2, 2);
+        s.on_dead_link(1, 5);
+        s.on_reroute(2, 2);
+        s.on_abandon(3, 2);
+
+        let t = c.totals();
+        assert_eq!(t.trials, 3);
+        assert_eq!(t.delivered, 1);
+        assert_eq!(t.blocked, 1);
+        assert_eq!(t.fault_kills, 1);
+        assert_eq!(t.truncated, 1);
+        assert_eq!(t.failures(), 3);
+        assert_eq!(t.installs, 3);
+        assert_eq!(t.wl_installs, vec![1, 2]);
+        assert_eq!(t.backoff_events, 2);
+        assert_eq!(t.max_backoff, 4);
+        assert_eq!(t.dead_links, 1);
+        assert_eq!(t.reroutes, 1);
+        assert_eq!(t.abandoned, 1);
+        // The Display form carries every headline number.
+        let text = t.to_string();
+        assert!(text.contains("trials=3"));
+        assert!(text.contains("wl_installs=[1, 2]"));
+    }
+}

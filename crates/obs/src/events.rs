@@ -1,0 +1,693 @@
+//! Structured trace events, a bounded ring-buffer sink, and a
+//! dependency-free JSONL dump/parse pair.
+//!
+//! The wire format is one flat JSON object per line, e.g.
+//!
+//! ```text
+//! {"kind":"block","round":2,"worm":5,"link":12,"wl":0,"t":14,"blocker":7}
+//! ```
+//!
+//! Optional fields (`blocker`) are omitted when absent. The parser in
+//! [`parse_jsonl`] accepts exactly what [`EventSink::to_jsonl`] emits —
+//! flat objects, unsigned integer values, `kind` as the only string — and
+//! rejects anything else with a line-numbered error.
+
+use crate::Sink;
+use std::fmt::Write as _;
+
+/// One structured observation from an instrumented run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A protocol round began with `active` worms and delay range `delta`.
+    RoundStart {
+        /// Round index (1-based, as reported by the protocol).
+        round: u32,
+        /// Worms still active this round.
+        active: u32,
+        /// Startup-delay range `[0, delta)`.
+        delta: u32,
+    },
+    /// A protocol round ended.
+    RoundEnd {
+        /// Round index.
+        round: u32,
+        /// Worms delivered (and acknowledged) this round.
+        delivered: u32,
+        /// Worms that failed this round.
+        failed: u32,
+        /// Worm-head installs the engine performed this round.
+        installs: u32,
+    },
+    /// A worm was injected.
+    Inject {
+        /// Round index.
+        round: u32,
+        /// Path id of the worm.
+        worm: u32,
+        /// Wavelength it was launched on.
+        wl: u16,
+        /// Startup delay drawn for this trial.
+        start: u32,
+    },
+    /// A worm was fully delivered.
+    Deliver {
+        /// Round index.
+        round: u32,
+        /// Path id of the worm.
+        worm: u32,
+        /// Engine time of the last flit's arrival.
+        t: u32,
+    },
+    /// A worm was eliminated at a link.
+    Block {
+        /// Round index.
+        round: u32,
+        /// Path id of the worm.
+        worm: u32,
+        /// Directed link where it lost.
+        link: u32,
+        /// Wavelength it was travelling on.
+        wl: u16,
+        /// Engine time of the elimination.
+        t: u32,
+        /// Path id of the winning worm; `None` for a dead-link kill.
+        blocker: Option<u32>,
+    },
+    /// A worm was truncated mid-flight.
+    Cut {
+        /// Round index.
+        round: u32,
+        /// Path id of the worm.
+        worm: u32,
+        /// Directed link where it was cut.
+        link: u32,
+        /// Wavelength it was travelling on.
+        wl: u16,
+        /// Flits that still made it to the destination.
+        flits: u32,
+        /// Path id of the winning worm, if any.
+        blocker: Option<u32>,
+    },
+    /// The recovery layer condemned a link as dead.
+    DeadLink {
+        /// Round index.
+        round: u32,
+        /// The condemned directed link.
+        link: u32,
+    },
+    /// The recovery layer rerouted a worm.
+    Reroute {
+        /// Round index.
+        round: u32,
+        /// Path id of the rerouted worm.
+        worm: u32,
+    },
+    /// A worm was held back under backoff.
+    Backoff {
+        /// Round index.
+        round: u32,
+        /// Path id of the held worm.
+        worm: u32,
+        /// Backoff multiplier (≥ 2).
+        depth: u32,
+    },
+    /// A worm was abandoned.
+    Abandon {
+        /// Round index.
+        round: u32,
+        /// Path id of the abandoned worm.
+        worm: u32,
+    },
+}
+
+impl Event {
+    /// Append this event's JSONL line (no trailing newline) to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match *self {
+            Event::RoundStart {
+                round,
+                active,
+                delta,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"round_start\",\"round\":{round},\"active\":{active},\"delta\":{delta}}}"
+                );
+            }
+            Event::RoundEnd {
+                round,
+                delivered,
+                failed,
+                installs,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"round_end\",\"round\":{round},\"delivered\":{delivered},\"failed\":{failed},\"installs\":{installs}}}"
+                );
+            }
+            Event::Inject {
+                round,
+                worm,
+                wl,
+                start,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"inject\",\"round\":{round},\"worm\":{worm},\"wl\":{wl},\"start\":{start}}}"
+                );
+            }
+            Event::Deliver { round, worm, t } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"deliver\",\"round\":{round},\"worm\":{worm},\"t\":{t}}}"
+                );
+            }
+            Event::Block {
+                round,
+                worm,
+                link,
+                wl,
+                t,
+                blocker,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"block\",\"round\":{round},\"worm\":{worm},\"link\":{link},\"wl\":{wl},\"t\":{t}"
+                );
+                if let Some(b) = blocker {
+                    let _ = write!(out, ",\"blocker\":{b}");
+                }
+                out.push('}');
+            }
+            Event::Cut {
+                round,
+                worm,
+                link,
+                wl,
+                flits,
+                blocker,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"cut\",\"round\":{round},\"worm\":{worm},\"link\":{link},\"wl\":{wl},\"flits\":{flits}"
+                );
+                if let Some(b) = blocker {
+                    let _ = write!(out, ",\"blocker\":{b}");
+                }
+                out.push('}');
+            }
+            Event::DeadLink { round, link } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"dead_link\",\"round\":{round},\"link\":{link}}}"
+                );
+            }
+            Event::Reroute { round, worm } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"reroute\",\"round\":{round},\"worm\":{worm}}}"
+                );
+            }
+            Event::Backoff { round, worm, depth } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"backoff\",\"round\":{round},\"worm\":{worm},\"depth\":{depth}}}"
+                );
+            }
+            Event::Abandon { round, worm } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"abandon\",\"round\":{round},\"worm\":{worm}}}"
+                );
+            }
+        }
+    }
+}
+
+/// Default ring capacity: enough for a full quick experiment, small
+/// enough to stay cache-friendly.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Ring-buffered event sink: keeps the most recent
+/// [`EventSink::capacity`] events, counting (but dropping) older ones.
+#[derive(Debug, Clone)]
+pub struct EventSink {
+    buf: Vec<Event>,
+    cap: usize,
+    /// Write cursor once the ring is full.
+    next: usize,
+    /// Events ever observed (`total - len()` were dropped).
+    total: u64,
+    /// Installs accumulated since the last `RoundStart`, flushed into
+    /// `RoundEnd` so install traffic costs one event per round, not one
+    /// per install.
+    round_installs: u32,
+}
+
+impl EventSink {
+    /// New sink with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// New sink keeping at most `cap` events (`cap` ≥ 1).
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            buf: Vec::new(),
+            cap,
+            next: 0,
+            total: 0,
+            round_installs: 0,
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no event was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events that fell off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Retained events in chronological order.
+    pub fn events(&self) -> Vec<Event> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+
+    /// Dump the retained events as JSONL (one object per line, trailing
+    /// newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.buf.len() * 48);
+        for ev in self.events() {
+            ev.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    #[inline]
+    fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next += 1;
+            if self.next == self.cap {
+                self.next = 0;
+            }
+        }
+        self.total += 1;
+    }
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sink for EventSink {
+    #[inline]
+    fn on_round_start(&mut self, round: u32, active: u32, delta: u32) {
+        self.round_installs = 0;
+        self.push(Event::RoundStart {
+            round,
+            active,
+            delta,
+        });
+    }
+    #[inline]
+    fn on_round_end(&mut self, round: u32, delivered: u32, failed: u32) {
+        self.push(Event::RoundEnd {
+            round,
+            delivered,
+            failed,
+            installs: self.round_installs,
+        });
+        self.round_installs = 0;
+    }
+    #[inline]
+    fn on_inject(&mut self, round: u32, worm: u32, wl: u16, start: u32) {
+        self.push(Event::Inject {
+            round,
+            worm,
+            wl,
+            start,
+        });
+    }
+    #[inline]
+    fn on_deliver(&mut self, round: u32, worm: u32, t: u32) {
+        self.push(Event::Deliver { round, worm, t });
+    }
+    #[inline]
+    fn on_block(
+        &mut self,
+        round: u32,
+        worm: u32,
+        link: u32,
+        wl: u16,
+        t: u32,
+        blocker: Option<u32>,
+    ) {
+        self.push(Event::Block {
+            round,
+            worm,
+            link,
+            wl,
+            t,
+            blocker,
+        });
+    }
+    #[inline]
+    fn on_cut(
+        &mut self,
+        round: u32,
+        worm: u32,
+        link: u32,
+        wl: u16,
+        flits: u32,
+        blocker: Option<u32>,
+    ) {
+        self.push(Event::Cut {
+            round,
+            worm,
+            link,
+            wl,
+            flits,
+            blocker,
+        });
+    }
+    #[inline]
+    fn on_install(&mut self, _link: u32, _wl: u16) {
+        self.round_installs += 1;
+    }
+    #[inline]
+    fn on_backoff(&mut self, round: u32, worm: u32, depth: u32) {
+        self.push(Event::Backoff { round, worm, depth });
+    }
+    #[inline]
+    fn on_dead_link(&mut self, round: u32, link: u32) {
+        self.push(Event::DeadLink { round, link });
+    }
+    #[inline]
+    fn on_reroute(&mut self, round: u32, worm: u32) {
+        self.push(Event::Reroute { round, worm });
+    }
+    #[inline]
+    fn on_abandon(&mut self, round: u32, worm: u32) {
+        self.push(Event::Abandon { round, worm });
+    }
+}
+
+/// Parse a JSONL dump produced by [`EventSink::to_jsonl`] back into
+/// events. Blank lines are skipped; any malformed line fails with its
+/// 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        events.push(parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+/// Parse one flat JSON object into an [`Event`].
+fn parse_line(line: &str) -> Result<Event, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let mut kind = None;
+    let mut fields: Vec<(&str, u64)> = Vec::with_capacity(8);
+    for part in inner.split(',') {
+        let (k, v) = part.split_once(':').ok_or("missing ':' in field")?;
+        let k = k
+            .trim()
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .ok_or("unquoted key")?;
+        let v = v.trim();
+        if k == "kind" {
+            let v = v
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or("unquoted kind")?;
+            kind = Some(v);
+        } else {
+            let n: u64 = v.parse().map_err(|_| format!("bad number for {k:?}"))?;
+            fields.push((k, n));
+        }
+    }
+    let kind = kind.ok_or("missing kind")?;
+    let get = |name: &str| -> Result<u32, String> {
+        fields
+            .iter()
+            .find(|&&(k, _)| k == name)
+            .map(|&(_, v)| v as u32)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    };
+    let opt = |name: &str| -> Option<u32> {
+        fields
+            .iter()
+            .find(|&&(k, _)| k == name)
+            .map(|&(_, v)| v as u32)
+    };
+    Ok(match kind {
+        "round_start" => Event::RoundStart {
+            round: get("round")?,
+            active: get("active")?,
+            delta: get("delta")?,
+        },
+        "round_end" => Event::RoundEnd {
+            round: get("round")?,
+            delivered: get("delivered")?,
+            failed: get("failed")?,
+            installs: get("installs")?,
+        },
+        "inject" => Event::Inject {
+            round: get("round")?,
+            worm: get("worm")?,
+            wl: get("wl")? as u16,
+            start: get("start")?,
+        },
+        "deliver" => Event::Deliver {
+            round: get("round")?,
+            worm: get("worm")?,
+            t: get("t")?,
+        },
+        "block" => Event::Block {
+            round: get("round")?,
+            worm: get("worm")?,
+            link: get("link")?,
+            wl: get("wl")? as u16,
+            t: get("t")?,
+            blocker: opt("blocker"),
+        },
+        "cut" => Event::Cut {
+            round: get("round")?,
+            worm: get("worm")?,
+            link: get("link")?,
+            wl: get("wl")? as u16,
+            flits: get("flits")?,
+            blocker: opt("blocker"),
+        },
+        "dead_link" => Event::DeadLink {
+            round: get("round")?,
+            link: get("link")?,
+        },
+        "reroute" => Event::Reroute {
+            round: get("round")?,
+            worm: get("worm")?,
+        },
+        "backoff" => Event::Backoff {
+            round: get("round")?,
+            worm: get("worm")?,
+            depth: get("depth")?,
+        },
+        "abandon" => Event::Abandon {
+            round: get("round")?,
+            worm: get("worm")?,
+        },
+        other => return Err(format!("unknown kind {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RoundStart {
+                round: 1,
+                active: 4,
+                delta: 8,
+            },
+            Event::Inject {
+                round: 1,
+                worm: 0,
+                wl: 1,
+                start: 3,
+            },
+            Event::Block {
+                round: 1,
+                worm: 0,
+                link: 12,
+                wl: 1,
+                t: 14,
+                blocker: Some(7),
+            },
+            Event::Block {
+                round: 1,
+                worm: 2,
+                link: 3,
+                wl: 0,
+                t: 2,
+                blocker: None,
+            },
+            Event::Cut {
+                round: 1,
+                worm: 3,
+                link: 5,
+                wl: 2,
+                flits: 2,
+                blocker: Some(1),
+            },
+            Event::Deliver {
+                round: 1,
+                worm: 7,
+                t: 21,
+            },
+            Event::DeadLink { round: 1, link: 3 },
+            Event::Reroute { round: 2, worm: 2 },
+            Event::Backoff {
+                round: 2,
+                worm: 3,
+                depth: 4,
+            },
+            Event::Abandon { round: 3, worm: 3 },
+            Event::RoundEnd {
+                round: 1,
+                delivered: 1,
+                failed: 3,
+                installs: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event_kind() {
+        let mut sink = EventSink::new();
+        let events = sample_events();
+        // Feed through the ring to exercise push().
+        for &ev in &events {
+            sink.push(ev);
+        }
+        let text = sink.to_jsonl();
+        assert_eq!(text.lines().count(), events.len());
+        let parsed = parse_jsonl(&text).expect("round trip");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn blocker_field_is_omitted_when_absent() {
+        let mut s = String::new();
+        Event::Block {
+            round: 2,
+            worm: 5,
+            link: 12,
+            wl: 0,
+            t: 14,
+            blocker: Some(7),
+        }
+        .write_json(&mut s);
+        assert_eq!(
+            s,
+            "{\"kind\":\"block\",\"round\":2,\"worm\":5,\"link\":12,\"wl\":0,\"t\":14,\"blocker\":7}"
+        );
+        s.clear();
+        Event::Block {
+            round: 2,
+            worm: 5,
+            link: 12,
+            wl: 0,
+            t: 14,
+            blocker: None,
+        }
+        .write_json(&mut s);
+        assert!(!s.contains("blocker"));
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let mut sink = EventSink::with_capacity(4);
+        for i in 0..10u32 {
+            sink.push(Event::Deliver {
+                round: 1,
+                worm: i,
+                t: i,
+            });
+        }
+        assert_eq!(sink.len(), 4);
+        assert_eq!(sink.dropped(), 6);
+        let worms: Vec<u32> = sink
+            .events()
+            .iter()
+            .map(|ev| match *ev {
+                Event::Deliver { worm, .. } => worm,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(worms, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn installs_fold_into_round_end() {
+        let mut sink = EventSink::new();
+        sink.on_round_start(1, 2, 4);
+        sink.on_install(0, 0);
+        sink.on_install(1, 1);
+        sink.on_install(2, 0);
+        sink.on_round_end(1, 2, 0);
+        match sink.events().last().copied() {
+            Some(Event::RoundEnd { installs, .. }) => assert_eq!(installs, 3),
+            other => panic!("expected RoundEnd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage_with_line_numbers() {
+        assert!(parse_jsonl("{\"kind\":\"deliver\",\"round\":1}")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(parse_jsonl("not json").unwrap_err().contains("line 1"));
+        assert!(parse_jsonl("{\"kind\":\"nope\",\"round\":1}")
+            .unwrap_err()
+            .contains("unknown kind"));
+        // Blank lines are fine.
+        assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+}

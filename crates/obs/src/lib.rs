@@ -1,0 +1,230 @@
+#![warn(missing_docs)]
+
+//! Zero-cost observability for the all-optical routing simulator.
+//!
+//! The engine, the trial-and-failure protocol and the recovery layer are
+//! instrumented with `#[inline]` hooks on a [`Sink`] trait. The sink is a
+//! *monomorphized* type parameter of the hot paths, so the disabled case
+//! compiles away entirely:
+//!
+//! * [`NullSink`] — every hook is an empty inline function and its
+//!   associated [`Sink::ENABLED`] flag is `false`, which lets callers skip
+//!   whole event-construction loops at compile time. A `NullSink` run is
+//!   bit-identical to an uninstrumented one (same RNG stream, same fates);
+//!   the perf gate's `protocol/run_obs_off` key guards the claim.
+//! * [`CountersSink`] — lock-free atomic totals (trials, failures by
+//!   cause, per-wavelength install histogram, backoff depth, dead-link
+//!   learnings). Shared across rayon workers via `&CountersSink`, which
+//!   also implements [`Sink`].
+//! * [`EventSink`] — a bounded ring buffer of structured [`Event`]s
+//!   (inject / block / cut / deliver / dead-link / reroute / … with round,
+//!   link, wavelength and blocker id), dumpable to JSONL and parseable
+//!   back with [`events::parse_jsonl`].
+//!
+//! The `trace_report` binary aggregates a JSONL dump into per-round
+//! utilization/blocking tables (see [`report`]).
+//!
+//! # Event ordering contract
+//!
+//! Instrumented runners call the hooks in this order per round:
+//! `on_round_start`, one `on_inject` per active worm, any number of
+//! `on_install` while the engine routes, then per-worm fate hooks
+//! (`on_deliver` / `on_block` / `on_cut`) plus recovery hooks
+//! (`on_dead_link`, `on_reroute`, `on_backoff`, `on_abandon`), and
+//! finally `on_round_end`. Worm ids are *path ids* (stable across
+//! rounds), not per-batch indices. Hooks must never consume the
+//! simulation RNG.
+
+pub mod counters;
+pub mod events;
+pub mod report;
+
+pub use counters::{CounterTotals, CountersSink};
+pub use events::{Event, EventSink};
+pub use report::TraceReport;
+
+/// Observability sink: a set of `#[inline]` hooks the instrumented
+/// runners call on the hot path.
+///
+/// Every method has an empty default body, so a sink only overrides what
+/// it cares about. All hooks take `&mut self`; shared sinks (e.g. one
+/// [`CountersSink`] across a rayon pool) implement `Sink` for the shared
+/// reference type instead.
+pub trait Sink {
+    /// Compile-time switch. When `false` (only [`NullSink`]), callers may
+    /// skip entire per-worm event loops — not just the hook calls — so
+    /// instrumentation has zero cost when disabled.
+    const ENABLED: bool = true;
+
+    /// A protocol round begins: `active` worms contend, startup delays
+    /// are drawn from `[0, delta)`.
+    #[inline]
+    fn on_round_start(&mut self, _round: u32, _active: u32, _delta: u32) {}
+
+    /// A protocol round ended with `delivered` worms acknowledged and
+    /// `failed` worms retrying (or abandoned).
+    #[inline]
+    fn on_round_end(&mut self, _round: u32, _delivered: u32, _failed: u32) {}
+
+    /// Worm `worm` (a path id) was injected on wavelength `wl` with
+    /// startup delay `start`.
+    #[inline]
+    fn on_inject(&mut self, _round: u32, _worm: u32, _wl: u16, _start: u32) {}
+
+    /// Worm `worm` was fully delivered at engine time `time`.
+    #[inline]
+    fn on_deliver(&mut self, _round: u32, _worm: u32, _time: u32) {}
+
+    /// Worm `worm` was eliminated at directed link `link` on wavelength
+    /// `wl` at engine time `time`. `blocker` is the path id of the worm
+    /// it lost against, or `None` for a fault kill (dead link).
+    #[inline]
+    fn on_block(
+        &mut self,
+        _round: u32,
+        _worm: u32,
+        _link: u32,
+        _wl: u16,
+        _time: u32,
+        _blocker: Option<u32>,
+    ) {
+    }
+
+    /// Worm `worm` was truncated at directed link `link` on wavelength
+    /// `wl` after `flits` flits got through; `blocker` as in
+    /// [`Sink::on_block`].
+    #[inline]
+    fn on_cut(
+        &mut self,
+        _round: u32,
+        _worm: u32,
+        _link: u32,
+        _wl: u16,
+        _flits: u32,
+        _blocker: Option<u32>,
+    ) {
+    }
+
+    /// The engine installed a worm head on directed link `link`,
+    /// wavelength `wl` — the per-(link, wavelength) occupancy signal.
+    /// Called from the contention kernel, between `on_round_start` and
+    /// `on_round_end` of the surrounding round.
+    #[inline]
+    fn on_install(&mut self, _link: u32, _wl: u16) {}
+
+    /// The recovery layer is holding worm `worm` back under backoff
+    /// multiplier `depth` (≥ 2) this round.
+    #[inline]
+    fn on_backoff(&mut self, _round: u32, _worm: u32, _depth: u32) {}
+
+    /// The recovery layer condemned directed link `link` as dead during
+    /// `round` (first confirmation only; repeats are not reported).
+    #[inline]
+    fn on_dead_link(&mut self, _round: u32, _link: u32) {}
+
+    /// The recovery layer rerouted worm `worm` onto a new path.
+    #[inline]
+    fn on_reroute(&mut self, _round: u32, _worm: u32) {}
+
+    /// The recovery layer abandoned worm `worm` (no route left, or the
+    /// round budget ran out).
+    #[inline]
+    fn on_abandon(&mut self, _round: u32, _worm: u32) {}
+}
+
+/// The disabled sink: all hooks are no-ops and [`Sink::ENABLED`] is
+/// `false`, so monomorphized call sites compile to the uninstrumented
+/// code. This is the default sink behind `run`/`run_with` everywhere.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+}
+
+/// A forwarding sink is still a sink: lets callers pass `&mut sink` down
+/// without giving up ownership.
+impl<S: Sink + ?Sized> Sink for &mut S {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn on_round_start(&mut self, round: u32, active: u32, delta: u32) {
+        (**self).on_round_start(round, active, delta);
+    }
+    #[inline]
+    fn on_round_end(&mut self, round: u32, delivered: u32, failed: u32) {
+        (**self).on_round_end(round, delivered, failed);
+    }
+    #[inline]
+    fn on_inject(&mut self, round: u32, worm: u32, wl: u16, start: u32) {
+        (**self).on_inject(round, worm, wl, start);
+    }
+    #[inline]
+    fn on_deliver(&mut self, round: u32, worm: u32, time: u32) {
+        (**self).on_deliver(round, worm, time);
+    }
+    #[inline]
+    fn on_block(
+        &mut self,
+        round: u32,
+        worm: u32,
+        link: u32,
+        wl: u16,
+        time: u32,
+        blocker: Option<u32>,
+    ) {
+        (**self).on_block(round, worm, link, wl, time, blocker);
+    }
+    #[inline]
+    fn on_cut(
+        &mut self,
+        round: u32,
+        worm: u32,
+        link: u32,
+        wl: u16,
+        flits: u32,
+        blocker: Option<u32>,
+    ) {
+        (**self).on_cut(round, worm, link, wl, flits, blocker);
+    }
+    #[inline]
+    fn on_install(&mut self, link: u32, wl: u16) {
+        (**self).on_install(link, wl);
+    }
+    #[inline]
+    fn on_backoff(&mut self, round: u32, worm: u32, depth: u32) {
+        (**self).on_backoff(round, worm, depth);
+    }
+    #[inline]
+    fn on_dead_link(&mut self, round: u32, link: u32) {
+        (**self).on_dead_link(round, link);
+    }
+    #[inline]
+    fn on_reroute(&mut self, round: u32, worm: u32) {
+        (**self).on_reroute(round, worm);
+    }
+    #[inline]
+    fn on_abandon(&mut self, round: u32, worm: u32) {
+        (**self).on_abandon(round, worm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    // The constant values ARE the contract under test.
+    #[allow(clippy::assertions_on_constants)]
+    fn null_sink_is_disabled_and_forwarding_preserves_the_flag() {
+        assert!(!NullSink::ENABLED);
+        assert!(!<&mut NullSink as Sink>::ENABLED);
+        assert!(CountersSink::ENABLED);
+        assert!(EventSink::ENABLED);
+        // Hooks are callable and do nothing.
+        let mut s = NullSink;
+        s.on_round_start(0, 4, 8);
+        s.on_install(1, 0);
+        s.on_round_end(0, 4, 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Aggregate a stream of [`Event`]s into per-round utilization and
+//! blocking tables plus a run summary — the analysis behind the
+//! `trace_report` binary and `all_experiments --obs`.
+
+use crate::events::Event;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Per-round aggregates derived from the trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Round index.
+    pub round: u32,
+    /// Active worms at round start.
+    pub active: u32,
+    /// Startup-delay range `[0, delta)`.
+    pub delta: u32,
+    /// Inject events seen.
+    pub injected: u32,
+    /// Delivered worms (from `round_end`, falling back to deliver events).
+    pub delivered: u32,
+    /// Worms eliminated by a contending worm.
+    pub blocked: u32,
+    /// Worms eliminated by a dead link.
+    pub fault_kills: u32,
+    /// Worms truncated mid-flight.
+    pub cut: u32,
+    /// Worm-head installs (wavelength-slot occupancy signal).
+    pub installs: u32,
+    /// Links condemned dead this round.
+    pub dead_links: u32,
+    /// Worms rerouted this round.
+    pub reroutes: u32,
+    /// Worms held under backoff this round.
+    pub backoffs: u32,
+    /// Worms abandoned this round.
+    pub abandoned: u32,
+}
+
+impl RoundStats {
+    /// Fraction of injected worms delivered this round (0 when idle).
+    pub fn delivery_rate(&self) -> f64 {
+        if self.injected == 0 {
+            0.0
+        } else {
+            f64::from(self.delivered) / f64::from(self.injected)
+        }
+    }
+}
+
+/// The aggregated trace: per-round tables, per-link blocking hot spots
+/// and worm-level blocker attribution.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// One row per observed round, in round order.
+    pub rounds: Vec<RoundStats>,
+    /// `(link, kills)` — links where worms were blocked or cut, most
+    /// lethal first.
+    pub hot_links: Vec<(u32, u64)>,
+    /// `(worm, wins)` — blocker worms by number of victims, most
+    /// prolific first.
+    pub top_blockers: Vec<(u32, u64)>,
+    /// Events aggregated (after ring-buffer truncation).
+    pub events: u64,
+}
+
+impl TraceReport {
+    /// Total injected across all rounds.
+    pub fn injected(&self) -> u64 {
+        self.rounds.iter().map(|r| u64::from(r.injected)).sum()
+    }
+
+    /// Total delivered across all rounds.
+    pub fn delivered(&self) -> u64 {
+        self.rounds.iter().map(|r| u64::from(r.delivered)).sum()
+    }
+
+    /// Total failures (blocked + fault kills + cuts) across all rounds.
+    pub fn failures(&self) -> u64 {
+        self.rounds
+            .iter()
+            .map(|r| u64::from(r.blocked) + u64::from(r.fault_kills) + u64::from(r.cut))
+            .sum()
+    }
+}
+
+/// The per-round row for `round`, created zeroed on first touch.
+fn row(rounds: &mut BTreeMap<u32, RoundStats>, round: u32) -> &mut RoundStats {
+    rounds.entry(round).or_insert_with(|| RoundStats {
+        round,
+        ..RoundStats::default()
+    })
+}
+
+/// Fold a chronological event stream into a [`TraceReport`].
+pub fn aggregate(events: &[Event]) -> TraceReport {
+    let mut rounds: BTreeMap<u32, RoundStats> = BTreeMap::new();
+    let mut hot_links: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut blockers: BTreeMap<u32, u64> = BTreeMap::new();
+    for &ev in events {
+        match ev {
+            Event::RoundStart {
+                round,
+                active,
+                delta,
+            } => {
+                let r = row(&mut rounds, round);
+                r.active = active;
+                r.delta = delta;
+            }
+            Event::RoundEnd {
+                round,
+                delivered,
+                installs,
+                ..
+            } => {
+                let r = row(&mut rounds, round);
+                r.delivered = delivered;
+                r.installs = installs;
+            }
+            Event::Inject { round, .. } => row(&mut rounds, round).injected += 1,
+            Event::Deliver { .. } => {}
+            Event::Block {
+                round,
+                link,
+                blocker,
+                ..
+            } => {
+                let r = row(&mut rounds, round);
+                if blocker.is_some() {
+                    r.blocked += 1;
+                } else {
+                    r.fault_kills += 1;
+                }
+                *hot_links.entry(link).or_insert(0) += 1;
+                if let Some(b) = blocker {
+                    *blockers.entry(b).or_insert(0) += 1;
+                }
+            }
+            Event::Cut {
+                round,
+                link,
+                blocker,
+                ..
+            } => {
+                row(&mut rounds, round).cut += 1;
+                *hot_links.entry(link).or_insert(0) += 1;
+                if let Some(b) = blocker {
+                    *blockers.entry(b).or_insert(0) += 1;
+                }
+            }
+            Event::DeadLink { round, .. } => row(&mut rounds, round).dead_links += 1,
+            Event::Reroute { round, .. } => row(&mut rounds, round).reroutes += 1,
+            Event::Backoff { round, .. } => row(&mut rounds, round).backoffs += 1,
+            Event::Abandon { round, .. } => row(&mut rounds, round).abandoned += 1,
+        }
+    }
+    let mut hot_links: Vec<(u32, u64)> = hot_links.into_iter().collect();
+    hot_links.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut top_blockers: Vec<(u32, u64)> = blockers.into_iter().collect();
+    top_blockers.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    TraceReport {
+        rounds: rounds.into_values().collect(),
+        hot_links,
+        top_blockers,
+        events: events.len() as u64,
+    }
+}
+
+impl fmt::Display for TraceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "per-round utilization / blocking")?;
+        writeln!(
+            f,
+            "{:>5} {:>7} {:>6} {:>7} {:>8} {:>7} {:>6} {:>4} {:>9} {:>5} {:>8} {:>8} {:>8}",
+            "round",
+            "active",
+            "delta",
+            "inject",
+            "deliver",
+            "block",
+            "fault",
+            "cut",
+            "installs",
+            "dead",
+            "reroute",
+            "backoff",
+            "abandon"
+        )?;
+        for r in &self.rounds {
+            writeln!(
+                f,
+                "{:>5} {:>7} {:>6} {:>7} {:>8} {:>7} {:>6} {:>4} {:>9} {:>5} {:>8} {:>8} {:>8}",
+                r.round,
+                r.active,
+                r.delta,
+                r.injected,
+                r.delivered,
+                r.blocked,
+                r.fault_kills,
+                r.cut,
+                r.installs,
+                r.dead_links,
+                r.reroutes,
+                r.backoffs,
+                r.abandoned
+            )?;
+        }
+        if !self.hot_links.is_empty() {
+            writeln!(f, "hot links (kills):")?;
+            for &(link, n) in self.hot_links.iter().take(8) {
+                writeln!(f, "  link {link:>4}: {n}")?;
+            }
+        }
+        if !self.top_blockers.is_empty() {
+            writeln!(f, "top blockers (victims):")?;
+            for &(worm, n) in self.top_blockers.iter().take(8) {
+                writeln!(f, "  worm {worm:>4}: {n}")?;
+            }
+        }
+        write!(
+            f,
+            "summary: rounds={} injected={} delivered={} failures={} events={}",
+            self.rounds.len(),
+            self.injected(),
+            self.delivered(),
+            self.failures(),
+            self.events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_builds_round_rows_and_rankings() {
+        let events = vec![
+            Event::RoundStart {
+                round: 1,
+                active: 3,
+                delta: 8,
+            },
+            Event::Inject {
+                round: 1,
+                worm: 0,
+                wl: 0,
+                start: 1,
+            },
+            Event::Inject {
+                round: 1,
+                worm: 1,
+                wl: 1,
+                start: 2,
+            },
+            Event::Inject {
+                round: 1,
+                worm: 2,
+                wl: 0,
+                start: 0,
+            },
+            Event::Block {
+                round: 1,
+                worm: 0,
+                link: 4,
+                wl: 0,
+                t: 3,
+                blocker: Some(2),
+            },
+            Event::Block {
+                round: 1,
+                worm: 1,
+                link: 4,
+                wl: 1,
+                t: 5,
+                blocker: None,
+            },
+            Event::Deliver {
+                round: 1,
+                worm: 2,
+                t: 9,
+            },
+            Event::RoundEnd {
+                round: 1,
+                delivered: 1,
+                failed: 2,
+                installs: 5,
+            },
+            Event::RoundStart {
+                round: 2,
+                active: 2,
+                delta: 8,
+            },
+            Event::Cut {
+                round: 2,
+                worm: 1,
+                link: 7,
+                wl: 1,
+                flits: 1,
+                blocker: Some(2),
+            },
+            Event::DeadLink { round: 2, link: 4 },
+            Event::Reroute { round: 2, worm: 1 },
+            Event::Backoff {
+                round: 2,
+                worm: 0,
+                depth: 2,
+            },
+            Event::Abandon { round: 2, worm: 0 },
+            Event::RoundEnd {
+                round: 2,
+                delivered: 0,
+                failed: 2,
+                installs: 2,
+            },
+        ];
+        let rep = aggregate(&events);
+        assert_eq!(rep.rounds.len(), 2);
+        let r1 = &rep.rounds[0];
+        assert_eq!((r1.active, r1.injected, r1.delivered), (3, 3, 1));
+        assert_eq!((r1.blocked, r1.fault_kills, r1.installs), (1, 1, 5));
+        let r2 = &rep.rounds[1];
+        assert_eq!((r2.cut, r2.dead_links, r2.reroutes), (1, 1, 1));
+        assert_eq!((r2.backoffs, r2.abandoned), (1, 1));
+        assert_eq!(rep.hot_links[0], (4, 2));
+        assert_eq!(rep.top_blockers[0], (2, 2));
+        assert_eq!(rep.injected(), 3);
+        assert_eq!(rep.delivered(), 1);
+        assert_eq!(rep.failures(), 3);
+        assert!((r1.delivery_rate() - 1.0 / 3.0).abs() < 1e-12);
+
+        let text = rep.to_string();
+        assert!(text.contains("per-round utilization / blocking"));
+        assert!(text.contains("hot links"));
+        assert!(text.contains("summary: rounds=2"));
+    }
+}

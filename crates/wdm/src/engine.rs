@@ -51,6 +51,7 @@ use crate::config::{CollisionRule, RouterConfig, TieRule};
 use crate::fault::{FaultPlan, FaultRuntime, FaultSignal};
 use crate::resolve::{resolve_group, Candidate, GroupDecision};
 use crate::spec::{Conflict, ConflictKind, Fate, RoundOutcome, TransmissionSpec, WormResult};
+use optical_obs::{NullSink, Sink};
 use rand::Rng;
 
 /// Per-link attribute bits: one byte per link folds the static dead-link
@@ -468,12 +469,18 @@ impl Engine {
         self.link_count
     }
 
-    /// Simulate one round. `rng` is consulted only for
-    /// [`TieRule::Random`] and conversion-rule wavelength choices.
+    /// Simulate one round, allocating a fresh [`RoundOutcome`]. Thin
+    /// wrapper over [`Engine::run_into_traced`] — prefer [`Engine::run_into`]
+    /// (or the `SimBuilder` API in `optical-core`) on hot paths; see
+    /// DESIGN §10 for the entry-point migration note.
+    ///
+    /// `rng` is consulted only for [`TieRule::Random`] and
+    /// conversion-rule wavelength choices.
     ///
     /// # Panics
     /// If a spec has length 0, a wavelength `≥ B`, or a link id out of
     /// range.
+    #[doc(hidden)]
     pub fn run(&mut self, specs: &[TransmissionSpec<'_>], rng: &mut impl Rng) -> RoundOutcome {
         let mut out = RoundOutcome::default();
         self.run_into(specs, rng, &mut out);
@@ -488,6 +495,26 @@ impl Engine {
         specs: &[TransmissionSpec<'_>],
         rng: &mut impl Rng,
         out: &mut RoundOutcome,
+    ) {
+        self.run_into_traced(specs, rng, out, &mut NullSink);
+    }
+
+    /// The single internal round path: [`Engine::run_into`] with an
+    /// observability [`Sink`]. The sink is a monomorphized type parameter,
+    /// so the [`NullSink`] instantiation compiles to exactly the
+    /// uninstrumented kernel; hooks never consume `rng`, so any sink
+    /// observes the identical RNG stream and outcome.
+    ///
+    /// The engine reports [`Sink::on_install`] for every worm-head
+    /// install in the contention kernel — the per-(link, wavelength)
+    /// occupancy signal. Worm-level fate events are emitted by the
+    /// protocol layer, which knows stable path ids.
+    pub fn run_into_traced<S: Sink>(
+        &mut self,
+        specs: &[TransmissionSpec<'_>],
+        rng: &mut impl Rng,
+        out: &mut RoundOutcome,
+        sink: &mut S,
     ) {
         let b = self.config.bandwidth as usize;
         self.gen = self.gen.wrapping_add(1);
@@ -756,6 +783,7 @@ impl Engine {
                                 edge_idx: e,
                             };
                             self.masks.set(link, wl, gen);
+                            sink.on_install(link as u32, wl as u16);
                             advance(specs, &mut worms, next, w, e, t, &mut makespan);
                         }
                     }
@@ -783,6 +811,7 @@ impl Engine {
                         &mut makespan,
                         cur_wl,
                         next,
+                        sink,
                     );
                 }
             } else {
@@ -842,6 +871,7 @@ impl Engine {
                             next,
                             free_wl,
                             order,
+                            sink,
                         );
                     } else if per_link {
                         self.resolve_hybrid_converter_group(
@@ -855,6 +885,7 @@ impl Engine {
                             cur_wl,
                             next,
                             order,
+                            sink,
                         );
                     } else {
                         if members.len() == 1 {
@@ -884,6 +915,7 @@ impl Engine {
                                     edge_idx: e,
                                 };
                                 self.masks.set(link, wl, gen);
+                                sink.on_install(link as u32, wl as u16);
                                 advance(specs, &mut worms, next, w, e, t, &mut makespan);
                                 continue;
                             }
@@ -900,6 +932,7 @@ impl Engine {
                             &mut makespan,
                             cur_wl,
                             next,
+                            sink,
                         );
                     }
                 }
@@ -971,7 +1004,7 @@ impl Engine {
     /// Resolve one (link, wavelength) group under serve-first or priority.
     /// `members` are the `(worm, edge)` arrivals, sorted by worm id.
     #[allow(clippy::too_many_arguments)]
-    fn resolve_slot_group(
+    fn resolve_slot_group<S: Sink>(
         &mut self,
         specs: &[TransmissionSpec<'_>],
         worms: &mut Worms<'_>,
@@ -984,6 +1017,7 @@ impl Engine {
         makespan: &mut u32,
         cur_wl: &[u16],
         next: &mut Vec<(u32, u32)>,
+        sink: &mut S,
     ) {
         let (w0, e0) = members[0];
         let link = specs[w0 as usize].links[e0 as usize];
@@ -1049,6 +1083,7 @@ impl Engine {
                     edge_idx: we,
                 };
                 self.masks.set(link as usize, wl as usize, gen);
+                sink.on_install(link, wl);
                 advance(specs, worms, next, winner, we, t, makespan);
                 if self.config.record_conflicts && (occupant.is_some() || members.len() > 1) {
                     let mut losers: Vec<u32> = Vec::new();
@@ -1105,7 +1140,7 @@ impl Engine {
     /// `(worm, edge)` arrivals, sorted by worm id; `free_wl` and `order`
     /// are engine-owned scratch buffers.
     #[allow(clippy::too_many_arguments)]
-    fn resolve_conversion_group(
+    fn resolve_conversion_group<S: Sink>(
         &mut self,
         specs: &[TransmissionSpec<'_>],
         worms: &mut Worms<'_>,
@@ -1119,6 +1154,7 @@ impl Engine {
         next: &mut Vec<(u32, u32)>,
         free_wl: &mut Vec<u16>,
         order: &mut Vec<u32>,
+        sink: &mut S,
     ) {
         let b = self.config.bandwidth as usize;
         let (w0, e0) = members[0];
@@ -1198,6 +1234,7 @@ impl Engine {
                     edge_idx: e,
                 };
                 self.masks.set(link as usize, wl, gen);
+                sink.on_install(link, wl as u16);
                 cur_wl[w as usize] = wl as u16;
                 advance(specs, worms, next, w, e, t, makespan);
             } else {
@@ -1233,7 +1270,7 @@ impl Engine {
     /// the priority rule (ties: lower worm id), by worm id under
     /// serve-first — so the procedure is deterministic.
     #[allow(clippy::too_many_arguments)]
-    fn resolve_hybrid_converter_group(
+    fn resolve_hybrid_converter_group<S: Sink>(
         &mut self,
         specs: &[TransmissionSpec<'_>],
         worms: &mut Worms<'_>,
@@ -1245,6 +1282,7 @@ impl Engine {
         cur_wl: &mut [u16],
         next: &mut Vec<(u32, u32)>,
         order: &mut Vec<u32>,
+        sink: &mut S,
     ) {
         let b = self.config.bandwidth as usize;
         let (w0, e0) = members[0];
@@ -1289,6 +1327,7 @@ impl Engine {
                     edge_idx: e,
                 };
                 self.masks.set(link as usize, wl, gen);
+                sink.on_install(link, wl as u16);
                 cur_wl[w as usize] = wl as u16;
                 advance(specs, worms, next, w, e, t, makespan);
                 continue;
@@ -1314,6 +1353,7 @@ impl Engine {
                     edge_idx: e,
                 };
                 self.masks.set(link as usize, occ_wl, gen);
+                sink.on_install(link, occ_wl as u16);
                 cur_wl[w as usize] = occ_wl as u16;
                 advance(specs, worms, next, w, e, t, makespan);
                 if self.config.record_conflicts {

@@ -238,6 +238,67 @@ fn all_dead_links_eliminate_at_the_first_edge_without_rng() {
     );
 }
 
+/// Sinks are observationally invisible: `run_into_traced` under a
+/// `NullSink`, an `EventSink`, and a shared `CountersSink` produces the
+/// same digest as the plain `run_into` — and consumes the same RNG
+/// stream (pinned by drawing one value after each run; the table
+/// includes the random tie rule, the one config that consumes RNG
+/// inside the resolvers).
+#[test]
+fn sinks_never_perturb_the_round() {
+    use optical_obs::{CountersSink, EventSink, NullSink};
+    use rand::Rng as _;
+
+    let table: &[(CollisionRule, TieRule, u16)] = &[
+        (CollisionRule::ServeFirst, TieRule::Random, 2),
+        (CollisionRule::Priority, TieRule::LowestId, 64),
+        (CollisionRule::Conversion, TieRule::LowestId, 65),
+    ];
+    let net = topologies::ring(8);
+    for &(rule, tie, b) in table {
+        let config = RouterConfig {
+            bandwidth: b,
+            rule,
+            tie,
+            record_conflicts: false,
+        };
+        let (paths, meta) = ring_scenario(&net, 12, b);
+        let specs = specs_of(&paths, &meta);
+        let mut engine = Engine::new(net.link_count(), config);
+        let mut out = RoundOutcome::default();
+
+        #[allow(clippy::type_complexity)]
+        let mut run = |sink_run: &mut dyn FnMut(
+            &mut Engine,
+            &[TransmissionSpec<'_>],
+            &mut ChaCha8Rng,
+            &mut RoundOutcome,
+        )| {
+            let mut rng = ChaCha8Rng::seed_from_u64(0x0B5E);
+            sink_run(&mut engine, &specs, &mut rng, &mut out);
+            (digest(&out), rng.gen::<u64>())
+        };
+
+        let plain = run(&mut |e, s, r, o| e.run_into(s, r, o));
+        let null = run(&mut |e, s, r, o| e.run_into_traced(s, r, o, &mut NullSink));
+        let mut events = EventSink::new();
+        let evented = run(&mut |e, s, r, o| e.run_into_traced(s, r, o, &mut events));
+        let counters = CountersSink::new(b);
+        let counted = run(&mut |e, s, r, o| e.run_into_traced(s, r, o, &mut &counters));
+
+        assert_eq!(plain, null, "rule={rule:?} B={b}: NullSink drift");
+        assert_eq!(plain, evented, "rule={rule:?} B={b}: EventSink drift");
+        assert_eq!(plain, counted, "rule={rule:?} B={b}: CountersSink drift");
+        // The engine reports slot installs; every delivered worm installed
+        // at least one (link, wavelength) slot.
+        let delivered = out.results.iter().filter(|r| r.fate.is_delivered()).count();
+        assert!(
+            counters.totals().installs >= delivered as u64,
+            "rule={rule:?} B={b}: installs must cover deliveries"
+        );
+    }
+}
+
 /// The random tie rule is a pure function of the seed: three runs (fresh
 /// engine, reused engine, `run_into`) under one seed agree bit for bit,
 /// and they agree with the reference under the same seed.

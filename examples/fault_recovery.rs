@@ -5,7 +5,7 @@
 //! cargo run --release --example fault_recovery
 //! ```
 
-use all_optical::core::{FaultSource, ProtocolParams, Recovery, RecoveryPolicy, WormOutcome};
+use all_optical::core::{FaultSource, RecoveryPolicy, SimBuilder, WormOutcome};
 use all_optical::paths::select::bfs::bfs_collection;
 use all_optical::topo::topologies;
 use all_optical::wdm::{FaultPlan, RouterConfig};
@@ -59,15 +59,19 @@ fn main() {
     // 3. The self-healing protocol: stranded worms (no progress for 3
     //    rounds) are rerouted around links learned dead from blockerless
     //    failures; consecutive failures widen the delay range (backoff).
-    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 4);
-    params.max_rounds = max_rounds;
     let policy = RecoveryPolicy::default();
     println!(
         "policy: strand after {} flat rounds, backoff cap ×{}, {} reroutes max\n",
         policy.stranded_after, policy.backoff_cap, policy.max_reroutes
     );
-    let rec = Recovery::new(&net, &coll, params, policy).with_faults(FaultSource::PerRound(plans));
-    let report = rec.run(&mut rng);
+    let sim = SimBuilder::new(&net, &coll)
+        .router(RouterConfig::serve_first(2))
+        .worm_len(4)
+        .max_rounds(max_rounds)
+        .recovery(policy)
+        .faults(FaultSource::PerRound(plans))
+        .build();
+    let report = sim.run(&mut rng).into_recovery();
 
     println!("round  Δ_t  ×back  active  done  fault-kills  stranded  rerouted");
     for r in &report.rounds {

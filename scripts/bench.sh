@@ -18,7 +18,9 @@
 # Gated entries (see perf_gate.rs): engine/round_* (full forward pass),
 # engine/resolve_dense / engine/resolve_sparse (contention-kernel extremes:
 # every worm in one tie group vs lone heads at vacant bitmask slots),
-# protocol/run_cong_*, metrics/collection_* (flat-array metrics kernels),
+# protocol/run_cong_*, protocol/run_obs_off (the traced path with the
+# NullSink — guards the zero-overhead observability contract),
+# metrics/collection_* (flat-array metrics kernels),
 # properties/* (flat leveling / shortcut-free / link-offset kernels) and
 # pipeline/run_all_quick (wall-clock of the parallel E1-E15 quick suite,
 # instance cache warm). The criterion twins of the engine keys live in

@@ -23,6 +23,17 @@ if [[ $fast -eq 0 ]]; then
     echo "all_experiments --quick: output differs across thread counts" >&2
     exit 1
   fi
+
+  # Observability smoke: the instrumented run must emit a non-empty JSONL
+  # event trace and trace_report must aggregate it into the summary tables.
+  echo "== obs smoke (obs_trace -> trace_report) =="
+  obs_dir="$(mktemp -d)"
+  trap 'rm -rf "$obs_dir"' EXIT
+  cargo run --release -q -p optical-bench --bin obs_trace -- --quick --seed 1997 \
+    --out "$obs_dir/trace.jsonl" >/dev/null
+  [[ -s "$obs_dir/trace.jsonl" ]] || { echo "obs smoke: empty event trace" >&2; exit 1; }
+  cargo run --release -q -p optical-obs --bin trace_report -- "$obs_dir/trace.jsonl" \
+    | grep -q "summary:" || { echo "obs smoke: trace_report failed to aggregate" >&2; exit 1; }
 fi
 
 echo "== cargo test -q =="
@@ -33,6 +44,11 @@ cargo fmt --check
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+# The observability crate is the newest surface; lint it by name so a
+# future narrowing of the workspace line above can't silently drop it.
+echo "== cargo clippy -p optical-obs (deny warnings) =="
+cargo clippy -p optical-obs --all-targets -- -D warnings
 
 # The criterion benches are not exercised by `cargo test`, so lint them
 # explicitly (already covered by --all-targets, but this names the failure

@@ -17,6 +17,7 @@
 //! * [`paths`] — path collections and their metrics,
 //! * [`wdm`] — the flit-level all-optical wormhole simulator,
 //! * [`core`] — the trial-and-failure protocol (the paper's contribution),
+//! * [`obs`] — zero-cost observability (sinks, event traces, trace_report),
 //! * [`workloads`] — workload generators and lower-bound structures,
 //! * [`baselines`] — wavelength-conversion and offline-RWA baselines,
 //! * [`stats`] — statistics helpers used by the experiment harness.
@@ -25,6 +26,7 @@ pub mod cli;
 
 pub use optical_baselines as baselines;
 pub use optical_core as core;
+pub use optical_obs as obs;
 pub use optical_paths as paths;
 pub use optical_stats as stats;
 pub use optical_topo as topo;

@@ -284,6 +284,43 @@ fn hot_path_matches_reference_implementation() {
 }
 
 #[test]
+fn traced_runs_with_any_sink_match_the_reference() {
+    // The observability hooks must be invisible: `run_traced` under the
+    // NullSink, a ring-buffered EventSink, and a shared CountersSink has
+    // to produce the same full report — same RNG stream, same fates —
+    // as the pre-instrumentation reference. The grid includes simulated
+    // acks (a second engine consuming RNG mid-round) and fiber cuts
+    // (blockerless eliminations, the fault_kills counter path).
+    use all_optical::obs::{CountersSink, EventSink, NullSink};
+
+    let (net, coll) = torus_instance(4, 24, 0xC0FFEE);
+    let mut ws = ProtocolWorkspace::new();
+    for (name, params) in configurations(&net) {
+        let proto = TrialAndFailure::new(&net, &coll, params.clone());
+        let want = reference_run(&net, &coll, &params, &mut ChaCha8Rng::seed_from_u64(3));
+
+        let null = proto.run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(3), &mut NullSink);
+        assert_eq!(null, want, "NullSink divergence: {name}");
+
+        let mut events = EventSink::new();
+        let evented = proto.run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(3), &mut events);
+        assert_eq!(evented, want, "EventSink divergence: {name}");
+        assert!(!events.is_empty(), "{name}: the trace must record rounds");
+
+        let counters = CountersSink::new(params.router.bandwidth);
+        let counted = proto.run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(3), &mut &counters);
+        assert_eq!(counted, want, "CountersSink divergence: {name}");
+        let t = counters.totals();
+        assert_eq!(t.trials, want.attempts(), "{name}: one trial per launch");
+        assert_eq!(
+            t.delivered + t.failures(),
+            t.trials,
+            "{name}: every trial delivered or failed"
+        );
+    }
+}
+
+#[test]
 fn workspace_survives_network_size_changes() {
     // Engines are rebuilt when the link count changes and reconfigured in
     // place otherwise; either way the reports must match the reference.
