@@ -169,6 +169,40 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
         out.insert("protocol/run_obs_off".into(), ns);
     }
 
+    // The recovery loop under chaos: the same 1024-worm torus
+    // permutation with MTBF/MTTR churn through the full v2 stack —
+    // jittered skip-rounds backoff, circuit breakers, dead-letter
+    // queue. Guards the failure-handling hot path (per-round breaker
+    // ticks, merged avoid masks, hold bookkeeping) the same way
+    // run_cong_off guards the clean path.
+    {
+        use optical_bench::experiments::e13_failures::chaos_strategies;
+        use optical_core::FaultSource;
+        use optical_wdm::ChurnModel;
+        let policies = chaos_strategies();
+        let (_, policy) = policies
+            .iter()
+            .find(|(name, _)| name.contains("full-jitter"))
+            .expect("the chaos grid has a full-jitter row");
+        let mut params = protocol_params(false);
+        params.max_rounds = 100;
+        let sim = SimBuilder::new(&net, &coll)
+            .params(params)
+            .recovery(*policy)
+            .faults(FaultSource::Churn(ChurnModel {
+                mtbf: 400.0,
+                mttr: 60.0,
+                seed: 29,
+            }))
+            .build();
+        let mut ws = ProtocolWorkspace::new();
+        let ns = bench(samples, warmup, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(31);
+            black_box(sim.run_with(&mut ws, &mut rng).total_time());
+        });
+        out.insert("recovery/chaos_1024".into(), ns);
+    }
+
     // Collection metrics (dilation, congestion, path congestion).
     {
         let ns = bench(samples, warmup, || {

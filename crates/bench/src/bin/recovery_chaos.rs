@@ -1,0 +1,189 @@
+//! Recovery-chaos smoke: one seeded churn run through the full v2
+//! failure-handling stack (jittered skip-rounds backoff, circuit
+//! breakers, dead-letter queue) that must account for every worm.
+//!
+//! Tier-1 runs this after the experiment pipeline: it is the end-to-end
+//! guard that chaos-grade recovery keeps working — nonzero goodput
+//! under churn, no worm lost outside the dead-letter queue, and the
+//! observability counters in lockstep with the report.
+//!
+//! Flags: `--quick`, `--seed N`, `--trials N`.
+
+use optical_bench::experiments::e13_failures::chaos_strategies;
+use optical_bench::ExpConfig;
+use optical_core::{
+    BackoffMode, BreakerConfig, DlqConfig, FaultSource, Jitter, ProtocolParams, ProtocolWorkspace,
+    RecoveryPolicy, RetryPolicy, SimBuilder,
+};
+use optical_obs::CountersSink;
+use optical_paths::select::bfs::bfs_collection;
+use optical_paths::{Path, PathCollection};
+use optical_topo::topologies;
+use optical_wdm::{ChurnModel, FaultPlan, RouterConfig};
+use optical_workloads::functions::random_function;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let side = if cfg.quick { 6 } else { 8 };
+    let net = topologies::torus(2, side);
+    let n = net.node_count();
+
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+    params.max_rounds = 300;
+
+    let mut ws = ProtocolWorkspace::new();
+    for (name, policy) in chaos_strategies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let f = random_function(n, &mut rng);
+        let coll = bfs_collection(&net, &f);
+        let sim = SimBuilder::new(&net, &coll)
+            .params(params.clone())
+            .recovery(policy)
+            .faults(FaultSource::Churn(ChurnModel {
+                // Harsher weather than the E13 sweep: the smoke wants
+                // the breaker/DLQ paths exercised, not a clean run.
+                mtbf: 150.0,
+                mttr: 60.0,
+                seed: rng.gen(),
+            }))
+            .build();
+        let counters = CountersSink::new(2);
+        let report = sim
+            .run_traced(&mut ws, &mut rng, &mut &counters)
+            .into_recovery();
+
+        let delivered = report.outcomes.iter().filter(|o| o.is_delivered()).count();
+        let parked = report.dead_lettered_count();
+        let abandoned = report.abandoned_count();
+        assert_eq!(report.outcomes.len(), n, "{name}: one outcome per worm");
+        assert!(delivered > 0, "{name}: goodput must be nonzero under churn");
+        assert_eq!(
+            delivered + abandoned + parked,
+            n,
+            "{name}: every worm delivered, abandoned, or parked in the DLQ"
+        );
+        assert_eq!(
+            parked,
+            report.dead_letters.len(),
+            "{name}: parked worms all surface as dead letters"
+        );
+        if policy.dlq.is_some() {
+            assert_eq!(
+                abandoned, 0,
+                "{name}: with a DLQ, no worm is lost outside it"
+            );
+        }
+
+        // The observability counters must be in lockstep with the report.
+        let t = counters.totals();
+        assert_eq!(t.delivered as usize, delivered, "{name}: deliveries");
+        assert_eq!(t.dlq_enqueued, report.dlq_enqueued, "{name}: DLQ captures");
+        assert_eq!(t.dlq_replayed, report.dlq_replayed, "{name}: DLQ replays");
+        assert_eq!(
+            t.breaker_transitions(),
+            report.breaker_opens + report.breaker_half_opens + report.breaker_closes,
+            "{name}: breaker transitions"
+        );
+
+        println!(
+            "chaos[{name}]: {delivered}/{n} delivered, {} rounds, \
+             {} launches, {} breaker opens, dlq {}/{}",
+            report.rounds_used(),
+            t.trials,
+            report.breaker_opens,
+            report.dlq_enqueued,
+            report.dlq_replayed,
+        );
+    }
+
+    dlq_drill(&mut ws, cfg.seed);
+    println!("chaos smoke: ok");
+}
+
+/// Deterministic breaker/DLQ drill: two permanent ring cuts guarantee
+/// blockerless failures under any RNG, a 3-trial budget forces captures
+/// into the dead-letter queue, and the ring's long way round guarantees
+/// every letter a replay detour. Churn alone can be too gentle to reach
+/// these paths; the smoke must drive them every run.
+fn dlq_drill(ws: &mut ProtocolWorkspace, seed: u64) {
+    let n = 10usize;
+    let net = topologies::ring(n);
+    let mut coll = PathCollection::for_network(&net);
+    for v in 0..n as u32 {
+        let nodes = [v, (v + 1) % n as u32, (v + 2) % n as u32];
+        coll.push(Path::from_nodes(&net, &nodes));
+    }
+    let cut_a = net.link_between(1, 2).unwrap();
+    let cut_b = net.link_between(5, 6).unwrap();
+    let plan = FaultPlan::none().down(cut_a, 0).down(cut_b, 0);
+
+    let policy = RecoveryPolicy {
+        confirm_after: 1000, // learn nothing; breakers and the DLQ do the work
+        stranded_after: 100,
+        retry: RetryPolicy {
+            jitter: Jitter::Full,
+            mode: BackoffMode::SkipRounds,
+            budget: Some(3),
+            ..RetryPolicy::legacy()
+        },
+        breaker: Some(BreakerConfig {
+            open_after: 1,
+            probe_after: 3,
+            close_after: 1,
+        }),
+        dlq: Some(DlqConfig::default()),
+        ..RecoveryPolicy::default()
+    };
+    let mut params = ProtocolParams::new(RouterConfig::serve_first(2), 4);
+    params.max_rounds = 300;
+    let sim = SimBuilder::new(&net, &coll)
+        .params(params)
+        .recovery(policy)
+        .faults(FaultSource::EveryRound(plan))
+        .build();
+    let counters = CountersSink::new(2);
+    let report = sim
+        .run_traced(ws, &mut ChaCha8Rng::seed_from_u64(seed), &mut &counters)
+        .into_recovery();
+
+    assert!(
+        report.breaker_opens > 0,
+        "drill: permanent cuts open breakers"
+    );
+    assert!(
+        report.dlq_enqueued > 0,
+        "drill: exhausted budgets feed the DLQ"
+    );
+    assert!(
+        report.dlq_replayed > 0,
+        "drill: detours exist, letters replay"
+    );
+    let delivered = report.outcomes.iter().filter(|o| o.is_delivered()).count();
+    assert!(
+        delivered > 0,
+        "drill: replayed worms deliver around the cuts"
+    );
+    assert_eq!(
+        delivered + report.abandoned_count() + report.dead_lettered_count(),
+        n,
+        "drill: every worm accounted for"
+    );
+    let t = counters.totals();
+    assert_eq!(t.dlq_enqueued, report.dlq_enqueued, "drill: DLQ captures");
+    assert_eq!(t.dlq_replayed, report.dlq_replayed, "drill: DLQ replays");
+    assert_eq!(
+        t.breaker_transitions(),
+        report.breaker_opens + report.breaker_half_opens + report.breaker_closes,
+        "drill: breaker transitions"
+    );
+    assert_eq!(
+        t.breaker_open_rounds, report.breaker_open_rounds,
+        "drill: open time"
+    );
+    println!(
+        "drill: {delivered}/{n} delivered around 2 cuts, {} breaker opens, dlq {}/{}",
+        report.breaker_opens, report.dlq_enqueued, report.dlq_replayed,
+    );
+}

@@ -12,14 +12,23 @@
 //! 2. **Dynamic faults** — the fiber plant misbehaves *while worms are in
 //!    flight*: mid-run cuts, stochastically garbling links, and MTBF/MTTR
 //!    churn, quantifying detection latency and backoff cost.
+//! 3. **Chaos at scale** — MTBF/MTTR churn on the big torus and wrapped
+//!    butterfly instances, one row per retry strategy: legacy widened
+//!    windows against skip-rounds backoff with and without jitter, plus
+//!    circuit breakers and the dead-letter queue. Goodput, p99 delivery
+//!    round, and the retry-collision rate (blocked trials per launch)
+//!    quantify why jitter matters: plain exponential re-injects whole
+//!    failure cohorts into the same round.
 
 use crate::harness::{par_points, ExpConfig};
 use optical_core::{
-    FaultSource, ProtocolParams, ProtocolWorkspace, RecoveryPolicy, RecoveryReport, SimBuilder,
+    BackoffMode, BackoffStrategy, BreakerConfig, DlqConfig, FaultSource, Jitter, ProtocolParams,
+    ProtocolWorkspace, RecoveryPolicy, RecoveryReport, RetryPolicy, SimBuilder, WormOutcome,
 };
+use optical_obs::CountersSink;
 use optical_paths::select::bfs::{bfs_collection, bfs_route_avoiding_with};
 use optical_paths::PathCollection;
-use optical_stats::{table::fmt_f64, SeedStream, Summary, Table};
+use optical_stats::{percentile, table::fmt_f64, SeedStream, Summary, Table};
 use optical_topo::algo::PathFinder;
 use optical_topo::{topologies, Network};
 use optical_wdm::{ChurnModel, FaultPlan, RouterConfig};
@@ -56,6 +65,7 @@ pub fn run(cfg: &ExpConfig) -> String {
 
     static_cut_table(cfg, &net, &mut out);
     dynamic_fault_table(cfg, &net, &mut out);
+    chaos_at_scale_table(cfg, &mut out);
     out
 }
 
@@ -322,17 +332,266 @@ fn dynamic_fault_table(cfg: &ExpConfig, net: &Network, out: &mut String) {
     .unwrap();
 }
 
+/// The retry-strategy grid of the chaos sweep. The first row is the
+/// legacy v1 loop (exponential widened windows, no breakers, no DLQ);
+/// the rest run skip-rounds backoff behind circuit breakers and the
+/// dead-letter queue, differing only in how they draw the hold.
+pub fn chaos_strategies() -> Vec<(&'static str, RecoveryPolicy)> {
+    // Churn heals, so don't condemn links on first offence in any row.
+    let base = RecoveryPolicy {
+        confirm_after: 3,
+        ..RecoveryPolicy::default()
+    };
+    let v2 = |retry: RetryPolicy| RecoveryPolicy {
+        retry,
+        breaker: Some(BreakerConfig::default()),
+        dlq: Some(DlqConfig::default()),
+        ..base
+    };
+    let skip = RetryPolicy {
+        mode: BackoffMode::SkipRounds,
+        ..RetryPolicy::legacy()
+    };
+    vec![
+        ("exp/widen (legacy)", base),
+        ("exp/skip plain", v2(skip)),
+        (
+            "exp/skip full-jitter",
+            v2(RetryPolicy {
+                jitter: Jitter::Full,
+                ..skip
+            }),
+        ),
+        (
+            "fib/skip decorrelated",
+            v2(RetryPolicy {
+                strategy: BackoffStrategy::Fibonacci,
+                jitter: Jitter::Decorrelated,
+                ..skip
+            }),
+        ),
+    ]
+}
+
+/// Table 3: chaos at scale — churn on the big instances, one row per
+/// (topology, retry strategy).
+fn chaos_at_scale_table(cfg: &ExpConfig, out: &mut String) {
+    writeln!(out, "\n-- chaos at scale: churn x retry strategy --").unwrap();
+    let topos: Vec<Network> = if cfg.quick {
+        vec![topologies::torus(2, 6), topologies::wrapped_butterfly(3)]
+    } else {
+        vec![topologies::torus(2, 16), topologies::wrapped_butterfly(5)]
+    };
+    let strategies = chaos_strategies();
+    writeln!(
+        out,
+        "churn mtbf=400 mttr=60 steps; policies share confirm_after=3; v2 rows add\n\
+         breakers {:?} and DLQ {:?}",
+        BreakerConfig::default(),
+        DlqConfig::default()
+    )
+    .unwrap();
+
+    let mut table = Table::new(&[
+        "topology",
+        "strategy",
+        "goodput",
+        "p99_round",
+        "collide",
+        "launches",
+        "brk_open",
+        "dlq_in/out",
+        "abandoned",
+        "total_time",
+    ]);
+    let points: Vec<(usize, usize)> = (0..topos.len())
+        .flat_map(|ti| (0..strategies.len()).map(move |si| (ti, si)))
+        .collect();
+    let rows = par_points(&points, |&(ti, si)| {
+        let net = &topos[ti];
+        let (name, policy) = strategies[si];
+        let n = net.node_count();
+        let mut ws = ProtocolWorkspace::new();
+        let mut goodput = Vec::new();
+        let mut delivery_rounds = Vec::new();
+        let mut blocked = 0u64;
+        let mut launches = 0u64;
+        let mut brk_opens = 0u64;
+        let mut dlq_in = 0u64;
+        let mut dlq_out = 0u64;
+        let mut abandoned = Vec::new();
+        let mut times = Vec::new();
+        let salt = 0xC4A0 ^ ((ti as u64) << 8) ^ si as u64;
+        for seed in SeedStream::new(cfg.seed ^ salt).take(cfg.trials) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let f = random_function(n, &mut rng);
+            let coll = bfs_collection(net, &f);
+            let sim = SimBuilder::new(net, &coll)
+                .params(base_params(None))
+                .recovery(policy)
+                .faults(FaultSource::Churn(ChurnModel {
+                    mtbf: 400.0,
+                    mttr: 60.0,
+                    seed: rng.gen(),
+                }))
+                .build();
+            let counters = CountersSink::new(2);
+            let report: RecoveryReport = sim
+                .run_traced(&mut ws, &mut rng, &mut &counters)
+                .into_recovery();
+            let delivered = report.outcomes.iter().filter(|o| o.is_delivered()).count();
+            goodput.push(delivered as f64 / n as f64);
+            delivery_rounds.extend(report.outcomes.iter().filter_map(|o| match o {
+                WormOutcome::Delivered { round } | WormOutcome::Rerouted { round, .. } => {
+                    Some(f64::from(*round))
+                }
+                _ => None,
+            }));
+            let t = counters.totals();
+            blocked += t.blocked;
+            launches += t.trials;
+            brk_opens += report.breaker_opens;
+            dlq_in += report.dlq_enqueued;
+            dlq_out += report.dlq_replayed;
+            abandoned.push((report.abandoned_count() + report.dead_lettered_count()) as f64);
+            times.push(report.total_time as f64);
+        }
+        [
+            topos[ti].name().to_string(),
+            name.to_string(),
+            fmt_f64(Summary::of(&goodput).mean),
+            if delivery_rounds.is_empty() {
+                "-".into()
+            } else {
+                fmt_f64(percentile(&delivery_rounds, 0.99))
+            },
+            fmt_f64(blocked as f64 / launches.max(1) as f64),
+            fmt_f64(launches as f64 / (cfg.trials * n) as f64),
+            brk_opens.to_string(),
+            format!("{dlq_in}/{dlq_out}"),
+            fmt_f64(Summary::of(&abandoned).mean),
+            fmt_f64(Summary::of(&times).mean),
+        ]
+    });
+    for row in &rows {
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "(goodput is the delivered fraction; collide is blocked trials per launch —\n\
+         the retry-collision rate; launches is mean worm launches per worm; dlq_in/out\n\
+         is captures/replays; abandoned includes worms parked in the DLQ at the end)"
+    )
+    .unwrap();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use optical_paths::Path;
 
     #[test]
-    fn quick_run_produces_both_tables() {
+    fn quick_run_produces_all_tables() {
         let out = run(&ExpConfig::quick());
         assert!(out.contains("E13"));
         assert!(out.contains("heal_time"));
         assert!(out.contains("dynamic faults"));
         assert!(out.contains("churn"));
+        assert!(out.contains("chaos at scale"));
+        assert!(out.contains("full-jitter"));
+        assert!(out.contains("decorrelated"));
+    }
+
+    /// Retry-collision rate of one policy on the maximal-contention
+    /// instance: `m` worms on an identical path, bandwidth 1, with a
+    /// scripted outage that synchronizes every worm's failure count
+    /// before the backoff strategy decides how they re-enter.
+    fn collision_count(policy: RecoveryPolicy, seeds: std::ops::Range<u64>) -> u64 {
+        let net = topologies::ring(8);
+        let mut coll = PathCollection::for_network(&net);
+        for _ in 0..8 {
+            coll.push(Path::from_nodes(&net, &[0, 1, 2, 3]));
+        }
+        let cut = net.link_between(0, 1).unwrap();
+        let mut plans = vec![FaultPlan::none().down(cut, 0); 3];
+        plans.resize(200, FaultPlan::none());
+
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(1), WORM_LEN);
+        params.max_rounds = 200;
+        let mut ws = ProtocolWorkspace::new();
+        let mut blocked = 0u64;
+        for seed in seeds {
+            let sim = SimBuilder::new(&net, &coll)
+                .params(params.clone())
+                .recovery(policy)
+                .faults(FaultSource::PerRound(plans.clone()))
+                .build();
+            let counters = CountersSink::new(1);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let report = sim
+                .run_traced(&mut ws, &mut rng, &mut &counters)
+                .into_recovery();
+            assert_eq!(
+                report.abandoned_count() + report.dead_lettered_count(),
+                0,
+                "the outage is transient: every worm must make it"
+            );
+            blocked += counters.totals().blocked;
+        }
+        blocked
+    }
+
+    #[test]
+    fn jittered_backoff_beats_plain_exponential_on_collisions() {
+        // Both policies run pure skip-rounds exponential backoff (no
+        // breakers, no DLQ, no learning or rerouting) so the only
+        // difference is the jitter. Plain backoff re-injects the whole
+        // failure cohort into the same round; full jitter spreads the
+        // holds, so strictly fewer worm-vs-worm collisions happen on
+        // the shared path. Aggregated over seeds to keep the margin
+        // comfortable for any RNG backend.
+        let freeze = RecoveryPolicy {
+            confirm_after: 1000,  // never condemn the link
+            stranded_after: 1000, // never reroute
+            ..RecoveryPolicy::default()
+        };
+        let plain = RecoveryPolicy {
+            retry: RetryPolicy {
+                mode: BackoffMode::SkipRounds,
+                ..RetryPolicy::legacy()
+            },
+            ..freeze
+        };
+        let jittered = RecoveryPolicy {
+            retry: RetryPolicy {
+                jitter: Jitter::Full,
+                ..plain.retry
+            },
+            ..freeze
+        };
+        let plain_blocked = collision_count(plain, 0..8);
+        let jittered_blocked = collision_count(jittered, 0..8);
+        assert!(
+            jittered_blocked < plain_blocked,
+            "full jitter must desynchronize retry cohorts: \
+             jittered {jittered_blocked} vs plain {plain_blocked} blocked trials"
+        );
+    }
+
+    #[test]
+    fn chaos_strategies_cover_the_required_grid() {
+        let grid = chaos_strategies();
+        assert!(grid.len() >= 3, "at least three backoff strategies");
+        // One legacy row (byte-identical v1 path), one plain and one
+        // jittered skip-rounds row — the comparison the sweep exists
+        // to make.
+        assert!(grid[0].1.breaker.is_none() && grid[0].1.dlq.is_none());
+        assert!(matches!(grid[1].1.retry.jitter, Jitter::None));
+        assert!(!matches!(grid[2].1.retry.jitter, Jitter::None));
+        for (_, p) in &grid {
+            p.validate().expect("every grid policy is valid");
+        }
     }
 
     #[test]

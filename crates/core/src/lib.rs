@@ -39,8 +39,10 @@
 //! * [`continuous`] — steady-state operation under Bernoulli arrivals
 //!   (saturation throughput, load-latency curves);
 //! * [`recovery`] — self-healing trial-and-failure under dynamic faults:
-//!   stranded-worm detection, exponential backoff, and automatic
-//!   rerouting around links learned dead from blockerless failures;
+//!   stranded-worm detection, configurable retry strategies (backoff
+//!   curves with jitter), per-link circuit breakers, a dead-letter queue,
+//!   and automatic rerouting around links learned dead from blockerless
+//!   failures;
 //! * [`sim`] — the unified run API: [`SimBuilder`] composes topology,
 //!   paths, router config, optional fault script, and an optional
 //!   observability sink into one runner;
@@ -64,7 +66,8 @@ pub mod workspace;
 pub use priority::PriorityStrategy;
 pub use protocol::{AckMode, ProtocolParams, RoundReport, RunReport, TrialAndFailure};
 pub use recovery::{
-    AbandonReason, FaultSource, Recovery, RecoveryPolicy, RecoveryReport, RecoveryRound,
+    AbandonReason, BackoffMode, BackoffStrategy, BreakerConfig, DeadLetter, DlqConfig, FaultSource,
+    Jitter, PolicyError, Recovery, RecoveryPolicy, RecoveryReport, RecoveryRound, RetryPolicy,
     WormOutcome,
 };
 pub use schedule::{DelaySchedule, ScheduleCtx};

@@ -1,0 +1,343 @@
+//! Retry strategies: backoff-multiplier curves, jitter envelopes, and the
+//! [`RetryPolicy`] that bundles them with per-worm budgets and the global
+//! retry-rate limiter.
+//!
+//! A worm's *backoff multiplier* `m(f)` is a function of its consecutive
+//! failure count `f`, clamped to `[1, cap]` where `cap` is
+//! [`super::RecoveryPolicy::backoff_cap`]:
+//!
+//! | strategy                  | `m(f)` for `f ≥ 1`                 | growth    |
+//! |---------------------------|------------------------------------|-----------|
+//! | `Fixed { mult }`          | `mult`                             | constant  |
+//! | `Linear { step }`         | `1 + step · f`                     | linear    |
+//! | `Exponential { base }`    | `base^f`                           | geometric |
+//! | `Fibonacci`               | `S(f)`, `S = 1, 2, 3, 5, 8, …`     | golden    |
+//!
+//! `m(0) = 1` always: a worm's first attempt carries no backoff.
+//!
+//! Jitter perturbs the raw multiplier with draws from the simulation RNG,
+//! so jittered runs stay deterministic and replayable per seed:
+//!
+//! * [`Jitter::None`] — `m' = m(f)`; consumes no RNG.
+//! * [`Jitter::Full`] — `m'` uniform in `[1, m(f)]`; consumes one draw
+//!   per failing worm per decision (none when `m(f) = 1`).
+//! * [`Jitter::Decorrelated`] — `m'` uniform in `[1, min(cap, 3 ·
+//!   prev)]` where `prev` is the worm's previous jittered multiplier
+//!   (starting at 1); one draw per failing worm per decision.
+//!
+//! [`BackoffMode`] picks where the multiplier acts: `WidenWindow` keeps
+//! the legacy semantics (startup delay drawn from `[0, Δ_t · m')`);
+//! `SkipRounds` makes the worm sit out `m' − 1` whole rounds instead,
+//! desynchronizing retry cohorts — under `WidenWindow`, every backed-off
+//! worm still returns *every round*, so plain exponential backoff
+//! re-collides the same cohort; under `SkipRounds` with jitter, return
+//! rounds spread out and the retry-collision rate drops.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Backoff-multiplier curve; see the module table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackoffStrategy {
+    /// Constant multiplier after the first failure.
+    Fixed {
+        /// The constant (≥ 1).
+        mult: u32,
+    },
+    /// Multiplier grows by `step` per consecutive failure.
+    Linear {
+        /// Growth per failure (≥ 1).
+        step: u32,
+    },
+    /// Multiplier is `base^failures` (the classic).
+    Exponential {
+        /// Geometric base (≥ 2).
+        base: u32,
+    },
+    /// Multiplier follows the Fibonacci sequence starting `1, 2`.
+    Fibonacci,
+}
+
+impl BackoffStrategy {
+    /// The raw (unjittered) multiplier for `fails` consecutive failures,
+    /// clamped to `[1, cap]`. Total, monotone in `fails`, and free of
+    /// overflow for any `u32` inputs.
+    #[must_use]
+    pub fn multiplier(&self, fails: u32, cap: u32) -> u32 {
+        let cap = u64::from(cap.max(1));
+        if fails == 0 {
+            return 1;
+        }
+        let raw = match *self {
+            BackoffStrategy::Fixed { mult } => u64::from(mult),
+            BackoffStrategy::Linear { step } => {
+                1u64.saturating_add(u64::from(step).saturating_mul(u64::from(fails)))
+            }
+            BackoffStrategy::Exponential { base } => {
+                let base = u64::from(base);
+                let mut m = 1u64;
+                for _ in 0..fails {
+                    m = m.saturating_mul(base);
+                    if m >= cap {
+                        break;
+                    }
+                }
+                m
+            }
+            BackoffStrategy::Fibonacci => {
+                let (mut a, mut b) = (1u64, 2u64);
+                for _ in 1..fails {
+                    let next = a.saturating_add(b);
+                    a = b;
+                    b = next;
+                    if a >= cap {
+                        break;
+                    }
+                }
+                a.max(1)
+            }
+        };
+        raw.clamp(1, cap) as u32
+    }
+}
+
+/// Jitter envelope applied to the raw multiplier; see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Jitter {
+    /// No jitter; no RNG consumed.
+    None,
+    /// Uniform in `[1, m(f)]` ("full jitter").
+    Full,
+    /// Uniform in `[1, min(cap, 3 · prev)]` ("decorrelated jitter").
+    Decorrelated,
+}
+
+/// Where the backoff multiplier acts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackoffMode {
+    /// Legacy semantics: the startup-delay window widens to
+    /// `[0, Δ_t · m')`; the worm still retries every round.
+    WidenWindow,
+    /// The worm sits out `m' − 1` rounds before retrying with the normal
+    /// window — the mode that lets jitter desynchronize retry cohorts.
+    SkipRounds,
+}
+
+/// The retry half of [`super::RecoveryPolicy`]: strategy + jitter + mode,
+/// plus the per-worm attempt budget and the global retry-rate limiter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Backoff-multiplier curve.
+    pub strategy: BackoffStrategy,
+    /// Jitter envelope on the multiplier.
+    pub jitter: Jitter,
+    /// Where the multiplier acts.
+    pub mode: BackoffMode,
+    /// Per-worm budget of *total* failed attempts before the worm is
+    /// captured (dead-letter queue) or abandoned. `None` = unlimited;
+    /// `Some(0)` is rejected by validation.
+    pub budget: Option<u32>,
+    /// Global cap on retrying worms injected per round; excess retriers
+    /// are deferred deterministically (lowest worm ids first). `None` =
+    /// unlimited; `Some(0)` is rejected by validation.
+    pub rate_limit: Option<u32>,
+}
+
+impl RetryPolicy {
+    /// The legacy retry behaviour: plain exponential (base 2), no jitter,
+    /// window widening, no budget, no rate limiter. Runs configured this
+    /// way are bit-identical to the pre-v2 recovery loop.
+    #[must_use]
+    pub fn legacy() -> Self {
+        RetryPolicy {
+            strategy: BackoffStrategy::Exponential { base: 2 },
+            jitter: Jitter::None,
+            mode: BackoffMode::WidenWindow,
+            budget: None,
+            rate_limit: None,
+        }
+    }
+
+    /// Jittered multiplier for a worm with `fails` consecutive failures.
+    ///
+    /// `prev` is the worm's decorrelated-jitter state (last jittered
+    /// multiplier, 1 initially); it is updated in place. Consumes RNG
+    /// only when jitter is enabled, `fails ≥ 1`, and the envelope is
+    /// non-degenerate — so [`Jitter::None`] policies never touch `rng`.
+    pub fn draw_multiplier(&self, fails: u32, prev: &mut u32, cap: u32, rng: &mut impl Rng) -> u32 {
+        let raw = self.strategy.multiplier(fails, cap);
+        if fails == 0 {
+            *prev = 1;
+            return 1;
+        }
+        let m = match self.jitter {
+            Jitter::None => raw,
+            Jitter::Full => {
+                if raw <= 1 {
+                    1
+                } else {
+                    1 + rng.gen_range(0..raw)
+                }
+            }
+            Jitter::Decorrelated => {
+                let ceil = (*prev).saturating_mul(3).clamp(1, cap.max(1));
+                if ceil <= 1 {
+                    1
+                } else {
+                    1 + rng.gen_range(0..ceil)
+                }
+            }
+        };
+        *prev = m;
+        m
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::legacy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn first_attempt_is_never_backed_off() {
+        for strat in [
+            BackoffStrategy::Fixed { mult: 7 },
+            BackoffStrategy::Linear { step: 3 },
+            BackoffStrategy::Exponential { base: 2 },
+            BackoffStrategy::Fibonacci,
+        ] {
+            assert_eq!(strat.multiplier(0, 1 << 20), 1, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn exponential_matches_the_legacy_curve_and_fixes_the_shift_cap() {
+        let exp = BackoffStrategy::Exponential { base: 2 };
+        // Legacy formula for every cap the old code could express.
+        for cap in [1u32, 2, 16, 1 << 10, 1 << 16] {
+            for fails in 0..40u32 {
+                let legacy = (1u32 << fails.min(31).min(16)).min(cap);
+                assert_eq!(exp.multiplier(fails, cap), legacy, "cap={cap} f={fails}");
+            }
+        }
+        // The fix: caps above 2^16 are now reachable (the old code
+        // silently saturated the shift at 2^16).
+        assert_eq!(exp.multiplier(20, 1 << 20), 1 << 20);
+        assert_eq!(exp.multiplier(63, u32::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn curves_grow_as_documented() {
+        let take = |s: BackoffStrategy, cap: u32| -> Vec<u32> {
+            (0..8).map(|f| s.multiplier(f, cap)).collect()
+        };
+        assert_eq!(
+            take(BackoffStrategy::Fixed { mult: 5 }, 100),
+            vec![1, 5, 5, 5, 5, 5, 5, 5]
+        );
+        assert_eq!(
+            take(BackoffStrategy::Linear { step: 2 }, 100),
+            vec![1, 3, 5, 7, 9, 11, 13, 15]
+        );
+        assert_eq!(
+            take(BackoffStrategy::Exponential { base: 3 }, 100),
+            vec![1, 3, 9, 27, 81, 100, 100, 100]
+        );
+        assert_eq!(
+            take(BackoffStrategy::Fibonacci, 100),
+            vec![1, 1, 2, 3, 5, 8, 13, 21]
+        );
+    }
+
+    #[test]
+    fn multipliers_are_monotone_and_capped_for_every_strategy() {
+        for strat in [
+            BackoffStrategy::Fixed { mult: 9 },
+            BackoffStrategy::Linear { step: 4 },
+            BackoffStrategy::Exponential { base: 2 },
+            BackoffStrategy::Fibonacci,
+        ] {
+            for cap in [1u32, 2, 7, 16, 1 << 18] {
+                let mut last = 0;
+                for fails in 0..200u32 {
+                    let m = strat.multiplier(fails, cap);
+                    assert!((1..=cap.max(1)).contains(&m), "{strat:?} f={fails}");
+                    assert!(m >= last, "{strat:?} must be monotone");
+                    last = m;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_none_consumes_no_rng() {
+        let policy = RetryPolicy::legacy();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let before = rng.gen::<u64>();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut prev = 1;
+        for fails in 0..10 {
+            policy.draw_multiplier(fails, &mut prev, 16, &mut rng);
+        }
+        assert_eq!(rng.gen::<u64>(), before, "Jitter::None must not draw");
+    }
+
+    #[test]
+    fn full_jitter_stays_within_its_envelope() {
+        let policy = RetryPolicy {
+            jitter: Jitter::Full,
+            ..RetryPolicy::legacy()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for fails in 1..12u32 {
+            let raw = policy.strategy.multiplier(fails, 64);
+            for _ in 0..50 {
+                let mut prev = 1;
+                let m = policy.draw_multiplier(fails, &mut prev, 64, &mut rng);
+                assert!((1..=raw).contains(&m), "f={fails} raw={raw} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn decorrelated_jitter_is_bounded_by_three_times_prev_and_cap() {
+        let policy = RetryPolicy {
+            jitter: Jitter::Decorrelated,
+            ..RetryPolicy::legacy()
+        };
+        let cap = 32;
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut prev = 1u32;
+        for _ in 0..500 {
+            let bound = prev.saturating_mul(3).clamp(1, cap);
+            let m = policy.draw_multiplier(1, &mut prev, cap, &mut rng);
+            assert!((1..=bound).contains(&m), "m={m} bound={bound}");
+            assert_eq!(prev, m, "prev must track the drawn multiplier");
+        }
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_multiplier_sequences() {
+        for jitter in [Jitter::None, Jitter::Full, Jitter::Decorrelated] {
+            let policy = RetryPolicy {
+                jitter,
+                ..RetryPolicy::legacy()
+            };
+            let draw_seq = |seed: u64| -> Vec<u32> {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut prev = 1;
+                (0..32)
+                    .map(|i| policy.draw_multiplier(i % 8, &mut prev, 64, &mut rng))
+                    .collect()
+            };
+            assert_eq!(draw_seq(7), draw_seq(7), "{jitter:?}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Per-link circuit breakers: stop hammering links that are verifiably
+//! down, probe them after a configurable interval, and reopen the
+//! moment a probe fails.
+//!
+//! One breaker guards each directed link. The state machine is the
+//! classic one:
+//!
+//! ```text
+//!            consecutive blockerless          probe interval
+//!            failures ≥ open_after            elapses (tick)
+//!   Closed ─────────────────────────▶ Open ─────────────────▶ HalfOpen
+//!      ▲                                ▲                        │
+//!      │      successes ≥ close_after   │     any failure        │
+//!      └────────────────────────────────┼────────────────────────┤
+//!                                       └────────────────────────┘
+//! ```
+//!
+//! The recovery loop treats `Open` links as *soft-down*: worms whose
+//! current path crosses one are held for the round (no failure charged)
+//! and the rerouting planner avoids them like condemned links — but
+//! unlike the hard `known_dead` set, a breaker heals: after
+//! [`BreakerConfig::probe_after`] rounds it half-opens, held worms
+//! become probes, and [`BreakerConfig::close_after`] successful
+//! traversals close it again.
+//!
+//! Every transition is reported through [`Sink::on_breaker`] and counted
+//! here, so [`super::RecoveryReport`] and
+//! [`optical_obs::CountersSink`] reconcile exactly.
+
+use optical_obs::{BreakerState, Sink};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the per-link circuit breakers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive blockerless failures on a link before its breaker
+    /// opens (≥ 1).
+    pub open_after: u32,
+    /// Rounds a breaker stays open before half-opening for a probe
+    /// (≥ 1; validation rejects a zero probe interval).
+    pub probe_after: u32,
+    /// Successful traversals in `HalfOpen` before the breaker closes
+    /// (≥ 1).
+    pub close_after: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            open_after: 3,
+            probe_after: 8,
+            close_after: 1,
+        }
+    }
+}
+
+/// All per-link breakers of one run, stored structure-of-arrays.
+pub(crate) struct Breakers {
+    cfg: BreakerConfig,
+    state: Vec<BreakerState>,
+    /// Consecutive blockerless failures while `Closed`.
+    consec: Vec<u32>,
+    /// Round the current state was entered.
+    since: Vec<u32>,
+    /// Successful traversals while `HalfOpen`.
+    successes: Vec<u32>,
+    /// Links currently `Open` (kept small for the per-round tick).
+    open_links: Vec<u32>,
+    /// Transition totals, mirrored into the report.
+    pub(crate) opens: u64,
+    pub(crate) half_opens: u64,
+    pub(crate) closes: u64,
+    /// Rounds spent `Open`, summed over transitions out of `Open`.
+    pub(crate) open_rounds: u64,
+}
+
+impl Breakers {
+    pub(crate) fn new(link_count: usize, cfg: BreakerConfig) -> Self {
+        Breakers {
+            cfg,
+            state: vec![BreakerState::Closed; link_count],
+            consec: vec![0; link_count],
+            since: vec![0; link_count],
+            successes: vec![0; link_count],
+            open_links: Vec::new(),
+            opens: 0,
+            half_opens: 0,
+            closes: 0,
+            open_rounds: 0,
+        }
+    }
+
+    /// Is `link` soft-down right now?
+    #[inline]
+    pub(crate) fn is_open(&self, link: u32) -> bool {
+        self.state[link as usize] == BreakerState::Open
+    }
+
+    /// Total transitions so far (for per-round deltas).
+    pub(crate) fn transitions(&self) -> u64 {
+        self.opens + self.half_opens + self.closes
+    }
+
+    /// Overlay soft-down links onto `avoid` (which already carries the
+    /// hard-dead set) for the rerouting planner.
+    pub(crate) fn mask_open(&self, avoid: &mut [bool]) {
+        for &l in &self.open_links {
+            avoid[l as usize] = true;
+        }
+    }
+
+    fn transition<S: Sink>(&mut self, link: u32, to: BreakerState, round: u32, sink: &mut S) {
+        let idx = link as usize;
+        let from = self.state[idx];
+        let in_from = round.saturating_sub(self.since[idx]);
+        match to {
+            BreakerState::Open => {
+                self.opens += 1;
+                self.open_links.push(link);
+            }
+            BreakerState::HalfOpen => self.half_opens += 1,
+            BreakerState::Closed => self.closes += 1,
+        }
+        if from == BreakerState::Open {
+            self.open_rounds += u64::from(in_from);
+        }
+        self.state[idx] = to;
+        self.since[idx] = round;
+        self.consec[idx] = 0;
+        self.successes[idx] = 0;
+        sink.on_breaker(round, link, from, to, in_from);
+    }
+
+    /// Advance probe timers at the start of `round`: any breaker open
+    /// for at least `probe_after` rounds half-opens.
+    pub(crate) fn tick<S: Sink>(&mut self, round: u32, sink: &mut S) {
+        let mut i = 0;
+        while i < self.open_links.len() {
+            let link = self.open_links[i];
+            if round.saturating_sub(self.since[link as usize]) >= self.cfg.probe_after {
+                self.open_links.swap_remove(i);
+                self.transition(link, BreakerState::HalfOpen, round, sink);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// A blockerless failure hit `link` during `round`.
+    pub(crate) fn on_failure<S: Sink>(&mut self, link: u32, round: u32, sink: &mut S) {
+        match self.state[link as usize] {
+            BreakerState::Closed => {
+                self.consec[link as usize] += 1;
+                if self.consec[link as usize] >= self.cfg.open_after {
+                    self.transition(link, BreakerState::Open, round, sink);
+                }
+            }
+            // A probe failed: straight back to Open.
+            BreakerState::HalfOpen => self.transition(link, BreakerState::Open, round, sink),
+            // Already open; the worm was launched before the breaker
+            // opened this round. Nothing new to learn.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// A worm traversed `link` successfully during `round`.
+    pub(crate) fn on_success<S: Sink>(&mut self, link: u32, round: u32, sink: &mut S) {
+        match self.state[link as usize] {
+            BreakerState::Closed => self.consec[link as usize] = 0,
+            BreakerState::HalfOpen => {
+                self.successes[link as usize] += 1;
+                if self.successes[link as usize] >= self.cfg.close_after {
+                    self.transition(link, BreakerState::Closed, round, sink);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_obs::NullSink;
+
+    #[test]
+    fn breaker_walks_the_full_lifecycle() {
+        let cfg = BreakerConfig {
+            open_after: 2,
+            probe_after: 3,
+            close_after: 1,
+        };
+        let mut bk = Breakers::new(4, cfg);
+        let mut sink = NullSink;
+        // Two blockerless failures open the breaker...
+        bk.on_failure(1, 1, &mut sink);
+        assert!(!bk.is_open(1));
+        bk.on_failure(1, 2, &mut sink);
+        assert!(bk.is_open(1));
+        assert_eq!(bk.opens, 1);
+        // ...the probe interval half-opens it...
+        bk.tick(3, &mut sink);
+        assert!(bk.is_open(1), "too early to probe");
+        bk.tick(5, &mut sink);
+        assert!(!bk.is_open(1));
+        assert_eq!(bk.half_opens, 1);
+        assert_eq!(bk.open_rounds, 3, "open from round 2 to round 5");
+        // ...and one probe success closes it.
+        bk.on_success(1, 5, &mut sink);
+        assert_eq!(bk.closes, 1);
+        assert_eq!(bk.transitions(), 3);
+        let mut avoid = vec![false; 4];
+        bk.mask_open(&mut avoid);
+        assert!(avoid.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_successes_reset_the_failure_streak() {
+        let cfg = BreakerConfig {
+            open_after: 2,
+            probe_after: 1,
+            close_after: 2,
+        };
+        let mut bk = Breakers::new(2, cfg);
+        let mut sink = NullSink;
+        // An interleaved success keeps the streak below the threshold.
+        bk.on_failure(0, 1, &mut sink);
+        bk.on_success(0, 1, &mut sink);
+        bk.on_failure(0, 2, &mut sink);
+        assert!(!bk.is_open(0), "streak was reset by the success");
+        bk.on_failure(0, 2, &mut sink);
+        assert!(bk.is_open(0));
+        bk.tick(3, &mut sink);
+        // close_after = 2: one success is not enough...
+        bk.on_success(0, 3, &mut sink);
+        assert_eq!(bk.closes, 0);
+        // ...and a probe failure goes straight back to Open.
+        bk.on_failure(0, 3, &mut sink);
+        assert!(bk.is_open(0));
+        assert_eq!(bk.opens, 2);
+        let mut avoid = vec![false; 2];
+        bk.mask_open(&mut avoid);
+        assert_eq!(avoid, vec![true, false]);
+    }
+}

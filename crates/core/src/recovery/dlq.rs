@@ -1,0 +1,168 @@
+//! Dead-letter queue: worms the recovery loop gave up on, parked with
+//! their failure history instead of being dropped on the floor.
+//!
+//! ```text
+//!   abandon decision ──▶ capture (on_dlq_enqueue) ──▶ frozen in queue
+//!                                                         │
+//!            breakers on the worm's path close /          ▼
+//!            a detour around them appears ──▶ batched replay
+//!                                             (on_dlq_replay, counters
+//!                                              reset, replays += 1)
+//! ```
+//!
+//! Replay is *batched* ([`DlqConfig::replay_batch`] per round) so a
+//! mass-heal event does not re-inject every parked worm at once and
+//! recreate the collision storm that parked them. Each letter is
+//! replayed at most [`DlqConfig::max_replays`] times; after that it is
+//! frozen for good and surfaces in
+//! [`super::RecoveryReport::dead_letters`].
+
+use serde::{Deserialize, Serialize};
+
+use super::AbandonReason;
+
+/// Knobs of the dead-letter queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DlqConfig {
+    /// Maximum parked worms re-injected per round (≥ 1).
+    pub replay_batch: u32,
+    /// Replays per letter before it is frozen for good. Zero means
+    /// capture-only: the queue is a post-mortem record, never replayed.
+    pub max_replays: u32,
+}
+
+impl Default for DlqConfig {
+    fn default() -> Self {
+        DlqConfig {
+            replay_batch: 4,
+            max_replays: 2,
+        }
+    }
+}
+
+/// One abandoned worm, with the failure history that got it here.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeadLetter {
+    /// Worm index in the collection.
+    pub worm: u32,
+    /// Why the recovery loop gave up.
+    pub reason: AbandonReason,
+    /// Round the worm was captured.
+    pub round: u32,
+    /// Lifetime failed trials at capture time.
+    pub total_fails: u32,
+    /// Reroutes taken before capture.
+    pub reroutes: u32,
+    /// Times this letter has been replayed (0 on first capture).
+    pub replays: u32,
+}
+
+/// The queue itself: letters stay in capture order, replayed ones are
+/// removed, re-captured worms are appended fresh.
+pub(crate) struct DeadLetterQueue {
+    pub(crate) cfg: DlqConfig,
+    letters: Vec<DeadLetter>,
+    pub(crate) enqueued: u64,
+    pub(crate) replayed: u64,
+}
+
+impl DeadLetterQueue {
+    pub(crate) fn new(cfg: DlqConfig) -> Self {
+        DeadLetterQueue {
+            cfg,
+            letters: Vec::new(),
+            enqueued: 0,
+            replayed: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, letter: DeadLetter) {
+        self.enqueued += 1;
+        self.letters.push(letter);
+    }
+
+    /// Does any letter still qualify for a future replay?
+    pub(crate) fn any_replayable(&self) -> bool {
+        self.letters
+            .iter()
+            .any(|l| l.replays < self.cfg.max_replays)
+    }
+
+    /// Pull up to `replay_batch` letters whose worm `eligible` right
+    /// now, in capture order. Frozen letters (replay budget spent) are
+    /// never returned.
+    pub(crate) fn drain_replayable(
+        &mut self,
+        mut eligible: impl FnMut(&DeadLetter) -> bool,
+    ) -> Vec<DeadLetter> {
+        let mut batch = Vec::new();
+        let mut i = 0;
+        while i < self.letters.len() && (batch.len() as u32) < self.cfg.replay_batch {
+            if self.letters[i].replays < self.cfg.max_replays && eligible(&self.letters[i]) {
+                self.replayed += 1;
+                batch.push(self.letters.remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        batch
+    }
+
+    pub(crate) fn into_letters(self) -> Vec<DeadLetter> {
+        self.letters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn letter(worm: u32, replays: u32) -> DeadLetter {
+        DeadLetter {
+            worm,
+            reason: AbandonReason::RetryBudget,
+            round: 1,
+            total_fails: 5,
+            reroutes: 1,
+            replays,
+        }
+    }
+
+    #[test]
+    fn replay_is_batched_in_capture_order_and_skips_frozen_letters() {
+        let mut dlq = DeadLetterQueue::new(DlqConfig {
+            replay_batch: 2,
+            max_replays: 1,
+        });
+        for w in 0..4 {
+            dlq.push(letter(w, if w == 1 { 1 } else { 0 }));
+        }
+        assert_eq!(dlq.enqueued, 4);
+        // Worm 1 is frozen (budget spent); batch of 2 takes 0 and 2.
+        let batch = dlq.drain_replayable(|_| true);
+        assert_eq!(batch.iter().map(|l| l.worm).collect::<Vec<_>>(), [0, 2]);
+        assert_eq!(dlq.replayed, 2);
+        // Worm 3 still waits, worm 1 never qualifies.
+        let batch = dlq.drain_replayable(|l| l.worm != 3);
+        assert!(batch.is_empty());
+        assert!(dlq.any_replayable(), "worm 3 is still eligible");
+        let batch = dlq.drain_replayable(|_| true);
+        assert_eq!(batch.iter().map(|l| l.worm).collect::<Vec<_>>(), [3]);
+        assert!(!dlq.any_replayable(), "only the frozen letter remains");
+        assert_eq!(dlq.into_letters().len(), 1);
+    }
+
+    #[test]
+    fn zero_max_replays_makes_the_queue_capture_only() {
+        let mut dlq = DeadLetterQueue::new(DlqConfig {
+            replay_batch: 8,
+            max_replays: 0,
+        });
+        dlq.push(letter(0, 0));
+        dlq.push(letter(1, 0));
+        assert!(!dlq.any_replayable());
+        assert!(dlq.drain_replayable(|_| true).is_empty());
+        assert_eq!(dlq.replayed, 0);
+        assert_eq!(dlq.into_letters().len(), 2);
+    }
+}

@@ -33,7 +33,7 @@
 
 use crate::priority::{PriorityStrategy, WavelengthStrategy};
 use crate::protocol::{AckMode, ProtocolParams, RunReport, TrialAndFailure};
-use crate::recovery::{FaultSource, Recovery, RecoveryPolicy, RecoveryReport};
+use crate::recovery::{FaultSource, PolicyError, Recovery, RecoveryPolicy, RecoveryReport};
 use crate::schedule::DelaySchedule;
 use crate::workspace::ProtocolWorkspace;
 use optical_obs::{NullSink, Sink};
@@ -163,24 +163,43 @@ impl<'a> SimBuilder<'a> {
         self
     }
 
+    /// Build the runner, returning a descriptive [`PolicyError`] when
+    /// the attached [`RecoveryPolicy`] cannot work (zero thresholds,
+    /// empty retry budget, zero breaker probe interval, …).
+    ///
+    /// # Panics
+    /// On programming errors only — mismatched network/collection, zero
+    /// rounds, invalid router, or recovery with non-ideal acks (the same
+    /// contracts as [`TrialAndFailure::new`] and [`Recovery::try_new`]).
+    pub fn try_build(self) -> Result<Sim<'a>, PolicyError> {
+        let dynamic_faults = !matches!(self.faults, FaultSource::None);
+        if self.policy.is_some() || dynamic_faults {
+            let policy = self.policy.unwrap_or_default();
+            Ok(Sim::Recovery(
+                Recovery::try_new(self.net, self.collection, self.params, policy)?
+                    .with_faults(self.faults),
+            ))
+        } else {
+            Ok(Sim::Protocol(TrialAndFailure::new(
+                self.net,
+                self.collection,
+                self.params,
+            )))
+        }
+    }
+
     /// Build the runner: a [`Sim::Recovery`] when a policy or fault
     /// script was attached, a plain [`Sim::Protocol`] otherwise.
     ///
     /// # Panics
     /// On invalid configuration — mismatched network/collection, zero
-    /// rounds, invalid router or policy, or recovery with non-ideal acks
-    /// (the same contracts as [`TrialAndFailure::new`] and
-    /// [`Recovery::new`]).
+    /// rounds, invalid router or policy, or recovery with non-ideal acks.
+    /// [`SimBuilder::try_build`] reports policy problems as a typed
+    /// [`PolicyError`] instead.
     pub fn build(self) -> Sim<'a> {
-        let dynamic_faults = !matches!(self.faults, FaultSource::None);
-        if self.policy.is_some() || dynamic_faults {
-            let policy = self.policy.unwrap_or_default();
-            Sim::Recovery(
-                Recovery::new(self.net, self.collection, self.params, policy)
-                    .with_faults(self.faults),
-            )
-        } else {
-            Sim::Protocol(TrialAndFailure::new(self.net, self.collection, self.params))
+        match self.try_build() {
+            Ok(sim) => sim,
+            Err(e) => panic!("invalid recovery policy: {e}"),
         }
     }
 }
@@ -392,6 +411,113 @@ mod tests {
         assert_eq!(trace.injected(), t.trials);
         assert_eq!(trace.delivered(), t.delivered);
         assert_eq!(trace.failures(), t.failures());
+    }
+
+    #[test]
+    fn try_build_reports_policy_errors_instead_of_panicking() {
+        use crate::recovery::{BreakerConfig, PolicyError, RetryPolicy};
+        let (net, coll) = ring_instance(6);
+        let bad = RecoveryPolicy {
+            breaker: Some(BreakerConfig {
+                probe_after: 0,
+                ..BreakerConfig::default()
+            }),
+            ..RecoveryPolicy::default()
+        };
+        let err = SimBuilder::new(&net, &coll)
+            .recovery(bad)
+            .try_build()
+            .err()
+            .expect("zero probe interval must be rejected");
+        assert_eq!(err, PolicyError::ZeroProbeInterval);
+        assert!(err.to_string().contains("probe"), "descriptive message");
+
+        let bad = RecoveryPolicy {
+            retry: RetryPolicy {
+                budget: Some(0),
+                ..RetryPolicy::legacy()
+            },
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(
+            SimBuilder::new(&net, &coll).recovery(bad).try_build().err(),
+            Some(PolicyError::EmptyRetryBudget)
+        );
+
+        // A good policy still builds the recovery runner.
+        let sim = SimBuilder::new(&net, &coll)
+            .recovery(RecoveryPolicy::default())
+            .try_build()
+            .expect("default policy is valid");
+        assert!(matches!(sim, Sim::Recovery(_)));
+    }
+
+    #[test]
+    fn recovery_v2_counters_reconcile_with_the_report() {
+        use crate::recovery::{
+            BackoffMode, BreakerConfig, DlqConfig, FaultSource, Jitter, RetryPolicy,
+        };
+        use optical_wdm::FaultPlan;
+        // Chaos-flavoured instance exercising every v2 path: permanent
+        // cuts (guaranteed blockerless failures), breakers, DLQ, attempt
+        // budget, rate limiter, jittered skip-rounds backoff. Learning is
+        // off (confirm_after) so the breakers and the queue do the work.
+        let (net, coll) = ring_instance(10);
+        let cut_a = net.link_between(1, 2).unwrap();
+        let cut_b = net.link_between(5, 6).unwrap();
+        let plan = FaultPlan::none().down(cut_a, 0).down(cut_b, 0);
+        let policy = RecoveryPolicy {
+            confirm_after: 1000, // learn nothing; breakers do the work
+            stranded_after: 6,
+            retry: RetryPolicy {
+                jitter: Jitter::Full,
+                mode: BackoffMode::SkipRounds,
+                budget: Some(3),
+                rate_limit: Some(2),
+                ..RetryPolicy::legacy()
+            },
+            breaker: Some(BreakerConfig {
+                open_after: 1,
+                probe_after: 3,
+                close_after: 1,
+            }),
+            dlq: Some(DlqConfig::default()),
+            ..RecoveryPolicy::default()
+        };
+        let sim = SimBuilder::new(&net, &coll)
+            .max_rounds(300)
+            .recovery(policy)
+            .faults(FaultSource::EveryRound(plan))
+            .build();
+        let mut ws = ProtocolWorkspace::new();
+        let plain = sim
+            .run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(21))
+            .into_recovery();
+        let counters = CountersSink::new(1);
+        let report = sim
+            .run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(21), &mut &counters)
+            .into_recovery();
+        assert_eq!(plain, report, "CountersSink must not perturb the run");
+
+        // Every v2 report counter reconciles with the sink, mirroring
+        // the trials/failures reconciliation of the plain protocol.
+        let t = counters.totals();
+        assert_eq!(t.breaker_opens, report.breaker_opens);
+        assert_eq!(t.breaker_half_opens, report.breaker_half_opens);
+        assert_eq!(t.breaker_closes, report.breaker_closes);
+        assert_eq!(t.breaker_open_rounds, report.breaker_open_rounds);
+        assert_eq!(t.breaker_transitions(), report.breaker_transitions());
+        assert_eq!(t.breaker_holds, report.breaker_holds);
+        assert_eq!(t.budget_exhausted, report.budget_exhausted);
+        assert_eq!(t.rate_limited, report.rate_limited);
+        assert_eq!(t.dlq_enqueued, report.dlq_enqueued);
+        assert_eq!(t.dlq_replayed, report.dlq_replayed);
+        assert_eq!(t.dlq_depth(), report.dead_letters.len() as u64);
+        assert!(
+            t.breaker_opens > 0,
+            "the scenario must actually exercise the breakers"
+        );
+        assert!(t.dlq_enqueued > 0, "and the dead-letter queue");
     }
 
     #[test]

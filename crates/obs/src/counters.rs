@@ -7,7 +7,7 @@
 //! parallel trial driver can hand each worker `&mut &counters` and have
 //! all workers fold into one set of totals without locks.
 
-use crate::Sink;
+use crate::{BreakerState, Sink};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
@@ -32,6 +32,15 @@ pub struct CountersSink {
     dead_links: AtomicU64,
     reroutes: AtomicU64,
     abandoned: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_half_opens: AtomicU64,
+    breaker_closes: AtomicU64,
+    breaker_open_rounds: AtomicU64,
+    breaker_holds: AtomicU64,
+    budget_exhausted: AtomicU64,
+    rate_limited: AtomicU64,
+    dlq_enqueued: AtomicU64,
+    dlq_replayed: AtomicU64,
 }
 
 /// A plain-value snapshot of [`CountersSink`], taken by
@@ -65,6 +74,24 @@ pub struct CounterTotals {
     pub reroutes: u64,
     /// Worms abandoned by the recovery layer.
     pub abandoned: u64,
+    /// Breaker transitions into `Open` (`Closed → Open`, `HalfOpen → Open`).
+    pub breaker_opens: u64,
+    /// Breaker transitions `Open → HalfOpen` (probe windows started).
+    pub breaker_half_opens: u64,
+    /// Breaker transitions `HalfOpen → Closed` (links recovered).
+    pub breaker_closes: u64,
+    /// Rounds spent in `Open`, summed over transitions out of `Open`.
+    pub breaker_open_rounds: u64,
+    /// Worm-rounds held back because a path link's breaker was open.
+    pub breaker_holds: u64,
+    /// Per-worm retry budgets exhausted.
+    pub budget_exhausted: u64,
+    /// Worm-rounds deferred by the global retry-rate limiter.
+    pub rate_limited: u64,
+    /// Worms captured by the dead-letter queue.
+    pub dlq_enqueued: u64,
+    /// Worms replayed out of the dead-letter queue.
+    pub dlq_replayed: u64,
 }
 
 impl CountersSink {
@@ -86,6 +113,15 @@ impl CountersSink {
             dead_links: AtomicU64::new(0),
             reroutes: AtomicU64::new(0),
             abandoned: AtomicU64::new(0),
+            breaker_opens: AtomicU64::new(0),
+            breaker_half_opens: AtomicU64::new(0),
+            breaker_closes: AtomicU64::new(0),
+            breaker_open_rounds: AtomicU64::new(0),
+            breaker_holds: AtomicU64::new(0),
+            budget_exhausted: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
+            dlq_enqueued: AtomicU64::new(0),
+            dlq_replayed: AtomicU64::new(0),
         }
     }
 
@@ -105,6 +141,15 @@ impl CountersSink {
             dead_links: self.dead_links.load(Relaxed),
             reroutes: self.reroutes.load(Relaxed),
             abandoned: self.abandoned.load(Relaxed),
+            breaker_opens: self.breaker_opens.load(Relaxed),
+            breaker_half_opens: self.breaker_half_opens.load(Relaxed),
+            breaker_closes: self.breaker_closes.load(Relaxed),
+            breaker_open_rounds: self.breaker_open_rounds.load(Relaxed),
+            breaker_holds: self.breaker_holds.load(Relaxed),
+            budget_exhausted: self.budget_exhausted.load(Relaxed),
+            rate_limited: self.rate_limited.load(Relaxed),
+            dlq_enqueued: self.dlq_enqueued.load(Relaxed),
+            dlq_replayed: self.dlq_replayed.load(Relaxed),
         }
     }
 
@@ -126,6 +171,18 @@ impl CounterTotals {
     /// Failed trials of any cause: `blocked + fault_kills + truncated`.
     pub fn failures(&self) -> u64 {
         self.blocked + self.fault_kills + self.truncated
+    }
+
+    /// Total breaker transitions of any kind.
+    pub fn breaker_transitions(&self) -> u64 {
+        self.breaker_opens + self.breaker_half_opens + self.breaker_closes
+    }
+
+    /// Dead-letter queue depth at the end of the run
+    /// (`enqueued − replayed`; replayed worms that fail again re-enqueue,
+    /// so this never goes negative).
+    pub fn dlq_depth(&self) -> u64 {
+        self.dlq_enqueued.saturating_sub(self.dlq_replayed)
     }
 }
 
@@ -150,6 +207,20 @@ impl fmt::Display for CounterTotals {
             self.dead_links,
             self.reroutes,
             self.abandoned
+        )?;
+        writeln!(
+            f,
+            "breaker_opens={} breaker_half_opens={} breaker_closes={} breaker_open_rounds={} \
+             breaker_holds={} budget_exhausted={} rate_limited={} dlq_enqueued={} dlq_replayed={}",
+            self.breaker_opens,
+            self.breaker_half_opens,
+            self.breaker_closes,
+            self.breaker_open_rounds,
+            self.breaker_holds,
+            self.budget_exhausted,
+            self.rate_limited,
+            self.dlq_enqueued,
+            self.dlq_replayed
         )?;
         write!(f, "wl_installs=[")?;
         for (i, n) in self.wl_installs.iter().enumerate() {
@@ -222,6 +293,45 @@ impl Sink for &CountersSink {
     fn on_abandon(&mut self, _round: u32, _worm: u32) {
         self.abandoned.fetch_add(1, Relaxed);
     }
+    #[inline]
+    fn on_breaker(
+        &mut self,
+        _round: u32,
+        _link: u32,
+        from: BreakerState,
+        to: BreakerState,
+        rounds_in_from: u32,
+    ) {
+        match to {
+            BreakerState::Open => self.breaker_opens.fetch_add(1, Relaxed),
+            BreakerState::HalfOpen => self.breaker_half_opens.fetch_add(1, Relaxed),
+            BreakerState::Closed => self.breaker_closes.fetch_add(1, Relaxed),
+        };
+        if from == BreakerState::Open {
+            self.breaker_open_rounds
+                .fetch_add(u64::from(rounds_in_from), Relaxed);
+        }
+    }
+    #[inline]
+    fn on_breaker_hold(&mut self, _round: u32, _worm: u32, _link: u32) {
+        self.breaker_holds.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, _round: u32, _worm: u32) {
+        self.budget_exhausted.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_rate_limited(&mut self, _round: u32, _worm: u32) {
+        self.rate_limited.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_dlq_enqueue(&mut self, _round: u32, _worm: u32) {
+        self.dlq_enqueued.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_dlq_replay(&mut self, _round: u32, _worm: u32) {
+        self.dlq_replayed.fetch_add(1, Relaxed);
+    }
 }
 
 /// Owned counters are a sink too (single-threaded runs).
@@ -270,6 +380,30 @@ impl Sink for CountersSink {
     fn on_abandon(&mut self, round: u32, worm: u32) {
         (&*self).on_abandon(round, worm);
     }
+    #[inline]
+    fn on_breaker(&mut self, round: u32, link: u32, from: BreakerState, to: BreakerState, n: u32) {
+        (&*self).on_breaker(round, link, from, to, n);
+    }
+    #[inline]
+    fn on_breaker_hold(&mut self, round: u32, worm: u32, link: u32) {
+        (&*self).on_breaker_hold(round, worm, link);
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, round: u32, worm: u32) {
+        (&*self).on_budget_exhausted(round, worm);
+    }
+    #[inline]
+    fn on_rate_limited(&mut self, round: u32, worm: u32) {
+        (&*self).on_rate_limited(round, worm);
+    }
+    #[inline]
+    fn on_dlq_enqueue(&mut self, round: u32, worm: u32) {
+        (&*self).on_dlq_enqueue(round, worm);
+    }
+    #[inline]
+    fn on_dlq_replay(&mut self, round: u32, worm: u32) {
+        (&*self).on_dlq_replay(round, worm);
+    }
 }
 
 #[cfg(test)]
@@ -312,5 +446,37 @@ mod tests {
         let text = t.to_string();
         assert!(text.contains("trials=3"));
         assert!(text.contains("wl_installs=[1, 2]"));
+    }
+
+    #[test]
+    fn recovery_v2_counters_fold_by_transition_kind() {
+        let c = CountersSink::new(1);
+        let mut s = &c;
+        s.on_breaker(3, 4, BreakerState::Closed, BreakerState::Open, 3);
+        s.on_breaker(7, 4, BreakerState::Open, BreakerState::HalfOpen, 4);
+        s.on_breaker(8, 4, BreakerState::HalfOpen, BreakerState::Open, 1);
+        s.on_breaker(12, 4, BreakerState::Open, BreakerState::HalfOpen, 4);
+        s.on_breaker(13, 4, BreakerState::HalfOpen, BreakerState::Closed, 1);
+        s.on_breaker_hold(4, 0, 4);
+        s.on_breaker_hold(5, 0, 4);
+        s.on_budget_exhausted(6, 1);
+        s.on_rate_limited(6, 2);
+        s.on_dlq_enqueue(6, 1);
+        s.on_dlq_replay(9, 1);
+
+        let t = c.totals();
+        assert_eq!(t.breaker_opens, 2);
+        assert_eq!(t.breaker_half_opens, 2);
+        assert_eq!(t.breaker_closes, 1);
+        assert_eq!(t.breaker_transitions(), 5);
+        // Open-time sums `rounds_in_from` over transitions out of Open.
+        assert_eq!(t.breaker_open_rounds, 8);
+        assert_eq!(t.breaker_holds, 2);
+        assert_eq!(t.budget_exhausted, 1);
+        assert_eq!(t.rate_limited, 1);
+        assert_eq!((t.dlq_enqueued, t.dlq_replayed, t.dlq_depth()), (1, 1, 0));
+        let text = t.to_string();
+        assert!(text.contains("breaker_opens=2"));
+        assert!(text.contains("dlq_enqueued=1"));
     }
 }

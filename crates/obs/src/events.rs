@@ -12,7 +12,7 @@
 //! flat objects, unsigned integer values, `kind` as the only string — and
 //! rejects anything else with a line-numbered error.
 
-use crate::Sink;
+use crate::{BreakerState, Sink};
 use std::fmt::Write as _;
 
 /// One structured observation from an instrumented run.
@@ -118,6 +118,56 @@ pub enum Event {
         /// Path id of the abandoned worm.
         worm: u32,
     },
+    /// A per-link circuit breaker changed state.
+    Breaker {
+        /// Round index.
+        round: u32,
+        /// Directed link the breaker guards.
+        link: u32,
+        /// State before the transition.
+        from: BreakerState,
+        /// State after the transition.
+        to: BreakerState,
+        /// Rounds spent in `from` before transitioning.
+        in_from: u32,
+    },
+    /// A worm was held out of a round by an open breaker on its path.
+    BreakerHold {
+        /// Round index.
+        round: u32,
+        /// Path id of the held worm.
+        worm: u32,
+        /// The open directed link that caused the hold.
+        link: u32,
+    },
+    /// A worm exhausted its per-worm retry budget.
+    BudgetExhausted {
+        /// Round index.
+        round: u32,
+        /// Path id of the worm.
+        worm: u32,
+    },
+    /// A worm was deferred by the global retry-rate limiter.
+    RateLimited {
+        /// Round index.
+        round: u32,
+        /// Path id of the deferred worm.
+        worm: u32,
+    },
+    /// A worm was captured by the dead-letter queue.
+    DlqEnqueue {
+        /// Round index.
+        round: u32,
+        /// Path id of the captured worm.
+        worm: u32,
+    },
+    /// A worm was replayed out of the dead-letter queue.
+    DlqReplay {
+        /// Round index.
+        round: u32,
+        /// Path id of the replayed worm.
+        worm: u32,
+    },
 }
 
 impl Event {
@@ -218,6 +268,50 @@ impl Event {
                 let _ = write!(
                     out,
                     "{{\"kind\":\"abandon\",\"round\":{round},\"worm\":{worm}}}"
+                );
+            }
+            Event::Breaker {
+                round,
+                link,
+                from,
+                to,
+                in_from,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"breaker\",\"round\":{round},\"link\":{link},\"from\":{},\"to\":{},\"in_from\":{in_from}}}",
+                    from.code(),
+                    to.code()
+                );
+            }
+            Event::BreakerHold { round, worm, link } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"breaker_hold\",\"round\":{round},\"worm\":{worm},\"link\":{link}}}"
+                );
+            }
+            Event::BudgetExhausted { round, worm } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"budget_exhausted\",\"round\":{round},\"worm\":{worm}}}"
+                );
+            }
+            Event::RateLimited { round, worm } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"rate_limited\",\"round\":{round},\"worm\":{worm}}}"
+                );
+            }
+            Event::DlqEnqueue { round, worm } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"dlq_enqueue\",\"round\":{round},\"worm\":{worm}}}"
+                );
+            }
+            Event::DlqReplay { round, worm } => {
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"dlq_replay\",\"round\":{round},\"worm\":{worm}}}"
                 );
             }
         }
@@ -417,6 +511,43 @@ impl Sink for EventSink {
     fn on_abandon(&mut self, round: u32, worm: u32) {
         self.push(Event::Abandon { round, worm });
     }
+    #[inline]
+    fn on_breaker(
+        &mut self,
+        round: u32,
+        link: u32,
+        from: BreakerState,
+        to: BreakerState,
+        in_from: u32,
+    ) {
+        self.push(Event::Breaker {
+            round,
+            link,
+            from,
+            to,
+            in_from,
+        });
+    }
+    #[inline]
+    fn on_breaker_hold(&mut self, round: u32, worm: u32, link: u32) {
+        self.push(Event::BreakerHold { round, worm, link });
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, round: u32, worm: u32) {
+        self.push(Event::BudgetExhausted { round, worm });
+    }
+    #[inline]
+    fn on_rate_limited(&mut self, round: u32, worm: u32) {
+        self.push(Event::RateLimited { round, worm });
+    }
+    #[inline]
+    fn on_dlq_enqueue(&mut self, round: u32, worm: u32) {
+        self.push(Event::DlqEnqueue { round, worm });
+    }
+    #[inline]
+    fn on_dlq_replay(&mut self, round: u32, worm: u32) {
+        self.push(Event::DlqReplay { round, worm });
+    }
 }
 
 /// Parse a JSONL dump produced by [`EventSink::to_jsonl`] back into
@@ -531,6 +662,41 @@ fn parse_line(line: &str) -> Result<Event, String> {
             round: get("round")?,
             worm: get("worm")?,
         },
+        "breaker" => {
+            let state = |name: &str| -> Result<BreakerState, String> {
+                let code = get(name)?;
+                BreakerState::from_code(code)
+                    .ok_or_else(|| format!("bad breaker state code {code} for {name:?}"))
+            };
+            Event::Breaker {
+                round: get("round")?,
+                link: get("link")?,
+                from: state("from")?,
+                to: state("to")?,
+                in_from: get("in_from")?,
+            }
+        }
+        "breaker_hold" => Event::BreakerHold {
+            round: get("round")?,
+            worm: get("worm")?,
+            link: get("link")?,
+        },
+        "budget_exhausted" => Event::BudgetExhausted {
+            round: get("round")?,
+            worm: get("worm")?,
+        },
+        "rate_limited" => Event::RateLimited {
+            round: get("round")?,
+            worm: get("worm")?,
+        },
+        "dlq_enqueue" => Event::DlqEnqueue {
+            round: get("round")?,
+            worm: get("worm")?,
+        },
+        "dlq_replay" => Event::DlqReplay {
+            round: get("round")?,
+            worm: get("worm")?,
+        },
         other => return Err(format!("unknown kind {other:?}")),
     })
 }
@@ -589,6 +755,29 @@ mod tests {
                 depth: 4,
             },
             Event::Abandon { round: 3, worm: 3 },
+            Event::Breaker {
+                round: 3,
+                link: 3,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+                in_from: 3,
+            },
+            Event::Breaker {
+                round: 7,
+                link: 3,
+                from: BreakerState::Open,
+                to: BreakerState::HalfOpen,
+                in_from: 4,
+            },
+            Event::BreakerHold {
+                round: 4,
+                worm: 2,
+                link: 3,
+            },
+            Event::BudgetExhausted { round: 5, worm: 2 },
+            Event::RateLimited { round: 5, worm: 1 },
+            Event::DlqEnqueue { round: 5, worm: 2 },
+            Event::DlqReplay { round: 8, worm: 2 },
             Event::RoundEnd {
                 round: 1,
                 delivered: 1,
@@ -687,6 +876,11 @@ mod tests {
         assert!(parse_jsonl("{\"kind\":\"nope\",\"round\":1}")
             .unwrap_err()
             .contains("unknown kind"));
+        assert!(parse_jsonl(
+            "{\"kind\":\"breaker\",\"round\":1,\"link\":2,\"from\":9,\"to\":1,\"in_from\":1}"
+        )
+        .unwrap_err()
+        .contains("bad breaker state code"));
         // Blank lines are fine.
         assert_eq!(parse_jsonl("\n\n").unwrap(), vec![]);
     }

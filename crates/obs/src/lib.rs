@@ -27,13 +27,16 @@
 //! # Event ordering contract
 //!
 //! Instrumented runners call the hooks in this order per round:
-//! `on_round_start`, one `on_inject` per active worm, any number of
-//! `on_install` while the engine routes, then per-worm fate hooks
-//! (`on_deliver` / `on_block` / `on_cut`) plus recovery hooks
-//! (`on_dead_link`, `on_reroute`, `on_backoff`, `on_abandon`), and
-//! finally `on_round_end`. Worm ids are *path ids* (stable across
-//! rounds), not per-batch indices. Hooks must never consume the
-//! simulation RNG.
+//! `on_round_start`, then pre-injection recovery decisions
+//! (`on_breaker` probe transitions, `on_dlq_replay`, `on_breaker_hold`,
+//! `on_rate_limited`, `on_backoff`), one `on_inject` per active worm,
+//! any number of `on_install` while the engine routes, then per-worm
+//! fate hooks (`on_deliver` / `on_block` / `on_cut`) plus post-fate
+//! recovery hooks (`on_dead_link`, `on_breaker` failure/success
+//! transitions, `on_budget_exhausted`, `on_dlq_enqueue`, `on_reroute`,
+//! `on_abandon`), and finally `on_round_end`. Worm ids are *path ids*
+//! (stable across rounds), not per-batch indices. Hooks must never
+//! consume the simulation RNG.
 
 pub mod counters;
 pub mod events;
@@ -42,6 +45,48 @@ pub mod report;
 pub use counters::{CounterTotals, CountersSink};
 pub use events::{Event, EventSink};
 pub use report::TraceReport;
+
+/// Circuit-breaker state as reported through [`Sink::on_breaker`].
+///
+/// The recovery layer keeps one breaker per directed link:
+/// `Closed` (healthy) → `Open` (soft-down after consecutive blockerless
+/// failures) → `HalfOpen` (probing after the probe interval) → back to
+/// `Closed` on probe success or `Open` on probe failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakerState {
+    /// Link is considered healthy; failures are being counted.
+    Closed,
+    /// Link is soft-down: the planner routes around it and worms whose
+    /// paths cross it are held.
+    Open,
+    /// Probe window: traffic may cross the link again; the next
+    /// success/failure decides between `Closed` and `Open`.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric code used by the JSONL event encoding
+    /// (`0 = Closed, 1 = Open, 2 = HalfOpen`).
+    #[must_use]
+    pub fn code(self) -> u32 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    /// Inverse of [`BreakerState::code`]; `None` for unknown codes.
+    #[must_use]
+    pub fn from_code(code: u32) -> Option<Self> {
+        match code {
+            0 => Some(BreakerState::Closed),
+            1 => Some(BreakerState::Open),
+            2 => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
+}
 
 /// Observability sink: a set of `#[inline]` hooks the instrumented
 /// runners call on the hot path.
@@ -130,6 +175,46 @@ pub trait Sink {
     /// round budget ran out).
     #[inline]
     fn on_abandon(&mut self, _round: u32, _worm: u32) {}
+
+    /// The circuit breaker on directed link `link` transitioned from
+    /// `from` to `to` during `round`, after spending `rounds_in_from`
+    /// rounds in the `from` state. Open-time accounting sums
+    /// `rounds_in_from` over transitions *out of* [`BreakerState::Open`].
+    #[inline]
+    fn on_breaker(
+        &mut self,
+        _round: u32,
+        _link: u32,
+        _from: BreakerState,
+        _to: BreakerState,
+        _rounds_in_from: u32,
+    ) {
+    }
+
+    /// Worm `worm` was held out of `round` because directed link `link`
+    /// on its path has an open breaker.
+    #[inline]
+    fn on_breaker_hold(&mut self, _round: u32, _worm: u32, _link: u32) {}
+
+    /// Worm `worm` exhausted its per-worm retry budget during `round`.
+    /// Followed by either [`Sink::on_dlq_enqueue`] (dead-letter queue
+    /// enabled) or [`Sink::on_abandon`].
+    #[inline]
+    fn on_budget_exhausted(&mut self, _round: u32, _worm: u32) {}
+
+    /// Worm `worm` was deferred from `round` by the global retry-rate
+    /// limiter (it retries in a later round; no failure is charged).
+    #[inline]
+    fn on_rate_limited(&mut self, _round: u32, _worm: u32) {}
+
+    /// Worm `worm` was captured by the dead-letter queue during `round`.
+    #[inline]
+    fn on_dlq_enqueue(&mut self, _round: u32, _worm: u32) {}
+
+    /// Worm `worm` was replayed out of the dead-letter queue into
+    /// `round`'s injection batch.
+    #[inline]
+    fn on_dlq_replay(&mut self, _round: u32, _worm: u32) {}
 }
 
 /// The disabled sink: all hooks are no-ops and [`Sink::ENABLED`] is
@@ -207,6 +292,37 @@ impl<S: Sink + ?Sized> Sink for &mut S {
     fn on_abandon(&mut self, round: u32, worm: u32) {
         (**self).on_abandon(round, worm);
     }
+    #[inline]
+    fn on_breaker(
+        &mut self,
+        round: u32,
+        link: u32,
+        from: BreakerState,
+        to: BreakerState,
+        rounds_in_from: u32,
+    ) {
+        (**self).on_breaker(round, link, from, to, rounds_in_from);
+    }
+    #[inline]
+    fn on_breaker_hold(&mut self, round: u32, worm: u32, link: u32) {
+        (**self).on_breaker_hold(round, worm, link);
+    }
+    #[inline]
+    fn on_budget_exhausted(&mut self, round: u32, worm: u32) {
+        (**self).on_budget_exhausted(round, worm);
+    }
+    #[inline]
+    fn on_rate_limited(&mut self, round: u32, worm: u32) {
+        (**self).on_rate_limited(round, worm);
+    }
+    #[inline]
+    fn on_dlq_enqueue(&mut self, round: u32, worm: u32) {
+        (**self).on_dlq_enqueue(round, worm);
+    }
+    #[inline]
+    fn on_dlq_replay(&mut self, round: u32, worm: u32) {
+        (**self).on_dlq_replay(round, worm);
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +341,20 @@ mod tests {
         let mut s = NullSink;
         s.on_round_start(0, 4, 8);
         s.on_install(1, 0);
+        s.on_breaker(1, 3, BreakerState::Closed, BreakerState::Open, 5);
+        s.on_dlq_enqueue(1, 2);
         s.on_round_end(0, 4, 0);
+    }
+
+    #[test]
+    fn breaker_state_codes_roundtrip() {
+        for st in [
+            BreakerState::Closed,
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+        ] {
+            assert_eq!(BreakerState::from_code(st.code()), Some(st));
+        }
+        assert_eq!(BreakerState::from_code(3), None);
     }
 }

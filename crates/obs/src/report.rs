@@ -35,6 +35,18 @@ pub struct RoundStats {
     pub backoffs: u32,
     /// Worms abandoned this round.
     pub abandoned: u32,
+    /// Breaker state transitions this round (any direction).
+    pub breaker_transitions: u32,
+    /// Worms held by an open breaker this round.
+    pub breaker_holds: u32,
+    /// Retry budgets exhausted this round.
+    pub budget_exhausted: u32,
+    /// Worms deferred by the retry-rate limiter this round.
+    pub rate_limited: u32,
+    /// Worms dead-lettered this round.
+    pub dlq_enqueued: u32,
+    /// Worms replayed from the dead-letter queue this round.
+    pub dlq_replayed: u32,
 }
 
 impl RoundStats {
@@ -153,6 +165,12 @@ pub fn aggregate(events: &[Event]) -> TraceReport {
             Event::Reroute { round, .. } => row(&mut rounds, round).reroutes += 1,
             Event::Backoff { round, .. } => row(&mut rounds, round).backoffs += 1,
             Event::Abandon { round, .. } => row(&mut rounds, round).abandoned += 1,
+            Event::Breaker { round, .. } => row(&mut rounds, round).breaker_transitions += 1,
+            Event::BreakerHold { round, .. } => row(&mut rounds, round).breaker_holds += 1,
+            Event::BudgetExhausted { round, .. } => row(&mut rounds, round).budget_exhausted += 1,
+            Event::RateLimited { round, .. } => row(&mut rounds, round).rate_limited += 1,
+            Event::DlqEnqueue { round, .. } => row(&mut rounds, round).dlq_enqueued += 1,
+            Event::DlqReplay { round, .. } => row(&mut rounds, round).dlq_replayed += 1,
         }
     }
     let mut hot_links: Vec<(u32, u64)> = hot_links.into_iter().collect();
@@ -205,6 +223,39 @@ impl fmt::Display for TraceReport {
                 r.backoffs,
                 r.abandoned
             )?;
+        }
+        // Recovery-v2 columns only appear when the trace contains any
+        // breaker / DLQ / budget activity, so legacy traces render
+        // byte-identically to the pre-v2 report.
+        let has_v2 = self.rounds.iter().any(|r| {
+            r.breaker_transitions
+                + r.breaker_holds
+                + r.budget_exhausted
+                + r.rate_limited
+                + r.dlq_enqueued
+                + r.dlq_replayed
+                > 0
+        });
+        if has_v2 {
+            writeln!(f, "recovery v2 (breaker / budget / dlq)")?;
+            writeln!(
+                f,
+                "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                "round", "brk_tr", "brk_hold", "budget", "ratelim", "dlq_in", "dlq_out"
+            )?;
+            for r in &self.rounds {
+                writeln!(
+                    f,
+                    "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+                    r.round,
+                    r.breaker_transitions,
+                    r.breaker_holds,
+                    r.budget_exhausted,
+                    r.rate_limited,
+                    r.dlq_enqueued,
+                    r.dlq_replayed
+                )?;
+            }
         }
         if !self.hot_links.is_empty() {
             writeln!(f, "hot links (kills):")?;
@@ -334,5 +385,55 @@ mod tests {
         assert!(text.contains("per-round utilization / blocking"));
         assert!(text.contains("hot links"));
         assert!(text.contains("summary: rounds=2"));
+        // No recovery-v2 activity in this trace: the v2 table is absent,
+        // keeping legacy reports byte-stable.
+        assert!(!text.contains("recovery v2"));
+    }
+
+    #[test]
+    fn recovery_v2_events_aggregate_into_their_own_table() {
+        use crate::BreakerState;
+        let events = vec![
+            Event::RoundStart {
+                round: 1,
+                active: 2,
+                delta: 8,
+            },
+            Event::Breaker {
+                round: 1,
+                link: 4,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+                in_from: 1,
+            },
+            Event::BreakerHold {
+                round: 1,
+                worm: 0,
+                link: 4,
+            },
+            Event::BudgetExhausted { round: 1, worm: 1 },
+            Event::DlqEnqueue { round: 1, worm: 1 },
+            Event::RateLimited { round: 2, worm: 0 },
+            Event::DlqReplay { round: 2, worm: 1 },
+        ];
+        let rep = aggregate(&events);
+        let r1 = &rep.rounds[0];
+        assert_eq!(
+            (
+                r1.breaker_transitions,
+                r1.breaker_holds,
+                r1.budget_exhausted
+            ),
+            (1, 1, 1)
+        );
+        assert_eq!(
+            (r1.dlq_enqueued, r1.dlq_replayed, r1.rate_limited),
+            (1, 0, 0)
+        );
+        let r2 = &rep.rounds[1];
+        assert_eq!((r2.rate_limited, r2.dlq_replayed), (1, 1));
+        let text = rep.to_string();
+        assert!(text.contains("recovery v2"));
+        assert!(text.contains("brk_tr"));
     }
 }

@@ -12,5 +12,5 @@ pub mod table;
 
 pub use regression::{fit_against, linear_fit, LinearFit};
 pub use seeds::{point_seed, SeedStream};
-pub use summary::Summary;
+pub use summary::{percentile, Summary};
 pub use table::Table;

@@ -76,6 +76,28 @@ impl Summary {
     }
 }
 
+/// Nearest-rank percentile of a sample (`p` in `[0, 1]`), the same
+/// convention as [`Summary`]'s `p10`/`p90` but for an arbitrary rank —
+/// tail quantiles like p99 delivery time that a fixed-field summary
+/// cannot carry.
+///
+/// # Panics
+/// On an empty sample, a NaN value, or `p` outside `[0, 1]`.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!(
+        !values.is_empty(),
+        "cannot take a percentile of an empty sample"
+    );
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "percentile rank must be within [0, 1]"
+    );
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 impl std::fmt::Display for Summary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -140,5 +162,22 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_rejected() {
         Summary::of(&[]);
+    }
+
+    #[test]
+    fn free_percentile_matches_summary_ranks() {
+        let vals: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&vals, 0.10), Summary::of(&vals).p10);
+        assert_eq!(percentile(&vals, 0.90), Summary::of(&vals).p90);
+        assert_eq!(percentile(&vals, 0.99), 99.0);
+        assert_eq!(percentile(&vals, 0.0), 1.0);
+        assert_eq!(percentile(&vals, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn percentile_rank_out_of_range_rejected() {
+        percentile(&[1.0], 1.5);
     }
 }

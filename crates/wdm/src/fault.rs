@@ -177,6 +177,41 @@ impl FaultPlan {
     pub fn max_event_time(&self) -> u32 {
         self.events.iter().map(|e| e.time).max().unwrap_or(0)
     }
+
+    /// Scripted down-state of `link` at step `t`: decided by the last
+    /// `Down`/`Restore` event at or before `t` (same-step ties resolve in
+    /// insertion order, like the runtime). Flaky garbles are one-step
+    /// outages and are *not* consulted — pair with [`FaultPlan::garbles`]
+    /// for the full picture.
+    ///
+    /// This is the ground-truth probe for recovery layers: a circuit
+    /// breaker's accuracy is how well its `Open` state tracks
+    /// `down_at` over the round.
+    pub fn down_at(&self, link: LinkId, t: u32) -> bool {
+        let mut state = false;
+        let mut best: Option<u32> = None;
+        for e in &self.events {
+            if e.link == link && e.time <= t {
+                match best {
+                    Some(bt) if e.time < bt => {}
+                    _ => {
+                        best = Some(e.time);
+                        state = matches!(e.event, LinkEvent::Down);
+                    }
+                }
+            }
+        }
+        state
+    }
+
+    /// Every link this plan can touch (scripted events and flaky marks),
+    /// with repetitions — callers deduplicate if they need a set.
+    pub fn touched_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.events
+            .iter()
+            .map(|e| e.link)
+            .chain(self.flaky.iter().map(|&(l, _)| l))
+    }
 }
 
 /// Deterministic per-(seed, link, step) draw as a 53-bit integer
@@ -440,6 +475,42 @@ mod tests {
         let pa: Vec<bool> = (0..256).map(|t| a.garbles(0, t)).collect();
         let pb: Vec<bool> = (0..256).map(|t| b.garbles(0, t)).collect();
         assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn down_at_replays_the_event_script() {
+        let plan = FaultPlan::none().down(1, 3).restore(1, 7).down(2, 5);
+        for t in 0..10 {
+            assert_eq!(plan.down_at(1, t), (3..7).contains(&t), "link 1 t={t}");
+            assert_eq!(plan.down_at(2, t), t >= 5, "link 2 t={t}");
+            assert!(!plan.down_at(0, t), "untouched links stay up");
+        }
+        // Same-step ties resolve in insertion order, like the runtime.
+        let flap = FaultPlan::none().down(0, 2).restore(0, 2);
+        assert!(!flap.down_at(0, 2), "restore inserted last wins the tie");
+        // Agreement with FaultRuntime across a scripted round.
+        let plan = FaultPlan::none().down(1, 3).restore(1, 7).down(2, 5);
+        let mut rt = FaultRuntime::new(plan.clone(), 4);
+        for t in 0..10 {
+            rt.begin_step(t, |_| {});
+            for link in 0..4 {
+                assert_eq!(
+                    rt.is_blocked(link, t),
+                    plan.down_at(link, t),
+                    "link {link} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn touched_links_cover_events_and_flaky_marks() {
+        let plan = FaultPlan::none().down(1, 3).restore(1, 7).flaky(4, 0.5);
+        let mut touched: Vec<LinkId> = plan.touched_links().collect();
+        touched.sort_unstable();
+        touched.dedup();
+        assert_eq!(touched, vec![1, 4]);
+        assert_eq!(FaultPlan::none().touched_links().count(), 0);
     }
 
     #[test]

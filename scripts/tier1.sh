@@ -34,6 +34,13 @@ if [[ $fast -eq 0 ]]; then
   [[ -s "$obs_dir/trace.jsonl" ]] || { echo "obs smoke: empty event trace" >&2; exit 1; }
   cargo run --release -q -p optical-obs --bin trace_report -- "$obs_dir/trace.jsonl" \
     | grep -q "summary:" || { echo "obs smoke: trace_report failed to aggregate" >&2; exit 1; }
+
+  # Recovery-chaos smoke: a seeded churn run through every retry strategy
+  # (breakers + DLQ included) must deliver worms and account for all of
+  # them — the binary asserts the invariants and prints ok.
+  echo "== recovery chaos smoke =="
+  cargo run --release -q -p optical-bench --bin recovery_chaos -- --quick --seed 1997 \
+    | grep -q "chaos smoke: ok" || { echo "recovery chaos smoke failed" >&2; exit 1; }
 fi
 
 echo "== cargo test -q =="

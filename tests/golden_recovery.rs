@@ -1,0 +1,467 @@
+//! Golden differential suite for the recovery loop's *legacy* path.
+//!
+//! Recovery v2 (retry strategies, circuit breakers, dead-letter queue)
+//! replaced the v1 loop in place, under one promise: with the default
+//! policy — `RetryPolicy::legacy()` (plain exponential backoff, no
+//! jitter, no budget, no rate limit), no breakers, no DLQ — the new
+//! loop is *byte-identical* to the old one: same RNG stream, same
+//! fates, same per-round observables, same totals.
+//!
+//! This file keeps the pre-v2 loop alive as an executable reference,
+//! built only from public primitives (a fresh [`Engine`] per run, owned
+//! `Vec` buffers per round, the original `(1 << fails).min(cap)`
+//! multiplier curve) and compares full [`RecoveryReport`]s structurally
+//! across fault sources, routers, and wavelength strategies. Every v2
+//! field of the report must come back zero/empty — the reference
+//! constructs them that way, so a single `assert_eq!` covers both the
+//! legacy observables and the "no v2 activity" invariant.
+
+use all_optical::core::priority::WavelengthStrategy;
+use all_optical::core::{
+    AbandonReason, FaultSource, PriorityStrategy, ProtocolParams, ProtocolWorkspace, Recovery,
+    RecoveryPolicy, RecoveryReport, RecoveryRound, ScheduleCtx, WormOutcome,
+};
+use all_optical::paths::select::bfs::bfs_route_avoiding;
+use all_optical::paths::{Path, PathCollection};
+use all_optical::topo::{topologies, Network};
+use all_optical::wdm::{ChurnModel, Engine, Fate, FaultPlan, RouterConfig, TransmissionSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-worm bookkeeping of the v1 loop, verbatim.
+struct RefTrack {
+    path: Path,
+    best_progress: u32,
+    no_improve: u32,
+    consecutive_fails: u32,
+    reroutes: u32,
+    first_suspect: Option<u32>,
+    outcome: Option<WormOutcome>,
+}
+
+/// The pre-v2 recovery loop: per-run engine construction, per-round
+/// `Vec` allocations, the legacy exponential multiplier. Must consume
+/// the RNG stream exactly like `Recovery::run` under the default
+/// policy.
+fn reference_recovery(
+    net: &Network,
+    coll: &PathCollection,
+    p: &ProtocolParams,
+    policy: &RecoveryPolicy,
+    faults: &FaultSource,
+    rng: &mut impl Rng,
+) -> RecoveryReport {
+    let n = coll.len();
+    let b = p.router.bandwidth as u32;
+    let l = p.worm_len;
+    let metrics = coll.metrics();
+
+    let mut cfg = p.router;
+    cfg.record_conflicts = false;
+    let mut engine = Engine::new(coll.link_count(), cfg);
+    engine.set_converters(p.converters.clone());
+    engine.set_dead_links(p.dead_links.clone());
+
+    let fixed_wl: Vec<u16> = match p.wavelengths {
+        WavelengthStrategy::FixedPerWorm => (0..n).map(|_| rng.gen_range(0..b) as u16).collect(),
+        _ => Vec::new(),
+    };
+
+    let mut tracks: Vec<RefTrack> = coll
+        .to_paths()
+        .into_iter()
+        .map(|path| RefTrack {
+            path,
+            best_progress: 0,
+            no_improve: 0,
+            consecutive_fails: 0,
+            reroutes: 0,
+            first_suspect: None,
+            outcome: None,
+        })
+        .collect();
+    let mut known_dead = vec![false; net.link_count()];
+    let mut suspicion = vec![0u32; net.link_count()];
+    let mut detection_latencies: Vec<u32> = Vec::new();
+    let mut rounds: Vec<RecoveryRound> = Vec::new();
+    let mut total_time = 0u64;
+    let mut backoff_extra_time = 0u64;
+
+    for t in 1..=p.max_rounds {
+        let active: Vec<u32> = (0..n as u32)
+            .filter(|&w| tracks[w as usize].outcome.is_none())
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let ctx = ScheduleCtx {
+            n,
+            active: active.len(),
+            worm_len: l,
+            bandwidth: p.router.bandwidth,
+            path_congestion: metrics.path_congestion,
+            dilation: metrics.dilation,
+        };
+        let delta = p.schedule.delta(t, &ctx).max(1);
+
+        let multipliers: Vec<u32> = active
+            .iter()
+            .map(|&w| {
+                let fails = tracks[w as usize].consecutive_fails.min(31);
+                (1u32 << fails.min(16)).min(policy.backoff_cap)
+            })
+            .collect();
+        let max_mult = multipliers.iter().copied().max().unwrap_or(1);
+
+        let cur_dilation = active
+            .iter()
+            .map(|&w| tracks[w as usize].path.len() as u32)
+            .max()
+            .unwrap_or(0)
+            .max(metrics.dilation);
+
+        let plan = match faults {
+            FaultSource::None => None,
+            FaultSource::EveryRound(plan) => Some(plan.clone()),
+            FaultSource::PerRound(plans) => plans.get(t as usize - 1).cloned(),
+            FaultSource::Churn(model) => {
+                let horizon = delta * max_mult + cur_dilation + l + 2;
+                Some(model.plan_for_round(t, net.link_count(), horizon))
+            }
+        };
+        engine.set_fault_plan(plan);
+
+        let priorities = p.priorities.assign(&active, n, rng);
+        let wavelengths = p
+            .wavelengths
+            .assign(&active, p.router.bandwidth, &fixed_wl, rng);
+        let specs: Vec<TransmissionSpec<'_>> = active
+            .iter()
+            .zip(priorities.iter().zip(&wavelengths))
+            .zip(&multipliers)
+            .map(|((&w, (&prio, &wl)), &mult)| TransmissionSpec {
+                links: tracks[w as usize].path.links(),
+                start: rng.gen_range(0..delta * mult),
+                wavelength: wl,
+                priority: prio,
+                length: l,
+            })
+            .collect();
+
+        let outcome = engine.run(&specs, rng);
+
+        let mut delivered = 0usize;
+        let mut fault_kills = 0usize;
+        let mut stranded = 0usize;
+        let mut rerouted = 0usize;
+        let mut abandoned = 0usize;
+        for (k, r) in outcome.results.iter().enumerate() {
+            let w = active[k] as usize;
+            let track = &mut tracks[w];
+            if let Fate::Delivered { .. } = r.fate {
+                track.outcome = Some(if track.reroutes > 0 {
+                    WormOutcome::Rerouted {
+                        times: track.reroutes,
+                        round: t,
+                    }
+                } else {
+                    WormOutcome::Delivered { round: t }
+                });
+                delivered += 1;
+                continue;
+            }
+
+            track.consecutive_fails += 1;
+            let (progress, failed_link) = match r.fate {
+                Fate::Eliminated { at_edge, .. } => {
+                    (at_edge, Some(track.path.links()[at_edge as usize]))
+                }
+                Fate::Truncated { cut_at_edge, .. } => (
+                    track.path.len() as u32,
+                    Some(track.path.links()[cut_at_edge as usize]),
+                ),
+                Fate::Delivered { .. } => unreachable!("handled above"),
+            };
+            if progress > track.best_progress {
+                track.best_progress = progress;
+                track.no_improve = 0;
+            } else {
+                track.no_improve += 1;
+            }
+
+            if r.first_blocker.is_none() {
+                fault_kills += 1;
+                if track.first_suspect.is_none() {
+                    track.first_suspect = Some(t);
+                }
+                if let Some(link) = failed_link {
+                    suspicion[link as usize] += 1;
+                    if suspicion[link as usize] >= policy.confirm_after {
+                        known_dead[link as usize] = true;
+                        if policy.mirror_dead {
+                            known_dead[net.reverse_link(link) as usize] = true;
+                        }
+                    }
+                }
+            }
+
+            if track.no_improve < policy.stranded_after {
+                continue;
+            }
+            stranded += 1;
+            match bfs_route_avoiding(net, &known_dead, track.path.source(), track.path.dest()) {
+                None => {
+                    track.outcome = Some(WormOutcome::Abandoned {
+                        reason: AbandonReason::Disconnected,
+                    });
+                    abandoned += 1;
+                }
+                Some(_) if track.reroutes >= policy.max_reroutes => {
+                    track.outcome = Some(WormOutcome::Abandoned {
+                        reason: AbandonReason::RetryBudget,
+                    });
+                    abandoned += 1;
+                }
+                Some(new_path) => {
+                    if let Some(first) = track.first_suspect {
+                        detection_latencies.push(t - first + 1);
+                    }
+                    if new_path.links() != track.path.links() {
+                        track.path = new_path;
+                        track.reroutes += 1;
+                        rerouted += 1;
+                        track.best_progress = 0;
+                    }
+                    track.no_improve = 0;
+                    track.consecutive_fails = 0;
+                    track.first_suspect = None;
+                }
+            }
+        }
+
+        let round_time = (delta as u64) * (max_mult as u64) + 2 * (cur_dilation as u64 + l as u64);
+        total_time += round_time;
+        backoff_extra_time += (delta as u64) * (max_mult as u64 - 1);
+        rounds.push(RecoveryRound {
+            round: t,
+            delta,
+            max_multiplier: max_mult,
+            active_before: active.len(),
+            delivered,
+            fault_kills,
+            stranded,
+            rerouted,
+            abandoned,
+            backoff_held: 0,
+            breaker_held: 0,
+            rate_limited: 0,
+            budget_exhausted: 0,
+            breaker_transitions: 0,
+            dlq_enqueued: 0,
+            dlq_replayed: 0,
+        });
+    }
+
+    let outcomes: Vec<WormOutcome> = tracks
+        .into_iter()
+        .map(|track| {
+            track.outcome.unwrap_or(WormOutcome::Abandoned {
+                reason: AbandonReason::RoundBudget,
+            })
+        })
+        .collect();
+
+    RecoveryReport {
+        outcomes,
+        rounds,
+        total_time,
+        backoff_extra_time,
+        known_dead,
+        detection_latencies,
+        breaker_opens: 0,
+        breaker_half_opens: 0,
+        breaker_closes: 0,
+        breaker_open_rounds: 0,
+        breaker_holds: 0,
+        backoff_holds: 0,
+        budget_exhausted: 0,
+        rate_limited: 0,
+        dlq_enqueued: 0,
+        dlq_replayed: 0,
+        dead_letters: Vec::new(),
+    }
+}
+
+/// A ring instance with two-hop paths: small enough to drain fast,
+/// cyclic so every source/dest pair survives a single cut via the long
+/// way round (keeping reroutes — not disconnections — on the menu).
+fn ring_instance(n: usize) -> (Network, PathCollection) {
+    let net = topologies::ring(n);
+    let mut coll = PathCollection::for_network(&net);
+    for v in 0..n as u32 {
+        let nodes = [v, (v + 1) % n as u32, (v + 2) % n as u32];
+        coll.push(Path::from_nodes(&net, &nodes));
+    }
+    (net, coll)
+}
+
+/// The configuration grid: every branch of the legacy loop.
+fn configurations(
+    net: &Network,
+) -> Vec<(&'static str, ProtocolParams, RecoveryPolicy, FaultSource)> {
+    let mut out = Vec::new();
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+    p.max_rounds = 150;
+    out.push((
+        "fault-free serve-first",
+        p,
+        RecoveryPolicy::default(),
+        FaultSource::None,
+    ));
+
+    let mut p = ProtocolParams::new(RouterConfig::priority(2), 3);
+    p.max_rounds = 150;
+    let mut dead = vec![false; net.link_count()];
+    dead[net.link_between(0, 1).unwrap() as usize] = true;
+    p.dead_links = Some(dead);
+    out.push((
+        "static cut + priority router",
+        p,
+        RecoveryPolicy::default(),
+        FaultSource::None,
+    ));
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(1), 2);
+    p.max_rounds = 150;
+    p.wavelengths = WavelengthStrategy::FixedPerWorm;
+    p.priorities = PriorityStrategy::ByPathId;
+    let cut = net.link_between(3, 4).unwrap();
+    let plan = FaultPlan::with_seed(7)
+        .down(cut, 0)
+        .flaky(net.link_between(6, 7).unwrap(), 0.3);
+    out.push((
+        "scripted cut + flaky link, fixed wavelengths",
+        p,
+        RecoveryPolicy::default(),
+        FaultSource::EveryRound(plan),
+    ));
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+    p.max_rounds = 150;
+    let cut = net.link_between(2, 3).unwrap();
+    let plans = vec![
+        FaultPlan::none(),
+        FaultPlan::none().down(cut, 0),
+        FaultPlan::none().down(cut, 0),
+        FaultPlan::none().down(cut, 0),
+    ];
+    let policy = RecoveryPolicy {
+        confirm_after: 2,
+        stranded_after: 2,
+        ..RecoveryPolicy::default()
+    };
+    out.push((
+        "transient per-round cut, eager stranding",
+        p,
+        policy,
+        FaultSource::PerRound(plans),
+    ));
+
+    let mut p = ProtocolParams::new(RouterConfig::serve_first(2), 3);
+    p.max_rounds = 60;
+    let policy = RecoveryPolicy {
+        confirm_after: 3, // churn heals: don't condemn links for weather
+        backoff_cap: 8,
+        ..RecoveryPolicy::default()
+    };
+    out.push((
+        "stochastic churn, tempered condemnation",
+        p,
+        policy,
+        FaultSource::Churn(ChurnModel {
+            mtbf: 30.0,
+            mttr: 6.0,
+            seed: 11,
+        }),
+    ));
+
+    out
+}
+
+#[test]
+fn default_policy_matches_the_legacy_reference() {
+    let (net, coll) = ring_instance(10);
+    let mut ws = ProtocolWorkspace::new();
+    for (name, params, policy, faults) in configurations(&net) {
+        let rec = Recovery::new(&net, &coll, params.clone(), policy).with_faults(faults.clone());
+        for seed in 0..4u64 {
+            let want = reference_recovery(
+                &net,
+                &coll,
+                &params,
+                &policy,
+                &faults,
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            let fresh = rec.run(&mut ChaCha8Rng::seed_from_u64(seed));
+            assert_eq!(
+                fresh, want,
+                "fresh-workspace divergence: {name}, seed {seed}"
+            );
+            // The same long-lived workspace across every config and
+            // seed: cross-run leakage would diverge the report.
+            let reused = rec.run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(seed));
+            assert_eq!(
+                reused, want,
+                "reused-workspace divergence: {name}, seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_legacy_runs_are_invisible_and_reconcile() {
+    // The v2 hooks (breaker, DLQ, budget, rate-limit) must be inert on
+    // the legacy path: a CountersSink sees zero v2 activity, and the
+    // traced run stays byte-identical to the reference.
+    use all_optical::obs::CountersSink;
+
+    let (net, coll) = ring_instance(10);
+    let mut ws = ProtocolWorkspace::new();
+    for (name, params, policy, faults) in configurations(&net) {
+        let rec = Recovery::new(&net, &coll, params.clone(), policy).with_faults(faults.clone());
+        let want = reference_recovery(
+            &net,
+            &coll,
+            &params,
+            &policy,
+            &faults,
+            &mut ChaCha8Rng::seed_from_u64(5),
+        );
+        let counters = CountersSink::new(params.router.bandwidth);
+        let counted = rec.run_traced(&mut ws, &mut ChaCha8Rng::seed_from_u64(5), &mut &counters);
+        assert_eq!(counted, want, "CountersSink divergence: {name}");
+
+        let t = counters.totals();
+        assert_eq!(t.breaker_transitions(), 0, "{name}: no breakers configured");
+        assert_eq!(t.breaker_holds, 0, "{name}");
+        assert_eq!(t.budget_exhausted, 0, "{name}: no attempt budget");
+        assert_eq!(t.rate_limited, 0, "{name}: no rate limiter");
+        assert_eq!(t.dlq_enqueued + t.dlq_replayed, 0, "{name}: no DLQ");
+        let delivered: u64 = want.rounds.iter().map(|r| r.delivered as u64).sum();
+        assert_eq!(t.delivered, delivered, "{name}: deliveries reconcile");
+        // The report's fault_kills counts every blockerless failure;
+        // the sink splits them into eliminations (fault_kills) and
+        // mid-flight cuts (truncated, which also holds blocker cuts).
+        let fault_kills: u64 = want.rounds.iter().map(|r| r.fault_kills as u64).sum();
+        assert!(
+            t.fault_kills <= fault_kills,
+            "{name}: sink undercounts only cuts"
+        );
+        assert!(
+            t.fault_kills + t.truncated >= fault_kills,
+            "{name}: every blockerless failure lands in a sink bucket"
+        );
+    }
+}
