@@ -112,6 +112,77 @@ fn bench_contention_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Intra-trial sharded rounds at 1/2/8 shards on the dense contention
+/// workload (the `engine/round_sharded_{2,8}` twins of the perf-gate
+/// keys). Results are bit-identical across the row — see the determinism
+/// matrix in `crates/wdm/tests/golden_engine.rs` — so any spread between
+/// the bars is pure execution cost, not a workload change.
+fn bench_sharded_round(c: &mut Criterion) {
+    use optical_paths::select::bfs::bfs_route;
+    use rand::seq::SliceRandom;
+
+    let net = topologies::torus(2, 32);
+    let n = net.node_count() as u32;
+    let mut dests: Vec<u32> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    dests.shuffle(&mut rng);
+    let mut coll = PathCollection::for_network(&net);
+    for (s, &d) in dests.iter().enumerate() {
+        coll.push(bfs_route(&net, s as u32, d));
+    }
+    let specs: Vec<TransmissionSpec<'_>> = (0..coll.len())
+        .map(|i| TransmissionSpec {
+            links: coll.path(i).links(),
+            start: 0,
+            wavelength: (i % 2) as u16,
+            priority: i as u64,
+            length: 4,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("engine/round_sharded");
+    for &shards in &[1usize, 2, 8] {
+        group.throughput(Throughput::Elements(coll.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |bch, &s| {
+            let mut engine = Engine::new(coll.link_count(), RouterConfig::serve_first(2));
+            engine.set_shards(s);
+            bch.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(19);
+                engine.run(&specs, &mut rng).makespan
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The million-node case: `torus(2, 1024)`, one 8-hop worm per node,
+/// dense launch (the Criterion twin of the `engine/round_1m` gate key).
+/// Opt-in via `OPTICAL_BENCH_1M=1` — the workload holds ~4.2M-link
+/// engine state and a round takes seconds, which would dominate an
+/// ordinary `cargo bench` sweep.
+fn bench_million_node_round(c: &mut Criterion) {
+    if std::env::var_os("OPTICAL_BENCH_1M").is_none() {
+        return;
+    }
+    let w = optical_bench::million::TorusWalkWorkload::new(1024, 8);
+    let specs = w.dense_specs(2, 4);
+    let mut group = c.benchmark_group("engine/round_1m");
+    group.sample_size(10);
+    for &shards in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements(specs.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |bch, &s| {
+            let mut engine = Engine::new(w.net.link_count(), RouterConfig::serve_first(2));
+            engine.set_shards(s);
+            engine.reserve_worms(specs.len());
+            bch.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(19);
+                engine.run(&specs, &mut rng).makespan
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_worm_length(c: &mut Criterion) {
     let inst = bundle(64, 16, 16);
     let mut group = c.benchmark_group("engine/worm_length");
@@ -131,6 +202,8 @@ criterion_group!(
     bench_round_scaling,
     bench_rules,
     bench_contention_kernel,
+    bench_sharded_round,
+    bench_million_node_round,
     bench_worm_length
 );
 criterion_main!(benches);

@@ -137,6 +137,57 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
         out.insert("engine/resolve_sparse".into(), ns);
     }
 
+    // Intra-trial sharded rounds: the dense workload again, but with the
+    // round's link range partitioned across rayon workers
+    // (`Engine::set_shards`). Results are bit-identical to the serial
+    // path at any shard count (the golden determinism matrix pins this);
+    // these keys track the merge-pass overhead at 1 thread and the
+    // scaling headroom on multi-core hosts.
+    {
+        let dense_specs: Vec<TransmissionSpec<'_>> = (0..coll.len())
+            .map(|i| TransmissionSpec {
+                links: coll.path(i).links(),
+                start: 0,
+                wavelength: 0,
+                priority: i as u64,
+                length: 4,
+            })
+            .collect();
+        for shards in [2usize, 8] {
+            let mut engine = Engine::new(coll.link_count(), RouterConfig::serve_first(2));
+            engine.set_shards(shards);
+            let ns = bench(samples, warmup, || {
+                let mut rng = ChaCha8Rng::seed_from_u64(19);
+                black_box(engine.run(&dense_specs, &mut rng).makespan);
+            });
+            out.insert(format!("engine/round_sharded_{shards}"), ns);
+        }
+    }
+
+    // The million-node round: torus(2, 1024), one dense 8-hop worm per
+    // node (2^20 worms over ~4.2M directed links) — the scale the sharded
+    // path exists for. Shard count comes from `PERF_GATE_SHARDS`
+    // (default 8). Few samples: one round is orders of magnitude larger
+    // than every other key, and the median of a handful is stable at this
+    // size.
+    {
+        let shards: usize = std::env::var("PERF_GATE_SHARDS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8);
+        let w = optical_bench::million::TorusWalkWorkload::new(1024, 8);
+        let specs = w.dense_specs(2, 4);
+        let mut engine = Engine::new(w.net.link_count(), RouterConfig::serve_first(2));
+        engine.set_shards(shards);
+        engine.reserve_worms(specs.len());
+        let (m_samples, m_warmup) = if quick { (3, 1) } else { (5, 1) };
+        let ns = bench(m_samples, m_warmup, || {
+            let mut rng = ChaCha8Rng::seed_from_u64(19);
+            black_box(engine.run(&specs, &mut rng).makespan);
+        });
+        out.insert("engine/round_1m".into(), ns);
+    }
+
     // Full protocol runs, with and without per-round congestion recording.
     for (name, record) in [
         ("protocol/run_cong_on", true),
@@ -365,6 +416,7 @@ fn main() {
         // CI sanity hook: assert each committed result file parses to a
         // non-empty map of finite timings (tier1.sh runs this on both
         // BENCH_*.json files so a malformed commit fails fast).
+        let mut maps: Vec<(String, BTreeMap<String, f64>)> = Vec::new();
         for path in &parse {
             let map = read_json(path);
             assert!(!map.is_empty(), "{path}: no benchmark entries parsed");
@@ -375,6 +427,29 @@ fn main() {
                 );
             }
             println!("{path}: {} entries OK", map.len());
+            maps.push((path.clone(), map));
+        }
+        // Cross-file key coverage: a key present in one committed file
+        // but absent from another means the gate never compares it (the
+        // regression check silently skips unshared keys), so flag the
+        // drift here and fail.
+        let mut missing: Vec<String> = Vec::new();
+        for (pi, mi) in &maps {
+            for (pj, mj) in &maps {
+                if pi == pj {
+                    continue;
+                }
+                for k in mi.keys().filter(|k| !mj.contains_key(*k)) {
+                    missing.push(format!("{k}: in {pi}, missing from {pj}"));
+                }
+            }
+        }
+        if !missing.is_empty() {
+            println!("perf_gate --parse: bench key coverage drift:");
+            for m in &missing {
+                println!("  {m}");
+            }
+            std::process::exit(1);
         }
         return;
     }

@@ -32,6 +32,7 @@
 pub mod cache;
 pub mod experiments;
 pub mod harness;
+pub mod million;
 pub mod obs_run;
 
 pub use cache::InstanceCache;

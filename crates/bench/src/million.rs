@@ -1,0 +1,104 @@
+//! The million-node sharding workload.
+//!
+//! `torus(2, 1024)` has 2^20 nodes and ~4.2M directed links — the scale
+//! the intra-trial sharded round path (`Engine::set_shards`) exists for.
+//! The workload launches one worm per node on a fixed-length `+x`
+//! coordinate walk, built directly into a flat CSR (no per-path `Vec`s,
+//! no BFS): construction is a single linear scan, so the expensive part
+//! of the benchmark is the round itself, not the setup.
+//!
+//! Every worm starts at step 0 (dense launch): along each torus row the
+//! walks overlap maximally, so the round mixes singleton installs with
+//! heavily contended arrival groups — the same mix the shard merge pass
+//! has to get right. Used by both the `engine/round_1m` perf-gate key and
+//! the opt-in Criterion group (see `benches/engine.rs`).
+
+use optical_topo::{topologies, GridCoords, LinkId, Network};
+use optical_wdm::TransmissionSpec;
+
+/// A dense one-worm-per-node `+x`-walk workload on a 2-d torus, with all
+/// path links stored in one flat CSR.
+pub struct TorusWalkWorkload {
+    /// The underlying torus.
+    pub net: Network,
+    flat: Vec<LinkId>,
+    offsets: Vec<u32>,
+}
+
+impl TorusWalkWorkload {
+    /// Build the workload on `torus(2, side)`: worm `v` walks `hops`
+    /// links in the `+x` direction (wrapping) starting at node `v`.
+    pub fn new(side: u32, hops: u32) -> Self {
+        let net = topologies::torus(2, side);
+        let coords = GridCoords::new(2, side);
+        let n = net.node_count() as u32;
+        let mut flat = Vec::with_capacity(n as usize * hops as usize);
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        offsets.push(0);
+        for v in 0..n {
+            let mut u = v;
+            for _ in 0..hops {
+                let w = coords.torus_step(u, 0, 1);
+                flat.push(net.link_between(u, w).expect("torus +x neighbor"));
+                u = w;
+            }
+            offsets.push(flat.len() as u32);
+        }
+        TorusWalkWorkload { net, flat, offsets }
+    }
+
+    /// Number of worms (one per node).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the workload is empty (never, for a valid torus).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Worm `i`'s path links.
+    pub fn links_of(&self, i: usize) -> &[LinkId] {
+        &self.flat[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Dense specs: every worm launches at step 0, wavelengths striped
+    /// `i % b` so each wavelength plane carries the same contention.
+    pub fn dense_specs(&self, b: u16, len: u32) -> Vec<TransmissionSpec<'_>> {
+        (0..self.len())
+            .map(|i| TransmissionSpec {
+                links: self.links_of(i),
+                start: 0,
+                wavelength: (i % b as usize) as u16,
+                priority: i as u64,
+                length: len,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_are_contiguous_rows_of_valid_links() {
+        let w = TorusWalkWorkload::new(8, 3);
+        assert_eq!(w.len(), 64);
+        assert!(!w.is_empty());
+        for i in 0..w.len() {
+            assert_eq!(w.links_of(i).len(), 3);
+        }
+        let specs = w.dense_specs(2, 4);
+        assert_eq!(specs.len(), 64);
+        assert!(specs.iter().all(|s| s.start == 0 && s.wavelength < 2));
+        // The walk wraps: 8 hops from any node returns to its own row
+        // start, so every link id is within the torus's link range.
+        let max = specs
+            .iter()
+            .flat_map(|s| s.links.iter().copied())
+            .max()
+            .unwrap();
+        assert!((max as usize) < w.net.link_count());
+    }
+}

@@ -111,6 +111,7 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
             self.net.link_count(),
             n_sources,
             p.router,
+            1,
             false,
             &None,
             &None,

@@ -174,6 +174,7 @@ impl<'a> HopTrialAndFailure<'a> {
             self.collection.link_count(),
             n,
             self.router,
+            1,
             false,
             &None,
             &None,

@@ -65,6 +65,11 @@ pub struct ProtocolParams {
     /// stranded worms in `remaining` — reroute them with
     /// [`optical_paths::select::bfs::bfs_route_avoiding`] and run again.
     pub dead_links: Option<Vec<bool>>,
+    /// Intra-round engine shards (see [`optical_wdm::Engine::set_shards`]):
+    /// partition each round's link-contention work across rayon workers.
+    /// Outcome and RNG stream are bit-identical for every value; `1` (the
+    /// default) keeps the serial kernel.
+    pub shards: usize,
 }
 
 impl ProtocolParams {
@@ -83,6 +88,7 @@ impl ProtocolParams {
             record_congestion: false,
             converters: None,
             dead_links: None,
+            shards: 1,
         }
     }
 }
@@ -261,6 +267,7 @@ impl<'a> TrialAndFailure<'a> {
             self.collection.link_count(),
             self.collection.len(),
             fwd_cfg,
+            p.shards,
             simulated,
             &p.converters,
             &p.dead_links,

@@ -710,6 +710,7 @@ impl<'a> Recovery<'a> {
             self.net.link_count(),
             n,
             cfg,
+            p.shards,
             false,
             &p.converters,
             &p.dead_links,

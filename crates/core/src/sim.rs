@@ -148,6 +148,17 @@ impl<'a> SimBuilder<'a> {
         self
     }
 
+    /// Intra-round engine shards: partition each round's link-contention
+    /// work across `shards` rayon workers (million-node topologies). The
+    /// outcome and the RNG stream are **bit-identical for every value** —
+    /// all RNG draws happen in the serial merge pass in canonical order
+    /// (see DESIGN "Sharded round & RNG contract"). `1` (the default)
+    /// keeps the serial kernel; values are clamped to ≥ 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.params.shards = shards;
+        self
+    }
+
     /// Run the self-healing recovery loop with this policy instead of the
     /// plain protocol.
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {

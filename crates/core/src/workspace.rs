@@ -115,12 +115,16 @@ impl ProtocolWorkspace {
     /// any converter mask, dead-link mask, or fault plan left over from a
     /// previous run. `worm_count` sizes the engines' per-worm scratch
     /// (state-of-arrays columns, arrival queues) up front so the first
-    /// round does not grow them incrementally.
+    /// round does not grow them incrementally; `shards` is the intra-round
+    /// shard count (set **before** the scratch reservation so the
+    /// per-shard buffers are pre-sized too).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepare(
         &mut self,
         link_count: usize,
         worm_count: usize,
         cfg: RouterConfig,
+        shards: usize,
         with_ack: bool,
         converters: &Option<Vec<bool>>,
         dead_links: &Option<Vec<bool>>,
@@ -130,6 +134,7 @@ impl ProtocolWorkspace {
             link_count,
             worm_count,
             cfg,
+            shards,
             converters,
             dead_links,
         );
@@ -139,17 +144,20 @@ impl ProtocolWorkspace {
                 link_count,
                 worm_count,
                 cfg,
+                shards,
                 converters,
                 dead_links,
             );
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn prepare_engine(
         slot: &mut Option<Engine>,
         link_count: usize,
         worm_count: usize,
         cfg: RouterConfig,
+        shards: usize,
         converters: &Option<Vec<bool>>,
         dead_links: &Option<Vec<bool>>,
     ) {
@@ -158,6 +166,7 @@ impl ProtocolWorkspace {
             _ => *slot = Some(Engine::new(link_count, cfg)),
         }
         let e = slot.as_mut().expect("just prepared");
+        e.set_shards(shards);
         e.reserve_worms(worm_count);
         e.set_converters(converters.clone());
         e.set_dead_links(dead_links.clone());
@@ -225,13 +234,14 @@ mod tests {
     #[test]
     fn prepare_rebuilds_only_on_link_count_change() {
         let mut ws = ProtocolWorkspace::new();
-        ws.prepare(4, 8, RouterConfig::serve_first(2), false, &None, &None);
+        ws.prepare(4, 8, RouterConfig::serve_first(2), 1, false, &None, &None);
         assert_eq!(ws.engine.as_ref().unwrap().link_count(), 4);
         assert!(ws.ack_engine.is_none());
-        ws.prepare(4, 8, RouterConfig::priority(1), true, &None, &None);
+        ws.prepare(4, 8, RouterConfig::priority(1), 1, true, &None, &None);
         assert_eq!(ws.engine.as_ref().unwrap().link_count(), 4);
         assert_eq!(ws.ack_engine.as_ref().unwrap().link_count(), 4);
-        ws.prepare(9, 8, RouterConfig::serve_first(2), false, &None, &None);
+        ws.prepare(9, 8, RouterConfig::serve_first(2), 4, false, &None, &None);
         assert_eq!(ws.engine.as_ref().unwrap().link_count(), 9);
+        assert_eq!(ws.engine.as_ref().unwrap().shards(), 4);
     }
 }

@@ -27,6 +27,10 @@ pub struct CountersSink {
     rounds: AtomicU64,
     installs: AtomicU64,
     wl_installs: Vec<AtomicU64>,
+    sharded_rounds: AtomicU64,
+    shard_arrivals: AtomicU64,
+    shard_busiest: AtomicU64,
+    shard_width: AtomicU64,
     backoff_events: AtomicU64,
     max_backoff: AtomicU64,
     dead_links: AtomicU64,
@@ -64,6 +68,16 @@ pub struct CounterTotals {
     /// Installs per wavelength; index = wavelength, last bucket collects
     /// any overflow.
     pub wl_installs: Vec<u64>,
+    /// Engine rounds that ran the intra-round sharded kernel.
+    pub sharded_rounds: u64,
+    /// Head arrivals processed by sharded rounds, all shards summed.
+    pub shard_arrivals: u64,
+    /// Busiest-shard arrivals, summed over sharded rounds — with
+    /// `shard_arrivals` and `shard_width` this yields the mean
+    /// shard-imbalance ratio ([`CounterTotals::shard_imbalance`]).
+    pub shard_busiest: u64,
+    /// Widest shard count observed across sharded rounds.
+    pub shard_width: u64,
     /// Backoff hold-backs observed in the recovery layer.
     pub backoff_events: u64,
     /// Deepest backoff multiplier seen.
@@ -108,6 +122,10 @@ impl CountersSink {
             rounds: AtomicU64::new(0),
             installs: AtomicU64::new(0),
             wl_installs: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            sharded_rounds: AtomicU64::new(0),
+            shard_arrivals: AtomicU64::new(0),
+            shard_busiest: AtomicU64::new(0),
+            shard_width: AtomicU64::new(0),
             backoff_events: AtomicU64::new(0),
             max_backoff: AtomicU64::new(0),
             dead_links: AtomicU64::new(0),
@@ -136,6 +154,10 @@ impl CountersSink {
             rounds: self.rounds.load(Relaxed),
             installs: self.installs.load(Relaxed),
             wl_installs: self.wl_installs.iter().map(|c| c.load(Relaxed)).collect(),
+            sharded_rounds: self.sharded_rounds.load(Relaxed),
+            shard_arrivals: self.shard_arrivals.load(Relaxed),
+            shard_busiest: self.shard_busiest.load(Relaxed),
+            shard_width: self.shard_width.load(Relaxed),
             backoff_events: self.backoff_events.load(Relaxed),
             max_backoff: self.max_backoff.load(Relaxed),
             dead_links: self.dead_links.load(Relaxed),
@@ -184,6 +206,18 @@ impl CounterTotals {
     pub fn dlq_depth(&self) -> u64 {
         self.dlq_enqueued.saturating_sub(self.dlq_replayed)
     }
+
+    /// Mean shard-imbalance ratio over the sharded rounds observed:
+    /// busiest-shard arrivals relative to the perfectly balanced share
+    /// (`busiest · shards / total`; 1.0 = perfectly balanced, `shards` =
+    /// everything landed in one shard). `None` when no sharded round ran
+    /// or none saw an arrival.
+    pub fn shard_imbalance(&self) -> Option<f64> {
+        if self.sharded_rounds == 0 || self.shard_arrivals == 0 || self.shard_width == 0 {
+            return None;
+        }
+        Some(self.shard_busiest as f64 * self.shard_width as f64 / self.shard_arrivals as f64)
+    }
 }
 
 impl fmt::Display for CounterTotals {
@@ -207,6 +241,11 @@ impl fmt::Display for CounterTotals {
             self.dead_links,
             self.reroutes,
             self.abandoned
+        )?;
+        writeln!(
+            f,
+            "sharded_rounds={} shard_arrivals={} shard_busiest={} shard_width={}",
+            self.sharded_rounds, self.shard_arrivals, self.shard_busiest, self.shard_width
         )?;
         writeln!(
             f,
@@ -275,6 +314,13 @@ impl Sink for &CountersSink {
     #[inline]
     fn on_install(&mut self, _link: u32, wl: u16) {
         self.record_install(wl);
+    }
+    #[inline]
+    fn on_shard_round(&mut self, shards: u32, arrivals: u64, busiest: u64) {
+        self.sharded_rounds.fetch_add(1, Relaxed);
+        self.shard_arrivals.fetch_add(arrivals, Relaxed);
+        self.shard_busiest.fetch_add(busiest, Relaxed);
+        self.shard_width.fetch_max(u64::from(shards), Relaxed);
     }
     #[inline]
     fn on_backoff(&mut self, _round: u32, _worm: u32, depth: u32) {
@@ -365,6 +411,10 @@ impl Sink for CountersSink {
         (&*self).on_install(link, wl);
     }
     #[inline]
+    fn on_shard_round(&mut self, shards: u32, arrivals: u64, busiest: u64) {
+        (&*self).on_shard_round(shards, arrivals, busiest);
+    }
+    #[inline]
     fn on_backoff(&mut self, round: u32, worm: u32, depth: u32) {
         (&*self).on_backoff(round, worm, depth);
     }
@@ -446,6 +496,26 @@ mod tests {
         let text = t.to_string();
         assert!(text.contains("trials=3"));
         assert!(text.contains("wl_installs=[1, 2]"));
+    }
+
+    #[test]
+    fn shard_round_counters_fold_and_imbalance_is_normalized() {
+        let c = CountersSink::new(1);
+        let mut s = &c;
+        assert_eq!(c.totals().shard_imbalance(), None);
+        // Two perfectly balanced 4-shard rounds…
+        s.on_shard_round(4, 80, 20);
+        s.on_shard_round(4, 40, 10);
+        // …and one fully skewed one.
+        s.on_shard_round(4, 40, 40);
+        let t = c.totals();
+        assert_eq!(t.sharded_rounds, 3);
+        assert_eq!(t.shard_arrivals, 160);
+        assert_eq!(t.shard_busiest, 70);
+        assert_eq!(t.shard_width, 4);
+        // 70 * 4 / 160 = 1.75: between balanced (1.0) and one-shard (4.0).
+        assert_eq!(t.shard_imbalance(), Some(1.75));
+        assert!(t.to_string().contains("sharded_rounds=3"));
     }
 
     #[test]

@@ -157,6 +157,16 @@ pub trait Sink {
     #[inline]
     fn on_install(&mut self, _link: u32, _wl: u16) {}
 
+    /// A **sharded** engine round finished: its head arrivals were
+    /// processed by `shards` intra-round link shards, `arrivals` in
+    /// total, of which the busiest shard handled `busiest` — the
+    /// shard-imbalance signal (`busiest * shards / arrivals` ≥ 1, with
+    /// 1 meaning perfectly balanced). Emitted once per round, after the
+    /// round's `on_install` calls; serial rounds (shard count 1) emit
+    /// nothing. Like every hook, it never consumes the sim RNG.
+    #[inline]
+    fn on_shard_round(&mut self, _shards: u32, _arrivals: u64, _busiest: u64) {}
+
     /// The recovery layer is holding worm `worm` back under backoff
     /// multiplier `depth` (≥ 2) this round.
     #[inline]
@@ -275,6 +285,10 @@ impl<S: Sink + ?Sized> Sink for &mut S {
     #[inline]
     fn on_install(&mut self, link: u32, wl: u16) {
         (**self).on_install(link, wl);
+    }
+    #[inline]
+    fn on_shard_round(&mut self, shards: u32, arrivals: u64, busiest: u64) {
+        (**self).on_shard_round(shards, arrivals, busiest);
     }
     #[inline]
     fn on_backoff(&mut self, round: u32, worm: u32, depth: u32) {

@@ -47,6 +47,8 @@
 //!   differential and golden suites (see DESIGN.md §3, "Contention
 //!   kernel & memory layout").
 
+mod shard;
+
 use crate::config::{CollisionRule, RouterConfig, TieRule};
 use crate::fault::{FaultPlan, FaultRuntime, FaultSignal};
 use crate::resolve::{resolve_group, Candidate, GroupDecision};
@@ -100,6 +102,9 @@ pub struct Engine {
     /// [`Engine::set_fault_plan`]. `None` (the empty plan) keeps the
     /// fault-free fast path byte-for-byte.
     faults: Option<FaultRuntime>,
+    /// Requested intra-round shard count (see [`Engine::set_shards`]);
+    /// `1` keeps the serial kernel.
+    shard_count: usize,
     /// Reused per-run allocations (bucket queue, SoA worm state, group
     /// scratch), so a protocol run of many rounds allocates only on
     /// growth.
@@ -116,11 +121,18 @@ pub struct Engine {
 /// the 16-byte slot record); a set bit means *possibly* occupied, because
 /// occupancies end early when an upstream cut shortens the worm, and bits
 /// are not cleared mid-round. Set bits are verified against the
-/// generation-stamped [`Slot`] records. Per-link generation stamps make
-/// cross-round clearing free (a stale stamp reads as all-clear).
+/// generation-stamped [`Slot`] records.
+///
+/// Generation stamps are **per word**, parallel to `words`: a stale stamp
+/// reads as an all-clear word, so neither cross-round clearing nor the
+/// former first-install-in-round `fill(0)` of a link's whole word row is
+/// ever needed — `set` touches exactly one word regardless of `B`, which
+/// is what lets the sharded round hand each worker a disjoint word range
+/// with no per-link ownership handshake.
 struct BusyMasks {
-    /// Per-link generation stamp; stale stamp ⇒ all wavelengths clear.
-    gens: Vec<u32>,
+    /// Per-word generation stamp (`link_count * words_per_link`); stale
+    /// stamp ⇒ that word's 64 wavelengths are all clear.
+    word_gens: Vec<u32>,
     /// `link_count * words_per_link` occupancy words.
     words: Vec<u64>,
     words_per_link: usize,
@@ -130,7 +142,7 @@ impl BusyMasks {
     fn new(link_count: usize, bandwidth: u16) -> Self {
         let words_per_link = (bandwidth as usize).div_ceil(64).max(1);
         BusyMasks {
-            gens: vec![0; link_count],
+            word_gens: vec![0; link_count * words_per_link],
             words: vec![0; link_count * words_per_link],
             words_per_link,
         }
@@ -140,20 +152,80 @@ impl BusyMasks {
     /// generation; true means "verify against the slot record".
     #[inline]
     fn is_set(&self, link: usize, wl: usize, gen: u32) -> bool {
-        self.gens[link] == gen
-            && (self.words[link * self.words_per_link + wl / 64] >> (wl % 64)) & 1 == 1
+        let wi = link * self.words_per_link + wl / 64;
+        self.word_gens[wi] == gen && (self.words[wi] >> (wl % 64)) & 1 == 1
     }
 
-    /// Mark a slot installed, lazily resetting the link's words on first
-    /// touch in a new generation.
+    /// Mark a slot installed. O(1) per install for every `B`: a stale
+    /// word is overwritten rather than cleared first.
     #[inline]
     fn set(&mut self, link: usize, wl: usize, gen: u32) {
-        let base = link * self.words_per_link;
-        if self.gens[link] != gen {
-            self.gens[link] = gen;
-            self.words[base..base + self.words_per_link].fill(0);
+        let wi = link * self.words_per_link + wl / 64;
+        let bit = 1u64 << (wl % 64);
+        if self.word_gens[wi] == gen {
+            self.words[wi] |= bit;
+        } else {
+            self.word_gens[wi] = gen;
+            self.words[wi] = bit;
         }
-        self.words[base + wl / 64] |= 1u64 << (wl % 64);
+    }
+
+    /// Materialize one link's occupancy words for generation `gen` into
+    /// `out` (stale words read as 0) — the bulk form of [`BusyMasks::is_set`]
+    /// used by the conversion rule's free-wavelength scan. For B > 64 the
+    /// epoch-masking runs over `std::simd` u64x8/u64x4 lanes when the
+    /// `simd` feature is on (nightly); the scalar fallback is identical.
+    #[inline]
+    fn occupied_words_into(&self, link: usize, gen: u32, out: &mut Vec<u64>) {
+        let base = link * self.words_per_link;
+        out.clear();
+        mask_words(
+            &self.words[base..base + self.words_per_link],
+            &self.word_gens[base..base + self.words_per_link],
+            gen,
+            out,
+        );
+    }
+}
+
+/// `out[i] = if gens[i] == gen { words[i] } else { 0 }` — scalar fallback.
+#[cfg(not(feature = "simd"))]
+#[inline]
+fn mask_words(words: &[u64], gens: &[u32], gen: u32, out: &mut Vec<u64>) {
+    out.extend(
+        words
+            .iter()
+            .zip(gens)
+            .map(|(&w, &g)| if g == gen { w } else { 0 }),
+    );
+}
+
+/// `out[i] = if gens[i] == gen { words[i] } else { 0 }` — `std::simd`
+/// widened: 8-lane main loop, 4-lane tail, scalar remainder.
+#[cfg(feature = "simd")]
+fn mask_words(words: &[u64], gens: &[u32], gen: u32, out: &mut Vec<u64>) {
+    use std::simd::cmp::SimdPartialEq;
+    use std::simd::{u32x4, u32x8, u64x4, u64x8, Select};
+    let n = words.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        let w = u64x8::from_slice(&words[i..]);
+        let live = u32x8::from_slice(&gens[i..])
+            .simd_eq(u32x8::splat(gen))
+            .cast::<i64>();
+        out.extend_from_slice(&live.select(w, u64x8::splat(0)).to_array());
+        i += 8;
+    }
+    while i + 4 <= n {
+        let w = u64x4::from_slice(&words[i..]);
+        let live = u32x4::from_slice(&gens[i..])
+            .simd_eq(u32x4::splat(gen))
+            .cast::<i64>();
+        out.extend_from_slice(&live.select(w, u64x4::splat(0)).to_array());
+        i += 4;
+    }
+    for k in i..n {
+        out.push(if gens[k] == gen { words[k] } else { 0 });
     }
 }
 
@@ -218,6 +290,12 @@ struct Scratch {
     cands: Vec<Candidate>,
     free_wl: Vec<u16>,
     order: Vec<u32>,
+    /// Epoch-masked occupancy words of the link under conversion-rule
+    /// resolution (see [`BusyMasks::occupied_words_into`]).
+    occ_words: Vec<u64>,
+    /// Per-shard work buffers for the sharded round (one per effective
+    /// shard; empty while `shard_count == 1`).
+    shards: Vec<shard::ShardScratch>,
 }
 
 #[derive(Clone, Copy)]
@@ -254,21 +332,30 @@ struct Worms<'a> {
     cut_nodes: &'a mut Vec<CutNode>,
 }
 
+/// Effective length of worm `w` at path position `edge`: full length
+/// capped by every cut recorded at positions ≤ `edge`. Free function over
+/// the raw cut chain so read-only shard workers can share it with the
+/// mutable [`Worms`] view.
+#[inline]
+fn eff_len(cut_head: &[u32], cut_nodes: &[CutNode], w: usize, full: u32, edge: u32) -> u32 {
+    let mut len = full;
+    let mut i = cut_head[w];
+    while i != NO_CUT {
+        let n = cut_nodes[i as usize];
+        if n.edge <= edge {
+            len = len.min(n.len);
+        }
+        i = n.next;
+    }
+    len
+}
+
 impl Worms<'_> {
     /// Effective length of worm `w` at path position `edge`: full length
     /// capped by every cut recorded at positions ≤ `edge`.
     #[inline]
     fn eff_len_at(&self, w: usize, full: u32, edge: u32) -> u32 {
-        let mut len = full;
-        let mut i = self.cut_head[w];
-        while i != NO_CUT {
-            let n = self.cut_nodes[i as usize];
-            if n.edge <= edge {
-                len = len.min(n.len);
-            }
-            i = n.next;
-        }
-        len
+        eff_len(self.cut_head, self.cut_nodes, w, full, edge)
     }
 
     #[inline]
@@ -325,8 +412,25 @@ impl Engine {
             link_attr: vec![0; link_count],
             has_converters: false,
             faults: None,
+            shard_count: 1,
             scratch: Scratch::default(),
         }
+    }
+
+    /// Partition each round's link-contention work across `shards` rayon
+    /// workers (clamped to ≥ 1; `1`, the default, keeps the serial
+    /// kernel). Sharding applies to the serve-first fast path; results
+    /// and the RNG stream are **bit-identical for every shard count and
+    /// worker count** — all RNG draws happen in the serial merge pass in
+    /// canonical slot order, never inside a shard (see DESIGN "Sharded
+    /// round & RNG contract").
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shard_count = shards.max(1);
+    }
+
+    /// The configured intra-round shard count.
+    pub fn shards(&self) -> usize {
+        self.shard_count
     }
 
     /// Pre-size the per-worm scratch arrays for workloads of up to `n`
@@ -344,6 +448,20 @@ impl Engine {
         s.cur_events.reserve(n);
         s.next_events.reserve(n);
         s.ev_items.reserve(n);
+        // Pre-size the per-shard buffers too, so the first sharded round
+        // on a large topology doesn't grow them mid-round. Sized for the
+        // worst case of every head landing in one shard (inbox) while
+        // forwarding fans out evenly (outboxes).
+        if self.shard_count > 1 && self.link_count > 0 {
+            let plan = shard::ShardPlan::new(self.link_count, self.shard_count);
+            if s.shards.len() < plan.shards {
+                s.shards
+                    .resize_with(plan.shards, shard::ShardScratch::default);
+            }
+            for sc in &mut s.shards[..plan.shards] {
+                sc.reserve(n, plan.shards);
+            }
+        }
     }
 
     /// Inject **fiber cuts**: a worm whose head reaches a dead link is
@@ -522,7 +640,7 @@ impl Engine {
             // Wrapped: stamp everything invalid once (slots and masks
             // share the generation counter).
             self.occ.fill(EMPTY_SLOT);
-            self.masks.gens.fill(0);
+            self.masks.word_gens.fill(0);
             self.gen = 1;
         }
         let gen = self.gen;
@@ -647,6 +765,8 @@ impl Engine {
             cands,
             free_wl,
             order,
+            occ_words,
+            shards,
             ..
         } = &mut s;
         let mut worms = Worms {
@@ -660,254 +780,153 @@ impl Engine {
         cur.clear();
         next.clear();
 
-        for t in 0..loop_end {
-            if let Some(fr) = faults.as_mut() {
-                // A link failing this step cuts whatever is streaming
-                // across it: the forwarded fragment continues, the rest is
-                // dropped. No worm is to blame — `first_blocker` stays as
-                // is (None unless a real conflict already set it). Down and
-                // restore transitions are mirrored into the `ATTR_DOWN`
-                // bit so the per-arrival probe below is one byte test.
-                let occ = &self.occ;
-                let link_attr = &mut self.link_attr;
-                fr.begin_step_events(t, |link, sig| {
-                    match sig {
-                        FaultSignal::Restore => {
-                            link_attr[link as usize] &= !ATTR_DOWN;
-                            return;
+        // Sharded fast path: partition links (and their head-of-line
+        // worms) across rayon workers within this one round. Only the
+        // serve-first fast mode shards — it is the mode whose resolution
+        // is provably order-free outside contended groups, which is what
+        // the bit-identity argument rests on (see `engine::shard`).
+        let shard_plan = (fast_mode && self.shard_count > 1 && self.link_count > 0)
+            .then(|| shard::ShardPlan::new(self.link_count, self.shard_count));
+
+        if let Some(plan) = shard_plan {
+            self.run_steps_sharded(
+                &plan,
+                specs,
+                &mut worms,
+                shards,
+                key_meta,
+                ev_offsets,
+                ev_items,
+                cur_wl,
+                cands,
+                &mut conflicts,
+                next,
+                &mut faults,
+                has_flaky,
+                loop_end,
+                gen,
+                rng,
+                &mut makespan,
+                sink,
+            );
+        } else {
+            for t in 0..loop_end {
+                if let Some(fr) = faults.as_mut() {
+                    // A link failing this step cuts whatever is streaming
+                    // across it: the forwarded fragment continues, the rest is
+                    // dropped. No worm is to blame — `first_blocker` stays as
+                    // is (None unless a real conflict already set it). Down and
+                    // restore transitions are mirrored into the `ATTR_DOWN`
+                    // bit so the per-arrival probe below is one byte test.
+                    let occ = &self.occ;
+                    let link_attr = &mut self.link_attr;
+                    fr.begin_step_events(t, |link, sig| {
+                        match sig {
+                            FaultSignal::Restore => {
+                                link_attr[link as usize] &= !ATTR_DOWN;
+                                return;
+                            }
+                            FaultSignal::Down => link_attr[link as usize] |= ATTR_DOWN,
+                            FaultSignal::Garble => {}
                         }
-                        FaultSignal::Down => link_attr[link as usize] |= ATTR_DOWN,
-                        FaultSignal::Garble => {}
-                    }
-                    let base = link as usize * b;
-                    for wl in 0..b {
-                        let slot = occ[base + wl];
-                        if slot.gen == gen && slot.entry < t {
-                            let ow = slot.worm as usize;
-                            let eff = worms.eff_len_at(ow, specs[ow].length, slot.edge_idx);
-                            if t < slot.entry + eff {
-                                worms.push_cut(ow, slot.edge_idx, t - slot.entry);
-                                makespan = makespan.max(t);
+                        let base = link as usize * b;
+                        for wl in 0..b {
+                            let slot = occ[base + wl];
+                            if slot.gen == gen && slot.entry < t {
+                                let ow = slot.worm as usize;
+                                let eff = worms.eff_len_at(ow, specs[ow].length, slot.edge_idx);
+                                if t < slot.entry + eff {
+                                    worms.push_cut(ow, slot.edge_idx, t - slot.entry);
+                                    makespan = makespan.max(t);
+                                }
                             }
                         }
-                    }
-                });
-            }
-            if let Some(&[lo, hi]) = ev_offsets.get(t as usize..t as usize + 2) {
-                cur.extend(ev_items[lo as usize..hi as usize].iter().map(|&w| (w, 0)));
-            }
-            if cur.is_empty() {
-                continue;
-            }
-
-            if fast_mode {
-                // Stamped two-pass grouping: no sort. Singletons resolve
-                // inline in arrival order; contended (link, wavelength)
-                // slots resolve in ascending slot order with members
-                // sorted by worm id — the same group order, and therefore
-                // the same RNG stream, as the sorting path produces.
-                self.step_epoch = self.step_epoch.wrapping_add(1);
-                if self.step_epoch == 0 {
-                    key_meta.fill(KeyMeta::default());
-                    self.step_epoch = 1;
+                    });
                 }
-                let epoch = self.step_epoch;
-                keys.clear();
-                next_same.clear();
-                dup_keys.clear();
-                // Pass 1: stamp each arrival's slot key, chaining same-key
-                // arrivals; a key enters `dup_keys` on its 1 → 2
-                // transition.
-                for (i, &(w, e)) in cur.iter().enumerate() {
-                    let link = specs[w as usize].links[e as usize];
-                    if self.link_attr[link as usize] & ATTR_BLOCKED != 0
-                        || (has_flaky && faults.as_ref().is_some_and(|f| f.garbles(link, t)))
-                    {
-                        // Fiber cut: the head vanishes into the dead link.
-                        worms.kill_by_fault(w as usize, e, t, &mut makespan);
-                        keys.push(SKIP_KEY);
+                if let Some(&[lo, hi]) = ev_offsets.get(t as usize..t as usize + 2) {
+                    cur.extend(ev_items[lo as usize..hi as usize].iter().map(|&w| (w, 0)));
+                }
+                if cur.is_empty() {
+                    continue;
+                }
+
+                if fast_mode {
+                    // Stamped two-pass grouping: no sort. Singletons resolve
+                    // inline in arrival order; contended (link, wavelength)
+                    // slots resolve in ascending slot order with members
+                    // sorted by worm id — the same group order, and therefore
+                    // the same RNG stream, as the sorting path produces.
+                    self.step_epoch = self.step_epoch.wrapping_add(1);
+                    if self.step_epoch == 0 {
+                        key_meta.fill(KeyMeta::default());
+                        self.step_epoch = 1;
+                    }
+                    let epoch = self.step_epoch;
+                    keys.clear();
+                    next_same.clear();
+                    dup_keys.clear();
+                    // Pass 1: stamp each arrival's slot key, chaining same-key
+                    // arrivals; a key enters `dup_keys` on its 1 → 2
+                    // transition.
+                    for (i, &(w, e)) in cur.iter().enumerate() {
+                        let link = specs[w as usize].links[e as usize];
+                        if self.link_attr[link as usize] & ATTR_BLOCKED != 0
+                            || (has_flaky && faults.as_ref().is_some_and(|f| f.garbles(link, t)))
+                        {
+                            // Fiber cut: the head vanishes into the dead link.
+                            worms.kill_by_fault(w as usize, e, t, &mut makespan);
+                            keys.push(SKIP_KEY);
+                            next_same.push(NO_ARRIVAL);
+                            continue;
+                        }
+                        let key = link as usize * b + cur_wl[w as usize] as usize;
+                        keys.push(key as u32);
                         next_same.push(NO_ARRIVAL);
-                        continue;
+                        let m = &mut key_meta[key];
+                        if m.stamp != epoch {
+                            *m = KeyMeta {
+                                stamp: epoch,
+                                first: i as u32,
+                                last: i as u32,
+                            };
+                        } else {
+                            if m.first == m.last {
+                                dup_keys.push(key as u32);
+                            }
+                            next_same[m.last as usize] = i as u32;
+                            m.last = i as u32;
+                        }
                     }
-                    let key = link as usize * b + cur_wl[w as usize] as usize;
-                    keys.push(key as u32);
-                    next_same.push(NO_ARRIVAL);
-                    let m = &mut key_meta[key];
-                    if m.stamp != epoch {
-                        *m = KeyMeta {
-                            stamp: epoch,
-                            first: i as u32,
-                            last: i as u32,
+                    // Pass 2a: uncontended arrivals. A clear mask bit proves
+                    // the slot vacant — install without reading the slot; a
+                    // set bit falls back to the stamped-slot check.
+                    for (i, &(w, e)) in cur.iter().enumerate() {
+                        let key = keys[i];
+                        if key == SKIP_KEY {
+                            continue;
+                        }
+                        let m = key_meta[key as usize];
+                        if m.first != i as u32 || m.last != i as u32 {
+                            continue;
+                        }
+                        let link = specs[w as usize].links[e as usize] as usize;
+                        let wl = cur_wl[w as usize] as usize;
+                        let slot_idx = link * b + wl;
+                        let occupant = if self.masks.is_set(link, wl, gen) {
+                            let slot = self.occ[slot_idx];
+                            (slot.gen == gen && {
+                                let ow = slot.worm as usize;
+                                t < slot.entry
+                                    + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
+                            })
+                            .then_some(slot.worm)
+                        } else {
+                            None
                         };
-                    } else {
-                        if m.first == m.last {
-                            dup_keys.push(key as u32);
-                        }
-                        next_same[m.last as usize] = i as u32;
-                        m.last = i as u32;
-                    }
-                }
-                // Pass 2a: uncontended arrivals. A clear mask bit proves
-                // the slot vacant — install without reading the slot; a
-                // set bit falls back to the stamped-slot check.
-                for (i, &(w, e)) in cur.iter().enumerate() {
-                    let key = keys[i];
-                    if key == SKIP_KEY {
-                        continue;
-                    }
-                    let m = key_meta[key as usize];
-                    if m.first != i as u32 || m.last != i as u32 {
-                        continue;
-                    }
-                    let link = specs[w as usize].links[e as usize] as usize;
-                    let wl = cur_wl[w as usize] as usize;
-                    let slot_idx = link * b + wl;
-                    let occupant = if self.masks.is_set(link, wl, gen) {
-                        let slot = self.occ[slot_idx];
-                        (slot.gen == gen && {
-                            let ow = slot.worm as usize;
-                            t < slot.entry + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
-                        })
-                        .then_some(slot.worm)
-                    } else {
-                        None
-                    };
-                    match occupant {
-                        // Serve-first: the streaming occupant wins.
-                        Some(ow) => worms.kill(w as usize, e, t, ow, &mut makespan),
-                        None => {
-                            self.occ[slot_idx] = Slot {
-                                gen,
-                                worm: w,
-                                entry: t,
-                                edge_idx: e,
-                            };
-                            self.masks.set(link, wl, gen);
-                            sink.on_install(link as u32, wl as u16);
-                            advance(specs, &mut worms, next, w, e, t, &mut makespan);
-                        }
-                    }
-                }
-                // Pass 2b: contended slots, ascending; members by worm id.
-                dup_keys.sort_unstable();
-                for k in 0..dup_keys.len() {
-                    let m = key_meta[dup_keys[k] as usize];
-                    members.clear();
-                    let mut i = m.first;
-                    while i != NO_ARRIVAL {
-                        members.push(cur[i as usize]);
-                        i = next_same[i as usize];
-                    }
-                    members.sort_unstable();
-                    self.resolve_slot_group(
-                        specs,
-                        &mut worms,
-                        &mut conflicts,
-                        members,
-                        cands,
-                        t,
-                        gen,
-                        rng,
-                        &mut makespan,
-                        cur_wl,
-                        next,
-                        sink,
-                    );
-                }
-            } else {
-                arrivals.clear();
-                let plain_links =
-                    !matches!(self.config.rule, CollisionRule::Conversion) && !self.has_converters;
-                for &(w, e) in cur.iter() {
-                    let link = specs[w as usize].links[e as usize];
-                    let attr = self.link_attr[link as usize];
-                    if attr & ATTR_BLOCKED != 0
-                        || (has_flaky && faults.as_ref().is_some_and(|f| f.garbles(link, t)))
-                    {
-                        // Fiber cut: the head vanishes into the dead link.
-                        worms.kill_by_fault(w as usize, e, t, &mut makespan);
-                        continue;
-                    }
-                    let per_link = !plain_links
-                        && (matches!(self.config.rule, CollisionRule::Conversion)
-                            || attr & ATTR_CONV != 0);
-                    let sub = if per_link {
-                        b as u64
-                    } else {
-                        cur_wl[w as usize] as u64
-                    };
-                    // Key layout: link * (B + 1) + wl for fixed-wavelength
-                    // groups, link * (B + 1) + B for per-link (conversion)
-                    // groups — disjoint.
-                    let key = link as u64 * (b as u64 + 1) + sub;
-                    arrivals.push((key, w, e));
-                }
-                // Deterministic grouping: by key, then worm id.
-                arrivals.sort_unstable();
-
-                let mut i = 0;
-                while i < arrivals.len() {
-                    let key = arrivals[i].0;
-                    let mut j = i + 1;
-                    while j < arrivals.len() && arrivals[j].0 == key {
-                        j += 1;
-                    }
-                    members.clear();
-                    members.extend(arrivals[i..j].iter().map(|&(_, w, e)| (w, e)));
-                    i = j;
-                    let per_link = key % (b as u64 + 1) == b as u64;
-
-                    if per_link && matches!(self.config.rule, CollisionRule::Conversion) {
-                        self.resolve_conversion_group(
-                            specs,
-                            &mut worms,
-                            &mut conflicts,
-                            members,
-                            t,
-                            gen,
-                            rng,
-                            &mut makespan,
-                            cur_wl,
-                            next,
-                            free_wl,
-                            order,
-                            sink,
-                        );
-                    } else if per_link {
-                        self.resolve_hybrid_converter_group(
-                            specs,
-                            &mut worms,
-                            &mut conflicts,
-                            members,
-                            t,
-                            gen,
-                            &mut makespan,
-                            cur_wl,
-                            next,
-                            order,
-                            sink,
-                        );
-                    } else {
-                        if members.len() == 1 {
-                            // Fast path: a lone arrival at a vacant slot
-                            // wins unconditionally under every rule and tie
-                            // mode — `resolve_group` returns
-                            // `ArrivalWins(0)` for a single contender
-                            // without consulting the RNG, and with no
-                            // losers there is no conflict to log.
-                            let (w, e) = members[0];
-                            let link = specs[w as usize].links[e as usize] as usize;
-                            let wl = cur_wl[w as usize] as usize;
-                            let slot_idx = link * b + wl;
-                            let vacant = !self.masks.is_set(link, wl, gen) || {
-                                let slot = self.occ[slot_idx];
-                                slot.gen != gen || {
-                                    let ow = slot.worm as usize;
-                                    t >= slot.entry
-                                        + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
-                                }
-                            };
-                            if vacant {
+                        match occupant {
+                            // Serve-first: the streaming occupant wins.
+                            Some(ow) => worms.kill(w as usize, e, t, ow, &mut makespan),
+                            None => {
                                 self.occ[slot_idx] = Slot {
                                     gen,
                                     worm: w,
@@ -917,9 +936,20 @@ impl Engine {
                                 self.masks.set(link, wl, gen);
                                 sink.on_install(link as u32, wl as u16);
                                 advance(specs, &mut worms, next, w, e, t, &mut makespan);
-                                continue;
                             }
                         }
+                    }
+                    // Pass 2b: contended slots, ascending; members by worm id.
+                    dup_keys.sort_unstable();
+                    for k in 0..dup_keys.len() {
+                        let m = key_meta[dup_keys[k] as usize];
+                        members.clear();
+                        let mut i = m.first;
+                        while i != NO_ARRIVAL {
+                            members.push(cur[i as usize]);
+                            i = next_same[i as usize];
+                        }
+                        members.sort_unstable();
                         self.resolve_slot_group(
                             specs,
                             &mut worms,
@@ -935,10 +965,133 @@ impl Engine {
                             sink,
                         );
                     }
+                } else {
+                    arrivals.clear();
+                    let plain_links = !matches!(self.config.rule, CollisionRule::Conversion)
+                        && !self.has_converters;
+                    for &(w, e) in cur.iter() {
+                        let link = specs[w as usize].links[e as usize];
+                        let attr = self.link_attr[link as usize];
+                        if attr & ATTR_BLOCKED != 0
+                            || (has_flaky && faults.as_ref().is_some_and(|f| f.garbles(link, t)))
+                        {
+                            // Fiber cut: the head vanishes into the dead link.
+                            worms.kill_by_fault(w as usize, e, t, &mut makespan);
+                            continue;
+                        }
+                        let per_link = !plain_links
+                            && (matches!(self.config.rule, CollisionRule::Conversion)
+                                || attr & ATTR_CONV != 0);
+                        let sub = if per_link {
+                            b as u64
+                        } else {
+                            cur_wl[w as usize] as u64
+                        };
+                        // Key layout: link * (B + 1) + wl for fixed-wavelength
+                        // groups, link * (B + 1) + B for per-link (conversion)
+                        // groups — disjoint.
+                        let key = link as u64 * (b as u64 + 1) + sub;
+                        arrivals.push((key, w, e));
+                    }
+                    // Deterministic grouping: by key, then worm id.
+                    arrivals.sort_unstable();
+
+                    let mut i = 0;
+                    while i < arrivals.len() {
+                        let key = arrivals[i].0;
+                        let mut j = i + 1;
+                        while j < arrivals.len() && arrivals[j].0 == key {
+                            j += 1;
+                        }
+                        members.clear();
+                        members.extend(arrivals[i..j].iter().map(|&(_, w, e)| (w, e)));
+                        i = j;
+                        let per_link = key % (b as u64 + 1) == b as u64;
+
+                        if per_link && matches!(self.config.rule, CollisionRule::Conversion) {
+                            self.resolve_conversion_group(
+                                specs,
+                                &mut worms,
+                                &mut conflicts,
+                                members,
+                                t,
+                                gen,
+                                rng,
+                                &mut makespan,
+                                cur_wl,
+                                next,
+                                free_wl,
+                                order,
+                                occ_words,
+                                sink,
+                            );
+                        } else if per_link {
+                            self.resolve_hybrid_converter_group(
+                                specs,
+                                &mut worms,
+                                &mut conflicts,
+                                members,
+                                t,
+                                gen,
+                                &mut makespan,
+                                cur_wl,
+                                next,
+                                order,
+                                sink,
+                            );
+                        } else {
+                            if members.len() == 1 {
+                                // Fast path: a lone arrival at a vacant slot
+                                // wins unconditionally under every rule and tie
+                                // mode — `resolve_group` returns
+                                // `ArrivalWins(0)` for a single contender
+                                // without consulting the RNG, and with no
+                                // losers there is no conflict to log.
+                                let (w, e) = members[0];
+                                let link = specs[w as usize].links[e as usize] as usize;
+                                let wl = cur_wl[w as usize] as usize;
+                                let slot_idx = link * b + wl;
+                                let vacant = !self.masks.is_set(link, wl, gen) || {
+                                    let slot = self.occ[slot_idx];
+                                    slot.gen != gen || {
+                                        let ow = slot.worm as usize;
+                                        t >= slot.entry
+                                            + worms.eff_len_at(ow, specs[ow].length, slot.edge_idx)
+                                    }
+                                };
+                                if vacant {
+                                    self.occ[slot_idx] = Slot {
+                                        gen,
+                                        worm: w,
+                                        entry: t,
+                                        edge_idx: e,
+                                    };
+                                    self.masks.set(link, wl, gen);
+                                    sink.on_install(link as u32, wl as u16);
+                                    advance(specs, &mut worms, next, w, e, t, &mut makespan);
+                                    continue;
+                                }
+                            }
+                            self.resolve_slot_group(
+                                specs,
+                                &mut worms,
+                                &mut conflicts,
+                                members,
+                                cands,
+                                t,
+                                gen,
+                                rng,
+                                &mut makespan,
+                                cur_wl,
+                                next,
+                                sink,
+                            );
+                        }
+                    }
                 }
+                cur.clear();
+                std::mem::swap(&mut cur, &mut next);
             }
-            cur.clear();
-            std::mem::swap(&mut cur, &mut next);
         }
 
         // Final fates, read straight off the SoA arrays.
@@ -1154,6 +1307,7 @@ impl Engine {
         next: &mut Vec<(u32, u32)>,
         free_wl: &mut Vec<u16>,
         order: &mut Vec<u32>,
+        occ_words: &mut Vec<u64>,
         sink: &mut S,
     ) {
         let b = self.config.bandwidth as usize;
@@ -1161,10 +1315,15 @@ impl Engine {
         let link = specs[w0 as usize].links[e0 as usize];
         let base = link as usize * b;
 
+        // Bulk-materialize the link's epoch-masked occupancy words (SIMD
+        // lanes under the `simd` feature), then verify only the
+        // possibly-occupied slots — a clear bit proves a slot vacant
+        // without reading its record.
+        self.masks
+            .occupied_words_into(link as usize, gen, occ_words);
         free_wl.clear();
         for wl in 0..b {
-            // A clear mask bit proves the slot vacant without reading it.
-            let active = self.masks.is_set(link as usize, wl, gen) && {
+            let active = (occ_words[wl / 64] >> (wl % 64)) & 1 == 1 && {
                 let slot = self.occ[base + wl];
                 slot.gen == gen && {
                     let ow = slot.worm as usize;
@@ -2139,5 +2298,206 @@ mod tests {
         let mut eng = Engine::new(net.link_count(), RouterConfig::serve_first(1));
         let out = eng.run(&[spec(&p, 7, 0, 0, 2)], &mut rng());
         assert_eq!(out.makespan, 7 + 5 + 2 - 1);
+    }
+
+    /// Epoch-stamped reset: a new generation makes every previously set
+    /// word read as clear without any `fill(0)`, across the single-bit,
+    /// exact-word-boundary, and multi-word mask regimes.
+    #[test]
+    fn busy_masks_epoch_stamp_resets_every_width() {
+        for &b in &[1u16, 64, 65, 256] {
+            let mut m = BusyMasks::new(3, b);
+            let top = (b - 1) as usize;
+            m.set(1, 0, 1);
+            m.set(1, top, 1);
+            assert!(m.is_set(1, 0, 1), "B={b}");
+            assert!(m.is_set(1, top, 1), "B={b}");
+            assert!(!m.is_set(0, 0, 1), "B={b}: other links untouched");
+            assert!(!m.is_set(2, top, 1), "B={b}: other links untouched");
+            if b > 1 {
+                assert!(!m.is_set(1, 1, 1), "B={b}: unset wavelengths clear");
+            }
+            // A later generation must observe a fully clear mask even
+            // though the words still hold generation-1 bits.
+            assert!(!m.is_set(1, 0, 2), "B={b}: stale word reads clear");
+            assert!(!m.is_set(1, top, 2), "B={b}: stale word reads clear");
+            // Installing under the new generation overwrites the stale
+            // word; the old generation's bit in that word is gone.
+            m.set(1, top, 2);
+            assert!(m.is_set(1, top, 2), "B={b}");
+            if top >= 64 {
+                // wl 0 lives in a different word that is still stale.
+                assert!(!m.is_set(1, 0, 2), "B={b}: sibling word still stale");
+            }
+            // The bulk form applies the same epoch masking.
+            let mut out = Vec::new();
+            m.occupied_words_into(1, 2, &mut out);
+            assert_eq!(out.len(), (b as usize).div_ceil(64).max(1), "B={b}");
+            assert_eq!(out[top / 64] >> (top % 64) & 1, 1, "B={b}");
+            let live: u32 = out.iter().map(|w| w.count_ones()).sum();
+            assert_eq!(live, 1, "B={b}: only the gen-2 install is visible");
+            m.occupied_words_into(1, 3, &mut out);
+            assert!(out.iter().all(|&w| w == 0), "B={b}: all words stale");
+        }
+    }
+
+    /// The shard plan is a total, contiguous, ascending partition of the
+    /// link range, with at most the requested number of shards.
+    #[test]
+    fn shard_plan_partitions_links_contiguously() {
+        for &(links, req) in &[
+            (1usize, 8usize),
+            (7, 3),
+            (8, 8),
+            (9, 8),
+            (100, 7),
+            (5, 1),
+            (4096, 8),
+        ] {
+            let plan = shard::ShardPlan::new(links, req);
+            assert!(plan.shards >= 1, "links={links} req={req}");
+            assert!(plan.shards <= req, "links={links} req={req}");
+            assert!(
+                plan.chunk * plan.shards >= links,
+                "links={links} req={req}: plan must cover every link"
+            );
+            let mut prev = 0;
+            for l in 0..links {
+                let s = plan.shard_of(l);
+                assert!(s < plan.shards, "links={links} req={req}");
+                assert!(s >= prev, "links={links} req={req}: shards ascend");
+                assert_eq!(s, l / plan.chunk);
+                prev = s;
+            }
+            assert_eq!(
+                plan.shard_of(links - 1),
+                plan.shards - 1,
+                "links={links} req={req}: last shard is non-empty"
+            );
+        }
+    }
+
+    /// One scenario, many shard counts: fates, witnesses, makespan, and
+    /// the post-run RNG stream must be bit-identical to the serial engine.
+    /// Runs two rounds per engine so the second round exercises stale
+    /// generation stamps and reused per-shard scratch.
+    fn assert_shard_invariant(
+        link_count: usize,
+        cfg: RouterConfig,
+        specs: &[TransmissionSpec<'_>],
+        plan: Option<FaultPlan>,
+    ) {
+        use rand::Rng as _;
+        let mut serial = Engine::new(link_count, cfg);
+        serial.set_fault_plan(plan.clone());
+        let mut srng = rng();
+        let first = serial.run(specs, &mut srng);
+        let second = serial.run(specs, &mut srng);
+        let tail = srng.gen::<u64>();
+        for shards in [1usize, 2, 3, 8] {
+            let mut eng = Engine::new(link_count, cfg);
+            eng.set_fault_plan(plan.clone());
+            eng.set_shards(shards);
+            assert_eq!(eng.shards(), shards.max(1));
+            let mut r = rng();
+            let a = eng.run(specs, &mut r);
+            let b = eng.run(specs, &mut r);
+            for (round, (got, want)) in [(&a, &first), (&b, &second)].into_iter().enumerate() {
+                assert_eq!(got.results, want.results, "shards={shards} round={round}");
+                assert_eq!(got.makespan, want.makespan, "shards={shards} round={round}");
+            }
+            assert_eq!(r.gen::<u64>(), tail, "shards={shards}: RNG stream diverged");
+        }
+    }
+
+    /// Sharded serve-first rounds are bit-identical to serial across mask
+    /// widths and every tie rule — including `Random`, whose draws happen
+    /// only in the merge pass (see `engine/shard.rs` module docs).
+    #[test]
+    fn sharded_rounds_are_bit_identical_to_serial() {
+        let net = topologies::ring(12);
+        // Collision-heavy: staggered overlapping clockwise walks so every
+        // step has singleton installs, contended groups, and cross-shard
+        // handoffs.
+        let paths: Vec<Vec<u32>> = (0..16u32)
+            .map(|i| {
+                let hops = i % 5 + 1;
+                let nodes: Vec<u32> = (0..=hops).map(|k| (i + k) % 12).collect();
+                links(&net, &nodes)
+            })
+            .collect();
+        for &b in &[1u16, 2, 65] {
+            for tie in [TieRule::LowestId, TieRule::Random, TieRule::AllEliminated] {
+                let cfg = RouterConfig {
+                    bandwidth: b,
+                    rule: CollisionRule::ServeFirst,
+                    tie,
+                    record_conflicts: false,
+                };
+                let specs: Vec<TransmissionSpec<'_>> = paths
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        spec(
+                            p,
+                            (i % 3) as u32,
+                            (i as u16 * 3) % b,
+                            i as u64,
+                            2 + (i % 3) as u32,
+                        )
+                    })
+                    .collect();
+                assert_shard_invariant(net.link_count(), cfg, &specs, None);
+            }
+        }
+    }
+
+    /// Fault streams (down/restore/flaky) are applied in the same order in
+    /// the sharded path; outcomes and RNG use stay bit-identical.
+    #[test]
+    fn sharded_round_with_faults_matches_serial() {
+        let net = topologies::ring(10);
+        let paths: Vec<Vec<u32>> = (0..12u32)
+            .map(|i| {
+                let hops = i % 4 + 1;
+                let nodes: Vec<u32> = (0..=hops).map(|k| (i + k) % 10).collect();
+                links(&net, &nodes)
+            })
+            .collect();
+        let specs: Vec<TransmissionSpec<'_>> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| spec(p, (i % 2) as u32, 0, i as u64, 3))
+            .collect();
+        let plan = FaultPlan::with_seed(11)
+            .down(2, 1)
+            .restore(2, 4)
+            .down(7, 0)
+            .flaky(5, 0.5);
+        let cfg = RouterConfig {
+            bandwidth: 1,
+            rule: CollisionRule::ServeFirst,
+            tie: TieRule::Random,
+            record_conflicts: false,
+        };
+        assert_shard_invariant(net.link_count(), cfg, &specs, Some(plan));
+    }
+
+    /// Shard counts larger than the link count degrade gracefully: the
+    /// plan clamps to one link per shard and results stay identical.
+    #[test]
+    fn oversharded_tiny_topology_matches_serial() {
+        let net = topologies::chain(3); // 4 directed links
+        let a = links(&net, &[0, 1, 2]);
+        let b = links(&net, &[1, 2]);
+        let cfg = RouterConfig::serve_first(1);
+        let specs = [spec(&a, 0, 0, 0, 2), spec(&b, 1, 0, 1, 2)];
+        let mut serial = Engine::new(net.link_count(), cfg);
+        let want = serial.run(&specs, &mut rng());
+        let mut eng = Engine::new(net.link_count(), cfg);
+        eng.set_shards(64);
+        let got = eng.run(&specs, &mut rng());
+        assert_eq!(got.results, want.results);
+        assert_eq!(got.makespan, want.makespan);
     }
 }

@@ -1,0 +1,505 @@
+//! Intra-round sharded execution of the serve-first fast path.
+//!
+//! One round's work — links and the head-of-line worms arriving at them —
+//! is partitioned into contiguous **link-range shards**. Each shard owns a
+//! disjoint slice of the occupancy table, the wavelength bitmask words and
+//! the grouping key table, so the per-step shard pass runs on rayon
+//! workers with no synchronization at all. Everything a shard may *not*
+//! decide locally is buffered and folded back by a serial, deterministic
+//! **merge pass**, which makes the outcome — and the RNG stream —
+//! bit-identical to the serial kernel for every shard count and every
+//! rayon worker count.
+//!
+//! ```text
+//!   step t arrivals ──scatter by link──▶ ┌ shard 0: links [0, C)      ┐
+//!                                        │ shard 1: links [C, 2C)     │  parallel,
+//!                                        │   …                        │  no RNG,
+//!                                        └ shard k: links [kC, n)     ┘  no shared writes
+//!        each shard: kill-at-fault ▷ buffer     singleton ▷ install own slice,
+//!                    contended key ▷ local CSR  winner    ▷ outbox[link/C]
+//!                                   │
+//!                                   ▼
+//!        serial merge: apply buffered kills/dones/install events, then
+//!        resolve contended groups in ascending slot order — the ONLY
+//!        place the round's RNG is consumed (canonical order).
+//! ```
+//!
+//! # Why the merge-only RNG contract holds
+//!
+//! In fast mode the serial kernel consumes RNG in exactly one place: a
+//! [`TieRule::Random`](crate::config::TieRule) tie among ≥ 2 simultaneous
+//! arrivals with no streaming occupant (see
+//! [`crate::resolve::may_consume_rng`]). Singleton arrivals and
+//! occupant-wins outcomes draw nothing — so shards may resolve them in
+//! parallel — and every key with ≥ 2 arrivals is deferred to the merge.
+//! Shard key ranges are disjoint and ascending in shard index, so
+//! resolving each shard's (locally sorted) contended keys in shard order
+//! visits keys in the same globally ascending order the serial pass 2b
+//! produces: same groups, same member order (sorted by worm id), same
+//! draws, same stream.
+//!
+//! # Why deferring kills is safe
+//!
+//! A kill at a worm's head edge `e` records a length-0 cut *at `e`*; the
+//! worm's existing occupancies all sit at edges `< e` (its head already
+//! passed them), and effective-length queries only consider cuts at
+//! positions `≤` the queried edge. So a kill buffered during the shard
+//! pass cannot change any same-step occupancy test, in any shard — the
+//! serial kernel's interleaving and the shard/merge split compute the
+//! same round.
+
+use rayon::prelude::*;
+
+use super::{
+    eff_len, Candidate, Conflict, Engine, FaultRuntime, FaultSignal, KeyMeta, Slot,
+    TransmissionSpec, Worms, ATTR_BLOCKED, NO_ARRIVAL, NO_WORM, SKIP_KEY,
+};
+use optical_obs::Sink;
+use rand::Rng;
+
+/// Shard geometry: contiguous link ranges of `chunk` links each.
+pub(super) struct ShardPlan {
+    /// Links per shard (last shard may be short).
+    pub(super) chunk: usize,
+    /// Effective shard count: `ceil(link_count / chunk)`.
+    pub(super) shards: usize,
+}
+
+impl ShardPlan {
+    pub(super) fn new(link_count: usize, requested: usize) -> Self {
+        let req = requested.clamp(1, link_count.max(1));
+        let chunk = link_count.div_ceil(req).max(1);
+        let shards = link_count.div_ceil(chunk).max(1);
+        ShardPlan { chunk, shards }
+    }
+
+    #[inline]
+    pub(super) fn shard_of(&self, link: usize) -> usize {
+        link / self.chunk
+    }
+}
+
+/// Per-shard work buffers, owned by the engine scratch so rounds reuse
+/// them allocation-free.
+#[derive(Default)]
+pub(super) struct ShardScratch {
+    /// This step's `(worm, edge)` head arrivals at links of this shard.
+    inbox: Vec<(u32, u32)>,
+    /// Winners forwarded to their next link, bucketed by target shard;
+    /// drained into the targets' inboxes at the top of the next step.
+    outbox: Vec<Vec<(u32, u32)>>,
+    /// Same-key chains over `inbox` indices (mirrors the serial pass 1).
+    keys: Vec<u32>,
+    next_same: Vec<u32>,
+    /// Deferred eliminations: `(worm, edge, blocker)`; `blocker ==
+    /// NO_WORM` marks a fault kill (dead/garbled link — nothing blocked
+    /// it).
+    kills: Vec<(u32, u32, u32)>,
+    /// Worms whose head finished its path this step.
+    done: Vec<u32>,
+    /// Buffered `Sink::on_install` events (collected only when the sink
+    /// is enabled).
+    installs: Vec<(u32, u16)>,
+    /// Contended slot keys (≥ 2 arrivals), sorted ascending, with their
+    /// members (sorted by worm id) in CSR form — resolved by the merge.
+    dup_keys: Vec<u32>,
+    dup_offsets: Vec<u32>,
+    dup_members: Vec<(u32, u32)>,
+    /// Head arrivals processed this round (shard-imbalance signal).
+    round_arrivals: u64,
+}
+
+impl ShardScratch {
+    /// Pre-size for up to `worms` head arrivals in one step (worst case:
+    /// all of them land here) fanning out to `shards` targets.
+    pub(super) fn reserve(&mut self, worms: usize, shards: usize) {
+        self.inbox.reserve(worms);
+        self.keys.reserve(worms);
+        self.next_same.reserve(worms);
+        self.kills.reserve(worms / 4 + 1);
+        self.done.reserve(worms / 4 + 1);
+        if self.outbox.len() < shards {
+            self.outbox.resize_with(shards, Vec::new);
+        }
+        for ob in &mut self.outbox {
+            ob.reserve(worms / shards + 1);
+        }
+    }
+}
+
+/// Read-only state every shard shares during one step's parallel pass.
+struct StepCtx<'a> {
+    plan: &'a ShardPlan,
+    specs: &'a [TransmissionSpec<'a>],
+    cur_wl: &'a [u16],
+    cut_head: &'a [u32],
+    cut_nodes: &'a [super::CutNode],
+    link_attr: &'a [u8],
+    faults: Option<&'a FaultRuntime>,
+    has_flaky: bool,
+    gen: u32,
+    epoch: u32,
+    t: u32,
+    b: usize,
+    wpl: usize,
+    collect_installs: bool,
+}
+
+/// One shard's disjoint mutable slices plus its scratch, rebuilt per step
+/// from `chunks_mut` over the engine tables.
+struct ShardJob<'a> {
+    lo_link: usize,
+    occ: &'a mut [Slot],
+    words: &'a mut [u64],
+    word_gens: &'a mut [u32],
+    meta: &'a mut [KeyMeta],
+    sc: &'a mut ShardScratch,
+}
+
+impl ShardJob<'_> {
+    /// The shard pass: serial fast-mode pass 1 + pass 2a over this
+    /// shard's links, with kills/dones/installs buffered and contended
+    /// keys parked in a local CSR for the merge. Consumes no RNG and
+    /// writes nothing outside the shard's own slices.
+    fn run(self, cx: &StepCtx<'_>) {
+        let ShardJob {
+            lo_link,
+            occ,
+            words,
+            word_gens,
+            meta,
+            sc,
+        } = self;
+        let lo_key = lo_link * cx.b;
+        let n = sc.inbox.len();
+        sc.round_arrivals += n as u64;
+        sc.keys.clear();
+        sc.next_same.clear();
+        sc.dup_keys.clear();
+
+        // Pass 1: stamp each arrival's slot key, chaining same-key
+        // arrivals; a key enters `dup_keys` on its 1 → 2 transition.
+        // Heads at dead/garbled links are buffered as fault kills.
+        for i in 0..n {
+            let (w, e) = sc.inbox[i];
+            let link = cx.specs[w as usize].links[e as usize];
+            if cx.link_attr[link as usize] & ATTR_BLOCKED != 0
+                || (cx.has_flaky && cx.faults.is_some_and(|f| f.garbles(link, cx.t)))
+            {
+                sc.kills.push((w, e, NO_WORM));
+                sc.keys.push(SKIP_KEY);
+                sc.next_same.push(NO_ARRIVAL);
+                continue;
+            }
+            let key = link as usize * cx.b + cx.cur_wl[w as usize] as usize;
+            sc.keys.push(key as u32);
+            sc.next_same.push(NO_ARRIVAL);
+            let m = &mut meta[key - lo_key];
+            if m.stamp != cx.epoch {
+                *m = KeyMeta {
+                    stamp: cx.epoch,
+                    first: i as u32,
+                    last: i as u32,
+                };
+            } else {
+                if m.first == m.last {
+                    sc.dup_keys.push(key as u32);
+                }
+                sc.next_same[m.last as usize] = i as u32;
+                m.last = i as u32;
+            }
+        }
+
+        // Pass 2a: uncontended arrivals, against this shard's own
+        // occupancy slices. Install or buffer a kill; winners go to the
+        // done list or the target shard's outbox bucket.
+        for i in 0..n {
+            let key = sc.keys[i];
+            if key == SKIP_KEY {
+                continue;
+            }
+            let m = meta[key as usize - lo_key];
+            if m.first != i as u32 || m.last != i as u32 {
+                continue;
+            }
+            let (w, e) = sc.inbox[i];
+            let link = cx.specs[w as usize].links[e as usize] as usize;
+            let wl = cx.cur_wl[w as usize] as usize;
+            let li = link - lo_link;
+            let wi = li * cx.wpl + wl / 64;
+            let bit = 1u64 << (wl % 64);
+            let occupant = if word_gens[wi] == cx.gen && words[wi] & bit != 0 {
+                let slot = occ[li * cx.b + wl];
+                (slot.gen == cx.gen && {
+                    let ow = slot.worm as usize;
+                    cx.t < slot.entry
+                        + eff_len(
+                            cx.cut_head,
+                            cx.cut_nodes,
+                            ow,
+                            cx.specs[ow].length,
+                            slot.edge_idx,
+                        )
+                })
+                .then_some(slot.worm)
+            } else {
+                None
+            };
+            match occupant {
+                // Serve-first: the streaming occupant wins.
+                Some(ow) => sc.kills.push((w, e, ow)),
+                None => {
+                    occ[li * cx.b + wl] = Slot {
+                        gen: cx.gen,
+                        worm: w,
+                        entry: cx.t,
+                        edge_idx: e,
+                    };
+                    if word_gens[wi] == cx.gen {
+                        words[wi] |= bit;
+                    } else {
+                        word_gens[wi] = cx.gen;
+                        words[wi] = bit;
+                    }
+                    if cx.collect_installs {
+                        sc.installs.push((link as u32, wl as u16));
+                    }
+                    let nxt = e + 1;
+                    if nxt as usize == cx.specs[w as usize].links.len() {
+                        sc.done.push(w);
+                    } else {
+                        let nlink = cx.specs[w as usize].links[nxt as usize] as usize;
+                        sc.outbox[cx.plan.shard_of(nlink)].push((w, nxt));
+                    }
+                }
+            }
+        }
+
+        // Pass 2b (local half): park contended keys, ascending, members
+        // sorted by worm id — the merge resolves them in this order.
+        sc.dup_keys.sort_unstable();
+        sc.dup_offsets.clear();
+        sc.dup_members.clear();
+        sc.dup_offsets.push(0);
+        for k in 0..sc.dup_keys.len() {
+            let m = meta[sc.dup_keys[k] as usize - lo_key];
+            let start = sc.dup_members.len();
+            let mut i = m.first;
+            while i != NO_ARRIVAL {
+                sc.dup_members.push(sc.inbox[i as usize]);
+                i = sc.next_same[i as usize];
+            }
+            sc.dup_members[start..].sort_unstable();
+            sc.dup_offsets.push(sc.dup_members.len() as u32);
+        }
+    }
+}
+
+impl Engine {
+    /// The sharded step loop: replaces the serial per-step loop of
+    /// [`Engine::run_into_traced`] when `shard_count > 1` and the round
+    /// is in fast mode. Bit-identical to the serial loop — see the module
+    /// docs for the argument.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn run_steps_sharded<S: Sink>(
+        &mut self,
+        plan: &ShardPlan,
+        specs: &[TransmissionSpec<'_>],
+        worms: &mut Worms<'_>,
+        shard_sc: &mut Vec<ShardScratch>,
+        key_meta: &mut [KeyMeta],
+        ev_offsets: &[u32],
+        ev_items: &[u32],
+        cur_wl: &[u16],
+        cands: &mut Vec<Candidate>,
+        conflicts: &mut Vec<Conflict>,
+        next: &mut Vec<(u32, u32)>,
+        faults: &mut Option<FaultRuntime>,
+        has_flaky: bool,
+        loop_end: u32,
+        gen: u32,
+        rng: &mut impl Rng,
+        makespan: &mut u32,
+        sink: &mut S,
+    ) {
+        let b = self.config.bandwidth as usize;
+        let wpl = self.masks.words_per_link;
+        let nshards = plan.shards;
+        if shard_sc.len() < nshards {
+            shard_sc.resize_with(nshards, ShardScratch::default);
+        }
+        let shard_sc = &mut shard_sc[..nshards];
+        for sc in shard_sc.iter_mut() {
+            sc.round_arrivals = 0;
+            sc.inbox.clear();
+            if sc.outbox.len() < nshards {
+                sc.outbox.resize_with(nshards, Vec::new);
+            }
+            for ob in &mut sc.outbox {
+                ob.clear();
+            }
+            sc.kills.clear();
+            sc.done.clear();
+            sc.installs.clear();
+            sc.dup_keys.clear();
+            sc.dup_offsets.clear();
+            sc.dup_members.clear();
+        }
+        next.clear();
+
+        for t in 0..loop_end {
+            if let Some(fr) = faults.as_mut() {
+                // Identical to the serial loop: link failures cut whatever
+                // streams across them, before any of this step's arrivals
+                // are looked at.
+                let occ = &self.occ;
+                let link_attr = &mut self.link_attr;
+                fr.begin_step_events(t, |link, sig| {
+                    match sig {
+                        FaultSignal::Restore => {
+                            link_attr[link as usize] &= !super::ATTR_DOWN;
+                            return;
+                        }
+                        FaultSignal::Down => link_attr[link as usize] |= super::ATTR_DOWN,
+                        FaultSignal::Garble => {}
+                    }
+                    let base = link as usize * b;
+                    for wl in 0..b {
+                        let slot = occ[base + wl];
+                        if slot.gen == gen && slot.entry < t {
+                            let ow = slot.worm as usize;
+                            let eff = worms.eff_len_at(ow, specs[ow].length, slot.edge_idx);
+                            if t < slot.entry + eff {
+                                worms.push_cut(ow, slot.edge_idx, t - slot.entry);
+                                *makespan = (*makespan).max(t);
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Gather this step's arrivals: initial launches, last step's
+            // pass-2a winners (shard outboxes) and last step's contended
+            // winners (`next`, filled by the merge). Inbox order within a
+            // step is irrelevant — grouping stamps and sorts make every
+            // outcome order-free, exactly as in the serial fast path.
+            for sc in shard_sc.iter_mut() {
+                sc.inbox.clear();
+            }
+            if let Some(&[lo, hi]) = ev_offsets.get(t as usize..t as usize + 2) {
+                for &w in &ev_items[lo as usize..hi as usize] {
+                    let link = specs[w as usize].links[0] as usize;
+                    shard_sc[plan.shard_of(link)].inbox.push((w, 0));
+                }
+            }
+            for from in 0..nshards {
+                for to in 0..nshards {
+                    let mut moved = std::mem::take(&mut shard_sc[from].outbox[to]);
+                    shard_sc[to].inbox.append(&mut moved);
+                    shard_sc[from].outbox[to] = moved;
+                }
+            }
+            for (w, e) in next.drain(..) {
+                let link = specs[w as usize].links[e as usize] as usize;
+                shard_sc[plan.shard_of(link)].inbox.push((w, e));
+            }
+            if shard_sc.iter().all(|sc| sc.inbox.is_empty()) {
+                continue;
+            }
+
+            self.step_epoch = self.step_epoch.wrapping_add(1);
+            if self.step_epoch == 0 {
+                key_meta.fill(KeyMeta::default());
+                self.step_epoch = 1;
+            }
+
+            // Parallel shard pass over disjoint slices of the occupancy
+            // tables. No RNG, no shared writes; `for_each` on the indexed
+            // jobs keeps results attached to their shard via the scratch.
+            {
+                let ctx = StepCtx {
+                    plan,
+                    specs,
+                    cur_wl,
+                    cut_head: worms.cut_head,
+                    cut_nodes: worms.cut_nodes,
+                    link_attr: &self.link_attr,
+                    faults: faults.as_ref(),
+                    has_flaky,
+                    gen,
+                    epoch: self.step_epoch,
+                    t,
+                    b,
+                    wpl,
+                    collect_installs: S::ENABLED,
+                };
+                let jobs: Vec<ShardJob<'_>> = shard_sc
+                    .iter_mut()
+                    .zip(self.occ.chunks_mut(plan.chunk * b))
+                    .zip(self.masks.words.chunks_mut(plan.chunk * wpl))
+                    .zip(self.masks.word_gens.chunks_mut(plan.chunk * wpl))
+                    .zip(key_meta[..self.link_count * b].chunks_mut(plan.chunk * b))
+                    .enumerate()
+                    .map(|(si, ((((sc, occ), words), word_gens), meta))| ShardJob {
+                        lo_link: si * plan.chunk,
+                        occ,
+                        words,
+                        word_gens,
+                        meta,
+                        sc,
+                    })
+                    .collect();
+                jobs.into_par_iter().for_each(|job| job.run(&ctx));
+            }
+
+            // Serial merge, shard order = ascending link ranges. First the
+            // order-free buffered effects (kills, path completions,
+            // install events), then the contended groups — the only RNG
+            // consumer — in globally ascending slot order.
+            for sc in shard_sc.iter_mut() {
+                for &(w, e, blocker) in &sc.kills {
+                    if blocker == NO_WORM {
+                        worms.kill_by_fault(w as usize, e, t, makespan);
+                    } else {
+                        worms.kill(w as usize, e, t, blocker, makespan);
+                    }
+                }
+                sc.kills.clear();
+                for &w in &sc.done {
+                    worms.head_done[w as usize] = true;
+                    *makespan = (*makespan).max(t + 1);
+                }
+                sc.done.clear();
+                if S::ENABLED {
+                    for &(link, wl) in &sc.installs {
+                        sink.on_install(link, wl);
+                    }
+                    sc.installs.clear();
+                }
+            }
+            for sc in shard_sc.iter().take(nshards) {
+                for g in 0..sc.dup_keys.len() {
+                    let lo = sc.dup_offsets[g] as usize;
+                    let hi = sc.dup_offsets[g + 1] as usize;
+                    let members = &sc.dup_members[lo..hi];
+                    debug_assert!(
+                        members.len() >= 2,
+                        "merge-only RNG contract: every deferred group is contended"
+                    );
+                    self.resolve_slot_group(
+                        specs, worms, conflicts, members, cands, t, gen, rng, makespan, cur_wl,
+                        next, sink,
+                    );
+                }
+            }
+        }
+
+        let total: u64 = shard_sc.iter().map(|sc| sc.round_arrivals).sum();
+        let busiest: u64 = shard_sc
+            .iter()
+            .map(|sc| sc.round_arrivals)
+            .max()
+            .unwrap_or(0);
+        sink.on_shard_round(nshards as u32, total, busiest);
+    }
+}

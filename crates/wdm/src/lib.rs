@@ -1,3 +1,4 @@
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 #![warn(missing_docs)]
 
 //! Flit-level simulator of all-optical (WDM) wormhole routing.

@@ -95,6 +95,22 @@ pub fn resolve_group(
     }
 }
 
+/// Can resolving a serve-first group with `arrivals` simultaneous
+/// arrivals at a **vacant** slot consume the RNG?
+///
+/// This is the taxonomy behind the engine's **merge-only RNG contract**
+/// (see `engine::shard`): under serve-first, an occupied slot and a
+/// singleton arrival are decided without touching `rng` — only a
+/// [`TieRule::Random`] tie among ≥ 2 contenders draws (exactly one
+/// `gen_range`). The sharded round therefore resolves occupied and
+/// singleton cases inside parallel shards and defers every multi-arrival
+/// group to its serial merge pass, where the draws happen in canonical
+/// ascending slot order — reproducing the serial kernel's RNG stream bit
+/// for bit at any shard count.
+pub fn may_consume_rng(tie: TieRule, arrivals: usize) -> bool {
+    matches!(tie, TieRule::Random) && arrivals >= 2
+}
+
 /// Break a tie among the arrivals whose priority equals `only_priority`
 /// (all arrivals when `None`). Contenders are enumerated in ascending
 /// index order, matching the former collect-into-`Vec` behaviour draw for
@@ -139,6 +155,48 @@ mod tests {
 
     fn rng() -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn rng_taxonomy_matches_resolver_behaviour() {
+        // `may_consume_rng` must stay in lockstep with `resolve_group`:
+        // the sharded engine parallelizes exactly the cases it rules out.
+        assert!(!may_consume_rng(TieRule::Random, 1));
+        assert!(!may_consume_rng(TieRule::LowestId, 5));
+        assert!(!may_consume_rng(TieRule::AllEliminated, 5));
+        assert!(may_consume_rng(TieRule::Random, 2));
+
+        // Occupied slot and singleton arrival: zero draws under
+        // serve-first, whatever the tie rule.
+        for (occ, arrivals) in [
+            (Some(c(9, 0)), &[c(1, 0), c(2, 0)][..]),
+            (None, &[c(1, 0)][..]),
+        ] {
+            let mut r1 = rng();
+            let mut r2 = rng();
+            resolve_group(
+                CollisionRule::ServeFirst,
+                TieRule::Random,
+                occ,
+                arrivals,
+                &mut r1,
+            );
+            assert_eq!(r1, r2, "no RNG consumed");
+            let _ = r2.gen_range(0..2u32); // the streams really are comparable
+        }
+
+        // A contended vacant slot under Random: exactly one draw.
+        let mut r1 = rng();
+        resolve_group(
+            CollisionRule::ServeFirst,
+            TieRule::Random,
+            None,
+            &[c(1, 0), c(2, 0)],
+            &mut r1,
+        );
+        let mut r2 = rng();
+        let _ = r2.gen_range(0..2usize);
+        assert_eq!(r1, r2, "exactly one gen_range draw");
     }
 
     #[test]

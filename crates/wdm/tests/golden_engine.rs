@@ -359,3 +359,147 @@ fn random_tie_is_deterministic_under_fixed_seed() {
         2
     );
 }
+
+/// The determinism matrix for intra-trial sharding: the golden digest and
+/// the post-run RNG stream are invariant under the shard count (1, 2, 8)
+/// across mask widths and tie rules — including `Random`, whose draws are
+/// confined to the serial merge pass (the merge-only RNG contract; see
+/// `optical_wdm::resolve::may_consume_rng` and the `engine/shard` docs).
+/// `scripts/tier1.sh` additionally re-runs this file under
+/// `RAYON_NUM_THREADS=1` to pin thread-count independence.
+#[test]
+fn sharded_digest_matrix_is_shard_invariant() {
+    use rand::Rng as _;
+
+    let net = topologies::ring(8);
+    for &b in &[1u16, 2, 64, 65] {
+        for tie in [TieRule::LowestId, TieRule::Random, TieRule::AllEliminated] {
+            let config = RouterConfig {
+                bandwidth: b,
+                rule: CollisionRule::ServeFirst,
+                tie,
+                record_conflicts: false,
+            };
+            let (paths, meta) = ring_scenario(&net, 12, b);
+            let specs = specs_of(&paths, &meta);
+
+            let mut serial = Engine::new(net.link_count(), config);
+            let mut rng = ChaCha8Rng::seed_from_u64(0x51AD);
+            let want = digest(&serial.run(&specs, &mut rng));
+            let want_tail = rng.gen::<u64>();
+
+            for shards in [1usize, 2, 8] {
+                let mut engine = Engine::new(net.link_count(), config);
+                engine.set_shards(shards);
+                let mut rng = ChaCha8Rng::seed_from_u64(0x51AD);
+                let got = digest(&engine.run(&specs, &mut rng));
+                assert_eq!(got, want, "B={b} tie={tie:?} shards={shards}: digest drift");
+                assert_eq!(
+                    rng.gen::<u64>(),
+                    want_tail,
+                    "B={b} tie={tie:?} shards={shards}: RNG stream drift"
+                );
+            }
+        }
+    }
+}
+
+/// Sharding under an active fault plan (down/restore/flaky events feeding
+/// the per-step cut stream) still reproduces the serial digest and RNG
+/// stream at every shard count.
+#[test]
+fn sharded_digest_matrix_with_fault_plan() {
+    use optical_wdm::FaultPlan;
+    use rand::Rng as _;
+
+    let net = topologies::ring(8);
+    let config = RouterConfig {
+        bandwidth: 2,
+        rule: CollisionRule::ServeFirst,
+        tie: TieRule::Random,
+        record_conflicts: false,
+    };
+    let (paths, meta) = ring_scenario(&net, 12, 2);
+    let specs = specs_of(&paths, &meta);
+    let plan = FaultPlan::with_seed(0xF4)
+        .down(3, 1)
+        .restore(3, 5)
+        .down(9, 0)
+        .flaky(6, 0.4);
+
+    let mut serial = Engine::new(net.link_count(), config);
+    serial.set_fault_plan(Some(plan.clone()));
+    let mut rng = ChaCha8Rng::seed_from_u64(0xFA5);
+    let want = digest(&serial.run(&specs, &mut rng));
+    let want_tail = rng.gen::<u64>();
+
+    for shards in [2usize, 8] {
+        let mut engine = Engine::new(net.link_count(), config);
+        engine.set_fault_plan(Some(plan.clone()));
+        engine.set_shards(shards);
+        let mut rng = ChaCha8Rng::seed_from_u64(0xFA5);
+        assert_eq!(
+            digest(&engine.run(&specs, &mut rng)),
+            want,
+            "faulted digest drift at {shards} shards"
+        );
+        assert_eq!(
+            rng.gen::<u64>(),
+            want_tail,
+            "faulted RNG drift at {shards} shards"
+        );
+    }
+}
+
+/// The `on_shard_round` hook fires exactly once per sharded round and
+/// never for serial rounds — and observing it does not perturb the digest.
+#[test]
+fn shard_round_hook_fires_only_when_sharded() {
+    use optical_obs::CountersSink;
+
+    let net = topologies::ring(8);
+    let config = RouterConfig {
+        bandwidth: 2,
+        rule: CollisionRule::ServeFirst,
+        tie: TieRule::LowestId,
+        record_conflicts: false,
+    };
+    let (paths, meta) = ring_scenario(&net, 12, 2);
+    let specs = specs_of(&paths, &meta);
+    let mut out = RoundOutcome::default();
+
+    let serial_counters = CountersSink::new(2);
+    let mut serial = Engine::new(net.link_count(), config);
+    serial.run_into_traced(
+        &specs,
+        &mut ChaCha8Rng::seed_from_u64(9),
+        &mut out,
+        &mut &serial_counters,
+    );
+    let want = digest(&out);
+    assert_eq!(
+        serial_counters.totals().sharded_rounds,
+        0,
+        "serial rounds must not report shard stats"
+    );
+
+    let counters = CountersSink::new(2);
+    let mut engine = Engine::new(net.link_count(), config);
+    engine.set_shards(4);
+    engine.run_into_traced(
+        &specs,
+        &mut ChaCha8Rng::seed_from_u64(9),
+        &mut out,
+        &mut &counters,
+    );
+    assert_eq!(digest(&out), want, "counted sharded run drifted");
+    let t = counters.totals();
+    assert_eq!(t.sharded_rounds, 1);
+    assert_eq!(t.shard_width, 4);
+    assert!(t.shard_arrivals > 0, "arrivals must be counted");
+    assert!(
+        t.shard_busiest >= 1 && t.shard_busiest <= t.shard_arrivals,
+        "busiest shard is bounded by the total"
+    );
+    assert!(t.shard_imbalance().is_some());
+}

@@ -18,6 +18,9 @@
 # Gated entries (see perf_gate.rs): engine/round_* (full forward pass),
 # engine/resolve_dense / engine/resolve_sparse (contention-kernel extremes:
 # every worm in one tie group vs lone heads at vacant bitmask slots),
+# engine/round_sharded_{2,8} (intra-trial sharded rounds on the dense
+# workload), engine/round_1m (the dense million-node torus round; shard
+# count via PERF_GATE_SHARDS, default 8),
 # protocol/run_cong_*, protocol/run_obs_off (the traced path with the
 # NullSink — guards the zero-overhead observability contract),
 # metrics/collection_* (flat-array metrics kernels),
@@ -27,6 +30,12 @@
 # crates/bench/benches/engine.rs (group engine/contention).
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")/.."
+
+# The sharded engine keys (engine/round_sharded_*, engine/round_1m) and
+# the experiment pipeline scale with the rayon pool, so record the
+# effective width alongside the numbers.
+host_cores="$(nproc 2>/dev/null || echo '?')"
+echo "perf gate: effective rayon threads = ${RAYON_NUM_THREADS:-$host_cores} (host cores: $host_cores)"
 
 mode=pr
 tolerance=1.25

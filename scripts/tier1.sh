@@ -46,6 +46,14 @@ fi
 echo "== cargo test -q =="
 cargo test -q
 
+# Shard determinism matrix under a pinned single rayon thread: the golden
+# engine suite (which includes the shard-count 1/2/8 digest matrix) must
+# produce the same results whether rayon actually fans out or runs every
+# shard on one worker — the sharded round's thread-count independence
+# contract. The default-thread run is already covered by `cargo test -q`.
+echo "== shard determinism matrix (RAYON_NUM_THREADS=1) =="
+RAYON_NUM_THREADS=1 cargo test -q -p optical-wdm --test golden_engine
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

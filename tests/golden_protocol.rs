@@ -284,6 +284,28 @@ fn hot_path_matches_reference_implementation() {
 }
 
 #[test]
+fn sharded_protocol_runs_are_bit_identical() {
+    // The intra-trial shard count is an execution detail, not a model
+    // parameter: a full protocol run must produce a byte-identical report
+    // (fates, round observables, RNG stream) at every shard count. The
+    // grid includes configs that take the sharded fast path and configs
+    // that legitimately fall back to the serial path (converters, acks).
+    let (net, coll) = torus_instance(4, 24, 0xC0FFEE);
+    let mut ws = ProtocolWorkspace::new();
+    for (name, params) in configurations(&net) {
+        let want = TrialAndFailure::new(&net, &coll, params.clone())
+            .run(&mut ChaCha8Rng::seed_from_u64(5));
+        for shards in [2usize, 8] {
+            let mut p = params.clone();
+            p.shards = shards;
+            let got = TrialAndFailure::new(&net, &coll, p)
+                .run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(5));
+            assert_eq!(got, want, "{name}: shard count {shards} changed the report");
+        }
+    }
+}
+
+#[test]
 fn traced_runs_with_any_sink_match_the_reference() {
     // The observability hooks must be invisible: `run_traced` under the
     // NullSink, a ring-buffered EventSink, and a shared CountersSink has
