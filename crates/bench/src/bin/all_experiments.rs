@@ -1,4 +1,4 @@
-//! Regenerate every experiment table (E1–E15) in one parallel run.
+//! Regenerate every experiment table (E1–E16) in one parallel run.
 //! Flags: `--quick`, `--seed N`, `--trials N`, `--timings`, `--obs`.
 //!
 //! The report goes to stdout and is byte-identical at any thread count;

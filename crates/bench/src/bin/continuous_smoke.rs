@@ -1,0 +1,144 @@
+//! Steady-state serving smoke: a short diurnal-mix run through the
+//! event-driven engine with admission control, asserting the operational
+//! invariants end to end — the per-tenant in-flight caps actually bound
+//! the active population, the deferral path re-injects instead of
+//! dropping, and the streaming latency sketch fills while the
+//! observability counters stay in lockstep with the report.
+//!
+//! Tier-1 runs this after the recovery chaos smoke: it is the end-to-end
+//! guard for the calendar-queue serving loop under heterogeneous load,
+//! the same way `recovery_chaos` guards the failure stack.
+//!
+//! Flags: `--quick`, `--seed N`, `--trials N`.
+
+use optical_bench::ExpConfig;
+use optical_core::continuous::{
+    AdmissionControl, ArrivalProcess, SteadyParams, SteadyRun, TrafficMix,
+};
+use optical_core::{DelaySchedule, ProtocolWorkspace};
+use optical_obs::CountersSink;
+use optical_paths::select::bfs::bfs_route_with;
+use optical_topo::algo::PathFinder;
+use optical_topo::topologies;
+use optical_wdm::RouterConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let rounds: u32 = if cfg.quick { 150 } else { 400 };
+    let net = topologies::torus(2, 6);
+    let cap = 4u32;
+
+    // A hot four-tenant mix: steady floor, Poisson, a hard burster, and
+    // a day/night curve — offered load well past the caps, so both
+    // admission policies must actually do work.
+    let mix = TrafficMix {
+        tenants: vec![
+            ArrivalProcess::Bernoulli { prob: 0.3 },
+            ArrivalProcess::Poisson { rate: 0.3 },
+            ArrivalProcess::BurstyOnOff {
+                on_prob: 0.8,
+                mean_burst: 5.0,
+                mean_off: 10.0,
+            },
+            ArrivalProcess::Diurnal {
+                base: 0.3,
+                amplitude: 0.9,
+                period: rounds / 3,
+            },
+        ],
+    };
+    let tenants = mix.tenants.len();
+
+    let mut ws = ProtocolWorkspace::new();
+    let mut finder = PathFinder::new();
+    for (name, admission) in [
+        ("shed", AdmissionControl::shed(cap)),
+        ("defer", AdmissionControl::defer(cap, 3)),
+    ] {
+        let mut params = SteadyParams::bernoulli(
+            RouterConfig::serve_first(2),
+            4,
+            DelaySchedule::Fixed { delta: 24 },
+            0.0,
+            rounds,
+            rounds / 4,
+        );
+        params.mix = mix.clone();
+        params.admission = Some(admission);
+        let mut run = SteadyRun::new(
+            &net,
+            |_src: u32, rng: &mut dyn rand::RngCore, links: &mut Vec<_>| {
+                let n = net.node_count() as u32;
+                let s = rng.gen_range(0..n);
+                let d = rng.gen_range(0..n);
+                links.extend_from_slice(bfs_route_with(&mut finder, &net, s, d).links());
+            },
+            params,
+        );
+        let counters = CountersSink::new(2);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let report = run.run_traced(&mut ws, &mut rng, &mut &counters);
+
+        // The caps bound the active population: per tenant, and so in
+        // aggregate. This is the admission-control contract.
+        for (i, t) in report.tenants.iter().enumerate() {
+            assert!(
+                t.peak_in_flight <= cap,
+                "{name}: tenant {i} peak {} exceeds cap {cap}",
+                t.peak_in_flight
+            );
+        }
+        assert!(
+            report.peak_active <= cap as usize * tenants,
+            "{name}: peak_active {} exceeds {} caps of {cap}",
+            report.peak_active,
+            tenants
+        );
+
+        // The policy actually fired, the right way round.
+        let spawned: u64 = report.tenants.iter().map(|t| t.spawned).sum();
+        let shed: u64 = report.tenants.iter().map(|t| t.shed).sum();
+        let deferred: u64 = report.tenants.iter().map(|t| t.deferred).sum();
+        assert!(spawned > 0, "{name}: the mix must admit traffic");
+        match name {
+            "shed" => assert!(shed > 0, "shed: overload must drop arrivals"),
+            _ => {
+                assert!(deferred > 0, "defer: overload must park arrivals");
+                assert_eq!(shed, 0, "defer: nothing is dropped");
+            }
+        }
+
+        // The streaming sketch fills and its percentiles are coherent.
+        assert!(report.completed > 0, "{name}: worms complete");
+        assert_eq!(
+            report.latency.len(),
+            report.completed,
+            "{name}: one sketch sample per completion"
+        );
+        assert!(report.p50_latency_rounds <= report.p99_latency_rounds);
+        assert!(report.p99_latency_rounds <= report.p999_latency_rounds);
+
+        // Observability counters in lockstep with the report (whole-run
+        // totals, warmup included).
+        let t = counters.totals();
+        assert_eq!(t.spawns, spawned, "{name}: sink spawns");
+        assert_eq!(t.shed, shed, "{name}: sink sheds");
+        assert_eq!(t.deferred, deferred, "{name}: sink deferrals");
+        assert!(
+            t.sojourns >= report.completed,
+            "{name}: sink sees every completion the report counts"
+        );
+
+        println!(
+            "steady[{name}]: {spawned} spawned, {} completed, peak {} (cap {}), \
+             shed {shed}, deferred {deferred}, p99 {} rounds",
+            report.completed,
+            report.peak_active,
+            cap as usize * tenants,
+            report.p99_latency_rounds,
+        );
+    }
+    println!("continuous smoke: ok");
+}

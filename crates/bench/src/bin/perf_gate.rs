@@ -188,6 +188,111 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
         out.insert("engine/round_1m".into(), ns);
     }
 
+    // Event-driven steady-state serving vs the round-stepped reference.
+    // `steady_1m_sparse` is the headline pair: 2^20 sources at a 0.1%
+    // duty cycle. The calendar-queue engine only touches sources whose
+    // arrival event fires (~1k spawns/round), while the stepped twin
+    // (`steady_1m_sparse_stepped`) pays 2^20 Bernoulli coins every round
+    // regardless of load — the committed ratio between the two keys is
+    // the speedup receipt for the event-driven core. `steady_dense` runs
+    // the event path at full load on a small torus, where it does
+    // strictly *more* bookkeeping than a stepped loop: that key guards
+    // the dense-end overhead from drifting. Both workloads reuse the
+    // BFS-free CSR coordinate walks (see `million.rs`) so setup stays
+    // linear and the timed region is the serving loop itself.
+    {
+        use optical_core::continuous::{SteadyParams, SteadyRun};
+        use optical_core::{ContinuousParams, ContinuousRun, DelaySchedule};
+        use optical_paths::Path;
+        use optical_topo::GridCoords;
+        use rand::RngCore;
+
+        let (m_samples, m_warmup) = if quick { (3, 1) } else { (5, 1) };
+        // Long enough that the event path's one-time O(sources) arrival
+        // bootstrap (one geometric draw per source) is amortized the way
+        // a serving run amortizes it; the stepped loop pays its 2^20
+        // per-round coins for every one of these rounds.
+        let rounds = 512u32;
+        // 2-hop walks keep the shared contention-kernel work (which both
+        // paths pay identically) from drowning out the scheduling-machinery
+        // difference the pair exists to measure.
+        let w = optical_bench::million::TorusWalkWorkload::new(1024, 2);
+        let n = w.net.node_count() as u32;
+        let mut ws = ProtocolWorkspace::new();
+
+        let ns = bench(m_samples, m_warmup, || {
+            let mut run = SteadyRun::new(
+                &w.net,
+                |src: u32, _rng: &mut dyn RngCore, out: &mut Vec<_>| {
+                    out.extend_from_slice(w.links_of(src as usize));
+                },
+                SteadyParams::bernoulli(
+                    RouterConfig::serve_first(2),
+                    4,
+                    DelaySchedule::Fixed { delta: 64 },
+                    0.001,
+                    rounds,
+                    rounds / 4,
+                ),
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(41);
+            black_box(run.run_with(&mut ws, &mut rng).completed);
+        });
+        out.insert("continuous/steady_1m_sparse".into(), ns);
+
+        // The stepped twin samples the same `+x` walk for whichever
+        // source its coin admits, so both paths serve identical traffic
+        // shapes; only the scheduling machinery differs.
+        let coords = GridCoords::new(2, 1024);
+        let ns = bench(m_samples, m_warmup, || {
+            let mut run = ContinuousRun::new(
+                &w.net,
+                |rng: &mut dyn RngCore| {
+                    let mut u = rng.gen_range(0..n);
+                    let mut nodes = [0u32; 3];
+                    nodes[0] = u;
+                    for slot in nodes.iter_mut().skip(1) {
+                        u = coords.torus_step(u, 0, 1);
+                        *slot = u;
+                    }
+                    Path::from_nodes(&w.net, &nodes)
+                },
+                ContinuousParams {
+                    router: RouterConfig::serve_first(2),
+                    worm_len: 4,
+                    schedule: DelaySchedule::Fixed { delta: 64 },
+                    arrival_prob: 0.001,
+                    rounds,
+                    warmup: rounds / 4,
+                },
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(41);
+            black_box(run.run_with(&mut ws, &mut rng).completed);
+        });
+        out.insert("continuous/steady_1m_sparse_stepped".into(), ns);
+
+        let wd = optical_bench::million::TorusWalkWorkload::new(32, 4);
+        let ns = bench(m_samples, m_warmup, || {
+            let mut run = SteadyRun::new(
+                &wd.net,
+                |src: u32, _rng: &mut dyn RngCore, out: &mut Vec<_>| {
+                    out.extend_from_slice(wd.links_of(src as usize));
+                },
+                SteadyParams::bernoulli(
+                    RouterConfig::serve_first(2),
+                    4,
+                    DelaySchedule::Fixed { delta: 16 },
+                    1.0,
+                    24,
+                    6,
+                ),
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(43);
+            black_box(run.run_with(&mut ws, &mut rng).completed);
+        });
+        out.insert("continuous/steady_dense".into(), ns);
+    }
+
     // Full protocol runs, with and without per-round congestion recording.
     for (name, record) in [
         ("protocol/run_cong_on", true),
@@ -289,7 +394,7 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
         out.insert("properties/leveling_butterfly8".into(), ns);
     }
 
-    // The whole experiment-regeneration pipeline, quick sweep: E1–E15
+    // The whole experiment-regeneration pipeline, quick sweep: E1–E16
     // end to end, exactly what `all_experiments --quick` prints. Few
     // samples — one call is tens of milliseconds, and the pipeline's
     // internal trial fan-out already averages away per-run noise.

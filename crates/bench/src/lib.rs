@@ -28,6 +28,7 @@
 //! | E13 | Failure injection: fiber cuts & recovery | [`experiments::e13_failures`] |
 //! | E14 | Message segmentation at constant payload | [`experiments::e14_segmentation`] |
 //! | E15 | Continuous traffic: load-latency, saturation | [`experiments::e15_continuous`] |
+//! | E16 | Event-driven steady-state serving, admission control | [`experiments::e16_steady`] |
 
 pub mod cache;
 pub mod experiments;

@@ -1,0 +1,86 @@
+//! Admission control for steady-state serving: per-tenant in-flight
+//! caps with a shed-or-defer policy.
+//!
+//! Without admission control an overloaded tenant's backlog grows
+//! without bound (the saturation regime of E15). A cap bounds each
+//! tenant's in-flight worm population; arrivals beyond the cap are
+//! either **shed** (dropped, counted) or **deferred** (re-enter
+//! admission a fixed number of rounds later). Both decisions are
+//! reported through the observability sink (`on_shed` / `on_defer`) and
+//! tallied per tenant in the run report.
+
+use serde::{Deserialize, Serialize};
+
+/// What to do with an arrival that would exceed the tenant's in-flight
+/// cap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Drop the arrival. Cheapest; load beyond the cap is simply lost
+    /// (and counted as shed).
+    Shed,
+    /// Park the arrival and retry admission `delay` rounds later. A
+    /// deferred arrival samples its path only once admitted, and may be
+    /// deferred again if the tenant is still at its cap.
+    Defer {
+        /// Rounds to wait before re-attempting admission (>= 1).
+        delay: u32,
+    },
+}
+
+/// Per-tenant admission control: at most `max_in_flight` worms of each
+/// tenant may be in flight; excess arrivals follow `policy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionControl {
+    /// In-flight worm cap per tenant (>= 1).
+    pub max_in_flight: u32,
+    /// Policy for arrivals beyond the cap.
+    pub policy: AdmissionPolicy,
+}
+
+impl AdmissionControl {
+    /// Shed-policy control with the given cap.
+    pub fn shed(max_in_flight: u32) -> Self {
+        AdmissionControl {
+            max_in_flight,
+            policy: AdmissionPolicy::Shed,
+        }
+    }
+
+    /// Defer-policy control with the given cap and re-admission delay.
+    pub fn defer(max_in_flight: u32, delay: u32) -> Self {
+        AdmissionControl {
+            max_in_flight,
+            policy: AdmissionPolicy::Defer { delay },
+        }
+    }
+
+    /// Validate the parameters, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_in_flight == 0 {
+            return Err("admission max_in_flight must be >= 1".into());
+        }
+        if let AdmissionPolicy::Defer { delay } = self.policy {
+            if delay == 0 {
+                return Err("admission defer delay must be >= 1".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_validation() {
+        assert!(AdmissionControl::shed(10).validate().is_ok());
+        assert!(AdmissionControl::defer(10, 4).validate().is_ok());
+        assert!(AdmissionControl::shed(0).validate().is_err());
+        assert!(AdmissionControl::defer(10, 0).validate().is_err());
+        assert_eq!(
+            AdmissionControl::defer(3, 2).policy,
+            AdmissionPolicy::Defer { delay: 2 }
+        );
+    }
+}

@@ -1,0 +1,453 @@
+//! Per-tenant arrival processes for steady-state serving.
+//!
+//! The event-driven engine does not flip a coin per source per round —
+//! it asks each source's [`ArrivalProcess`] for the *round of its next
+//! arrival* and sleeps the source until then. For Bernoulli traffic the
+//! inter-arrival gap is geometric, so one draw replaces an expected
+//! `1/p` per-round coin flips; that is the whole sparse-duty-cycle win.
+//!
+//! **Determinism contract.** Every process draws only from the RNG it is
+//! handed, with a fixed draw order. At certainty (`prob >= 1`) the
+//! Bernoulli process schedules the next round *without consuming the
+//! RNG*, and [`bernoulli_step`] gives the round-stepped path the same
+//! no-draw-at-certainty semantics — this is what makes the full-load
+//! round-stepped and event-driven RNG streams bit-identical regardless
+//! of how the underlying `rand` implementation specializes
+//! `gen_bool(1.0)`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One coin flip of the round-stepped Bernoulli reference path.
+///
+/// Semantically `rng.gen_bool(prob)`, but certainty and impossibility
+/// are answered without touching the RNG so the full-load (`prob >= 1`)
+/// round-stepped stream matches the event-driven path draw for draw.
+#[inline]
+pub fn bernoulli_step(prob: f64, rng: &mut impl Rng) -> bool {
+    if prob >= 1.0 {
+        true
+    } else if prob <= 0.0 {
+        false
+    } else {
+        rng.gen_bool(prob)
+    }
+}
+
+/// Per-source mutable state an [`ArrivalProcess`] threads between
+/// arrivals (burst position for on/off traffic; unused by memoryless
+/// processes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceState {
+    /// Arrivals left in the current burst (on/off traffic).
+    burst_left: u32,
+}
+
+/// A stationary (or periodically modulated) arrival process, evaluated
+/// lazily: given the current round, it returns the round of the source's
+/// next arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// One arrival per round with probability `prob` — the compat default
+    /// matching the round-stepped [`super::ContinuousRun`]. Gaps are
+    /// sampled geometrically (one draw per arrival instead of one per
+    /// round); `prob >= 1` means every round, drawn without consuming
+    /// the RNG.
+    Bernoulli {
+        /// Per-round arrival probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Poisson process with `rate` expected arrivals per round, delivered
+    /// at round granularity via exponential inter-arrival gaps rounded up
+    /// (at most one arrival per source per round).
+    Poisson {
+        /// Expected arrivals per round (> 0 to ever fire).
+        rate: f64,
+    },
+    /// On/off bursts: during a burst, arrivals fire per round with
+    /// probability `on_prob`; bursts hold for geometric(`1/mean_burst`)
+    /// arrivals and are separated by geometric(`1/mean_off`) idle gaps.
+    BurstyOnOff {
+        /// Per-round arrival probability while the burst is on.
+        on_prob: f64,
+        /// Mean arrivals per burst (>= 1).
+        mean_burst: f64,
+        /// Mean idle rounds between bursts (>= 1).
+        mean_off: f64,
+    },
+    /// Diurnally modulated Bernoulli: the per-round probability follows
+    /// `base * (1 + amplitude * sin(2π * round / period))`, clamped to
+    /// `[0, 1]` — a day/night load curve at round granularity.
+    Diurnal {
+        /// Mean per-round arrival probability.
+        base: f64,
+        /// Relative swing in `[0, 1]` (0 = flat, 1 = full on/off).
+        amplitude: f64,
+        /// Modulation period in rounds.
+        period: u32,
+    },
+}
+
+impl ArrivalProcess {
+    /// Validate the parameters, returning a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ArrivalProcess::Bernoulli { prob } => {
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err(format!("Bernoulli prob {prob} outside [0, 1]"));
+                }
+            }
+            ArrivalProcess::Poisson { rate } => {
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(format!("Poisson rate {rate} must be finite and >= 0"));
+                }
+            }
+            ArrivalProcess::BurstyOnOff {
+                on_prob,
+                mean_burst,
+                mean_off,
+            } => {
+                if !(0.0..=1.0).contains(&on_prob) {
+                    return Err(format!("on_prob {on_prob} outside [0, 1]"));
+                }
+                if mean_burst.is_nan() || mean_burst < 1.0 || mean_off.is_nan() || mean_off < 1.0 {
+                    return Err(format!(
+                        "mean_burst {mean_burst} and mean_off {mean_off} must be >= 1"
+                    ));
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                if !(0.0..=1.0).contains(&base) {
+                    return Err(format!("diurnal base {base} outside [0, 1]"));
+                }
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return Err(format!("diurnal amplitude {amplitude} outside [0, 1]"));
+                }
+                if period == 0 {
+                    return Err("diurnal period must be >= 1".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Round of the source's next arrival strictly after `now`, or `None`
+    /// if the source never fires again (zero rate, or the gap overflows
+    /// the round space — beyond any simulation horizon either way).
+    pub fn next_arrival(
+        &self,
+        now: u32,
+        state: &mut SourceState,
+        rng: &mut impl Rng,
+    ) -> Option<u32> {
+        let gap: u32 = match *self {
+            ArrivalProcess::Bernoulli { prob } => geometric_gap(prob, rng)?,
+            ArrivalProcess::Poisson { rate } => {
+                if rate <= 0.0 {
+                    return None;
+                }
+                // Exponential inter-arrival, ceiled to whole rounds.
+                let u = rng.gen::<f64>();
+                let exp = -(1.0 - u).ln() / rate;
+                let gap = exp.ceil();
+                if gap >= u32::MAX as f64 {
+                    return None;
+                }
+                (gap as u32).max(1)
+            }
+            ArrivalProcess::BurstyOnOff {
+                on_prob,
+                mean_burst,
+                mean_off,
+            } => {
+                if state.burst_left > 0 {
+                    state.burst_left -= 1;
+                    geometric_gap(on_prob, rng)?
+                } else {
+                    // Draw the off gap first, then the next burst length —
+                    // fixed order, two draws.
+                    let off = geometric_gap(1.0 / mean_off, rng)?;
+                    let burst = geometric_gap(1.0 / mean_burst, rng)?;
+                    state.burst_left = burst.saturating_sub(1);
+                    off
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
+                // Rate-at-schedule-time approximation: the gap is drawn at
+                // the probability in effect for the round after `now`.
+                let t = (now.wrapping_add(1)) as f64 / period as f64;
+                let p = base * (1.0 + amplitude * (std::f64::consts::TAU * t).sin());
+                geometric_gap(p.clamp(0.0, 1.0), rng)?
+            }
+        };
+        now.checked_add(gap)
+    }
+}
+
+/// Geometric inter-arrival gap for per-round probability `p`: the number
+/// of rounds until the next success, inclusive (>= 1). `p >= 1` returns
+/// 1 **without drawing**; `p <= 0` returns `None` without drawing.
+fn geometric_gap(p: f64, rng: &mut impl Rng) -> Option<u32> {
+    if p >= 1.0 {
+        return Some(1);
+    }
+    if p <= 0.0 {
+        return None;
+    }
+    // Inverse-CDF: gap = ceil(ln(1-U) / ln(1-p)) >= 1 with U in [0, 1).
+    let u = rng.gen::<f64>();
+    let gap = ((1.0 - u).ln() / (1.0 - p).ln()).ceil();
+    if gap.is_nan() || gap < 1.0 {
+        return Some(1);
+    }
+    if gap >= u32::MAX as f64 {
+        return None;
+    }
+    Some(gap as u32)
+}
+
+/// A tenant mix: sources are split into `tenants.len()` contiguous
+/// blocks, block `i` driven by `tenants[i]`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficMix {
+    /// One arrival process per tenant; at least one.
+    pub tenants: Vec<ArrivalProcess>,
+}
+
+impl TrafficMix {
+    /// Single-tenant mix.
+    pub fn uniform(process: ArrivalProcess) -> Self {
+        TrafficMix {
+            tenants: vec![process],
+        }
+    }
+
+    /// The compat default: one Bernoulli tenant, matching the
+    /// round-stepped [`super::ContinuousRun`]'s `arrival_prob`.
+    pub fn bernoulli(prob: f64) -> Self {
+        Self::uniform(ArrivalProcess::Bernoulli { prob })
+    }
+
+    /// Validate every tenant process.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenants.is_empty() {
+            return Err("traffic mix needs at least one tenant".into());
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            t.validate().map_err(|e| format!("tenant {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Tenant of `source` among `n_sources` total: contiguous equal
+    /// blocks (the last tenant absorbs the remainder).
+    #[inline]
+    pub fn tenant_of(&self, source: u32, n_sources: u32) -> u32 {
+        let k = self.tenants.len() as u64;
+        if n_sources == 0 {
+            return 0;
+        }
+        ((u64::from(source) * k / u64::from(n_sources)) as u32).min(k as u32 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn full_load_bernoulli_consumes_no_rng() {
+        let mut st = SourceState::default();
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let p = ArrivalProcess::Bernoulli { prob: 1.0 };
+        for now in 0..50 {
+            assert_eq!(p.next_arrival(now, &mut st, &mut a), Some(now + 1));
+        }
+        assert!(bernoulli_step(1.0, &mut a));
+        assert!(!bernoulli_step(0.0, &mut a));
+        // Stream untouched by any of the certainty paths above.
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn zero_rate_sources_never_fire() {
+        let mut st = SourceState::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for p in [
+            ArrivalProcess::Bernoulli { prob: 0.0 },
+            ArrivalProcess::Poisson { rate: 0.0 },
+            ArrivalProcess::Diurnal {
+                base: 0.0,
+                amplitude: 0.5,
+                period: 32,
+            },
+        ] {
+            assert_eq!(p.next_arrival(5, &mut st, &mut rng), None, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn geometric_gaps_match_the_bernoulli_rate() {
+        // Mean gap of a geometric(p) is 1/p; check within 10% over many
+        // draws.
+        let mut st = SourceState::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for p in [0.5, 0.1, 0.02] {
+            let proc = ArrivalProcess::Bernoulli { prob: p };
+            let n = 4000;
+            let mut total = 0u64;
+            let mut now = 0u32;
+            for _ in 0..n {
+                let next = proc.next_arrival(now, &mut st, &mut rng).unwrap();
+                total += u64::from(next - now);
+                now = next;
+            }
+            let mean = total as f64 / n as f64;
+            let expect = 1.0 / p;
+            assert!(
+                (mean - expect).abs() / expect < 0.1,
+                "p={p}: mean gap {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut st = SourceState::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let proc = ArrivalProcess::Poisson { rate: 0.25 };
+        let n = 4000;
+        let mut now = 0u32;
+        for _ in 0..n {
+            now = proc.next_arrival(now, &mut st, &mut rng).unwrap();
+        }
+        // Mean gap of exp(rate) ceiled is ~ 1/rate + O(1); generous band.
+        let mean = now as f64 / n as f64;
+        assert!(
+            (3.5..=5.2).contains(&mean),
+            "rate 0.25 mean gap {mean} out of band"
+        );
+    }
+
+    #[test]
+    fn bursts_cluster_arrivals() {
+        let mut st = SourceState::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let proc = ArrivalProcess::BurstyOnOff {
+            on_prob: 1.0,
+            mean_burst: 8.0,
+            mean_off: 40.0,
+        };
+        // Collect gaps; bursty traffic must show many 1-gaps (inside
+        // bursts) and some long off gaps.
+        let mut ones = 0;
+        let mut long = 0;
+        let mut now = 0u32;
+        for _ in 0..2000 {
+            let next = proc.next_arrival(now, &mut st, &mut rng).unwrap();
+            match next - now {
+                1 => ones += 1,
+                g if g >= 10 => long += 1,
+                _ => {}
+            }
+            now = next;
+        }
+        assert!(ones > 1000, "expected mostly in-burst gaps, got {ones}");
+        assert!(long > 50, "expected off-period gaps, got {long}");
+    }
+
+    #[test]
+    fn diurnal_modulates_the_rate_over_the_period() {
+        let mut st = SourceState::default();
+        let proc = ArrivalProcess::Diurnal {
+            base: 0.2,
+            amplitude: 0.9,
+            period: 100,
+        };
+        // Count arrivals in the peak half vs the trough half of each
+        // period over many periods.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (mut peak, mut trough) = (0u32, 0u32);
+        let mut now = 0u32;
+        while now < 100 * 200 {
+            match proc.next_arrival(now, &mut st, &mut rng) {
+                Some(next) => {
+                    let phase = next % 100;
+                    if phase < 50 {
+                        peak += 1; // sin > 0 half
+                    } else {
+                        trough += 1;
+                    }
+                    now = next;
+                }
+                None => break,
+            }
+        }
+        assert!(
+            peak as f64 > 1.5 * trough as f64,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn tenant_blocks_are_contiguous_and_cover_all_sources() {
+        let mix = TrafficMix {
+            tenants: vec![
+                ArrivalProcess::Bernoulli { prob: 0.1 },
+                ArrivalProcess::Poisson { rate: 0.5 },
+                ArrivalProcess::Bernoulli { prob: 0.9 },
+            ],
+        };
+        let n = 100;
+        let mut last = 0;
+        let mut counts = [0u32; 3];
+        for s in 0..n {
+            let t = mix.tenant_of(s, n);
+            assert!(t >= last, "tenant ids must be monotone in source id");
+            assert!(t < 3);
+            last = t;
+            counts[t as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 33), "{counts:?}");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(ArrivalProcess::Bernoulli { prob: 1.5 }.validate().is_err());
+        assert!(ArrivalProcess::Poisson { rate: -1.0 }.validate().is_err());
+        assert!(ArrivalProcess::BurstyOnOff {
+            on_prob: 0.5,
+            mean_burst: 0.5,
+            mean_off: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Diurnal {
+            base: 0.2,
+            amplitude: 2.0,
+            period: 10
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Diurnal {
+            base: 0.2,
+            amplitude: 0.2,
+            period: 0
+        }
+        .validate()
+        .is_err());
+        assert!(TrafficMix { tenants: vec![] }.validate().is_err());
+        assert!(TrafficMix::bernoulli(0.3).validate().is_ok());
+    }
+}

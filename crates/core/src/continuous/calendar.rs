@@ -1,0 +1,185 @@
+//! Calendar queue: a bucketed timing wheel for round-indexed events.
+//!
+//! The steady-state serving engine schedules arrival and injection
+//! events by *round number*. A [`CalendarQueue`] hashes each event into
+//! `round % buckets`, so scheduling and draining are O(1) amortized no
+//! matter how far ahead events land — the classic calendar-queue
+//! structure (Brown 1988), here with a fixed wheel width because serving
+//! rounds advance monotonically one at a time.
+//!
+//! Two properties the event-driven engine depends on:
+//!
+//! * **FIFO within a round.** Events scheduled for the same round drain
+//!   in the order they were scheduled. This is what makes the full-load
+//!   event-driven path spawn worms in exactly the round-stepped path's
+//!   source order (the differential suite in `tests/golden_continuous.rs`
+//!   pins it).
+//! * **Idle skipping.** [`CalendarQueue::next_occupied`] finds the
+//!   earliest round at or after a given round that has any event, letting
+//!   the engine jump over stretches where every source is idle instead of
+//!   burning a round-loop iteration per empty round.
+
+/// A bucketed timing wheel of `(round, item)` events; see the module
+/// docs. Rounds may be scheduled arbitrarily far ahead — an event lands
+/// in bucket `round % buckets` and is filtered by its round tag when the
+/// round drains.
+#[derive(Clone, Debug)]
+pub struct CalendarQueue<T> {
+    buckets: Vec<Vec<(u32, T)>>,
+    /// Drain scratch, swapped with the target bucket so draining keeps
+    /// scheduling order without allocating per round.
+    scratch: Vec<(u32, T)>,
+    len: usize,
+}
+
+impl<T> CalendarQueue<T> {
+    /// A wheel with `buckets` buckets (at least 1). Width only affects
+    /// constant factors: more buckets means fewer foreign-round entries
+    /// touched per drain.
+    pub fn new(buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        CalendarQueue {
+            buckets: (0..buckets).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Schedule `item` to fire in `round`.
+    pub fn schedule(&mut self, round: u32, item: T) {
+        let b = round as usize % self.buckets.len();
+        self.buckets[b].push((round, item));
+        self.len += 1;
+    }
+
+    /// Move every event scheduled exactly for `round` into `out`,
+    /// preserving scheduling order. Events for other rounds sharing the
+    /// bucket are retained, also in order.
+    pub fn drain_round(&mut self, round: u32, out: &mut Vec<T>) {
+        let b = round as usize % self.buckets.len();
+        if self.buckets[b].is_empty() {
+            return;
+        }
+        std::mem::swap(&mut self.buckets[b], &mut self.scratch);
+        for (r, item) in self.scratch.drain(..) {
+            if r == round {
+                self.len -= 1;
+                out.push(item);
+            } else {
+                self.buckets[b].push((r, item));
+            }
+        }
+    }
+
+    /// Total events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no event is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Earliest round `>= from` with at least one event, or `None` if
+    /// nothing at or after `from` is scheduled.
+    ///
+    /// Buckets are visited in the order their earliest candidate round
+    /// appears (`from`, `from + 1`, …), stopping as soon as no later
+    /// bucket can beat the best round found — so when `from` itself is
+    /// occupied (the common serving case: the engine asks while the next
+    /// round's arrivals are already queued), this touches exactly one
+    /// bucket. Only a wheel with no event at or after `from` pays the
+    /// full O(total events) sweep.
+    pub fn next_occupied(&self, from: u32) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let width = self.buckets.len() as u64;
+        let mut best: Option<u32> = None;
+        for off in 0..width {
+            // Bucket `(from + off) % width` is the first place round
+            // `from + off` can live; once `best - from <= off`, every
+            // unvisited bucket holds only rounds `> best`.
+            if let Some(b) = best {
+                if u64::from(b - from) <= off {
+                    break;
+                }
+            }
+            let bi = ((u64::from(from) + off) % width) as usize;
+            for &(round, _) in &self.buckets[bi] {
+                if round >= from && best.is_none_or(|b| round < b) {
+                    best = Some(round);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_fifo_within_a_round_and_keeps_other_rounds() {
+        let mut q = CalendarQueue::new(4);
+        // Rounds 3 and 7 share bucket 3 on a 4-wide wheel.
+        q.schedule(3, "a");
+        q.schedule(7, "x");
+        q.schedule(3, "b");
+        q.schedule(3, "c");
+        assert_eq!(q.len(), 4);
+
+        let mut out = Vec::new();
+        q.drain_round(3, &mut out);
+        assert_eq!(out, vec!["a", "b", "c"], "FIFO within the round");
+        assert_eq!(q.len(), 1);
+
+        out.clear();
+        q.drain_round(7, &mut out);
+        assert_eq!(out, vec!["x"], "wrapped round survives earlier drains");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_preserves_order_across_multiple_wraps() {
+        let mut q = CalendarQueue::new(2);
+        for i in 0..30u32 {
+            q.schedule(10 + (i % 3) * 2, i); // rounds 10, 12, 14, same bucket
+        }
+        for round in [10u32, 12, 14] {
+            let mut out = Vec::new();
+            q.drain_round(round, &mut out);
+            let expect: Vec<u32> = (0..30).filter(|i| 10 + (i % 3) * 2 == round).collect();
+            assert_eq!(out, expect, "round {round}");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn next_occupied_finds_the_earliest_future_round() {
+        let mut q = CalendarQueue::new(8);
+        assert_eq!(q.next_occupied(0), None);
+        q.schedule(40, ());
+        q.schedule(12, ());
+        q.schedule(25, ());
+        assert_eq!(q.next_occupied(0), Some(12));
+        assert_eq!(q.next_occupied(13), Some(25));
+        assert_eq!(q.next_occupied(26), Some(40));
+        assert_eq!(q.next_occupied(41), None);
+        let mut out = Vec::new();
+        q.drain_round(12, &mut out);
+        assert_eq!(q.next_occupied(0), Some(25));
+    }
+
+    #[test]
+    fn empty_round_drain_is_a_no_op() {
+        let mut q: CalendarQueue<u8> = CalendarQueue::new(1);
+        q.schedule(5, 1);
+        let mut out = Vec::new();
+        q.drain_round(4, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(q.len(), 1);
+    }
+}

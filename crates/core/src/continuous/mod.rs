@@ -8,20 +8,47 @@
 //! continuous-routing line of work the paper cites — Scheideler &
 //! Vöcking \[35\] — asks exactly this for electronic networks.)
 //!
-//! [`ContinuousRun`] spawns new worms Bernoulli(`arrival_prob`) per source
-//! per round, keeps retrying actives with the trial-and-failure
-//! discipline, and reports throughput, latency percentiles, and a
-//! saturation verdict.
+//! Two execution models share the protocol round:
+//!
+//! * [`ContinuousRun`] — the **round-stepped reference**: every source
+//!   flips a Bernoulli(`arrival_prob`) coin every round. Simple, and the
+//!   compat baseline the differential suite pins against, but a 1M-source
+//!   run pays 1M coin flips per round even at a 0.1% duty cycle.
+//! * [`SteadyRun`] — the **event-driven serving engine**: a
+//!   [`CalendarQueue`] schedules per-source arrival events (geometric /
+//!   exponential inter-arrival gaps instead of per-round coins), idle
+//!   stretches are skipped wholesale, in-flight worms live in a slot
+//!   store keyed by stable spawn-sequence ids, and sojourn latencies
+//!   stream into a fixed-memory `optical_stats::QuantileSketch`. Supports
+//!   per-tenant [`ArrivalProcess`] mixes (Bernoulli, Poisson, bursty
+//!   on/off, diurnal) and [`AdmissionControl`] (shed / defer caps).
+//!
+//! At full load (`arrival_prob >= 1`, single Bernoulli tenant, no
+//! admission control) both models resolve every arrival decision without
+//! consuming the RNG (see [`bernoulli_step`]), so they draw the same
+//! stream and produce identical spawn/completion sequences —
+//! `tests/golden_continuous.rs` is the differential proof.
+
+mod admission;
+mod arrivals;
+mod calendar;
+mod steady;
+
+pub use admission::{AdmissionControl, AdmissionPolicy};
+pub use arrivals::{bernoulli_step, ArrivalProcess, SourceState, TrafficMix};
+pub use calendar::CalendarQueue;
+pub use steady::{SteadyParams, SteadyReport, SteadyRun, TenantStats};
 
 use crate::schedule::{DelaySchedule, ScheduleCtx};
 use crate::workspace::ProtocolWorkspace;
+use optical_obs::{NullSink, Sink};
 use optical_paths::{Path, PathCollection};
 use optical_topo::Network;
 use optical_wdm::{RouterConfig, TransmissionSpec};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Parameters of a continuous-traffic simulation.
+/// Parameters of a round-stepped continuous-traffic simulation.
 #[derive(Clone, Debug)]
 pub struct ContinuousParams {
     /// Router model.
@@ -33,6 +60,8 @@ pub struct ContinuousParams {
     /// geometrically shrinking schedule presumes a draining batch.
     pub schedule: DelaySchedule,
     /// Per-source probability of spawning a new worm each round.
+    /// Certainty (`>= 1`) and impossibility (`<= 0`) are resolved without
+    /// consuming the RNG (see [`bernoulli_step`]).
     pub arrival_prob: f64,
     /// Total rounds to simulate.
     pub rounds: u32,
@@ -40,7 +69,7 @@ pub struct ContinuousParams {
     pub warmup: u32,
 }
 
-/// Outcome of a continuous-traffic simulation.
+/// Outcome of a round-stepped continuous-traffic simulation.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ContinuousReport {
     /// Worms spawned after warmup.
@@ -68,9 +97,12 @@ pub struct ContinuousReport {
 struct LiveWorm {
     path_idx: u32,
     spawned_round: u32,
+    /// Stable spawn-sequence id, reported through `on_spawn`/`on_sojourn`.
+    seq: u64,
 }
 
-/// A continuous-traffic simulation bound to a network and a path sampler.
+/// A round-stepped continuous-traffic simulation bound to a network and a
+/// path sampler; see the module docs for when to prefer [`SteadyRun`].
 pub struct ContinuousRun<'a, F> {
     net: &'a Network,
     /// Samples a fresh path for a new worm (e.g. random source and
@@ -105,6 +137,19 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
     /// Like [`ContinuousRun::run`], but reusing `ws`'s engine and round
     /// buffers. Bit-identical to `run` for the same RNG state.
     pub fn run_with(&mut self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> ContinuousReport {
+        self.run_traced(ws, rng, &mut NullSink)
+    }
+
+    /// Like [`ContinuousRun::run_with`], with an observability [`Sink`]:
+    /// emits `on_spawn` per arrival and `on_sojourn` per completion
+    /// (warmup included), plus the engine-round hooks. Hooks never draw
+    /// from the sim RNG, so any sink is bit-identical to [`NullSink`].
+    pub fn run_traced<S: Sink>(
+        &mut self,
+        ws: &mut ProtocolWorkspace,
+        rng: &mut impl Rng,
+        sink: &mut S,
+    ) -> ContinuousReport {
         let p = &self.params;
         let n_sources = self.net.node_count();
         ws.prepare(
@@ -128,6 +173,7 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
         // stable link slices.
         let mut paths = PathCollection::for_network(self.net);
         let mut live: Vec<LiveWorm> = Vec::new();
+        let mut next_seq = 0u64;
         let mut spawned = 0u64;
         let mut completed = 0u64;
         let mut latencies: Vec<u32> = Vec::new();
@@ -140,14 +186,19 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
         // live count each round instead (Adaptive-friendly).
         for round in 1..=p.rounds {
             // Spawn.
-            for _ in 0..n_sources {
-                if rng.gen_bool(p.arrival_prob) {
+            for src in 0..n_sources as u32 {
+                if bernoulli_step(p.arrival_prob, rng) {
                     let path = (self.sample_path)(rng);
                     paths.push(path);
                     live.push(LiveWorm {
                         path_idx: paths.len() as u32 - 1,
                         spawned_round: round,
+                        seq: next_seq,
                     });
+                    if S::ENABLED {
+                        sink.on_spawn(round, next_seq, src);
+                    }
+                    next_seq += 1;
                     if round > p.warmup {
                         spawned += 1;
                     }
@@ -190,15 +241,20 @@ impl<'a, F: FnMut(&mut dyn rand::RngCore) -> Path> ContinuousRun<'a, F> {
                 .unwrap_or(0);
             total_time += delta as u64 + 2 * (max_len as u64 + p.worm_len as u64);
 
-            engine.run_into(&specs, rng, outcome);
+            engine.run_into_traced(&specs, rng, outcome, sink);
             spec_buf.put(specs);
             let mut k = 0;
             live.retain(|w| {
                 let delivered = outcome.results[k].fate.is_delivered();
                 k += 1;
-                if delivered && round > p.warmup {
-                    completed += 1;
-                    latencies.push(round - w.spawned_round + 1);
+                if delivered {
+                    if S::ENABLED {
+                        sink.on_sojourn(round, w.seq, round - w.spawned_round + 1);
+                    }
+                    if round > p.warmup {
+                        completed += 1;
+                        latencies.push(round - w.spawned_round + 1);
+                    }
                 }
                 !delivered
             });
@@ -292,10 +348,10 @@ mod tests {
 
     #[test]
     fn overload_saturates() {
-        // Full offered load with a tight delay range: retries pile up
-        // faster than the round can drain them and the active population
-        // grows without bound.
-        let net = topologies::torus(2, 4);
+        // Full offered load with a tight delay range on a bandwidth-1
+        // ring: retries pile up faster than the round can drain them and
+        // the active population grows without bound.
+        let net = topologies::ring(16);
         let mut p = params(1.0, 80);
         p.router = RouterConfig::serve_first(1);
         p.schedule = DelaySchedule::Fixed { delta: 6 };
@@ -343,6 +399,30 @@ mod tests {
             let b = reused.run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(seed));
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn traced_run_reports_spawns_and_sojourns() {
+        let net = topologies::torus(2, 4);
+        let mut plain = ContinuousRun::new(&net, torus_sampler(&net), params(0.2, 60));
+        let a = plain.run(&mut ChaCha8Rng::seed_from_u64(7));
+
+        let sink = optical_obs::CountersSink::new(2);
+        let mut traced = ContinuousRun::new(&net, torus_sampler(&net), params(0.2, 60));
+        let b = traced.run_traced(
+            &mut ProtocolWorkspace::new(),
+            &mut ChaCha8Rng::seed_from_u64(7),
+            &mut &sink,
+        );
+        // Tracing never perturbs the simulation…
+        assert_eq!(a, b);
+        // …and the sink sees every spawn/completion, warmup included.
+        let t = sink.totals();
+        assert!(t.spawns >= b.spawned, "{t:?}");
+        assert!(t.sojourns >= b.completed);
+        assert!(t.sojourns > 0);
+        assert!(t.latency_p99() >= t.latency_p50());
+        assert_eq!(t.latency.len(), t.sojourns);
     }
 
     #[test]

@@ -1,0 +1,741 @@
+//! The event-driven steady-state serving engine.
+//!
+//! [`SteadyRun`] replaces the round-stepped [`super::ContinuousRun`]
+//! loop — which pays one coin flip per source per round, idle or not —
+//! with a [`CalendarQueue`](super::CalendarQueue) of arrival events: a
+//! source consumes work only in the round its next arrival fires, so a
+//! million sources at a 0.1% duty cycle cost ~1k events per round
+//! instead of 1M coin flips (the `continuous/steady_1m_sparse` perf-gate
+//! key holds the receipt). Whole stretches of idle rounds are skipped in
+//! O(1) per stretch.
+//!
+//! In-flight worms live in a slot store (struct-of-arrays with a
+//! freelist) keyed by **stable 64-bit spawn sequence ids**, so millions
+//! of concurrent worms are representable without per-round reallocation.
+//! Latency statistics stream into a fixed-memory
+//! [`QuantileSketch`] — no per-sojourn buffering, so arbitrarily long
+//! runs hold memory constant.
+//!
+//! **Full-load equivalence.** With a single Bernoulli tenant at
+//! `prob >= 1` and no admission control, a `SteadyRun` consumes the RNG
+//! draw-for-draw like `ContinuousRun` at `arrival_prob = 1.0` and
+//! produces the identical spawn order, completion rounds, and report —
+//! the differential suite `tests/golden_continuous.rs` pins this across
+//! topologies and schedules.
+
+use super::admission::{AdmissionControl, AdmissionPolicy};
+use super::arrivals::{SourceState, TrafficMix};
+use super::calendar::CalendarQueue;
+use crate::schedule::{DelaySchedule, ScheduleCtx};
+use crate::workspace::ProtocolWorkspace;
+use optical_obs::{NullSink, Sink};
+use optical_stats::QuantileSketch;
+use optical_topo::{LinkId, Network};
+use optical_wdm::{RouterConfig, TransmissionSpec};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of an event-driven steady-state run.
+#[derive(Clone, Debug)]
+pub struct SteadyParams {
+    /// Router model.
+    pub router: RouterConfig,
+    /// Worm length `L`.
+    pub worm_len: u32,
+    /// Delay schedule; steady-state runs should use a *stationary*
+    /// schedule ([`DelaySchedule::Fixed`] or `Adaptive`).
+    pub schedule: DelaySchedule,
+    /// Total rounds to simulate.
+    pub rounds: u32,
+    /// Rounds to exclude from latency/throughput statistics (ramp-up).
+    pub warmup: u32,
+    /// Per-tenant arrival processes; sources are split into contiguous
+    /// equal blocks, one per tenant.
+    pub mix: TrafficMix,
+    /// Optional per-tenant in-flight cap with shed/defer policy.
+    pub admission: Option<AdmissionControl>,
+    /// Intra-round engine shard count (1 = serial engine rounds).
+    pub shards: usize,
+}
+
+impl SteadyParams {
+    /// Compat constructor: single Bernoulli tenant, no admission control
+    /// — the event-driven equivalent of [`super::ContinuousParams`] with
+    /// the same `arrival_prob`, `rounds`, and `warmup`.
+    pub fn bernoulli(
+        router: RouterConfig,
+        worm_len: u32,
+        schedule: DelaySchedule,
+        arrival_prob: f64,
+        rounds: u32,
+        warmup: u32,
+    ) -> Self {
+        SteadyParams {
+            router,
+            worm_len,
+            schedule,
+            rounds,
+            warmup,
+            mix: TrafficMix::bernoulli(arrival_prob),
+            admission: None,
+            shards: 1,
+        }
+    }
+
+    fn validate(&self) {
+        self.router.validate();
+        assert!(
+            self.warmup < self.rounds,
+            "warmup must leave measured rounds"
+        );
+        if let Err(e) = self.mix.validate() {
+            panic!("invalid traffic mix: {e}");
+        }
+        if let Some(ac) = &self.admission {
+            if let Err(e) = ac.validate() {
+                panic!("invalid admission control: {e}");
+            }
+        }
+    }
+}
+
+/// Per-tenant tallies over the **whole run** (warmup included — these
+/// are operational counters, not steady-state statistics).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// Worms spawned (admitted arrivals).
+    pub spawned: u64,
+    /// Worms delivered end-to-end.
+    pub completed: u64,
+    /// Arrivals dropped by admission control.
+    pub shed: u64,
+    /// Deferral events (one arrival may defer repeatedly).
+    pub deferred: u64,
+    /// Peak concurrent in-flight worms.
+    pub peak_in_flight: u32,
+}
+
+/// Outcome of an event-driven steady-state run.
+///
+/// `spawned`, `completed`, `throughput`, `avg_active` and the latency
+/// statistics cover post-warmup rounds (matching
+/// [`super::ContinuousReport`]); `tenants` and `peak_active` cover the
+/// whole run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SteadyReport {
+    /// Worms spawned after warmup.
+    pub spawned: u64,
+    /// Worms completed after warmup.
+    pub completed: u64,
+    /// Arrivals shed after warmup.
+    pub shed: u64,
+    /// Deferral events after warmup.
+    pub deferred: u64,
+    /// Mean active worms per post-warmup round.
+    pub avg_active: f64,
+    /// Active worms at the end of the simulation.
+    pub final_active: usize,
+    /// Peak concurrent active worms over the whole run.
+    pub peak_active: usize,
+    /// Mean sojourn time in rounds (spawn round to completion round,
+    /// inclusive) of post-warmup completions.
+    pub mean_latency_rounds: f64,
+    /// Median sojourn latency in rounds (sketch lower bound).
+    pub p50_latency_rounds: u64,
+    /// 99th-percentile sojourn latency in rounds.
+    pub p99_latency_rounds: u64,
+    /// 99.9th-percentile sojourn latency in rounds.
+    pub p999_latency_rounds: u64,
+    /// Completed worms per post-warmup round.
+    pub throughput: f64,
+    /// Heuristic saturation verdict, same quartile test as
+    /// [`super::ContinuousReport::saturated`].
+    pub saturated: bool,
+    /// Total simulated time in flit steps (sum of round budgets; idle
+    /// rounds cost 1 each, skipped or not).
+    pub total_time: u64,
+    /// The full fixed-memory latency sketch (post-warmup sojourns, in
+    /// rounds) — query any percentile, or merge across runs.
+    pub latency: QuantileSketch,
+    /// Per-tenant whole-run tallies, indexed by tenant id.
+    pub tenants: Vec<TenantStats>,
+}
+
+/// Calendar events: a source's scheduled arrival, or a deferred
+/// arrival re-entering admission.
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Arrival(u32),
+    Inject(u32),
+}
+
+/// SoA store of in-flight worms with a slot freelist. Slots are reused;
+/// identity across reuse is the 64-bit spawn sequence id.
+#[derive(Default)]
+struct WormStore {
+    links: Vec<Vec<LinkId>>,
+    spawn_round: Vec<u32>,
+    tenant: Vec<u32>,
+    seq: Vec<u64>,
+    free: Vec<u32>,
+}
+
+impl WormStore {
+    fn alloc(&mut self) -> usize {
+        match self.free.pop() {
+            Some(slot) => slot as usize,
+            None => {
+                self.links.push(Vec::new());
+                self.spawn_round.push(0);
+                self.tenant.push(0);
+                self.seq.push(0);
+                self.links.len() - 1
+            }
+        }
+    }
+
+    fn release(&mut self, slot: usize) {
+        self.links[slot].clear();
+        self.free.push(slot as u32);
+    }
+}
+
+/// An event-driven steady-state simulation bound to a network and a path
+/// sampler. The sampler fills `out` with the directed links of a fresh
+/// worm spawned at `source` (it may consume the RNG; draws must not
+/// depend on hidden state so runs stay reproducible).
+pub struct SteadyRun<'a, F> {
+    net: &'a Network,
+    sample_path: F,
+    params: SteadyParams,
+}
+
+impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, F> {
+    /// Create a run over `net`; panics on invalid parameters.
+    pub fn new(net: &'a Network, sample_path: F, params: SteadyParams) -> Self {
+        params.validate();
+        SteadyRun {
+            net,
+            sample_path,
+            params,
+        }
+    }
+
+    /// Simulate with a fresh workspace.
+    pub fn run(&mut self, rng: &mut impl Rng) -> SteadyReport {
+        self.run_with(&mut ProtocolWorkspace::new(), rng)
+    }
+
+    /// Simulate reusing `ws`'s engine and buffers; bit-identical to
+    /// [`SteadyRun::run`] for the same RNG state.
+    pub fn run_with(&mut self, ws: &mut ProtocolWorkspace, rng: &mut impl Rng) -> SteadyReport {
+        self.run_traced(ws, rng, &mut NullSink)
+    }
+
+    /// Simulate with an observability [`Sink`]. Emits `on_spawn` /
+    /// `on_shed` / `on_defer` per admission decision, the engine-round
+    /// hooks while routing, and `on_sojourn` per completion (warmup
+    /// included). Hooks never consume the sim RNG, so any sink is
+    /// bit-identical to [`NullSink`].
+    pub fn run_traced<S: Sink>(
+        &mut self,
+        ws: &mut ProtocolWorkspace,
+        rng: &mut impl Rng,
+        sink: &mut S,
+    ) -> SteadyReport {
+        let p = &self.params;
+        let n_sources = self.net.node_count() as u32;
+        let n_tenants = p.mix.tenants.len();
+        ws.prepare(
+            self.net.link_count(),
+            // Scratch hint: engines grow on demand; seed them for a
+            // moderate active population instead of one slot per source
+            // (a million mostly-idle sources must not cost 1M-slot
+            // reservations).
+            (n_sources as usize).min(4096),
+            p.router,
+            p.shards,
+            false,
+            &None,
+            &None,
+        );
+        let ProtocolWorkspace {
+            engine,
+            specs: spec_buf,
+            outcome,
+            ..
+        } = ws;
+        let engine = engine.as_mut().expect("prepared above");
+
+        // Event machinery. Wheel width is a constant-factor knob only;
+        // 256 keeps foreign-round scans short for any defer delay.
+        let mut cal: CalendarQueue<Event> = CalendarQueue::new(256);
+        let mut events: Vec<Event> = Vec::new();
+        let mut src_state: Vec<SourceState> = vec![SourceState::default(); n_sources as usize];
+
+        // Seed every source's first arrival, in source order (draw-order
+        // contract: one gap draw per source, none at certainty).
+        for src in 0..n_sources {
+            let t = p.mix.tenant_of(src, n_sources) as usize;
+            if let Some(r) = p.mix.tenants[t].next_arrival(0, &mut src_state[src as usize], rng) {
+                if r <= p.rounds {
+                    cal.schedule(r, Event::Arrival(src));
+                }
+            }
+        }
+
+        // Worm state.
+        let mut store = WormStore::default();
+        let mut active: Vec<u32> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut tenant_inflight = vec![0u32; n_tenants];
+        let mut tenants = vec![TenantStats::default(); n_tenants];
+
+        // Statistics.
+        let mut spawned = 0u64;
+        let mut completed = 0u64;
+        let mut shed = 0u64;
+        let mut deferred = 0u64;
+        let mut latency = QuantileSketch::new();
+        let mut latency_sum = 0u64;
+        let mut active_acc = 0u64;
+        let mut peak_active = 0usize;
+        let mut total_time = 0u64;
+        // Streaming quartile accumulators for the saturation verdict
+        // (replaces the round-stepped path's full active timeline).
+        let q = (p.rounds / 4) as u64;
+        let mut early_sum = 0u64;
+        let mut late_sum = 0u64;
+
+        let b = p.router.bandwidth as u32;
+        let mut round = 1u32;
+        while round <= p.rounds {
+            // Idle skipping: with nothing in flight, jump straight to the
+            // next scheduled event (each skipped round costs 1 time unit,
+            // like the round-stepped path's idle rounds).
+            if active.is_empty() {
+                match cal.next_occupied(round) {
+                    Some(r) if r <= p.rounds => {
+                        total_time += u64::from(r - round);
+                        round = r;
+                    }
+                    _ => {
+                        total_time += u64::from(p.rounds - round + 1);
+                        break;
+                    }
+                }
+            }
+
+            // Admission: drain this round's events in FIFO order.
+            events.clear();
+            cal.drain_round(round, &mut events);
+            for ev in events.drain(..) {
+                let (src, t) = match ev {
+                    Event::Arrival(src) => {
+                        // Keep the process stationary: schedule the next
+                        // arrival before deciding this one's fate.
+                        let t = p.mix.tenant_of(src, n_sources) as usize;
+                        if let Some(r) =
+                            p.mix.tenants[t].next_arrival(round, &mut src_state[src as usize], rng)
+                        {
+                            if r <= p.rounds {
+                                cal.schedule(r, Event::Arrival(src));
+                            }
+                        }
+                        (src, t)
+                    }
+                    Event::Inject(src) => (src, p.mix.tenant_of(src, n_sources) as usize),
+                };
+                let admitted = match &p.admission {
+                    None => true,
+                    Some(ac) => tenant_inflight[t] < ac.max_in_flight,
+                };
+                if admitted {
+                    let slot = store.alloc();
+                    store.links[slot].clear();
+                    (self.sample_path)(src, rng, &mut store.links[slot]);
+                    store.spawn_round[slot] = round;
+                    store.tenant[slot] = t as u32;
+                    store.seq[slot] = next_seq;
+                    if S::ENABLED {
+                        sink.on_spawn(round, next_seq, src);
+                    }
+                    next_seq += 1;
+                    active.push(slot as u32);
+                    tenant_inflight[t] += 1;
+                    tenants[t].spawned += 1;
+                    tenants[t].peak_in_flight = tenants[t].peak_in_flight.max(tenant_inflight[t]);
+                    if round > p.warmup {
+                        spawned += 1;
+                    }
+                } else {
+                    match p.admission.as_ref().expect("checked above").policy {
+                        AdmissionPolicy::Shed => {
+                            tenants[t].shed += 1;
+                            if round > p.warmup {
+                                shed += 1;
+                            }
+                            if S::ENABLED {
+                                sink.on_shed(round, t as u32);
+                            }
+                        }
+                        AdmissionPolicy::Defer { delay } => {
+                            tenants[t].deferred += 1;
+                            if round > p.warmup {
+                                deferred += 1;
+                            }
+                            if S::ENABLED {
+                                sink.on_defer(round, t as u32, delay);
+                            }
+                            if let Some(r) = round.checked_add(delay) {
+                                if r <= p.rounds {
+                                    cal.schedule(r, Event::Inject(src));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Population accounting (post-admission, like the
+            // round-stepped path's post-spawn timeline).
+            peak_active = peak_active.max(active.len());
+            if round > p.warmup {
+                active_acc += active.len() as u64;
+            }
+            if q >= 1 {
+                let r = u64::from(round);
+                if r > q && r <= 2 * q {
+                    early_sum += active.len() as u64;
+                } else if r > 3 * q {
+                    late_sum += active.len() as u64;
+                }
+            }
+
+            if active.is_empty() {
+                // Events fired but nothing was admitted: idle round.
+                total_time += 1;
+                round += 1;
+                continue;
+            }
+
+            // One engine round over the active population — identical
+            // shape (and RNG draw order) to the round-stepped path.
+            let ctx = ScheduleCtx {
+                n: active.len().max(1),
+                active: active.len(),
+                worm_len: p.worm_len,
+                bandwidth: p.router.bandwidth,
+                path_congestion: active.len() as u32,
+                dilation: 0,
+            };
+            let delta = p.schedule.delta(1, &ctx);
+            let mut specs = spec_buf.take();
+            // `max_len` rides along in the spec pass: a second sweep over
+            // `active` would re-miss the cache on every `store.links` row.
+            let mut max_len = 0usize;
+            specs.extend(active.iter().enumerate().map(|(i, &slot)| {
+                let links = &store.links[slot as usize];
+                max_len = max_len.max(links.len());
+                TransmissionSpec {
+                    links,
+                    start: rng.gen_range(0..delta),
+                    wavelength: rng.gen_range(0..b) as u16,
+                    priority: i as u64,
+                    length: p.worm_len,
+                }
+            }));
+            total_time += u64::from(delta) + 2 * (max_len as u64 + u64::from(p.worm_len));
+
+            engine.run_into_traced(&specs, rng, outcome, sink);
+            spec_buf.put(specs);
+
+            // Retire delivered worms, preserving survivor order.
+            let mut k = 0usize;
+            active.retain(|&slot| {
+                let delivered = outcome.results[k].fate.is_delivered();
+                k += 1;
+                if delivered {
+                    let slot = slot as usize;
+                    let lat = round - store.spawn_round[slot] + 1;
+                    if S::ENABLED {
+                        sink.on_sojourn(round, store.seq[slot], lat);
+                    }
+                    let t = store.tenant[slot] as usize;
+                    tenant_inflight[t] -= 1;
+                    tenants[t].completed += 1;
+                    if round > p.warmup {
+                        completed += 1;
+                        latency_sum += u64::from(lat);
+                        latency.record(u64::from(lat));
+                    }
+                    store.release(slot);
+                }
+                !delivered
+            });
+
+            round += 1;
+        }
+
+        let measured_rounds = f64::from(p.rounds - p.warmup);
+        let saturated = q >= 1 && {
+            let early = early_sum as f64 / q as f64;
+            let late = late_sum as f64 / (u64::from(p.rounds) - 3 * q) as f64;
+            late > 2.0 * early + 1.0
+        };
+        SteadyReport {
+            spawned,
+            completed,
+            shed,
+            deferred,
+            avg_active: active_acc as f64 / measured_rounds,
+            final_active: active.len(),
+            peak_active,
+            mean_latency_rounds: if completed == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / completed as f64
+            },
+            p50_latency_rounds: latency.quantile(0.5),
+            p99_latency_rounds: latency.quantile(0.99),
+            p999_latency_rounds: latency.quantile(0.999),
+            throughput: completed as f64 / measured_rounds,
+            saturated,
+            total_time,
+            latency,
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::arrivals::ArrivalProcess;
+    use super::super::{ContinuousParams, ContinuousRun};
+    use super::*;
+    use optical_paths::select::bfs::bfs_route;
+    use optical_topo::topologies;
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Draws source and destination from the RNG (ignoring the event's
+    /// source) so the draw order matches the round-stepped sampler
+    /// exactly — what the full-load differential tests rely on.
+    fn pair_sampler(
+        net: &Network,
+    ) -> impl FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>) + '_ {
+        move |_src, rng, out| {
+            let n = net.node_count() as u32;
+            let s = rng.gen_range(0..n);
+            let d = rng.gen_range(0..n);
+            out.extend_from_slice(bfs_route(net, s, d).links());
+        }
+    }
+
+    fn stepped_sampler(
+        net: &Network,
+    ) -> impl FnMut(&mut dyn rand::RngCore) -> optical_paths::Path + '_ {
+        move |rng| {
+            let n = net.node_count() as u32;
+            let s = rng.gen_range(0..n);
+            let d = rng.gen_range(0..n);
+            bfs_route(net, s, d)
+        }
+    }
+
+    #[test]
+    fn full_load_matches_round_stepped_bit_for_bit() {
+        let net = topologies::torus(2, 4);
+        let schedule = DelaySchedule::Fixed { delta: 32 };
+        let router = RouterConfig::serve_first(2);
+
+        let mut stepped = ContinuousRun::new(
+            &net,
+            stepped_sampler(&net),
+            ContinuousParams {
+                router,
+                worm_len: 4,
+                schedule,
+                arrival_prob: 1.0,
+                rounds: 40,
+                warmup: 10,
+            },
+        );
+        let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+        let a = stepped.run(&mut rng_a);
+
+        let mut event = SteadyRun::new(
+            &net,
+            pair_sampler(&net),
+            SteadyParams::bernoulli(router, 4, schedule, 1.0, 40, 10),
+        );
+        let mut rng_b = ChaCha8Rng::seed_from_u64(11);
+        let b = event.run(&mut rng_b);
+
+        assert_eq!(a.spawned, b.spawned);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.avg_active, b.avg_active);
+        assert_eq!(a.final_active, b.final_active);
+        assert_eq!(a.mean_latency_rounds, b.mean_latency_rounds);
+        assert_eq!(a.throughput, b.throughput);
+        assert_eq!(a.saturated, b.saturated);
+        assert_eq!(a.total_time, b.total_time);
+        // Same RNG stream consumed — the strongest equivalence check.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn zero_load_skips_everything() {
+        let net = topologies::ring(8);
+        let mut run = SteadyRun::new(
+            &net,
+            pair_sampler(&net),
+            SteadyParams::bernoulli(
+                RouterConfig::serve_first(2),
+                4,
+                DelaySchedule::Fixed { delta: 16 },
+                0.0,
+                50,
+                10,
+            ),
+        );
+        let report = run.run(&mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(report.spawned, 0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.peak_active, 0);
+        // Every idle round costs exactly one time unit, skipped or not.
+        assert_eq!(report.total_time, 50);
+        assert!(report.latency.is_empty());
+    }
+
+    #[test]
+    fn shed_policy_caps_in_flight_and_counts_drops() {
+        let net = topologies::torus(2, 4);
+        let mut p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(1),
+            4,
+            DelaySchedule::Fixed { delta: 6 },
+            1.0,
+            60,
+            10,
+        );
+        p.admission = Some(AdmissionControl::shed(5));
+        let mut run = SteadyRun::new(&net, pair_sampler(&net), p);
+        let report = run.run(&mut ChaCha8Rng::seed_from_u64(2));
+        assert_eq!(report.tenants.len(), 1);
+        assert!(report.tenants[0].peak_in_flight <= 5, "{report:?}");
+        assert!(report.peak_active <= 5);
+        assert!(report.shed > 0, "full load over a cap of 5 must shed");
+        assert!(report.completed > 0);
+        assert_eq!(report.deferred, 0);
+    }
+
+    #[test]
+    fn defer_policy_parks_and_readmits() {
+        let net = topologies::torus(2, 4);
+        let mut p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(1),
+            4,
+            DelaySchedule::Fixed { delta: 6 },
+            0.5,
+            80,
+            10,
+        );
+        p.admission = Some(AdmissionControl::defer(4, 3));
+        let mut run = SteadyRun::new(&net, pair_sampler(&net), p);
+        let report = run.run(&mut ChaCha8Rng::seed_from_u64(3));
+        assert!(report.tenants[0].peak_in_flight <= 4, "{report:?}");
+        assert!(report.deferred > 0, "load over a cap of 4 must defer");
+        assert_eq!(report.shed, 0);
+        assert!(
+            report.tenants[0].completed > 0,
+            "deferred arrivals must eventually route: {report:?}"
+        );
+    }
+
+    #[test]
+    fn multi_tenant_mix_tallies_per_tenant() {
+        let net = topologies::torus(2, 6);
+        let mut p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(2),
+            4,
+            DelaySchedule::Fixed { delta: 32 },
+            0.0,
+            120,
+            20,
+        );
+        p.mix = TrafficMix {
+            tenants: vec![
+                ArrivalProcess::Bernoulli { prob: 0.05 },
+                ArrivalProcess::Poisson { rate: 0.05 },
+                ArrivalProcess::BurstyOnOff {
+                    on_prob: 0.4,
+                    mean_burst: 3.0,
+                    mean_off: 40.0,
+                },
+                ArrivalProcess::Diurnal {
+                    base: 0.04,
+                    amplitude: 0.9,
+                    period: 60,
+                },
+            ],
+        };
+        let mut run = SteadyRun::new(&net, pair_sampler(&net), p);
+        let report = run.run(&mut ChaCha8Rng::seed_from_u64(4));
+        assert_eq!(report.tenants.len(), 4);
+        for (i, t) in report.tenants.iter().enumerate() {
+            assert!(t.spawned > 0, "tenant {i} must see arrivals: {report:?}");
+            assert!(t.completed <= t.spawned);
+            assert!(u64::from(t.peak_in_flight) <= t.spawned);
+        }
+        let spawned_total: u64 = report.tenants.iter().map(|t| t.spawned).sum();
+        let completed_total: u64 = report.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(
+            spawned_total - completed_total,
+            report.final_active as u64,
+            "spawn/complete/in-flight conservation: {report:?}"
+        );
+        assert!(!report.saturated, "light mixed load must be stable");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let net = topologies::torus(2, 4);
+        let mut ws = ProtocolWorkspace::new();
+        for seed in [5u64, 6] {
+            let p = SteadyParams::bernoulli(
+                RouterConfig::serve_first(2),
+                4,
+                DelaySchedule::Fixed { delta: 16 },
+                0.2,
+                60,
+                10,
+            );
+            let mut fresh = SteadyRun::new(&net, pair_sampler(&net), p.clone());
+            let a = fresh.run(&mut ChaCha8Rng::seed_from_u64(seed));
+            let mut reused = SteadyRun::new(&net, pair_sampler(&net), p);
+            let b = reused.run_with(&mut ws, &mut ChaCha8Rng::seed_from_u64(seed));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sketch_percentiles_are_ordered_and_bounded() {
+        let net = topologies::torus(2, 6);
+        let p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(1),
+            4,
+            DelaySchedule::Fixed { delta: 8 },
+            0.15,
+            150,
+            30,
+        );
+        let mut run = SteadyRun::new(&net, pair_sampler(&net), p);
+        let report = run.run(&mut ChaCha8Rng::seed_from_u64(7));
+        assert!(report.completed > 0);
+        assert!(report.p50_latency_rounds >= 1);
+        assert!(report.p99_latency_rounds >= report.p50_latency_rounds);
+        assert!(report.p999_latency_rounds >= report.p99_latency_rounds);
+        assert_eq!(report.latency.len(), report.completed);
+    }
+}

@@ -36,8 +36,11 @@
 //!   harness to compare measured against predicted shapes;
 //! * [`hops`] — the §4 bounded-hops extension (electronic buffering
 //!   points);
-//! * [`continuous`] — steady-state operation under Bernoulli arrivals
-//!   (saturation throughput, load-latency curves);
+//! * [`continuous`] — steady-state operation under continuous arrivals:
+//!   the round-stepped reference (`ContinuousRun`) and the event-driven
+//!   serving engine (`SteadyRun`) with calendar-queue scheduling,
+//!   per-tenant arrival processes, admission control, and streaming
+//!   latency percentiles;
 //! * [`recovery`] — self-healing trial-and-failure under dynamic faults:
 //!   stranded-worm detection, configurable retry strategies (backoff
 //!   curves with jitter), per-link circuit breakers, a dead-letter queue,
@@ -63,6 +66,10 @@ pub mod sim;
 pub mod witness;
 pub mod workspace;
 
+pub use continuous::{
+    AdmissionControl, AdmissionPolicy, ArrivalProcess, ContinuousParams, ContinuousReport,
+    ContinuousRun, SteadyParams, SteadyReport, SteadyRun, TrafficMix,
+};
 pub use priority::PriorityStrategy;
 pub use protocol::{AckMode, ProtocolParams, RoundReport, RunReport, TrialAndFailure};
 pub use recovery::{

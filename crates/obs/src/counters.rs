@@ -8,6 +8,7 @@
 //! all workers fold into one set of totals without locks.
 
 use crate::{BreakerState, Sink};
+use optical_stats::QuantileSketch;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
@@ -45,6 +46,15 @@ pub struct CountersSink {
     rate_limited: AtomicU64,
     dlq_enqueued: AtomicU64,
     dlq_replayed: AtomicU64,
+    spawns: AtomicU64,
+    sojourns: AtomicU64,
+    sojourn_rounds: AtomicU64,
+    // Atomic mirror of `QuantileSketch` buckets at the default precision:
+    // fixed memory no matter how long the run, reconstructed into a
+    // sketch by `totals()`.
+    sojourn_buckets: Vec<AtomicU64>,
+    shed: AtomicU64,
+    deferred: AtomicU64,
 }
 
 /// A plain-value snapshot of [`CountersSink`], taken by
@@ -106,6 +116,23 @@ pub struct CounterTotals {
     pub dlq_enqueued: u64,
     /// Worms replayed out of the dead-letter queue.
     pub dlq_replayed: u64,
+    /// Worms spawned by the steady-state serving layer.
+    pub spawns: u64,
+    /// Worms whose sojourn completed (delivered end-to-end).
+    pub sojourns: u64,
+    /// Sum of sojourn latencies in rounds (mean = `sojourn_rounds /
+    /// sojourns`).
+    pub sojourn_rounds: u64,
+    /// Fixed-memory sojourn-latency sketch (rounds), reconstructed from
+    /// the sink's atomic bucket mirror; query through
+    /// [`CounterTotals::latency_p50`] and friends or
+    /// [`QuantileSketch::quantile`] directly.
+    pub latency: QuantileSketch,
+    /// Arrivals dropped by admission control (shed policy).
+    pub shed: u64,
+    /// Arrival deferrals by admission control (one arrival may defer
+    /// multiple times).
+    pub deferred: u64,
 }
 
 impl CountersSink {
@@ -140,6 +167,16 @@ impl CountersSink {
             rate_limited: AtomicU64::new(0),
             dlq_enqueued: AtomicU64::new(0),
             dlq_replayed: AtomicU64::new(0),
+            spawns: AtomicU64::new(0),
+            sojourns: AtomicU64::new(0),
+            sojourn_rounds: AtomicU64::new(0),
+            sojourn_buckets: (0..QuantileSketch::buckets_for(
+                QuantileSketch::DEFAULT_GROUPING_BITS,
+            ))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            shed: AtomicU64::new(0),
+            deferred: AtomicU64::new(0),
         }
     }
 
@@ -172,6 +209,19 @@ impl CountersSink {
             rate_limited: self.rate_limited.load(Relaxed),
             dlq_enqueued: self.dlq_enqueued.load(Relaxed),
             dlq_replayed: self.dlq_replayed.load(Relaxed),
+            spawns: self.spawns.load(Relaxed),
+            sojourns: self.sojourns.load(Relaxed),
+            sojourn_rounds: self.sojourn_rounds.load(Relaxed),
+            latency: {
+                let counts: Vec<u64> = self
+                    .sojourn_buckets
+                    .iter()
+                    .map(|c| c.load(Relaxed))
+                    .collect();
+                QuantileSketch::from_counts(QuantileSketch::DEFAULT_GROUPING_BITS, &counts)
+            },
+            shed: self.shed.load(Relaxed),
+            deferred: self.deferred.load(Relaxed),
         }
     }
 
@@ -205,6 +255,21 @@ impl CounterTotals {
     /// so this never goes negative).
     pub fn dlq_depth(&self) -> u64 {
         self.dlq_enqueued.saturating_sub(self.dlq_replayed)
+    }
+
+    /// Median sojourn latency in rounds (0 when nothing completed).
+    pub fn latency_p50(&self) -> u64 {
+        self.latency.quantile(0.5)
+    }
+
+    /// 99th-percentile sojourn latency in rounds.
+    pub fn latency_p99(&self) -> u64 {
+        self.latency.quantile(0.99)
+    }
+
+    /// 99.9th-percentile sojourn latency in rounds.
+    pub fn latency_p999(&self) -> u64 {
+        self.latency.quantile(0.999)
     }
 
     /// Mean shard-imbalance ratio over the sharded rounds observed:
@@ -260,6 +325,17 @@ impl fmt::Display for CounterTotals {
             self.rate_limited,
             self.dlq_enqueued,
             self.dlq_replayed
+        )?;
+        writeln!(
+            f,
+            "spawns={} sojourns={} shed={} deferred={} latency_p50={} latency_p99={} latency_p999={}",
+            self.spawns,
+            self.sojourns,
+            self.shed,
+            self.deferred,
+            self.latency_p50(),
+            self.latency_p99(),
+            self.latency_p999()
         )?;
         write!(f, "wl_installs=[")?;
         for (i, n) in self.wl_installs.iter().enumerate() {
@@ -378,6 +454,26 @@ impl Sink for &CountersSink {
     fn on_dlq_replay(&mut self, _round: u32, _worm: u32) {
         self.dlq_replayed.fetch_add(1, Relaxed);
     }
+    #[inline]
+    fn on_spawn(&mut self, _round: u32, _worm: u64, _source: u32) {
+        self.spawns.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_sojourn(&mut self, _round: u32, _worm: u64, latency: u32) {
+        self.sojourns.fetch_add(1, Relaxed);
+        self.sojourn_rounds.fetch_add(u64::from(latency), Relaxed);
+        let idx =
+            QuantileSketch::index_for(QuantileSketch::DEFAULT_GROUPING_BITS, u64::from(latency));
+        self.sojourn_buckets[idx].fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_shed(&mut self, _round: u32, _tenant: u32) {
+        self.shed.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_defer(&mut self, _round: u32, _tenant: u32, _delay: u32) {
+        self.deferred.fetch_add(1, Relaxed);
+    }
 }
 
 /// Owned counters are a sink too (single-threaded runs).
@@ -454,6 +550,22 @@ impl Sink for CountersSink {
     fn on_dlq_replay(&mut self, round: u32, worm: u32) {
         (&*self).on_dlq_replay(round, worm);
     }
+    #[inline]
+    fn on_spawn(&mut self, round: u32, worm: u64, source: u32) {
+        (&*self).on_spawn(round, worm, source);
+    }
+    #[inline]
+    fn on_sojourn(&mut self, round: u32, worm: u64, latency: u32) {
+        (&*self).on_sojourn(round, worm, latency);
+    }
+    #[inline]
+    fn on_shed(&mut self, round: u32, tenant: u32) {
+        (&*self).on_shed(round, tenant);
+    }
+    #[inline]
+    fn on_defer(&mut self, round: u32, tenant: u32, delay: u32) {
+        (&*self).on_defer(round, tenant, delay);
+    }
 }
 
 #[cfg(test)]
@@ -516,6 +628,42 @@ mod tests {
         // 70 * 4 / 160 = 1.75: between balanced (1.0) and one-shard (4.0).
         assert_eq!(t.shard_imbalance(), Some(1.75));
         assert!(t.to_string().contains("sharded_rounds=3"));
+    }
+
+    #[test]
+    fn steady_state_counters_fold_and_latency_percentiles_reconstruct() {
+        let c = CountersSink::new(1);
+        let mut s = &c;
+        // 100 sojourns: 90 fast (2 rounds), 9 slow (20), 1 outlier (200).
+        for i in 0..100u64 {
+            s.on_spawn(1, i, (i % 7) as u32);
+            let lat = if i < 90 {
+                2
+            } else if i < 99 {
+                20
+            } else {
+                200
+            };
+            s.on_sojourn(3, i, lat);
+        }
+        s.on_shed(4, 0);
+        s.on_shed(4, 1);
+        s.on_defer(5, 2, 8);
+
+        let t = c.totals();
+        assert_eq!(t.spawns, 100);
+        assert_eq!(t.sojourns, 100);
+        assert_eq!(t.shed, 2);
+        assert_eq!(t.deferred, 1);
+        assert_eq!(t.sojourn_rounds, 90 * 2 + 9 * 20 + 200);
+        // Latencies are small enough to sit in exact sketch buckets.
+        assert_eq!(t.latency_p50(), 2);
+        assert_eq!(t.latency_p99(), 20);
+        assert_eq!(t.latency_p999(), 200);
+        assert_eq!(t.latency.len(), 100);
+        let text = t.to_string();
+        assert!(text.contains("spawns=100"));
+        assert!(text.contains("latency_p99=20"));
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //!   the perf gate's `protocol/run_obs_off` key guards the claim.
 //! * [`CountersSink`] — lock-free atomic totals (trials, failures by
 //!   cause, per-wavelength install histogram, backoff depth, dead-link
-//!   learnings). Shared across rayon workers via `&CountersSink`, which
-//!   also implements [`Sink`].
+//!   learnings, and a fixed-memory sojourn-latency histogram mirroring
+//!   `optical_stats::QuantileSketch` buckets for P50/P99/P999). Shared
+//!   across rayon workers via `&CountersSink`, which also implements
+//!   [`Sink`].
 //! * [`EventSink`] — a bounded ring buffer of structured [`Event`]s
 //!   (inject / block / cut / deliver / dead-link / reroute / … with round,
 //!   link, wavelength and blocker id), dumpable to JSONL and parseable
@@ -37,6 +39,13 @@
 //! `on_abandon`), and finally `on_round_end`. Worm ids are *path ids*
 //! (stable across rounds), not per-batch indices. Hooks must never
 //! consume the simulation RNG.
+//!
+//! The steady-state serving layer adds per-serving-round hooks on top:
+//! admission decisions first (`on_spawn` per admitted arrival, `on_shed`
+//! / `on_defer` per rejected one, in source order), then the engine-round
+//! hooks above, then one `on_sojourn` per worm completed this round.
+//! Steady-state worm ids are 64-bit spawn sequence numbers — monotone
+//! and never reused, even across millions of in-flight worms.
 
 pub mod counters;
 pub mod events;
@@ -225,6 +234,30 @@ pub trait Sink {
     /// `round`'s injection batch.
     #[inline]
     fn on_dlq_replay(&mut self, _round: u32, _worm: u32) {}
+
+    /// The steady-state serving layer spawned worm `worm` (a stable
+    /// 64-bit sequence id, monotone in spawn order across the whole run)
+    /// at `source` during `round`. Unlike the per-batch path ids of
+    /// [`Sink::on_inject`], spawn sequence ids never repeat.
+    #[inline]
+    fn on_spawn(&mut self, _round: u32, _worm: u64, _source: u32) {}
+
+    /// Worm `worm` (spawn sequence id) completed during `round` after a
+    /// sojourn of `latency` rounds (spawn round inclusive, so ≥ 1). This
+    /// feeds the fixed-memory latency sketch in [`CountersSink`].
+    #[inline]
+    fn on_sojourn(&mut self, _round: u32, _worm: u64, _latency: u32) {}
+
+    /// Admission control dropped an arrival from tenant `tenant` during
+    /// `round` (shed policy: the worm is never spawned).
+    #[inline]
+    fn on_shed(&mut self, _round: u32, _tenant: u32) {}
+
+    /// Admission control deferred an arrival from tenant `tenant` during
+    /// `round`; it re-enters admission `delay` rounds later. A single
+    /// arrival may be deferred multiple times.
+    #[inline]
+    fn on_defer(&mut self, _round: u32, _tenant: u32, _delay: u32) {}
 }
 
 /// The disabled sink: all hooks are no-ops and [`Sink::ENABLED`] is
@@ -336,6 +369,22 @@ impl<S: Sink + ?Sized> Sink for &mut S {
     #[inline]
     fn on_dlq_replay(&mut self, round: u32, worm: u32) {
         (**self).on_dlq_replay(round, worm);
+    }
+    #[inline]
+    fn on_spawn(&mut self, round: u32, worm: u64, source: u32) {
+        (**self).on_spawn(round, worm, source);
+    }
+    #[inline]
+    fn on_sojourn(&mut self, round: u32, worm: u64, latency: u32) {
+        (**self).on_sojourn(round, worm, latency);
+    }
+    #[inline]
+    fn on_shed(&mut self, round: u32, tenant: u32) {
+        (**self).on_shed(round, tenant);
+    }
+    #[inline]
+    fn on_defer(&mut self, round: u32, tenant: u32, delay: u32) {
+        (**self).on_defer(round, tenant, delay);
     }
 }
 

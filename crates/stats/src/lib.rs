@@ -1,16 +1,19 @@
 #![warn(missing_docs)]
 
 //! Statistics and reporting helpers for the experiment harness:
-//! summary statistics over replicated trials ([`summary`]), deterministic
+//! summary statistics over replicated trials ([`summary`]), a
+//! fixed-memory streaming quantile sketch ([`sketch`]), deterministic
 //! seed derivation ([`seeds`]), and plain-text table rendering
 //! ([`table`]).
 
 pub mod regression;
 pub mod seeds;
+pub mod sketch;
 pub mod summary;
 pub mod table;
 
 pub use regression::{fit_against, linear_fit, LinearFit};
 pub use seeds::{point_seed, SeedStream};
+pub use sketch::QuantileSketch;
 pub use summary::{percentile, Summary};
 pub use table::Table;

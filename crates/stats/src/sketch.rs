@@ -1,0 +1,384 @@
+//! Fixed-memory streaming quantile sketch.
+//!
+//! [`QuantileSketch`] is a log-linear (HdrHistogram-style) bucketed
+//! histogram over `u64` values: values below `2^(k+1)` (where `k` is the
+//! grouping precision) are recorded **exactly**, larger values land in
+//! buckets of relative width `2^-k`. Memory is a fixed function of the
+//! precision — independent of how many values are recorded — which is
+//! what lets steady-state runs of arbitrary length report latency
+//! percentiles (P50/P99/P999) without buffering every sojourn time.
+//!
+//! The bucket layout is exposed ([`QuantileSketch::index_for`],
+//! [`QuantileSketch::buckets_for`], [`QuantileSketch::from_counts`]) so
+//! lock-free consumers (the atomic counter sink in `optical-obs`) can
+//! maintain the same buckets as plain atomics and snapshot them back
+//! into a sketch.
+
+use serde::{Deserialize, Serialize};
+
+/// Highest value exponent tracked distinctly; values at or above
+/// `2^(MAX_EXP + 1)` saturate into the last bucket.
+const MAX_EXP: u32 = 42;
+
+/// A fixed-memory quantile sketch over `u64` samples; see the module
+/// docs. `PartialEq` compares the full bucket state, so two sketches fed
+/// the same samples (in any order) compare equal.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    grouping_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl QuantileSketch {
+    /// Default grouping precision: values below `2^8` are exact and the
+    /// relative quantile error beyond is at most `2^-7` (< 1%).
+    pub const DEFAULT_GROUPING_BITS: u32 = 7;
+
+    /// Sketch with the default precision
+    /// ([`QuantileSketch::DEFAULT_GROUPING_BITS`]).
+    pub fn new() -> Self {
+        Self::with_precision(Self::DEFAULT_GROUPING_BITS)
+    }
+
+    /// Sketch with `2^grouping_bits` sub-buckets per octave: values below
+    /// `2^(grouping_bits + 1)` are exact, the relative error beyond is at
+    /// most `2^-grouping_bits`.
+    ///
+    /// # Panics
+    /// If `grouping_bits` is 0 or above 20 (memory would be pointless or
+    /// enormous).
+    pub fn with_precision(grouping_bits: u32) -> Self {
+        assert!(
+            (1..=20).contains(&grouping_bits),
+            "grouping_bits must be in 1..=20"
+        );
+        QuantileSketch {
+            grouping_bits,
+            counts: vec![0; Self::buckets_for(grouping_bits)],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Number of buckets a sketch of this precision holds — its fixed
+    /// memory footprint in `u64` counters.
+    pub fn buckets_for(grouping_bits: u32) -> usize {
+        // Octave 0 covers [0, 2^k) exactly; each exponent k..=MAX_EXP
+        // contributes 2^k sub-buckets.
+        ((MAX_EXP - grouping_bits + 2) as usize) << grouping_bits
+    }
+
+    /// Bucket index of `value` at the given precision. Stable across
+    /// processes — the contract the atomic bucket mirror in `optical-obs`
+    /// relies on.
+    pub fn index_for(grouping_bits: u32, value: u64) -> usize {
+        let k = grouping_bits;
+        if value < (1 << k) {
+            return value as usize;
+        }
+        // Saturate out-of-range values into the top octave.
+        let v = value.min((1u64 << (MAX_EXP + 1)) - 1);
+        let msb = 63 - v.leading_zeros(); // k <= msb <= MAX_EXP
+        let sub = ((v >> (msb - k)) - (1 << k)) as usize;
+        (((msb - k + 1) as usize) << k) + sub
+    }
+
+    /// Smallest value mapping to bucket `index` — the value
+    /// [`QuantileSketch::quantile`] reports, never above the true sample.
+    fn lower_bound(grouping_bits: u32, index: usize) -> u64 {
+        let k = grouping_bits;
+        if index < (1usize << (k + 1)) {
+            return index as u64;
+        }
+        let octave = (index >> k) as u32 - 1; // >= 1
+        let sub = (index & ((1 << k) - 1)) as u64;
+        ((1u64 << k) + sub) << octave
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::index_for(self.grouping_bits, value)] += n;
+        self.total += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Rebuild a sketch from a bucket-count snapshot (e.g. the atomic
+    /// mirror kept by a counter sink). `counts` must have exactly
+    /// [`QuantileSketch::buckets_for`]`(grouping_bits)` entries. The sum,
+    /// min and max are reconstructed from bucket lower bounds, so
+    /// [`QuantileSketch::mean`] is a lower-bound approximation; quantiles
+    /// are identical to the recording sketch's.
+    ///
+    /// # Panics
+    /// On a length mismatch.
+    pub fn from_counts(grouping_bits: u32, counts: &[u64]) -> Self {
+        assert_eq!(
+            counts.len(),
+            Self::buckets_for(grouping_bits),
+            "bucket snapshot length mismatch"
+        );
+        let mut s = Self::with_precision(grouping_bits);
+        for (i, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                let lb = Self::lower_bound(grouping_bits, i);
+                s.counts[i] = n;
+                s.total += n;
+                s.sum = s.sum.saturating_add(lb.saturating_mul(n));
+                s.min = s.min.min(lb);
+                s.max = s.max.max(lb);
+            }
+        }
+        s
+    }
+
+    /// Nearest-rank quantile (`q` in `[0, 1]`), reported as the lower
+    /// bound of the bucket holding that rank: for any recorded sample set
+    /// the result is at most the true quantile and at least
+    /// `true / (1 + 2^-grouping_bits)`; exact when all samples are below
+    /// `2^(grouping_bits + 1)`. Returns 0 on an empty sketch.
+    ///
+    /// # Panics
+    /// If `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile rank must be in [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut acc = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            acc += n;
+            if acc >= rank {
+                // The first and last buckets carry the exact extremes.
+                let lb = Self::lower_bound(self.grouping_bits, i);
+                return lb.max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other` into `self` bucket-wise. Order-insensitive: merging
+    /// shards of a sample equals sketching the whole sample.
+    ///
+    /// # Panics
+    /// If the precisions differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert_eq!(
+            self.grouping_bits, other.grouping_bits,
+            "cannot merge sketches of different precision"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean of the recorded samples (0 on an empty sketch).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 on an empty sketch).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 on an empty sketch).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The sketch's bucket count — fixed at construction, independent of
+    /// how many samples have been recorded (the fixed-memory contract).
+    pub fn bucket_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The configured grouping precision.
+    pub fn grouping_bits(&self) -> u32 {
+        self.grouping_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact nearest-rank percentile over a sorted copy, the reference
+    /// the sketch is judged against.
+    fn exact(values: &mut [u64], q: f64) -> u64 {
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        values[rank - 1]
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Everything below 2^(k+1) lives in a width-1 bucket.
+        let mut s = QuantileSketch::new();
+        let mut vals: Vec<u64> = (1..=200).collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), exact(&mut vals, q), "q={q}");
+        }
+        assert_eq!(s.len(), 200);
+        assert_eq!(s.min(), 1);
+        assert_eq!(s.max(), 200);
+        assert!((s.mean() - 100.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_bound_holds_on_wide_distributions() {
+        // Uniform and heavy-tailed samples: the reported quantile is
+        // never above the exact one and within the 2^-k relative bound
+        // below it.
+        let k = QuantileSketch::DEFAULT_GROUPING_BITS;
+        let rel = (2f64).powi(-(k as i32));
+        let uniform: Vec<u64> = (1..=100_000).collect();
+        let tail: Vec<u64> = (0..60_000u64).map(|i| 1 + (i % 40) * i).collect();
+        for sample in [uniform, tail] {
+            let mut s = QuantileSketch::new();
+            for &v in &sample {
+                s.record(v);
+            }
+            let mut sorted = sample.clone();
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                let e = exact(&mut sorted, q) as f64;
+                let got = s.quantile(q) as f64;
+                assert!(got <= e, "q={q}: sketch {got} above exact {e}");
+                assert!(
+                    e <= got * (1.0 + rel) + 1.0,
+                    "q={q}: sketch {got} too far below exact {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_sketch_and_requires_same_precision() {
+        let sample: Vec<u64> = (0..10_000u64).map(|i| i * i % 7919 + 1).collect();
+        let mut whole = QuantileSketch::new();
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for (i, &v) in sample.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "merge must equal the one-shot sketch");
+        assert_eq!(a.quantile(0.99), whole.quantile(0.99));
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn merge_rejects_precision_mismatch() {
+        let mut a = QuantileSketch::with_precision(5);
+        a.merge(&QuantileSketch::with_precision(6));
+    }
+
+    #[test]
+    fn memory_is_fixed_and_saturating() {
+        let mut s = QuantileSketch::new();
+        let before = s.bucket_count();
+        for i in 0..1_000_000u64 {
+            s.record(i % 100_000);
+        }
+        s.record(u64::MAX); // saturates into the top bucket, no growth
+        assert_eq!(s.bucket_count(), before, "bucket count must never grow");
+        assert_eq!(s.len(), 1_000_001);
+        assert!(s.quantile(1.0) >= s.quantile(0.5));
+    }
+
+    #[test]
+    fn bucket_mirror_roundtrip_matches_quantiles() {
+        // The from_counts bridge (used by the atomic counter sink)
+        // reproduces the recording sketch's quantiles exactly.
+        let mut s = QuantileSketch::new();
+        let mut counts = vec![0u64; QuantileSketch::buckets_for(7)];
+        for v in [1u64, 3, 3, 900, 17, 42, 65_536, 12] {
+            s.record(v);
+            counts[QuantileSketch::index_for(7, v)] += 1;
+        }
+        let rebuilt = QuantileSketch::from_counts(7, &counts);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(rebuilt.quantile(q), s.quantile(q), "q={q}");
+        }
+        assert_eq!(rebuilt.len(), s.len());
+    }
+
+    #[test]
+    fn empty_sketch_reports_zeros() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn index_and_lower_bound_are_consistent() {
+        let k = 4;
+        for v in (0..5000u64).chain([1 << 20, (1 << 43) + 5, u64::MAX]) {
+            let i = QuantileSketch::index_for(k, v);
+            let lb = QuantileSketch::lower_bound(k, i);
+            assert!(lb <= v.min((1 << (MAX_EXP + 1)) - 1), "v={v} lb={lb}");
+            if v < (1 << (k + 1)) {
+                assert_eq!(lb, v, "small values are exact");
+            } else if v < (1 << MAX_EXP) {
+                // Relative bucket width bound.
+                assert!(v - lb <= v >> k, "v={v} lb={lb}");
+            }
+            assert!(i < QuantileSketch::buckets_for(k));
+        }
+    }
+}

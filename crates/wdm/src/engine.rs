@@ -105,6 +105,10 @@ pub struct Engine {
     /// Requested intra-round shard count (see [`Engine::set_shards`]);
     /// `1` keeps the serial kernel.
     shard_count: usize,
+    /// Optional per-link expected arrival mass (see
+    /// [`Engine::set_shard_weights`]); shard boundaries cut at equal mass
+    /// shares instead of equal link counts.
+    shard_weights: Option<Vec<u64>>,
     /// Reused per-run allocations (bucket queue, SoA worm state, group
     /// scratch), so a protocol run of many rounds allocates only on
     /// growth.
@@ -413,6 +417,7 @@ impl Engine {
             has_converters: false,
             faults: None,
             shard_count: 1,
+            shard_weights: None,
             scratch: Scratch::default(),
         }
     }
@@ -431,6 +436,33 @@ impl Engine {
     /// The configured intra-round shard count.
     pub fn shards(&self) -> usize {
         self.shard_count
+    }
+
+    /// Cut shard boundaries at equal shares of `weights` — the expected
+    /// arrival mass per link (e.g. how many worm paths cross each link,
+    /// or arrival counts observed via
+    /// `optical_obs::CounterTotals::shard_imbalance`) — instead of equal
+    /// link counts. `None` (the default) restores uniform chunking.
+    ///
+    /// Weighting only moves the contiguous shard boundaries; results and
+    /// the RNG stream stay **bit-identical** to the serial kernel and to
+    /// any other shard geometry (see [`Engine::set_shards`]).
+    ///
+    /// # Panics
+    /// If `weights.len() != link_count`.
+    pub fn set_shard_weights(&mut self, weights: Option<Vec<u64>>) {
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), self.link_count, "shard-weight length mismatch");
+        }
+        self.shard_weights = weights;
+    }
+
+    /// The shard geometry the next sharded round will use.
+    fn shard_plan(&self) -> shard::ShardPlan {
+        match &self.shard_weights {
+            Some(w) => shard::ShardPlan::weighted(self.link_count, self.shard_count, w),
+            None => shard::ShardPlan::new(self.link_count, self.shard_count),
+        }
     }
 
     /// Pre-size the per-worm scratch arrays for workloads of up to `n`
@@ -453,7 +485,8 @@ impl Engine {
         // worst case of every head landing in one shard (inbox) while
         // forwarding fans out evenly (outboxes).
         if self.shard_count > 1 && self.link_count > 0 {
-            let plan = shard::ShardPlan::new(self.link_count, self.shard_count);
+            let plan = self.shard_plan();
+            let s = &mut self.scratch;
             if s.shards.len() < plan.shards {
                 s.shards
                     .resize_with(plan.shards, shard::ShardScratch::default);
@@ -785,8 +818,8 @@ impl Engine {
         // serve-first fast mode shards — it is the mode whose resolution
         // is provably order-free outside contended groups, which is what
         // the bit-identity argument rests on (see `engine::shard`).
-        let shard_plan = (fast_mode && self.shard_count > 1 && self.link_count > 0)
-            .then(|| shard::ShardPlan::new(self.link_count, self.shard_count));
+        let shard_plan =
+            (fast_mode && self.shard_count > 1 && self.link_count > 0).then(|| self.shard_plan());
 
         if let Some(plan) = shard_plan {
             self.run_steps_sharded(
@@ -2375,6 +2408,109 @@ mod tests {
                 "links={links} req={req}: last shard is non-empty"
             );
         }
+    }
+
+    /// Weighted plans cut contiguous ascending boundaries at equal mass
+    /// shares; on a skewed workload the busiest shard's mass lands well
+    /// under the uniform plan's, and degenerate masses fall back cleanly.
+    #[test]
+    fn weighted_shard_plan_balances_skewed_mass() {
+        // 90% of the arrival mass concentrated in the first 10% of links.
+        let links = 400usize;
+        let weights: Vec<u64> = (0..links).map(|l| if l < 40 { 90 } else { 4 }).collect();
+        let req = 8usize;
+        let plan = shard::ShardPlan::weighted(links, req, &weights);
+        assert!(plan.shards >= 2 && plan.shards <= req);
+        // Still a total, contiguous, ascending partition.
+        let mut prev = 0usize;
+        for l in 0..links {
+            let s = plan.shard_of(l);
+            assert!(s >= prev && s < plan.shards, "link {l}");
+            prev = s;
+        }
+        assert_eq!(plan.shard_of(links - 1), plan.shards - 1);
+        let mass = |p: &shard::ShardPlan| {
+            let mut m = vec![0u64; p.shards];
+            for (l, &w) in weights.iter().enumerate() {
+                m[p.shard_of(l)] += w;
+            }
+            m
+        };
+        let uniform = shard::ShardPlan::new(links, req);
+        let wmax = mass(&plan).into_iter().max().unwrap();
+        let umax = mass(&uniform).into_iter().max().unwrap();
+        assert!(
+            wmax * 2 < umax,
+            "weighted busiest shard ({wmax}) must be well under uniform ({umax})"
+        );
+        // All-zero mass and single-shard requests fall back to uniform.
+        let zero = shard::ShardPlan::weighted(links, req, &vec![0; links]);
+        assert_eq!(zero.shards, uniform.shards);
+        assert_eq!(shard::ShardPlan::weighted(links, 1, &weights).shards, 1);
+    }
+
+    /// Mass-weighted shard boundaries keep fates, makespan, and the RNG
+    /// stream bit-identical to the serial engine while cutting the
+    /// measured shard imbalance on a skewed workload.
+    #[test]
+    fn weighted_shards_match_serial_and_improve_balance() {
+        use optical_obs::CountersSink;
+        let net = topologies::ring(24); // 48 directed links
+                                        // Skew: every worm walks one of a few short arcs near node 0, so
+                                        // a handful of links see all head arrivals.
+        let paths: Vec<Vec<u32>> = (0..14u32)
+            .map(|i| {
+                let hops = i % 3 + 1;
+                let nodes: Vec<u32> = (0..=hops).map(|k| (i % 4 + k) % 24).collect();
+                links(&net, &nodes)
+            })
+            .collect();
+        let specs: Vec<TransmissionSpec<'_>> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| spec(p, (i % 3) as u32, 0, i as u64, 2))
+            .collect();
+        let cfg = RouterConfig {
+            bandwidth: 1,
+            rule: CollisionRule::ServeFirst,
+            tie: TieRule::Random,
+            record_conflicts: false,
+        };
+        // Expected arrival mass: one head arrival per link per crossing
+        // path (exactly what a steady-state run's spawn history gives).
+        let mut weights = vec![0u64; net.link_count()];
+        for p in &paths {
+            for &l in p {
+                weights[l as usize] += 1;
+            }
+        }
+
+        let mut serial = Engine::new(net.link_count(), cfg);
+        let mut srng = rng();
+        let want = serial.run(&specs, &mut srng);
+        let tail = srng.gen::<u64>();
+
+        let imbalance = |weighted: bool| {
+            let mut eng = Engine::new(net.link_count(), cfg);
+            eng.set_shards(6);
+            if weighted {
+                eng.set_shard_weights(Some(weights.clone()));
+            }
+            let sink = CountersSink::new(1);
+            let mut r = rng();
+            let mut got = RoundOutcome::default();
+            eng.run_into_traced(&specs, &mut r, &mut got, &mut &sink);
+            assert_eq!(got.results, want.results, "weighted={weighted}");
+            assert_eq!(got.makespan, want.makespan, "weighted={weighted}");
+            assert_eq!(r.gen::<u64>(), tail, "weighted={weighted}: RNG diverged");
+            sink.totals().shard_imbalance().expect("sharded round ran")
+        };
+        let uni = imbalance(false);
+        let wtd = imbalance(true);
+        assert!(
+            wtd < uni,
+            "weighted imbalance ({wtd:.3}) must beat uniform ({uni:.3})"
+        );
     }
 
     /// One scenario, many shard counts: fates, witnesses, makespan, and

@@ -57,12 +57,20 @@ use super::{
 use optical_obs::Sink;
 use rand::Rng;
 
-/// Shard geometry: contiguous link ranges of `chunk` links each.
+/// Shard geometry: a contiguous, ascending partition of the link range.
+/// Uniform plans cut every `chunk` links; weighted plans
+/// ([`ShardPlan::weighted`]) cut at equal shares of expected per-link
+/// arrival mass, so a skewed workload doesn't pile all of its work into
+/// one shard.
 pub(super) struct ShardPlan {
-    /// Links per shard (last shard may be short).
+    /// Links per shard in the uniform plan (last shard may be short);
+    /// for weighted plans, the largest shard's width (sizing hint only).
     pub(super) chunk: usize,
-    /// Effective shard count: `ceil(link_count / chunk)`.
+    /// Effective shard count.
     pub(super) shards: usize,
+    /// Exclusive end link of each shard when mass-weighted (ascending,
+    /// last entry == link count); `None` means uniform `chunk` ranges.
+    bounds: Option<Vec<u32>>,
 }
 
 impl ShardPlan {
@@ -70,13 +78,113 @@ impl ShardPlan {
         let req = requested.clamp(1, link_count.max(1));
         let chunk = link_count.div_ceil(req).max(1);
         let shards = link_count.div_ceil(chunk).max(1);
-        ShardPlan { chunk, shards }
+        ShardPlan {
+            chunk,
+            shards,
+            bounds: None,
+        }
+    }
+
+    /// A plan that cuts shard boundaries at (approximately) equal shares
+    /// of `weights` — the expected arrival mass per link (e.g. how many
+    /// worm paths cross it) — instead of equal link counts. Falls back to
+    /// the uniform plan when the mass is all zero or one shard suffices.
+    /// Shard ranges stay contiguous and ascending, so the merge pass and
+    /// its RNG contract are untouched: only the *balance* of the parallel
+    /// pass changes, never the outcome.
+    pub(super) fn weighted(link_count: usize, requested: usize, weights: &[u64]) -> Self {
+        debug_assert_eq!(weights.len(), link_count, "one weight per link");
+        let req = requested.clamp(1, link_count.max(1));
+        let total: u64 = weights.iter().sum();
+        if req == 1 || link_count == 0 || total == 0 {
+            return Self::new(link_count, requested);
+        }
+        // Greedy sweep: close shard k after the link whose cumulative
+        // mass crosses (k+1)/req of the total. Every close advances at
+        // least one link, so shards are non-empty; a heavy head may leave
+        // fewer than `req` shards (same degradation the uniform plan has
+        // when links < requested).
+        let mut bounds: Vec<u32> = Vec::with_capacity(req);
+        let mut acc = 0u64;
+        for (link, &w) in weights.iter().enumerate() {
+            if bounds.len() + 1 == req {
+                break; // the last shard takes the remaining links
+            }
+            acc += w;
+            let target = (bounds.len() as u64 + 1) * total / req as u64;
+            if acc >= target {
+                bounds.push((link + 1) as u32);
+            }
+        }
+        if bounds.last() != Some(&(link_count as u32)) {
+            bounds.push(link_count as u32);
+        }
+        let shards = bounds.len();
+        let chunk = (0..shards)
+            .map(|s| {
+                let lo = if s == 0 { 0 } else { bounds[s - 1] as usize };
+                bounds[s] as usize - lo
+            })
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        ShardPlan {
+            chunk,
+            shards,
+            bounds: Some(bounds),
+        }
     }
 
     #[inline]
     pub(super) fn shard_of(&self, link: usize) -> usize {
-        link / self.chunk
+        match &self.bounds {
+            None => link / self.chunk,
+            Some(b) => b.partition_point(|&end| end as usize <= link),
+        }
     }
+
+    /// First link of shard `s`.
+    #[inline]
+    pub(super) fn start_of(&self, s: usize) -> usize {
+        match &self.bounds {
+            None => s * self.chunk,
+            Some(b) => {
+                if s == 0 {
+                    0
+                } else {
+                    b[s - 1] as usize
+                }
+            }
+        }
+    }
+
+    /// Link count of shard `s` given `link_count` total links.
+    #[inline]
+    pub(super) fn len_of(&self, s: usize, link_count: usize) -> usize {
+        match &self.bounds {
+            None => link_count.min((s + 1) * self.chunk) - (s * self.chunk).min(link_count),
+            Some(b) => b[s] as usize - self.start_of(s),
+        }
+    }
+}
+
+/// Split `slice` into `plan.shards` consecutive pieces of
+/// `len_of(s) * per_link` items each — the variable-width replacement for
+/// `chunks_mut(chunk * per_link)`.
+fn split_ranges<'a, T>(
+    plan: &ShardPlan,
+    link_count: usize,
+    per_link: usize,
+    mut slice: &'a mut [T],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(plan.shards);
+    for s in 0..plan.shards {
+        let take = (plan.len_of(s, link_count) * per_link).min(slice.len());
+        let (head, tail) = slice.split_at_mut(take);
+        out.push(head);
+        slice = tail;
+    }
+    out
 }
 
 /// Per-shard work buffers, owned by the engine scratch so rounds reuse
@@ -433,15 +541,16 @@ impl Engine {
                     wpl,
                     collect_installs: S::ENABLED,
                 };
+                let lc = self.link_count;
                 let jobs: Vec<ShardJob<'_>> = shard_sc
                     .iter_mut()
-                    .zip(self.occ.chunks_mut(plan.chunk * b))
-                    .zip(self.masks.words.chunks_mut(plan.chunk * wpl))
-                    .zip(self.masks.word_gens.chunks_mut(plan.chunk * wpl))
-                    .zip(key_meta[..self.link_count * b].chunks_mut(plan.chunk * b))
+                    .zip(split_ranges(plan, lc, b, &mut self.occ))
+                    .zip(split_ranges(plan, lc, wpl, &mut self.masks.words))
+                    .zip(split_ranges(plan, lc, wpl, &mut self.masks.word_gens))
+                    .zip(split_ranges(plan, lc, b, &mut key_meta[..lc * b]))
                     .enumerate()
                     .map(|(si, ((((sc, occ), words), word_gens), meta))| ShardJob {
-                        lo_link: si * plan.chunk,
+                        lo_link: plan.start_of(si),
                         occ,
                         words,
                         word_gens,

@@ -21,11 +21,16 @@
 # engine/round_sharded_{2,8} (intra-trial sharded rounds on the dense
 # workload), engine/round_1m (the dense million-node torus round; shard
 # count via PERF_GATE_SHARDS, default 8),
+# continuous/steady_1m_sparse and continuous/steady_1m_sparse_stepped
+# (the event-driven calendar-queue engine vs the round-stepped loop on
+# 2^20 sources at a 0.1% duty cycle — their ratio is the PR's speedup
+# evidence), continuous/steady_dense (the event path at full load, guards
+# its dense-end bookkeeping overhead),
 # protocol/run_cong_*, protocol/run_obs_off (the traced path with the
 # NullSink — guards the zero-overhead observability contract),
 # metrics/collection_* (flat-array metrics kernels),
 # properties/* (flat leveling / shortcut-free / link-offset kernels) and
-# pipeline/run_all_quick (wall-clock of the parallel E1-E15 quick suite,
+# pipeline/run_all_quick (wall-clock of the parallel E1-E16 quick suite,
 # instance cache warm). The criterion twins of the engine keys live in
 # crates/bench/benches/engine.rs (group engine/contention).
 set -euo pipefail

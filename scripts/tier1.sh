@@ -17,7 +17,7 @@ if [[ $fast -eq 0 ]]; then
   # across thread counts — the parallel pipeline's determinism contract.
   echo "== all_experiments --quick (pipeline smoke + determinism) =="
   many="$(cargo run --release -q -p optical-bench --bin all_experiments -- --quick --seed 1997)"
-  echo "$many" | grep -q "E15" || { echo "all_experiments --quick: missing sections" >&2; exit 1; }
+  echo "$many" | grep -q "E16" || { echo "all_experiments --quick: missing sections" >&2; exit 1; }
   one="$(RAYON_NUM_THREADS=1 cargo run --release -q -p optical-bench --bin all_experiments -- --quick --seed 1997)"
   if [[ "$many" != "$one" ]]; then
     echo "all_experiments --quick: output differs across thread counts" >&2
@@ -41,6 +41,14 @@ if [[ $fast -eq 0 ]]; then
   echo "== recovery chaos smoke =="
   cargo run --release -q -p optical-bench --bin recovery_chaos -- --quick --seed 1997 \
     | grep -q "chaos smoke: ok" || { echo "recovery chaos smoke failed" >&2; exit 1; }
+
+  # Steady-state serving smoke: a short diurnal-mix run through the
+  # event-driven engine with shed and defer admission control — the binary
+  # asserts bounded active population, a non-empty latency sketch, and
+  # observability counters in lockstep, then prints ok.
+  echo "== continuous steady-state smoke =="
+  cargo run --release -q -p optical-bench --bin continuous_smoke -- --quick --seed 1997 \
+    | grep -q "continuous smoke: ok" || { echo "continuous smoke failed" >&2; exit 1; }
 fi
 
 echo "== cargo test -q =="

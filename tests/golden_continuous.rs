@@ -1,0 +1,198 @@
+//! Golden differential suite for the event-driven steady-state engine.
+//!
+//! [`SteadyRun`] replaces [`ContinuousRun`]'s round-stepped loop with a
+//! calendar queue of arrival events. At **full load** (Bernoulli
+//! probability 1, no admission control) both paths must be *observably
+//! identical*: every arrival decision resolves without consuming the RNG
+//! (`bernoulli_step`'s certainty contract), the calendar drains in source
+//! order, and the per-round engine calls line up draw-for-draw. This file
+//! pins that equivalence across topologies and schedules at three levels:
+//!
+//! 1. **spawn order** — the exact `(round, seq, source)` sequence,
+//! 2. **completions** — the exact `(round, seq, latency)` sequence,
+//! 3. **RNG stream** — the generators are in the same state afterwards,
+//!
+//! plus the shared report fields, structurally. It also pins the
+//! fixed-memory property of the streaming latency sketch: a 10x-longer
+//! run must not grow the sketch's bucket array.
+
+use all_optical::core::continuous::{SteadyParams, SteadyRun};
+use all_optical::core::{ContinuousParams, ContinuousReport, ContinuousRun, DelaySchedule};
+use all_optical::core::{ProtocolWorkspace, SteadyReport};
+use all_optical::obs::Sink;
+use all_optical::paths::select::bfs::bfs_route;
+use all_optical::paths::Path;
+use all_optical::topo::{topologies, LinkId, Network};
+use all_optical::wdm::RouterConfig;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Records the exact spawn and completion event sequences.
+#[derive(Default)]
+struct Recorder {
+    spawns: Vec<(u32, u64, u32)>,
+    sojourns: Vec<(u32, u64, u32)>,
+}
+
+impl Sink for Recorder {
+    fn on_spawn(&mut self, round: u32, worm: u64, source: u32) {
+        self.spawns.push((round, worm, source));
+    }
+    fn on_sojourn(&mut self, round: u32, worm: u64, latency: u32) {
+        self.sojourns.push((round, worm, latency));
+    }
+}
+
+/// The round-stepped sampler: source and destination drawn from the RNG.
+fn stepped_sampler(net: &Network) -> impl FnMut(&mut dyn RngCore) -> Path + '_ {
+    move |rng| {
+        let n = net.node_count() as u32;
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        bfs_route(net, s, d)
+    }
+}
+
+/// The event-driven sampler with the identical draw order (the event's
+/// own source is ignored so both paths consume two draws per spawn).
+fn event_sampler(net: &Network) -> impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>) + '_ {
+    move |_src, rng, out| {
+        let n = net.node_count() as u32;
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        out.extend_from_slice(bfs_route(net, s, d).links());
+    }
+}
+
+fn run_stepped(
+    net: &Network,
+    schedule: DelaySchedule,
+    rounds: u32,
+    seed: u64,
+) -> (ContinuousReport, Recorder, u64) {
+    let mut run = ContinuousRun::new(
+        net,
+        stepped_sampler(net),
+        ContinuousParams {
+            router: RouterConfig::serve_first(2),
+            worm_len: 4,
+            schedule,
+            arrival_prob: 1.0,
+            rounds,
+            warmup: rounds / 4,
+        },
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rec = Recorder::default();
+    let report = run.run_traced(&mut ProtocolWorkspace::new(), &mut rng, &mut rec);
+    (report, rec, rng.next_u64())
+}
+
+fn run_event(
+    net: &Network,
+    schedule: DelaySchedule,
+    rounds: u32,
+    seed: u64,
+) -> (SteadyReport, Recorder, u64) {
+    let mut run = SteadyRun::new(
+        net,
+        event_sampler(net),
+        SteadyParams::bernoulli(
+            RouterConfig::serve_first(2),
+            4,
+            schedule,
+            1.0,
+            rounds,
+            rounds / 4,
+        ),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rec = Recorder::default();
+    let report = run.run_traced(&mut ProtocolWorkspace::new(), &mut rng, &mut rec);
+    (report, rec, rng.next_u64())
+}
+
+/// Full-load bit-equivalence across two topologies and two stationary
+/// schedules: identical spawn order, identical completion sequence,
+/// identical shared report fields, identical RNG stream.
+#[test]
+fn full_load_event_driven_matches_round_stepped() {
+    let nets: Vec<(&str, Network)> = vec![
+        ("torus(2,6)", topologies::torus(2, 6)),
+        ("butterfly(3)", topologies::butterfly(3)),
+    ];
+    let schedules = [
+        ("fixed", DelaySchedule::Fixed { delta: 32 }),
+        (
+            "adaptive",
+            DelaySchedule::Adaptive {
+                c_cong: 2.0,
+                c_log: 1.0,
+            },
+        ),
+    ];
+    for (tname, net) in &nets {
+        for (sname, schedule) in schedules {
+            let label = format!("{tname}/{sname}");
+            let (a, rec_a, tail_a) = run_stepped(net, schedule, 48, 0xC0FFEE);
+            let (b, rec_b, tail_b) = run_event(net, schedule, 48, 0xC0FFEE);
+
+            assert!(!rec_a.spawns.is_empty(), "{label}: full load must spawn");
+            assert_eq!(rec_a.spawns, rec_b.spawns, "{label}: spawn order");
+            assert_eq!(rec_a.sojourns, rec_b.sojourns, "{label}: completions");
+            assert_eq!(tail_a, tail_b, "{label}: RNG stream diverged");
+
+            assert_eq!(a.spawned, b.spawned, "{label}");
+            assert_eq!(a.completed, b.completed, "{label}");
+            assert_eq!(a.avg_active, b.avg_active, "{label}");
+            assert_eq!(a.final_active, b.final_active, "{label}");
+            assert_eq!(
+                a.mean_latency_rounds, b.mean_latency_rounds,
+                "{label}: mean latency"
+            );
+            assert_eq!(a.throughput, b.throughput, "{label}");
+            assert_eq!(a.saturated, b.saturated, "{label}");
+            assert_eq!(a.total_time, b.total_time, "{label}");
+        }
+    }
+}
+
+/// The event-driven path is self-consistent: the sojourn events the sink
+/// sees reproduce the report's latency sketch exactly.
+#[test]
+fn sojourn_events_reconstruct_the_latency_sketch() {
+    let net = topologies::torus(2, 6);
+    let (report, rec, _) = run_event(&net, DelaySchedule::Fixed { delta: 32 }, 60, 9);
+    let warmup = 15u32;
+    let mut sketch = all_optical::stats::QuantileSketch::new();
+    for &(round, _seq, lat) in &rec.sojourns {
+        if round > warmup {
+            sketch.record(u64::from(lat));
+        }
+    }
+    assert_eq!(sketch, report.latency);
+    assert_eq!(report.p50_latency_rounds, sketch.quantile(0.5));
+}
+
+/// Streaming percentiles hold fixed memory: a 10x-longer run records 10x
+/// the sojourns into the same-size bucket array, with percentiles still
+/// ordered.
+#[test]
+fn latency_sketch_memory_is_fixed_across_run_length() {
+    let net = topologies::torus(2, 6);
+    let schedule = DelaySchedule::Fixed { delta: 24 };
+    let short = run_event(&net, schedule, 80, 5).0;
+    let long = run_event(&net, schedule, 800, 5).0;
+    assert!(
+        long.completed > 5 * short.completed,
+        "longer run, more data"
+    );
+    assert_eq!(
+        short.latency.bucket_count(),
+        long.latency.bucket_count(),
+        "sketch memory must not grow with run length"
+    );
+    assert_eq!(long.latency.len(), long.completed);
+    assert!(long.p50_latency_rounds <= long.p99_latency_rounds);
+    assert!(long.p99_latency_rounds <= long.p999_latency_rounds);
+}
