@@ -1,0 +1,302 @@
+//! Churn driver: feeds an online RWA engine from the `core::continuous`
+//! arrival processes.
+//!
+//! Sources fire according to a [`TrafficMix`] (each spawn draws a route
+//! and a holding time), admitted connections are released when their
+//! hold expires, and queued requests inherit their hold from the moment
+//! they are finally drained. The loop is event-ordered and fully
+//! deterministic: releases first (ascending admission sequence), then
+//! arrivals (ascending source id), with every random draw in a fixed
+//! per-spawn order (route, hold, next arrival) — so two engines that
+//! make identical decisions observe bit-identical RNG streams, which is
+//! what lets the differential suite drive [`OnlineRwa`] and
+//! [`RecomputeRwa`] side by side.
+//!
+//! [`OnlineRwa`]: super::online::OnlineRwa
+//! [`RecomputeRwa`]: super::online::RecomputeRwa
+
+use super::online::{AdmitOutcome, ConnId, RwaEngine};
+use optical_core::continuous::{SourceState, TrafficMix};
+use optical_obs::Sink;
+use optical_topo::LinkId;
+use rand::{Rng, RngCore};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Connection holding time, drawn once per spawn (before admission, so
+/// the RNG stream does not depend on the admission outcome).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum HoldTime {
+    /// Every connection holds its wavelength for exactly this many
+    /// rounds (clamped to >= 1).
+    Fixed(u32),
+    /// Geometric holding time with the given mean (>= 1 round).
+    Geometric {
+        /// Mean holding time in rounds.
+        mean: f64,
+    },
+}
+
+impl HoldTime {
+    fn draw(&self, rng: &mut impl Rng) -> u32 {
+        match *self {
+            HoldTime::Fixed(h) => h.max(1),
+            HoldTime::Geometric { mean } => {
+                let p = (1.0 / mean.max(1.0)).clamp(f64::MIN_POSITIVE, 1.0);
+                let u = rng.gen::<f64>();
+                let h = ((1.0 - u).ln() / (1.0 - p).ln()).ceil();
+                if h.is_nan() || h < 1.0 {
+                    1
+                } else if h >= u32::MAX as f64 {
+                    u32::MAX
+                } else {
+                    h as u32
+                }
+            }
+        }
+    }
+}
+
+/// Churn scenario parameters.
+#[derive(Clone, Debug)]
+pub struct ChurnParams {
+    /// Rounds to simulate (arrivals and releases in `1..=rounds`).
+    pub rounds: u32,
+    /// Per-tenant arrival processes driving the sources.
+    pub mix: TrafficMix,
+    /// Holding-time distribution.
+    pub hold: HoldTime,
+    /// Snapshot the in-system sequence numbers at the peak round (costs
+    /// an allocation per new peak; used by E17 to hand the peak active
+    /// set to the offline comparators).
+    pub capture_peak: bool,
+}
+
+/// What the churn driver observed; pair it with the engine's own
+/// [`OnlineReport`](super::online::OnlineReport) for admission totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// Connection requests spawned.
+    pub spawned: u64,
+    /// Connections whose hold expired (released by the driver).
+    pub completed: u64,
+    /// Most connections in the system (active + waiting) at any round.
+    pub peak_in_system: u32,
+    /// Round at which the peak was (first) observed.
+    pub peak_round: u32,
+    /// Admission sequence numbers in the system at the peak round
+    /// (empty unless [`ChurnParams::capture_peak`]).
+    pub peak_set: Vec<u64>,
+    /// Connections still holding a wavelength when the horizon ended.
+    pub active_at_end: u32,
+    /// Requests still queued when the horizon ended.
+    pub waiting_at_end: usize,
+}
+
+/// Drive `engine` with `n_sources` sources for `params.rounds` rounds.
+///
+/// `route` fills `links` with the directed links of the spawned
+/// connection's path (same contract as the steady-state serving loop's
+/// route closure: the buffer arrives cleared, append only). The caller picks the engine: [`OnlineRwa`] for the
+/// incremental path, [`RecomputeRwa`] for the naive reference.
+///
+/// [`OnlineRwa`]: super::online::OnlineRwa
+/// [`RecomputeRwa`]: super::online::RecomputeRwa
+pub fn run_churn<E: RwaEngine, S: Sink>(
+    engine: &mut E,
+    n_sources: u32,
+    mut route: impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>),
+    params: &ChurnParams,
+    rng: &mut impl Rng,
+    sink: &mut S,
+) -> ChurnReport {
+    let rounds = params.rounds;
+    // Next-arrival calendar: (round, source), popped in ascending order.
+    let mut arrivals: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let mut states = vec![SourceState::default(); n_sources as usize];
+    for src in 0..n_sources {
+        let tenant = params.mix.tenant_of(src, n_sources);
+        let proc = &params.mix.tenants[tenant as usize];
+        if let Some(r) = proc.next_arrival(0, &mut states[src as usize], rng) {
+            if r <= rounds {
+                arrivals.push(Reverse((r, src)));
+            }
+        }
+    }
+    // Release calendar: (round, admission seq, slot id); the seq keeps
+    // same-round releases in deterministic admission order.
+    let mut releases: BinaryHeap<Reverse<(u32, u64, u32)>> = BinaryHeap::new();
+    // Holding time per slot, written at spawn (slots are recycled, so
+    // index by slot id and overwrite).
+    let mut holds: Vec<u32> = Vec::new();
+    let mut links: Vec<LinkId> = Vec::new();
+    let mut drained: Vec<(ConnId, u16)> = Vec::new();
+
+    let mut report = ChurnReport {
+        spawned: 0,
+        completed: 0,
+        peak_in_system: 0,
+        peak_round: 0,
+        peak_set: Vec::new(),
+        active_at_end: 0,
+        waiting_at_end: 0,
+    };
+
+    for r in 1..=rounds {
+        // 1. Releases due this round, ascending admission sequence.
+        while let Some(&Reverse((due, _, _))) = releases.peek() {
+            if due != r {
+                break;
+            }
+            let Reverse((_, _, id)) = releases.pop().expect("peeked");
+            engine.release(r, ConnId(id), sink, &mut drained);
+            report.completed += 1;
+            for &(conn, _) in &drained {
+                let due = r.saturating_add(holds[conn.0 as usize]);
+                if due <= rounds {
+                    releases.push(Reverse((due, engine.seq_of(conn), conn.0)));
+                }
+            }
+            drained.clear();
+        }
+        // 2. Arrivals due this round, ascending source id.
+        while let Some(&Reverse((due, _))) = arrivals.peek() {
+            if due != r {
+                break;
+            }
+            let Reverse((_, src)) = arrivals.pop().expect("peeked");
+            links.clear();
+            route(src, rng, &mut links);
+            let hold = params.hold.draw(rng);
+            let conn = match engine.admit(r, &links, sink) {
+                AdmitOutcome::Admitted { conn, .. } => {
+                    let due = r.saturating_add(hold);
+                    if due <= rounds {
+                        releases.push(Reverse((due, engine.seq_of(conn), conn.0)));
+                    }
+                    conn
+                }
+                AdmitOutcome::Queued { conn } => conn,
+            };
+            if holds.len() <= conn.0 as usize {
+                holds.resize(conn.0 as usize + 1, 1);
+            }
+            holds[conn.0 as usize] = hold;
+            report.spawned += 1;
+            let tenant = params.mix.tenant_of(src, n_sources);
+            let proc = &params.mix.tenants[tenant as usize];
+            if let Some(next) = proc.next_arrival(r, &mut states[src as usize], rng) {
+                if next <= rounds {
+                    arrivals.push(Reverse((next, src)));
+                }
+            }
+        }
+        // 3. Peak tracking over the whole in-system population.
+        let in_system = engine.active() + engine.wait_len() as u32;
+        if in_system > report.peak_in_system {
+            report.peak_in_system = in_system;
+            report.peak_round = r;
+            if params.capture_peak {
+                report.peak_set = engine.in_system_seqs();
+            }
+        }
+    }
+    report.active_at_end = engine.active();
+    report.waiting_at_end = engine.wait_len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rwa::online::{OnlineRwa, RecomputeRwa};
+    use optical_obs::NullSink;
+    use rand::SeedableRng;
+
+    fn ring_route(n: u32) -> impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>) {
+        // Source i uses directed links i and i+1 of an n-link ring: every
+        // pair of adjacent sources contends, no RNG consumed.
+        move |src, _rng, links| {
+            links.clear();
+            links.push(src % n);
+            links.push((src + 1) % n);
+        }
+    }
+
+    fn params(rounds: u32, prob: f64) -> ChurnParams {
+        ChurnParams {
+            rounds,
+            mix: TrafficMix::bernoulli(prob),
+            hold: HoldTime::Fixed(3),
+            capture_peak: true,
+        }
+    }
+
+    #[test]
+    fn churn_is_deterministic_and_valid() {
+        let run = || {
+            let mut eng = OnlineRwa::new(16, 2, 0);
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+            let rep = run_churn(
+                &mut eng,
+                16,
+                ring_route(16),
+                &params(60, 0.4),
+                &mut rng,
+                &mut NullSink,
+            );
+            eng.validate().unwrap();
+            (rep, eng.report().clone())
+        };
+        let (a1, e1) = run();
+        let (a2, e2) = run();
+        assert_eq!(a1, a2);
+        assert_eq!(e1, e2);
+        assert!(a1.spawned > 0);
+        assert_eq!(
+            e1.admitted_immediate + e1.blocked,
+            a1.spawned,
+            "every spawn either admits immediately or queues"
+        );
+        assert_eq!(
+            e1.admitted,
+            e1.admitted_immediate + e1.admitted_from_queue,
+            "admissions split into immediate and drained"
+        );
+        assert_eq!(a1.peak_set.len() as u32, a1.peak_in_system);
+    }
+
+    #[test]
+    fn both_engines_agree_under_churn() {
+        let mut online = OnlineRwa::new(16, 2, 0);
+        let mut naive = RecomputeRwa::new(16, 2);
+        let mut rng1 = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let p = params(80, 0.5);
+        let a = run_churn(
+            &mut online,
+            16,
+            ring_route(16),
+            &p,
+            &mut rng1,
+            &mut NullSink,
+        );
+        let b = run_churn(&mut naive, 16, ring_route(16), &p, &mut rng2, &mut NullSink);
+        assert_eq!(a, b, "driver reports must match");
+        assert_eq!(online.report(), naive.report(), "engine reports must match");
+        online.validate().unwrap();
+    }
+
+    #[test]
+    fn geometric_hold_is_deterministic() {
+        let mut r1 = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let mut r2 = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let h = HoldTime::Geometric { mean: 6.0 };
+        let a: Vec<u32> = (0..50).map(|_| h.draw(&mut r1)).collect();
+        let b: Vec<u32> = (0..50).map(|_| h.draw(&mut r2)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| x >= 1));
+        let mean = a.iter().map(|&x| x as f64).sum::<f64>() / a.len() as f64;
+        assert!(mean > 1.5, "mean-6 geometric draws should not all be 1");
+    }
+}

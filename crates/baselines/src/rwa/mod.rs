@@ -8,10 +8,21 @@
 //!
 //! Greedy first-fit coloring is the standard heuristic; we order paths by
 //! descending length (longest-first tends to color overlap-heavy paths
-//! early) or by input order.
+//! early) or by input order. The coloring state lives in per-link packed
+//! `u64` color-mask words (bit `c` of word `c / 64` set ⇔ some path on the
+//! link holds color `c`), so the first-fit scan is an OR across the path's
+//! links followed by a trailing-ones count — `O(path length × colors/64)`
+//! per path instead of a per-link color-list walk.
+//!
+//! The [`online`] submodule hosts the incremental engine for the dynamic
+//! variant (connections admitted and released one at a time), and
+//! [`churn`] drives it from the `core::continuous` arrival processes.
 
 use optical_paths::PathCollection;
 use serde::{Deserialize, Serialize};
+
+pub mod churn;
+pub mod online;
 
 /// Path ordering for the greedy coloring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,32 +65,65 @@ pub fn greedy_rwa(coll: &PathCollection, order: ColorOrder) -> WavelengthAssignm
         idx.sort_by_key(|&i| std::cmp::Reverse(coll.path(i).len()));
     }
 
-    // For each directed link, the colors already granted to paths on it.
-    let mut link_colors: Vec<Vec<u32>> = vec![Vec::new(); coll.link_count()];
+    // Per-link packed occupancy: `words` u64s per link, bit c of word
+    // c / 64 set ⇔ some path on the link already holds color c. The word
+    // count doubles whenever a path sees every current color taken, so
+    // memory stays O(links × colors / 64).
+    let m = coll.link_count();
+    let mut words = 1usize;
+    let mut masks = vec![0u64; m * words];
+    let mut acc = vec![0u64; words];
     let mut colors = vec![u32::MAX; n];
     let mut num_colors = 0u32;
-    let mut taken: Vec<bool> = Vec::new();
 
     for &i in &idx {
-        let p = coll.path(i);
-        taken.clear();
-        taken.resize(num_colors as usize + 1, false);
-        for &l in p.links() {
-            for &c in &link_colors[l as usize] {
-                taken[c as usize] = true;
+        let links = coll.links_of(i);
+        acc.fill(0);
+        for &l in links {
+            let base = l as usize * words;
+            for (a, &w) in acc.iter_mut().zip(&masks[base..base + words]) {
+                *a |= w;
             }
         }
-        let c = taken
-            .iter()
-            .position(|&t| !t)
-            .expect("first slot always exists") as u32;
+        // First-fit: lowest clear bit across the accumulated words.
+        let mut found = None;
+        for (k, &w) in acc.iter().enumerate() {
+            if w != u64::MAX {
+                found = Some((k * 64) as u32 + w.trailing_ones());
+                break;
+            }
+        }
+        let c = match found {
+            Some(c) => c,
+            None => {
+                // Every color representable in `words` words is taken on
+                // this path: the first-fit color is the next one up. Grow
+                // capacity before granting it.
+                let c = (words * 64) as u32;
+                grow_masks(&mut masks, m, &mut words, &mut acc);
+                c
+            }
+        };
         colors[i] = c;
         num_colors = num_colors.max(c + 1);
-        for &l in p.links() {
-            link_colors[l as usize].push(c);
+        let (wk, bit) = ((c / 64) as usize, c % 64);
+        for &l in links {
+            masks[l as usize * words + wk] |= 1u64 << bit;
         }
     }
     WavelengthAssignment { colors, num_colors }
+}
+
+/// Double the per-link word stride of `masks`, preserving contents.
+fn grow_masks(masks: &mut Vec<u64>, links: usize, words: &mut usize, acc: &mut Vec<u64>) {
+    let (old, new) = (*words, *words * 2);
+    let mut grown = vec![0u64; links * new];
+    for l in 0..links {
+        grown[l * new..l * new + old].copy_from_slice(&masks[l * old..(l + 1) * old]);
+    }
+    *masks = grown;
+    *words = new;
+    acc.resize(new, 0);
 }
 
 /// Verify that an assignment is conflict-free (no two paths sharing a
@@ -211,6 +255,20 @@ mod tests {
                 "greedy is optimal on cliques"
             );
         }
+    }
+
+    #[test]
+    fn bundle_past_word_boundary_grows_masks() {
+        // 150 identical paths force colors 0..150 — the packed masks must
+        // double their word stride twice (64 → 128 → 256 bits) and still
+        // produce the exact first-fit sequence.
+        let coll = bundle(150);
+        let a = greedy_rwa(&coll, ColorOrder::Input);
+        assert_eq!(a.num_colors, 150);
+        assert!(is_valid_assignment(&coll, &a.colors));
+        let mut sorted = a.colors.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..150).collect::<Vec<u32>>());
     }
 
     #[test]

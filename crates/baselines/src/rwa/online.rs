@@ -1,0 +1,859 @@
+//! Online incremental RWA engine.
+//!
+//! The offline solver in the parent module colors every path at once;
+//! here connections arrive and depart one at a time and each event must
+//! be cheap. [`OnlineRwa`] keeps per-link wavelength occupancy as packed
+//! `u64` mask words (bit `w` of word `w / 64` set ⇔ wavelength `w` is in
+//! use on the link) and admits by first-fit: OR the occupancy words of
+//! the path's links, take the lowest clear bit — `O(path length × B/64)`
+//! per admission, and release is the same walk clearing bits. Requests
+//! that find no free wavelength join a FIFO wait queue that is re-scanned
+//! (one in-order pass — admissions free no capacity, so one pass is
+//! FIFO-exact) after every release. A periodic *recolor* pass compacts
+//! active connections downward in admission order, bounding the drift
+//! between the online occupancy profile and what the offline greedy
+//! would produce on the same active set, and can unblock queued requests
+//! by re-aligning free wavelengths across links.
+//!
+//! [`RecomputeRwa`] is the naive reference the incremental engine is
+//! measured and differentially tested against: identical admission
+//! semantics (same first-fit definition, same FIFO queue), but it
+//! rebuilds the per-link wavelength lists from the full active set on
+//! every event — `O(active connections × path length)` per event, the
+//! "recolor everything" cost the incremental engine exists to avoid.
+//! Because both engines share the first-fit and queue definitions, their
+//! decision streams (and [`OnlineReport`]s) are equal event for event;
+//! the differential suite pins this.
+
+use optical_obs::Sink;
+use optical_stats::QuantileSketch;
+use optical_topo::LinkId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Stable handle to a connection held by an engine. Slots are recycled
+/// after release, so a `ConnId` is only meaningful between admission and
+/// release; the monotone [`RwaEngine::seq_of`] sequence number is the
+/// durable identity (and what the sink hooks report).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ConnId(
+    /// Raw slot index in the engine's slab.
+    pub u32,
+);
+
+/// What happened to an admission request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// Granted a wavelength immediately.
+    Admitted {
+        /// Slot handle for the new connection.
+        conn: ConnId,
+        /// Wavelength granted.
+        wavelength: u16,
+    },
+    /// No wavelength free on some link; parked in the wait queue.
+    Queued {
+        /// Slot handle for the waiting connection.
+        conn: ConnId,
+    },
+}
+
+/// Lifetime totals of an online RWA engine.
+///
+/// Two engines that made identical decisions produce equal reports
+/// (including the admission-latency sketch), which is how the
+/// differential suite compares [`OnlineRwa`] against [`RecomputeRwa`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// Connections granted a wavelength (immediately or from the queue).
+    pub admitted: u64,
+    /// Admissions that never waited.
+    pub admitted_immediate: u64,
+    /// Admissions drained from the wait queue.
+    pub admitted_from_queue: u64,
+    /// Requests that found no free wavelength at arrival and were queued.
+    pub blocked: u64,
+    /// Connections released.
+    pub released: u64,
+    /// Recolor passes run.
+    pub recolors: u64,
+    /// Connections moved to a lower wavelength by recolor passes.
+    pub recolor_moves: u64,
+    /// Most connections simultaneously active (admitted, not released).
+    pub peak_active: u32,
+    /// `max(wavelength + 1)` over all grants — the online analogue of the
+    /// offline `num_colors`.
+    pub peak_wavelengths: u16,
+    /// Admission latency in rounds per admitted connection (0 for
+    /// immediate admissions, queue wait for drained ones).
+    pub wait: QuantileSketch,
+}
+
+impl OnlineReport {
+    fn new() -> Self {
+        OnlineReport {
+            admitted: 0,
+            admitted_immediate: 0,
+            admitted_from_queue: 0,
+            blocked: 0,
+            released: 0,
+            recolors: 0,
+            recolor_moves: 0,
+            peak_active: 0,
+            peak_wavelengths: 0,
+            wait: QuantileSketch::new(),
+        }
+    }
+
+    fn note_admit(&mut self, waited: u32, wavelength: u16, from_queue: bool) {
+        self.admitted += 1;
+        if from_queue {
+            self.admitted_from_queue += 1;
+        } else {
+            self.admitted_immediate += 1;
+        }
+        self.wait.record(waited as u64);
+        self.peak_wavelengths = self.peak_wavelengths.max(wavelength + 1);
+    }
+}
+
+/// The online RWA surface shared by the incremental engine and the
+/// recompute-per-event reference, so drivers (and the differential
+/// suite) are generic over the implementation.
+pub trait RwaEngine {
+    /// Number of wavelengths per link.
+    fn bandwidth(&self) -> u16;
+
+    /// Request a wavelength for a connection using the given directed
+    /// links. Either grants the first-fit wavelength or parks the request
+    /// in the FIFO wait queue.
+    fn admit<S: Sink>(&mut self, now: u32, links: &[LinkId], sink: &mut S) -> AdmitOutcome;
+
+    /// Release an **active** connection, reclaim its wavelength, and
+    /// drain the wait queue (one in-order pass). Queued requests admitted
+    /// by the drain are appended to `drained` as `(conn, wavelength)`.
+    ///
+    /// # Panics
+    /// If `conn` is not currently active.
+    fn release<S: Sink>(
+        &mut self,
+        now: u32,
+        conn: ConnId,
+        sink: &mut S,
+        drained: &mut Vec<(ConnId, u16)>,
+    );
+
+    /// Run one recolor/compaction pass; returns the number of connections
+    /// moved. Queue drains triggered by the pass append to `drained`.
+    /// The recompute reference does not compact and returns 0.
+    fn recolor<S: Sink>(&mut self, now: u32, sink: &mut S, drained: &mut Vec<(ConnId, u16)>)
+        -> u32;
+
+    /// Lifetime totals so far.
+    fn report(&self) -> &OnlineReport;
+
+    /// Connections currently holding a wavelength.
+    fn active(&self) -> u32;
+
+    /// Requests currently parked in the wait queue.
+    fn wait_len(&self) -> usize;
+
+    /// Monotone admission sequence number of a live connection.
+    fn seq_of(&self, conn: ConnId) -> u64;
+
+    /// Wavelength currently held by `conn`, or `None` while it waits.
+    fn wavelength_of(&self, conn: ConnId) -> Option<u16>;
+
+    /// Sequence numbers of every connection in the system (active or
+    /// waiting), ascending. Allocates; meant for snapshots, not hot paths.
+    fn in_system_seqs(&self) -> Vec<u64>;
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SlotState {
+    Free,
+    Active,
+    Waiting,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    seq: u64,
+    links: Vec<LinkId>,
+    wavelength: u16,
+    state: SlotState,
+    queued_at: u32,
+}
+
+/// Slab of connection slots with a free list; released slots keep their
+/// link buffers so steady-state churn allocates nothing.
+#[derive(Clone, Debug, Default)]
+struct Slab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    next_seq: u64,
+}
+
+impl Slab {
+    fn alloc(&mut self, links: &[LinkId], now: u32) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.free.pop() {
+            Some(id) => {
+                let slot = &mut self.slots[id as usize];
+                slot.seq = seq;
+                slot.links.clear();
+                slot.links.extend_from_slice(links);
+                slot.wavelength = 0;
+                slot.state = SlotState::Waiting;
+                slot.queued_at = now;
+                id
+            }
+            None => {
+                self.slots.push(Slot {
+                    seq,
+                    links: links.to_vec(),
+                    wavelength: 0,
+                    state: SlotState::Waiting,
+                    queued_at: now,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn in_system_seqs(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|s| s.state != SlotState::Free)
+            .map(|s| s.seq)
+            .collect();
+        seqs.sort_unstable();
+        seqs
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packed-mask helpers shared by admit / release / recolor / validate.
+// ---------------------------------------------------------------------------
+
+/// First-fit over packed occupancy: lowest wavelength clear on every link
+/// of the path. `last_mask` caps the final word at the bandwidth.
+fn first_fit(occ: &[u64], words: usize, last_mask: u64, links: &[LinkId]) -> Option<u16> {
+    for k in 0..words {
+        let mut free = if k + 1 == words { last_mask } else { !0u64 };
+        for &l in links {
+            free &= !occ[l as usize * words + k];
+            if free == 0 {
+                break;
+            }
+        }
+        if free != 0 {
+            return Some((k * 64) as u16 + free.trailing_zeros() as u16);
+        }
+    }
+    None
+}
+
+fn set_bits(occ: &mut [u64], words: usize, links: &[LinkId], wl: u16) {
+    let (k, bit) = ((wl / 64) as usize, wl % 64);
+    for &l in links {
+        occ[l as usize * words + k] |= 1u64 << bit;
+    }
+}
+
+fn clear_bits(occ: &mut [u64], words: usize, links: &[LinkId], wl: u16) {
+    let (k, bit) = ((wl / 64) as usize, wl % 64);
+    for &l in links {
+        occ[l as usize * words + k] &= !(1u64 << bit);
+    }
+}
+
+/// Incremental online RWA engine on packed per-link occupancy words.
+#[derive(Clone, Debug)]
+pub struct OnlineRwa {
+    bandwidth: u16,
+    words: usize,
+    last_mask: u64,
+    /// Link-major occupancy, `words` u64s per link.
+    occ: Vec<u64>,
+    slab: Slab,
+    wait: VecDeque<u32>,
+    active: u32,
+    recolor_every: u64,
+    releases_since_recolor: u64,
+    report: OnlineReport,
+}
+
+impl OnlineRwa {
+    /// Engine over `link_count` directed links with `bandwidth`
+    /// wavelengths per link. `recolor_every > 0` runs an automatic
+    /// compaction pass after every that many releases; 0 disables it
+    /// (required when comparing decision streams against
+    /// [`RecomputeRwa`], which never compacts).
+    pub fn new(link_count: usize, bandwidth: u16, recolor_every: u64) -> Self {
+        assert!(bandwidth >= 1, "need at least one wavelength");
+        let words = (bandwidth as usize).div_ceil(64);
+        let spill = bandwidth as u32 % 64;
+        let last_mask = if spill == 0 {
+            !0u64
+        } else {
+            (1u64 << spill) - 1
+        };
+        OnlineRwa {
+            bandwidth,
+            words,
+            last_mask,
+            occ: vec![0u64; link_count * words],
+            slab: Slab::default(),
+            wait: VecDeque::new(),
+            active: 0,
+            recolor_every,
+            releases_since_recolor: 0,
+            report: OnlineReport::new(),
+        }
+    }
+
+    /// One in-order pass over the wait queue; admissions free no
+    /// capacity, so a single pass admits exactly the FIFO-eligible set.
+    fn drain<S: Sink>(&mut self, now: u32, sink: &mut S, drained: &mut Vec<(ConnId, u16)>) {
+        for _ in 0..self.wait.len() {
+            let id = self.wait.pop_front().expect("len-bounded");
+            let slot = &self.slab.slots[id as usize];
+            match first_fit(&self.occ, self.words, self.last_mask, &slot.links) {
+                Some(wl) => {
+                    let slot = &mut self.slab.slots[id as usize];
+                    slot.state = SlotState::Active;
+                    slot.wavelength = wl;
+                    let waited = now - slot.queued_at;
+                    let seq = slot.seq;
+                    set_bits(&mut self.occ, self.words, &slot.links, wl);
+                    self.active += 1;
+                    self.report.peak_active = self.report.peak_active.max(self.active);
+                    self.report.note_admit(waited, wl, true);
+                    sink.on_rwa_admit(now, seq, wl, waited);
+                    drained.push((ConnId(id), wl));
+                }
+                None => self.wait.push_back(id),
+            }
+        }
+    }
+
+    /// Check every engine invariant: the occupancy words are exactly the
+    /// OR of the active connections, no wavelength is double-booked on a
+    /// link, and no waiting request would currently fit (the drain is
+    /// work-conserving). Meant for tests and smokes.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut rebuilt = vec![0u64; self.occ.len()];
+        for slot in &self.slab.slots {
+            if slot.state != SlotState::Active {
+                continue;
+            }
+            let (k, bit) = ((slot.wavelength / 64) as usize, slot.wavelength % 64);
+            for &l in &slot.links {
+                let w = &mut rebuilt[l as usize * self.words + k];
+                if *w & (1u64 << bit) != 0 {
+                    return Err(format!(
+                        "wavelength {} double-booked on link {l}",
+                        slot.wavelength
+                    ));
+                }
+                *w |= 1u64 << bit;
+            }
+        }
+        if rebuilt != self.occ {
+            return Err("occupancy words out of sync with the active set".into());
+        }
+        for &id in &self.wait {
+            let slot = &self.slab.slots[id as usize];
+            if first_fit(&self.occ, self.words, self.last_mask, &slot.links).is_some() {
+                return Err(format!(
+                    "waiting connection seq {} would fit — drain missed it",
+                    slot.seq
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl RwaEngine for OnlineRwa {
+    fn bandwidth(&self) -> u16 {
+        self.bandwidth
+    }
+
+    fn admit<S: Sink>(&mut self, now: u32, links: &[LinkId], sink: &mut S) -> AdmitOutcome {
+        let id = self.slab.alloc(links, now);
+        match first_fit(&self.occ, self.words, self.last_mask, links) {
+            Some(wl) => {
+                let slot = &mut self.slab.slots[id as usize];
+                slot.state = SlotState::Active;
+                slot.wavelength = wl;
+                let seq = slot.seq;
+                set_bits(&mut self.occ, self.words, links, wl);
+                self.active += 1;
+                self.report.peak_active = self.report.peak_active.max(self.active);
+                self.report.note_admit(0, wl, false);
+                sink.on_rwa_admit(now, seq, wl, 0);
+                AdmitOutcome::Admitted {
+                    conn: ConnId(id),
+                    wavelength: wl,
+                }
+            }
+            None => {
+                self.wait.push_back(id);
+                self.report.blocked += 1;
+                sink.on_rwa_block(now, self.slab.slots[id as usize].seq);
+                AdmitOutcome::Queued { conn: ConnId(id) }
+            }
+        }
+    }
+
+    fn release<S: Sink>(
+        &mut self,
+        now: u32,
+        conn: ConnId,
+        sink: &mut S,
+        drained: &mut Vec<(ConnId, u16)>,
+    ) {
+        let slot = &mut self.slab.slots[conn.0 as usize];
+        assert!(
+            slot.state == SlotState::Active,
+            "release of non-active connection"
+        );
+        slot.state = SlotState::Free;
+        let (seq, wl) = (slot.seq, slot.wavelength);
+        clear_bits(&mut self.occ, self.words, &slot.links, wl);
+        self.active -= 1;
+        self.slab.free.push(conn.0);
+        self.report.released += 1;
+        sink.on_rwa_release(now, seq, wl);
+        self.drain(now, sink, drained);
+        if self.recolor_every > 0 {
+            self.releases_since_recolor += 1;
+            if self.releases_since_recolor >= self.recolor_every {
+                self.releases_since_recolor = 0;
+                self.recolor(now, sink, drained);
+            }
+        }
+    }
+
+    fn recolor<S: Sink>(
+        &mut self,
+        now: u32,
+        sink: &mut S,
+        drained: &mut Vec<(ConnId, u16)>,
+    ) -> u32 {
+        // Move-down compaction in admission order: re-run first-fit for
+        // each active connection with its own bits cleared. The old
+        // wavelength is always among the candidates, so the pass never
+        // fails and never moves a connection *up*; processing in seq
+        // order reproduces the offline greedy's input-order first-fit on
+        // the surviving set when run to fixpoint.
+        let mut order: Vec<u32> = (0..self.slab.slots.len() as u32)
+            .filter(|&id| self.slab.slots[id as usize].state == SlotState::Active)
+            .collect();
+        order.sort_unstable_by_key(|&id| self.slab.slots[id as usize].seq);
+        let mut moved = 0u32;
+        for id in order {
+            let slot = &self.slab.slots[id as usize];
+            let old = slot.wavelength;
+            clear_bits(&mut self.occ, self.words, &slot.links, old);
+            let slot = &self.slab.slots[id as usize];
+            let new = first_fit(&self.occ, self.words, self.last_mask, &slot.links)
+                .expect("own wavelength is free");
+            set_bits(&mut self.occ, self.words, &slot.links, new);
+            if new != old {
+                self.slab.slots[id as usize].wavelength = new;
+                moved += 1;
+            }
+        }
+        self.report.recolors += 1;
+        self.report.recolor_moves += moved as u64;
+        sink.on_rwa_recolor(now, self.active, moved);
+        // Compaction can re-align free wavelengths across links and make a
+        // previously-blocked request feasible, so drain afterwards.
+        self.drain(now, sink, drained);
+        moved
+    }
+
+    fn report(&self) -> &OnlineReport {
+        &self.report
+    }
+
+    fn active(&self) -> u32 {
+        self.active
+    }
+
+    fn wait_len(&self) -> usize {
+        self.wait.len()
+    }
+
+    fn seq_of(&self, conn: ConnId) -> u64 {
+        self.slab.slots[conn.0 as usize].seq
+    }
+
+    fn wavelength_of(&self, conn: ConnId) -> Option<u16> {
+        let slot = &self.slab.slots[conn.0 as usize];
+        (slot.state == SlotState::Active).then_some(slot.wavelength)
+    }
+
+    fn in_system_seqs(&self) -> Vec<u64> {
+        self.slab.in_system_seqs()
+    }
+}
+
+/// Recompute-per-event reference engine: same admission semantics as
+/// [`OnlineRwa`], but every event rebuilds the per-link wavelength lists
+/// from the full active set — the cost profile of calling the offline
+/// solver on each arrival/departure. Kept as the correctness oracle for
+/// the differential suite and the slow side of the
+/// `rwa/online_churn_recompute` perf key. Never compacts ([`recolor`]
+/// is a no-op), so compare against an [`OnlineRwa`] with
+/// `recolor_every = 0`.
+///
+/// [`recolor`]: RwaEngine::recolor
+#[derive(Clone, Debug)]
+pub struct RecomputeRwa {
+    bandwidth: u16,
+    slab: Slab,
+    wait: VecDeque<u32>,
+    active: u32,
+    report: OnlineReport,
+    /// Naive per-link state, rebuilt from scratch every event.
+    link_wls: Vec<Vec<u16>>,
+    touched: Vec<LinkId>,
+    taken: Vec<bool>,
+}
+
+impl RecomputeRwa {
+    /// Reference engine over `link_count` directed links with
+    /// `bandwidth` wavelengths per link.
+    pub fn new(link_count: usize, bandwidth: u16) -> Self {
+        assert!(bandwidth >= 1, "need at least one wavelength");
+        RecomputeRwa {
+            bandwidth,
+            slab: Slab::default(),
+            wait: VecDeque::new(),
+            active: 0,
+            report: OnlineReport::new(),
+            link_wls: vec![Vec::new(); link_count],
+            touched: Vec::new(),
+            taken: Vec::new(),
+        }
+    }
+
+    /// Rebuild the per-link wavelength lists by scanning every slot —
+    /// the full recomputation the incremental engine avoids.
+    fn rebuild(&mut self) {
+        for &l in &self.touched {
+            self.link_wls[l as usize].clear();
+        }
+        self.touched.clear();
+        for slot in &self.slab.slots {
+            if slot.state != SlotState::Active {
+                continue;
+            }
+            for &l in &slot.links {
+                let list = &mut self.link_wls[l as usize];
+                if list.is_empty() {
+                    self.touched.push(l);
+                }
+                list.push(slot.wavelength);
+            }
+        }
+    }
+
+    /// First-fit over the freshly rebuilt lists; same definition (lowest
+    /// free wavelength in `0..bandwidth`) as the packed-mask scan.
+    fn first_fit_naive(&mut self, links: &[LinkId]) -> Option<u16> {
+        self.taken.clear();
+        self.taken.resize(self.bandwidth as usize, false);
+        for &l in links {
+            for &wl in &self.link_wls[l as usize] {
+                self.taken[wl as usize] = true;
+            }
+        }
+        self.taken.iter().position(|&t| !t).map(|c| c as u16)
+    }
+
+    fn drain<S: Sink>(&mut self, now: u32, sink: &mut S, drained: &mut Vec<(ConnId, u16)>) {
+        for _ in 0..self.wait.len() {
+            let id = self.wait.pop_front().expect("len-bounded");
+            // Recompute-per-event: every admission attempt pays a rebuild.
+            self.rebuild();
+            let links = std::mem::take(&mut self.slab.slots[id as usize].links);
+            let fit = self.first_fit_naive(&links);
+            self.slab.slots[id as usize].links = links;
+            match fit {
+                Some(wl) => {
+                    let slot = &mut self.slab.slots[id as usize];
+                    slot.state = SlotState::Active;
+                    slot.wavelength = wl;
+                    let waited = now - slot.queued_at;
+                    let seq = slot.seq;
+                    self.active += 1;
+                    self.report.peak_active = self.report.peak_active.max(self.active);
+                    self.report.note_admit(waited, wl, true);
+                    sink.on_rwa_admit(now, seq, wl, waited);
+                    drained.push((ConnId(id), wl));
+                }
+                None => self.wait.push_back(id),
+            }
+        }
+    }
+}
+
+impl RwaEngine for RecomputeRwa {
+    fn bandwidth(&self) -> u16 {
+        self.bandwidth
+    }
+
+    fn admit<S: Sink>(&mut self, now: u32, links: &[LinkId], sink: &mut S) -> AdmitOutcome {
+        let id = self.slab.alloc(links, now);
+        self.rebuild();
+        match self.first_fit_naive(links) {
+            Some(wl) => {
+                let slot = &mut self.slab.slots[id as usize];
+                slot.state = SlotState::Active;
+                slot.wavelength = wl;
+                let seq = slot.seq;
+                self.active += 1;
+                self.report.peak_active = self.report.peak_active.max(self.active);
+                self.report.note_admit(0, wl, false);
+                sink.on_rwa_admit(now, seq, wl, 0);
+                AdmitOutcome::Admitted {
+                    conn: ConnId(id),
+                    wavelength: wl,
+                }
+            }
+            None => {
+                self.wait.push_back(id);
+                self.report.blocked += 1;
+                sink.on_rwa_block(now, self.slab.slots[id as usize].seq);
+                AdmitOutcome::Queued { conn: ConnId(id) }
+            }
+        }
+    }
+
+    fn release<S: Sink>(
+        &mut self,
+        now: u32,
+        conn: ConnId,
+        sink: &mut S,
+        drained: &mut Vec<(ConnId, u16)>,
+    ) {
+        let slot = &mut self.slab.slots[conn.0 as usize];
+        assert!(
+            slot.state == SlotState::Active,
+            "release of non-active connection"
+        );
+        slot.state = SlotState::Free;
+        let (seq, wl) = (slot.seq, slot.wavelength);
+        self.active -= 1;
+        self.slab.free.push(conn.0);
+        self.report.released += 1;
+        sink.on_rwa_release(now, seq, wl);
+        self.drain(now, sink, drained);
+    }
+
+    fn recolor<S: Sink>(
+        &mut self,
+        _now: u32,
+        _sink: &mut S,
+        _drained: &mut Vec<(ConnId, u16)>,
+    ) -> u32 {
+        0
+    }
+
+    fn report(&self) -> &OnlineReport {
+        &self.report
+    }
+
+    fn active(&self) -> u32 {
+        self.active
+    }
+
+    fn wait_len(&self) -> usize {
+        self.wait.len()
+    }
+
+    fn seq_of(&self, conn: ConnId) -> u64 {
+        self.slab.slots[conn.0 as usize].seq
+    }
+
+    fn wavelength_of(&self, conn: ConnId) -> Option<u16> {
+        let slot = &self.slab.slots[conn.0 as usize];
+        (slot.state == SlotState::Active).then_some(slot.wavelength)
+    }
+
+    fn in_system_seqs(&self) -> Vec<u64> {
+        self.slab.in_system_seqs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_obs::NullSink;
+
+    /// Two one-link "paths" on the same link contend; a third link is
+    /// free.
+    #[test]
+    fn admit_release_reclaims_wavelengths() {
+        let mut eng = OnlineRwa::new(4, 2, 0);
+        let mut sink = NullSink;
+        let a = eng.admit(1, &[0], &mut sink);
+        let b = eng.admit(1, &[0], &mut sink);
+        let (ca, cb) = match (a, b) {
+            (
+                AdmitOutcome::Admitted {
+                    conn: ca,
+                    wavelength: 0,
+                },
+                AdmitOutcome::Admitted {
+                    conn: cb,
+                    wavelength: 1,
+                },
+            ) => (ca, cb),
+            other => panic!("unexpected outcomes: {other:?}"),
+        };
+        // Link full: third request queues.
+        let c = eng.admit(2, &[0], &mut sink);
+        assert!(matches!(c, AdmitOutcome::Queued { .. }));
+        assert_eq!(eng.wait_len(), 1);
+        eng.validate().unwrap();
+
+        // Release the first; the queued request drains onto wavelength 0.
+        let mut drained = Vec::new();
+        eng.release(3, ca, &mut sink, &mut drained);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].1, 0);
+        assert_eq!(eng.wait_len(), 0);
+        assert_eq!(eng.active(), 2);
+        eng.validate().unwrap();
+
+        let r = eng.report();
+        assert_eq!(r.admitted, 3);
+        assert_eq!(r.admitted_from_queue, 1);
+        assert_eq!(r.blocked, 1);
+        assert_eq!(r.released, 1);
+        assert_eq!(r.wait.max(), 1, "queued at 2, drained at 3");
+        let _ = cb;
+    }
+
+    #[test]
+    fn fifo_queue_order_is_respected() {
+        let mut eng = OnlineRwa::new(2, 1, 0);
+        let mut sink = NullSink;
+        let first = match eng.admit(0, &[0], &mut sink) {
+            AdmitOutcome::Admitted { conn, .. } => conn,
+            o => panic!("{o:?}"),
+        };
+        // Two queued requests on the same link.
+        let q1 = eng.admit(0, &[0], &mut sink);
+        let q2 = eng.admit(0, &[0], &mut sink);
+        let (q1, q2) = match (q1, q2) {
+            (AdmitOutcome::Queued { conn: a }, AdmitOutcome::Queued { conn: b }) => (a, b),
+            o => panic!("{o:?}"),
+        };
+        let mut drained = Vec::new();
+        eng.release(1, first, &mut sink, &mut drained);
+        assert_eq!(drained, vec![(q1, 0)], "earlier request drains first");
+        drained.clear();
+        eng.release(2, q1, &mut sink, &mut drained);
+        assert_eq!(drained, vec![(q2, 0)]);
+        eng.validate().unwrap();
+    }
+
+    #[test]
+    fn recolor_moves_down_only_when_legal() {
+        // Links 0 and 1, B = 2.
+        let mut eng = OnlineRwa::new(2, 2, 0);
+        let mut sink = NullSink;
+        let mut drained = Vec::new();
+        // seq 0 takes (link 0, wl 0); seq 1 spans both links at wl 1.
+        let a = match eng.admit(0, &[0], &mut sink) {
+            AdmitOutcome::Admitted { conn, .. } => conn,
+            o => panic!("{o:?}"),
+        };
+        let _b = eng.admit(0, &[0, 1], &mut sink);
+        // Release seq 0, then refill (link 0, wl 0) with seq 2: the
+        // 2-link conn is still pinned at wl 1 by link 0.
+        eng.release(1, a, &mut sink, &mut drained);
+        let c = match eng.admit(2, &[0], &mut sink) {
+            AdmitOutcome::Admitted {
+                conn,
+                wavelength: 0,
+            } => conn,
+            o => panic!("{o:?}"),
+        };
+        let moved = eng.recolor(3, &mut sink, &mut drained);
+        assert_eq!(moved, 0, "no legal down-move while wl 0 is held");
+        eng.validate().unwrap();
+        // Once the blocker leaves, the pass compacts seq 1 to wl 0.
+        eng.release(4, c, &mut sink, &mut drained);
+        let moved = eng.recolor(5, &mut sink, &mut drained);
+        assert_eq!(moved, 1, "2-link conn compacts from wl 1 to wl 0");
+        eng.validate().unwrap();
+        assert_eq!(eng.report().recolor_moves, 1);
+    }
+
+    #[test]
+    fn auto_recolor_fires_every_n_releases() {
+        let mut eng = OnlineRwa::new(1, 4, 2);
+        let mut sink = NullSink;
+        let mut drained = Vec::new();
+        let mut conns = Vec::new();
+        for _ in 0..4 {
+            match eng.admit(0, &[0], &mut sink) {
+                AdmitOutcome::Admitted { conn, .. } => conns.push(conn),
+                o => panic!("{o:?}"),
+            }
+        }
+        // Release wl 0 and wl 1 holders: after the 2nd release the auto
+        // pass fires and compacts wl 2/3 down to 0/1.
+        eng.release(1, conns[0], &mut sink, &mut drained);
+        assert_eq!(eng.report().recolors, 0);
+        eng.release(2, conns[1], &mut sink, &mut drained);
+        assert_eq!(eng.report().recolors, 1);
+        assert_eq!(eng.report().recolor_moves, 2);
+        assert_eq!(eng.wavelength_of(conns[2]), Some(0));
+        assert_eq!(eng.wavelength_of(conns[3]), Some(1));
+        eng.validate().unwrap();
+    }
+
+    #[test]
+    fn multiword_bandwidth_first_fit() {
+        // B = 130 → 3 words, last word caps at 2 bits.
+        let mut eng = OnlineRwa::new(1, 130, 0);
+        let mut sink = NullSink;
+        for expect in 0..130u16 {
+            match eng.admit(0, &[0], &mut sink) {
+                AdmitOutcome::Admitted { wavelength, .. } => assert_eq!(wavelength, expect),
+                o => panic!("{o:?}"),
+            }
+        }
+        assert!(matches!(
+            eng.admit(0, &[0], &mut sink),
+            AdmitOutcome::Queued { .. }
+        ));
+        eng.validate().unwrap();
+        assert_eq!(eng.report().peak_wavelengths, 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-active")]
+    fn double_release_panics() {
+        let mut eng = OnlineRwa::new(1, 1, 0);
+        let mut sink = NullSink;
+        let c = match eng.admit(0, &[0], &mut sink) {
+            AdmitOutcome::Admitted { conn, .. } => conn,
+            o => panic!("{o:?}"),
+        };
+        let mut drained = Vec::new();
+        eng.release(1, c, &mut sink, &mut drained);
+        eng.release(2, c, &mut sink, &mut drained);
+    }
+}

@@ -1,0 +1,333 @@
+//! Differential suite for the online RWA engine.
+//!
+//! Three pillars:
+//! 1. **Batch equivalence** — an arrival-only online sequence must
+//!    reproduce `greedy_rwa(.., ColorOrder::Input)` color for color (the
+//!    incremental first-fit is the offline first-fit when nothing ever
+//!    departs).
+//! 2. **Oracle equality under churn** — randomized admit/release/readmit
+//!    sequences drive [`OnlineRwa`] and the recompute-per-event
+//!    [`RecomputeRwa`] in lockstep; every outcome, every queue drain and
+//!    the final reports must match, and the packed occupancy must stay
+//!    internally consistent (no two link-sharing connections on one
+//!    wavelength) at every checkpoint.
+//! 3. **Counters reconciliation** — a `CountersSink` observing a churn
+//!    run must fold to exactly the engine's `OnlineReport` totals,
+//!    admission-wait sketch included.
+
+use optical_baselines::rwa::churn::{run_churn, ChurnParams, HoldTime};
+use optical_baselines::rwa::online::{AdmitOutcome, ConnId, OnlineRwa, RecomputeRwa, RwaEngine};
+use optical_baselines::rwa::{greedy_rwa, ColorOrder};
+use optical_core::continuous::TrafficMix;
+use optical_obs::{CountersSink, NullSink};
+use optical_paths::select::grid::mesh_route;
+use optical_paths::{Path, PathCollection};
+use optical_topo::{topologies, GridCoords, LinkId, Network};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Random mesh-routed collection: `n` paths between random endpoints.
+fn mesh_collection(side: u32, n: usize, seed: u64) -> (Network, PathCollection) {
+    let net = topologies::mesh(2, side);
+    let coords = GridCoords::new(2, side);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let nodes = net.node_count() as u32;
+    let mut coll = PathCollection::for_network(&net);
+    for _ in 0..n {
+        let s = rng.gen_range(0..nodes);
+        let d = rng.gen_range(0..nodes);
+        coll.push(mesh_route(&net, &coords, s, d));
+    }
+    (net, coll)
+}
+
+/// Random chain-interval collection: heavy overlap, easy to reason about.
+fn chain_collection(len: u32, n: usize, seed: u64) -> (Network, PathCollection) {
+    let net = topologies::chain(len as usize);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut coll = PathCollection::for_network(&net);
+    for _ in 0..n {
+        let a = rng.gen_range(0..len);
+        let b = rng.gen_range(0..len);
+        if a == b {
+            continue;
+        }
+        let nodes: Vec<u32> = if a < b {
+            (a..=b).collect()
+        } else {
+            (b..=a).rev().collect()
+        };
+        coll.push(Path::from_nodes(&net, &nodes));
+    }
+    (net, coll)
+}
+
+fn collections(seed: u64) -> Vec<(&'static str, Network, PathCollection)> {
+    let (mnet, mcoll) = mesh_collection(4, 48, seed);
+    let (cnet, ccoll) = chain_collection(20, 40, seed ^ 0xABCD);
+    vec![("mesh4", mnet, mcoll), ("chain20", cnet, ccoll)]
+}
+
+#[test]
+fn arrival_only_sequence_reproduces_batch_greedy() {
+    for seed in [1u64, 7, 42] {
+        for (name, net, coll) in collections(seed) {
+            let batch = greedy_rwa(&coll, ColorOrder::Input);
+            // Bandwidth at least the greedy color count, so nothing queues.
+            let bandwidth = batch.num_colors.max(1) as u16;
+            let mut eng = OnlineRwa::new(net.link_count(), bandwidth, 0);
+            let mut sink = NullSink;
+            for i in 0..coll.len() {
+                match eng.admit(0, coll.links_of(i), &mut sink) {
+                    AdmitOutcome::Admitted { wavelength, .. } => assert_eq!(
+                        u32::from(wavelength),
+                        batch.colors[i],
+                        "{name} seed {seed}: path {i} diverged from batch greedy"
+                    ),
+                    AdmitOutcome::Queued { .. } => {
+                        panic!("{name} seed {seed}: path {i} queued below the greedy bound")
+                    }
+                }
+            }
+            assert_eq!(
+                u32::from(eng.report().peak_wavelengths),
+                batch.num_colors,
+                "{name} seed {seed}: online peak must equal offline num_colors"
+            );
+            eng.validate().unwrap();
+        }
+    }
+}
+
+/// Drive both engines through an identical random admit/release/readmit
+/// script; decisions (and thus slot handles) must agree step for step.
+#[test]
+fn churn_script_matches_recompute_oracle_on_every_event() {
+    for seed in [3u64, 19, 77, 101] {
+        for (name, net, coll) in collections(seed) {
+            if coll.is_empty() {
+                continue;
+            }
+            let bandwidth = 3u16;
+            let mut online = OnlineRwa::new(net.link_count(), bandwidth, 0);
+            let mut naive = RecomputeRwa::new(net.link_count(), bandwidth);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+            let mut live: Vec<ConnId> = Vec::new();
+            let mut d1 = Vec::new();
+            let mut d2 = Vec::new();
+            for step in 0..400u32 {
+                if live.is_empty() || rng.gen_bool(0.6) {
+                    // Admit a random path (re-admission of released paths
+                    // happens naturally as indices repeat).
+                    let i = rng.gen_range(0..coll.len());
+                    let links = coll.links_of(i);
+                    let a = online.admit(step, links, &mut NullSink);
+                    let b = naive.admit(step, links, &mut NullSink);
+                    assert_eq!(a, b, "{name} seed {seed} step {step}: admit diverged");
+                    let (AdmitOutcome::Admitted { conn, .. } | AdmitOutcome::Queued { conn }) = a;
+                    live.push(conn);
+                } else {
+                    let pick = rng.gen_range(0..live.len());
+                    let conn = live.swap_remove(pick);
+                    // Only release still-active conns; queued ones stay.
+                    if online.wavelength_of(conn).is_none() {
+                        live.push(conn);
+                        continue;
+                    }
+                    d1.clear();
+                    d2.clear();
+                    online.release(step, conn, &mut NullSink, &mut d1);
+                    naive.release(step, conn, &mut NullSink, &mut d2);
+                    assert_eq!(d1, d2, "{name} seed {seed} step {step}: drain diverged");
+                }
+                if step % 16 == 0 {
+                    online.validate().unwrap_or_else(|e| {
+                        panic!("{name} seed {seed} step {step}: invariant broken: {e}")
+                    });
+                }
+            }
+            assert_eq!(
+                online.report(),
+                naive.report(),
+                "{name} seed {seed}: lifetime reports diverged"
+            );
+            assert_eq!(online.active(), naive.active());
+            assert_eq!(online.wait_len(), naive.wait_len());
+            assert_eq!(online.in_system_seqs(), naive.in_system_seqs());
+            online.validate().unwrap();
+        }
+    }
+}
+
+/// The arrival-process churn driver and both engines agree end to end,
+/// and the wait sketch sees real (non-zero) queueing under pressure.
+#[test]
+fn traffic_mix_churn_agrees_and_queues_under_pressure() {
+    let (net, coll) = mesh_collection(4, 64, 99);
+    fn route(
+        coll: &PathCollection,
+    ) -> impl FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>) + '_ {
+        move |src, _rng, links| {
+            links.clear();
+            links.extend_from_slice(coll.links_of(src as usize % 64));
+        }
+    }
+    let params = ChurnParams {
+        rounds: 120,
+        mix: TrafficMix::bernoulli(0.35),
+        hold: HoldTime::Geometric { mean: 5.0 },
+        capture_peak: true,
+    };
+    let mut online = OnlineRwa::new(net.link_count(), 2, 0);
+    let mut naive = RecomputeRwa::new(net.link_count(), 2);
+    let mut r1 = ChaCha8Rng::seed_from_u64(5);
+    let mut r2 = ChaCha8Rng::seed_from_u64(5);
+    let a = run_churn(
+        &mut online,
+        64,
+        route(&coll),
+        &params,
+        &mut r1,
+        &mut NullSink,
+    );
+    let b = run_churn(
+        &mut naive,
+        64,
+        route(&coll),
+        &params,
+        &mut r2,
+        &mut NullSink,
+    );
+    assert_eq!(a, b);
+    assert_eq!(online.report(), naive.report());
+    online.validate().unwrap();
+    let rep = online.report();
+    assert!(rep.blocked > 0, "pressure scenario must actually block");
+    assert!(
+        rep.admitted_from_queue > 0,
+        "some blocked requests must drain"
+    );
+    assert!(rep.wait.max() >= 1, "drained requests waited >= 1 round");
+    assert_eq!(a.peak_set.len() as u32, a.peak_in_system);
+}
+
+/// Single-link compaction is exactly the offline greedy on the
+/// survivors: release every other connection and recolor.
+#[test]
+fn recolor_compacts_single_link_to_greedy() {
+    let mut eng = OnlineRwa::new(1, 16, 0);
+    let mut sink = NullSink;
+    let mut conns = Vec::new();
+    for _ in 0..10 {
+        match eng.admit(0, &[0], &mut sink) {
+            AdmitOutcome::Admitted { conn, .. } => conns.push(conn),
+            o => panic!("{o:?}"),
+        }
+    }
+    let mut drained = Vec::new();
+    for (i, &c) in conns.iter().enumerate() {
+        if i % 2 == 0 {
+            eng.release(1, c, &mut sink, &mut drained);
+        }
+    }
+    // Survivors hold wavelengths 1,3,5,7,9; one pass compacts to 0..5.
+    let moved = eng.recolor(2, &mut sink, &mut drained);
+    assert_eq!(moved, 5);
+    let mut wls: Vec<u16> = conns.iter().filter_map(|&c| eng.wavelength_of(c)).collect();
+    wls.sort_unstable();
+    assert_eq!(wls, vec![0, 1, 2, 3, 4]);
+    eng.validate().unwrap();
+    // A second pass is a fixpoint.
+    assert_eq!(eng.recolor(3, &mut sink, &mut drained), 0);
+}
+
+/// Random churn, then recolor passes run to fixpoint: validity holds,
+/// the wavelength span never grows, and the fixpoint is reached quickly.
+#[test]
+fn recolor_fixpoint_never_widens_the_spectrum() {
+    for seed in [2u64, 23, 64] {
+        let (net, coll) = mesh_collection(4, 48, seed);
+        let mut eng = OnlineRwa::new(net.link_count(), 8, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut live: Vec<ConnId> = Vec::new();
+        let mut drained = Vec::new();
+        for step in 0..300u32 {
+            if live.is_empty() || rng.gen_bool(0.55) {
+                let i = rng.gen_range(0..coll.len());
+                match eng.admit(step, coll.links_of(i), &mut NullSink) {
+                    AdmitOutcome::Admitted { conn, .. } => live.push(conn),
+                    AdmitOutcome::Queued { conn } => live.push(conn),
+                }
+            } else {
+                let pick = rng.gen_range(0..live.len());
+                let conn = live.swap_remove(pick);
+                if eng.wavelength_of(conn).is_none() {
+                    live.push(conn);
+                } else {
+                    drained.clear();
+                    eng.release(step, conn, &mut NullSink, &mut drained);
+                }
+            }
+        }
+        let span_before = eng.report().peak_wavelengths;
+        let mut passes = 0;
+        loop {
+            drained.clear();
+            let moved = eng.recolor(1000 + passes, &mut NullSink, &mut drained);
+            eng.validate().unwrap();
+            passes += 1;
+            if moved == 0 {
+                break;
+            }
+            assert!(passes < 64, "seed {seed}: compaction failed to converge");
+        }
+        let span_after: u16 = live
+            .iter()
+            .filter_map(|&c| eng.wavelength_of(c))
+            .map(|wl| wl + 1)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            span_after <= span_before,
+            "seed {seed}: compaction widened the spectrum ({span_after} > {span_before})"
+        );
+    }
+}
+
+/// CountersSink totals reconcile exactly with the engine's own report —
+/// counts and the admission-wait sketch alike.
+#[test]
+fn counters_reconcile_with_online_report() {
+    let (net, coll) = mesh_collection(4, 64, 31);
+    let params = ChurnParams {
+        rounds: 100,
+        mix: TrafficMix::bernoulli(0.3),
+        hold: HoldTime::Fixed(6),
+        capture_peak: false,
+    };
+    // recolor_every = 8 so the recolor hook fires too.
+    let mut eng = OnlineRwa::new(net.link_count(), 2, 8);
+    let counters = CountersSink::new(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let route = move |src: u32, _rng: &mut dyn rand::RngCore, links: &mut Vec<LinkId>| {
+        links.clear();
+        links.extend_from_slice(coll.links_of(src as usize % 64));
+    };
+    run_churn(&mut eng, 64, route, &params, &mut rng, &mut &counters);
+    eng.validate().unwrap();
+
+    let t = counters.totals();
+    let r = eng.report();
+    assert_eq!(t.rwa_admits, r.admitted);
+    assert_eq!(t.rwa_queue_admits, r.admitted_from_queue);
+    assert_eq!(t.rwa_blocked, r.blocked);
+    assert_eq!(t.rwa_released, r.released);
+    assert_eq!(t.rwa_recolors, r.recolors);
+    assert_eq!(t.rwa_recolor_moves, r.recolor_moves);
+    assert!(r.recolors > 0, "auto recolor must have fired");
+    assert_eq!(
+        t.rwa_wait, r.wait,
+        "atomic bucket mirror must reconstruct the exact wait sketch"
+    );
+    assert!(r.admitted > 0 && r.released > 0);
+}

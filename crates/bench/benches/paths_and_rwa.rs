@@ -3,7 +3,11 @@
 //! RWA baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optical_baselines::rwa::churn::{run_churn, ChurnParams, HoldTime};
+use optical_baselines::rwa::online::{OnlineRwa, RecomputeRwa};
 use optical_baselines::rwa::{greedy_rwa, ColorOrder};
+use optical_core::continuous::TrafficMix;
+use optical_obs::NullSink;
 use optical_paths::select::grid::mesh_route;
 use optical_paths::{metrics, properties, PathCollection};
 use optical_topo::{topologies, GridCoords};
@@ -69,11 +73,59 @@ fn bench_rwa(c: &mut Criterion) {
     group.finish();
 }
 
+/// Criterion twin of the perf-gate churn pair (`rwa/online_churn_1m` vs
+/// `rwa/online_churn_recompute`), scaled down to criterion-friendly
+/// size: the same fixed-hold Bernoulli churn script through the
+/// incremental engine and the recompute-per-event reference.
+fn bench_online_rwa(c: &mut Criterion) {
+    let w = optical_bench::million::TorusWalkWorkload::new(64, 2);
+    let nsrc = w.net.node_count() as u32;
+    let params = ChurnParams {
+        rounds: 48,
+        mix: TrafficMix::bernoulli(0.01),
+        hold: HoldTime::Fixed(8),
+        capture_peak: false,
+    };
+    let mut group = c.benchmark_group("rwa/online_churn");
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut engine = OnlineRwa::new(w.net.link_count(), 8, 0);
+            let mut rng = ChaCha8Rng::seed_from_u64(53);
+            run_churn(
+                &mut engine,
+                nsrc,
+                |src, _rng, links| links.extend_from_slice(w.links_of(src as usize)),
+                &params,
+                &mut rng,
+                &mut NullSink,
+            )
+            .spawned
+        });
+    });
+    group.bench_function("recompute", |b| {
+        b.iter(|| {
+            let mut engine = RecomputeRwa::new(w.net.link_count(), 8);
+            let mut rng = ChaCha8Rng::seed_from_u64(53);
+            run_churn(
+                &mut engine,
+                nsrc,
+                |src, _rng, links| links.extend_from_slice(w.links_of(src as usize)),
+                &params,
+                &mut rng,
+                &mut NullSink,
+            )
+            .spawned
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_path_congestion,
     bench_selection,
     bench_properties,
-    bench_rwa
+    bench_rwa,
+    bench_online_rwa
 );
 criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Table binary for experiment `e17_online_rwa` — see `EXPERIMENTS.md`.
+//! Flags: `--quick`, `--seed N`, `--trials N`.
+
+fn main() {
+    let cfg = optical_bench::ExpConfig::from_args();
+    print!("{}", optical_bench::experiments::e17_online_rwa::run(&cfg));
+}

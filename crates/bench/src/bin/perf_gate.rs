@@ -293,6 +293,90 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
         out.insert("continuous/steady_dense".into(), ns);
     }
 
+    // Online RWA. `greedy_offline` colors an overlap-heavy stacked
+    // workload (eight independent torus permutations over the same 4096
+    // links — enough conflicts that the packed color masks run
+    // multi-word). The churn pair is the incremental engine's speedup
+    // receipt: `online_churn_1m` drives `OnlineRwa` (per-link packed
+    // occupancy words, O(path × B/64) per event) and
+    // `online_churn_recompute` drives the `RecomputeRwa` reference
+    // (rebuilds the per-link wavelength sets from every live connection
+    // on each admission) through the identical ~80k-connection churn
+    // script on a million-link torus — same seed, same decision stream,
+    // pinned by the differential suite; the ratio between the two keys
+    // is the committed evidence for the incremental data structures.
+    {
+        use optical_baselines::rwa::churn::{run_churn, ChurnParams, HoldTime};
+        use optical_baselines::rwa::online::{OnlineRwa, RecomputeRwa};
+        use optical_baselines::rwa::{greedy_rwa, ColorOrder};
+        use optical_core::continuous::TrafficMix;
+        use rand::RngCore;
+
+        let net = topologies::torus(2, 32);
+        let n = net.node_count() as u32;
+        let mut coll = PathCollection::for_network(&net);
+        let mut rng = ChaCha8Rng::seed_from_u64(47);
+        for _ in 0..8 {
+            let mut dests: Vec<u32> = (0..n).collect();
+            dests.shuffle(&mut rng);
+            for (s, &d) in dests.iter().enumerate() {
+                coll.push(bfs_route(&net, s as u32, d));
+            }
+        }
+        let ns = bench(samples, warmup, || {
+            black_box(greedy_rwa(&coll, ColorOrder::LongestFirst).num_colors);
+        });
+        out.insert("rwa/greedy_offline".into(), ns);
+
+        // 2^18 sources over ~1M directed links, 2-hop `+x` walks, B=8:
+        // ~840 spawns/round at a 0.32% duty cycle, fixed 8-round holds —
+        // ~80k admit/release events per full-mode sample with ~6.7k
+        // connections live at a time.
+        let w = optical_bench::million::TorusWalkWorkload::new(512, 2);
+        let nsrc = w.net.node_count() as u32;
+        let rounds: u32 = if quick { 32 } else { 96 };
+        let params = ChurnParams {
+            rounds,
+            mix: TrafficMix::bernoulli(0.0032),
+            hold: HoldTime::Fixed(8),
+            capture_peak: false,
+        };
+        let (m_samples, m_warmup) = if quick { (3, 1) } else { (5, 1) };
+        let ns = bench(m_samples, m_warmup, || {
+            let mut engine = OnlineRwa::new(w.net.link_count(), 8, 0);
+            let mut rng = ChaCha8Rng::seed_from_u64(53);
+            let rep = run_churn(
+                &mut engine,
+                nsrc,
+                |src: u32, _rng: &mut dyn RngCore, links: &mut Vec<_>| {
+                    links.extend_from_slice(w.links_of(src as usize));
+                },
+                &params,
+                &mut rng,
+                &mut NullSink,
+            );
+            black_box(rep.spawned);
+        });
+        out.insert("rwa/online_churn_1m".into(), ns);
+
+        let ns = bench(m_samples, m_warmup, || {
+            let mut engine = RecomputeRwa::new(w.net.link_count(), 8);
+            let mut rng = ChaCha8Rng::seed_from_u64(53);
+            let rep = run_churn(
+                &mut engine,
+                nsrc,
+                |src: u32, _rng: &mut dyn RngCore, links: &mut Vec<_>| {
+                    links.extend_from_slice(w.links_of(src as usize));
+                },
+                &params,
+                &mut rng,
+                &mut NullSink,
+            );
+            black_box(rep.spawned);
+        });
+        out.insert("rwa/online_churn_recompute".into(), ns);
+    }
+
     // Full protocol runs, with and without per-round congestion recording.
     for (name, record) in [
         ("protocol/run_cong_on", true),
@@ -394,7 +478,7 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
         out.insert("properties/leveling_butterfly8".into(), ns);
     }
 
-    // The whole experiment-regeneration pipeline, quick sweep: E1–E16
+    // The whole experiment-regeneration pipeline, quick sweep: E1–E17
     // end to end, exactly what `all_experiments --quick` prints. Few
     // samples — one call is tens of milliseconds, and the pipeline's
     // internal trial fan-out already averages away per-run noise.

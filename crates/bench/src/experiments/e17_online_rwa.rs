@@ -1,0 +1,249 @@
+//! E17 — online RWA under churn: incremental admit/release vs the
+//! offline comparators.
+//!
+//! Connections arrive (Bernoulli per source), hold a wavelength for a
+//! geometric time, and depart; the incremental engine
+//! ([`OnlineRwa`](optical_baselines::rwa::online::OnlineRwa)) grants
+//! first-fit wavelengths in `O(path length × B/64)` per event and parks
+//! requests that find no free wavelength in a FIFO queue. The first
+//! table sweeps the per-link bandwidth `B` and reports the admission
+//! outcomes (immediate vs queued, queue-wait quantiles, recolor drift
+//! repair). The second table freezes the *peak* active set — the
+//! largest population the engine ever carried — and hands it to the
+//! offline machinery: greedy RWA says how many wavelengths that set
+//! needs when colored as a batch, which calibrates how much of the
+//! online queueing is congestion (the set genuinely needs more than
+//! `B`) versus first-fit drift. The wall-clock receipt for the
+//! incremental data structures is the perf-gate pair
+//! `rwa/online_churn_1m` vs `rwa/online_churn_recompute`.
+
+use crate::harness::{par_points, run_protocol_trials, ExpConfig};
+use optical_baselines::rwa::churn::{run_churn, ChurnParams, ChurnReport, HoldTime};
+use optical_baselines::rwa::online::{OnlineRwa, RwaEngine};
+use optical_baselines::rwa::{color_lower_bound, greedy_rwa, ColorOrder};
+use optical_core::continuous::TrafficMix;
+use optical_core::ProtocolParams;
+use optical_obs::NullSink;
+use optical_paths::select::bfs::bfs_route_with;
+use optical_paths::{Path, PathCollection};
+use optical_stats::table::fmt_f64;
+use optical_stats::Table;
+use optical_topo::algo::PathFinder;
+use optical_topo::{topologies, Network};
+use optical_wdm::RouterConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+
+/// Worm length for the trial-and-failure comparator (matches E10).
+pub const WORM_LEN: u32 = 4;
+
+/// Arrival probability per source per round.
+const ARRIVAL: f64 = 0.3;
+
+/// Mean holding time in rounds.
+const HOLD_MEAN: f64 = 6.0;
+
+/// One churn run: random BFS routes on `net`, recording each spawn's
+/// path so the peak set can be rebuilt as a [`PathCollection`].
+fn churn_run(
+    net: &Network,
+    bandwidth: u16,
+    recolor_every: u64,
+    rounds: u32,
+    seed: u64,
+) -> (OnlineRwa, ChurnReport, Vec<Path>) {
+    let n = net.node_count() as u32;
+    let mut engine = OnlineRwa::new(net.link_count(), bandwidth, recolor_every);
+    let mut finder = PathFinder::new();
+    let mut spawn_paths: Vec<Path> = Vec::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let params = ChurnParams {
+        rounds,
+        mix: TrafficMix::bernoulli(ARRIVAL),
+        hold: HoldTime::Geometric { mean: HOLD_MEAN },
+        capture_peak: true,
+    };
+    let report = run_churn(
+        &mut engine,
+        n,
+        |_src, rng, links| {
+            let s = rng.gen_range(0..n);
+            let d = rng.gen_range(0..n);
+            let p = bfs_route_with(&mut finder, net, s, d);
+            links.extend_from_slice(p.links());
+            spawn_paths.push(p);
+        },
+        &params,
+        &mut rng,
+        &mut NullSink,
+    );
+    engine
+        .validate()
+        .expect("engine invariants hold after churn");
+    (engine, report, spawn_paths)
+}
+
+/// Run E17 and render its tables.
+pub fn run(cfg: &ExpConfig) -> String {
+    let side: u32 = if cfg.quick { 4 } else { 8 };
+    let rounds: u32 = if cfg.quick { 80 } else { 400 };
+    let net = topologies::torus(2, side);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "== E17: online RWA under churn — incremental admit/release =="
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{}: Bernoulli({ARRIVAL}) arrivals per node, geometric hold (mean {HOLD_MEAN}), \
+         random BFS routes, {rounds} rounds",
+        net.name()
+    )
+    .unwrap();
+
+    // Part A: bandwidth sweep. Admissions split into immediate grants
+    // and queue drains; the wait quantiles price the queueing, and the
+    // recolor columns show how much first-fit drift the periodic
+    // compaction pass (every 25 releases) repairs.
+    let bs: &[u16] = if cfg.quick { &[2, 4] } else { &[1, 2, 4, 8] };
+    let mut table = Table::new(&[
+        "B",
+        "spawned",
+        "immediate",
+        "queued",
+        "q_admits",
+        "wait_p50",
+        "wait_p99",
+        "peak_active",
+        "peak_wl",
+        "recolors",
+        "moves",
+    ]);
+    let rows = par_points(bs, |&b| {
+        let (engine, churn, _) = churn_run(&net, b, 25, rounds, cfg.seed ^ 0xE17);
+        let r = engine.report();
+        assert_eq!(
+            r.admitted_immediate + r.blocked,
+            churn.spawned,
+            "every spawn admits immediately or queues"
+        );
+        [
+            b.to_string(),
+            churn.spawned.to_string(),
+            r.admitted_immediate.to_string(),
+            r.blocked.to_string(),
+            r.admitted_from_queue.to_string(),
+            r.wait.quantile(0.5).to_string(),
+            r.wait.quantile(0.99).to_string(),
+            r.peak_active.to_string(),
+            r.peak_wavelengths.to_string(),
+            r.recolors.to_string(),
+            r.recolor_moves.to_string(),
+        ]
+    });
+    for row in &rows {
+        table.row(row);
+    }
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "(queued requests re-enter FIFO on release; wait quantiles are rounds\n\
+         spent parked — 0 for immediate grants)"
+    )
+    .unwrap();
+
+    // Part B: freeze the peak active set at a fixed bandwidth and color
+    // it offline. `colors` is what greedy needs when the whole set is
+    // known up front; if it exceeds B the online queueing at that load
+    // is congestion, not drift. Trial-and-failure routes the same frozen
+    // set dynamically for a rounds-based reference point.
+    let b_fixed: u16 = 4;
+    let (engine, churn, spawn_paths) = churn_run(&net, b_fixed, 25, rounds, cfg.seed ^ 0x17B);
+    let mut peak_coll = PathCollection::for_network(&net);
+    for &seq in &churn.peak_set {
+        // Admission sequence numbers are assigned in spawn order, so seq
+        // s is exactly the s-th recorded path.
+        peak_coll.push(spawn_paths[seq as usize].clone());
+    }
+    let m = peak_coll.metrics();
+    writeln!(
+        out,
+        "\npeak set at B={b_fixed}: {} connections in system at round {} \
+         (of {} spawned; online peak {} wavelengths)",
+        churn.peak_set.len(),
+        churn.peak_round,
+        churn.spawned,
+        engine.report().peak_wavelengths
+    )
+    .unwrap();
+    let mut table = Table::new(&["comparator", "colors", "batches", "time", "rounds"]);
+    for (name, order) in [
+        ("greedy (arrival order)", ColorOrder::Input),
+        ("greedy (longest first)", ColorOrder::LongestFirst),
+    ] {
+        let rwa = greedy_rwa(&peak_coll, order);
+        table.row(&[
+            name.to_string(),
+            rwa.num_colors.to_string(),
+            rwa.batches(b_fixed).to_string(),
+            rwa.total_time(b_fixed, m.dilation, WORM_LEN).to_string(),
+            "-".into(),
+        ]);
+    }
+    table.row(&[
+        "clique lower bound".to_string(),
+        color_lower_bound(&peak_coll).to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    {
+        let mut params = ProtocolParams::new(RouterConfig::serve_first(b_fixed), WORM_LEN);
+        params.max_rounds = 1000;
+        let t = run_protocol_trials(&net, &peak_coll, &params, cfg.trials, cfg.seed ^ 0x17C);
+        assert_eq!(t.failures, 0, "trial-and-failure must route the peak set");
+        table.row(&[
+            "trial-and-failure".to_string(),
+            "-".into(),
+            "-".into(),
+            fmt_f64(t.total_time.mean),
+            fmt_f64(t.rounds.mean),
+        ]);
+    }
+    out.push_str(&table.render());
+    writeln!(
+        out,
+        "(colors > B means the peak population genuinely exceeds the spectrum —\n\
+         the online queue is congestion; colors <= B bounds the drift the\n\
+         recolor pass is there to repair)"
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_both_tables() {
+        let out = run(&ExpConfig::quick());
+        assert!(out.contains("E17"));
+        assert!(out.contains("wait_p99"));
+        assert!(out.contains("peak set at B=4"));
+        assert!(out.contains("trial-and-failure"));
+    }
+
+    #[test]
+    fn peak_set_rebuild_is_consistent() {
+        let net = topologies::torus(2, 4);
+        let (_, churn, spawn_paths) = churn_run(&net, 2, 0, 60, 99);
+        assert!(churn.peak_in_system > 0);
+        assert_eq!(churn.peak_set.len() as u32, churn.peak_in_system);
+        for &seq in &churn.peak_set {
+            assert!((seq as usize) < spawn_paths.len());
+        }
+    }
+}

@@ -55,6 +55,15 @@ pub struct CountersSink {
     sojourn_buckets: Vec<AtomicU64>,
     shed: AtomicU64,
     deferred: AtomicU64,
+    rwa_admits: AtomicU64,
+    rwa_queue_admits: AtomicU64,
+    rwa_blocked: AtomicU64,
+    rwa_released: AtomicU64,
+    rwa_recolors: AtomicU64,
+    rwa_recolor_moves: AtomicU64,
+    // Same bucket-mirror trick as `sojourn_buckets`, over the online RWA
+    // engine's admission waits.
+    rwa_wait_buckets: Vec<AtomicU64>,
 }
 
 /// A plain-value snapshot of [`CountersSink`], taken by
@@ -133,6 +142,24 @@ pub struct CounterTotals {
     /// Arrival deferrals by admission control (one arrival may defer
     /// multiple times).
     pub deferred: u64,
+    /// Connections granted a wavelength by the online RWA engine.
+    pub rwa_admits: u64,
+    /// Of [`CounterTotals::rwa_admits`], how many were drained from the
+    /// wait queue rather than admitted immediately.
+    pub rwa_queue_admits: u64,
+    /// Connection requests that found no free wavelength at arrival.
+    pub rwa_blocked: u64,
+    /// Connections released back to the online RWA engine.
+    pub rwa_released: u64,
+    /// Recolor/compaction passes run by the online RWA engine.
+    pub rwa_recolors: u64,
+    /// Connections moved to a lower wavelength by recolor passes.
+    pub rwa_recolor_moves: u64,
+    /// Fixed-memory sketch of admission latency in rounds (0 for
+    /// immediate admissions), mirroring the engine's `OnlineReport`
+    /// wait sketch; query via [`CounterTotals::rwa_wait_p50`]/
+    /// [`CounterTotals::rwa_wait_p99`].
+    pub rwa_wait: QuantileSketch,
 }
 
 impl CountersSink {
@@ -177,6 +204,17 @@ impl CountersSink {
                 .collect(),
             shed: AtomicU64::new(0),
             deferred: AtomicU64::new(0),
+            rwa_admits: AtomicU64::new(0),
+            rwa_queue_admits: AtomicU64::new(0),
+            rwa_blocked: AtomicU64::new(0),
+            rwa_released: AtomicU64::new(0),
+            rwa_recolors: AtomicU64::new(0),
+            rwa_recolor_moves: AtomicU64::new(0),
+            rwa_wait_buckets: (0..QuantileSketch::buckets_for(
+                QuantileSketch::DEFAULT_GROUPING_BITS,
+            ))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -222,6 +260,20 @@ impl CountersSink {
             },
             shed: self.shed.load(Relaxed),
             deferred: self.deferred.load(Relaxed),
+            rwa_admits: self.rwa_admits.load(Relaxed),
+            rwa_queue_admits: self.rwa_queue_admits.load(Relaxed),
+            rwa_blocked: self.rwa_blocked.load(Relaxed),
+            rwa_released: self.rwa_released.load(Relaxed),
+            rwa_recolors: self.rwa_recolors.load(Relaxed),
+            rwa_recolor_moves: self.rwa_recolor_moves.load(Relaxed),
+            rwa_wait: {
+                let counts: Vec<u64> = self
+                    .rwa_wait_buckets
+                    .iter()
+                    .map(|c| c.load(Relaxed))
+                    .collect();
+                QuantileSketch::from_counts(QuantileSketch::DEFAULT_GROUPING_BITS, &counts)
+            },
         }
     }
 
@@ -270,6 +322,18 @@ impl CounterTotals {
     /// 99.9th-percentile sojourn latency in rounds.
     pub fn latency_p999(&self) -> u64 {
         self.latency.quantile(0.999)
+    }
+
+    /// Median admission latency of the online RWA engine in rounds
+    /// (0 when nothing was admitted — or when most admissions were
+    /// immediate).
+    pub fn rwa_wait_p50(&self) -> u64 {
+        self.rwa_wait.quantile(0.5)
+    }
+
+    /// 99th-percentile admission latency of the online RWA engine.
+    pub fn rwa_wait_p99(&self) -> u64 {
+        self.rwa_wait.quantile(0.99)
     }
 
     /// Mean shard-imbalance ratio over the sharded rounds observed:
@@ -336,6 +400,19 @@ impl fmt::Display for CounterTotals {
             self.latency_p50(),
             self.latency_p99(),
             self.latency_p999()
+        )?;
+        writeln!(
+            f,
+            "rwa_admits={} rwa_queue_admits={} rwa_blocked={} rwa_released={} rwa_recolors={} \
+             rwa_recolor_moves={} rwa_wait_p50={} rwa_wait_p99={}",
+            self.rwa_admits,
+            self.rwa_queue_admits,
+            self.rwa_blocked,
+            self.rwa_released,
+            self.rwa_recolors,
+            self.rwa_recolor_moves,
+            self.rwa_wait_p50(),
+            self.rwa_wait_p99()
         )?;
         write!(f, "wl_installs=[")?;
         for (i, n) in self.wl_installs.iter().enumerate() {
@@ -474,6 +551,29 @@ impl Sink for &CountersSink {
     fn on_defer(&mut self, _round: u32, _tenant: u32, _delay: u32) {
         self.deferred.fetch_add(1, Relaxed);
     }
+    #[inline]
+    fn on_rwa_admit(&mut self, _round: u32, _conn: u64, _wl: u16, waited: u32) {
+        self.rwa_admits.fetch_add(1, Relaxed);
+        if waited > 0 {
+            self.rwa_queue_admits.fetch_add(1, Relaxed);
+        }
+        let idx =
+            QuantileSketch::index_for(QuantileSketch::DEFAULT_GROUPING_BITS, u64::from(waited));
+        self.rwa_wait_buckets[idx].fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_rwa_block(&mut self, _round: u32, _conn: u64) {
+        self.rwa_blocked.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_rwa_release(&mut self, _round: u32, _conn: u64, _wl: u16) {
+        self.rwa_released.fetch_add(1, Relaxed);
+    }
+    #[inline]
+    fn on_rwa_recolor(&mut self, _round: u32, _active: u32, moved: u32) {
+        self.rwa_recolors.fetch_add(1, Relaxed);
+        self.rwa_recolor_moves.fetch_add(u64::from(moved), Relaxed);
+    }
 }
 
 /// Owned counters are a sink too (single-threaded runs).
@@ -565,6 +665,22 @@ impl Sink for CountersSink {
     #[inline]
     fn on_defer(&mut self, round: u32, tenant: u32, delay: u32) {
         (&*self).on_defer(round, tenant, delay);
+    }
+    #[inline]
+    fn on_rwa_admit(&mut self, round: u32, conn: u64, wl: u16, waited: u32) {
+        (&*self).on_rwa_admit(round, conn, wl, waited);
+    }
+    #[inline]
+    fn on_rwa_block(&mut self, round: u32, conn: u64) {
+        (&*self).on_rwa_block(round, conn);
+    }
+    #[inline]
+    fn on_rwa_release(&mut self, round: u32, conn: u64, wl: u16) {
+        (&*self).on_rwa_release(round, conn, wl);
+    }
+    #[inline]
+    fn on_rwa_recolor(&mut self, round: u32, active: u32, moved: u32) {
+        (&*self).on_rwa_recolor(round, active, moved);
     }
 }
 
@@ -664,6 +780,35 @@ mod tests {
         let text = t.to_string();
         assert!(text.contains("spawns=100"));
         assert!(text.contains("latency_p99=20"));
+    }
+
+    #[test]
+    fn rwa_counters_fold_and_wait_sketch_reconstructs() {
+        let c = CountersSink::new(4);
+        let mut s = &c;
+        // Three immediate admissions, one block that drains 5 rounds
+        // later, one release, one recolor pass moving 2 connections.
+        s.on_rwa_admit(1, 0, 0, 0);
+        s.on_rwa_admit(1, 1, 1, 0);
+        s.on_rwa_admit(2, 2, 0, 0);
+        s.on_rwa_block(3, 3);
+        s.on_rwa_release(8, 1, 1);
+        s.on_rwa_admit(8, 3, 1, 5);
+        s.on_rwa_recolor(9, 3, 2);
+
+        let t = c.totals();
+        assert_eq!(t.rwa_admits, 4);
+        assert_eq!(t.rwa_queue_admits, 1);
+        assert_eq!(t.rwa_blocked, 1);
+        assert_eq!(t.rwa_released, 1);
+        assert_eq!(t.rwa_recolors, 1);
+        assert_eq!(t.rwa_recolor_moves, 2);
+        assert_eq!(t.rwa_wait.len(), 4);
+        assert_eq!(t.rwa_wait_p50(), 0);
+        assert_eq!(t.rwa_wait.max(), 5);
+        let text = t.to_string();
+        assert!(text.contains("rwa_admits=4"));
+        assert!(text.contains("rwa_wait_p99=5"));
     }
 
     #[test]

@@ -46,6 +46,13 @@
 //! hooks above, then one `on_sojourn` per worm completed this round.
 //! Steady-state worm ids are 64-bit spawn sequence numbers — monotone
 //! and never reused, even across millions of in-flight worms.
+//!
+//! The online RWA engine (`baselines::rwa::online`) emits `on_rwa_admit`
+//! or `on_rwa_block` per admission request, `on_rwa_release` per
+//! departure — followed by one `on_rwa_admit` (with `waited > 0`) per
+//! request its drain pass pulls off the wait queue, in FIFO order — and
+//! `on_rwa_recolor` per compaction pass. Connection ids are 64-bit
+//! admission sequence numbers, monotone and never reused.
 
 pub mod counters;
 pub mod events;
@@ -258,6 +265,31 @@ pub trait Sink {
     /// arrival may be deferred multiple times.
     #[inline]
     fn on_defer(&mut self, _round: u32, _tenant: u32, _delay: u32) {}
+
+    /// The online RWA engine granted connection `conn` (a monotone
+    /// admission sequence id, never reused) wavelength `wl` during
+    /// `round` after waiting `waited` rounds in the queue (0 for
+    /// immediate admissions). Feeds the admission-latency sketch in
+    /// [`CountersSink`].
+    #[inline]
+    fn on_rwa_admit(&mut self, _round: u32, _conn: u64, _wl: u16, _waited: u32) {}
+
+    /// Connection request `conn` found no free wavelength at arrival and
+    /// joined the online RWA wait queue. Every blocked request later
+    /// produces either an `on_rwa_admit` (with `waited > 0` when drained
+    /// in a later round) or nothing if the run ends first.
+    #[inline]
+    fn on_rwa_block(&mut self, _round: u32, _conn: u64) {}
+
+    /// The online RWA engine released connection `conn`, reclaiming
+    /// wavelength `wl` on every link of its path.
+    #[inline]
+    fn on_rwa_release(&mut self, _round: u32, _conn: u64, _wl: u16) {}
+
+    /// An online RWA recolor/compaction pass over `active` connections
+    /// moved `moved` of them to lower wavelengths during `round`.
+    #[inline]
+    fn on_rwa_recolor(&mut self, _round: u32, _active: u32, _moved: u32) {}
 }
 
 /// The disabled sink: all hooks are no-ops and [`Sink::ENABLED`] is
@@ -385,6 +417,22 @@ impl<S: Sink + ?Sized> Sink for &mut S {
     #[inline]
     fn on_defer(&mut self, round: u32, tenant: u32, delay: u32) {
         (**self).on_defer(round, tenant, delay);
+    }
+    #[inline]
+    fn on_rwa_admit(&mut self, round: u32, conn: u64, wl: u16, waited: u32) {
+        (**self).on_rwa_admit(round, conn, wl, waited);
+    }
+    #[inline]
+    fn on_rwa_block(&mut self, round: u32, conn: u64) {
+        (**self).on_rwa_block(round, conn);
+    }
+    #[inline]
+    fn on_rwa_release(&mut self, round: u32, conn: u64, wl: u16) {
+        (**self).on_rwa_release(round, conn, wl);
+    }
+    #[inline]
+    fn on_rwa_recolor(&mut self, round: u32, active: u32, moved: u32) {
+        (**self).on_rwa_recolor(round, active, moved);
     }
 }
 

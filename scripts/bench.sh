@@ -26,11 +26,17 @@
 # 2^20 sources at a 0.1% duty cycle — their ratio is the PR's speedup
 # evidence), continuous/steady_dense (the event path at full load, guards
 # its dense-end bookkeeping overhead),
+# rwa/greedy_offline (packed-mask greedy coloring of an overlap-heavy
+# stacked permutation workload), rwa/online_churn_1m and
+# rwa/online_churn_recompute (the incremental online RWA engine vs the
+# recompute-per-event reference on an identical million-link churn
+# script — their ratio is the speedup evidence for the O(path) admit
+# and release paths),
 # protocol/run_cong_*, protocol/run_obs_off (the traced path with the
 # NullSink — guards the zero-overhead observability contract),
 # metrics/collection_* (flat-array metrics kernels),
 # properties/* (flat leveling / shortcut-free / link-offset kernels) and
-# pipeline/run_all_quick (wall-clock of the parallel E1-E16 quick suite,
+# pipeline/run_all_quick (wall-clock of the parallel E1-E17 quick suite,
 # instance cache warm). The criterion twins of the engine keys live in
 # crates/bench/benches/engine.rs (group engine/contention).
 set -euo pipefail

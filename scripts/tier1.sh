@@ -49,6 +49,14 @@ if [[ $fast -eq 0 ]]; then
   echo "== continuous steady-state smoke =="
   cargo run --release -q -p optical-bench --bin continuous_smoke -- --quick --seed 1997 \
     | grep -q "continuous smoke: ok" || { echo "continuous smoke failed" >&2; exit 1; }
+
+  # Online RWA smoke: a seeded churn run through the incremental engine
+  # and the recompute-per-event reference side by side — the binary
+  # asserts identical decision streams, engine invariants, counters in
+  # lockstep, and a recolor fixpoint, then prints ok.
+  echo "== online RWA smoke =="
+  cargo run --release -q -p optical-bench --bin rwa_smoke -- --quick --seed 1997 \
+    | grep -q "rwa smoke: ok" || { echo "rwa smoke failed" >&2; exit 1; }
 fi
 
 echo "== cargo test -q =="
