@@ -1,4 +1,13 @@
 //! Offline type-check stub for `rand_chacha` (not the real cipher).
+//!
+//! Besides the `RngCore`/`SeedableRng` surface, the stub mirrors the
+//! real crate's stream-position API (`get_seed`, `get_stream`,
+//! `set_stream`, `get_word_pos`, `set_word_pos`) so the checkpoint
+//! capture/restore path in `optical-core::persist` type-checks and —
+//! because `get_word_pos`/`set_word_pos` round-trip the stub's entire
+//! generator state — restores bit-exactly when the stub workspace
+//! actually runs (smoke binaries, perf gate). The "word position" here
+//! is an opaque resume token, not a true block-counter offset.
 
 use rand::{RngCore, SeedableRng};
 
@@ -6,6 +15,8 @@ macro_rules! chacha {
     ($name:ident) => {
         #[derive(Clone, Debug, PartialEq, Eq)]
         pub struct $name {
+            seed: [u8; 32],
+            stream: u64,
             state: u64,
         }
 
@@ -35,7 +46,40 @@ macro_rules! chacha {
             fn from_seed(seed: Self::Seed) -> Self {
                 let mut s = [0u8; 8];
                 s.copy_from_slice(&seed[..8]);
-                $name { state: u64::from_le_bytes(s) ^ 0xC4AC4A }
+                $name {
+                    seed,
+                    stream: 0,
+                    state: u64::from_le_bytes(s) ^ 0xC4AC4A,
+                }
+            }
+        }
+
+        impl $name {
+            /// The seed this generator was constructed from.
+            pub fn get_seed(&self) -> [u8; 32] {
+                self.seed
+            }
+            /// The stream id (stub: stored verbatim, never derived from).
+            pub fn get_stream(&self) -> u64 {
+                self.stream
+            }
+            /// Select a stream. The stub re-derives its state from the
+            /// seed and folds the stream in, so distinct streams diverge;
+            /// a subsequent `set_word_pos` overrides this entirely (the
+            /// restore path).
+            pub fn set_stream(&mut self, stream: u64) {
+                let mut s = [0u8; 8];
+                s.copy_from_slice(&self.seed[..8]);
+                self.stream = stream;
+                self.state = (u64::from_le_bytes(s) ^ 0xC4AC4A) ^ stream.rotate_left(17);
+            }
+            /// Opaque position token: the stub's full generator state.
+            pub fn get_word_pos(&self) -> u128 {
+                u128::from(self.state)
+            }
+            /// Restore a position captured by [`get_word_pos`].
+            pub fn set_word_pos(&mut self, word_offset: u128) {
+                self.state = word_offset as u64;
             }
         }
     };

@@ -1,25 +1,54 @@
 //! Offline type-check stub for serde's derive macros: emits empty marker
 //! impls (`impl Serialize for T {}`), which is all the stub serde traits
-//! need. Supports plain (non-generic) structs and enums, which is every
-//! derive site in this workspace.
+//! need. Supports plain structs and enums, including generic ones whose
+//! type-parameter list is bare idents (`Versioned<T>`, `Wheel<A, B>`);
+//! parameters with bounds, lifetimes, or const generics fall back to
+//! emitting nothing (no such serde derive site exists in this
+//! workspace).
 
 use proc_macro::{TokenStream, TokenTree};
 
 /// Extract the type name following the first `struct` or `enum` keyword,
-/// plus whether it has generic parameters.
-fn type_name(input: &TokenStream) -> Option<(String, bool)> {
+/// plus its type parameters when the list is bare idents. Returns `None`
+/// for a parameter list the stub cannot mirror.
+fn type_shape(input: &TokenStream) -> Option<(String, Vec<String>)> {
     let mut iter = input.clone().into_iter().peekable();
     while let Some(tt) = iter.next() {
         if let TokenTree::Ident(id) = &tt {
             let s = id.to_string();
             if s == "struct" || s == "enum" {
-                if let Some(TokenTree::Ident(name)) = iter.next() {
-                    let generic = matches!(
-                        iter.peek(),
-                        Some(TokenTree::Punct(p)) if p.as_char() == '<'
-                    );
-                    return Some((name.to_string(), generic));
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    _ => return None,
+                };
+                let generic = matches!(
+                    iter.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                if !generic {
+                    return Some((name, Vec::new()));
                 }
+                iter.next(); // consume '<'
+                let mut params = Vec::new();
+                let mut want_ident = true;
+                for tt in iter {
+                    match tt {
+                        TokenTree::Ident(p) if want_ident => {
+                            params.push(p.to_string());
+                            want_ident = false;
+                        }
+                        TokenTree::Punct(p) if !want_ident && p.as_char() == ',' => {
+                            want_ident = true;
+                        }
+                        TokenTree::Punct(p) if !want_ident && p.as_char() == '>' => {
+                            return Some((name, params));
+                        }
+                        // Bounds (':'), lifetimes ('\''), defaults ('='),
+                        // const generics: beyond the stub.
+                        _ => return None,
+                    }
+                }
+                return None;
             }
         }
     }
@@ -28,22 +57,46 @@ fn type_name(input: &TokenStream) -> Option<(String, bool)> {
 
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match type_name(&input) {
-        Some((name, false)) => format!("impl ::serde::Serialize for {name} {{}}")
-            .parse()
-            .unwrap(),
-        _ => TokenStream::new(),
+    match type_shape(&input) {
+        Some((name, params)) if params.is_empty() => {
+            format!("impl ::serde::Serialize for {name} {{}}")
+                .parse()
+                .unwrap()
+        }
+        Some((name, params)) => {
+            let bounded = params
+                .iter()
+                .map(|p| format!("{p}: ::serde::Serialize"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let plain = params.join(", ");
+            format!("impl<{bounded}> ::serde::Serialize for {name}<{plain}> {{}}")
+                .parse()
+                .unwrap()
+        }
+        None => TokenStream::new(),
     }
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    match type_name(&input) {
-        Some((name, false)) => {
+    match type_shape(&input) {
+        Some((name, params)) if params.is_empty() => {
             format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
                 .parse()
                 .unwrap()
         }
-        _ => TokenStream::new(),
+        Some((name, params)) => {
+            let bounded = params
+                .iter()
+                .map(|p| format!("{p}: ::serde::Deserialize<'de>"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let plain = params.join(", ");
+            format!("impl<'de, {bounded}> ::serde::Deserialize<'de> for {name}<{plain}> {{}}")
+                .parse()
+                .unwrap()
+        }
+        None => TokenStream::new(),
     }
 }

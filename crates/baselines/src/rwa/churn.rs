@@ -12,20 +12,39 @@
 //! what lets the differential suite drive [`OnlineRwa`] and
 //! [`RecomputeRwa`] side by side.
 //!
+//! The documented entry point is [`Churn`], built via
+//! [`Churn::builder`] with typed [`ChurnError`] validation (mirroring
+//! `optical_core::SimBuilder`). Long runs checkpoint through
+//! [`Churn::run_checkpointed`] / [`Churn::resume`]: a
+//! [`ChurnCheckpoint`] carries the loop calendars, the engine's full
+//! snapshot (via `optical_core::persist`), and the exact RNG position,
+//! so a resumed run finishes bit-identically to one that never stopped.
+//!
 //! [`OnlineRwa`]: super::online::OnlineRwa
 //! [`RecomputeRwa`]: super::online::RecomputeRwa
 
-use super::online::{AdmitOutcome, ConnId, RwaEngine};
+use super::online::{
+    AdmitOutcome, ConnId, OnlineRwa, OnlineRwaState, RecomputeRwa, RecomputeRwaState, RwaEngine,
+};
 use optical_core::continuous::{SourceState, TrafficMix};
+use optical_core::persist::rng::{PersistRng, RngState};
+use optical_core::persist::{Fingerprint, RestoreError, Snapshot, Versioned};
 use optical_obs::Sink;
 use optical_topo::LinkId;
 use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// The route sampler as the event loop consumes it: fill the buffer
+/// with the directed links of a fresh connection from `source`.
+type RouteFn<'a> = dyn FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>) + 'a;
 
 /// Connection holding time, drawn once per spawn (before admission, so
 /// the RNG stream does not depend on the admission outcome).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum HoldTime {
     /// Every connection holds its wavelength for exactly this many
     /// rounds (clamped to >= 1).
@@ -57,8 +76,10 @@ impl HoldTime {
     }
 }
 
-/// Churn scenario parameters.
-#[derive(Clone, Debug)]
+/// Churn scenario parameters. Construct via [`Churn::builder`] for
+/// typed validation; the struct stays plain-old-data for literal
+/// construction in tests and benches.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ChurnParams {
     /// Rounds to simulate (arrivals and releases in `1..=rounds`).
     pub rounds: u32,
@@ -70,11 +91,15 @@ pub struct ChurnParams {
     /// an allocation per new peak; used by E17 to hand the peak active
     /// set to the offline comparators).
     pub capture_peak: bool,
+    /// Cut a [`ChurnCheckpoint`] at the first round after every
+    /// multiple of this many rounds (0 = never). Outside the
+    /// fingerprint: cadence never changes the bit-stream.
+    pub checkpoint_every: u32,
 }
 
 /// What the churn driver observed; pair it with the engine's own
 /// [`OnlineReport`](super::online::OnlineReport) for admission totals.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ChurnReport {
     /// Connection requests spawned.
     pub spawned: u64,
@@ -93,117 +118,716 @@ pub struct ChurnReport {
     pub waiting_at_end: usize,
 }
 
-/// Drive `engine` with `n_sources` sources for `params.rounds` rounds.
+/// Why a churn scenario failed to build; see [`ChurnBuilder::try_build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnError {
+    /// A scenario with no sources spawns nothing.
+    ZeroSources,
+    /// A zero-round horizon runs no events.
+    ZeroRounds,
+    /// `HoldTime::Fixed(0)` — a wavelength held for no rounds.
+    ZeroHold,
+    /// `HoldTime::Geometric` needs a finite mean of at least 1 round.
+    InvalidHoldMean {
+        /// The rejected mean.
+        mean: f64,
+    },
+    /// The traffic mix failed [`TrafficMix::validate`].
+    InvalidMix(String),
+}
+
+impl fmt::Display for ChurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChurnError::ZeroSources => write!(f, "churn needs at least one source"),
+            ChurnError::ZeroRounds => write!(f, "churn needs at least one round"),
+            ChurnError::ZeroHold => write!(f, "fixed holding time must be at least 1 round"),
+            ChurnError::InvalidHoldMean { mean } => {
+                write!(f, "geometric holding mean {mean} must be finite and >= 1")
+            }
+            ChurnError::InvalidMix(why) => write!(f, "invalid traffic mix: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ChurnError {}
+
+/// Builder for a [`Churn`] scenario; mirrors `SimBuilder`'s
+/// set-then-`try_build` shape with typed [`ChurnError`] validation.
+#[derive(Clone, Debug)]
+pub struct ChurnBuilder {
+    n_sources: u32,
+    params: ChurnParams,
+}
+
+impl ChurnBuilder {
+    /// Start a scenario over `n_sources` sources. Defaults: Bernoulli
+    /// 0.5 traffic, a fixed 1-round hold, no peak capture, no
+    /// checkpoints — and a zero-round horizon, so [`Self::rounds`] must
+    /// be called before the build validates.
+    pub fn new(n_sources: u32) -> Self {
+        ChurnBuilder {
+            n_sources,
+            params: ChurnParams {
+                rounds: 0,
+                mix: TrafficMix::bernoulli(0.5),
+                hold: HoldTime::Fixed(1),
+                capture_peak: false,
+                checkpoint_every: 0,
+            },
+        }
+    }
+
+    /// Simulation horizon in rounds (>= 1).
+    pub fn rounds(mut self, rounds: u32) -> Self {
+        self.params.rounds = rounds;
+        self
+    }
+
+    /// Per-tenant arrival processes.
+    pub fn mix(mut self, mix: TrafficMix) -> Self {
+        self.params.mix = mix;
+        self
+    }
+
+    /// Holding-time distribution.
+    pub fn hold(mut self, hold: HoldTime) -> Self {
+        self.params.hold = hold;
+        self
+    }
+
+    /// Capture the in-system sequence set at the peak round.
+    pub fn capture_peak(mut self, on: bool) -> Self {
+        self.params.capture_peak = on;
+        self
+    }
+
+    /// Checkpoint cadence in rounds (0 = never); see
+    /// [`ChurnParams::checkpoint_every`].
+    pub fn checkpoint_every(mut self, n_rounds: u32) -> Self {
+        self.params.checkpoint_every = n_rounds;
+        self
+    }
+
+    /// Validate and build, returning a typed [`ChurnError`] instead of
+    /// panicking on a nonsensical scenario.
+    pub fn try_build(self) -> Result<Churn, ChurnError> {
+        if self.n_sources == 0 {
+            return Err(ChurnError::ZeroSources);
+        }
+        if self.params.rounds == 0 {
+            return Err(ChurnError::ZeroRounds);
+        }
+        match self.params.hold {
+            HoldTime::Fixed(0) => return Err(ChurnError::ZeroHold),
+            HoldTime::Geometric { mean } if !mean.is_finite() || mean < 1.0 => {
+                return Err(ChurnError::InvalidHoldMean { mean });
+            }
+            _ => {}
+        }
+        self.params.mix.validate().map_err(ChurnError::InvalidMix)?;
+        Ok(Churn {
+            n_sources: self.n_sources,
+            params: self.params,
+        })
+    }
+
+    /// Validate and build; panics with the [`ChurnError`] message.
+    /// [`Self::try_build`] reports problems as a typed error instead.
+    pub fn build(self) -> Churn {
+        match self.try_build() {
+            Ok(churn) => churn,
+            Err(e) => panic!("invalid churn scenario: {e}"),
+        }
+    }
+}
+
+/// Serialized engine snapshot inside a [`ChurnCheckpoint`]: one variant
+/// per engine the churn driver supports, so the checkpoint stays a
+/// concrete (serde-friendly) type while [`Churn::resume`] stays generic.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EngineSnap {
+    /// An [`OnlineRwa`] snapshot.
+    Online(Versioned<OnlineRwaState>),
+    /// A [`RecomputeRwa`] snapshot.
+    Recompute(Versioned<RecomputeRwaState>),
+}
+
+impl EngineSnap {
+    fn kind(&self) -> &str {
+        match self {
+            EngineSnap::Online(v) => &v.header.kind,
+            EngineSnap::Recompute(v) => &v.header.kind,
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        match self {
+            EngineSnap::Online(v) => v.state.slab.seq.len(),
+            EngineSnap::Recompute(v) => v.state.slab.seq.len(),
+        }
+    }
+}
+
+/// An engine the churn driver can checkpoint and resume: snapshottable,
+/// and able to route its snapshot through the concrete [`EngineSnap`]
+/// wire type.
+pub trait ChurnEngine: RwaEngine + Snapshot {
+    /// Wrap this engine's snapshot in the checkpoint's engine enum.
+    fn wrap_snap(snap: Versioned<<Self as Snapshot>::State>) -> EngineSnap;
+
+    /// Take this engine's snapshot back out, or a typed
+    /// [`RestoreError::Kind`] when the checkpoint holds the other
+    /// engine.
+    fn unwrap_snap(snap: EngineSnap) -> Result<Versioned<<Self as Snapshot>::State>, RestoreError>;
+
+    /// Slots allocated in the engine's slab (live + recycled); bounds
+    /// restored calendars are validated against.
+    fn slot_count(&self) -> usize;
+}
+
+impl ChurnEngine for OnlineRwa {
+    fn wrap_snap(snap: Versioned<OnlineRwaState>) -> EngineSnap {
+        EngineSnap::Online(snap)
+    }
+
+    fn unwrap_snap(snap: EngineSnap) -> Result<Versioned<OnlineRwaState>, RestoreError> {
+        match snap {
+            EngineSnap::Online(v) => Ok(v),
+            other => Err(RestoreError::Kind {
+                found: other.kind().to_string(),
+                expected: <OnlineRwa as Snapshot>::KIND.to_string(),
+            }),
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        self.slot_capacity()
+    }
+}
+
+impl ChurnEngine for RecomputeRwa {
+    fn wrap_snap(snap: Versioned<RecomputeRwaState>) -> EngineSnap {
+        EngineSnap::Recompute(snap)
+    }
+
+    fn unwrap_snap(snap: EngineSnap) -> Result<Versioned<RecomputeRwaState>, RestoreError> {
+        match snap {
+            EngineSnap::Recompute(v) => Ok(v),
+            other => Err(RestoreError::Kind {
+                found: other.kind().to_string(),
+                expected: <RecomputeRwa as Snapshot>::KIND.to_string(),
+            }),
+        }
+    }
+
+    fn slot_count(&self) -> usize {
+        self.slot_capacity()
+    }
+}
+
+/// Everything the churn loop owns at a round boundary: the next-arrival
+/// and release calendars, per-source arrival state, per-slot holds, and
+/// the running report. The binary heaps serialize in their internal
+/// array order; deserialization re-heapifies, and because every key is
+/// strictly totally ordered (`(round, source)` and `(due, seq, slot)`
+/// are unique), the pop sequence — the only thing the loop observes —
+/// is identical either way.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ChurnProgress {
+    /// Next round the loop will run.
+    round: u32,
+    arrivals: BinaryHeap<Reverse<(u32, u32)>>,
+    releases: BinaryHeap<Reverse<(u32, u64, u32)>>,
+    states: Vec<SourceState>,
+    holds: Vec<u32>,
+    report: ChurnReport,
+}
+
+/// A resumable checkpoint of a [`Churn`] run: loop progress, the
+/// engine's full snapshot, the exact RNG position, and the fingerprint
+/// of the scenario it was cut under. Hand it to [`Churn::resume`] in a
+/// fresh process — the continuation is bit-identical to never having
+/// stopped.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChurnCheckpoint {
+    fingerprint: Fingerprint,
+    rng: RngState,
+    engine: EngineSnap,
+    progress: ChurnProgress,
+}
+
+impl ChurnCheckpoint {
+    /// The round the resumed loop will run next.
+    pub fn round(&self) -> u32 {
+        self.progress.round
+    }
+
+    /// Fingerprint of the scenario (sources, engine kind, horizon, mix,
+    /// hold) this checkpoint belongs to; [`Churn::resume`] refuses any
+    /// other.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Requests spawned so far (monotone progress marker).
+    pub fn spawned(&self) -> u64 {
+        self.progress.report.spawned
+    }
+
+    fn validate(&self) -> Result<(), RestoreError> {
+        if self.progress.round == 0 {
+            return Err(RestoreError::Invalid(
+                "churn rounds are 1-based; round 0 is not a resumable position".to_string(),
+            ));
+        }
+        let slots = self.engine.slot_count();
+        if self.progress.holds.len() != slots {
+            return Err(RestoreError::Invalid(format!(
+                "{} holds for a {slots}-slot engine",
+                self.progress.holds.len()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for ChurnCheckpoint {
+    type State = ChurnCheckpoint;
+
+    const KIND: &'static str = "churn-checkpoint/v1";
+
+    fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    fn state(&self) -> ChurnCheckpoint {
+        self.clone()
+    }
+
+    fn from_state(state: ChurnCheckpoint) -> Result<Self, RestoreError> {
+        state.validate()?;
+        Ok(state)
+    }
+}
+
+/// A validated churn scenario; the engine and route sampler stay caller
+/// arguments so one scenario can drive [`OnlineRwa`] and
+/// [`RecomputeRwa`] side by side (the differential suite's shape).
 ///
-/// `route` fills `links` with the directed links of the spawned
-/// connection's path (same contract as the steady-state serving loop's
-/// route closure: the buffer arrives cleared, append only). The caller picks the engine: [`OnlineRwa`] for the
-/// incremental path, [`RecomputeRwa`] for the naive reference.
+/// ```
+/// use optical_baselines::rwa::churn::{Churn, HoldTime};
+/// use optical_baselines::rwa::online::OnlineRwa;
+/// use optical_core::continuous::TrafficMix;
+/// use optical_obs::NullSink;
+/// use rand::SeedableRng;
 ///
-/// [`OnlineRwa`]: super::online::OnlineRwa
-/// [`RecomputeRwa`]: super::online::RecomputeRwa
+/// let churn = Churn::builder(8)
+///     .rounds(50)
+///     .mix(TrafficMix::bernoulli(0.3))
+///     .hold(HoldTime::Fixed(4))
+///     .try_build()
+///     .unwrap();
+/// let mut engine = OnlineRwa::new(8, 2, 0);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let report = churn.run(
+///     &mut engine,
+///     |src, _rng, links| {
+///         links.push(src % 8);
+///     },
+///     &mut rng,
+///     &mut NullSink,
+/// );
+/// assert!(report.spawned > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Churn {
+    n_sources: u32,
+    params: ChurnParams,
+}
+
+impl Churn {
+    /// Start building a scenario over `n_sources` sources.
+    pub fn builder(n_sources: u32) -> ChurnBuilder {
+        ChurnBuilder::new(n_sources)
+    }
+
+    /// Number of sources driving the scenario.
+    pub fn n_sources(&self) -> u32 {
+        self.n_sources
+    }
+
+    /// The validated parameters.
+    pub fn params(&self) -> &ChurnParams {
+        &self.params
+    }
+
+    /// Fingerprint of everything that shapes the bit-stream of a run
+    /// with engine `E`: source count, engine kind, horizon, mix, hold,
+    /// and peak capture. Deliberately excludes the checkpoint cadence.
+    /// The route closure cannot be fingerprinted — resume with the same
+    /// route, as documented on [`Churn::resume`].
+    pub fn fingerprint_for<E: ChurnEngine>(&self) -> Fingerprint {
+        let p = &self.params;
+        Fingerprint::of_debug(&(
+            self.n_sources,
+            <E as Snapshot>::KIND,
+            p.rounds,
+            &p.mix,
+            p.hold,
+            p.capture_peak,
+        ))
+    }
+
+    /// Drive `engine` for the scenario's horizon. `route` fills `links`
+    /// with the directed links of the spawned connection's path (the
+    /// buffer arrives cleared, append only — same contract as the
+    /// steady-state serving loop's sampler).
+    pub fn run<E: RwaEngine, S: Sink>(
+        &self,
+        engine: &mut E,
+        mut route: impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>),
+        rng: &mut impl Rng,
+        sink: &mut S,
+    ) -> ChurnReport {
+        let start = self.bootstrap(rng);
+        self.serve(engine, &mut route, rng, sink, start, &mut |_, _, _| {})
+    }
+
+    /// Drive `engine` with checkpointing: at every
+    /// [`ChurnParams::checkpoint_every`] boundary (top of the round,
+    /// before its events), cut a full [`ChurnCheckpoint`] and hand it
+    /// to `on_checkpoint`. The hook borrows the checkpoint; clone or
+    /// serialize it to keep it. The run is bit-identical to
+    /// [`Churn::run`] with the same RNG state — hooks observe, they
+    /// never perturb.
+    pub fn run_checkpointed<E, R, S, H>(
+        &self,
+        engine: &mut E,
+        mut route: impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>),
+        rng: &mut R,
+        sink: &mut S,
+        mut on_checkpoint: H,
+    ) -> ChurnReport
+    where
+        E: ChurnEngine,
+        R: Rng + PersistRng,
+        S: Sink,
+        H: FnMut(&ChurnCheckpoint),
+    {
+        let fingerprint = self.fingerprint_for::<E>();
+        let start = self.bootstrap(rng);
+        self.serve(
+            engine,
+            &mut route,
+            rng,
+            sink,
+            start,
+            &mut |progress, engine: &E, r: &R| {
+                on_checkpoint(&ChurnCheckpoint {
+                    fingerprint,
+                    rng: r.save_state(),
+                    engine: E::wrap_snap(engine.snapshot()),
+                    progress: progress.clone(),
+                });
+            },
+        )
+    }
+
+    /// Resume a checkpoint: verify it belongs to this scenario and
+    /// engine type (typed [`RestoreError`] otherwise), rebuild the
+    /// engine and the RNG at their captured positions, and run the
+    /// remaining rounds. Returns the rebuilt engine alongside the
+    /// report; both are bit-identical to the uninterrupted run's. The
+    /// caller must pass the same route closure the checkpointed run
+    /// used (closures are outside the fingerprint).
+    pub fn resume<E, S>(
+        &self,
+        checkpoint: ChurnCheckpoint,
+        mut route: impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>),
+        sink: &mut S,
+    ) -> Result<(E, ChurnReport), RestoreError>
+    where
+        E: ChurnEngine,
+        S: Sink,
+    {
+        let (mut engine, mut rng, start) = self.prepare_resume::<E>(checkpoint)?;
+        let report = self.serve(
+            &mut engine,
+            &mut route,
+            &mut rng,
+            sink,
+            start,
+            &mut |_, _, _| {},
+        );
+        Ok((engine, report))
+    }
+
+    /// Resume a checkpoint and keep checkpointing at the configured
+    /// cadence; the continuation's checkpoints are identical to the
+    /// ones the uninterrupted run would have cut.
+    pub fn resume_checkpointed<E, S, H>(
+        &self,
+        checkpoint: ChurnCheckpoint,
+        mut route: impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>),
+        sink: &mut S,
+        mut on_checkpoint: H,
+    ) -> Result<(E, ChurnReport), RestoreError>
+    where
+        E: ChurnEngine,
+        S: Sink,
+        H: FnMut(&ChurnCheckpoint),
+    {
+        let fingerprint = checkpoint.fingerprint;
+        let (mut engine, mut rng, start) = self.prepare_resume::<E>(checkpoint)?;
+        let report = self.serve(
+            &mut engine,
+            &mut route,
+            &mut rng,
+            sink,
+            start,
+            &mut |progress, engine: &E, r: &ChaCha8Rng| {
+                on_checkpoint(&ChurnCheckpoint {
+                    fingerprint,
+                    rng: r.save_state(),
+                    engine: E::wrap_snap(engine.snapshot()),
+                    progress: progress.clone(),
+                });
+            },
+        );
+        Ok((engine, report))
+    }
+
+    fn prepare_resume<E: ChurnEngine>(
+        &self,
+        checkpoint: ChurnCheckpoint,
+    ) -> Result<(E, ChaCha8Rng, ChurnProgress), RestoreError> {
+        let expected = self.fingerprint_for::<E>();
+        if checkpoint.fingerprint != expected {
+            return Err(RestoreError::Fingerprint {
+                found: checkpoint.fingerprint,
+                expected,
+            });
+        }
+        checkpoint.validate()?;
+        let engine = E::restore(E::unwrap_snap(checkpoint.engine)?)?;
+        let p = &checkpoint.progress;
+        if p.round > self.params.rounds {
+            return Err(RestoreError::Invalid(format!(
+                "checkpoint resumes at round {} of a {}-round horizon",
+                p.round, self.params.rounds
+            )));
+        }
+        if p.states.len() != self.n_sources as usize {
+            return Err(RestoreError::Invalid(format!(
+                "checkpoint carries {} source states, scenario has {}",
+                p.states.len(),
+                self.n_sources
+            )));
+        }
+        let slots = engine.slot_count();
+        let mut release_slots = vec![false; slots];
+        for &Reverse((due, seq, slot)) in p.releases.iter() {
+            if slot as usize >= slots {
+                return Err(RestoreError::Invalid(format!(
+                    "release calendar names slot {slot} of {slots}"
+                )));
+            }
+            if engine.wavelength_of(ConnId(slot)).is_none() {
+                return Err(RestoreError::Invalid(format!(
+                    "release calendar names slot {slot}, which is not active"
+                )));
+            }
+            if engine.seq_of(ConnId(slot)) != seq {
+                return Err(RestoreError::Invalid(format!(
+                    "release calendar carries seq {seq} for slot {slot}, engine has {}",
+                    engine.seq_of(ConnId(slot))
+                )));
+            }
+            if due < p.round || due > self.params.rounds {
+                return Err(RestoreError::Invalid(format!(
+                    "release due at round {due}, outside {}..={}",
+                    p.round, self.params.rounds
+                )));
+            }
+            if std::mem::replace(&mut release_slots[slot as usize], true) {
+                return Err(RestoreError::Invalid(format!(
+                    "release calendar names slot {slot} twice"
+                )));
+            }
+        }
+        let mut arrival_srcs = vec![false; self.n_sources as usize];
+        for &Reverse((due, src)) in p.arrivals.iter() {
+            if src >= self.n_sources {
+                return Err(RestoreError::Invalid(format!(
+                    "arrival calendar names source {src} of {}",
+                    self.n_sources
+                )));
+            }
+            if due < p.round || due > self.params.rounds {
+                return Err(RestoreError::Invalid(format!(
+                    "arrival due at round {due}, outside {}..={}",
+                    p.round, self.params.rounds
+                )));
+            }
+            if std::mem::replace(&mut arrival_srcs[src as usize], true) {
+                return Err(RestoreError::Invalid(format!(
+                    "arrival calendar names source {src} twice"
+                )));
+            }
+        }
+        let rng = ChaCha8Rng::load_state(&checkpoint.rng);
+        Ok((engine, rng, checkpoint.progress))
+    }
+
+    /// Seed the arrival calendar (draw-order contract: one gap draw per
+    /// source) and return loop state positioned at round 1.
+    fn bootstrap(&self, rng: &mut impl Rng) -> ChurnProgress {
+        let p = &self.params;
+        let mut arrivals: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        let mut states = vec![SourceState::default(); self.n_sources as usize];
+        for src in 0..self.n_sources {
+            let tenant = p.mix.tenant_of(src, self.n_sources);
+            let proc = &p.mix.tenants[tenant as usize];
+            if let Some(r) = proc.next_arrival(0, &mut states[src as usize], rng) {
+                if r <= p.rounds {
+                    arrivals.push(Reverse((r, src)));
+                }
+            }
+        }
+        ChurnProgress {
+            round: 1,
+            arrivals,
+            releases: BinaryHeap::new(),
+            states,
+            holds: Vec::new(),
+            report: ChurnReport {
+                spawned: 0,
+                completed: 0,
+                peak_in_system: 0,
+                peak_round: 0,
+                peak_set: Vec::new(),
+                active_at_end: 0,
+                waiting_at_end: 0,
+            },
+        }
+    }
+
+    /// The event loop. `boundary` fires at the top of each checkpoint
+    /// round, before that round's events, with the RNG untouched since
+    /// the previous round — the cut point every checkpoint shares.
+    fn serve<E: RwaEngine, R: Rng, S: Sink>(
+        &self,
+        engine: &mut E,
+        route: &mut RouteFn<'_>,
+        rng: &mut R,
+        sink: &mut S,
+        mut st: ChurnProgress,
+        boundary: &mut dyn FnMut(&ChurnProgress, &E, &R),
+    ) -> ChurnReport {
+        let p = &self.params;
+        let rounds = p.rounds;
+        let every = u64::from(p.checkpoint_every);
+        // First boundary at `every + 1`: capture *after* the first
+        // `every` rounds ran, at the top of the next one.
+        let mut next_cp: u64 = if every == 0 { u64::MAX } else { every + 1 };
+        let mut links: Vec<LinkId> = Vec::new();
+        let mut drained: Vec<(ConnId, u16)> = Vec::new();
+
+        for r in st.round..=rounds {
+            st.round = r;
+            if u64::from(r) >= next_cp {
+                if S::ENABLED {
+                    sink.on_checkpoint(r, st.report.spawned);
+                }
+                boundary(&st, engine, rng);
+                next_cp = (u64::from(r) - 1) / every * every + every + 1;
+            }
+            // 1. Releases due this round, ascending admission sequence.
+            while let Some(&Reverse((due, _, _))) = st.releases.peek() {
+                if due != r {
+                    break;
+                }
+                let Reverse((_, _, id)) = st.releases.pop().expect("peeked");
+                engine.release(r, ConnId(id), sink, &mut drained);
+                st.report.completed += 1;
+                for &(conn, _) in &drained {
+                    let due = r.saturating_add(st.holds[conn.0 as usize]);
+                    if due <= rounds {
+                        st.releases
+                            .push(Reverse((due, engine.seq_of(conn), conn.0)));
+                    }
+                }
+                drained.clear();
+            }
+            // 2. Arrivals due this round, ascending source id.
+            while let Some(&Reverse((due, _))) = st.arrivals.peek() {
+                if due != r {
+                    break;
+                }
+                let Reverse((_, src)) = st.arrivals.pop().expect("peeked");
+                links.clear();
+                route(src, rng, &mut links);
+                let hold = p.hold.draw(rng);
+                let conn = match engine.admit(r, &links, sink) {
+                    AdmitOutcome::Admitted { conn, .. } => {
+                        let due = r.saturating_add(hold);
+                        if due <= rounds {
+                            st.releases
+                                .push(Reverse((due, engine.seq_of(conn), conn.0)));
+                        }
+                        conn
+                    }
+                    AdmitOutcome::Queued { conn } => conn,
+                };
+                if st.holds.len() <= conn.0 as usize {
+                    st.holds.resize(conn.0 as usize + 1, 1);
+                }
+                st.holds[conn.0 as usize] = hold;
+                st.report.spawned += 1;
+                let tenant = p.mix.tenant_of(src, self.n_sources);
+                let proc = &p.mix.tenants[tenant as usize];
+                if let Some(next) = proc.next_arrival(r, &mut st.states[src as usize], rng) {
+                    if next <= rounds {
+                        st.arrivals.push(Reverse((next, src)));
+                    }
+                }
+            }
+            // 3. Peak tracking over the whole in-system population.
+            let in_system = engine.active() + engine.wait_len() as u32;
+            if in_system > st.report.peak_in_system {
+                st.report.peak_in_system = in_system;
+                st.report.peak_round = r;
+                if p.capture_peak {
+                    st.report.peak_set = engine.in_system_seqs();
+                }
+            }
+        }
+        st.report.active_at_end = engine.active();
+        st.report.waiting_at_end = engine.wait_len();
+        st.report
+    }
+}
+
+/// Compatibility wrapper over [`Churn::run`] for the original
+/// positional-argument entry point; new code should build a [`Churn`].
+#[doc(hidden)]
 pub fn run_churn<E: RwaEngine, S: Sink>(
     engine: &mut E,
     n_sources: u32,
-    mut route: impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>),
+    route: impl FnMut(u32, &mut dyn RngCore, &mut Vec<LinkId>),
     params: &ChurnParams,
     rng: &mut impl Rng,
     sink: &mut S,
 ) -> ChurnReport {
-    let rounds = params.rounds;
-    // Next-arrival calendar: (round, source), popped in ascending order.
-    let mut arrivals: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-    let mut states = vec![SourceState::default(); n_sources as usize];
-    for src in 0..n_sources {
-        let tenant = params.mix.tenant_of(src, n_sources);
-        let proc = &params.mix.tenants[tenant as usize];
-        if let Some(r) = proc.next_arrival(0, &mut states[src as usize], rng) {
-            if r <= rounds {
-                arrivals.push(Reverse((r, src)));
-            }
-        }
-    }
-    // Release calendar: (round, admission seq, slot id); the seq keeps
-    // same-round releases in deterministic admission order.
-    let mut releases: BinaryHeap<Reverse<(u32, u64, u32)>> = BinaryHeap::new();
-    // Holding time per slot, written at spawn (slots are recycled, so
-    // index by slot id and overwrite).
-    let mut holds: Vec<u32> = Vec::new();
-    let mut links: Vec<LinkId> = Vec::new();
-    let mut drained: Vec<(ConnId, u16)> = Vec::new();
-
-    let mut report = ChurnReport {
-        spawned: 0,
-        completed: 0,
-        peak_in_system: 0,
-        peak_round: 0,
-        peak_set: Vec::new(),
-        active_at_end: 0,
-        waiting_at_end: 0,
+    // Bypasses builder validation on purpose: the legacy entry point
+    // accepted degenerate scenarios (zero rounds spawns nothing) and
+    // clamped degenerate holds at draw time.
+    let churn = Churn {
+        n_sources,
+        params: params.clone(),
     };
-
-    for r in 1..=rounds {
-        // 1. Releases due this round, ascending admission sequence.
-        while let Some(&Reverse((due, _, _))) = releases.peek() {
-            if due != r {
-                break;
-            }
-            let Reverse((_, _, id)) = releases.pop().expect("peeked");
-            engine.release(r, ConnId(id), sink, &mut drained);
-            report.completed += 1;
-            for &(conn, _) in &drained {
-                let due = r.saturating_add(holds[conn.0 as usize]);
-                if due <= rounds {
-                    releases.push(Reverse((due, engine.seq_of(conn), conn.0)));
-                }
-            }
-            drained.clear();
-        }
-        // 2. Arrivals due this round, ascending source id.
-        while let Some(&Reverse((due, _))) = arrivals.peek() {
-            if due != r {
-                break;
-            }
-            let Reverse((_, src)) = arrivals.pop().expect("peeked");
-            links.clear();
-            route(src, rng, &mut links);
-            let hold = params.hold.draw(rng);
-            let conn = match engine.admit(r, &links, sink) {
-                AdmitOutcome::Admitted { conn, .. } => {
-                    let due = r.saturating_add(hold);
-                    if due <= rounds {
-                        releases.push(Reverse((due, engine.seq_of(conn), conn.0)));
-                    }
-                    conn
-                }
-                AdmitOutcome::Queued { conn } => conn,
-            };
-            if holds.len() <= conn.0 as usize {
-                holds.resize(conn.0 as usize + 1, 1);
-            }
-            holds[conn.0 as usize] = hold;
-            report.spawned += 1;
-            let tenant = params.mix.tenant_of(src, n_sources);
-            let proc = &params.mix.tenants[tenant as usize];
-            if let Some(next) = proc.next_arrival(r, &mut states[src as usize], rng) {
-                if next <= rounds {
-                    arrivals.push(Reverse((next, src)));
-                }
-            }
-        }
-        // 3. Peak tracking over the whole in-system population.
-        let in_system = engine.active() + engine.wait_len() as u32;
-        if in_system > report.peak_in_system {
-            report.peak_in_system = in_system;
-            report.peak_round = r;
-            if params.capture_peak {
-                report.peak_set = engine.in_system_seqs();
-            }
-        }
-    }
-    report.active_at_end = engine.active();
-    report.waiting_at_end = engine.wait_len();
-    report
+    churn.run(engine, route, rng, sink)
 }
 
 #[cfg(test)]
@@ -229,7 +853,18 @@ mod tests {
             mix: TrafficMix::bernoulli(prob),
             hold: HoldTime::Fixed(3),
             capture_peak: true,
+            checkpoint_every: 0,
         }
+    }
+
+    fn scenario(rounds: u32, prob: f64) -> Churn {
+        Churn::builder(16)
+            .rounds(rounds)
+            .mix(TrafficMix::bernoulli(prob))
+            .hold(HoldTime::Fixed(3))
+            .capture_peak(true)
+            .try_build()
+            .unwrap()
     }
 
     #[test]
@@ -272,19 +907,30 @@ mod tests {
         let mut naive = RecomputeRwa::new(16, 2);
         let mut rng1 = rand_chacha::ChaCha8Rng::seed_from_u64(11);
         let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(11);
-        let p = params(80, 0.5);
-        let a = run_churn(
-            &mut online,
-            16,
-            ring_route(16),
-            &p,
-            &mut rng1,
-            &mut NullSink,
-        );
-        let b = run_churn(&mut naive, 16, ring_route(16), &p, &mut rng2, &mut NullSink);
+        let churn = scenario(80, 0.5);
+        let a = churn.run(&mut online, ring_route(16), &mut rng1, &mut NullSink);
+        let b = churn.run(&mut naive, ring_route(16), &mut rng2, &mut NullSink);
         assert_eq!(a, b, "driver reports must match");
         assert_eq!(online.report(), naive.report(), "engine reports must match");
         online.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_matches_the_legacy_entry_point() {
+        let mut e1 = OnlineRwa::new(16, 2, 0);
+        let mut e2 = OnlineRwa::new(16, 2, 0);
+        let mut rng1 = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut rng2 = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let a = scenario(50, 0.4).run(&mut e1, ring_route(16), &mut rng1, &mut NullSink);
+        let b = run_churn(
+            &mut e2,
+            16,
+            ring_route(16),
+            &params(50, 0.4),
+            &mut rng2,
+            &mut NullSink,
+        );
+        assert_eq!(a, b, "builder and legacy wrapper run the same loop");
     }
 
     #[test]
@@ -298,5 +944,152 @@ mod tests {
         assert!(a.iter().all(|&x| x >= 1));
         let mean = a.iter().map(|&x| x as f64).sum::<f64>() / a.len() as f64;
         assert!(mean > 1.5, "mean-6 geometric draws should not all be 1");
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_scenarios() {
+        assert_eq!(
+            Churn::builder(0).rounds(10).try_build().err(),
+            Some(ChurnError::ZeroSources)
+        );
+        assert_eq!(
+            Churn::builder(4).try_build().err(),
+            Some(ChurnError::ZeroRounds)
+        );
+        assert_eq!(
+            Churn::builder(4)
+                .rounds(10)
+                .hold(HoldTime::Fixed(0))
+                .try_build()
+                .err(),
+            Some(ChurnError::ZeroHold)
+        );
+        assert!(matches!(
+            Churn::builder(4)
+                .rounds(10)
+                .hold(HoldTime::Geometric { mean: 0.5 })
+                .try_build()
+                .err(),
+            Some(ChurnError::InvalidHoldMean { .. })
+        ));
+        assert!(matches!(
+            Churn::builder(4)
+                .rounds(10)
+                .mix(TrafficMix::bernoulli(1.5))
+                .try_build()
+                .err(),
+            Some(ChurnError::InvalidMix(_))
+        ));
+        assert!(Churn::builder(4).rounds(10).try_build().is_ok());
+    }
+
+    /// The headline resume contract, in-module edition: checkpoint at a
+    /// cadence, resume the middle checkpoint with a fresh process'
+    /// worth of state, and the final reports (driver + engine) and the
+    /// continuation's own checkpoints all match the uninterrupted run.
+    #[test]
+    fn checkpointed_churn_resumes_bit_exactly() {
+        let churn = Churn::builder(16)
+            .rounds(90)
+            .mix(TrafficMix::bernoulli(0.5))
+            .hold(HoldTime::Geometric { mean: 5.0 })
+            .capture_peak(true)
+            .checkpoint_every(30)
+            .try_build()
+            .unwrap();
+
+        let mut eng = OnlineRwa::new(16, 2, 4);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let mut cps: Vec<ChurnCheckpoint> = Vec::new();
+        let golden =
+            churn.run_checkpointed(&mut eng, ring_route(16), &mut rng, &mut NullSink, |cp| {
+                cps.push(cp.clone())
+            });
+        assert_eq!(
+            cps.iter().map(ChurnCheckpoint::round).collect::<Vec<_>>(),
+            vec![31, 61],
+            "boundaries at the first round after each multiple of 30"
+        );
+
+        // Resume the first checkpoint; its continuation must re-cut a
+        // checkpoint identical to the uninterrupted run's second one.
+        let mut resumed_cps: Vec<ChurnCheckpoint> = Vec::new();
+        let (reng, rrep) = churn
+            .resume_checkpointed::<OnlineRwa, _, _>(
+                cps[0].clone(),
+                ring_route(16),
+                &mut NullSink,
+                |cp| resumed_cps.push(cp.clone()),
+            )
+            .unwrap();
+        assert_eq!(rrep, golden, "resumed driver report matches");
+        assert_eq!(reng.report(), eng.report(), "resumed engine report matches");
+        reng.validate().unwrap();
+        let twin = resumed_cps
+            .iter()
+            .find(|cp| cp.round() == 61)
+            .expect("continuation re-cuts the round-61 checkpoint");
+        assert_eq!(twin.rng, cps[1].rng, "identical RNG position");
+        assert_eq!(twin.spawned(), cps[1].spawned());
+        assert_eq!(twin.fingerprint(), cps[1].fingerprint());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_scenarios() {
+        let churn = scenario(60, 0.4);
+        let cadenced = Churn::builder(16)
+            .rounds(60)
+            .mix(TrafficMix::bernoulli(0.4))
+            .hold(HoldTime::Fixed(3))
+            .capture_peak(true)
+            .checkpoint_every(20)
+            .try_build()
+            .unwrap();
+        let mut eng = OnlineRwa::new(16, 2, 0);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+        let mut cps = Vec::new();
+        cadenced.run_checkpointed(&mut eng, ring_route(16), &mut rng, &mut NullSink, |cp| {
+            cps.push(cp.clone())
+        });
+        assert!(!cps.is_empty());
+        let cp = cps[0].clone();
+
+        // Cadence is outside the fingerprint: the un-cadenced scenario
+        // resumes the cadenced run's checkpoint.
+        assert!(churn
+            .resume::<OnlineRwa, _>(cp.clone(), ring_route(16), &mut NullSink)
+            .is_ok());
+
+        // Wrong engine type: the fingerprint folds E::KIND in.
+        assert!(matches!(
+            cadenced.resume::<RecomputeRwa, _>(cp.clone(), ring_route(16), &mut NullSink),
+            Err(RestoreError::Fingerprint { .. })
+        ));
+
+        // Different horizon.
+        let other = Churn::builder(16)
+            .rounds(61)
+            .mix(TrafficMix::bernoulli(0.4))
+            .hold(HoldTime::Fixed(3))
+            .capture_peak(true)
+            .try_build()
+            .unwrap();
+        assert!(matches!(
+            other.resume::<OnlineRwa, _>(cp.clone(), ring_route(16), &mut NullSink),
+            Err(RestoreError::Fingerprint { .. })
+        ));
+
+        // Corrupt payload: holds out of step with the engine slab.
+        let mut bad = cp.clone();
+        bad.progress.holds.push(1);
+        assert!(matches!(
+            cadenced.resume::<OnlineRwa, _>(bad, ring_route(16), &mut NullSink),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        // The pristine checkpoint still resumes.
+        assert!(cadenced
+            .resume::<OnlineRwa, _>(cp, ring_route(16), &mut NullSink)
+            .is_ok());
     }
 }

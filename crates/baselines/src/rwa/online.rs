@@ -25,6 +25,7 @@
 //! decision streams (and [`OnlineReport`]s) are equal event for event;
 //! the differential suite pins this.
 
+use optical_core::persist::{Fingerprint, RestoreError, Snapshot};
 use optical_obs::Sink;
 use optical_stats::QuantileSketch;
 use optical_topo::LinkId;
@@ -63,6 +64,11 @@ pub enum AdmitOutcome {
 /// Two engines that made identical decisions produce equal reports
 /// (including the admission-latency sketch), which is how the
 /// differential suite compares [`OnlineRwa`] against [`RecomputeRwa`].
+///
+/// Marked `#[non_exhaustive]`: totals are added as the engines grow,
+/// so match with a `..` rest pattern and read fields directly (every
+/// field is public) rather than constructing the report yourself.
+#[non_exhaustive]
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OnlineReport {
     /// Connections granted a wavelength (immediately or from the queue).
@@ -340,6 +346,12 @@ impl OnlineRwa {
         }
     }
 
+    /// Slots allocated in the slab (live + recycled); slot ids are
+    /// always below this bound.
+    pub(crate) fn slot_capacity(&self) -> usize {
+        self.slab.slots.len()
+    }
+
     /// Check every engine invariant: the occupancy words are exactly the
     /// OR of the active connections, no wavelength is double-booked on a
     /// link, and no waiting request would currently fit (the drain is
@@ -544,6 +556,12 @@ impl RecomputeRwa {
         }
     }
 
+    /// Slots allocated in the slab (live + recycled); slot ids are
+    /// always below this bound.
+    pub(crate) fn slot_capacity(&self) -> usize {
+        self.slab.slots.len()
+    }
+
     /// Rebuild the per-link wavelength lists by scanning every slot —
     /// the full recomputation the incremental engine avoids.
     fn rebuild(&mut self) {
@@ -690,6 +708,354 @@ impl RwaEngine for RecomputeRwa {
 
     fn in_system_seqs(&self) -> Vec<u64> {
         self.slab.in_system_seqs()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot/restore: both engines persist through `optical_core::persist`.
+//
+// The slab's `Slot` rows travel as parallel columns (`SlabState`) with
+// the tri-state enum as a `u8`, mirroring how the recovery breaker bank
+// serializes — plain data a restore can validate field by field. The
+// incremental engine does NOT persist its packed occupancy words or the
+// derived `words`/`last_mask`/`active` values: restore recomputes them
+// from the active slots and then runs the full `validate()` pass, so a
+// corrupt payload is a typed `RestoreError`, never a desynced engine.
+// ---------------------------------------------------------------------------
+
+fn slot_state_to_u8(s: SlotState) -> u8 {
+    match s {
+        SlotState::Free => 0,
+        SlotState::Active => 1,
+        SlotState::Waiting => 2,
+    }
+}
+
+fn slot_state_from_u8(b: u8) -> Result<SlotState, RestoreError> {
+    match b {
+        0 => Ok(SlotState::Free),
+        1 => Ok(SlotState::Active),
+        2 => Ok(SlotState::Waiting),
+        other => Err(RestoreError::Invalid(format!(
+            "slot state byte {other} is not Free/Active/Waiting"
+        ))),
+    }
+}
+
+/// Serializable image of an engine's connection slab: `Slot` rows as
+/// parallel columns (`state` bytes: 0 = Free, 1 = Active, 2 = Waiting),
+/// plus the free list (order matters — it is a recycling stack) and the
+/// admission sequence counter.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlabState {
+    /// Admission sequence number per slot.
+    pub seq: Vec<u64>,
+    /// Directed links of each slot's path.
+    pub links: Vec<Vec<LinkId>>,
+    /// Wavelength held (meaningful only while Active).
+    pub wavelength: Vec<u16>,
+    /// Tri-state per slot, as a byte.
+    pub state: Vec<u8>,
+    /// Round each slot's request arrived (or was queued).
+    pub queued_at: Vec<u32>,
+    /// Recycling stack of Free slot ids, top last.
+    pub free: Vec<u32>,
+    /// Next admission sequence number to hand out.
+    pub next_seq: u64,
+}
+
+impl SlabState {
+    fn capture(slab: &Slab) -> SlabState {
+        SlabState {
+            seq: slab.slots.iter().map(|s| s.seq).collect(),
+            links: slab.slots.iter().map(|s| s.links.clone()).collect(),
+            wavelength: slab.slots.iter().map(|s| s.wavelength).collect(),
+            state: slab
+                .slots
+                .iter()
+                .map(|s| slot_state_to_u8(s.state))
+                .collect(),
+            queued_at: slab.slots.iter().map(|s| s.queued_at).collect(),
+            free: slab.free.clone(),
+            next_seq: slab.next_seq,
+        }
+    }
+
+    /// Rebuild the slab, checking column lengths, state bytes, the free
+    /// list (exactly the Free slots, no duplicates), sequence-number
+    /// uniqueness, and the sequence counter's high-water mark.
+    fn rebuild(self) -> Result<Slab, RestoreError> {
+        let n = self.seq.len();
+        if self.links.len() != n
+            || self.wavelength.len() != n
+            || self.state.len() != n
+            || self.queued_at.len() != n
+        {
+            return Err(RestoreError::Invalid(format!(
+                "slab columns disagree: {n}/{}/{}/{}/{}",
+                self.links.len(),
+                self.wavelength.len(),
+                self.state.len(),
+                self.queued_at.len()
+            )));
+        }
+        let mut slots = Vec::with_capacity(n);
+        for i in 0..n {
+            let state = slot_state_from_u8(self.state[i])?;
+            if self.seq[i] >= self.next_seq {
+                return Err(RestoreError::Invalid(format!(
+                    "slot {i} carries seq {} at or past the counter {}",
+                    self.seq[i], self.next_seq
+                )));
+            }
+            slots.push(Slot {
+                seq: self.seq[i],
+                links: self.links[i].clone(),
+                wavelength: self.wavelength[i],
+                state,
+                queued_at: self.queued_at[i],
+            });
+        }
+        let mut seqs: Vec<u64> = slots
+            .iter()
+            .filter(|s| s.state != SlotState::Free)
+            .map(|s| s.seq)
+            .collect();
+        seqs.sort_unstable();
+        if seqs.windows(2).any(|w| w[0] == w[1]) {
+            return Err(RestoreError::Invalid(
+                "duplicate admission sequence numbers among live slots".to_string(),
+            ));
+        }
+        let mut free_seen = vec![false; n];
+        for &id in &self.free {
+            let Some(slot) = slots.get(id as usize) else {
+                return Err(RestoreError::Invalid(format!(
+                    "free list names slot {id} of {n}"
+                )));
+            };
+            if slot.state != SlotState::Free {
+                return Err(RestoreError::Invalid(format!(
+                    "free list names slot {id}, which is not Free"
+                )));
+            }
+            if std::mem::replace(&mut free_seen[id as usize], true) {
+                return Err(RestoreError::Invalid(format!(
+                    "free list names slot {id} twice"
+                )));
+            }
+        }
+        let free_slots = slots.iter().filter(|s| s.state == SlotState::Free).count();
+        if self.free.len() != free_slots {
+            return Err(RestoreError::Invalid(format!(
+                "free list holds {} ids for {free_slots} Free slots",
+                self.free.len()
+            )));
+        }
+        Ok(Slab {
+            slots,
+            free: self.free,
+            next_seq: self.next_seq,
+        })
+    }
+}
+
+/// Check that `wait` lists exactly the Waiting slots, in some order,
+/// each once; the FIFO order itself is the payload's to assert.
+fn check_wait(wait: &[u32], slab: &Slab) -> Result<(), RestoreError> {
+    let mut seen = vec![false; slab.slots.len()];
+    for &id in wait {
+        let Some(slot) = slab.slots.get(id as usize) else {
+            return Err(RestoreError::Invalid(format!(
+                "wait queue names slot {id} of {}",
+                slab.slots.len()
+            )));
+        };
+        if slot.state != SlotState::Waiting {
+            return Err(RestoreError::Invalid(format!(
+                "wait queue names slot {id}, which is not Waiting"
+            )));
+        }
+        if std::mem::replace(&mut seen[id as usize], true) {
+            return Err(RestoreError::Invalid(format!(
+                "wait queue names slot {id} twice"
+            )));
+        }
+    }
+    let waiting = slab
+        .slots
+        .iter()
+        .filter(|s| s.state == SlotState::Waiting)
+        .count();
+    if wait.len() != waiting {
+        return Err(RestoreError::Invalid(format!(
+            "wait queue holds {} ids for {waiting} Waiting slots",
+            wait.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Serializable image of an [`OnlineRwa`] engine. Occupancy words and
+/// the active count are recomputed on restore (see the section notes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRwaState {
+    /// Wavelengths per link.
+    pub bandwidth: u16,
+    /// Directed links the engine allocates over.
+    pub link_count: usize,
+    /// Auto-recolor cadence (0 = disabled).
+    pub recolor_every: u64,
+    /// Releases since the last auto-recolor pass.
+    pub releases_since_recolor: u64,
+    /// The connection slab.
+    pub slab: SlabState,
+    /// FIFO wait queue of slot ids, front first.
+    pub wait: Vec<u32>,
+    /// Lifetime totals.
+    pub report: OnlineReport,
+}
+
+impl Snapshot for OnlineRwa {
+    type State = OnlineRwaState;
+
+    const KIND: &'static str = "rwa-online/v1";
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_debug(&(
+            self.occ.len() / self.words.max(1),
+            self.bandwidth,
+            self.recolor_every,
+        ))
+    }
+
+    fn state(&self) -> OnlineRwaState {
+        OnlineRwaState {
+            bandwidth: self.bandwidth,
+            link_count: self.occ.len() / self.words.max(1),
+            recolor_every: self.recolor_every,
+            releases_since_recolor: self.releases_since_recolor,
+            slab: SlabState::capture(&self.slab),
+            wait: self.wait.iter().copied().collect(),
+            report: self.report.clone(),
+        }
+    }
+
+    fn from_state(state: OnlineRwaState) -> Result<Self, RestoreError> {
+        if state.bandwidth == 0 {
+            return Err(RestoreError::Invalid(
+                "online engine bandwidth must be at least 1".to_string(),
+            ));
+        }
+        let mut eng = OnlineRwa::new(state.link_count, state.bandwidth, state.recolor_every);
+        eng.releases_since_recolor = state.releases_since_recolor;
+        eng.slab = state.slab.rebuild()?;
+        check_wait(&state.wait, &eng.slab)?;
+        eng.wait = state.wait.into_iter().collect();
+        eng.report = state.report;
+        // Recompute the packed occupancy from the active slots, catching
+        // double-bookings and out-of-range links/wavelengths as typed
+        // errors before they could corrupt the mask words.
+        for slot in &eng.slab.slots {
+            if slot.state != SlotState::Active {
+                continue;
+            }
+            if slot.wavelength >= eng.bandwidth {
+                return Err(RestoreError::Invalid(format!(
+                    "active seq {} holds wavelength {} of {}",
+                    slot.seq, slot.wavelength, eng.bandwidth
+                )));
+            }
+            let (k, bit) = ((slot.wavelength / 64) as usize, slot.wavelength % 64);
+            for &l in &slot.links {
+                let Some(w) = eng.occ.get_mut(l as usize * eng.words + k) else {
+                    return Err(RestoreError::Invalid(format!(
+                        "active seq {} routes over link {l} of {}",
+                        slot.seq, state.link_count
+                    )));
+                };
+                if *w & (1u64 << bit) != 0 {
+                    return Err(RestoreError::Invalid(format!(
+                        "wavelength {} double-booked on link {l}",
+                        slot.wavelength
+                    )));
+                }
+                *w |= 1u64 << bit;
+            }
+            eng.active += 1;
+        }
+        // The full invariant pass (occupancy sync re-check plus the
+        // work-conserving drain property on the wait queue).
+        eng.validate().map_err(RestoreError::Invalid)?;
+        Ok(eng)
+    }
+}
+
+/// Serializable image of a [`RecomputeRwa`] engine; the per-link
+/// scratch lists are rebuilt lazily by the next event.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecomputeRwaState {
+    /// Wavelengths per link.
+    pub bandwidth: u16,
+    /// Directed links the engine allocates over.
+    pub link_count: usize,
+    /// The connection slab.
+    pub slab: SlabState,
+    /// FIFO wait queue of slot ids, front first.
+    pub wait: Vec<u32>,
+    /// Lifetime totals.
+    pub report: OnlineReport,
+}
+
+impl Snapshot for RecomputeRwa {
+    type State = RecomputeRwaState;
+
+    const KIND: &'static str = "rwa-recompute/v1";
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_debug(&(self.link_wls.len(), self.bandwidth))
+    }
+
+    fn state(&self) -> RecomputeRwaState {
+        RecomputeRwaState {
+            bandwidth: self.bandwidth,
+            link_count: self.link_wls.len(),
+            slab: SlabState::capture(&self.slab),
+            wait: self.wait.iter().copied().collect(),
+            report: self.report.clone(),
+        }
+    }
+
+    fn from_state(state: RecomputeRwaState) -> Result<Self, RestoreError> {
+        if state.bandwidth == 0 {
+            return Err(RestoreError::Invalid(
+                "recompute engine bandwidth must be at least 1".to_string(),
+            ));
+        }
+        let mut eng = RecomputeRwa::new(state.link_count, state.bandwidth);
+        eng.slab = state.slab.rebuild()?;
+        check_wait(&state.wait, &eng.slab)?;
+        eng.wait = state.wait.into_iter().collect();
+        eng.report = state.report;
+        for slot in &eng.slab.slots {
+            if slot.state != SlotState::Active {
+                continue;
+            }
+            if slot.wavelength >= eng.bandwidth {
+                return Err(RestoreError::Invalid(format!(
+                    "active seq {} holds wavelength {} of {}",
+                    slot.seq, slot.wavelength, eng.bandwidth
+                )));
+            }
+            if let Some(&l) = slot.links.iter().find(|&&l| l as usize >= state.link_count) {
+                return Err(RestoreError::Invalid(format!(
+                    "active seq {} routes over link {l} of {}",
+                    slot.seq, state.link_count
+                )));
+            }
+            eng.active += 1;
+        }
+        Ok(eng)
     }
 }
 
@@ -855,5 +1221,112 @@ mod tests {
         let mut drained = Vec::new();
         eng.release(1, c, &mut sink, &mut drained);
         eng.release(2, c, &mut sink, &mut drained);
+    }
+
+    /// Drive an engine to a mixed position (active + queued + recycled
+    /// slots), snapshot, restore, then continue both sides through the
+    /// same events — decisions and reports must stay identical.
+    #[test]
+    fn online_snapshot_mid_churn_resumes_identically() {
+        let mut eng = OnlineRwa::new(4, 2, 3);
+        let mut sink = NullSink;
+        let mut drained = Vec::new();
+        let mut conns = Vec::new();
+        for i in 0..5u32 {
+            match eng.admit(i, &[i % 4, (i + 1) % 4], &mut sink) {
+                AdmitOutcome::Admitted { conn, .. } | AdmitOutcome::Queued { conn } => {
+                    conns.push(conn)
+                }
+            }
+        }
+        eng.release(5, conns[0], &mut sink, &mut drained);
+        drained.clear();
+
+        let snap = eng.snapshot();
+        assert_eq!(snap.header.kind, <OnlineRwa as Snapshot>::KIND);
+        let mut back = OnlineRwa::restore(snap).unwrap();
+        assert_eq!(back.fingerprint(), eng.fingerprint());
+        assert_eq!(back.active(), eng.active());
+        assert_eq!(back.wait_len(), eng.wait_len());
+        back.validate().unwrap();
+
+        // Same continuation on both: more churn, including a recolor
+        // trigger via the release cadence.
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        for (e, d) in [(&mut eng, &mut d1), (&mut back, &mut d2)] {
+            let c = match e.admit(6, &[0], &mut sink) {
+                AdmitOutcome::Admitted { conn, .. } | AdmitOutcome::Queued { conn } => conn,
+            };
+            e.release(7, conns[1], &mut sink, d);
+            e.release(8, conns[2], &mut sink, d);
+            let _ = c;
+            e.validate().unwrap();
+        }
+        assert_eq!(d1, d2, "queue drains must match");
+        assert_eq!(eng.report(), back.report(), "reports must match");
+        assert_eq!(eng.in_system_seqs(), back.in_system_seqs());
+    }
+
+    #[test]
+    fn recompute_snapshot_roundtrips() {
+        let mut eng = RecomputeRwa::new(4, 1);
+        let mut sink = NullSink;
+        let a = match eng.admit(0, &[0, 1], &mut sink) {
+            AdmitOutcome::Admitted { conn, .. } => conn,
+            o => panic!("{o:?}"),
+        };
+        let _q = eng.admit(1, &[1, 2], &mut sink);
+        let mut back = RecomputeRwa::restore(eng.snapshot()).unwrap();
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        eng.release(2, a, &mut sink, &mut d1);
+        back.release(2, a, &mut sink, &mut d2);
+        assert_eq!(d1, d2, "the queued request drains identically");
+        assert_eq!(eng.report(), back.report());
+    }
+
+    #[test]
+    fn online_restore_rejects_corrupt_payloads() {
+        let mut eng = OnlineRwa::new(2, 2, 0);
+        let mut sink = NullSink;
+        let _ = eng.admit(0, &[0], &mut sink);
+        let _ = eng.admit(0, &[0, 1], &mut sink);
+        let good = eng.snapshot();
+
+        // A state byte outside the tri-state.
+        let mut bad = good.clone();
+        bad.state.slab.state[0] = 9;
+        assert!(matches!(
+            OnlineRwa::restore(bad),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        // Double-booked wavelength on a shared link.
+        let mut bad = good.clone();
+        bad.state.slab.wavelength[1] = bad.state.slab.wavelength[0];
+        assert!(matches!(
+            OnlineRwa::restore(bad),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        // Free list naming a live slot.
+        let mut bad = good.clone();
+        bad.state.slab.free.push(0);
+        assert!(matches!(
+            OnlineRwa::restore(bad),
+            Err(RestoreError::Invalid(_))
+        ));
+
+        // Wrong kind tag.
+        let mut bad = good.clone();
+        bad.header.kind = "rwa-recompute/v1".to_string();
+        assert!(matches!(
+            OnlineRwa::restore(bad),
+            Err(RestoreError::Kind { .. })
+        ));
+
+        // The pristine snapshot still restores.
+        assert!(OnlineRwa::restore(good).is_ok());
     }
 }

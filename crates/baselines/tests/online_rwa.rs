@@ -177,6 +177,7 @@ fn traffic_mix_churn_agrees_and_queues_under_pressure() {
         mix: TrafficMix::bernoulli(0.35),
         hold: HoldTime::Geometric { mean: 5.0 },
         capture_peak: true,
+        checkpoint_every: 0,
     };
     let mut online = OnlineRwa::new(net.link_count(), 2, 0);
     let mut naive = RecomputeRwa::new(net.link_count(), 2);
@@ -304,6 +305,7 @@ fn counters_reconcile_with_online_report() {
         mix: TrafficMix::bernoulli(0.3),
         hold: HoldTime::Fixed(6),
         capture_peak: false,
+        checkpoint_every: 0,
     };
     // recolor_every = 8 so the recolor hook fires too.
     let mut eng = OnlineRwa::new(net.link_count(), 2, 8);

@@ -85,6 +85,7 @@ fn bench_online_rwa(c: &mut Criterion) {
         mix: TrafficMix::bernoulli(0.01),
         hold: HoldTime::Fixed(8),
         capture_peak: false,
+        checkpoint_every: 0,
     };
     let mut group = c.benchmark_group("rwa/online_churn");
     group.bench_function("incremental", |b| {

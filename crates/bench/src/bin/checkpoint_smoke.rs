@@ -1,0 +1,191 @@
+//! Checkpoint/resume smoke: the persistence layer's headline guarantee
+//! exercised end to end on both long-running engines.
+//!
+//! A seeded steady-state run and a seeded online-RWA churn run each cut
+//! checkpoints at a fixed cadence; every checkpoint is then resumed in
+//! fresh state (new run value, new workspace, new engine — only the
+//! checkpoint carries over) and the binary asserts the continuation is
+//! bit-identical to the uninterrupted run: equal reports, equal latency
+//! sketches, and — via re-cut checkpoints — an equal RNG stream. It also
+//! asserts that a checkpoint refuses to resume under a mismatched
+//! configuration with a typed error.
+//!
+//! Tier-1 runs this after the rwa smoke; it is the end-to-end guard for
+//! `optical_core::persist` the way `continuous_smoke` guards the serving
+//! loop. Flags: `--quick`, `--seed N`, `--trials N`.
+
+use optical_baselines::rwa::churn::{Churn, ChurnCheckpoint, HoldTime};
+use optical_baselines::rwa::online::{OnlineRwa, RwaEngine};
+use optical_bench::ExpConfig;
+use optical_core::continuous::{SteadyParams, SteadyRun, TrafficMix};
+use optical_core::{DelaySchedule, ProtocolWorkspace, RestoreError};
+use optical_obs::NullSink;
+use optical_paths::select::bfs::bfs_route_with;
+use optical_topo::algo::PathFinder;
+use optical_topo::{topologies, LinkId, Network};
+use optical_wdm::RouterConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn sampler<'a>(
+    net: &'a Network,
+    finder: &'a mut PathFinder,
+) -> impl FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>) + 'a {
+    let n = net.node_count() as u32;
+    move |_src, rng, links| {
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        links.extend_from_slice(bfs_route_with(finder, net, s, d).links());
+    }
+}
+
+fn steady_params(rounds: u32, every: u32) -> SteadyParams {
+    SteadyParams::bernoulli(
+        RouterConfig::serve_first(2),
+        4,
+        DelaySchedule::Fixed { delta: 24 },
+        0.35,
+        rounds,
+        rounds / 5,
+    )
+    .checkpoint_every(every)
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let rounds: u32 = if cfg.quick { 150 } else { 600 };
+    let every: u32 = rounds / 4;
+
+    // -- Steady-state serving loop ---------------------------------------
+    let net = topologies::torus(2, 4);
+    let mut finder = PathFinder::new();
+    let mut run = SteadyRun::new(
+        &net,
+        sampler(&net, &mut finder),
+        steady_params(rounds, every),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut cps = Vec::new();
+    let golden = run.run_checkpointed(
+        &mut ProtocolWorkspace::new(),
+        &mut rng,
+        &mut NullSink,
+        |cp| cps.push(cp.clone()),
+    );
+    drop(run);
+    assert!(
+        cps.len() >= 2,
+        "cadence {every} over {rounds} rounds must cut checkpoints"
+    );
+    assert!(golden.spawned > 0, "the mix must admit traffic");
+
+    for cp in &cps {
+        let mut finder = PathFinder::new();
+        let mut fresh = SteadyRun::new(
+            &net,
+            sampler(&net, &mut finder),
+            steady_params(rounds, every),
+        );
+        let report = fresh.resume_from(cp.clone()).expect("same config resumes");
+        assert_eq!(
+            report,
+            golden,
+            "steady resume from round {} diverged",
+            cp.round()
+        );
+    }
+
+    // RNG-stream witness: the continuation of the first checkpoint re-cuts
+    // every later checkpoint identically (equality covers the RNG position).
+    let mut finder2 = PathFinder::new();
+    let mut cont = SteadyRun::new(
+        &net,
+        sampler(&net, &mut finder2),
+        steady_params(rounds, every),
+    );
+    let mut recut = Vec::new();
+    cont.resume_checkpointed(
+        &mut ProtocolWorkspace::new(),
+        cps[0].clone(),
+        &mut NullSink,
+        |cp| recut.push(cp.clone()),
+    )
+    .expect("same config resumes");
+    for later in &cps[1..] {
+        let twin = recut
+            .iter()
+            .find(|cp| cp.round() == later.round())
+            .expect("continuation reaches every later boundary");
+        assert_eq!(
+            twin,
+            later,
+            "re-cut checkpoint at round {} differs",
+            later.round()
+        );
+    }
+
+    // Mismatched config: typed rejection, not divergence.
+    let other = topologies::mesh(2, 4);
+    let mut finder3 = PathFinder::new();
+    let mut wrong = SteadyRun::new(
+        &other,
+        sampler(&other, &mut finder3),
+        steady_params(rounds, every),
+    );
+    assert!(
+        matches!(
+            wrong.resume_from(cps[0].clone()),
+            Err(RestoreError::Fingerprint { .. })
+        ),
+        "wrong topology must be a typed fingerprint error"
+    );
+
+    // -- Online-RWA churn -------------------------------------------------
+    let links = 24u32;
+    let churn = Churn::builder(links)
+        .rounds(rounds)
+        .mix(TrafficMix::bernoulli(0.45))
+        .hold(HoldTime::Geometric { mean: 6.0 })
+        .capture_peak(true)
+        .checkpoint_every(every)
+        .try_build()
+        .expect("valid scenario");
+    let ring = move |src: u32, _rng: &mut dyn rand::RngCore, out: &mut Vec<LinkId>| {
+        out.clear();
+        out.push(src % links);
+        out.push((src + 1) % links);
+    };
+    let mut eng = OnlineRwa::new(links as usize, 2, 8);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xC0FFEE);
+    let mut ccps: Vec<ChurnCheckpoint> = Vec::new();
+    let cgolden = churn.run_checkpointed(&mut eng, ring, &mut rng, &mut NullSink, |cp| {
+        ccps.push(cp.clone())
+    });
+    eng.validate().expect("engine invariants");
+    assert!(!ccps.is_empty(), "churn cadence must cut checkpoints");
+
+    for cp in &ccps {
+        let (reng, report) = churn
+            .resume::<OnlineRwa, _>(cp.clone(), ring, &mut NullSink)
+            .expect("same scenario resumes");
+        assert_eq!(
+            report,
+            cgolden,
+            "churn resume from round {} diverged",
+            cp.round()
+        );
+        assert_eq!(reng.report(), eng.report(), "engine totals diverged");
+        reng.validate().expect("restored engine invariants");
+    }
+
+    println!(
+        "checkpoint[steady]: {} checkpoints over {} rounds, {} spawned; \
+         checkpoint[churn]: {} checkpoints, {} spawned",
+        cps.len(),
+        rounds,
+        golden.spawned,
+        ccps.len(),
+        cgolden.spawned,
+    );
+    println!("checkpoint smoke: ok");
+}

@@ -293,6 +293,60 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
         out.insert("continuous/steady_dense".into(), ns);
     }
 
+    // Persistence at the million-source scale. A 2^20-source steady run
+    // cuts one checkpoint mid-run (the calendar carries one pending
+    // arrival per source, so the captured progress is genuinely
+    // million-element). `snapshot_1m` times wrapping that checkpoint in
+    // its versioned envelope — the state clone plus header — i.e. the
+    // marginal cost `run_checkpointed` pays at a boundary; it must stay
+    // well under a round of serving (`continuous/steady_1m_sparse` / 512)
+    // or cadenced checkpointing would distort the runs it observes.
+    // `restore_1m` times `SteadyCheckpoint::restore` on that envelope:
+    // format/kind/fingerprint checks plus the full O(state) structural
+    // validation a resume performs before adopting foreign bytes (the
+    // timed region includes one envelope clone, the same O(state) cost).
+    {
+        use optical_core::continuous::{SteadyCheckpoint, SteadyParams, SteadyRun};
+        use optical_core::{DelaySchedule, Snapshot};
+        use rand::RngCore;
+
+        let w = optical_bench::million::TorusWalkWorkload::new(1024, 2);
+        let rounds = 64u32;
+        let mut run = SteadyRun::new(
+            &w.net,
+            |src: u32, _rng: &mut dyn RngCore, out: &mut Vec<_>| {
+                out.extend_from_slice(w.links_of(src as usize));
+            },
+            SteadyParams::bernoulli(
+                RouterConfig::serve_first(2),
+                4,
+                DelaySchedule::Fixed { delta: 64 },
+                0.001,
+                rounds,
+                rounds / 4,
+            )
+            .checkpoint_every(rounds / 2),
+        );
+        let mut ws = ProtocolWorkspace::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let mut cp: Option<SteadyCheckpoint> = None;
+        run.run_checkpointed(&mut ws, &mut rng, &mut NullSink, |c| cp = Some(c.clone()));
+        let cp = cp.expect("cadence 32 over 64 rounds cuts a checkpoint");
+
+        let (m_samples, m_warmup) = if quick { (3, 1) } else { (5, 1) };
+        let ns = bench(m_samples, m_warmup, || {
+            black_box(cp.snapshot().header.fingerprint);
+        });
+        out.insert("persist/snapshot_1m".into(), ns);
+
+        let envelope = cp.snapshot();
+        let ns = bench(m_samples, m_warmup, || {
+            let restored = SteadyCheckpoint::restore(envelope.clone()).expect("pristine envelope");
+            black_box(restored.round());
+        });
+        out.insert("persist/restore_1m".into(), ns);
+    }
+
     // Online RWA. `greedy_offline` colors an overlap-heavy stacked
     // workload (eight independent torus permutations over the same 4096
     // links — enough conflicts that the packed color masks run
@@ -340,6 +394,7 @@ fn run_benches(quick: bool) -> BTreeMap<String, f64> {
             mix: TrafficMix::bernoulli(0.0032),
             hold: HoldTime::Fixed(8),
             capture_peak: false,
+            checkpoint_every: 0,
         };
         let (m_samples, m_warmup) = if quick { (3, 1) } else { (5, 1) };
         let ns = bench(m_samples, m_warmup, || {

@@ -49,6 +49,7 @@ fn main() {
         mix: TrafficMix::bernoulli(0.35),
         hold: HoldTime::Geometric { mean: 5.0 },
         capture_peak: true,
+        checkpoint_every: 0,
     };
     // Incremental engine, counters attached, periodic recolor on.
     let counters = CountersSink::new(bandwidth);

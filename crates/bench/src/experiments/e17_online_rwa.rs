@@ -63,6 +63,7 @@ fn churn_run(
         mix: TrafficMix::bernoulli(ARRIVAL),
         hold: HoldTime::Geometric { mean: HOLD_MEAN },
         capture_peak: true,
+        checkpoint_every: 0,
     };
     let report = run_churn(
         &mut engine,

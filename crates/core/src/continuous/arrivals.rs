@@ -37,7 +37,7 @@ pub fn bernoulli_step(prob: f64, rng: &mut impl Rng) -> bool {
 /// Per-source mutable state an [`ArrivalProcess`] threads between
 /// arrivals (burst position for on/off traffic; unused by memoryless
 /// processes).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SourceState {
     /// Arrivals left in the current burst (on/off traffic).
     burst_left: u32,

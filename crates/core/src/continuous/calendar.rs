@@ -23,7 +23,12 @@
 /// docs. Rounds may be scheduled arbitrarily far ahead — an event lands
 /// in bucket `round % buckets` and is filtered by its round tag when the
 /// round drains.
-#[derive(Clone, Debug)]
+///
+/// Serde note: the wheel serializes its bucket structure verbatim, so a
+/// deserialized queue drains in exactly the original's order — the
+/// FIFO-within-a-round property survives a checkpoint/restore cycle
+/// bit-for-bit.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CalendarQueue<T> {
     buckets: Vec<Vec<(u32, T)>>,
     /// Drain scratch, swapped with the target bucket so draining keeps

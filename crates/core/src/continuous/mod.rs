@@ -37,7 +37,9 @@ mod steady;
 pub use admission::{AdmissionControl, AdmissionPolicy};
 pub use arrivals::{bernoulli_step, ArrivalProcess, SourceState, TrafficMix};
 pub use calendar::CalendarQueue;
-pub use steady::{SteadyParams, SteadyReport, SteadyRun, TenantStats};
+pub use steady::{
+    SteadyCheckpoint, SteadyParams, SteadyProgress, SteadyReport, SteadyRun, TenantStats,
+};
 
 use crate::schedule::{DelaySchedule, ScheduleCtx};
 use crate::workspace::ProtocolWorkspace;

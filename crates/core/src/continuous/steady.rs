@@ -22,10 +22,23 @@
 //! produces the identical spawn order, completion rounds, and report —
 //! the differential suite `tests/golden_continuous.rs` pins this across
 //! topologies and schedules.
+//!
+//! **Checkpoint & resume.** Every piece of loop state lives in one
+//! serde-able [`SteadyProgress`] record; with
+//! [`SteadyParams::checkpoint_every`] set, the run cuts a
+//! [`SteadyCheckpoint`] (progress + exact RNG position + config
+//! fingerprint) at round boundaries and hands it to an `on_checkpoint`
+//! hook. [`SteadyRun::resume_from`] continues a checkpoint in a fresh
+//! process; the final report, latency sketch, and RNG stream are
+//! bit-identical to the uninterrupted run (`tests/checkpoint_resume.rs`
+//! pins this). Resuming against a different topology or parameter set
+//! fails with a typed [`RestoreError`].
 
 use super::admission::{AdmissionControl, AdmissionPolicy};
 use super::arrivals::{SourceState, TrafficMix};
 use super::calendar::CalendarQueue;
+use crate::persist::rng::{PersistRng, RngState};
+use crate::persist::{Fingerprint, RestoreError, Snapshot};
 use crate::schedule::{DelaySchedule, ScheduleCtx};
 use crate::workspace::ProtocolWorkspace;
 use optical_obs::{NullSink, Sink};
@@ -33,10 +46,11 @@ use optical_stats::QuantileSketch;
 use optical_topo::{LinkId, Network};
 use optical_wdm::{RouterConfig, TransmissionSpec};
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of an event-driven steady-state run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SteadyParams {
     /// Router model.
     pub router: RouterConfig,
@@ -56,6 +70,14 @@ pub struct SteadyParams {
     pub admission: Option<AdmissionControl>,
     /// Intra-round engine shard count (1 = serial engine rounds).
     pub shards: usize,
+    /// Checkpoint cadence in rounds (0 = never). With `n > 0`, the run
+    /// fires [`Sink::on_checkpoint`] — and, on the
+    /// [`SteadyRun::run_checkpointed`] path, cuts a full
+    /// [`SteadyCheckpoint`] — at the first served round after each
+    /// multiple of `n`. Cadence is **not** part of the config
+    /// fingerprint: a run checkpointed at one cadence may resume at
+    /// another.
+    pub checkpoint_every: u32,
 }
 
 impl SteadyParams {
@@ -79,7 +101,15 @@ impl SteadyParams {
             mix: TrafficMix::bernoulli(arrival_prob),
             admission: None,
             shards: 1,
+            checkpoint_every: 0,
         }
+    }
+
+    /// Builder-style: set the checkpoint cadence (see the
+    /// [`checkpoint_every`](SteadyParams::checkpoint_every) field).
+    pub fn checkpoint_every(mut self, n_rounds: u32) -> Self {
+        self.checkpoint_every = n_rounds;
+        self
     }
 
     fn validate(&self) {
@@ -121,7 +151,13 @@ pub struct TenantStats {
 /// statistics cover post-warmup rounds (matching
 /// [`super::ContinuousReport`]); `tenants` and `peak_active` cover the
 /// whole run.
+///
+/// Marked `#[non_exhaustive]`: construct it only through the run entry
+/// points and read it field-by-field (every field is public and
+/// documented), so future additions — e.g. checkpoint/resume metadata —
+/// are not breaking changes for downstream matches or literals.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SteadyReport {
     /// Worms spawned after warmup.
     pub spawned: u64,
@@ -163,7 +199,7 @@ pub struct SteadyReport {
 
 /// Calendar events: a source's scheduled arrival, or a deferred
 /// arrival re-entering admission.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 enum Event {
     Arrival(u32),
     Inject(u32),
@@ -171,7 +207,7 @@ enum Event {
 
 /// SoA store of in-flight worms with a slot freelist. Slots are reused;
 /// identity across reuse is the 64-bit spawn sequence id.
-#[derive(Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct WormStore {
     links: Vec<Vec<LinkId>>,
     spawn_round: Vec<u32>,
@@ -200,6 +236,129 @@ impl WormStore {
     }
 }
 
+/// The complete live state of a steady-state serving loop at a round
+/// boundary: calendar, arrival processes, worm store, tallies, and
+/// streaming statistics. Everything [`SteadyRun::run_traced`] keeps on
+/// its stack lives here instead, which is what makes a checkpoint a
+/// plain `clone` + serde rather than an archaeology dig.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SteadyProgress {
+    /// Next round the loop will serve.
+    round: u32,
+    cal: CalendarQueue<Event>,
+    src_state: Vec<SourceState>,
+    store: WormStore,
+    active: Vec<u32>,
+    next_seq: u64,
+    tenant_inflight: Vec<u32>,
+    tenants: Vec<TenantStats>,
+    spawned: u64,
+    completed: u64,
+    shed: u64,
+    deferred: u64,
+    latency: QuantileSketch,
+    latency_sum: u64,
+    active_acc: u64,
+    peak_active: usize,
+    total_time: u64,
+    early_sum: u64,
+    late_sum: u64,
+}
+
+/// A resumable checkpoint of a [`SteadyRun`]: loop progress, the exact
+/// RNG position, and the fingerprint of the configuration it was cut
+/// under. Serialize it (directly, or wrapped via
+/// [`Snapshot::snapshot`]), park it anywhere, and hand it to
+/// [`SteadyRun::resume_from`] in a fresh process — the continuation is
+/// bit-identical to never having stopped.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SteadyCheckpoint {
+    fingerprint: Fingerprint,
+    rng: RngState,
+    progress: SteadyProgress,
+}
+
+impl SteadyCheckpoint {
+    /// The round the resumed loop will serve next.
+    pub fn round(&self) -> u32 {
+        self.progress.round
+    }
+
+    /// Fingerprint of the topology/parameters this checkpoint belongs
+    /// to; [`SteadyRun::resume_from`] refuses any other configuration.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Spawn sequence ids handed out so far (monotone progress marker).
+    pub fn spawned_seqs(&self) -> u64 {
+        self.progress.next_seq
+    }
+
+    fn validate(&self) -> Result<(), RestoreError> {
+        let p = &self.progress;
+        let n = p.store.links.len();
+        if p.store.spawn_round.len() != n || p.store.tenant.len() != n || p.store.seq.len() != n {
+            return Err(RestoreError::Invalid(format!(
+                "worm store columns disagree: {n}/{}/{}/{}",
+                p.store.spawn_round.len(),
+                p.store.tenant.len(),
+                p.store.seq.len()
+            )));
+        }
+        if p.round == 0 {
+            return Err(RestoreError::Invalid(
+                "steady rounds are 1-based; round 0 is not a resumable position".to_string(),
+            ));
+        }
+        let n_tenants = p.tenants.len();
+        if p.tenant_inflight.len() != n_tenants {
+            return Err(RestoreError::Invalid(format!(
+                "tenant columns disagree: {} in-flight counters for {n_tenants} tenants",
+                p.tenant_inflight.len()
+            )));
+        }
+        for &slot in &p.active {
+            if slot as usize >= n {
+                return Err(RestoreError::Invalid(format!(
+                    "active slot {slot} out of range for a {n}-slot store"
+                )));
+            }
+            if p.store.tenant[slot as usize] as usize >= n_tenants {
+                return Err(RestoreError::Invalid(format!(
+                    "active slot {slot} names tenant {} of {n_tenants}",
+                    p.store.tenant[slot as usize]
+                )));
+            }
+        }
+        if p.store.free.iter().any(|&s| s as usize >= n) {
+            return Err(RestoreError::Invalid(
+                "freelist names slots beyond the store".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Snapshot for SteadyCheckpoint {
+    type State = SteadyCheckpoint;
+
+    const KIND: &'static str = "steady-checkpoint/v1";
+
+    fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    fn state(&self) -> SteadyCheckpoint {
+        self.clone()
+    }
+
+    fn from_state(state: SteadyCheckpoint) -> Result<Self, RestoreError> {
+        state.validate()?;
+        Ok(state)
+    }
+}
+
 /// An event-driven steady-state simulation bound to a network and a path
 /// sampler. The sampler fills `out` with the directed links of a fresh
 /// worm spawned at `source` (it may consume the RNG; draws must not
@@ -221,6 +380,27 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
         }
     }
 
+    /// Fingerprint of everything that shapes this run's bit-stream:
+    /// topology dimensions, router, worm length, schedule, horizon,
+    /// warmup, traffic mix, and admission policy. Deliberately excludes
+    /// the shard count (sharded rounds are bit-identical at any count)
+    /// and the checkpoint cadence. The path sampler is a closure and
+    /// cannot be fingerprinted — resume with the same sampler.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let p = &self.params;
+        Fingerprint::of_debug(&(
+            self.net.node_count(),
+            self.net.link_count(),
+            p.router,
+            p.worm_len,
+            &p.schedule,
+            p.rounds,
+            p.warmup,
+            &p.mix,
+            &p.admission,
+        ))
+    }
+
     /// Simulate with a fresh workspace.
     pub fn run(&mut self, rng: &mut impl Rng) -> SteadyReport {
         self.run_with(&mut ProtocolWorkspace::new(), rng)
@@ -234,18 +414,186 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
 
     /// Simulate with an observability [`Sink`]. Emits `on_spawn` /
     /// `on_shed` / `on_defer` per admission decision, the engine-round
-    /// hooks while routing, and `on_sojourn` per completion (warmup
-    /// included). Hooks never consume the sim RNG, so any sink is
-    /// bit-identical to [`NullSink`].
+    /// hooks while routing, `on_sojourn` per completion (warmup
+    /// included), and `on_checkpoint` at every checkpoint boundary when
+    /// [`SteadyParams::checkpoint_every`] is set. Hooks never consume
+    /// the sim RNG, so any sink is bit-identical to [`NullSink`].
     pub fn run_traced<S: Sink>(
         &mut self,
         ws: &mut ProtocolWorkspace,
         rng: &mut impl Rng,
         sink: &mut S,
     ) -> SteadyReport {
+        let start = self.bootstrap(rng);
+        self.serve(ws, rng, sink, start, &mut |_, _| {})
+    }
+
+    /// Simulate with checkpointing: at every
+    /// [`SteadyParams::checkpoint_every`] boundary, cut a full
+    /// [`SteadyCheckpoint`] (loop progress + exact RNG position) and
+    /// hand it to `on_checkpoint`. The hook borrows the checkpoint;
+    /// clone or serialize it to keep it. Requires a [`PersistRng`]
+    /// (the simulation's `ChaCha8Rng` qualifies) so the RNG position
+    /// is capturable. The run itself is bit-identical to
+    /// [`SteadyRun::run_traced`] with the same RNG state — hooks
+    /// observe, they never perturb.
+    pub fn run_checkpointed<R, S, H>(
+        &mut self,
+        ws: &mut ProtocolWorkspace,
+        rng: &mut R,
+        sink: &mut S,
+        mut on_checkpoint: H,
+    ) -> SteadyReport
+    where
+        R: Rng + PersistRng,
+        S: Sink,
+        H: FnMut(&SteadyCheckpoint),
+    {
+        let fingerprint = self.fingerprint();
+        let start = self.bootstrap(rng);
+        self.serve(ws, rng, sink, start, &mut |progress, r: &R| {
+            on_checkpoint(&SteadyCheckpoint {
+                fingerprint,
+                rng: r.save_state(),
+                progress: progress.clone(),
+            });
+        })
+    }
+
+    /// Resume a checkpoint with a fresh workspace and no sink; see
+    /// [`SteadyRun::resume_traced`].
+    pub fn resume_from(
+        &mut self,
+        checkpoint: SteadyCheckpoint,
+    ) -> Result<SteadyReport, RestoreError> {
+        self.resume_traced(&mut ProtocolWorkspace::new(), checkpoint, &mut NullSink)
+    }
+
+    /// Resume a checkpoint: verify it belongs to this run's
+    /// topology/parameters (typed [`RestoreError::Fingerprint`]
+    /// otherwise), rebuild the RNG at its captured position, and serve
+    /// the remaining rounds. The resulting report — counters, latency
+    /// sketch, total time — is bit-identical to the uninterrupted run's.
+    /// The run must hold the same path sampler the checkpointed run
+    /// used (closures are outside the fingerprint).
+    pub fn resume_traced<S: Sink>(
+        &mut self,
+        ws: &mut ProtocolWorkspace,
+        checkpoint: SteadyCheckpoint,
+        sink: &mut S,
+    ) -> Result<SteadyReport, RestoreError> {
+        self.check_resume(&checkpoint)?;
+        let mut rng = ChaCha8Rng::load_state(&checkpoint.rng);
+        Ok(self.serve(ws, &mut rng, sink, checkpoint.progress, &mut |_, _| {}))
+    }
+
+    /// Resume a checkpoint and keep checkpointing: the continuation
+    /// cuts further [`SteadyCheckpoint`]s at the configured cadence,
+    /// identical to the ones the uninterrupted run would have cut.
+    pub fn resume_checkpointed<S, H>(
+        &mut self,
+        ws: &mut ProtocolWorkspace,
+        checkpoint: SteadyCheckpoint,
+        sink: &mut S,
+        mut on_checkpoint: H,
+    ) -> Result<SteadyReport, RestoreError>
+    where
+        S: Sink,
+        H: FnMut(&SteadyCheckpoint),
+    {
+        self.check_resume(&checkpoint)?;
+        let fingerprint = checkpoint.fingerprint;
+        let mut rng = ChaCha8Rng::load_state(&checkpoint.rng);
+        Ok(self.serve(
+            ws,
+            &mut rng,
+            sink,
+            checkpoint.progress,
+            &mut |progress, r: &ChaCha8Rng| {
+                on_checkpoint(&SteadyCheckpoint {
+                    fingerprint,
+                    rng: r.save_state(),
+                    progress: progress.clone(),
+                });
+            },
+        ))
+    }
+
+    fn check_resume(&self, checkpoint: &SteadyCheckpoint) -> Result<(), RestoreError> {
+        let expected = self.fingerprint();
+        if checkpoint.fingerprint != expected {
+            return Err(RestoreError::Fingerprint {
+                found: checkpoint.fingerprint,
+                expected,
+            });
+        }
+        checkpoint.validate()?;
+        if checkpoint.progress.src_state.len() != self.net.node_count() {
+            return Err(RestoreError::Invalid(format!(
+                "checkpoint carries {} sources, network has {}",
+                checkpoint.progress.src_state.len(),
+                self.net.node_count()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seed the calendar with every source's first arrival (draw-order
+    /// contract: one gap draw per source, none at certainty) and return
+    /// the loop state positioned at round 1.
+    fn bootstrap(&self, rng: &mut impl Rng) -> SteadyProgress {
         let p = &self.params;
         let n_sources = self.net.node_count() as u32;
         let n_tenants = p.mix.tenants.len();
+        // Wheel width is a constant-factor knob only; 256 keeps
+        // foreign-round scans short for any defer delay.
+        let mut cal: CalendarQueue<Event> = CalendarQueue::new(256);
+        let mut src_state: Vec<SourceState> = vec![SourceState::default(); n_sources as usize];
+        for src in 0..n_sources {
+            let t = p.mix.tenant_of(src, n_sources) as usize;
+            if let Some(r) = p.mix.tenants[t].next_arrival(0, &mut src_state[src as usize], rng) {
+                if r <= p.rounds {
+                    cal.schedule(r, Event::Arrival(src));
+                }
+            }
+        }
+        SteadyProgress {
+            round: 1,
+            cal,
+            src_state,
+            store: WormStore::default(),
+            active: Vec::new(),
+            next_seq: 0,
+            tenant_inflight: vec![0u32; n_tenants],
+            tenants: vec![TenantStats::default(); n_tenants],
+            spawned: 0,
+            completed: 0,
+            shed: 0,
+            deferred: 0,
+            latency: QuantileSketch::new(),
+            latency_sum: 0,
+            active_acc: 0,
+            peak_active: 0,
+            total_time: 0,
+            early_sum: 0,
+            late_sum: 0,
+        }
+    }
+
+    /// The serving loop proper, picking up from `st.round`. `boundary`
+    /// fires at checkpoint cadence boundaries with the loop state and
+    /// the RNG (immutably — boundaries are round-aligned, no draw is in
+    /// flight); the plain run paths pass a no-op.
+    fn serve<R: Rng, S: Sink>(
+        &mut self,
+        ws: &mut ProtocolWorkspace,
+        rng: &mut R,
+        sink: &mut S,
+        mut st: SteadyProgress,
+        boundary: &mut dyn FnMut(&SteadyProgress, &R),
+    ) -> SteadyReport {
+        let p = &self.params;
+        let n_sources = self.net.node_count() as u32;
         ws.prepare(
             self.net.link_count(),
             // Scratch hint: engines grow on demand; seed them for a
@@ -267,60 +615,42 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
         } = ws;
         let engine = engine.as_mut().expect("prepared above");
 
-        // Event machinery. Wheel width is a constant-factor knob only;
-        // 256 keeps foreign-round scans short for any defer delay.
-        let mut cal: CalendarQueue<Event> = CalendarQueue::new(256);
+        // Per-round event scratch; always empty at round boundaries, so
+        // it is not part of the checkpointed state.
         let mut events: Vec<Event> = Vec::new();
-        let mut src_state: Vec<SourceState> = vec![SourceState::default(); n_sources as usize];
 
-        // Seed every source's first arrival, in source order (draw-order
-        // contract: one gap draw per source, none at certainty).
-        for src in 0..n_sources {
-            let t = p.mix.tenant_of(src, n_sources) as usize;
-            if let Some(r) = p.mix.tenants[t].next_arrival(0, &mut src_state[src as usize], rng) {
-                if r <= p.rounds {
-                    cal.schedule(r, Event::Arrival(src));
-                }
-            }
-        }
-
-        // Worm state.
-        let mut store = WormStore::default();
-        let mut active: Vec<u32> = Vec::new();
-        let mut next_seq = 0u64;
-        let mut tenant_inflight = vec![0u32; n_tenants];
-        let mut tenants = vec![TenantStats::default(); n_tenants];
-
-        // Statistics.
-        let mut spawned = 0u64;
-        let mut completed = 0u64;
-        let mut shed = 0u64;
-        let mut deferred = 0u64;
-        let mut latency = QuantileSketch::new();
-        let mut latency_sum = 0u64;
-        let mut active_acc = 0u64;
-        let mut peak_active = 0usize;
-        let mut total_time = 0u64;
         // Streaming quartile accumulators for the saturation verdict
         // (replaces the round-stepped path's full active timeline).
         let q = (p.rounds / 4) as u64;
-        let mut early_sum = 0u64;
-        let mut late_sum = 0u64;
+
+        // Checkpoint cadence: fire at the first served round after each
+        // multiple of `checkpoint_every`. Tracked as "next boundary"
+        // rather than a modulus so idle-skipped stretches cannot swallow
+        // a boundary.
+        let every = u64::from(p.checkpoint_every);
+        let mut next_cp: u64 = if every == 0 { u64::MAX } else { every + 1 };
 
         let b = p.router.bandwidth as u32;
-        let mut round = 1u32;
-        while round <= p.rounds {
+        while st.round <= p.rounds {
+            if u64::from(st.round) >= next_cp {
+                if S::ENABLED {
+                    sink.on_checkpoint(st.round, st.next_seq);
+                }
+                boundary(&st, rng);
+                next_cp = (u64::from(st.round) - 1) / every * every + every + 1;
+            }
+
             // Idle skipping: with nothing in flight, jump straight to the
             // next scheduled event (each skipped round costs 1 time unit,
             // like the round-stepped path's idle rounds).
-            if active.is_empty() {
-                match cal.next_occupied(round) {
+            if st.active.is_empty() {
+                match st.cal.next_occupied(st.round) {
                     Some(r) if r <= p.rounds => {
-                        total_time += u64::from(r - round);
-                        round = r;
+                        st.total_time += u64::from(r - st.round);
+                        st.round = r;
                     }
                     _ => {
-                        total_time += u64::from(p.rounds - round + 1);
+                        st.total_time += u64::from(p.rounds - st.round + 1);
                         break;
                     }
                 }
@@ -328,18 +658,20 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
 
             // Admission: drain this round's events in FIFO order.
             events.clear();
-            cal.drain_round(round, &mut events);
+            st.cal.drain_round(st.round, &mut events);
             for ev in events.drain(..) {
                 let (src, t) = match ev {
                     Event::Arrival(src) => {
                         // Keep the process stationary: schedule the next
                         // arrival before deciding this one's fate.
                         let t = p.mix.tenant_of(src, n_sources) as usize;
-                        if let Some(r) =
-                            p.mix.tenants[t].next_arrival(round, &mut src_state[src as usize], rng)
-                        {
+                        if let Some(r) = p.mix.tenants[t].next_arrival(
+                            st.round,
+                            &mut st.src_state[src as usize],
+                            rng,
+                        ) {
                             if r <= p.rounds {
-                                cal.schedule(r, Event::Arrival(src));
+                                st.cal.schedule(r, Event::Arrival(src));
                             }
                         }
                         (src, t)
@@ -348,48 +680,49 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
                 };
                 let admitted = match &p.admission {
                     None => true,
-                    Some(ac) => tenant_inflight[t] < ac.max_in_flight,
+                    Some(ac) => st.tenant_inflight[t] < ac.max_in_flight,
                 };
                 if admitted {
-                    let slot = store.alloc();
-                    store.links[slot].clear();
-                    (self.sample_path)(src, rng, &mut store.links[slot]);
-                    store.spawn_round[slot] = round;
-                    store.tenant[slot] = t as u32;
-                    store.seq[slot] = next_seq;
+                    let slot = st.store.alloc();
+                    st.store.links[slot].clear();
+                    (self.sample_path)(src, rng, &mut st.store.links[slot]);
+                    st.store.spawn_round[slot] = st.round;
+                    st.store.tenant[slot] = t as u32;
+                    st.store.seq[slot] = st.next_seq;
                     if S::ENABLED {
-                        sink.on_spawn(round, next_seq, src);
+                        sink.on_spawn(st.round, st.next_seq, src);
                     }
-                    next_seq += 1;
-                    active.push(slot as u32);
-                    tenant_inflight[t] += 1;
-                    tenants[t].spawned += 1;
-                    tenants[t].peak_in_flight = tenants[t].peak_in_flight.max(tenant_inflight[t]);
-                    if round > p.warmup {
-                        spawned += 1;
+                    st.next_seq += 1;
+                    st.active.push(slot as u32);
+                    st.tenant_inflight[t] += 1;
+                    st.tenants[t].spawned += 1;
+                    st.tenants[t].peak_in_flight =
+                        st.tenants[t].peak_in_flight.max(st.tenant_inflight[t]);
+                    if st.round > p.warmup {
+                        st.spawned += 1;
                     }
                 } else {
                     match p.admission.as_ref().expect("checked above").policy {
                         AdmissionPolicy::Shed => {
-                            tenants[t].shed += 1;
-                            if round > p.warmup {
-                                shed += 1;
+                            st.tenants[t].shed += 1;
+                            if st.round > p.warmup {
+                                st.shed += 1;
                             }
                             if S::ENABLED {
-                                sink.on_shed(round, t as u32);
+                                sink.on_shed(st.round, t as u32);
                             }
                         }
                         AdmissionPolicy::Defer { delay } => {
-                            tenants[t].deferred += 1;
-                            if round > p.warmup {
-                                deferred += 1;
+                            st.tenants[t].deferred += 1;
+                            if st.round > p.warmup {
+                                st.deferred += 1;
                             }
                             if S::ENABLED {
-                                sink.on_defer(round, t as u32, delay);
+                                sink.on_defer(st.round, t as u32, delay);
                             }
-                            if let Some(r) = round.checked_add(delay) {
+                            if let Some(r) = st.round.checked_add(delay) {
                                 if r <= p.rounds {
-                                    cal.schedule(r, Event::Inject(src));
+                                    st.cal.schedule(r, Event::Inject(src));
                                 }
                             }
                         }
@@ -399,34 +732,34 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
 
             // Population accounting (post-admission, like the
             // round-stepped path's post-spawn timeline).
-            peak_active = peak_active.max(active.len());
-            if round > p.warmup {
-                active_acc += active.len() as u64;
+            st.peak_active = st.peak_active.max(st.active.len());
+            if st.round > p.warmup {
+                st.active_acc += st.active.len() as u64;
             }
             if q >= 1 {
-                let r = u64::from(round);
+                let r = u64::from(st.round);
                 if r > q && r <= 2 * q {
-                    early_sum += active.len() as u64;
+                    st.early_sum += st.active.len() as u64;
                 } else if r > 3 * q {
-                    late_sum += active.len() as u64;
+                    st.late_sum += st.active.len() as u64;
                 }
             }
 
-            if active.is_empty() {
+            if st.active.is_empty() {
                 // Events fired but nothing was admitted: idle round.
-                total_time += 1;
-                round += 1;
+                st.total_time += 1;
+                st.round += 1;
                 continue;
             }
 
             // One engine round over the active population — identical
             // shape (and RNG draw order) to the round-stepped path.
             let ctx = ScheduleCtx {
-                n: active.len().max(1),
-                active: active.len(),
+                n: st.active.len().max(1),
+                active: st.active.len(),
                 worm_len: p.worm_len,
                 bandwidth: p.router.bandwidth,
-                path_congestion: active.len() as u32,
+                path_congestion: st.active.len() as u32,
                 dilation: 0,
             };
             let delta = p.schedule.delta(1, &ctx);
@@ -434,7 +767,8 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
             // `max_len` rides along in the spec pass: a second sweep over
             // `active` would re-miss the cache on every `store.links` row.
             let mut max_len = 0usize;
-            specs.extend(active.iter().enumerate().map(|(i, &slot)| {
+            let store = &st.store;
+            specs.extend(st.active.iter().enumerate().map(|(i, &slot)| {
                 let links = &store.links[slot as usize];
                 max_len = max_len.max(links.len());
                 TransmissionSpec {
@@ -445,14 +779,22 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
                     length: p.worm_len,
                 }
             }));
-            total_time += u64::from(delta) + 2 * (max_len as u64 + u64::from(p.worm_len));
+            st.total_time += u64::from(delta) + 2 * (max_len as u64 + u64::from(p.worm_len));
 
             engine.run_into_traced(&specs, rng, outcome, sink);
             spec_buf.put(specs);
 
             // Retire delivered worms, preserving survivor order.
             let mut k = 0usize;
-            active.retain(|&slot| {
+            let round = st.round;
+            let warmup = p.warmup;
+            let store = &mut st.store;
+            let tenant_inflight = &mut st.tenant_inflight;
+            let tenants = &mut st.tenants;
+            let completed = &mut st.completed;
+            let latency_sum = &mut st.latency_sum;
+            let latency = &mut st.latency;
+            st.active.retain(|&slot| {
                 let delivered = outcome.results[k].fate.is_delivered();
                 k += 1;
                 if delivered {
@@ -464,9 +806,9 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
                     let t = store.tenant[slot] as usize;
                     tenant_inflight[t] -= 1;
                     tenants[t].completed += 1;
-                    if round > p.warmup {
-                        completed += 1;
-                        latency_sum += u64::from(lat);
+                    if round > warmup {
+                        *completed += 1;
+                        *latency_sum += u64::from(lat);
                         latency.record(u64::from(lat));
                     }
                     store.release(slot);
@@ -474,36 +816,36 @@ impl<'a, F: FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>)> SteadyRun<'a, 
                 !delivered
             });
 
-            round += 1;
+            st.round += 1;
         }
 
         let measured_rounds = f64::from(p.rounds - p.warmup);
         let saturated = q >= 1 && {
-            let early = early_sum as f64 / q as f64;
-            let late = late_sum as f64 / (u64::from(p.rounds) - 3 * q) as f64;
+            let early = st.early_sum as f64 / q as f64;
+            let late = st.late_sum as f64 / (u64::from(p.rounds) - 3 * q) as f64;
             late > 2.0 * early + 1.0
         };
         SteadyReport {
-            spawned,
-            completed,
-            shed,
-            deferred,
-            avg_active: active_acc as f64 / measured_rounds,
-            final_active: active.len(),
-            peak_active,
-            mean_latency_rounds: if completed == 0 {
+            spawned: st.spawned,
+            completed: st.completed,
+            shed: st.shed,
+            deferred: st.deferred,
+            avg_active: st.active_acc as f64 / measured_rounds,
+            final_active: st.active.len(),
+            peak_active: st.peak_active,
+            mean_latency_rounds: if st.completed == 0 {
                 0.0
             } else {
-                latency_sum as f64 / completed as f64
+                st.latency_sum as f64 / st.completed as f64
             },
-            p50_latency_rounds: latency.quantile(0.5),
-            p99_latency_rounds: latency.quantile(0.99),
-            p999_latency_rounds: latency.quantile(0.999),
-            throughput: completed as f64 / measured_rounds,
+            p50_latency_rounds: st.latency.quantile(0.5),
+            p99_latency_rounds: st.latency.quantile(0.99),
+            p999_latency_rounds: st.latency.quantile(0.999),
+            throughput: st.completed as f64 / measured_rounds,
             saturated,
-            total_time,
-            latency,
-            tenants,
+            total_time: st.total_time,
+            latency: st.latency,
+            tenants: st.tenants,
         }
     }
 }
@@ -737,5 +1079,144 @@ mod tests {
         assert!(report.p99_latency_rounds >= report.p50_latency_rounds);
         assert!(report.p999_latency_rounds >= report.p99_latency_rounds);
         assert_eq!(report.latency.len(), report.completed);
+    }
+
+    #[test]
+    fn checkpointing_does_not_perturb_the_run() {
+        let net = topologies::torus(2, 4);
+        let p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(2),
+            4,
+            DelaySchedule::Fixed { delta: 16 },
+            0.3,
+            80,
+            10,
+        );
+        let mut plain = SteadyRun::new(&net, pair_sampler(&net), p.clone());
+        let a = plain.run(&mut ChaCha8Rng::seed_from_u64(9));
+        let mut ckpt = SteadyRun::new(&net, pair_sampler(&net), p.checkpoint_every(16));
+        let mut cuts = 0u32;
+        let b = ckpt.run_checkpointed(
+            &mut ProtocolWorkspace::new(),
+            &mut ChaCha8Rng::seed_from_u64(9),
+            &mut NullSink,
+            |_cp| cuts += 1,
+        );
+        assert_eq!(a, b, "checkpoint hooks must observe, not perturb");
+        assert!(
+            cuts >= 3,
+            "an 80-round run at cadence 16 must cut checkpoints"
+        );
+    }
+
+    #[test]
+    fn resume_mid_run_is_bit_exact() {
+        let net = topologies::torus(2, 4);
+        let p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(2),
+            4,
+            DelaySchedule::Fixed { delta: 16 },
+            0.3,
+            80,
+            10,
+        )
+        .checkpoint_every(32);
+        let mut run = SteadyRun::new(&net, pair_sampler(&net), p.clone());
+        let mut first_cp: Option<SteadyCheckpoint> = None;
+        let golden = run.run_checkpointed(
+            &mut ProtocolWorkspace::new(),
+            &mut ChaCha8Rng::seed_from_u64(12),
+            &mut NullSink,
+            |cp| {
+                if first_cp.is_none() {
+                    first_cp = Some(cp.clone());
+                }
+            },
+        );
+        let cp = first_cp.expect("cadence 32 over 80 rounds cuts a checkpoint");
+        assert!(cp.round() > 32 && cp.round() <= 80);
+        // Fresh run object, fresh workspace: only the checkpoint crosses.
+        let mut resumed_run = SteadyRun::new(&net, pair_sampler(&net), p);
+        let resumed = resumed_run.resume_from(cp).unwrap();
+        assert_eq!(golden, resumed);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_config() {
+        let net = topologies::torus(2, 4);
+        let p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(2),
+            4,
+            DelaySchedule::Fixed { delta: 16 },
+            0.3,
+            80,
+            10,
+        )
+        .checkpoint_every(32);
+        let mut run = SteadyRun::new(&net, pair_sampler(&net), p.clone());
+        let mut cp: Option<SteadyCheckpoint> = None;
+        run.run_checkpointed(
+            &mut ProtocolWorkspace::new(),
+            &mut ChaCha8Rng::seed_from_u64(12),
+            &mut NullSink,
+            |c| cp = Some(c.clone()),
+        );
+        let cp = cp.unwrap();
+        // Different topology.
+        let other_net = topologies::torus(2, 6);
+        let mut other = SteadyRun::new(&other_net, pair_sampler(&other_net), p.clone());
+        assert!(matches!(
+            other.resume_from(cp.clone()),
+            Err(RestoreError::Fingerprint { .. })
+        ));
+        // Same topology, different worm length.
+        let mut p2 = p.clone();
+        p2.worm_len = 6;
+        let mut other = SteadyRun::new(&net, pair_sampler(&net), p2);
+        assert!(matches!(
+            other.resume_from(cp.clone()),
+            Err(RestoreError::Fingerprint { .. })
+        ));
+        // Cadence is outside the fingerprint: resuming at a different
+        // cadence is allowed.
+        let mut recadenced = SteadyRun::new(&net, pair_sampler(&net), p.checkpoint_every(7));
+        assert!(recadenced.resume_from(cp).is_ok());
+    }
+
+    #[test]
+    fn checkpoint_envelope_roundtrips_and_validates() {
+        let net = topologies::torus(2, 4);
+        let p = SteadyParams::bernoulli(
+            RouterConfig::serve_first(2),
+            4,
+            DelaySchedule::Fixed { delta: 16 },
+            0.4,
+            60,
+            10,
+        )
+        .checkpoint_every(20);
+        let mut run = SteadyRun::new(&net, pair_sampler(&net), p);
+        let mut cp: Option<SteadyCheckpoint> = None;
+        run.run_checkpointed(
+            &mut ProtocolWorkspace::new(),
+            &mut ChaCha8Rng::seed_from_u64(3),
+            &mut NullSink,
+            |c| {
+                if cp.is_none() {
+                    cp = Some(c.clone());
+                }
+            },
+        );
+        let cp = cp.unwrap();
+        let snap = cp.snapshot();
+        let back = SteadyCheckpoint::restore(snap.clone()).unwrap();
+        assert_eq!(cp, back);
+        // A corrupted payload is a typed error, not a panic.
+        let mut bad = snap;
+        bad.state.progress.active.push(u32::MAX);
+        assert!(matches!(
+            SteadyCheckpoint::restore(bad),
+            Err(RestoreError::Invalid(_))
+        ));
     }
 }

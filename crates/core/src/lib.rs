@@ -49,6 +49,11 @@
 //! * [`sim`] — the unified run API: [`SimBuilder`] composes topology,
 //!   paths, router config, optional fault script, and an optional
 //!   observability sink into one runner;
+//! * [`persist`] — versioned snapshot/restore: the [`Snapshot`] trait
+//!   with format-version + config-fingerprint headers, exact RNG state
+//!   capture, and typed [`RestoreError`] rejection of mismatched
+//!   topology/params, so long steady-state and churn runs checkpoint
+//!   and resume bit-exactly;
 //! * [`lemmas`] — the appendix lemmas, executable;
 //! * [`witness`] — executable witness trees (Figure 4) and per-round
 //!   blocking graphs `G_i` (Definition 2.3), including the Claim 2.6
@@ -58,6 +63,7 @@ pub mod bounds;
 pub mod continuous;
 pub mod hops;
 pub mod lemmas;
+pub mod persist;
 pub mod priority;
 pub mod protocol;
 pub mod recovery;
@@ -68,8 +74,10 @@ pub mod workspace;
 
 pub use continuous::{
     AdmissionControl, AdmissionPolicy, ArrivalProcess, ContinuousParams, ContinuousReport,
-    ContinuousRun, SteadyParams, SteadyReport, SteadyRun, TrafficMix,
+    ContinuousRun, SteadyCheckpoint, SteadyParams, SteadyReport, SteadyRun, TrafficMix,
 };
+pub use persist::rng::{PersistRng, RngState};
+pub use persist::{Fingerprint, RestoreError, Snapshot, SnapshotHeader, Versioned, FORMAT_VERSION};
 pub use priority::PriorityStrategy;
 pub use protocol::{AckMode, ProtocolParams, RoundReport, RunReport, TrialAndFailure};
 pub use recovery::{

@@ -1,0 +1,460 @@
+//! Versioned snapshot/restore: bit-exact checkpoints for long runs.
+//!
+//! Long steady-state and churn runs ([`SteadyRun`], [`Churn`]) lose
+//! everything on restart. This module gives every piece of live state a
+//! uniform, versioned persistence surface:
+//!
+//! * [`Snapshot`] — the trait: a type exports a serde-able
+//!   [`Snapshot::State`], wrapped by [`Snapshot::snapshot`] in a
+//!   [`Versioned`] envelope whose [`SnapshotHeader`] carries a format
+//!   version, a kind string, and a config [`Fingerprint`].
+//! * [`Snapshot::restore`] — the inverse: checks the header (format
+//!   version, kind), then rebuilds the value, rejecting inconsistent
+//!   payloads with a typed [`RestoreError`] instead of undefined
+//!   behaviour. Context holders (a resuming serving loop) additionally
+//!   compare the stored fingerprint against the live
+//!   topology/parameters via [`SnapshotHeader::expect`].
+//! * [`rng::RngState`] / [`rng::PersistRng`] — exact capture of the
+//!   simulation RNG (seed, stream, word position) so a resumed run
+//!   observes the *identical* random stream the uninterrupted run
+//!   would have.
+//!
+//! The headline contract, pinned by `tests/checkpoint_resume.rs`:
+//! snapshot at round R, restore in a fresh process, finish — and the
+//! final report, latency/wait sketches, and RNG stream are
+//! bit-identical to the uninterrupted run, for both the steady-state
+//! serving loop and online-RWA churn.
+//!
+//! ## The config-fingerprint contract
+//!
+//! A [`Fingerprint`] is a 64-bit FNV-1a hash over the `Debug`
+//! rendering of the configuration that *shapes* a run: topology
+//! dimensions, router config, schedule, horizon, traffic mix,
+//! admission policy. It is an integrity check against honest mistakes
+//! (resuming a checkpoint against the wrong topology or a retuned
+//! parameter sweep), **not** a cryptographic commitment. Knobs that
+//! cannot change the bit-stream of results — checkpoint cadence, shard
+//! count (sharding is bit-identical at any count) — are deliberately
+//! excluded, so a run checkpointed at one cadence can resume at
+//! another. Closures (route samplers) cannot be fingerprinted; the
+//! caller must resume with the same sampler, as documented on each
+//! resume entry point.
+//!
+//! [`SteadyRun`]: crate::continuous::SteadyRun
+//! [`Churn`]: ../../optical_baselines/rwa/struct.Churn.html
+
+pub mod rng;
+
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Current snapshot envelope format version. Bumped whenever the
+/// serialized layout of any [`Snapshot::State`] changes incompatibly;
+/// [`Snapshot::restore`] rejects envelopes from any other version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a digest of a configuration's `Debug` rendering.
+///
+/// See the [module docs](self#the-config-fingerprint-contract) for what
+/// is (and is not) folded in. Stable across processes for the same
+/// build; `Debug` renderings are deterministic for the plain-data
+/// config types used here.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// Fingerprint the `Debug` rendering of `value`.
+    pub fn of_debug<T: fmt::Debug>(value: &T) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in format!("{value:?}").bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Fingerprint(h)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
+}
+
+/// Header of every serialized snapshot: enough to refuse a payload
+/// before touching its state.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    /// Envelope format version ([`FORMAT_VERSION`] at capture time).
+    pub format_version: u32,
+    /// What kind of state this is ([`Snapshot::KIND`]).
+    pub kind: String,
+    /// Fingerprint of the configuration the state was captured under.
+    pub fingerprint: Fingerprint,
+}
+
+impl SnapshotHeader {
+    /// Check this header against what a resuming context expects:
+    /// format version, kind, and the fingerprint of the *live*
+    /// configuration. Returns the first mismatch as a typed error.
+    pub fn expect(&self, kind: &str, fingerprint: Fingerprint) -> Result<(), RestoreError> {
+        if self.format_version != FORMAT_VERSION {
+            return Err(RestoreError::FormatVersion {
+                found: self.format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if self.kind != kind {
+            return Err(RestoreError::Kind {
+                found: self.kind.clone(),
+                expected: kind.to_string(),
+            });
+        }
+        if self.fingerprint != fingerprint {
+            return Err(RestoreError::Fingerprint {
+                found: self.fingerprint,
+                expected: fingerprint,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot payload together with its [`SnapshotHeader`]. This is the
+/// unit that goes to disk (any serde format; the CLI uses JSON).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Versioned<T> {
+    /// Version + kind + fingerprint; checked before `state` is used.
+    pub header: SnapshotHeader,
+    /// The captured state itself.
+    pub state: T,
+}
+
+/// Why a snapshot refused to restore. Every variant is an honest,
+/// typed rejection — restoring a mismatched or corrupt payload never
+/// panics the deserializer into inconsistent state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The envelope was written by an incompatible format version.
+    FormatVersion {
+        /// Version found in the header.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The envelope holds a different kind of state (e.g. a churn
+    /// checkpoint fed to the steady-state resume path).
+    Kind {
+        /// Kind string found in the header.
+        found: String,
+        /// Kind the restore path expected.
+        expected: String,
+    },
+    /// The snapshot was captured under a different configuration
+    /// (topology dimensions, router, schedule, mix, …) than the one it
+    /// is being restored against.
+    Fingerprint {
+        /// Fingerprint stored in the snapshot.
+        found: Fingerprint,
+        /// Fingerprint of the live configuration.
+        expected: Fingerprint,
+    },
+    /// The payload is internally inconsistent (out-of-range indices,
+    /// mismatched column lengths, …).
+    Invalid(String),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::FormatVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {supported})"
+            ),
+            RestoreError::Kind { found, expected } => {
+                write!(f, "snapshot holds {found:?} state, expected {expected:?}")
+            }
+            RestoreError::Fingerprint { found, expected } => write!(
+                f,
+                "snapshot was captured under config {found}, live config is {expected}; \
+                 topology/parameters must match to resume"
+            ),
+            RestoreError::Invalid(why) => write!(f, "snapshot payload is invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// Versioned, fingerprinted snapshot/restore.
+///
+/// Implementors expose their complete live state as a serde-able
+/// [`Snapshot::State`]; the provided [`snapshot`](Snapshot::snapshot) /
+/// [`restore`](Snapshot::restore) pair wraps it in (and checks it out
+/// of) the [`Versioned`] envelope. `restore(x.snapshot())` must
+/// reproduce a value that behaves bit-identically to `x` under every
+/// subsequent operation — that is the contract the differential resume
+/// tests pin.
+pub trait Snapshot: Sized {
+    /// The serializable image of this type's live state.
+    type State: Serialize + DeserializeOwned;
+
+    /// Kind tag written into the header (one per implementing type).
+    const KIND: &'static str;
+
+    /// Fingerprint of the configuration this value runs under.
+    fn fingerprint(&self) -> Fingerprint;
+
+    /// Capture the complete live state.
+    fn state(&self) -> Self::State;
+
+    /// Rebuild a value from captured state, validating internal
+    /// consistency. Header checks have already happened by the time
+    /// this runs.
+    fn from_state(state: Self::State) -> Result<Self, RestoreError>;
+
+    /// Capture state wrapped in a versioned, fingerprinted envelope.
+    fn snapshot(&self) -> Versioned<Self::State> {
+        Versioned {
+            header: SnapshotHeader {
+                format_version: FORMAT_VERSION,
+                kind: Self::KIND.to_string(),
+                fingerprint: self.fingerprint(),
+            },
+            state: self.state(),
+        }
+    }
+
+    /// Check the envelope header (format version, kind) and rebuild the
+    /// value. Callers holding live context should *additionally* verify
+    /// the fingerprint with [`SnapshotHeader::expect`]; self-describing
+    /// types (whose config travels inside `State`) are fully checked
+    /// here.
+    fn restore(snap: Versioned<Self::State>) -> Result<Self, RestoreError> {
+        if snap.header.format_version != FORMAT_VERSION {
+            return Err(RestoreError::FormatVersion {
+                found: snap.header.format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if snap.header.kind != Self::KIND {
+            return Err(RestoreError::Kind {
+                found: snap.header.kind,
+                expected: Self::KIND.to_string(),
+            });
+        }
+        let value = Self::from_state(snap.state)?;
+        let fp = value.fingerprint();
+        if fp != snap.header.fingerprint {
+            return Err(RestoreError::Fingerprint {
+                found: snap.header.fingerprint,
+                expected: fp,
+            });
+        }
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine: configuration-level snapshot.
+//
+// The wdm engine's scratch (BusyMasks occupancy words, per-word epoch
+// stamps, SoA worm state, schedule buffers) is *functionally stateless
+// between rounds*: epoch stamping means a cleared mask is
+// indistinguishable from a freshly allocated one, and every buffer is
+// rebuilt from the next round's specs. A snapshot therefore carries
+// exactly the configuration needed to rebuild an engine that behaves
+// bit-identically from the next round boundary — which is what the
+// steady-state resume differential test proves end to end. Runtime
+// overlays (dead-link masks, fault plans, converter masks, shard
+// weights) are owner-level configuration and are reapplied by whoever
+// owns the engine (e.g. `ProtocolWorkspace::prepare`).
+// ---------------------------------------------------------------------------
+
+/// Serializable image of a wdm [`Engine`](optical_wdm::Engine): its
+/// configuration; scratch is reconstructible (see the impl notes on
+/// [`Snapshot`] for `Engine`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineState {
+    /// Number of directed links the engine resolves over.
+    pub link_count: usize,
+    /// Router configuration (bandwidth, collision rule, tie rule).
+    pub config: optical_wdm::RouterConfig,
+    /// Shard count for intra-round parallel resolution.
+    pub shards: usize,
+}
+
+impl Snapshot for optical_wdm::Engine {
+    type State = EngineState;
+
+    const KIND: &'static str = "wdm-engine/v1";
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_debug(&(self.link_count(), self.config(), self.shards()))
+    }
+
+    fn state(&self) -> EngineState {
+        EngineState {
+            link_count: self.link_count(),
+            config: self.config(),
+            shards: self.shards(),
+        }
+    }
+
+    fn from_state(state: EngineState) -> Result<Self, RestoreError> {
+        if state.config.bandwidth == 0 {
+            return Err(RestoreError::Invalid(
+                "engine bandwidth must be at least 1".to_string(),
+            ));
+        }
+        if state.shards == 0 {
+            return Err(RestoreError::Invalid(
+                "engine shard count must be at least 1".to_string(),
+            ));
+        }
+        let mut engine = optical_wdm::Engine::new(state.link_count, state.config);
+        engine.set_shards(state.shards);
+        Ok(engine)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery components: breakers and the dead-letter queue.
+// ---------------------------------------------------------------------------
+
+/// Serializable image of the per-link circuit-breaker bank
+/// ([`recovery`](crate::recovery) internals). Breaker states travel as
+/// `u8` (0 = Closed, 1 = Open, 2 = HalfOpen) because the `BreakerState`
+/// enum lives in the serde-free `optical-obs` crate.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakersState {
+    /// Breaker thresholds.
+    pub cfg: crate::recovery::BreakerConfig,
+    /// Per-link state machine position (0/1/2 as above).
+    pub state: Vec<u8>,
+    /// Consecutive blockerless failures while `Closed`.
+    pub consec: Vec<u32>,
+    /// Round each link's current state was entered.
+    pub since: Vec<u32>,
+    /// Successful traversals while `HalfOpen`.
+    pub successes: Vec<u32>,
+    /// Links currently `Open`, in open order.
+    pub open_links: Vec<u32>,
+    /// Lifetime opens.
+    pub opens: u64,
+    /// Lifetime half-opens.
+    pub half_opens: u64,
+    /// Lifetime closes.
+    pub closes: u64,
+    /// Rounds spent `Open`, summed over transitions out of `Open`.
+    pub open_rounds: u64,
+}
+
+/// Serializable image of the recovery dead-letter queue: its config,
+/// parked letters in capture order, and lifetime counters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DlqState {
+    /// Replay batching and budget knobs.
+    pub cfg: crate::recovery::DlqConfig,
+    /// Parked letters, capture order preserved.
+    pub letters: Vec<crate::recovery::DeadLetter>,
+    /// Lifetime letters captured.
+    pub enqueued: u64,
+    /// Lifetime letters replayed (removed from the queue).
+    pub replayed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optical_wdm::{Engine, RouterConfig};
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = Fingerprint::of_debug(&(16usize, RouterConfig::serve_first(2)));
+        let b = Fingerprint::of_debug(&(16usize, RouterConfig::serve_first(2)));
+        let c = Fingerprint::of_debug(&(16usize, RouterConfig::serve_first(3)));
+        let d = Fingerprint::of_debug(&(17usize, RouterConfig::serve_first(2)));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(format!("{a}"), format!("{:#018x}", a.0));
+    }
+
+    #[test]
+    fn engine_snapshot_roundtrips() {
+        let mut eng = Engine::new(64, RouterConfig::priority(4));
+        eng.set_shards(2);
+        let snap = eng.snapshot();
+        assert_eq!(snap.header.format_version, FORMAT_VERSION);
+        assert_eq!(snap.header.kind, <Engine as Snapshot>::KIND);
+        let back = Engine::restore(snap).unwrap();
+        assert_eq!(back.link_count(), 64);
+        assert_eq!(back.config(), RouterConfig::priority(4));
+        assert_eq!(back.shards(), 2);
+        assert_eq!(back.fingerprint(), eng.fingerprint());
+    }
+
+    #[test]
+    fn engine_restore_rejects_header_mismatches() {
+        let eng = Engine::new(8, RouterConfig::serve_first(1));
+        let mut snap = eng.snapshot();
+        snap.header.format_version = FORMAT_VERSION + 1;
+        assert!(matches!(
+            Engine::restore(snap.clone()),
+            Err(RestoreError::FormatVersion { found, supported })
+                if found == FORMAT_VERSION + 1 && supported == FORMAT_VERSION
+        ));
+        snap.header.format_version = FORMAT_VERSION;
+        snap.header.kind = "not-an-engine".to_string();
+        assert!(matches!(
+            Engine::restore(snap.clone()),
+            Err(RestoreError::Kind { .. })
+        ));
+        snap.header.kind = <Engine as Snapshot>::KIND.to_string();
+        snap.state.config.bandwidth = 0;
+        assert!(matches!(
+            Engine::restore(snap),
+            Err(RestoreError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn header_expect_reports_the_first_mismatch() {
+        let eng = Engine::new(8, RouterConfig::serve_first(1));
+        let snap = eng.snapshot();
+        let other = Engine::new(9, RouterConfig::serve_first(1));
+        assert!(snap
+            .header
+            .expect(<Engine as Snapshot>::KIND, eng.fingerprint())
+            .is_ok());
+        assert!(matches!(
+            snap.header
+                .expect(<Engine as Snapshot>::KIND, other.fingerprint()),
+            Err(RestoreError::Fingerprint { .. })
+        ));
+        assert!(matches!(
+            snap.header.expect("zebra", eng.fingerprint()),
+            Err(RestoreError::Kind { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_error_displays_are_informative() {
+        let e = RestoreError::Fingerprint {
+            found: Fingerprint(1),
+            expected: Fingerprint(2),
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("0x0000000000000001"));
+        assert!(msg.contains("topology/parameters"));
+        let e = RestoreError::Invalid("bad column".into());
+        assert!(format!("{e}").contains("bad column"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Exact simulation-RNG capture: seed, stream, and word position.
+//!
+//! Bit-exact resume requires the restored RNG to continue the *same*
+//! random stream the uninterrupted run would have observed — not a
+//! reseed, the identical position inside the identical keystream.
+//! `ChaCha8Rng` (the simulation RNG everywhere in this repo) exposes
+//! exactly the three coordinates needed: the 256-bit seed, the 64-bit
+//! stream id, and the 128-bit word position. [`RngState`] captures
+//! them; [`PersistRng::load_state`] rebuilds a generator whose next
+//! draw is bit-identical to the captured one's.
+
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Serializable position of a counter-based RNG: everything needed to
+/// continue its stream exactly where it left off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// The 256-bit seed the generator was created from.
+    pub seed: [u8; 32],
+    /// ChaCha stream id (distinguishes co-seeded generators).
+    pub stream: u64,
+    /// Word position inside the keystream (128-bit counter).
+    pub word_pos: u128,
+}
+
+/// An RNG whose complete state can be captured and restored exactly.
+///
+/// The contract: after `let s = rng.save_state()`, a fresh
+/// `R::load_state(&s)` produces the same draw sequence as the original
+/// generator from that point on. Checkpoints embed an [`RngState`] so
+/// a resumed run replays the identical stream.
+pub trait PersistRng: rand::RngCore + Sized {
+    /// Capture the generator's exact position.
+    fn save_state(&self) -> RngState;
+
+    /// Rebuild a generator at the captured position.
+    fn load_state(state: &RngState) -> Self;
+}
+
+impl PersistRng for ChaCha8Rng {
+    fn save_state(&self) -> RngState {
+        RngState {
+            seed: self.get_seed(),
+            stream: self.get_stream(),
+            word_pos: self.get_word_pos(),
+        }
+    }
+
+    fn load_state(state: &RngState) -> Self {
+        use rand::SeedableRng;
+        let mut rng = ChaCha8Rng::from_seed(state.seed);
+        rng.set_stream(state.stream);
+        rng.set_word_pos(state.word_pos);
+        rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn restored_rng_continues_the_exact_stream() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        // Burn an odd number of draws of mixed width so the word
+        // position is mid-block.
+        for _ in 0..7 {
+            rng.gen::<f64>();
+        }
+        rng.gen::<u32>();
+        let state = rng.save_state();
+        let mut twin = ChaCha8Rng::load_state(&state);
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), twin.next_u64());
+        }
+        // And a fresh restore from the same state starts over at the
+        // same point (state capture is by value, not by reference).
+        let mut again = ChaCha8Rng::load_state(&state);
+        let mut reference = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..7 {
+            reference.gen::<f64>();
+        }
+        reference.gen::<u32>();
+        for _ in 0..20 {
+            assert_eq!(again.next_u64(), reference.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_state_serde_roundtrips_through_json() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        rng.set_stream(3);
+        for _ in 0..13 {
+            rng.gen::<u64>();
+        }
+        let state = rng.save_state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: RngState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, back);
+        let mut twin = ChaCha8Rng::load_state(&back);
+        assert_eq!(rng.next_u64(), twin.next_u64());
+    }
+}

@@ -27,6 +27,7 @@
 //! here, so [`super::RecoveryReport`] and
 //! [`optical_obs::CountersSink`] reconcile exactly.
 
+use crate::persist::{BreakersState, Fingerprint, RestoreError, Snapshot};
 use optical_obs::{BreakerState, Sink};
 use serde::{Deserialize, Serialize};
 
@@ -178,6 +179,95 @@ impl Breakers {
     }
 }
 
+fn state_to_u8(s: BreakerState) -> u8 {
+    match s {
+        BreakerState::Closed => 0,
+        BreakerState::Open => 1,
+        BreakerState::HalfOpen => 2,
+    }
+}
+
+fn state_from_u8(b: u8) -> Result<BreakerState, RestoreError> {
+    match b {
+        0 => Ok(BreakerState::Closed),
+        1 => Ok(BreakerState::Open),
+        2 => Ok(BreakerState::HalfOpen),
+        other => Err(RestoreError::Invalid(format!(
+            "breaker state byte {other} is not 0 (Closed), 1 (Open), or 2 (HalfOpen)"
+        ))),
+    }
+}
+
+impl Snapshot for Breakers {
+    type State = BreakersState;
+
+    const KIND: &'static str = "recovery-breakers/v1";
+
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_debug(&(self.state.len(), self.cfg))
+    }
+
+    fn state(&self) -> BreakersState {
+        BreakersState {
+            cfg: self.cfg,
+            state: self.state.iter().map(|&s| state_to_u8(s)).collect(),
+            consec: self.consec.clone(),
+            since: self.since.clone(),
+            successes: self.successes.clone(),
+            open_links: self.open_links.clone(),
+            opens: self.opens,
+            half_opens: self.half_opens,
+            closes: self.closes,
+            open_rounds: self.open_rounds,
+        }
+    }
+
+    fn from_state(state: BreakersState) -> Result<Self, RestoreError> {
+        let n = state.state.len();
+        if state.consec.len() != n || state.since.len() != n || state.successes.len() != n {
+            return Err(RestoreError::Invalid(format!(
+                "breaker columns disagree on link count: {n}/{}/{}/{}",
+                state.consec.len(),
+                state.since.len(),
+                state.successes.len()
+            )));
+        }
+        let machines = state
+            .state
+            .iter()
+            .map(|&b| state_from_u8(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        // The open list must name exactly the Open links (the per-round
+        // tick walks it instead of scanning every breaker).
+        let open_count = machines
+            .iter()
+            .filter(|&&s| s == BreakerState::Open)
+            .count();
+        if state.open_links.len() != open_count
+            || state
+                .open_links
+                .iter()
+                .any(|&l| (l as usize) >= n || machines[l as usize] != BreakerState::Open)
+        {
+            return Err(RestoreError::Invalid(
+                "breaker open-link list does not match the per-link states".to_string(),
+            ));
+        }
+        Ok(Breakers {
+            cfg: state.cfg,
+            state: machines,
+            consec: state.consec,
+            since: state.since,
+            successes: state.successes,
+            open_links: state.open_links,
+            opens: state.opens,
+            half_opens: state.half_opens,
+            closes: state.closes,
+            open_rounds: state.open_rounds,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +331,70 @@ mod tests {
         let mut avoid = vec![false; 2];
         bk.mask_open(&mut avoid);
         assert_eq!(avoid, vec![true, false]);
+    }
+
+    #[test]
+    fn snapshot_mid_lifecycle_resumes_transitions_identically() {
+        let cfg = BreakerConfig {
+            open_after: 2,
+            probe_after: 3,
+            close_after: 2,
+        };
+        // Drive a bank into a mixed position: link 0 open, link 1 one
+        // failure short of opening, link 2 half-open with one success.
+        let drive = |bk: &mut Breakers| {
+            bk.on_failure(0, 1, &mut NullSink);
+            bk.on_failure(0, 2, &mut NullSink);
+            bk.on_failure(1, 2, &mut NullSink);
+            bk.on_failure(2, 1, &mut NullSink);
+            bk.on_failure(2, 1, &mut NullSink);
+            bk.tick(5, &mut NullSink);
+            bk.on_success(2, 5, &mut NullSink);
+        };
+        let mut golden = Breakers::new(4, cfg);
+        drive(&mut golden);
+        let mut original = Breakers::new(4, cfg);
+        drive(&mut original);
+        let mut restored = Breakers::restore(original.snapshot()).unwrap();
+        // Continue both: every future transition must match.
+        let continue_on = |bk: &mut Breakers| {
+            bk.on_failure(1, 6, &mut NullSink);
+            bk.on_success(2, 6, &mut NullSink);
+            bk.tick(9, &mut NullSink);
+            bk.on_success(0, 9, &mut NullSink);
+            bk.on_success(0, 9, &mut NullSink);
+            (
+                bk.opens,
+                bk.half_opens,
+                bk.closes,
+                bk.open_rounds,
+                (0..4).map(|l| bk.is_open(l)).collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(continue_on(&mut golden), continue_on(&mut restored));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_open_list_and_bad_state_bytes() {
+        let mut bk = Breakers::new(2, BreakerConfig::default());
+        bk.on_failure(0, 1, &mut NullSink);
+        let mut snap = bk.snapshot();
+        snap.state.open_links.push(1); // link 1 is Closed, not Open
+        assert!(matches!(
+            Breakers::restore(snap),
+            Err(RestoreError::Invalid(_))
+        ));
+        let mut snap = bk.snapshot();
+        snap.state.state[0] = 7;
+        assert!(matches!(
+            Breakers::restore(snap),
+            Err(RestoreError::Invalid(_))
+        ));
+        let mut snap = bk.snapshot();
+        snap.state.consec.pop();
+        assert!(matches!(
+            Breakers::restore(snap),
+            Err(RestoreError::Invalid(_))
+        ));
     }
 }

@@ -252,7 +252,15 @@ impl Sim<'_> {
 
 /// Report of a [`Sim`] run: a [`RunReport`] or a [`RecoveryReport`]
 /// behind shared accessors.
+///
+/// Marked `#[non_exhaustive]`: new run modes (and with them new report
+/// variants) are added as the simulator grows, so prefer the accessors
+/// ([`completed`](Self::completed), [`total_time`](Self::total_time),
+/// [`rounds_used`](Self::rounds_used)) or the typed projections
+/// ([`as_protocol`](Self::as_protocol) / [`as_recovery`](Self::as_recovery))
+/// over matching the variants; a direct `match` needs a `_` arm.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub enum SimReport {
     /// Report of a plain protocol run.
     Protocol(RunReport),

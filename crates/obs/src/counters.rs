@@ -64,6 +64,7 @@ pub struct CountersSink {
     // Same bucket-mirror trick as `sojourn_buckets`, over the online RWA
     // engine's admission waits.
     rwa_wait_buckets: Vec<AtomicU64>,
+    checkpoints: AtomicU64,
 }
 
 /// A plain-value snapshot of [`CountersSink`], taken by
@@ -160,6 +161,9 @@ pub struct CounterTotals {
     /// wait sketch; query via [`CounterTotals::rwa_wait_p50`]/
     /// [`CounterTotals::rwa_wait_p99`].
     pub rwa_wait: QuantileSketch,
+    /// Checkpoint boundaries observed by serving loops
+    /// (`on_checkpoint` firings).
+    pub checkpoints: u64,
 }
 
 impl CountersSink {
@@ -215,6 +219,7 @@ impl CountersSink {
             ))
                 .map(|_| AtomicU64::new(0))
                 .collect(),
+            checkpoints: AtomicU64::new(0),
         }
     }
 
@@ -274,6 +279,7 @@ impl CountersSink {
                     .collect();
                 QuantileSketch::from_counts(QuantileSketch::DEFAULT_GROUPING_BITS, &counts)
             },
+            checkpoints: self.checkpoints.load(Relaxed),
         }
     }
 
@@ -574,6 +580,10 @@ impl Sink for &CountersSink {
         self.rwa_recolors.fetch_add(1, Relaxed);
         self.rwa_recolor_moves.fetch_add(u64::from(moved), Relaxed);
     }
+    #[inline]
+    fn on_checkpoint(&mut self, _round: u32, _progress: u64) {
+        self.checkpoints.fetch_add(1, Relaxed);
+    }
 }
 
 /// Owned counters are a sink too (single-threaded runs).
@@ -681,6 +691,10 @@ impl Sink for CountersSink {
     #[inline]
     fn on_rwa_recolor(&mut self, round: u32, active: u32, moved: u32) {
         (&*self).on_rwa_recolor(round, active, moved);
+    }
+    #[inline]
+    fn on_checkpoint(&mut self, round: u32, progress: u64) {
+        (&*self).on_checkpoint(round, progress);
     }
 }
 

@@ -290,6 +290,14 @@ pub trait Sink {
     /// moved `moved` of them to lower wavelengths during `round`.
     #[inline]
     fn on_rwa_recolor(&mut self, _round: u32, _active: u32, _moved: u32) {}
+
+    /// A serving loop cut (or was eligible to cut) a checkpoint before
+    /// serving `round`. `progress` is a monotone marker — the steady
+    /// loop passes the next spawn sequence id, the churn driver its
+    /// spawn count — so dashboards can verify checkpoints advance.
+    /// Checkpoint capture never consumes the sim RNG.
+    #[inline]
+    fn on_checkpoint(&mut self, _round: u32, _progress: u64) {}
 }
 
 /// The disabled sink: all hooks are no-ops and [`Sink::ENABLED`] is
@@ -433,6 +441,10 @@ impl<S: Sink + ?Sized> Sink for &mut S {
     #[inline]
     fn on_rwa_recolor(&mut self, round: u32, active: u32, moved: u32) {
         (**self).on_rwa_recolor(round, active, moved);
+    }
+    #[inline]
+    fn on_checkpoint(&mut self, round: u32, progress: u64) {
+        (**self).on_checkpoint(round, progress);
     }
 }
 

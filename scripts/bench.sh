@@ -32,6 +32,10 @@
 # recompute-per-event reference on an identical million-link churn
 # script — their ratio is the speedup evidence for the O(path) admit
 # and release paths),
+# persist/snapshot_1m and persist/restore_1m (cutting and validating a
+# 2^20-source steady checkpoint — holds the persistence layer well
+# under one round of serving so cadenced checkpointing cannot distort
+# the runs it observes),
 # protocol/run_cong_*, protocol/run_obs_off (the traced path with the
 # NullSink — guards the zero-overhead observability contract),
 # metrics/collection_* (flat-array metrics kernels),

@@ -57,6 +57,15 @@ if [[ $fast -eq 0 ]]; then
   echo "== online RWA smoke =="
   cargo run --release -q -p optical-bench --bin rwa_smoke -- --quick --seed 1997 \
     | grep -q "rwa smoke: ok" || { echo "rwa smoke failed" >&2; exit 1; }
+
+  # Checkpoint/resume smoke: seeded steady-state and online-RWA churn runs
+  # cut checkpoints at a fixed cadence; every checkpoint is resumed in
+  # fresh state and the binary asserts the continuation is bit-identical
+  # to the uninterrupted run (reports, sketches, re-cut checkpoints) and
+  # that a mismatched config is a typed rejection, then prints ok.
+  echo "== checkpoint/resume smoke =="
+  cargo run --release -q -p optical-bench --bin checkpoint_smoke -- --quick --seed 1997 \
+    | grep -q "checkpoint smoke: ok" || { echo "checkpoint smoke failed" >&2; exit 1; }
 fi
 
 echo "== cargo test -q =="

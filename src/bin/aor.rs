@@ -1,18 +1,33 @@
 //! `aor` — all-optical routing from the command line.
 //!
 //! ```text
-//! aor route   --topology mesh:2x16 --workload permutation [--rule serve-first|priority|conversion]
-//!             [-B 4] [-L 8] [--seed 42] [--ack] [--max-rounds 64] [--converters 0.25] [--hops 2]
-//! aor metrics --topology torus:2x8 --workload function [--seed 42]
-//! aor rwa     --topology mesh:2x16 --workload permutation [-B 4] [-L 8] [--seed 42]
-//! aor bounds  --topology hypercube:8 --workload function [-B 1] [-L 4] [--seed 42]
+//! aor route      --topology mesh:2x16 --workload permutation [--rule serve-first|priority|conversion]
+//!                [-B 4] [-L 8] [--seed 42] [--ack] [--max-rounds 64] [--converters 0.25] [--hops 2]
+//! aor metrics    --topology torus:2x8 --workload function [--seed 42]
+//! aor rwa        --topology mesh:2x16 --workload permutation [-B 4] [-L 8] [--seed 42]
+//! aor bounds     --topology hypercube:8 --workload function [-B 1] [-L 4] [--seed 42]
+//! aor checkpoint --topology torus:2x8 --rounds 4000 --every 1000 --out cp.json
+//!                [--arrival 0.2] [--warmup 100] [-B 2] [-L 4] [--seed 42]
+//! aor resume     --topology torus:2x8 --rounds 4000 --checkpoint cp.json
+//!                [--arrival 0.2] [--warmup 100] [-B 2] [-L 4]
 //! ```
+//!
+//! `checkpoint` runs the event-driven steady-state simulation, cutting a
+//! versioned snapshot every `--every` rounds and leaving the last one at
+//! `--out`. `resume` rebuilds the identical configuration from the same
+//! flags and continues that snapshot to the horizon — bit-identically to
+//! a run that never stopped. Resuming under a different topology or
+//! parameter set is rejected by the config fingerprint in the file.
 
 use all_optical::baselines::rwa::{color_lower_bound, greedy_rwa, ColorOrder};
-use all_optical::cli::{select_paths, TopologySpec, WorkloadSpec};
+use all_optical::cli::{
+    read_checkpoint, select_paths, steady_params, steady_sampler, write_checkpoint, TopologySpec,
+    WorkloadSpec,
+};
 use all_optical::core::bounds::{self, BoundParams};
 use all_optical::core::hops::HopTrialAndFailure;
 use all_optical::core::{AckMode, ProtocolParams, TrialAndFailure};
+use all_optical::core::{ProtocolWorkspace, SteadyReport, SteadyRun};
 use all_optical::paths::properties;
 use all_optical::wdm::engine::converter_mask;
 use all_optical::wdm::RouterConfig;
@@ -22,7 +37,7 @@ use std::process::ExitCode;
 
 struct Args {
     topology: TopologySpec,
-    workload: WorkloadSpec,
+    workload: Option<WorkloadSpec>,
     rule: String,
     bandwidth: u16,
     worm_len: u32,
@@ -32,6 +47,13 @@ struct Args {
     converters: Option<f64>,
     hops: Option<u32>,
     cut: Option<f64>,
+    // Steady-state checkpoint/resume flags.
+    rounds: u32,
+    warmup: u32,
+    arrival: f64,
+    every: u32,
+    out: Option<String>,
+    checkpoint: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -46,6 +68,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut converters = None;
     let mut hops = None;
     let mut cut = None;
+    let mut rounds = 1000u32;
+    let mut warmup = 100u32;
+    let mut arrival = 0.2f64;
+    let mut every = 0u32;
+    let mut out = None;
+    let mut checkpoint = None;
 
     let mut i = 0;
     while i < argv.len() {
@@ -96,13 +124,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("bad --cut: {e}"))?,
                 )
             }
+            "--rounds" => {
+                rounds = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --rounds: {e}"))?
+            }
+            "--warmup" => {
+                warmup = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --warmup: {e}"))?
+            }
+            "--arrival" => {
+                arrival = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --arrival: {e}"))?
+            }
+            "--every" => {
+                every = next(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --every: {e}"))?
+            }
+            "--out" => out = Some(next(&mut i)?.clone()),
+            "--checkpoint" => checkpoint = Some(next(&mut i)?.clone()),
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
     }
     Ok(Args {
         topology: topology.ok_or("--topology is required")?,
-        workload: workload.ok_or("--workload is required")?,
+        workload,
         rule,
         bandwidth,
         worm_len,
@@ -112,7 +162,119 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         converters,
         hops,
         cut,
+        rounds,
+        warmup,
+        arrival,
+        every,
+        out,
+        checkpoint,
     })
+}
+
+fn print_steady(report: &SteadyReport) {
+    println!(
+        "steady: spawned={} completed={} shed={} throughput={:.4} \
+         mean_lat={:.2} p99_lat={} peak_active={} time={}",
+        report.spawned,
+        report.completed,
+        report.shed,
+        report.throughput,
+        report.mean_latency_rounds,
+        report.p99_latency_rounds,
+        report.peak_active,
+        report.total_time
+    );
+}
+
+/// `aor checkpoint` / `aor resume`: the steady-state run with snapshot
+/// files. Both verbs rebuild the run from the same flags; the config
+/// fingerprint in the file catches any mismatch.
+fn run_steady_verb(cmd: &str, args: &Args) -> ExitCode {
+    let net = args.topology.build();
+    let router = match router(args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.warmup >= args.rounds {
+        eprintln!("error: --warmup must be below --rounds");
+        return ExitCode::FAILURE;
+    }
+    let params = steady_params(
+        router,
+        args.worm_len,
+        args.arrival,
+        args.rounds,
+        args.warmup,
+        args.every,
+    );
+    let mut run = SteadyRun::new(&net, steady_sampler(&net), params);
+    let mut ws = ProtocolWorkspace::new();
+
+    match cmd {
+        "checkpoint" => {
+            let Some(out) = &args.out else {
+                eprintln!("error: checkpoint needs --out FILE");
+                return ExitCode::FAILURE;
+            };
+            if args.every == 0 {
+                eprintln!("error: checkpoint needs --every N (rounds between snapshots)");
+                return ExitCode::FAILURE;
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(args.seed);
+            let mut last = None;
+            let report =
+                run.run_checkpointed(&mut ws, &mut rng, &mut all_optical::obs::NullSink, |cp| {
+                    last = Some(cp.clone());
+                });
+            print_steady(&report);
+            match last {
+                Some(cp) => {
+                    let round = cp.round();
+                    if let Err(e) = write_checkpoint(out, &cp) {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("checkpoint: round {round} written to {out}");
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!(
+                        "error: no checkpoint cut — --every {} never fired within --rounds {}",
+                        args.every, args.rounds
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "resume" => {
+            let Some(file) = &args.checkpoint else {
+                eprintln!("error: resume needs --checkpoint FILE");
+                return ExitCode::FAILURE;
+            };
+            let cp = match read_checkpoint(file) {
+                Ok(cp) => cp,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("resuming {file} at round {}", cp.round());
+            match run.resume_from(cp) {
+                Ok(report) => {
+                    print_steady(&report);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: checkpoint does not match this configuration: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => unreachable!("dispatched on checkpoint|resume"),
+    }
 }
 
 fn router(args: &Args) -> Result<RouterConfig, String> {
@@ -131,7 +293,9 @@ fn router(args: &Args) -> Result<RouterConfig, String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        eprintln!("usage: aor <route|metrics|rwa|bounds> --topology T --workload W [flags]");
+        eprintln!(
+            "usage: aor <route|metrics|rwa|bounds|checkpoint|resume> --topology T [--workload W] [flags]"
+        );
         return ExitCode::FAILURE;
     };
     let args = match parse_args(rest) {
@@ -140,6 +304,14 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    };
+
+    if matches!(cmd.as_str(), "checkpoint" | "resume") {
+        return run_steady_verb(cmd, &args);
+    }
+    let Some(workload) = args.workload else {
+        eprintln!("error: --workload is required for '{cmd}'");
+        return ExitCode::FAILURE;
     };
 
     let net = args.topology.build();
@@ -156,7 +328,7 @@ fn main() -> ExitCode {
         }
         mask
     });
-    let f = args.workload.destinations(net.node_count(), &mut rng);
+    let f = workload.destinations(net.node_count(), &mut rng);
     let coll = match &dead {
         None => select_paths(args.topology, &net, &f, &mut rng),
         Some(mask) => {
@@ -300,7 +472,7 @@ fn main() -> ExitCode {
             }
         }
         other => {
-            eprintln!("unknown command '{other}' (route|metrics|rwa|bounds)");
+            eprintln!("unknown command '{other}' (route|metrics|rwa|bounds|checkpoint|resume)");
             ExitCode::FAILURE
         }
     }

@@ -1,11 +1,14 @@
 //! Testable plumbing for the `aor` command-line tool: topology and
-//! workload specifications, parsing, and instance construction.
+//! workload specifications, parsing, instance construction, and the
+//! checkpoint-file format used by `aor checkpoint` / `aor resume`.
 
-use optical_paths::select::bfs::randomized_bfs_collection;
+use optical_core::{Snapshot, SteadyCheckpoint, SteadyParams};
+use optical_paths::select::bfs::{bfs_route, randomized_bfs_collection};
 use optical_paths::select::grid::{mesh_route, torus_route};
 use optical_paths::select::hypercube::bit_fixing_route;
 use optical_paths::PathCollection;
-use optical_topo::{topologies, GridCoords, Network, NodeId};
+use optical_topo::{topologies, GridCoords, LinkId, Network, NodeId};
+use optical_wdm::RouterConfig;
 use optical_workloads::functions;
 use rand::Rng;
 
@@ -178,6 +181,70 @@ pub fn select_paths(
     }
 }
 
+/// Steady-state parameters for `aor checkpoint` / `aor resume`, derived
+/// purely from CLI flags. Both verbs must rebuild the identical
+/// [`SteadyParams`] (and the identical [`steady_sampler`]) — that is the
+/// CLI's reproducibility contract, and it is what makes the config
+/// fingerprint embedded in the checkpoint file meaningful: resuming
+/// under different flags fails with a typed
+/// [`RestoreError`](optical_core::RestoreError) instead of silently
+/// diverging.
+pub fn steady_params(
+    router: RouterConfig,
+    worm_len: u32,
+    arrival: f64,
+    rounds: u32,
+    warmup: u32,
+    checkpoint_every: u32,
+) -> SteadyParams {
+    SteadyParams::bernoulli(
+        router,
+        worm_len,
+        optical_core::DelaySchedule::Fixed { delta: 24 },
+        arrival,
+        rounds,
+        warmup,
+    )
+    .checkpoint_every(checkpoint_every)
+}
+
+/// The path sampler both checkpoint verbs share: a uniformly random
+/// source/destination pair, BFS-routed. Deterministic given the RNG
+/// stream — the other half of the reproducibility contract (closures
+/// are outside the fingerprint, so the resume side must reconstruct the
+/// same sampler by convention).
+pub fn steady_sampler(
+    net: &Network,
+) -> impl FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>) + '_ {
+    move |_src, rng, out| {
+        let n = net.node_count() as u32;
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        out.extend_from_slice(bfs_route(net, s, d).links());
+    }
+}
+
+/// Serialize a [`SteadyCheckpoint`] to `path` as JSON, wrapped in the
+/// [`Versioned`](optical_core::Versioned) envelope (format version,
+/// snapshot kind, config fingerprint) so a resume in any later process
+/// can type-check the file before trusting its contents.
+pub fn write_checkpoint(path: &str, cp: &SteadyCheckpoint) -> Result<(), String> {
+    let json = serde_json::to_string(&cp.snapshot())
+        .map_err(|e| format!("serializing checkpoint: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Read a checkpoint file written by [`write_checkpoint`]. Verifies the
+/// envelope (format version and snapshot kind) and the payload's
+/// internal consistency; the topology/parameter fingerprint is checked
+/// later by `SteadyRun::resume_from` against the live configuration.
+pub fn read_checkpoint(path: &str) -> Result<SteadyCheckpoint, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let versioned = serde_json::from_str(&json)
+        .map_err(|e| format!("parsing {path}: not a checkpoint file ({e})"))?;
+    SteadyCheckpoint::restore(versioned).map_err(|e| format!("restoring {path}: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +317,29 @@ mod tests {
             let coll = select_paths(spec, &net, &f, &mut rng);
             assert_eq!(coll.len(), net.node_count());
         }
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrips() {
+        use optical_core::{ProtocolWorkspace, SteadyRun};
+        let net = TopologySpec::parse("torus:2x4").unwrap().build();
+        let params = steady_params(RouterConfig::serve_first(2), 4, 0.4, 60, 10, 25);
+        let mut run = SteadyRun::new(&net, steady_sampler(&net), params);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut last = None;
+        run.run_checkpointed(
+            &mut ProtocolWorkspace::new(),
+            &mut rng,
+            &mut optical_obs::NullSink,
+            |cp| last = Some(cp.clone()),
+        );
+        let cp = last.expect("cadence 25 over 60 rounds cuts checkpoints");
+        let path = std::env::temp_dir().join("aor_cli_checkpoint_test.json");
+        let path = path.to_str().unwrap();
+        write_checkpoint(path, &cp).unwrap();
+        let back = read_checkpoint(path).unwrap();
+        assert_eq!(back, cp, "file round-trip must be lossless");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

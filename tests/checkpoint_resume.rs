@@ -1,0 +1,269 @@
+//! The headline persistence guarantee, pinned end-to-end through the
+//! public surface: snapshot a long run at round R, rebuild everything in
+//! a "fresh process" (new run value, new workspace, new engine — nothing
+//! shared but the checkpoint bytes), and the continuation is
+//! bit-identical to the run that never stopped — final report, latency
+//! sketches, and the RNG stream (witnessed by the continuation re-cutting
+//! checkpoints equal to the uninterrupted run's). Restoring against a
+//! different topology or parameter set fails with a typed
+//! [`RestoreError`], never silent divergence.
+
+use all_optical::baselines::rwa::churn::{Churn, ChurnCheckpoint, HoldTime};
+use all_optical::baselines::rwa::online::{OnlineRwa, RecomputeRwa, RwaEngine};
+use all_optical::cli::{read_checkpoint, steady_params, steady_sampler, write_checkpoint};
+use all_optical::core::{
+    ProtocolWorkspace, RestoreError, Snapshot, SteadyCheckpoint, SteadyRun, TrafficMix,
+};
+use all_optical::obs::NullSink;
+use all_optical::topo::{topologies, LinkId, Network};
+use all_optical::wdm::RouterConfig;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn net() -> Network {
+    topologies::torus(2, 4)
+}
+
+fn params(rounds: u32, every: u32) -> all_optical::core::SteadyParams {
+    steady_params(
+        RouterConfig::serve_first(2),
+        4,
+        0.35,
+        rounds,
+        rounds / 5,
+        every,
+    )
+}
+
+/// Uninterrupted steady run: final report plus every checkpoint cut.
+fn golden_steady(
+    rounds: u32,
+    every: u32,
+    seed: u64,
+) -> (all_optical::core::SteadyReport, Vec<SteadyCheckpoint>) {
+    let net = net();
+    let mut run = SteadyRun::new(&net, steady_sampler(&net), params(rounds, every));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut cps = Vec::new();
+    let report = run.run_checkpointed(
+        &mut ProtocolWorkspace::new(),
+        &mut rng,
+        &mut NullSink,
+        |cp| cps.push(cp.clone()),
+    );
+    (report, cps)
+}
+
+#[test]
+fn steady_resume_from_every_checkpoint_is_bit_exact() {
+    let (golden, cps) = golden_steady(200, 40, 42);
+    assert!(cps.len() >= 3, "cadence 40 over 200 rounds cuts several");
+    for cp in &cps {
+        // Fresh process: new run value, new workspace, RNG rebuilt from
+        // the checkpoint alone.
+        let net = net();
+        let mut run = SteadyRun::new(&net, steady_sampler(&net), params(200, 40));
+        let report = run
+            .resume_from(cp.clone())
+            .expect("same config must resume");
+        assert_eq!(
+            report,
+            golden,
+            "resume from round {} diverged from the uninterrupted run",
+            cp.round()
+        );
+    }
+}
+
+#[test]
+fn steady_continuation_recuts_identical_checkpoints() {
+    // RNG-stream witness: resuming the FIRST checkpoint must re-cut
+    // every later checkpoint byte-for-byte equal to the uninterrupted
+    // run's (SteadyCheckpoint equality covers progress + RNG position).
+    let (_, cps) = golden_steady(200, 40, 7);
+    let net = net();
+    let mut run = SteadyRun::new(&net, steady_sampler(&net), params(200, 40));
+    let mut recut = Vec::new();
+    run.resume_checkpointed(
+        &mut ProtocolWorkspace::new(),
+        cps[0].clone(),
+        &mut NullSink,
+        |cp| recut.push(cp.clone()),
+    )
+    .expect("same config must resume");
+    // The continuation re-fires the boundary it was cut at, then every
+    // later one; compare on common rounds.
+    for later in &cps[1..] {
+        let twin = recut
+            .iter()
+            .find(|cp| cp.round() == later.round())
+            .expect("continuation must reach every later boundary");
+        assert_eq!(twin, later, "checkpoint at round {} differs", later.round());
+    }
+}
+
+#[test]
+fn steady_resume_rejects_wrong_config_with_typed_errors() {
+    let (_, cps) = golden_steady(200, 40, 13);
+    let cp = cps[0].clone();
+
+    // Different topology, same parameters.
+    let other = topologies::mesh(2, 4);
+    let mut run = SteadyRun::new(&other, steady_sampler(&other), params(200, 40));
+    assert!(matches!(
+        run.resume_from(cp.clone()),
+        Err(RestoreError::Fingerprint { .. })
+    ));
+
+    // Same topology, different horizon.
+    let net = net();
+    let mut run = SteadyRun::new(&net, steady_sampler(&net), params(300, 40));
+    assert!(matches!(
+        run.resume_from(cp.clone()),
+        Err(RestoreError::Fingerprint { .. })
+    ));
+
+    // Different cadence is NOT a mismatch: cadence is outside the
+    // fingerprint, so a run checkpointed at 40 resumes at 25.
+    let mut run = SteadyRun::new(&net, steady_sampler(&net), params(200, 25));
+    assert!(run.resume_from(cp).is_ok());
+}
+
+#[test]
+fn steady_checkpoint_survives_the_versioned_envelope() {
+    let (_, cps) = golden_steady(120, 30, 3);
+    let cp = cps.last().unwrap();
+
+    // Through the wire format: envelope + JSON + restore.
+    let wire = serde_json::to_string(&cp.snapshot()).unwrap();
+    let back = SteadyCheckpoint::restore(serde_json::from_str(&wire).unwrap()).unwrap();
+    assert_eq!(&back, cp);
+
+    // A tampered kind tag is a typed error, not a misparse.
+    let mut versioned = cp.snapshot();
+    versioned.header.kind = "rwa-online/v1".to_string();
+    assert!(matches!(
+        SteadyCheckpoint::restore(versioned),
+        Err(RestoreError::Kind { .. })
+    ));
+
+    // A tampered format version likewise.
+    let mut versioned = cp.snapshot();
+    versioned.header.format_version += 1;
+    assert!(matches!(
+        SteadyCheckpoint::restore(versioned),
+        Err(RestoreError::FormatVersion { .. })
+    ));
+}
+
+#[test]
+fn steady_checkpoint_file_roundtrip_resumes() {
+    let (golden, cps) = golden_steady(150, 50, 21);
+    let path = std::env::temp_dir().join("checkpoint_resume_it.json");
+    let path = path.to_str().unwrap();
+    write_checkpoint(path, &cps[0]).unwrap();
+    let cp = read_checkpoint(path).unwrap();
+    std::fs::remove_file(path).ok();
+    let net = net();
+    let mut run = SteadyRun::new(&net, steady_sampler(&net), params(150, 50));
+    let report = run.resume_from(cp).unwrap();
+    assert_eq!(report, golden);
+}
+
+// ---------------------------------------------------------------------------
+// Online-RWA churn: the same contract for the admit/release engine.
+// ---------------------------------------------------------------------------
+
+fn ring_route(n: u32) -> impl FnMut(u32, &mut dyn rand::RngCore, &mut Vec<LinkId>) {
+    move |src, _rng, links| {
+        links.clear();
+        links.push(src % n);
+        links.push((src + 1) % n);
+    }
+}
+
+fn churn_scenario(every: u32) -> Churn {
+    Churn::builder(24)
+        .rounds(160)
+        .mix(TrafficMix::bernoulli(0.45))
+        .hold(HoldTime::Geometric { mean: 6.0 })
+        .capture_peak(true)
+        .checkpoint_every(every)
+        .try_build()
+        .unwrap()
+}
+
+#[test]
+fn churn_resume_from_every_checkpoint_is_bit_exact() {
+    let churn = churn_scenario(50);
+    let mut eng = OnlineRwa::new(24, 2, 8);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut cps: Vec<ChurnCheckpoint> = Vec::new();
+    let golden = churn.run_checkpointed(&mut eng, ring_route(24), &mut rng, &mut NullSink, |cp| {
+        cps.push(cp.clone())
+    });
+    assert!(cps.len() >= 2, "cadence 50 over 160 rounds cuts several");
+
+    for cp in &cps {
+        let (reng, report) = churn
+            .resume::<OnlineRwa, _>(cp.clone(), ring_route(24), &mut NullSink)
+            .expect("same scenario must resume");
+        assert_eq!(report, golden, "resume from round {} diverged", cp.round());
+        assert_eq!(reng.report(), eng.report(), "engine totals must match");
+        reng.validate().unwrap();
+    }
+}
+
+#[test]
+fn churn_resume_rejects_wrong_engine_and_scenario() {
+    let churn = churn_scenario(50);
+    let mut eng = OnlineRwa::new(24, 2, 8);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let mut cps: Vec<ChurnCheckpoint> = Vec::new();
+    churn.run_checkpointed(&mut eng, ring_route(24), &mut rng, &mut NullSink, |cp| {
+        cps.push(cp.clone())
+    });
+    let cp = cps[0].clone();
+
+    // The engine kind is folded into the scenario fingerprint, so the
+    // recompute reference cannot adopt an incremental-engine checkpoint.
+    assert!(matches!(
+        churn.resume::<RecomputeRwa, _>(cp.clone(), ring_route(24), &mut NullSink),
+        Err(RestoreError::Fingerprint { .. })
+    ));
+
+    // A different horizon is a different scenario.
+    let other = Churn::builder(24)
+        .rounds(161)
+        .mix(TrafficMix::bernoulli(0.45))
+        .hold(HoldTime::Geometric { mean: 6.0 })
+        .capture_peak(true)
+        .try_build()
+        .unwrap();
+    assert!(matches!(
+        other.resume::<OnlineRwa, _>(cp.clone(), ring_route(24), &mut NullSink),
+        Err(RestoreError::Fingerprint { .. })
+    ));
+
+    // The pristine checkpoint still resumes under its own scenario.
+    assert!(churn
+        .resume::<OnlineRwa, _>(cp, ring_route(24), &mut NullSink)
+        .is_ok());
+}
+
+#[test]
+fn churn_checkpoint_serializes_through_the_envelope() {
+    let churn = churn_scenario(60);
+    let mut eng = OnlineRwa::new(24, 2, 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let mut cps: Vec<ChurnCheckpoint> = Vec::new();
+    let golden = churn.run_checkpointed(&mut eng, ring_route(24), &mut rng, &mut NullSink, |cp| {
+        cps.push(cp.clone())
+    });
+    let wire = serde_json::to_string(&cps[0].snapshot()).unwrap();
+    let back = ChurnCheckpoint::restore(serde_json::from_str(&wire).unwrap()).unwrap();
+    let (_, report) = churn
+        .resume::<OnlineRwa, _>(back, ring_route(24), &mut NullSink)
+        .unwrap();
+    assert_eq!(report, golden, "wire-format round-trip must stay bit-exact");
+}

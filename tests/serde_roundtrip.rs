@@ -4,6 +4,7 @@
 
 use all_optical::core::{AckMode, DelaySchedule, ProtocolParams, TrialAndFailure};
 use all_optical::paths::{CollectionMetrics, Path, PathCollection};
+use all_optical::stats::QuantileSketch;
 use all_optical::topo::{topologies, Network};
 use all_optical::wdm::{CollisionRule, Fate, RouterConfig, TieRule};
 use rand::SeedableRng;
@@ -108,6 +109,39 @@ fn metrics_roundtrip() {
         congestion: 3,
         path_congestion: 4,
     });
+}
+
+#[test]
+fn sketch_merge_after_roundtrip_matches_live_merge() {
+    // Checkpointed runs ship their latency sketches through the wire
+    // format and merge them on the far side; a sketch that survives
+    // serialization must merge exactly like one that never left memory.
+    let mut left = QuantileSketch::new();
+    let mut right = QuantileSketch::new();
+    for v in 0..2_000u64 {
+        left.record(v * v % 9_973);
+        right.record_n(v * 31 % 4_099, 1 + v % 3);
+    }
+
+    let mut live = left.clone();
+    live.merge(&right);
+
+    let wire_left: QuantileSketch =
+        serde_json::from_str(&serde_json::to_string(&left).unwrap()).unwrap();
+    let wire_right: QuantileSketch =
+        serde_json::from_str(&serde_json::to_string(&right).unwrap()).unwrap();
+    assert_eq!(wire_left, left);
+    assert_eq!(wire_right, right);
+
+    let mut merged = wire_left;
+    merged.merge(&wire_right);
+    assert_eq!(merged, live);
+    assert_eq!(merged.len(), live.len());
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(merged.quantile(q), live.quantile(q));
+    }
+    assert_eq!((merged.min(), merged.max()), (live.min(), live.max()));
+    assert!((merged.mean() - live.mean()).abs() < 1e-12);
 }
 
 #[test]
